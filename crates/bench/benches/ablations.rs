@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - **memoization** (sync miss vs hit — the async deployment's win);
+//! - **downsampling schedule** (PERCIVAL's pruned fork vs the original
+//!   SqueezeNet: the classification-time motivation of Section 4.2);
+//! - **hook placement** (pre-decode URL filtering vs post-decode pixels —
+//!   the cost side of the Section 2.2 trade-off);
+//! - **quantization** (int8 round-trip cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use percival_core::arch::{original_squeezenet, percival_net_slim};
+use percival_core::{Classifier, MemoizedClassifier};
+use percival_filterlist::easylist::synthetic_engine;
+use percival_filterlist::{RequestInfo, ResourceType, Url};
+use percival_imgcodec::Bitmap;
+use percival_nn::init::kaiming_init;
+use percival_nn::quant::quantize;
+use percival_nn::Sequential;
+use percival_tensor::{Shape, Tensor};
+use percival_util::Pcg32;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn init(mut m: Sequential, seed: u64) -> Sequential {
+    kaiming_init(&mut m, &mut Pcg32::seed_from_u64(seed));
+    m
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Memoization: hit vs miss.
+    let classifier = Classifier::new(init(percival_net_slim(4), 1), 64);
+    let memo = MemoizedClassifier::new(classifier.clone(), 128);
+    let img = Bitmap::new(80, 60, [120, 80, 200, 255]);
+    let _warm = memo.classify(&img);
+    let mut g = c.benchmark_group("memoization");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("hit", |b| b.iter(|| black_box(memo.classify(black_box(&img)))));
+    g.bench_function("miss_full_cnn", |b| b.iter(|| black_box(classifier.classify(black_box(&img)))));
+    g.finish();
+
+    // Downsampling schedule: pruned fork vs original SqueezeNet, same
+    // input, both at width/4 scale comparison via full-width at 96px.
+    let fork = init(percival_net_slim(2), 2);
+    let orig = init(original_squeezenet(), 3);
+    let fork_in = Tensor::filled(Shape::new(1, 4, 96, 96), 0.3);
+    let mut g2 = c.benchmark_group("downsampling_schedule_96px");
+    g2.sample_size(10);
+    g2.measurement_time(Duration::from_secs(4));
+    g2.bench_function("percival_fork_w2", |b| b.iter(|| black_box(fork.forward(black_box(&fork_in)))));
+    g2.bench_function("original_squeezenet_w1", |b| {
+        b.iter(|| black_box(orig.forward(black_box(&fork_in))))
+    });
+    g2.finish();
+
+    // Hook placement: URL-only filtering vs pixel classification.
+    let engine = synthetic_engine();
+    let url = Url::parse("http://adnet-alpha.web/serve/banner_728x90_5.png").unwrap();
+    let src = Url::parse("http://news0.web/").unwrap();
+    let mut g3 = c.benchmark_group("hook_placement");
+    g3.measurement_time(Duration::from_secs(3));
+    g3.bench_function("pre_decode_url_filter", |b| {
+        b.iter(|| {
+            let req = RequestInfo { url: &url, source: &src, resource_type: ResourceType::Image };
+            black_box(engine.should_block(black_box(&req)))
+        })
+    });
+    g3.bench_function("post_decode_cnn", |b| b.iter(|| black_box(classifier.classify(black_box(&img)))));
+    g3.finish();
+
+    // Quantization round-trip (the model-update path on device).
+    let model = init(percival_net_slim(4), 4);
+    let mut g4 = c.benchmark_group("quantization");
+    g4.measurement_time(Duration::from_secs(3));
+    g4.bench_function("int8_quantize", |b| b.iter(|| black_box(quantize(black_box(&model)))));
+    let q = quantize(&model);
+    g4.bench_function("int8_dequantize", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            q.dequantize_into(&mut m);
+            black_box(m)
+        })
+    });
+    g4.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

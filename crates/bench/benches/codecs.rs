@@ -1,0 +1,47 @@
+//! Image-decode throughput: the work the raster task does before the hook
+//! runs ("the raster task decodes the given image into raw pixels").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use percival_imgcodec::sniff::{decode_auto, encode_as, ImageFormat};
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn ad_like_bitmap(edge: usize) -> Bitmap {
+    let mut rng = Pcg32::seed_from_u64(4);
+    percival_webgen::generate_ad(
+        &mut rng,
+        edge,
+        edge,
+        percival_webgen::Script::Latin,
+        percival_webgen::AdStyle::Rectangle,
+        percival_webgen::images::AdCues::default(),
+    )
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let img = ad_like_bitmap(256);
+    let mut g = c.benchmark_group("decode_256px");
+    g.measurement_time(Duration::from_secs(3));
+    for fmt in [ImageFormat::Png, ImageFormat::Gif, ImageFormat::Qoi, ImageFormat::Bmp] {
+        let encoded = encode_as(&img, fmt);
+        g.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
+        g.bench_function(fmt.extension(), |b| {
+            b.iter(|| black_box(decode_auto(black_box(&encoded)).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g2 = c.benchmark_group("encode_256px");
+    g2.measurement_time(Duration::from_secs(3));
+    for fmt in [ImageFormat::Png, ImageFormat::Qoi] {
+        g2.bench_function(fmt.extension(), |b| {
+            b.iter(|| black_box(encode_as(black_box(&img), fmt)))
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

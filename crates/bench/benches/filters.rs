@@ -1,0 +1,51 @@
+//! Filter-list engine benchmarks: the cost of the block-list baseline that
+//! PERCIVAL complements (every network request pays this in Brave).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use percival_filterlist::easylist::{synthetic_engine, SYNTHETIC_EASYLIST};
+use percival_filterlist::{parse_list, FilterEngine, RequestInfo, ResourceType, Url};
+use percival_util::Pcg32;
+use percival_webgen::adnet;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_filters(c: &mut Criterion) {
+    let engine = synthetic_engine();
+    let source = Url::parse("http://news0.web/").unwrap();
+
+    // A realistic URL mix: ads, content, trackers.
+    let mut rng = Pcg32::seed_from_u64(11);
+    let mut urls = Vec::new();
+    for _ in 0..64 {
+        let n = adnet::pick_network(&mut rng, false);
+        urls.push(Url::parse(&adnet::creative_url(&mut rng, n, "png")).unwrap());
+        urls.push(Url::parse(&adnet::content_url(&mut rng, "news0.web", "png")).unwrap());
+        urls.push(Url::parse(&adnet::tracker_url(&mut rng)).unwrap());
+    }
+
+    let mut g = c.benchmark_group("filterlist");
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(criterion::Throughput::Elements(urls.len() as u64));
+    g.bench_function("check_mixed_urls", |b| {
+        b.iter(|| {
+            let mut blocked = 0usize;
+            for u in &urls {
+                let req = RequestInfo { url: u, source: &source, resource_type: ResourceType::Image };
+                if engine.should_block(black_box(&req)) {
+                    blocked += 1;
+                }
+            }
+            black_box(blocked)
+        })
+    });
+    g.bench_function("parse_builtin_list", |b| {
+        b.iter(|| black_box(parse_list(black_box(SYNTHETIC_EASYLIST))))
+    });
+    g.bench_function("build_engine", |b| {
+        b.iter(|| black_box(FilterEngine::from_list(black_box(SYNTHETIC_EASYLIST))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Classification-latency benchmarks (the paper's "detects ad images in
+//! 11 ms" claim, Figure 8) at several input scales and widths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use percival_core::arch::{percival_net, percival_net_slim};
+use percival_core::Classifier;
+use percival_imgcodec::Bitmap;
+use percival_nn::init::kaiming_init;
+use percival_util::Pcg32;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn noisy_bitmap(edge: usize, seed: u64) -> Bitmap {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut b = Bitmap::new(edge, edge, [0, 0, 0, 255]);
+    for y in 0..edge {
+        for x in 0..edge {
+            b.set(
+                x,
+                y,
+                [
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    255,
+                ],
+            );
+        }
+    }
+    b
+}
+
+fn classifier(divisor: usize, input: usize) -> Classifier {
+    let mut model = percival_net_slim(divisor);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(1));
+    Classifier::new(model, input)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let img = noisy_bitmap(120, 2);
+
+    let mut g = c.benchmark_group("classify");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    let slim64 = classifier(4, 64);
+    g.bench_function("slim4_64px", |b| b.iter(|| black_box(slim64.classify(black_box(&img)))));
+    let slim32 = classifier(4, 32);
+    g.bench_function("slim4_32px", |b| b.iter(|| black_box(slim32.classify(black_box(&img)))));
+    g.finish();
+
+    // The paper-geometry network (full width, 224x224x4) — the Figure 8
+    // "11 ms" data point, here on a software GEMM.
+    let mut full = percival_net();
+    kaiming_init(&mut full, &mut Pcg32::seed_from_u64(3));
+    let full224 = Classifier::new(full, 224);
+    let mut g2 = c.benchmark_group("classify_paper_geometry");
+    g2.sample_size(10);
+    g2.measurement_time(Duration::from_secs(5));
+    g2.bench_function("full_224px", |b| b.iter(|| black_box(full224.classify(black_box(&img)))));
+    g2.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end page-render benchmarks: the per-stage costs behind the
+//! Figure 14/15 render-time experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use percival_core::{Classifier, PercivalHook};
+use percival_core::arch::percival_net_slim;
+use percival_crawler::adapters::{store_from_corpus, EngineNetworkFilter};
+use percival_filterlist::easylist::synthetic_engine;
+use percival_nn::init::kaiming_init;
+use percival_renderer::hook::NoopInterceptor;
+use percival_renderer::net::AllowAll;
+use percival_renderer::RenderPipeline;
+use percival_util::Pcg32;
+use percival_webgen::sites::{generate_corpus, CorpusConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusConfig { n_sites: 4, pages_per_site: 1, seed: 77, ..Default::default() });
+    let store = store_from_corpus(&corpus);
+    let page = corpus.pages[0].clone();
+    let pipeline = RenderPipeline::default();
+    let engine = synthetic_engine();
+    let shields = EngineNetworkFilter::new(&engine);
+
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    let classifier = Classifier::new(model, 64);
+
+    let mut g = c.benchmark_group("render_page");
+    g.measurement_time(Duration::from_secs(4));
+    g.sample_size(15);
+    g.bench_function("chromium_baseline", |b| {
+        b.iter(|| black_box(pipeline.render(&store, &page, &NoopInterceptor, &AllowAll, &[]).unwrap()))
+    });
+    g.bench_function("chromium_percival", |b| {
+        // Fresh hook per iteration so memoization does not flatten the cost.
+        b.iter(|| {
+            let hook = PercivalHook::new(classifier.clone());
+            black_box(pipeline.render(&store, &page, &hook, &AllowAll, &[]).unwrap())
+        })
+    });
+    g.bench_function("chromium_percival_memoized", |b| {
+        // One persistent hook: steady-state cost with a warm verdict cache.
+        let hook = PercivalHook::new(classifier.clone());
+        let _ = pipeline.render(&store, &page, &hook, &AllowAll, &[]);
+        b.iter(|| black_box(pipeline.render(&store, &page, &hook, &AllowAll, &[]).unwrap()))
+    });
+    g.bench_function("brave_shields", |b| {
+        b.iter(|| black_box(pipeline.render(&store, &page, &NoopInterceptor, &shields, &[]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

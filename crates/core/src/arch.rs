@@ -1,0 +1,189 @@
+//! Network architectures: PERCIVAL's SqueezeNet fork and the original
+//! SqueezeNet it was pruned from (Figure 3).
+//!
+//! The fork (paper, Section 4.2): "Our modified network consists of a
+//! convolution layer, followed by 6 fire modules and a final convolution
+//! layer, a global average pooling layer and a SoftMax layer. As opposed
+//! to the original SqueezeNet, we down-sample the feature maps at regular
+//! intervals in the network ... We also perform max-pooling after the
+//! first convolution layer and after every two fire modules."
+
+use percival_nn::layer::{Conv2d, Fire, Layer};
+use percival_nn::Sequential;
+use percival_tensor::{Conv2dCfg, PoolCfg, Shape};
+
+/// Input channels: the pipeline hands PERCIVAL RGBA buffers ("scales it
+/// to 224x224x4", Section 3.3).
+pub const INPUT_CHANNELS: usize = 4;
+/// The default (paper) input edge length.
+pub const PAPER_INPUT_SIZE: usize = 224;
+/// Output classes: ad / not-ad.
+pub const NUM_CLASSES: usize = 2;
+
+/// Builds PERCIVAL's pruned SqueezeNet fork.
+///
+/// Layout: `conv3x3/2(64) -> pool -> fire(16,64) x2 -> pool ->
+/// fire(32,128) x2 -> pool -> fire(48,192) x2 -> conv1x1(2) -> GAP`.
+/// Softmax is applied by the loss/classifier, not stored as a layer.
+///
+/// At f32 precision this serializes to ~1.4 MB — the paper's "less
+/// than 2 MB" budget (Section 2.3).
+pub fn percival_net() -> Sequential {
+    let pool = PoolCfg::squeeze_default();
+    Sequential::new(vec![
+        Layer::Conv(Conv2d::new(64, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Relu,
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(64, 16, 64)),
+        Layer::Fire(Fire::new(128, 16, 64)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(128, 32, 128)),
+        Layer::Fire(Fire::new(256, 32, 128)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(256, 48, 192)),
+        Layer::Fire(Fire::new(384, 48, 192)),
+        Layer::Conv(Conv2d::new(NUM_CLASSES, 384, 1, Conv2dCfg { stride: 1, pad: 0 })),
+        Layer::GlobalAvgPool,
+    ])
+}
+
+/// A narrower PERCIVAL variant for fast CPU experiments: same topology,
+/// `width_divisor`-times fewer channels everywhere. `percival_net_slim(1)`
+/// equals [`percival_net`].
+///
+/// # Panics
+///
+/// Panics if `width_divisor` is 0 or does not divide the channel plan.
+pub fn percival_net_slim(width_divisor: usize) -> Sequential {
+    assert!(width_divisor > 0, "width divisor must be positive");
+    let d = width_divisor;
+    assert!(
+        [64usize, 16, 32, 48, 128, 192].iter().all(|c| c % d == 0),
+        "width divisor {d} must divide the channel plan"
+    );
+    let pool = PoolCfg::squeeze_default();
+    Sequential::new(vec![
+        Layer::Conv(Conv2d::new(64 / d, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Relu,
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(64 / d, 16 / d, 64 / d)),
+        Layer::Fire(Fire::new(128 / d, 16 / d, 64 / d)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(128 / d, 32 / d, 128 / d)),
+        Layer::Fire(Fire::new(256 / d, 32 / d, 128 / d)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(256 / d, 48 / d, 192 / d)),
+        Layer::Fire(Fire::new(384 / d, 48 / d, 192 / d)),
+        Layer::Conv(Conv2d::new(NUM_CLASSES, 384 / d, 1, Conv2dCfg { stride: 1, pad: 0 })),
+        Layer::GlobalAvgPool,
+    ])
+}
+
+/// The original SqueezeNet v1.1 (8 fire modules, 1000-way classifier) —
+/// the starting point PERCIVAL was pruned from, used for the size
+/// comparison and as the transfer-learning source geometry.
+pub fn original_squeezenet() -> Sequential {
+    let pool = PoolCfg::squeeze_default();
+    Sequential::new(vec![
+        Layer::Conv(Conv2d::new(64, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Relu,
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(64, 16, 64)),
+        Layer::Fire(Fire::new(128, 16, 64)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(128, 32, 128)),
+        Layer::Fire(Fire::new(256, 32, 128)),
+        Layer::MaxPool(pool),
+        Layer::Fire(Fire::new(256, 48, 192)),
+        Layer::Fire(Fire::new(384, 48, 192)),
+        Layer::Fire(Fire::new(384, 64, 256)),
+        Layer::Fire(Fire::new(512, 64, 256)),
+        Layer::Conv(Conv2d::new(1000, 512, 1, Conv2dCfg { stride: 1, pad: 0 })),
+        Layer::GlobalAvgPool,
+    ])
+}
+
+/// Smallest input edge the pooling schedule supports.
+pub const MIN_INPUT_SIZE: usize = 32;
+
+/// Validates that the network accepts `size x size` inputs and produces
+/// `NUM_CLASSES` logits.
+pub fn accepts_input(model: &Sequential, size: usize) -> bool {
+    if size < MIN_INPUT_SIZE {
+        return false;
+    }
+    let out = model.output_shape(Shape::new(1, INPUT_CHANNELS, size, size));
+    (out.h, out.w) == (1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percival_net_is_under_two_megabytes() {
+        let net = percival_net();
+        let bytes = net.size_bytes_f32();
+        assert!(
+            bytes < 2 * 1024 * 1024,
+            "model must stay under 2 MB: {} bytes",
+            bytes
+        );
+        assert!(bytes > 1024 * 1024, "sanity: should be over 1 MB: {bytes}");
+    }
+
+    #[test]
+    fn original_squeezenet_is_about_4_8_mb() {
+        let net = original_squeezenet();
+        let mb = net.size_bytes_f32() as f64 / (1024.0 * 1024.0);
+        assert!((4.0..5.6).contains(&mb), "SqueezeNet ~4.8 MB, got {mb:.2}");
+    }
+
+    #[test]
+    fn fork_is_smaller_and_cheaper_than_original() {
+        let fork = percival_net();
+        let orig = original_squeezenet();
+        assert!(fork.param_count() < orig.param_count());
+        let input = Shape::new(1, INPUT_CHANNELS, 224, 224);
+        assert!(fork.flops(input) < orig.flops(input));
+    }
+
+    #[test]
+    fn paper_geometry_produces_two_logits() {
+        let net = percival_net();
+        let out = net.output_shape(Shape::new(1, INPUT_CHANNELS, PAPER_INPUT_SIZE, PAPER_INPUT_SIZE));
+        assert_eq!(out, Shape::new(1, NUM_CLASSES, 1, 1));
+    }
+
+    #[test]
+    fn accepts_small_experiment_inputs() {
+        let net = percival_net();
+        for size in [32, 48, 64, 96, 128, 224] {
+            assert!(accepts_input(&net, size), "size {size}");
+        }
+        assert!(!accepts_input(&net, 16));
+    }
+
+    #[test]
+    fn slim_variants_shrink_quadratically() {
+        let full = percival_net_slim(1);
+        assert_eq!(full.param_count(), percival_net().param_count());
+        let slim = percival_net_slim(4);
+        assert!(slim.param_count() * 8 < full.param_count());
+        assert!(accepts_input(&slim, 64));
+    }
+
+    #[test]
+    fn transfer_prefix_matches_original_squeezenet() {
+        // The paper initializes conv1 + fire1..fire4 from pretrained
+        // SqueezeNet; those geometries must line up between the two nets.
+        let mut fork = percival_net();
+        let mut orig = original_squeezenet();
+        percival_nn::init::kaiming_init(&mut orig, &mut percival_util::Pcg32::seed_from_u64(1));
+        let copied = percival_nn::init::transfer_prefix(&mut fork, &orig);
+        // The fork shares conv1 and all six fire modules with the original
+        // (1 + 6 x 3 = 19 tensors); the paper reused conv1 + fire1-4, a
+        // subset of this matching prefix.
+        assert_eq!(copied, 19, "conv1 and fire1-6 geometries should line up");
+    }
+}

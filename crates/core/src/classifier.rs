@@ -1,0 +1,204 @@
+//! The ad classifier: preprocessing + CNN forward pass + verdict.
+//!
+//! "PERCIVAL reads the image, scales it to 224x224x4 (default input size
+//! expected by SqueezeNet), creates a tensor, and passes it through the
+//! CNN" (Section 3.3). The input edge is configurable here because the
+//! experiments run at several scales; 224 remains the paper default.
+
+use crate::arch::{accepts_input, INPUT_CHANNELS, NUM_CLASSES};
+use percival_imgcodec::Bitmap;
+use percival_nn::serialize::{self, ModelIoError};
+use percival_nn::Sequential;
+use percival_tensor::activation::softmax;
+use percival_tensor::resize::resize_bilinear;
+use percival_tensor::{Shape, Tensor};
+use std::time::{Duration, Instant};
+
+/// One classification verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Probability the image is an ad.
+    pub p_ad: f32,
+    /// `p_ad >= threshold`.
+    pub is_ad: bool,
+    /// Forward-pass wall time (preprocessing included).
+    pub elapsed: Duration,
+}
+
+/// The PERCIVAL classifier: a trained network plus its input geometry and
+/// decision threshold.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    model: Sequential,
+    input_size: usize,
+    threshold: f32,
+}
+
+impl Classifier {
+    /// Wraps a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model cannot consume `input_size` inputs or does not
+    /// produce two logits.
+    pub fn new(model: Sequential, input_size: usize) -> Self {
+        assert!(
+            accepts_input(&model, input_size),
+            "model does not accept {input_size}x{input_size} inputs"
+        );
+        let out = model.output_shape(Shape::new(1, INPUT_CHANNELS, input_size, input_size));
+        assert_eq!(out.c, NUM_CLASSES, "classifier needs {NUM_CLASSES} logits");
+        Classifier { model, input_size, threshold: 0.5 }
+    }
+
+    /// The wrapped network.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// The input edge length.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Decision threshold on `P(ad)` (default 0.5).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Adjusts the decision threshold (clamped to `(0, 1)`).
+    pub fn set_threshold(&mut self, t: f32) {
+        self.threshold = t.clamp(1e-3, 1.0 - 1e-3);
+    }
+
+    /// Converts an RGBA bitmap into a normalized `1 x 4 x S x S` tensor
+    /// (channels centred to `[-1, 1]`, the usual CNN input scaling).
+    pub fn preprocess(bitmap: &Bitmap, input_size: usize) -> Tensor {
+        let (w, h) = (bitmap.width(), bitmap.height());
+        let mut t = Tensor::zeros(Shape::new(1, INPUT_CHANNELS, h, w));
+        {
+            let data = t.as_mut_slice();
+            let plane = w * h;
+            const SCALE: f32 = 2.0 / 255.0;
+            for (i, px) in bitmap.data().chunks_exact(4).enumerate() {
+                data[i] = f32::from(px[0]) * SCALE - 1.0;
+                data[plane + i] = f32::from(px[1]) * SCALE - 1.0;
+                data[2 * plane + i] = f32::from(px[2]) * SCALE - 1.0;
+                data[3 * plane + i] = f32::from(px[3]) * SCALE - 1.0;
+            }
+        }
+        if (h, w) == (input_size, input_size) {
+            t
+        } else {
+            resize_bilinear(&t, input_size, input_size)
+        }
+    }
+
+    /// Classifies one bitmap.
+    pub fn classify(&self, bitmap: &Bitmap) -> Prediction {
+        let start = Instant::now();
+        let input = Self::preprocess(bitmap, self.input_size);
+        let logits = self.model.forward(&input);
+        let probs = softmax(&logits);
+        let p_ad = probs.at(0, 1, 0, 0);
+        Prediction { p_ad, is_ad: p_ad >= self.threshold, elapsed: start.elapsed() }
+    }
+
+    /// Classifies a preprocessed batch (`N x 4 x S x S`); returns `P(ad)`
+    /// per sample. Used by the training/evaluation loops.
+    pub fn classify_tensor(&self, batch: &Tensor) -> Vec<f32> {
+        let logits = self.model.forward(batch);
+        let probs = softmax(&logits);
+        (0..batch.shape().n).map(|n| probs.at(n, 1, 0, 0)).collect()
+    }
+
+    /// Serializes the model weights (the paper's model-size artifact).
+    pub fn save_bytes(&self) -> Vec<u8> {
+        serialize::save(&self.model)
+    }
+
+    /// Restores weights into a classifier with the same architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelIoError`] on malformed or mismatched buffers.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), ModelIoError> {
+        serialize::load(&mut self.model, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net_slim;
+    use percival_nn::init::kaiming_init;
+    use percival_util::Pcg32;
+
+    fn tiny_classifier(seed: u64) -> Classifier {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(seed));
+        Classifier::new(model, 32)
+    }
+
+    #[test]
+    fn preprocess_normalizes_and_planarizes() {
+        let mut bmp = Bitmap::new(2, 2, [0, 0, 0, 255]);
+        bmp.set(0, 0, [255, 128, 0, 255]);
+        let t = Classifier::preprocess(&bmp, 2);
+        assert_eq!(t.shape(), Shape::new(1, 4, 2, 2));
+        assert!((t.at(0, 0, 0, 0) - 1.0).abs() < 1e-6); // R = 255 -> 1
+        assert!(t.at(0, 1, 0, 0).abs() < 0.01); // G = 128 -> ~0
+        assert!((t.at(0, 2, 0, 0) + 1.0).abs() < 1e-6); // B = 0 -> -1
+        assert!((t.at(0, 3, 1, 1) - 1.0).abs() < 1e-6); // A = 255 -> 1
+    }
+
+    #[test]
+    fn preprocess_resizes_any_geometry() {
+        let bmp = Bitmap::new(13, 7, [100, 100, 100, 255]);
+        let t = Classifier::preprocess(&bmp, 32);
+        assert_eq!(t.shape(), Shape::new(1, 4, 32, 32));
+    }
+
+    #[test]
+    fn classify_returns_probability_and_timing() {
+        let c = tiny_classifier(1);
+        let p = c.classify(&Bitmap::new(20, 20, [200, 30, 30, 255]));
+        assert!((0.0..=1.0).contains(&p.p_ad));
+        assert!(p.elapsed.as_nanos() > 0);
+        assert_eq!(p.is_ad, p.p_ad >= 0.5);
+    }
+
+    #[test]
+    fn threshold_changes_decisions() {
+        let mut c = tiny_classifier(2);
+        let bmp = Bitmap::new(16, 16, [10, 200, 40, 255]);
+        let p = c.classify(&bmp);
+        c.set_threshold(p.p_ad + 0.01);
+        assert!(!c.classify(&bmp).is_ad);
+        c.set_threshold((p.p_ad - 0.01).max(1e-3));
+        assert!(c.classify(&bmp).is_ad);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let a = tiny_classifier(3);
+        let mut b = tiny_classifier(4);
+        let bmp = Bitmap::new(24, 24, [120, 80, 60, 255]);
+        assert_ne!(a.classify(&bmp).p_ad, b.classify(&bmp).p_ad);
+        b.load_bytes(&a.save_bytes()).unwrap();
+        assert_eq!(a.classify(&bmp).p_ad, b.classify(&bmp).p_ad);
+    }
+
+    #[test]
+    fn batch_and_single_predictions_agree() {
+        let c = tiny_classifier(5);
+        let a = Bitmap::new(32, 32, [255, 0, 0, 255]);
+        let b = Bitmap::new(32, 32, [0, 0, 255, 255]);
+        let mut batch = Tensor::zeros(Shape::new(2, 4, 32, 32));
+        batch.copy_sample_from(0, &Classifier::preprocess(&a, 32), 0);
+        batch.copy_sample_from(1, &Classifier::preprocess(&b, 32), 0);
+        let ps = c.classify_tensor(&batch);
+        assert!((ps[0] - c.classify(&a).p_ad).abs() < 1e-5);
+        assert!((ps[1] - c.classify(&b).p_ad).abs() < 1e-5);
+    }
+}

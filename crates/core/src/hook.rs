@@ -1,0 +1,321 @@
+//! PERCIVAL plugged into the rendering pipeline.
+//!
+//! [`PercivalHook`] is the synchronous, in-critical-path deployment: every
+//! decoded image is classified before raster, on the raster workers, in
+//! parallel (Sections 2.1 and 5.7). [`AsyncPercivalHook`] is the paper's
+//! low-latency alternative: misses are classified on a background thread
+//! and only *memoized* verdicts block, so the first sighting of a creative
+//! renders unhindered but every later sighting is blocked instantly
+//! (Section 1.1, and the repeat-visit discussion in Section 6).
+
+use crate::classifier::Classifier;
+use crate::memo::MemoizedClassifier;
+use crate::policy::BlockPolicy;
+use percival_imgcodec::Bitmap;
+use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters exported by the hooks.
+#[derive(Debug, Default)]
+pub struct HookStats {
+    classified: AtomicU64,
+    blocked: AtomicU64,
+    classify_ns: AtomicU64,
+    skipped_small: AtomicU64,
+}
+
+impl HookStats {
+    /// Images run through the CNN.
+    pub fn classified(&self) -> u64 {
+        self.classified.load(Ordering::Relaxed)
+    }
+
+    /// Images judged to be ads.
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    /// Total classification time.
+    pub fn classify_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.classify_ns.load(Ordering::Relaxed))
+    }
+
+    /// Images below the size floor (tracking pixels etc.).
+    pub fn skipped_small(&self) -> u64 {
+        self.skipped_small.load(Ordering::Relaxed)
+    }
+}
+
+/// The synchronous in-pipeline deployment.
+pub struct PercivalHook {
+    memo: MemoizedClassifier,
+    policy: BlockPolicy,
+    /// Images with an edge below this are not classified (1 disables the
+    /// floor; tracking pixels are upscaled noise either way).
+    min_edge: usize,
+    stats: HookStats,
+}
+
+impl PercivalHook {
+    /// Builds a hook around a trained classifier with the default policy.
+    pub fn new(classifier: Classifier) -> Self {
+        PercivalHook {
+            memo: MemoizedClassifier::new(classifier, 4096),
+            policy: BlockPolicy::Clear,
+            min_edge: 1,
+            stats: HookStats::default(),
+        }
+    }
+
+    /// Sets the blocked-frame policy.
+    pub fn with_policy(mut self, policy: BlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the minimum classified edge length.
+    pub fn with_min_edge(mut self, min_edge: usize) -> Self {
+        self.min_edge = min_edge.max(1);
+        self
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &HookStats {
+        &self.stats
+    }
+
+    /// The wrapped memoized classifier.
+    pub fn memo(&self) -> &MemoizedClassifier {
+        &self.memo
+    }
+}
+
+impl ImageInterceptor for PercivalHook {
+    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+        if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
+            self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
+            return InterceptAction::Keep;
+        }
+        let pred = self.memo.classify(bitmap);
+        self.stats.classified.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .classify_ns
+            .fetch_add(pred.elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if !pred.is_ad {
+            return InterceptAction::Keep;
+        }
+        self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+        match &self.policy {
+            // The pipeline clears blocked buffers itself.
+            BlockPolicy::Clear => InterceptAction::Block,
+            // Replacement paints over the buffer and lets it through.
+            replace @ BlockPolicy::Replace(_) => {
+                replace.apply(bitmap);
+                InterceptAction::Keep
+            }
+        }
+    }
+}
+
+/// The asynchronous deployment: memoized verdicts block instantly; cache
+/// misses render once and are classified off the critical path.
+pub struct AsyncPercivalHook {
+    memo: Arc<MemoizedClassifier>,
+    tx: Option<Sender<Bitmap>>,
+    worker: Option<JoinHandle<()>>,
+    pending: Arc<AtomicU64>,
+    stats: HookStats,
+}
+
+impl AsyncPercivalHook {
+    /// Spawns the background classification worker.
+    pub fn new(classifier: Classifier) -> Self {
+        let memo = Arc::new(MemoizedClassifier::new(classifier, 4096));
+        let (tx, rx) = channel::<Bitmap>();
+        let pending = Arc::new(AtomicU64::new(0));
+        let worker_memo = Arc::clone(&memo);
+        let worker_pending = Arc::clone(&pending);
+        let worker = std::thread::spawn(move || {
+            while let Ok(bitmap) = rx.recv() {
+                let key = bitmap.content_hash();
+                if worker_memo.cached(key).is_none() {
+                    let pred = worker_memo.classifier().classify(&bitmap);
+                    worker_memo.insert(key, pred.p_ad);
+                }
+                worker_pending.fetch_sub(1, Ordering::Release);
+            }
+        });
+        AsyncPercivalHook {
+            memo,
+            tx: Some(tx),
+            worker: Some(worker),
+            pending,
+            stats: HookStats::default(),
+        }
+    }
+
+    /// Blocks until the background queue drains (tests / page settles).
+    pub fn flush(&self) {
+        while self.pending.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &HookStats {
+        &self.stats
+    }
+
+    /// The shared verdict cache.
+    pub fn memo(&self) -> &MemoizedClassifier {
+        &self.memo
+    }
+}
+
+impl ImageInterceptor for AsyncPercivalHook {
+    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+        let key = bitmap.content_hash();
+        if let Some(p_ad) = self.memo.cached(key) {
+            self.stats.classified.fetch_add(1, Ordering::Relaxed);
+            if p_ad >= self.memo.classifier().threshold() {
+                self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                return InterceptAction::Block;
+            }
+            return InterceptAction::Keep;
+        }
+        // Miss: render now, classify in the background for next time.
+        self.pending.fetch_add(1, Ordering::Release);
+        if let Some(tx) = &self.tx {
+            if tx.send(bitmap.clone()).is_err() {
+                self.pending.fetch_sub(1, Ordering::Release);
+            }
+        }
+        InterceptAction::Keep
+    }
+}
+
+impl Drop for AsyncPercivalHook {
+    fn drop(&mut self) {
+        // Close the channel, then join the worker.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net_slim;
+    use crate::train::{train, TrainConfig};
+    use percival_nn::init::kaiming_init;
+    use percival_nn::StepLr;
+    use percival_util::Pcg32;
+    use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
+    use percival_webgen::Script;
+
+    /// A classifier actually trained to separate the synthetic classes.
+    fn trained_classifier() -> Classifier {
+        let ds = build_balanced_dataset(11, DatasetProfile::Alexa, Script::Latin, 32, 40);
+        let bitmaps: Vec<Bitmap> = ds.iter().map(|s| s.bitmap.clone()).collect();
+        let labels: Vec<bool> = ds.iter().map(|s| s.is_ad).collect();
+        let cfg = TrainConfig {
+            input_size: 32,
+            width_divisor: 4,
+            epochs: 8,
+            batch_size: 16,
+            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            ..Default::default()
+        };
+        train(&bitmaps, &labels, &cfg).classifier
+    }
+
+    fn untrained() -> Classifier {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(5));
+        Classifier::new(model, 32)
+    }
+
+    fn meta(url: &str) -> ImageMeta<'_> {
+        ImageMeta { url, width: 32, height: 32, frame_depth: 0 }
+    }
+
+    #[test]
+    fn sync_hook_blocks_ads_and_keeps_content() {
+        let hook = PercivalHook::new(trained_classifier());
+        let ds = build_balanced_dataset(77, DatasetProfile::Alexa, Script::Latin, 32, 15);
+        let mut correct = 0usize;
+        for s in &ds {
+            let mut bmp = s.bitmap.clone();
+            let action = hook.inspect(&mut bmp, &meta("http://x/img"));
+            let blocked = action == InterceptAction::Block;
+            if blocked == s.is_ad {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.len() as f64;
+        assert!(acc > 0.75, "hook should track the labels: {acc}");
+        assert!(hook.stats().classified() >= ds.len() as u64 / 2);
+    }
+
+    #[test]
+    fn min_edge_skips_tracking_pixels() {
+        let hook = PercivalHook::new(untrained()).with_min_edge(4);
+        let mut px = Bitmap::new(1, 1, [0, 0, 0, 0]);
+        assert_eq!(hook.inspect(&mut px, &meta("http://t/px.gif")), InterceptAction::Keep);
+        assert_eq!(hook.stats().skipped_small(), 1);
+        assert_eq!(hook.stats().classified(), 0);
+    }
+
+    #[test]
+    fn replace_policy_paints_instead_of_blocking() {
+        let mut classifier = untrained();
+        classifier.set_threshold(1e-3); // everything is an ad
+        let hook = PercivalHook::new(classifier)
+            .with_policy(BlockPolicy::Replace(BlockPolicy::spirit_animal(16)));
+        let mut bmp = Bitmap::new(20, 20, [200, 0, 0, 255]);
+        let action = hook.inspect(&mut bmp, &meta("http://x/ad"));
+        assert_eq!(action, InterceptAction::Keep, "replacement renders");
+        assert!(!bmp.is_blank());
+        assert_eq!(hook.stats().blocked(), 1);
+        // The buffer now holds the placeholder, not the ad.
+        assert_ne!(bmp.get(1, 1), [200, 0, 0, 255]);
+    }
+
+    #[test]
+    fn async_hook_lets_first_sighting_through_then_blocks() {
+        let mut classifier = untrained();
+        classifier.set_threshold(1e-3); // everything is an ad
+        let hook = AsyncPercivalHook::new(classifier);
+        let mut bmp = Bitmap::new(16, 16, [50, 60, 70, 255]);
+
+        // First sighting: cache miss, rendered.
+        assert_eq!(hook.inspect(&mut bmp.clone(), &meta("http://x/a")), InterceptAction::Keep);
+        hook.flush();
+        // Second sighting: memoized verdict blocks.
+        assert_eq!(hook.inspect(&mut bmp, &meta("http://x/a")), InterceptAction::Block);
+        assert_eq!(hook.stats().blocked(), 1);
+    }
+
+    #[test]
+    fn async_hook_shuts_down_cleanly() {
+        let hook = AsyncPercivalHook::new(untrained());
+        let mut bmp = Bitmap::new(8, 8, [1, 2, 3, 255]);
+        hook.inspect(&mut bmp, &meta("http://x/b"));
+        drop(hook); // must not hang or panic
+    }
+
+    #[test]
+    fn sync_hook_memoizes_repeat_creatives() {
+        let hook = PercivalHook::new(untrained());
+        let mut bmp = Bitmap::new(16, 16, [9, 8, 7, 255]);
+        hook.inspect(&mut bmp.clone(), &meta("http://a/x"));
+        hook.inspect(&mut bmp, &meta("http://b/y"));
+        let (hits, misses) = hook.memo().stats();
+        assert_eq!((hits, misses), (1, 1), "same pixels, one CNN pass");
+    }
+}

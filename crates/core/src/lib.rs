@@ -1,0 +1,27 @@
+//! PERCIVAL: the paper's primary contribution.
+//!
+//! A compact SqueezeNet-fork CNN ([`arch`]) classifies decoded image
+//! buffers as ad / not-ad ([`classifier`]); it trains with the paper's
+//! exact recipe ([`train`]); it plugs into the rendering pipeline's
+//! post-decode choke point as an [`hook::PercivalHook`] (blocking
+//! synchronously in the rendering critical path), or asynchronously with
+//! memoized verdicts ([`memo`]) — the paper's low-latency alternative
+//! deployment; blocked frames are handled by a [`policy::BlockPolicy`]
+//! (clear the buffer, or paint a replacement image). [`baselines`] holds
+//! the model-size comparison targets of the architecture discussion
+//! (Sections 2.3 and 7).
+
+pub mod arch;
+pub mod baselines;
+pub mod classifier;
+pub mod hook;
+pub mod memo;
+pub mod policy;
+pub mod train;
+
+pub use arch::{original_squeezenet, percival_net};
+pub use classifier::{Classifier, Prediction};
+pub use hook::PercivalHook;
+pub use memo::MemoizedClassifier;
+pub use policy::BlockPolicy;
+pub use train::{train, evaluate, TrainConfig, TrainedModel};

@@ -1,0 +1,191 @@
+//! Memoized classification — the paper's low-latency deployment.
+//!
+//! "The alternative low-latency approach we propose is classifying images
+//! asynchronously, which allows for memoization of the results, thus
+//! speeding up the classification process" (Section 1.1). Verdicts are
+//! keyed by the decoded buffer's content hash, so the same creative served
+//! on many pages (the common case for ad networks) is classified once.
+
+use crate::classifier::{Classifier, Prediction};
+use parking_lot::Mutex;
+use percival_imgcodec::Bitmap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded LRU of content-hash -> P(ad).
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, (f32, u64)>,
+    queue: VecDeque<(u64, u64)>,
+    seq: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache { capacity: capacity.max(1), map: HashMap::new(), queue: VecDeque::new(), seq: 0 }
+    }
+
+    fn get(&mut self, key: u64) -> Option<f32> {
+        let (value, seq_slot) = self.map.get_mut(&key)?;
+        let value = *value;
+        // Touch: re-stamp and re-queue; stale queue entries are skipped
+        // lazily during eviction.
+        self.seq += 1;
+        *seq_slot = self.seq;
+        self.queue.push_back((key, self.seq));
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u64, value: f32) {
+        self.seq += 1;
+        self.map.insert(key, (value, self.seq));
+        self.queue.push_back((key, self.seq));
+        while self.map.len() > self.capacity {
+            let Some((k, s)) = self.queue.pop_front() else {
+                break;
+            };
+            // Only evict if this queue entry is the key's latest stamp.
+            if self.map.get(&k).is_some_and(|(_, cur)| *cur == s) {
+                self.map.remove(&k);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A classifier wrapper that memoizes verdicts by image content.
+#[derive(Debug)]
+pub struct MemoizedClassifier {
+    classifier: Classifier,
+    cache: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoizedClassifier {
+    /// Wraps `classifier` with a cache of `capacity` verdicts.
+    pub fn new(classifier: Classifier, capacity: usize) -> Self {
+        MemoizedClassifier {
+            classifier,
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Returns the cached verdict for a content hash without classifying.
+    pub fn cached(&self, content_hash: u64) -> Option<f32> {
+        self.cache.lock().get(content_hash)
+    }
+
+    /// Inserts a verdict computed elsewhere (the async worker uses this).
+    pub fn insert(&self, content_hash: u64, p_ad: f32) {
+        self.cache.lock().insert(content_hash, p_ad);
+    }
+
+    /// Classifies with memoization: a cache hit skips the CNN entirely.
+    pub fn classify(&self, bitmap: &Bitmap) -> Prediction {
+        let key = bitmap.content_hash();
+        if let Some(p_ad) = self.cached(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Prediction {
+                p_ad,
+                is_ad: p_ad >= self.classifier.threshold(),
+                elapsed: std::time::Duration::ZERO,
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let pred = self.classifier.classify(bitmap);
+        self.insert(key, pred.p_ad);
+        pred
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net_slim;
+    use percival_nn::init::kaiming_init;
+    use percival_util::Pcg32;
+
+    fn memo(capacity: usize) -> MemoizedClassifier {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(7));
+        MemoizedClassifier::new(Classifier::new(model, 32), capacity)
+    }
+
+    #[test]
+    fn second_classification_hits_cache() {
+        let m = memo(16);
+        let bmp = Bitmap::new(20, 20, [120, 40, 200, 255]);
+        let first = m.classify(&bmp);
+        let second = m.classify(&bmp);
+        assert_eq!(first.p_ad, second.p_ad);
+        assert_eq!(second.elapsed, std::time::Duration::ZERO, "hit skips the CNN");
+        assert_eq!(m.stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_content_misses() {
+        let m = memo(16);
+        m.classify(&Bitmap::new(8, 8, [1, 1, 1, 255]));
+        m.classify(&Bitmap::new(8, 8, [2, 2, 2, 255]));
+        assert_eq!(m.stats(), (0, 2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_order() {
+        let mut lru = LruCache::new(2);
+        lru.insert(1, 0.1);
+        lru.insert(2, 0.2);
+        assert_eq!(lru.get(1), Some(0.1)); // touch 1: now 2 is the LRU
+        lru.insert(3, 0.3);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(2), None, "2 was least-recently used");
+        assert_eq!(lru.get(1), Some(0.1));
+        assert_eq!(lru.get(3), Some(0.3));
+    }
+
+    #[test]
+    fn memoization_is_thread_safe() {
+        let m = memo(64);
+        let bmp = Bitmap::new(16, 16, [9, 9, 9, 255]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        m.classify(&bmp);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = m.stats();
+        assert_eq!(hits + misses, 32);
+        assert!(misses <= 4, "at most one miss per racing thread: {misses}");
+    }
+}

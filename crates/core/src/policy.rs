@@ -1,0 +1,85 @@
+//! What happens to a blocked frame.
+//!
+//! Section 3.3: "In case the content is cleared, we have several options
+//! on how to fill up the surrounding white-space. We can either collapse
+//! it by propagating the information upwards or display a predefined
+//! image (user's spirit animal) in place of the ad."
+
+use percival_imgcodec::draw::{fill_disc, fill_rect};
+use percival_imgcodec::Bitmap;
+
+/// The replacement behaviour for blocked ad frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockPolicy {
+    /// Clear the buffer to transparent pixels (the paper's default).
+    Clear,
+    /// Paint a predefined placeholder (the "spirit animal") scaled to the
+    /// blocked frame.
+    Replace(Bitmap),
+}
+
+impl Default for BlockPolicy {
+    fn default() -> Self {
+        BlockPolicy::Clear
+    }
+}
+
+impl BlockPolicy {
+    /// Applies the policy to a blocked buffer in place.
+    pub fn apply(&self, bitmap: &mut Bitmap) {
+        match self {
+            BlockPolicy::Clear => bitmap.clear(),
+            BlockPolicy::Replace(img) => {
+                let scaled = img.scaled_nearest(bitmap.width(), bitmap.height());
+                bitmap.data_mut().copy_from_slice(scaled.data());
+            }
+        }
+    }
+
+    /// A friendly default replacement image (a minimal "spirit animal":
+    /// a cat face on a soft background).
+    pub fn spirit_animal(size: usize) -> Bitmap {
+        let size = size.max(8);
+        let mut b = Bitmap::new(size, size, [235, 240, 245, 255]);
+        let s = size as i32;
+        let fur = [150, 160, 175, 255];
+        fill_disc(&mut b, s / 2, s * 11 / 20, s / 4, fur); // head
+        fill_rect(&mut b, s * 5 / 16, s / 4, (s / 8) as u32, (s / 6) as u32, fur); // left ear
+        fill_rect(&mut b, s * 9 / 16, s / 4, (s / 8) as u32, (s / 6) as u32, fur); // right ear
+        fill_disc(&mut b, s * 2 / 5, s / 2, (s / 24).max(1), [30, 30, 30, 255]); // eyes
+        fill_disc(&mut b, s * 3 / 5, s / 2, (s / 24).max(1), [30, 30, 30, 255]);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_policy_blanks_buffer() {
+        let mut b = Bitmap::new(10, 10, [200, 100, 50, 255]);
+        BlockPolicy::Clear.apply(&mut b);
+        assert!(b.is_blank());
+    }
+
+    #[test]
+    fn replace_policy_scales_placeholder() {
+        let placeholder = BlockPolicy::spirit_animal(32);
+        let policy = BlockPolicy::Replace(placeholder);
+        let mut wide = Bitmap::new(100, 20, [1, 2, 3, 255]);
+        policy.apply(&mut wide);
+        assert!(!wide.is_blank());
+        assert_eq!(wide.width(), 100);
+        assert_eq!(wide.height(), 20);
+    }
+
+    #[test]
+    fn spirit_animal_is_not_blank_and_sized() {
+        let s = BlockPolicy::spirit_animal(48);
+        assert_eq!(s.width(), 48);
+        assert!(!s.is_blank());
+        let tiny = BlockPolicy::spirit_animal(1);
+        assert!(tiny.width() >= 8, "clamps tiny sizes");
+    }
+}

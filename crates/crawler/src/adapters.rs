@@ -1,0 +1,127 @@
+//! Glue between the corpus, the filter-list engine and the renderer.
+
+use percival_filterlist::{ElementLike, FilterEngine, RequestInfo, ResourceType, Url};
+use percival_renderer::dom::{Document, NodeId};
+use percival_renderer::net::{InMemoryStore, NetworkFilter, ResourceKind};
+use percival_webgen::sites::Corpus;
+
+/// Builds a renderer resource store from a generated corpus.
+pub fn store_from_corpus(corpus: &Corpus) -> InMemoryStore {
+    InMemoryStore::new(corpus.documents.clone(), corpus.images.clone())
+}
+
+/// Adapts a [`FilterEngine`] to the renderer's [`NetworkFilter`] — the
+/// "Brave shields" request-blocking layer.
+pub struct EngineNetworkFilter<'a> {
+    engine: &'a FilterEngine,
+}
+
+impl<'a> EngineNetworkFilter<'a> {
+    /// Wraps an engine.
+    pub fn new(engine: &'a FilterEngine) -> Self {
+        EngineNetworkFilter { engine }
+    }
+}
+
+impl NetworkFilter for EngineNetworkFilter<'_> {
+    fn allow(&self, url: &str, kind: ResourceKind, source_url: &str) -> bool {
+        let (Ok(u), Ok(s)) = (Url::parse(url), Url::parse(source_url)) else {
+            // Unparsable URLs cannot match rules; let the renderer surface
+            // the failure downstream.
+            return true;
+        };
+        let resource_type = match kind {
+            ResourceKind::Image => ResourceType::Image,
+            ResourceKind::Subdocument => ResourceType::Subdocument,
+        };
+        !self
+            .engine
+            .should_block(&RequestInfo { url: &u, source: &s, resource_type })
+    }
+}
+
+/// Adapts a renderer DOM node to the cosmetic-rule [`ElementLike`] view.
+pub struct DomElement<'a> {
+    doc: &'a Document,
+    id: NodeId,
+}
+
+impl<'a> DomElement<'a> {
+    /// Wraps element `id` of `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an element node.
+    pub fn new(doc: &'a Document, id: NodeId) -> Self {
+        assert!(doc.tag(id).is_some(), "node {id} is not an element");
+        DomElement { doc, id }
+    }
+}
+
+impl ElementLike for DomElement<'_> {
+    fn tag_name(&self) -> &str {
+        self.doc.tag(self.id).expect("constructor checked")
+    }
+
+    fn element_id(&self) -> Option<&str> {
+        self.doc.element_id(self.id)
+    }
+
+    fn has_class(&self, class_name: &str) -> bool {
+        self.doc.has_class(self.id, class_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_filterlist::easylist::synthetic_engine;
+    use percival_renderer::html::parse;
+    use percival_webgen::sites::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn corpus_store_serves_documents_and_images() {
+        let corpus = generate_corpus(CorpusConfig { n_sites: 2, pages_per_site: 1, ..Default::default() });
+        let store = store_from_corpus(&corpus);
+        use percival_renderer::net::ResourceStore;
+        for page in &corpus.pages {
+            assert!(store.get_document(page).is_some());
+        }
+        assert_eq!(store.image_count(), corpus.images.len());
+    }
+
+    #[test]
+    fn engine_filter_blocks_listed_networks() {
+        let engine = synthetic_engine();
+        let filter = EngineNetworkFilter::new(&engine);
+        assert!(!filter.allow(
+            "http://adnet-alpha.web/serve/banner_728x90_1.png",
+            ResourceKind::Image,
+            "http://news0.web/"
+        ));
+        assert!(filter.allow(
+            "http://news0.web/static/img/photo_1.png",
+            ResourceKind::Image,
+            "http://news0.web/"
+        ));
+        assert!(!filter.allow(
+            "http://syndication.web/frame/1",
+            ResourceKind::Subdocument,
+            "http://news0.web/"
+        ));
+    }
+
+    #[test]
+    fn dom_element_adapter_exposes_classes() {
+        let doc = parse("<div class=\"ad-banner big\" id=\"slot1\"></div>");
+        let id = doc.elements_by_tag("div")[0];
+        let el = DomElement::new(&doc, id);
+        assert_eq!(el.tag_name(), "div");
+        assert_eq!(el.element_id(), Some("slot1"));
+        assert!(el.has_class("ad-banner"));
+        assert!(!el.has_class("ad"));
+        // Works with the engine's cosmetic matcher.
+        let engine = synthetic_engine();
+        assert!(engine.should_hide("news0.web", &el));
+    }
+}

@@ -1,0 +1,196 @@
+//! Labeled image datasets: dedup, balancing, splits.
+//!
+//! Models the paper's post-processing: "we then post process the images to
+//! remove duplicates ... we cap the number of non-ad images to the amount
+//! of ad images to ensure a balanced dataset" (Section 4.4.2).
+
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+use std::collections::HashSet;
+
+/// One labeled sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Decoded pixels.
+    pub bitmap: Bitmap,
+    /// Ground-truth (or model-assigned) label.
+    pub is_ad: bool,
+    /// Where the sample came from (URL or generator tag).
+    pub source: String,
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, bitmap: Bitmap, is_ad: bool, source: impl Into<String>) {
+        self.samples.push(Sample { bitmap, is_ad, source: source.into() });
+    }
+
+    /// Appends all samples of `other`.
+    pub fn merge(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `(ads, non_ads)` counts.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let ads = self.samples.iter().filter(|s| s.is_ad).count();
+        (ads, self.samples.len() - ads)
+    }
+
+    /// Removes duplicate images (by content hash), keeping first sightings.
+    /// Returns how many were dropped.
+    pub fn dedup(&mut self) -> usize {
+        let mut seen = HashSet::new();
+        let before = self.samples.len();
+        self.samples.retain(|s| seen.insert(s.bitmap.content_hash()));
+        before - self.samples.len()
+    }
+
+    /// Caps the majority class so both classes have equal counts,
+    /// dropping the excess deterministically via `rng`. Returns dropped
+    /// count.
+    pub fn balance(&mut self, rng: &mut Pcg32) -> usize {
+        let (ads, non_ads) = self.class_counts();
+        let keep = ads.min(non_ads);
+        let before = self.samples.len();
+        // Shuffle so the dropped excess is a random subset.
+        rng.shuffle(&mut self.samples);
+        let mut kept_ads = 0usize;
+        let mut kept_non = 0usize;
+        self.samples.retain(|s| {
+            if s.is_ad {
+                kept_ads += 1;
+                kept_ads <= keep
+            } else {
+                kept_non += 1;
+                kept_non <= keep
+            }
+        });
+        before - self.samples.len()
+    }
+
+    /// Splits into `(train, validation)` with `val_fraction` of samples in
+    /// the validation part, after a shuffle.
+    pub fn split(mut self, rng: &mut Pcg32, val_fraction: f32) -> (Dataset, Dataset) {
+        rng.shuffle(&mut self.samples);
+        let val_len = ((self.samples.len() as f32) * val_fraction.clamp(0.0, 1.0)) as usize;
+        let val = self.samples.split_off(self.samples.len() - val_len);
+        (self, Dataset { samples: val })
+    }
+
+    /// Borrowed views used by the trainer: `(bitmaps, labels)`.
+    pub fn as_training_views(&self) -> (Vec<Bitmap>, Vec<bool>) {
+        (
+            self.samples.iter().map(|s| s.bitmap.clone()).collect(),
+            self.samples.iter().map(|s| s.is_ad).collect(),
+        )
+    }
+
+    /// Fraction of blank (all-zero or all-white) images — the paper's
+    /// white-space screenshot failure mode.
+    pub fn blank_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let blanks = self
+            .samples
+            .iter()
+            .filter(|s| is_blankish(&s.bitmap))
+            .count();
+        blanks as f64 / self.samples.len() as f64
+    }
+}
+
+/// True for cleared or solid-white captures.
+pub fn is_blankish(bmp: &Bitmap) -> bool {
+    if bmp.is_blank() {
+        return true;
+    }
+    bmp.data().chunks_exact(4).all(|px| px[0] >= 250 && px[1] >= 250 && px[2] >= 250)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bmp(v: u8) -> Bitmap {
+        Bitmap::new(4, 4, [v, v, v, 255])
+    }
+
+    #[test]
+    fn dedup_drops_identical_content() {
+        let mut ds = Dataset::new();
+        ds.push(bmp(1), true, "a");
+        ds.push(bmp(1), true, "b");
+        ds.push(bmp(2), false, "c");
+        assert_eq!(ds.dedup(), 1);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn balance_equalizes_classes() {
+        let mut ds = Dataset::new();
+        for i in 0..10 {
+            ds.push(bmp(i), false, "n");
+        }
+        for i in 10..14 {
+            ds.push(bmp(i), true, "a");
+        }
+        let dropped = ds.balance(&mut Pcg32::seed_from_u64(1));
+        assert_eq!(dropped, 6);
+        assert_eq!(ds.class_counts(), (4, 4));
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let mut ds = Dataset::new();
+        for i in 0..20 {
+            ds.push(bmp(i), i % 2 == 0, "x");
+        }
+        let (train, val) = ds.split(&mut Pcg32::seed_from_u64(2), 0.25);
+        assert_eq!(train.len(), 15);
+        assert_eq!(val.len(), 5);
+    }
+
+    #[test]
+    fn blank_detection() {
+        assert!(is_blankish(&Bitmap::new(3, 3, [255, 255, 255, 255])));
+        assert!(is_blankish(&Bitmap::new(3, 3, [0, 0, 0, 0])));
+        assert!(!is_blankish(&bmp(128)));
+        let mut ds = Dataset::new();
+        ds.push(Bitmap::new(2, 2, [255, 255, 255, 255]), true, "race");
+        ds.push(bmp(100), true, "ok");
+        assert!((ds.blank_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Dataset::new();
+        a.push(bmp(1), true, "a");
+        let mut b = Dataset::new();
+        b.push(bmp(2), false, "b");
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

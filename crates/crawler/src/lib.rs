@@ -1,0 +1,24 @@
+//! Crawlers and dataset assembly for PERCIVAL's training pipeline.
+//!
+//! The paper gathers training data two ways (Section 4.4): a *traditional*
+//! crawler that applies EasyList rules and screenshots matched elements —
+//! which suffers a race between iframe loading and the screenshot, leaving
+//! white-space captures — and a *PERCIVAL-instrumented* crawler that reads
+//! every frame directly from the image decoding pipeline, which is
+//! race-free by construction. This crate implements both against the
+//! synthetic web corpus, plus the glue between the filter-list engine and
+//! the renderer ([`adapters`]), labeled-dataset bookkeeping ([`dataset`])
+//! and the multi-phase crawl/retrain driver of Section 4.4.2 ([`phases`]).
+
+pub mod adapters;
+pub mod blocklist;
+pub mod dataset;
+pub mod instrumented;
+pub mod phases;
+pub mod traditional;
+
+pub use adapters::{store_from_corpus, EngineNetworkFilter};
+pub use blocklist::{generate_blocklist, GeneratedBlocklist};
+pub use dataset::Dataset;
+pub use instrumented::{crawl_instrumented, CapturingInterceptor};
+pub use traditional::{crawl_traditional, TraditionalCrawlReport};

@@ -1,0 +1,162 @@
+//! The multi-phase crawl/retrain driver.
+//!
+//! Section 4.4.2: "We crawl for a total of 8 phases, retraining PERCIVAL
+//! after each stage with the data obtained from the current and all the
+//! previous crawls." Phase 0 bootstraps from the traditional
+//! (EasyList-labeled) crawl; subsequent phases crawl fresh corpora with
+//! the instrumented browser, label captures with the *current* model,
+//! accumulate, rebalance and retrain.
+
+use crate::instrumented::{crawl_instrumented, LabelSource};
+use crate::traditional::{crawl_traditional, TraditionalCrawlConfig};
+use percival_core::{train, evaluate, TrainConfig, TrainedModel};
+use percival_filterlist::easylist::synthetic_engine;
+use percival_util::Pcg32;
+use percival_webgen::sites::{generate_corpus, CorpusConfig};
+
+/// Outcome of one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseReport {
+    /// 0-based phase number (0 = traditional bootstrap).
+    pub phase: usize,
+    /// Cumulative training-set size after dedup/balancing.
+    pub dataset_size: usize,
+    /// Accuracy on the fixed held-out oracle set.
+    pub holdout_accuracy: f64,
+}
+
+/// Phase-driver parameters.
+#[derive(Debug, Clone)]
+pub struct PhasesConfig {
+    /// Number of instrumented phases after the bootstrap (paper: 8).
+    pub phases: usize,
+    /// Sites per phase corpus.
+    pub sites_per_phase: usize,
+    /// Pages per site.
+    pub pages_per_site: usize,
+    /// Seed for corpora and shuffles.
+    pub seed: u64,
+    /// Training configuration reused every retrain.
+    pub train: TrainConfig,
+}
+
+impl Default for PhasesConfig {
+    fn default() -> Self {
+        PhasesConfig {
+            phases: 3,
+            sites_per_phase: 6,
+            pages_per_site: 2,
+            seed: 0x9A5E,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Runs the bootstrap + phased retraining loop; returns per-phase reports
+/// and the final model.
+pub fn run_phases(cfg: &PhasesConfig) -> (Vec<PhaseReport>, TrainedModel) {
+    let engine = synthetic_engine();
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+
+    // Fixed held-out evaluation set from its own corpus, oracle-labeled.
+    let holdout_corpus = generate_corpus(CorpusConfig {
+        n_sites: cfg.sites_per_phase,
+        pages_per_site: cfg.pages_per_site,
+        seed: cfg.seed ^ 0xFFFF_FFFF,
+        ..Default::default()
+    });
+    let holdout = crawl_instrumented(&holdout_corpus, LabelSource::Oracle);
+    let (holdout_bitmaps, holdout_labels) = holdout.as_training_views();
+
+    // Phase 0: traditional bootstrap.
+    let bootstrap_corpus = generate_corpus(CorpusConfig {
+        n_sites: cfg.sites_per_phase,
+        pages_per_site: cfg.pages_per_site,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    let mut accumulated = crawl_traditional(
+        &bootstrap_corpus,
+        &engine,
+        TraditionalCrawlConfig { seed: rng.next_u64(), ..Default::default() },
+    )
+    .dataset;
+    accumulated.dedup();
+    accumulated.balance(&mut rng);
+
+    let mut reports = Vec::new();
+    let (bitmaps, labels) = accumulated.as_training_views();
+    let mut model = train(&bitmaps, &labels, &cfg.train);
+    reports.push(PhaseReport {
+        phase: 0,
+        dataset_size: accumulated.len(),
+        holdout_accuracy: evaluate(&model.classifier, &holdout_bitmaps, &holdout_labels).accuracy(),
+    });
+
+    // Instrumented phases, self-labeled with the current model.
+    for phase in 1..=cfg.phases {
+        let corpus = generate_corpus(CorpusConfig {
+            n_sites: cfg.sites_per_phase,
+            pages_per_site: cfg.pages_per_site,
+            seed: cfg.seed.wrapping_add(phase as u64 * 0x1234_5678),
+            ..Default::default()
+        });
+        let new_data = crawl_instrumented(&corpus, LabelSource::Model(&model.classifier));
+        accumulated.merge(new_data);
+        accumulated.dedup();
+        accumulated.balance(&mut rng);
+
+        let (bitmaps, labels) = accumulated.as_training_views();
+        model = train(&bitmaps, &labels, &cfg.train);
+        reports.push(PhaseReport {
+            phase,
+            dataset_size: accumulated.len(),
+            holdout_accuracy: evaluate(&model.classifier, &holdout_bitmaps, &holdout_labels)
+                .accuracy(),
+        });
+    }
+    (reports, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_nn::StepLr;
+
+    #[test]
+    fn phased_retraining_grows_data_and_holds_accuracy() {
+        let cfg = PhasesConfig {
+            phases: 2,
+            sites_per_phase: 12,
+            pages_per_site: 2,
+            train: TrainConfig {
+                input_size: 32,
+                width_divisor: 4,
+                epochs: 10,
+                batch_size: 16,
+                schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (reports, model) = run_phases(&cfg);
+        assert_eq!(reports.len(), 3);
+        // The accumulated dataset should not shrink.
+        assert!(reports[2].dataset_size >= reports[0].dataset_size);
+        // The final model should be usefully accurate on held-out data.
+        let best = reports
+            .iter()
+            .map(|r| r.holdout_accuracy)
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.65, "best phase accuracy too low: {reports:?}");
+        let last = reports.last().unwrap();
+        assert!(
+            last.holdout_accuracy > 0.55,
+            "self-labeling should not collapse the model: {reports:?}"
+        );
+        // Training on self-labeled data is noisy; just require that the
+        // final retrain converged to something finite and non-degenerate.
+        let final_loss = model.history.last().unwrap().loss;
+        assert!(final_loss.is_finite() && final_loss < 1.5, "loss {final_loss}");
+    }
+}

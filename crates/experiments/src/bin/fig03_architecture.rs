@@ -1,0 +1,77 @@
+//! Figure 3 / Section 2.3: architecture and model-size comparison.
+//!
+//! Prints the original-SqueezeNet-vs-PERCIVAL-fork structure, real
+//! parameter/size/FLOP numbers for the in-repo networks, the published
+//! baselines, int8 quantization, and the headline compression factor.
+
+use percival_core::arch::{original_squeezenet, percival_net, INPUT_CHANNELS, PAPER_INPUT_SIZE};
+use percival_core::baselines::{compression_factor, f32_size_bytes, size_mb, BASELINES};
+use percival_experiments::report::print_table;
+use percival_nn::quant::quantize;
+use percival_tensor::Shape;
+
+fn main() {
+    let fork = percival_net();
+    let orig = original_squeezenet();
+    let input = Shape::new(1, INPUT_CHANNELS, PAPER_INPUT_SIZE, PAPER_INPUT_SIZE);
+
+    let mut rows = Vec::new();
+    for b in BASELINES {
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{:.1}M", b.params as f64 / 1e6),
+            format!("{:.1} MB", size_mb(b.params)),
+            b.used_by.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "SqueezeNet v1.1 (in-repo)".to_string(),
+        format!("{:.2}M", orig.param_count() as f64 / 1e6),
+        format!("{:.2} MB", orig.size_bytes_f32() as f64 / (1024.0 * 1024.0)),
+        "starting point".to_string(),
+    ]);
+    let fork_bytes = fork.size_bytes_f32();
+    rows.push(vec![
+        "PERCIVAL fork (in-repo)".to_string(),
+        format!("{:.2}M", fork.param_count() as f64 / 1e6),
+        format!("{:.2} MB", fork_bytes as f64 / (1024.0 * 1024.0)),
+        "this work".to_string(),
+    ]);
+    let q = quantize(&fork);
+    rows.push(vec![
+        "PERCIVAL fork, int8".to_string(),
+        format!("{:.2}M", fork.param_count() as f64 / 1e6),
+        format!("{:.2} MB", q.size_bytes() as f64 / (1024.0 * 1024.0)),
+        "deployment extension".to_string(),
+    ]);
+    print_table("Figure 3 — model inventory", &["model", "params", "size", "role"], &rows);
+
+    print_table(
+        "Figure 3 — fork vs original (224x224x4 input)",
+        &["metric", "SqueezeNet", "PERCIVAL fork"],
+        &[
+            vec![
+                "fire modules".to_string(),
+                "8".to_string(),
+                "6".to_string(),
+            ],
+            vec![
+                "forward MFLOPs".to_string(),
+                format!("{:.0}", orig.flops(input) as f64 / 1e6),
+                format!("{:.0}", fork.flops(input) as f64 / 1e6),
+            ],
+            vec![
+                "parameters".to_string(),
+                orig.param_count().to_string(),
+                fork.param_count().to_string(),
+            ],
+        ],
+    );
+
+    let yolo = f32_size_bytes(BASELINES[0].params);
+    println!(
+        "\nCompression vs Sentinel-class model: {:.0}x (paper: ~74x, \"<2 MB\" model: {})",
+        compression_factor(yolo, fork_bytes as u64),
+        if fork_bytes < 2 * 1024 * 1024 { "yes" } else { "NO" },
+    );
+}

@@ -1,0 +1,50 @@
+//! Figures 12/16/17 (qualitative): before/after blocking screenshots.
+//!
+//! Renders a synthetic page with and without the PERCIVAL hook and writes
+//! both frame buffers to `results/` as PPM images — the analogue of the
+//! paper's Facebook/search/regional-site screenshots with blanked ads.
+
+use percival_core::PercivalHook;
+use percival_crawler::adapters::store_from_corpus;
+use percival_experiments::harness::{results_dir, shared_classifier, ExperimentEnv};
+use percival_imgcodec::ppm::encode_ppm;
+use percival_renderer::hook::NoopInterceptor;
+use percival_renderer::net::AllowAll;
+use percival_renderer::RenderPipeline;
+use percival_webgen::sites::{generate_corpus, CorpusConfig};
+
+fn main() {
+    let env = ExperimentEnv::default();
+    let classifier = shared_classifier(&env);
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 4,
+        pages_per_site: 1,
+        seed: 0x5C12EE,
+        ..Default::default()
+    });
+    let store = store_from_corpus(&corpus);
+    let pipeline = RenderPipeline::default();
+
+    for (i, page) in corpus.pages.iter().enumerate() {
+        let before = pipeline
+            .render(&store, page, &NoopInterceptor, &AllowAll, &[])
+            .expect("page renders");
+        let hook = PercivalHook::new(classifier.clone());
+        let after = pipeline
+            .render(&store, page, &hook, &AllowAll, &[])
+            .expect("page renders");
+
+        let before_path = results_dir().join(format!("fig12_page{i}_before.ppm"));
+        let after_path = results_dir().join(format!("fig12_page{i}_after.ppm"));
+        std::fs::write(&before_path, encode_ppm(&before.framebuffer)).unwrap();
+        std::fs::write(&after_path, encode_ppm(&after.framebuffer)).unwrap();
+        println!(
+            "{page}: {} images, {} blocked -> {} / {}",
+            after.stats.images_decoded,
+            after.stats.images_blocked,
+            before_path.display(),
+            after_path.display()
+        );
+    }
+    println!("\nBlocked creatives appear as blank regions in the *_after.ppm frames.");
+}

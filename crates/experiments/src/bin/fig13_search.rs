@@ -1,0 +1,69 @@
+//! Figure 13 / Section 5.4: blocking Google-image-search results.
+//!
+//! The paper feeds the top-100 images of queries with varying "ad intent"
+//! through PERCIVAL: "Advertisement" gets 96/100 blocked, "Obama" 12/100,
+//! with commercial queries in between. We classify the synthetic search
+//! mixtures for the same seven queries.
+
+use percival_experiments::harness::{shared_classifier, ExperimentEnv};
+use percival_experiments::report::print_table;
+use percival_util::Pcg32;
+use percival_webgen::search::{generate_results, FIGURE13_QUERIES};
+
+fn main() {
+    let env = ExperimentEnv::default();
+    let classifier = shared_classifier(&env);
+
+    // Paper's blocked counts per query for the comparison column.
+    let paper: [(&str, &str); 7] = [
+        ("Obama", "12"),
+        ("Advertisement", "96"),
+        ("Shoes", "56"),
+        ("Pastry", "14"),
+        ("Coffee", "23"),
+        ("Detergent", "85"),
+        ("iPhone", "76"),
+    ];
+
+    let mut rows = Vec::new();
+    for q in FIGURE13_QUERIES {
+        let mut rng = Pcg32::seed_from_u64(0x5EA2 ^ q.name.len() as u64);
+        let results = generate_results(&mut rng, q, 100, env.input_size);
+        let mut blocked = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for r in &results {
+            let verdict = classifier.classify(&r.bitmap).is_ad;
+            if verdict {
+                blocked += 1;
+                if !r.is_ad {
+                    fp += 1;
+                }
+            } else if r.is_ad {
+                fn_ += 1;
+            }
+        }
+        let paper_blocked = paper
+            .iter()
+            .find(|(n, _)| *n == q.name)
+            .map(|(_, b)| *b)
+            .unwrap_or("-");
+        rows.push(vec![
+            q.name.to_string(),
+            format!("{paper_blocked} / {blocked}"),
+            format!("{} / {}", 100 - paper_blocked.parse::<usize>().unwrap_or(0), 100 - blocked),
+            fp.to_string(),
+            fn_.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 13 — image-search blocking (paper / measured)",
+        &["query", "blocked", "rendered", "FP", "FN"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: high-ad-intent queries (Advertisement, Detergent, \
+         iPhone) mostly blocked; low-intent queries (Obama, Pastry) mostly \
+         rendered."
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 14 / Section 5.7: render-time CDF across configurations.
+//!
+//! The paper plots the CDF of page render time (log-scale ms) for
+//! Chromium and Brave, each with and without PERCIVAL in the critical
+//! path. We render the benchmark corpus under the same four
+//! configurations, print a percentile summary, and write the full CDF
+//! series to `results/fig14_cdf.csv`.
+
+use percival_experiments::harness::{results_dir, ExperimentEnv};
+use percival_experiments::renderperf::{measure, CONFIGS};
+use percival_experiments::report::print_table;
+use percival_util::stats::{cdf, percentile};
+
+fn main() {
+    let env = ExperimentEnv::default();
+    let data = measure(&env, 30, 4, false);
+
+    // CSV with every CDF point for external plotting.
+    let mut csv = String::from("config,ms,fraction\n");
+    for (i, series) in data.samples.iter().enumerate() {
+        for point in cdf(series) {
+            csv.push_str(&format!("{},{:.3},{:.4}\n", CONFIGS[i], point.value, point.fraction));
+        }
+    }
+    let path = results_dir().join("fig14_cdf.csv");
+    std::fs::write(&path, csv).expect("results must be writable");
+
+    let mut rows = Vec::new();
+    for (i, series) in data.samples.iter().enumerate() {
+        let p = |q: f64| percentile(series, q).unwrap_or(0.0);
+        rows.push(vec![
+            CONFIGS[i].to_string(),
+            series.len().to_string(),
+            format!("{:.1}", p(10.0)),
+            format!("{:.1}", p(50.0)),
+            format!("{:.1}", p(90.0)),
+            format!("{:.1}", p(99.0)),
+        ]);
+    }
+    print_table(
+        "Figure 14 — render time percentiles (ms)",
+        &["config", "pages", "p10", "p50", "p90", "p99"],
+        &rows,
+    );
+    println!("\nFull CDF series written to {}", path.display());
+    println!(
+        "Expected shape: the +PERCIVAL curves sit right of their baselines, \
+         with the Brave pair left of the Chromium pair (shields remove work)."
+    );
+}

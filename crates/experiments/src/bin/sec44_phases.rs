@@ -1,0 +1,56 @@
+//! Section 4.4.2 / Figure 5: the crawl-label-retrain loop.
+//!
+//! The paper crawled in 8 phases over 4 months, retraining after each with
+//! cumulative data, with the instrumented browser labeling captures via
+//! the current network. We run a scaled-down version and report dataset
+//! growth and held-out accuracy per phase.
+
+use percival_crawler::phases::{run_phases, PhasesConfig};
+use percival_experiments::report::{pct, print_table};
+use percival_nn::StepLr;
+
+fn main() {
+    let cfg = PhasesConfig {
+        phases: 4,
+        sites_per_phase: 12,
+        pages_per_site: 2,
+        seed: 0x5EC4_4AA,
+        train: percival_core::TrainConfig {
+            input_size: 48,
+            width_divisor: 4,
+            epochs: 8,
+            batch_size: 24,
+            momentum: 0.9,
+            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            seed: 0x5EC4,
+            pretrained: None,
+        },
+    };
+    eprintln!("[sec44] running bootstrap + {} instrumented phases...", cfg.phases);
+    let (reports, model) = run_phases(&cfg);
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                if r.phase == 0 {
+                    "0 (traditional bootstrap)".to_string()
+                } else {
+                    format!("{} (instrumented, self-labeled)", r.phase)
+                },
+                r.dataset_size.to_string(),
+                pct(r.holdout_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Section 4.4.2 — phased crawl + retrain",
+        &["phase", "cumulative dataset", "held-out accuracy"],
+        &rows,
+    );
+    println!(
+        "\nFinal model training accuracy: {:.3} (paper: 8 phases, 63,000 \
+         unique images; ours is a scaled-down but mechanically identical loop).",
+        model.history.last().map(|h| h.accuracy).unwrap_or(0.0)
+    );
+}

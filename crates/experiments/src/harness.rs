@@ -1,0 +1,144 @@
+//! The shared experiment environment.
+//!
+//! All figure binaries evaluate the *same* trained PERCIVAL model, exactly
+//! as the paper evaluates one trained network across its experiments. The
+//! model is trained once on an instrumented crawl of the standard corpus
+//! (Section 4.4.2's methodology) and cached on disk, so the first `fig*`
+//! run pays the training cost and the rest start instantly.
+
+use percival_core::{train, Classifier, TrainConfig};
+use percival_crawler::instrumented::{crawl_instrumented, LabelSource};
+use percival_nn::StepLr;
+use percival_util::Pcg32;
+use percival_webgen::profile::{sample_image, DatasetProfile};
+use percival_webgen::sites::{generate_corpus, CorpusConfig};
+use percival_webgen::Script;
+use std::path::PathBuf;
+
+/// Experiment-wide constants.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentEnv {
+    /// Classifier input edge (paper: 224; experiments: 64 — see DESIGN.md
+    /// training-scale note).
+    pub input_size: usize,
+    /// Slim-network width divisor.
+    pub width_divisor: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentEnv {
+    fn default() -> Self {
+        ExperimentEnv { input_size: 64, width_divisor: 4, seed: 0x9E2C_17A1 }
+    }
+}
+
+/// The results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("results directory must be writable");
+    dir
+}
+
+fn model_cache_path(env: &ExperimentEnv) -> PathBuf {
+    results_dir().join(format!(
+        "percival_w{}_s{}.pcvl",
+        env.width_divisor, env.input_size
+    ))
+}
+
+/// Builds the standard training corpus and crawls it with the instrumented
+/// browser (oracle labels), augmented with direct generator samples.
+pub fn training_data(env: &ExperimentEnv) -> (Vec<percival_imgcodec::Bitmap>, Vec<bool>) {
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 24,
+        pages_per_site: 3,
+        seed: env.seed,
+        ..Default::default()
+    });
+    let mut dataset = crawl_instrumented(&corpus, LabelSource::Oracle);
+
+    // Augment with generator samples so both classes are plentiful.
+    let mut rng = Pcg32::seed_from_u64(env.seed ^ 0xA06);
+    for i in 0..400 {
+        let s = sample_image(&mut rng, DatasetProfile::Alexa, Script::Latin, env.input_size, i % 2 == 0);
+        dataset.push(s.bitmap, s.is_ad, s.style);
+    }
+    dataset.dedup();
+    dataset.balance(&mut rng);
+    dataset.as_training_views()
+}
+
+/// Returns the shared trained classifier, training and caching it on the
+/// first call.
+pub fn shared_classifier(env: &ExperimentEnv) -> Classifier {
+    let path = model_cache_path(env);
+    let mut classifier = {
+        // Construct the architecture; weights come from cache or training.
+        let mut model = percival_core::arch::percival_net_slim(env.width_divisor);
+        percival_nn::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(env.seed));
+        Classifier::new(model, env.input_size)
+    };
+
+    if let Ok(bytes) = std::fs::read(&path) {
+        if classifier.load_bytes(&bytes).is_ok() {
+            eprintln!("[harness] loaded cached model from {}", path.display());
+            return classifier;
+        }
+        eprintln!("[harness] cached model invalid; retraining");
+    }
+
+    eprintln!("[harness] training the shared PERCIVAL model (one-time)...");
+    let (bitmaps, labels) = training_data(env);
+    eprintln!("[harness] training set: {} images", bitmaps.len());
+    let cfg = TrainConfig {
+        input_size: env.input_size,
+        width_divisor: env.width_divisor,
+        epochs: 10,
+        batch_size: 24,
+        momentum: 0.9,
+        schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+        seed: env.seed,
+        pretrained: None,
+    };
+    let trained = train(&bitmaps, &labels, &cfg);
+    for e in &trained.history {
+        eprintln!(
+            "[harness]   epoch {:>2}: loss {:.4}  train-acc {:.3}  lr {}",
+            e.epoch, e.loss, e.accuracy, e.lr
+        );
+    }
+    let bytes = trained.classifier.save_bytes();
+    if let Err(e) = std::fs::write(&path, &bytes) {
+        eprintln!("[harness] warning: could not cache model: {e}");
+    } else {
+        eprintln!(
+            "[harness] cached {} KiB model at {}",
+            bytes.len() / 1024,
+            path.display()
+        );
+    }
+    trained.classifier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_are_valid_for_the_architecture() {
+        let env = ExperimentEnv::default();
+        let model = percival_core::arch::percival_net_slim(env.width_divisor);
+        assert!(percival_core::arch::accepts_input(&model, env.input_size));
+    }
+
+    #[test]
+    fn training_data_is_balanced_and_nonempty() {
+        // A miniature env keeps this test fast.
+        let env = ExperimentEnv { input_size: 32, width_divisor: 4, seed: 42 };
+        let (bitmaps, labels) = training_data(&env);
+        assert!(bitmaps.len() >= 100, "got {}", bitmaps.len());
+        let ads = labels.iter().filter(|&&a| a).count();
+        assert_eq!(ads * 2, labels.len(), "balanced");
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared experiment harness: one cached trained model, table formatting,
+//! and the render-performance experiment reused by Figures 14 and 15.
+//!
+//! Every `fig*` binary regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the index) and prints a paper-vs-
+//! measured comparison. Results and artifacts land in `results/`.
+
+pub mod harness;
+pub mod renderperf;
+pub mod report;
+
+pub use harness::{shared_classifier, ExperimentEnv};

@@ -1,0 +1,162 @@
+//! The render-performance experiment shared by Figures 14 and 15.
+//!
+//! Renders every page of a benchmark corpus under four configurations —
+//! matching Section 5.7's setup:
+//!
+//! - **Chromium**: no blocking at all;
+//! - **Chromium + PERCIVAL**: the CNN hook in the rendering critical path;
+//! - **Brave**: filter-list network blocking + cosmetic hiding ("shields");
+//! - **Brave + PERCIVAL**: shields plus the CNN hook.
+//!
+//! Render time is the pipeline's total (the analogue of `domComplete -
+//! domLoading`). Samples are cached to `results/render_times.csv` so the
+//! two figure binaries don't re-measure.
+
+use crate::harness::{results_dir, shared_classifier, ExperimentEnv};
+use percival_core::PercivalHook;
+use percival_crawler::adapters::{store_from_corpus, EngineNetworkFilter};
+use percival_filterlist::easylist::synthetic_engine;
+use percival_renderer::css::CssRule;
+use percival_renderer::hook::NoopInterceptor;
+use percival_renderer::net::AllowAll;
+use percival_renderer::RenderPipeline;
+use percival_webgen::sites::{generate_corpus, CorpusConfig};
+use std::path::PathBuf;
+
+/// The four measured configurations, in output order.
+pub const CONFIGS: [&str; 4] = [
+    "Chromium",
+    "Chromium+PERCIVAL",
+    "Brave",
+    "Brave+PERCIVAL",
+];
+
+/// Per-configuration render-time samples (milliseconds, one per page).
+#[derive(Debug, Clone, Default)]
+pub struct RenderPerfData {
+    /// `samples[i]` belongs to `CONFIGS[i]`.
+    pub samples: [Vec<f64>; 4],
+}
+
+fn cache_path() -> PathBuf {
+    results_dir().join("render_times.csv")
+}
+
+fn save(data: &RenderPerfData) {
+    let mut out = String::from("config,ms\n");
+    for (i, series) in data.samples.iter().enumerate() {
+        for v in series {
+            out.push_str(&format!("{},{v}\n", CONFIGS[i]));
+        }
+    }
+    let _ = std::fs::write(cache_path(), out);
+}
+
+fn load() -> Option<RenderPerfData> {
+    let text = std::fs::read_to_string(cache_path()).ok()?;
+    let mut data = RenderPerfData::default();
+    for line in text.lines().skip(1) {
+        let (name, v) = line.split_once(',')?;
+        let idx = CONFIGS.iter().position(|c| *c == name)?;
+        data.samples[idx].push(v.parse().ok()?);
+    }
+    if data.samples.iter().all(|s| !s.is_empty()) {
+        Some(data)
+    } else {
+        None
+    }
+}
+
+/// Builds the cosmetic-hiding rules Brave injects, from the filter list.
+fn shield_css(engine: &percival_filterlist::FilterEngine) -> Vec<CssRule> {
+    // Inject every global cosmetic rule; domain-scoped rules are few in the
+    // synthetic list and injecting them globally only hides ad containers.
+    engine
+        .cosmetic_rules_for("news0.web")
+        .into_iter()
+        .filter_map(|r| {
+            // Rebuild the selector string from its parsed form.
+            let mut s = String::new();
+            if let Some(tag) = &r.selector.tag {
+                s.push_str(tag);
+            }
+            if let Some(id) = &r.selector.id {
+                s.push('#');
+                s.push_str(id);
+            }
+            for c in &r.selector.classes {
+                s.push('.');
+                s.push_str(c);
+            }
+            CssRule::hide(&s)
+        })
+        .collect()
+}
+
+/// Runs (or loads) the experiment: renders `pages` pages per configuration.
+pub fn measure(env: &ExperimentEnv, n_sites: usize, pages_per_site: usize, force: bool) -> RenderPerfData {
+    if !force {
+        if let Some(cached) = load() {
+            eprintln!("[renderperf] loaded cached samples from {}", cache_path().display());
+            return cached;
+        }
+    }
+
+    let classifier = shared_classifier(env);
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites,
+        pages_per_site,
+        seed: env.seed ^ 0xBE9C,
+        ..Default::default()
+    });
+    let store = store_from_corpus(&corpus);
+    let engine = synthetic_engine();
+    let shields = EngineNetworkFilter::new(&engine);
+    let css = shield_css(&engine);
+    let pipeline = RenderPipeline::default();
+
+    let mut data = RenderPerfData::default();
+    for (i, config) in CONFIGS.iter().enumerate() {
+        eprintln!("[renderperf] measuring {config} over {} pages...", corpus.pages.len());
+        // A fresh hook per configuration so memoization state is per-run.
+        let hook = PercivalHook::new(classifier.clone());
+        for page in &corpus.pages {
+            let out = match i {
+                0 => pipeline.render(&store, page, &NoopInterceptor, &AllowAll, &[]),
+                1 => pipeline.render(&store, page, &hook, &AllowAll, &[]),
+                2 => pipeline.render(&store, page, &NoopInterceptor, &shields, &css),
+                _ => pipeline.render(&store, page, &hook, &shields, &css),
+            }
+            .expect("corpus page must render");
+            data.samples[i].push(out.timing.total_ms);
+        }
+    }
+    save(&data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shield_css_only_contains_hiding_rules() {
+        let engine = synthetic_engine();
+        let rules = shield_css(&engine);
+        assert!(!rules.is_empty());
+        assert!(rules.iter().all(|r| r.decls.display_none));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut data = RenderPerfData::default();
+        for (i, s) in data.samples.iter_mut().enumerate() {
+            s.push(10.0 + i as f64);
+            s.push(20.0 + i as f64);
+        }
+        save(&data);
+        let loaded = load().expect("cache written");
+        assert_eq!(loaded.samples[3], vec![13.0, 23.0]);
+        let _ = std::fs::remove_file(cache_path());
+    }
+}

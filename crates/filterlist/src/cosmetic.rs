@@ -1,0 +1,264 @@
+//! Element-hiding (cosmetic) rules: `example.com##.ad-banner`.
+//!
+//! EasyList's CSS rules "are applied to prevent DOM elements that are
+//! potential containers of ads" (Section 7). The selector subset here —
+//! compound tag/class/id with descendant combinators omitted — covers what
+//! the synthetic corpus generates and what the renderer's DOM exposes.
+
+use crate::url::host_matches_domain;
+
+/// A compound simple selector: optional tag plus any number of `.class` /
+/// `#id` requirements, e.g. `div.ad-banner#top`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// Required tag name (lower-cased), if any.
+    pub tag: Option<String>,
+    /// Required id, if any.
+    pub id: Option<String>,
+    /// Required classes (all must be present).
+    pub classes: Vec<String>,
+}
+
+/// Errors from [`Selector::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorError {
+    /// Empty selector.
+    Empty,
+    /// Syntax this subset does not support (combinators, attributes, ...).
+    Unsupported(char),
+}
+
+impl core::fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SelectorError::Empty => write!(f, "empty selector"),
+            SelectorError::Unsupported(c) => write!(f, "unsupported selector syntax `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Parses a compound simple selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectorError`] on empty input or unsupported syntax.
+    pub fn parse(s: &str) -> Result<Selector, SelectorError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SelectorError::Empty);
+        }
+        let mut sel = Selector { tag: None, id: None, classes: Vec::new() };
+        let mut rest = s;
+        // Leading tag name.
+        let tag_end = rest
+            .find(['.', '#'])
+            .unwrap_or(rest.len());
+        if tag_end > 0 {
+            let tag = &rest[..tag_end];
+            if tag != "*" {
+                if let Some(bad) = tag.chars().find(|c| !c.is_ascii_alphanumeric() && *c != '-') {
+                    return Err(SelectorError::Unsupported(bad));
+                }
+                sel.tag = Some(tag.to_ascii_lowercase());
+            }
+            rest = &rest[tag_end..];
+        }
+        while !rest.is_empty() {
+            let marker = rest.as_bytes()[0];
+            rest = &rest[1..];
+            let end = rest.find(['.', '#']).unwrap_or(rest.len());
+            let name = &rest[..end];
+            if name.is_empty() {
+                return Err(SelectorError::Empty);
+            }
+            if let Some(bad) = name
+                .chars()
+                .find(|c| !c.is_ascii_alphanumeric() && *c != '-' && *c != '_')
+            {
+                return Err(SelectorError::Unsupported(bad));
+            }
+            match marker {
+                b'.' => sel.classes.push(name.to_string()),
+                b'#' => sel.id = Some(name.to_string()),
+                other => return Err(SelectorError::Unsupported(other as char)),
+            }
+            rest = &rest[end..];
+        }
+        Ok(sel)
+    }
+
+    /// Tests the selector against an element.
+    pub fn matches(&self, el: &dyn ElementLike) -> bool {
+        if let Some(tag) = &self.tag {
+            if el.tag_name() != tag {
+                return false;
+            }
+        }
+        if let Some(id) = &self.id {
+            if el.element_id() != Some(id.as_str()) {
+                return false;
+            }
+        }
+        self.classes.iter().all(|c| el.has_class(c))
+    }
+}
+
+/// The element interface cosmetic matching needs; the renderer's DOM nodes
+/// and the crawler's element records both implement it.
+pub trait ElementLike {
+    /// Lower-case tag name.
+    fn tag_name(&self) -> &str;
+    /// The `id` attribute, if present.
+    fn element_id(&self) -> Option<&str>;
+    /// True if the `class` attribute contains `class_name`.
+    fn has_class(&self, class_name: &str) -> bool;
+}
+
+/// A cosmetic rule: selector plus optional domain scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosmeticRule {
+    /// Original text.
+    pub text: String,
+    /// `#@#` exception (un-hides).
+    pub exception: bool,
+    /// Domains the rule applies to (empty = everywhere); `~`-negations.
+    pub include_domains: Vec<String>,
+    /// Domains excluded with `~`.
+    pub exclude_domains: Vec<String>,
+    /// The element selector.
+    pub selector: Selector,
+}
+
+impl CosmeticRule {
+    /// Parses `domains##selector` / `domains#@#selector`.
+    ///
+    /// Returns `None` if the line is not a cosmetic rule at all; `Some(Err)`
+    /// if it is one with an invalid selector.
+    pub fn parse(line: &str) -> Option<Result<CosmeticRule, SelectorError>> {
+        let (prefix, exception, sel_text) = if let Some(i) = line.find("#@#") {
+            (&line[..i], true, &line[i + 3..])
+        } else if let Some(i) = line.find("##") {
+            (&line[..i], false, &line[i + 2..])
+        } else {
+            return None;
+        };
+        let mut include = Vec::new();
+        let mut exclude = Vec::new();
+        for d in prefix.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+            if let Some(neg) = d.strip_prefix('~') {
+                exclude.push(neg.to_ascii_lowercase());
+            } else {
+                include.push(d.to_ascii_lowercase());
+            }
+        }
+        Some(Selector::parse(sel_text).map(|selector| CosmeticRule {
+            text: line.to_string(),
+            exception,
+            include_domains: include,
+            exclude_domains: exclude,
+            selector,
+        }))
+    }
+
+    /// True if the rule is in scope on a page hosted at `host`.
+    pub fn applies_on(&self, host: &str) -> bool {
+        if self
+            .exclude_domains
+            .iter()
+            .any(|d| host_matches_domain(host, d))
+        {
+            return false;
+        }
+        self.include_domains.is_empty()
+            || self
+                .include_domains
+                .iter()
+                .any(|d| host_matches_domain(host, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct El {
+        tag: &'static str,
+        id: Option<&'static str>,
+        classes: &'static [&'static str],
+    }
+
+    impl ElementLike for El {
+        fn tag_name(&self) -> &str {
+            self.tag
+        }
+        fn element_id(&self) -> Option<&str> {
+            self.id
+        }
+        fn has_class(&self, c: &str) -> bool {
+            self.classes.contains(&c)
+        }
+    }
+
+    #[test]
+    fn parses_compound_selector() {
+        let s = Selector::parse("div.ad-banner#top.x").unwrap();
+        assert_eq!(s.tag.as_deref(), Some("div"));
+        assert_eq!(s.id.as_deref(), Some("top"));
+        assert_eq!(s.classes, vec!["ad-banner", "x"]);
+    }
+
+    #[test]
+    fn selector_matching() {
+        let s = Selector::parse(".sponsored").unwrap();
+        assert!(s.matches(&El { tag: "div", id: None, classes: &["post", "sponsored"] }));
+        assert!(!s.matches(&El { tag: "div", id: None, classes: &["post"] }));
+
+        let t = Selector::parse("img#hero").unwrap();
+        assert!(t.matches(&El { tag: "img", id: Some("hero"), classes: &[] }));
+        assert!(!t.matches(&El { tag: "div", id: Some("hero"), classes: &[] }));
+        assert!(!t.matches(&El { tag: "img", id: None, classes: &[] }));
+    }
+
+    #[test]
+    fn universal_selector() {
+        let s = Selector::parse("*.ad").unwrap();
+        assert!(s.tag.is_none());
+        assert!(s.matches(&El { tag: "span", id: None, classes: &["ad"] }));
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(matches!(
+            Selector::parse("div > .ad"),
+            Err(SelectorError::Unsupported(_))
+        ));
+        assert!(matches!(
+            Selector::parse("[href]"),
+            Err(SelectorError::Unsupported(_))
+        ));
+        assert_eq!(Selector::parse("  "), Err(SelectorError::Empty));
+    }
+
+    #[test]
+    fn cosmetic_rule_parsing_and_scope() {
+        let r = CosmeticRule::parse("news.example,~m.news.example##.ad-slot")
+            .unwrap()
+            .unwrap();
+        assert!(!r.exception);
+        assert!(r.applies_on("news.example"));
+        assert!(r.applies_on("www.news.example"));
+        assert!(!r.applies_on("m.news.example"));
+        assert!(!r.applies_on("other.example"));
+
+        let global = CosmeticRule::parse("##.ad").unwrap().unwrap();
+        assert!(global.applies_on("anything.example"));
+
+        let exc = CosmeticRule::parse("shop.example#@#.ad").unwrap().unwrap();
+        assert!(exc.exception);
+
+        assert!(CosmeticRule::parse("||network.example^").is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! The bundled synthetic filter list.
+//!
+//! Plays the role EasyList plays for the real web: it covers the ad
+//! networks and ad-slot conventions of the `percival-webgen` corpus, and —
+//! like the real EasyList — it is deliberately *incomplete*: regional ad
+//! networks and some first-party placements are not covered, which is
+//! exactly the gap PERCIVAL is designed to close (Sections 1 and 5.5).
+
+/// Filter list covering the synthetic web corpus's ad infrastructure.
+///
+/// The host/path conventions here must stay in sync with
+/// `percival-webgen::adnet`, which generates the corresponding URLs.
+pub const SYNTHETIC_EASYLIST: &str = "\
+[Adblock Plus 2.0]
+! Title: Synthetic EasyList for the PERCIVAL reproduction corpus
+! Network rules: third-party ad networks
+||adnet-alpha.web^
+||adnet-beta.web^$image
+||adnet-gamma.web^$third-party
+||trackpix.web^$third-party
+||syndication.web^$subdocument
+! Network rules: path conventions
+/serve/banner_*$image
+/creative/*$image
+/promo/*$image,~third-party
+! Exceptions: the shared CDN hosts legitimate content
+@@||cdn.web/assets/*$image
+@@||adnet-alpha.web/legal/*
+! Element hiding
+##.ad-banner
+##.ad-slot
+##.promo-box
+##iframe.ad-frame
+##.adchoice-unit
+news0.web,news1.web,news2.web##.sponsored-box
+#@#.sponsored-story
+";
+
+/// Builds a [`crate::FilterEngine`] from the bundled list.
+pub fn synthetic_engine() -> crate::FilterEngine {
+    crate::FilterEngine::from_list(SYNTHETIC_EASYLIST)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rule::{RequestInfo, ResourceType};
+    use crate::url::Url;
+
+    fn block(url: &str, src: &str, ty: ResourceType) -> bool {
+        let e = super::synthetic_engine();
+        let u = Url::parse(url).unwrap();
+        let s = Url::parse(src).unwrap();
+        e.should_block(&RequestInfo { url: &u, source: &s, resource_type: ty })
+    }
+
+    #[test]
+    fn list_parses_cleanly() {
+        let parsed = crate::parse::parse_list(super::SYNTHETIC_EASYLIST);
+        assert!(parsed.errors.is_empty(), "errors: {:?}", parsed.errors);
+        assert!(parsed.rules.len() >= 14);
+    }
+
+    #[test]
+    fn blocks_the_synthetic_ad_networks() {
+        assert!(block(
+            "http://adnet-alpha.web/serve/banner_728x90_17.png",
+            "http://news0.web/",
+            ResourceType::Image
+        ));
+        assert!(block(
+            "http://adnet-beta.web/creative/42.gif",
+            "http://blog3.web/",
+            ResourceType::Image
+        ));
+        assert!(block(
+            "http://syndication.web/frame/9",
+            "http://news0.web/",
+            ResourceType::Subdocument
+        ));
+    }
+
+    #[test]
+    fn first_party_promo_blocked_third_party_not() {
+        assert!(block(
+            "http://shop1.web/promo/deal3.png",
+            "http://shop1.web/",
+            ResourceType::Image
+        ));
+        // ~third-party: the /promo/ rule only applies first-party.
+        assert!(!block(
+            "http://shop1.web/promo/deal3.png",
+            "http://news0.web/",
+            ResourceType::Image
+        ));
+    }
+
+    #[test]
+    fn cdn_exception_allows_assets() {
+        assert!(!block(
+            "http://cdn.web/assets/logo_serve/banner_1.png",
+            "http://news0.web/",
+            ResourceType::Image
+        ));
+    }
+
+    #[test]
+    fn regional_networks_are_uncovered() {
+        // The paper's point: EasyList coverage is weaker outside English
+        // web. Regional networks must slip through.
+        assert!(!block(
+            "http://adnet-seoul.web/serve2/banner_1.png",
+            "http://kr-news0.web/",
+            ResourceType::Image
+        ));
+    }
+}

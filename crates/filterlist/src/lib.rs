@@ -1,0 +1,34 @@
+//! An EasyList-compatible filter-list engine.
+//!
+//! The paper uses EasyList three ways: as the *baseline* ad blocker
+//! PERCIVAL is compared against (Section 5.2), as the *labeling oracle* for
+//! the traditional crawler's training data (Section 4.4.1), and — composed
+//! with the CNN — as the "Brave with shields" configuration of the
+//! performance evaluation (Section 5.7). This crate implements the rule
+//! semantics those experiments need:
+//!
+//! - network rules: `||domain^`, `|` anchors, `*` wildcards, the `^`
+//!   separator class, and the `$` options `domain=`, `image`, `script`,
+//!   `stylesheet`, `subdocument`, `third-party` (all negatable with `~`),
+//! - exception rules (`@@`),
+//! - element-hiding (cosmetic) rules `##sel` / domain-scoped `dom##sel` and
+//!   their `#@#` exceptions, with a compound tag/class/id selector subset,
+//! - list parsing with comments, headers and invalid-line tolerance,
+//! - a URL parser ([`url::Url`]) with registrable-domain logic for
+//!   third-party determination.
+//!
+//! [`easylist::SYNTHETIC_EASYLIST`] is the curated list that covers the
+//! synthetic web corpus, playing the role EasyList plays for the real web.
+
+pub mod cosmetic;
+pub mod easylist;
+pub mod matcher;
+pub mod parse;
+pub mod rule;
+pub mod url;
+
+pub use cosmetic::{ElementLike, Selector};
+pub use matcher::{FilterEngine, Verdict};
+pub use parse::parse_list;
+pub use rule::{NetworkRule, RequestInfo, ResourceType, Rule};
+pub use url::Url;

@@ -1,0 +1,236 @@
+//! The filter engine: rule storage plus the block/allow decision.
+
+use crate::cosmetic::{CosmeticRule, ElementLike};
+use crate::parse::parse_list;
+use crate::rule::{NetworkRule, RequestInfo, Rule};
+
+/// The engine's answer for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No rule matched.
+    Allow,
+    /// A blocking rule matched (its text is reported).
+    Block {
+        /// Text of the winning rule.
+        rule: String,
+    },
+    /// A blocking rule matched but an `@@` exception overrode it.
+    Exempted {
+        /// Text of the exception rule.
+        rule: String,
+    },
+}
+
+impl Verdict {
+    /// True when the request should be blocked.
+    pub fn is_block(&self) -> bool {
+        matches!(self, Verdict::Block { .. })
+    }
+}
+
+/// A compiled filter list: the baseline "rule-based ad blocker" of the
+/// paper's comparisons.
+#[derive(Debug, Default)]
+pub struct FilterEngine {
+    blocking: Vec<NetworkRule>,
+    exceptions: Vec<NetworkRule>,
+    cosmetic: Vec<CosmeticRule>,
+    cosmetic_exceptions: Vec<CosmeticRule>,
+}
+
+impl FilterEngine {
+    /// Builds an engine from list text, ignoring unparsable lines (their
+    /// count is available via [`crate::parse::parse_list`] if needed).
+    pub fn from_list(text: &str) -> FilterEngine {
+        let parsed = parse_list(text);
+        let mut e = FilterEngine::default();
+        for rule in parsed.rules {
+            match rule {
+                Rule::Network(n) if n.exception => e.exceptions.push(n),
+                Rule::Network(n) => e.blocking.push(n),
+                Rule::Cosmetic(c) if c.exception => e.cosmetic_exceptions.push(c),
+                Rule::Cosmetic(c) => e.cosmetic.push(c),
+            }
+        }
+        e
+    }
+
+    /// Number of rules of each kind: `(block, exception, hide, unhide)`.
+    pub fn rule_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.blocking.len(),
+            self.exceptions.len(),
+            self.cosmetic.len(),
+            self.cosmetic_exceptions.len(),
+        )
+    }
+
+    /// Decides a network request: exception rules trump blocking rules,
+    /// matching the Adblock semantics.
+    pub fn check(&self, req: &RequestInfo<'_>) -> Verdict {
+        let blocked = self.blocking.iter().find(|r| r.matches(req));
+        match blocked {
+            None => Verdict::Allow,
+            Some(rule) => match self.exceptions.iter().find(|r| r.matches(req)) {
+                Some(exc) => Verdict::Exempted { rule: exc.text.clone() },
+                None => Verdict::Block { rule: rule.text.clone() },
+            },
+        }
+    }
+
+    /// Convenience: should this request be blocked?
+    pub fn should_block(&self, req: &RequestInfo<'_>) -> bool {
+        self.check(req).is_block()
+    }
+
+    /// Tests whether an element on a page hosted at `host` should be hidden
+    /// by the cosmetic rules (an `#@#` exception with a matching selector
+    /// and scope un-hides it).
+    pub fn should_hide(&self, host: &str, el: &dyn ElementLike) -> bool {
+        let hidden = self
+            .cosmetic
+            .iter()
+            .any(|r| r.applies_on(host) && r.selector.matches(el));
+        if !hidden {
+            return false;
+        }
+        !self
+            .cosmetic_exceptions
+            .iter()
+            .any(|r| r.applies_on(host) && r.selector.matches(el))
+    }
+
+    /// The cosmetic rules in scope for a host (the set a content script
+    /// would inject) — used by the crawler to find "potential containers of
+    /// ads" for screenshotting (Section 5.2 methodology).
+    pub fn cosmetic_rules_for(&self, host: &str) -> Vec<&CosmeticRule> {
+        self.cosmetic.iter().filter(|r| r.applies_on(host)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::ResourceType;
+    use crate::url::Url;
+
+    const LIST: &str = "\
+||adnet.example^
+||tracker.example^$third-party
+/banner/*$image
+@@||adnet.example^$stylesheet
+news.example##.ad-slot
+##.sponsored
+news.example#@#.sponsored
+";
+
+    fn engine() -> FilterEngine {
+        FilterEngine::from_list(LIST)
+    }
+
+    fn check(e: &FilterEngine, url: &str, src: &str, ty: ResourceType) -> Verdict {
+        let u = Url::parse(url).unwrap();
+        let s = Url::parse(src).unwrap();
+        e.check(&RequestInfo { url: &u, source: &s, resource_type: ty })
+    }
+
+    #[test]
+    fn blocks_ad_network_requests() {
+        let e = engine();
+        assert!(check(
+            &e,
+            "http://adnet.example/img.png",
+            "http://news.example/",
+            ResourceType::Image
+        )
+        .is_block());
+        assert!(check(
+            &e,
+            "http://news.example/banner/top.png",
+            "http://news.example/",
+            ResourceType::Image
+        )
+        .is_block());
+    }
+
+    #[test]
+    fn allows_unmatched() {
+        let e = engine();
+        assert_eq!(
+            check(
+                &e,
+                "http://news.example/article.png",
+                "http://news.example/",
+                ResourceType::Image
+            ),
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let e = engine();
+        let v = check(
+            &e,
+            "http://adnet.example/style.css",
+            "http://news.example/",
+            ResourceType::Stylesheet,
+        );
+        assert!(matches!(v, Verdict::Exempted { .. }));
+    }
+
+    #[test]
+    fn third_party_scoping_respected() {
+        let e = engine();
+        assert!(check(
+            &e,
+            "http://tracker.example/px.gif",
+            "http://news.example/",
+            ResourceType::Image
+        )
+        .is_block());
+        assert!(!check(
+            &e,
+            "http://tracker.example/px.gif",
+            "http://www.tracker.example/",
+            ResourceType::Image
+        )
+        .is_block());
+    }
+
+    struct El(&'static str, &'static [&'static str]);
+    impl ElementLike for El {
+        fn tag_name(&self) -> &str {
+            self.0
+        }
+        fn element_id(&self) -> Option<&str> {
+            None
+        }
+        fn has_class(&self, c: &str) -> bool {
+            self.1.contains(&c)
+        }
+    }
+
+    #[test]
+    fn cosmetic_hide_with_domain_scope_and_exception() {
+        let e = engine();
+        // .ad-slot hidden on news.example only.
+        assert!(e.should_hide("news.example", &El("div", &["ad-slot"])));
+        assert!(!e.should_hide("other.example", &El("div", &["ad-slot"])));
+        // .sponsored hidden globally but excepted on news.example.
+        assert!(e.should_hide("other.example", &El("div", &["sponsored"])));
+        assert!(!e.should_hide("news.example", &El("div", &["sponsored"])));
+    }
+
+    #[test]
+    fn cosmetic_rules_for_host_filters_scope() {
+        let e = engine();
+        assert_eq!(e.cosmetic_rules_for("news.example").len(), 2);
+        assert_eq!(e.cosmetic_rules_for("other.example").len(), 1);
+    }
+
+    #[test]
+    fn rule_counts_reflect_list() {
+        assert_eq!(engine().rule_counts(), (3, 1, 2, 1));
+    }
+}

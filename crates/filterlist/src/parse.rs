@@ -1,0 +1,94 @@
+//! Filter-list text parsing: comments, headers, cosmetic and network rules.
+
+use crate::cosmetic::CosmeticRule;
+use crate::rule::{NetworkRule, Rule};
+
+/// Outcome of parsing a list.
+#[derive(Debug, Default)]
+pub struct ParsedList {
+    /// Successfully parsed rules in order.
+    pub rules: Vec<Rule>,
+    /// Lines that failed to parse, with 1-based line numbers and reasons.
+    pub errors: Vec<(usize, String)>,
+    /// Comment/header/blank lines skipped.
+    pub skipped: usize,
+}
+
+/// Parses EasyList-format text. Invalid lines are collected, not fatal —
+/// real lists always contain syntax a given engine doesn't support.
+pub fn parse_list(text: &str) -> ParsedList {
+    let mut out = ParsedList::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('!') || (line.starts_with('[') && line.ends_with(']'))
+        {
+            out.skipped += 1;
+            continue;
+        }
+        if let Some(res) = CosmeticRule::parse(line) {
+            match res {
+                Ok(rule) => out.rules.push(Rule::Cosmetic(rule)),
+                Err(e) => out.errors.push((lineno, e.to_string())),
+            }
+            continue;
+        }
+        match NetworkRule::parse(line) {
+            Ok(rule) => out.rules.push(Rule::Network(rule)),
+            Err(e) => out.errors.push((lineno, e.to_string())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_list() {
+        let text = "\
+[Adblock Plus 2.0]
+! Title: synthetic list
+||adnet.example^
+@@||cdn.example^$image
+news.example##.ad-slot
+##.sponsored
+! trailing comment
+
+/banner/*$image
+";
+        let parsed = parse_list(text);
+        assert_eq!(parsed.rules.len(), 5);
+        assert_eq!(parsed.errors.len(), 0);
+        assert_eq!(parsed.skipped, 4);
+        let kinds: Vec<&str> = parsed
+            .rules
+            .iter()
+            .map(|r| match r {
+                Rule::Network(n) if n.exception => "exc",
+                Rule::Network(_) => "net",
+                Rule::Cosmetic(c) if c.exception => "cosm-exc",
+                Rule::Cosmetic(_) => "cosm",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["net", "exc", "cosm", "cosm", "net"]);
+    }
+
+    #[test]
+    fn collects_errors_with_line_numbers() {
+        let text = "||good.example^\n||bad.example^$frobnicate\n##div > .ad\n";
+        let parsed = parse_list(text);
+        assert_eq!(parsed.rules.len(), 1);
+        assert_eq!(parsed.errors.len(), 2);
+        assert_eq!(parsed.errors[0].0, 2);
+        assert_eq!(parsed.errors[1].0, 3);
+    }
+
+    #[test]
+    fn empty_list() {
+        let parsed = parse_list("");
+        assert!(parsed.rules.is_empty());
+        assert!(parsed.errors.is_empty());
+    }
+}

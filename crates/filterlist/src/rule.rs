@@ -1,0 +1,498 @@
+//! Network filter rules and their matching semantics.
+
+use crate::url::{host_matches_domain, Url};
+
+/// The resource classes our engine distinguishes (EasyList `$` type options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceType {
+    /// An image load (`$image`).
+    Image,
+    /// A script load (`$script`).
+    Script,
+    /// A stylesheet load (`$stylesheet`).
+    Stylesheet,
+    /// A frame/iframe document (`$subdocument`).
+    Subdocument,
+    /// The top-level document (`$document`).
+    Document,
+    /// Anything else.
+    Other,
+}
+
+impl core::fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.option_name())
+    }
+}
+
+impl ResourceType {
+    /// The EasyList `$` option name for this type.
+    pub fn option_name(self) -> &'static str {
+        match self {
+            ResourceType::Image => "image",
+            ResourceType::Script => "script",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Subdocument => "subdocument",
+            ResourceType::Document => "document",
+            ResourceType::Other => "other",
+        }
+    }
+
+    /// Parses a `$` option token into a type, if it names one.
+    pub fn from_option(tok: &str) -> Option<ResourceType> {
+        Some(match tok {
+            "image" => ResourceType::Image,
+            "script" => ResourceType::Script,
+            "stylesheet" => ResourceType::Stylesheet,
+            "subdocument" => ResourceType::Subdocument,
+            "document" => ResourceType::Document,
+            "other" => ResourceType::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// A request being tested against the rules.
+#[derive(Debug, Clone)]
+pub struct RequestInfo<'a> {
+    /// The resource URL.
+    pub url: &'a Url,
+    /// The URL of the document issuing the request.
+    pub source: &'a Url,
+    /// What kind of resource is being fetched.
+    pub resource_type: ResourceType,
+}
+
+impl<'a> RequestInfo<'a> {
+    /// True when the request crosses registrable domains.
+    pub fn is_third_party(&self) -> bool {
+        self.url.is_third_party_to(self.source)
+    }
+}
+
+/// One token of a parsed network-rule pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Literal substring (lower-cased).
+    Lit(String),
+    /// `*`: any run of characters (including empty).
+    Star,
+    /// `^`: a separator — any char outside `[a-z0-9_\-.%]`, or the URL end.
+    Sep,
+}
+
+/// Where the pattern is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Anchor {
+    /// No anchor: substring match anywhere.
+    None,
+    /// `|...`: match at the very start of the URL.
+    Start,
+    /// `||...`: match at a hostname label boundary.
+    Domain,
+}
+
+/// A parsed network rule (blocking or exception).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkRule {
+    /// Original rule text (for reporting).
+    pub text: String,
+    /// `@@` exception rule.
+    pub exception: bool,
+    anchor: Anchor,
+    anchor_end: bool,
+    toks: Vec<Tok>,
+    /// `$domain=` includes (empty = any).
+    pub include_domains: Vec<String>,
+    /// `$domain=~` excludes.
+    pub exclude_domains: Vec<String>,
+    /// Types the rule applies to (empty = all).
+    pub include_types: Vec<ResourceType>,
+    /// Types excluded with `~type`.
+    pub exclude_types: Vec<ResourceType>,
+    /// `$third-party` (Some(true)) or `$~third-party` (Some(false)).
+    pub third_party: Option<bool>,
+}
+
+/// Errors from [`NetworkRule::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// The rule body is empty after stripping markers.
+    Empty,
+    /// An option token is not recognized.
+    UnknownOption(String),
+}
+
+impl core::fmt::Display for RuleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuleError::Empty => write!(f, "empty rule"),
+            RuleError::UnknownOption(o) => write!(f, "unknown rule option `{o}`"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+#[inline]
+fn is_sep_char(c: u8) -> bool {
+    !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'))
+}
+
+impl NetworkRule {
+    /// Parses one network rule line (without comment/cosmetic handling —
+    /// that's [`crate::parse::parse_list`]'s job).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] for empty bodies or unknown `$` options.
+    pub fn parse(line: &str) -> Result<NetworkRule, RuleError> {
+        let text = line.to_string();
+        let mut body = line.trim();
+        let exception = body.starts_with("@@");
+        if exception {
+            body = &body[2..];
+        }
+
+        // Split off `$options` (the last unescaped '$').
+        let (mut pattern, options) = match body.rfind('$') {
+            // A '$' inside a regex-like pattern is not supported; EasyList
+            // options follow the last '$'.
+            Some(i) if i + 1 < body.len() && !body[i + 1..].contains('/') => {
+                (&body[..i], Some(&body[i + 1..]))
+            }
+            _ => (body, None),
+        };
+
+        let mut rule = NetworkRule {
+            text,
+            exception,
+            anchor: Anchor::None,
+            anchor_end: false,
+            toks: Vec::new(),
+            include_domains: Vec::new(),
+            exclude_domains: Vec::new(),
+            include_types: Vec::new(),
+            exclude_types: Vec::new(),
+            third_party: None,
+        };
+
+        if let Some(opts) = options {
+            for tok in opts.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                let lower = tok.to_ascii_lowercase();
+                if let Some(rest) = lower.strip_prefix("domain=") {
+                    for d in rest.split('|').filter(|d| !d.is_empty()) {
+                        if let Some(neg) = d.strip_prefix('~') {
+                            rule.exclude_domains.push(neg.to_string());
+                        } else {
+                            rule.include_domains.push(d.to_string());
+                        }
+                    }
+                } else if lower == "third-party" {
+                    rule.third_party = Some(true);
+                } else if lower == "~third-party" {
+                    rule.third_party = Some(false);
+                } else if lower == "match-case" {
+                    // Our engine lower-cases both sides; accepted, ignored.
+                } else if let Some(neg) = lower.strip_prefix('~') {
+                    match ResourceType::from_option(neg) {
+                        Some(t) => rule.exclude_types.push(t),
+                        None => return Err(RuleError::UnknownOption(tok.to_string())),
+                    }
+                } else {
+                    match ResourceType::from_option(&lower) {
+                        Some(t) => rule.include_types.push(t),
+                        None => return Err(RuleError::UnknownOption(tok.to_string())),
+                    }
+                }
+            }
+        }
+
+        if let Some(p) = pattern.strip_prefix("||") {
+            rule.anchor = Anchor::Domain;
+            pattern = p;
+        } else if let Some(p) = pattern.strip_prefix('|') {
+            rule.anchor = Anchor::Start;
+            pattern = p;
+        }
+        if let Some(p) = pattern.strip_suffix('|') {
+            rule.anchor_end = true;
+            pattern = p;
+        }
+        if pattern.is_empty() {
+            return Err(RuleError::Empty);
+        }
+
+        let mut lit = String::new();
+        for ch in pattern.chars() {
+            match ch {
+                '*' => {
+                    if !lit.is_empty() {
+                        rule.toks.push(Tok::Lit(std::mem::take(&mut lit)));
+                    }
+                    // Collapse consecutive stars.
+                    if rule.toks.last() != Some(&Tok::Star) {
+                        rule.toks.push(Tok::Star);
+                    }
+                }
+                '^' => {
+                    if !lit.is_empty() {
+                        rule.toks.push(Tok::Lit(std::mem::take(&mut lit)));
+                    }
+                    rule.toks.push(Tok::Sep);
+                }
+                c => lit.extend(c.to_lowercase()),
+            }
+        }
+        if !lit.is_empty() {
+            rule.toks.push(Tok::Lit(lit));
+        }
+        if rule.toks.is_empty() {
+            return Err(RuleError::Empty);
+        }
+        Ok(rule)
+    }
+
+    /// Tests whether this rule's pattern and options match a request.
+    pub fn matches(&self, req: &RequestInfo<'_>) -> bool {
+        if !self.options_match(req) {
+            return false;
+        }
+        let url = req.url.as_str().as_bytes();
+        match self.anchor {
+            Anchor::Start => self.match_tokens_at(url, 0, 0, true),
+            Anchor::None => {
+                (0..=url.len()).any(|start| self.match_tokens_at(url, start, 0, true))
+            }
+            Anchor::Domain => {
+                // Valid start positions: the host start, and after each '.'
+                // inside the host.
+                let host_start = req.url.host_offset();
+                let host = req.url.host();
+                let mut starts = vec![host_start];
+                for (i, b) in host.bytes().enumerate() {
+                    if b == b'.' {
+                        starts.push(host_start + i + 1);
+                    }
+                }
+                starts
+                    .into_iter()
+                    .any(|s| self.match_tokens_at(url, s, 0, true))
+            }
+        }
+    }
+
+    fn options_match(&self, req: &RequestInfo<'_>) -> bool {
+        if let Some(want_third) = self.third_party {
+            if req.is_third_party() != want_third {
+                return false;
+            }
+        }
+        let ty = req.resource_type;
+        if !self.include_types.is_empty() && !self.include_types.contains(&ty) {
+            return false;
+        }
+        if self.exclude_types.contains(&ty) {
+            return false;
+        }
+        let source_host = req.source.host();
+        if !self.include_domains.is_empty()
+            && !self
+                .include_domains
+                .iter()
+                .any(|d| host_matches_domain(source_host, d))
+        {
+            return false;
+        }
+        if self
+            .exclude_domains
+            .iter()
+            .any(|d| host_matches_domain(source_host, d))
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Recursive token matcher with backtracking on `*`.
+    fn match_tokens_at(&self, url: &[u8], pos: usize, tok_idx: usize, anchored: bool) -> bool {
+        if tok_idx == self.toks.len() {
+            return !self.anchor_end || pos == url.len();
+        }
+        match &self.toks[tok_idx] {
+            Tok::Lit(s) => {
+                let s = s.as_bytes();
+                if pos + s.len() <= url.len() && &url[pos..pos + s.len()] == s {
+                    self.match_tokens_at(url, pos + s.len(), tok_idx + 1, anchored)
+                } else {
+                    false
+                }
+            }
+            Tok::Sep => {
+                if pos == url.len() {
+                    // '^' may match the end of the URL.
+                    tok_idx + 1 == self.toks.len() && !self.anchor_end
+                        || self.match_tokens_at(url, pos, tok_idx + 1, anchored)
+                } else if is_sep_char(url[pos]) {
+                    self.match_tokens_at(url, pos + 1, tok_idx + 1, anchored)
+                } else {
+                    false
+                }
+            }
+            Tok::Star => {
+                (pos..=url.len()).any(|p| self.match_tokens_at(url, p, tok_idx + 1, anchored))
+            }
+        }
+    }
+}
+
+/// A parsed list entry: network or cosmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// URL-blocking (or exception) rule.
+    Network(NetworkRule),
+    /// Element-hiding rule.
+    Cosmetic(crate::cosmetic::CosmeticRule),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req<'a>(url: &'a Url, src: &'a Url, ty: ResourceType) -> RequestInfo<'a> {
+        RequestInfo { url, source: src, resource_type: ty }
+    }
+
+    fn urls(u: &str, s: &str) -> (Url, Url) {
+        (Url::parse(u).unwrap(), Url::parse(s).unwrap())
+    }
+
+    #[test]
+    fn plain_substring_rule() {
+        let r = NetworkRule::parse("/banner/").unwrap();
+        let (u, s) = urls("http://x.example/banner/728.png", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+        let (u2, _) = urls("http://x.example/article/1", "http://x.example/");
+        assert!(!r.matches(&req(&u2, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn domain_anchor_matches_subdomains_only_at_label_boundary() {
+        let r = NetworkRule::parse("||adnet.example^").unwrap();
+        let (s, _) = urls("http://site.example/", "http://site.example/");
+        for ok in [
+            "http://adnet.example/x.png",
+            "https://cdn.adnet.example/y.js",
+        ] {
+            let u = Url::parse(ok).unwrap();
+            assert!(r.matches(&req(&u, &s, ResourceType::Image)), "{ok}");
+        }
+        for bad in [
+            "http://notadnet.example/x.png", // not a label boundary
+            "http://adnet.example.evil/x.png", // '^' must match a separator, 'e' is not
+        ] {
+            let u = Url::parse(bad).unwrap();
+            assert!(!r.matches(&req(&u, &s, ResourceType::Image)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn domain_anchor_separator_matches_end_of_url() {
+        let r = NetworkRule::parse("||ads.example^").unwrap();
+        let (u, s) = urls("http://ads.example", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let start = NetworkRule::parse("|http://static.").unwrap();
+        let (u, s) = urls("http://static.x.example/a", "http://x.example/");
+        assert!(start.matches(&req(&u, &s, ResourceType::Image)));
+        let (u2, _) = urls("http://x.example/http://static.", "http://x.example/");
+        assert!(!start.matches(&req(&u2, &s, ResourceType::Image)));
+
+        let end = NetworkRule::parse(".png|").unwrap();
+        let (u3, _) = urls("http://x.example/a.png", "http://x.example/");
+        assert!(end.matches(&req(&u3, &s, ResourceType::Image)));
+        let (u4, _) = urls("http://x.example/a.png.html", "http://x.example/");
+        assert!(!end.matches(&req(&u4, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn wildcard_spans_anything() {
+        let r = NetworkRule::parse("||adnet.example^*?size=728*").unwrap();
+        let (u, s) = urls(
+            "http://adnet.example/serve?size=728x90&x=1",
+            "http://x.example/",
+        );
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn separator_class_is_exact() {
+        let r = NetworkRule::parse("example^ad").unwrap();
+        let (u, s) = urls("http://x.example/ad.png", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+        let (u2, _) = urls("http://x.examplexad/", "http://x.example/");
+        assert!(!r.matches(&req(&u2, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn type_options_filter() {
+        let r = NetworkRule::parse("||adnet.example^$image,~script").unwrap();
+        let (u, s) = urls("http://adnet.example/x", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+        assert!(!r.matches(&req(&u, &s, ResourceType::Script)));
+        assert!(!r.matches(&req(&u, &s, ResourceType::Stylesheet)));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let r = NetworkRule::parse("||tracker.example^$third-party").unwrap();
+        let (u, cross) = urls("http://tracker.example/t.png", "http://news.example/");
+        assert!(r.matches(&req(&u, &cross, ResourceType::Image)));
+        let same = Url::parse("http://cdn.tracker.example/").unwrap();
+        assert!(!r.matches(&req(&u, &same, ResourceType::Image)));
+
+        let first_only = NetworkRule::parse("/self/*$~third-party").unwrap();
+        let (u2, s2) = urls("http://a.example/self/x", "http://a.example/");
+        assert!(first_only.matches(&req(&u2, &s2, ResourceType::Image)));
+        let other = Url::parse("http://b.example/").unwrap();
+        assert!(!first_only.matches(&req(&u2, &other, ResourceType::Image)));
+    }
+
+    #[test]
+    fn domain_option_scopes_by_source() {
+        let r = NetworkRule::parse("/promo/*$domain=shop.example|~sale.shop.example").unwrap();
+        let (u, on_shop) = urls("http://shop.example/promo/1.png", "http://shop.example/");
+        assert!(r.matches(&req(&u, &on_shop, ResourceType::Image)));
+        let elsewhere = Url::parse("http://other.example/").unwrap();
+        assert!(!r.matches(&req(&u, &elsewhere, ResourceType::Image)));
+        let excluded = Url::parse("http://sale.shop.example/").unwrap();
+        assert!(!r.matches(&req(&u, &excluded, ResourceType::Image)));
+    }
+
+    #[test]
+    fn exception_flag_parsed() {
+        let r = NetworkRule::parse("@@||cdn.example^$image").unwrap();
+        assert!(r.exception);
+        let (u, s) = urls("http://cdn.example/pic.png", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+    }
+
+    #[test]
+    fn unknown_option_is_an_error() {
+        assert!(matches!(
+            NetworkRule::parse("||x.example^$websocket-frame"),
+            Err(RuleError::UnknownOption(_))
+        ));
+        assert!(matches!(NetworkRule::parse("@@"), Err(RuleError::Empty)));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let r = NetworkRule::parse("/BANNER/").unwrap();
+        let (u, s) = urls("http://x.example/banner/1", "http://x.example/");
+        assert!(r.matches(&req(&u, &s, ResourceType::Image)));
+    }
+}

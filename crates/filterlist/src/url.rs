@@ -1,0 +1,203 @@
+//! A small URL parser sufficient for filter matching.
+
+/// A parsed absolute URL.
+///
+/// # Examples
+///
+/// ```
+/// use percival_filterlist::Url;
+///
+/// let u = Url::parse("https://ads.example.com/banner/728x90.png?id=3").unwrap();
+/// assert_eq!(u.host(), "ads.example.com");
+/// assert_eq!(u.path(), "/banner/728x90.png");
+/// assert_eq!(u.registrable_domain(), "example.com");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    raw: String,
+    scheme_end: usize, // index of ':' after scheme
+    host_start: usize,
+    host_end: usize,
+    path_start: usize,
+    query_start: Option<usize>, // index of '?'
+}
+
+/// Errors from [`Url::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UrlError {
+    /// No `scheme://` prefix.
+    MissingScheme,
+    /// The host portion is empty.
+    EmptyHost,
+    /// The URL contains whitespace or control characters.
+    IllegalCharacter,
+}
+
+impl core::fmt::Display for UrlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UrlError::MissingScheme => write!(f, "missing scheme"),
+            UrlError::EmptyHost => write!(f, "empty host"),
+            UrlError::IllegalCharacter => write!(f, "illegal character in URL"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl Url {
+    /// Parses an absolute URL of the form `scheme://host[:port][/path][?q]`.
+    ///
+    /// The input is lower-cased (filter matching is case-insensitive on the
+    /// URL side in our engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrlError`] if the scheme or host is missing or the string
+    /// contains whitespace/control characters.
+    pub fn parse(input: &str) -> Result<Url, UrlError> {
+        if input.chars().any(|c| c.is_whitespace() || c.is_control()) {
+            return Err(UrlError::IllegalCharacter);
+        }
+        let raw = input.to_ascii_lowercase();
+        let scheme_end = raw.find("://").ok_or(UrlError::MissingScheme)?;
+        if scheme_end == 0 {
+            return Err(UrlError::MissingScheme);
+        }
+        let host_start = scheme_end + 3;
+        let rest = &raw[host_start..];
+        let host_rel_end = rest
+            .find(['/', '?', '#'])
+            .unwrap_or(rest.len());
+        // Strip a port if present.
+        let authority = &rest[..host_rel_end];
+        let host_len = authority.find(':').unwrap_or(authority.len());
+        if host_len == 0 {
+            return Err(UrlError::EmptyHost);
+        }
+        let host_end = host_start + host_len;
+        let path_start = host_start + host_rel_end;
+        let query_start = raw[path_start..].find('?').map(|i| path_start + i);
+        Ok(Url { raw, scheme_end, host_start, host_end, path_start, query_start })
+    }
+
+    /// The full (lower-cased) URL string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Scheme without `://`.
+    pub fn scheme(&self) -> &str {
+        &self.raw[..self.scheme_end]
+    }
+
+    /// Host without port.
+    pub fn host(&self) -> &str {
+        &self.raw[self.host_start..self.host_end]
+    }
+
+    /// Path starting at `/`; `"/"` if absent.
+    pub fn path(&self) -> &str {
+        let p = match self.query_start {
+            Some(q) => &self.raw[self.path_start..q],
+            None => &self.raw[self.path_start..],
+        };
+        if p.is_empty() {
+            "/"
+        } else {
+            p
+        }
+    }
+
+    /// Byte offset where the host begins inside [`Url::as_str`].
+    pub fn host_offset(&self) -> usize {
+        self.host_start
+    }
+
+    /// The registrable domain: the last two labels of the host (a
+    /// simplification of the public-suffix list adequate for the synthetic
+    /// web, whose suffixes are all single-label).
+    pub fn registrable_domain(&self) -> &str {
+        let host = self.host();
+        let mut dots = host.rmatch_indices('.');
+        match (dots.next(), dots.next()) {
+            (Some(_), Some((second, _))) => &host[second + 1..],
+            _ => host,
+        }
+    }
+
+    /// True if `self` and `other` belong to different registrable domains —
+    /// the third-party test used by `$third-party` options.
+    pub fn is_third_party_to(&self, other: &Url) -> bool {
+        self.registrable_domain() != other.registrable_domain()
+    }
+
+    /// True if the host equals `domain` or is a subdomain of it.
+    pub fn host_matches_domain(&self, domain: &str) -> bool {
+        host_matches_domain(self.host(), domain)
+    }
+}
+
+/// Domain-suffix test shared with rule options: `host` equals `domain` or
+/// ends with `.domain`.
+pub fn host_matches_domain(host: &str, domain: &str) -> bool {
+    if host == domain {
+        return true;
+    }
+    host.len() > domain.len()
+        && host.ends_with(domain)
+        && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_components() {
+        let u = Url::parse("HTTPS://Ads.Example.COM:8080/x/y.png?a=1#frag").unwrap();
+        assert_eq!(u.scheme(), "https");
+        assert_eq!(u.host(), "ads.example.com");
+        assert_eq!(u.path(), "/x/y.png");
+        assert_eq!(u.registrable_domain(), "example.com");
+    }
+
+    #[test]
+    fn path_defaults_to_slash() {
+        let u = Url::parse("http://a.example").unwrap();
+        assert_eq!(u.path(), "/");
+        let q = Url::parse("http://a.example?x=1").unwrap();
+        assert_eq!(q.path(), "/");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Url::parse("no-scheme.com/x"), Err(UrlError::MissingScheme));
+        assert_eq!(Url::parse("://host"), Err(UrlError::MissingScheme));
+        assert_eq!(Url::parse("http:///path"), Err(UrlError::EmptyHost));
+        assert_eq!(Url::parse("http://a b.com"), Err(UrlError::IllegalCharacter));
+    }
+
+    #[test]
+    fn third_party_uses_registrable_domain() {
+        let page = Url::parse("https://news.example.com/article").unwrap();
+        let same = Url::parse("https://img.example.com/pic.png").unwrap();
+        let other = Url::parse("https://cdn.adnet.example2/ad.png").unwrap();
+        assert!(!same.is_third_party_to(&page));
+        assert!(other.is_third_party_to(&page));
+    }
+
+    #[test]
+    fn domain_suffix_matching() {
+        assert!(host_matches_domain("a.b.example.com", "example.com"));
+        assert!(host_matches_domain("example.com", "example.com"));
+        assert!(!host_matches_domain("badexample.com", "example.com"));
+        assert!(!host_matches_domain("example.com", "a.example.com"));
+    }
+
+    #[test]
+    fn single_label_host() {
+        let u = Url::parse("http://localhost/x").unwrap();
+        assert_eq!(u.registrable_domain(), "localhost");
+    }
+}

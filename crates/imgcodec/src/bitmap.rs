@@ -1,0 +1,272 @@
+//! The decoded RGBA8 bitmap — the unit every codec produces and the
+//! PERCIVAL hook consumes (the analogue of Skia's decoded `SkBitmap`).
+
+/// An 8-bit RGBA raster image.
+///
+/// Pixels are stored row-major, 4 bytes per pixel, no padding.
+///
+/// # Examples
+///
+/// ```
+/// use percival_imgcodec::Bitmap;
+///
+/// let mut bmp = Bitmap::new(4, 2, [255, 0, 0, 255]);
+/// bmp.set(1, 1, [0, 255, 0, 255]);
+/// assert_eq!(bmp.get(1, 1), [0, 255, 0, 255]);
+/// assert_eq!(bmp.get(0, 0), [255, 0, 0, 255]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Bitmap {
+    /// Creates a bitmap filled with one RGBA color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, fill: [u8; 4]) -> Self {
+        assert!(width > 0 && height > 0, "bitmap dimensions must be non-zero");
+        let mut data = Vec::with_capacity(width * height * 4);
+        for _ in 0..width * height {
+            data.extend_from_slice(&fill);
+        }
+        Bitmap { width, height, data }
+    }
+
+    /// Wraps raw RGBA bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 4` or a dimension is zero.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "bitmap dimensions must be non-zero");
+        assert_eq!(data.len(), width * height * 4, "raw buffer length mismatch");
+        Bitmap { width, height, data }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw RGBA bytes, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw RGBA bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 4] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 4;
+        [self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3]]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgba: [u8; 4]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 4;
+        self.data[i..i + 4].copy_from_slice(&rgba);
+    }
+
+    /// One row of RGBA bytes.
+    pub fn row(&self, y: usize) -> &[u8] {
+        &self.data[y * self.width * 4..(y + 1) * self.width * 4]
+    }
+
+    /// Overwrites every pixel with `rgba`.
+    pub fn fill(&mut self, rgba: [u8; 4]) {
+        for px in self.data.chunks_exact_mut(4) {
+            px.copy_from_slice(&rgba);
+        }
+    }
+
+    /// Clears the bitmap to transparent black — exactly what PERCIVAL does
+    /// to a decoded ad frame ("if PERCIVAL determines that the buffer
+    /// contains an ad, it clears the buffer", Section 3.3).
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// True if every byte is zero (a cleared/blank buffer).
+    pub fn is_blank(&self) -> bool {
+        self.data.iter().all(|&b| b == 0)
+    }
+
+    /// Mean RGB value over all pixels (alpha ignored), in `[0, 255]`.
+    pub fn mean_rgb(&self) -> [f32; 3] {
+        let mut acc = [0f64; 3];
+        for px in self.data.chunks_exact(4) {
+            acc[0] += f64::from(px[0]);
+            acc[1] += f64::from(px[1]);
+            acc[2] += f64::from(px[2]);
+        }
+        let n = (self.width * self.height) as f64;
+        [
+            (acc[0] / n) as f32,
+            (acc[1] / n) as f32,
+            (acc[2] / n) as f32,
+        ]
+    }
+
+    /// A 64-bit FNV-1a hash of dimensions and pixels.
+    ///
+    /// This is the memoization key for PERCIVAL's asynchronous deployment
+    /// mode ("classifying images asynchronously ... allows for memoization
+    /// of the results", Section 1.1).
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        for b in self
+            .width
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.height.to_le_bytes())
+        {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        for &b in &self.data {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Nearest-neighbour scaled copy (cheap thumbnailing for screenshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target dimension is zero.
+    pub fn scaled_nearest(&self, width: usize, height: usize) -> Bitmap {
+        assert!(width > 0 && height > 0, "target dimensions must be non-zero");
+        let mut out = Bitmap::new(width, height, [0, 0, 0, 0]);
+        for y in 0..height {
+            let sy = y * self.height / height;
+            for x in 0..width {
+                let sx = x * self.width / width;
+                out.set(x, y, self.get(sx, sy));
+            }
+        }
+        out
+    }
+
+    /// Copies a sub-rectangle; the rectangle is clamped to the bitmap.
+    ///
+    /// Returns `None` if the clamped rectangle is empty.
+    pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Option<Bitmap> {
+        let x1 = (x + w).min(self.width);
+        let y1 = (y + h).min(self.height);
+        if x >= x1 || y >= y1 {
+            return None;
+        }
+        let (cw, ch) = (x1 - x, y1 - y);
+        let mut data = Vec::with_capacity(cw * ch * 4);
+        for yy in y..y1 {
+            let start = (yy * self.width + x) * 4;
+            data.extend_from_slice(&self.data[start..start + cw * 4]);
+        }
+        Some(Bitmap::from_raw(cw, ch, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills_uniformly() {
+        let b = Bitmap::new(3, 2, [1, 2, 3, 4]);
+        for y in 0..2 {
+            for x in 0..3 {
+                assert_eq!(b.get(x, y), [1, 2, 3, 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new(5, 5, [0; 4]);
+        b.set(4, 4, [9, 8, 7, 6]);
+        assert_eq!(b.get(4, 4), [9, 8, 7, 6]);
+        assert_eq!(b.get(3, 4), [0; 4]);
+    }
+
+    #[test]
+    fn clear_blanks_the_buffer() {
+        let mut b = Bitmap::new(4, 4, [200, 100, 50, 255]);
+        assert!(!b.is_blank());
+        b.clear();
+        assert!(b.is_blank());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_content_and_geometry() {
+        let a = Bitmap::new(4, 4, [1, 1, 1, 255]);
+        let mut b = a.clone();
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.set(0, 0, [2, 1, 1, 255]);
+        assert_ne!(a.content_hash(), b.content_hash());
+        // Same byte stream, different geometry must differ too.
+        let wide = Bitmap::new(8, 2, [1, 1, 1, 255]);
+        assert_ne!(a.content_hash(), wide.content_hash());
+    }
+
+    #[test]
+    fn mean_rgb_of_known_image() {
+        let mut b = Bitmap::new(2, 1, [0, 0, 0, 255]);
+        b.set(1, 0, [255, 0, 0, 255]);
+        let m = b.mean_rgb();
+        assert!((m[0] - 127.5).abs() < 1e-3);
+        assert_eq!(m[1], 0.0);
+    }
+
+    #[test]
+    fn crop_clamps_and_rejects_empty() {
+        let mut b = Bitmap::new(4, 4, [0; 4]);
+        b.set(2, 2, [5, 5, 5, 5]);
+        let c = b.crop(2, 2, 10, 10).unwrap();
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.get(0, 0), [5, 5, 5, 5]);
+        assert!(b.crop(4, 0, 1, 1).is_none());
+        assert!(b.crop(0, 9, 1, 1).is_none());
+    }
+
+    #[test]
+    fn scaled_nearest_preserves_solid_regions() {
+        let mut b = Bitmap::new(2, 2, [0, 0, 0, 255]);
+        b.set(1, 0, [255, 255, 255, 255]);
+        let s = b.scaled_nearest(4, 4);
+        assert_eq!(s.get(0, 0), [0, 0, 0, 255]);
+        assert_eq!(s.get(3, 0), [255, 255, 255, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        Bitmap::new(2, 2, [0; 4]).get(2, 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Uncompressed Windows BMP (24-bit BGR and 32-bit BGRA, BITMAPINFOHEADER).
+
+use crate::{check_dims, Bitmap, CodecError};
+
+fn u16le(b: &[u8], at: usize) -> Result<u16, CodecError> {
+    b.get(at..at + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(CodecError::Truncated)
+}
+
+fn u32le(b: &[u8], at: usize) -> Result<u32, CodecError> {
+    b.get(at..at + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(CodecError::Truncated)
+}
+
+fn i32le(b: &[u8], at: usize) -> Result<i32, CodecError> {
+    Ok(u32le(b, at)? as i32)
+}
+
+/// Encodes a bitmap as 32-bit BGRA BMP (top-down row order via negative
+/// height, which every mainstream reader supports).
+pub fn encode_bmp(bmp: &Bitmap) -> Vec<u8> {
+    let (w, h) = (bmp.width(), bmp.height());
+    let pixel_bytes = w * h * 4;
+    let data_offset = 14 + 40;
+    let file_size = data_offset + pixel_bytes;
+
+    let mut out = Vec::with_capacity(file_size);
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_size as u32).to_le_bytes());
+    out.extend_from_slice(&[0; 4]); // reserved
+    out.extend_from_slice(&(data_offset as u32).to_le_bytes());
+    // BITMAPINFOHEADER.
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(-(h as i32)).to_le_bytes()); // top-down
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&32u16.to_le_bytes()); // bpp
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&[0; 16]); // resolution + palette counts
+    for px in bmp.data().chunks_exact(4) {
+        out.extend_from_slice(&[px[2], px[1], px[0], px[3]]); // RGBA -> BGRA
+    }
+    out
+}
+
+/// Decodes a 24- or 32-bit uncompressed BMP.
+///
+/// Handles both bottom-up (positive height) and top-down (negative height)
+/// row orders and 4-byte row padding for 24-bit images.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, non-BMP input, compressed BMPs or
+/// unsupported bit depths.
+pub fn decode_bmp(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    if bytes.len() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..2] != b"BM" {
+        return Err(CodecError::BadMagic);
+    }
+    let data_offset = u32le(bytes, 10)? as usize;
+    let header_size = u32le(bytes, 14)?;
+    if header_size < 40 {
+        return Err(CodecError::Unsupported("BMP core header"));
+    }
+    let width = i32le(bytes, 18)?;
+    let raw_height = i32le(bytes, 22)?;
+    let bpp = u16le(bytes, 28)?;
+    let compression = u32le(bytes, 30)?;
+    if compression != 0 {
+        return Err(CodecError::Unsupported("compressed BMP"));
+    }
+    if width <= 0 || raw_height == 0 {
+        return Err(CodecError::Malformed("non-positive BMP dimensions"));
+    }
+    let top_down = raw_height < 0;
+    let height = raw_height.unsigned_abs() as u64;
+    let (w, h) = check_dims(width as u64, height)?;
+
+    let bytes_per_px = match bpp {
+        24 => 3usize,
+        32 => 4usize,
+        _ => return Err(CodecError::Unsupported("BMP bit depth")),
+    };
+    let row_stride = (w * bytes_per_px + 3) & !3;
+    let need = data_offset
+        .checked_add(row_stride * h)
+        .ok_or(CodecError::Malformed("BMP size overflow"))?;
+    if bytes.len() < need {
+        return Err(CodecError::Truncated);
+    }
+
+    let mut out = Bitmap::new(w, h, [0, 0, 0, 255]);
+    for y in 0..h {
+        let src_y = if top_down { y } else { h - 1 - y };
+        let row = &bytes[data_offset + src_y * row_stride..];
+        for x in 0..w {
+            let p = &row[x * bytes_per_px..];
+            let a = if bytes_per_px == 4 { p[3] } else { 255 };
+            out.set(x, y, [p[2], p[1], p[0], a]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(w: usize, h: usize) -> Bitmap {
+        let mut b = Bitmap::new(w, h, [0, 0, 0, 255]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(
+                    x,
+                    y,
+                    [(x * 7 % 256) as u8, (y * 11 % 256) as u8, ((x + y) % 256) as u8, 255],
+                );
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_32bit() {
+        let b = pattern(13, 7);
+        assert_eq!(decode_bmp(&encode_bmp(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_preserves_alpha() {
+        let mut b = Bitmap::new(2, 2, [10, 20, 30, 0]);
+        b.set(1, 1, [1, 2, 3, 128]);
+        assert_eq!(decode_bmp(&encode_bmp(&b)).unwrap(), b);
+    }
+
+    /// Hand-built bottom-up 24-bit BMP with row padding (width 3 -> stride 12... actually 3*3=9 -> padded to 12).
+    #[test]
+    fn decodes_bottom_up_24bit_with_padding() {
+        let w = 3usize;
+        let h = 2usize;
+        let stride = 12usize;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"BM");
+        bytes.extend_from_slice(&((54 + stride * h) as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0; 4]);
+        bytes.extend_from_slice(&54u32.to_le_bytes());
+        bytes.extend_from_slice(&40u32.to_le_bytes());
+        bytes.extend_from_slice(&(w as i32).to_le_bytes());
+        bytes.extend_from_slice(&(h as i32).to_le_bytes()); // bottom-up
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&24u16.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&((stride * h) as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        // Bottom row first (BGR): red, green, blue + 3 pad bytes.
+        bytes.extend_from_slice(&[0, 0, 255, 0, 255, 0, 255, 0, 0, 0, 0, 0]);
+        // Top row: white, black, gray + pad.
+        bytes.extend_from_slice(&[255, 255, 255, 0, 0, 0, 128, 128, 128, 0, 0, 0]);
+
+        let bmp = decode_bmp(&bytes).unwrap();
+        assert_eq!(bmp.get(0, 0), [255, 255, 255, 255]); // top row decoded last
+        assert_eq!(bmp.get(0, 1), [255, 0, 0, 255]); // red
+        assert_eq!(bmp.get(1, 1), [0, 255, 0, 255]); // green
+        assert_eq!(bmp.get(2, 1), [0, 0, 255, 255]); // blue
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(decode_bmp(b"XX"), Err(CodecError::BadMagic));
+        assert_eq!(decode_bmp(b"B"), Err(CodecError::Truncated));
+        let enc = encode_bmp(&pattern(8, 8));
+        for cut in [10, 20, 53, enc.len() - 1] {
+            assert!(decode_bmp(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_compressed_and_exotic_depths() {
+        let mut enc = encode_bmp(&pattern(4, 4));
+        enc[30] = 1; // BI_RLE8
+        assert_eq!(decode_bmp(&enc), Err(CodecError::Unsupported("compressed BMP")));
+        let mut enc2 = encode_bmp(&pattern(4, 4));
+        enc2[28] = 16;
+        assert_eq!(decode_bmp(&enc2), Err(CodecError::Unsupported("BMP bit depth")));
+    }
+}

@@ -1,0 +1,218 @@
+//! Software drawing primitives.
+//!
+//! Shared by the synthetic ad/content generator (text blocks, logos,
+//! buttons, scenes) and by the page rasterizer (solid paints, image blits).
+//! All operations clip against the target bitmap; alpha is composited with
+//! the standard source-over operator.
+
+use crate::Bitmap;
+
+/// Composites `src` over `dst` (source-over, non-premultiplied).
+#[inline]
+pub fn blend(dst: [u8; 4], src: [u8; 4]) -> [u8; 4] {
+    let sa = u32::from(src[3]);
+    if sa == 255 {
+        return src;
+    }
+    if sa == 0 {
+        return dst;
+    }
+    let da = u32::from(dst[3]);
+    let out_a = sa + da * (255 - sa) / 255;
+    if out_a == 0 {
+        return [0, 0, 0, 0];
+    }
+    let mut out = [0u8; 4];
+    for i in 0..3 {
+        let s = u32::from(src[i]);
+        let d = u32::from(dst[i]);
+        out[i] = ((s * sa + d * da * (255 - sa) / 255) / out_a) as u8;
+    }
+    out[3] = out_a as u8;
+    out
+}
+
+/// Fills an axis-aligned rectangle (clipped) with `color`, compositing.
+pub fn fill_rect(bmp: &mut Bitmap, x: i32, y: i32, w: u32, h: u32, color: [u8; 4]) {
+    let x0 = x.max(0) as usize;
+    let y0 = y.max(0) as usize;
+    let x1 = ((x + w as i32).max(0) as usize).min(bmp.width());
+    let y1 = ((y + h as i32).max(0) as usize).min(bmp.height());
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            let d = bmp.get(xx, yy);
+            bmp.set(xx, yy, blend(d, color));
+        }
+    }
+}
+
+/// Draws a rectangle outline of the given stroke thickness.
+pub fn stroke_rect(bmp: &mut Bitmap, x: i32, y: i32, w: u32, h: u32, t: u32, color: [u8; 4]) {
+    fill_rect(bmp, x, y, w, t, color); // top
+    fill_rect(bmp, x, y + h as i32 - t as i32, w, t, color); // bottom
+    fill_rect(bmp, x, y, t, h, color); // left
+    fill_rect(bmp, x + w as i32 - t as i32, y, t, h, color); // right
+}
+
+/// Fills a disc centred at `(cx, cy)`.
+pub fn fill_disc(bmp: &mut Bitmap, cx: i32, cy: i32, r: i32, color: [u8; 4]) {
+    let r2 = r * r;
+    for yy in (cy - r).max(0)..(cy + r + 1).min(bmp.height() as i32) {
+        for xx in (cx - r).max(0)..(cx + r + 1).min(bmp.width() as i32) {
+            let dx = xx - cx;
+            let dy = yy - cy;
+            if dx * dx + dy * dy <= r2 {
+                let d = bmp.get(xx as usize, yy as usize);
+                bmp.set(xx as usize, yy as usize, blend(d, color));
+            }
+        }
+    }
+}
+
+/// Fills a triangle given three vertices (barycentric point test).
+pub fn fill_triangle(
+    bmp: &mut Bitmap,
+    p0: (i32, i32),
+    p1: (i32, i32),
+    p2: (i32, i32),
+    color: [u8; 4],
+) {
+    let min_x = p0.0.min(p1.0).min(p2.0).max(0);
+    let max_x = p0.0.max(p1.0).max(p2.0).min(bmp.width() as i32 - 1);
+    let min_y = p0.1.min(p1.1).min(p2.1).max(0);
+    let max_y = p0.1.max(p1.1).max(p2.1).min(bmp.height() as i32 - 1);
+    let area = (p1.0 - p0.0) * (p2.1 - p0.1) - (p2.0 - p0.0) * (p1.1 - p0.1);
+    if area == 0 {
+        return;
+    }
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let w0 = (p1.0 - p0.0) * (y - p0.1) - (x - p0.0) * (p1.1 - p0.1);
+            let w1 = (p2.0 - p1.0) * (y - p1.1) - (x - p1.0) * (p2.1 - p1.1);
+            let w2 = (p0.0 - p2.0) * (y - p2.1) - (x - p2.0) * (p0.1 - p2.1);
+            let all_pos = w0 >= 0 && w1 >= 0 && w2 >= 0;
+            let all_neg = w0 <= 0 && w1 <= 0 && w2 <= 0;
+            if all_pos || all_neg {
+                let d = bmp.get(x as usize, y as usize);
+                bmp.set(x as usize, y as usize, blend(d, color));
+            }
+        }
+    }
+}
+
+/// Copies `src` onto `dst` at `(x, y)` with source-over compositing and
+/// clipping.
+pub fn blit(dst: &mut Bitmap, src: &Bitmap, x: i32, y: i32) {
+    for sy in 0..src.height() {
+        let dy = y + sy as i32;
+        if dy < 0 || dy >= dst.height() as i32 {
+            continue;
+        }
+        for sx in 0..src.width() {
+            let dx = x + sx as i32;
+            if dx < 0 || dx >= dst.width() as i32 {
+                continue;
+            }
+            let d = dst.get(dx as usize, dy as usize);
+            dst.set(dx as usize, dy as usize, blend(d, src.get(sx, sy)));
+        }
+    }
+}
+
+/// Fills the whole bitmap with a vertical linear gradient.
+pub fn vertical_gradient(bmp: &mut Bitmap, top: [u8; 4], bottom: [u8; 4]) {
+    let h = bmp.height().max(1);
+    for y in 0..bmp.height() {
+        let t = y as f32 / (h - 1).max(1) as f32;
+        let mut c = [0u8; 4];
+        for i in 0..4 {
+            c[i] = (f32::from(top[i]) + (f32::from(bottom[i]) - f32::from(top[i])) * t) as u8;
+        }
+        for x in 0..bmp.width() {
+            bmp.set(x, y, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opaque_blend_replaces() {
+        assert_eq!(blend([1, 2, 3, 255], [9, 9, 9, 255]), [9, 9, 9, 255]);
+    }
+
+    #[test]
+    fn transparent_blend_keeps_destination() {
+        assert_eq!(blend([1, 2, 3, 255], [9, 9, 9, 0]), [1, 2, 3, 255]);
+    }
+
+    #[test]
+    fn half_alpha_blend_averages() {
+        let out = blend([0, 0, 0, 255], [255, 255, 255, 128]);
+        for c in &out[..3] {
+            assert!((120..=135).contains(c), "got {out:?}");
+        }
+        assert_eq!(out[3], 255);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut b = Bitmap::new(4, 4, [0, 0, 0, 255]);
+        fill_rect(&mut b, -2, -2, 4, 4, [255, 0, 0, 255]);
+        assert_eq!(b.get(0, 0), [255, 0, 0, 255]);
+        assert_eq!(b.get(1, 1), [255, 0, 0, 255]);
+        assert_eq!(b.get(2, 2), [0, 0, 0, 255]);
+        // Fully outside: no panic, no change.
+        fill_rect(&mut b, 100, 100, 5, 5, [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn stroke_rect_leaves_interior() {
+        let mut b = Bitmap::new(8, 8, [0, 0, 0, 255]);
+        stroke_rect(&mut b, 0, 0, 8, 8, 1, [255, 255, 255, 255]);
+        assert_eq!(b.get(0, 0), [255, 255, 255, 255]);
+        assert_eq!(b.get(7, 7), [255, 255, 255, 255]);
+        assert_eq!(b.get(4, 4), [0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn disc_is_roughly_circular() {
+        let mut b = Bitmap::new(21, 21, [0, 0, 0, 255]);
+        fill_disc(&mut b, 10, 10, 5, [255, 0, 0, 255]);
+        assert_eq!(b.get(10, 10), [255, 0, 0, 255]);
+        assert_eq!(b.get(10, 5), [255, 0, 0, 255]); // on radius
+        assert_eq!(b.get(10, 3), [0, 0, 0, 255]); // outside
+        assert_eq!(b.get(3, 3), [0, 0, 0, 255]); // corner outside
+    }
+
+    #[test]
+    fn triangle_covers_centroid_not_far_corner() {
+        let mut b = Bitmap::new(20, 20, [0, 0, 0, 255]);
+        fill_triangle(&mut b, (1, 1), (18, 1), (1, 18), [0, 255, 0, 255]);
+        assert_eq!(b.get(5, 5), [0, 255, 0, 255]);
+        assert_eq!(b.get(18, 18), [0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn blit_clips_and_composites() {
+        let mut dst = Bitmap::new(4, 4, [10, 10, 10, 255]);
+        let src = Bitmap::new(3, 3, [200, 0, 0, 255]);
+        blit(&mut dst, &src, 2, 2);
+        assert_eq!(dst.get(2, 2), [200, 0, 0, 255]);
+        assert_eq!(dst.get(3, 3), [200, 0, 0, 255]);
+        assert_eq!(dst.get(1, 1), [10, 10, 10, 255]);
+    }
+
+    #[test]
+    fn gradient_is_monotone() {
+        let mut b = Bitmap::new(2, 16, [0; 4]);
+        vertical_gradient(&mut b, [0, 0, 0, 255], [255, 255, 255, 255]);
+        for y in 1..16 {
+            assert!(b.get(0, y)[0] >= b.get(0, y - 1)[0]);
+        }
+        assert_eq!(b.get(0, 0)[0], 0);
+        assert_eq!(b.get(0, 15)[0], 255);
+    }
+}

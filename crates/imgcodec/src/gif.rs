@@ -1,0 +1,457 @@
+//! GIF87a/89a decoding (LZW, interlacing, transparency) and a simple
+//! encoder (fixed 256-color palette, clear-code-refresh LZW stream).
+//!
+//! Only the first image of an animation is decoded — PERCIVAL classifies
+//! still frames coming out of the decoder.
+
+use crate::{check_dims, Bitmap, CodecError};
+
+fn u16le(b: &[u8], at: usize) -> Result<u16, CodecError> {
+    b.get(at..at + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(CodecError::Truncated)
+}
+
+// ------------------------------------------------------------------ decode
+
+/// Collects the sub-block data stream starting at `pos`; returns the data
+/// and the position after the terminating 0 block.
+fn read_subblocks(bytes: &[u8], mut pos: usize) -> Result<(Vec<u8>, usize), CodecError> {
+    let mut data = Vec::new();
+    loop {
+        let len = *bytes.get(pos).ok_or(CodecError::Truncated)? as usize;
+        pos += 1;
+        if len == 0 {
+            return Ok((data, pos));
+        }
+        data.extend_from_slice(bytes.get(pos..pos + len).ok_or(CodecError::Truncated)?);
+        pos += len;
+    }
+}
+
+/// GIF-flavoured LZW decompression.
+fn lzw_decode(min_code_size: u8, data: &[u8], max_pixels: usize) -> Result<Vec<u8>, CodecError> {
+    if !(2..=8).contains(&min_code_size) {
+        return Err(CodecError::Malformed("GIF LZW minimum code size"));
+    }
+    let clear = 1usize << min_code_size;
+    let end = clear + 1;
+
+    // Dictionary entries store (prefix index, suffix byte); roots implicit.
+    let mut prefixes: Vec<u16> = vec![0; 4096];
+    let mut suffixes: Vec<u8> = vec![0; 4096];
+    let mut next_code = end + 1;
+    let mut code_size = u32::from(min_code_size) + 1;
+
+    let mut out: Vec<u8> = Vec::new();
+    let mut bit_pos = 0usize;
+    let mut prev: Option<usize> = None;
+
+    let read_code = |bit_pos: &mut usize, code_size: u32| -> Result<usize, CodecError> {
+        let mut v = 0usize;
+        for i in 0..code_size {
+            let byte = *data.get(*bit_pos / 8).ok_or(CodecError::Truncated)?;
+            let bit = (byte >> (*bit_pos % 8)) & 1;
+            v |= (bit as usize) << i;
+            *bit_pos += 1;
+        }
+        Ok(v)
+    };
+
+    // Expand a code into bytes (root or chain), appending to out.
+    fn expand(
+        code: usize,
+        clear: usize,
+        prefixes: &[u16],
+        suffixes: &[u8],
+        next_code: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<u8, CodecError> {
+        let mut stack = Vec::new();
+        let mut c = code;
+        loop {
+            if c < clear {
+                stack.push(c as u8);
+                break;
+            }
+            if c >= next_code || c == clear || c == clear + 1 {
+                return Err(CodecError::Malformed("invalid LZW code"));
+            }
+            stack.push(suffixes[c]);
+            c = prefixes[c] as usize;
+        }
+        let first = *stack.last().expect("stack cannot be empty");
+        while let Some(b) = stack.pop() {
+            out.push(b);
+        }
+        Ok(first)
+    }
+
+    loop {
+        let code = read_code(&mut bit_pos, code_size)?;
+        if code == clear {
+            next_code = end + 1;
+            code_size = u32::from(min_code_size) + 1;
+            prev = None;
+            continue;
+        }
+        if code == end {
+            return Ok(out);
+        }
+        match prev {
+            None => {
+                if code >= clear {
+                    return Err(CodecError::Malformed("first LZW code must be a root"));
+                }
+                out.push(code as u8);
+                prev = Some(code);
+            }
+            Some(p) => {
+                let first = if code < next_code {
+                    expand(code, clear, &prefixes, &suffixes, next_code, &mut out)?
+                } else if code == next_code {
+                    // The KwKwK case: expand prev then append its first byte.
+                    let before = out.len();
+                    let f = expand(p, clear, &prefixes, &suffixes, next_code, &mut out)?;
+                    let first = out[before];
+                    let _ = f;
+                    out.push(first);
+                    first
+                } else {
+                    return Err(CodecError::Malformed("LZW code beyond dictionary"));
+                };
+                if next_code < 4096 {
+                    prefixes[next_code] = p as u16;
+                    suffixes[next_code] = first;
+                    next_code += 1;
+                    if next_code.is_power_of_two() && code_size < 12 {
+                        code_size += 1;
+                    }
+                }
+                prev = Some(code);
+            }
+        }
+        if out.len() > max_pixels {
+            return Err(CodecError::Malformed("LZW output exceeds image size"));
+        }
+        if out.len() == max_pixels {
+            // Image complete; consume the end code if present, then stop.
+            return Ok(out);
+        }
+    }
+}
+
+/// Interlaced GIF row order: passes starting at 0,4,2,1 with steps 8,8,4,2.
+fn deinterlace_rows(height: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(height);
+    for (start, step) in [(0usize, 8usize), (4, 8), (2, 4), (1, 2)] {
+        let mut y = start;
+        while y < height {
+            order.push(y);
+            y += step;
+        }
+    }
+    order
+}
+
+/// Decodes the first frame of a GIF into an RGBA bitmap.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, bad magic, or malformed LZW data.
+pub fn decode_gif(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    if bytes.len() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..3] != b"GIF" || (&bytes[3..6] != b"87a" && &bytes[3..6] != b"89a") {
+        return Err(CodecError::BadMagic);
+    }
+    let screen_w = u16le(bytes, 6)?;
+    let screen_h = u16le(bytes, 8)?;
+    let packed = *bytes.get(10).ok_or(CodecError::Truncated)?;
+    let mut pos = 13usize;
+
+    let mut global_palette: Vec<[u8; 3]> = Vec::new();
+    if packed & 0x80 != 0 {
+        let n = 2usize << (packed & 0x07);
+        let table = bytes.get(pos..pos + 3 * n).ok_or(CodecError::Truncated)?;
+        global_palette = table.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+        pos += 3 * n;
+    }
+
+    let mut transparent_idx: Option<u8> = None;
+    loop {
+        let block = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        match block {
+            0x21 => {
+                let label = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+                pos += 1;
+                let (data, next) = read_subblocks(bytes, pos)?;
+                if label == 0xf9 && data.len() >= 4 && data[0] & 0x01 != 0 {
+                    transparent_idx = Some(data[3]);
+                }
+                pos = next;
+            }
+            0x2c => {
+                let w = u16le(bytes, pos + 4)?;
+                let h = u16le(bytes, pos + 6)?;
+                let img_packed = *bytes.get(pos + 8).ok_or(CodecError::Truncated)?;
+                pos += 9;
+                let (w, h) = check_dims(u64::from(w), u64::from(h))?;
+                let _ = (screen_w, screen_h); // frame geometry wins
+
+                let palette = if img_packed & 0x80 != 0 {
+                    let n = 2usize << (img_packed & 0x07);
+                    let table = bytes.get(pos..pos + 3 * n).ok_or(CodecError::Truncated)?;
+                    pos += 3 * n;
+                    table.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
+                } else {
+                    if global_palette.is_empty() {
+                        return Err(CodecError::Malformed("GIF image without any palette"));
+                    }
+                    global_palette.clone()
+                };
+                let interlaced = img_packed & 0x40 != 0;
+
+                let min_code = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+                pos += 1;
+                let (lzw, _next) = read_subblocks(bytes, pos)?;
+                let indices = lzw_decode(min_code, &lzw, w * h)?;
+                if indices.len() < w * h {
+                    return Err(CodecError::Truncated);
+                }
+
+                let row_order: Vec<usize> = if interlaced {
+                    deinterlace_rows(h)
+                } else {
+                    (0..h).collect()
+                };
+                let mut bmp = Bitmap::new(w, h, [0, 0, 0, 255]);
+                for (src_row, &dst_y) in row_order.iter().enumerate() {
+                    for x in 0..w {
+                        let idx = indices[src_row * w + x];
+                        let rgb = palette
+                            .get(idx as usize)
+                            .ok_or(CodecError::Malformed("GIF index outside palette"))?;
+                        let a = if transparent_idx == Some(idx) { 0 } else { 255 };
+                        bmp.set(x, dst_y, [rgb[0], rgb[1], rgb[2], a]);
+                    }
+                }
+                return Ok(bmp);
+            }
+            0x3b => return Err(CodecError::Malformed("GIF trailer before any image")),
+            _ => return Err(CodecError::Malformed("unknown GIF block")),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ encode
+
+/// The fixed RGB332-style palette used by [`encode_gif`]: 8 levels of red
+/// and green, 4 of blue.
+fn fixed_palette() -> Vec<[u8; 3]> {
+    let mut p = Vec::with_capacity(256);
+    for i in 0..256usize {
+        let r = ((i >> 5) & 7) * 255 / 7;
+        let g = ((i >> 2) & 7) * 255 / 7;
+        let b = (i & 3) * 255 / 3;
+        p.push([r as u8, g as u8, b as u8]);
+    }
+    p
+}
+
+fn quantize(px: [u8; 4]) -> u8 {
+    // Round to the nearest palette level so lattice colors are fixed points.
+    let r = ((u16::from(px[0]) * 7 + 127) / 255) as u8;
+    let g = ((u16::from(px[1]) * 7 + 127) / 255) as u8;
+    let b = ((u16::from(px[2]) * 3 + 127) / 255) as u8;
+    (r << 5) | (g << 2) | b
+}
+
+/// Encodes a bitmap as GIF89a with the fixed 256-color palette (lossy:
+/// colors are quantized to RGB 3-3-2 levels; alpha is dropped).
+pub fn encode_gif(bmp: &Bitmap) -> Vec<u8> {
+    let (w, h) = (bmp.width(), bmp.height());
+    let mut out = Vec::new();
+    out.extend_from_slice(b"GIF89a");
+    out.extend_from_slice(&(w as u16).to_le_bytes());
+    out.extend_from_slice(&(h as u16).to_le_bytes());
+    out.push(0xf7); // GCT present, 256 entries
+    out.push(0); // background
+    out.push(0); // aspect
+    for rgb in fixed_palette() {
+        out.extend_from_slice(&rgb);
+    }
+    // Image descriptor.
+    out.push(0x2c);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(w as u16).to_le_bytes());
+    out.extend_from_slice(&(h as u16).to_le_bytes());
+    out.push(0); // no local table, not interlaced
+
+    // LZW stream: 9-bit codes, clear code emitted every 254 pixels so the
+    // code width never grows — the classic "uncompressed GIF" scheme.
+    out.push(8); // min code size
+    let clear: u16 = 256;
+    let end: u16 = 257;
+    let mut bits: Vec<bool> = Vec::with_capacity(bmp.data().len() / 4 * 9 + 18);
+    let push_code = |bits: &mut Vec<bool>, code: u16| {
+        for i in 0..9 {
+            bits.push((code >> i) & 1 == 1);
+        }
+    };
+    push_code(&mut bits, clear);
+    for (i, px) in bmp.data().chunks_exact(4).enumerate() {
+        if i > 0 && i % 254 == 0 {
+            push_code(&mut bits, clear);
+        }
+        push_code(&mut bits, u16::from(quantize([px[0], px[1], px[2], px[3]])));
+    }
+    push_code(&mut bits, end);
+
+    let mut stream = Vec::with_capacity(bits.len() / 8 + 1);
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            if bit {
+                b |= 1 << i;
+            }
+        }
+        stream.push(b);
+    }
+    for chunk in stream.chunks(255) {
+        out.push(chunk.len() as u8);
+        out.extend_from_slice(chunk);
+    }
+    out.push(0); // block terminator
+    out.push(0x3b); // trailer
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colorful(w: usize, h: usize) -> Bitmap {
+        let mut b = Bitmap::new(w, h, [0, 0, 0, 255]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(
+                    x,
+                    y,
+                    [(x * 19 % 256) as u8, (y * 41 % 256) as u8, ((x * y) % 256) as u8, 255],
+                );
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_within_quantization_error() {
+        let src = colorful(40, 25);
+        let dec = decode_gif(&encode_gif(&src)).unwrap();
+        assert_eq!(dec.width(), 40);
+        assert_eq!(dec.height(), 25);
+        for y in 0..25 {
+            for x in 0..40 {
+                let a = src.get(x, y);
+                let b = dec.get(x, y);
+                assert!(
+                    (i16::from(a[0]) - i16::from(b[0])).abs() <= 19
+                        && (i16::from(a[1]) - i16::from(b[1])).abs() <= 19
+                        && (i16::from(a[2]) - i16::from(b[2])).abs() <= 43,
+                    "({x},{y}): {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn palette_exact_colors_roundtrip_exactly() {
+        // Colors on the quantization lattice survive untouched.
+        let mut b = Bitmap::new(4, 1, [0, 0, 0, 255]);
+        b.set(1, 0, [255, 255, 255, 255]);
+        b.set(2, 0, [255, 0, 85, 255]);
+        let dec = decode_gif(&encode_gif(&b)).unwrap();
+        assert_eq!(dec.get(0, 0), [0, 0, 0, 255]);
+        assert_eq!(dec.get(1, 0), [255, 255, 255, 255]);
+        assert_eq!(dec.get(2, 0), [255, 0, 85, 255]);
+    }
+
+    #[test]
+    fn long_runs_cross_clear_codes() {
+        // > 254 pixels forces mid-stream clear codes.
+        let b = Bitmap::new(64, 16, [109, 182, 85, 255]);
+        let dec = decode_gif(&encode_gif(&b)).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(decode_gif(b"NOTGIF\x00\x00"), Err(CodecError::BadMagic));
+        let enc = encode_gif(&colorful(10, 10));
+        for cut in [2usize, 8, 14, 100, enc.len() / 2] {
+            assert!(decode_gif(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn transparency_extension_sets_alpha() {
+        // Hand-build a 2x1 GIF with palette {red, green}, index 1 transparent.
+        let mut g = Vec::new();
+        g.extend_from_slice(b"GIF89a");
+        g.extend_from_slice(&2u16.to_le_bytes());
+        g.extend_from_slice(&1u16.to_le_bytes());
+        g.push(0x80); // GCT, 2 entries
+        g.push(0);
+        g.push(0);
+        g.extend_from_slice(&[255, 0, 0, 0, 255, 0]);
+        // Graphic control extension marking index 1 transparent.
+        g.extend_from_slice(&[0x21, 0xf9, 0x04, 0x01, 0x00, 0x00, 0x01, 0x00]);
+        // Image descriptor.
+        g.push(0x2c);
+        g.extend_from_slice(&[0, 0, 0, 0]);
+        g.extend_from_slice(&2u16.to_le_bytes());
+        g.extend_from_slice(&1u16.to_le_bytes());
+        g.push(0);
+        // LZW, min code size 2: clear(100) 0(000) 1(001) end(101) in 3-bit codes.
+        g.push(2);
+        let codes: [u16; 4] = [4, 0, 1, 5];
+        let mut bits = Vec::new();
+        for c in codes {
+            for i in 0..3 {
+                bits.push((c >> i) & 1 == 1);
+            }
+        }
+        let mut stream = Vec::new();
+        for chunk in bits.chunks(8) {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    b |= 1 << i;
+                }
+            }
+            stream.push(b);
+        }
+        g.push(stream.len() as u8);
+        g.extend_from_slice(&stream);
+        g.push(0);
+        g.push(0x3b);
+
+        let bmp = decode_gif(&g).unwrap();
+        assert_eq!(bmp.get(0, 0), [255, 0, 0, 255]);
+        assert_eq!(bmp.get(1, 0), [0, 255, 0, 0]); // transparent
+    }
+
+    #[test]
+    fn interlaced_row_order() {
+        let order = deinterlace_rows(10);
+        assert_eq!(order, vec![0, 8, 4, 2, 6, 1, 3, 5, 7, 9]);
+        // Every row exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

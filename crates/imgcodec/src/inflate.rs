@@ -1,0 +1,466 @@
+//! DEFLATE (RFC 1951) decompression and a stored-block compressor, with the
+//! zlib (RFC 1950) wrapper used by PNG.
+//!
+//! The decompressor handles all three block types (stored, fixed Huffman,
+//! dynamic Huffman) using the canonical per-length Huffman walk. The
+//! compressor emits stored blocks only — a valid, universally-readable
+//! DEFLATE stream that keeps the encoder tiny; compression ratio is not a
+//! goal of the PNG *encoder* in this project.
+
+use crate::CodecError;
+
+/// Maximum output size the inflater will produce (decompression-bomb guard).
+pub const MAX_INFLATE: usize = 256 * 1024 * 1024;
+
+// ---------------------------------------------------------------- bit input
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32, CodecError> {
+        debug_assert!(n <= 16);
+        while self.bit_count < n {
+            let b = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
+            self.pos += 1;
+            self.bit_buf |= u32::from(b) << self.bit_count;
+            self.bit_count += 8;
+        }
+        let v = self.bit_buf & ((1u32 << n) - 1).max(0);
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(if n == 0 { 0 } else { v })
+    }
+
+    fn align_byte(&mut self) {
+        self.bit_buf = 0;
+        self.bit_count = 0;
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        debug_assert_eq!(self.bit_count, 0, "must be byte aligned");
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+// ------------------------------------------------------------- huffman walk
+
+const MAX_BITS: usize = 15;
+
+struct Huffman {
+    /// `counts[len]` = number of symbols with code length `len`.
+    counts: [u16; MAX_BITS + 1],
+    /// Symbols ordered by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds a canonical Huffman decoder from per-symbol code lengths.
+    fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let mut counts = [0u16; MAX_BITS + 1];
+        for &l in lengths {
+            if l as usize > MAX_BITS {
+                return Err(CodecError::Malformed("huffman length > 15"));
+            }
+            counts[l as usize] += 1;
+        }
+        // An over-subscribed code is invalid (incomplete codes appear in
+        // legal streams for the distance tree, so only check over-full).
+        let mut left = 1i32;
+        for len in 1..=MAX_BITS {
+            left <<= 1;
+            left -= i32::from(counts[len]);
+            if left < 0 {
+                return Err(CodecError::Malformed("over-subscribed huffman code"));
+            }
+        }
+        let mut offsets = [0u16; MAX_BITS + 2];
+        for len in 1..=MAX_BITS {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        counts[0] = 0;
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// Decodes one symbol, reading bits MSB-of-code-first per DEFLATE rules.
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=MAX_BITS {
+            code |= r.bits(1)? as i32;
+            let count = i32::from(self.counts[len]);
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(CodecError::Malformed("invalid huffman code"))
+    }
+}
+
+// -------------------------------------------------------------- decompressor
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lit = [0u8; 288];
+    for (i, l) in lit.iter_mut().enumerate() {
+        *l = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist = [5u8; 30];
+    (
+        Huffman::from_lengths(&lit).expect("fixed literal table is valid"),
+        Huffman::from_lengths(&dist).expect("fixed distance table is valid"),
+    )
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), CodecError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= MAX_INFLATE {
+                    return Err(CodecError::Malformed("inflate output too large"));
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let li = (sym - 257) as usize;
+                let len = LENGTH_BASE[li] as usize + r.bits(u32::from(LENGTH_EXTRA[li]))? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(CodecError::Malformed("invalid distance symbol"));
+                }
+                let d = DIST_BASE[dsym] as usize + r.bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                if d > out.len() {
+                    return Err(CodecError::Malformed("distance before stream start"));
+                }
+                if out.len() + len > MAX_INFLATE {
+                    return Err(CodecError::Malformed("inflate output too large"));
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(CodecError::Malformed("invalid literal symbol")),
+        }
+    }
+}
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated or structurally-invalid input, or if
+/// the output would exceed [`MAX_INFLATE`].
+pub fn inflate(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.bits(1)?;
+        let btype = r.bits(2)?;
+        match btype {
+            0 => {
+                r.align_byte();
+                let hdr = r.take_bytes(4)?;
+                let len = u16::from_le_bytes([hdr[0], hdr[1]]);
+                let nlen = u16::from_le_bytes([hdr[2], hdr[3]]);
+                if len != !nlen {
+                    return Err(CodecError::Malformed("stored block LEN/NLEN mismatch"));
+                }
+                if out.len() + len as usize > MAX_INFLATE {
+                    return Err(CodecError::Malformed("inflate output too large"));
+                }
+                out.extend_from_slice(r.take_bytes(len as usize)?);
+            }
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            2 => {
+                let hlit = r.bits(5)? as usize + 257;
+                let hdist = r.bits(5)? as usize + 1;
+                let hclen = r.bits(4)? as usize + 4;
+                let mut clen_lengths = [0u8; 19];
+                for &ord in CLEN_ORDER.iter().take(hclen) {
+                    clen_lengths[ord] = r.bits(3)? as u8;
+                }
+                let clen = Huffman::from_lengths(&clen_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0usize;
+                while i < lengths.len() {
+                    let sym = clen.decode(&mut r)?;
+                    match sym {
+                        0..=15 => {
+                            lengths[i] = sym as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err(CodecError::Malformed("repeat with no previous length"));
+                            }
+                            let prev = lengths[i - 1];
+                            let n = 3 + r.bits(2)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(CodecError::Malformed("length repeat overflow"));
+                            }
+                            lengths[i..i + n].fill(prev);
+                            i += n;
+                        }
+                        17 => {
+                            let n = 3 + r.bits(3)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(CodecError::Malformed("length repeat overflow"));
+                            }
+                            i += n;
+                        }
+                        18 => {
+                            let n = 11 + r.bits(7)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(CodecError::Malformed("length repeat overflow"));
+                            }
+                            i += n;
+                        }
+                        _ => return Err(CodecError::Malformed("invalid code-length symbol")),
+                    }
+                }
+                let lit = Huffman::from_lengths(&lengths[..hlit])?;
+                let dist = Huffman::from_lengths(&lengths[hlit..])?;
+                inflate_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(CodecError::Malformed("reserved DEFLATE block type")),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+/// Compresses `data` as a sequence of stored DEFLATE blocks (no actual
+/// compression; always valid, size = input + 5 bytes per 64 KiB).
+pub fn deflate_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 5);
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]); // final empty stored block
+        return out;
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1u8 } else { 0u8 };
+        out.push(bfinal); // btype 00 in the upper bits
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Adler-32 checksum (RFC 1950).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a = 1u32;
+    let mut b = 0u32;
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Wraps a raw deflate stream in a zlib container.
+pub fn zlib_wrap(deflate_stream: &[u8], raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(deflate_stream.len() + 6);
+    out.extend_from_slice(&[0x78, 0x01]);
+    out.extend_from_slice(deflate_stream);
+    out.extend_from_slice(&adler32(raw).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream, verifying header and Adler-32 trailer.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on a bad header, bad checksum or any inflate error.
+pub fn zlib_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if bytes.len() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    let cmf = bytes[0];
+    let flg = bytes[1];
+    if cmf & 0x0f != 8 {
+        return Err(CodecError::Malformed("zlib method must be deflate"));
+    }
+    if (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
+        return Err(CodecError::Malformed("zlib header check failed"));
+    }
+    if flg & 0x20 != 0 {
+        return Err(CodecError::Unsupported("zlib preset dictionary"));
+    }
+    let body = &bytes[2..bytes.len() - 4];
+    let out = inflate(body)?;
+    let stored = u32::from_be_bytes([
+        bytes[bytes.len() - 4],
+        bytes[bytes.len() - 3],
+        bytes[bytes.len() - 2],
+        bytes[bytes.len() - 1],
+    ]);
+    if adler32(&out) != stored {
+        return Err(CodecError::Malformed("zlib adler32 mismatch"));
+    }
+    Ok(out)
+}
+
+/// Compresses `data` into a zlib container (stored blocks).
+pub fn zlib_compress_stored(data: &[u8]) -> Vec<u8> {
+    zlib_wrap(&deflate_stored(data), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip() {
+        let data: Vec<u8> = (0..200_000).map(|i| (i * 31 % 251) as u8).collect();
+        let compressed = deflate_stored(&data);
+        assert_eq!(inflate(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn stored_roundtrip_empty() {
+        assert_eq!(inflate(&deflate_stored(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn zlib_roundtrip() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(100);
+        let z = zlib_compress_stored(&data);
+        assert_eq!(zlib_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn zlib_detects_corrupted_payload() {
+        let data = b"hello world hello world".to_vec();
+        let mut z = zlib_compress_stored(&data);
+        let mid = z.len() / 2;
+        z[mid] ^= 0xff;
+        assert!(zlib_decompress(&z).is_err());
+    }
+
+    #[test]
+    fn adler32_known_vector() {
+        // "Wikipedia" -> 0x11E60398 (well-known test vector).
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+        assert_eq!(adler32(b""), 1);
+    }
+
+    /// A fixed-Huffman block produced by zlib for "hello hello hello hello\n"
+    /// exercising literals and a length/distance match.
+    #[test]
+    fn decodes_fixed_huffman_with_matches() {
+        // python: zlib.compress(b"hello hello hello hello\n")[2:-4]
+        let body: &[u8] = &[
+            0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0x57, 0xc8, 0x40, 0x27, 0xb9, 0x00,
+        ];
+        let out = inflate(body).unwrap();
+        assert_eq!(out, b"hello hello hello hello\n");
+    }
+
+    /// A dynamic-Huffman stream produced by zlib level 9 for repetitive text.
+    #[test]
+    fn decodes_dynamic_huffman() {
+        // python: zlib.compress(b"abcdefgabcdefgabcdefgabcdefgxyz"*4, 9)
+        // full zlib stream, checked end to end.
+        let z: &[u8] = &[
+            0x78, 0xda, 0x4b, 0x4c, 0x4a, 0x4e, 0x49, 0x4d, 0x4b, 0x4f, 0xc4, 0x46, 0x55, 0x54,
+            0x56, 0x25, 0xd2, 0x52, 0x1a, 0x00, 0x02, 0x7e, 0x31, 0x6d,
+        ];
+        let out = zlib_decompress(z).unwrap();
+        assert_eq!(out, b"abcdefgabcdefgabcdefgabcdefgxyz".repeat(4));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let z = deflate_stored(b"some data that matters");
+        for cut in [0usize, 1, 4, z.len() - 1] {
+            assert!(inflate(&z[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // First byte 0b00000111 -> bfinal=1, btype=3 (reserved).
+        assert!(matches!(inflate(&[0x07]), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_len_nlen_mismatch() {
+        let bad = [0x01, 0x05, 0x00, 0x00, 0x00, b'a', b'b', b'c', b'd', b'e'];
+        assert!(matches!(inflate(&bad), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_distance_past_start() {
+        // Hand-built fixed-Huffman block whose first symbol is 257
+        // (length 3) with distance 1 — nothing exists yet to copy from.
+        // Bits LSB-first: bfinal=1, btype=01, code 0000001, dist 00000.
+        let body: &[u8] = &[0x03, 0x02];
+        assert!(matches!(inflate(body), Err(CodecError::Malformed(_))));
+    }
+}

@@ -1,0 +1,90 @@
+//! Image substrate for PERCIVAL: bitmaps, codecs and drawing.
+//!
+//! The paper's design hinges on intercepting images *after* decoding:
+//! "Advertisers can serve ad images in different formats, such as JPG, PNG,
+//! or GIF ... the raster task decodes the given image into raw pixels"
+//! (Section 3.1). To reproduce that choke point faithfully, the rendering
+//! substrate must actually decode multiple real formats. This crate
+//! implements, from scratch:
+//!
+//! - [`bitmap`]: the RGBA8 [`Bitmap`] every decoder produces (the analogue
+//!   of a decoded `SkBitmap`),
+//! - [`ppm`]: binary PPM/PGM (trivial interchange format used by tests and
+//!   experiment reports),
+//! - [`bmp`]: uncompressed 24/32-bit Windows BMP,
+//! - [`qoi`]: the Quite OK Image format (run/index/diff encoded),
+//! - [`gif`]: GIF87a/89a with LZW decompression, plus an encoder,
+//! - [`inflate`]: a DEFLATE (RFC 1951) decompressor and a stored-block
+//!   compressor, with the zlib (RFC 1950) wrapper,
+//! - [`png`]: PNG (RFC 2083) decode for the common 8-bit color types with
+//!   all five scanline filters, plus an RGBA encoder,
+//! - [`sniff`]: magic-byte format detection and a unified decode entry,
+//! - [`draw`]: rectangle/border/disc/triangle/blit primitives used by both
+//!   the synthetic-ad generator and the page rasterizer.
+//!
+//! All decoders are hardened against truncated or corrupt input: they
+//! return [`CodecError`] and never panic on malformed data (failure
+//! injection is part of the test suite).
+
+pub mod bitmap;
+pub mod bmp;
+pub mod draw;
+pub mod gif;
+pub mod inflate;
+pub mod png;
+pub mod ppm;
+pub mod qoi;
+pub mod sniff;
+
+pub use bitmap::Bitmap;
+pub use sniff::{decode_auto, sniff_format, ImageFormat};
+
+/// Errors shared by every codec in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the structure it promised.
+    Truncated,
+    /// The input bytes do not belong to the expected format.
+    BadMagic,
+    /// A structurally-invalid field (bad dimensions, depth, filter, ...).
+    Malformed(&'static str),
+    /// The format is recognized but uses a feature this decoder omits.
+    Unsupported(&'static str),
+    /// Image dimensions exceed the configured safety limit.
+    TooLarge {
+        /// Parsed width.
+        width: u64,
+        /// Parsed height.
+        height: u64,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "image data truncated"),
+            CodecError::BadMagic => write!(f, "wrong magic bytes for format"),
+            CodecError::Malformed(what) => write!(f, "malformed image: {what}"),
+            CodecError::Unsupported(what) => write!(f, "unsupported feature: {what}"),
+            CodecError::TooLarge { width, height } => {
+                write!(f, "image dimensions {width}x{height} exceed safety limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on accepted image area (pixels) — a decode-bomb guard for
+/// the in-renderer deployment.
+pub const MAX_PIXELS: u64 = 64 * 1024 * 1024;
+
+pub(crate) fn check_dims(width: u64, height: u64) -> Result<(usize, usize), CodecError> {
+    if width == 0 || height == 0 {
+        return Err(CodecError::Malformed("zero dimension"));
+    }
+    if width.saturating_mul(height) > MAX_PIXELS {
+        return Err(CodecError::TooLarge { width, height });
+    }
+    Ok((width as usize, height as usize))
+}

@@ -1,0 +1,424 @@
+//! PNG decode (8-bit depth, color types 0/2/3/4/6, all five scanline
+//! filters, no interlacing) and an RGBA encoder, on top of [`crate::inflate`].
+
+use crate::inflate::{zlib_compress_stored, zlib_decompress};
+use crate::{check_dims, Bitmap, CodecError};
+
+/// The 8-byte PNG signature.
+pub const SIGNATURE: [u8; 8] = [137, 80, 78, 71, 13, 10, 26, 10];
+
+// ------------------------------------------------------------------- crc32
+
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (n, e) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *e = c;
+    }
+    table
+}
+
+/// CRC-32 (as used by PNG chunks).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ------------------------------------------------------------------ encode
+
+fn push_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    let crc_start = out.len();
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let crc = crc32(&out[crc_start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Encodes a bitmap as an RGBA8 PNG (filter 0 on every row, stored-block
+/// zlib stream).
+pub fn encode_png(bmp: &Bitmap) -> Vec<u8> {
+    let (w, h) = (bmp.width(), bmp.height());
+    let mut out = Vec::new();
+    out.extend_from_slice(&SIGNATURE);
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, 6, 0, 0, 0]); // depth 8, RGBA, deflate, adaptive, no interlace
+    push_chunk(&mut out, b"IHDR", &ihdr);
+
+    let mut raw = Vec::with_capacity(h * (1 + w * 4));
+    for y in 0..h {
+        raw.push(0); // filter: None
+        raw.extend_from_slice(bmp.row(y));
+    }
+    push_chunk(&mut out, b"IDAT", &zlib_compress_stored(&raw));
+    push_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+// ------------------------------------------------------------------ decode
+
+struct Ihdr {
+    width: usize,
+    height: usize,
+    depth: u8,
+    color_type: u8,
+    interlace: u8,
+}
+
+fn channels_of(color_type: u8) -> Result<usize, CodecError> {
+    match color_type {
+        0 => Ok(1),
+        2 => Ok(3),
+        3 => Ok(1),
+        4 => Ok(2),
+        6 => Ok(4),
+        _ => Err(CodecError::Malformed("unknown PNG color type")),
+    }
+}
+
+fn paeth(a: i32, b: i32, c: i32) -> u8 {
+    let p = a + b - c;
+    let (pa, pb, pc) = ((p - a).abs(), (p - b).abs(), (p - c).abs());
+    if pa <= pb && pa <= pc {
+        a as u8
+    } else if pb <= pc {
+        b as u8
+    } else {
+        c as u8
+    }
+}
+
+fn unfilter(raw: &mut [u8], height: usize, stride: usize, bpp: usize) -> Result<(), CodecError> {
+    // Each row is `1 + stride` bytes: filter id then data. Unfilter in place.
+    for y in 0..height {
+        let row_start = y * (stride + 1);
+        let filter = raw[row_start];
+        for i in 0..stride {
+            let x = row_start + 1 + i;
+            let left = if i >= bpp { i32::from(raw[x - bpp]) } else { 0 };
+            let up = if y > 0 {
+                i32::from(raw[x - (stride + 1)])
+            } else {
+                0
+            };
+            let up_left = if y > 0 && i >= bpp {
+                i32::from(raw[x - (stride + 1) - bpp])
+            } else {
+                0
+            };
+            let cur = i32::from(raw[x]);
+            let rec = match filter {
+                0 => cur,
+                1 => cur + left,
+                2 => cur + up,
+                3 => cur + (left + up) / 2,
+                4 => cur + i32::from(paeth(left, up, up_left)),
+                _ => return Err(CodecError::Malformed("unknown PNG filter")),
+            };
+            raw[x] = rec as u8;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a PNG image into an RGBA bitmap.
+///
+/// Supports bit depth 8, color types 0 (gray), 2 (RGB), 3 (palette),
+/// 4 (gray+alpha) and 6 (RGBA), `tRNS` transparency for palettes, and all
+/// five scanline filters. Interlaced images are rejected.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, bad signature/CRC, or any
+/// structural violation of the format.
+pub fn decode_png(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[..8] != SIGNATURE {
+        return Err(CodecError::BadMagic);
+    }
+
+    let mut pos = 8usize;
+    let mut ihdr: Option<Ihdr> = None;
+    let mut palette: Vec<[u8; 3]> = Vec::new();
+    let mut trns: Vec<u8> = Vec::new();
+    let mut idat: Vec<u8> = Vec::new();
+    let mut seen_iend = false;
+
+    while pos < bytes.len() {
+        let len_b = bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
+        let len = u32::from_be_bytes([len_b[0], len_b[1], len_b[2], len_b[3]]) as usize;
+        let kind = bytes.get(pos + 4..pos + 8).ok_or(CodecError::Truncated)?;
+        let data = bytes
+            .get(pos + 8..pos + 8 + len)
+            .ok_or(CodecError::Truncated)?;
+        let crc_b = bytes
+            .get(pos + 8 + len..pos + 12 + len)
+            .ok_or(CodecError::Truncated)?;
+        let stored_crc = u32::from_be_bytes([crc_b[0], crc_b[1], crc_b[2], crc_b[3]]);
+        if crc32(&bytes[pos + 4..pos + 8 + len]) != stored_crc {
+            return Err(CodecError::Malformed("PNG chunk CRC mismatch"));
+        }
+        match kind {
+            b"IHDR" => {
+                if data.len() != 13 {
+                    return Err(CodecError::Malformed("IHDR must be 13 bytes"));
+                }
+                let w = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+                let h = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+                let (width, height) = check_dims(u64::from(w), u64::from(h))?;
+                ihdr = Some(Ihdr {
+                    width,
+                    height,
+                    depth: data[8],
+                    color_type: data[9],
+                    interlace: data[12],
+                });
+            }
+            b"PLTE" => {
+                if data.len() % 3 != 0 || data.len() > 256 * 3 {
+                    return Err(CodecError::Malformed("bad PLTE length"));
+                }
+                palette = data.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+            }
+            b"tRNS" => trns = data.to_vec(),
+            b"IDAT" => idat.extend_from_slice(data),
+            b"IEND" => {
+                seen_iend = true;
+                break;
+            }
+            _ => {} // ancillary chunks ignored
+        }
+        pos += 12 + len;
+    }
+
+    let ihdr = ihdr.ok_or(CodecError::Malformed("missing IHDR"))?;
+    if !seen_iend {
+        return Err(CodecError::Truncated);
+    }
+    if ihdr.depth != 8 {
+        return Err(CodecError::Unsupported("PNG bit depth other than 8"));
+    }
+    if ihdr.interlace != 0 {
+        return Err(CodecError::Unsupported("interlaced PNG"));
+    }
+    let channels = channels_of(ihdr.color_type)?;
+    if ihdr.color_type == 3 && palette.is_empty() {
+        return Err(CodecError::Malformed("palette image without PLTE"));
+    }
+
+    let mut raw = zlib_decompress(&idat)?;
+    let stride = ihdr.width * channels;
+    if raw.len() != ihdr.height * (stride + 1) {
+        return Err(CodecError::Malformed("PNG pixel data length mismatch"));
+    }
+    unfilter(&mut raw, ihdr.height, stride, channels)?;
+
+    let mut data = Vec::with_capacity(ihdr.width * ihdr.height * 4);
+    for y in 0..ihdr.height {
+        let row = &raw[y * (stride + 1) + 1..(y + 1) * (stride + 1)];
+        match ihdr.color_type {
+            0 => {
+                for &g in row {
+                    data.extend_from_slice(&[g, g, g, 255]);
+                }
+            }
+            2 => {
+                for px in row.chunks_exact(3) {
+                    data.extend_from_slice(&[px[0], px[1], px[2], 255]);
+                }
+            }
+            3 => {
+                for &idx in row {
+                    let rgb = palette
+                        .get(idx as usize)
+                        .ok_or(CodecError::Malformed("palette index out of range"))?;
+                    let a = trns.get(idx as usize).copied().unwrap_or(255);
+                    data.extend_from_slice(&[rgb[0], rgb[1], rgb[2], a]);
+                }
+            }
+            4 => {
+                for px in row.chunks_exact(2) {
+                    data.extend_from_slice(&[px[0], px[0], px[0], px[1]]);
+                }
+            }
+            6 => data.extend_from_slice(row),
+            _ => unreachable!("validated above"),
+        }
+    }
+    Ok(Bitmap::from_raw(ihdr.width, ihdr.height, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(w: usize, h: usize) -> Bitmap {
+        let mut b = Bitmap::new(w, h, [0, 0, 0, 255]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(
+                    x,
+                    y,
+                    [
+                        (x * 37 % 256) as u8,
+                        (y * 53 % 256) as u8,
+                        ((x ^ y) % 256) as u8,
+                        ((x + y) % 2 * 255) as u8,
+                    ],
+                );
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_rgba() {
+        let b = pattern(23, 11);
+        assert_eq!(decode_png(&encode_png(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_1x1() {
+        let b = Bitmap::new(1, 1, [12, 34, 56, 78]);
+        assert_eq!(decode_png(&encode_png(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        // CRC of chunk type "IEND" with empty data.
+        assert_eq!(crc32(b"IEND"), 0xae426082);
+    }
+
+    #[test]
+    fn rejects_bad_signature() {
+        assert_eq!(decode_png(&[0u8; 16]), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_corrupted_crc() {
+        let mut enc = encode_png(&pattern(6, 6));
+        // Flip a byte inside the IHDR payload (offset 8 sig + 8 hdr = 16).
+        enc[17] ^= 0x01;
+        assert!(matches!(
+            decode_png(&enc),
+            Err(CodecError::Malformed("PNG chunk CRC mismatch"))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let enc = encode_png(&pattern(9, 9));
+        for cut in [4usize, 12, 30, enc.len() - 5, enc.len() - 1] {
+            assert!(decode_png(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    /// All five filter types decoded against a reference: build raw
+    /// scanlines, filter them manually, and check the decoder inverts them.
+    #[test]
+    fn decodes_all_filter_types() {
+        let w = 4usize;
+        let h = 5usize;
+        let src = pattern(w, h);
+        // Build filtered stream: row filters 0..4.
+        let bpp = 4usize;
+        let stride = w * bpp;
+        let mut prev_row = vec![0u8; stride];
+        let mut raw = Vec::new();
+        for y in 0..h {
+            let row = src.row(y);
+            let filter = (y % 5) as u8;
+            raw.push(filter);
+            for i in 0..stride {
+                let cur = row[i];
+                let left = if i >= bpp { row[i - bpp] } else { 0 };
+                let up = prev_row[i];
+                let up_left = if i >= bpp { prev_row[i - bpp] } else { 0 };
+                let enc = match filter {
+                    0 => cur,
+                    1 => cur.wrapping_sub(left),
+                    2 => cur.wrapping_sub(up),
+                    3 => cur.wrapping_sub((((left as u16) + (up as u16)) / 2) as u8),
+                    4 => cur.wrapping_sub(paeth(left as i32, up as i32, up_left as i32)),
+                    _ => unreachable!(),
+                };
+                raw.push(enc);
+            }
+            prev_row = row.to_vec();
+        }
+        // Assemble a PNG by hand.
+        let mut out = Vec::new();
+        out.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+        ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+        ihdr.extend_from_slice(&[8, 6, 0, 0, 0]);
+        push_chunk(&mut out, b"IHDR", &ihdr);
+        push_chunk(&mut out, b"IDAT", &zlib_compress_stored(&raw));
+        push_chunk(&mut out, b"IEND", &[]);
+
+        assert_eq!(decode_png(&out).unwrap(), src);
+    }
+
+    #[test]
+    fn decodes_grayscale_and_palette() {
+        // Grayscale 2x1.
+        let mut out = Vec::new();
+        out.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&2u32.to_be_bytes());
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&[8, 0, 0, 0, 0]);
+        push_chunk(&mut out, b"IHDR", &ihdr);
+        push_chunk(&mut out, b"IDAT", &zlib_compress_stored(&[0, 10, 200]));
+        push_chunk(&mut out, b"IEND", &[]);
+        let g = decode_png(&out).unwrap();
+        assert_eq!(g.get(0, 0), [10, 10, 10, 255]);
+        assert_eq!(g.get(1, 0), [200, 200, 200, 255]);
+
+        // Palette 2x1 with tRNS.
+        let mut out = Vec::new();
+        out.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&2u32.to_be_bytes());
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&[8, 3, 0, 0, 0]);
+        push_chunk(&mut out, b"IHDR", &ihdr);
+        push_chunk(&mut out, b"PLTE", &[255, 0, 0, 0, 255, 0]);
+        push_chunk(&mut out, b"tRNS", &[255, 128]);
+        push_chunk(&mut out, b"IDAT", &zlib_compress_stored(&[0, 0, 1]));
+        push_chunk(&mut out, b"IEND", &[]);
+        let p = decode_png(&out).unwrap();
+        assert_eq!(p.get(0, 0), [255, 0, 0, 255]);
+        assert_eq!(p.get(1, 0), [0, 255, 0, 128]);
+    }
+
+    #[test]
+    fn rejects_palette_index_out_of_range() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&[8, 3, 0, 0, 0]);
+        push_chunk(&mut out, b"IHDR", &ihdr);
+        push_chunk(&mut out, b"PLTE", &[1, 2, 3]);
+        push_chunk(&mut out, b"IDAT", &zlib_compress_stored(&[0, 7]));
+        push_chunk(&mut out, b"IEND", &[]);
+        assert!(matches!(decode_png(&out), Err(CodecError::Malformed(_))));
+    }
+}

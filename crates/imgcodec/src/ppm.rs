@@ -1,0 +1,191 @@
+//! Binary PPM (P6) and PGM (P5) — simple interchange formats used for
+//! experiment artifacts (screenshots, salience maps) and test fixtures.
+
+use crate::{check_dims, Bitmap, CodecError};
+
+/// Encodes a bitmap as binary PPM (P6, 8-bit); alpha is dropped.
+pub fn encode_ppm(bmp: &Bitmap) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", bmp.width(), bmp.height()).into_bytes();
+    out.reserve(bmp.width() * bmp.height() * 3);
+    for px in bmp.data().chunks_exact(4) {
+        out.extend_from_slice(&px[..3]);
+    }
+    out
+}
+
+/// Encodes a grayscale plane (row-major, values `0..=255`) as PGM (P5).
+///
+/// # Panics
+///
+/// Panics if `gray.len() != width * height`.
+pub fn encode_pgm(gray: &[u8], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(gray.len(), width * height, "plane length mismatch");
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(gray);
+    out
+}
+
+/// Decodes a binary PPM (P6) into an opaque-alpha bitmap.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, wrong magic or malformed headers.
+pub fn decode_ppm(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    let mut p = Parser { bytes, pos: 0 };
+    p.expect_magic(b"P6")?;
+    let width = p.int()?;
+    let height = p.int()?;
+    let maxval = p.int()?;
+    if maxval != 255 {
+        return Err(CodecError::Unsupported("PPM maxval other than 255"));
+    }
+    p.single_whitespace()?;
+    let (w, h) = check_dims(width, height)?;
+    let need = w * h * 3;
+    let px = p.rest();
+    if px.len() < need {
+        return Err(CodecError::Truncated);
+    }
+    let mut data = Vec::with_capacity(w * h * 4);
+    for rgb in px[..need].chunks_exact(3) {
+        data.extend_from_slice(&[rgb[0], rgb[1], rgb[2], 255]);
+    }
+    Ok(Bitmap::from_raw(w, h, data))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn expect_magic(&mut self, magic: &[u8]) -> Result<(), CodecError> {
+        if self.bytes.len() < magic.len() {
+            return Err(CodecError::Truncated);
+        }
+        if &self.bytes[..magic.len()] != magic {
+            return Err(CodecError::BadMagic);
+        }
+        self.pos = magic.len();
+        Ok(())
+    }
+
+    fn skip_space_and_comments(&mut self) -> Result<(), CodecError> {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.bytes.len() && self.bytes[self.pos] == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, CodecError> {
+        self.skip_space_and_comments()?;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(if self.pos >= self.bytes.len() {
+                CodecError::Truncated
+            } else {
+                CodecError::Malformed("expected integer in PNM header")
+            });
+        }
+        let mut v: u64 = 0;
+        for &b in &self.bytes[start..self.pos] {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or(CodecError::Malformed("header integer overflow"))?;
+        }
+        Ok(v)
+    }
+
+    fn single_whitespace(&mut self) -> Result<(), CodecError> {
+        if self.pos >= self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        if !self.bytes[self.pos].is_ascii_whitespace() {
+            return Err(CodecError::Malformed("missing separator before pixel data"));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> Bitmap {
+        let mut b = Bitmap::new(w, h, [0, 0, 0, 255]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(x, y, [(x * 13 % 256) as u8, (y * 29 % 256) as u8, 77, 255]);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let b = gradient(17, 9);
+        let enc = encode_ppm(&b);
+        let dec = decode_ppm(&enc).unwrap();
+        assert_eq!(b, dec);
+    }
+
+    #[test]
+    fn ppm_drops_alpha() {
+        let mut b = Bitmap::new(1, 1, [10, 20, 30, 99]);
+        let dec = decode_ppm(&encode_ppm(&b)).unwrap();
+        b.set(0, 0, [10, 20, 30, 255]);
+        assert_eq!(b, dec);
+    }
+
+    #[test]
+    fn ppm_handles_comments() {
+        let bytes = b"P6\n# a comment\n2 1\n255\n\x01\x02\x03\x04\x05\x06".to_vec();
+        let dec = decode_ppm(&bytes).unwrap();
+        assert_eq!(dec.get(1, 0), [4, 5, 6, 255]);
+    }
+
+    #[test]
+    fn ppm_rejects_bad_magic() {
+        assert_eq!(decode_ppm(b"P5\n1 1\n255\n\x00"), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn ppm_rejects_truncation() {
+        let enc = encode_ppm(&gradient(4, 4));
+        for cut in [1usize, 3, 8, enc.len() - 1] {
+            assert!(decode_ppm(&enc[..cut]).is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn ppm_rejects_zero_dims() {
+        assert!(matches!(
+            decode_ppm(b"P6\n0 4\n255\n"),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn pgm_header_is_wellformed() {
+        let g = encode_pgm(&[0, 128, 255, 64], 2, 2);
+        assert!(g.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(&g[g.len() - 4..], &[0, 128, 255, 64]);
+    }
+}

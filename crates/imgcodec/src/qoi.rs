@@ -1,0 +1,261 @@
+//! The "Quite OK Image" format (QOI), full specification: run-length,
+//! color-index, diff and luma ops. A compact lossless codec that gives the
+//! synthetic ad corpus a realistic compressed on-disk representation.
+
+use crate::{check_dims, Bitmap, CodecError};
+
+const QOI_OP_INDEX: u8 = 0x00;
+const QOI_OP_DIFF: u8 = 0x40;
+const QOI_OP_LUMA: u8 = 0x80;
+const QOI_OP_RUN: u8 = 0xc0;
+const QOI_OP_RGB: u8 = 0xfe;
+const QOI_OP_RGBA: u8 = 0xff;
+const QOI_MASK: u8 = 0xc0;
+const END_MARKER: [u8; 8] = [0, 0, 0, 0, 0, 0, 0, 1];
+
+#[inline]
+fn index_hash(px: [u8; 4]) -> usize {
+    (px[0] as usize * 3 + px[1] as usize * 5 + px[2] as usize * 7 + px[3] as usize * 11) % 64
+}
+
+/// Encodes a bitmap as QOI (4-channel, linear colorspace tag).
+pub fn encode_qoi(bmp: &Bitmap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bmp.width() * bmp.height() + 22);
+    out.extend_from_slice(b"qoif");
+    out.extend_from_slice(&(bmp.width() as u32).to_be_bytes());
+    out.extend_from_slice(&(bmp.height() as u32).to_be_bytes());
+    out.push(4); // channels
+    out.push(1); // linear
+
+    let mut seen = [[0u8; 4]; 64];
+    let mut prev = [0u8, 0, 0, 255];
+    let mut run = 0u8;
+
+    for px4 in bmp.data().chunks_exact(4) {
+        let px = [px4[0], px4[1], px4[2], px4[3]];
+        if px == prev {
+            run += 1;
+            if run == 62 {
+                out.push(QOI_OP_RUN | (run - 1));
+                run = 0;
+            }
+            continue;
+        }
+        if run > 0 {
+            out.push(QOI_OP_RUN | (run - 1));
+            run = 0;
+        }
+        let idx = index_hash(px);
+        if seen[idx] == px {
+            out.push(QOI_OP_INDEX | idx as u8);
+        } else {
+            seen[idx] = px;
+            if px[3] == prev[3] {
+                let dr = px[0].wrapping_sub(prev[0]);
+                let dg = px[1].wrapping_sub(prev[1]);
+                let db = px[2].wrapping_sub(prev[2]);
+                // Small diffs, biased by 2 / 32 / 8 per the spec.
+                let dr2 = dr.wrapping_add(2);
+                let dg2 = dg.wrapping_add(2);
+                let db2 = db.wrapping_add(2);
+                let dg32 = dg.wrapping_add(32);
+                let dr_dg = dr.wrapping_sub(dg).wrapping_add(8);
+                let db_dg = db.wrapping_sub(dg).wrapping_add(8);
+                if dr2 < 4 && dg2 < 4 && db2 < 4 {
+                    out.push(QOI_OP_DIFF | (dr2 << 4) | (dg2 << 2) | db2);
+                } else if dg32 < 64 && dr_dg < 16 && db_dg < 16 {
+                    out.push(QOI_OP_LUMA | dg32);
+                    out.push((dr_dg << 4) | db_dg);
+                } else {
+                    out.push(QOI_OP_RGB);
+                    out.extend_from_slice(&px[..3]);
+                }
+            } else {
+                out.push(QOI_OP_RGBA);
+                out.extend_from_slice(&px);
+            }
+        }
+        prev = px;
+    }
+    if run > 0 {
+        out.push(QOI_OP_RUN | (run - 1));
+    }
+    out.extend_from_slice(&END_MARKER);
+    out
+}
+
+/// Decodes a QOI image.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, wrong magic or invalid headers.
+pub fn decode_qoi(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    if bytes.len() < 14 {
+        return Err(if bytes.len() >= 4 && &bytes[..4] != b"qoif" {
+            CodecError::BadMagic
+        } else {
+            CodecError::Truncated
+        });
+    }
+    if &bytes[..4] != b"qoif" {
+        return Err(CodecError::BadMagic);
+    }
+    let width = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let height = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let channels = bytes[12];
+    if channels != 3 && channels != 4 {
+        return Err(CodecError::Malformed("QOI channels must be 3 or 4"));
+    }
+    let (w, h) = check_dims(u64::from(width), u64::from(height))?;
+
+    let total = w * h;
+    let mut data = Vec::with_capacity(total * 4);
+    let mut seen = [[0u8; 4]; 64];
+    let mut px = [0u8, 0, 0, 255];
+    let mut pos = 14usize;
+
+    while data.len() < total * 4 {
+        let b0 = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        match b0 {
+            QOI_OP_RGB => {
+                let s = bytes.get(pos..pos + 3).ok_or(CodecError::Truncated)?;
+                px[0] = s[0];
+                px[1] = s[1];
+                px[2] = s[2];
+                pos += 3;
+            }
+            QOI_OP_RGBA => {
+                let s = bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
+                px.copy_from_slice(s);
+                pos += 4;
+            }
+            _ => match b0 & QOI_MASK {
+                QOI_OP_INDEX => px = seen[(b0 & 0x3f) as usize],
+                QOI_OP_DIFF => {
+                    px[0] = px[0].wrapping_add((b0 >> 4) & 0x03).wrapping_sub(2);
+                    px[1] = px[1].wrapping_add((b0 >> 2) & 0x03).wrapping_sub(2);
+                    px[2] = px[2].wrapping_add(b0 & 0x03).wrapping_sub(2);
+                }
+                QOI_OP_LUMA => {
+                    let b1 = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+                    pos += 1;
+                    let dg = (b0 & 0x3f).wrapping_sub(32);
+                    px[0] = px[0]
+                        .wrapping_add(dg)
+                        .wrapping_add((b1 >> 4) & 0x0f)
+                        .wrapping_sub(8);
+                    px[1] = px[1].wrapping_add(dg);
+                    px[2] = px[2]
+                        .wrapping_add(dg)
+                        .wrapping_add(b1 & 0x0f)
+                        .wrapping_sub(8);
+                }
+                QOI_OP_RUN => {
+                    let run = (b0 & 0x3f) as usize + 1;
+                    let remaining = total * 4 - data.len();
+                    if run * 4 > remaining {
+                        return Err(CodecError::Malformed("QOI run overflows image"));
+                    }
+                    for _ in 0..run {
+                        data.extend_from_slice(&px);
+                    }
+                    continue;
+                }
+                _ => unreachable!("mask covers all two-bit tags"),
+            },
+        }
+        seen[index_hash(px)] = px;
+        data.extend_from_slice(&px);
+    }
+    Ok(Bitmap::from_raw(w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(w: usize, h: usize, seed: u64) -> Bitmap {
+        let mut rng = percival_util::Pcg32::seed_from_u64(seed);
+        let mut b = Bitmap::new(w, h, [0; 4]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(
+                    x,
+                    y,
+                    [
+                        rng.next_below(256) as u8,
+                        rng.next_below(256) as u8,
+                        rng.next_below(256) as u8,
+                        255,
+                    ],
+                );
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_noise() {
+        let b = noisy(31, 17, 1);
+        assert_eq!(decode_qoi(&encode_qoi(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_solid_uses_runs_and_stays_small() {
+        let b = Bitmap::new(64, 64, [10, 200, 30, 255]);
+        let enc = encode_qoi(&b);
+        assert!(enc.len() < 120, "solid image should RLE well: {} bytes", enc.len());
+        assert_eq!(decode_qoi(&enc).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_gradient_exercises_diff_and_luma() {
+        let mut b = Bitmap::new(64, 4, [0, 0, 0, 255]);
+        for y in 0..4 {
+            for x in 0..64 {
+                let v = (x * 2) as u8;
+                b.set(x, y, [v, v.wrapping_add(1), v / 2, 255]);
+            }
+        }
+        assert_eq!(decode_qoi(&encode_qoi(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_alpha_changes() {
+        let mut b = Bitmap::new(8, 1, [5, 5, 5, 255]);
+        b.set(3, 0, [5, 5, 5, 30]);
+        b.set(4, 0, [200, 5, 5, 30]);
+        assert_eq!(decode_qoi(&encode_qoi(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            decode_qoi(&[b'n', b'o', b'p', b'e', 0, 0, 0, 1, 0, 0, 0, 1, 4, 0]),
+            Err(CodecError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let enc = encode_qoi(&noisy(16, 16, 2));
+        for cut in [0usize, 4, 13, 20, enc.len() / 2] {
+            assert!(decode_qoi(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_run_past_end() {
+        // 1x1 image followed by a long run: the run overflows the image.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"qoif");
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(4);
+        bytes.push(0);
+        bytes.push(QOI_OP_RUN | 40); // run of 41 into a 1-pixel image
+        bytes.extend_from_slice(&END_MARKER);
+        assert!(matches!(decode_qoi(&bytes), Err(CodecError::Malformed(_))));
+    }
+}

@@ -1,0 +1,134 @@
+//! Magic-byte format detection and the unified decode entry point.
+//!
+//! The renderer's `DecodingImageGenerator` analogue calls [`decode_auto`] so
+//! that — exactly as in Blink — "regardless of the image format or how the
+//! browser loads it, the raster task decodes the given image into raw
+//! pixels" (Section 3.1).
+
+use crate::{bmp, gif, png, ppm, qoi, Bitmap, CodecError};
+
+/// Image formats this substrate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageFormat {
+    /// Portable pixmap (P6).
+    Ppm,
+    /// Windows bitmap.
+    Bmp,
+    /// Quite OK Image.
+    Qoi,
+    /// Graphics Interchange Format.
+    Gif,
+    /// Portable Network Graphics.
+    Png,
+}
+
+impl ImageFormat {
+    /// Conventional file extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            ImageFormat::Ppm => "ppm",
+            ImageFormat::Bmp => "bmp",
+            ImageFormat::Qoi => "qoi",
+            ImageFormat::Gif => "gif",
+            ImageFormat::Png => "png",
+        }
+    }
+}
+
+/// Detects the format of an encoded image from its magic bytes.
+///
+/// Returns `None` when the prefix matches no known format.
+pub fn sniff_format(bytes: &[u8]) -> Option<ImageFormat> {
+    if bytes.starts_with(&png::SIGNATURE) {
+        Some(ImageFormat::Png)
+    } else if bytes.starts_with(b"GIF87a") || bytes.starts_with(b"GIF89a") {
+        Some(ImageFormat::Gif)
+    } else if bytes.starts_with(b"qoif") {
+        Some(ImageFormat::Qoi)
+    } else if bytes.starts_with(b"BM") {
+        Some(ImageFormat::Bmp)
+    } else if bytes.starts_with(b"P6") {
+        Some(ImageFormat::Ppm)
+    } else {
+        None
+    }
+}
+
+/// Sniffs the format and decodes with the matching codec.
+///
+/// # Errors
+///
+/// [`CodecError::BadMagic`] when no format matches; otherwise whatever the
+/// per-format decoder reports.
+pub fn decode_auto(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    match sniff_format(bytes) {
+        Some(ImageFormat::Png) => png::decode_png(bytes),
+        Some(ImageFormat::Gif) => gif::decode_gif(bytes),
+        Some(ImageFormat::Qoi) => qoi::decode_qoi(bytes),
+        Some(ImageFormat::Bmp) => bmp::decode_bmp(bytes),
+        Some(ImageFormat::Ppm) => ppm::decode_ppm(bytes),
+        None => Err(CodecError::BadMagic),
+    }
+}
+
+/// Encodes a bitmap in the requested format (the webgen corpus uses this to
+/// give every synthetic image a realistic encoded form).
+pub fn encode_as(bmp: &Bitmap, format: ImageFormat) -> Vec<u8> {
+    match format {
+        ImageFormat::Png => png::encode_png(bmp),
+        ImageFormat::Gif => gif::encode_gif(bmp),
+        ImageFormat::Qoi => qoi::encode_qoi(bmp),
+        ImageFormat::Bmp => bmp::encode_bmp(bmp),
+        ImageFormat::Ppm => ppm::encode_ppm(bmp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bitmap {
+        let mut b = Bitmap::new(9, 6, [40, 80, 120, 255]);
+        b.set(3, 3, [255, 0, 0, 255]);
+        b
+    }
+
+    #[test]
+    fn sniffs_every_format() {
+        let b = sample();
+        for fmt in [
+            ImageFormat::Ppm,
+            ImageFormat::Bmp,
+            ImageFormat::Qoi,
+            ImageFormat::Gif,
+            ImageFormat::Png,
+        ] {
+            let enc = encode_as(&b, fmt);
+            assert_eq!(sniff_format(&enc), Some(fmt), "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn auto_decode_roundtrips_lossless_formats() {
+        let b = sample();
+        for fmt in [ImageFormat::Bmp, ImageFormat::Qoi, ImageFormat::Png] {
+            let dec = decode_auto(&encode_as(&b, fmt)).unwrap();
+            assert_eq!(dec, b, "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn auto_decode_gif_and_ppm_geometry() {
+        let b = sample();
+        for fmt in [ImageFormat::Gif, ImageFormat::Ppm] {
+            let dec = decode_auto(&encode_as(&b, fmt)).unwrap();
+            assert_eq!((dec.width(), dec.height()), (9, 6), "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_magic_is_rejected() {
+        assert_eq!(decode_auto(b"JUNKJUNKJUNK"), Err(CodecError::BadMagic));
+        assert_eq!(sniff_format(&[]), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Adversarial examples against the classifier.
+//!
+//! Section 7: "Advertisers can use the original neural network to create
+//! adversarial samples that fool the ad-blocker", and Section 6 proposes
+//! client-side retraining as a partial mitigation. This module implements
+//! the canonical fast gradient sign method (FGSM, Goodfellow et al.) and
+//! its iterative variant so the repo can *measure* that exposure — and the
+//! adversarial-(re)training loop that partially closes it.
+
+use crate::model::Sequential;
+use percival_tensor::loss::{cross_entropy_backward, cross_entropy_forward};
+use percival_tensor::Tensor;
+
+/// Generates an FGSM adversarial example: `x' = x + eps * sign(dL/dx)`,
+/// maximizing the loss against `label` (the true class).
+///
+/// Inputs are assumed normalized to `[-1, 1]` and the output is clamped to
+/// that range, so the perturbation stays a *valid image*.
+///
+/// # Panics
+///
+/// Panics if `input` is not a single sample or `label` is out of range.
+pub fn fgsm(model: &Sequential, input: &Tensor, label: usize, epsilon: f32) -> Tensor {
+    assert_eq!(input.shape().n, 1, "fgsm perturbs one sample at a time");
+    let trace = model.forward_train(input);
+    let ce = cross_entropy_forward(trace.output(), &[label]);
+    let d_logits = cross_entropy_backward(&ce, &[label]);
+    let (_, _, d_input) = model.backward_full(&trace, &d_logits, None);
+
+    let mut adv = input.clone();
+    for (x, g) in adv.as_mut_slice().iter_mut().zip(d_input.as_slice()) {
+        *x = (*x + epsilon * g.signum()).clamp(-1.0, 1.0);
+    }
+    adv
+}
+
+/// Iterative FGSM (basic iterative method): `steps` FGSM updates of size
+/// `epsilon / steps`, each projected back into the epsilon-ball and the
+/// valid range. Stronger than single-step FGSM for the same budget.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `input` is not a single sample.
+pub fn fgsm_iterative(
+    model: &Sequential,
+    input: &Tensor,
+    label: usize,
+    epsilon: f32,
+    steps: usize,
+) -> Tensor {
+    assert!(steps > 0, "need at least one step");
+    let step_size = epsilon / steps as f32;
+    let mut adv = input.clone();
+    for _ in 0..steps {
+        adv = fgsm(model, &adv, label, step_size);
+        // Project back into the epsilon-ball around the original.
+        for (a, &x) in adv.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *a = a.clamp(x - epsilon, x + epsilon).clamp(-1.0, 1.0);
+        }
+    }
+    adv
+}
+
+/// Fraction of samples whose prediction flips under FGSM at `epsilon` —
+/// the attack success rate the Section 7 discussion is about.
+///
+/// `samples` are `(input, true_label)` pairs; only samples the model
+/// classifies correctly to begin with count toward the denominator.
+pub fn attack_success_rate(
+    model: &Sequential,
+    samples: &[(Tensor, usize)],
+    epsilon: f32,
+) -> f64 {
+    let mut correct = 0usize;
+    let mut flipped = 0usize;
+    for (input, label) in samples {
+        let clean_pred = argmax(&model.forward(input));
+        if clean_pred != *label {
+            continue;
+        }
+        correct += 1;
+        let adv = fgsm(model, input, *label, epsilon);
+        if argmax(&model.forward(&adv)) != *label {
+            flipped += 1;
+        }
+    }
+    if correct == 0 {
+        0.0
+    } else {
+        flipped as f64 / correct as f64
+    }
+}
+
+fn argmax(logits: &Tensor) -> usize {
+    let s = logits.sample(0);
+    let mut best = 0usize;
+    for (i, &v) in s.iter().enumerate() {
+        if v > s[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Layer};
+    use crate::{SgdMomentum, Sequential};
+    use percival_tensor::{Conv2dCfg, Shape};
+    use percival_util::Pcg32;
+
+    /// A small net trained to separate bright from dark images.
+    fn trained_toy() -> (Sequential, Vec<(Tensor, usize)>) {
+        let mut model = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 1, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::Conv(Conv2d::new(2, 4, 1, Conv2dCfg { stride: 1, pad: 0 })),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(1));
+        let mut rng = Pcg32::seed_from_u64(2);
+        let shape = Shape::new(1, 1, 8, 8);
+        let make = |rng: &mut Pcg32, bright: bool| {
+            let base = if bright { 0.6 } else { -0.6 };
+            Tensor::from_vec(
+                shape,
+                (0..shape.count()).map(|_| base + rng.range_f32(-0.3, 0.3)).collect(),
+            )
+        };
+        let samples: Vec<(Tensor, usize)> = (0..24)
+            .map(|i| {
+                let bright = i % 2 == 0;
+                (make(&mut rng, bright), usize::from(bright))
+            })
+            .collect();
+
+        let mut opt = SgdMomentum::new(&model, 0.9);
+        for _ in 0..40 {
+            for (x, y) in &samples {
+                let trace = model.forward_train(x);
+                let ce = cross_entropy_forward(trace.output(), &[*y]);
+                let d = cross_entropy_backward(&ce, &[*y]);
+                let grads = model.backward(&trace, &d);
+                opt.step(&mut model, &grads, 0.05);
+            }
+        }
+        (model, samples)
+    }
+
+    #[test]
+    fn fgsm_increases_loss() {
+        let (model, samples) = trained_toy();
+        let (x, y) = &samples[0];
+        let clean_loss = cross_entropy_forward(&model.forward(x), &[*y]).loss;
+        let adv = fgsm(&model, x, *y, 0.2);
+        let adv_loss = cross_entropy_forward(&model.forward(&adv), &[*y]).loss;
+        assert!(adv_loss > clean_loss, "{adv_loss} should exceed {clean_loss}");
+    }
+
+    #[test]
+    fn perturbation_is_bounded() {
+        let (model, samples) = trained_toy();
+        let (x, y) = &samples[1];
+        let eps = 0.1;
+        let adv = fgsm_iterative(&model, x, *y, eps, 4);
+        for (a, b) in adv.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() <= eps + 1e-5, "{a} vs {b}");
+            assert!((-1.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn attack_succeeds_more_with_larger_epsilon() {
+        let (model, samples) = trained_toy();
+        let weak = attack_success_rate(&model, &samples, 0.02);
+        let strong = attack_success_rate(&model, &samples, 0.8);
+        assert!(strong >= weak, "stronger budget flips at least as much: {weak} vs {strong}");
+        assert!(strong > 0.3, "a large budget should flip this toy model: {strong}");
+    }
+
+    #[test]
+    fn zero_epsilon_changes_nothing() {
+        let (model, samples) = trained_toy();
+        let (x, y) = &samples[2];
+        let adv = fgsm(&model, x, *y, 0.0);
+        assert_eq!(&adv, x);
+    }
+}

@@ -1,0 +1,204 @@
+//! Grad-CAM network salience maps (Selvaraju et al.), as used by the paper's
+//! Section 5.6 to show the classifier keys on ad visual cues (the AdChoices
+//! logo, text outlines, object features).
+
+use crate::model::Sequential;
+use percival_tensor::resize::resize_bilinear;
+use percival_tensor::{Shape, Tensor};
+
+/// A Grad-CAM salience map for one input image.
+#[derive(Debug, Clone)]
+pub struct SalienceMap {
+    /// Heat values in `[0, 1]`, `1 x 1 x H x W` at the *input* resolution.
+    pub heat: Tensor,
+    /// Index of the tapped layer.
+    pub layer: usize,
+    /// Class the map explains.
+    pub class: usize,
+}
+
+/// Computes Grad-CAM for `input` (a single sample, `1 x C x H x W`) against
+/// `class`, tapping the feature maps produced by layer index `layer`.
+///
+/// Steps: forward with caches; backward from a one-hot gradient on the
+/// class logit; channel weights are the global-average-pooled gradients;
+/// the map is `relu(sum_k alpha_k A_k)`, normalized to `[0, 1]` and
+/// upsampled to the input extent.
+///
+/// # Panics
+///
+/// Panics if `input` is not a single sample, `layer` is out of range, or
+/// `class` exceeds the network's output width.
+pub fn grad_cam(model: &Sequential, input: &Tensor, class: usize, layer: usize) -> SalienceMap {
+    let is = input.shape();
+    assert_eq!(is.n, 1, "grad_cam explains one sample at a time");
+    assert!(layer < model.layers.len(), "layer {layer} out of range");
+
+    let trace = model.forward_train(input);
+    let logits = trace.output();
+    let ls = logits.shape();
+    assert!(class < ls.c, "class {class} out of range for {} outputs", ls.c);
+
+    // d(score_class)/d(logits) is a one-hot vector.
+    let mut grad_out = Tensor::zeros(ls);
+    *grad_out.at_mut(0, class, 0, 0) = 1.0;
+
+    let (_, tapped) = model.backward_with_tap(&trace, &grad_out, Some(layer));
+    let grad_at_layer = tapped.expect("tap was requested");
+    let feature_maps = &trace.activations[layer + 1];
+    let fs = feature_maps.shape();
+
+    // alpha_k: global average pool of the gradient per channel.
+    let area = (fs.h * fs.w) as f32;
+    let mut cam = Tensor::zeros(Shape::new(1, 1, fs.h, fs.w));
+    for c in 0..fs.c {
+        let g = grad_at_layer.sample(0);
+        let a = feature_maps.sample(0);
+        let plane = fs.h * fs.w;
+        let alpha: f32 = g[c * plane..(c + 1) * plane].iter().sum::<f32>() / area;
+        for (o, &fv) in cam
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a[c * plane..(c + 1) * plane].iter())
+        {
+            *o += alpha * fv;
+        }
+    }
+    // ReLU then min-max normalize.
+    cam.map_inplace(|v| v.max(0.0));
+    let max = cam.max_abs();
+    if max > 0.0 {
+        cam.scale(1.0 / max);
+    }
+
+    SalienceMap {
+        heat: resize_bilinear(&cam, is.h, is.w),
+        layer,
+        class,
+    }
+}
+
+impl SalienceMap {
+    /// Renders the map as coarse ASCII art (dark to bright: ` .:-=+*#%@`),
+    /// downsampled to at most `cols` columns. Useful for terminal reports.
+    pub fn to_ascii(&self, cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let s = self.heat.shape();
+        let cols = cols.clamp(1, s.w);
+        let step = (s.w + cols - 1) / cols;
+        let rows = (s.h + 2 * step - 1) / (2 * step); // characters are ~2x tall
+        let mut out = String::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = 0.0f32;
+                let mut n = 0usize;
+                for y in (r * 2 * step)..((r * 2 * step + 2 * step).min(s.h)) {
+                    for x in (c * step)..((c * step + step).min(s.w)) {
+                        acc += self.heat.at(0, 0, y, x);
+                        n += 1;
+                    }
+                }
+                let v = if n == 0 { 0.0 } else { acc / n as f32 };
+                let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of total heat inside an axis-aligned box (in input pixels).
+    ///
+    /// Used by the Figure 4 experiment to check that the network attends to
+    /// the region carrying the ad cue.
+    pub fn heat_fraction_in(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f32 {
+        let s = self.heat.shape();
+        let total: f32 = self.heat.as_slice().iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut inside = 0.0f32;
+        for y in y0..y1.min(s.h) {
+            for x in x0..x1.min(s.w) {
+                inside += self.heat.at(0, 0, y, x);
+            }
+        }
+        inside / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Layer};
+    use percival_tensor::Conv2dCfg;
+    use percival_util::Pcg32;
+
+    fn net(seed: u64) -> Sequential {
+        let mut m = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 1, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::Conv(Conv2d::new(2, 4, 1, Conv2dCfg { stride: 1, pad: 0 })),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut m, &mut Pcg32::seed_from_u64(seed));
+        m
+    }
+
+    #[test]
+    fn map_is_input_sized_and_normalized() {
+        let model = net(1);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let shape = Shape::new(1, 1, 12, 12);
+        let input = Tensor::from_vec(
+            shape,
+            (0..shape.count()).map(|_| rng.range_f32(0.0, 1.0)).collect(),
+        );
+        let cam = grad_cam(&model, &input, 0, 1);
+        assert_eq!(cam.heat.shape(), Shape::new(1, 1, 12, 12));
+        for &v in cam.heat.as_slice() {
+            assert!((0.0..=1.0 + 1e-6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn salience_localizes_a_discriminative_patch() {
+        // Build a network whose class-0 logit literally sums the top-left
+        // quadrant: the CAM must concentrate there.
+        let mut conv = Conv2d::new(1, 1, 1, Conv2dCfg::default());
+        conv.weight.as_mut_slice()[0] = 1.0;
+        let model = Sequential::new(vec![
+            Layer::Conv(conv),
+            Layer::Relu,
+            Layer::GlobalAvgPool,
+        ]);
+        let mut input = Tensor::zeros(Shape::new(1, 1, 8, 8));
+        for y in 0..4 {
+            for x in 0..4 {
+                *input.at_mut(0, 0, y, x) = 1.0;
+            }
+        }
+        let cam = grad_cam(&model, &input, 0, 1); // tap the ReLU output
+        let frac = cam.heat_fraction_in(0, 0, 4, 4);
+        assert!(frac > 0.8, "heat should sit on the bright patch, got {frac}");
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_geometry() {
+        let model = net(3);
+        let input = Tensor::filled(Shape::new(1, 1, 16, 16), 0.5);
+        let cam = grad_cam(&model, &input, 1, 0);
+        let art = cam.to_ascii(8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.len() == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample")]
+    fn batched_input_rejected() {
+        let model = net(4);
+        let input = Tensor::zeros(Shape::new(2, 1, 8, 8));
+        grad_cam(&model, &input, 0, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Weight initialization.
+
+use crate::model::Sequential;
+use percival_util::Pcg32;
+
+/// Kaiming-He normal initialization for every convolution in the model:
+/// `w ~ N(0, sqrt(2 / fan_in))`, biases zero.
+///
+/// This is the standard initialization for ReLU networks and what the
+/// SqueezeNet family uses for layers not covered by pretrained weights.
+pub fn kaiming_init(model: &mut Sequential, rng: &mut Pcg32) {
+    model.visit_params_mut(|weight, bias| {
+        let s = weight.shape();
+        let fan_in = (s.c * s.h * s.w).max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        for v in weight.as_mut_slice() {
+            *v = rng.normal(0.0, std);
+        }
+        bias.fill(0.0);
+    });
+}
+
+/// Copies parameters from `src` into the *prefix* of `dst` where layer
+/// geometries match, stopping at the first mismatch; returns how many
+/// parameter tensors were transferred.
+///
+/// This models the paper's transfer-learning step (Section 4.3): "we
+/// initialized the blocks Convolution 1, Fire1 ... Fire4 using the weights
+/// from a SqueezeNet model pre-trained with ImageNet", after which training
+/// continues on task data.
+pub fn transfer_prefix(dst: &mut Sequential, src: &Sequential) -> usize {
+    let mut src_params: Vec<(percival_tensor::Tensor, Vec<f32>)> = Vec::new();
+    src.visit_params(|w, b| src_params.push((w.clone(), b.to_vec())));
+
+    let mut i = 0usize;
+    let mut stopped = false;
+    dst.visit_params_mut(|w, b| {
+        if stopped || i >= src_params.len() {
+            stopped = true;
+            return;
+        }
+        let (sw, sb) = &src_params[i];
+        if sw.shape() == w.shape() && sb.len() == b.len() {
+            *w = sw.clone();
+            b.copy_from_slice(sb);
+            i += 1;
+        } else {
+            stopped = true;
+        }
+    });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Fire, Layer};
+    use percival_tensor::Conv2dCfg;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv(Conv2d::new(8, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::Fire(Fire::new(8, 4, 8)),
+        ])
+    }
+
+    #[test]
+    fn init_produces_fan_in_scaled_weights() {
+        let mut m = model();
+        kaiming_init(&mut m, &mut Pcg32::seed_from_u64(1));
+        if let Layer::Conv(c) = &m.layers[0] {
+            let vals = c.weight.as_slice();
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let expect = 2.0 / 27.0; // fan_in = 3*3*3.
+            assert!(mean.abs() < 0.05);
+            assert!((var - expect).abs() < expect, "var {var} vs {expect}");
+            assert!(c.bias.iter().all(|&b| b == 0.0));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = model();
+        let mut b = model();
+        kaiming_init(&mut a, &mut Pcg32::seed_from_u64(7));
+        kaiming_init(&mut b, &mut Pcg32::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transfer_copies_matching_prefix() {
+        let mut src = model();
+        kaiming_init(&mut src, &mut Pcg32::seed_from_u64(3));
+        let mut dst = model();
+        kaiming_init(&mut dst, &mut Pcg32::seed_from_u64(4));
+        let n = transfer_prefix(&mut dst, &src);
+        assert_eq!(n, 4); // conv + 3 fire convs.
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn transfer_stops_at_geometry_mismatch() {
+        let mut src = model();
+        kaiming_init(&mut src, &mut Pcg32::seed_from_u64(5));
+        // Destination diverges after the first conv.
+        let mut dst = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(8, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::Fire(Fire::new(8, 2, 8)), // different squeeze width
+        ]);
+        kaiming_init(&mut dst, &mut Pcg32::seed_from_u64(6));
+        let before_fire = match &dst.layers[2] {
+            Layer::Fire(f) => f.clone(),
+            _ => unreachable!(),
+        };
+        let n = transfer_prefix(&mut dst, &src);
+        assert_eq!(n, 1);
+        if let (Layer::Conv(d), Layer::Conv(s)) = (&dst.layers[0], &src.layers[0]) {
+            assert_eq!(d, s);
+        }
+        if let Layer::Fire(f) = &dst.layers[2] {
+            assert_eq!(f, &before_fire, "mismatched tail must stay untouched");
+        }
+    }
+}

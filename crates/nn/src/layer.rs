@@ -1,0 +1,465 @@
+//! Individual layers: convolution, fire modules, pooling and ReLU.
+
+use percival_tensor::activation::{relu_backward, relu_forward};
+use percival_tensor::pool::MaxPoolOut;
+use percival_tensor::{
+    conv2d_backward, conv2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool_backward, max_pool_forward, Conv2dCfg, PoolCfg, Shape, Tensor,
+};
+
+/// A 2-D convolution layer with learned weight and bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Kernel tensor, `OC x IC x KH x KW`.
+    pub weight: Tensor,
+    /// One bias per output channel.
+    pub bias: Vec<f32>,
+    /// Stride / padding configuration.
+    pub cfg: Conv2dCfg,
+}
+
+impl Conv2d {
+    /// Creates a zero-initialized convolution (callers normally re-init via
+    /// [`crate::init`]).
+    pub fn new(out_c: usize, in_c: usize, kernel: usize, cfg: Conv2dCfg) -> Self {
+        Conv2d {
+            weight: Tensor::zeros(Shape::new(out_c, in_c, kernel, kernel)),
+            bias: vec![0.0; out_c],
+            cfg,
+        }
+    }
+
+    /// Number of learnable scalars (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.weight.shape().count() + self.bias.len()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        conv2d_forward(input, &self.weight, &self.bias, self.cfg)
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        let ws = self.weight.shape();
+        let oh = percival_tensor::conv::conv_out_extent(input.h, ws.h, self.cfg.stride, self.cfg.pad)
+            .expect("conv kernel must fit input");
+        let ow = percival_tensor::conv::conv_out_extent(input.w, ws.w, self.cfg.stride, self.cfg.pad)
+            .expect("conv kernel must fit input");
+        Shape::new(input.n, ws.n, oh, ow)
+    }
+
+    /// Multiply-accumulate count of one forward pass (2 FLOPs per MAC).
+    pub fn flops(&self, input: Shape) -> u64 {
+        let ws = self.weight.shape();
+        let os = self.output_shape(input);
+        2 * (ws.n * ws.c * ws.h * ws.w) as u64 * (os.h * os.w) as u64 * input.n as u64
+    }
+}
+
+/// Gradients for one convolution layer.
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient of the kernel tensor.
+    pub weight: Tensor,
+    /// Gradient of the bias vector.
+    pub bias: Vec<f32>,
+}
+
+/// A SqueezeNet fire module: a 1x1 "squeeze" convolution that reduces
+/// channels, followed by parallel 1x1 and 3x3 "expand" convolutions whose
+/// outputs are concatenated along the channel axis (Section 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fire {
+    /// The 1x1 channel-reducing convolution.
+    pub squeeze: Conv2d,
+    /// The 1x1 expand convolution.
+    pub expand1: Conv2d,
+    /// The 3x3 expand convolution (padding 1 keeps the extent).
+    pub expand3: Conv2d,
+}
+
+impl Fire {
+    /// Creates a fire module: `in_c -> squeeze_c -> expand_c + expand_c`.
+    ///
+    /// The output has `2 * expand_c` channels, matching the paper's Figure 3
+    /// annotation `fire a, b` where `a` is the intermediate (squeeze) width
+    /// and `b` the output width.
+    pub fn new(in_c: usize, squeeze_c: usize, expand_c: usize) -> Self {
+        Fire {
+            squeeze: Conv2d::new(squeeze_c, in_c, 1, Conv2dCfg { stride: 1, pad: 0 }),
+            expand1: Conv2d::new(expand_c, squeeze_c, 1, Conv2dCfg { stride: 1, pad: 0 }),
+            expand3: Conv2d::new(expand_c, squeeze_c, 3, Conv2dCfg { stride: 1, pad: 1 }),
+        }
+    }
+
+    /// Number of learnable scalars across the three convolutions.
+    pub fn param_count(&self) -> usize {
+        self.squeeze.param_count() + self.expand1.param_count() + self.expand3.param_count()
+    }
+
+    /// Output channel count (`2 * expand_c`).
+    pub fn out_channels(&self) -> usize {
+        self.expand1.weight.shape().n + self.expand3.weight.shape().n
+    }
+
+    /// Output shape: same spatial extent, `2 * expand_c` channels.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        Shape::new(input.n, self.out_channels(), input.h, input.w)
+    }
+
+    /// Forward-pass MACs of the three convolutions.
+    pub fn flops(&self, input: Shape) -> u64 {
+        let sq_out = self.squeeze.output_shape(input);
+        self.squeeze.flops(input) + self.expand1.flops(sq_out) + self.expand3.flops(sq_out)
+    }
+}
+
+/// Per-layer forward cache retained for the backward pass.
+#[derive(Debug, Clone)]
+pub enum LayerCache {
+    /// Convolution: the layer input.
+    Conv { input: Tensor },
+    /// ReLU: the layer input (for masking).
+    Relu { input: Tensor },
+    /// Max pool: input geometry plus the argmax routing table.
+    MaxPool { input_shape: Shape, fwd: MaxPoolOut },
+    /// Global average pool: input geometry.
+    GlobalAvgPool { input_shape: Shape },
+    /// Fire module internals.
+    Fire(Box<FireCache>),
+}
+
+/// Intermediate activations of a fire module.
+#[derive(Debug, Clone)]
+pub struct FireCache {
+    input: Tensor,
+    squeeze_pre: Tensor,
+    squeeze_act: Tensor,
+    e1_pre: Tensor,
+    e3_pre: Tensor,
+}
+
+/// Gradients produced by one layer's backward pass.
+#[derive(Debug, Clone)]
+pub enum LayerGrads {
+    /// Convolution gradients.
+    Conv(ConvGrads),
+    /// Fire-module gradients (squeeze, expand1, expand3).
+    Fire {
+        /// Squeeze-conv gradients.
+        squeeze: ConvGrads,
+        /// Expand-1x1 gradients.
+        expand1: ConvGrads,
+        /// Expand-3x3 gradients.
+        expand3: ConvGrads,
+    },
+    /// The layer has no parameters.
+    None,
+}
+
+/// One step of a [`crate::Sequential`] network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// A convolution.
+    Conv(Conv2d),
+    /// Elementwise ReLU.
+    Relu,
+    /// Max pooling.
+    MaxPool(PoolCfg),
+    /// Global average pooling to `1 x 1`.
+    GlobalAvgPool,
+    /// A fire module (with internal ReLUs).
+    Fire(Fire),
+}
+
+/// Concatenates two tensors along the channel axis.
+fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "concat geometry mismatch");
+    let mut out = Tensor::zeros(Shape::new(sa.n, sa.c + sb.c, sa.h, sa.w));
+    let plane_a = sa.c * sa.h * sa.w;
+    let plane_b = sb.c * sb.h * sb.w;
+    for n in 0..sa.n {
+        let dst = out.sample_mut(n);
+        dst[..plane_a].copy_from_slice(a.sample(n));
+        dst[plane_a..plane_a + plane_b].copy_from_slice(b.sample(n));
+    }
+    out
+}
+
+/// Splits a channel-concatenated gradient back into the two parts.
+fn split_channels(grad: &Tensor, c_first: usize) -> (Tensor, Tensor) {
+    let s = grad.shape();
+    assert!(c_first < s.c, "split point {c_first} outside {s}");
+    let c_second = s.c - c_first;
+    let mut a = Tensor::zeros(Shape::new(s.n, c_first, s.h, s.w));
+    let mut b = Tensor::zeros(Shape::new(s.n, c_second, s.h, s.w));
+    let plane = s.h * s.w;
+    for n in 0..s.n {
+        let src = grad.sample(n);
+        a.sample_mut(n).copy_from_slice(&src[..c_first * plane]);
+        b.sample_mut(n).copy_from_slice(&src[c_first * plane..]);
+    }
+    (a, b)
+}
+
+impl Layer {
+    /// Inference-only forward pass (no caches retained).
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv(c) => c.forward(input),
+            Layer::Relu => relu_forward(input),
+            Layer::MaxPool(cfg) => max_pool_forward(input, *cfg).output,
+            Layer::GlobalAvgPool => global_avg_pool_forward(input),
+            Layer::Fire(f) => {
+                let squeezed = relu_forward(&f.squeeze.forward(input));
+                let e1 = relu_forward(&f.expand1.forward(&squeezed));
+                let e3 = relu_forward(&f.expand3.forward(&squeezed));
+                concat_channels(&e1, &e3)
+            }
+        }
+    }
+
+    /// Training forward pass; returns the output and a backward cache.
+    pub fn forward_train(&self, input: &Tensor) -> (Tensor, LayerCache) {
+        match self {
+            Layer::Conv(c) => (c.forward(input), LayerCache::Conv { input: input.clone() }),
+            Layer::Relu => (relu_forward(input), LayerCache::Relu { input: input.clone() }),
+            Layer::MaxPool(cfg) => {
+                let fwd = max_pool_forward(input, *cfg);
+                let out = fwd.output.clone();
+                (out, LayerCache::MaxPool { input_shape: input.shape(), fwd })
+            }
+            Layer::GlobalAvgPool => (
+                global_avg_pool_forward(input),
+                LayerCache::GlobalAvgPool { input_shape: input.shape() },
+            ),
+            Layer::Fire(f) => {
+                let squeeze_pre = f.squeeze.forward(input);
+                let squeeze_act = relu_forward(&squeeze_pre);
+                let e1_pre = f.expand1.forward(&squeeze_act);
+                let e3_pre = f.expand3.forward(&squeeze_act);
+                let out = concat_channels(&relu_forward(&e1_pre), &relu_forward(&e3_pre));
+                (
+                    out,
+                    LayerCache::Fire(Box::new(FireCache {
+                        input: input.clone(),
+                        squeeze_pre,
+                        squeeze_act,
+                        e1_pre,
+                        e3_pre,
+                    })),
+                )
+            }
+        }
+    }
+
+    /// Backward pass: consumes the cache, returns the gradient with respect
+    /// to the layer input plus any parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was produced by a different layer kind.
+    pub fn backward(&self, cache: &LayerCache, grad_out: &Tensor) -> (Tensor, LayerGrads) {
+        match (self, cache) {
+            (Layer::Conv(c), LayerCache::Conv { input }) => {
+                let (d_in, d_w, d_b) = conv2d_backward(input, &c.weight, grad_out, c.cfg);
+                (d_in, LayerGrads::Conv(ConvGrads { weight: d_w, bias: d_b }))
+            }
+            (Layer::Relu, LayerCache::Relu { input }) => {
+                (relu_backward(input, grad_out), LayerGrads::None)
+            }
+            (Layer::MaxPool(_), LayerCache::MaxPool { input_shape, fwd }) => {
+                (max_pool_backward(*input_shape, fwd, grad_out), LayerGrads::None)
+            }
+            (Layer::GlobalAvgPool, LayerCache::GlobalAvgPool { input_shape }) => {
+                (global_avg_pool_backward(*input_shape, grad_out), LayerGrads::None)
+            }
+            (Layer::Fire(f), LayerCache::Fire(fc)) => {
+                let e_c = f.expand1.weight.shape().n;
+                let (g_e1_act, g_e3_act) = split_channels(grad_out, e_c);
+                let g_e1_pre = relu_backward(&fc.e1_pre, &g_e1_act);
+                let g_e3_pre = relu_backward(&fc.e3_pre, &g_e3_act);
+                let (g_sq_from_e1, d_w1, d_b1) =
+                    conv2d_backward(&fc.squeeze_act, &f.expand1.weight, &g_e1_pre, f.expand1.cfg);
+                let (g_sq_from_e3, d_w3, d_b3) =
+                    conv2d_backward(&fc.squeeze_act, &f.expand3.weight, &g_e3_pre, f.expand3.cfg);
+                let mut g_sq_act = g_sq_from_e1;
+                g_sq_act.add_assign(&g_sq_from_e3);
+                let g_sq_pre = relu_backward(&fc.squeeze_pre, &g_sq_act);
+                let (d_in, d_wsq, d_bsq) =
+                    conv2d_backward(&fc.input, &f.squeeze.weight, &g_sq_pre, f.squeeze.cfg);
+                (
+                    d_in,
+                    LayerGrads::Fire {
+                        squeeze: ConvGrads { weight: d_wsq, bias: d_bsq },
+                        expand1: ConvGrads { weight: d_w1, bias: d_b1 },
+                        expand3: ConvGrads { weight: d_w3, bias: d_b3 },
+                    },
+                )
+            }
+            _ => panic!("layer/cache kind mismatch in backward pass"),
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        match self {
+            Layer::Conv(c) => c.output_shape(input),
+            Layer::Relu => input,
+            Layer::MaxPool(cfg) => {
+                let oh = percival_tensor::conv::conv_out_extent(input.h, cfg.kernel, cfg.stride, 0)
+                    .expect("pool window must fit");
+                let ow = percival_tensor::conv::conv_out_extent(input.w, cfg.kernel, cfg.stride, 0)
+                    .expect("pool window must fit");
+                Shape::new(input.n, input.c, oh, ow)
+            }
+            Layer::GlobalAvgPool => Shape::new(input.n, input.c, 1, 1),
+            Layer::Fire(f) => f.output_shape(input),
+        }
+    }
+
+    /// Number of learnable scalars in this layer.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv(c) => c.param_count(),
+            Layer::Fire(f) => f.param_count(),
+            _ => 0,
+        }
+    }
+
+    /// Forward-pass FLOPs for a given input shape (0 for non-conv layers;
+    /// pooling cost is negligible next to convolution).
+    pub fn flops(&self, input: Shape) -> u64 {
+        match self {
+            Layer::Conv(c) => c.flops(input),
+            Layer::Fire(f) => f.flops(input),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_util::Pcg32;
+
+    fn randomize(conv: &mut Conv2d, seed: u64) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for v in conv.weight.as_mut_slice() {
+            *v = rng.range_f32(-0.5, 0.5);
+        }
+        for b in &mut conv.bias {
+            *b = rng.range_f32(-0.1, 0.1);
+        }
+    }
+
+    fn rand_input(seed: u64, shape: Shape) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+    }
+
+    #[test]
+    fn fire_concatenates_expand_outputs() {
+        let mut fire = Fire::new(4, 2, 3);
+        randomize(&mut fire.squeeze, 1);
+        randomize(&mut fire.expand1, 2);
+        randomize(&mut fire.expand3, 3);
+        let input = rand_input(4, Shape::new(2, 4, 6, 6));
+        let out = Layer::Fire(fire.clone()).forward(&input);
+        assert_eq!(out.shape(), Shape::new(2, 6, 6, 6));
+        // First three channels must equal the expand1 branch alone.
+        let squeezed = relu_forward(&fire.squeeze.forward(&input));
+        let e1 = relu_forward(&fire.expand1.forward(&squeezed));
+        for n in 0..2 {
+            assert_eq!(&out.sample(n)[..3 * 36], e1.sample(n));
+        }
+    }
+
+    #[test]
+    fn fire_output_shape_and_params() {
+        let fire = Fire::new(96, 16, 64);
+        assert_eq!(fire.out_channels(), 128);
+        // squeeze: 16*96*1*1 + 16; e1: 64*16 + 64; e3: 64*16*9 + 64.
+        assert_eq!(
+            fire.param_count(),
+            16 * 96 + 16 + 64 * 16 + 64 + 64 * 16 * 9 + 64
+        );
+    }
+
+    #[test]
+    fn forward_train_matches_forward() {
+        let mut fire = Fire::new(3, 2, 4);
+        randomize(&mut fire.squeeze, 5);
+        randomize(&mut fire.expand1, 6);
+        randomize(&mut fire.expand3, 7);
+        let layer = Layer::Fire(fire);
+        let input = rand_input(8, Shape::new(1, 3, 5, 5));
+        let plain = layer.forward(&input);
+        let (train, _) = layer.forward_train(&input);
+        assert_eq!(plain, train);
+    }
+
+    #[test]
+    fn fire_gradient_check() {
+        let mut fire = Fire::new(2, 2, 2);
+        randomize(&mut fire.squeeze, 11);
+        randomize(&mut fire.expand1, 12);
+        randomize(&mut fire.expand3, 13);
+        let layer = Layer::Fire(fire);
+        let input = rand_input(14, Shape::new(1, 2, 4, 4));
+
+        let (out, cache) = layer.forward_train(&input);
+        let grad_out = Tensor::filled(out.shape(), 1.0);
+        let (d_in, _) = layer.backward(&cache, &grad_out);
+
+        let eps = 1e-3;
+        for &idx in &[0usize, 3, 9, 17, 31] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (layer.forward(&plus).sum() - layer.forward(&minus).sum()) / (2.0 * eps);
+            let analytic = d_in.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 3e-2,
+                "idx {idx}: fd {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_shape_inference() {
+        let conv = Conv2d::new(8, 3, 3, Conv2dCfg { stride: 2, pad: 0 });
+        let l = Layer::Conv(conv);
+        assert_eq!(
+            l.output_shape(Shape::new(1, 3, 33, 33)),
+            Shape::new(1, 8, 16, 16)
+        );
+        assert_eq!(
+            Layer::MaxPool(PoolCfg { kernel: 3, stride: 2 }).output_shape(Shape::new(1, 8, 16, 16)),
+            Shape::new(1, 8, 7, 7)
+        );
+        assert_eq!(
+            Layer::GlobalAvgPool.output_shape(Shape::new(1, 8, 7, 7)),
+            Shape::new(1, 8, 1, 1)
+        );
+    }
+
+    #[test]
+    fn flops_formula() {
+        let conv = Conv2d::new(4, 3, 3, Conv2dCfg { stride: 1, pad: 1 });
+        // 2 * oc*ic*kh*kw * oh*ow = 2 * 4*3*3*3 * 8*8.
+        assert_eq!(conv.flops(Shape::new(1, 3, 8, 8)), 2 * 108 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn mismatched_cache_panics() {
+        let layer = Layer::Relu;
+        let cache = LayerCache::GlobalAvgPool { input_shape: Shape::new(1, 1, 2, 2) };
+        let g = Tensor::zeros(Shape::new(1, 1, 1, 1));
+        layer.backward(&cache, &g);
+    }
+}

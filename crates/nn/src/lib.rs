@@ -1,0 +1,24 @@
+//! Neural-network layer graph for PERCIVAL.
+//!
+//! Provides the building blocks of the paper's network (Section 4):
+//! convolution layers, SqueezeNet *fire modules*, max pooling, global
+//! average pooling and ReLU — composed into a [`Sequential`] model with a
+//! full backward pass, an SGD-with-momentum optimizer with step learning-rate
+//! decay (the paper's exact training recipe, Section 4.3), a compact binary
+//! weight format whose byte size is the paper's "model size" metric, int8
+//! post-training quantization (deployment extension, Section 6),
+//! Grad-CAM salience maps (Section 5.6), and FGSM adversarial-example
+//! generation (the Section 7 threat model).
+
+pub mod adversarial;
+pub mod gradcam;
+pub mod init;
+pub mod layer;
+pub mod model;
+pub mod optim;
+pub mod quant;
+pub mod serialize;
+
+pub use layer::{Conv2d, Fire, Layer};
+pub use model::{ModelGrads, Sequential};
+pub use optim::{SgdMomentum, StepLr};

@@ -1,0 +1,335 @@
+//! The sequential model container.
+
+use crate::layer::{Layer, LayerCache, LayerGrads};
+use percival_tensor::{Shape, Tensor};
+
+/// A feed-forward stack of [`Layer`]s.
+///
+/// PERCIVAL's network — and every baseline in the paper's comparison — is a
+/// straight pipeline of convolutions, fire modules and pooling, so a
+/// sequential container is sufficient (fire modules encapsulate their own
+/// branching internally).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sequential {
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+/// All activations of one training forward pass: `activations[0]` is the
+/// input and `activations[i + 1]` the output of layer `i`.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Layer boundary activations (length `layers + 1`).
+    pub activations: Vec<Tensor>,
+    /// Per-layer backward caches.
+    pub caches: Vec<LayerCache>,
+}
+
+impl ForwardTrace {
+    /// The network output (logits).
+    pub fn output(&self) -> &Tensor {
+        self.activations.last().expect("trace always contains the input")
+    }
+}
+
+/// Parameter gradients, parallel to the model's layer list.
+#[derive(Debug, Clone)]
+pub struct ModelGrads {
+    /// One entry per layer (layers without parameters hold `None`).
+    pub layers: Vec<LayerGrads>,
+}
+
+impl Sequential {
+    /// Creates a model from a layer list.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Inference forward pass: no caches, minimal allocation.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Training forward pass retaining every activation and cache.
+    pub fn forward_train(&self, input: &Tensor) -> ForwardTrace {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        activations.push(input.clone());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_train(activations.last().expect("non-empty"));
+            activations.push(out);
+            caches.push(cache);
+        }
+        ForwardTrace { activations, caches }
+    }
+
+    /// Full backward pass from `grad_out` (gradient at the network output).
+    pub fn backward(&self, trace: &ForwardTrace, grad_out: &Tensor) -> ModelGrads {
+        self.backward_with_tap(trace, grad_out, None).0
+    }
+
+    /// Backward pass that optionally also returns the gradient flowing into
+    /// the *output* of layer `tap` (i.e. with respect to
+    /// `trace.activations[tap + 1]`) — the quantity Grad-CAM needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    pub fn backward_with_tap(
+        &self,
+        trace: &ForwardTrace,
+        grad_out: &Tensor,
+        tap: Option<usize>,
+    ) -> (ModelGrads, Option<Tensor>) {
+        let (grads, tapped, _) = self.backward_full(trace, grad_out, tap);
+        (grads, tapped)
+    }
+
+    /// Full backward pass returning parameter gradients, the optional tap,
+    /// and the gradient with respect to the *network input* — the quantity
+    /// adversarial-example generation needs (Section 7's threat model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    pub fn backward_full(
+        &self,
+        trace: &ForwardTrace,
+        grad_out: &Tensor,
+        tap: Option<usize>,
+    ) -> (ModelGrads, Option<Tensor>, Tensor) {
+        if let Some(t) = tap {
+            assert!(t < self.layers.len(), "tap {t} out of range");
+        }
+        let mut grads = vec![LayerGrads::None; self.layers.len()];
+        let mut tapped = None;
+        let mut g = grad_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (g_in, layer_grads) = layer.backward(&trace.caches[i], &g);
+            grads[i] = layer_grads;
+            if tap == Some(i) {
+                // `g` is the gradient w.r.t. this layer's output.
+                tapped = Some(g.clone());
+            }
+            g = g_in;
+        }
+        (ModelGrads { layers: grads }, tapped, g)
+    }
+
+    /// Output shape for a given input shape, without running the network.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        self.layers.iter().fold(input, |s, l| l.output_shape(s))
+    }
+
+    /// Total learnable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Serialized f32 model size in bytes (the paper's "model size" metric).
+    pub fn size_bytes_f32(&self) -> usize {
+        crate::serialize::serialized_len(self)
+    }
+
+    /// Total forward FLOPs for one input of shape `input`.
+    pub fn flops(&self, input: Shape) -> u64 {
+        let mut shape = input;
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.flops(shape);
+            shape = layer.output_shape(shape);
+        }
+        total
+    }
+
+    /// Visits every parameter tensor/bias pair immutably, in a stable order.
+    pub fn visit_params(&self, mut f: impl FnMut(&Tensor, &[f32])) {
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv(c) => f(&c.weight, &c.bias),
+                Layer::Fire(fire) => {
+                    f(&fire.squeeze.weight, &fire.squeeze.bias);
+                    f(&fire.expand1.weight, &fire.expand1.bias);
+                    f(&fire.expand3.weight, &fire.expand3.bias);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Visits every parameter tensor/bias pair mutably, in the same order as
+    /// [`Sequential::visit_params`].
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&mut Tensor, &mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv(c) => f(&mut c.weight, &mut c.bias),
+                Layer::Fire(fire) => {
+                    f(&mut fire.squeeze.weight, &mut fire.squeeze.bias);
+                    f(&mut fire.expand1.weight, &mut fire.expand1.bias);
+                    f(&mut fire.expand3.weight, &mut fire.expand3.bias);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl ModelGrads {
+    /// Returns every gradient tensor/bias pair in the same order as
+    /// [`Sequential::visit_params`].
+    pub fn params(&self) -> Vec<(&Tensor, &[f32])> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                LayerGrads::Conv(g) => out.push((&g.weight, g.bias.as_slice())),
+                LayerGrads::Fire { squeeze, expand1, expand3 } => {
+                    out.push((&squeeze.weight, squeeze.bias.as_slice()));
+                    out.push((&expand1.weight, expand1.bias.as_slice()));
+                    out.push((&expand3.weight, expand3.bias.as_slice()));
+                }
+                LayerGrads::None => {}
+            }
+        }
+        out
+    }
+
+    /// Visits every gradient tensor/bias pair in the same order as
+    /// [`Sequential::visit_params`].
+    pub fn visit(&self, mut f: impl FnMut(&Tensor, &[f32])) {
+        for (w, b) in self.params() {
+            f(w, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Fire};
+    use percival_tensor::loss::{cross_entropy_backward, cross_entropy_forward};
+    use percival_tensor::{Conv2dCfg, PoolCfg};
+    use percival_util::Pcg32;
+
+    /// A miniature percival-shaped network for tests.
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut model = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::MaxPool(PoolCfg { kernel: 2, stride: 2 }),
+            Layer::Fire(Fire::new(4, 2, 4)),
+            Layer::Conv(Conv2d::new(2, 8, 1, Conv2dCfg { stride: 1, pad: 0 })),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(seed));
+        model
+    }
+
+    fn rand_input(seed: u64, shape: Shape) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+    }
+
+    #[test]
+    fn shape_inference_matches_execution() {
+        let model = tiny_net(1);
+        let input = rand_input(2, Shape::new(2, 3, 8, 8));
+        let out = model.forward(&input);
+        assert_eq!(out.shape(), model.output_shape(input.shape()));
+        assert_eq!(out.shape(), Shape::new(2, 2, 1, 1));
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let model = tiny_net(3);
+        let input = rand_input(4, Shape::new(1, 3, 8, 8));
+        let plain = model.forward(&input);
+        let trace = model.forward_train(&input);
+        assert_eq!(&plain, trace.output());
+        assert_eq!(trace.activations.len(), model.layers.len() + 1);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let model = tiny_net(5);
+        let input = rand_input(6, Shape::new(2, 3, 8, 8));
+        let labels = [0usize, 1usize];
+
+        let trace = model.forward_train(&input);
+        let ce = cross_entropy_forward(trace.output(), &labels);
+        let d_logits = cross_entropy_backward(&ce, &labels);
+        let grads = model.backward(&trace, &d_logits);
+
+        // Check the first conv's weight gradient by finite differences.
+        let analytic = match &grads.layers[0] {
+            LayerGrads::Conv(g) => g.weight.clone(),
+            _ => unreachable!(),
+        };
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 13, 29, 57, 101] {
+            let mut plus = model.clone();
+            let mut minus = model.clone();
+            if let Layer::Conv(c) = &mut plus.layers[0] {
+                c.weight.as_mut_slice()[idx] += eps;
+            }
+            if let Layer::Conv(c) = &mut minus.layers[0] {
+                c.weight.as_mut_slice()[idx] -= eps;
+            }
+            let lp = cross_entropy_forward(&plus.forward(&input), &labels).loss;
+            let lm = cross_entropy_forward(&minus.forward(&input), &labels).loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = analytic.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 5e-3,
+                "idx {idx}: fd {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn tap_returns_gradient_at_layer_output() {
+        let model = tiny_net(7);
+        let input = rand_input(8, Shape::new(1, 3, 8, 8));
+        let trace = model.forward_train(&input);
+        let grad_out = Tensor::filled(trace.output().shape(), 1.0);
+        let (_, tapped) = model.backward_with_tap(&trace, &grad_out, Some(3));
+        let tapped = tapped.expect("tap requested");
+        // Gradient w.r.t. the fire module's output has that output's shape.
+        assert_eq!(tapped.shape(), trace.activations[4].shape());
+    }
+
+    #[test]
+    fn param_visitors_agree_with_count() {
+        let model = tiny_net(9);
+        let mut seen = 0usize;
+        model.visit_params(|w, b| seen += w.shape().count() + b.len());
+        assert_eq!(seen, model.param_count());
+    }
+
+    #[test]
+    fn grads_visitor_parallels_param_visitor() {
+        let model = tiny_net(10);
+        let input = rand_input(11, Shape::new(1, 3, 8, 8));
+        let trace = model.forward_train(&input);
+        let grad_out = Tensor::filled(trace.output().shape(), 1.0);
+        let grads = model.backward(&trace, &grad_out);
+
+        let mut param_shapes = Vec::new();
+        model.visit_params(|w, b| param_shapes.push((w.shape(), b.len())));
+        let mut grad_shapes = Vec::new();
+        grads.visit(|w, b| grad_shapes.push((w.shape(), b.len())));
+        assert_eq!(param_shapes, grad_shapes);
+    }
+
+    #[test]
+    fn flops_are_positive_and_scale_with_batch() {
+        let model = tiny_net(12);
+        let f1 = model.flops(Shape::new(1, 3, 8, 8));
+        let f2 = model.flops(Shape::new(2, 3, 8, 8));
+        assert!(f1 > 0);
+        assert_eq!(f2, 2 * f1);
+    }
+}

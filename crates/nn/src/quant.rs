@@ -1,0 +1,181 @@
+//! Int8 post-training quantization.
+//!
+//! A deployment extension discussed by the paper (Section 6 targets mobile
+//! browsers; prior work holds that models above ~5 MB are impractical on
+//! phones). Weights are quantized per-tensor with a symmetric scale
+//! (`q = round(w / scale)`, `scale = max|w| / 127`), shrinking storage ~4x
+//! on top of the paper's 74x architectural compression. Inference
+//! dequantizes on load, so accuracy cost is bounded by rounding error.
+
+use crate::model::Sequential;
+
+/// One quantized parameter tensor (+ its f32 bias, biases stay full
+/// precision as is standard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantParam {
+    /// Per-tensor symmetric scale (`dequant = q as f32 * scale`).
+    pub scale: f32,
+    /// Quantized weight values.
+    pub q: Vec<i8>,
+    /// Full-precision bias.
+    pub bias: Vec<f32>,
+}
+
+/// A quantized snapshot of a model's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModel {
+    /// Parameters in [`Sequential::visit_params`] order.
+    pub params: Vec<QuantParam>,
+}
+
+/// Quantizes every parameter tensor of `model` to int8.
+pub fn quantize(model: &Sequential) -> QuantizedModel {
+    let mut params = Vec::new();
+    model.visit_params(|w, b| {
+        let max_abs = w.max_abs();
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let q = w
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        params.push(QuantParam { scale, q, bias: b.to_vec() });
+    });
+    QuantizedModel { params }
+}
+
+impl QuantizedModel {
+    /// Storage size in bytes: 1 byte per weight, 4 per bias and scale.
+    pub fn size_bytes(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.q.len() + 4 * p.bias.len() + 4)
+            .sum()
+    }
+
+    /// Writes dequantized weights back into a structurally-identical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model`'s parameter structure differs from the snapshot.
+    pub fn dequantize_into(&self, model: &mut Sequential) {
+        let mut i = 0usize;
+        let params = &self.params;
+        model.visit_params_mut(|w, b| {
+            let p = &params[i];
+            assert_eq!(p.q.len(), w.shape().count(), "quantized tensor {i} shape mismatch");
+            assert_eq!(p.bias.len(), b.len(), "quantized bias {i} length mismatch");
+            for (dst, &qv) in w.as_mut_slice().iter_mut().zip(p.q.iter()) {
+                *dst = f32::from(qv) * p.scale;
+            }
+            b.copy_from_slice(&p.bias);
+            i += 1;
+        });
+        assert_eq!(i, params.len(), "model has fewer parameter tensors than snapshot");
+    }
+
+    /// Maximum absolute dequantization error across all weights.
+    pub fn max_error(&self, model: &Sequential) -> f32 {
+        let mut restored = model.clone();
+        self.dequantize_into(&mut restored);
+        let mut worst = 0.0f32;
+        let mut originals = Vec::new();
+        model.visit_params(|w, _| originals.push(w.clone()));
+        let mut idx = 0usize;
+        restored.visit_params(|w, _| {
+            for (a, b) in w.as_slice().iter().zip(originals[idx].as_slice()) {
+                worst = worst.max((a - b).abs());
+            }
+            idx += 1;
+        });
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Fire, Layer};
+    use percival_tensor::{Conv2dCfg, Shape, Tensor};
+    use percival_util::Pcg32;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Fire(Fire::new(4, 2, 4)),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut m, &mut Pcg32::seed_from_u64(seed));
+        m
+    }
+
+    #[test]
+    fn quantization_shrinks_storage_roughly_4x() {
+        let m = model(1);
+        let q = quantize(&m);
+        let f32_size = m.size_bytes_f32();
+        let q_size = q.size_bytes();
+        assert!(q_size * 3 < f32_size, "int8 {q_size} vs f32 {f32_size}");
+    }
+
+    #[test]
+    fn dequantization_error_is_bounded_by_half_step() {
+        let m = model(2);
+        let q = quantize(&m);
+        // Max error per tensor is scale/2 (+ rounding slack).
+        let max_scale = q.params.iter().map(|p| p.scale).fold(0.0f32, f32::max);
+        assert!(q.max_error(&m) <= max_scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_approximately() {
+        let m = model(3);
+        let q = quantize(&m);
+        let mut restored = m.clone();
+        q.dequantize_into(&mut restored);
+
+        let mut rng = Pcg32::seed_from_u64(4);
+        let shape = Shape::new(2, 3, 8, 8);
+        let input = Tensor::from_vec(
+            shape,
+            (0..shape.count()).map(|_| rng.range_f32(0.0, 1.0)).collect(),
+        );
+        let a = m.forward(&input);
+        let b = restored.forward(&input);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_without_nan() {
+        let m = Sequential::new(vec![Layer::Conv(Conv2d::new(
+            2,
+            1,
+            1,
+            Conv2dCfg::default(),
+        ))]);
+        let q = quantize(&m);
+        assert!(q.params[0].scale.is_finite());
+        assert!(q.params[0].q.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn biases_survive_exactly() {
+        let mut m = model(5);
+        m.visit_params_mut(|_, b| {
+            for (i, v) in b.iter_mut().enumerate() {
+                *v = i as f32 * 0.123;
+            }
+        });
+        let q = quantize(&m);
+        let mut restored = m.clone();
+        crate::init::kaiming_init(&mut restored, &mut Pcg32::seed_from_u64(9));
+        q.dequantize_into(&mut restored);
+        let mut expect = Vec::new();
+        m.visit_params(|_, b| expect.push(b.to_vec()));
+        let mut got = Vec::new();
+        restored.visit_params(|_, b| got.push(b.to_vec()));
+        assert_eq!(expect, got);
+    }
+}

@@ -1,0 +1,258 @@
+//! Binary weight serialization.
+//!
+//! A deliberately small, versioned little-endian format ("PCVL"): the byte
+//! length of a serialized model is the "model size" the paper reports
+//! (e.g. 1.9 MB in Figure 8). Loading validates geometry against an
+//! already-constructed architecture, so weights can never be applied to the
+//! wrong network silently.
+
+use crate::model::Sequential;
+
+/// Magic bytes at the start of every model file.
+pub const MAGIC: [u8; 4] = *b"PCVL";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from [`load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelIoError {
+    /// The buffer does not start with the `PCVL` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before all parameters were read.
+    Truncated,
+    /// A stored tensor's geometry differs from the model's.
+    ShapeMismatch {
+        /// Index of the offending parameter tensor.
+        param: usize,
+    },
+    /// The buffer holds a different number of parameter tensors.
+    ParamCountMismatch {
+        /// Tensors expected by the model.
+        expected: usize,
+        /// Tensors present in the buffer.
+        found: usize,
+    },
+}
+
+impl core::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelIoError::BadMagic => write!(f, "not a PCVL model file"),
+            ModelIoError::BadVersion(v) => write!(f, "unsupported model format version {v}"),
+            ModelIoError::Truncated => write!(f, "model file truncated"),
+            ModelIoError::ShapeMismatch { param } => {
+                write!(f, "stored parameter {param} has a different shape")
+            }
+            ModelIoError::ParamCountMismatch { expected, found } => {
+                write!(f, "model has {expected} parameter tensors, file has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes all model parameters to a byte vector.
+pub fn save(model: &Sequential) -> Vec<u8> {
+    let mut params = 0usize;
+    model.visit_params(|_, _| params += 1);
+
+    let mut buf = Vec::with_capacity(serialized_len(model));
+    buf.extend_from_slice(&MAGIC);
+    push_u32(&mut buf, VERSION);
+    push_u32(&mut buf, params as u32);
+    model.visit_params(|w, b| {
+        let s = w.shape();
+        push_u32(&mut buf, s.n as u32);
+        push_u32(&mut buf, s.c as u32);
+        push_u32(&mut buf, s.h as u32);
+        push_u32(&mut buf, s.w as u32);
+        push_f32s(&mut buf, w.as_slice());
+        push_u32(&mut buf, b.len() as u32);
+        push_f32s(&mut buf, b);
+    });
+    buf
+}
+
+/// Exact byte length [`save`] would produce, without allocating the buffer.
+pub fn serialized_len(model: &Sequential) -> usize {
+    let mut len = 4 + 4 + 4; // magic + version + param count
+    model.visit_params(|w, b| {
+        len += 16 + 4 * w.shape().count() + 4 + 4 * b.len();
+    });
+    len
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ModelIoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ModelIoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelIoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32s(&mut self, count: usize, out: &mut [f32]) -> Result<(), ModelIoError> {
+        let bytes = self.take(4 * count)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Ok(())
+    }
+}
+
+/// Loads parameters from `buf` into an already-constructed `model`.
+///
+/// # Errors
+///
+/// Returns a [`ModelIoError`] when the buffer is malformed or its geometry
+/// does not match `model`; `model` may be partially updated in that case.
+pub fn load(model: &mut Sequential, buf: &[u8]) -> Result<(), ModelIoError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ModelIoError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(ModelIoError::BadVersion(version));
+    }
+    let found = r.u32()? as usize;
+    let mut expected = 0usize;
+    model.visit_params(|_, _| expected += 1);
+    if found != expected {
+        return Err(ModelIoError::ParamCountMismatch { expected, found });
+    }
+
+    let mut err = None;
+    let mut idx = 0usize;
+    model.visit_params_mut(|w, b| {
+        if err.is_some() {
+            return;
+        }
+        let res = (|| {
+            let (n, c, h, wd) = (r.u32()?, r.u32()?, r.u32()?, r.u32()?);
+            let s = w.shape();
+            if (s.n, s.c, s.h, s.w) != (n as usize, c as usize, h as usize, wd as usize) {
+                return Err(ModelIoError::ShapeMismatch { param: idx });
+            }
+            r.f32s(s.count(), w.as_mut_slice())?;
+            let blen = r.u32()? as usize;
+            if blen != b.len() {
+                return Err(ModelIoError::ShapeMismatch { param: idx });
+            }
+            r.f32s(blen, b)?;
+            Ok(())
+        })();
+        if let Err(e) = res {
+            err = Some(e);
+        }
+        idx += 1;
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Fire, Layer};
+    use percival_tensor::Conv2dCfg;
+    use percival_util::Pcg32;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 3, 3, Conv2dCfg { stride: 2, pad: 1 })),
+            Layer::Relu,
+            Layer::Fire(Fire::new(4, 2, 4)),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut m, &mut Pcg32::seed_from_u64(seed));
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_parameter() {
+        let src = model(1);
+        let bytes = save(&src);
+        let mut dst = model(2);
+        assert_ne!(src, dst);
+        load(&mut dst, &bytes).unwrap();
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn serialized_len_matches_actual() {
+        let m = model(3);
+        assert_eq!(save(&m).len(), serialized_len(&m));
+        assert_eq!(m.size_bytes_f32(), serialized_len(&m));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(4);
+        assert_eq!(load(&mut m, b"NOPE\0\0\0\0"), Err(ModelIoError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let m = model(5);
+        let mut bytes = save(&m);
+        bytes[4] = 9; // bump version field
+        let mut dst = model(6);
+        assert_eq!(load(&mut dst, &bytes), Err(ModelIoError::BadVersion(9)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let m = model(7);
+        let bytes = save(&m);
+        for cut in [3, 8, 11, 20, bytes.len() - 1] {
+            let mut dst = model(8);
+            let err = load(&mut dst, &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ModelIoError::Truncated | ModelIoError::BadMagic),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let src = model(9);
+        let bytes = save(&src);
+        let mut other = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(8, 3, 3, Conv2dCfg { stride: 2, pad: 1 })),
+            Layer::GlobalAvgPool,
+        ]);
+        let err = load(&mut other, &bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelIoError::ParamCountMismatch { .. } | ModelIoError::ShapeMismatch { .. }
+        ));
+    }
+}

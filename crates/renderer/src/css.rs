@@ -1,0 +1,227 @@
+//! A CSS subset: stylesheets of `selector { prop: value; }` rules and
+//! inline `style=""` declaration lists.
+//!
+//! Supported properties are the ones layout/paint consume: `display`
+//! (`none`/`block`), `width`, `height` (px numbers), `background-color`
+//! (`#rgb`/`#rrggbb`). Supported selectors are the compound tag/class/id
+//! subset (shared shape with the filter-list engine's cosmetic selectors).
+
+/// A parsed declaration block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Declarations {
+    /// `display: none`.
+    pub display_none: bool,
+    /// `width` in pixels.
+    pub width: Option<u32>,
+    /// `height` in pixels.
+    pub height: Option<u32>,
+    /// `background-color` as RGBA.
+    pub background: Option<[u8; 4]>,
+}
+
+impl Declarations {
+    /// Overlays `other` on `self` (later/inline declarations win).
+    pub fn apply(&mut self, other: &Declarations) {
+        if other.display_none {
+            self.display_none = true;
+        }
+        if other.width.is_some() {
+            self.width = other.width;
+        }
+        if other.height.is_some() {
+            self.height = other.height;
+        }
+        if other.background.is_some() {
+            self.background = other.background;
+        }
+    }
+}
+
+/// One stylesheet rule: selector text + declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CssRule {
+    /// Selector parts: (tag, id, classes) — compound simple selector.
+    pub tag: Option<String>,
+    /// Required id.
+    pub id: Option<String>,
+    /// Required classes.
+    pub classes: Vec<String>,
+    /// The declarations.
+    pub decls: Declarations,
+}
+
+/// Parses a hex color `#rgb` or `#rrggbb`.
+pub fn parse_color(s: &str) -> Option<[u8; 4]> {
+    let hex = s.trim().strip_prefix('#')?;
+    let v = |h: &str| u8::from_str_radix(h, 16).ok();
+    match hex.len() {
+        3 => {
+            let r = v(&hex[0..1])?;
+            let g = v(&hex[1..2])?;
+            let b = v(&hex[2..3])?;
+            Some([r * 17, g * 17, b * 17, 255])
+        }
+        6 => Some([v(&hex[0..2])?, v(&hex[2..4])?, v(&hex[4..6])?, 255]),
+        _ => None,
+    }
+}
+
+fn parse_px(s: &str) -> Option<u32> {
+    s.trim().trim_end_matches("px").trim().parse().ok()
+}
+
+/// Parses a `prop: value; prop: value` declaration list.
+pub fn parse_declarations(text: &str) -> Declarations {
+    let mut d = Declarations::default();
+    for decl in text.split(';') {
+        let Some((prop, value)) = decl.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match prop.trim().to_ascii_lowercase().as_str() {
+            "display" => {
+                if value.eq_ignore_ascii_case("none") {
+                    d.display_none = true;
+                }
+            }
+            "width" => d.width = parse_px(value),
+            "height" => d.height = parse_px(value),
+            "background-color" | "background" => d.background = parse_color(value),
+            _ => {} // unknown properties ignored, like a real engine
+        }
+    }
+    d
+}
+
+fn parse_selector(text: &str) -> Option<(Option<String>, Option<String>, Vec<String>)> {
+    let text = text.trim();
+    if text.is_empty() || text.contains([' ', '>', '+', '[', ':']) {
+        return None; // combinators/pseudo-classes unsupported
+    }
+    let mut tag = None;
+    let mut id = None;
+    let mut classes = Vec::new();
+    let mut rest = text;
+    let head_end = rest.find(['.', '#']).unwrap_or(rest.len());
+    if head_end > 0 {
+        let t = &rest[..head_end];
+        if t != "*" {
+            tag = Some(t.to_ascii_lowercase());
+        }
+        rest = &rest[head_end..];
+    }
+    while !rest.is_empty() {
+        let marker = rest.as_bytes()[0];
+        rest = &rest[1..];
+        let end = rest.find(['.', '#']).unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            return None;
+        }
+        match marker {
+            b'.' => classes.push(name.to_string()),
+            b'#' => id = Some(name.to_string()),
+            _ => return None,
+        }
+        rest = &rest[end..];
+    }
+    Some((tag, id, classes))
+}
+
+/// Parses a stylesheet. Unparsable rules are skipped (CSS error recovery).
+pub fn parse_stylesheet(text: &str) -> Vec<CssRule> {
+    let mut rules = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('{') {
+        let selector_text = &rest[..open];
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let body = &rest[open + 1..open + close];
+        for sel in selector_text.split(',') {
+            if let Some((tag, id, classes)) = parse_selector(sel) {
+                rules.push(CssRule { tag, id, classes, decls: parse_declarations(body) });
+            }
+        }
+        rest = &rest[open + close + 1..];
+    }
+    rules
+}
+
+impl CssRule {
+    /// Builds a `display:none` rule for a compound selector string — how
+    /// cosmetic filter rules are injected into the cascade (the "Brave
+    /// shields" configuration).
+    pub fn hide(selector: &str) -> Option<CssRule> {
+        let (tag, id, classes) = parse_selector(selector)?;
+        Some(CssRule {
+            tag,
+            id,
+            classes,
+            decls: Declarations { display_none: true, ..Declarations::default() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_colors() {
+        assert_eq!(parse_color("#ff0080"), Some([255, 0, 128, 255]));
+        assert_eq!(parse_color("#fff"), Some([255, 255, 255, 255]));
+        assert_eq!(parse_color("red"), None);
+        assert_eq!(parse_color("#12345"), None);
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let d = parse_declarations("width: 240; height:60px; background-color:#222233; display:none");
+        assert_eq!(d.width, Some(240));
+        assert_eq!(d.height, Some(60));
+        assert_eq!(d.background, Some([0x22, 0x22, 0x33, 255]));
+        assert!(d.display_none);
+    }
+
+    #[test]
+    fn unknown_properties_ignored() {
+        let d = parse_declarations("font-family: sans; width: 10");
+        assert_eq!(d.width, Some(10));
+    }
+
+    #[test]
+    fn parses_stylesheet_with_recovery() {
+        let rules = parse_stylesheet(
+            ".ad-banner { display: none; }\n\
+             div.hero#main { width: 300 }\n\
+             p > span { width: 1 }\n\
+             h1, .title { height: 40 }",
+        );
+        // `p > span` is dropped; `h1, .title` expands to two rules.
+        assert_eq!(rules.len(), 4);
+        assert!(rules[0].decls.display_none);
+        assert_eq!(rules[1].tag.as_deref(), Some("div"));
+        assert_eq!(rules[1].id.as_deref(), Some("main"));
+        assert_eq!(rules[1].classes, vec!["hero"]);
+        assert_eq!(rules[2].tag.as_deref(), Some("h1"));
+        assert_eq!(rules[3].classes, vec!["title"]);
+    }
+
+    #[test]
+    fn apply_overlays_later_declarations() {
+        let mut base = parse_declarations("width: 100; height: 50");
+        base.apply(&parse_declarations("width: 200; display:none"));
+        assert_eq!(base.width, Some(200));
+        assert_eq!(base.height, Some(50));
+        assert!(base.display_none);
+    }
+
+    #[test]
+    fn hide_builds_display_none_rules() {
+        let r = CssRule::hide(".sponsored").unwrap();
+        assert!(r.decls.display_none);
+        assert_eq!(r.classes, vec!["sponsored"]);
+        assert!(CssRule::hide("div > p").is_none());
+    }
+}

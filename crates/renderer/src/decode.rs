@@ -1,0 +1,198 @@
+//! Deferred, decode-once image handling with the interception hook.
+//!
+//! Mirrors Blink's `DeferredImageDecoder` / `DecodingImageGenerator` pair
+//! (Section 3.3): encoded bytes are decoded lazily, exactly once per
+//! resource, on the worker that first needs them; the decoded buffer is
+//! passed to the interceptor (PERCIVAL) together with its `SkImageInfo`
+//! analogue before anything is rasterized from it.
+
+use crate::hook::{ImageInterceptor, ImageMeta, InterceptAction};
+use crate::net::ResourceStore;
+use parking_lot::Mutex;
+use percival_imgcodec::{decode_auto, Bitmap};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The outcome of one image's decode + inspection.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// The decoded buffer (cleared when blocked); `None` on fetch/decode
+    /// failure.
+    pub bitmap: Option<Arc<Bitmap>>,
+    /// The interceptor blocked this image.
+    pub blocked: bool,
+    /// The bytes were present but failed to decode.
+    pub decode_error: bool,
+}
+
+impl DecodeOutcome {
+    /// True when there are pixels worth painting.
+    pub fn paintable(&self) -> bool {
+        self.bitmap.is_some() && !self.blocked
+    }
+}
+
+/// A per-render decode cache (keyed by URL).
+#[derive(Default)]
+pub struct ImageDecodeCache {
+    entries: Mutex<HashMap<String, Arc<DecodeOutcome>>>,
+}
+
+impl ImageDecodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached outcome for `url`, or fetches, decodes and runs
+    /// the interceptor to produce one.
+    ///
+    /// Decoding happens outside the cache lock so multiple workers can
+    /// decode *different* images concurrently — the paper's parallel
+    /// classification. (Two workers racing on the *same* URL may decode it
+    /// twice; the first insert wins, which is safe because inspection is
+    /// deterministic per buffer.)
+    pub fn get_or_decode(
+        &self,
+        store: &dyn ResourceStore,
+        interceptor: &dyn ImageInterceptor,
+        url: &str,
+        frame_depth: usize,
+    ) -> Arc<DecodeOutcome> {
+        if let Some(hit) = self.entries.lock().get(url) {
+            return Arc::clone(hit);
+        }
+        let outcome = Arc::new(self.decode_and_inspect(store, interceptor, url, frame_depth));
+        let mut entries = self.entries.lock();
+        Arc::clone(entries.entry(url.to_string()).or_insert(outcome))
+    }
+
+    fn decode_and_inspect(
+        &self,
+        store: &dyn ResourceStore,
+        interceptor: &dyn ImageInterceptor,
+        url: &str,
+        frame_depth: usize,
+    ) -> DecodeOutcome {
+        let Some(bytes) = store.get_image(url) else {
+            return DecodeOutcome { bitmap: None, blocked: false, decode_error: false };
+        };
+        let mut bitmap = match decode_auto(&bytes) {
+            Ok(b) => b,
+            Err(_) => {
+                return DecodeOutcome { bitmap: None, blocked: false, decode_error: true };
+            }
+        };
+        let meta = ImageMeta {
+            url,
+            width: bitmap.width(),
+            height: bitmap.height(),
+            frame_depth,
+        };
+        let action = interceptor.inspect(&mut bitmap, &meta);
+        let blocked = action == InterceptAction::Block;
+        if blocked {
+            // "If PERCIVAL determines that the buffer contains an ad, it
+            // clears the buffer, effectively blocking the image frame."
+            bitmap.clear();
+        }
+        DecodeOutcome { bitmap: Some(Arc::new(bitmap)), blocked, decode_error: false }
+    }
+
+    /// Number of distinct URLs decoded so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been decoded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// How many cached outcomes were blocked.
+    pub fn blocked_count(&self) -> usize {
+        self.entries.lock().values().filter(|o| o.blocked).count()
+    }
+
+    /// How many cached outcomes failed to decode.
+    pub fn error_count(&self) -> usize {
+        self.entries.lock().values().filter(|o| o.decode_error).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{NoopInterceptor, UrlPredicateInterceptor};
+    use crate::net::InMemoryStore;
+    use percival_imgcodec::png::encode_png;
+
+    fn store_with_png(url: &str) -> InMemoryStore {
+        let mut s = InMemoryStore::default();
+        s.insert_image(url, encode_png(&Bitmap::new(8, 8, [200, 10, 10, 255])));
+        s
+    }
+
+    #[test]
+    fn decodes_once_and_caches() {
+        let s = store_with_png("http://a/x.png");
+        let cache = ImageDecodeCache::new();
+        let a = cache.get_or_decode(&s, &NoopInterceptor, "http://a/x.png", 0);
+        let b = cache.get_or_decode(&s, &NoopInterceptor, "http://a/x.png", 0);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(cache.len(), 1);
+        assert!(a.paintable());
+    }
+
+    #[test]
+    fn blocked_images_are_cleared() {
+        let s = store_with_png("http://adnet/x.png");
+        let cache = ImageDecodeCache::new();
+        let hook = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
+        let out = cache.get_or_decode(&s, &hook, "http://adnet/x.png", 0);
+        assert!(out.blocked);
+        assert!(!out.paintable());
+        assert!(out.bitmap.as_ref().unwrap().is_blank(), "buffer must be cleared");
+        assert_eq!(cache.blocked_count(), 1);
+    }
+
+    #[test]
+    fn missing_and_corrupt_resources() {
+        let mut s = InMemoryStore::default();
+        s.insert_image("http://a/corrupt.png", vec![0x89, b'P', b'N', b'G', 0, 1, 2]);
+        let cache = ImageDecodeCache::new();
+        let missing = cache.get_or_decode(&s, &NoopInterceptor, "http://a/missing.png", 0);
+        assert!(missing.bitmap.is_none());
+        assert!(!missing.decode_error);
+        let corrupt = cache.get_or_decode(&s, &NoopInterceptor, "http://a/corrupt.png", 0);
+        assert!(corrupt.bitmap.is_none());
+        assert!(corrupt.decode_error);
+        assert_eq!(cache.error_count(), 1);
+    }
+
+    #[test]
+    fn parallel_decodes_are_consistent() {
+        let mut s = InMemoryStore::default();
+        for i in 0..32 {
+            s.insert_image(
+                &format!("http://a/{i}.png"),
+                encode_png(&Bitmap::new(4, 4, [i as u8, 0, 0, 255])),
+            );
+        }
+        let cache = ImageDecodeCache::new();
+        let hook = UrlPredicateInterceptor::new(|u| u.ends_with("0.png"));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..32 {
+                        let url = format!("http://a/{i}.png");
+                        let out = cache.get_or_decode(&s, &hook, &url, 0);
+                        assert_eq!(out.blocked, url.ends_with("0.png"));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.blocked_count(), 4); // 0, 10, 20, 30
+    }
+}

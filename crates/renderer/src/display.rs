@@ -1,0 +1,280 @@
+//! Display-list construction, including recursive iframe rendering.
+//!
+//! "The layout tree contains the locations of the regions the DOM elements
+//! will occupy on the screen. This information together with the DOM
+//! element is encoded as a display item" (Section 3.2).
+
+use crate::css::CssRule;
+use crate::dom::NodeKind;
+use crate::html;
+use crate::layout::{layout, Rect};
+use crate::net::{NetworkFilter, ResourceKind, ResourceStore};
+use crate::style::resolve_styles;
+
+/// One paint command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisplayItem {
+    /// Solid background fill.
+    Solid {
+        /// Target rectangle.
+        rect: Rect,
+        /// RGBA fill color.
+        color: [u8; 4],
+    },
+    /// A text block (painted as placeholder line stripes).
+    Text {
+        /// Target rectangle.
+        rect: Rect,
+        /// Ink color.
+        color: [u8; 4],
+    },
+    /// A decoded-image paint.
+    Image {
+        /// Target rectangle.
+        rect: Rect,
+        /// Resource URL (the decode-cache key).
+        url: String,
+        /// Nesting depth (0 = main frame).
+        frame_depth: usize,
+    },
+}
+
+impl DisplayItem {
+    /// The item's target rectangle.
+    pub fn rect(&self) -> Rect {
+        match self {
+            DisplayItem::Solid { rect, .. }
+            | DisplayItem::Text { rect, .. }
+            | DisplayItem::Image { rect, .. } => *rect,
+        }
+    }
+}
+
+/// A built display list plus bookkeeping from the build.
+#[derive(Debug, Clone, Default)]
+pub struct DisplayList {
+    /// Paint commands in paint order.
+    pub items: Vec<DisplayItem>,
+    /// Total document height of the main frame.
+    pub document_height: u32,
+    /// Iframe documents fetched and rendered.
+    pub frames_rendered: usize,
+    /// Requests suppressed by the network filter (the block-list layer).
+    pub requests_blocked: usize,
+    /// Elements in the main frame document (DOM size metric).
+    pub element_count: usize,
+}
+
+const TEXT_COLOR: [u8; 4] = [110, 110, 116, 255];
+
+/// Builds the display list for `url`, recursing into iframes up to
+/// `depth_limit`.
+///
+/// Returns `None` if the top-level document is missing from the store.
+#[allow(clippy::too_many_arguments)]
+pub fn build_display_list(
+    store: &dyn ResourceStore,
+    network: &dyn NetworkFilter,
+    url: &str,
+    viewport_width: u32,
+    injected_css: &[CssRule],
+    depth_limit: usize,
+) -> Option<DisplayList> {
+    let mut list = DisplayList::default();
+    build_frame(
+        store,
+        network,
+        url,
+        viewport_width,
+        injected_css,
+        0,
+        depth_limit,
+        (0, 0),
+        &mut list,
+    )?;
+    Some(list)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_frame(
+    store: &dyn ResourceStore,
+    network: &dyn NetworkFilter,
+    url: &str,
+    viewport_width: u32,
+    injected_css: &[CssRule],
+    depth: usize,
+    depth_limit: usize,
+    origin: (i32, i32),
+    out: &mut DisplayList,
+) -> Option<()> {
+    let source = store.get_document(url)?;
+    let doc = html::parse(&source);
+    let styles = resolve_styles(&doc, injected_css);
+    let tree = layout(&doc, &styles, viewport_width);
+    if depth == 0 {
+        out.document_height = tree.document_height;
+        out.element_count = doc.element_count();
+    } else {
+        out.frames_rendered += 1;
+    }
+
+    for id in doc.walk() {
+        let Some(rect) = tree.rects[id] else {
+            continue;
+        };
+        if styles.is_hidden(&doc, id) {
+            continue;
+        }
+        let rect = Rect { x: rect.x + origin.0, y: rect.y + origin.1, ..rect };
+        match &doc.nodes[id].kind {
+            NodeKind::Text(_) => out.items.push(DisplayItem::Text { rect, color: TEXT_COLOR }),
+            NodeKind::Element { tag, .. } => {
+                if let Some(color) = styles.styles[id].background {
+                    out.items.push(DisplayItem::Solid { rect, color });
+                }
+                match tag.as_str() {
+                    "img" => {
+                        if let Some(src) = doc.attr(id, "src") {
+                            if network.allow(src, ResourceKind::Image, url) {
+                                out.items.push(DisplayItem::Image {
+                                    rect,
+                                    url: src.to_string(),
+                                    frame_depth: depth,
+                                });
+                            } else {
+                                out.requests_blocked += 1;
+                            }
+                        }
+                    }
+                    "iframe" => {
+                        if let Some(src) = doc.attr(id, "src") {
+                            if !network.allow(src, ResourceKind::Subdocument, url) {
+                                out.requests_blocked += 1;
+                            } else if depth < depth_limit {
+                                // Missing subdocuments render as blank frames.
+                                let _ = build_frame(
+                                    store,
+                                    network,
+                                    src,
+                                    rect.w,
+                                    injected_css,
+                                    depth + 1,
+                                    depth_limit,
+                                    (rect.x, rect.y),
+                                    out,
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{AllowAll, InMemoryStore};
+
+    fn store() -> InMemoryStore {
+        let mut s = InMemoryStore::default();
+        s.insert_document(
+            "http://a.web/",
+            "<html><body>\
+             <div style=\"background-color:#112233;height:20\"></div>\
+             <p>text</p>\
+             <img src=\"http://a.web/pic.png\" width=\"50\" height=\"40\">\
+             <iframe src=\"http://frames.web/f1\" width=\"80\" height=\"60\"></iframe>\
+             </body></html>",
+        );
+        s.insert_document(
+            "http://frames.web/f1",
+            "<html><body><img src=\"http://adnet.web/ad.png\" width=\"70\" height=\"50\"></body></html>",
+        );
+        s
+    }
+
+    #[test]
+    fn collects_all_item_kinds() {
+        let list = build_display_list(&store(), &AllowAll, "http://a.web/", 400, &[], 3).unwrap();
+        let solids = list.items.iter().filter(|i| matches!(i, DisplayItem::Solid { .. })).count();
+        let texts = list.items.iter().filter(|i| matches!(i, DisplayItem::Text { .. })).count();
+        let images: Vec<&DisplayItem> = list
+            .items
+            .iter()
+            .filter(|i| matches!(i, DisplayItem::Image { .. }))
+            .collect();
+        assert!(solids >= 1);
+        assert!(texts >= 1);
+        assert_eq!(images.len(), 2, "main-frame + iframe image");
+        assert_eq!(list.frames_rendered, 1);
+    }
+
+    #[test]
+    fn iframe_images_are_offset_and_depth_tagged() {
+        let list = build_display_list(&store(), &AllowAll, "http://a.web/", 400, &[], 3).unwrap();
+        let ad = list
+            .items
+            .iter()
+            .find_map(|i| match i {
+                DisplayItem::Image { rect, url, frame_depth } if url.contains("adnet") => {
+                    Some((*rect, *frame_depth))
+                }
+                _ => None,
+            })
+            .expect("iframe ad present");
+        assert_eq!(ad.1, 1);
+        assert!(ad.0.y > 0, "iframe content offset into the page: {:?}", ad.0);
+    }
+
+    #[test]
+    fn network_filter_suppresses_requests() {
+        struct BlockAds;
+        impl NetworkFilter for BlockAds {
+            fn allow(&self, url: &str, _k: ResourceKind, _s: &str) -> bool {
+                !url.contains("adnet") && !url.contains("frames.web")
+            }
+        }
+        let list = build_display_list(&store(), &BlockAds, "http://a.web/", 400, &[], 3).unwrap();
+        let images = list.items.iter().filter(|i| matches!(i, DisplayItem::Image { .. })).count();
+        assert_eq!(images, 1, "only the first-party image survives");
+        assert_eq!(list.requests_blocked, 1, "the iframe request was blocked");
+        assert_eq!(list.frames_rendered, 0);
+    }
+
+    #[test]
+    fn injected_css_hides_containers() {
+        let mut s = InMemoryStore::default();
+        s.insert_document(
+            "http://b.web/",
+            "<html><body><div class=\"ad-banner\">\
+             <img src=\"http://x/ad.png\" width=\"10\" height=\"10\"></div></body></html>",
+        );
+        let hide = vec![CssRule::hide(".ad-banner").unwrap()];
+        let list = build_display_list(&s, &AllowAll, "http://b.web/", 400, &hide, 3).unwrap();
+        assert!(
+            list.items.iter().all(|i| !matches!(i, DisplayItem::Image { .. })),
+            "hidden subtree must not paint images"
+        );
+    }
+
+    #[test]
+    fn depth_limit_stops_recursion() {
+        let mut s = InMemoryStore::default();
+        // A frame that includes itself.
+        s.insert_document(
+            "http://loop.web/",
+            "<html><body><iframe src=\"http://loop.web/\" width=\"100\" height=\"100\"></iframe></body></html>",
+        );
+        let list = build_display_list(&s, &AllowAll, "http://loop.web/", 400, &[], 4).unwrap();
+        assert_eq!(list.frames_rendered, 4);
+    }
+
+    #[test]
+    fn missing_document_is_none() {
+        assert!(build_display_list(&InMemoryStore::default(), &AllowAll, "http://gone/", 400, &[], 3).is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! The DOM: an arena of element and text nodes.
+
+use std::collections::HashMap;
+
+/// Index of a node in its document's arena.
+pub type NodeId = usize;
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An element with a tag name and attributes.
+    Element {
+        /// Lower-case tag name.
+        tag: String,
+        /// Attribute map (names lower-cased).
+        attrs: HashMap<String, String>,
+    },
+    /// A text run.
+    Text(String),
+}
+
+/// One DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Parent node, if any.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Payload.
+    pub kind: NodeKind,
+}
+
+/// A parsed document: node arena plus the root element.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// All nodes; index 0 is the root (`<html>`).
+    pub nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates a document containing only a root `<html>` element.
+    pub fn with_root() -> Self {
+        let mut doc = Document::default();
+        doc.nodes.push(Node {
+            parent: None,
+            children: Vec::new(),
+            kind: NodeKind::Element { tag: "html".to_string(), attrs: HashMap::new() },
+        });
+        doc
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Appends a new element under `parent`, returning its id.
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        tag: &str,
+        attrs: HashMap<String, String>,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            kind: NodeKind::Element { tag: tag.to_ascii_lowercase(), attrs },
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Appends a text node under `parent`, returning its id.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            kind: NodeKind::Text(text.to_string()),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Tag name of an element node; `None` for text nodes.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Attribute lookup on an element node.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { attrs, .. } => attrs.get(name).map(String::as_str),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The element's `id` attribute.
+    pub fn element_id(&self, id: NodeId) -> Option<&str> {
+        self.attr(id, "id")
+    }
+
+    /// Whitespace-separated classes of an element.
+    pub fn classes(&self, id: NodeId) -> impl Iterator<Item = &str> {
+        self.attr(id, "class").unwrap_or("").split_whitespace()
+    }
+
+    /// True if the element carries `class_name`.
+    pub fn has_class(&self, id: NodeId, class_name: &str) -> bool {
+        self.classes(id).any(|c| c == class_name)
+    }
+
+    /// Depth-first pre-order traversal of all node ids from the root.
+    pub fn walk(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so traversal is document order.
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All element ids with the given tag.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.walk()
+            .into_iter()
+            .filter(|&id| self.tag(id) == Some(tag))
+            .collect()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        let mut d = Document::with_root();
+        let body = d.append_element(d.root(), "BODY", HashMap::new());
+        let mut attrs = HashMap::new();
+        attrs.insert("class".to_string(), "hero big".to_string());
+        attrs.insert("id".to_string(), "main".to_string());
+        let div = d.append_element(body, "div", attrs);
+        d.append_text(div, "hello");
+        let mut img_attrs = HashMap::new();
+        img_attrs.insert("src".to_string(), "http://x.web/a.png".to_string());
+        d.append_element(div, "img", img_attrs);
+        d
+    }
+
+    #[test]
+    fn tags_are_lowercased() {
+        let d = doc();
+        assert_eq!(d.tag(1), Some("body"));
+    }
+
+    #[test]
+    fn class_and_id_accessors() {
+        let d = doc();
+        assert!(d.has_class(2, "hero"));
+        assert!(d.has_class(2, "big"));
+        assert!(!d.has_class(2, "her"));
+        assert_eq!(d.element_id(2), Some("main"));
+        assert_eq!(d.element_id(1), None);
+    }
+
+    #[test]
+    fn walk_is_document_order() {
+        let d = doc();
+        assert_eq!(d.walk(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn elements_by_tag_finds_images() {
+        let d = doc();
+        let imgs = d.elements_by_tag("img");
+        assert_eq!(imgs.len(), 1);
+        assert_eq!(d.attr(imgs[0], "src"), Some("http://x.web/a.png"));
+    }
+
+    #[test]
+    fn element_count_excludes_text() {
+        assert_eq!(doc().element_count(), 4);
+    }
+}

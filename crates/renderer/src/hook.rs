@@ -1,0 +1,99 @@
+//! The post-decode interception hook — PERCIVAL's choke point.
+//!
+//! "Our goal is to find a single point in the browser to run PERCIVAL,
+//! such that it inspects all images, operates on pixels instead of encoded
+//! images, but does so before the user sees the pixels" (Section 3.1).
+//! In this pipeline that point is [`ImageInterceptor::inspect`]: it is
+//! invoked by the decode/raster workers for every image, with the decoded,
+//! unmodified pixel buffer, before any paint happens — and it runs on
+//! multiple worker threads in parallel, matching the paper's second design
+//! goal.
+
+use percival_imgcodec::Bitmap;
+
+/// Metadata handed to the interceptor alongside the pixels (the analogue of
+/// `SkImageInfo`).
+#[derive(Debug, Clone)]
+pub struct ImageMeta<'a> {
+    /// The resource URL the bytes came from.
+    pub url: &'a str,
+    /// Decoded width in pixels.
+    pub width: usize,
+    /// Decoded height in pixels.
+    pub height: usize,
+    /// 0 for main-frame images, 1+ for images inside nested iframes.
+    pub frame_depth: usize,
+}
+
+/// The interceptor's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterceptAction {
+    /// Let the pixels through to rasterization.
+    Keep,
+    /// Block the frame: the pipeline clears the buffer before raster.
+    Block,
+}
+
+/// An image inspector plugged into the decode path.
+///
+/// Implementations must be thread-safe: the pipeline invokes them from
+/// several raster workers concurrently.
+pub trait ImageInterceptor: Send + Sync {
+    /// Inspects (and may repaint) a freshly decoded buffer.
+    fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction;
+}
+
+/// The baseline interceptor: keeps everything (plain Chromium).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopInterceptor;
+
+impl ImageInterceptor for NoopInterceptor {
+    fn inspect(&self, _bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+        InterceptAction::Keep
+    }
+}
+
+/// Test/diagnostic interceptor: blocks when a URL predicate fires.
+pub struct UrlPredicateInterceptor<F: Fn(&str) -> bool + Send + Sync> {
+    predicate: F,
+}
+
+impl<F: Fn(&str) -> bool + Send + Sync> UrlPredicateInterceptor<F> {
+    /// Blocks any image whose URL satisfies `predicate`.
+    pub fn new(predicate: F) -> Self {
+        UrlPredicateInterceptor { predicate }
+    }
+}
+
+impl<F: Fn(&str) -> bool + Send + Sync> ImageInterceptor for UrlPredicateInterceptor<F> {
+    fn inspect(&self, _bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction {
+        if (self.predicate)(meta.url) {
+            InterceptAction::Block
+        } else {
+            InterceptAction::Keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_keeps() {
+        let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
+        let meta = ImageMeta { url: "http://x/", width: 2, height: 2, frame_depth: 0 };
+        assert_eq!(NoopInterceptor.inspect(&mut b, &meta), InterceptAction::Keep);
+        assert!(!b.is_blank());
+    }
+
+    #[test]
+    fn predicate_blocks_matching_urls() {
+        let i = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
+        let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
+        let ad = ImageMeta { url: "http://adnet.web/a", width: 2, height: 2, frame_depth: 0 };
+        let ok = ImageMeta { url: "http://site.web/a", width: 2, height: 2, frame_depth: 0 };
+        assert_eq!(i.inspect(&mut b, &ad), InterceptAction::Block);
+        assert_eq!(i.inspect(&mut b, &ok), InterceptAction::Keep);
+    }
+}

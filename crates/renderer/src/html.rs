@@ -1,0 +1,236 @@
+//! An HTML parser for the block-level subset the corpus emits.
+//!
+//! Supports nested elements, attributes (quoted and bare), self-closing and
+//! void tags (`img`, `br`), comments, and implicit tag closure for
+//! mismatched end tags (recover, never fail: browsers don't reject HTML,
+//! and neither can a crawler substrate).
+
+use crate::dom::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Tags that never have children.
+fn is_void(tag: &str) -> bool {
+    matches!(tag, "img" | "br" | "hr" | "input" | "meta" | "link")
+}
+
+/// Tags whose raw text content is not parsed as markup.
+fn is_raw_text(tag: &str) -> bool {
+    matches!(tag, "style" | "script")
+}
+
+/// Parses HTML text into a [`Document`]. Never fails: malformed input
+/// degrades to a best-effort tree, like a real browser.
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::with_root();
+    let mut stack: Vec<NodeId> = vec![doc.root()];
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            if input[pos..].starts_with("<!--") {
+                pos = match input[pos + 4..].find("-->") {
+                    Some(i) => pos + 4 + i + 3,
+                    None => bytes.len(),
+                };
+                continue;
+            }
+            if input[pos..].starts_with("</") {
+                let end = match input[pos..].find('>') {
+                    Some(i) => pos + i,
+                    None => break,
+                };
+                let name = input[pos + 2..end].trim().to_ascii_lowercase();
+                // Pop to the matching open tag if it exists on the stack.
+                if let Some(at) = stack
+                    .iter()
+                    .rposition(|&id| doc.tag(id) == Some(name.as_str()))
+                {
+                    stack.truncate(at.max(1));
+                }
+                pos = end + 1;
+                continue;
+            }
+            // Open tag.
+            let end = match input[pos..].find('>') {
+                Some(i) => pos + i,
+                None => break,
+            };
+            let self_closing = input[..end].ends_with('/');
+            let inner = input[pos + 1..end].trim_end_matches('/');
+            let (tag, attrs) = parse_tag(inner);
+            if tag.is_empty() {
+                pos = end + 1;
+                continue;
+            }
+            if tag == "html" {
+                // Merge attributes into the implicit root instead of nesting.
+                pos = end + 1;
+                continue;
+            }
+            let parent = *stack.last().expect("stack never empties");
+            let id = doc.append_element(parent, &tag, attrs);
+            pos = end + 1;
+            if is_raw_text(&tag) {
+                // Swallow raw text until the matching close tag.
+                let close = format!("</{tag}");
+                let stop = input[pos..]
+                    .to_ascii_lowercase()
+                    .find(&close)
+                    .map(|i| pos + i)
+                    .unwrap_or(bytes.len());
+                let text = &input[pos..stop];
+                if !text.trim().is_empty() {
+                    doc.append_text(id, text);
+                }
+                pos = match input[stop..].find('>') {
+                    Some(i) => stop + i + 1,
+                    None => bytes.len(),
+                };
+                continue;
+            }
+            if !self_closing && !is_void(&tag) {
+                stack.push(id);
+            }
+        } else {
+            let next_tag = input[pos..].find('<').map(|i| pos + i).unwrap_or(bytes.len());
+            let text = &input[pos..next_tag];
+            if !text.trim().is_empty() {
+                let parent = *stack.last().expect("stack never empties");
+                doc.append_text(parent, text.trim());
+            }
+            pos = next_tag;
+        }
+    }
+    doc
+}
+
+/// Splits `div class="x" id=y` into a tag name and attribute map.
+fn parse_tag(inner: &str) -> (String, HashMap<String, String>) {
+    let inner = inner.trim();
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let tag = inner[..name_end].to_ascii_lowercase();
+    let mut attrs = HashMap::new();
+    let mut rest = inner[name_end..].trim_start();
+    while !rest.is_empty() {
+        let eq = match rest.find('=') {
+            Some(i) => i,
+            None => {
+                // Bare attribute(s) without a value.
+                for w in rest.split_whitespace() {
+                    attrs.insert(w.to_ascii_lowercase(), String::new());
+                }
+                break;
+            }
+        };
+        // The attribute name may be preceded by bare attributes.
+        let name_part = rest[..eq].trim();
+        let name = name_part
+            .rsplit(|c: char| c.is_whitespace())
+            .next()
+            .unwrap_or(name_part);
+        for w in name_part[..name_part.len() - name.len()].split_whitespace() {
+            attrs.insert(w.to_ascii_lowercase(), String::new());
+        }
+        let after = rest[eq + 1..].trim_start();
+        let (value, next) = if let Some(stripped) = after.strip_prefix('"') {
+            match stripped.find('"') {
+                Some(i) => (&stripped[..i], &stripped[i + 1..]),
+                None => (stripped, ""),
+            }
+        } else if let Some(stripped) = after.strip_prefix('\'') {
+            match stripped.find('\'') {
+                Some(i) => (&stripped[..i], &stripped[i + 1..]),
+                None => (stripped, ""),
+            }
+        } else {
+            let end = after
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(after.len());
+            (&after[..end], &after[end..])
+        };
+        attrs.insert(name.to_ascii_lowercase(), value.to_string());
+        rest = next.trim_start();
+    }
+    (tag, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse("<html><body><div class=\"a\"><p>hi</p><img src=\"x.png\"></div></body></html>");
+        let body = doc.elements_by_tag("body");
+        assert_eq!(body.len(), 1);
+        let divs = doc.elements_by_tag("div");
+        assert_eq!(divs.len(), 1);
+        assert!(doc.has_class(divs[0], "a"));
+        let imgs = doc.elements_by_tag("img");
+        assert_eq!(doc.attr(imgs[0], "src"), Some("x.png"));
+        // img is a child of div despite no closing tag.
+        assert_eq!(doc.nodes[imgs[0]].parent, Some(divs[0]));
+    }
+
+    #[test]
+    fn attribute_forms() {
+        let doc = parse("<div id=plain class='single' data-x=\"double\" hidden></div>");
+        let d = doc.elements_by_tag("div")[0];
+        assert_eq!(doc.attr(d, "id"), Some("plain"));
+        assert_eq!(doc.attr(d, "class"), Some("single"));
+        assert_eq!(doc.attr(d, "data-x"), Some("double"));
+        assert_eq!(doc.attr(d, "hidden"), Some(""));
+    }
+
+    #[test]
+    fn text_nodes_are_captured() {
+        let doc = parse("<p>  hello world  </p>");
+        let p = doc.elements_by_tag("p")[0];
+        assert_eq!(doc.nodes[p].children.len(), 1);
+        match &doc.nodes[doc.nodes[p].children[0]].kind {
+            crate::dom::NodeKind::Text(t) => assert_eq!(t, "hello world"),
+            _ => panic!("expected text"),
+        }
+    }
+
+    #[test]
+    fn style_content_is_raw_text() {
+        let doc = parse("<style>.x { color: #fff; } <not-a-tag></style><div></div>");
+        let style = doc.elements_by_tag("style")[0];
+        assert_eq!(doc.nodes[style].children.len(), 1);
+        assert_eq!(doc.elements_by_tag("not-a-tag").len(), 0);
+        assert_eq!(doc.elements_by_tag("div").len(), 1);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = parse("<div><!-- <img src=\"evil.png\"> --></div>");
+        assert!(doc.elements_by_tag("img").is_empty());
+    }
+
+    #[test]
+    fn recovers_from_mismatched_close_tags() {
+        let doc = parse("<div><p>one</span></p></div><p>two</p>");
+        // Should not panic; both paragraphs exist.
+        assert_eq!(doc.elements_by_tag("p").len(), 2);
+    }
+
+    #[test]
+    fn truncated_input_does_not_panic() {
+        for html in ["<div", "<div class=\"x", "<", "</", "<!-- unclosed", "<style>.a{}"] {
+            let _ = parse(html);
+        }
+    }
+
+    #[test]
+    fn self_closing_iframe_and_void_tags() {
+        let doc = parse("<iframe src=\"f\"/><img src=\"a\"><p>after</p>");
+        assert_eq!(doc.elements_by_tag("iframe").len(), 1);
+        let p = doc.elements_by_tag("p")[0];
+        // p is a sibling, not a child of iframe/img.
+        assert_eq!(doc.nodes[p].parent, Some(doc.root()));
+    }
+}

@@ -1,0 +1,209 @@
+//! Block layout: computes the on-screen rectangle of every visible node.
+//!
+//! The corpus uses block-level content exclusively, so a vertical-stacking
+//! block layout (explicit sizes from style, intrinsic defaults for
+//! replaced elements, text measured by a fixed-metric font) reproduces the
+//! geometry work Blink's layout stage performs — enough for display-list
+//! construction and render-time accounting.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::style::ComputedStyles;
+
+/// An axis-aligned rectangle in page coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+}
+
+impl Rect {
+    /// True if the rectangles overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w as i32
+            && other.x < self.x + self.w as i32
+            && self.y < other.y + other.h as i32
+            && other.y < self.y + self.h as i32
+    }
+}
+
+/// Layout result: a rect per node (`None` = hidden or zero-area).
+#[derive(Debug, Clone)]
+pub struct LayoutTree {
+    /// Indexed by [`NodeId`].
+    pub rects: Vec<Option<Rect>>,
+    /// Total document height in pixels.
+    pub document_height: u32,
+}
+
+/// Fixed text metrics (stand-in font).
+const LINE_HEIGHT: u32 = 14;
+const CHAR_WIDTH: u32 = 7;
+/// Vertical gap between stacked blocks.
+const BLOCK_GAP: u32 = 2;
+
+/// Default intrinsic size of replaced elements without width/height.
+const REPLACED_DEFAULT: (u32, u32) = (100, 80);
+
+fn is_replaced(tag: &str) -> bool {
+    matches!(tag, "img" | "iframe" | "canvas")
+}
+
+/// Computes layout for a styled document at the given viewport width.
+pub fn layout(doc: &Document, styles: &ComputedStyles, viewport_width: u32) -> LayoutTree {
+    let mut rects: Vec<Option<Rect>> = vec![None; doc.nodes.len()];
+    let h = layout_node(doc, styles, &mut rects, doc.root(), 0, 0, viewport_width);
+    LayoutTree { rects, document_height: h }
+}
+
+/// Lays out `id` at `(x, y)` within `avail_w`; returns the height consumed.
+fn layout_node(
+    doc: &Document,
+    styles: &ComputedStyles,
+    rects: &mut Vec<Option<Rect>>,
+    id: NodeId,
+    x: i32,
+    y: i32,
+    avail_w: u32,
+) -> u32 {
+    match &doc.nodes[id].kind {
+        NodeKind::Text(text) => {
+            let chars_per_line = (avail_w / CHAR_WIDTH).max(1) as usize;
+            let lines = text.len().div_ceil(chars_per_line).max(1) as u32;
+            let h = lines * LINE_HEIGHT;
+            rects[id] = Some(Rect { x, y, w: avail_w, h });
+            h
+        }
+        NodeKind::Element { tag, .. } => {
+            let style = &styles.styles[id];
+            if style.display_none {
+                return 0;
+            }
+            let (def_w, def_h) = if is_replaced(tag) {
+                REPLACED_DEFAULT
+            } else {
+                (avail_w, 0)
+            };
+            let w = style.width.unwrap_or(def_w).min(avail_w.max(1));
+            if is_replaced(tag) {
+                let h = style.height.unwrap_or(def_h);
+                rects[id] = Some(Rect { x, y, w, h });
+                return h;
+            }
+            // Containers: stack children vertically.
+            let mut cursor = y;
+            let children = doc.nodes[id].children.clone();
+            for child in children {
+                let used = layout_node(doc, styles, rects, child, x, cursor, w);
+                if used > 0 {
+                    cursor += (used + BLOCK_GAP) as i32;
+                }
+            }
+            let content_h = (cursor - y) as u32;
+            let h = style.height.unwrap_or(content_h);
+            rects[id] = Some(Rect { x, y, w, h });
+            h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse;
+    use crate::style::resolve_styles;
+
+    fn layout_of(html: &str) -> (Document, LayoutTree) {
+        let doc = parse(html);
+        let styles = resolve_styles(&doc, &[]);
+        let tree = layout(&doc, &styles, 400);
+        (doc, tree)
+    }
+
+    #[test]
+    fn blocks_stack_vertically() {
+        let (doc, tree) = layout_of(
+            "<body><div style=\"height:50\"></div><div style=\"height:30\"></div></body>",
+        );
+        let divs = doc.elements_by_tag("div");
+        let a = tree.rects[divs[0]].unwrap();
+        let b = tree.rects[divs[1]].unwrap();
+        assert_eq!(a.h, 50);
+        assert!(b.y >= a.y + 50, "second block below first: {b:?}");
+    }
+
+    #[test]
+    fn replaced_elements_use_attributes() {
+        let (doc, tree) = layout_of("<body><img src=\"x\" width=\"120\" height=\"60\"></body>");
+        let img = doc.elements_by_tag("img")[0];
+        let r = tree.rects[img].unwrap();
+        assert_eq!((r.w, r.h), (120, 60));
+    }
+
+    #[test]
+    fn replaced_elements_have_intrinsic_defaults() {
+        let (doc, tree) = layout_of("<body><iframe src=\"f\"></iframe></body>");
+        let f = doc.elements_by_tag("iframe")[0];
+        let r = tree.rects[f].unwrap();
+        assert_eq!((r.w, r.h), (100, 80));
+    }
+
+    #[test]
+    fn hidden_elements_take_no_space() {
+        let (doc, tree) = layout_of(
+            "<body><div style=\"display:none;height:500\"><img src=\"x\"></div>\
+             <div style=\"height:20\"></div></body>",
+        );
+        let divs = doc.elements_by_tag("div");
+        assert!(tree.rects[divs[0]].is_none());
+        let visible = tree.rects[divs[1]].unwrap();
+        assert!(visible.y < 10, "hidden block should not push content down");
+        let img = doc.elements_by_tag("img")[0];
+        assert!(tree.rects[img].is_none());
+    }
+
+    #[test]
+    fn container_height_wraps_children() {
+        let (doc, tree) = layout_of(
+            "<body><div><img src=\"a\" width=\"50\" height=\"40\">\
+             <img src=\"b\" width=\"50\" height=\"40\"></div></body>",
+        );
+        let div = doc.elements_by_tag("div")[0];
+        let r = tree.rects[div].unwrap();
+        assert!(r.h >= 80, "container wraps stacked children: {r:?}");
+    }
+
+    #[test]
+    fn text_height_scales_with_length() {
+        let (doc, tree) = layout_of("<body><p>hi</p></body>");
+        let short = tree.rects[doc.nodes[doc.elements_by_tag("p")[0]].children[0]]
+            .unwrap()
+            .h;
+        let long_text = "x".repeat(600);
+        let (doc2, tree2) = layout_of(&format!("<body><p>{long_text}</p></body>"));
+        let long = tree2.rects[doc2.nodes[doc2.elements_by_tag("p")[0]].children[0]]
+            .unwrap()
+            .h;
+        assert!(long > short * 5, "600 chars should wrap many lines");
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect { x: 0, y: 0, w: 10, h: 10 };
+        let b = Rect { x: 5, y: 5, w: 10, h: 10 };
+        let c = Rect { x: 10, y: 0, w: 5, h: 5 };
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c)); // touching edges do not overlap
+    }
+
+    #[test]
+    fn document_height_positive() {
+        let (_, tree) = layout_of("<body><div style=\"height:100\"></div></body>");
+        assert!(tree.document_height >= 100);
+    }
+}

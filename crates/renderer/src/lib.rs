@@ -1,0 +1,40 @@
+//! A Blink-style rendering pipeline with a post-decode image hook.
+//!
+//! This crate is the substrate for the paper's central system claim: that an
+//! image classifier can sit *inside* the rendering pipeline — "after the
+//! Image Decoding Step, during the raster phase" (Section 2.1) — where it
+//! sees the raw pixels of every image regardless of format or loading
+//! mechanism, before anything reaches the screen.
+//!
+//! The stages mirror Blink's (Section 3.2): parse HTML into a DOM
+//! ([`html`], [`dom`]), resolve styles ([`css`], [`style`]), build a layout
+//! tree ([`layout`]), record a display list ([`display`]), decode images
+//! deferred-and-once ([`decode`], the `DeferredImageDecoder` /
+//! `DecodingImageGenerator` analogue), rasterize tiles on a pool of worker
+//! threads ([`raster`]) and composite them into a frame buffer
+//! ([`compositor`]). The [`hook::ImageInterceptor`] trait is the choke
+//! point: implementations (PERCIVAL's CNN in `percival-core`, or a no-op)
+//! run on the raster workers, in parallel, against decoded pixel buffers.
+//!
+//! [`pipeline::RenderPipeline`] drives the whole thing and reports
+//! per-stage timings — the substrate for the render-performance evaluation
+//! (Figures 14 and 15).
+
+pub mod compositor;
+pub mod css;
+pub mod decode;
+pub mod display;
+pub mod dom;
+pub mod hook;
+pub mod html;
+pub mod layout;
+pub mod net;
+pub mod pipeline;
+pub mod raster;
+pub mod style;
+
+pub use decode::ImageDecodeCache;
+pub use dom::{Document, NodeId};
+pub use hook::{ImageMeta, ImageInterceptor, InterceptAction, NoopInterceptor};
+pub use net::{InMemoryStore, ResourceStore};
+pub use pipeline::{PipelineConfig, RenderOutput, RenderPipeline, RenderTiming};

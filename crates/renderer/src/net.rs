@@ -1,0 +1,99 @@
+//! Resource loading: the substrate's stand-in for the network stack.
+
+use std::collections::HashMap;
+
+/// Where documents and encoded images come from.
+pub trait ResourceStore: Send + Sync {
+    /// Fetches an HTML document by URL.
+    fn get_document(&self, url: &str) -> Option<String>;
+    /// Fetches encoded image bytes by URL.
+    fn get_image(&self, url: &str) -> Option<Vec<u8>>;
+}
+
+/// Resource classes subject to network filtering in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// An image request.
+    Image,
+    /// An iframe document request.
+    Subdocument,
+}
+
+/// A pre-decode request filter — the "block lists" layer. The Brave
+/// configuration plugs the EasyList engine in here; plain Chromium uses
+/// [`AllowAll`].
+pub trait NetworkFilter: Send + Sync {
+    /// Returns `true` if the request may proceed.
+    fn allow(&self, url: &str, kind: ResourceKind, source_url: &str) -> bool;
+}
+
+/// Lets every request through.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllowAll;
+
+impl NetworkFilter for AllowAll {
+    fn allow(&self, _url: &str, _kind: ResourceKind, _source_url: &str) -> bool {
+        true
+    }
+}
+
+/// An in-memory [`ResourceStore`] (built from a `percival-webgen` corpus or
+/// hand-assembled in tests).
+#[derive(Debug, Default, Clone)]
+pub struct InMemoryStore {
+    documents: HashMap<String, String>,
+    images: HashMap<String, Vec<u8>>,
+}
+
+impl InMemoryStore {
+    /// Creates a store from document and image maps.
+    pub fn new(documents: HashMap<String, String>, images: HashMap<String, Vec<u8>>) -> Self {
+        InMemoryStore { documents, images }
+    }
+
+    /// Adds one document.
+    pub fn insert_document(&mut self, url: &str, html: &str) {
+        self.documents.insert(url.to_string(), html.to_string());
+    }
+
+    /// Adds one encoded image.
+    pub fn insert_image(&mut self, url: &str, bytes: Vec<u8>) {
+        self.images.insert(url.to_string(), bytes);
+    }
+
+    /// Number of stored images.
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+}
+
+impl ResourceStore for InMemoryStore {
+    fn get_document(&self, url: &str) -> Option<String> {
+        self.documents.get(url).cloned()
+    }
+
+    fn get_image(&self, url: &str) -> Option<Vec<u8>> {
+        self.images.get(url).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = InMemoryStore::default();
+        s.insert_document("http://a.web/", "<html></html>");
+        s.insert_image("http://a.web/x.png", vec![1, 2, 3]);
+        assert_eq!(s.get_document("http://a.web/").as_deref(), Some("<html></html>"));
+        assert_eq!(s.get_image("http://a.web/x.png"), Some(vec![1, 2, 3]));
+        assert!(s.get_document("http://missing/").is_none());
+        assert_eq!(s.image_count(), 1);
+    }
+
+    #[test]
+    fn allow_all_allows() {
+        assert!(AllowAll.allow("http://x/", ResourceKind::Image, "http://y/"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The end-to-end render pipeline with per-stage timing.
+//!
+//! Drives the full Blink-analogue sequence for one page load and reports
+//! the stage costs. `render time` here corresponds to the paper's
+//! `domComplete - domLoading` metric (Section 5.7): everything from
+//! parsing to the composited frame.
+
+use crate::compositor::composite;
+use crate::css::CssRule;
+use crate::decode::ImageDecodeCache;
+use crate::display::{build_display_list, DisplayItem};
+use crate::hook::ImageInterceptor;
+use crate::net::{NetworkFilter, ResourceStore};
+use crate::raster::raster_all;
+use percival_imgcodec::Bitmap;
+use std::time::Instant;
+
+/// Pipeline tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Viewport (and frame buffer) width.
+    pub viewport_width: u32,
+    /// Cap on the rendered page height (memory guard).
+    pub max_page_height: u32,
+    /// Square tile edge.
+    pub tile_size: u32,
+    /// Raster worker threads ("multiple raster threads each rasterizing
+    /// different raster tasks in parallel").
+    pub raster_threads: usize,
+    /// Maximum iframe nesting.
+    pub iframe_depth_limit: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            viewport_width: 800,
+            max_page_height: 2400,
+            tile_size: 128,
+            raster_threads: 4,
+            iframe_depth_limit: 3,
+        }
+    }
+}
+
+/// Wall-clock stage costs, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderTiming {
+    /// Display-list construction (parse + style + layout of every frame).
+    pub build_ms: f64,
+    /// Raster + decode + interception (the hook runs inside this stage).
+    pub raster_ms: f64,
+    /// Tile compositing.
+    pub composite_ms: f64,
+    /// Total page render time (the paper's render-time metric).
+    pub total_ms: f64,
+}
+
+/// Counters from one render.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderStats {
+    /// Image paints in the display list.
+    pub image_items: usize,
+    /// Distinct images decoded.
+    pub images_decoded: usize,
+    /// Images blocked by the interceptor (PERCIVAL).
+    pub images_blocked: usize,
+    /// Broken images (fetch or decode failure).
+    pub decode_errors: usize,
+    /// Requests suppressed by the network filter (block lists).
+    pub requests_blocked: usize,
+    /// Iframes rendered.
+    pub frames_rendered: usize,
+    /// Elements in the main document.
+    pub element_count: usize,
+    /// Tiles rastered.
+    pub tiles: usize,
+}
+
+/// A completed page render.
+#[derive(Debug)]
+pub struct RenderOutput {
+    /// The composited frame.
+    pub framebuffer: Bitmap,
+    /// Stage timings.
+    pub timing: RenderTiming,
+    /// Counters.
+    pub stats: RenderStats,
+}
+
+/// Errors from [`RenderPipeline::render`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// The top-level document was not in the store.
+    DocumentNotFound(String),
+}
+
+impl core::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RenderError::DocumentNotFound(url) => write!(f, "document not found: {url}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// The render pipeline. Holds only configuration; all per-render state
+/// (decode cache, display list) is local to [`RenderPipeline::render`].
+#[derive(Debug, Clone, Default)]
+pub struct RenderPipeline {
+    /// Tuning parameters.
+    pub config: PipelineConfig,
+}
+
+impl RenderPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        RenderPipeline { config }
+    }
+
+    /// Renders one page.
+    ///
+    /// - `interceptor` is the post-decode hook (PERCIVAL or a no-op);
+    /// - `network` is the pre-decode request filter (block lists or allow-all);
+    /// - `injected_css` are extra cascade rules (cosmetic filters).
+    ///
+    /// # Errors
+    ///
+    /// [`RenderError::DocumentNotFound`] when `url` is not in the store.
+    pub fn render(
+        &self,
+        store: &dyn ResourceStore,
+        url: &str,
+        interceptor: &dyn ImageInterceptor,
+        network: &dyn NetworkFilter,
+        injected_css: &[CssRule],
+    ) -> Result<RenderOutput, RenderError> {
+        let cfg = &self.config;
+        let t_start = Instant::now();
+
+        // Stage 1: DOM + style + layout + display list (recursing iframes).
+        let t0 = Instant::now();
+        let list = build_display_list(
+            store,
+            network,
+            url,
+            cfg.viewport_width,
+            injected_css,
+            cfg.iframe_depth_limit,
+        )
+        .ok_or_else(|| RenderError::DocumentNotFound(url.to_string()))?;
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let page_height = list.document_height.clamp(1, cfg.max_page_height);
+
+        // Stage 2: raster tiles in parallel; deferred decode + the
+        // interception hook run inside the raster workers.
+        let t1 = Instant::now();
+        let cache = ImageDecodeCache::new();
+        let tiles = raster_all(
+            &list,
+            &cache,
+            store,
+            interceptor,
+            cfg.viewport_width,
+            page_height,
+            cfg.tile_size,
+            cfg.raster_threads,
+        );
+        let raster_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 3: composite.
+        let t2 = Instant::now();
+        let framebuffer = composite(&tiles, cfg.viewport_width, page_height);
+        let composite_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        let stats = RenderStats {
+            image_items: list
+                .items
+                .iter()
+                .filter(|i| matches!(i, DisplayItem::Image { .. }))
+                .count(),
+            images_decoded: cache.len(),
+            images_blocked: cache.blocked_count(),
+            decode_errors: cache.error_count(),
+            requests_blocked: list.requests_blocked,
+            frames_rendered: list.frames_rendered,
+            element_count: list.element_count,
+            tiles: tiles.len(),
+        };
+        Ok(RenderOutput {
+            framebuffer,
+            timing: RenderTiming {
+                build_ms,
+                raster_ms,
+                composite_ms,
+                total_ms: t_start.elapsed().as_secs_f64() * 1e3,
+            },
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{NoopInterceptor, UrlPredicateInterceptor};
+    use crate::net::{AllowAll, InMemoryStore, NetworkFilter, ResourceKind};
+    use percival_imgcodec::png::encode_png;
+
+    fn demo_store() -> InMemoryStore {
+        let mut s = InMemoryStore::default();
+        s.insert_document(
+            "http://demo.web/",
+            "<html><body>\
+             <div class=\"hdr\" style=\"background-color:#223344;height:30\"></div>\
+             <p>Some article text that wraps across lines and paints stripes.</p>\
+             <img src=\"http://demo.web/pic.png\" width=\"60\" height=\"40\">\
+             <div class=\"ad-banner\"><img src=\"http://adnet.web/ad.png\" width=\"100\" height=\"50\"></div>\
+             <iframe src=\"http://syn.web/f\" width=\"120\" height=\"80\"></iframe>\
+             </body></html>",
+        );
+        s.insert_document(
+            "http://syn.web/f",
+            "<html><body><img src=\"http://adnet.web/ad2.png\" width=\"90\" height=\"60\"></body></html>",
+        );
+        s.insert_image("http://demo.web/pic.png", encode_png(&Bitmap::new(8, 8, [10, 200, 10, 255])));
+        s.insert_image("http://adnet.web/ad.png", encode_png(&Bitmap::new(8, 8, [200, 10, 10, 255])));
+        s.insert_image("http://adnet.web/ad2.png", encode_png(&Bitmap::new(8, 8, [200, 10, 99, 255])));
+        s
+    }
+
+    #[test]
+    fn renders_end_to_end() {
+        let pipeline = RenderPipeline::default();
+        let out = pipeline
+            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &AllowAll, &[])
+            .unwrap();
+        assert_eq!(out.stats.image_items, 3);
+        assert_eq!(out.stats.images_decoded, 3);
+        assert_eq!(out.stats.images_blocked, 0);
+        assert_eq!(out.stats.frames_rendered, 1);
+        assert!(out.timing.total_ms > 0.0);
+        assert!(out.framebuffer.width() == 800);
+    }
+
+    #[test]
+    fn interceptor_blocks_ad_pixels() {
+        let pipeline = RenderPipeline::default();
+        let hook = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
+        let out = pipeline
+            .render(&demo_store(), "http://demo.web/", &hook, &AllowAll, &[])
+            .unwrap();
+        assert_eq!(out.stats.images_blocked, 2);
+        // The content image still decodes and paints.
+        assert_eq!(out.stats.images_decoded, 3);
+    }
+
+    #[test]
+    fn network_filter_prevents_decode_entirely() {
+        struct Shields;
+        impl NetworkFilter for Shields {
+            fn allow(&self, url: &str, _k: ResourceKind, _s: &str) -> bool {
+                !url.contains("adnet") && !url.contains("syn.web")
+            }
+        }
+        let pipeline = RenderPipeline::default();
+        let out = pipeline
+            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &Shields, &[])
+            .unwrap();
+        // One image blocked directly + the iframe subdocument request.
+        assert_eq!(out.stats.requests_blocked, 2);
+        assert_eq!(out.stats.images_decoded, 1);
+    }
+
+    #[test]
+    fn missing_document_errors() {
+        let pipeline = RenderPipeline::default();
+        let err = pipeline
+            .render(&InMemoryStore::default(), "http://gone/", &NoopInterceptor, &AllowAll, &[])
+            .unwrap_err();
+        assert!(matches!(err, RenderError::DocumentNotFound(_)));
+    }
+
+    #[test]
+    fn framebuffers_identical_across_thread_counts() {
+        let store = demo_store();
+        let render_with = |threads: usize| {
+            let pipeline = RenderPipeline::new(PipelineConfig { raster_threads: threads, ..Default::default() });
+            pipeline
+                .render(&store, "http://demo.web/", &NoopInterceptor, &AllowAll, &[])
+                .unwrap()
+                .framebuffer
+        };
+        assert_eq!(render_with(1), render_with(8));
+    }
+
+    #[test]
+    fn cosmetic_injection_removes_ad_container() {
+        let pipeline = RenderPipeline::default();
+        let hide = vec![crate::css::CssRule::hide(".ad-banner").unwrap()];
+        let out = pipeline
+            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &AllowAll, &hide)
+            .unwrap();
+        assert_eq!(out.stats.image_items, 2, "hidden container's image never paints");
+    }
+}

@@ -1,0 +1,238 @@
+//! Tile-based rasterization on a pool of worker threads.
+//!
+//! "Blink rasters on a per tile basis and each tile is like a resource
+//! that can be used by the GPU. In a typical scenario there are multiple
+//! raster threads each rasterizing different raster tasks in parallel"
+//! (Section 3.3). Tiles are claimed from a shared queue by `n_threads`
+//! workers; each paints the display items intersecting its tile into a
+//! private buffer, which the compositor later assembles.
+
+use crate::decode::ImageDecodeCache;
+use crate::display::{DisplayItem, DisplayList};
+use crate::hook::ImageInterceptor;
+use crate::layout::Rect;
+use crate::net::ResourceStore;
+use percival_imgcodec::draw::{blend, fill_rect};
+use percival_imgcodec::Bitmap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One rastered tile.
+#[derive(Debug)]
+pub struct TileOutput {
+    /// Tile origin in page coordinates.
+    pub x: i32,
+    /// Tile origin in page coordinates.
+    pub y: i32,
+    /// The painted pixels.
+    pub bitmap: Bitmap,
+}
+
+/// Paints every display item intersecting the tile at `(tx, ty)`.
+fn raster_tile(
+    list: &DisplayList,
+    cache: &ImageDecodeCache,
+    store: &dyn ResourceStore,
+    interceptor: &dyn ImageInterceptor,
+    tx: i32,
+    ty: i32,
+    tile: u32,
+) -> TileOutput {
+    let mut bmp = Bitmap::new(tile as usize, tile as usize, [255, 255, 255, 255]);
+    let tile_rect = Rect { x: tx, y: ty, w: tile, h: tile };
+    for item in &list.items {
+        let rect = item.rect();
+        if !rect.intersects(&tile_rect) {
+            continue;
+        }
+        match item {
+            DisplayItem::Solid { color, .. } => {
+                fill_rect(&mut bmp, rect.x - tx, rect.y - ty, rect.w, rect.h, *color);
+            }
+            DisplayItem::Text { color, .. } => {
+                // Placeholder glyph stripes: half-height lines every 14px.
+                let mut line_y = rect.y;
+                while line_y + 7 <= rect.y + rect.h as i32 {
+                    fill_rect(&mut bmp, rect.x - tx + 2, line_y - ty + 3, rect.w.saturating_sub(4), 7, *color);
+                    line_y += 14;
+                }
+            }
+            DisplayItem::Image { url, frame_depth, .. } => {
+                // Deferred decoding: the first tile to need this image
+                // triggers decode + interception on this raster worker.
+                let outcome = cache.get_or_decode(store, interceptor, url, *frame_depth);
+                let Some(src) = outcome.bitmap.as_ref() else {
+                    continue;
+                };
+                if outcome.blocked {
+                    continue; // cleared buffer: nothing to paint
+                }
+                paint_scaled(&mut bmp, src, &rect, tx, ty);
+            }
+        }
+    }
+    TileOutput { x: tx, y: ty, bitmap: bmp }
+}
+
+/// Samples `src` (nearest) into the portion of `rect` visible in the tile.
+fn paint_scaled(tile: &mut Bitmap, src: &Bitmap, rect: &Rect, tx: i32, ty: i32) {
+    if rect.w == 0 || rect.h == 0 {
+        return;
+    }
+    let x0 = (rect.x - tx).max(0);
+    let y0 = (rect.y - ty).max(0);
+    let x1 = (rect.x - tx + rect.w as i32).min(tile.width() as i32);
+    let y1 = (rect.y - ty + rect.h as i32).min(tile.height() as i32);
+    for py in y0..y1 {
+        let v = (py + ty - rect.y) as usize;
+        let sy = (v * src.height() / rect.h as usize).min(src.height() - 1);
+        for px in x0..x1 {
+            let u = (px + tx - rect.x) as usize;
+            let sx = (u * src.width() / rect.w as usize).min(src.width() - 1);
+            let s = src.get(sx, sy);
+            let d = tile.get(px as usize, py as usize);
+            tile.set(px as usize, py as usize, blend(d, s));
+        }
+    }
+}
+
+/// Rasters the whole page as tiles, in parallel.
+///
+/// Returns tiles in an unspecified order (the compositor places them by
+/// coordinates).
+#[allow(clippy::too_many_arguments)]
+pub fn raster_all(
+    list: &DisplayList,
+    cache: &ImageDecodeCache,
+    store: &dyn ResourceStore,
+    interceptor: &dyn ImageInterceptor,
+    page_width: u32,
+    page_height: u32,
+    tile: u32,
+    n_threads: usize,
+) -> Vec<TileOutput> {
+    assert!(tile > 0, "tile size must be positive");
+    let cols = page_width.div_ceil(tile) as usize;
+    let rows = page_height.div_ceil(tile) as usize;
+    let total = cols * rows;
+    let next = AtomicUsize::new(0);
+    let n_threads = n_threads.max(1).min(total.max(1));
+
+    let mut outputs: Vec<Option<TileOutput>> = Vec::with_capacity(total);
+    outputs.resize_with(total, || None);
+    let slots: Vec<parking_lot::Mutex<&mut Option<TileOutput>>> =
+        outputs.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let tx = ((i % cols) as u32 * tile) as i32;
+                let ty = ((i / cols) as u32 * tile) as i32;
+                let out = raster_tile(list, cache, store, interceptor, tx, ty, tile);
+                **slots[i].lock() = Some(out);
+            });
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{NoopInterceptor, UrlPredicateInterceptor};
+    use crate::net::InMemoryStore;
+    use percival_imgcodec::png::encode_png;
+
+    fn simple_list() -> (DisplayList, InMemoryStore) {
+        let mut store = InMemoryStore::default();
+        store.insert_image(
+            "http://a/red.png",
+            encode_png(&Bitmap::new(4, 4, [255, 0, 0, 255])),
+        );
+        let list = DisplayList {
+            items: vec![
+                DisplayItem::Solid {
+                    rect: Rect { x: 0, y: 0, w: 64, h: 16 },
+                    color: [0, 0, 255, 255],
+                },
+                DisplayItem::Image {
+                    rect: Rect { x: 8, y: 24, w: 16, h: 16 },
+                    url: "http://a/red.png".to_string(),
+                    frame_depth: 0,
+                },
+            ],
+            document_height: 64,
+            ..Default::default()
+        };
+        (list, store)
+    }
+
+    #[test]
+    fn tiles_cover_the_page() {
+        let (list, store) = simple_list();
+        let cache = ImageDecodeCache::new();
+        let tiles = raster_all(&list, &cache, &store, &NoopInterceptor, 64, 64, 32, 2);
+        assert_eq!(tiles.len(), 4);
+    }
+
+    #[test]
+    fn items_paint_into_the_right_tiles() {
+        let (list, store) = simple_list();
+        let cache = ImageDecodeCache::new();
+        let tiles = raster_all(&list, &cache, &store, &NoopInterceptor, 64, 64, 32, 2);
+        let tl = tiles.iter().find(|t| t.x == 0 && t.y == 0).unwrap();
+        assert_eq!(tl.bitmap.get(5, 5), [0, 0, 255, 255], "solid paints");
+        assert_eq!(tl.bitmap.get(10, 28), [255, 0, 0, 255], "image paints");
+        let br = tiles.iter().find(|t| t.x == 32 && t.y == 32).unwrap();
+        assert_eq!(br.bitmap.get(5, 5), [255, 255, 255, 255], "empty tile stays white");
+    }
+
+    #[test]
+    fn blocked_image_leaves_blank_space() {
+        let (list, store) = simple_list();
+        let cache = ImageDecodeCache::new();
+        let hook = UrlPredicateInterceptor::new(|u| u.contains("red"));
+        let tiles = raster_all(&list, &cache, &store, &hook, 64, 64, 32, 2);
+        let tl = tiles.iter().find(|t| t.x == 0 && t.y == 0).unwrap();
+        assert_eq!(tl.bitmap.get(10, 28), [255, 255, 255, 255], "ad region blank");
+        assert_eq!(cache.blocked_count(), 1);
+    }
+
+    #[test]
+    fn image_scaling_covers_target_rect() {
+        let mut store = InMemoryStore::default();
+        store.insert_image(
+            "http://a/g.png",
+            encode_png(&Bitmap::new(2, 2, [0, 255, 0, 255])),
+        );
+        let list = DisplayList {
+            items: vec![DisplayItem::Image {
+                rect: Rect { x: 0, y: 0, w: 40, h: 40 },
+                url: "http://a/g.png".to_string(),
+                frame_depth: 0,
+            }],
+            document_height: 40,
+            ..Default::default()
+        };
+        let cache = ImageDecodeCache::new();
+        let tiles = raster_all(&list, &cache, &store, &NoopInterceptor, 40, 40, 64, 1);
+        let t = &tiles[0];
+        assert_eq!(t.bitmap.get(0, 0), [0, 255, 0, 255]);
+        assert_eq!(t.bitmap.get(39, 39), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let (list, store) = simple_list();
+        let render = |threads: usize| {
+            let cache = ImageDecodeCache::new();
+            let mut tiles = raster_all(&list, &cache, &store, &NoopInterceptor, 64, 64, 16, threads);
+            tiles.sort_by_key(|t| (t.y, t.x));
+            tiles.into_iter().map(|t| t.bitmap).collect::<Vec<_>>()
+        };
+        assert_eq!(render(1), render(4));
+    }
+}

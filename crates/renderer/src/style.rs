@@ -1,0 +1,140 @@
+//! Style resolution: cascade of presentational attributes, stylesheet
+//! rules (document order), injected rules (shields), then inline style.
+
+use crate::css::{parse_declarations, parse_stylesheet, CssRule, Declarations};
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// Computed styles for every node (text nodes get defaults).
+#[derive(Debug, Clone)]
+pub struct ComputedStyles {
+    /// Indexed by [`NodeId`].
+    pub styles: Vec<Declarations>,
+}
+
+fn rule_matches(doc: &Document, id: NodeId, rule: &CssRule) -> bool {
+    let Some(tag) = doc.tag(id) else {
+        return false;
+    };
+    if let Some(t) = &rule.tag {
+        if t != tag {
+            return false;
+        }
+    }
+    if let Some(rid) = &rule.id {
+        if doc.element_id(id) != Some(rid.as_str()) {
+            return false;
+        }
+    }
+    rule.classes.iter().all(|c| doc.has_class(id, c))
+}
+
+/// Extracts the document's own stylesheet rules from `<style>` elements.
+pub fn document_stylesheet(doc: &Document) -> Vec<CssRule> {
+    let mut rules = Vec::new();
+    for style_el in doc.elements_by_tag("style") {
+        for &child in &doc.nodes[style_el].children {
+            if let NodeKind::Text(text) = &doc.nodes[child].kind {
+                rules.extend(parse_stylesheet(text));
+            }
+        }
+    }
+    rules
+}
+
+/// Resolves the style of every node.
+///
+/// `injected` carries extra rules appended after the document's own sheet —
+/// the mechanism by which cosmetic filter rules (element hiding) reach the
+/// cascade in the Brave-shields configuration.
+pub fn resolve_styles(doc: &Document, injected: &[CssRule]) -> ComputedStyles {
+    let sheet = document_stylesheet(doc);
+    let mut styles = Vec::with_capacity(doc.nodes.len());
+    for id in 0..doc.nodes.len() {
+        let mut d = Declarations::default();
+        if doc.tag(id).is_some() {
+            // Presentational attributes first (lowest priority).
+            if let Some(w) = doc.attr(id, "width").and_then(|v| v.trim().parse().ok()) {
+                d.width = Some(w);
+            }
+            if let Some(h) = doc.attr(id, "height").and_then(|v| v.trim().parse().ok()) {
+                d.height = Some(h);
+            }
+            for rule in sheet.iter().chain(injected.iter()) {
+                if rule_matches(doc, id, rule) {
+                    d.apply(&rule.decls);
+                }
+            }
+            if let Some(inline) = doc.attr(id, "style") {
+                d.apply(&parse_declarations(inline));
+            }
+        }
+        styles.push(d);
+    }
+    ComputedStyles { styles }
+}
+
+impl ComputedStyles {
+    /// True if the node or any ancestor is `display: none`.
+    pub fn is_hidden(&self, doc: &Document, mut id: NodeId) -> bool {
+        loop {
+            if self.styles[id].display_none {
+                return true;
+            }
+            match doc.nodes[id].parent {
+                Some(p) => id = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse;
+
+    #[test]
+    fn attributes_then_sheet_then_inline() {
+        let doc = parse(
+            "<html><head><style>.box { width: 200; }</style></head>\
+             <body><div class=\"box\" width=\"100\" style=\"width:300\"></div>\
+             <div class=\"box\" width=\"100\"></div>\
+             <div width=\"100\"></div></body></html>",
+        );
+        let styles = resolve_styles(&doc, &[]);
+        let divs = doc.elements_by_tag("div");
+        assert_eq!(styles.styles[divs[0]].width, Some(300)); // inline wins
+        assert_eq!(styles.styles[divs[1]].width, Some(200)); // sheet beats attr
+        assert_eq!(styles.styles[divs[2]].width, Some(100)); // attr only
+    }
+
+    #[test]
+    fn injected_rules_hide_elements() {
+        let doc = parse("<body><div class=\"ad-banner\"><img src=\"x\"></div><div class=\"ok\"></div></body>");
+        let injected = vec![CssRule::hide(".ad-banner").unwrap()];
+        let styles = resolve_styles(&doc, &injected);
+        let divs = doc.elements_by_tag("div");
+        assert!(styles.styles[divs[0]].display_none);
+        assert!(!styles.styles[divs[1]].display_none);
+        // Hiding is inherited by descendants.
+        let img = doc.elements_by_tag("img")[0];
+        assert!(styles.is_hidden(&doc, img));
+    }
+
+    #[test]
+    fn background_color_resolves() {
+        let doc = parse("<div style=\"background-color:#102030\"></div>");
+        let styles = resolve_styles(&doc, &[]);
+        let div = doc.elements_by_tag("div")[0];
+        assert_eq!(styles.styles[div].background, Some([0x10, 0x20, 0x30, 255]));
+    }
+
+    #[test]
+    fn text_nodes_get_defaults() {
+        let doc = parse("<p>hello</p>");
+        let styles = resolve_styles(&doc, &[]);
+        let p = doc.elements_by_tag("p")[0];
+        let text = doc.nodes[p].children[0];
+        assert_eq!(styles.styles[text], Declarations::default());
+    }
+}

@@ -1,0 +1,97 @@
+//! ReLU and softmax.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward: `max(0, x)` elementwise, returning a new tensor.
+pub fn relu_forward(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    out.map_inplace(|v| v.max(0.0));
+    out
+}
+
+/// ReLU backward: passes the gradient where the *input* was positive.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), grad_out.shape(), "relu grad shape mismatch");
+    let mut d = grad_out.clone();
+    for (g, &x) in d.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    d
+}
+
+/// Row-wise softmax over the channel axis of an `N x C x 1 x 1` tensor.
+///
+/// Numerically stabilized by subtracting the row max.
+///
+/// # Panics
+///
+/// Panics if the spatial extent is not `1 x 1`.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let s = logits.shape();
+    assert_eq!((s.h, s.w), (1, 1), "softmax expects N x C x 1 x 1 logits");
+    let mut out = logits.clone();
+    for n in 0..s.n {
+        let row = out.sample_mut(n);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 1, 4), vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu_forward(&t).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 4), vec![-1.0, 0.0, 2.0, 3.0]);
+        let g = Tensor::filled(x.shape(), 5.0);
+        let d = relu_backward(&x, &g);
+        assert_eq!(d.as_slice(), &[0.0, 0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax(&t);
+        for n in 0..2 {
+            let sum: f32 = s.sample(n).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Larger logit, larger probability.
+        assert!(s.at(0, 2, 0, 0) > s.at(0, 1, 0, 0));
+        assert!(s.at(0, 1, 0, 0) > s.at(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![1000.0, 1001.0]);
+        let s = softmax(&a);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        let b = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![0.0, 1.0]);
+        let sb = softmax(&b);
+        for (x, y) in s.as_slice().iter().zip(sb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! 2-D convolution via im2col + GEMM, with full backward pass.
+
+use crate::gemm::{gemm_a_bt_acc, gemm_acc, gemm_at_b_acc};
+use crate::tensor::{Shape, Tensor};
+
+/// Convolution hyperparameters (square kernel geometry is implied by the
+/// weight tensor; stride and zero-padding are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dCfg {
+    /// Step between window positions.
+    pub stride: usize,
+    /// Zero padding added on each side.
+    pub pad: usize,
+}
+
+impl Default for Conv2dCfg {
+    fn default() -> Self {
+        Conv2dCfg { stride: 1, pad: 0 }
+    }
+}
+
+/// Output rows/columns for a given input extent, kernel extent, stride and
+/// padding; `None` when the window does not fit.
+pub fn conv_out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+    let padded = input + 2 * pad;
+    if padded < kernel || stride == 0 {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+/// Lowers one input sample into a `(C*KH*KW) x (OH*OW)` column matrix.
+fn im2col(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+) {
+    debug_assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let mut row = 0usize;
+    for ch in 0..c {
+        let plane = &sample[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let out_base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
+                    let dst = &mut col[out_base + oy * ow..out_base + (oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatters a column-matrix gradient back onto an input-sample gradient
+/// (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im_acc(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+    oh: usize,
+    ow: usize,
+    sample_grad: &mut [f32],
+) {
+    let mut row = 0usize;
+    for ch in 0..c {
+        let plane = &mut sample_grad[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let src_base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &col[src_base + oy * ow..src_base + (oy + 1) * ow];
+                    let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, &v) in src.iter().enumerate() {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += v;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+fn check_geometry(input: Shape, weight: Shape, cfg: Conv2dCfg) -> (usize, usize) {
+    assert_eq!(
+        input.c, weight.c,
+        "conv2d channel mismatch: input {} vs weight {}",
+        input, weight
+    );
+    let oh = conv_out_extent(input.h, weight.h, cfg.stride, cfg.pad)
+        .unwrap_or_else(|| panic!("conv2d kernel {}x{} does not fit input {}", weight.h, weight.w, input));
+    let ow = conv_out_extent(input.w, weight.w, cfg.stride, cfg.pad)
+        .unwrap_or_else(|| panic!("conv2d kernel {}x{} does not fit input {}", weight.h, weight.w, input));
+    (oh, ow)
+}
+
+/// Computes the forward convolution.
+///
+/// `input` is `N x C x H x W`; `weight` is `OC x C x KH x KW` (its `n` axis
+/// is the output-channel count); `bias` has length `OC`.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2dCfg) -> Tensor {
+    let is = input.shape();
+    let ws = weight.shape();
+    let (oh, ow) = check_geometry(is, ws, cfg);
+    let oc = ws.n;
+    assert_eq!(bias.len(), oc, "bias length must equal output channels");
+
+    let k = ws.c * ws.h * ws.w;
+    let spatial = oh * ow;
+    let mut out = Tensor::zeros(Shape::new(is.n, oc, oh, ow));
+
+    let run_sample = |sample_in: &[f32], out_sample: &mut [f32], col: &mut [f32]| {
+        im2col(sample_in, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, col);
+        // Seed the output with the bias, then accumulate W * col on top.
+        for (ch, chunk) in out_sample.chunks_exact_mut(spatial).enumerate() {
+            chunk.fill(bias[ch]);
+        }
+        gemm_acc(weight.as_slice(), col, out_sample, oc, k, spatial);
+    };
+
+    let per_sample_out = oc * spatial;
+    if is.n == 1 {
+        let mut col = vec![0.0f32; k * spatial];
+        run_sample(input.sample(0), out.as_mut_slice(), &mut col);
+        return out;
+    }
+    // Batch inputs: spread samples over a few threads (each output sample
+    // is a disjoint chunk, so this needs no synchronization).
+    let threads = is.n.min(4);
+    let chunk_len = is.n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in out
+            .as_mut_slice()
+            .chunks_mut(chunk_len * per_sample_out)
+            .enumerate()
+        {
+            let run = &run_sample;
+            scope.spawn(move || {
+                let mut col = vec![0.0f32; k * spatial];
+                for (i, out_sample) in out_chunk.chunks_exact_mut(per_sample_out).enumerate() {
+                    run(input.sample(t * chunk_len + i), out_sample, &mut col);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Gradients of a convolution: `(d_input, d_weight, d_bias)`.
+///
+/// All arguments must be the same tensors (and config) used in the matching
+/// forward call, plus `grad_out` with the forward output's shape.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    cfg: Conv2dCfg,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let is = input.shape();
+    let ws = weight.shape();
+    let (oh, ow) = check_geometry(is, ws, cfg);
+    let oc = ws.n;
+    assert_eq!(
+        grad_out.shape(),
+        Shape::new(is.n, oc, oh, ow),
+        "grad_out shape {} does not match forward output",
+        grad_out.shape()
+    );
+
+    let k = ws.c * ws.h * ws.w;
+    let spatial = oh * ow;
+    let mut d_input = Tensor::zeros(is);
+    let mut d_weight = Tensor::zeros(ws);
+    let mut d_bias = vec![0.0f32; oc];
+    let mut col = vec![0.0f32; k * spatial];
+    let mut d_col = vec![0.0f32; k * spatial];
+
+    for n in 0..is.n {
+        let go = grad_out.sample(n);
+
+        // d_bias: sum over spatial positions per output channel.
+        for (ch, chunk) in go.chunks_exact(spatial).enumerate() {
+            d_bias[ch] += chunk.iter().sum::<f32>();
+        }
+
+        // d_weight += dY (oc x spatial) * col^T (spatial x k).
+        im2col(input.sample(n), is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
+        gemm_a_bt_acc(go, &col, d_weight.as_mut_slice(), oc, spatial, k);
+
+        // d_col = W^T (k x oc) * dY (oc x spatial); then scatter to d_input.
+        d_col.fill(0.0);
+        gemm_at_b_acc(weight.as_slice(), go, &mut d_col, k, oc, spatial);
+        col2im_acc(&d_col, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, d_input.sample_mut(n));
+    }
+    (d_input, d_weight, d_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_util::Pcg32;
+
+    fn rand_tensor(seed: u64, shape: Shape) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+    }
+
+    /// Direct (non-im2col) reference convolution.
+    fn reference_conv(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2dCfg) -> Tensor {
+        let is = input.shape();
+        let ws = weight.shape();
+        let oh = conv_out_extent(is.h, ws.h, cfg.stride, cfg.pad).unwrap();
+        let ow = conv_out_extent(is.w, ws.w, cfg.stride, cfg.pad).unwrap();
+        let mut out = Tensor::zeros(Shape::new(is.n, ws.n, oh, ow));
+        for n in 0..is.n {
+            for oc in 0..ws.n {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[oc];
+                        for c in 0..is.c {
+                            for ky in 0..ws.h {
+                                for kx in 0..ws.w {
+                                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
+                                    let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
+                                    if iy >= 0 && iy < is.h as isize && ix >= 0 && ix < is.w as isize {
+                                        acc += input.at(n, c, iy as usize, ix as usize)
+                                            * weight.at(oc, c, ky, kx);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(n, oc, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_extent_formula() {
+        assert_eq!(conv_out_extent(224, 3, 2, 0), Some(111));
+        assert_eq!(conv_out_extent(5, 3, 1, 1), Some(5));
+        assert_eq!(conv_out_extent(2, 3, 1, 0), None);
+        assert_eq!(conv_out_extent(8, 1, 1, 0), Some(8));
+    }
+
+    #[test]
+    fn forward_matches_reference_various_geometries() {
+        let cases = [
+            (Shape::new(2, 3, 8, 8), Shape::new(4, 3, 3, 3), Conv2dCfg { stride: 1, pad: 1 }),
+            (Shape::new(1, 2, 9, 7), Shape::new(3, 2, 3, 3), Conv2dCfg { stride: 2, pad: 0 }),
+            (Shape::new(1, 4, 6, 6), Shape::new(8, 4, 1, 1), Conv2dCfg { stride: 1, pad: 0 }),
+            (Shape::new(2, 1, 5, 5), Shape::new(2, 1, 5, 5), Conv2dCfg { stride: 1, pad: 0 }),
+        ];
+        for (i, (is, ws, cfg)) in cases.into_iter().enumerate() {
+            let input = rand_tensor(10 + i as u64, is);
+            let weight = rand_tensor(20 + i as u64, ws);
+            let mut rng = Pcg32::seed_from_u64(30 + i as u64);
+            let bias: Vec<f32> = (0..ws.n).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+            let got = conv2d_forward(&input, &weight, &bias, cfg);
+            let expect = reference_conv(&input, &weight, &bias, cfg);
+            assert_eq!(got.shape(), expect.shape());
+            for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "case {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Finite-difference gradient check on a small convolution.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let cfg = Conv2dCfg { stride: 2, pad: 1 };
+        let is = Shape::new(1, 2, 5, 5);
+        let ws = Shape::new(3, 2, 3, 3);
+        let input = rand_tensor(1, is);
+        let weight = rand_tensor(2, ws);
+        let bias = vec![0.1, -0.2, 0.3];
+
+        // Loss = sum of outputs, so grad_out is all ones.
+        let out = conv2d_forward(&input, &weight, &bias, cfg);
+        let grad_out = Tensor::filled(out.shape(), 1.0);
+        let (d_in, d_w, d_b) = conv2d_backward(&input, &weight, &grad_out, cfg);
+
+        let eps = 1e-3f32;
+        let loss = |inp: &Tensor, w: &Tensor, b: &[f32]| conv2d_forward(inp, w, b, cfg).sum();
+
+        // Check a scattering of input coordinates.
+        for &idx in &[0usize, 7, 13, 24, 31, 49] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
+            let analytic = d_in.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "input grad at {idx}: fd {numeric} vs analytic {analytic}"
+            );
+        }
+        for &idx in &[0usize, 5, 17, 35, 53] {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias)) / (2.0 * eps);
+            let analytic = d_w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "weight grad at {idx}: fd {numeric} vs analytic {analytic}"
+            );
+        }
+        for i in 0..bias.len() {
+            let mut plus = bias.clone();
+            plus[i] += eps;
+            let mut minus = bias.clone();
+            minus[i] -= eps;
+            let numeric = (loss(&input, &weight, &plus) - loss(&input, &weight, &minus)) / (2.0 * eps);
+            assert!((numeric - d_b[i]).abs() < 2e-2, "bias grad {i}");
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_is_channel_mixing() {
+        // A 1x1 convolution with identity-ish weights should pass channels through.
+        let input = rand_tensor(3, Shape::new(1, 2, 4, 4));
+        let mut weight = Tensor::zeros(Shape::new(2, 2, 1, 1));
+        *weight.at_mut(0, 0, 0, 0) = 1.0;
+        *weight.at_mut(1, 1, 0, 0) = 1.0;
+        let out = conv2d_forward(&input, &weight, &[0.0, 0.0], Conv2dCfg::default());
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let input = Tensor::zeros(Shape::new(1, 3, 4, 4));
+        let weight = Tensor::zeros(Shape::new(2, 4, 3, 3));
+        conv2d_forward(&input, &weight, &[0.0, 0.0], Conv2dCfg::default());
+    }
+}

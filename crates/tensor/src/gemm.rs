@@ -1,0 +1,178 @@
+//! Row-major single-precision matrix multiplication.
+//!
+//! Convolution is lowered onto these kernels (im2col + GEMM), so this is the
+//! hot loop of both training and in-browser inference. The i-k-j loop order
+//! keeps the innermost loop streaming over contiguous rows of `b` and `c`,
+//! which LLVM auto-vectorizes.
+
+/// Computes `c += a * b` where `a` is `m x k`, `b` is `k x n` and `c` is
+/// `m x n`, all row-major.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..i * n + n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..kk * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Computes `c = a * b` (overwriting `c`).
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c[..m * n].fill(0.0);
+    gemm_acc(a, b, c, m, k, n);
+}
+
+/// Computes `c += a^T * b` where `a` is `k x m` (so `a^T` is `m x k`),
+/// `b` is `k x n` and `c` is `m x n`.
+///
+/// Used for the input-gradient of convolution (`W^T * dY`).
+pub fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= k * m, "a too short");
+    assert!(b.len() >= k * n, "b too short");
+    assert!(c.len() >= m * n, "c too short");
+    // Iterate over k outermost so both a-row and b-row reads stay contiguous.
+    for kk in 0..k {
+        let a_row = &a[kk * m..kk * m + m];
+        let b_row = &b[kk * n..kk * n + n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..i * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aki * bv;
+            }
+        }
+    }
+}
+
+/// Computes `c += a * b^T` where `a` is `m x k`, `b` is `n x k` (so `b^T` is
+/// `k x n`) and `c` is `m x n`.
+///
+/// Used for the weight-gradient of convolution (`dY * col^T`).
+pub fn gemm_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "a too short");
+    assert!(b.len() >= n * k, "b too short");
+    assert!(c.len() >= m * n, "c too short");
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..i * n + n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..j * k + k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut t = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    fn arb_matrix(seed: u64, len: usize) -> Vec<f32> {
+        let mut rng = percival_util::Pcg32::seed_from_u64(seed);
+        (0..len).map(|_| rng.range_f32(-2.0, 2.0)).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (7, 5, 9);
+        let a = arb_matrix(1, m * k);
+        let b = arb_matrix(2, k * n);
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let m = 4;
+        let mut eye = vec![0.0; m * m];
+        for i in 0..m {
+            eye[i * m + i] = 1.0;
+        }
+        let b = arb_matrix(3, m * m);
+        let mut c = vec![0.0; m * m];
+        gemm(&eye, &b, &mut c, m, m, m);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let (m, k, n) = (6, 4, 5);
+        let a_t_layout = arb_matrix(4, k * m); // stored as k x m
+        let b = arb_matrix(5, k * n);
+        let mut c = vec![0.0; m * n];
+        gemm_at_b_acc(&a_t_layout, &b, &mut c, m, k, n);
+        let a = transpose(&a_t_layout, k, m); // m x k
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let (m, k, n) = (3, 8, 4);
+        let a = arb_matrix(6, m * k);
+        let b_rows = arb_matrix(7, n * k); // stored as n x k
+        let mut c = vec![0.0; m * n];
+        gemm_a_bt_acc(&a, &b_rows, &mut c, m, k, n);
+        let bt = transpose(&b_rows, n, k); // k x n
+        let expect = naive(&a, &bt, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn acc_variant_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        gemm_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [12.0, 13.0, 14.0, 15.0]);
+    }
+}

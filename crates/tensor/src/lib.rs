@@ -1,0 +1,31 @@
+//! NCHW tensor library with the neural-network primitives PERCIVAL needs.
+//!
+//! The PERCIVAL network (a pruned SqueezeNet fork) is built entirely from
+//! convolutions, max pooling, ReLU, global average pooling and softmax, so
+//! this crate implements exactly those operators — each with a forward *and*
+//! a backward pass, because the paper both trains the model (Section 4.3)
+//! and computes Grad-CAM salience maps (Section 5.6), which require
+//! gradients with respect to intermediate feature maps.
+//!
+//! Design notes:
+//!
+//! - All tensors are dense `f32` in NCHW layout ([`Shape`]). The network has
+//!   no fully-connected layers, so 4-D covers every intermediate value
+//!   (logits are `N x C x 1 x 1`).
+//! - Convolution lowers to im2col + GEMM ([`gemm`]), the standard approach
+//!   in CPU inference engines; the GEMM kernel uses the auto-vectorizable
+//!   i-k-j loop order.
+//! - Shape mismatches are programmer errors and panic with a descriptive
+//!   message, mirroring the convention of mainstream array libraries.
+
+pub mod activation;
+pub mod conv;
+pub mod gemm;
+pub mod loss;
+pub mod pool;
+pub mod resize;
+pub mod tensor;
+
+pub use conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
+pub use pool::{global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg};
+pub use tensor::{Shape, Tensor};

@@ -1,0 +1,112 @@
+//! Softmax cross-entropy loss with fused backward pass.
+
+use crate::activation::softmax;
+use crate::tensor::Tensor;
+
+/// Result of a cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOut {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Softmax probabilities, `N x C x 1 x 1`.
+    pub probs: Tensor,
+}
+
+/// Computes mean softmax cross-entropy of `logits` (`N x C x 1 x 1`)
+/// against integer `labels` (one per sample).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != N` or any label is out of range.
+pub fn cross_entropy_forward(logits: &Tensor, labels: &[usize]) -> CrossEntropyOut {
+    let s = logits.shape();
+    assert_eq!(labels.len(), s.n, "one label per sample required");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < s.c, "label {label} out of range for {} classes", s.c);
+        // Clamp avoids -inf on (numerically) zero probabilities.
+        loss -= probs.sample(n)[label].max(1e-12).ln();
+    }
+    CrossEntropyOut {
+        loss: loss / s.n as f32,
+        probs,
+    }
+}
+
+/// Gradient of mean cross-entropy with respect to the logits:
+/// `(softmax(x) - onehot(label)) / N`.
+pub fn cross_entropy_backward(fwd: &CrossEntropyOut, labels: &[usize]) -> Tensor {
+    let mut d = fwd.probs.clone();
+    let n = d.shape().n;
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = d.sample_mut(i);
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![20.0, -20.0]);
+        let out = cross_entropy_forward(&logits, &[0]);
+        assert!(out.loss < 1e-6, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_c() {
+        let logits = Tensor::zeros(Shape::new(1, 4, 1, 1));
+        let out = cross_entropy_forward(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(
+            Shape::new(2, 3, 1, 1),
+            vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5],
+        );
+        let labels = [2usize, 0usize];
+        let fwd = cross_entropy_forward(&logits, &labels);
+        let grad = cross_entropy_backward(&fwd, &labels);
+
+        let eps = 1e-3f32;
+        for idx in 0..logits.shape().count() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (cross_entropy_forward(&plus, &labels).loss
+                - cross_entropy_forward(&minus, &labels).loss)
+                / (2.0 * eps);
+            let analytic = grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "idx {idx}: fd {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_along_negative_gradient() {
+        let logits = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![0.3, 0.1]);
+        let labels = [1usize];
+        let fwd = cross_entropy_forward(&logits, &labels);
+        let grad = cross_entropy_backward(&fwd, &labels);
+        let mut stepped = logits.clone();
+        for (v, g) in stepped.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *v -= 0.5 * g;
+        }
+        let after = cross_entropy_forward(&stepped, &labels);
+        assert!(after.loss < fwd.loss);
+    }
+}

@@ -1,0 +1,243 @@
+//! Max pooling and global average pooling with backward passes.
+//!
+//! PERCIVAL's network max-pools after the first convolution and after every
+//! two fire modules ("we down-sample the feature maps at regular intervals",
+//! Section 4.2), and replaces fully-connected layers with a global average
+//! pool, as in the original SqueezeNet.
+
+use crate::conv::conv_out_extent;
+use crate::tensor::{Shape, Tensor};
+
+/// Pooling window geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCfg {
+    /// Square window extent.
+    pub kernel: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+impl PoolCfg {
+    /// The SqueezeNet-style 3x3 stride-2 max pool.
+    pub fn squeeze_default() -> Self {
+        PoolCfg { kernel: 3, stride: 2 }
+    }
+}
+
+/// Result of a max-pool forward pass: outputs plus the argmax index of each
+/// window (linear index into the input sample), needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOut {
+    /// Pooled tensor.
+    pub output: Tensor,
+    /// For each output element, the linear input-sample index of its max.
+    pub argmax: Vec<u32>,
+}
+
+/// Max-pools `input` with the given window.
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input.
+pub fn max_pool_forward(input: &Tensor, cfg: PoolCfg) -> MaxPoolOut {
+    let is = input.shape();
+    let oh = conv_out_extent(is.h, cfg.kernel, cfg.stride, 0)
+        .unwrap_or_else(|| panic!("max-pool window {} does not fit input {}", cfg.kernel, is));
+    let ow = conv_out_extent(is.w, cfg.kernel, cfg.stride, 0)
+        .unwrap_or_else(|| panic!("max-pool window {} does not fit input {}", cfg.kernel, is));
+    let mut output = Tensor::zeros(Shape::new(is.n, is.c, oh, ow));
+    let mut argmax = vec![0u32; output.shape().count()];
+
+    let mut out_i = 0usize;
+    for n in 0..is.n {
+        let sample = input.sample(n);
+        for c in 0..is.c {
+            let plane = &sample[c * is.h * is.w..(c + 1) * is.h * is.w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_at = 0usize;
+                    for ky in 0..cfg.kernel {
+                        let iy = oy * cfg.stride + ky;
+                        let row = iy * is.w;
+                        for kx in 0..cfg.kernel {
+                            let ix = ox * cfg.stride + kx;
+                            let v = plane[row + ix];
+                            if v > best {
+                                best = v;
+                                best_at = c * is.h * is.w + row + ix;
+                            }
+                        }
+                    }
+                    output.as_mut_slice()[out_i] = best;
+                    argmax[out_i] = best_at as u32;
+                    out_i += 1;
+                }
+            }
+        }
+    }
+    MaxPoolOut { output, argmax }
+}
+
+/// Backward pass of max pooling: routes each output gradient to the input
+/// element that won its window.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the forward output geometry.
+pub fn max_pool_backward(input_shape: Shape, fwd: &MaxPoolOut, grad_out: &Tensor) -> Tensor {
+    assert_eq!(
+        grad_out.shape(),
+        fwd.output.shape(),
+        "max-pool grad shape mismatch"
+    );
+    let mut d_input = Tensor::zeros(input_shape);
+    let os = fwd.output.shape();
+    let per_sample_out = os.c * os.h * os.w;
+    let go = grad_out.as_slice();
+    for n in 0..os.n {
+        let d_sample = d_input.sample_mut(n);
+        let base = n * per_sample_out;
+        for i in 0..per_sample_out {
+            d_sample[fwd.argmax[base + i] as usize] += go[base + i];
+        }
+    }
+    d_input
+}
+
+/// Global average pooling: `N x C x H x W -> N x C x 1 x 1`.
+pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    let is = input.shape();
+    let area = (is.h * is.w) as f32;
+    let mut out = Tensor::zeros(Shape::new(is.n, is.c, 1, 1));
+    for n in 0..is.n {
+        let sample = input.sample(n);
+        let out_sample = out.sample_mut(n);
+        for (c, o) in out_sample.iter_mut().enumerate() {
+            let plane = &sample[c * is.h * is.w..(c + 1) * is.h * is.w];
+            *o = plane.iter().sum::<f32>() / area;
+        }
+    }
+    out
+}
+
+/// Backward pass of global average pooling: spreads each channel gradient
+/// uniformly over the channel's spatial extent.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `N x C x 1 x 1` matching `input_shape`.
+pub fn global_avg_pool_backward(input_shape: Shape, grad_out: &Tensor) -> Tensor {
+    assert_eq!(
+        grad_out.shape(),
+        Shape::new(input_shape.n, input_shape.c, 1, 1),
+        "global-avg-pool grad shape mismatch"
+    );
+    let area = (input_shape.h * input_shape.w) as f32;
+    let mut d_input = Tensor::zeros(input_shape);
+    for n in 0..input_shape.n {
+        let go = grad_out.sample(n).to_vec();
+        let d_sample = d_input.sample_mut(n);
+        for (c, g) in go.iter().enumerate() {
+            let v = g / area;
+            d_sample[c * input_shape.h * input_shape.w..(c + 1) * input_shape.h * input_shape.w]
+                .fill(v);
+        }
+    }
+    d_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_util::Pcg32;
+
+    #[test]
+    fn max_pool_picks_window_maximum() {
+        let input = Tensor::from_vec(
+            Shape::new(1, 1, 4, 4),
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        );
+        let out = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 2 });
+        assert_eq!(out.output.as_slice(), &[6., 8., 14., 16.]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_windows() {
+        let input = Tensor::from_vec(
+            Shape::new(1, 1, 3, 3),
+            vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
+        );
+        let out = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 1 });
+        // The centre 9 wins all four overlapping 2x2 windows.
+        assert_eq!(out.output.as_slice(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(
+            Shape::new(1, 1, 3, 3),
+            vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
+        );
+        let fwd = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 1 });
+        let grad_out = Tensor::filled(fwd.output.shape(), 1.0);
+        let d_in = max_pool_backward(input.shape(), &fwd, &grad_out);
+        // All four window gradients land on the centre element.
+        assert_eq!(d_in.at(0, 0, 1, 1), 4.0);
+        assert_eq!(d_in.sum(), 4.0);
+    }
+
+    #[test]
+    fn max_pool_gradient_check() {
+        let mut rng = Pcg32::seed_from_u64(77);
+        let shape = Shape::new(2, 2, 5, 5);
+        let input = Tensor::from_vec(
+            shape,
+            (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect(),
+        );
+        let cfg = PoolCfg { kernel: 3, stride: 2 };
+        let fwd = max_pool_forward(&input, cfg);
+        let grad_out = Tensor::filled(fwd.output.shape(), 1.0);
+        let d_in = max_pool_backward(shape, &fwd, &grad_out);
+
+        let eps = 1e-3;
+        for &idx in &[0usize, 12, 24, 49, 80] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let f_plus = max_pool_forward(&plus, cfg).output.sum();
+            let f_minus = max_pool_forward(&minus, cfg).output.sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - d_in.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: fd {numeric} vs {}",
+                d_in.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_averages_planes() {
+        let input = Tensor::from_vec(
+            Shape::new(1, 2, 2, 2),
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        );
+        let out = global_avg_pool_forward(&input);
+        assert_eq!(out.shape(), Shape::new(1, 2, 1, 1));
+        assert_eq!(out.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_uniform() {
+        let shape = Shape::new(1, 1, 2, 2);
+        let grad_out = Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![8.0]);
+        let d_in = global_avg_pool_backward(shape, &grad_out);
+        assert_eq!(d_in.as_slice(), &[2.0; 4]);
+    }
+}

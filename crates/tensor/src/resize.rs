@@ -1,0 +1,130 @@
+//! Bilinear resampling.
+//!
+//! PERCIVAL "reads the image, scales it to 224x224x4 (default input size
+//! expected by SqueezeNet), creates a tensor, and passes it through the CNN"
+//! (Section 3.3). This module implements that scaling step on NCHW tensors.
+
+use crate::tensor::{Shape, Tensor};
+
+/// Bilinearly resizes every sample/channel plane of `input` to
+/// `out_h x out_w`.
+///
+/// Uses the half-pixel-centre convention, matching mainstream image
+/// libraries, and clamps at the borders.
+///
+/// # Panics
+///
+/// Panics if the input has a zero spatial extent or the target extent is 0.
+pub fn resize_bilinear(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    let is = input.shape();
+    assert!(is.h > 0 && is.w > 0, "cannot resize an empty image");
+    assert!(out_h > 0 && out_w > 0, "target extent must be non-zero");
+
+    if is.h == out_h && is.w == out_w {
+        return input.clone();
+    }
+
+    let mut out = Tensor::zeros(Shape::new(is.n, is.c, out_h, out_w));
+    let scale_y = is.h as f32 / out_h as f32;
+    let scale_x = is.w as f32 / out_w as f32;
+
+    // Precompute horizontal sample positions once per row sweep.
+    let mut x0s = vec![0usize; out_w];
+    let mut x1s = vec![0usize; out_w];
+    let mut fxs = vec![0f32; out_w];
+    for ox in 0..out_w {
+        let sx = ((ox as f32 + 0.5) * scale_x - 0.5).max(0.0);
+        let x0 = (sx.floor() as usize).min(is.w - 1);
+        x0s[ox] = x0;
+        x1s[ox] = (x0 + 1).min(is.w - 1);
+        fxs[ox] = sx - x0 as f32;
+    }
+
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let src_off = (n * is.c + c) * is.h * is.w;
+            let dst_off = (n * is.c + c) * out_h * out_w;
+            for oy in 0..out_h {
+                let sy = ((oy as f32 + 0.5) * scale_y - 0.5).max(0.0);
+                let y0 = (sy.floor() as usize).min(is.h - 1);
+                let y1 = (y0 + 1).min(is.h - 1);
+                let fy = sy - y0 as f32;
+                for ox in 0..out_w {
+                    let (x0, x1, fx) = (x0s[ox], x1s[ox], fxs[ox]);
+                    let s = input.as_slice();
+                    let tl = s[src_off + y0 * is.w + x0];
+                    let tr = s[src_off + y0 * is.w + x1];
+                    let bl = s[src_off + y1 * is.w + x0];
+                    let br = s[src_off + y1 * is.w + x1];
+                    let top = tl + (tr - tl) * fx;
+                    let bot = bl + (br - bl) * fx;
+                    out.as_mut_slice()[dst_off + oy * out_w + ox] = top + (bot - top) * fy;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_noop() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1., 2., 3., 4.]);
+        let r = resize_bilinear(&t, 2, 2);
+        assert_eq!(r, t);
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let t = Tensor::filled(Shape::new(1, 3, 5, 7), 0.42);
+        let r = resize_bilinear(&t, 224, 224);
+        for &v in r.as_slice() {
+            assert!((v - 0.42).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upscale_preserves_range_and_gradient_direction() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![0.0, 1.0]);
+        let r = resize_bilinear(&t, 1, 8);
+        let s = r.as_slice();
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6, "should be monotone: {s:?}");
+        }
+        for &v in s {
+            assert!((-1e-6..=1.0 + 1e-6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn downscale_averages_locally() {
+        // 4x4 checkerboard of 0/1 downsampled to 2x2 should be near 0.5.
+        let mut data = vec![0.0; 16];
+        for y in 0..4 {
+            for x in 0..4 {
+                data[y * 4 + x] = ((x + y) % 2) as f32;
+            }
+        }
+        let t = Tensor::from_vec(Shape::new(1, 1, 4, 4), data);
+        let r = resize_bilinear(&t, 2, 2);
+        for &v in r.as_slice() {
+            assert!((v - 0.5).abs() < 0.26, "value {v}");
+        }
+    }
+
+    #[test]
+    fn channels_resize_independently() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 2, 2, 2),
+            vec![1., 1., 1., 1., 9., 9., 9., 9.],
+        );
+        let r = resize_bilinear(&t, 3, 3);
+        for i in 0..9 {
+            assert!((r.as_slice()[i] - 1.0).abs() < 1e-6);
+            assert!((r.as_slice()[9 + i] - 9.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The dense NCHW tensor type.
+
+/// The shape of a 4-D NCHW tensor.
+///
+/// `n` is the batch dimension, `c` channels, `h` rows and `w` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Channel count.
+    pub c: usize,
+    /// Height in rows.
+    pub h: usize,
+    /// Width in columns.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Linear index of `(n, c, h, w)` in row-major NCHW order.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl core::fmt::Display for Shape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// A dense `f32` tensor in NCHW layout.
+///
+/// # Examples
+///
+/// ```
+/// use percival_tensor::{Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new(1, 3, 2, 2));
+/// *t.at_mut(0, 1, 0, 1) = 5.0;
+/// assert_eq!(t.at(0, 1, 0, 1), 5.0);
+/// assert_eq!(t.shape().count(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.count()],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Shape, value: f32) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.count()],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.count()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.count(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Borrow the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.shape.index(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Shape) -> Self {
+        assert_eq!(
+            self.shape.count(),
+            shape.count(),
+            "cannot reshape {} into {shape}",
+            self.shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// The contiguous `C*H*W` slice of sample `n`.
+    pub fn sample(&self, n: usize) -> &[f32] {
+        let stride = self.shape.c * self.shape.h * self.shape.w;
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// The mutable contiguous `C*H*W` slice of sample `n`.
+    pub fn sample_mut(&mut self, n: usize) -> &mut [f32] {
+        let stride = self.shape.c * self.shape.h * self.shape.w;
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Copies sample `src_n` of `src` into sample `dst_n` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-sample geometries differ.
+    pub fn copy_sample_from(&mut self, dst_n: usize, src: &Tensor, src_n: usize) {
+        assert_eq!(
+            (self.shape.c, self.shape.h, self.shape.w),
+            (src.shape.c, src.shape.h, src.shape.w),
+            "sample geometry mismatch: {} vs {}",
+            self.shape,
+            src.shape
+        );
+        let dst = self.sample_mut(dst_n).as_mut_ptr();
+        let s = src.sample(src_n);
+        // SAFETY: `dst` points at a live, exclusively-borrowed slice with the
+        // same length as `s` (asserted geometry above), and the two tensors
+        // are distinct borrows so the regions cannot overlap.
+        unsafe {
+            core::ptr::copy_nonoverlapping(s.as_ptr(), dst, s.len());
+        }
+    }
+
+    /// In-place elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Resets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element; 0 for the empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.count(), 120);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let r = std::panic::catch_unwind(|| {
+            Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![0.0; 3]);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshape(Shape::new(1, 6, 1, 1));
+        assert_eq!(r.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(r.shape(), Shape::new(1, 6, 1, 1));
+    }
+
+    #[test]
+    fn sample_slices_are_disjoint_views() {
+        let mut t = Tensor::zeros(Shape::new(2, 1, 2, 2));
+        t.sample_mut(1).fill(7.0);
+        assert!(t.sample(0).iter().all(|&v| v == 0.0));
+        assert!(t.sample(1).iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn copy_sample_roundtrip() {
+        let mut src = Tensor::zeros(Shape::new(2, 2, 2, 2));
+        src.sample_mut(1).copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let mut dst = Tensor::zeros(Shape::new(3, 2, 2, 2));
+        dst.copy_sample_from(2, &src, 1);
+        assert_eq!(dst.sample(2), src.sample(1));
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::filled(Shape::new(1, 1, 1, 4), 2.0);
+        let b = Tensor::filled(Shape::new(1, 1, 1, 4), 3.0);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[10.0; 4]);
+        assert_eq!(a.sum(), 40.0);
+        a.map_inplace(|v| -v);
+        assert_eq!(a.max_abs(), 10.0);
+    }
+}

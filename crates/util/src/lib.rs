@@ -1,0 +1,19 @@
+//! Shared utilities for the PERCIVAL workspace.
+//!
+//! This crate deliberately has no dependencies. It provides:
+//!
+//! - [`rng`]: a small, deterministic PCG32 random number generator used to
+//!   seed every synthetic-data generator in the workspace so that whole
+//!   experiments are reproducible from a single `u64` seed.
+//! - [`metrics`]: binary-classification bookkeeping (confusion matrices,
+//!   accuracy / precision / recall / F1) matching the definitions used in the
+//!   PERCIVAL paper's evaluation (Section 5.3).
+//! - [`stats`]: tiny descriptive-statistics helpers (median, percentiles,
+//!   CDFs) used by the render-time experiments (Figures 14 and 15).
+
+pub mod metrics;
+pub mod rng;
+pub mod stats;
+
+pub use metrics::{BinaryConfusion, Metrics};
+pub use rng::Pcg32;

@@ -1,0 +1,205 @@
+//! Binary-classification metrics used throughout the evaluation.
+//!
+//! The PERCIVAL paper defines (Section 5.3): a true positive is an ad
+//! correctly blocked, a true negative a non-ad correctly rendered, a false
+//! positive a non-ad incorrectly blocked, and a false negative an ad that
+//! slipped through. [`BinaryConfusion`] accumulates those counts and derives
+//! accuracy, precision, recall and F1 with the conventional formulas.
+
+/// A 2x2 confusion matrix for the ad / non-ad decision.
+///
+/// # Examples
+///
+/// ```
+/// use percival_util::BinaryConfusion;
+///
+/// let mut cm = BinaryConfusion::default();
+/// cm.record(true, true); // an ad, blocked: TP
+/// cm.record(false, false); // a non-ad, rendered: TN
+/// assert_eq!(cm.accuracy(), 1.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Ads correctly blocked.
+    pub tp: u64,
+    /// Non-ads correctly rendered.
+    pub tn: u64,
+    /// Non-ads incorrectly blocked.
+    pub fp: u64,
+    /// Ads that were not blocked.
+    pub fn_: u64,
+}
+
+impl BinaryConfusion {
+    /// Records one decision: `actual` is the ground-truth ad label and
+    /// `predicted` the classifier's verdict.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of recorded decisions.
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Number of ground-truth positives (ads).
+    pub fn positives(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Number of ground-truth negatives (non-ads).
+    pub fn negatives(&self) -> u64 {
+        self.tn + self.fp
+    }
+
+    /// Fraction of decisions that were correct; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TP / (TP + FN); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Packages the derived metrics into a [`Metrics`] value.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            accuracy: self.accuracy(),
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Derived classification metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// (TP + TN) / total.
+    pub accuracy: f64,
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl core::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "acc {:.2}%  prec {:.3}  rec {:.3}  f1 {:.3}",
+            self.accuracy * 100.0,
+            self.precision,
+            self.recall,
+            self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryConfusion {
+        // Figure 10 of the paper: TP 248, TN 1762, FP 68, FN 106.
+        BinaryConfusion {
+            tp: 248,
+            tn: 1762,
+            fp: 68,
+            fn_: 106,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_figure10_derivations() {
+        let cm = sample();
+        assert!((cm.accuracy() - 0.92).abs() < 0.005, "acc {}", cm.accuracy());
+        assert!((cm.precision() - 0.784).abs() < 0.005);
+        assert!((cm.recall() - 0.70).abs() < 0.005);
+    }
+
+    #[test]
+    fn record_routes_to_correct_cell() {
+        let mut cm = BinaryConfusion::default();
+        cm.record(true, true);
+        cm.record(true, false);
+        cm.record(false, true);
+        cm.record(false, false);
+        assert_eq!((cm.tp, cm.fn_, cm.fp, cm.tn), (1, 1, 1, 1));
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.positives(), 2);
+        assert_eq!(cm.negatives(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_metrics() {
+        let cm = BinaryConfusion::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let cm = BinaryConfusion {
+            tp: 50,
+            fp: 50,
+            fn_: 0,
+            tn: 0,
+        };
+        // precision 0.5, recall 1.0 -> F1 = 2*0.5/1.5.
+        assert!((cm.f1() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.tp, 496);
+        assert_eq!(a.total(), 2 * b.total());
+        // Metrics are scale-invariant.
+        assert!((a.accuracy() - b.accuracy()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,273 @@
+//! A deterministic PCG32 pseudo-random number generator.
+//!
+//! Every synthetic generator in the workspace (images, sites, feeds,
+//! workloads) takes a seed and derives its randomness from this generator,
+//! so experiments are bit-reproducible across runs and platforms. The
+//! implementation is the standard PCG-XSH-RR 64/32 variant.
+
+/// A PCG32 (PCG-XSH-RR 64/32) pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use percival_util::Pcg32;
+///
+/// let mut a = Pcg32::seed_from_u64(7);
+/// let mut b = Pcg32::seed_from_u64(7);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_DEFAULT_INC: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Creates a generator from an explicit state and stream.
+    pub fn new(state: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.state = rng.inc.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a single `u64` seed on the default stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed, PCG_DEFAULT_INC)
+    }
+
+    /// Derives an independent child generator; useful for fanning one
+    /// experiment seed out to many sub-generators without correlation.
+    pub fn split(&mut self) -> Self {
+        let state = self.next_u64();
+        let stream = self.next_u64() | 1;
+        Self::new(state, stream)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 mantissa bits give a uniform value in [0, 1).
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below requires a non-zero bound");
+        loop {
+            let x = self.next_u32();
+            let m = u64::from(x) * u64::from(bound);
+            let low = m as u32;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Returns a uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range_usize requires lo < hi ({lo} >= {hi})");
+        lo + self.next_below((hi - lo) as u32) as usize
+    }
+
+    /// Returns a uniform `i32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "range_i32 requires lo < hi");
+        lo + self.next_below((hi - lo) as u32) as i32
+    }
+
+    /// Returns a uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.next_f32() < p
+    }
+
+    /// Returns a standard-normal sample via the Box-Muller transform.
+    pub fn next_normal(&mut self) -> f32 {
+        // Box-Muller; avoid log(0) by nudging u1 away from zero.
+        let u1 = self.next_f32().max(1e-7);
+        let u2 = self.next_f32();
+        let r = (-2.0 * u1.ln()).sqrt();
+        r * (2.0 * core::f32::consts::PI * u2).cos()
+    }
+
+    /// Returns a normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.next_normal()
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below((i + 1) as u32) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose requires a non-empty slice");
+        &xs[self.next_below(xs.len() as u32) as usize]
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`.
+    ///
+    /// Zero-weight entries are never chosen. If all weights are zero the
+    /// first index is returned.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut target = self.next_f32() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed_from_u64(123);
+        let mut b = Pcg32::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = rng.next_below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should be reachable");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for _ in 0..500 {
+            let i = rng.weighted_index(&[0.0, 1.0, 0.0, 2.0]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_index_roughly_proportional() {
+        let mut rng = Pcg32::seed_from_u64(17);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&[1.0, 3.0])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "got {frac}, expected ~0.75");
+    }
+
+    #[test]
+    fn split_produces_independent_streams() {
+        let mut parent = Pcg32::seed_from_u64(1000);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let same = (0..32).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 4);
+    }
+}

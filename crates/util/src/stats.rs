@@ -1,0 +1,152 @@
+//! Descriptive statistics for latency measurements.
+//!
+//! The render-time evaluation (Figures 14 and 15) reports a CDF of page
+//! render times on a log-scale x-axis and the *median* overhead between a
+//! baseline and a treatment configuration. These helpers implement exactly
+//! those reductions.
+
+/// Returns the median of a sample; `None` when empty.
+///
+/// For even-sized samples the mean of the two middle order statistics is
+/// returned.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 50.0)
+}
+
+/// Returns the p-th percentile (0..=100) by linear interpolation between
+/// order statistics; `None` when the sample is empty.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Returns the arithmetic mean; `None` when empty.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// One point of an empirical CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Sample value (e.g. render time in milliseconds).
+    pub value: f64,
+    /// Fraction of samples at or below `value`, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Computes the empirical CDF of a sample as a sorted list of points.
+///
+/// # Examples
+///
+/// ```
+/// let cdf = percival_util::stats::cdf(&[3.0, 1.0, 2.0]);
+/// assert_eq!(cdf.len(), 3);
+/// assert_eq!(cdf[0].value, 1.0);
+/// assert!((cdf[2].fraction - 1.0).abs() < 1e-12);
+/// ```
+pub fn cdf(samples: &[f64]) -> Vec<CdfPoint> {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, value)| CdfPoint {
+            value,
+            fraction: (i + 1) as f64 / n as f64,
+        })
+        .collect()
+}
+
+/// Summarizes the overhead of a treatment over a baseline the way Figure 15
+/// does: the difference of medians, absolute (ms) and relative (%).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overhead {
+    /// Median of the baseline sample.
+    pub baseline_median: f64,
+    /// Median of the treatment sample.
+    pub treatment_median: f64,
+    /// `treatment_median - baseline_median`.
+    pub absolute: f64,
+    /// `absolute / baseline_median * 100`.
+    pub percent: f64,
+}
+
+/// Computes median overhead between two samples; `None` if either is empty.
+pub fn overhead(baseline: &[f64], treatment: &[f64]) -> Option<Overhead> {
+    let b = median(baseline)?;
+    let t = median(treatment)?;
+    Some(Overhead {
+        baseline_median: b,
+        treatment_median: t,
+        absolute: t - b,
+        percent: if b == 0.0 { 0.0 } else { (t - b) / b * 100.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), Some(2.5));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let points = cdf(&[5.0, 1.0, 3.0, 3.0]);
+        for w in points.windows(2) {
+            assert!(w[0].value <= w[1].value);
+            assert!(w[0].fraction <= w[1].fraction);
+        }
+        assert!((points.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_matches_hand_computation() {
+        let base = [100.0, 100.0, 100.0];
+        let treat = [104.0, 105.0, 106.0];
+        let o = overhead(&base, &treat).unwrap();
+        assert_eq!(o.absolute, 5.0);
+        assert!((o.percent - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_requires_samples() {
+        assert!(overhead(&[], &[1.0]).is_none());
+        assert!(overhead(&[1.0], &[]).is_none());
+    }
+}

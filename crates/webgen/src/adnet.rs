@@ -1,0 +1,196 @@
+//! Synthetic ad networks and URL conventions.
+//!
+//! Host and path patterns here are the ground truth the bundled filter list
+//! (`percival_filterlist::easylist`) was written against. A subset of
+//! networks is deliberately *not* covered by the list — modeling both
+//! EasyList's real-world gaps (the ads that "slip through", which PERCIVAL
+//! exists to catch) and its weak regional coverage (Section 5.5).
+
+use percival_util::Pcg32;
+
+/// A synthetic third-party ad network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdNetwork {
+    /// Hostname.
+    pub host: &'static str,
+    /// Path prefix used for creatives.
+    pub path: &'static str,
+    /// Whether the bundled filter list covers this network.
+    pub covered: bool,
+    /// Whether this is a regional (non-English ecosystem) network.
+    pub regional: bool,
+}
+
+/// The ad networks of the synthetic web.
+pub const NETWORKS: [AdNetwork; 7] = [
+    AdNetwork { host: "adnet-alpha.web", path: "/serve/banner_", covered: true, regional: false },
+    AdNetwork { host: "adnet-beta.web", path: "/creative/", covered: true, regional: false },
+    AdNetwork { host: "adnet-gamma.web", path: "/img/", covered: true, regional: false },
+    // Not in the list: models the long tail EasyList misses.
+    AdNetwork { host: "adnet-longtail.web", path: "/a/", covered: false, regional: false },
+    AdNetwork { host: "adnet-seoul.web", path: "/serve2/banner_", covered: false, regional: true },
+    AdNetwork { host: "adnet-shanghai.web", path: "/cr/", covered: false, regional: true },
+    AdNetwork { host: "adnet-dubai.web", path: "/i/", covered: false, regional: true },
+];
+
+/// The iframe syndication host (covered via `$subdocument`).
+pub const SYNDICATION_HOST: &str = "syndication.web";
+/// A long-tail syndication partner the list does not cover.
+pub const SYNDICATION_LONGTAIL_HOST: &str = "syndication-partner.web";
+/// The tracking-pixel host (covered via `$third-party`).
+pub const TRACKER_HOST: &str = "trackpix.web";
+/// Shared CDN whose `/assets/` path is exception-listed.
+pub const CDN_HOST: &str = "cdn.web";
+
+/// Picks an ad network: mostly covered networks for English sites, mostly
+/// regional ones for regional sites.
+pub fn pick_network(rng: &mut Pcg32, regional: bool) -> &'static AdNetwork {
+    loop {
+        let n = rng.choose(&NETWORKS);
+        if regional {
+            // Regional pages use regional networks 70% of the time.
+            if n.regional || rng.chance(0.3) {
+                return n;
+            }
+        } else if !n.regional {
+            // English pages regularly hit the uncovered long tail — the
+            // population PERCIVAL exists to catch (Section 1).
+            if n.covered || rng.chance(0.4) {
+                return n;
+            }
+        }
+    }
+}
+
+/// URL of a third-party ad creative served by `network`.
+pub fn creative_url(rng: &mut Pcg32, network: &AdNetwork, ext: &str) -> String {
+    format!(
+        "http://{}{}{}x{}_{}.{ext}",
+        network.host,
+        network.path,
+        [728, 300, 160, 468][rng.range_usize(0, 4)],
+        [90, 250, 600, 60][rng.range_usize(0, 4)],
+        rng.next_below(100_000),
+    )
+}
+
+/// URL of a first-party promo creative on `site_host` (matched by the
+/// list's `~third-party` `/promo/` rule).
+pub fn promo_url(rng: &mut Pcg32, site_host: &str, ext: &str) -> String {
+    format!("http://{site_host}/promo/deal_{}.{ext}", rng.next_below(100_000))
+}
+
+/// URL of an organic content image on `site_host` or the shared CDN.
+pub fn content_url(rng: &mut Pcg32, site_host: &str, ext: &str) -> String {
+    if rng.chance(0.25) {
+        format!("http://{CDN_HOST}/assets/img_{}.{ext}", rng.next_below(1_000_000))
+    } else {
+        let dir = ["/static/img/", "/uploads/", "/media/"][rng.range_usize(0, 3)];
+        format!("http://{site_host}{dir}photo_{}.{ext}", rng.next_below(1_000_000))
+    }
+}
+
+/// URL of an ad iframe document on the list-covered syndication host.
+pub fn iframe_url(rng: &mut Pcg32) -> String {
+    format!("http://{SYNDICATION_HOST}/frame/{}", rng.next_below(1_000_000))
+}
+
+/// URL of an ad iframe document, sometimes (25%) on the *uncovered*
+/// syndication partner — frames that slip past the list entirely.
+pub fn iframe_url_mixed(rng: &mut Pcg32) -> String {
+    if rng.chance(0.25) {
+        format!(
+            "http://{SYNDICATION_LONGTAIL_HOST}/frame/{}",
+            rng.next_below(1_000_000)
+        )
+    } else {
+        iframe_url(rng)
+    }
+}
+
+/// URL of a tracking pixel.
+pub fn tracker_url(rng: &mut Pcg32) -> String {
+    format!("http://{TRACKER_HOST}/px/{}.gif", rng.next_below(1_000_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_filterlist::easylist::synthetic_engine;
+    use percival_filterlist::{RequestInfo, ResourceType, Url};
+
+    fn blocked(url: &str, src: &str, ty: ResourceType) -> bool {
+        let e = synthetic_engine();
+        let u = Url::parse(url).unwrap();
+        let s = Url::parse(src).unwrap();
+        e.should_block(&RequestInfo { url: &u, source: &s, resource_type: ty })
+    }
+
+    #[test]
+    fn covered_networks_are_actually_covered() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        for n in NETWORKS.iter().filter(|n| n.covered) {
+            for _ in 0..20 {
+                let url = creative_url(&mut rng, n, "png");
+                assert!(
+                    blocked(&url, "http://news0.web/", ResourceType::Image),
+                    "{url} should be blocked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_networks_slip_through() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        for n in NETWORKS.iter().filter(|n| !n.covered) {
+            let url = creative_url(&mut rng, n, "png");
+            assert!(
+                !blocked(&url, "http://news0.web/", ResourceType::Image),
+                "{url} should pass the list"
+            );
+        }
+    }
+
+    #[test]
+    fn promo_and_content_urls_classify_correctly() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let promo = promo_url(&mut rng, "shop1.web", "png");
+        assert!(blocked(&promo, "http://shop1.web/", ResourceType::Image));
+        for _ in 0..30 {
+            let content = content_url(&mut rng, "news0.web", "png");
+            assert!(
+                !blocked(&content, "http://news0.web/", ResourceType::Image),
+                "{content}"
+            );
+        }
+    }
+
+    #[test]
+    fn iframe_and_tracker_coverage() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert!(blocked(
+            &iframe_url(&mut rng),
+            "http://news0.web/",
+            ResourceType::Subdocument
+        ));
+        assert!(blocked(
+            &tracker_url(&mut rng),
+            "http://news0.web/",
+            ResourceType::Image
+        ));
+    }
+
+    #[test]
+    fn regional_pick_prefers_regional_networks() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let regional_hits = (0..200)
+            .filter(|_| pick_network(&mut rng, true).regional)
+            .count();
+        assert!(regional_hits > 100, "got {regional_hits}");
+        let english_regional = (0..200)
+            .filter(|_| pick_network(&mut rng, false).regional)
+            .count();
+        assert_eq!(english_regional, 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Procedural pseudo-text rendering per script family.
+//!
+//! The language experiments (Section 5.5) hinge on how visually similar a
+//! script is to the (mostly Latin) training text: the paper finds good
+//! transfer to Spanish and French, weaker transfer to Korean and Chinese.
+//! We reproduce the *geometry* of each family — Latin letterforms with
+//! ascenders/descenders, Latin with diacritics, connected cursive runs
+//! (Arabic-like), dense boxed logograms (CJK), and syllable blocks
+//! (Hangul-like) — without claiming linguistic fidelity.
+
+use percival_imgcodec::draw::{fill_disc, fill_rect};
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+
+/// Script family for pseudo-text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Script {
+    /// Plain Latin letterforms (the training distribution).
+    Latin,
+    /// Latin with diacritics (Spanish).
+    Spanish,
+    /// Latin with diacritics and apostrophes (French).
+    French,
+    /// Connected cursive with dots (Arabic-like geometry).
+    Arabic,
+    /// Dense square logograms (Chinese-like geometry).
+    Chinese,
+    /// Syllable blocks of strokes (Korean-like geometry).
+    Korean,
+}
+
+impl Script {
+    /// All script families, training-first.
+    pub const ALL: [Script; 6] = [
+        Script::Latin,
+        Script::Spanish,
+        Script::French,
+        Script::Arabic,
+        Script::Chinese,
+        Script::Korean,
+    ];
+
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Script::Latin => "English",
+            Script::Spanish => "Spanish",
+            Script::French => "French",
+            Script::Arabic => "Arabic",
+            Script::Chinese => "Chinese",
+            Script::Korean => "Korean",
+        }
+    }
+}
+
+/// Draws one Latin-ish glyph cell; returns the advance width.
+fn latin_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut Pcg32) -> i32 {
+    let w = (h * 3 / 5).max(2);
+    let stroke = (h / 8).max(1) as u32;
+    // Vertical stem (most Latin letters have one).
+    if rng.chance(0.8) {
+        fill_rect(bmp, x, y, stroke, h as u32, color);
+    }
+    // One or two horizontal bars at random heights (e/t/f crossbars).
+    for _ in 0..rng.range_usize(1, 3) {
+        let by = y + rng.range_i32(0, (h - stroke as i32).max(1));
+        fill_rect(bmp, x, by, w as u32, stroke, color);
+    }
+    // Occasional bowl (b/d/o/p).
+    if rng.chance(0.35) {
+        let r = (h / 4).max(1);
+        fill_disc(bmp, x + w / 2, y + h - r, r, color);
+    }
+    // Occasional descender (g/j/p/q/y).
+    if rng.chance(0.2) {
+        fill_rect(bmp, x + w - stroke as i32, y + h / 2, stroke, (h / 2 + h / 4) as u32, color);
+    }
+    w + (h / 5).max(1)
+}
+
+fn diacritic(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut Pcg32) {
+    // Acute/grave/tilde dot above the x-height.
+    let r = (h / 10).max(1);
+    fill_disc(bmp, x + h / 4, y - r - 1, r, color);
+    if rng.chance(0.3) {
+        fill_disc(bmp, x + h / 2, y - r - 1, r, color);
+    }
+}
+
+fn arabic_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut Pcg32) -> i32 {
+    let w = (h * 4 / 5).max(3);
+    let stroke = (h / 9).max(1) as u32;
+    // Connected baseline — the defining feature of the cursive run.
+    let base = y + h * 2 / 3;
+    fill_rect(bmp, x - 1, base, (w + 2) as u32, stroke, color);
+    // Rising hump or tall stem.
+    if rng.chance(0.6) {
+        let hx = x + rng.range_i32(0, (w / 2).max(1));
+        fill_disc(bmp, hx + h / 6, base - h / 6, (h / 6).max(1), color);
+    } else {
+        fill_rect(bmp, x + w / 2, y, stroke, (h * 2 / 3) as u32, color);
+    }
+    // I'jam dots above or below.
+    let dots = rng.range_usize(0, 4);
+    for d in 0..dots {
+        let above = rng.chance(0.5);
+        let dy = if above { y - h / 8 } else { base + h / 4 };
+        fill_disc(bmp, x + (d as i32 + 1) * w / 4, dy, (h / 12).max(1), color);
+    }
+    w // no inter-glyph gap: connected script
+}
+
+fn cjk_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut Pcg32) -> i32 {
+    let w = h; // square cell
+    let stroke = (h / 10).max(1) as u32;
+    // Dense grid of strokes within the square.
+    let n = rng.range_usize(3, 7);
+    for _ in 0..n {
+        if rng.chance(0.5) {
+            let sy = y + rng.range_i32(0, (h - stroke as i32).max(1));
+            let sw = rng.range_i32(w / 2, w + 1);
+            fill_rect(bmp, x + rng.range_i32(0, (w / 3).max(1)), sy, sw as u32, stroke, color);
+        } else {
+            let sx = x + rng.range_i32(0, (w - stroke as i32).max(1));
+            let sh = rng.range_i32(h / 2, h + 1);
+            fill_rect(bmp, sx, y + rng.range_i32(0, (h / 3).max(1)), stroke, sh as u32, color);
+        }
+    }
+    w + (h / 6).max(1)
+}
+
+fn hangul_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut Pcg32) -> i32 {
+    let w = h * 9 / 10;
+    let stroke = (h / 9).max(1) as u32;
+    // Initial consonant: small box or circle, top-left quadrant.
+    if rng.chance(0.5) {
+        fill_rect(bmp, x, y, (w / 2) as u32, stroke, color);
+        fill_rect(bmp, x, y, stroke, (h / 2) as u32, color);
+    } else {
+        fill_disc(bmp, x + w / 4, y + h / 4, (h / 5).max(1), color);
+    }
+    // Vowel: vertical bar right side with branch.
+    fill_rect(bmp, x + w * 2 / 3, y, stroke, h as u32, color);
+    fill_rect(bmp, x + w / 3, y + h / 3, (w / 3) as u32, stroke, color);
+    // Optional final consonant at the bottom.
+    if rng.chance(0.5) {
+        fill_rect(bmp, x, y + h - stroke as i32, (w * 2 / 3) as u32, stroke, color);
+    }
+    w + (h / 6).max(1)
+}
+
+/// Renders one line of pseudo-text starting at `(x, y)` with glyph height
+/// `h`, stopping before `max_x`. Returns the x position after the last
+/// glyph drawn.
+pub fn draw_text_line(
+    bmp: &mut Bitmap,
+    script: Script,
+    x: i32,
+    y: i32,
+    h: i32,
+    max_x: i32,
+    color: [u8; 4],
+    rng: &mut Pcg32,
+) -> i32 {
+    let mut cx = x;
+    let h = h.max(3);
+    loop {
+        // Word boundaries.
+        if rng.chance(0.18) {
+            cx += h / 2;
+        }
+        let glyph_w = match script {
+            Script::Latin => latin_glyph(bmp, cx, y, h, color, rng),
+            Script::Spanish | Script::French => {
+                let w = latin_glyph(bmp, cx, y, h, color, rng);
+                let p = if script == Script::Spanish { 0.25 } else { 0.35 };
+                if rng.chance(p) {
+                    diacritic(bmp, cx, y, h, color, rng);
+                }
+                w
+            }
+            Script::Arabic => arabic_glyph(bmp, cx, y, h, color, rng),
+            Script::Chinese => cjk_glyph(bmp, cx, y, h, color, rng),
+            Script::Korean => hangul_glyph(bmp, cx, y, h, color, rng),
+        };
+        cx += glyph_w;
+        if cx + h >= max_x {
+            return cx;
+        }
+    }
+}
+
+/// Renders a paragraph: several lines of pseudo-text filling a rectangle.
+#[allow(clippy::too_many_arguments)]
+pub fn draw_paragraph(
+    bmp: &mut Bitmap,
+    script: Script,
+    x: i32,
+    y: i32,
+    w: i32,
+    h: i32,
+    glyph_h: i32,
+    color: [u8; 4],
+    rng: &mut Pcg32,
+) {
+    let line_step = glyph_h + (glyph_h / 2).max(2);
+    let mut cy = y;
+    while cy + glyph_h <= y + h {
+        // Ragged right margin.
+        let max_x = x + w - rng.range_i32(0, (w / 4).max(1));
+        draw_text_line(bmp, script, x, cy, glyph_h, max_x, color, rng);
+        cy += line_step;
+    }
+}
+
+/// Fraction of non-background pixels inside a region — used by tests to
+/// compare ink densities across scripts.
+pub fn ink_fraction(bmp: &Bitmap, bg: [u8; 4]) -> f32 {
+    let mut ink = 0usize;
+    let total = bmp.width() * bmp.height();
+    for y in 0..bmp.height() {
+        for x in 0..bmp.width() {
+            if bmp.get(x, y) != bg {
+                ink += 1;
+            }
+        }
+    }
+    ink as f32 / total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BG: [u8; 4] = [255, 255, 255, 255];
+    const FG: [u8; 4] = [20, 20, 20, 255];
+
+    fn render(script: Script, seed: u64) -> Bitmap {
+        let mut bmp = Bitmap::new(120, 40, BG);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        draw_paragraph(&mut bmp, script, 4, 8, 112, 28, 10, FG, &mut rng);
+        bmp
+    }
+
+    #[test]
+    fn every_script_produces_ink() {
+        for script in Script::ALL {
+            let bmp = render(script, 7);
+            let ink = ink_fraction(&bmp, BG);
+            assert!(
+                (0.02..0.9).contains(&ink),
+                "{}: ink fraction {ink}",
+                script.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(Script::Arabic, 3), render(Script::Arabic, 3));
+    }
+
+    #[test]
+    fn cjk_is_denser_than_latin() {
+        // Averaged over several seeds, dense logograms leave more ink.
+        let avg = |script: Script| -> f32 {
+            (0..8).map(|s| ink_fraction(&render(script, s), BG)).sum::<f32>() / 8.0
+        };
+        assert!(
+            avg(Script::Chinese) > avg(Script::Latin),
+            "chinese {} vs latin {}",
+            avg(Script::Chinese),
+            avg(Script::Latin)
+        );
+    }
+
+    #[test]
+    fn spanish_resembles_latin_more_than_chinese_does() {
+        let avg = |script: Script| -> f32 {
+            (0..8).map(|s| ink_fraction(&render(script, s), BG)).sum::<f32>() / 8.0
+        };
+        let latin = avg(Script::Latin);
+        let d_spanish = (avg(Script::Spanish) - latin).abs();
+        let d_chinese = (avg(Script::Chinese) - latin).abs();
+        assert!(
+            d_spanish < d_chinese,
+            "spanish delta {d_spanish} should be below chinese delta {d_chinese}"
+        );
+    }
+
+    #[test]
+    fn text_line_respects_bounds() {
+        let mut bmp = Bitmap::new(60, 20, BG);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let end = draw_text_line(&mut bmp, Script::Latin, 2, 4, 10, 58, FG, &mut rng);
+        assert!(end <= 68, "pen {end} ran far past max_x");
+    }
+}

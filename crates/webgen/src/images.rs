@@ -1,0 +1,568 @@
+//! Procedural ad and non-ad image generators.
+//!
+//! The visual vocabulary follows Figure 18 of the paper (an ad is "body
+//! text, image text, ad image") and the Grad-CAM findings of Section 5.6:
+//! ad-disclosure cues, text outlines and product objects are what the
+//! classifier attends to. Ads plant those cues with configurable
+//! probabilities; non-ads draw from scene/portrait/texture/chart/document
+//! classes, including *hard negatives* (product photos, text documents)
+//! that drive the false-positive behaviour the paper reports on Facebook
+//! brand content and high-ad-intent search queries.
+
+use crate::glyphs::{draw_paragraph, draw_text_line, Script};
+use percival_imgcodec::draw::{
+    fill_disc, fill_rect, fill_triangle, stroke_rect, vertical_gradient,
+};
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+
+/// Ad creative archetypes (IAB-like placements plus social creatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdStyle {
+    /// Wide leaderboard (e.g. 728x90).
+    Banner,
+    /// Medium rectangle (e.g. 300x250).
+    Rectangle,
+    /// Tall skyscraper (e.g. 160x600).
+    Skyscraper,
+    /// Product promo card with price flash.
+    ProductPromo,
+    /// In-feed sponsored creative styled like organic content (hard).
+    SponsoredPost,
+}
+
+impl AdStyle {
+    /// All styles.
+    pub const ALL: [AdStyle; 5] = [
+        AdStyle::Banner,
+        AdStyle::Rectangle,
+        AdStyle::Skyscraper,
+        AdStyle::ProductPromo,
+        AdStyle::SponsoredPost,
+    ];
+}
+
+/// Non-ad content archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonAdStyle {
+    /// Landscape scene (sky, sun, mountains).
+    Photo,
+    /// Head-and-shoulders portrait.
+    Portrait,
+    /// Flat texture / pattern.
+    Texture,
+    /// Bar chart on white.
+    Chart,
+    /// Text-document screenshot (hard negative: text, no ad cues).
+    Document,
+    /// Flat icon.
+    Icon,
+    /// Product photo (hard negative: "high ad intent" content).
+    ProductPhoto,
+}
+
+impl NonAdStyle {
+    /// All styles.
+    pub const ALL: [NonAdStyle; 7] = [
+        NonAdStyle::Photo,
+        NonAdStyle::Portrait,
+        NonAdStyle::Texture,
+        NonAdStyle::Chart,
+        NonAdStyle::Document,
+        NonAdStyle::Icon,
+        NonAdStyle::ProductPhoto,
+    ];
+}
+
+/// Probabilities of the distinguishing ad cues; the dataset profiles tune
+/// these to model different ad ecosystems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdCues {
+    /// AdChoices-style disclosure marker in a corner.
+    pub adchoices: f32,
+    /// Frame border around the creative.
+    pub border: f32,
+    /// Call-to-action button.
+    pub cta: f32,
+    /// Price flash / starburst.
+    pub price: f32,
+    /// Saturated (rather than muted) background palette.
+    pub saturated: f32,
+}
+
+impl Default for AdCues {
+    fn default() -> Self {
+        AdCues { adchoices: 0.7, border: 0.85, cta: 0.8, price: 0.35, saturated: 0.8 }
+    }
+}
+
+impl AdCues {
+    /// Cue profile of native/sponsored creatives that imitate organic
+    /// content (drives the low recall on in-feed ads, Section 5.3):
+    /// nearly all the giveaway cues are absent.
+    pub fn native() -> Self {
+        AdCues { adchoices: 0.25, border: 0.15, cta: 0.35, price: 0.08, saturated: 0.2 }
+    }
+}
+
+fn saturated_color(rng: &mut Pcg32) -> [u8; 4] {
+    // One dominant channel, one medium, one low: high chroma.
+    let hi = rng.range_i32(190, 256) as u8;
+    let mid = rng.range_i32(60, 160) as u8;
+    let lo = rng.range_i32(0, 70) as u8;
+    let mut c = [hi, mid, lo];
+    rng.shuffle(&mut c);
+    [c[0], c[1], c[2], 255]
+}
+
+fn muted_color(rng: &mut Pcg32) -> [u8; 4] {
+    let base = rng.range_i32(120, 220) as u8;
+    [
+        base.saturating_add(rng.range_i32(0, 30) as u8),
+        base.saturating_add(rng.range_i32(0, 30) as u8),
+        base.saturating_add(rng.range_i32(0, 30) as u8),
+        255,
+    ]
+}
+
+fn contrasting_text(bg: [u8; 4]) -> [u8; 4] {
+    let luma = 0.299 * f32::from(bg[0]) + 0.587 * f32::from(bg[1]) + 0.114 * f32::from(bg[2]);
+    if luma > 128.0 {
+        [25, 25, 30, 255]
+    } else {
+        [245, 245, 245, 255]
+    }
+}
+
+/// Draws the AdChoices-style disclosure marker: a small white disc with a
+/// blue play-triangle, in the top-right corner.
+pub fn draw_adchoices_marker(bmp: &mut Bitmap, rng: &mut Pcg32) {
+    let w = bmp.width() as i32;
+    let r = (w / 18).clamp(3, 9);
+    let cx = w - r - 2;
+    let cy = r + 2;
+    fill_disc(bmp, cx, cy, r, [250, 250, 250, 255]);
+    let t = (r * 2) / 3;
+    let blue = [0, 90 + rng.range_i32(0, 60) as u8, 220, 255];
+    fill_triangle(
+        bmp,
+        (cx - t / 2, cy - t),
+        (cx - t / 2, cy + t),
+        (cx + t, cy),
+        blue,
+    );
+}
+
+fn draw_cta_button(bmp: &mut Bitmap, script: Script, rng: &mut Pcg32) {
+    let w = bmp.width() as i32;
+    let h = bmp.height() as i32;
+    let bw = (w / 3).clamp(14, 140);
+    let bh = (h / 6).clamp(8, 34);
+    let bx = rng.range_i32((w / 12).max(1), (w - bw - w / 12).max(w / 12 + 1));
+    let by = h - bh - (h / 12).max(2);
+    let color = saturated_color(rng);
+    fill_rect(bmp, bx, by, bw as u32, bh as u32, color);
+    stroke_rect(bmp, bx, by, bw as u32, bh as u32, 1, contrasting_text(color));
+    let glyph = (bh * 3 / 5).max(3);
+    draw_text_line(
+        bmp,
+        script,
+        bx + bh / 3,
+        by + (bh - glyph) / 2,
+        glyph,
+        bx + bw - bh / 3,
+        contrasting_text(color),
+        rng,
+    );
+}
+
+fn draw_price_flash(bmp: &mut Bitmap, script: Script, rng: &mut Pcg32) {
+    let w = bmp.width() as i32;
+    let h = bmp.height() as i32;
+    let r = (w.min(h) / 6).clamp(5, 26);
+    let cx = rng.range_i32(r + 1, (w - r - 1).max(r + 2));
+    let cy = rng.range_i32(r + 1, (h - r - 1).max(r + 2));
+    let c = [235, 40 + rng.range_i32(0, 40) as u8, 40, 255];
+    fill_disc(bmp, cx, cy, r, c);
+    // Star points.
+    for (dx, dy) in [(0, -r), (0, r), (-r, 0), (r, 0)] {
+        fill_triangle(
+            bmp,
+            (cx + dx * 3 / 2, cy + dy * 3 / 2),
+            (cx + dy / 3, cy + dx / 3),
+            (cx - dy / 3, cy - dx / 3),
+            c,
+        );
+    }
+    let g = (r * 2 / 3).max(3);
+    draw_text_line(bmp, script, cx - r / 2, cy - g / 2, g, cx + r, [255, 255, 255, 255], rng);
+}
+
+fn draw_product_blob(bmp: &mut Bitmap, cx: i32, cy: i32, scale: i32, rng: &mut Pcg32) {
+    let body = saturated_color(rng);
+    match rng.range_usize(0, 3) {
+        0 => {
+            // Boxy gadget.
+            fill_rect(bmp, cx - scale / 2, cy - scale / 3, scale as u32, (scale * 2 / 3) as u32, body);
+            fill_rect(
+                bmp,
+                cx - scale / 3,
+                cy - scale / 4,
+                (scale * 2 / 3) as u32,
+                (scale / 2) as u32,
+                [30, 30, 36, 255],
+            );
+        }
+        1 => {
+            // Bottle.
+            fill_rect(bmp, cx - scale / 6, cy - scale / 2, (scale / 3) as u32, (scale / 4) as u32, body);
+            fill_rect(bmp, cx - scale / 3, cy - scale / 4, (scale * 2 / 3) as u32, (scale * 3 / 4) as u32, body);
+        }
+        _ => {
+            // Soft round product.
+            fill_disc(bmp, cx, cy, scale / 2, body);
+            fill_disc(bmp, cx - scale / 6, cy - scale / 6, scale / 6, [255, 255, 255, 120]);
+        }
+    }
+}
+
+/// Generates one ad creative.
+pub fn generate_ad(
+    rng: &mut Pcg32,
+    width: usize,
+    height: usize,
+    script: Script,
+    style: AdStyle,
+    cues: AdCues,
+) -> Bitmap {
+    let bg = if rng.chance(cues.saturated) {
+        saturated_color(rng)
+    } else {
+        muted_color(rng)
+    };
+    let mut bmp = Bitmap::new(width, height, bg);
+    let w = width as i32;
+    let h = height as i32;
+
+    if rng.chance(0.5) {
+        let mut other = bg;
+        other[rng.range_usize(0, 3)] = other[rng.range_usize(0, 3)].wrapping_add(70);
+        vertical_gradient(&mut bmp, bg, other);
+    }
+    let text = contrasting_text(bg);
+
+    match style {
+        AdStyle::Banner => {
+            // Headline left, product right, CTA right of centre.
+            let glyph = (h / 3).clamp(5, 22);
+            draw_text_line(&mut bmp, script, w / 20 + 1, h / 6, glyph, w / 2, text, rng);
+            draw_text_line(&mut bmp, script, w / 20 + 1, h / 6 + glyph * 2, (glyph * 2 / 3).max(3), w * 2 / 5, text, rng);
+            draw_product_blob(&mut bmp, w * 3 / 4, h / 2, h * 2 / 3, rng);
+        }
+        AdStyle::Rectangle => {
+            let glyph = (h / 8).clamp(4, 18);
+            draw_text_line(&mut bmp, script, w / 12, h / 12, glyph, w - w / 8, text, rng);
+            draw_product_blob(&mut bmp, w / 2, h / 2, h / 2, rng);
+            draw_paragraph(&mut bmp, script, w / 12, h * 3 / 4, w * 3 / 4, h / 6, (glyph * 2 / 3).max(3), text, rng);
+        }
+        AdStyle::SponsoredPost => {
+            // Native creative: composed like an organic post — one
+            // content-like subject plus a caption, none of the display-ad
+            // scaffolding (unless the cues below fire).
+            let mut base = bmp.clone();
+            base.fill([244, 245, 247, 255]);
+            bmp = base;
+            let text = contrasting_text([244, 245, 247, 255]);
+            if rng.chance(0.6) {
+                draw_product_blob(&mut bmp, w / 2, h * 2 / 5, h * 2 / 5, rng);
+            } else {
+                // A lifestyle-photo stand-in: sky band + subject disc.
+                fill_rect(&mut bmp, 0, 0, width as u32, (h * 3 / 5) as u32, [150, 185, 220, 255]);
+                fill_disc(&mut bmp, w / 2, h * 2 / 5, h / 5, [205, 170, 140, 255]);
+            }
+            draw_text_line(&mut bmp, script, w / 10, h * 4 / 5, (h / 12).clamp(3, 10), w * 9 / 10, text, rng);
+        }
+        AdStyle::Skyscraper => {
+            let glyph = (w / 6).clamp(4, 16);
+            draw_text_line(&mut bmp, script, w / 10, h / 20, glyph, w - w / 10, text, rng);
+            draw_product_blob(&mut bmp, w / 2, h / 3, w * 2 / 3, rng);
+            draw_product_blob(&mut bmp, w / 2, h * 2 / 3, w / 2, rng);
+        }
+        AdStyle::ProductPromo => {
+            let glyph = (h / 9).clamp(4, 16);
+            draw_product_blob(&mut bmp, w / 3, h / 2, h / 2, rng);
+            draw_paragraph(&mut bmp, script, w * 3 / 5, h / 6, w / 3, h / 2, glyph, text, rng);
+        }
+    }
+
+    if rng.chance(cues.price) {
+        draw_price_flash(&mut bmp, script, rng);
+    }
+    if rng.chance(cues.cta) {
+        draw_cta_button(&mut bmp, script, rng);
+    }
+    if rng.chance(cues.border) {
+        let t = rng.range_i32(1, 3) as u32;
+        stroke_rect(&mut bmp, 0, 0, width as u32, height as u32, t, [40, 40, 48, 255]);
+    }
+    if rng.chance(cues.adchoices) {
+        draw_adchoices_marker(&mut bmp, rng);
+    }
+    bmp
+}
+
+fn noise_overlay(bmp: &mut Bitmap, amount: i32, rng: &mut Pcg32) {
+    for y in 0..bmp.height() {
+        for x in 0..bmp.width() {
+            if rng.chance(0.3) {
+                let mut px = bmp.get(x, y);
+                let d = rng.range_i32(-amount, amount + 1);
+                for c in px.iter_mut().take(3) {
+                    *c = (i32::from(*c) + d).clamp(0, 255) as u8;
+                }
+                bmp.set(x, y, px);
+            }
+        }
+    }
+}
+
+/// Generates one non-ad image.
+pub fn generate_nonad(
+    rng: &mut Pcg32,
+    width: usize,
+    height: usize,
+    script: Script,
+    style: NonAdStyle,
+) -> Bitmap {
+    let w = width as i32;
+    let h = height as i32;
+    match style {
+        NonAdStyle::Photo => {
+            let mut bmp = Bitmap::new(width, height, [0, 0, 0, 255]);
+            let sky_top = [80 + rng.range_i32(0, 60) as u8, 140, 220, 255];
+            vertical_gradient(&mut bmp, sky_top, [200, 220, 240, 255]);
+            if rng.chance(0.6) {
+                fill_disc(&mut bmp, rng.range_i32(w / 6, w * 5 / 6), h / 4, (h / 8).max(2), [255, 230, 120, 255]);
+            }
+            for _ in 0..rng.range_usize(1, 4) {
+                let peak = rng.range_i32(0, w);
+                let base = rng.range_i32(h / 2, h);
+                let g = 60 + rng.range_i32(0, 80) as u8;
+                fill_triangle(
+                    &mut bmp,
+                    (peak, base - rng.range_i32(h / 4, h * 3 / 4 + 1)),
+                    (peak - rng.range_i32(w / 6, w / 2 + 1), h),
+                    (peak + rng.range_i32(w / 6, w / 2 + 1), h),
+                    [g / 2, g, g / 2, 255],
+                );
+            }
+            fill_rect(&mut bmp, 0, h * 5 / 6, width as u32, (h / 6 + 1) as u32, [70, 110, 60, 255]);
+            noise_overlay(&mut bmp, 12, rng);
+            bmp
+        }
+        NonAdStyle::Portrait => {
+            let mut bmp = Bitmap::new(width, height, muted_color(rng));
+            let skin = [
+                200u8.saturating_sub(rng.range_i32(0, 90) as u8),
+                160u8.saturating_sub(rng.range_i32(0, 80) as u8),
+                120u8.saturating_sub(rng.range_i32(0, 60) as u8),
+                255,
+            ];
+            let cx = w / 2;
+            let cy = h * 2 / 5;
+            let r = (w.min(h) / 4).max(3);
+            // Shoulders, head, hair, eyes.
+            fill_rect(&mut bmp, cx - r * 2, cy + r, (r * 4) as u32, (h - cy - r) as u32, [60, 70, 110, 255]);
+            fill_disc(&mut bmp, cx, cy, r, skin);
+            fill_rect(&mut bmp, cx - r, cy - r - r / 3, (r * 2) as u32, (r * 2 / 3) as u32, [40, 30, 25, 255]);
+            fill_disc(&mut bmp, cx - r / 2, cy - r / 6, (r / 7).max(1), [20, 20, 20, 255]);
+            fill_disc(&mut bmp, cx + r / 2, cy - r / 6, (r / 7).max(1), [20, 20, 20, 255]);
+            noise_overlay(&mut bmp, 8, rng);
+            bmp
+        }
+        NonAdStyle::Texture => {
+            let mut bmp = Bitmap::new(width, height, muted_color(rng));
+            let a = muted_color(rng);
+            let b = muted_color(rng);
+            let cell = rng.range_i32(3, (w / 3).max(4)) as usize;
+            for y in 0..height {
+                for x in 0..width {
+                    let pick = if rng.chance(0.1) {
+                        rng.chance(0.5)
+                    } else {
+                        (x / cell + y / cell) % 2 == 0
+                    };
+                    bmp.set(x, y, if pick { a } else { b });
+                }
+            }
+            bmp
+        }
+        NonAdStyle::Chart => {
+            let mut bmp = Bitmap::new(width, height, [250, 250, 250, 255]);
+            let axis = [90, 90, 90, 255];
+            fill_rect(&mut bmp, w / 10, h / 10, 1, (h * 8 / 10) as u32, axis);
+            fill_rect(&mut bmp, w / 10, h * 9 / 10, (w * 8 / 10) as u32, 1, axis);
+            let bars = rng.range_usize(3, 8);
+            let bw = (w * 7 / 10) / bars as i32;
+            for i in 0..bars {
+                let bh = rng.range_i32(h / 10, h * 7 / 10 + 1);
+                fill_rect(
+                    &mut bmp,
+                    w / 10 + 2 + i as i32 * bw,
+                    h * 9 / 10 - bh,
+                    (bw * 3 / 4).max(1) as u32,
+                    bh as u32,
+                    saturated_color(rng),
+                );
+            }
+            bmp
+        }
+        NonAdStyle::Document => {
+            let mut bmp = Bitmap::new(width, height, [252, 252, 250, 255]);
+            draw_paragraph(
+                &mut bmp,
+                script,
+                w / 12,
+                h / 12,
+                w * 5 / 6,
+                h * 5 / 6,
+                (h / 14).clamp(3, 10),
+                [60, 60, 64, 255],
+                rng,
+            );
+            bmp
+        }
+        NonAdStyle::Icon => {
+            let mut bmp = Bitmap::new(width, height, muted_color(rng));
+            let c = saturated_color(rng);
+            match rng.range_usize(0, 3) {
+                0 => fill_disc(&mut bmp, w / 2, h / 2, w.min(h) / 3, c),
+                1 => fill_rect(&mut bmp, w / 4, h / 4, (w / 2) as u32, (h / 2) as u32, c),
+                _ => fill_triangle(&mut bmp, (w / 2, h / 5), (w / 5, h * 4 / 5), (w * 4 / 5, h * 4 / 5), c),
+            }
+            bmp
+        }
+        NonAdStyle::ProductPhoto => {
+            // Hard negative: product on clean background, maybe a caption —
+            // but no disclosure marker, border, CTA or price flash.
+            let mut bmp = Bitmap::new(width, height, [245, 245, 245, 255]);
+            draw_product_blob(&mut bmp, w / 2, h / 2, h / 2, rng);
+            if rng.chance(0.5) {
+                draw_text_line(
+                    &mut bmp,
+                    script,
+                    w / 5,
+                    h * 5 / 6,
+                    (h / 12).clamp(3, 10),
+                    w * 4 / 5,
+                    [90, 90, 90, 255],
+                    rng,
+                );
+            }
+            noise_overlay(&mut bmp, 5, rng);
+            bmp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = generate_ad(&mut Pcg32::seed_from_u64(5), 64, 64, Script::Latin, AdStyle::Rectangle, AdCues::default());
+        let b = generate_ad(&mut Pcg32::seed_from_u64(5), 64, 64, Script::Latin, AdStyle::Rectangle, AdCues::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_styles_render_at_various_sizes() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        for style in AdStyle::ALL {
+            for (w, h) in [(16usize, 16usize), (64, 64), (120, 20), (20, 120)] {
+                let bmp = generate_ad(&mut rng, w, h, Script::Latin, style, AdCues::default());
+                assert_eq!((bmp.width(), bmp.height()), (w, h));
+            }
+        }
+        for style in NonAdStyle::ALL {
+            for (w, h) in [(16usize, 16usize), (64, 64), (120, 20)] {
+                let bmp = generate_nonad(&mut rng, w, h, Script::Latin, style);
+                assert_eq!((bmp.width(), bmp.height()), (w, h));
+            }
+        }
+    }
+
+    #[test]
+    fn ads_are_visually_distinct_from_nonads_on_average() {
+        // Mean absolute pixel difference between the class means should be
+        // non-trivial — otherwise no classifier could ever work.
+        let n = 24;
+        let size = 32;
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mean = |is_ad: bool, rng: &mut Pcg32| -> Vec<f64> {
+            let mut acc = vec![0f64; size * size * 3];
+            for i in 0..n {
+                let bmp = if is_ad {
+                    let style = AdStyle::ALL[i % AdStyle::ALL.len()];
+                    generate_ad(rng, size, size, Script::Latin, style, AdCues::default())
+                } else {
+                    let style = NonAdStyle::ALL[i % NonAdStyle::ALL.len()];
+                    generate_nonad(rng, size, size, Script::Latin, style)
+                };
+                for (j, px) in bmp.data().chunks_exact(4).enumerate() {
+                    acc[j * 3] += f64::from(px[0]);
+                    acc[j * 3 + 1] += f64::from(px[1]);
+                    acc[j * 3 + 2] += f64::from(px[2]);
+                }
+            }
+            acc.iter_mut().for_each(|v| *v /= n as f64);
+            acc
+        };
+        let ad_mean = mean(true, &mut rng);
+        let nonad_mean = mean(false, &mut rng);
+        let dist: f64 = ad_mean
+            .iter()
+            .zip(&nonad_mean)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / ad_mean.len() as f64;
+        assert!(dist > 5.0, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn adchoices_marker_lands_top_right() {
+        let mut bmp = Bitmap::new(64, 64, [0, 0, 0, 255]);
+        draw_adchoices_marker(&mut bmp, &mut Pcg32::seed_from_u64(2));
+        // Some bright pixels in the top-right 12x12 corner.
+        let mut bright = 0;
+        for y in 0..12 {
+            for x in 52..64 {
+                if bmp.get(x, y)[0] > 200 {
+                    bright += 1;
+                }
+            }
+        }
+        assert!(bright > 5, "marker missing from corner");
+        // Bottom-left stays untouched.
+        assert_eq!(bmp.get(5, 58), [0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn native_cues_are_weaker() {
+        let d = AdCues::default();
+        let n = AdCues::native();
+        assert!(n.adchoices < d.adchoices);
+        assert!(n.border < d.border);
+        assert!(n.cta < d.cta);
+    }
+
+    #[test]
+    fn scripts_flow_through_ad_text() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for script in Script::ALL {
+            let bmp = generate_ad(&mut rng, 48, 48, script, AdStyle::Rectangle, AdCues::default());
+            assert_eq!(bmp.width(), 48);
+        }
+    }
+}

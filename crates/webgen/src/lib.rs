@@ -1,0 +1,29 @@
+//! Synthetic-web corpus generator.
+//!
+//! The paper trains and evaluates on crawls of the real web (Alexa top
+//! sites, Facebook sessions, regional sites reached over VPN) — data we
+//! cannot ship. This crate substitutes a *procedural web*: deterministic
+//! generators for ad and non-ad imagery, text in several script families,
+//! ad networks with EasyList-matchable URL conventions, multi-page sites
+//! with third-party iframes, social feeds with first-party sponsored
+//! content, and image-search result mixtures. Every generator is seeded, so
+//! the full corpus is reproducible from one `u64`.
+//!
+//! The visual design of the generators follows the paper's own salience
+//! analysis (Section 5.6): the classifier keys on ad-disclosure cues
+//! (AdChoices-style marker), text outlines, CTA-like blocks and product
+//! imagery. Those are exactly the features the ad generator plants and the
+//! non-ad generator avoids (with controlled exceptions that create the
+//! hard-negative classes the paper's error analysis describes).
+
+pub mod adnet;
+pub mod glyphs;
+pub mod images;
+pub mod profile;
+pub mod search;
+pub mod sites;
+pub mod social;
+
+pub use glyphs::Script;
+pub use images::{generate_ad, generate_nonad, AdStyle, NonAdStyle};
+pub use profile::{DatasetProfile, LabeledImage};

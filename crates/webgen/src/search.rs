@@ -1,0 +1,104 @@
+//! Image-search result mixtures (the Section 5.4 experiment).
+//!
+//! Each query carries an *ad intent*: the probability that a returned image
+//! is advertising material, plus a hard-negative rate — how commercial the
+//! non-ad results look (product photography for "iPhone", none for
+//! "Obama"). Figure 13's block counts follow from these mixtures.
+
+use crate::glyphs::Script;
+use crate::images::{generate_ad, generate_nonad, AdCues, NonAdStyle};
+use crate::profile::{DatasetProfile, LabeledImage};
+use percival_util::Pcg32;
+
+/// A search query's content mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryProfile {
+    /// Query string, as in Figure 13.
+    pub name: &'static str,
+    /// Probability a result is an ad creative.
+    pub ad_intent: f32,
+    /// Probability a *non-ad* result is commercial product imagery.
+    pub hard_negative_rate: f32,
+}
+
+/// The queries of Figure 13 with intents estimated from the paper's block
+/// counts (e.g. "Advertisement" blocked 96/100, "Obama" 12/100).
+pub const FIGURE13_QUERIES: [QueryProfile; 7] = [
+    QueryProfile { name: "Obama", ad_intent: 0.08, hard_negative_rate: 0.05 },
+    QueryProfile { name: "Advertisement", ad_intent: 0.95, hard_negative_rate: 0.6 },
+    QueryProfile { name: "Shoes", ad_intent: 0.45, hard_negative_rate: 0.55 },
+    QueryProfile { name: "Pastry", ad_intent: 0.10, hard_negative_rate: 0.25 },
+    QueryProfile { name: "Coffee", ad_intent: 0.18, hard_negative_rate: 0.30 },
+    QueryProfile { name: "Detergent", ad_intent: 0.70, hard_negative_rate: 0.65 },
+    QueryProfile { name: "iPhone", ad_intent: 0.62, hard_negative_rate: 0.75 },
+];
+
+/// Generates the top-`n` image results for a query.
+pub fn generate_results(
+    rng: &mut Pcg32,
+    query: QueryProfile,
+    n: usize,
+    size: usize,
+) -> Vec<LabeledImage> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.chance(query.ad_intent) {
+            let (style, _) = DatasetProfile::Alexa.sample_ad(rng);
+            out.push(LabeledImage {
+                bitmap: generate_ad(rng, size, size, Script::Latin, style, AdCues::default()),
+                is_ad: true,
+                style: "ad:search-result",
+            });
+        } else {
+            let style = if rng.chance(query.hard_negative_rate) {
+                NonAdStyle::ProductPhoto
+            } else {
+                DatasetProfile::Alexa.sample_nonad(rng)
+            };
+            out.push(LabeledImage {
+                bitmap: generate_nonad(rng, size, size, Script::Latin, style),
+                is_ad: false,
+                style: "content:search-result",
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_intent_queries_return_more_ads() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let ad_count = |name: &str, rng: &mut Pcg32| -> usize {
+            let q = *FIGURE13_QUERIES.iter().find(|q| q.name == name).unwrap();
+            generate_results(rng, q, 300, 24).iter().filter(|r| r.is_ad).count()
+        };
+        let adv = ad_count("Advertisement", &mut rng);
+        let obama = ad_count("Obama", &mut rng);
+        assert!(adv > 250, "Advertisement: {adv}/300");
+        assert!(obama < 50, "Obama: {obama}/300");
+    }
+
+    #[test]
+    fn figure13_queries_cover_the_paper() {
+        let names: Vec<&str> = FIGURE13_QUERIES.iter().map(|q| q.name).collect();
+        for expected in ["Obama", "Advertisement", "Shoes", "Pastry", "Coffee", "Detergent", "iPhone"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn results_are_sized_and_deterministic() {
+        let q = FIGURE13_QUERIES[0];
+        let a = generate_results(&mut Pcg32::seed_from_u64(2), q, 10, 32);
+        let b = generate_results(&mut Pcg32::seed_from_u64(2), q, 10, 32);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bitmap, y.bitmap);
+            assert_eq!(x.bitmap.width(), 32);
+        }
+    }
+}

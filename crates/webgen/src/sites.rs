@@ -1,0 +1,368 @@
+//! Whole-site generation: multi-page synthetic sites with ad slots,
+//! third-party iframes, tracking pixels and organic content.
+//!
+//! The emitted HTML uses exactly the subset `percival-renderer` parses
+//! (block-level tags, `class`/`id`/`src`/`width`/`height`/`style`
+//! attributes, one `<style>` sheet). Every image resource carries a ground
+//! truth label so crawls over the corpus can be scored.
+
+use crate::adnet;
+use crate::glyphs::Script;
+use crate::images::{generate_ad, generate_nonad, AdCues};
+use crate::profile::DatasetProfile;
+use percival_imgcodec::sniff::{encode_as, ImageFormat};
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+use std::collections::HashMap;
+
+/// Site verticals; affects page structure and ad density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteCategory {
+    /// News site: heavy ad load, many iframes.
+    News,
+    /// Shop: first-party promos dominate.
+    Shop,
+    /// Blog: light ad load.
+    Blog,
+    /// Portal: mixed.
+    Portal,
+}
+
+impl SiteCategory {
+    const ALL: [SiteCategory; 4] = [
+        SiteCategory::News,
+        SiteCategory::Shop,
+        SiteCategory::Blog,
+        SiteCategory::Portal,
+    ];
+
+    fn prefix(self) -> &'static str {
+        match self {
+            SiteCategory::News => "news",
+            SiteCategory::Shop => "shop",
+            SiteCategory::Blog => "blog",
+            SiteCategory::Portal => "portal",
+        }
+    }
+
+    /// (min, max) ad slots per page.
+    fn ad_slots(self) -> (usize, usize) {
+        match self {
+            SiteCategory::News => (2, 5),
+            SiteCategory::Shop => (1, 4),
+            SiteCategory::Blog => (0, 2),
+            SiteCategory::Portal => (1, 4),
+        }
+    }
+}
+
+/// A generated web corpus: documents, encoded images and ground truth.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    /// Top-level page URLs in generation order.
+    pub pages: Vec<String>,
+    /// URL -> HTML source (top-level pages and iframe documents).
+    pub documents: HashMap<String, String>,
+    /// URL -> encoded image bytes.
+    pub images: HashMap<String, Vec<u8>>,
+    /// Image URL -> is-this-an-ad ground truth.
+    pub truth: HashMap<String, bool>,
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Pages per site.
+    pub pages_per_site: usize,
+    /// Script family for all text/images.
+    pub script: Script,
+    /// Regional ecosystem (regional ad networks, weaker list coverage).
+    pub regional: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_sites: 10,
+            pages_per_site: 3,
+            script: Script::Latin,
+            regional: false,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+fn pick_format(rng: &mut Pcg32) -> ImageFormat {
+    // Rough web frequency: PNG and GIF dominate ad creatives; QOI/BMP stand
+    // in for the long tail of formats.
+    let formats = [
+        ImageFormat::Png,
+        ImageFormat::Png,
+        ImageFormat::Gif,
+        ImageFormat::Qoi,
+        ImageFormat::Bmp,
+    ];
+    *rng.choose(&formats)
+}
+
+struct PageBuilder<'a> {
+    rng: &'a mut Pcg32,
+    corpus: &'a mut Corpus,
+    script: Script,
+    regional: bool,
+    host: String,
+    body: String,
+}
+
+impl<'a> PageBuilder<'a> {
+    fn store_image(&mut self, url: &str, bitmap: &Bitmap, is_ad: bool) {
+        let fmt = pick_format(self.rng);
+        self.corpus.images.insert(url.to_string(), encode_as(bitmap, fmt));
+        self.corpus.truth.insert(url.to_string(), is_ad);
+    }
+
+    fn ad_bitmap(&mut self, w: usize, h: usize) -> Bitmap {
+        let (style, cues) = DatasetProfile::Alexa.sample_ad(self.rng);
+        let _ = cues;
+        generate_ad(self.rng, w, h, self.script, style, AdCues::default())
+    }
+
+    fn content_bitmap(&mut self, w: usize, h: usize) -> Bitmap {
+        let style = DatasetProfile::Alexa.sample_nonad(self.rng);
+        generate_nonad(self.rng, w, h, self.script, style)
+    }
+
+    fn push_header(&mut self) {
+        self.body.push_str(
+            "<div class=\"site-header\" style=\"height:36;background-color:#2d3748\">\
+             <h1>Site</h1></div>\n",
+        );
+    }
+
+    fn push_paragraphs(&mut self) {
+        for _ in 0..self.rng.range_usize(1, 4) {
+            self.body.push_str("<p>Lorem ipsum synthetic copy for layout work.</p>\n");
+        }
+    }
+
+    fn push_content_image(&mut self) {
+        let ext = pick_format(self.rng).extension().to_string();
+        let url = adnet::content_url(self.rng, &self.host, &ext);
+        let (w, h) = *self.rng.choose(&[(96usize, 72usize), (120, 80), (80, 80), (140, 90)]);
+        let bmp = self.content_bitmap(w, h);
+        self.store_image(&url, &bmp, false);
+        self.body.push_str(&format!(
+            "<img class=\"article-img\" src=\"{url}\" width=\"{w}\" height=\"{h}\">\n"
+        ));
+    }
+
+    /// One ad slot: direct ad image, ad iframe, or first-party promo.
+    fn push_ad_slot(&mut self) {
+        let ext = pick_format(self.rng).extension().to_string();
+        match self.rng.range_usize(0, 3) {
+            0 => {
+                // Direct third-party creative in a list-visible container.
+                let network = adnet::pick_network(self.rng, self.regional);
+                let url = adnet::creative_url(self.rng, network, &ext);
+                let (w, h) = *self.rng.choose(&[(234usize, 60usize), (120, 100), (60, 160)]);
+                let bmp = self.ad_bitmap(w, h);
+                self.store_image(&url, &bmp, true);
+                let class = if self.rng.chance(0.75) { "ad-banner" } else { "promo-box" };
+                self.body.push_str(&format!(
+                    "<div class=\"{class}\"><img src=\"{url}\" width=\"{w}\" height=\"{h}\"></div>\n"
+                ));
+            }
+            1 => {
+                // Syndicated iframe: a subdocument containing the creative.
+                let frame_url = adnet::iframe_url_mixed(self.rng);
+                let network = adnet::pick_network(self.rng, self.regional);
+                let creative = adnet::creative_url(self.rng, network, &ext);
+                let (w, h) = (120usize, 100usize);
+                let bmp = self.ad_bitmap(w, h);
+                self.store_image(&creative, &bmp, true);
+                let frame_html = format!(
+                    "<html><body><img class=\"creative\" src=\"{creative}\" \
+                     width=\"{w}\" height=\"{h}\"></body></html>"
+                );
+                self.corpus.documents.insert(frame_url.clone(), frame_html);
+                self.body.push_str(&format!(
+                    "<div class=\"ad-slot\"><iframe class=\"ad-frame\" src=\"{frame_url}\" \
+                     width=\"{}\" height=\"{}\"></iframe></div>\n",
+                    w + 4,
+                    h + 4
+                ));
+            }
+            _ => {
+                // First-party promo.
+                let url = adnet::promo_url(self.rng, &self.host, &ext);
+                let (w, h) = (140usize, 90usize);
+                let bmp = self.ad_bitmap(w, h);
+                self.store_image(&url, &bmp, true);
+                self.body.push_str(&format!(
+                    "<div class=\"promo-box\"><img src=\"{url}\" width=\"{w}\" height=\"{h}\"></div>\n"
+                ));
+            }
+        }
+        // Most ad slots come with a tracking pixel.
+        if self.rng.chance(0.7) {
+            let px_url = adnet::tracker_url(self.rng);
+            let px = Bitmap::new(1, 1, [0, 0, 0, 0]);
+            self.store_image(&px_url, &px, true);
+            self.body
+                .push_str(&format!("<img class=\"px\" src=\"{px_url}\" width=\"1\" height=\"1\">\n"));
+        }
+    }
+}
+
+/// Generates one page for `host`, inserting all resources into `corpus`.
+fn generate_page(
+    rng: &mut Pcg32,
+    corpus: &mut Corpus,
+    cfg: &CorpusConfig,
+    host: &str,
+    category: SiteCategory,
+    page_idx: usize,
+) -> String {
+    let url = if page_idx == 0 {
+        format!("http://{host}/")
+    } else {
+        format!("http://{host}/page/{page_idx}")
+    };
+
+    let mut b = PageBuilder {
+        rng,
+        corpus,
+        script: cfg.script,
+        regional: cfg.regional,
+        host: host.to_string(),
+        body: String::new(),
+    };
+    b.push_header();
+    let (lo, hi) = category.ad_slots();
+    let n_ads = b.rng.range_usize(lo, hi + 1);
+    let n_content = b.rng.range_usize(3, 8);
+
+    // Interleave content blocks and ad slots.
+    let mut slots: Vec<bool> = std::iter::repeat(true)
+        .take(n_ads)
+        .chain(std::iter::repeat(false).take(n_content))
+        .collect();
+    b.rng.shuffle(&mut slots);
+    for is_ad_slot in slots {
+        if is_ad_slot {
+            b.push_ad_slot();
+        } else {
+            b.push_paragraphs();
+            b.push_content_image();
+        }
+    }
+
+    let body = b.body;
+    let html = format!(
+        "<html><head><style>\n\
+         .site-header {{ background-color: #2d3748; }}\n\
+         .article-img {{ }}\n\
+         </style></head>\n<body>\n{body}</body></html>"
+    );
+    corpus.documents.insert(url.clone(), html);
+    url
+}
+
+/// Generates a full corpus per `cfg`.
+pub fn generate_corpus(cfg: CorpusConfig) -> Corpus {
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let mut corpus = Corpus::default();
+    let region_tag = if cfg.regional { "kr-" } else { "" };
+    for site in 0..cfg.n_sites {
+        let category = SiteCategory::ALL[site % SiteCategory::ALL.len()];
+        let host = format!("{region_tag}{}{site}.web", category.prefix());
+        for page in 0..cfg.pages_per_site {
+            let url = generate_page(&mut rng, &mut corpus, &cfg, &host, category, page);
+            corpus.pages.push(url);
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        generate_corpus(CorpusConfig { n_sites: 4, pages_per_site: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn corpus_has_expected_page_count() {
+        let c = small_corpus();
+        assert_eq!(c.pages.len(), 8);
+        for url in &c.pages {
+            assert!(c.documents.contains_key(url), "{url} missing document");
+        }
+    }
+
+    #[test]
+    fn every_image_has_truth_and_decodes() {
+        let c = small_corpus();
+        assert!(!c.images.is_empty());
+        for (url, bytes) in &c.images {
+            assert!(c.truth.contains_key(url), "{url} missing label");
+            percival_imgcodec::decode_auto(bytes).unwrap_or_else(|e| panic!("{url}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_contains_both_classes() {
+        let c = small_corpus();
+        let ads = c.truth.values().filter(|&&a| a).count();
+        let non = c.truth.values().filter(|&&a| !a).count();
+        assert!(ads > 0, "no ads generated");
+        assert!(non > 0, "no content images generated");
+    }
+
+    #[test]
+    fn iframe_documents_reference_stored_creatives() {
+        let c = small_corpus();
+        let frames: Vec<&String> = c
+            .documents
+            .keys()
+            .filter(|u| u.contains("syndication"))
+            .collect();
+        for f in frames {
+            let html = &c.documents[f];
+            // Extract the src attribute of the creative.
+            let start = html.find("src=\"").expect("iframe doc has an img") + 5;
+            let end = html[start..].find('"').unwrap() + start;
+            let src = &html[start..end];
+            assert!(c.images.contains_key(src), "{src} not stored");
+            assert_eq!(c.truth[src], true);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.documents.len(), b.documents.len());
+        for (url, bytes) in &a.images {
+            assert_eq!(&b.images[url], bytes, "{url} differs");
+        }
+    }
+
+    #[test]
+    fn regional_corpus_uses_regional_hosts() {
+        let c = generate_corpus(CorpusConfig {
+            n_sites: 2,
+            pages_per_site: 1,
+            regional: true,
+            script: Script::Korean,
+            ..Default::default()
+        });
+        assert!(c.pages.iter().all(|p| p.contains("kr-")));
+    }
+}

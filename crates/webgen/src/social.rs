@@ -1,0 +1,154 @@
+//! Social-feed (Facebook-like) session generation.
+//!
+//! Models the setting of Section 5.3: a feed of organic posts with two ad
+//! placements — classic right-column creatives (easy to spot) and in-feed
+//! sponsored posts whose creatives imitate organic content (hard). Brand
+//! pages contribute organic-but-commercial imagery, the false-positive
+//! source the paper calls out ("false positives come from high 'ad intent'
+//! user-created content, as well as content created by brand or product
+//! pages").
+
+use crate::glyphs::Script;
+use crate::images::{generate_ad, generate_nonad, AdCues, AdStyle, NonAdStyle};
+use percival_imgcodec::Bitmap;
+use percival_util::Pcg32;
+
+/// Where an item appeared in the feed UI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedSlot {
+    /// Right-hand column ad placement.
+    RightColumn,
+    /// Sponsored post embedded in the feed.
+    InFeedSponsored,
+    /// Organic post from a friend.
+    OrganicPost,
+    /// Organic post from a brand/product page (high ad intent).
+    BrandPost,
+}
+
+/// One image shown during a browsing session.
+#[derive(Debug, Clone)]
+pub struct FeedItem {
+    /// The decoded creative/content image.
+    pub bitmap: Bitmap,
+    /// Ground truth per the paper's definition: right-column and sponsored
+    /// content are ads; everything else is not.
+    pub is_ad: bool,
+    /// Placement.
+    pub slot: FeedSlot,
+}
+
+/// Session generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedConfig {
+    /// Number of feed items (posts scrolled past).
+    pub items: usize,
+    /// Image edge length.
+    pub size: usize,
+    /// Fraction of items that are ads (paper's sessions: 354 ads vs 1,830
+    /// non-ads, about 16%).
+    pub ad_fraction: f32,
+    /// Among ads, fraction embedded in the feed (vs right column).
+    pub in_feed_fraction: f32,
+    /// Among non-ads, fraction from brand pages.
+    pub brand_fraction: f32,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        FeedConfig {
+            items: 200,
+            size: 64,
+            ad_fraction: 0.16,
+            in_feed_fraction: 0.6,
+            brand_fraction: 0.12,
+        }
+    }
+}
+
+/// Generates one browsing session's worth of feed imagery.
+pub fn generate_session(rng: &mut Pcg32, cfg: FeedConfig) -> Vec<FeedItem> {
+    let mut items = Vec::with_capacity(cfg.items);
+    for _ in 0..cfg.items {
+        if rng.chance(cfg.ad_fraction) {
+            if rng.chance(cfg.in_feed_fraction) {
+                // Native creative styled like an organic post.
+                let bmp = generate_ad(
+                    rng,
+                    cfg.size,
+                    cfg.size,
+                    Script::Latin,
+                    AdStyle::SponsoredPost,
+                    AdCues::native(),
+                );
+                items.push(FeedItem { bitmap: bmp, is_ad: true, slot: FeedSlot::InFeedSponsored });
+            } else {
+                let bmp = generate_ad(
+                    rng,
+                    cfg.size,
+                    cfg.size,
+                    Script::Latin,
+                    AdStyle::Rectangle,
+                    AdCues::default(),
+                );
+                items.push(FeedItem { bitmap: bmp, is_ad: true, slot: FeedSlot::RightColumn });
+            }
+        } else if rng.chance(cfg.brand_fraction) {
+            // Brand-page content: commercial imagery, not an ad placement.
+            let bmp = generate_nonad(rng, cfg.size, cfg.size, Script::Latin, NonAdStyle::ProductPhoto);
+            items.push(FeedItem { bitmap: bmp, is_ad: false, slot: FeedSlot::BrandPost });
+        } else {
+            let style = [
+                NonAdStyle::Photo,
+                NonAdStyle::Portrait,
+                NonAdStyle::Photo,
+                NonAdStyle::Document,
+                NonAdStyle::Texture,
+            ][rng.range_usize(0, 5)];
+            let bmp = generate_nonad(rng, cfg.size, cfg.size, Script::Latin, style);
+            items.push(FeedItem { bitmap: bmp, is_ad: false, slot: FeedSlot::OrganicPost });
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_respects_fractions() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let items = generate_session(&mut rng, FeedConfig { items: 2000, ..Default::default() });
+        let ads = items.iter().filter(|i| i.is_ad).count();
+        let frac = ads as f32 / items.len() as f32;
+        assert!((0.12..0.20).contains(&frac), "ad fraction {frac}");
+        let in_feed = items
+            .iter()
+            .filter(|i| i.slot == FeedSlot::InFeedSponsored)
+            .count();
+        assert!(in_feed > ads / 3, "in-feed ads should dominate: {in_feed}/{ads}");
+    }
+
+    #[test]
+    fn labels_follow_slots() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        for item in generate_session(&mut rng, FeedConfig { items: 300, ..Default::default() }) {
+            match item.slot {
+                FeedSlot::RightColumn | FeedSlot::InFeedSponsored => assert!(item.is_ad),
+                FeedSlot::OrganicPost | FeedSlot::BrandPost => assert!(!item.is_ad),
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let a = generate_session(&mut Pcg32::seed_from_u64(3), FeedConfig::default());
+        let b = generate_session(&mut Pcg32::seed_from_u64(3), FeedConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bitmap, y.bitmap);
+            assert_eq!(x.slot, y.slot);
+        }
+    }
+}

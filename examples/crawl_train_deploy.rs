@@ -1,0 +1,73 @@
+//! The full production loop: crawl -> train -> save -> reload -> deploy.
+//!
+//! Mirrors the paper's workflow end to end: an instrumented crawl captures
+//! decoded frames from the rendering pipeline (race-free, Section 4.4.2),
+//! the model trains on the captures, the weights are serialized to disk
+//! (the <2 MB deployment artifact), reloaded into a fresh classifier, and
+//! deployed as the in-pipeline hook — including the async/memoized
+//! low-latency mode.
+//!
+//! ```text
+//! cargo run --release --example crawl_train_deploy
+//! ```
+
+use percival::core::hook::AsyncPercivalHook;
+use percival::crawler::adapters::store_from_corpus;
+use percival::crawler::instrumented::{crawl_instrumented, LabelSource};
+use percival::prelude::*;
+use percival::renderer::net::AllowAll;
+use percival::webgen::sites::{generate_corpus, CorpusConfig};
+
+fn main() {
+    // 1. Crawl: capture every decoded frame from the pipeline.
+    let corpus = generate_corpus(CorpusConfig { n_sites: 10, pages_per_site: 2, ..Default::default() });
+    println!("crawling {} pages with the instrumented browser...", corpus.pages.len());
+    let mut dataset = crawl_instrumented(&corpus, LabelSource::Oracle);
+    let mut rng = Pcg32::seed_from_u64(99);
+    dataset.balance(&mut rng);
+    let (ads, non_ads) = dataset.class_counts();
+    println!("captured {} images ({ads} ads / {non_ads} content)", dataset.len());
+
+    // 2. Train.
+    let (bitmaps, labels) = dataset.as_training_views();
+    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let trained = train(&bitmaps, &labels, &cfg);
+    println!(
+        "trained: final loss {:.4}, train accuracy {:.3}",
+        trained.history.last().unwrap().loss,
+        trained.history.last().unwrap().accuracy
+    );
+
+    // 3. Save the deployment artifact and reload it elsewhere.
+    let artifact = trained.classifier.save_bytes();
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/example_model.pcvl", &artifact).unwrap();
+    println!("saved results/example_model.pcvl ({} KiB)", artifact.len() / 1024);
+
+    let mut deployed = {
+        // A fresh classifier with the same architecture, then load weights.
+        let mut model = percival::core::arch::percival_net_slim(cfg.width_divisor);
+        percival::nn::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(1));
+        Classifier::new(model, cfg.input_size)
+    };
+    deployed.load_bytes(&artifact).expect("artifact must round-trip");
+
+    // 4. Deploy in the async (memoized) mode and browse a few pages twice.
+    let store = store_from_corpus(&corpus);
+    let pipeline = RenderPipeline::default();
+    let hook = AsyncPercivalHook::new(deployed);
+    for pass in 1..=2 {
+        let mut blocked = 0usize;
+        for page in corpus.pages.iter().take(5) {
+            let out = pipeline.render(&store, page, &hook, &AllowAll, &[]).unwrap();
+            blocked += out.stats.images_blocked;
+        }
+        hook.flush(); // let the background classifier drain
+        println!(
+            "pass {pass}: {blocked} images blocked \
+             (first pass renders everything, verdicts memoize for the second)"
+        );
+    }
+    let (hits, _misses) = hook.memo().stats();
+    println!("memoized verdicts reused: {hits}");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: train a small PERCIVAL model and classify images.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use percival::prelude::*;
+
+fn main() {
+    // 1. Build a balanced synthetic dataset (ads vs content).
+    println!("generating dataset...");
+    let data = build_balanced_dataset(42, DatasetProfile::Alexa, Script::Latin, 48, 120);
+    let bitmaps: Vec<Bitmap> = data.iter().map(|s| s.bitmap.clone()).collect();
+    let labels: Vec<bool> = data.iter().map(|s| s.is_ad).collect();
+
+    // 2. Train with (a scaled version of) the paper's recipe: SGD with
+    //    momentum 0.9, batch 24, step learning-rate decay.
+    println!("training ({} images)...", bitmaps.len());
+    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let trained = train(&bitmaps, &labels, &cfg);
+    for e in &trained.history {
+        println!("  epoch {:>2}: loss {:.4}, accuracy {:.3}", e.epoch, e.loss, e.accuracy);
+    }
+
+    // 3. Evaluate on held-out data.
+    let held_out = build_balanced_dataset(777, DatasetProfile::Alexa, Script::Latin, 48, 60);
+    let ho_bitmaps: Vec<Bitmap> = held_out.iter().map(|s| s.bitmap.clone()).collect();
+    let ho_labels: Vec<bool> = held_out.iter().map(|s| s.is_ad).collect();
+    let cm = evaluate(&trained.classifier, &ho_bitmaps, &ho_labels);
+    println!("\nheld-out: {}", cm.metrics());
+
+    // 4. Classify individual images.
+    for sample in held_out.iter().take(6) {
+        let verdict = trained.classifier.classify(&sample.bitmap);
+        println!(
+            "  {:<22} truth={:<5} P(ad)={:.3} -> {}",
+            sample.style,
+            sample.is_ad,
+            verdict.p_ad,
+            if verdict.is_ad { "BLOCK" } else { "keep" }
+        );
+    }
+
+    // 5. The model artifact: serialized weight size (the paper's metric).
+    let bytes = trained.classifier.save_bytes();
+    println!("\nserialized model: {} KiB", bytes.len() / 1024);
+}

@@ -1,0 +1,66 @@
+//! # PERCIVAL — in-browser perceptual ad blocking with deep learning
+//!
+//! A from-scratch Rust reproduction of *"PERCIVAL: Making In-Browser
+//! Perceptual Ad Blocking Practical with Deep Learning"* (Din, Tigas,
+//! King, Livshits — USENIX ATC 2020).
+//!
+//! PERCIVAL embeds a compact CNN (a pruned SqueezeNet fork, <2 MB) inside
+//! the browser's image rendering pipeline — after decode, before raster —
+//! where it sees the raw pixels of every image regardless of format or
+//! loading mechanism, and clears the buffers it classifies as ads.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! - [`core`]: the classifier, training recipe, pipeline hooks (sync and
+//!   async/memoized) and block policies — the paper's contribution;
+//! - [`renderer`]: a Blink-style pipeline (HTML → DOM → style → layout →
+//!   display list → deferred decode → parallel tile raster) providing the
+//!   post-decode choke point;
+//! - [`nn`] / [`tensor`]: the CNN substrate with full backward passes,
+//!   SGD+momentum, serialization, quantization and Grad-CAM;
+//! - [`imgcodec`]: PNG (own DEFLATE), GIF (LZW), QOI, BMP, PPM codecs;
+//! - [`filterlist`]: an EasyList-semantics engine (the baseline and the
+//!   "Brave shields" layer);
+//! - [`webgen`]: the deterministic synthetic web (ads, sites, feeds,
+//!   scripts) standing in for the paper's crawled data;
+//! - [`crawler`]: traditional and pipeline-instrumented crawlers plus the
+//!   phased retraining loop;
+//! - [`util`]: seeded PRNG, metrics, latency statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use percival::prelude::*;
+//!
+//! // Generate a tiny labeled dataset and train a small model.
+//! let data = build_balanced_dataset(7, DatasetProfile::Alexa, Script::Latin, 32, 24);
+//! let bitmaps: Vec<_> = data.iter().map(|s| s.bitmap.clone()).collect();
+//! let labels: Vec<_> = data.iter().map(|s| s.is_ad).collect();
+//! let cfg = TrainConfig { input_size: 32, epochs: 2, ..Default::default() };
+//! let trained = train(&bitmaps, &labels, &cfg);
+//! let verdict = trained.classifier.classify(&bitmaps[0]);
+//! assert!((0.0..=1.0).contains(&verdict.p_ad));
+//! ```
+
+pub use percival_core as core;
+pub use percival_crawler as crawler;
+pub use percival_filterlist as filterlist;
+pub use percival_imgcodec as imgcodec;
+pub use percival_nn as nn;
+pub use percival_renderer as renderer;
+pub use percival_tensor as tensor;
+pub use percival_util as util;
+pub use percival_webgen as webgen;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use percival_core::{
+        evaluate, train, Classifier, MemoizedClassifier, PercivalHook, TrainConfig,
+    };
+    pub use percival_filterlist::easylist::synthetic_engine;
+    pub use percival_imgcodec::{decode_auto, Bitmap};
+    pub use percival_renderer::{PipelineConfig, RenderPipeline};
+    pub use percival_util::{BinaryConfusion, Pcg32};
+    pub use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
+    pub use percival_webgen::Script;
+}

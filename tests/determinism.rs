@@ -1,0 +1,48 @@
+//! Integration: full-stack determinism. Every experiment in this repo is
+//! reproducible from seeds — corpus bytes, rendered frame buffers and
+//! trained weights must be bit-identical across runs and thread counts.
+
+use percival::crawler::adapters::store_from_corpus;
+use percival::prelude::*;
+use percival::renderer::hook::NoopInterceptor;
+use percival::renderer::net::AllowAll;
+use percival::webgen::sites::{generate_corpus, CorpusConfig};
+
+#[test]
+fn corpus_rendering_and_training_are_reproducible() {
+    let make = || {
+        generate_corpus(CorpusConfig { n_sites: 3, pages_per_site: 1, seed: 0xD0D0, ..Default::default() })
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.pages, b.pages);
+    for (url, bytes) in &a.images {
+        assert_eq!(&b.images[url], bytes, "{url}");
+    }
+
+    // Rendering: identical frame buffers across runs and thread counts.
+    let store = store_from_corpus(&a);
+    let render = |threads: usize| {
+        let pipeline = RenderPipeline::new(PipelineConfig { raster_threads: threads, ..Default::default() });
+        pipeline
+            .render(&store, &a.pages[0], &NoopInterceptor, &AllowAll, &[])
+            .unwrap()
+            .framebuffer
+    };
+    let fb1 = render(1);
+    let fb8 = render(8);
+    assert_eq!(fb1, fb8, "rasterization must not depend on parallelism");
+
+    // Training: identical weights from identical seeds.
+    let data = build_balanced_dataset(3, DatasetProfile::Alexa, Script::Latin, 32, 20);
+    let bitmaps: Vec<Bitmap> = data.iter().map(|s| s.bitmap.clone()).collect();
+    let labels: Vec<bool> = data.iter().map(|s| s.is_ad).collect();
+    let cfg = TrainConfig { input_size: 32, epochs: 3, ..Default::default() };
+    let m1 = train(&bitmaps, &labels, &cfg);
+    let m2 = train(&bitmaps, &labels, &cfg);
+    assert_eq!(
+        m1.classifier.save_bytes(),
+        m2.classifier.save_bytes(),
+        "training must be bit-reproducible"
+    );
+}

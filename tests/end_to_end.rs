@@ -1,0 +1,76 @@
+//! End-to-end integration: corpus -> crawl -> train -> evaluate -> block
+//! in the rendering pipeline. This is the whole paper in one test.
+
+use percival::crawler::adapters::store_from_corpus;
+use percival::crawler::instrumented::{crawl_instrumented, LabelSource};
+use percival::prelude::*;
+use percival::renderer::hook::NoopInterceptor;
+use percival::renderer::net::AllowAll;
+use percival::webgen::sites::{generate_corpus, CorpusConfig};
+
+fn trained_on_crawl() -> (Classifier, percival::webgen::sites::Corpus) {
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 16,
+        pages_per_site: 2,
+        seed: 0xE2E,
+        ..Default::default()
+    });
+    let mut dataset = crawl_instrumented(&corpus, LabelSource::Oracle);
+    let mut rng = Pcg32::seed_from_u64(1);
+    // Augment the crawl with generator samples, as the experiment harness
+    // does (the paper's training set is far larger than one crawl).
+    for s in build_balanced_dataset(17, DatasetProfile::Alexa, Script::Latin, 32, 100) {
+        dataset.push(s.bitmap, s.is_ad, s.style);
+    }
+    dataset.dedup();
+    dataset.balance(&mut rng);
+    let (bitmaps, labels) = dataset.as_training_views();
+    let cfg = TrainConfig { input_size: 32, epochs: 10, ..Default::default() };
+    (train(&bitmaps, &labels, &cfg).classifier, corpus)
+}
+
+#[test]
+fn crawl_train_block_loop_works() {
+    let (classifier, corpus) = trained_on_crawl();
+
+    // Evaluate on a held-out corpus crawl.
+    let held_out_corpus = generate_corpus(CorpusConfig {
+        n_sites: 4,
+        pages_per_site: 2,
+        seed: 0x48454C44, // "HELD"
+        ..Default::default()
+    });
+    let held_out = crawl_instrumented(&held_out_corpus, LabelSource::Oracle);
+    let (bitmaps, labels) = held_out.as_training_views();
+    let cm = evaluate(&classifier, &bitmaps, &labels);
+    assert!(
+        cm.accuracy() > 0.8,
+        "end-to-end accuracy too low: {} ({cm:?})",
+        cm.accuracy()
+    );
+
+    // Deploy in the pipeline: ads must disappear from rendered pages.
+    let store = store_from_corpus(&corpus);
+    let pipeline = RenderPipeline::default();
+    let hook = PercivalHook::new(classifier);
+    let mut total_blocked = 0usize;
+    let mut total_images = 0usize;
+    for page in corpus.pages.iter().take(6) {
+        let baseline = pipeline
+            .render(&store, page, &NoopInterceptor, &AllowAll, &[])
+            .unwrap();
+        let shielded = pipeline.render(&store, page, &hook, &AllowAll, &[]).unwrap();
+        assert_eq!(baseline.stats.images_decoded, shielded.stats.images_decoded);
+        total_blocked += shielded.stats.images_blocked;
+        total_images += shielded.stats.images_decoded;
+    }
+    assert!(total_images > 0);
+    assert!(
+        total_blocked > 0,
+        "a trained PERCIVAL must block some ads in the pipeline"
+    );
+    assert!(
+        total_blocked < total_images,
+        "it must not block everything ({total_blocked}/{total_images})"
+    );
+}

@@ -1,0 +1,131 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use percival::filterlist::{parse_list, Url};
+use percival::imgcodec::inflate::{deflate_stored, inflate, zlib_compress_stored, zlib_decompress};
+use percival::imgcodec::{bmp, png, qoi, Bitmap};
+use percival::prelude::*;
+use percival::tensor::conv::conv_out_extent;
+use percival::tensor::resize::resize_bilinear;
+use percival::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h * 4)
+            .prop_map(move |data| Bitmap::from_raw(w, h, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lossless codecs must round-trip arbitrary RGBA images exactly.
+    #[test]
+    fn png_roundtrip(bmp in arb_bitmap()) {
+        let dec = png::decode_png(&png::encode_png(&bmp)).unwrap();
+        prop_assert_eq!(dec, bmp);
+    }
+
+    #[test]
+    fn qoi_roundtrip(bmp in arb_bitmap()) {
+        let dec = qoi::decode_qoi(&qoi::encode_qoi(&bmp)).unwrap();
+        prop_assert_eq!(dec, bmp);
+    }
+
+    #[test]
+    fn bmp_roundtrip(bmp in arb_bitmap()) {
+        let dec = bmp::decode_bmp(&bmp::encode_bmp(&bmp)).unwrap();
+        prop_assert_eq!(dec, bmp);
+    }
+
+    /// DEFLATE and zlib containers must invert on arbitrary payloads.
+    #[test]
+    fn inflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(inflate(&deflate_stored(&data)).unwrap(), data.clone());
+        prop_assert_eq!(zlib_decompress(&zlib_compress_stored(&data)).unwrap(), data);
+    }
+
+    /// Decoders must never panic on arbitrary garbage (errors are fine).
+    #[test]
+    fn decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = percival::imgcodec::decode_auto(&bytes);
+        let _ = png::decode_png(&bytes);
+        let _ = qoi::decode_qoi(&bytes);
+        let _ = bmp::decode_bmp(&bytes);
+        let _ = percival::imgcodec::gif::decode_gif(&bytes);
+        let _ = percival::imgcodec::ppm::decode_ppm(&bytes);
+    }
+
+    /// Truncated valid streams must error, never panic or succeed wrongly.
+    #[test]
+    fn truncation_is_detected(bmp in arb_bitmap(), cut_frac in 0.0f64..0.95) {
+        let enc = png::encode_png(&bmp);
+        let cut = (enc.len() as f64 * cut_frac) as usize;
+        prop_assert!(png::decode_png(&enc[..cut]).is_err());
+    }
+
+    /// The filter-list parser and URL parser are total.
+    #[test]
+    fn list_parsing_is_total(text in "[ -~\n]{0,400}") {
+        let _ = parse_list(&text);
+    }
+
+    #[test]
+    fn url_parsing_is_total(text in "[ -~]{0,80}") {
+        if let Ok(u) = Url::parse(&text) {
+            prop_assert!(!u.host().is_empty());
+            prop_assert!(u.as_str().contains("://"));
+        }
+    }
+
+    /// Convolution output-extent algebra.
+    #[test]
+    fn conv_extent_laws(input in 1usize..256, kernel in 1usize..8, stride in 1usize..4, pad in 0usize..4) {
+        if let Some(out) = conv_out_extent(input, kernel, stride, pad) {
+            // The last window must fit inside the padded input.
+            prop_assert!((out - 1) * stride + kernel <= input + 2 * pad);
+            // One more step would not fit.
+            prop_assert!(out * stride + kernel > input + 2 * pad);
+        } else {
+            prop_assert!(input + 2 * pad < kernel);
+        }
+    }
+
+    /// Bilinear resize preserves the value range of the source.
+    #[test]
+    fn resize_respects_bounds(
+        w in 1usize..12, h in 1usize..12,
+        ow in 1usize..24, oh in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let shape = Shape::new(1, 1, h, w);
+        let t = Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-3.0, 3.0)).collect());
+        let lo = t.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = t.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let r = resize_bilinear(&t, oh, ow);
+        for &v in r.as_slice() {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Confusion-matrix metrics always live in [0, 1].
+    #[test]
+    fn metrics_are_probabilities(tp in 0u64..1000, tn in 0u64..1000, fp in 0u64..1000, fn_ in 0u64..1000) {
+        let cm = BinaryConfusion { tp, tn, fp, fn_ };
+        for v in [cm.accuracy(), cm.precision(), cm.recall(), cm.f1()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// PRNG bounds are respected for any seed.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u32..10_000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+            let f = rng.next_f32();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

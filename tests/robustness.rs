@@ -1,0 +1,91 @@
+//! Failure injection: the pipeline and codecs must degrade gracefully —
+//! corrupt bytes, missing resources and hostile dimensions are facts of
+//! life at a rendering choke point.
+
+use percival::imgcodec::{png, qoi, CodecError};
+use percival::prelude::*;
+use percival::renderer::hook::NoopInterceptor;
+use percival::renderer::net::{AllowAll, InMemoryStore};
+use percival::core::arch::percival_net_slim;
+use percival::nn::init::kaiming_init;
+
+#[test]
+fn pipeline_survives_corrupt_and_missing_images() {
+    let mut store = InMemoryStore::default();
+    store.insert_document(
+        "http://hostile.web/",
+        "<html><body>\
+         <img src=\"http://hostile.web/corrupt.png\" width=\"50\" height=\"50\">\
+         <img src=\"http://hostile.web/missing.png\" width=\"50\" height=\"50\">\
+         <img src=\"http://hostile.web/ok.png\" width=\"50\" height=\"50\">\
+         <iframe src=\"http://hostile.web/missing-frame\" width=\"60\" height=\"60\"></iframe>\
+         </body></html>",
+    );
+    // A PNG signature followed by garbage.
+    let mut corrupt = png::SIGNATURE.to_vec();
+    corrupt.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3]);
+    store.insert_image("http://hostile.web/corrupt.png", corrupt);
+    store.insert_image(
+        "http://hostile.web/ok.png",
+        png::encode_png(&Bitmap::new(8, 8, [9, 9, 9, 255])),
+    );
+
+    let pipeline = RenderPipeline::default();
+    let out = pipeline
+        .render(&store, "http://hostile.web/", &NoopInterceptor, &AllowAll, &[])
+        .expect("hostile page still renders");
+    assert_eq!(out.stats.image_items, 3);
+    // The corrupt PNG is a decode error; the missing resource is a fetch
+    // failure (tracked as an undecodable entry, not a decoder bug).
+    assert_eq!(out.stats.decode_errors, 1);
+    assert_eq!(out.stats.images_decoded, 3, "all three URLs were attempted");
+    assert_eq!(out.stats.images_blocked, 0);
+    assert!(out.framebuffer.width() > 0);
+}
+
+#[test]
+fn decode_bomb_dimensions_are_rejected() {
+    // A QOI header that declares a 1-exapixel image.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"qoif");
+    bytes.extend_from_slice(&1_000_000u32.to_be_bytes());
+    bytes.extend_from_slice(&1_000_000u32.to_be_bytes());
+    bytes.push(4);
+    bytes.push(0);
+    match qoi::decode_qoi(&bytes) {
+        Err(CodecError::TooLarge { width, height }) => {
+            assert_eq!((width, height), (1_000_000, 1_000_000));
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn classifier_handles_extreme_aspect_ratios_and_tiny_images() {
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+    let classifier = Classifier::new(model, 32);
+    for bmp in [
+        Bitmap::new(1, 1, [0, 0, 0, 0]),      // tracking pixel
+        Bitmap::new(1, 500, [5, 5, 5, 255]),  // spacer column
+        Bitmap::new(900, 2, [5, 5, 5, 255]),  // divider strip
+    ] {
+        let p = classifier.classify(&bmp);
+        assert!(p.p_ad.is_finite());
+        assert!((0.0..=1.0).contains(&p.p_ad));
+    }
+}
+
+#[test]
+fn model_loading_rejects_foreign_architectures() {
+    let mut a = percival_net_slim(4);
+    kaiming_init(&mut a, &mut Pcg32::seed_from_u64(1));
+    let a = Classifier::new(a, 32);
+    let mut b = percival_net_slim(8);
+    kaiming_init(&mut b, &mut Pcg32::seed_from_u64(2));
+    let mut b = Classifier::new(b, 32);
+    assert!(
+        b.load_bytes(&a.save_bytes()).is_err(),
+        "width-4 weights must not load into a width-8 network"
+    );
+}

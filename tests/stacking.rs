@@ -1,0 +1,82 @@
+//! Integration: PERCIVAL composed with filter lists — "PERCIVAL can be run
+//! in addition to an existing ad blocker, as a last-step measure to block
+//! whatever slips through its filters" (Section 1).
+
+use percival::crawler::adapters::{store_from_corpus, EngineNetworkFilter};
+use percival::filterlist::easylist::synthetic_engine;
+use percival::prelude::*;
+use percival::renderer::hook::UrlPredicateInterceptor;
+use percival::renderer::net::AllowAll;
+use percival::webgen::sites::{generate_corpus, CorpusConfig};
+
+/// An oracle interceptor that blocks exactly the ground-truth ads — used
+/// to isolate the *composition* behaviour from model accuracy.
+fn oracle_hook(corpus: &percival::webgen::sites::Corpus) -> UrlPredicateInterceptor<impl Fn(&str) -> bool + '_> {
+    UrlPredicateInterceptor::new(move |url| corpus.truth.get(url).copied().unwrap_or(false))
+}
+
+#[test]
+fn cnn_catches_what_the_list_misses() {
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 12,
+        pages_per_site: 2,
+        seed: 0x57AC,
+        ..Default::default()
+    });
+    let store = store_from_corpus(&corpus);
+    let engine = synthetic_engine();
+    let shields = EngineNetworkFilter::new(&engine);
+    let pipeline = RenderPipeline::default();
+    let hook = oracle_hook(&corpus);
+
+    let mut list_only_survivors = 0usize;
+    let mut stacked_survivors = 0usize;
+    let mut list_blocked = 0usize;
+    let mut cnn_blocked_on_top = 0usize;
+
+    for page in &corpus.pages {
+        // Shields only.
+        let a = pipeline
+            .render(&store, page, &percival::renderer::NoopInterceptor, &shields, &[])
+            .unwrap();
+        list_blocked += a.stats.requests_blocked;
+        // Count surviving ads (decoded images that are ads by ground truth
+        // and not blocked): approximate via truth map on decode stats —
+        // rerun with the oracle hook to see what it still finds.
+        let b = pipeline.render(&store, page, &hook, &shields, &[]).unwrap();
+        cnn_blocked_on_top += b.stats.images_blocked;
+        list_only_survivors += a.stats.images_decoded;
+        stacked_survivors += b.stats.images_decoded - b.stats.images_blocked;
+    }
+
+    assert!(list_blocked > 0, "the filter list must block covered networks");
+    assert!(
+        cnn_blocked_on_top > 0,
+        "uncovered (long-tail/regional) ads must slip past the list and be \
+         caught by the in-pipeline classifier"
+    );
+    assert!(stacked_survivors < list_only_survivors);
+}
+
+#[test]
+fn covered_ads_never_reach_the_decoder_under_shields() {
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 8,
+        pages_per_site: 1,
+        seed: 0xC0FF,
+        ..Default::default()
+    });
+    let store = store_from_corpus(&corpus);
+    let engine = synthetic_engine();
+    let shields = EngineNetworkFilter::new(&engine);
+    let pipeline = RenderPipeline::default();
+
+    for page in &corpus.pages {
+        let out = pipeline
+            .render(&store, page, &percival::renderer::NoopInterceptor, &shields, &[])
+            .unwrap();
+        // Privacy property from Section 6: blocking early (pre-decode)
+        // means covered ad bytes are never fetched or decoded.
+        assert_eq!(out.stats.decode_errors, 0);
+    }
+}
