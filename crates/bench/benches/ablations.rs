@@ -34,8 +34,12 @@ fn bench_ablations(c: &mut Criterion) {
     let _warm = memo.classify(&img);
     let mut g = c.benchmark_group("memoization");
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("hit", |b| b.iter(|| black_box(memo.classify(black_box(&img)))));
-    g.bench_function("miss_full_cnn", |b| b.iter(|| black_box(classifier.classify(black_box(&img)))));
+    g.bench_function("hit", |b| {
+        b.iter(|| black_box(memo.classify(black_box(&img))))
+    });
+    g.bench_function("miss_full_cnn", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&img))))
+    });
     g.finish();
 
     // Downsampling schedule: pruned fork vs original SqueezeNet, same
@@ -46,7 +50,9 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g2 = c.benchmark_group("downsampling_schedule_96px");
     g2.sample_size(10);
     g2.measurement_time(Duration::from_secs(4));
-    g2.bench_function("percival_fork_w2", |b| b.iter(|| black_box(fork.forward(black_box(&fork_in)))));
+    g2.bench_function("percival_fork_w2", |b| {
+        b.iter(|| black_box(fork.forward(black_box(&fork_in))))
+    });
     g2.bench_function("original_squeezenet_w1", |b| {
         b.iter(|| black_box(orig.forward(black_box(&fork_in))))
     });
@@ -60,18 +66,26 @@ fn bench_ablations(c: &mut Criterion) {
     g3.measurement_time(Duration::from_secs(3));
     g3.bench_function("pre_decode_url_filter", |b| {
         b.iter(|| {
-            let req = RequestInfo { url: &url, source: &src, resource_type: ResourceType::Image };
+            let req = RequestInfo {
+                url: &url,
+                source: &src,
+                resource_type: ResourceType::Image,
+            };
             black_box(engine.should_block(black_box(&req)))
         })
     });
-    g3.bench_function("post_decode_cnn", |b| b.iter(|| black_box(classifier.classify(black_box(&img)))));
+    g3.bench_function("post_decode_cnn", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&img))))
+    });
     g3.finish();
 
     // Quantization round-trip (the model-update path on device).
     let model = init(percival_net_slim(4), 4);
     let mut g4 = c.benchmark_group("quantization");
     g4.measurement_time(Duration::from_secs(3));
-    g4.bench_function("int8_quantize", |b| b.iter(|| black_box(quantize(black_box(&model)))));
+    g4.bench_function("int8_quantize", |b| {
+        b.iter(|| black_box(quantize(black_box(&model))))
+    });
     let q = quantize(&model);
     g4.bench_function("int8_dequantize", |b| {
         b.iter(|| {

@@ -24,7 +24,12 @@ fn bench_codecs(c: &mut Criterion) {
     let img = ad_like_bitmap(256);
     let mut g = c.benchmark_group("decode_256px");
     g.measurement_time(Duration::from_secs(3));
-    for fmt in [ImageFormat::Png, ImageFormat::Gif, ImageFormat::Qoi, ImageFormat::Bmp] {
+    for fmt in [
+        ImageFormat::Png,
+        ImageFormat::Gif,
+        ImageFormat::Qoi,
+        ImageFormat::Bmp,
+    ] {
         let encoded = encode_as(&img, fmt);
         g.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
         g.bench_function(fmt.extension(), |b| {

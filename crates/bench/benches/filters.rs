@@ -30,7 +30,11 @@ fn bench_filters(c: &mut Criterion) {
         b.iter(|| {
             let mut blocked = 0usize;
             for u in &urls {
-                let req = RequestInfo { url: u, source: &source, resource_type: ResourceType::Image };
+                let req = RequestInfo {
+                    url: u,
+                    source: &source,
+                    resource_type: ResourceType::Image,
+                };
                 if engine.should_block(black_box(&req)) {
                     blocked += 1;
                 }

@@ -1,11 +1,19 @@
 //! Classification-latency benchmarks (the paper's "detects ad images in
-//! 11 ms" claim, Figure 8) at several input scales and widths.
+//! 11 ms" claim, Figure 8) at several input scales and widths, plus the
+//! batched-engine comparisons: scalar vs tiled GEMM, and batch=1 vs
+//! batch=8/32 throughput through the micro-batching path.
+//!
+//! Run with `cargo bench -p percival_bench --bench inference`. Besides the
+//! usual console report, this bench writes a `BENCH_inference.json`
+//! snapshot to the repository root so speedups can be tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use percival_core::arch::{percival_net, percival_net_slim};
 use percival_core::Classifier;
 use percival_imgcodec::Bitmap;
 use percival_nn::init::kaiming_init;
+use percival_tensor::gemm::{gemm_acc, gemm_acc_scalar, set_gemm_kernel, GemmKernel};
+use percival_tensor::{Shape, Tensor, Workspace};
 use percival_util::Pcg32;
 use std::hint::black_box;
 use std::time::Duration;
@@ -36,6 +44,70 @@ fn classifier(divisor: usize, input: usize) -> Classifier {
     Classifier::new(model, input)
 }
 
+fn rand_vec(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    (0..len).map(|_| rng.range_f32(-1.0, 1.0)).collect()
+}
+
+/// Scalar (seed baseline) vs cache-blocked GEMM on convolution-shaped
+/// problems: (oc, ic*kh*kw, oh*ow) of PERCIVAL layers at 224px input.
+fn bench_gemm(c: &mut Criterion) {
+    let cases = [
+        ("conv1_224px", 64usize, 36usize, 12544usize),
+        ("fire_expand3", 128, 288, 784),
+        ("square_256", 256, 256, 256),
+    ];
+    let mut g = c.benchmark_group("gemm");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for (name, m, k, n) in cases {
+        let a = rand_vec(1, m * k);
+        let b = rand_vec(2, k * n);
+        let mut out = vec![0.0f32; m * n];
+        g.bench_function(&format!("scalar/{name}"), |bch| {
+            bch.iter(|| gemm_acc_scalar(black_box(&a), black_box(&b), &mut out, m, k, n))
+        });
+        g.bench_function(&format!("tiled/{name}"), |bch| {
+            bch.iter(|| gemm_acc(black_box(&a), black_box(&b), &mut out, m, k, n))
+        });
+    }
+    g.finish();
+}
+
+/// Batch=1 vs batch=8/32 through the batched forward path, on both the
+/// tiled kernel and the seed's scalar kernel. Per-iteration time divided by
+/// batch size gives per-image throughput; `tiled/n8` against
+/// `seed_scalar/n1` is the engine-vs-seed acceptance comparison.
+fn bench_batching(c: &mut Criterion) {
+    let input = 64usize;
+    let cls = classifier(4, input);
+    let mut g = c.benchmark_group("batch");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (kernel_name, kernel) in [
+        ("tiled", GemmKernel::Tiled),
+        ("seed_scalar", GemmKernel::Scalar),
+    ] {
+        set_gemm_kernel(kernel);
+        for batch in [1usize, 8, 32] {
+            let shape = Shape::new(batch, 4, input, input);
+            let mut rng = Pcg32::seed_from_u64(7);
+            let tensor = Tensor::from_vec(
+                shape,
+                (0..shape.count())
+                    .map(|_| rng.range_f32(-1.0, 1.0))
+                    .collect(),
+            );
+            let mut ws = Workspace::new();
+            g.bench_function(&format!("classify_tensor/{kernel_name}/n{batch}"), |bch| {
+                bch.iter(|| black_box(cls.classify_tensor_with(black_box(&tensor), &mut ws)))
+            });
+        }
+    }
+    set_gemm_kernel(GemmKernel::Tiled);
+    g.finish();
+}
+
 fn bench_inference(c: &mut Criterion) {
     let img = noisy_bitmap(120, 2);
 
@@ -43,9 +115,13 @@ fn bench_inference(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.sample_size(20);
     let slim64 = classifier(4, 64);
-    g.bench_function("slim4_64px", |b| b.iter(|| black_box(slim64.classify(black_box(&img)))));
+    g.bench_function("slim4_64px", |b| {
+        b.iter(|| black_box(slim64.classify(black_box(&img))))
+    });
     let slim32 = classifier(4, 32);
-    g.bench_function("slim4_32px", |b| b.iter(|| black_box(slim32.classify(black_box(&img)))));
+    g.bench_function("slim4_32px", |b| {
+        b.iter(|| black_box(slim32.classify(black_box(&img))))
+    });
     g.finish();
 
     // The paper-geometry network (full width, 224x224x4) — the Figure 8
@@ -56,9 +132,77 @@ fn bench_inference(c: &mut Criterion) {
     let mut g2 = c.benchmark_group("classify_paper_geometry");
     g2.sample_size(10);
     g2.measurement_time(Duration::from_secs(5));
-    g2.bench_function("full_224px", |b| b.iter(|| black_box(full224.classify(black_box(&img)))));
+    g2.bench_function("full_224px", |b| {
+        b.iter(|| black_box(full224.classify(black_box(&img))))
+    });
     g2.finish();
 }
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+/// Writes the `BENCH_inference.json` snapshot next to the workspace root.
+fn write_snapshot(c: &Criterion) {
+    let mut entries = Vec::new();
+    for m in c.measurements() {
+        entries.push(format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"iterations\": {}}}",
+            m.id,
+            m.mean.as_nanos(),
+            m.iterations
+        ));
+    }
+    let mean_of = |id: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean.as_secs_f64())
+    };
+    let mut derived = Vec::new();
+    for name in ["conv1_224px", "fire_expand3", "square_256"] {
+        if let (Some(s), Some(t)) = (
+            mean_of(&format!("gemm/scalar/{name}")),
+            mean_of(&format!("gemm/tiled/{name}")),
+        ) {
+            derived.push(format!(
+                "    {{\"metric\": \"gemm_speedup/{name}\", \"value\": {:.3}}}",
+                s / t
+            ));
+        }
+    }
+    let tiled_n1 = mean_of("batch/classify_tensor/tiled/n1");
+    let seed_n1 = mean_of("batch/classify_tensor/seed_scalar/n1");
+    for batch in [8usize, 32] {
+        let tiled_nb = mean_of(&format!("batch/classify_tensor/tiled/n{batch}"));
+        if let (Some(b1), Some(bn)) = (tiled_n1, tiled_nb) {
+            // Per-image throughput gain of batching alone.
+            derived.push(format!(
+                "    {{\"metric\": \"batch{batch}_per_image_speedup\", \"value\": {:.3}}}",
+                b1 / (bn / batch as f64)
+            ));
+        }
+        if let (Some(seed), Some(bn)) = (seed_n1, tiled_nb) {
+            // The acceptance comparison: batched tiled engine vs the seed's
+            // one-image-at-a-time scalar path.
+            derived.push(format!(
+                "    {{\"metric\": \"batch{batch}_vs_seed_scalar_speedup\", \"value\": {:.3}}}",
+                seed / (bn / batch as f64)
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"inference\",\n  \"measurements\": [\n{}\n  ],\n  \"derived\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        derived.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_gemm(&mut c);
+    bench_batching(&mut c);
+    bench_inference(&mut c);
+    write_snapshot(&c);
+}

@@ -2,8 +2,8 @@
 //! Figure 14/15 render-time experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use percival_core::{Classifier, PercivalHook};
 use percival_core::arch::percival_net_slim;
+use percival_core::{Classifier, PercivalHook};
 use percival_crawler::adapters::{store_from_corpus, EngineNetworkFilter};
 use percival_filterlist::easylist::synthetic_engine;
 use percival_nn::init::kaiming_init;
@@ -16,7 +16,12 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let corpus = generate_corpus(CorpusConfig { n_sites: 4, pages_per_site: 1, seed: 77, ..Default::default() });
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 4,
+        pages_per_site: 1,
+        seed: 77,
+        ..Default::default()
+    });
     let store = store_from_corpus(&corpus);
     let page = corpus.pages[0].clone();
     let pipeline = RenderPipeline::default();
@@ -31,23 +36,45 @@ fn bench_pipeline(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(4));
     g.sample_size(15);
     g.bench_function("chromium_baseline", |b| {
-        b.iter(|| black_box(pipeline.render(&store, &page, &NoopInterceptor, &AllowAll, &[]).unwrap()))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .render(&store, &page, &NoopInterceptor, &AllowAll, &[])
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("chromium_percival", |b| {
         // Fresh hook per iteration so memoization does not flatten the cost.
         b.iter(|| {
             let hook = PercivalHook::new(classifier.clone());
-            black_box(pipeline.render(&store, &page, &hook, &AllowAll, &[]).unwrap())
+            black_box(
+                pipeline
+                    .render(&store, &page, &hook, &AllowAll, &[])
+                    .unwrap(),
+            )
         })
     });
     g.bench_function("chromium_percival_memoized", |b| {
         // One persistent hook: steady-state cost with a warm verdict cache.
         let hook = PercivalHook::new(classifier.clone());
         let _ = pipeline.render(&store, &page, &hook, &AllowAll, &[]);
-        b.iter(|| black_box(pipeline.render(&store, &page, &hook, &AllowAll, &[]).unwrap()))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .render(&store, &page, &hook, &AllowAll, &[])
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("brave_shields", |b| {
-        b.iter(|| black_box(pipeline.render(&store, &page, &NoopInterceptor, &shields, &[]).unwrap()))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .render(&store, &page, &NoopInterceptor, &shields, &[])
+                    .unwrap(),
+            )
+        })
     });
     g.finish();
 }

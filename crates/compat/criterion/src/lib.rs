@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `Criterion`, benchmark groups, `Bencher::iter`, `Throughput` and the
+//! `criterion_group!`/`criterion_main!` macros — as a small wall-clock
+//! harness. Each `bench_function` runs a warm-up pass, then samples the
+//! closure until the group's measurement time is spent and reports the mean
+//! per-iteration latency (plus derived throughput when configured).
+//!
+//! It is intentionally simpler than real criterion (no statistics beyond the
+//! mean, no HTML reports), but the numbers it prints are honest wall-clock
+//! measurements, so relative comparisons — scalar vs tiled GEMM, batch=1 vs
+//! batch=32 — remain meaningful.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration workload size, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement configuration shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+struct Config {
+    measurement_time: Duration,
+    sample_size: usize,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            measurement_time: Duration::from_secs(3),
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// One measured result, exposed so callers (e.g. snapshot writers) can reuse
+/// the harness programmatically.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/function`).
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly until the measurement budget
+    /// is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration cost to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so `sample_size` samples fill the measurement
+        // budget; at least one iteration per sample.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.config.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            total += t0.elapsed();
+            iterations += iters_per_sample;
+            if bench_start.elapsed().as_secs_f64() > budget * 1.5 {
+                break; // the routine is far slower than the warm-up implied
+            }
+        }
+        self.result = Some((total, iterations));
+    }
+}
+
+fn report(id: &str, config: &Config, total: Duration, iterations: u64) -> Measurement {
+    let mean = if iterations == 0 {
+        Duration::ZERO
+    } else {
+        total / iterations as u32
+    };
+    let mut line = format!("{id:<40} time: {mean:>12.3?}   ({iterations} iterations)");
+    if let Some(tp) = config.throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(b) => format!(
+                "{:.1} MiB/s",
+                b as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            ),
+            Throughput::Elements(e) => format!("{:.0} elem/s", e as f64 / mean.as_secs_f64()),
+        };
+        line.push_str(&format!("   thrpt: {per_sec}"));
+    }
+    println!("{line}");
+    Measurement {
+        id: id.to_string(),
+        mean,
+        iterations,
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    results: &'a mut Vec<Measurement>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.config.throughput = Some(tp);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b);
+        let (total, iters) = b.result.unwrap_or((Duration::ZERO, 0));
+        let id = format!("{}/{}", self.name, name);
+        let m = report(&id, &self.config, total, iters);
+        self.results.push(m);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the same).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group with fresh default settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: Config::default(),
+            results: &mut self.results,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = Config::default();
+        let mut b = Bencher {
+            config: &config,
+            result: None,
+        };
+        f(&mut b);
+        let (total, iters) = b.result.unwrap_or((Duration::ZERO, 0));
+        let m = report(name, &config, total, iters);
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements recorded so far (used by snapshot writers).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(30));
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        drop(g);
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].iterations > 0);
+    }
+}

@@ -31,7 +31,12 @@ pub const NUM_CLASSES: usize = 2;
 pub fn percival_net() -> Sequential {
     let pool = PoolCfg::squeeze_default();
     Sequential::new(vec![
-        Layer::Conv(Conv2d::new(64, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Conv(Conv2d::new(
+            64,
+            INPUT_CHANNELS,
+            3,
+            Conv2dCfg { stride: 2, pad: 1 },
+        )),
         Layer::Relu,
         Layer::MaxPool(pool),
         Layer::Fire(Fire::new(64, 16, 64)),
@@ -42,7 +47,12 @@ pub fn percival_net() -> Sequential {
         Layer::MaxPool(pool),
         Layer::Fire(Fire::new(256, 48, 192)),
         Layer::Fire(Fire::new(384, 48, 192)),
-        Layer::Conv(Conv2d::new(NUM_CLASSES, 384, 1, Conv2dCfg { stride: 1, pad: 0 })),
+        Layer::Conv(Conv2d::new(
+            NUM_CLASSES,
+            384,
+            1,
+            Conv2dCfg { stride: 1, pad: 0 },
+        )),
         Layer::GlobalAvgPool,
     ])
 }
@@ -63,7 +73,12 @@ pub fn percival_net_slim(width_divisor: usize) -> Sequential {
     );
     let pool = PoolCfg::squeeze_default();
     Sequential::new(vec![
-        Layer::Conv(Conv2d::new(64 / d, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Conv(Conv2d::new(
+            64 / d,
+            INPUT_CHANNELS,
+            3,
+            Conv2dCfg { stride: 2, pad: 1 },
+        )),
         Layer::Relu,
         Layer::MaxPool(pool),
         Layer::Fire(Fire::new(64 / d, 16 / d, 64 / d)),
@@ -74,7 +89,12 @@ pub fn percival_net_slim(width_divisor: usize) -> Sequential {
         Layer::MaxPool(pool),
         Layer::Fire(Fire::new(256 / d, 48 / d, 192 / d)),
         Layer::Fire(Fire::new(384 / d, 48 / d, 192 / d)),
-        Layer::Conv(Conv2d::new(NUM_CLASSES, 384 / d, 1, Conv2dCfg { stride: 1, pad: 0 })),
+        Layer::Conv(Conv2d::new(
+            NUM_CLASSES,
+            384 / d,
+            1,
+            Conv2dCfg { stride: 1, pad: 0 },
+        )),
         Layer::GlobalAvgPool,
     ])
 }
@@ -85,7 +105,12 @@ pub fn percival_net_slim(width_divisor: usize) -> Sequential {
 pub fn original_squeezenet() -> Sequential {
     let pool = PoolCfg::squeeze_default();
     Sequential::new(vec![
-        Layer::Conv(Conv2d::new(64, INPUT_CHANNELS, 3, Conv2dCfg { stride: 2, pad: 1 })),
+        Layer::Conv(Conv2d::new(
+            64,
+            INPUT_CHANNELS,
+            3,
+            Conv2dCfg { stride: 2, pad: 1 },
+        )),
         Layer::Relu,
         Layer::MaxPool(pool),
         Layer::Fire(Fire::new(64, 16, 64)),
@@ -151,7 +176,12 @@ mod tests {
     #[test]
     fn paper_geometry_produces_two_logits() {
         let net = percival_net();
-        let out = net.output_shape(Shape::new(1, INPUT_CHANNELS, PAPER_INPUT_SIZE, PAPER_INPUT_SIZE));
+        let out = net.output_shape(Shape::new(
+            1,
+            INPUT_CHANNELS,
+            PAPER_INPUT_SIZE,
+            PAPER_INPUT_SIZE,
+        ));
         assert_eq!(out, Shape::new(1, NUM_CLASSES, 1, 1));
     }
 

@@ -22,10 +22,26 @@ pub struct BaselineSpec {
 
 /// Published comparison models.
 pub const BASELINES: [BaselineSpec; 4] = [
-    BaselineSpec { name: "YOLOv2 (Sentinel)", params: 50_650_000, used_by: "Sentinel [58]" },
-    BaselineSpec { name: "ResNet-52-class", params: 25_600_000, used_by: "authors' pilot" },
-    BaselineSpec { name: "Inception-V4", params: 42_700_000, used_by: "authors' pilot" },
-    BaselineSpec { name: "SqueezeNet (original)", params: 1_235_496, used_by: "starting point" },
+    BaselineSpec {
+        name: "YOLOv2 (Sentinel)",
+        params: 50_650_000,
+        used_by: "Sentinel [58]",
+    },
+    BaselineSpec {
+        name: "ResNet-52-class",
+        params: 25_600_000,
+        used_by: "authors' pilot",
+    },
+    BaselineSpec {
+        name: "Inception-V4",
+        params: 42_700_000,
+        used_by: "authors' pilot",
+    },
+    BaselineSpec {
+        name: "SqueezeNet (original)",
+        params: 1_235_496,
+        used_by: "starting point",
+    },
 ];
 
 /// Serialized f32 size in bytes for a parameter count.

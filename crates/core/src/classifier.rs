@@ -11,7 +11,8 @@ use percival_nn::serialize::{self, ModelIoError};
 use percival_nn::Sequential;
 use percival_tensor::activation::softmax;
 use percival_tensor::resize::resize_bilinear;
-use percival_tensor::{Shape, Tensor};
+use percival_tensor::workspace::with_thread_workspace;
+use percival_tensor::{Shape, Tensor, Workspace};
 use std::time::{Duration, Instant};
 
 /// One classification verdict.
@@ -48,7 +49,11 @@ impl Classifier {
         );
         let out = model.output_shape(Shape::new(1, INPUT_CHANNELS, input_size, input_size));
         assert_eq!(out.c, NUM_CLASSES, "classifier needs {NUM_CLASSES} logits");
-        Classifier { model, input_size, threshold: 0.5 }
+        Classifier {
+            model,
+            input_size,
+            threshold: 0.5,
+        }
     }
 
     /// The wrapped network.
@@ -101,13 +106,24 @@ impl Classifier {
         let logits = self.model.forward(&input);
         let probs = softmax(&logits);
         let p_ad = probs.at(0, 1, 0, 0);
-        Prediction { p_ad, is_ad: p_ad >= self.threshold, elapsed: start.elapsed() }
+        Prediction {
+            p_ad,
+            is_ad: p_ad >= self.threshold,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Classifies a preprocessed batch (`N x 4 x S x S`); returns `P(ad)`
-    /// per sample. Used by the training/evaluation loops.
+    /// per sample. Used by the training/evaluation loops and the
+    /// [`crate::engine::InferenceEngine`] micro-batcher.
     pub fn classify_tensor(&self, batch: &Tensor) -> Vec<f32> {
-        let logits = self.model.forward(batch);
+        with_thread_workspace(|ws| self.classify_tensor_with(batch, ws))
+    }
+
+    /// [`Classifier::classify_tensor`] with explicit scratch, so repeated
+    /// batch classifications reuse activations and GEMM panels.
+    pub fn classify_tensor_with(&self, batch: &Tensor, ws: &mut Workspace) -> Vec<f32> {
+        let logits = self.model.forward_with(batch, ws);
         let probs = softmax(&logits);
         (0..batch.shape().n).map(|n| probs.at(n, 1, 0, 0)).collect()
     }
@@ -192,13 +208,57 @@ mod tests {
     #[test]
     fn batch_and_single_predictions_agree() {
         let c = tiny_classifier(5);
-        let a = Bitmap::new(32, 32, [255, 0, 0, 255]);
-        let b = Bitmap::new(32, 32, [0, 0, 255, 255]);
-        let mut batch = Tensor::zeros(Shape::new(2, 4, 32, 32));
-        batch.copy_sample_from(0, &Classifier::preprocess(&a, 32), 0);
-        batch.copy_sample_from(1, &Classifier::preprocess(&b, 32), 0);
+        // A batch big enough to exercise the multi-sample band splitting in
+        // the batched forward path, with varied content per sample.
+        let bitmaps: Vec<Bitmap> = (0..8)
+            .map(|i| {
+                let mut rng = Pcg32::seed_from_u64(40 + i);
+                let mut b = Bitmap::new(32, 32, [0, 0, 0, 255]);
+                for y in 0..32 {
+                    for x in 0..32 {
+                        b.set(x, y, [rng.next_below(256) as u8, (8 * i) as u8, 30, 255]);
+                    }
+                }
+                b
+            })
+            .collect();
+        let mut batch = Tensor::zeros(Shape::new(bitmaps.len(), 4, 32, 32));
+        for (i, bmp) in bitmaps.iter().enumerate() {
+            batch.copy_sample_from(i, &Classifier::preprocess(bmp, 32), 0);
+        }
         let ps = c.classify_tensor(&batch);
-        assert!((ps[0] - c.classify(&a).p_ad).abs() < 1e-5);
-        assert!((ps[1] - c.classify(&b).p_ad).abs() < 1e-5);
+        for (i, bmp) in bitmaps.iter().enumerate() {
+            let single = c.classify(bmp).p_ad;
+            assert!(
+                (ps[i] - single).abs() < 1e-5,
+                "sample {i}: batched {} vs single {single}",
+                ps[i]
+            );
+        }
+    }
+
+    #[test]
+    fn classify_tensor_with_reuses_its_workspace() {
+        let c = tiny_classifier(6);
+        let mut rng = Pcg32::seed_from_u64(50);
+        let shape = Shape::new(4, 4, 32, 32);
+        let batch = Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        );
+        let mut ws = Workspace::new();
+        let first = c.classify_tensor_with(&batch, &mut ws);
+        let warm_allocs = ws.stats().allocations;
+        for _ in 0..3 {
+            let again = c.classify_tensor_with(&batch, &mut ws);
+            assert_eq!(first, again, "repeated forwards must be bit-identical");
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            warm_allocs,
+            "warm batch classification must not allocate"
+        );
     }
 }

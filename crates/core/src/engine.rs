@@ -1,0 +1,501 @@
+//! The batched inference engine: queue → micro-batch → pool → memo.
+//!
+//! PERCIVAL's low-latency deployment classifies images asynchronously and
+//! memoizes verdicts (Section 1.1/6). This module is the throughput side of
+//! that story: a submission queue accepts classification requests from any
+//! thread (raster workers, crawlers, benchmarks), coalesces whatever is
+//! pending into an `N x 4 x S x S` micro-batch, runs one batched forward
+//! pass — which amortizes weight-panel packing and keeps the GEMM kernels
+//! on wide tiles — and resolves every waiting request.
+//!
+//! Two deduplication layers sit in front of the CNN:
+//!
+//! 1. the [`MemoizedClassifier`] LRU: verdicts for previously seen content
+//!    hashes resolve immediately;
+//! 2. a *single-flight* table: concurrent submissions of the same
+//!    not-yet-classified creative share one queue slot and one CNN pass —
+//!    the common case when an ad network serves one creative into many
+//!    slots of the same page load.
+//!
+//! The synchronous API ([`InferenceEngine::submit_wait`]) keeps tests and
+//! the in-critical-path deployment simple; [`InferenceEngine::submit`]
+//! returns a ticket for callers that want fire-and-forget or deferred
+//! pickup semantics.
+
+use crate::classifier::{Classifier, Prediction};
+use crate::memo::MemoizedClassifier;
+use percival_imgcodec::Bitmap;
+use percival_tensor::{Shape, Tensor, Workspace};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Largest micro-batch assembled per forward pass. Bigger batches
+    /// amortize packing further but add queueing latency to the first image
+    /// of the batch; 8 is a good default for interactive rendering.
+    pub max_batch: usize,
+    /// Capacity of the memoized-verdict LRU shared with the hooks.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 8,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Engine counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    submitted: AtomicU64,
+    memo_hits: AtomicU64,
+    coalesced: AtomicU64,
+    batches: AtomicU64,
+    batched_images: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl EngineStats {
+    /// Total submissions (including cache hits).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Submissions answered from the verdict cache without queueing.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Submissions merged into an already-queued identical image
+    /// (single-flight deduplication).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Micro-batches executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Images classified through micro-batches.
+    pub fn batched_images(&self) -> u64 {
+        self.batched_images.load(Ordering::Relaxed)
+    }
+
+    /// Largest micro-batch observed.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch.load(Ordering::Relaxed)
+    }
+}
+
+struct QueuedImage {
+    key: u64,
+    /// Already preprocessed to `1 x 4 x S x S` by the submitting thread.
+    tensor: Tensor,
+}
+
+#[derive(Default)]
+struct EngineState {
+    queue: VecDeque<QueuedImage>,
+    /// Single-flight table: content hash → everyone waiting on it.
+    waiters: HashMap<u64, Vec<Sender<Prediction>>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    memo: Arc<MemoizedClassifier>,
+    cfg: EngineConfig,
+    state: Mutex<EngineState>,
+    work_ready: Condvar,
+    idle: Condvar,
+    /// Distinct images queued or mid-batch (drives [`InferenceEngine::flush`]).
+    pending: AtomicUsize,
+    stats: EngineStats,
+}
+
+/// A pending verdict returned by [`InferenceEngine::submit`].
+pub struct VerdictTicket {
+    rx: Receiver<Prediction>,
+}
+
+impl VerdictTicket {
+    /// Blocks until the verdict is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shut down before resolving this request.
+    pub fn wait(self) -> Prediction {
+        self.rx
+            .recv()
+            .expect("inference engine dropped a pending request")
+    }
+
+    /// Returns the verdict if it is already available.
+    pub fn poll(&self) -> Option<Prediction> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The micro-batching classification service.
+pub struct InferenceEngine {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl InferenceEngine {
+    /// Spawns an engine around a trained classifier.
+    pub fn new(classifier: Classifier, cfg: EngineConfig) -> Self {
+        let memo = Arc::new(MemoizedClassifier::new(classifier, cfg.cache_capacity));
+        Self::with_memo(memo, cfg)
+    }
+
+    /// Spawns an engine sharing an existing memoized classifier (cache
+    /// misses flow through the batcher; hits never enter the queue).
+    pub fn with_memo(memo: Arc<MemoizedClassifier>, cfg: EngineConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            memo,
+            cfg,
+            state: Mutex::new(EngineState::default()),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            stats: EngineStats::default(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("percival-batcher".into())
+            .spawn(move || batcher_main(&worker_shared))
+            .expect("spawn inference batcher");
+        InferenceEngine {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// The shared verdict cache.
+    pub fn memo(&self) -> &Arc<MemoizedClassifier> {
+        &self.shared.memo
+    }
+
+    /// The wrapped classifier.
+    pub fn classifier(&self) -> &Classifier {
+        self.shared.memo.classifier()
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &EngineStats {
+        &self.shared.stats
+    }
+
+    /// Submits one image for classification; returns immediately.
+    ///
+    /// Cache hits resolve the ticket before this call returns. Otherwise
+    /// the image joins (or creates) its single-flight group and the verdict
+    /// arrives once its micro-batch has run.
+    pub fn submit(&self, bitmap: &Bitmap) -> VerdictTicket {
+        let stats = &self.shared.stats;
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = bitmap.content_hash();
+        let (tx, rx) = channel();
+        if let Some(p_ad) = self.shared.memo.cached(key) {
+            stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.shared.memo.record_hit();
+            let _ = tx.send(self.verdict(p_ad, std::time::Duration::ZERO));
+            return VerdictTicket { rx };
+        }
+        // Preprocess on the submitting thread (as the old inline path did),
+        // so the batcher never serializes O(batch) resizes while every
+        // submitter waits. Wasted only when this submission coalesces.
+        let input_size = self.shared.memo.classifier().input_size();
+        let tensor = Classifier::preprocess(bitmap, input_size);
+
+        let mut state = self.shared.state.lock().expect("engine state");
+        match state.waiters.get_mut(&key) {
+            Some(group) => {
+                stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.shared.memo.record_miss();
+                group.push(tx);
+            }
+            None => {
+                // Re-check the cache under the lock: the batcher memoizes
+                // verdicts before removing their single-flight group, so a
+                // miss observed before the lock may since have resolved —
+                // without this, the image would be classified twice.
+                if let Some(p_ad) = self.shared.memo.cached(key) {
+                    stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    self.shared.memo.record_hit();
+                    let _ = tx.send(self.verdict(p_ad, std::time::Duration::ZERO));
+                } else {
+                    self.shared.memo.record_miss();
+                    state.waiters.insert(key, vec![tx]);
+                    state.queue.push_back(QueuedImage { key, tensor });
+                    self.shared.pending.fetch_add(1, Ordering::SeqCst);
+                    self.shared.work_ready.notify_one();
+                }
+            }
+        }
+        VerdictTicket { rx }
+    }
+
+    /// Submits and blocks until the verdict is available — the synchronous
+    /// API the in-critical-path hook and the tests use.
+    pub fn submit_wait(&self, bitmap: &Bitmap) -> Prediction {
+        self.submit(bitmap).wait()
+    }
+
+    /// Blocks until every queued or in-flight image has been resolved.
+    pub fn flush(&self) {
+        let mut state = self.shared.state.lock().expect("engine state");
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            state = self.shared.idle.wait(state).expect("engine idle wait");
+        }
+        drop(state);
+    }
+
+    fn verdict(&self, p_ad: f32, elapsed: std::time::Duration) -> Prediction {
+        Prediction {
+            p_ad,
+            is_ad: p_ad >= self.shared.memo.classifier().threshold(),
+            elapsed,
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine state");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("max_batch", &self.shared.cfg.max_batch)
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn batcher_main(shared: &Shared) {
+    let classifier = shared.memo.classifier();
+    let input_size = classifier.input_size();
+    let threshold = classifier.threshold();
+    let mut ws = Workspace::new();
+
+    loop {
+        // Collect the next micro-batch (blocking while the queue is empty).
+        let batch: Vec<QueuedImage> = {
+            let mut state = shared.state.lock().expect("engine state");
+            loop {
+                if !state.queue.is_empty() {
+                    let take = shared.cfg.max_batch.min(state.queue.len());
+                    break state.queue.drain(..take).collect();
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("engine work wait");
+            }
+        };
+
+        // Assemble the N x 4 x S x S tensor from the pre-preprocessed
+        // samples (submitting threads did the resize + normalization).
+        let n = batch.len();
+        let started = Instant::now();
+        let shape = Shape::new(n, crate::arch::INPUT_CHANNELS, input_size, input_size);
+        let mut tensor = Tensor::from_vec(shape, ws.take(shape.count()));
+        for (i, img) in batch.iter().enumerate() {
+            tensor.copy_sample_from(i, &img.tensor, 0);
+        }
+        let probs = classifier.classify_tensor_with(&tensor, &mut ws);
+        ws.recycle(tensor.into_vec());
+        // Each verdict reports its amortized share of the batch's wall time,
+        // so summing `Prediction::elapsed` over images approximates total
+        // CNN time instead of multiply-counting the batch.
+        let elapsed = started.elapsed() / n as u32;
+
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batched_images
+            .fetch_add(n as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .max_batch
+            .fetch_max(n as u64, Ordering::Relaxed);
+
+        // Publish verdicts: memoize first, then resolve the single-flight
+        // groups while holding the state lock so no submitter can observe a
+        // removed group before the cache knows the answer.
+        for (img, &p_ad) in batch.iter().zip(probs.iter()) {
+            shared.memo.insert(img.key, p_ad);
+        }
+        {
+            let mut state = shared.state.lock().expect("engine state");
+            for (img, &p_ad) in batch.iter().zip(probs.iter()) {
+                let pred = Prediction {
+                    p_ad,
+                    is_ad: p_ad >= threshold,
+                    elapsed,
+                };
+                if let Some(group) = state.waiters.remove(&img.key) {
+                    for waiter in group {
+                        let _ = waiter.send(pred);
+                    }
+                }
+            }
+        }
+        if shared.pending.fetch_sub(n, Ordering::SeqCst) == n {
+            // The queue drained; wake anyone blocked in `flush`.
+            let _guard = shared.state.lock().expect("engine state");
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net_slim;
+    use percival_nn::init::kaiming_init;
+    use percival_util::Pcg32;
+
+    fn engine(max_batch: usize) -> InferenceEngine {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+        InferenceEngine::new(
+            Classifier::new(model, 32),
+            EngineConfig {
+                max_batch,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn noisy_bitmap(seed: u64) -> Bitmap {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut b = Bitmap::new(16, 16, [0, 0, 0, 255]);
+        for y in 0..16 {
+            for x in 0..16 {
+                b.set(
+                    x,
+                    y,
+                    [rng.next_below(256) as u8, rng.next_below(256) as u8, 0, 255],
+                );
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn batched_predictions_match_direct_classification() {
+        let eng = engine(8);
+        for seed in 0..6 {
+            let bmp = noisy_bitmap(seed);
+            let batched = eng.submit_wait(&bmp);
+            let direct = eng.classifier().classify(&bmp);
+            assert!(
+                (batched.p_ad - direct.p_ad).abs() < 1e-5,
+                "seed {seed}: batched {} vs direct {}",
+                batched.p_ad,
+                direct.p_ad
+            );
+            assert_eq!(batched.is_ad, direct.is_ad);
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_submissions_coalesce_into_batches() {
+        let eng = engine(8);
+        let bitmaps: Vec<Bitmap> = (0..24).map(|i| noisy_bitmap(100 + i)).collect();
+        std::thread::scope(|scope| {
+            for bmp in &bitmaps {
+                scope.spawn(|| {
+                    let p = eng.submit_wait(bmp);
+                    assert!((0.0..=1.0).contains(&p.p_ad));
+                });
+            }
+        });
+        assert_eq!(eng.stats().batched_images(), 24);
+        assert!(
+            eng.stats().batches() <= 24,
+            "batches must not exceed submissions"
+        );
+        assert_eq!(eng.memo().len(), 24, "every verdict lands in the cache");
+    }
+
+    #[test]
+    fn identical_inflight_submissions_run_single_flight() {
+        let eng = engine(4);
+        let bmp = noisy_bitmap(7);
+        let verdicts: Vec<Prediction> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(|| eng.submit_wait(&bmp)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter"))
+                .collect()
+        });
+        let p0 = verdicts[0].p_ad;
+        assert!(verdicts.iter().all(|v| v.p_ad == p0), "one verdict for all");
+        // Every submission beyond the unique content's first classification
+        // was answered by the cache or the single-flight table, never by a
+        // second CNN pass.
+        assert_eq!(eng.stats().batched_images(), 1, "exactly one CNN pass");
+        assert_eq!(
+            eng.stats().memo_hits() + eng.stats().coalesced(),
+            15,
+            "the other 15 submissions deduplicate"
+        );
+    }
+
+    #[test]
+    fn cache_hits_skip_the_queue() {
+        let eng = engine(8);
+        let bmp = noisy_bitmap(3);
+        eng.submit_wait(&bmp);
+        let before = eng.stats().batched_images();
+        let again = eng.submit_wait(&bmp);
+        assert_eq!(eng.stats().batched_images(), before, "no second CNN pass");
+        assert_eq!(again.elapsed, std::time::Duration::ZERO);
+        assert!(eng.stats().memo_hits() >= 1);
+    }
+
+    #[test]
+    fn flush_waits_for_fire_and_forget_submissions() {
+        let eng = engine(8);
+        let tickets: Vec<VerdictTicket> = (0..10)
+            .map(|i| eng.submit(&noisy_bitmap(200 + i)))
+            .collect();
+        eng.flush();
+        for t in tickets {
+            assert!(t.poll().is_some(), "flush means every verdict is ready");
+        }
+        assert_eq!(eng.memo().len(), 10);
+    }
+
+    #[test]
+    fn engine_shuts_down_cleanly_with_work_queued() {
+        let eng = engine(8);
+        let _ticket = eng.submit(&noisy_bitmap(42));
+        drop(eng); // must not hang or panic
+    }
+}

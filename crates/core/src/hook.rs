@@ -1,22 +1,24 @@
 //! PERCIVAL plugged into the rendering pipeline.
 //!
 //! [`PercivalHook`] is the synchronous, in-critical-path deployment: every
-//! decoded image is classified before raster, on the raster workers, in
-//! parallel (Sections 2.1 and 5.7). [`AsyncPercivalHook`] is the paper's
-//! low-latency alternative: misses are classified on a background thread
-//! and only *memoized* verdicts block, so the first sighting of a creative
-//! renders unhindered but every later sighting is blocked instantly
-//! (Section 1.1, and the repeat-visit discussion in Section 6).
+//! decoded image is classified before raster (Sections 2.1 and 5.7). Since
+//! the batched-engine refactor both hooks submit to a shared
+//! [`InferenceEngine`] instead of running the CNN inline: concurrent raster
+//! workers hitting the hook at the same time have their images coalesced
+//! into one micro-batch, and identical in-flight creatives share a single
+//! CNN pass. [`AsyncPercivalHook`] is the paper's low-latency alternative:
+//! misses are classified off the critical path and only *memoized* verdicts
+//! block, so the first sighting of a creative renders unhindered but every
+//! later sighting is blocked instantly (Section 1.1, and the repeat-visit
+//! discussion in Section 6).
 
 use crate::classifier::Classifier;
+use crate::engine::{EngineConfig, InferenceEngine};
 use crate::memo::MemoizedClassifier;
 use crate::policy::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Counters exported by the hooks.
 #[derive(Debug, Default)]
@@ -49,9 +51,10 @@ impl HookStats {
     }
 }
 
-/// The synchronous in-pipeline deployment.
+/// The synchronous in-pipeline deployment, backed by the micro-batching
+/// [`InferenceEngine`].
 pub struct PercivalHook {
-    memo: MemoizedClassifier,
+    engine: InferenceEngine,
     policy: BlockPolicy,
     /// Images with an edge below this are not classified (1 disables the
     /// floor; tracking pixels are upscaled noise either way).
@@ -62,8 +65,13 @@ pub struct PercivalHook {
 impl PercivalHook {
     /// Builds a hook around a trained classifier with the default policy.
     pub fn new(classifier: Classifier) -> Self {
+        Self::with_engine_config(classifier, EngineConfig::default())
+    }
+
+    /// Builds a hook with explicit engine tuning (batch size, cache size).
+    pub fn with_engine_config(classifier: Classifier, cfg: EngineConfig) -> Self {
         PercivalHook {
-            memo: MemoizedClassifier::new(classifier, 4096),
+            engine: InferenceEngine::new(classifier, cfg),
             policy: BlockPolicy::Clear,
             min_edge: 1,
             stats: HookStats::default(),
@@ -87,24 +95,19 @@ impl PercivalHook {
         &self.stats
     }
 
-    /// The wrapped memoized classifier.
+    /// The wrapped memoized classifier (the engine's verdict cache).
     pub fn memo(&self) -> &MemoizedClassifier {
-        &self.memo
+        self.engine.memo()
     }
-}
 
-impl ImageInterceptor for PercivalHook {
-    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
-        if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
-            self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
-            return InterceptAction::Keep;
-        }
-        let pred = self.memo.classify(bitmap);
-        self.stats.classified.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .classify_ns
-            .fetch_add(pred.elapsed.as_nanos() as u64, Ordering::Relaxed);
-        if !pred.is_ad {
+    /// The underlying micro-batching engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Applies the blocked-frame policy to a verdict.
+    fn verdict_to_action(&self, is_ad: bool, bitmap: &mut Bitmap) -> InterceptAction {
+        if !is_ad {
             return InterceptAction::Keep;
         }
         self.stats.blocked.fetch_add(1, Ordering::Relaxed);
@@ -120,48 +123,81 @@ impl ImageInterceptor for PercivalHook {
     }
 }
 
+impl ImageInterceptor for PercivalHook {
+    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+        if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
+            self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
+            return InterceptAction::Keep;
+        }
+        let pred = self.engine.submit_wait(bitmap);
+        self.stats.classified.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .classify_ns
+            .fetch_add(pred.elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.verdict_to_action(pred.is_ad, bitmap)
+    }
+
+    fn inspect_batch(&self, batch: &mut [(&mut Bitmap, &ImageMeta<'_>)]) -> Vec<InterceptAction> {
+        // Submit everything first so the engine can coalesce the whole set
+        // into micro-batches, then collect verdicts in order.
+        let tickets: Vec<_> = batch
+            .iter()
+            .map(|(bitmap, _)| {
+                if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
+                    self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(self.engine.submit(bitmap))
+                }
+            })
+            .collect();
+        batch
+            .iter_mut()
+            .zip(tickets)
+            .map(|((bitmap, _), ticket)| match ticket {
+                None => InterceptAction::Keep,
+                Some(ticket) => {
+                    let pred = ticket.wait();
+                    self.stats.classified.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .classify_ns
+                        .fetch_add(pred.elapsed.as_nanos() as u64, Ordering::Relaxed);
+                    self.verdict_to_action(pred.is_ad, bitmap)
+                }
+            })
+            .collect()
+    }
+
+    fn prefers_batch_prefetch(&self) -> bool {
+        true
+    }
+}
+
 /// The asynchronous deployment: memoized verdicts block instantly; cache
-/// misses render once and are classified off the critical path.
+/// misses render once and are classified off the critical path by the
+/// micro-batching [`InferenceEngine`].
 pub struct AsyncPercivalHook {
-    memo: Arc<MemoizedClassifier>,
-    tx: Option<Sender<Bitmap>>,
-    worker: Option<JoinHandle<()>>,
-    pending: Arc<AtomicU64>,
+    engine: InferenceEngine,
     stats: HookStats,
 }
 
 impl AsyncPercivalHook {
-    /// Spawns the background classification worker.
+    /// Spawns the background classification engine.
     pub fn new(classifier: Classifier) -> Self {
-        let memo = Arc::new(MemoizedClassifier::new(classifier, 4096));
-        let (tx, rx) = channel::<Bitmap>();
-        let pending = Arc::new(AtomicU64::new(0));
-        let worker_memo = Arc::clone(&memo);
-        let worker_pending = Arc::clone(&pending);
-        let worker = std::thread::spawn(move || {
-            while let Ok(bitmap) = rx.recv() {
-                let key = bitmap.content_hash();
-                if worker_memo.cached(key).is_none() {
-                    let pred = worker_memo.classifier().classify(&bitmap);
-                    worker_memo.insert(key, pred.p_ad);
-                }
-                worker_pending.fetch_sub(1, Ordering::Release);
-            }
-        });
+        Self::with_engine_config(classifier, EngineConfig::default())
+    }
+
+    /// Spawns the engine with explicit tuning.
+    pub fn with_engine_config(classifier: Classifier, cfg: EngineConfig) -> Self {
         AsyncPercivalHook {
-            memo,
-            tx: Some(tx),
-            worker: Some(worker),
-            pending,
+            engine: InferenceEngine::new(classifier, cfg),
             stats: HookStats::default(),
         }
     }
 
     /// Blocks until the background queue drains (tests / page settles).
     pub fn flush(&self) {
-        while self.pending.load(Ordering::Acquire) > 0 {
-            std::thread::yield_now();
-        }
+        self.engine.flush();
     }
 
     /// Counter access.
@@ -171,39 +207,32 @@ impl AsyncPercivalHook {
 
     /// The shared verdict cache.
     pub fn memo(&self) -> &MemoizedClassifier {
-        &self.memo
+        self.engine.memo()
+    }
+
+    /// The underlying micro-batching engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
     }
 }
 
 impl ImageInterceptor for AsyncPercivalHook {
     fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
         let key = bitmap.content_hash();
-        if let Some(p_ad) = self.memo.cached(key) {
+        if let Some(p_ad) = self.memo().cached(key) {
+            self.memo().record_hit();
             self.stats.classified.fetch_add(1, Ordering::Relaxed);
-            if p_ad >= self.memo.classifier().threshold() {
+            if p_ad >= self.engine.classifier().threshold() {
                 self.stats.blocked.fetch_add(1, Ordering::Relaxed);
                 return InterceptAction::Block;
             }
             return InterceptAction::Keep;
         }
-        // Miss: render now, classify in the background for next time.
-        self.pending.fetch_add(1, Ordering::Release);
-        if let Some(tx) = &self.tx {
-            if tx.send(bitmap.clone()).is_err() {
-                self.pending.fetch_sub(1, Ordering::Release);
-            }
-        }
+        // Miss: render now, classify in the background for next time. The
+        // ticket is dropped deliberately — the verdict lands in the memo
+        // cache and blocks the creative's next sighting.
+        drop(self.engine.submit(bitmap));
         InterceptAction::Keep
-    }
-}
-
-impl Drop for AsyncPercivalHook {
-    fn drop(&mut self) {
-        // Close the channel, then join the worker.
-        self.tx.take();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
     }
 }
 
@@ -228,7 +257,11 @@ mod tests {
             width_divisor: 4,
             epochs: 8,
             batch_size: 16,
-            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            schedule: StepLr {
+                base: 0.02,
+                gamma: 0.1,
+                every: 30,
+            },
             ..Default::default()
         };
         train(&bitmaps, &labels, &cfg).classifier
@@ -241,7 +274,12 @@ mod tests {
     }
 
     fn meta(url: &str) -> ImageMeta<'_> {
-        ImageMeta { url, width: 32, height: 32, frame_depth: 0 }
+        ImageMeta {
+            url,
+            width: 32,
+            height: 32,
+            frame_depth: 0,
+        }
     }
 
     #[test]
@@ -266,7 +304,10 @@ mod tests {
     fn min_edge_skips_tracking_pixels() {
         let hook = PercivalHook::new(untrained()).with_min_edge(4);
         let mut px = Bitmap::new(1, 1, [0, 0, 0, 0]);
-        assert_eq!(hook.inspect(&mut px, &meta("http://t/px.gif")), InterceptAction::Keep);
+        assert_eq!(
+            hook.inspect(&mut px, &meta("http://t/px.gif")),
+            InterceptAction::Keep
+        );
         assert_eq!(hook.stats().skipped_small(), 1);
         assert_eq!(hook.stats().classified(), 0);
     }
@@ -294,10 +335,16 @@ mod tests {
         let mut bmp = Bitmap::new(16, 16, [50, 60, 70, 255]);
 
         // First sighting: cache miss, rendered.
-        assert_eq!(hook.inspect(&mut bmp.clone(), &meta("http://x/a")), InterceptAction::Keep);
+        assert_eq!(
+            hook.inspect(&mut bmp.clone(), &meta("http://x/a")),
+            InterceptAction::Keep
+        );
         hook.flush();
         // Second sighting: memoized verdict blocks.
-        assert_eq!(hook.inspect(&mut bmp, &meta("http://x/a")), InterceptAction::Block);
+        assert_eq!(
+            hook.inspect(&mut bmp, &meta("http://x/a")),
+            InterceptAction::Block
+        );
         assert_eq!(hook.stats().blocked(), 1);
     }
 

@@ -14,6 +14,7 @@
 pub mod arch;
 pub mod baselines;
 pub mod classifier;
+pub mod engine;
 pub mod hook;
 pub mod memo;
 pub mod policy;
@@ -21,7 +22,8 @@ pub mod train;
 
 pub use arch::{original_squeezenet, percival_net};
 pub use classifier::{Classifier, Prediction};
+pub use engine::{EngineConfig, InferenceEngine, VerdictTicket};
 pub use hook::PercivalHook;
 pub use memo::MemoizedClassifier;
 pub use policy::BlockPolicy;
-pub use train::{train, evaluate, TrainConfig, TrainedModel};
+pub use train::{evaluate, train, TrainConfig, TrainedModel};

@@ -23,7 +23,12 @@ struct LruCache {
 
 impl LruCache {
     fn new(capacity: usize) -> Self {
-        LruCache { capacity: capacity.max(1), map: HashMap::new(), queue: VecDeque::new(), seq: 0 }
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            seq: 0,
+        }
     }
 
     fn get(&mut self, key: u64) -> Option<f32> {
@@ -34,7 +39,20 @@ impl LruCache {
         self.seq += 1;
         *seq_slot = self.seq;
         self.queue.push_back((key, self.seq));
+        // Each touch leaves a stale stamp behind; without compaction a
+        // read-heavy workload (the memoization hit path) grows the queue
+        // without bound even though the map stays within capacity.
+        if self.queue.len() > 2 * self.capacity {
+            self.compact();
+        }
         Some(value)
+    }
+
+    /// Drops every stale queue entry, keeping only each key's latest stamp.
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.queue
+            .retain(|(k, s)| map.get(k).is_some_and(|(_, cur)| *cur == *s));
     }
 
     fn insert(&mut self, key: u64, value: f32) {
@@ -87,9 +105,19 @@ impl MemoizedClassifier {
         self.cache.lock().get(content_hash)
     }
 
-    /// Inserts a verdict computed elsewhere (the async worker uses this).
+    /// Inserts a verdict computed elsewhere (the inference engine uses this).
     pub fn insert(&self, content_hash: u64, p_ad: f32) {
         self.cache.lock().insert(content_hash, p_ad);
+    }
+
+    /// Counts a cache hit observed by an external lookup path (the engine).
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cache miss observed by an external lookup path (the engine).
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Classifies with memoization: a cache hit skips the CNN entirely.
@@ -111,7 +139,10 @@ impl MemoizedClassifier {
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of memoized verdicts.
@@ -145,7 +176,11 @@ mod tests {
         let first = m.classify(&bmp);
         let second = m.classify(&bmp);
         assert_eq!(first.p_ad, second.p_ad);
-        assert_eq!(second.elapsed, std::time::Duration::ZERO, "hit skips the CNN");
+        assert_eq!(
+            second.elapsed,
+            std::time::Duration::ZERO,
+            "hit skips the CNN"
+        );
         assert_eq!(m.stats(), (1, 1));
     }
 
@@ -169,6 +204,27 @@ mod tests {
         assert_eq!(lru.get(2), None, "2 was least-recently used");
         assert_eq!(lru.get(1), Some(0.1));
         assert_eq!(lru.get(3), Some(0.3));
+    }
+
+    #[test]
+    fn repeated_touches_do_not_grow_the_queue_unboundedly() {
+        let mut lru = LruCache::new(8);
+        for k in 0..8 {
+            lru.insert(k, k as f32 / 10.0);
+        }
+        for _ in 0..10_000 {
+            assert!(lru.get(3).is_some());
+        }
+        assert!(
+            lru.queue.len() <= 2 * lru.capacity + 1,
+            "touch stamps must be compacted: queue holds {}",
+            lru.queue.len()
+        );
+        // LRU semantics survive compaction: 3 is hot, inserting past
+        // capacity evicts someone else.
+        lru.insert(100, 0.5);
+        assert_eq!(lru.get(3), Some(0.3));
+        assert_eq!(lru.len(), 8);
     }
 
     #[test]

@@ -9,19 +9,14 @@ use percival_imgcodec::draw::{fill_disc, fill_rect};
 use percival_imgcodec::Bitmap;
 
 /// The replacement behaviour for blocked ad frames.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum BlockPolicy {
     /// Clear the buffer to transparent pixels (the paper's default).
+    #[default]
     Clear,
     /// Paint a predefined placeholder (the "spirit animal") scaled to the
     /// blocked frame.
     Replace(Bitmap),
-}
-
-impl Default for BlockPolicy {
-    fn default() -> Self {
-        BlockPolicy::Clear
-    }
 }
 
 impl BlockPolicy {
@@ -44,8 +39,22 @@ impl BlockPolicy {
         let s = size as i32;
         let fur = [150, 160, 175, 255];
         fill_disc(&mut b, s / 2, s * 11 / 20, s / 4, fur); // head
-        fill_rect(&mut b, s * 5 / 16, s / 4, (s / 8) as u32, (s / 6) as u32, fur); // left ear
-        fill_rect(&mut b, s * 9 / 16, s / 4, (s / 8) as u32, (s / 6) as u32, fur); // right ear
+        fill_rect(
+            &mut b,
+            s * 5 / 16,
+            s / 4,
+            (s / 8) as u32,
+            (s / 6) as u32,
+            fur,
+        ); // left ear
+        fill_rect(
+            &mut b,
+            s * 9 / 16,
+            s / 4,
+            (s / 8) as u32,
+            (s / 6) as u32,
+            fur,
+        ); // right ear
         fill_disc(&mut b, s * 2 / 5, s / 2, (s / 24).max(1), [30, 30, 30, 255]); // eyes
         fill_disc(&mut b, s * 3 / 5, s / 2, (s / 24).max(1), [30, 30, 30, 255]);
         b

@@ -45,7 +45,11 @@ impl Default for TrainConfig {
             epochs: 8,
             batch_size: 24,
             momentum: 0.9,
-            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            schedule: StepLr {
+                base: 0.02,
+                gamma: 0.1,
+                every: 30,
+            },
             seed: 0xAD,
             pretrained: None,
         }
@@ -101,7 +105,12 @@ fn preprocess_all(bitmaps: &[Bitmap], input_size: usize) -> Vec<Tensor> {
 }
 
 fn assemble_batch(samples: &[Tensor], indices: &[usize], input_size: usize) -> Tensor {
-    let mut batch = Tensor::zeros(Shape::new(indices.len(), INPUT_CHANNELS, input_size, input_size));
+    let mut batch = Tensor::zeros(Shape::new(
+        indices.len(),
+        INPUT_CHANNELS,
+        input_size,
+        input_size,
+    ));
     for (slot, &i) in indices.iter().enumerate() {
         batch.copy_sample_from(slot, &samples[i], 0);
     }
@@ -161,7 +170,10 @@ pub fn train(bitmaps: &[Bitmap], labels: &[bool], cfg: &TrainConfig) -> TrainedM
         });
     }
 
-    TrainedModel { classifier: Classifier::new(model, cfg.input_size), history }
+    TrainedModel {
+        classifier: Classifier::new(model, cfg.input_size),
+        history,
+    }
 }
 
 fn evaluate_tensors(
@@ -214,7 +226,11 @@ mod tests {
             width_divisor: 4,
             epochs: 8,
             batch_size: 16,
-            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            schedule: StepLr {
+                base: 0.02,
+                gamma: 0.1,
+                every: 30,
+            },
             ..Default::default()
         }
     }
@@ -256,7 +272,10 @@ mod tests {
         let a = train(&bitmaps, &labels, &cfg);
         let b = train(&bitmaps, &labels, &cfg);
         let bmp = Bitmap::new(32, 32, [50, 90, 140, 255]);
-        assert_eq!(a.classifier.classify(&bmp).p_ad, b.classifier.classify(&bmp).p_ad);
+        assert_eq!(
+            a.classifier.classify(&bmp).p_ad,
+            b.classifier.classify(&bmp).p_ad
+        );
     }
 
     #[test]
@@ -304,7 +323,11 @@ mod probe {
                 width_divisor: 4,
                 epochs: 8,
                 batch_size: 16,
-                schedule: StepLr { base: lr, gamma: 0.1, every: 30 },
+                schedule: StepLr {
+                    base: lr,
+                    gamma: 0.1,
+                    every: 30,
+                },
                 ..Default::default()
             };
             let t = train(&bitmaps, &labels, &cfg);

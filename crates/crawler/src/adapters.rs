@@ -34,9 +34,11 @@ impl NetworkFilter for EngineNetworkFilter<'_> {
             ResourceKind::Image => ResourceType::Image,
             ResourceKind::Subdocument => ResourceType::Subdocument,
         };
-        !self
-            .engine
-            .should_block(&RequestInfo { url: &u, source: &s, resource_type })
+        !self.engine.should_block(&RequestInfo {
+            url: &u,
+            source: &s,
+            resource_type,
+        })
     }
 }
 
@@ -81,7 +83,11 @@ mod tests {
 
     #[test]
     fn corpus_store_serves_documents_and_images() {
-        let corpus = generate_corpus(CorpusConfig { n_sites: 2, pages_per_site: 1, ..Default::default() });
+        let corpus = generate_corpus(CorpusConfig {
+            n_sites: 2,
+            pages_per_site: 1,
+            ..Default::default()
+        });
         let store = store_from_corpus(&corpus);
         use percival_renderer::net::ResourceStore;
         for page in &corpus.pages {

@@ -34,7 +34,11 @@ impl Dataset {
 
     /// Adds one sample.
     pub fn push(&mut self, bitmap: Bitmap, is_ad: bool, source: impl Into<String>) {
-        self.samples.push(Sample { bitmap, is_ad, source: source.into() });
+        self.samples.push(Sample {
+            bitmap,
+            is_ad,
+            source: source.into(),
+        });
     }
 
     /// Appends all samples of `other`.
@@ -63,7 +67,8 @@ impl Dataset {
     pub fn dedup(&mut self) -> usize {
         let mut seen = HashSet::new();
         let before = self.samples.len();
-        self.samples.retain(|s| seen.insert(s.bitmap.content_hash()));
+        self.samples
+            .retain(|s| seen.insert(s.bitmap.content_hash()));
         before - self.samples.len()
     }
 
@@ -127,7 +132,9 @@ pub fn is_blankish(bmp: &Bitmap) -> bool {
     if bmp.is_blank() {
         return true;
     }
-    bmp.data().chunks_exact(4).all(|px| px[0] >= 250 && px[1] >= 250 && px[2] >= 250)
+    bmp.data()
+        .chunks_exact(4)
+        .all(|px| px[0] >= 250 && px[1] >= 250 && px[2] >= 250)
 }
 
 #[cfg(test)]

@@ -12,9 +12,7 @@ use parking_lot::Mutex;
 use percival_core::Classifier;
 use percival_imgcodec::Bitmap;
 use percival_renderer::net::AllowAll;
-use percival_renderer::{
-    ImageInterceptor, ImageMeta, InterceptAction, RenderPipeline,
-};
+use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction, RenderPipeline};
 use percival_webgen::sites::Corpus;
 
 /// An interceptor that captures every decoded frame (and keeps them all).
@@ -67,8 +65,15 @@ pub fn crawl_instrumented(corpus: &Corpus, label: LabelSource<'_>) -> Dataset {
             .expect("corpus page must render");
     }
 
+    // Parallel raster workers capture frames in scheduling order; sort so
+    // the dataset (and therefore training batch order and every model
+    // trained on a crawl) is deterministic across runs and thread counts.
+    let mut captured = capture.take();
+    captured
+        .sort_by(|(ua, ba), (ub, bb)| ua.cmp(ub).then(ba.content_hash().cmp(&bb.content_hash())));
+
     let mut dataset = Dataset::new();
-    for (url, bitmap) in capture.take() {
+    for (url, bitmap) in captured {
         let is_ad = match &label {
             LabelSource::Oracle => corpus.truth.get(&url).copied().unwrap_or(false),
             LabelSource::Model(classifier) => classifier.classify(&bitmap).is_ad,
@@ -85,7 +90,12 @@ mod tests {
     use percival_webgen::sites::{generate_corpus, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate_corpus(CorpusConfig { n_sites: 4, pages_per_site: 2, seed: 5, ..Default::default() })
+        generate_corpus(CorpusConfig {
+            n_sites: 4,
+            pages_per_site: 2,
+            seed: 5,
+            ..Default::default()
+        })
     }
 
     #[test]

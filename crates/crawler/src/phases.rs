@@ -9,7 +9,7 @@
 
 use crate::instrumented::{crawl_instrumented, LabelSource};
 use crate::traditional::{crawl_traditional, TraditionalCrawlConfig};
-use percival_core::{train, evaluate, TrainConfig, TrainedModel};
+use percival_core::{evaluate, train, TrainConfig, TrainedModel};
 use percival_filterlist::easylist::synthetic_engine;
 use percival_util::Pcg32;
 use percival_webgen::sites::{generate_corpus, CorpusConfig};
@@ -78,7 +78,10 @@ pub fn run_phases(cfg: &PhasesConfig) -> (Vec<PhaseReport>, TrainedModel) {
     let mut accumulated = crawl_traditional(
         &bootstrap_corpus,
         &engine,
-        TraditionalCrawlConfig { seed: rng.next_u64(), ..Default::default() },
+        TraditionalCrawlConfig {
+            seed: rng.next_u64(),
+            ..Default::default()
+        },
     )
     .dataset;
     accumulated.dedup();
@@ -134,7 +137,11 @@ mod tests {
                 width_divisor: 4,
                 epochs: 10,
                 batch_size: 16,
-                schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+                schedule: StepLr {
+                    base: 0.02,
+                    gamma: 0.1,
+                    every: 30,
+                },
                 ..Default::default()
             },
             ..Default::default()
@@ -157,6 +164,9 @@ mod tests {
         // Training on self-labeled data is noisy; just require that the
         // final retrain converged to something finite and non-degenerate.
         let final_loss = model.history.last().unwrap().loss;
-        assert!(final_loss.is_finite() && final_loss < 1.5, "loss {final_loss}");
+        assert!(
+            final_loss.is_finite() && final_loss < 1.5,
+            "loss {final_loss}"
+        );
     }
 }

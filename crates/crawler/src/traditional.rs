@@ -68,7 +68,11 @@ fn screenshot(
     if rng.chance(race_probability) {
         // The element had not painted yet: white-space capture.
         report.raced_captures += 1;
-        return Some(Bitmap::new(decoded.width().max(1), decoded.height().max(1), [255, 255, 255, 255]));
+        return Some(Bitmap::new(
+            decoded.width().max(1),
+            decoded.height().max(1),
+            [255, 255, 255, 255],
+        ));
     }
     Some(decoded)
 }
@@ -121,9 +125,13 @@ pub fn crawl_traditional(
                         report.network_matched += 1;
                     }
                     let is_ad = net_hit || css_hit;
-                    if let Some(shot) =
-                        screenshot(corpus, src, cfg.image_race_probability, &mut rng, &mut report)
-                    {
+                    if let Some(shot) = screenshot(
+                        corpus,
+                        src,
+                        cfg.image_race_probability,
+                        &mut rng,
+                        &mut report,
+                    ) {
                         report.dataset.push(shot, is_ad, src.to_string());
                     }
                 }
@@ -186,7 +194,11 @@ mod tests {
             seed,
             ..Default::default()
         });
-        crawl_traditional(&corpus, &synthetic_engine(), TraditionalCrawlConfig::default())
+        crawl_traditional(
+            &corpus,
+            &synthetic_engine(),
+            TraditionalCrawlConfig::default(),
+        )
     }
 
     #[test]

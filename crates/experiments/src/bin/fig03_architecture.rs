@@ -44,17 +44,17 @@ fn main() {
         format!("{:.2} MB", q.size_bytes() as f64 / (1024.0 * 1024.0)),
         "deployment extension".to_string(),
     ]);
-    print_table("Figure 3 — model inventory", &["model", "params", "size", "role"], &rows);
+    print_table(
+        "Figure 3 — model inventory",
+        &["model", "params", "size", "role"],
+        &rows,
+    );
 
     print_table(
         "Figure 3 — fork vs original (224x224x4 input)",
         &["metric", "SqueezeNet", "PERCIVAL fork"],
         &[
-            vec![
-                "fire modules".to_string(),
-                "8".to_string(),
-                "6".to_string(),
-            ],
+            vec!["fire modules".to_string(), "8".to_string(), "6".to_string()],
             vec![
                 "forward MFLOPs".to_string(),
                 format!("{:.0}", orig.flops(input) as f64 / 1e6),
@@ -72,6 +72,10 @@ fn main() {
     println!(
         "\nCompression vs Sentinel-class model: {:.0}x (paper: ~74x, \"<2 MB\" model: {})",
         compression_factor(yolo, fork_bytes as u64),
-        if fork_bytes < 2 * 1024 * 1024 { "yes" } else { "NO" },
+        if fork_bytes < 2 * 1024 * 1024 {
+            "yes"
+        } else {
+            "NO"
+        },
     );
 }

@@ -4,13 +4,13 @@
 //! deep layer, prints ASCII heat maps, writes PGM artifacts to `results/`,
 //! and quantifies how much heat falls on the AdChoices-marker corner.
 
+use percival_core::Classifier;
 use percival_experiments::harness::{results_dir, shared_classifier, ExperimentEnv};
 use percival_imgcodec::ppm::encode_pgm;
 use percival_nn::gradcam::grad_cam;
 use percival_util::Pcg32;
 use percival_webgen::images::{generate_ad, generate_nonad, AdCues, AdStyle, NonAdStyle};
 use percival_webgen::Script;
-use percival_core::Classifier;
 
 fn save_heat(name: &str, heat: &percival_tensor::Tensor) {
     let s = heat.shape();
@@ -35,12 +35,45 @@ fn main() {
     let shallow = 3usize;
     let deep = 9usize;
 
-    let cues = AdCues { adchoices: 1.0, ..AdCues::default() };
+    let cues = AdCues {
+        adchoices: 1.0,
+        ..AdCues::default()
+    };
     let samples = [
-        ("ad_banner", generate_ad(&mut rng, size, size, Script::Latin, AdStyle::Banner, cues), true),
-        ("ad_rect", generate_ad(&mut rng, size, size, Script::Latin, AdStyle::Rectangle, cues), true),
-        ("ad_promo", generate_ad(&mut rng, size, size, Script::Latin, AdStyle::ProductPromo, cues), true),
-        ("nonad_photo", generate_nonad(&mut rng, size, size, Script::Latin, NonAdStyle::Photo), false),
+        (
+            "ad_banner",
+            generate_ad(&mut rng, size, size, Script::Latin, AdStyle::Banner, cues),
+            true,
+        ),
+        (
+            "ad_rect",
+            generate_ad(
+                &mut rng,
+                size,
+                size,
+                Script::Latin,
+                AdStyle::Rectangle,
+                cues,
+            ),
+            true,
+        ),
+        (
+            "ad_promo",
+            generate_ad(
+                &mut rng,
+                size,
+                size,
+                Script::Latin,
+                AdStyle::ProductPromo,
+                cues,
+            ),
+            true,
+        ),
+        (
+            "nonad_photo",
+            generate_nonad(&mut rng, size, size, Script::Latin, NonAdStyle::Photo),
+            false,
+        ),
     ];
 
     for (name, bitmap, is_ad) in &samples {
@@ -48,7 +81,10 @@ fn main() {
         let class = usize::from(*is_ad);
         for (tag, layer) in [("shallow", shallow), ("deep", deep)] {
             let cam = grad_cam(classifier.model(), &input, class, layer);
-            println!("\n-- {name} ({tag} layer {layer}, class {}) --", if *is_ad { "ad" } else { "non-ad" });
+            println!(
+                "\n-- {name} ({tag} layer {layer}, class {}) --",
+                if *is_ad { "ad" } else { "non-ad" }
+            );
             print!("{}", cam.to_ascii(32));
             save_heat(&format!("{name}_{tag}"), &cam.heat);
             if *is_ad {

@@ -14,7 +14,7 @@ fn main() {
     let corpus = generate_corpus(CorpusConfig {
         n_sites: 60,
         pages_per_site: 4,
-        seed: 0xF16_6,
+        seed: 0xF166,
         ..Default::default()
     });
     let engine = synthetic_engine();
@@ -27,9 +27,17 @@ fn main() {
         "Figure 6 — dataset and EasyList match rates",
         &["metric", "paper", "measured"],
         &[
-            compare("elements inspected", "5,000", &report.elements_seen.to_string()),
+            compare(
+                "elements inspected",
+                "5,000",
+                &report.elements_seen.to_string(),
+            ),
             compare("CSS-rule match rate", "20.2%", &pct(css_rate)),
-            compare("requests inspected", "5,000", &report.requests_seen.to_string()),
+            compare(
+                "requests inspected",
+                "5,000",
+                &report.requests_seen.to_string(),
+            ),
             compare("network-rule match rate", "31.1%", &pct(net_rate)),
         ],
     );
@@ -38,7 +46,10 @@ fn main() {
         "Screenshot dataset",
         &["metric", "value"],
         &[
-            vec!["screenshots captured".into(), report.dataset.len().to_string()],
+            vec![
+                "screenshots captured".into(),
+                report.dataset.len().to_string(),
+            ],
             vec!["labeled ad".into(), ads.to_string()],
             vec!["labeled non-ad".into(), non_ads.to_string()],
             vec![

@@ -53,5 +53,8 @@ fn main() {
             compare("recall", "95.72%", &f3(cm.recall())),
         ],
     );
-    println!("\nConfusion: TP {} TN {} FP {} FN {}", cm.tp, cm.tn, cm.fp, cm.fn_);
+    println!(
+        "\nConfusion: TP {} TN {} FP {} FN {}",
+        cm.tp, cm.tn, cm.fp, cm.fn_
+    );
 }

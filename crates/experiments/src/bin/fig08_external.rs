@@ -25,7 +25,13 @@ fn main() {
     let mut bitmaps = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
-        let s = sample_image(&mut rng, DatasetProfile::External, Script::Latin, env.input_size, i % 2 == 0);
+        let s = sample_image(
+            &mut rng,
+            DatasetProfile::External,
+            Script::Latin,
+            env.input_size,
+            i % 2 == 0,
+        );
         bitmaps.push(s.bitmap);
         labels.push(s.is_ad);
     }
@@ -59,7 +65,11 @@ fn main() {
                 "1.9 MB",
                 &format!("{deploy_size_mb:.2} MB full / {experiment_size_mb:.2} MB slim"),
             ),
-            compare("avg classify time", "11 ms", &format!("{avg_ms:.1} ms (slim, CPU)")),
+            compare(
+                "avg classify time",
+                "11 ms",
+                &format!("{avg_ms:.1} ms (slim, CPU)"),
+            ),
         ],
     );
     println!(

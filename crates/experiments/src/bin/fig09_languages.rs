@@ -33,7 +33,13 @@ fn main() {
         let mut bitmaps = Vec::with_capacity(count);
         let mut labels = Vec::with_capacity(count);
         for i in 0..count {
-            let s = sample_image(&mut rng, DatasetProfile::Alexa, script, env.input_size, i % 2 == 0);
+            let s = sample_image(
+                &mut rng,
+                DatasetProfile::Alexa,
+                script,
+                env.input_size,
+                i % 2 == 0,
+            );
             bitmaps.push(s.bitmap);
             labels.push(s.is_ad);
         }

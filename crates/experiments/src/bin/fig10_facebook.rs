@@ -18,7 +18,11 @@ fn main() {
     let mut rng = Pcg32::seed_from_u64(0xFACE);
     let session = generate_session(
         &mut rng,
-        FeedConfig { items: 2184, size: env.input_size, ..Default::default() },
+        FeedConfig {
+            items: 2184,
+            size: env.input_size,
+            ..Default::default()
+        },
     );
 
     let mut cm = BinaryConfusion::default();
@@ -60,12 +64,19 @@ fn main() {
             let caught = if c.positives() > 0 {
                 format!("{:.0}% of ads blocked", c.recall() * 100.0)
             } else {
-                format!("{:.1}% falsely blocked", 100.0 * c.fp as f64 / c.negatives().max(1) as f64)
+                format!(
+                    "{:.1}% falsely blocked",
+                    100.0 * c.fp as f64 / c.negatives().max(1) as f64
+                )
             };
             vec![format!("{slot:?}"), c.total().to_string(), caught]
         })
         .collect();
-    print_table("Per-placement error analysis", &["placement", "items", "outcome"], &slot_rows);
+    print_table(
+        "Per-placement error analysis",
+        &["placement", "items", "outcome"],
+        &slot_rows,
+    );
     println!(
         "\nExpected shape: right-column ads nearly always caught; in-feed \
          sponsored posts drive the false negatives; brand posts drive the \

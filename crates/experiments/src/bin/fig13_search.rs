@@ -51,7 +51,11 @@ fn main() {
         rows.push(vec![
             q.name.to_string(),
             format!("{paper_blocked} / {blocked}"),
-            format!("{} / {}", 100 - paper_blocked.parse::<usize>().unwrap_or(0), 100 - blocked),
+            format!(
+                "{} / {}",
+                100 - paper_blocked.parse::<usize>().unwrap_or(0),
+                100 - blocked
+            ),
             fp.to_string(),
             fn_.to_string(),
         ]);

@@ -19,7 +19,10 @@ fn main() {
     let mut csv = String::from("config,ms,fraction\n");
     for (i, series) in data.samples.iter().enumerate() {
         for point in cdf(series) {
-            csv.push_str(&format!("{},{:.3},{:.4}\n", CONFIGS[i], point.value, point.fraction));
+            csv.push_str(&format!(
+                "{},{:.3},{:.4}\n",
+                CONFIGS[i], point.value, point.fraction
+            ));
         }
     }
     let path = results_dir().join("fig14_cdf.csv");

@@ -39,10 +39,19 @@ fn main() {
         "Median render times (ms)",
         &["config", "median"],
         &[
-            vec!["Chromium".into(), format!("{:.2}", chromium.baseline_median)],
-            vec!["Chromium+PERCIVAL".into(), format!("{:.2}", chromium.treatment_median)],
+            vec![
+                "Chromium".into(),
+                format!("{:.2}", chromium.baseline_median),
+            ],
+            vec![
+                "Chromium+PERCIVAL".into(),
+                format!("{:.2}", chromium.treatment_median),
+            ],
             vec!["Brave".into(), format!("{:.2}", brave.baseline_median)],
-            vec!["Brave+PERCIVAL".into(), format!("{:.2}", brave.treatment_median)],
+            vec![
+                "Brave+PERCIVAL".into(),
+                format!("{:.2}", brave.treatment_median),
+            ],
         ],
     );
     println!(

@@ -14,19 +14,26 @@ fn main() {
         phases: 4,
         sites_per_phase: 12,
         pages_per_site: 2,
-        seed: 0x5EC4_4AA,
+        seed: 0x05EC_44AA,
         train: percival_core::TrainConfig {
             input_size: 48,
             width_divisor: 4,
             epochs: 8,
             batch_size: 24,
             momentum: 0.9,
-            schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+            schedule: StepLr {
+                base: 0.02,
+                gamma: 0.1,
+                every: 30,
+            },
             seed: 0x5EC4,
             pretrained: None,
         },
     };
-    eprintln!("[sec44] running bootstrap + {} instrumented phases...", cfg.phases);
+    eprintln!(
+        "[sec44] running bootstrap + {} instrumented phases...",
+        cfg.phases
+    );
     let (reports, model) = run_phases(&cfg);
 
     let rows: Vec<Vec<String>> = reports

@@ -51,7 +51,15 @@ fn main() {
     let memo = percival_core::MemoizedClassifier::new(classifier.clone(), 1024);
     let mut rng = Pcg32::seed_from_u64(0x3E3);
     let samples: Vec<_> = (0..40)
-        .map(|i| sample_image(&mut rng, DatasetProfile::Alexa, Script::Latin, env.input_size, i % 2 == 0))
+        .map(|i| {
+            sample_image(
+                &mut rng,
+                DatasetProfile::Alexa,
+                Script::Latin,
+                env.input_size,
+                i % 2 == 0,
+            )
+        })
         .collect();
     let t0 = std::time::Instant::now();
     for s in &samples {
@@ -85,10 +93,7 @@ fn main() {
     let mut rows = Vec::new();
     for eps in [0.01f32, 0.03, 0.06, 0.12] {
         let rate = attack_success_rate(classifier.model(), &adv_samples, eps);
-        rows.push(vec![
-            format!("{eps}"),
-            format!("{:.0}%", rate * 100.0),
-        ]);
+        rows.push(vec![format!("{eps}"), format!("{:.0}%", rate * 100.0)]);
     }
     print_table(
         "Section 7 — FGSM attack success rate (L-inf budget, inputs in [-1,1])",

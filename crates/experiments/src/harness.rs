@@ -29,7 +29,11 @@ pub struct ExperimentEnv {
 
 impl Default for ExperimentEnv {
     fn default() -> Self {
-        ExperimentEnv { input_size: 64, width_divisor: 4, seed: 0x9E2C_17A1 }
+        ExperimentEnv {
+            input_size: 64,
+            width_divisor: 4,
+            seed: 0x9E2C_17A1,
+        }
     }
 }
 
@@ -61,7 +65,13 @@ pub fn training_data(env: &ExperimentEnv) -> (Vec<percival_imgcodec::Bitmap>, Ve
     // Augment with generator samples so both classes are plentiful.
     let mut rng = Pcg32::seed_from_u64(env.seed ^ 0xA06);
     for i in 0..400 {
-        let s = sample_image(&mut rng, DatasetProfile::Alexa, Script::Latin, env.input_size, i % 2 == 0);
+        let s = sample_image(
+            &mut rng,
+            DatasetProfile::Alexa,
+            Script::Latin,
+            env.input_size,
+            i % 2 == 0,
+        );
         dataset.push(s.bitmap, s.is_ad, s.style);
     }
     dataset.dedup();
@@ -97,7 +107,11 @@ pub fn shared_classifier(env: &ExperimentEnv) -> Classifier {
         epochs: 10,
         batch_size: 24,
         momentum: 0.9,
-        schedule: StepLr { base: 0.02, gamma: 0.1, every: 30 },
+        schedule: StepLr {
+            base: 0.02,
+            gamma: 0.1,
+            every: 30,
+        },
         seed: env.seed,
         pretrained: None,
     };
@@ -135,7 +149,11 @@ mod tests {
     #[test]
     fn training_data_is_balanced_and_nonempty() {
         // A miniature env keeps this test fast.
-        let env = ExperimentEnv { input_size: 32, width_divisor: 4, seed: 42 };
+        let env = ExperimentEnv {
+            input_size: 32,
+            width_divisor: 4,
+            seed: 42,
+        };
         let (bitmaps, labels) = training_data(&env);
         assert!(bitmaps.len() >= 100, "got {}", bitmaps.len());
         let ads = labels.iter().filter(|&&a| a).count();

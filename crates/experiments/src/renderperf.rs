@@ -24,12 +24,7 @@ use percival_webgen::sites::{generate_corpus, CorpusConfig};
 use std::path::PathBuf;
 
 /// The four measured configurations, in output order.
-pub const CONFIGS: [&str; 4] = [
-    "Chromium",
-    "Chromium+PERCIVAL",
-    "Brave",
-    "Brave+PERCIVAL",
-];
+pub const CONFIGS: [&str; 4] = ["Chromium", "Chromium+PERCIVAL", "Brave", "Brave+PERCIVAL"];
 
 /// Per-configuration render-time samples (milliseconds, one per page).
 #[derive(Debug, Clone, Default)]
@@ -94,10 +89,18 @@ fn shield_css(engine: &percival_filterlist::FilterEngine) -> Vec<CssRule> {
 }
 
 /// Runs (or loads) the experiment: renders `pages` pages per configuration.
-pub fn measure(env: &ExperimentEnv, n_sites: usize, pages_per_site: usize, force: bool) -> RenderPerfData {
+pub fn measure(
+    env: &ExperimentEnv,
+    n_sites: usize,
+    pages_per_site: usize,
+    force: bool,
+) -> RenderPerfData {
     if !force {
         if let Some(cached) = load() {
-            eprintln!("[renderperf] loaded cached samples from {}", cache_path().display());
+            eprintln!(
+                "[renderperf] loaded cached samples from {}",
+                cache_path().display()
+            );
             return cached;
         }
     }
@@ -117,7 +120,10 @@ pub fn measure(env: &ExperimentEnv, n_sites: usize, pages_per_site: usize, force
 
     let mut data = RenderPerfData::default();
     for (i, config) in CONFIGS.iter().enumerate() {
-        eprintln!("[renderperf] measuring {config} over {} pages...", corpus.pages.len());
+        eprintln!(
+            "[renderperf] measuring {config} over {} pages...",
+            corpus.pages.len()
+        );
         // A fresh hook per configuration so memoization state is per-run.
         let hook = PercivalHook::new(classifier.clone());
         for page in &corpus.pages {

@@ -50,16 +50,21 @@ impl Selector {
         if s.is_empty() {
             return Err(SelectorError::Empty);
         }
-        let mut sel = Selector { tag: None, id: None, classes: Vec::new() };
+        let mut sel = Selector {
+            tag: None,
+            id: None,
+            classes: Vec::new(),
+        };
         let mut rest = s;
         // Leading tag name.
-        let tag_end = rest
-            .find(['.', '#'])
-            .unwrap_or(rest.len());
+        let tag_end = rest.find(['.', '#']).unwrap_or(rest.len());
         if tag_end > 0 {
             let tag = &rest[..tag_end];
             if tag != "*" {
-                if let Some(bad) = tag.chars().find(|c| !c.is_ascii_alphanumeric() && *c != '-') {
+                if let Some(bad) = tag
+                    .chars()
+                    .find(|c| !c.is_ascii_alphanumeric() && *c != '-')
+                {
                     return Err(SelectorError::Unsupported(bad));
                 }
                 sel.tag = Some(tag.to_ascii_lowercase());
@@ -213,20 +218,44 @@ mod tests {
     #[test]
     fn selector_matching() {
         let s = Selector::parse(".sponsored").unwrap();
-        assert!(s.matches(&El { tag: "div", id: None, classes: &["post", "sponsored"] }));
-        assert!(!s.matches(&El { tag: "div", id: None, classes: &["post"] }));
+        assert!(s.matches(&El {
+            tag: "div",
+            id: None,
+            classes: &["post", "sponsored"]
+        }));
+        assert!(!s.matches(&El {
+            tag: "div",
+            id: None,
+            classes: &["post"]
+        }));
 
         let t = Selector::parse("img#hero").unwrap();
-        assert!(t.matches(&El { tag: "img", id: Some("hero"), classes: &[] }));
-        assert!(!t.matches(&El { tag: "div", id: Some("hero"), classes: &[] }));
-        assert!(!t.matches(&El { tag: "img", id: None, classes: &[] }));
+        assert!(t.matches(&El {
+            tag: "img",
+            id: Some("hero"),
+            classes: &[]
+        }));
+        assert!(!t.matches(&El {
+            tag: "div",
+            id: Some("hero"),
+            classes: &[]
+        }));
+        assert!(!t.matches(&El {
+            tag: "img",
+            id: None,
+            classes: &[]
+        }));
     }
 
     #[test]
     fn universal_selector() {
         let s = Selector::parse("*.ad").unwrap();
         assert!(s.tag.is_none());
-        assert!(s.matches(&El { tag: "span", id: None, classes: &["ad"] }));
+        assert!(s.matches(&El {
+            tag: "span",
+            id: None,
+            classes: &["ad"]
+        }));
     }
 
     #[test]

@@ -50,7 +50,11 @@ mod tests {
         let e = super::synthetic_engine();
         let u = Url::parse(url).unwrap();
         let s = Url::parse(src).unwrap();
-        e.should_block(&RequestInfo { url: &u, source: &s, resource_type: ty })
+        e.should_block(&RequestInfo {
+            url: &u,
+            source: &s,
+            resource_type: ty,
+        })
     }
 
     #[test]

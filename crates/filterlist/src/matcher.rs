@@ -72,8 +72,12 @@ impl FilterEngine {
         match blocked {
             None => Verdict::Allow,
             Some(rule) => match self.exceptions.iter().find(|r| r.matches(req)) {
-                Some(exc) => Verdict::Exempted { rule: exc.text.clone() },
-                None => Verdict::Block { rule: rule.text.clone() },
+                Some(exc) => Verdict::Exempted {
+                    rule: exc.text.clone(),
+                },
+                None => Verdict::Block {
+                    rule: rule.text.clone(),
+                },
             },
         }
     }
@@ -104,7 +108,10 @@ impl FilterEngine {
     /// would inject) — used by the crawler to find "potential containers of
     /// ads" for screenshotting (Section 5.2 methodology).
     pub fn cosmetic_rules_for(&self, host: &str) -> Vec<&CosmeticRule> {
-        self.cosmetic.iter().filter(|r| r.applies_on(host)).collect()
+        self.cosmetic
+            .iter()
+            .filter(|r| r.applies_on(host))
+            .collect()
     }
 }
 
@@ -131,7 +138,11 @@ news.example#@#.sponsored
     fn check(e: &FilterEngine, url: &str, src: &str, ty: ResourceType) -> Verdict {
         let u = Url::parse(url).unwrap();
         let s = Url::parse(src).unwrap();
-        e.check(&RequestInfo { url: &u, source: &s, resource_type: ty })
+        e.check(&RequestInfo {
+            url: &u,
+            source: &s,
+            resource_type: ty,
+        })
     }
 
     #[test]

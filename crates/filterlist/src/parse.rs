@@ -21,7 +21,9 @@ pub fn parse_list(text: &str) -> ParsedList {
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = i + 1;
-        if line.is_empty() || line.starts_with('!') || (line.starts_with('[') && line.ends_with(']'))
+        if line.is_empty()
+            || line.starts_with('!')
+            || (line.starts_with('[') && line.ends_with(']'))
         {
             out.skipped += 1;
             continue;

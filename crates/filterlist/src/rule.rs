@@ -261,9 +261,7 @@ impl NetworkRule {
         let url = req.url.as_str().as_bytes();
         match self.anchor {
             Anchor::Start => self.match_tokens_at(url, 0, 0, true),
-            Anchor::None => {
-                (0..=url.len()).any(|start| self.match_tokens_at(url, start, 0, true))
-            }
+            Anchor::None => (0..=url.len()).any(|start| self.match_tokens_at(url, start, 0, true)),
             Anchor::Domain => {
                 // Valid start positions: the host start, and after each '.'
                 // inside the host.
@@ -315,6 +313,7 @@ impl NetworkRule {
     }
 
     /// Recursive token matcher with backtracking on `*`.
+    #[allow(clippy::only_used_in_recursion)]
     fn match_tokens_at(&self, url: &[u8], pos: usize, tok_idx: usize, anchored: bool) -> bool {
         if tok_idx == self.toks.len() {
             return !self.anchor_end || pos == url.len();
@@ -360,7 +359,11 @@ mod tests {
     use super::*;
 
     fn req<'a>(url: &'a Url, src: &'a Url, ty: ResourceType) -> RequestInfo<'a> {
-        RequestInfo { url, source: src, resource_type: ty }
+        RequestInfo {
+            url,
+            source: src,
+            resource_type: ty,
+        }
     }
 
     fn urls(u: &str, s: &str) -> (Url, Url) {
@@ -388,7 +391,7 @@ mod tests {
             assert!(r.matches(&req(&u, &s, ResourceType::Image)), "{ok}");
         }
         for bad in [
-            "http://notadnet.example/x.png", // not a label boundary
+            "http://notadnet.example/x.png",   // not a label boundary
             "http://adnet.example.evil/x.png", // '^' must match a separator, 'e' is not
         ] {
             let u = Url::parse(bad).unwrap();

@@ -66,9 +66,7 @@ impl Url {
         }
         let host_start = scheme_end + 3;
         let rest = &raw[host_start..];
-        let host_rel_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let host_rel_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         // Strip a port if present.
         let authority = &rest[..host_rel_end];
         let host_len = authority.find(':').unwrap_or(authority.len());
@@ -78,7 +76,14 @@ impl Url {
         let host_end = host_start + host_len;
         let path_start = host_start + host_rel_end;
         let query_start = raw[path_start..].find('?').map(|i| path_start + i);
-        Ok(Url { raw, scheme_end, host_start, host_end, path_start, query_start })
+        Ok(Url {
+            raw,
+            scheme_end,
+            host_start,
+            host_end,
+            path_start,
+            query_start,
+        })
     }
 
     /// The full (lower-cased) URL string.
@@ -175,7 +180,10 @@ mod tests {
         assert_eq!(Url::parse("no-scheme.com/x"), Err(UrlError::MissingScheme));
         assert_eq!(Url::parse("://host"), Err(UrlError::MissingScheme));
         assert_eq!(Url::parse("http:///path"), Err(UrlError::EmptyHost));
-        assert_eq!(Url::parse("http://a b.com"), Err(UrlError::IllegalCharacter));
+        assert_eq!(
+            Url::parse("http://a b.com"),
+            Err(UrlError::IllegalCharacter)
+        );
     }
 
     #[test]

@@ -29,12 +29,19 @@ impl Bitmap {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, fill: [u8; 4]) -> Self {
-        assert!(width > 0 && height > 0, "bitmap dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "bitmap dimensions must be non-zero"
+        );
         let mut data = Vec::with_capacity(width * height * 4);
         for _ in 0..width * height {
             data.extend_from_slice(&fill);
         }
-        Bitmap { width, height, data }
+        Bitmap {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Wraps raw RGBA bytes.
@@ -43,9 +50,16 @@ impl Bitmap {
     ///
     /// Panics if `data.len() != width * height * 4` or a dimension is zero.
     pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
-        assert!(width > 0 && height > 0, "bitmap dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "bitmap dimensions must be non-zero"
+        );
         assert_eq!(data.len(), width * height * 4, "raw buffer length mismatch");
-        Bitmap { width, height, data }
+        Bitmap {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Width in pixels.
@@ -77,7 +91,12 @@ impl Bitmap {
     pub fn get(&self, x: usize, y: usize) -> [u8; 4] {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
         let i = (y * self.width + x) * 4;
-        [self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3]]
+        [
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ]
     }
 
     /// Writes pixel `(x, y)`.
@@ -161,7 +180,10 @@ impl Bitmap {
     ///
     /// Panics if a target dimension is zero.
     pub fn scaled_nearest(&self, width: usize, height: usize) -> Bitmap {
-        assert!(width > 0 && height > 0, "target dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "target dimensions must be non-zero"
+        );
         let mut out = Bitmap::new(width, height, [0, 0, 0, 0]);
         for y in 0..height {
             let sy = y * self.height / height;

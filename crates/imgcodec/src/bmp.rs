@@ -118,7 +118,12 @@ mod tests {
                 b.set(
                     x,
                     y,
-                    [(x * 7 % 256) as u8, (y * 11 % 256) as u8, ((x + y) % 256) as u8, 255],
+                    [
+                        (x * 7 % 256) as u8,
+                        (y * 11 % 256) as u8,
+                        ((x + y) % 256) as u8,
+                        255,
+                    ],
                 );
             }
         }
@@ -183,9 +188,15 @@ mod tests {
     fn rejects_compressed_and_exotic_depths() {
         let mut enc = encode_bmp(&pattern(4, 4));
         enc[30] = 1; // BI_RLE8
-        assert_eq!(decode_bmp(&enc), Err(CodecError::Unsupported("compressed BMP")));
+        assert_eq!(
+            decode_bmp(&enc),
+            Err(CodecError::Unsupported("compressed BMP"))
+        );
         let mut enc2 = encode_bmp(&pattern(4, 4));
         enc2[28] = 16;
-        assert_eq!(decode_bmp(&enc2), Err(CodecError::Unsupported("BMP bit depth")));
+        assert_eq!(
+            decode_bmp(&enc2),
+            Err(CodecError::Unsupported("BMP bit depth"))
+        );
     }
 }

@@ -341,7 +341,12 @@ mod tests {
                 b.set(
                     x,
                     y,
-                    [(x * 19 % 256) as u8, (y * 41 % 256) as u8, ((x * y) % 256) as u8, 255],
+                    [
+                        (x * 19 % 256) as u8,
+                        (y * 41 % 256) as u8,
+                        ((x * y) % 256) as u8,
+                        255,
+                    ],
                 );
             }
         }

@@ -23,7 +23,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn bits(&mut self, n: u32) -> Result<u32, CodecError> {
@@ -34,7 +39,7 @@ impl<'a> BitReader<'a> {
             self.bit_buf |= u32::from(b) << self.bit_count;
             self.bit_count += 8;
         }
-        let v = self.bit_buf & ((1u32 << n) - 1).max(0);
+        let v = self.bit_buf & ((1u32 << n) - 1);
         self.bit_buf >>= n;
         self.bit_count -= n;
         Ok(if n == 0 { 0 } else { v })
@@ -80,9 +85,9 @@ impl Huffman {
         // An over-subscribed code is invalid (incomplete codes appear in
         // legal streams for the distance tree, so only check over-full).
         let mut left = 1i32;
-        for len in 1..=MAX_BITS {
+        for &count in &counts[1..=MAX_BITS] {
             left <<= 1;
-            left -= i32::from(counts[len]);
+            left -= i32::from(count);
             if left < 0 {
                 return Err(CodecError::Malformed("over-subscribed huffman code"));
             }
@@ -138,7 +143,9 @@ const DIST_EXTRA: [u8; 30] = [
     0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
     13,
 ];
-const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 fn fixed_tables() -> (Huffman, Huffman) {
     let mut lit = [0u8; 288];
@@ -248,7 +255,9 @@ pub fn inflate(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
                         }
                         16 => {
                             if i == 0 {
-                                return Err(CodecError::Malformed("repeat with no previous length"));
+                                return Err(CodecError::Malformed(
+                                    "repeat with no previous length",
+                                ));
                             }
                             let prev = lengths[i - 1];
                             let n = 3 + r.bits(2)? as usize;

@@ -205,7 +205,11 @@ mod tests {
     fn roundtrip_solid_uses_runs_and_stays_small() {
         let b = Bitmap::new(64, 64, [10, 200, 30, 255]);
         let enc = encode_qoi(&b);
-        assert!(enc.len() < 120, "solid image should RLE well: {} bytes", enc.len());
+        assert!(
+            enc.len() < 120,
+            "solid image should RLE well: {} bytes",
+            enc.len()
+        );
         assert_eq!(decode_qoi(&enc).unwrap(), b);
     }
 

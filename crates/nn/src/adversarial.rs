@@ -66,11 +66,7 @@ pub fn fgsm_iterative(
 ///
 /// `samples` are `(input, true_label)` pairs; only samples the model
 /// classifies correctly to begin with count toward the denominator.
-pub fn attack_success_rate(
-    model: &Sequential,
-    samples: &[(Tensor, usize)],
-    epsilon: f32,
-) -> f64 {
+pub fn attack_success_rate(model: &Sequential, samples: &[(Tensor, usize)], epsilon: f32) -> f64 {
     let mut correct = 0usize;
     let mut flipped = 0usize;
     for (input, label) in samples {
@@ -106,7 +102,7 @@ fn argmax(logits: &Tensor) -> usize {
 mod tests {
     use super::*;
     use crate::layer::{Conv2d, Layer};
-    use crate::{SgdMomentum, Sequential};
+    use crate::{Sequential, SgdMomentum};
     use percival_tensor::{Conv2dCfg, Shape};
     use percival_util::Pcg32;
 
@@ -125,7 +121,9 @@ mod tests {
             let base = if bright { 0.6 } else { -0.6 };
             Tensor::from_vec(
                 shape,
-                (0..shape.count()).map(|_| base + rng.range_f32(-0.3, 0.3)).collect(),
+                (0..shape.count())
+                    .map(|_| base + rng.range_f32(-0.3, 0.3))
+                    .collect(),
             )
         };
         let samples: Vec<(Tensor, usize)> = (0..24)
@@ -155,7 +153,10 @@ mod tests {
         let clean_loss = cross_entropy_forward(&model.forward(x), &[*y]).loss;
         let adv = fgsm(&model, x, *y, 0.2);
         let adv_loss = cross_entropy_forward(&model.forward(&adv), &[*y]).loss;
-        assert!(adv_loss > clean_loss, "{adv_loss} should exceed {clean_loss}");
+        assert!(
+            adv_loss > clean_loss,
+            "{adv_loss} should exceed {clean_loss}"
+        );
     }
 
     #[test]
@@ -175,8 +176,14 @@ mod tests {
         let (model, samples) = trained_toy();
         let weak = attack_success_rate(&model, &samples, 0.02);
         let strong = attack_success_rate(&model, &samples, 0.8);
-        assert!(strong >= weak, "stronger budget flips at least as much: {weak} vs {strong}");
-        assert!(strong > 0.3, "a large budget should flip this toy model: {strong}");
+        assert!(
+            strong >= weak,
+            "stronger budget flips at least as much: {weak} vs {strong}"
+        );
+        assert!(
+            strong > 0.3,
+            "a large budget should flip this toy model: {strong}"
+        );
     }
 
     #[test]

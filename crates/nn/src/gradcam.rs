@@ -37,7 +37,11 @@ pub fn grad_cam(model: &Sequential, input: &Tensor, class: usize, layer: usize) 
     let trace = model.forward_train(input);
     let logits = trace.output();
     let ls = logits.shape();
-    assert!(class < ls.c, "class {class} out of range for {} outputs", ls.c);
+    assert!(
+        class < ls.c,
+        "class {class} out of range for {} outputs",
+        ls.c
+    );
 
     // d(score_class)/d(logits) is a one-hot vector.
     let mut grad_out = Tensor::zeros(ls);
@@ -85,8 +89,8 @@ impl SalienceMap {
         const RAMP: &[u8] = b" .:-=+*#%@";
         let s = self.heat.shape();
         let cols = cols.clamp(1, s.w);
-        let step = (s.w + cols - 1) / cols;
-        let rows = (s.h + 2 * step - 1) / (2 * step); // characters are ~2x tall
+        let step = s.w.div_ceil(cols);
+        let rows = s.h.div_ceil(2 * step); // characters are ~2x tall
         let mut out = String::new();
         for r in 0..rows {
             for c in 0..cols {
@@ -152,7 +156,9 @@ mod tests {
         let shape = Shape::new(1, 1, 12, 12);
         let input = Tensor::from_vec(
             shape,
-            (0..shape.count()).map(|_| rng.range_f32(0.0, 1.0)).collect(),
+            (0..shape.count())
+                .map(|_| rng.range_f32(0.0, 1.0))
+                .collect(),
         );
         let cam = grad_cam(&model, &input, 0, 1);
         assert_eq!(cam.heat.shape(), Shape::new(1, 1, 12, 12));
@@ -167,11 +173,7 @@ mod tests {
         // quadrant: the CAM must concentrate there.
         let mut conv = Conv2d::new(1, 1, 1, Conv2dCfg::default());
         conv.weight.as_mut_slice()[0] = 1.0;
-        let model = Sequential::new(vec![
-            Layer::Conv(conv),
-            Layer::Relu,
-            Layer::GlobalAvgPool,
-        ]);
+        let model = Sequential::new(vec![Layer::Conv(conv), Layer::Relu, Layer::GlobalAvgPool]);
         let mut input = Tensor::zeros(Shape::new(1, 1, 8, 8));
         for y in 0..4 {
             for x in 0..4 {
@@ -180,7 +182,10 @@ mod tests {
         }
         let cam = grad_cam(&model, &input, 0, 1); // tap the ReLU output
         let frac = cam.heat_fraction_in(0, 0, 4, 4);
-        assert!(frac > 0.8, "heat should sit on the bright patch, got {frac}");
+        assert!(
+            frac > 0.8,
+            "heat should sit on the bright patch, got {frac}"
+        );
     }
 
     #[test]

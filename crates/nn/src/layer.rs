@@ -1,10 +1,11 @@
 //! Individual layers: convolution, fire modules, pooling and ReLU.
 
 use percival_tensor::activation::{relu_backward, relu_forward};
-use percival_tensor::pool::MaxPoolOut;
+use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with, MaxPoolOut};
 use percival_tensor::{
-    conv2d_backward, conv2d_forward, global_avg_pool_backward, global_avg_pool_forward,
-    max_pool_backward, max_pool_forward, Conv2dCfg, PoolCfg, Shape, Tensor,
+    conv2d_backward, conv2d_forward, conv2d_forward_with, global_avg_pool_backward,
+    global_avg_pool_forward, max_pool_backward, max_pool_forward, Conv2dCfg, PoolCfg, Shape,
+    Tensor, Workspace,
 };
 
 /// A 2-D convolution layer with learned weight and bias.
@@ -42,10 +43,12 @@ impl Conv2d {
     /// Output shape for a given input shape.
     pub fn output_shape(&self, input: Shape) -> Shape {
         let ws = self.weight.shape();
-        let oh = percival_tensor::conv::conv_out_extent(input.h, ws.h, self.cfg.stride, self.cfg.pad)
-            .expect("conv kernel must fit input");
-        let ow = percival_tensor::conv::conv_out_extent(input.w, ws.w, self.cfg.stride, self.cfg.pad)
-            .expect("conv kernel must fit input");
+        let oh =
+            percival_tensor::conv::conv_out_extent(input.h, ws.h, self.cfg.stride, self.cfg.pad)
+                .expect("conv kernel must fit input");
+        let ow =
+            percival_tensor::conv::conv_out_extent(input.w, ws.w, self.cfg.stride, self.cfg.pad)
+                .expect("conv kernel must fit input");
         Shape::new(input.n, ws.n, oh, ow)
     }
 
@@ -175,17 +178,29 @@ pub enum Layer {
 
 /// Concatenates two tensors along the channel axis.
 fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut ws = Workspace::new();
+    concat_channels_with(a, b, &mut ws)
+}
+
+/// [`concat_channels`] into a buffer drawn from `ws`.
+fn concat_channels_with(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
     let (sa, sb) = (a.shape(), b.shape());
-    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "concat geometry mismatch");
-    let mut out = Tensor::zeros(Shape::new(sa.n, sa.c + sb.c, sa.h, sa.w));
+    assert_eq!(
+        (sa.n, sa.h, sa.w),
+        (sb.n, sb.h, sb.w),
+        "concat geometry mismatch"
+    );
+    let out_shape = Shape::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    let mut out = ws.take(out_shape.count());
     let plane_a = sa.c * sa.h * sa.w;
     let plane_b = sb.c * sb.h * sb.w;
+    let per_sample = plane_a + plane_b;
     for n in 0..sa.n {
-        let dst = out.sample_mut(n);
+        let dst = &mut out[n * per_sample..(n + 1) * per_sample];
         dst[..plane_a].copy_from_slice(a.sample(n));
         dst[plane_a..plane_a + plane_b].copy_from_slice(b.sample(n));
     }
-    out
+    Tensor::from_vec(out_shape, out)
 }
 
 /// Splits a channel-concatenated gradient back into the two parts.
@@ -221,19 +236,94 @@ impl Layer {
         }
     }
 
+    /// Workspace-aware inference forward pass.
+    ///
+    /// Takes the input by value: the layer computes its output into buffers
+    /// drawn from `ws`, then recycles the input's buffer back into the
+    /// arena, so a warmed-up pass through a whole network allocates nothing.
+    pub fn forward_with(&self, x: Tensor, ws: &mut Workspace) -> Tensor {
+        match self {
+            Layer::Conv(c) => {
+                let out = conv2d_forward_with(&x, &c.weight, &c.bias, c.cfg, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            Layer::Relu => {
+                let mut x = x;
+                x.map_inplace(|v| v.max(0.0));
+                x
+            }
+            Layer::MaxPool(cfg) => {
+                let out = max_pool_forward_with(&x, *cfg, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            Layer::GlobalAvgPool => {
+                let out = global_avg_pool_forward_with(&x, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            Layer::Fire(f) => {
+                let mut squeezed =
+                    conv2d_forward_with(&x, &f.squeeze.weight, &f.squeeze.bias, f.squeeze.cfg, ws);
+                ws.recycle(x.into_vec());
+                squeezed.map_inplace(|v| v.max(0.0));
+                let mut e1 = conv2d_forward_with(
+                    &squeezed,
+                    &f.expand1.weight,
+                    &f.expand1.bias,
+                    f.expand1.cfg,
+                    ws,
+                );
+                let mut e3 = conv2d_forward_with(
+                    &squeezed,
+                    &f.expand3.weight,
+                    &f.expand3.bias,
+                    f.expand3.cfg,
+                    ws,
+                );
+                ws.recycle(squeezed.into_vec());
+                e1.map_inplace(|v| v.max(0.0));
+                e3.map_inplace(|v| v.max(0.0));
+                let out = concat_channels_with(&e1, &e3, ws);
+                ws.recycle(e1.into_vec());
+                ws.recycle(e3.into_vec());
+                out
+            }
+        }
+    }
+
     /// Training forward pass; returns the output and a backward cache.
     pub fn forward_train(&self, input: &Tensor) -> (Tensor, LayerCache) {
         match self {
-            Layer::Conv(c) => (c.forward(input), LayerCache::Conv { input: input.clone() }),
-            Layer::Relu => (relu_forward(input), LayerCache::Relu { input: input.clone() }),
+            Layer::Conv(c) => (
+                c.forward(input),
+                LayerCache::Conv {
+                    input: input.clone(),
+                },
+            ),
+            Layer::Relu => (
+                relu_forward(input),
+                LayerCache::Relu {
+                    input: input.clone(),
+                },
+            ),
             Layer::MaxPool(cfg) => {
                 let fwd = max_pool_forward(input, *cfg);
                 let out = fwd.output.clone();
-                (out, LayerCache::MaxPool { input_shape: input.shape(), fwd })
+                (
+                    out,
+                    LayerCache::MaxPool {
+                        input_shape: input.shape(),
+                        fwd,
+                    },
+                )
             }
             Layer::GlobalAvgPool => (
                 global_avg_pool_forward(input),
-                LayerCache::GlobalAvgPool { input_shape: input.shape() },
+                LayerCache::GlobalAvgPool {
+                    input_shape: input.shape(),
+                },
             ),
             Layer::Fire(f) => {
                 let squeeze_pre = f.squeeze.forward(input);
@@ -265,17 +355,25 @@ impl Layer {
         match (self, cache) {
             (Layer::Conv(c), LayerCache::Conv { input }) => {
                 let (d_in, d_w, d_b) = conv2d_backward(input, &c.weight, grad_out, c.cfg);
-                (d_in, LayerGrads::Conv(ConvGrads { weight: d_w, bias: d_b }))
+                (
+                    d_in,
+                    LayerGrads::Conv(ConvGrads {
+                        weight: d_w,
+                        bias: d_b,
+                    }),
+                )
             }
             (Layer::Relu, LayerCache::Relu { input }) => {
                 (relu_backward(input, grad_out), LayerGrads::None)
             }
-            (Layer::MaxPool(_), LayerCache::MaxPool { input_shape, fwd }) => {
-                (max_pool_backward(*input_shape, fwd, grad_out), LayerGrads::None)
-            }
-            (Layer::GlobalAvgPool, LayerCache::GlobalAvgPool { input_shape }) => {
-                (global_avg_pool_backward(*input_shape, grad_out), LayerGrads::None)
-            }
+            (Layer::MaxPool(_), LayerCache::MaxPool { input_shape, fwd }) => (
+                max_pool_backward(*input_shape, fwd, grad_out),
+                LayerGrads::None,
+            ),
+            (Layer::GlobalAvgPool, LayerCache::GlobalAvgPool { input_shape }) => (
+                global_avg_pool_backward(*input_shape, grad_out),
+                LayerGrads::None,
+            ),
             (Layer::Fire(f), LayerCache::Fire(fc)) => {
                 let e_c = f.expand1.weight.shape().n;
                 let (g_e1_act, g_e3_act) = split_channels(grad_out, e_c);
@@ -293,9 +391,18 @@ impl Layer {
                 (
                     d_in,
                     LayerGrads::Fire {
-                        squeeze: ConvGrads { weight: d_wsq, bias: d_bsq },
-                        expand1: ConvGrads { weight: d_w1, bias: d_b1 },
-                        expand3: ConvGrads { weight: d_w3, bias: d_b3 },
+                        squeeze: ConvGrads {
+                            weight: d_wsq,
+                            bias: d_bsq,
+                        },
+                        expand1: ConvGrads {
+                            weight: d_w1,
+                            bias: d_b1,
+                        },
+                        expand3: ConvGrads {
+                            weight: d_w3,
+                            bias: d_b3,
+                        },
                     },
                 )
             }
@@ -357,7 +464,12 @@ mod tests {
 
     fn rand_input(seed: u64, shape: Shape) -> Tensor {
         let mut rng = Pcg32::seed_from_u64(seed);
-        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+        Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        )
     }
 
     #[test]
@@ -438,7 +550,11 @@ mod tests {
             Shape::new(1, 8, 16, 16)
         );
         assert_eq!(
-            Layer::MaxPool(PoolCfg { kernel: 3, stride: 2 }).output_shape(Shape::new(1, 8, 16, 16)),
+            Layer::MaxPool(PoolCfg {
+                kernel: 3,
+                stride: 2
+            })
+            .output_shape(Shape::new(1, 8, 16, 16)),
             Shape::new(1, 8, 7, 7)
         );
         assert_eq!(
@@ -458,7 +574,9 @@ mod tests {
     #[should_panic(expected = "kind mismatch")]
     fn mismatched_cache_panics() {
         let layer = Layer::Relu;
-        let cache = LayerCache::GlobalAvgPool { input_shape: Shape::new(1, 1, 2, 2) };
+        let cache = LayerCache::GlobalAvgPool {
+            input_shape: Shape::new(1, 1, 2, 2),
+        };
         let g = Tensor::zeros(Shape::new(1, 1, 1, 1));
         layer.backward(&cache, &g);
     }

@@ -1,7 +1,8 @@
 //! The sequential model container.
 
 use crate::layer::{Layer, LayerCache, LayerGrads};
-use percival_tensor::{Shape, Tensor};
+use percival_tensor::workspace::with_thread_workspace;
+use percival_tensor::{Shape, Tensor, Workspace};
 
 /// A feed-forward stack of [`Layer`]s.
 ///
@@ -28,7 +29,9 @@ pub struct ForwardTrace {
 impl ForwardTrace {
     /// The network output (logits).
     pub fn output(&self) -> &Tensor {
-        self.activations.last().expect("trace always contains the input")
+        self.activations
+            .last()
+            .expect("trace always contains the input")
     }
 }
 
@@ -45,13 +48,32 @@ impl Sequential {
         Sequential { layers }
     }
 
-    /// Inference forward pass: no caches, minimal allocation.
+    /// Inference forward pass: no caches retained.
+    ///
+    /// Thin wrapper over [`Sequential::forward_with`] using the calling
+    /// thread's recycled workspace, so repeated calls are allocation-free
+    /// after the first.
     pub fn forward(&self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
+        with_thread_workspace(|ws| self.forward_with(input, ws))
+    }
+
+    /// Inference forward pass with explicit scratch: every intermediate
+    /// activation, im2col column matrix and GEMM packing panel is drawn from
+    /// (and recycled into) `ws`. After one warm-up call with a given input
+    /// geometry, subsequent calls perform zero heap allocations apart from
+    /// the small returned logits tensor.
+    pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut seed = ws.take(input.shape().count());
+        seed.copy_from_slice(input.as_slice());
+        let mut x = Tensor::from_vec(input.shape(), seed);
         for layer in &self.layers {
-            x = layer.forward(&x);
+            x = layer.forward_with(x, ws);
         }
-        x
+        // Detach the result from the arena so the final activation buffer
+        // (and its capacity) stays available for the next pass.
+        let out = Tensor::from_vec(x.shape(), x.as_slice().to_vec());
+        ws.recycle(x.into_vec());
+        out
     }
 
     /// Training forward pass retaining every activation and cache.
@@ -64,7 +86,10 @@ impl Sequential {
             activations.push(out);
             caches.push(cache);
         }
-        ForwardTrace { activations, caches }
+        ForwardTrace {
+            activations,
+            caches,
+        }
     }
 
     /// Full backward pass from `grad_out` (gradient at the network output).
@@ -186,7 +211,11 @@ impl ModelGrads {
         for layer in &self.layers {
             match layer {
                 LayerGrads::Conv(g) => out.push((&g.weight, g.bias.as_slice())),
-                LayerGrads::Fire { squeeze, expand1, expand3 } => {
+                LayerGrads::Fire {
+                    squeeze,
+                    expand1,
+                    expand3,
+                } => {
                     out.push((&squeeze.weight, squeeze.bias.as_slice()));
                     out.push((&expand1.weight, expand1.bias.as_slice()));
                     out.push((&expand3.weight, expand3.bias.as_slice()));
@@ -219,7 +248,10 @@ mod tests {
         let mut model = Sequential::new(vec![
             Layer::Conv(Conv2d::new(4, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
             Layer::Relu,
-            Layer::MaxPool(PoolCfg { kernel: 2, stride: 2 }),
+            Layer::MaxPool(PoolCfg {
+                kernel: 2,
+                stride: 2,
+            }),
             Layer::Fire(Fire::new(4, 2, 4)),
             Layer::Conv(Conv2d::new(2, 8, 1, Conv2dCfg { stride: 1, pad: 0 })),
             Layer::GlobalAvgPool,
@@ -230,7 +262,12 @@ mod tests {
 
     fn rand_input(seed: u64, shape: Shape) -> Tensor {
         let mut rng = Pcg32::seed_from_u64(seed);
-        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+        Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        )
     }
 
     #[test]
@@ -240,6 +277,26 @@ mod tests {
         let out = model.forward(&input);
         assert_eq!(out.shape(), model.output_shape(input.shape()));
         assert_eq!(out.shape(), Shape::new(2, 2, 1, 1));
+    }
+
+    #[test]
+    fn forward_with_matches_forward_and_reuses_workspace() {
+        let model = tiny_net(13);
+        let input = rand_input(14, Shape::new(2, 3, 8, 8));
+        let baseline = model.forward(&input);
+        let mut ws = Workspace::new();
+        let first = model.forward_with(&input, &mut ws);
+        assert_eq!(first, baseline, "workspace path must be bit-identical");
+        let warm_allocs = ws.stats().allocations;
+        for _ in 0..3 {
+            let again = model.forward_with(&input, &mut ws);
+            assert_eq!(first, again, "repeated forwards must be deterministic");
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            warm_allocs,
+            "a warm forward pass must not allocate from the heap"
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl SgdMomentum {
         model.visit_params(|w, b| {
             velocity.push((Tensor::zeros(w.shape()), vec![0.0; b.len()]));
         });
-        SgdMomentum { momentum, weight_decay: 0.0, clip_norm: None, velocity }
+        SgdMomentum {
+            momentum,
+            weight_decay: 0.0,
+            clip_norm: None,
+            velocity,
+        }
     }
 
     /// Applies one update: `v = momentum * v - lr * (g + wd * w)`, `w += v`.
@@ -50,8 +55,15 @@ impl SgdMomentum {
         if let Some(max_norm) = self.clip_norm {
             let mut sq = 0.0f64;
             for (gw, gb) in &grad_list {
-                sq += gw.as_slice().iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>();
-                sq += gb.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>();
+                sq += gw
+                    .as_slice()
+                    .iter()
+                    .map(|v| f64::from(*v) * f64::from(*v))
+                    .sum::<f64>();
+                sq += gb
+                    .iter()
+                    .map(|v| f64::from(*v) * f64::from(*v))
+                    .sum::<f64>();
             }
             let norm = sq.sqrt() as f32;
             if norm > max_norm && norm > 0.0 {
@@ -67,7 +79,11 @@ impl SgdMomentum {
         model.visit_params_mut(|w, b| {
             let (gw, gb) = grad_list[i];
             let (vw, vb) = &mut velocity[i];
-            assert_eq!(gw.shape(), w.shape(), "gradient shape mismatch at param {i}");
+            assert_eq!(
+                gw.shape(),
+                w.shape(),
+                "gradient shape mismatch at param {i}"
+            );
             for ((wv, vv), gv) in w
                 .as_mut_slice()
                 .iter_mut()
@@ -100,7 +116,11 @@ pub struct StepLr {
 impl StepLr {
     /// The paper's published schedule.
     pub fn paper() -> Self {
-        StepLr { base: 0.001, gamma: 0.1, every: 30 }
+        StepLr {
+            base: 0.001,
+            gamma: 0.1,
+            every: 30,
+        }
     }
 
     /// Learning rate for a (0-based) epoch.
@@ -144,7 +164,9 @@ mod tests {
         let shape = Shape::new(4, 1, 6, 6);
         let input = Tensor::from_vec(
             shape,
-            (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect(),
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
         );
         let labels = [0usize, 1, 0, 1];
 

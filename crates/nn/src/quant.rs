@@ -39,7 +39,11 @@ pub fn quantize(model: &Sequential) -> QuantizedModel {
             .iter()
             .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
-        params.push(QuantParam { scale, q, bias: b.to_vec() });
+        params.push(QuantParam {
+            scale,
+            q,
+            bias: b.to_vec(),
+        });
     });
     QuantizedModel { params }
 }
@@ -63,7 +67,11 @@ impl QuantizedModel {
         let params = &self.params;
         model.visit_params_mut(|w, b| {
             let p = &params[i];
-            assert_eq!(p.q.len(), w.shape().count(), "quantized tensor {i} shape mismatch");
+            assert_eq!(
+                p.q.len(),
+                w.shape().count(),
+                "quantized tensor {i} shape mismatch"
+            );
             assert_eq!(p.bias.len(), b.len(), "quantized bias {i} length mismatch");
             for (dst, &qv) in w.as_mut_slice().iter_mut().zip(p.q.iter()) {
                 *dst = f32::from(qv) * p.scale;
@@ -71,7 +79,11 @@ impl QuantizedModel {
             b.copy_from_slice(&p.bias);
             i += 1;
         });
-        assert_eq!(i, params.len(), "model has fewer parameter tensors than snapshot");
+        assert_eq!(
+            i,
+            params.len(),
+            "model has fewer parameter tensors than snapshot"
+        );
     }
 
     /// Maximum absolute dequantization error across all weights.
@@ -138,7 +150,9 @@ mod tests {
         let shape = Shape::new(2, 3, 8, 8);
         let input = Tensor::from_vec(
             shape,
-            (0..shape.count()).map(|_| rng.range_f32(0.0, 1.0)).collect(),
+            (0..shape.count())
+                .map(|_| rng.range_f32(0.0, 1.0))
+                .collect(),
         );
         let a = m.forward(&input);
         let b = restored.forward(&input);

@@ -46,7 +46,10 @@ impl core::fmt::Display for ModelIoError {
                 write!(f, "stored parameter {param} has a different shape")
             }
             ModelIoError::ParamCountMismatch { expected, found } => {
-                write!(f, "model has {expected} parameter tensors, file has {found}")
+                write!(
+                    f,
+                    "model has {expected} parameter tensors, file has {found}"
+                )
             }
         }
     }

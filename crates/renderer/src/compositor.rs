@@ -6,7 +6,11 @@ use percival_imgcodec::Bitmap;
 
 /// Copies every tile into a `page_width x page_height` frame buffer.
 pub fn composite(tiles: &[TileOutput], page_width: u32, page_height: u32) -> Bitmap {
-    let mut fb = Bitmap::new(page_width.max(1) as usize, page_height.max(1) as usize, [255, 255, 255, 255]);
+    let mut fb = Bitmap::new(
+        page_width.max(1) as usize,
+        page_height.max(1) as usize,
+        [255, 255, 255, 255],
+    );
     for tile in tiles {
         for ty in 0..tile.bitmap.height() {
             let fy = tile.y + ty as i32;
@@ -32,9 +36,21 @@ mod tests {
     #[test]
     fn tiles_land_at_their_coordinates() {
         let tiles = vec![
-            TileOutput { x: 0, y: 0, bitmap: Bitmap::new(2, 2, [1, 0, 0, 255]) },
-            TileOutput { x: 2, y: 0, bitmap: Bitmap::new(2, 2, [2, 0, 0, 255]) },
-            TileOutput { x: 0, y: 2, bitmap: Bitmap::new(2, 2, [3, 0, 0, 255]) },
+            TileOutput {
+                x: 0,
+                y: 0,
+                bitmap: Bitmap::new(2, 2, [1, 0, 0, 255]),
+            },
+            TileOutput {
+                x: 2,
+                y: 0,
+                bitmap: Bitmap::new(2, 2, [2, 0, 0, 255]),
+            },
+            TileOutput {
+                x: 0,
+                y: 2,
+                bitmap: Bitmap::new(2, 2, [3, 0, 0, 255]),
+            },
         ];
         let fb = composite(&tiles, 4, 4);
         assert_eq!(fb.get(0, 0)[0], 1);
@@ -46,7 +62,11 @@ mod tests {
 
     #[test]
     fn edge_tiles_are_clipped() {
-        let tiles = vec![TileOutput { x: 3, y: 3, bitmap: Bitmap::new(4, 4, [9, 0, 0, 255]) }];
+        let tiles = vec![TileOutput {
+            x: 3,
+            y: 3,
+            bitmap: Bitmap::new(4, 4, [9, 0, 0, 255]),
+        }];
         let fb = composite(&tiles, 5, 5);
         assert_eq!(fb.get(4, 4)[0], 9);
         assert_eq!(fb.get(2, 2), [255, 255, 255, 255]);

@@ -79,10 +79,8 @@ pub fn parse_declarations(text: &str) -> Declarations {
         };
         let value = value.trim();
         match prop.trim().to_ascii_lowercase().as_str() {
-            "display" => {
-                if value.eq_ignore_ascii_case("none") {
-                    d.display_none = true;
-                }
+            "display" if value.eq_ignore_ascii_case("none") => {
+                d.display_none = true;
             }
             "width" => d.width = parse_px(value),
             "height" => d.height = parse_px(value),
@@ -140,7 +138,12 @@ pub fn parse_stylesheet(text: &str) -> Vec<CssRule> {
         let body = &rest[open + 1..open + close];
         for sel in selector_text.split(',') {
             if let Some((tag, id, classes)) = parse_selector(sel) {
-                rules.push(CssRule { tag, id, classes, decls: parse_declarations(body) });
+                rules.push(CssRule {
+                    tag,
+                    id,
+                    classes,
+                    decls: parse_declarations(body),
+                });
             }
         }
         rest = &rest[open + close + 1..];
@@ -158,7 +161,10 @@ impl CssRule {
             tag,
             id,
             classes,
-            decls: Declarations { display_none: true, ..Declarations::default() },
+            decls: Declarations {
+                display_none: true,
+                ..Declarations::default()
+            },
         })
     }
 }
@@ -177,7 +183,8 @@ mod tests {
 
     #[test]
     fn parses_declarations() {
-        let d = parse_declarations("width: 240; height:60px; background-color:#222233; display:none");
+        let d =
+            parse_declarations("width: 240; height:60px; background-color:#222233; display:none");
         assert_eq!(d.width, Some(240));
         assert_eq!(d.height, Some(60));
         assert_eq!(d.background, Some([0x22, 0x22, 0x33, 255]));

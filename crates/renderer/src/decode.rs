@@ -67,6 +67,96 @@ impl ImageDecodeCache {
         Arc::clone(entries.entry(url.to_string()).or_insert(outcome))
     }
 
+    /// Decodes every not-yet-cached URL in `images` and inspects them as
+    /// one batch via [`ImageInterceptor::inspect_batch`].
+    ///
+    /// This is the pipeline's decode-prefetch stage: collecting a page's
+    /// image set up front lets a batching interceptor (PERCIVAL's inference
+    /// engine) classify them in one micro-batched forward pass instead of
+    /// one CNN invocation per raster worker. Returns the number of images
+    /// decoded by this call.
+    pub fn prefetch(
+        &self,
+        store: &dyn ResourceStore,
+        interceptor: &dyn ImageInterceptor,
+        images: &[(String, usize)],
+    ) -> usize {
+        // Fetch + decode outside any lock; skip URLs already cached and
+        // dedupe repeats within the request list.
+        let mut urls_seen = std::collections::HashSet::new();
+        let mut decoded: Vec<(usize, Bitmap)> = Vec::new();
+        let mut failed: Vec<(usize, DecodeOutcome)> = Vec::new();
+        for (i, (url, _)) in images.iter().enumerate() {
+            if !urls_seen.insert(url.as_str()) || self.entries.lock().contains_key(url) {
+                continue;
+            }
+            let Some(bytes) = store.get_image(url) else {
+                failed.push((
+                    i,
+                    DecodeOutcome {
+                        bitmap: None,
+                        blocked: false,
+                        decode_error: false,
+                    },
+                ));
+                continue;
+            };
+            match decode_auto(&bytes) {
+                Ok(bitmap) => decoded.push((i, bitmap)),
+                Err(_) => {
+                    failed.push((
+                        i,
+                        DecodeOutcome {
+                            bitmap: None,
+                            blocked: false,
+                            decode_error: true,
+                        },
+                    ));
+                }
+            }
+        }
+
+        let metas: Vec<ImageMeta<'_>> = decoded
+            .iter()
+            .map(|(i, bitmap)| ImageMeta {
+                url: &images[*i].0,
+                width: bitmap.width(),
+                height: bitmap.height(),
+                frame_depth: images[*i].1,
+            })
+            .collect();
+        let mut batch: Vec<(&mut Bitmap, &ImageMeta<'_>)> = Vec::with_capacity(decoded.len());
+        // Split borrows: metas borrows `decoded` immutably by index only.
+        let mut bitmaps: Vec<&mut Bitmap> = decoded.iter_mut().map(|(_, b)| b).collect();
+        for (bitmap, meta) in bitmaps.drain(..).zip(metas.iter()) {
+            batch.push((bitmap, meta));
+        }
+        let actions = interceptor.inspect_batch(&mut batch);
+        drop(batch);
+
+        let total = decoded.len();
+        let mut entries = self.entries.lock();
+        for ((i, mut bitmap), action) in decoded.into_iter().zip(actions) {
+            let blocked = action == InterceptAction::Block;
+            if blocked {
+                bitmap.clear();
+            }
+            entries.entry(images[i].0.clone()).or_insert_with(|| {
+                Arc::new(DecodeOutcome {
+                    bitmap: Some(Arc::new(bitmap)),
+                    blocked,
+                    decode_error: false,
+                })
+            });
+        }
+        for (i, outcome) in failed {
+            entries
+                .entry(images[i].0.clone())
+                .or_insert_with(|| Arc::new(outcome));
+        }
+        total
+    }
+
     fn decode_and_inspect(
         &self,
         store: &dyn ResourceStore,
@@ -75,12 +165,20 @@ impl ImageDecodeCache {
         frame_depth: usize,
     ) -> DecodeOutcome {
         let Some(bytes) = store.get_image(url) else {
-            return DecodeOutcome { bitmap: None, blocked: false, decode_error: false };
+            return DecodeOutcome {
+                bitmap: None,
+                blocked: false,
+                decode_error: false,
+            };
         };
         let mut bitmap = match decode_auto(&bytes) {
             Ok(b) => b,
             Err(_) => {
-                return DecodeOutcome { bitmap: None, blocked: false, decode_error: true };
+                return DecodeOutcome {
+                    bitmap: None,
+                    blocked: false,
+                    decode_error: true,
+                };
             }
         };
         let meta = ImageMeta {
@@ -96,7 +194,11 @@ impl ImageDecodeCache {
             // clears the buffer, effectively blocking the image frame."
             bitmap.clear();
         }
-        DecodeOutcome { bitmap: Some(Arc::new(bitmap)), blocked, decode_error: false }
+        DecodeOutcome {
+            bitmap: Some(Arc::new(bitmap)),
+            blocked,
+            decode_error: false,
+        }
     }
 
     /// Number of distinct URLs decoded so far.
@@ -116,7 +218,11 @@ impl ImageDecodeCache {
 
     /// How many cached outcomes failed to decode.
     pub fn error_count(&self) -> usize {
-        self.entries.lock().values().filter(|o| o.decode_error).count()
+        self.entries
+            .lock()
+            .values()
+            .filter(|o| o.decode_error)
+            .count()
     }
 }
 
@@ -152,14 +258,20 @@ mod tests {
         let out = cache.get_or_decode(&s, &hook, "http://adnet/x.png", 0);
         assert!(out.blocked);
         assert!(!out.paintable());
-        assert!(out.bitmap.as_ref().unwrap().is_blank(), "buffer must be cleared");
+        assert!(
+            out.bitmap.as_ref().unwrap().is_blank(),
+            "buffer must be cleared"
+        );
         assert_eq!(cache.blocked_count(), 1);
     }
 
     #[test]
     fn missing_and_corrupt_resources() {
         let mut s = InMemoryStore::default();
-        s.insert_image("http://a/corrupt.png", vec![0x89, b'P', b'N', b'G', 0, 1, 2]);
+        s.insert_image(
+            "http://a/corrupt.png",
+            vec![0x89, b'P', b'N', b'G', 0, 1, 2],
+        );
         let cache = ImageDecodeCache::new();
         let missing = cache.get_or_decode(&s, &NoopInterceptor, "http://a/missing.png", 0);
         assert!(missing.bitmap.is_none());

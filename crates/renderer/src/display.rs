@@ -125,9 +125,16 @@ fn build_frame(
         if styles.is_hidden(&doc, id) {
             continue;
         }
-        let rect = Rect { x: rect.x + origin.0, y: rect.y + origin.1, ..rect };
+        let rect = Rect {
+            x: rect.x + origin.0,
+            y: rect.y + origin.1,
+            ..rect
+        };
         match &doc.nodes[id].kind {
-            NodeKind::Text(_) => out.items.push(DisplayItem::Text { rect, color: TEXT_COLOR }),
+            NodeKind::Text(_) => out.items.push(DisplayItem::Text {
+                rect,
+                color: TEXT_COLOR,
+            }),
             NodeKind::Element { tag, .. } => {
                 if let Some(color) = styles.styles[id].background {
                     out.items.push(DisplayItem::Solid { rect, color });
@@ -200,8 +207,16 @@ mod tests {
     #[test]
     fn collects_all_item_kinds() {
         let list = build_display_list(&store(), &AllowAll, "http://a.web/", 400, &[], 3).unwrap();
-        let solids = list.items.iter().filter(|i| matches!(i, DisplayItem::Solid { .. })).count();
-        let texts = list.items.iter().filter(|i| matches!(i, DisplayItem::Text { .. })).count();
+        let solids = list
+            .items
+            .iter()
+            .filter(|i| matches!(i, DisplayItem::Solid { .. }))
+            .count();
+        let texts = list
+            .items
+            .iter()
+            .filter(|i| matches!(i, DisplayItem::Text { .. }))
+            .count();
         let images: Vec<&DisplayItem> = list
             .items
             .iter()
@@ -220,14 +235,20 @@ mod tests {
             .items
             .iter()
             .find_map(|i| match i {
-                DisplayItem::Image { rect, url, frame_depth } if url.contains("adnet") => {
-                    Some((*rect, *frame_depth))
-                }
+                DisplayItem::Image {
+                    rect,
+                    url,
+                    frame_depth,
+                } if url.contains("adnet") => Some((*rect, *frame_depth)),
                 _ => None,
             })
             .expect("iframe ad present");
         assert_eq!(ad.1, 1);
-        assert!(ad.0.y > 0, "iframe content offset into the page: {:?}", ad.0);
+        assert!(
+            ad.0.y > 0,
+            "iframe content offset into the page: {:?}",
+            ad.0
+        );
     }
 
     #[test]
@@ -239,7 +260,11 @@ mod tests {
             }
         }
         let list = build_display_list(&store(), &BlockAds, "http://a.web/", 400, &[], 3).unwrap();
-        let images = list.items.iter().filter(|i| matches!(i, DisplayItem::Image { .. })).count();
+        let images = list
+            .items
+            .iter()
+            .filter(|i| matches!(i, DisplayItem::Image { .. }))
+            .count();
         assert_eq!(images, 1, "only the first-party image survives");
         assert_eq!(list.requests_blocked, 1, "the iframe request was blocked");
         assert_eq!(list.frames_rendered, 0);
@@ -256,7 +281,9 @@ mod tests {
         let hide = vec![CssRule::hide(".ad-banner").unwrap()];
         let list = build_display_list(&s, &AllowAll, "http://b.web/", 400, &hide, 3).unwrap();
         assert!(
-            list.items.iter().all(|i| !matches!(i, DisplayItem::Image { .. })),
+            list.items
+                .iter()
+                .all(|i| !matches!(i, DisplayItem::Image { .. })),
             "hidden subtree must not paint images"
         );
     }
@@ -275,6 +302,14 @@ mod tests {
 
     #[test]
     fn missing_document_is_none() {
-        assert!(build_display_list(&InMemoryStore::default(), &AllowAll, "http://gone/", 400, &[], 3).is_none());
+        assert!(build_display_list(
+            &InMemoryStore::default(),
+            &AllowAll,
+            "http://gone/",
+            400,
+            &[],
+            3
+        )
+        .is_none());
     }
 }

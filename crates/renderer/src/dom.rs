@@ -44,7 +44,10 @@ impl Document {
         doc.nodes.push(Node {
             parent: None,
             children: Vec::new(),
-            kind: NodeKind::Element { tag: "html".to_string(), attrs: HashMap::new() },
+            kind: NodeKind::Element {
+                tag: "html".to_string(),
+                attrs: HashMap::new(),
+            },
         });
         doc
     }
@@ -65,7 +68,10 @@ impl Document {
         self.nodes.push(Node {
             parent: Some(parent),
             children: Vec::new(),
-            kind: NodeKind::Element { tag: tag.to_ascii_lowercase(), attrs },
+            kind: NodeKind::Element {
+                tag: tag.to_ascii_lowercase(),
+                attrs,
+            },
         });
         self.nodes[parent].children.push(id);
         id

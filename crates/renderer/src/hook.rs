@@ -41,6 +41,33 @@ pub enum InterceptAction {
 pub trait ImageInterceptor: Send + Sync {
     /// Inspects (and may repaint) a freshly decoded buffer.
     fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction;
+
+    /// Inspects several decoded buffers at once, returning one action per
+    /// image in order.
+    ///
+    /// The default simply loops [`ImageInterceptor::inspect`]; interceptors
+    /// backed by a batching classifier (PERCIVAL's inference engine)
+    /// override this so the whole set is submitted before any verdict is
+    /// awaited, letting the classifier coalesce the images into one
+    /// micro-batched forward pass. The pipeline calls this from its decode
+    /// prefetch stage with every image a page references.
+    fn inspect_batch(&self, batch: &mut [(&mut Bitmap, &ImageMeta<'_>)]) -> Vec<InterceptAction> {
+        batch
+            .iter_mut()
+            .map(|(bitmap, meta)| self.inspect(bitmap, meta))
+            .collect()
+    }
+
+    /// Whether the pipeline should decode a page's image set up front and
+    /// hand it to [`ImageInterceptor::inspect_batch`].
+    ///
+    /// Defaults to `false`: for a non-batching interceptor prefetching only
+    /// serializes decode work that the raster workers would otherwise do
+    /// lazily in parallel. Batching classifiers override this to `true` to
+    /// trade that for one coalesced micro-batch submission.
+    fn prefers_batch_prefetch(&self) -> bool {
+        false
+    }
 }
 
 /// The baseline interceptor: keeps everything (plain Chromium).
@@ -82,8 +109,16 @@ mod tests {
     #[test]
     fn noop_keeps() {
         let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
-        let meta = ImageMeta { url: "http://x/", width: 2, height: 2, frame_depth: 0 };
-        assert_eq!(NoopInterceptor.inspect(&mut b, &meta), InterceptAction::Keep);
+        let meta = ImageMeta {
+            url: "http://x/",
+            width: 2,
+            height: 2,
+            frame_depth: 0,
+        };
+        assert_eq!(
+            NoopInterceptor.inspect(&mut b, &meta),
+            InterceptAction::Keep
+        );
         assert!(!b.is_blank());
     }
 
@@ -91,8 +126,18 @@ mod tests {
     fn predicate_blocks_matching_urls() {
         let i = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
         let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
-        let ad = ImageMeta { url: "http://adnet.web/a", width: 2, height: 2, frame_depth: 0 };
-        let ok = ImageMeta { url: "http://site.web/a", width: 2, height: 2, frame_depth: 0 };
+        let ad = ImageMeta {
+            url: "http://adnet.web/a",
+            width: 2,
+            height: 2,
+            frame_depth: 0,
+        };
+        let ok = ImageMeta {
+            url: "http://site.web/a",
+            width: 2,
+            height: 2,
+            frame_depth: 0,
+        };
         assert_eq!(i.inspect(&mut b, &ad), InterceptAction::Block);
         assert_eq!(i.inspect(&mut b, &ok), InterceptAction::Keep);
     }

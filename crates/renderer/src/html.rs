@@ -93,7 +93,10 @@ pub fn parse(input: &str) -> Document {
                 stack.push(id);
             }
         } else {
-            let next_tag = input[pos..].find('<').map(|i| pos + i).unwrap_or(bytes.len());
+            let next_tag = input[pos..]
+                .find('<')
+                .map(|i| pos + i)
+                .unwrap_or(bytes.len());
             let text = &input[pos..next_tag];
             if !text.trim().is_empty() {
                 let parent = *stack.last().expect("stack never empties");
@@ -163,7 +166,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let doc = parse("<html><body><div class=\"a\"><p>hi</p><img src=\"x.png\"></div></body></html>");
+        let doc =
+            parse("<html><body><div class=\"a\"><p>hi</p><img src=\"x.png\"></div></body></html>");
         let body = doc.elements_by_tag("body");
         assert_eq!(body.len(), 1);
         let divs = doc.elements_by_tag("div");
@@ -220,7 +224,14 @@ mod tests {
 
     #[test]
     fn truncated_input_does_not_panic() {
-        for html in ["<div", "<div class=\"x", "<", "</", "<!-- unclosed", "<style>.a{}"] {
+        for html in [
+            "<div",
+            "<div class=\"x",
+            "<",
+            "</",
+            "<!-- unclosed",
+            "<style>.a{}",
+        ] {
             let _ = parse(html);
         }
     }

@@ -58,7 +58,10 @@ fn is_replaced(tag: &str) -> bool {
 pub fn layout(doc: &Document, styles: &ComputedStyles, viewport_width: u32) -> LayoutTree {
     let mut rects: Vec<Option<Rect>> = vec![None; doc.nodes.len()];
     let h = layout_node(doc, styles, &mut rects, doc.root(), 0, 0, viewport_width);
-    LayoutTree { rects, document_height: h }
+    LayoutTree {
+        rects,
+        document_height: h,
+    }
 }
 
 /// Lays out `id` at `(x, y)` within `avail_w`; returns the height consumed.
@@ -76,7 +79,12 @@ fn layout_node(
             let chars_per_line = (avail_w / CHAR_WIDTH).max(1) as usize;
             let lines = text.len().div_ceil(chars_per_line).max(1) as u32;
             let h = lines * LINE_HEIGHT;
-            rects[id] = Some(Rect { x, y, w: avail_w, h });
+            rects[id] = Some(Rect {
+                x,
+                y,
+                w: avail_w,
+                h,
+            });
             h
         }
         NodeKind::Element { tag, .. } => {
@@ -194,9 +202,24 @@ mod tests {
 
     #[test]
     fn rect_intersection() {
-        let a = Rect { x: 0, y: 0, w: 10, h: 10 };
-        let b = Rect { x: 5, y: 5, w: 10, h: 10 };
-        let c = Rect { x: 10, y: 0, w: 5, h: 5 };
+        let a = Rect {
+            x: 0,
+            y: 0,
+            w: 10,
+            h: 10,
+        };
+        let b = Rect {
+            x: 5,
+            y: 5,
+            w: 10,
+            h: 10,
+        };
+        let c = Rect {
+            x: 10,
+            y: 0,
+            w: 5,
+            h: 5,
+        };
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c)); // touching edges do not overlap
     }

@@ -35,6 +35,6 @@ pub mod style;
 
 pub use decode::ImageDecodeCache;
 pub use dom::{Document, NodeId};
-pub use hook::{ImageMeta, ImageInterceptor, InterceptAction, NoopInterceptor};
+pub use hook::{ImageInterceptor, ImageMeta, InterceptAction, NoopInterceptor};
 pub use net::{InMemoryStore, ResourceStore};
 pub use pipeline::{PipelineConfig, RenderOutput, RenderPipeline, RenderTiming};

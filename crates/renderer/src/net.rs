@@ -86,7 +86,10 @@ mod tests {
         let mut s = InMemoryStore::default();
         s.insert_document("http://a.web/", "<html></html>");
         s.insert_image("http://a.web/x.png", vec![1, 2, 3]);
-        assert_eq!(s.get_document("http://a.web/").as_deref(), Some("<html></html>"));
+        assert_eq!(
+            s.get_document("http://a.web/").as_deref(),
+            Some("<html></html>")
+        );
         assert_eq!(s.get_image("http://a.web/x.png"), Some(vec![1, 2, 3]));
         assert!(s.get_document("http://missing/").is_none());
         assert_eq!(s.image_count(), 1);

@@ -48,7 +48,10 @@ impl Default for PipelineConfig {
 pub struct RenderTiming {
     /// Display-list construction (parse + style + layout of every frame).
     pub build_ms: f64,
-    /// Raster + decode + interception (the hook runs inside this stage).
+    /// Batched decode + interception of the page's image set (the hook's
+    /// micro-batching entry point runs here).
+    pub prefetch_ms: f64,
+    /// Raster (plus decode + interception of anything the prefetch missed).
     pub raster_ms: f64,
     /// Tile compositing.
     pub composite_ms: f64,
@@ -154,10 +157,39 @@ impl RenderPipeline {
 
         let page_height = list.document_height.clamp(1, cfg.max_page_height);
 
-        // Stage 2: raster tiles in parallel; deferred decode + the
-        // interception hook run inside the raster workers.
-        let t1 = Instant::now();
+        // Stage 2: for batching interceptors (PERCIVAL's engine), decode the
+        // page's visible image set up front and inspect it as one batch —
+        // one coalesced micro-batch submission instead of one inline
+        // classification per raster worker. Non-batching interceptors skip
+        // this and keep the lazy, raster-parallel decode path; images laid
+        // out below the page-height clamp are never prefetched because the
+        // raster stage would never touch them either.
+        let t_prefetch = Instant::now();
         let cache = ImageDecodeCache::new();
+        if interceptor.prefers_batch_prefetch() {
+            let page_rect = crate::layout::Rect {
+                x: 0,
+                y: 0,
+                w: cfg.viewport_width,
+                h: page_height,
+            };
+            let image_refs: Vec<(String, usize)> = list
+                .items
+                .iter()
+                .filter_map(|item| match item {
+                    DisplayItem::Image {
+                        url, frame_depth, ..
+                    } if item.rect().intersects(&page_rect) => Some((url.clone(), *frame_depth)),
+                    _ => None,
+                })
+                .collect();
+            cache.prefetch(store, interceptor, &image_refs);
+        }
+        let prefetch_ms = t_prefetch.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 3: raster tiles in parallel; anything the prefetch missed
+        // still decodes lazily inside the raster workers.
+        let t1 = Instant::now();
         let tiles = raster_all(
             &list,
             &cache,
@@ -170,7 +202,7 @@ impl RenderPipeline {
         );
         let raster_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-        // Stage 3: composite.
+        // Stage 4: composite.
         let t2 = Instant::now();
         let framebuffer = composite(&tiles, cfg.viewport_width, page_height);
         let composite_ms = t2.elapsed().as_secs_f64() * 1e3;
@@ -193,6 +225,7 @@ impl RenderPipeline {
             framebuffer,
             timing: RenderTiming {
                 build_ms,
+                prefetch_ms,
                 raster_ms,
                 composite_ms,
                 total_ms: t_start.elapsed().as_secs_f64() * 1e3,
@@ -225,9 +258,18 @@ mod tests {
             "http://syn.web/f",
             "<html><body><img src=\"http://adnet.web/ad2.png\" width=\"90\" height=\"60\"></body></html>",
         );
-        s.insert_image("http://demo.web/pic.png", encode_png(&Bitmap::new(8, 8, [10, 200, 10, 255])));
-        s.insert_image("http://adnet.web/ad.png", encode_png(&Bitmap::new(8, 8, [200, 10, 10, 255])));
-        s.insert_image("http://adnet.web/ad2.png", encode_png(&Bitmap::new(8, 8, [200, 10, 99, 255])));
+        s.insert_image(
+            "http://demo.web/pic.png",
+            encode_png(&Bitmap::new(8, 8, [10, 200, 10, 255])),
+        );
+        s.insert_image(
+            "http://adnet.web/ad.png",
+            encode_png(&Bitmap::new(8, 8, [200, 10, 10, 255])),
+        );
+        s.insert_image(
+            "http://adnet.web/ad2.png",
+            encode_png(&Bitmap::new(8, 8, [200, 10, 99, 255])),
+        );
         s
     }
 
@@ -235,7 +277,13 @@ mod tests {
     fn renders_end_to_end() {
         let pipeline = RenderPipeline::default();
         let out = pipeline
-            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &AllowAll, &[])
+            .render(
+                &demo_store(),
+                "http://demo.web/",
+                &NoopInterceptor,
+                &AllowAll,
+                &[],
+            )
             .unwrap();
         assert_eq!(out.stats.image_items, 3);
         assert_eq!(out.stats.images_decoded, 3);
@@ -267,7 +315,13 @@ mod tests {
         }
         let pipeline = RenderPipeline::default();
         let out = pipeline
-            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &Shields, &[])
+            .render(
+                &demo_store(),
+                "http://demo.web/",
+                &NoopInterceptor,
+                &Shields,
+                &[],
+            )
             .unwrap();
         // One image blocked directly + the iframe subdocument request.
         assert_eq!(out.stats.requests_blocked, 2);
@@ -278,7 +332,13 @@ mod tests {
     fn missing_document_errors() {
         let pipeline = RenderPipeline::default();
         let err = pipeline
-            .render(&InMemoryStore::default(), "http://gone/", &NoopInterceptor, &AllowAll, &[])
+            .render(
+                &InMemoryStore::default(),
+                "http://gone/",
+                &NoopInterceptor,
+                &AllowAll,
+                &[],
+            )
             .unwrap_err();
         assert!(matches!(err, RenderError::DocumentNotFound(_)));
     }
@@ -287,7 +347,10 @@ mod tests {
     fn framebuffers_identical_across_thread_counts() {
         let store = demo_store();
         let render_with = |threads: usize| {
-            let pipeline = RenderPipeline::new(PipelineConfig { raster_threads: threads, ..Default::default() });
+            let pipeline = RenderPipeline::new(PipelineConfig {
+                raster_threads: threads,
+                ..Default::default()
+            });
             pipeline
                 .render(&store, "http://demo.web/", &NoopInterceptor, &AllowAll, &[])
                 .unwrap()
@@ -301,8 +364,17 @@ mod tests {
         let pipeline = RenderPipeline::default();
         let hide = vec![crate::css::CssRule::hide(".ad-banner").unwrap()];
         let out = pipeline
-            .render(&demo_store(), "http://demo.web/", &NoopInterceptor, &AllowAll, &hide)
+            .render(
+                &demo_store(),
+                "http://demo.web/",
+                &NoopInterceptor,
+                &AllowAll,
+                &hide,
+            )
             .unwrap();
-        assert_eq!(out.stats.image_items, 2, "hidden container's image never paints");
+        assert_eq!(
+            out.stats.image_items, 2,
+            "hidden container's image never paints"
+        );
     }
 }

@@ -38,7 +38,12 @@ fn raster_tile(
     tile: u32,
 ) -> TileOutput {
     let mut bmp = Bitmap::new(tile as usize, tile as usize, [255, 255, 255, 255]);
-    let tile_rect = Rect { x: tx, y: ty, w: tile, h: tile };
+    let tile_rect = Rect {
+        x: tx,
+        y: ty,
+        w: tile,
+        h: tile,
+    };
     for item in &list.items {
         let rect = item.rect();
         if !rect.intersects(&tile_rect) {
@@ -52,11 +57,20 @@ fn raster_tile(
                 // Placeholder glyph stripes: half-height lines every 14px.
                 let mut line_y = rect.y;
                 while line_y + 7 <= rect.y + rect.h as i32 {
-                    fill_rect(&mut bmp, rect.x - tx + 2, line_y - ty + 3, rect.w.saturating_sub(4), 7, *color);
+                    fill_rect(
+                        &mut bmp,
+                        rect.x - tx + 2,
+                        line_y - ty + 3,
+                        rect.w.saturating_sub(4),
+                        7,
+                        *color,
+                    );
                     line_y += 14;
                 }
             }
-            DisplayItem::Image { url, frame_depth, .. } => {
+            DisplayItem::Image {
+                url, frame_depth, ..
+            } => {
                 // Deferred decoding: the first tile to need this image
                 // triggers decode + interception on this raster worker.
                 let outcome = cache.get_or_decode(store, interceptor, url, *frame_depth);
@@ -70,7 +84,11 @@ fn raster_tile(
             }
         }
     }
-    TileOutput { x: tx, y: ty, bitmap: bmp }
+    TileOutput {
+        x: tx,
+        y: ty,
+        bitmap: bmp,
+    }
 }
 
 /// Samples `src` (nearest) into the portion of `rect` visible in the tile.
@@ -155,11 +173,21 @@ mod tests {
         let list = DisplayList {
             items: vec![
                 DisplayItem::Solid {
-                    rect: Rect { x: 0, y: 0, w: 64, h: 16 },
+                    rect: Rect {
+                        x: 0,
+                        y: 0,
+                        w: 64,
+                        h: 16,
+                    },
                     color: [0, 0, 255, 255],
                 },
                 DisplayItem::Image {
-                    rect: Rect { x: 8, y: 24, w: 16, h: 16 },
+                    rect: Rect {
+                        x: 8,
+                        y: 24,
+                        w: 16,
+                        h: 16,
+                    },
                     url: "http://a/red.png".to_string(),
                     frame_depth: 0,
                 },
@@ -187,7 +215,11 @@ mod tests {
         assert_eq!(tl.bitmap.get(5, 5), [0, 0, 255, 255], "solid paints");
         assert_eq!(tl.bitmap.get(10, 28), [255, 0, 0, 255], "image paints");
         let br = tiles.iter().find(|t| t.x == 32 && t.y == 32).unwrap();
-        assert_eq!(br.bitmap.get(5, 5), [255, 255, 255, 255], "empty tile stays white");
+        assert_eq!(
+            br.bitmap.get(5, 5),
+            [255, 255, 255, 255],
+            "empty tile stays white"
+        );
     }
 
     #[test]
@@ -197,7 +229,11 @@ mod tests {
         let hook = UrlPredicateInterceptor::new(|u| u.contains("red"));
         let tiles = raster_all(&list, &cache, &store, &hook, 64, 64, 32, 2);
         let tl = tiles.iter().find(|t| t.x == 0 && t.y == 0).unwrap();
-        assert_eq!(tl.bitmap.get(10, 28), [255, 255, 255, 255], "ad region blank");
+        assert_eq!(
+            tl.bitmap.get(10, 28),
+            [255, 255, 255, 255],
+            "ad region blank"
+        );
         assert_eq!(cache.blocked_count(), 1);
     }
 
@@ -210,7 +246,12 @@ mod tests {
         );
         let list = DisplayList {
             items: vec![DisplayItem::Image {
-                rect: Rect { x: 0, y: 0, w: 40, h: 40 },
+                rect: Rect {
+                    x: 0,
+                    y: 0,
+                    w: 40,
+                    h: 40,
+                },
                 url: "http://a/g.png".to_string(),
                 frame_depth: 0,
             }],
@@ -229,7 +270,8 @@ mod tests {
         let (list, store) = simple_list();
         let render = |threads: usize| {
             let cache = ImageDecodeCache::new();
-            let mut tiles = raster_all(&list, &cache, &store, &NoopInterceptor, 64, 64, 16, threads);
+            let mut tiles =
+                raster_all(&list, &cache, &store, &NoopInterceptor, 64, 64, 16, threads);
             tiles.sort_by_key(|t| (t.y, t.x));
             tiles.into_iter().map(|t| t.bitmap).collect::<Vec<_>>()
         };

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn injected_rules_hide_elements() {
-        let doc = parse("<body><div class=\"ad-banner\"><img src=\"x\"></div><div class=\"ok\"></div></body>");
+        let doc = parse(
+            "<body><div class=\"ad-banner\"><img src=\"x\"></div><div class=\"ok\"></div></body>",
+        );
         let injected = vec![CssRule::hide(".ad-banner").unwrap()];
         let styles = resolve_styles(&doc, &injected);
         let divs = doc.elements_by_tag("div");

@@ -1,7 +1,15 @@
 //! 2-D convolution via im2col + GEMM, with full backward pass.
+//!
+//! The forward pass is workspace-aware: [`conv2d_forward_with`] draws its
+//! im2col columns and output buffer from a caller [`Workspace`] and runs the
+//! cache-blocked GEMM, so a warmed-up convolution allocates nothing. Batch
+//! inputs are split across the persistent [`ThreadPool`] (one task per
+//! sample band; each worker packs into its own thread-local workspace).
 
-use crate::gemm::{gemm_a_bt_acc, gemm_acc, gemm_at_b_acc};
+use crate::gemm::{gemm_a_bt_acc, gemm_acc_ws, gemm_at_b_acc};
 use crate::tensor::{Shape, Tensor};
+use crate::threadpool::{ScopedTask, ThreadPool};
+use crate::workspace::{with_thread_workspace, Workspace};
 
 /// Convolution hyperparameters (square kernel geometry is implied by the
 /// weight tensor; stride and zero-padding are symmetric).
@@ -30,6 +38,7 @@ pub fn conv_out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -
 }
 
 /// Lowers one input sample into a `(C*KH*KW) x (OH*OW)` column matrix.
+#[allow(clippy::too_many_arguments)]
 fn im2col(
     sample: &[f32],
     c: usize,
@@ -119,10 +128,18 @@ fn check_geometry(input: Shape, weight: Shape, cfg: Conv2dCfg) -> (usize, usize)
         "conv2d channel mismatch: input {} vs weight {}",
         input, weight
     );
-    let oh = conv_out_extent(input.h, weight.h, cfg.stride, cfg.pad)
-        .unwrap_or_else(|| panic!("conv2d kernel {}x{} does not fit input {}", weight.h, weight.w, input));
-    let ow = conv_out_extent(input.w, weight.w, cfg.stride, cfg.pad)
-        .unwrap_or_else(|| panic!("conv2d kernel {}x{} does not fit input {}", weight.h, weight.w, input));
+    let oh = conv_out_extent(input.h, weight.h, cfg.stride, cfg.pad).unwrap_or_else(|| {
+        panic!(
+            "conv2d kernel {}x{} does not fit input {}",
+            weight.h, weight.w, input
+        )
+    });
+    let ow = conv_out_extent(input.w, weight.w, cfg.stride, cfg.pad).unwrap_or_else(|| {
+        panic!(
+            "conv2d kernel {}x{} does not fit input {}",
+            weight.h, weight.w, input
+        )
+    });
     (oh, ow)
 }
 
@@ -135,6 +152,86 @@ fn check_geometry(input: Shape, weight: Shape, cfg: Conv2dCfg) -> (usize, usize)
 ///
 /// Panics on any geometry mismatch.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2dCfg) -> Tensor {
+    with_thread_workspace(|ws| conv2d_forward_with(input, weight, bias, cfg, ws))
+}
+
+/// One sample's im2col + bias seed + GEMM, entirely in caller buffers.
+#[allow(clippy::too_many_arguments)]
+fn conv_run_sample(
+    sample_in: &[f32],
+    out_sample: &mut [f32],
+    col: &mut [f32],
+    weight: &Tensor,
+    bias: &[f32],
+    input_shape: Shape,
+    cfg: Conv2dCfg,
+    oh: usize,
+    ow: usize,
+    scratch: &mut Workspace,
+) {
+    let ws = weight.shape();
+    let k = ws.c * ws.h * ws.w;
+    let spatial = oh * ow;
+    // Seed the output with the bias, then accumulate W * col on top.
+    for (ch, chunk) in out_sample.chunks_exact_mut(spatial).enumerate() {
+        chunk.fill(bias[ch]);
+    }
+    if (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0) {
+        // Pointwise convolution: the column matrix is the input itself
+        // (k = C, spatial = H*W), so skip the im2col copy entirely. This
+        // covers the squeeze and expand-1x1 convolutions — half the layers
+        // in a fire module — plus the final classifier conv.
+        gemm_acc_ws(
+            weight.as_slice(),
+            sample_in,
+            out_sample,
+            ws.n,
+            k,
+            spatial,
+            scratch,
+        );
+        return;
+    }
+    im2col(
+        sample_in,
+        input_shape.c,
+        input_shape.h,
+        input_shape.w,
+        ws.h,
+        ws.w,
+        cfg,
+        oh,
+        ow,
+        col,
+    );
+    gemm_acc_ws(
+        weight.as_slice(),
+        col,
+        out_sample,
+        ws.n,
+        k,
+        spatial,
+        scratch,
+    );
+}
+
+/// [`conv2d_forward`] with explicit scratch: the column matrix, GEMM packing
+/// panels and output buffer all come from `scratch`, so repeated calls with
+/// the same geometry perform no heap allocation.
+///
+/// Batched inputs are split into per-sample-band tasks on the global
+/// [`ThreadPool`]; worker bands use their own thread-local workspaces.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+pub fn conv2d_forward_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    scratch: &mut Workspace,
+) -> Tensor {
     let is = input.shape();
     let ws = weight.shape();
     let (oh, ow) = check_geometry(is, ws, cfg);
@@ -143,43 +240,70 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2d
 
     let k = ws.c * ws.h * ws.w;
     let spatial = oh * ow;
-    let mut out = Tensor::zeros(Shape::new(is.n, oc, oh, ow));
-
-    let run_sample = |sample_in: &[f32], out_sample: &mut [f32], col: &mut [f32]| {
-        im2col(sample_in, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, col);
-        // Seed the output with the bias, then accumulate W * col on top.
-        for (ch, chunk) in out_sample.chunks_exact_mut(spatial).enumerate() {
-            chunk.fill(bias[ch]);
-        }
-        gemm_acc(weight.as_slice(), col, out_sample, oc, k, spatial);
+    let per_sample_out = oc * spatial;
+    let mut out_buf = scratch.take(is.n * per_sample_out);
+    // Pointwise convolutions bypass im2col, so skip the column buffer (and
+    // its per-call zero-fill) entirely.
+    let col_len = if (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0) {
+        0
+    } else {
+        k * spatial
     };
 
-    let per_sample_out = oc * spatial;
-    if is.n == 1 {
-        let mut col = vec![0.0f32; k * spatial];
-        run_sample(input.sample(0), out.as_mut_slice(), &mut col);
-        return out;
-    }
-    // Batch inputs: spread samples over a few threads (each output sample
-    // is a disjoint chunk, so this needs no synchronization).
-    let threads = is.n.min(4);
-    let chunk_len = is.n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, out_chunk) in out
-            .as_mut_slice()
-            .chunks_mut(chunk_len * per_sample_out)
-            .enumerate()
-        {
-            let run = &run_sample;
-            scope.spawn(move || {
-                let mut col = vec![0.0f32; k * spatial];
-                for (i, out_sample) in out_chunk.chunks_exact_mut(per_sample_out).enumerate() {
-                    run(input.sample(t * chunk_len + i), out_sample, &mut col);
-                }
-            });
+    let pool = ThreadPool::global();
+    if is.n == 1 || pool.parallelism() == 1 {
+        let mut col = scratch.take(col_len);
+        for (n, out_sample) in out_buf.chunks_exact_mut(per_sample_out).enumerate() {
+            conv_run_sample(
+                input.sample(n),
+                out_sample,
+                &mut col,
+                weight,
+                bias,
+                is,
+                cfg,
+                oh,
+                ow,
+                scratch,
+            );
         }
-    });
-    out
+        scratch.recycle(col);
+    } else {
+        // Batch inputs: one task per sample band; each output band is a
+        // disjoint chunk, so this needs no synchronization.
+        let bands = pool.parallelism().min(is.n);
+        let band_len = is.n.div_ceil(bands);
+        let tasks: Vec<ScopedTask<'_>> = out_buf
+            .chunks_mut(band_len * per_sample_out)
+            .enumerate()
+            .map(|(band, out_band)| {
+                Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        let mut col = tws.take(col_len);
+                        for (i, out_sample) in out_band.chunks_exact_mut(per_sample_out).enumerate()
+                        {
+                            let n = band * band_len + i;
+                            conv_run_sample(
+                                input.sample(n),
+                                out_sample,
+                                &mut col,
+                                weight,
+                                bias,
+                                is,
+                                cfg,
+                                oh,
+                                ow,
+                                tws,
+                            );
+                        }
+                        tws.recycle(col);
+                    });
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+    }
+    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
 }
 
 /// Gradients of a convolution: `(d_input, d_weight, d_bias)`.
@@ -224,13 +348,35 @@ pub fn conv2d_backward(
         }
 
         // d_weight += dY (oc x spatial) * col^T (spatial x k).
-        im2col(input.sample(n), is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
+        im2col(
+            input.sample(n),
+            is.c,
+            is.h,
+            is.w,
+            ws.h,
+            ws.w,
+            cfg,
+            oh,
+            ow,
+            &mut col,
+        );
         gemm_a_bt_acc(go, &col, d_weight.as_mut_slice(), oc, spatial, k);
 
         // d_col = W^T (k x oc) * dY (oc x spatial); then scatter to d_input.
         d_col.fill(0.0);
         gemm_at_b_acc(weight.as_slice(), go, &mut d_col, k, oc, spatial);
-        col2im_acc(&d_col, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, d_input.sample_mut(n));
+        col2im_acc(
+            &d_col,
+            is.c,
+            is.h,
+            is.w,
+            ws.h,
+            ws.w,
+            cfg,
+            oh,
+            ow,
+            d_input.sample_mut(n),
+        );
     }
     (d_input, d_weight, d_bias)
 }
@@ -242,10 +388,16 @@ mod tests {
 
     fn rand_tensor(seed: u64, shape: Shape) -> Tensor {
         let mut rng = Pcg32::seed_from_u64(seed);
-        Tensor::from_vec(shape, (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect())
+        Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        )
     }
 
     /// Direct (non-im2col) reference convolution.
+    #[allow(clippy::needless_range_loop)]
     fn reference_conv(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2dCfg) -> Tensor {
         let is = input.shape();
         let ws = weight.shape();
@@ -262,7 +414,11 @@ mod tests {
                                 for kx in 0..ws.w {
                                     let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
                                     let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
-                                    if iy >= 0 && iy < is.h as isize && ix >= 0 && ix < is.w as isize {
+                                    if iy >= 0
+                                        && iy < is.h as isize
+                                        && ix >= 0
+                                        && ix < is.w as isize
+                                    {
                                         acc += input.at(n, c, iy as usize, ix as usize)
                                             * weight.at(oc, c, ky, kx);
                                     }
@@ -288,10 +444,26 @@ mod tests {
     #[test]
     fn forward_matches_reference_various_geometries() {
         let cases = [
-            (Shape::new(2, 3, 8, 8), Shape::new(4, 3, 3, 3), Conv2dCfg { stride: 1, pad: 1 }),
-            (Shape::new(1, 2, 9, 7), Shape::new(3, 2, 3, 3), Conv2dCfg { stride: 2, pad: 0 }),
-            (Shape::new(1, 4, 6, 6), Shape::new(8, 4, 1, 1), Conv2dCfg { stride: 1, pad: 0 }),
-            (Shape::new(2, 1, 5, 5), Shape::new(2, 1, 5, 5), Conv2dCfg { stride: 1, pad: 0 }),
+            (
+                Shape::new(2, 3, 8, 8),
+                Shape::new(4, 3, 3, 3),
+                Conv2dCfg { stride: 1, pad: 1 },
+            ),
+            (
+                Shape::new(1, 2, 9, 7),
+                Shape::new(3, 2, 3, 3),
+                Conv2dCfg { stride: 2, pad: 0 },
+            ),
+            (
+                Shape::new(1, 4, 6, 6),
+                Shape::new(8, 4, 1, 1),
+                Conv2dCfg { stride: 1, pad: 0 },
+            ),
+            (
+                Shape::new(2, 1, 5, 5),
+                Shape::new(2, 1, 5, 5),
+                Conv2dCfg { stride: 1, pad: 0 },
+            ),
         ];
         for (i, (is, ws, cfg)) in cases.into_iter().enumerate() {
             let input = rand_tensor(10 + i as u64, is);
@@ -331,7 +503,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let numeric = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
+            let numeric =
+                (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
             let analytic = d_in.as_slice()[idx];
             assert!(
                 (numeric - analytic).abs() < 2e-2,
@@ -355,7 +528,8 @@ mod tests {
             plus[i] += eps;
             let mut minus = bias.clone();
             minus[i] -= eps;
-            let numeric = (loss(&input, &weight, &plus) - loss(&input, &weight, &minus)) / (2.0 * eps);
+            let numeric =
+                (loss(&input, &weight, &plus) - loss(&input, &weight, &minus)) / (2.0 * eps);
             assert!((numeric - d_b[i]).abs() < 2e-2, "bias grad {i}");
         }
     }

@@ -1,17 +1,80 @@
 //! Row-major single-precision matrix multiplication.
 //!
 //! Convolution is lowered onto these kernels (im2col + GEMM), so this is the
-//! hot loop of both training and in-browser inference. The i-k-j loop order
-//! keeps the innermost loop streaming over contiguous rows of `b` and `c`,
-//! which LLVM auto-vectorizes.
+//! hot loop of both training and in-browser inference. The forward kernels
+//! use BLIS-style cache blocking: `B` is packed into `KC x NR` column panels
+//! and `A` into `MC x KC` row panels of `MR` rows, and an `MR x NR`
+//! register-tile microkernel streams over the packed panels. Packing
+//! buffers come from a [`Workspace`], so repeated calls never allocate, and
+//! large row extents are split across the global [`ThreadPool`].
+//!
+//! The seed's scalar i-k-j kernel is kept as [`gemm_acc_scalar`] — it is the
+//! baseline the inference benchmarks compare against, and it documents the
+//! branch-per-element (`aik == 0.0`) pattern the tiled kernel removes:
+//! on dense activations that branch is almost never taken but still defeats
+//! vectorization of the inner loop.
 
-/// Computes `c += a * b` where `a` is `m x k`, `b` is `k x n` and `c` is
-/// `m x n`, all row-major.
+use crate::threadpool::{ScopedTask, ThreadPool};
+use crate::workspace::{with_thread_workspace, Workspace};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which forward-GEMM implementation [`gemm_acc`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Cache-blocked, packed, register-tiled (the default).
+    Tiled,
+    /// The seed's scalar i-k-j loop — kept selectable so benchmarks and
+    /// A/B experiments can measure the whole inference stack on the
+    /// pre-refactor kernel (`PERCIVAL_GEMM=scalar` or [`set_gemm_kernel`]).
+    Scalar,
+}
+
+static KERNEL: AtomicU8 = AtomicU8::new(u8::MAX); // MAX = uninitialized
+
+/// Overrides the forward-GEMM kernel for the whole process.
+pub fn set_gemm_kernel(kernel: GemmKernel) {
+    KERNEL.store(kernel as u8, Ordering::Relaxed);
+}
+
+/// The forward-GEMM kernel currently in effect (first call consults the
+/// `PERCIVAL_GEMM` environment variable: `scalar` or `tiled`).
+pub fn gemm_kernel() -> GemmKernel {
+    match KERNEL.load(Ordering::Relaxed) {
+        0 => GemmKernel::Tiled,
+        1 => GemmKernel::Scalar,
+        _ => {
+            let kernel = match std::env::var("PERCIVAL_GEMM").as_deref() {
+                Ok("scalar") => GemmKernel::Scalar,
+                _ => GemmKernel::Tiled,
+            };
+            set_gemm_kernel(kernel);
+            kernel
+        }
+    }
+}
+
+/// Microkernel row count (register-tile height).
+pub const MR: usize = 4;
+/// Microkernel column count (register-tile width; two SSE vectors).
+pub const NR: usize = 8;
+/// K-dimension cache block: one `KC x NR` B panel stays L1-resident.
+const KC: usize = 256;
+/// Row cache block: one packed `MC x KC` A block stays L2-resident.
+const MC: usize = 128;
+/// Column cache block.
+const NC: usize = 1024;
+/// Problems below this many multiply-adds skip packing entirely.
+const TILING_THRESHOLD: usize = 16 * 1024;
+/// Per-task row extent below which threading is not worth the latch.
+const PARALLEL_MIN_ROWS: usize = 2 * MC;
+
+/// Computes `c += a * b` with the seed's scalar i-k-j loop order. Kept as
+/// the benchmark baseline; use [`gemm_acc`] everywhere else.
 ///
 /// # Panics
 ///
 /// Panics if any slice is shorter than its implied extent.
-pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn gemm_acc_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
@@ -30,6 +93,202 @@ pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
     }
 }
 
+/// Packs the `mc x kc` block of `a` starting at `(ic, pc)` into row panels
+/// of `MR`: panel `ir` holds columns-of-`MR` laid out k-major, zero-padded
+/// on the ragged bottom edge.
+fn pack_a(a: &[f32], pack: &mut [f32], ic: usize, pc: usize, mc: usize, kc: usize, lda: usize) {
+    let panels = mc.div_ceil(MR);
+    for ir in 0..panels {
+        let rows = MR.min(mc - ir * MR);
+        let dst = &mut pack[ir * MR * kc..(ir + 1) * MR * kc];
+        for p in 0..kc {
+            let out = &mut dst[p * MR..p * MR + MR];
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    a[(ic + ir * MR + r) * lda + pc + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `b` starting at `(pc, jc)` into column
+/// panels of `NR`, k-major within each panel, zero-padded on the ragged
+/// right edge.
+fn pack_b(b: &[f32], pack: &mut [f32], pc: usize, jc: usize, kc: usize, nc: usize, ldb: usize) {
+    let panels = nc.div_ceil(NR);
+    for jr in 0..panels {
+        let cols = NR.min(nc - jr * NR);
+        let dst = &mut pack[jr * NR * kc..(jr + 1) * NR * kc];
+        for p in 0..kc {
+            let src_row = (pc + p) * ldb + jc + jr * NR;
+            let out = &mut dst[p * NR..p * NR + NR];
+            if cols == NR {
+                out.copy_from_slice(&b[src_row..src_row + NR]);
+            } else {
+                for (x, slot) in out.iter_mut().enumerate() {
+                    *slot = if x < cols { b[src_row + x] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// The register-tile microkernel: accumulates an `MR x NR` tile over `kc`
+/// packed steps, then adds the valid `mr x nr` corner into `c`.
+#[inline]
+fn microkernel(pa: &[f32], pb: &[f32], kc: usize, c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // Fixed-size array views let LLVM keep the whole tile in registers and
+    // drop every bounds check from the inner loop.
+    for p in 0..kc {
+        let av: &[f32; MR] = pa[p * MR..p * MR + MR].try_into().expect("MR panel");
+        let bv: &[f32; NR] = pb[p * NR..p * NR + NR].try_into().expect("NR panel");
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = av[i];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += ai * bv[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr) {
+        let c_row = &mut c[i * ldc..i * ldc + nr];
+        for (cv, &v) in c_row.iter_mut().zip(row.iter()) {
+            *cv += v;
+        }
+    }
+}
+
+/// Runs the packed block `pa x pb` into the `mc x nc` region of `c`.
+fn run_block(pa: &[f32], pb: &[f32], c: &mut [f32], ldc: usize, mc: usize, nc: usize, kc: usize) {
+    for jr in 0..nc.div_ceil(NR) {
+        let nr = NR.min(nc - jr * NR);
+        let pb_panel = &pb[jr * NR * kc..(jr + 1) * NR * kc];
+        for ir in 0..mc.div_ceil(MR) {
+            let mr = MR.min(mc - ir * MR);
+            let pa_panel = &pa[ir * MR * kc..(ir + 1) * MR * kc];
+            microkernel(
+                pa_panel,
+                pb_panel,
+                kc,
+                &mut c[ir * MR * ldc + jr * NR..],
+                ldc,
+                mr,
+                nr,
+            );
+        }
+    }
+}
+
+/// Tiled `c += a * b` over the full row range, single-threaded, with caller-
+/// provided packing buffers.
+fn gemm_tiled(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * KC.min(k));
+    let mut pb = ws.take(NC.min(n).div_ceil(NR) * NR * KC.min(k));
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, &mut pb, pc, jc, kc, nc, n);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, &mut pa, ic, pc, mc, kc, k);
+                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc);
+            }
+        }
+    }
+    ws.recycle(pb);
+    ws.recycle(pa);
+}
+
+/// Computes `c += a * b` where `a` is `m x k`, `b` is `k x n` and `c` is
+/// `m x n`, all row-major, using the caller's workspace for packing
+/// buffers.
+///
+/// Large row extents are split into row-block tasks on the global
+/// [`ThreadPool`]; each task packs into its own thread-local workspace, so
+/// the caller's `ws` is only used on the single-threaded path.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_acc_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
+    if gemm_kernel() == GemmKernel::Scalar {
+        return gemm_acc_scalar(a, b, c, m, k, n);
+    }
+    if m * n * k <= TILING_THRESHOLD {
+        // Packing overhead dominates tiny problems; a branch-free scalar
+        // kernel is faster there.
+        for i in 0..m {
+            let a_row = &a[i * k..i * k + k];
+            let c_row = &mut c[i * n..i * n + n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..kk * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        return;
+    }
+
+    let pool = ThreadPool::global();
+    if m >= PARALLEL_MIN_ROWS && pool.parallelism() > 1 {
+        // Split rows into one MC-aligned band per available thread; each
+        // band's output rows are a disjoint chunk of `c`.
+        let bands = pool.parallelism().min(m / MC).max(1);
+        let rows_per_band = (m / bands / MC).max(1) * MC;
+        let tasks: Vec<ScopedTask<'_>> = c[..m * n]
+            .chunks_mut(rows_per_band * n)
+            .enumerate()
+            .map(|(band, c_chunk)| {
+                let band_rows = c_chunk.len() / n;
+                let row0 = band * rows_per_band;
+                let a_band = &a[row0 * k..(row0 + band_rows) * k];
+                Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        gemm_tiled(a_band, b, c_chunk, band_rows, k, n, tws);
+                    });
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+    } else {
+        gemm_tiled(a, b, c, m, k, n, ws);
+    }
+}
+
+/// Computes `c += a * b` (workspace-free convenience wrapper over the tiled
+/// kernel; uses the calling thread's recycled workspace).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    with_thread_workspace(|ws| gemm_acc_ws(a, b, c, m, k, n, ws));
+}
+
 /// Computes `c = a * b` (overwriting `c`).
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     c[..m * n].fill(0.0);
@@ -39,7 +298,8 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 /// Computes `c += a^T * b` where `a` is `k x m` (so `a^T` is `m x k`),
 /// `b` is `k x n` and `c` is `m x n`.
 ///
-/// Used for the input-gradient of convolution (`W^T * dY`).
+/// Used for the input-gradient of convolution (`W^T * dY`); training-path
+/// only, so it keeps the streaming scalar form (now branch-free).
 pub fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert!(a.len() >= k * m, "a too short");
     assert!(b.len() >= k * n, "b too short");
@@ -49,9 +309,6 @@ pub fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
         let a_row = &a[kk * m..kk * m + m];
         let b_row = &b[kk * n..kk * n + n];
         for (i, &aki) in a_row.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
             let c_row = &mut c[i * n..i * n + n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                 *cv += aki * bv;
@@ -124,6 +381,62 @@ mod tests {
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn tiled_path_matches_naive_on_awkward_extents() {
+        // Geometries chosen to exercise every ragged edge: partial MR rows,
+        // partial NR columns, multiple KC blocks, multiple MC/NC blocks.
+        let cases = [
+            (1usize, 1usize, 1usize),
+            (5, 3, 97),
+            (67, 300, 33),
+            (131, 520, 70),
+            (260, 17, 1031),
+        ];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_matrix(100 + case as u64, m * k);
+            let b = arb_matrix(200 + case as u64, k * n);
+            let mut c = vec![0.0; m * n];
+            gemm(&a, &b, &mut c, m, k, n);
+            let expect = naive(&a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_scalar_baseline() {
+        let (m, k, n) = (40, 60, 50);
+        let a = arb_matrix(8, m * k);
+        let b = arb_matrix(9, k * n);
+        let mut c_tiled = vec![0.5; m * n];
+        let mut c_scalar = vec![0.5; m * n];
+        gemm_acc(&a, &b, &mut c_tiled, m, k, n);
+        gemm_acc_scalar(&a, &b, &mut c_scalar, m, k, n);
+        for (x, y) in c_tiled.iter().zip(c_scalar.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reused_across_calls() {
+        let (m, k, n) = (64, 64, 64);
+        let a = arb_matrix(10, m * k);
+        let b = arb_matrix(11, k * n);
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0; m * n];
+        gemm_acc_ws(&a, &b, &mut c, m, k, n, &mut ws);
+        let cold = ws.stats().allocations;
+        for _ in 0..5 {
+            gemm_acc_ws(&a, &b, &mut c, m, k, n, &mut ws);
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "warm GEMM calls must not allocate"
+        );
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!   no fully-connected layers, so 4-D covers every intermediate value
 //!   (logits are `N x C x 1 x 1`).
 //! - Convolution lowers to im2col + GEMM ([`gemm`]), the standard approach
-//!   in CPU inference engines; the GEMM kernel uses the auto-vectorizable
-//!   i-k-j loop order.
+//!   in CPU inference engines; the GEMM kernel is cache-blocked (MC/KC/NC)
+//!   with packed panels and an `MR x NR` register-tile microkernel.
+//! - Scratch buffers (im2col columns, packed panels, activations) come from
+//!   a recycling [`workspace::Workspace`] arena, so warmed-up forward passes
+//!   perform no heap allocation; batch and row-block parallelism runs on the
+//!   persistent [`threadpool::ThreadPool`].
 //! - Shape mismatches are programmer errors and panic with a descriptive
 //!   message, mirroring the convention of mainstream array libraries.
 
@@ -25,7 +29,13 @@ pub mod loss;
 pub mod pool;
 pub mod resize;
 pub mod tensor;
+pub mod threadpool;
+pub mod workspace;
 
-pub use conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
-pub use pool::{global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg};
+pub use conv::{conv2d_backward, conv2d_forward, conv2d_forward_with, Conv2dCfg};
+pub use pool::{
+    global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg,
+};
 pub use tensor::{Shape, Tensor};
+pub use threadpool::ThreadPool;
+pub use workspace::{Workspace, WorkspaceStats};

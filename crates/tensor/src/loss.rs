@@ -24,7 +24,11 @@ pub fn cross_entropy_forward(logits: &Tensor, labels: &[usize]) -> CrossEntropyO
     let probs = softmax(logits);
     let mut loss = 0.0f32;
     for (n, &label) in labels.iter().enumerate() {
-        assert!(label < s.c, "label {label} out of range for {} classes", s.c);
+        assert!(
+            label < s.c,
+            "label {label} out of range for {} classes",
+            s.c
+        );
         // Clamp avoids -inf on (numerically) zero probabilities.
         loss -= probs.sample(n)[label].max(1e-12).ln();
     }
@@ -71,10 +75,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let logits = Tensor::from_vec(
-            Shape::new(2, 3, 1, 1),
-            vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5],
-        );
+        let logits = Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
         let labels = [2usize, 0usize];
         let fwd = cross_entropy_forward(&logits, &labels);
         let grad = cross_entropy_backward(&fwd, &labels);

@@ -7,6 +7,7 @@
 
 use crate::conv::conv_out_extent;
 use crate::tensor::{Shape, Tensor};
+use crate::workspace::Workspace;
 
 /// Pooling window geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +21,10 @@ pub struct PoolCfg {
 impl PoolCfg {
     /// The SqueezeNet-style 3x3 stride-2 max pool.
     pub fn squeeze_default() -> Self {
-        PoolCfg { kernel: 3, stride: 2 }
+        PoolCfg {
+            kernel: 3,
+            stride: 2,
+        }
     }
 }
 
@@ -79,6 +83,47 @@ pub fn max_pool_forward(input: &Tensor, cfg: PoolCfg) -> MaxPoolOut {
     MaxPoolOut { output, argmax }
 }
 
+/// Inference-only max pool: computes just the pooled tensor (no argmax
+/// routing table) into a buffer drawn from `scratch`.
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input.
+pub fn max_pool_forward_with(input: &Tensor, cfg: PoolCfg, scratch: &mut Workspace) -> Tensor {
+    let is = input.shape();
+    let oh = conv_out_extent(is.h, cfg.kernel, cfg.stride, 0)
+        .unwrap_or_else(|| panic!("max-pool window {} does not fit input {}", cfg.kernel, is));
+    let ow = conv_out_extent(is.w, cfg.kernel, cfg.stride, 0)
+        .unwrap_or_else(|| panic!("max-pool window {} does not fit input {}", cfg.kernel, is));
+    let out_shape = Shape::new(is.n, is.c, oh, ow);
+    let mut out = scratch.take(out_shape.count());
+
+    let mut out_i = 0usize;
+    for n in 0..is.n {
+        let sample = input.sample(n);
+        for c in 0..is.c {
+            let plane = &sample[c * is.h * is.w..(c + 1) * is.h * is.w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..cfg.kernel {
+                        let row = (oy * cfg.stride + ky) * is.w;
+                        for kx in 0..cfg.kernel {
+                            let v = plane[row + ox * cfg.stride + kx];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out[out_i] = best;
+                    out_i += 1;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
 /// Backward pass of max pooling: routes each output gradient to the input
 /// element that won its window.
 ///
@@ -119,6 +164,22 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// Global average pooling into a buffer drawn from `scratch`.
+pub fn global_avg_pool_forward_with(input: &Tensor, scratch: &mut Workspace) -> Tensor {
+    let is = input.shape();
+    let area = (is.h * is.w) as f32;
+    let mut out = scratch.take(is.n * is.c);
+    for n in 0..is.n {
+        let sample = input.sample(n);
+        let out_sample = &mut out[n * is.c..(n + 1) * is.c];
+        for (c, o) in out_sample.iter_mut().enumerate() {
+            let plane = &sample[c * is.h * is.w..(c + 1) * is.h * is.w];
+            *o = plane.iter().sum::<f32>() / area;
+        }
+    }
+    Tensor::from_vec(Shape::new(is.n, is.c, 1, 1), out)
 }
 
 /// Backward pass of global average pooling: spreads each channel gradient
@@ -163,7 +224,13 @@ mod tests {
                 13., 14., 15., 16.,
             ],
         );
-        let out = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 2 });
+        let out = max_pool_forward(
+            &input,
+            PoolCfg {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         assert_eq!(out.output.as_slice(), &[6., 8., 14., 16.]);
     }
 
@@ -173,7 +240,13 @@ mod tests {
             Shape::new(1, 1, 3, 3),
             vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
         );
-        let out = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 1 });
+        let out = max_pool_forward(
+            &input,
+            PoolCfg {
+                kernel: 2,
+                stride: 1,
+            },
+        );
         // The centre 9 wins all four overlapping 2x2 windows.
         assert_eq!(out.output.as_slice(), &[9.0; 4]);
     }
@@ -184,7 +257,13 @@ mod tests {
             Shape::new(1, 1, 3, 3),
             vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
         );
-        let fwd = max_pool_forward(&input, PoolCfg { kernel: 2, stride: 1 });
+        let fwd = max_pool_forward(
+            &input,
+            PoolCfg {
+                kernel: 2,
+                stride: 1,
+            },
+        );
         let grad_out = Tensor::filled(fwd.output.shape(), 1.0);
         let d_in = max_pool_backward(input.shape(), &fwd, &grad_out);
         // All four window gradients land on the centre element.
@@ -198,9 +277,14 @@ mod tests {
         let shape = Shape::new(2, 2, 5, 5);
         let input = Tensor::from_vec(
             shape,
-            (0..shape.count()).map(|_| rng.range_f32(-1.0, 1.0)).collect(),
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
         );
-        let cfg = PoolCfg { kernel: 3, stride: 2 };
+        let cfg = PoolCfg {
+            kernel: 3,
+            stride: 2,
+        };
         let fwd = max_pool_forward(&input, cfg);
         let grad_out = Tensor::filled(fwd.output.shape(), 1.0);
         let d_in = max_pool_backward(shape, &fwd, &grad_out);

@@ -117,10 +117,7 @@ mod tests {
 
     #[test]
     fn channels_resize_independently() {
-        let t = Tensor::from_vec(
-            Shape::new(1, 2, 2, 2),
-            vec![1., 1., 1., 1., 9., 9., 9., 9.],
-        );
+        let t = Tensor::from_vec(Shape::new(1, 2, 2, 2), vec![1., 1., 1., 1., 9., 9., 9., 9.]);
         let r = resize_bilinear(&t, 3, 3);
         for i in 0..9 {
             assert!((r.as_slice()[i] - 1.0).abs() < 1e-6);

@@ -258,7 +258,8 @@ mod tests {
     #[test]
     fn copy_sample_roundtrip() {
         let mut src = Tensor::zeros(Shape::new(2, 2, 2, 2));
-        src.sample_mut(1).copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        src.sample_mut(1)
+            .copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
         let mut dst = Tensor::zeros(Shape::new(3, 2, 2, 2));
         dst.copy_sample_from(2, &src, 1);
         assert_eq!(dst.sample(2), src.sample(1));

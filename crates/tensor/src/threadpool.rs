@@ -1,0 +1,307 @@
+//! A small persistent worker pool for data-parallel kernels.
+//!
+//! GEMM row blocks, convolution batch samples and inference micro-batches
+//! all want the same thing: split a list of independent tasks across cores
+//! without paying thread-spawn cost per call (the seed code spawned fresh
+//! scoped threads inside `conv2d_forward`, which is exactly the allocation
+//! and syscall churn this refactor removes from the hot path).
+//!
+//! [`ThreadPool::scope_run`] executes borrowed closures: the calling thread
+//! participates in the drain and blocks until every task has finished, which
+//! is what makes handing `'env` borrows to long-lived workers sound (see the
+//! safety comment inside). Panics in tasks are collected and re-raised on
+//! the caller after the scope is quiescent.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A borrowed task handed to [`ThreadPool::scope_run`].
+pub type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct SharedScope<'env> {
+    tasks: Mutex<Vec<Option<ScopedTask<'env>>>>,
+    next: AtomicUsize,
+    helpers_left: Mutex<usize>,
+    quiescent: Condvar,
+    panicked: AtomicBool,
+}
+
+impl SharedScope<'_> {
+    fn drain(&self) {
+        let total = self.next_total();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            let task = self.tasks.lock().expect("task list lock")[i].take();
+            if let Some(task) = task {
+                let run = std::panic::AssertUnwindSafe(task);
+                if std::panic::catch_unwind(run).is_err() {
+                    self.panicked.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    fn next_total(&self) -> usize {
+        self.tasks.lock().expect("task list lock").len()
+    }
+}
+
+thread_local! {
+    /// Set while this thread is executing pool work; a nested `scope_run`
+    /// then degrades to inline execution instead of deadlocking the pool on
+    /// its own queue.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `helpers` worker threads. Zero helpers is valid:
+    /// every [`ThreadPool::scope_run`] then runs inline on the caller.
+    pub fn new(helpers: usize) -> Self {
+        if helpers == 0 {
+            return ThreadPool {
+                tx: None,
+                workers: Vec::new(),
+            };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..helpers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("percival-pool-{i}"))
+                    .spawn(move || worker_main(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The process-wide pool, sized from `PERCIVAL_THREADS` (total threads
+    /// including the caller) or the machine's available parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let total = std::env::var("PERCIVAL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                });
+            ThreadPool::new(total.saturating_sub(1))
+        })
+    }
+
+    /// Total threads a scope can occupy (helpers + the calling thread).
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs every task to completion, splitting them across the pool and
+    /// the calling thread. Blocks until all tasks have finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics after the scope settles if any task panicked.
+    pub fn scope_run<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
+        let inline =
+            self.tx.is_none() || tasks.len() <= 1 || IN_POOL_TASK.with(std::cell::Cell::get);
+        if inline {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+
+        let helpers = self.workers.len().min(tasks.len() - 1);
+        let shared = Arc::new(SharedScope {
+            tasks: Mutex::new(tasks.into_iter().map(Some).collect()),
+            next: AtomicUsize::new(0),
+            helpers_left: Mutex::new(helpers),
+            quiescent: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+
+        // SAFETY: workers receive an `Arc<SharedScope<'static>>` whose true
+        // lifetime is `'env`. Every access by a helper happens before it
+        // decrements `helpers_left`, and `WaitGuard` below blocks this
+        // (borrow-owning) frame until `helpers_left == 0` — even while
+        // unwinding — so no task or borrow is touched after `'env` ends.
+        let shared_static: Arc<SharedScope<'static>> =
+            unsafe { std::mem::transmute::<Arc<SharedScope<'_>>, _>(Arc::clone(&shared)) };
+
+        struct WaitGuard<'a, 'env>(&'a SharedScope<'env>);
+        impl Drop for WaitGuard<'_, '_> {
+            fn drop(&mut self) {
+                let mut left = self.0.helpers_left.lock().expect("helper latch");
+                while *left > 0 {
+                    left = self.0.quiescent.wait(left).expect("helper latch wait");
+                }
+            }
+        }
+        let guard = WaitGuard(&shared);
+
+        let tx = self.tx.as_ref().expect("non-inline pool has a sender");
+        for _ in 0..helpers {
+            let scope = Arc::clone(&shared_static);
+            let job: Job = Box::new(move || {
+                scope.drain();
+                let mut left = scope.helpers_left.lock().expect("helper latch");
+                *left -= 1;
+                if *left == 0 {
+                    scope.quiescent.notify_all();
+                }
+            });
+            if tx.send(job).is_err() {
+                // Pool is shutting down: account for the helper ourselves.
+                *shared.helpers_left.lock().expect("helper latch") -= 1;
+            }
+        }
+
+        shared.drain();
+        drop(guard);
+        if shared.panicked.load(Ordering::Acquire) {
+            panic!("a task panicked inside ThreadPool::scope_run");
+        }
+    }
+}
+
+fn worker_main(rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                IN_POOL_TASK.with(|flag| flag.set(true));
+                job();
+                IN_POOL_TASK.with(|flag| flag.set(false));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("helpers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..64)
+            .map(|i| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1 << (i % 16), Ordering::Relaxed);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        // Each bit position 0..16 is hit exactly 4 times.
+        assert_eq!(hits.load(Ordering::Relaxed), 4 * ((1u64 << 16) - 1));
+    }
+
+    #[test]
+    fn writes_to_disjoint_borrowed_chunks() {
+        let pool = ThreadPool::new(2);
+        let mut data = [0u32; 40];
+        let tasks: Vec<ScopedTask<'_>> = data
+            .chunks_mut(10)
+            .enumerate()
+            .map(|(i, chunk)| Box::new(move || chunk.fill(i as u32 + 1)) as ScopedTask<'_>)
+            .collect();
+        pool.scope_run(tasks);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 10) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_helper_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let mut x = 0;
+        pool.scope_run(vec![Box::new(|| x += 1)]);
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..4)
+            .map(|_| {
+                let total = &total;
+                Box::new(move || {
+                    // A nested scope from inside a pool task must degrade to
+                    // inline execution rather than waiting on the busy pool.
+                    let inner: Vec<ScopedTask<'_>> = (0..4)
+                        .map(|_| {
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }) as ScopedTask<'_>
+                        })
+                        .collect();
+                    ThreadPool::global().scope_run(inner);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_scope_settles() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<ScopedTask<'_>> = (0..8)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                    }) as ScopedTask<'_>
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }));
+        assert!(result.is_err());
+    }
+}

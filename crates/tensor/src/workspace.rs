@@ -1,0 +1,201 @@
+//! Reusable scratch-buffer arena for allocation-free inference.
+//!
+//! Every forward pass through the PERCIVAL network needs the same family of
+//! short-lived `f32` buffers — im2col column matrices, packed GEMM panels,
+//! layer activations. Allocating them per call puts the allocator in the
+//! rendering hot path; a [`Workspace`] instead recycles buffers across calls,
+//! so a warmed-up forward pass performs no heap allocation at all.
+//!
+//! The arena is deliberately simple: [`Workspace::take`] hands out the
+//! smallest retained buffer that fits (or allocates on a cold start), and
+//! [`Workspace::recycle`] returns it. Ownership-based lending avoids borrow
+//! gymnastics when a caller needs several scratch buffers at once.
+
+use std::cell::RefCell;
+
+/// Allocation counters, used by tests to prove buffer reuse.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Times `take` had to touch the heap (fresh buffer or capacity growth).
+    pub allocations: u64,
+    /// Times `take` was served entirely from a recycled buffer.
+    pub reuses: u64,
+}
+
+/// A recycling arena of `f32` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+    stats: WorkspaceStats,
+}
+
+/// Retaining more spare buffers than this only wastes memory; the deepest
+/// simultaneous need in a forward pass (output + im2col + two GEMM panels +
+/// fire-module intermediates) stays well below it.
+const MAX_RETAINED: usize = 16;
+
+impl Workspace {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a zero-filled buffer of exactly `len` elements.
+    ///
+    /// Prefers the smallest retained buffer whose capacity already fits, so
+    /// repeated passes with the same layer geometry never allocate.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|j: usize| buf.capacity() < self.free[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => {
+                self.stats.reuses += 1;
+                self.free.swap_remove(i)
+            }
+            None => {
+                self.stats.allocations += 1;
+                // Grow the largest spare rather than stranding it forever
+                // below the working-set size.
+                match (0..self.free.len()).max_by_key(|&i| self.free[i].capacity()) {
+                    Some(i) => self.free.swap_remove(i),
+                    None => Vec::new(),
+                }
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the arena for later reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.push(buf);
+        if self.free.len() > MAX_RETAINED {
+            if let Some(i) = (0..self.free.len()).min_by_key(|&i| self.free[i].capacity()) {
+                self.free.swap_remove(i);
+            }
+        }
+    }
+
+    /// Allocation counters so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Bytes currently parked in the arena.
+    pub fn retained_bytes(&self) -> usize {
+        self.free
+            .iter()
+            .map(|b| b.capacity() * core::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Drops all retained buffers (counters are kept).
+    pub fn reset(&mut self) {
+        self.free.clear();
+    }
+}
+
+thread_local! {
+    static THREAD_WS: RefCell<Vec<Workspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a workspace recycled across calls on this thread.
+///
+/// This is what keeps the workspace-free convenience entry points
+/// (`gemm_acc`, `conv2d_forward`, `Sequential::forward`) allocation-free on
+/// repeated calls without changing their signatures. The thread keeps a
+/// small stack of arenas, so nested calls each get their own workspace and
+/// every nesting depth still reuses its buffers on the next call.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = THREAD_WS
+        .with(|stack| stack.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut ws);
+    // On panic inside `f` the workspace is simply dropped; only reuse is
+    // lost, not correctness.
+    THREAD_WS.with(|stack| stack.borrow_mut().push(ws));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_takes_do_not_allocate() {
+        let mut ws = Workspace::new();
+        let a = ws.take(1024);
+        let b = ws.take(256);
+        ws.recycle(a);
+        ws.recycle(b);
+        let cold = ws.stats().allocations;
+        for _ in 0..10 {
+            let a = ws.take(1024);
+            let b = ws.take(256);
+            ws.recycle(b);
+            ws.recycle(a);
+        }
+        assert_eq!(ws.stats().allocations, cold, "steady state must reuse");
+        assert!(ws.stats().reuses >= 20);
+    }
+
+    #[test]
+    fn take_prefers_tightest_fit() {
+        let mut ws = Workspace::new();
+        let small = ws.take(8);
+        let large = ws.take(4096);
+        ws.recycle(small);
+        ws.recycle(large);
+        let got = ws.take(8);
+        assert!(
+            got.capacity() < 4096,
+            "small request must not burn the big buffer"
+        );
+        ws.recycle(got);
+    }
+
+    #[test]
+    fn buffers_come_back_zeroed() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(16);
+        buf.fill(7.0);
+        ws.recycle(buf);
+        assert!(ws.take(16).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut ws = Workspace::new();
+        let bufs: Vec<_> = (1..64).map(|i| ws.take(i * 10)).collect();
+        for b in bufs {
+            ws.recycle(b);
+        }
+        assert!(ws.free.len() <= MAX_RETAINED);
+        ws.reset();
+        assert_eq!(ws.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn thread_workspace_survives_nesting() {
+        let outer = with_thread_workspace(|ws| {
+            let buf = ws.take(32);
+            let inner = with_thread_workspace(|inner_ws| inner_ws.take(8).len());
+            ws.recycle(buf);
+            inner
+        });
+        assert_eq!(outer, 8);
+    }
+}

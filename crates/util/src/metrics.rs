@@ -153,7 +153,11 @@ mod tests {
     #[test]
     fn reproduces_paper_figure10_derivations() {
         let cm = sample();
-        assert!((cm.accuracy() - 0.92).abs() < 0.005, "acc {}", cm.accuracy());
+        assert!(
+            (cm.accuracy() - 0.92).abs() < 0.005,
+            "acc {}",
+            cm.accuracy()
+        );
         assert!((cm.precision() - 0.784).abs() < 0.005);
         assert!((cm.recall() - 0.70).abs() < 0.005);
     }

@@ -23,14 +23,49 @@ pub struct AdNetwork {
 
 /// The ad networks of the synthetic web.
 pub const NETWORKS: [AdNetwork; 7] = [
-    AdNetwork { host: "adnet-alpha.web", path: "/serve/banner_", covered: true, regional: false },
-    AdNetwork { host: "adnet-beta.web", path: "/creative/", covered: true, regional: false },
-    AdNetwork { host: "adnet-gamma.web", path: "/img/", covered: true, regional: false },
+    AdNetwork {
+        host: "adnet-alpha.web",
+        path: "/serve/banner_",
+        covered: true,
+        regional: false,
+    },
+    AdNetwork {
+        host: "adnet-beta.web",
+        path: "/creative/",
+        covered: true,
+        regional: false,
+    },
+    AdNetwork {
+        host: "adnet-gamma.web",
+        path: "/img/",
+        covered: true,
+        regional: false,
+    },
     // Not in the list: models the long tail EasyList misses.
-    AdNetwork { host: "adnet-longtail.web", path: "/a/", covered: false, regional: false },
-    AdNetwork { host: "adnet-seoul.web", path: "/serve2/banner_", covered: false, regional: true },
-    AdNetwork { host: "adnet-shanghai.web", path: "/cr/", covered: false, regional: true },
-    AdNetwork { host: "adnet-dubai.web", path: "/i/", covered: false, regional: true },
+    AdNetwork {
+        host: "adnet-longtail.web",
+        path: "/a/",
+        covered: false,
+        regional: false,
+    },
+    AdNetwork {
+        host: "adnet-seoul.web",
+        path: "/serve2/banner_",
+        covered: false,
+        regional: true,
+    },
+    AdNetwork {
+        host: "adnet-shanghai.web",
+        path: "/cr/",
+        covered: false,
+        regional: true,
+    },
+    AdNetwork {
+        host: "adnet-dubai.web",
+        path: "/i/",
+        covered: false,
+        regional: true,
+    },
 ];
 
 /// The iframe syndication host (covered via `$subdocument`).
@@ -77,22 +112,34 @@ pub fn creative_url(rng: &mut Pcg32, network: &AdNetwork, ext: &str) -> String {
 /// URL of a first-party promo creative on `site_host` (matched by the
 /// list's `~third-party` `/promo/` rule).
 pub fn promo_url(rng: &mut Pcg32, site_host: &str, ext: &str) -> String {
-    format!("http://{site_host}/promo/deal_{}.{ext}", rng.next_below(100_000))
+    format!(
+        "http://{site_host}/promo/deal_{}.{ext}",
+        rng.next_below(100_000)
+    )
 }
 
 /// URL of an organic content image on `site_host` or the shared CDN.
 pub fn content_url(rng: &mut Pcg32, site_host: &str, ext: &str) -> String {
     if rng.chance(0.25) {
-        format!("http://{CDN_HOST}/assets/img_{}.{ext}", rng.next_below(1_000_000))
+        format!(
+            "http://{CDN_HOST}/assets/img_{}.{ext}",
+            rng.next_below(1_000_000)
+        )
     } else {
         let dir = ["/static/img/", "/uploads/", "/media/"][rng.range_usize(0, 3)];
-        format!("http://{site_host}{dir}photo_{}.{ext}", rng.next_below(1_000_000))
+        format!(
+            "http://{site_host}{dir}photo_{}.{ext}",
+            rng.next_below(1_000_000)
+        )
     }
 }
 
 /// URL of an ad iframe document on the list-covered syndication host.
 pub fn iframe_url(rng: &mut Pcg32) -> String {
-    format!("http://{SYNDICATION_HOST}/frame/{}", rng.next_below(1_000_000))
+    format!(
+        "http://{SYNDICATION_HOST}/frame/{}",
+        rng.next_below(1_000_000)
+    )
 }
 
 /// URL of an ad iframe document, sometimes (25%) on the *uncovered*
@@ -123,7 +170,11 @@ mod tests {
         let e = synthetic_engine();
         let u = Url::parse(url).unwrap();
         let s = Url::parse(src).unwrap();
-        e.should_block(&RequestInfo { url: &u, source: &s, resource_type: ty })
+        e.should_block(&RequestInfo {
+            url: &u,
+            source: &s,
+            resource_type: ty,
+        })
     }
 
     #[test]

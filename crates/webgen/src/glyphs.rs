@@ -73,7 +73,14 @@ fn latin_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &m
     }
     // Occasional descender (g/j/p/q/y).
     if rng.chance(0.2) {
-        fill_rect(bmp, x + w - stroke as i32, y + h / 2, stroke, (h / 2 + h / 4) as u32, color);
+        fill_rect(
+            bmp,
+            x + w - stroke as i32,
+            y + h / 2,
+            stroke,
+            (h / 2 + h / 4) as u32,
+            color,
+        );
     }
     w + (h / 5).max(1)
 }
@@ -119,11 +126,25 @@ fn cjk_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &mut
         if rng.chance(0.5) {
             let sy = y + rng.range_i32(0, (h - stroke as i32).max(1));
             let sw = rng.range_i32(w / 2, w + 1);
-            fill_rect(bmp, x + rng.range_i32(0, (w / 3).max(1)), sy, sw as u32, stroke, color);
+            fill_rect(
+                bmp,
+                x + rng.range_i32(0, (w / 3).max(1)),
+                sy,
+                sw as u32,
+                stroke,
+                color,
+            );
         } else {
             let sx = x + rng.range_i32(0, (w - stroke as i32).max(1));
             let sh = rng.range_i32(h / 2, h + 1);
-            fill_rect(bmp, sx, y + rng.range_i32(0, (h / 3).max(1)), stroke, sh as u32, color);
+            fill_rect(
+                bmp,
+                sx,
+                y + rng.range_i32(0, (h / 3).max(1)),
+                stroke,
+                sh as u32,
+                color,
+            );
         }
     }
     w + (h / 6).max(1)
@@ -144,7 +165,14 @@ fn hangul_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &
     fill_rect(bmp, x + w / 3, y + h / 3, (w / 3) as u32, stroke, color);
     // Optional final consonant at the bottom.
     if rng.chance(0.5) {
-        fill_rect(bmp, x, y + h - stroke as i32, (w * 2 / 3) as u32, stroke, color);
+        fill_rect(
+            bmp,
+            x,
+            y + h - stroke as i32,
+            (w * 2 / 3) as u32,
+            stroke,
+            color,
+        );
     }
     w + (h / 6).max(1)
 }
@@ -152,6 +180,7 @@ fn hangul_glyph(bmp: &mut Bitmap, x: i32, y: i32, h: i32, color: [u8; 4], rng: &
 /// Renders one line of pseudo-text starting at `(x, y)` with glyph height
 /// `h`, stopping before `max_x`. Returns the x position after the last
 /// glyph drawn.
+#[allow(clippy::too_many_arguments)]
 pub fn draw_text_line(
     bmp: &mut Bitmap,
     script: Script,
@@ -173,7 +202,11 @@ pub fn draw_text_line(
             Script::Latin => latin_glyph(bmp, cx, y, h, color, rng),
             Script::Spanish | Script::French => {
                 let w = latin_glyph(bmp, cx, y, h, color, rng);
-                let p = if script == Script::Spanish { 0.25 } else { 0.35 };
+                let p = if script == Script::Spanish {
+                    0.25
+                } else {
+                    0.35
+                };
                 if rng.chance(p) {
                     diacritic(bmp, cx, y, h, color, rng);
                 }
@@ -264,7 +297,10 @@ mod tests {
     fn cjk_is_denser_than_latin() {
         // Averaged over several seeds, dense logograms leave more ink.
         let avg = |script: Script| -> f32 {
-            (0..8).map(|s| ink_fraction(&render(script, s), BG)).sum::<f32>() / 8.0
+            (0..8)
+                .map(|s| ink_fraction(&render(script, s), BG))
+                .sum::<f32>()
+                / 8.0
         };
         assert!(
             avg(Script::Chinese) > avg(Script::Latin),
@@ -277,7 +313,10 @@ mod tests {
     #[test]
     fn spanish_resembles_latin_more_than_chinese_does() {
         let avg = |script: Script| -> f32 {
-            (0..8).map(|s| ink_fraction(&render(script, s), BG)).sum::<f32>() / 8.0
+            (0..8)
+                .map(|s| ink_fraction(&render(script, s), BG))
+                .sum::<f32>()
+                / 8.0
         };
         let latin = avg(Script::Latin);
         let d_spanish = (avg(Script::Spanish) - latin).abs();

@@ -92,7 +92,13 @@ pub struct AdCues {
 
 impl Default for AdCues {
     fn default() -> Self {
-        AdCues { adchoices: 0.7, border: 0.85, cta: 0.8, price: 0.35, saturated: 0.8 }
+        AdCues {
+            adchoices: 0.7,
+            border: 0.85,
+            cta: 0.8,
+            price: 0.35,
+            saturated: 0.8,
+        }
     }
 }
 
@@ -101,7 +107,13 @@ impl AdCues {
     /// content (drives the low recall on in-feed ads, Section 5.3):
     /// nearly all the giveaway cues are absent.
     pub fn native() -> Self {
-        AdCues { adchoices: 0.25, border: 0.15, cta: 0.35, price: 0.08, saturated: 0.2 }
+        AdCues {
+            adchoices: 0.25,
+            border: 0.15,
+            cta: 0.35,
+            price: 0.08,
+            saturated: 0.2,
+        }
     }
 }
 
@@ -162,7 +174,15 @@ fn draw_cta_button(bmp: &mut Bitmap, script: Script, rng: &mut Pcg32) {
     let by = h - bh - (h / 12).max(2);
     let color = saturated_color(rng);
     fill_rect(bmp, bx, by, bw as u32, bh as u32, color);
-    stroke_rect(bmp, bx, by, bw as u32, bh as u32, 1, contrasting_text(color));
+    stroke_rect(
+        bmp,
+        bx,
+        by,
+        bw as u32,
+        bh as u32,
+        1,
+        contrasting_text(color),
+    );
     let glyph = (bh * 3 / 5).max(3);
     draw_text_line(
         bmp,
@@ -195,7 +215,16 @@ fn draw_price_flash(bmp: &mut Bitmap, script: Script, rng: &mut Pcg32) {
         );
     }
     let g = (r * 2 / 3).max(3);
-    draw_text_line(bmp, script, cx - r / 2, cy - g / 2, g, cx + r, [255, 255, 255, 255], rng);
+    draw_text_line(
+        bmp,
+        script,
+        cx - r / 2,
+        cy - g / 2,
+        g,
+        cx + r,
+        [255, 255, 255, 255],
+        rng,
+    );
 }
 
 fn draw_product_blob(bmp: &mut Bitmap, cx: i32, cy: i32, scale: i32, rng: &mut Pcg32) {
@@ -203,7 +232,14 @@ fn draw_product_blob(bmp: &mut Bitmap, cx: i32, cy: i32, scale: i32, rng: &mut P
     match rng.range_usize(0, 3) {
         0 => {
             // Boxy gadget.
-            fill_rect(bmp, cx - scale / 2, cy - scale / 3, scale as u32, (scale * 2 / 3) as u32, body);
+            fill_rect(
+                bmp,
+                cx - scale / 2,
+                cy - scale / 3,
+                scale as u32,
+                (scale * 2 / 3) as u32,
+                body,
+            );
             fill_rect(
                 bmp,
                 cx - scale / 3,
@@ -215,13 +251,33 @@ fn draw_product_blob(bmp: &mut Bitmap, cx: i32, cy: i32, scale: i32, rng: &mut P
         }
         1 => {
             // Bottle.
-            fill_rect(bmp, cx - scale / 6, cy - scale / 2, (scale / 3) as u32, (scale / 4) as u32, body);
-            fill_rect(bmp, cx - scale / 3, cy - scale / 4, (scale * 2 / 3) as u32, (scale * 3 / 4) as u32, body);
+            fill_rect(
+                bmp,
+                cx - scale / 6,
+                cy - scale / 2,
+                (scale / 3) as u32,
+                (scale / 4) as u32,
+                body,
+            );
+            fill_rect(
+                bmp,
+                cx - scale / 3,
+                cy - scale / 4,
+                (scale * 2 / 3) as u32,
+                (scale * 3 / 4) as u32,
+                body,
+            );
         }
         _ => {
             // Soft round product.
             fill_disc(bmp, cx, cy, scale / 2, body);
-            fill_disc(bmp, cx - scale / 6, cy - scale / 6, scale / 6, [255, 255, 255, 120]);
+            fill_disc(
+                bmp,
+                cx - scale / 6,
+                cy - scale / 6,
+                scale / 6,
+                [255, 255, 255, 120],
+            );
         }
     }
 }
@@ -256,14 +312,42 @@ pub fn generate_ad(
             // Headline left, product right, CTA right of centre.
             let glyph = (h / 3).clamp(5, 22);
             draw_text_line(&mut bmp, script, w / 20 + 1, h / 6, glyph, w / 2, text, rng);
-            draw_text_line(&mut bmp, script, w / 20 + 1, h / 6 + glyph * 2, (glyph * 2 / 3).max(3), w * 2 / 5, text, rng);
+            draw_text_line(
+                &mut bmp,
+                script,
+                w / 20 + 1,
+                h / 6 + glyph * 2,
+                (glyph * 2 / 3).max(3),
+                w * 2 / 5,
+                text,
+                rng,
+            );
             draw_product_blob(&mut bmp, w * 3 / 4, h / 2, h * 2 / 3, rng);
         }
         AdStyle::Rectangle => {
             let glyph = (h / 8).clamp(4, 18);
-            draw_text_line(&mut bmp, script, w / 12, h / 12, glyph, w - w / 8, text, rng);
+            draw_text_line(
+                &mut bmp,
+                script,
+                w / 12,
+                h / 12,
+                glyph,
+                w - w / 8,
+                text,
+                rng,
+            );
             draw_product_blob(&mut bmp, w / 2, h / 2, h / 2, rng);
-            draw_paragraph(&mut bmp, script, w / 12, h * 3 / 4, w * 3 / 4, h / 6, (glyph * 2 / 3).max(3), text, rng);
+            draw_paragraph(
+                &mut bmp,
+                script,
+                w / 12,
+                h * 3 / 4,
+                w * 3 / 4,
+                h / 6,
+                (glyph * 2 / 3).max(3),
+                text,
+                rng,
+            );
         }
         AdStyle::SponsoredPost => {
             // Native creative: composed like an organic post — one
@@ -277,21 +361,56 @@ pub fn generate_ad(
                 draw_product_blob(&mut bmp, w / 2, h * 2 / 5, h * 2 / 5, rng);
             } else {
                 // A lifestyle-photo stand-in: sky band + subject disc.
-                fill_rect(&mut bmp, 0, 0, width as u32, (h * 3 / 5) as u32, [150, 185, 220, 255]);
+                fill_rect(
+                    &mut bmp,
+                    0,
+                    0,
+                    width as u32,
+                    (h * 3 / 5) as u32,
+                    [150, 185, 220, 255],
+                );
                 fill_disc(&mut bmp, w / 2, h * 2 / 5, h / 5, [205, 170, 140, 255]);
             }
-            draw_text_line(&mut bmp, script, w / 10, h * 4 / 5, (h / 12).clamp(3, 10), w * 9 / 10, text, rng);
+            draw_text_line(
+                &mut bmp,
+                script,
+                w / 10,
+                h * 4 / 5,
+                (h / 12).clamp(3, 10),
+                w * 9 / 10,
+                text,
+                rng,
+            );
         }
         AdStyle::Skyscraper => {
             let glyph = (w / 6).clamp(4, 16);
-            draw_text_line(&mut bmp, script, w / 10, h / 20, glyph, w - w / 10, text, rng);
+            draw_text_line(
+                &mut bmp,
+                script,
+                w / 10,
+                h / 20,
+                glyph,
+                w - w / 10,
+                text,
+                rng,
+            );
             draw_product_blob(&mut bmp, w / 2, h / 3, w * 2 / 3, rng);
             draw_product_blob(&mut bmp, w / 2, h * 2 / 3, w / 2, rng);
         }
         AdStyle::ProductPromo => {
             let glyph = (h / 9).clamp(4, 16);
             draw_product_blob(&mut bmp, w / 3, h / 2, h / 2, rng);
-            draw_paragraph(&mut bmp, script, w * 3 / 5, h / 6, w / 3, h / 2, glyph, text, rng);
+            draw_paragraph(
+                &mut bmp,
+                script,
+                w * 3 / 5,
+                h / 6,
+                w / 3,
+                h / 2,
+                glyph,
+                text,
+                rng,
+            );
         }
     }
 
@@ -303,7 +422,15 @@ pub fn generate_ad(
     }
     if rng.chance(cues.border) {
         let t = rng.range_i32(1, 3) as u32;
-        stroke_rect(&mut bmp, 0, 0, width as u32, height as u32, t, [40, 40, 48, 255]);
+        stroke_rect(
+            &mut bmp,
+            0,
+            0,
+            width as u32,
+            height as u32,
+            t,
+            [40, 40, 48, 255],
+        );
     }
     if rng.chance(cues.adchoices) {
         draw_adchoices_marker(&mut bmp, rng);
@@ -342,7 +469,13 @@ pub fn generate_nonad(
             let sky_top = [80 + rng.range_i32(0, 60) as u8, 140, 220, 255];
             vertical_gradient(&mut bmp, sky_top, [200, 220, 240, 255]);
             if rng.chance(0.6) {
-                fill_disc(&mut bmp, rng.range_i32(w / 6, w * 5 / 6), h / 4, (h / 8).max(2), [255, 230, 120, 255]);
+                fill_disc(
+                    &mut bmp,
+                    rng.range_i32(w / 6, w * 5 / 6),
+                    h / 4,
+                    (h / 8).max(2),
+                    [255, 230, 120, 255],
+                );
             }
             for _ in 0..rng.range_usize(1, 4) {
                 let peak = rng.range_i32(0, w);
@@ -356,7 +489,14 @@ pub fn generate_nonad(
                     [g / 2, g, g / 2, 255],
                 );
             }
-            fill_rect(&mut bmp, 0, h * 5 / 6, width as u32, (h / 6 + 1) as u32, [70, 110, 60, 255]);
+            fill_rect(
+                &mut bmp,
+                0,
+                h * 5 / 6,
+                width as u32,
+                (h / 6 + 1) as u32,
+                [70, 110, 60, 255],
+            );
             noise_overlay(&mut bmp, 12, rng);
             bmp
         }
@@ -372,11 +512,37 @@ pub fn generate_nonad(
             let cy = h * 2 / 5;
             let r = (w.min(h) / 4).max(3);
             // Shoulders, head, hair, eyes.
-            fill_rect(&mut bmp, cx - r * 2, cy + r, (r * 4) as u32, (h - cy - r) as u32, [60, 70, 110, 255]);
+            fill_rect(
+                &mut bmp,
+                cx - r * 2,
+                cy + r,
+                (r * 4) as u32,
+                (h - cy - r) as u32,
+                [60, 70, 110, 255],
+            );
             fill_disc(&mut bmp, cx, cy, r, skin);
-            fill_rect(&mut bmp, cx - r, cy - r - r / 3, (r * 2) as u32, (r * 2 / 3) as u32, [40, 30, 25, 255]);
-            fill_disc(&mut bmp, cx - r / 2, cy - r / 6, (r / 7).max(1), [20, 20, 20, 255]);
-            fill_disc(&mut bmp, cx + r / 2, cy - r / 6, (r / 7).max(1), [20, 20, 20, 255]);
+            fill_rect(
+                &mut bmp,
+                cx - r,
+                cy - r - r / 3,
+                (r * 2) as u32,
+                (r * 2 / 3) as u32,
+                [40, 30, 25, 255],
+            );
+            fill_disc(
+                &mut bmp,
+                cx - r / 2,
+                cy - r / 6,
+                (r / 7).max(1),
+                [20, 20, 20, 255],
+            );
+            fill_disc(
+                &mut bmp,
+                cx + r / 2,
+                cy - r / 6,
+                (r / 7).max(1),
+                [20, 20, 20, 255],
+            );
             noise_overlay(&mut bmp, 8, rng);
             bmp
         }
@@ -390,7 +556,7 @@ pub fn generate_nonad(
                     let pick = if rng.chance(0.1) {
                         rng.chance(0.5)
                     } else {
-                        (x / cell + y / cell) % 2 == 0
+                        (x / cell + y / cell).is_multiple_of(2)
                     };
                     bmp.set(x, y, if pick { a } else { b });
                 }
@@ -438,7 +604,13 @@ pub fn generate_nonad(
             match rng.range_usize(0, 3) {
                 0 => fill_disc(&mut bmp, w / 2, h / 2, w.min(h) / 3, c),
                 1 => fill_rect(&mut bmp, w / 4, h / 4, (w / 2) as u32, (h / 2) as u32, c),
-                _ => fill_triangle(&mut bmp, (w / 2, h / 5), (w / 5, h * 4 / 5), (w * 4 / 5, h * 4 / 5), c),
+                _ => fill_triangle(
+                    &mut bmp,
+                    (w / 2, h / 5),
+                    (w / 5, h * 4 / 5),
+                    (w * 4 / 5, h * 4 / 5),
+                    c,
+                ),
             }
             bmp
         }
@@ -471,8 +643,22 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = generate_ad(&mut Pcg32::seed_from_u64(5), 64, 64, Script::Latin, AdStyle::Rectangle, AdCues::default());
-        let b = generate_ad(&mut Pcg32::seed_from_u64(5), 64, 64, Script::Latin, AdStyle::Rectangle, AdCues::default());
+        let a = generate_ad(
+            &mut Pcg32::seed_from_u64(5),
+            64,
+            64,
+            Script::Latin,
+            AdStyle::Rectangle,
+            AdCues::default(),
+        );
+        let b = generate_ad(
+            &mut Pcg32::seed_from_u64(5),
+            64,
+            64,
+            Script::Latin,
+            AdStyle::Rectangle,
+            AdCues::default(),
+        );
         assert_eq!(a, b);
     }
 
@@ -561,7 +747,14 @@ mod tests {
     fn scripts_flow_through_ad_text() {
         let mut rng = Pcg32::seed_from_u64(3);
         for script in Script::ALL {
-            let bmp = generate_ad(&mut rng, 48, 48, script, AdStyle::Rectangle, AdCues::default());
+            let bmp = generate_ad(
+                &mut rng,
+                48,
+                48,
+                script,
+                AdStyle::Rectangle,
+                AdCues::default(),
+            );
             assert_eq!(bmp.width(), 48);
         }
     }

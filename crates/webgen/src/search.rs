@@ -24,13 +24,41 @@ pub struct QueryProfile {
 /// The queries of Figure 13 with intents estimated from the paper's block
 /// counts (e.g. "Advertisement" blocked 96/100, "Obama" 12/100).
 pub const FIGURE13_QUERIES: [QueryProfile; 7] = [
-    QueryProfile { name: "Obama", ad_intent: 0.08, hard_negative_rate: 0.05 },
-    QueryProfile { name: "Advertisement", ad_intent: 0.95, hard_negative_rate: 0.6 },
-    QueryProfile { name: "Shoes", ad_intent: 0.45, hard_negative_rate: 0.55 },
-    QueryProfile { name: "Pastry", ad_intent: 0.10, hard_negative_rate: 0.25 },
-    QueryProfile { name: "Coffee", ad_intent: 0.18, hard_negative_rate: 0.30 },
-    QueryProfile { name: "Detergent", ad_intent: 0.70, hard_negative_rate: 0.65 },
-    QueryProfile { name: "iPhone", ad_intent: 0.62, hard_negative_rate: 0.75 },
+    QueryProfile {
+        name: "Obama",
+        ad_intent: 0.08,
+        hard_negative_rate: 0.05,
+    },
+    QueryProfile {
+        name: "Advertisement",
+        ad_intent: 0.95,
+        hard_negative_rate: 0.6,
+    },
+    QueryProfile {
+        name: "Shoes",
+        ad_intent: 0.45,
+        hard_negative_rate: 0.55,
+    },
+    QueryProfile {
+        name: "Pastry",
+        ad_intent: 0.10,
+        hard_negative_rate: 0.25,
+    },
+    QueryProfile {
+        name: "Coffee",
+        ad_intent: 0.18,
+        hard_negative_rate: 0.30,
+    },
+    QueryProfile {
+        name: "Detergent",
+        ad_intent: 0.70,
+        hard_negative_rate: 0.65,
+    },
+    QueryProfile {
+        name: "iPhone",
+        ad_intent: 0.62,
+        hard_negative_rate: 0.75,
+    },
 ];
 
 /// Generates the top-`n` image results for a query.
@@ -74,7 +102,10 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(1);
         let ad_count = |name: &str, rng: &mut Pcg32| -> usize {
             let q = *FIGURE13_QUERIES.iter().find(|q| q.name == name).unwrap();
-            generate_results(rng, q, 300, 24).iter().filter(|r| r.is_ad).count()
+            generate_results(rng, q, 300, 24)
+                .iter()
+                .filter(|r| r.is_ad)
+                .count()
         };
         let adv = ad_count("Advertisement", &mut rng);
         let obama = ad_count("Obama", &mut rng);
@@ -85,7 +116,15 @@ mod tests {
     #[test]
     fn figure13_queries_cover_the_paper() {
         let names: Vec<&str> = FIGURE13_QUERIES.iter().map(|q| q.name).collect();
-        for expected in ["Obama", "Advertisement", "Shoes", "Pastry", "Coffee", "Detergent", "iPhone"] {
+        for expected in [
+            "Obama",
+            "Advertisement",
+            "Shoes",
+            "Pastry",
+            "Coffee",
+            "Detergent",
+            "iPhone",
+        ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
     }

@@ -121,7 +121,9 @@ struct PageBuilder<'a> {
 impl<'a> PageBuilder<'a> {
     fn store_image(&mut self, url: &str, bitmap: &Bitmap, is_ad: bool) {
         let fmt = pick_format(self.rng);
-        self.corpus.images.insert(url.to_string(), encode_as(bitmap, fmt));
+        self.corpus
+            .images
+            .insert(url.to_string(), encode_as(bitmap, fmt));
         self.corpus.truth.insert(url.to_string(), is_ad);
     }
 
@@ -145,14 +147,17 @@ impl<'a> PageBuilder<'a> {
 
     fn push_paragraphs(&mut self) {
         for _ in 0..self.rng.range_usize(1, 4) {
-            self.body.push_str("<p>Lorem ipsum synthetic copy for layout work.</p>\n");
+            self.body
+                .push_str("<p>Lorem ipsum synthetic copy for layout work.</p>\n");
         }
     }
 
     fn push_content_image(&mut self) {
         let ext = pick_format(self.rng).extension().to_string();
         let url = adnet::content_url(self.rng, &self.host, &ext);
-        let (w, h) = *self.rng.choose(&[(96usize, 72usize), (120, 80), (80, 80), (140, 90)]);
+        let (w, h) = *self
+            .rng
+            .choose(&[(96usize, 72usize), (120, 80), (80, 80), (140, 90)]);
         let bmp = self.content_bitmap(w, h);
         self.store_image(&url, &bmp, false);
         self.body.push_str(&format!(
@@ -168,10 +173,16 @@ impl<'a> PageBuilder<'a> {
                 // Direct third-party creative in a list-visible container.
                 let network = adnet::pick_network(self.rng, self.regional);
                 let url = adnet::creative_url(self.rng, network, &ext);
-                let (w, h) = *self.rng.choose(&[(234usize, 60usize), (120, 100), (60, 160)]);
+                let (w, h) = *self
+                    .rng
+                    .choose(&[(234usize, 60usize), (120, 100), (60, 160)]);
                 let bmp = self.ad_bitmap(w, h);
                 self.store_image(&url, &bmp, true);
-                let class = if self.rng.chance(0.75) { "ad-banner" } else { "promo-box" };
+                let class = if self.rng.chance(0.75) {
+                    "ad-banner"
+                } else {
+                    "promo-box"
+                };
                 self.body.push_str(&format!(
                     "<div class=\"{class}\"><img src=\"{url}\" width=\"{w}\" height=\"{h}\"></div>\n"
                 ));
@@ -212,8 +223,9 @@ impl<'a> PageBuilder<'a> {
             let px_url = adnet::tracker_url(self.rng);
             let px = Bitmap::new(1, 1, [0, 0, 0, 0]);
             self.store_image(&px_url, &px, true);
-            self.body
-                .push_str(&format!("<img class=\"px\" src=\"{px_url}\" width=\"1\" height=\"1\">\n"));
+            self.body.push_str(&format!(
+                "<img class=\"px\" src=\"{px_url}\" width=\"1\" height=\"1\">\n"
+            ));
         }
     }
 }
@@ -247,9 +259,8 @@ fn generate_page(
     let n_content = b.rng.range_usize(3, 8);
 
     // Interleave content blocks and ad slots.
-    let mut slots: Vec<bool> = std::iter::repeat(true)
-        .take(n_ads)
-        .chain(std::iter::repeat(false).take(n_content))
+    let mut slots: Vec<bool> = std::iter::repeat_n(true, n_ads)
+        .chain(std::iter::repeat_n(false, n_content))
         .collect();
     b.rng.shuffle(&mut slots);
     for is_ad_slot in slots {
@@ -293,7 +304,11 @@ mod tests {
     use super::*;
 
     fn small_corpus() -> Corpus {
-        generate_corpus(CorpusConfig { n_sites: 4, pages_per_site: 2, ..Default::default() })
+        generate_corpus(CorpusConfig {
+            n_sites: 4,
+            pages_per_site: 2,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -339,7 +354,7 @@ mod tests {
             let end = html[start..].find('"').unwrap() + start;
             let src = &html[start..end];
             assert!(c.images.contains_key(src), "{src} not stored");
-            assert_eq!(c.truth[src], true);
+            assert!(c.truth[src]);
         }
     }
 

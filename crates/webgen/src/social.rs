@@ -81,7 +81,11 @@ pub fn generate_session(rng: &mut Pcg32, cfg: FeedConfig) -> Vec<FeedItem> {
                     AdStyle::SponsoredPost,
                     AdCues::native(),
                 );
-                items.push(FeedItem { bitmap: bmp, is_ad: true, slot: FeedSlot::InFeedSponsored });
+                items.push(FeedItem {
+                    bitmap: bmp,
+                    is_ad: true,
+                    slot: FeedSlot::InFeedSponsored,
+                });
             } else {
                 let bmp = generate_ad(
                     rng,
@@ -91,12 +95,26 @@ pub fn generate_session(rng: &mut Pcg32, cfg: FeedConfig) -> Vec<FeedItem> {
                     AdStyle::Rectangle,
                     AdCues::default(),
                 );
-                items.push(FeedItem { bitmap: bmp, is_ad: true, slot: FeedSlot::RightColumn });
+                items.push(FeedItem {
+                    bitmap: bmp,
+                    is_ad: true,
+                    slot: FeedSlot::RightColumn,
+                });
             }
         } else if rng.chance(cfg.brand_fraction) {
             // Brand-page content: commercial imagery, not an ad placement.
-            let bmp = generate_nonad(rng, cfg.size, cfg.size, Script::Latin, NonAdStyle::ProductPhoto);
-            items.push(FeedItem { bitmap: bmp, is_ad: false, slot: FeedSlot::BrandPost });
+            let bmp = generate_nonad(
+                rng,
+                cfg.size,
+                cfg.size,
+                Script::Latin,
+                NonAdStyle::ProductPhoto,
+            );
+            items.push(FeedItem {
+                bitmap: bmp,
+                is_ad: false,
+                slot: FeedSlot::BrandPost,
+            });
         } else {
             let style = [
                 NonAdStyle::Photo,
@@ -106,7 +124,11 @@ pub fn generate_session(rng: &mut Pcg32, cfg: FeedConfig) -> Vec<FeedItem> {
                 NonAdStyle::Texture,
             ][rng.range_usize(0, 5)];
             let bmp = generate_nonad(rng, cfg.size, cfg.size, Script::Latin, style);
-            items.push(FeedItem { bitmap: bmp, is_ad: false, slot: FeedSlot::OrganicPost });
+            items.push(FeedItem {
+                bitmap: bmp,
+                is_ad: false,
+                slot: FeedSlot::OrganicPost,
+            });
         }
     }
     items
@@ -119,7 +141,13 @@ mod tests {
     #[test]
     fn session_respects_fractions() {
         let mut rng = Pcg32::seed_from_u64(1);
-        let items = generate_session(&mut rng, FeedConfig { items: 2000, ..Default::default() });
+        let items = generate_session(
+            &mut rng,
+            FeedConfig {
+                items: 2000,
+                ..Default::default()
+            },
+        );
         let ads = items.iter().filter(|i| i.is_ad).count();
         let frac = ads as f32 / items.len() as f32;
         assert!((0.12..0.20).contains(&frac), "ad fraction {frac}");
@@ -127,13 +155,22 @@ mod tests {
             .iter()
             .filter(|i| i.slot == FeedSlot::InFeedSponsored)
             .count();
-        assert!(in_feed > ads / 3, "in-feed ads should dominate: {in_feed}/{ads}");
+        assert!(
+            in_feed > ads / 3,
+            "in-feed ads should dominate: {in_feed}/{ads}"
+        );
     }
 
     #[test]
     fn labels_follow_slots() {
         let mut rng = Pcg32::seed_from_u64(2);
-        for item in generate_session(&mut rng, FeedConfig { items: 300, ..Default::default() }) {
+        for item in generate_session(
+            &mut rng,
+            FeedConfig {
+                items: 300,
+                ..Default::default()
+            },
+        ) {
             match item.slot {
                 FeedSlot::RightColumn | FeedSlot::InFeedSponsored => assert!(item.is_ad),
                 FeedSlot::OrganicPost | FeedSlot::BrandPost => assert!(!item.is_ad),

@@ -9,22 +9,30 @@
 //! cargo run --release --example block_page
 //! ```
 
-use percival::prelude::*;
 use percival::crawler::adapters::{store_from_corpus, EngineNetworkFilter};
+use percival::imgcodec::ppm::encode_ppm;
+use percival::prelude::*;
 use percival::renderer::hook::NoopInterceptor;
 use percival::renderer::net::AllowAll;
-use percival::imgcodec::ppm::encode_ppm;
 use percival::webgen::sites::{generate_corpus, CorpusConfig};
 
 fn main() {
     // Synthetic web + trained model.
-    let corpus = generate_corpus(CorpusConfig { n_sites: 6, pages_per_site: 2, ..Default::default() });
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 6,
+        pages_per_site: 2,
+        ..Default::default()
+    });
     let store = store_from_corpus(&corpus);
     let data = build_balanced_dataset(5, DatasetProfile::Alexa, Script::Latin, 48, 120);
     let bitmaps: Vec<Bitmap> = data.iter().map(|s| s.bitmap.clone()).collect();
     let labels: Vec<bool> = data.iter().map(|s| s.is_ad).collect();
     println!("training...");
-    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 48,
+        epochs: 8,
+        ..Default::default()
+    };
     let model = train(&bitmaps, &labels, &cfg);
 
     let pipeline = RenderPipeline::new(PipelineConfig::default());
@@ -33,9 +41,13 @@ fn main() {
     let page = &corpus.pages[0];
 
     // 1. Plain render.
-    let plain = pipeline.render(&store, page, &NoopInterceptor, &AllowAll, &[]).unwrap();
+    let plain = pipeline
+        .render(&store, page, &NoopInterceptor, &AllowAll, &[])
+        .unwrap();
     // 2. Filter lists only.
-    let listed = pipeline.render(&store, page, &NoopInterceptor, &shields, &[]).unwrap();
+    let listed = pipeline
+        .render(&store, page, &NoopInterceptor, &shields, &[])
+        .unwrap();
     // 3. Filter lists + PERCIVAL: the paper's "last-step measure to block
     //    whatever slips through the filters".
     let hook = PercivalHook::new(model.classifier.clone());

@@ -20,17 +20,31 @@ use percival::webgen::sites::{generate_corpus, CorpusConfig};
 
 fn main() {
     // 1. Crawl: capture every decoded frame from the pipeline.
-    let corpus = generate_corpus(CorpusConfig { n_sites: 10, pages_per_site: 2, ..Default::default() });
-    println!("crawling {} pages with the instrumented browser...", corpus.pages.len());
+    let corpus = generate_corpus(CorpusConfig {
+        n_sites: 10,
+        pages_per_site: 2,
+        ..Default::default()
+    });
+    println!(
+        "crawling {} pages with the instrumented browser...",
+        corpus.pages.len()
+    );
     let mut dataset = crawl_instrumented(&corpus, LabelSource::Oracle);
     let mut rng = Pcg32::seed_from_u64(99);
     dataset.balance(&mut rng);
     let (ads, non_ads) = dataset.class_counts();
-    println!("captured {} images ({ads} ads / {non_ads} content)", dataset.len());
+    println!(
+        "captured {} images ({ads} ads / {non_ads} content)",
+        dataset.len()
+    );
 
     // 2. Train.
     let (bitmaps, labels) = dataset.as_training_views();
-    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 48,
+        epochs: 8,
+        ..Default::default()
+    };
     let trained = train(&bitmaps, &labels, &cfg);
     println!(
         "trained: final loss {:.4}, train accuracy {:.3}",
@@ -42,7 +56,10 @@ fn main() {
     let artifact = trained.classifier.save_bytes();
     std::fs::create_dir_all("results").unwrap();
     std::fs::write("results/example_model.pcvl", &artifact).unwrap();
-    println!("saved results/example_model.pcvl ({} KiB)", artifact.len() / 1024);
+    println!(
+        "saved results/example_model.pcvl ({} KiB)",
+        artifact.len() / 1024
+    );
 
     let mut deployed = {
         // A fresh classifier with the same architecture, then load weights.
@@ -50,7 +67,9 @@ fn main() {
         percival::nn::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(1));
         Classifier::new(model, cfg.input_size)
     };
-    deployed.load_bytes(&artifact).expect("artifact must round-trip");
+    deployed
+        .load_bytes(&artifact)
+        .expect("artifact must round-trip");
 
     // 4. Deploy in the async (memoized) mode and browse a few pages twice.
     let store = store_from_corpus(&corpus);
@@ -59,7 +78,9 @@ fn main() {
     for pass in 1..=2 {
         let mut blocked = 0usize;
         for page in corpus.pages.iter().take(5) {
-            let out = pipeline.render(&store, page, &hook, &AllowAll, &[]).unwrap();
+            let out = pipeline
+                .render(&store, page, &hook, &AllowAll, &[])
+                .unwrap();
             blocked += out.stats.images_blocked;
         }
         hook.flush(); // let the background classifier drain

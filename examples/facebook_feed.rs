@@ -19,12 +19,23 @@ fn main() {
     let bitmaps: Vec<Bitmap> = data.iter().map(|s| s.bitmap.clone()).collect();
     let labels: Vec<bool> = data.iter().map(|s| s.is_ad).collect();
     println!("training on the general web distribution...");
-    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 48,
+        epochs: 8,
+        ..Default::default()
+    };
     let model = train(&bitmaps, &labels, &cfg);
 
     // Browse a session.
     let mut rng = Pcg32::seed_from_u64(0xFEED);
-    let session = generate_session(&mut rng, FeedConfig { items: 400, size: 48, ..Default::default() });
+    let session = generate_session(
+        &mut rng,
+        FeedConfig {
+            items: 400,
+            size: 48,
+            ..Default::default()
+        },
+    );
 
     let mut cm = BinaryConfusion::default();
     let mut right_caught = (0usize, 0usize);

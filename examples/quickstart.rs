@@ -16,10 +16,17 @@ fn main() {
     // 2. Train with (a scaled version of) the paper's recipe: SGD with
     //    momentum 0.9, batch 24, step learning-rate decay.
     println!("training ({} images)...", bitmaps.len());
-    let cfg = TrainConfig { input_size: 48, epochs: 8, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 48,
+        epochs: 8,
+        ..Default::default()
+    };
     let trained = train(&bitmaps, &labels, &cfg);
     for e in &trained.history {
-        println!("  epoch {:>2}: loss {:.4}, accuracy {:.3}", e.epoch, e.loss, e.accuracy);
+        println!(
+            "  epoch {:>2}: loss {:.4}, accuracy {:.3}",
+            e.epoch, e.loss, e.accuracy
+        );
     }
 
     // 3. Evaluate on held-out data.

@@ -11,7 +11,12 @@ use percival::webgen::sites::{generate_corpus, CorpusConfig};
 #[test]
 fn corpus_rendering_and_training_are_reproducible() {
     let make = || {
-        generate_corpus(CorpusConfig { n_sites: 3, pages_per_site: 1, seed: 0xD0D0, ..Default::default() })
+        generate_corpus(CorpusConfig {
+            n_sites: 3,
+            pages_per_site: 1,
+            seed: 0xD0D0,
+            ..Default::default()
+        })
     };
     let a = make();
     let b = make();
@@ -23,7 +28,10 @@ fn corpus_rendering_and_training_are_reproducible() {
     // Rendering: identical frame buffers across runs and thread counts.
     let store = store_from_corpus(&a);
     let render = |threads: usize| {
-        let pipeline = RenderPipeline::new(PipelineConfig { raster_threads: threads, ..Default::default() });
+        let pipeline = RenderPipeline::new(PipelineConfig {
+            raster_threads: threads,
+            ..Default::default()
+        });
         pipeline
             .render(&store, &a.pages[0], &NoopInterceptor, &AllowAll, &[])
             .unwrap()
@@ -37,7 +45,11 @@ fn corpus_rendering_and_training_are_reproducible() {
     let data = build_balanced_dataset(3, DatasetProfile::Alexa, Script::Latin, 32, 20);
     let bitmaps: Vec<Bitmap> = data.iter().map(|s| s.bitmap.clone()).collect();
     let labels: Vec<bool> = data.iter().map(|s| s.is_ad).collect();
-    let cfg = TrainConfig { input_size: 32, epochs: 3, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 32,
+        epochs: 3,
+        ..Default::default()
+    };
     let m1 = train(&bitmaps, &labels, &cfg);
     let m2 = train(&bitmaps, &labels, &cfg);
     assert_eq!(

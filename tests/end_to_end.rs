@@ -25,7 +25,11 @@ fn trained_on_crawl() -> (Classifier, percival::webgen::sites::Corpus) {
     dataset.dedup();
     dataset.balance(&mut rng);
     let (bitmaps, labels) = dataset.as_training_views();
-    let cfg = TrainConfig { input_size: 32, epochs: 10, ..Default::default() };
+    let cfg = TrainConfig {
+        input_size: 32,
+        epochs: 10,
+        ..Default::default()
+    };
     (train(&bitmaps, &labels, &cfg).classifier, corpus)
 }
 
@@ -59,7 +63,9 @@ fn crawl_train_block_loop_works() {
         let baseline = pipeline
             .render(&store, page, &NoopInterceptor, &AllowAll, &[])
             .unwrap();
-        let shielded = pipeline.render(&store, page, &hook, &AllowAll, &[]).unwrap();
+        let shielded = pipeline
+            .render(&store, page, &hook, &AllowAll, &[])
+            .unwrap();
         assert_eq!(baseline.stats.images_decoded, shielded.stats.images_decoded);
         total_blocked += shielded.stats.images_blocked;
         total_images += shielded.stats.images_decoded;

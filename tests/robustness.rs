@@ -2,12 +2,12 @@
 //! corrupt bytes, missing resources and hostile dimensions are facts of
 //! life at a rendering choke point.
 
+use percival::core::arch::percival_net_slim;
 use percival::imgcodec::{png, qoi, CodecError};
+use percival::nn::init::kaiming_init;
 use percival::prelude::*;
 use percival::renderer::hook::NoopInterceptor;
 use percival::renderer::net::{AllowAll, InMemoryStore};
-use percival::core::arch::percival_net_slim;
-use percival::nn::init::kaiming_init;
 
 #[test]
 fn pipeline_survives_corrupt_and_missing_images() {
@@ -32,7 +32,13 @@ fn pipeline_survives_corrupt_and_missing_images() {
 
     let pipeline = RenderPipeline::default();
     let out = pipeline
-        .render(&store, "http://hostile.web/", &NoopInterceptor, &AllowAll, &[])
+        .render(
+            &store,
+            "http://hostile.web/",
+            &NoopInterceptor,
+            &AllowAll,
+            &[],
+        )
         .expect("hostile page still renders");
     assert_eq!(out.stats.image_items, 3);
     // The corrupt PNG is a decode error; the missing resource is a fetch
@@ -66,9 +72,9 @@ fn classifier_handles_extreme_aspect_ratios_and_tiny_images() {
     kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
     let classifier = Classifier::new(model, 32);
     for bmp in [
-        Bitmap::new(1, 1, [0, 0, 0, 0]),      // tracking pixel
-        Bitmap::new(1, 500, [5, 5, 5, 255]),  // spacer column
-        Bitmap::new(900, 2, [5, 5, 5, 255]),  // divider strip
+        Bitmap::new(1, 1, [0, 0, 0, 0]),     // tracking pixel
+        Bitmap::new(1, 500, [5, 5, 5, 255]), // spacer column
+        Bitmap::new(900, 2, [5, 5, 5, 255]), // divider strip
     ] {
         let p = classifier.classify(&bmp);
         assert!(p.p_ad.is_finite());

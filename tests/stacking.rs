@@ -6,12 +6,13 @@ use percival::crawler::adapters::{store_from_corpus, EngineNetworkFilter};
 use percival::filterlist::easylist::synthetic_engine;
 use percival::prelude::*;
 use percival::renderer::hook::UrlPredicateInterceptor;
-use percival::renderer::net::AllowAll;
 use percival::webgen::sites::{generate_corpus, CorpusConfig};
 
 /// An oracle interceptor that blocks exactly the ground-truth ads — used
 /// to isolate the *composition* behaviour from model accuracy.
-fn oracle_hook(corpus: &percival::webgen::sites::Corpus) -> UrlPredicateInterceptor<impl Fn(&str) -> bool + '_> {
+fn oracle_hook(
+    corpus: &percival::webgen::sites::Corpus,
+) -> UrlPredicateInterceptor<impl Fn(&str) -> bool + '_> {
     UrlPredicateInterceptor::new(move |url| corpus.truth.get(url).copied().unwrap_or(false))
 }
 
@@ -37,7 +38,13 @@ fn cnn_catches_what_the_list_misses() {
     for page in &corpus.pages {
         // Shields only.
         let a = pipeline
-            .render(&store, page, &percival::renderer::NoopInterceptor, &shields, &[])
+            .render(
+                &store,
+                page,
+                &percival::renderer::NoopInterceptor,
+                &shields,
+                &[],
+            )
             .unwrap();
         list_blocked += a.stats.requests_blocked;
         // Count surviving ads (decoded images that are ads by ground truth
@@ -49,7 +56,10 @@ fn cnn_catches_what_the_list_misses() {
         stacked_survivors += b.stats.images_decoded - b.stats.images_blocked;
     }
 
-    assert!(list_blocked > 0, "the filter list must block covered networks");
+    assert!(
+        list_blocked > 0,
+        "the filter list must block covered networks"
+    );
     assert!(
         cnn_blocked_on_top > 0,
         "uncovered (long-tail/regional) ads must slip past the list and be \
@@ -73,7 +83,13 @@ fn covered_ads_never_reach_the_decoder_under_shields() {
 
     for page in &corpus.pages {
         let out = pipeline
-            .render(&store, page, &percival::renderer::NoopInterceptor, &shields, &[])
+            .render(
+                &store,
+                page,
+                &percival::renderer::NoopInterceptor,
+                &shields,
+                &[],
+            )
             .unwrap();
         // Privacy property from Section 6: blocking early (pre-decode)
         // means covered ad bytes are never fetched or decoded.
