@@ -90,7 +90,7 @@ fn bench_ablations(c: &mut Criterion) {
     g4.bench_function("int8_dequantize", |b| {
         b.iter(|| {
             let mut m = model.clone();
-            q.dequantize_into(&mut m);
+            q.dequantize_into(&mut m).expect("structure matches");
             black_box(m)
         })
     });

@@ -11,8 +11,38 @@
 //! mean, no HTML reports), but the numbers it prints are honest wall-clock
 //! measurements, so relative comparisons — scalar vs tiled GEMM, batch=1 vs
 //! batch=32 — remain meaningful.
+//!
+//! Like real criterion, passing `--test` to the bench binary (i.e.
+//! `cargo bench -- --test`) switches into **smoke mode**: every benchmark
+//! runs with a clamped, tiny measurement budget, just enough to prove the
+//! bench code still executes. CI uses this so kernel changes cannot
+//! silently break the bench binaries. `PERCIVAL_BENCH_SMOKE=1` does the
+//! same for environments where argv cannot be controlled. Snapshot writers
+//! should consult [`is_test_mode`] and skip file output in smoke runs.
 
 use std::time::{Duration, Instant};
+
+/// Whether this bench process runs in smoke (`--test`) mode: measurement
+/// budgets are clamped to a few milliseconds and snapshot files should not
+/// be (over)written.
+pub fn is_test_mode() -> bool {
+    use std::sync::OnceLock;
+    static TEST_MODE: OnceLock<bool> = OnceLock::new();
+    *TEST_MODE.get_or_init(|| {
+        std::env::args().any(|a| a == "--test")
+            || std::env::var_os("PERCIVAL_BENCH_SMOKE").is_some()
+    })
+}
+
+/// Clamps a group's configuration to the smoke-mode budget.
+fn clamp_for_test_mode(config: &Config) -> Config {
+    Config {
+        measurement_time: config.measurement_time.min(Duration::from_millis(20)),
+        sample_size: config.sample_size.min(2),
+        warm_up_time: config.warm_up_time.min(Duration::from_millis(5)),
+        throughput: config.throughput,
+    }
+}
 
 /// Per-iteration workload size, used to derive throughput.
 #[derive(Debug, Clone, Copy)]
@@ -155,14 +185,19 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher<'_>),
     {
+        let config = if is_test_mode() {
+            clamp_for_test_mode(&self.config)
+        } else {
+            self.config.clone()
+        };
         let mut b = Bencher {
-            config: &self.config,
+            config: &config,
             result: None,
         };
         f(&mut b);
         let (total, iters) = b.result.unwrap_or((Duration::ZERO, 0));
         let id = format!("{}/{}", self.name, name);
-        let m = report(&id, &self.config, total, iters);
+        let m = report(&id, &config, total, iters);
         self.results.push(m);
         self
     }
@@ -192,7 +227,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher<'_>),
     {
-        let config = Config::default();
+        let config = if is_test_mode() {
+            clamp_for_test_mode(&Config::default())
+        } else {
+            Config::default()
+        };
         let mut b = Bencher {
             config: &config,
             result: None,

@@ -8,12 +8,25 @@
 use crate::arch::{accepts_input, INPUT_CHANNELS, NUM_CLASSES};
 use percival_imgcodec::Bitmap;
 use percival_nn::serialize::{self, ModelIoError};
-use percival_nn::Sequential;
+use percival_nn::{QuantizedSequential, Sequential};
 use percival_tensor::activation::softmax;
 use percival_tensor::resize::resize_bilinear;
+use percival_tensor::threadpool::{ScopedTask, ThreadPool};
 use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{Shape, Tensor, Workspace};
 use std::time::{Duration, Instant};
+
+/// Numeric precision the forward pass executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 (kernel selected by `PERCIVAL_GEMM`).
+    #[default]
+    F32,
+    /// True int8 execution: weights stay quantized through every
+    /// convolution (`i8 x i8 -> i32` GEMM with per-tensor requantization);
+    /// activations and logits remain f32.
+    Int8,
+}
 
 /// One classification verdict.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,17 +39,19 @@ pub struct Prediction {
     pub elapsed: Duration,
 }
 
-/// The PERCIVAL classifier: a trained network plus its input geometry and
-/// decision threshold.
+/// The PERCIVAL classifier: a trained network plus its input geometry,
+/// decision threshold and execution precision.
 #[derive(Debug, Clone)]
 pub struct Classifier {
     model: Sequential,
+    /// Int8 execution model, present iff precision is [`Precision::Int8`].
+    quantized: Option<QuantizedSequential>,
     input_size: usize,
     threshold: f32,
 }
 
 impl Classifier {
-    /// Wraps a trained model.
+    /// Wraps a trained model (f32 execution).
     ///
     /// # Panics
     ///
@@ -51,9 +66,41 @@ impl Classifier {
         assert_eq!(out.c, NUM_CLASSES, "classifier needs {NUM_CLASSES} logits");
         Classifier {
             model,
+            quantized: None,
             input_size,
             threshold: 0.5,
         }
+    }
+
+    /// Switches the execution precision, (re)building the int8 execution
+    /// model when [`Precision::Int8`] is requested. The f32 weights are
+    /// always retained — they are the source of truth for serialization,
+    /// training and re-quantization.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.set_precision(precision);
+        self
+    }
+
+    /// In-place form of [`Classifier::with_precision`].
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.quantized = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(QuantizedSequential::from_model(&self.model)),
+        };
+    }
+
+    /// The precision the forward pass currently executes in.
+    pub fn precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
+    }
+
+    /// The int8 execution model, when precision is [`Precision::Int8`].
+    pub fn quantized(&self) -> Option<&QuantizedSequential> {
+        self.quantized.as_ref()
     }
 
     /// The wrapped network.
@@ -99,13 +146,28 @@ impl Classifier {
         }
     }
 
+    /// Runs the precision-appropriate forward pass over a borrowed batch
+    /// buffer and writes `P(ad)` per sample into `out` (length = `shape.n`).
+    fn forward_probs_into(&self, shape: Shape, data: &[f32], ws: &mut Workspace, out: &mut [f32]) {
+        let logits = match &self.quantized {
+            Some(q) => q.forward_slice_with(shape, data, ws),
+            None => self.model.forward_slice_with(shape, data, ws),
+        };
+        let probs = softmax(&logits);
+        for (n, slot) in out.iter_mut().enumerate() {
+            *slot = probs.at(n, 1, 0, 0);
+        }
+    }
+
     /// Classifies one bitmap.
     pub fn classify(&self, bitmap: &Bitmap) -> Prediction {
         let start = Instant::now();
         let input = Self::preprocess(bitmap, self.input_size);
-        let logits = self.model.forward(&input);
-        let probs = softmax(&logits);
-        let p_ad = probs.at(0, 1, 0, 0);
+        let mut p_ad = [0.0f32];
+        with_thread_workspace(|ws| {
+            self.forward_probs_into(input.shape(), input.as_slice(), ws, &mut p_ad);
+        });
+        let p_ad = p_ad[0];
         Prediction {
             p_ad,
             is_ad: p_ad >= self.threshold,
@@ -121,11 +183,73 @@ impl Classifier {
     }
 
     /// [`Classifier::classify_tensor`] with explicit scratch, so repeated
-    /// batch classifications reuse activations and GEMM panels.
+    /// batch classifications reuse activations and GEMM panels. As with
+    /// [`percival_tensor::conv2d_forward_with`], the caller's `ws` serves
+    /// the single-threaded paths (`n <= 1`, or a one-thread pool); when the
+    /// batch splits across pool threads each band packs into its own
+    /// recycled thread-local workspace instead.
+    ///
+    /// Batches are split at the **model** level: the samples are divided
+    /// into one contiguous band per available pool thread and each band
+    /// runs the whole network independently on its own workspace. Compared
+    /// with the previous per-convolution band split this removes a
+    /// fork/join barrier per layer, and on single-core hosts it degrades to
+    /// per-sample passes — keeping each pass's activations L2-resident
+    /// instead of streaming `N`-sample intermediates through the cache,
+    /// which is what made batched per-image cost *worse* than `n=1`
+    /// (`batch8_per_image_speedup` 0.925 before this split).
     pub fn classify_tensor_with(&self, batch: &Tensor, ws: &mut Workspace) -> Vec<f32> {
-        let logits = self.model.forward_with(batch, ws);
-        let probs = softmax(&logits);
-        (0..batch.shape().n).map(|n| probs.at(n, 1, 0, 0)).collect()
+        let s = batch.shape();
+        let n = s.n;
+        let mut probs = vec![0.0f32; n];
+        if n <= 1 {
+            self.forward_probs_into(s, batch.as_slice(), ws, &mut probs);
+            return probs;
+        }
+
+        let pool = ThreadPool::global();
+        let bands = pool.parallelism().min(n);
+        let per_sample = s.c * s.h * s.w;
+        if bands <= 1 {
+            // Single-threaded: one pass per sample, cache-resident. The
+            // sample forwards straight from the batch buffer, so this path
+            // does exactly the work of `n` independent n=1 classifications.
+            let sample_shape = Shape::new(1, s.c, s.h, s.w);
+            for (i, slot) in probs.iter_mut().enumerate() {
+                self.forward_probs_into(
+                    sample_shape,
+                    batch.sample(i),
+                    ws,
+                    std::slice::from_mut(slot),
+                );
+            }
+            return probs;
+        }
+
+        // One whole-network task per band; bands write disjoint chunks of
+        // `probs`, and nested conv/GEMM splits degrade to inline execution
+        // inside pool workers, so there is exactly one fork/join per batch.
+        let band_len = n.div_ceil(bands);
+        let tasks: Vec<ScopedTask<'_>> = probs
+            .chunks_mut(band_len)
+            .enumerate()
+            .map(|(band, out_chunk)| {
+                let start = band * band_len;
+                let rows = out_chunk.len();
+                Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        self.forward_probs_into(
+                            Shape::new(rows, s.c, s.h, s.w),
+                            &batch.as_slice()[start * per_sample..(start + rows) * per_sample],
+                            tws,
+                            out_chunk,
+                        );
+                    });
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        probs
     }
 
     /// Serializes the model weights (the paper's model-size artifact).
@@ -133,13 +257,19 @@ impl Classifier {
         serialize::save(&self.model)
     }
 
-    /// Restores weights into a classifier with the same architecture.
+    /// Restores weights into a classifier with the same architecture. When
+    /// the classifier executes in int8, the execution model is re-quantized
+    /// from the freshly loaded weights.
     ///
     /// # Errors
     ///
     /// Propagates [`ModelIoError`] on malformed or mismatched buffers.
     pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), ModelIoError> {
-        serialize::load(&mut self.model, bytes)
+        serialize::load(&mut self.model, bytes)?;
+        if self.quantized.is_some() {
+            self.set_precision(Precision::Int8);
+        }
+        Ok(())
     }
 }
 
@@ -233,6 +363,82 @@ mod tests {
                 (ps[i] - single).abs() < 1e-5,
                 "sample {i}: batched {} vs single {single}",
                 ps[i]
+            );
+        }
+    }
+
+    #[test]
+    fn int8_precision_tracks_f32_verdicts() {
+        let f32_cls = tiny_classifier(7);
+        let int8_cls = f32_cls.clone().with_precision(Precision::Int8);
+        assert_eq!(int8_cls.precision(), Precision::Int8);
+        assert_eq!(f32_cls.precision(), Precision::F32);
+        for seed in 0..8u64 {
+            let mut rng = Pcg32::seed_from_u64(60 + seed);
+            let mut bmp = Bitmap::new(24, 24, [0, 0, 0, 255]);
+            for y in 0..24 {
+                for x in 0..24 {
+                    bmp.set(x, y, [rng.next_below(256) as u8, 90, 30, 255]);
+                }
+            }
+            let a = f32_cls.classify(&bmp).p_ad;
+            let b = int8_cls.classify(&bmp).p_ad;
+            assert!((a - b).abs() < 0.1, "seed {seed}: f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn precision_roundtrips_back_to_f32() {
+        let cls = tiny_classifier(8);
+        let bmp = Bitmap::new(20, 20, [120, 40, 200, 255]);
+        let baseline = cls.classify(&bmp).p_ad;
+        let back = cls
+            .clone()
+            .with_precision(Precision::Int8)
+            .with_precision(Precision::F32);
+        assert_eq!(back.precision(), Precision::F32);
+        assert_eq!(back.classify(&bmp).p_ad, baseline, "f32 weights untouched");
+    }
+
+    #[test]
+    fn int8_load_bytes_requantizes() {
+        let a = tiny_classifier(9);
+        let mut b = tiny_classifier(10).with_precision(Precision::Int8);
+        let bmp = Bitmap::new(24, 24, [10, 180, 90, 255]);
+        b.load_bytes(&a.save_bytes()).unwrap();
+        let expect = a
+            .clone()
+            .with_precision(Precision::Int8)
+            .classify(&bmp)
+            .p_ad;
+        assert_eq!(
+            b.classify(&bmp).p_ad,
+            expect,
+            "int8 execution model must follow loaded weights"
+        );
+    }
+
+    #[test]
+    fn batched_int8_matches_single_int8() {
+        let cls = tiny_classifier(11).with_precision(Precision::Int8);
+        let mut rng = Pcg32::seed_from_u64(70);
+        let shape = Shape::new(5, 4, 32, 32);
+        let batch = Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        );
+        let batched = cls.classify_tensor(&batch);
+        for (i, &p_batched) in batched.iter().enumerate() {
+            let mut one = Tensor::zeros(Shape::new(1, 4, 32, 32));
+            one.copy_sample_from(0, &batch, i);
+            let single = cls.classify_tensor(&one)[0];
+            // Activation scales are per sample, so a verdict must not
+            // depend on which other images shared the micro-batch.
+            assert_eq!(
+                p_batched, single,
+                "sample {i}: int8 verdicts must be batch-invariant"
             );
         }
     }

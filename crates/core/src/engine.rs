@@ -22,7 +22,7 @@
 //! returns a ticket for callers that want fire-and-forget or deferred
 //! pickup semantics.
 
-use crate::classifier::{Classifier, Prediction};
+use crate::classifier::{Classifier, Precision, Prediction};
 use crate::memo::MemoizedClassifier;
 use percival_imgcodec::Bitmap;
 use percival_tensor::{Shape, Tensor, Workspace};
@@ -42,6 +42,10 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Capacity of the memoized-verdict LRU shared with the hooks.
     pub cache_capacity: usize,
+    /// Numeric precision of the served forward pass. [`Precision::Int8`]
+    /// trades bounded logit drift for a substantially faster CNN; two
+    /// engines over the same weights can serve f32 and int8 side by side.
+    pub precision: Precision,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +53,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_batch: 8,
             cache_capacity: 4096,
+            precision: Precision::F32,
         }
     }
 }
@@ -152,14 +157,19 @@ pub struct InferenceEngine {
 }
 
 impl InferenceEngine {
-    /// Spawns an engine around a trained classifier.
+    /// Spawns an engine around a trained classifier, switching it to the
+    /// configured [`EngineConfig::precision`] first.
     pub fn new(classifier: Classifier, cfg: EngineConfig) -> Self {
+        let classifier = classifier.with_precision(cfg.precision);
         let memo = Arc::new(MemoizedClassifier::new(classifier, cfg.cache_capacity));
         Self::with_memo(memo, cfg)
     }
 
     /// Spawns an engine sharing an existing memoized classifier (cache
-    /// misses flow through the batcher; hits never enter the queue).
+    /// misses flow through the batcher; hits never enter the queue). The
+    /// wrapped classifier keeps its own precision here —
+    /// [`EngineConfig::precision`] only applies when the engine owns
+    /// classifier construction ([`InferenceEngine::new`]).
     pub fn with_memo(memo: Arc<MemoizedClassifier>, cfg: EngineConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
@@ -465,6 +475,33 @@ mod tests {
             15,
             "the other 15 submissions deduplicate"
         );
+    }
+
+    #[test]
+    fn int8_engine_serves_alongside_f32() {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+        let f32_eng =
+            InferenceEngine::new(Classifier::new(model.clone(), 32), EngineConfig::default());
+        let int8_eng = InferenceEngine::new(
+            Classifier::new(model, 32),
+            EngineConfig {
+                precision: Precision::Int8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(int8_eng.classifier().precision(), Precision::Int8);
+        for seed in 0..4 {
+            let bmp = noisy_bitmap(300 + seed);
+            let a = f32_eng.submit_wait(&bmp);
+            let b = int8_eng.submit_wait(&bmp);
+            assert!(
+                (a.p_ad - b.p_ad).abs() < 0.1,
+                "seed {seed}: f32 {} vs int8 {}",
+                a.p_ad,
+                b.p_ad
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod policy;
 pub mod train;
 
 pub use arch::{original_squeezenet, percival_net};
-pub use classifier::{Classifier, Prediction};
+pub use classifier::{Classifier, Precision, Prediction};
 pub use engine::{EngineConfig, InferenceEngine, VerdictTicket};
 pub use hook::PercivalHook;
 pub use memo::MemoizedClassifier;

@@ -1,0 +1,81 @@
+//! Int8-vs-f32 parity: the quantized execution path must agree with full
+//! precision on essentially every verdict.
+//!
+//! The acceptance bar for shipping the int8 path is behavioral, not just
+//! numeric: on a synthetic eval set (the same webgen distribution the
+//! training recipe uses), verdict agreement must be at least 99% and the
+//! probability drift bounded. CI runs this under `--release` so the numbers
+//! reflect the optimized kernels that actually serve traffic.
+
+use percival_core::train::{train, TrainConfig};
+use percival_core::{Classifier, Precision};
+use percival_imgcodec::Bitmap;
+use percival_nn::StepLr;
+use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
+use percival_webgen::Script;
+
+/// Trains a small classifier on the synthetic balanced dataset so verdicts
+/// are confident rather than coin flips around the threshold.
+fn trained_classifier() -> Classifier {
+    let ds = build_balanced_dataset(23, DatasetProfile::Alexa, Script::Latin, 32, 40);
+    let bitmaps: Vec<Bitmap> = ds.iter().map(|s| s.bitmap.clone()).collect();
+    let labels: Vec<bool> = ds.iter().map(|s| s.is_ad).collect();
+    let cfg = TrainConfig {
+        input_size: 32,
+        width_divisor: 4,
+        epochs: 8,
+        batch_size: 16,
+        schedule: StepLr {
+            base: 0.02,
+            gamma: 0.1,
+            every: 30,
+        },
+        ..Default::default()
+    };
+    train(&bitmaps, &labels, &cfg).classifier
+}
+
+#[test]
+fn int8_verdicts_agree_with_f32_on_synthetic_eval_set() {
+    let f32_cls = trained_classifier();
+    let int8_cls = f32_cls.clone().with_precision(Precision::Int8);
+
+    // A held-out synthetic eval set (different seed than training).
+    let eval = build_balanced_dataset(97, DatasetProfile::Alexa, Script::Latin, 32, 60);
+    assert!(eval.len() >= 100, "eval set too small: {}", eval.len());
+
+    let mut agree = 0usize;
+    let mut max_drift = 0.0f32;
+    for sample in &eval {
+        let a = f32_cls.classify(&sample.bitmap);
+        let b = int8_cls.classify(&sample.bitmap);
+        if a.is_ad == b.is_ad {
+            agree += 1;
+        }
+        max_drift = max_drift.max((a.p_ad - b.p_ad).abs());
+    }
+    let agreement = agree as f64 / eval.len() as f64;
+    assert!(
+        agreement >= 0.99,
+        "int8 verdict agreement {agreement:.4} below 0.99 ({agree}/{})",
+        eval.len()
+    );
+    // Per-tensor symmetric quantization through an 11-conv network stays
+    // within a few percent of probability mass on this model family.
+    assert!(
+        max_drift < 0.2,
+        "worst-case P(ad) drift {max_drift} exceeds the logit-drift bound"
+    );
+}
+
+#[test]
+fn int8_model_is_deterministic() {
+    let cls = trained_classifier().with_precision(Precision::Int8);
+    let eval = build_balanced_dataset(5, DatasetProfile::Alexa, Script::Latin, 32, 4);
+    for sample in &eval {
+        let first = cls.classify(&sample.bitmap).p_ad;
+        for _ in 0..3 {
+            assert_eq!(cls.classify(&sample.bitmap).p_ad, first);
+        }
+    }
+}

@@ -182,8 +182,9 @@ fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     concat_channels_with(a, b, &mut ws)
 }
 
-/// [`concat_channels`] into a buffer drawn from `ws`.
-fn concat_channels_with(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
+/// [`concat_channels`] into a buffer drawn from `ws` (shared with the int8
+/// fire-module path in [`crate::qmodel`]).
+pub(crate) fn concat_channels_with(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
     let (sa, sb) = (a.shape(), b.shape());
     assert_eq!(
         (sa.n, sa.h, sa.w),

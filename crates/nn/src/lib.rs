@@ -6,9 +6,11 @@
 //! full backward pass, an SGD-with-momentum optimizer with step learning-rate
 //! decay (the paper's exact training recipe, Section 4.3), a compact binary
 //! weight format whose byte size is the paper's "model size" metric, int8
-//! post-training quantization (deployment extension, Section 6),
-//! Grad-CAM salience maps (Section 5.6), and FGSM adversarial-example
-//! generation (the Section 7 threat model).
+//! post-training quantization — both storage snapshots ([`quant`]) and a
+//! true int8 *execution* model ([`qmodel`]) that keeps weights quantized
+//! through the GEMM (deployment extension, Section 6) — Grad-CAM salience
+//! maps (Section 5.6), and FGSM adversarial-example generation (the
+//! Section 7 threat model).
 
 pub mod adversarial;
 pub mod gradcam;
@@ -16,9 +18,12 @@ pub mod init;
 pub mod layer;
 pub mod model;
 pub mod optim;
+pub mod qmodel;
 pub mod quant;
 pub mod serialize;
 
 pub use layer::{Conv2d, Fire, Layer};
 pub use model::{ModelGrads, Sequential};
 pub use optim::{SgdMomentum, StepLr};
+pub use qmodel::QuantizedSequential;
+pub use quant::{quantize, QuantError, QuantizedModel};

@@ -63,9 +63,21 @@ impl Sequential {
     /// geometry, subsequent calls perform zero heap allocations apart from
     /// the small returned logits tensor.
     pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
-        let mut seed = ws.take(input.shape().count());
-        seed.copy_from_slice(input.as_slice());
-        let mut x = Tensor::from_vec(input.shape(), seed);
+        self.forward_slice_with(input.shape(), input.as_slice(), ws)
+    }
+
+    /// [`Sequential::forward_with`] over a borrowed buffer: lets callers
+    /// forward a sub-range of a batch tensor (e.g. one sample) without
+    /// staging it into an owned tensor first — the input is copied exactly
+    /// once, into the workspace seed buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `shape` implies.
+    pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
+        let mut seed = ws.take(shape.count());
+        seed.copy_from_slice(&data[..shape.count()]);
+        let mut x = Tensor::from_vec(shape, seed);
         for layer in &self.layers {
             x = layer.forward_with(x, ws);
         }

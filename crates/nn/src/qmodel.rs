@@ -1,0 +1,348 @@
+//! The int8 execution model: [`QuantizedSequential`].
+//!
+//! [`crate::quant`] is the *storage* half of quantization — it shrinks the
+//! serialized model ~4x but dequantizes back to f32 before running, so
+//! inference cost is unchanged. This module is the *execution* half:
+//! weights stay int8 in memory and every convolution runs through the
+//! `i8 x i8 -> i32` GEMM ([`percival_tensor::gemm_i8`]), with activations
+//! quantized per sample on the fly and f32 restored only at layer
+//! boundaries (ReLU, pooling, logits). On AVX2 hosts the quantized inner
+//! product retires 4x the multiply-accumulates per instruction of the f32
+//! SSE tile, and the packed panels move a quarter of the bytes — this is
+//! the paper's "practical in-browser" lever applied to the runtime rather
+//! than the download.
+
+use crate::layer::{concat_channels_with, Conv2d, Layer};
+use crate::model::Sequential;
+use percival_tensor::workspace::with_thread_workspace;
+use percival_tensor::{
+    conv2d_forward_q8_with, quantize_symmetric, Conv2dCfg, PoolCfg, Shape, Tensor, Workspace,
+};
+
+/// A convolution with int8 weights and a per-tensor symmetric scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QConv2d {
+    /// Quantized kernel, `OC x IC x KH x KW` row-major.
+    pub weight_q: Vec<i8>,
+    /// Kernel geometry (`n` is the output-channel count).
+    pub weight_shape: Shape,
+    /// Per-tensor symmetric scale (`w ≈ q * scale`).
+    pub scale: f32,
+    /// Full-precision bias (biases stay f32, as is standard).
+    pub bias: Vec<f32>,
+    /// Stride / padding configuration.
+    pub cfg: Conv2dCfg,
+}
+
+impl QConv2d {
+    /// Quantizes one f32 convolution layer.
+    pub fn from_conv(conv: &Conv2d) -> Self {
+        let mut weight_q = vec![0i8; conv.weight.shape().count()];
+        let scale = quantize_symmetric(conv.weight.as_slice(), &mut weight_q);
+        QConv2d {
+            weight_q,
+            weight_shape: conv.weight.shape(),
+            scale,
+            bias: conv.bias.clone(),
+            cfg: conv.cfg,
+        }
+    }
+
+    /// The int8 forward pass (dynamic per-sample activation quantization).
+    pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        conv2d_forward_q8_with(
+            input,
+            &self.weight_q,
+            self.weight_shape,
+            self.scale,
+            &self.bias,
+            self.cfg,
+            ws,
+        )
+    }
+
+    /// Storage bytes: 1 per weight, 4 per bias, 4 for the scale.
+    pub fn size_bytes(&self) -> usize {
+        self.weight_q.len() + 4 * self.bias.len() + 4
+    }
+}
+
+/// A fire module with int8 convolutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QFire {
+    /// The 1x1 channel-reducing convolution.
+    pub squeeze: QConv2d,
+    /// The 1x1 expand convolution.
+    pub expand1: QConv2d,
+    /// The 3x3 expand convolution.
+    pub expand3: QConv2d,
+}
+
+/// One step of a [`QuantizedSequential`] network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QLayer {
+    /// An int8 convolution.
+    Conv(QConv2d),
+    /// Elementwise ReLU (f32).
+    Relu,
+    /// Max pooling (f32).
+    MaxPool(PoolCfg),
+    /// Global average pooling to `1 x 1` (f32).
+    GlobalAvgPool,
+    /// A fire module with int8 convolutions (boxed: three convolutions
+    /// would otherwise dominate the enum's footprint).
+    Fire(Box<QFire>),
+}
+
+/// An int8 snapshot of a [`Sequential`] network that *executes* in int8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSequential {
+    /// Layers in execution order.
+    pub layers: Vec<QLayer>,
+}
+
+impl QuantizedSequential {
+    /// Quantizes every convolution of `model` into an int8 execution model.
+    pub fn from_model(model: &Sequential) -> Self {
+        let layers = model
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                Layer::Conv(c) => QLayer::Conv(QConv2d::from_conv(c)),
+                Layer::Relu => QLayer::Relu,
+                Layer::MaxPool(cfg) => QLayer::MaxPool(*cfg),
+                Layer::GlobalAvgPool => QLayer::GlobalAvgPool,
+                Layer::Fire(f) => QLayer::Fire(Box::new(QFire {
+                    squeeze: QConv2d::from_conv(&f.squeeze),
+                    expand1: QConv2d::from_conv(&f.expand1),
+                    expand3: QConv2d::from_conv(&f.expand3),
+                })),
+            })
+            .collect();
+        QuantizedSequential { layers }
+    }
+
+    /// Inference forward pass using the calling thread's recycled workspace.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        with_thread_workspace(|ws| self.forward_with(input, ws))
+    }
+
+    /// Inference forward pass with explicit scratch: convolutions run in
+    /// int8 ([`conv2d_forward_q8_with`]); activations, pooling and the
+    /// returned logits are f32. Warmed-up calls are allocation-free apart
+    /// from the small returned tensor.
+    pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.forward_slice_with(input.shape(), input.as_slice(), ws)
+    }
+
+    /// [`QuantizedSequential::forward_with`] over a borrowed buffer (mirror
+    /// of [`Sequential::forward_slice_with`]): one sample of a batch tensor
+    /// can be forwarded without staging into an owned tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `shape` implies.
+    pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
+        let mut seed = ws.take(shape.count());
+        seed.copy_from_slice(&data[..shape.count()]);
+        let mut x = Tensor::from_vec(shape, seed);
+        for layer in &self.layers {
+            x = Self::layer_forward(layer, x, ws);
+        }
+        let out = Tensor::from_vec(x.shape(), x.as_slice().to_vec());
+        ws.recycle(x.into_vec());
+        out
+    }
+
+    /// One layer step; consumes the input buffer back into the arena.
+    fn layer_forward(layer: &QLayer, x: Tensor, ws: &mut Workspace) -> Tensor {
+        use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with};
+        match layer {
+            QLayer::Conv(c) => {
+                let out = c.forward_with(&x, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            QLayer::Relu => {
+                let mut x = x;
+                x.map_inplace(|v| v.max(0.0));
+                x
+            }
+            QLayer::MaxPool(cfg) => {
+                let out = max_pool_forward_with(&x, *cfg, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            QLayer::GlobalAvgPool => {
+                let out = global_avg_pool_forward_with(&x, ws);
+                ws.recycle(x.into_vec());
+                out
+            }
+            QLayer::Fire(fire) => {
+                let QFire {
+                    squeeze,
+                    expand1,
+                    expand3,
+                } = fire.as_ref();
+                let mut squeezed = squeeze.forward_with(&x, ws);
+                ws.recycle(x.into_vec());
+                squeezed.map_inplace(|v| v.max(0.0));
+                let mut e1 = expand1.forward_with(&squeezed, ws);
+                let mut e3 = expand3.forward_with(&squeezed, ws);
+                ws.recycle(squeezed.into_vec());
+                e1.map_inplace(|v| v.max(0.0));
+                e3.map_inplace(|v| v.max(0.0));
+                let out = concat_channels_with(&e1, &e3, ws);
+                ws.recycle(e1.into_vec());
+                ws.recycle(e3.into_vec());
+                out
+            }
+        }
+    }
+
+    /// Output shape for a given input shape, without running the network.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        self.layers.iter().fold(input, |s, layer| match layer {
+            QLayer::Conv(c) => conv_output_shape(s, c),
+            QLayer::Relu => s,
+            QLayer::MaxPool(cfg) => {
+                let oh = percival_tensor::conv::conv_out_extent(s.h, cfg.kernel, cfg.stride, 0)
+                    .expect("pool window must fit");
+                let ow = percival_tensor::conv::conv_out_extent(s.w, cfg.kernel, cfg.stride, 0)
+                    .expect("pool window must fit");
+                Shape::new(s.n, s.c, oh, ow)
+            }
+            QLayer::GlobalAvgPool => Shape::new(s.n, s.c, 1, 1),
+            QLayer::Fire(fire) => {
+                let sq = conv_output_shape(s, &fire.squeeze);
+                let out_c = fire.expand1.weight_shape.n + fire.expand3.weight_shape.n;
+                Shape::new(sq.n, out_c, sq.h, sq.w)
+            }
+        })
+    }
+
+    /// In-memory weight bytes (int8 weights + f32 biases + scales) — the
+    /// runtime footprint the int8 path actually keeps resident.
+    pub fn size_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|layer| match layer {
+                QLayer::Conv(c) => c.size_bytes(),
+                QLayer::Fire(fire) => {
+                    fire.squeeze.size_bytes()
+                        + fire.expand1.size_bytes()
+                        + fire.expand3.size_bytes()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn conv_output_shape(input: Shape, conv: &QConv2d) -> Shape {
+    let ws = conv.weight_shape;
+    let oh = percival_tensor::conv::conv_out_extent(input.h, ws.h, conv.cfg.stride, conv.cfg.pad)
+        .expect("conv kernel must fit input");
+    let ow = percival_tensor::conv::conv_out_extent(input.w, ws.w, conv.cfg.stride, conv.cfg.pad)
+        .expect("conv kernel must fit input");
+    Shape::new(input.n, ws.n, oh, ow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Fire;
+    use percival_util::Pcg32;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(6, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::MaxPool(PoolCfg {
+                kernel: 2,
+                stride: 2,
+            }),
+            Layer::Fire(Fire::new(6, 3, 6)),
+            Layer::Conv(Conv2d::new(2, 12, 1, Conv2dCfg { stride: 1, pad: 0 })),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut m, &mut Pcg32::seed_from_u64(seed));
+        m
+    }
+
+    fn rand_input(seed: u64, shape: Shape) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        let m = model(1);
+        let q = QuantizedSequential::from_model(&m);
+        let input = rand_input(2, Shape::new(2, 3, 12, 12));
+        let f32_out = m.forward(&input);
+        let q_out = q.forward(&input);
+        assert_eq!(f32_out.shape(), q_out.shape());
+        for (a, b) in f32_out.as_slice().iter().zip(q_out.as_slice()) {
+            assert!((a - b).abs() < 0.15, "f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_shape_inference_matches_f32() {
+        let m = model(3);
+        let q = QuantizedSequential::from_model(&m);
+        for edge in [8usize, 12, 16] {
+            let s = Shape::new(1, 3, edge, edge);
+            assert_eq!(q.output_shape(s), m.output_shape(s), "edge {edge}");
+        }
+    }
+
+    #[test]
+    fn quantized_model_is_roughly_4x_smaller() {
+        let m = model(4);
+        let q = QuantizedSequential::from_model(&m);
+        assert!(
+            q.size_bytes() * 3 < m.size_bytes_f32(),
+            "int8 {} vs f32 {}",
+            q.size_bytes(),
+            m.size_bytes_f32()
+        );
+    }
+
+    #[test]
+    fn quantized_forward_is_allocation_free_when_warm() {
+        let m = model(5);
+        let q = QuantizedSequential::from_model(&m);
+        let input = rand_input(6, Shape::new(1, 3, 12, 12));
+        let mut ws = Workspace::new();
+        let first = q.forward_with(&input, &mut ws);
+        let cold = ws.stats().allocations;
+        for _ in 0..3 {
+            let again = q.forward_with(&input, &mut ws);
+            assert_eq!(first, again, "repeated int8 forwards must be deterministic");
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "a warm int8 forward must not allocate"
+        );
+    }
+
+    #[test]
+    fn zero_weight_model_runs_without_nan() {
+        let m = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(2, 3, 1, Conv2dCfg::default())),
+            Layer::GlobalAvgPool,
+        ]);
+        let q = QuantizedSequential::from_model(&m);
+        let out = q.forward(&rand_input(7, Shape::new(1, 3, 4, 4)));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

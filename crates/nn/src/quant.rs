@@ -1,13 +1,78 @@
-//! Int8 post-training quantization.
+//! Int8 post-training quantization (storage snapshots).
 //!
 //! A deployment extension discussed by the paper (Section 6 targets mobile
 //! browsers; prior work holds that models above ~5 MB are impractical on
 //! phones). Weights are quantized per-tensor with a symmetric scale
 //! (`q = round(w / scale)`, `scale = max|w| / 127`), shrinking storage ~4x
-//! on top of the paper's 74x architectural compression. Inference
-//! dequantizes on load, so accuracy cost is bounded by rounding error.
+//! on top of the paper's 74x architectural compression.
+//!
+//! This module covers the *storage* story: a [`QuantizedModel`] snapshot
+//! that dequantizes back into an f32 model, with accuracy cost bounded by
+//! rounding error. For quantization that also speeds up the *runtime*
+//! (int8 weights kept through the GEMM), see
+//! [`crate::qmodel::QuantizedSequential`].
 
 use crate::model::Sequential;
+
+/// Why a quantized snapshot could not be applied to a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The model has a different number of parameter tensors than the
+    /// snapshot (param order / architecture mismatch).
+    TensorCount {
+        /// Tensors in the snapshot.
+        snapshot: usize,
+        /// Tensors in the target model.
+        model: usize,
+    },
+    /// Parameter tensor `index` has a different element count.
+    WeightShape {
+        /// Position in [`Sequential::visit_params`] order.
+        index: usize,
+        /// Elements in the snapshot tensor.
+        snapshot: usize,
+        /// Elements in the model tensor.
+        model: usize,
+    },
+    /// Bias vector `index` has a different length.
+    BiasLen {
+        /// Position in [`Sequential::visit_params`] order.
+        index: usize,
+        /// Bias length in the snapshot.
+        snapshot: usize,
+        /// Bias length in the model.
+        model: usize,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::TensorCount { snapshot, model } => write!(
+                f,
+                "quantized snapshot has {snapshot} parameter tensors but the model has {model}"
+            ),
+            QuantError::WeightShape {
+                index,
+                snapshot,
+                model,
+            } => write!(
+                f,
+                "quantized tensor {index} has {snapshot} elements but the model expects {model}"
+            ),
+            QuantError::BiasLen {
+                index,
+                snapshot,
+                model,
+            } => write!(
+                f,
+                "quantized bias {index} has length {snapshot} but the model expects {model}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
 
 /// One quantized parameter tensor (+ its f32 bias, biases stay full
 /// precision as is standard).
@@ -59,37 +124,66 @@ impl QuantizedModel {
 
     /// Writes dequantized weights back into a structurally-identical model.
     ///
-    /// # Panics
+    /// The whole structure is validated **before** any weight is written:
+    /// on a mismatched model (different tensor count, element count or bias
+    /// length — e.g. a snapshot applied to a different architecture, or a
+    /// param-order drift between versions) the model is left untouched and
+    /// a [`QuantError`] pinpointing the first divergence is returned,
+    /// instead of silently truncating or panicking mid-write.
     ///
-    /// Panics if `model`'s parameter structure differs from the snapshot.
-    pub fn dequantize_into(&self, model: &mut Sequential) {
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] when the parameter structures differ.
+    pub fn dequantize_into(&self, model: &mut Sequential) -> Result<(), QuantError> {
+        // Validation pass (immutable): fail before mutating anything.
+        let mut shapes = Vec::new();
+        model.visit_params(|w, b| shapes.push((w.shape().count(), b.len())));
+        if shapes.len() != self.params.len() {
+            return Err(QuantError::TensorCount {
+                snapshot: self.params.len(),
+                model: shapes.len(),
+            });
+        }
+        for (i, (p, &(w_len, b_len))) in self.params.iter().zip(shapes.iter()).enumerate() {
+            if p.q.len() != w_len {
+                return Err(QuantError::WeightShape {
+                    index: i,
+                    snapshot: p.q.len(),
+                    model: w_len,
+                });
+            }
+            if p.bias.len() != b_len {
+                return Err(QuantError::BiasLen {
+                    index: i,
+                    snapshot: p.bias.len(),
+                    model: b_len,
+                });
+            }
+        }
+
         let mut i = 0usize;
         let params = &self.params;
         model.visit_params_mut(|w, b| {
             let p = &params[i];
-            assert_eq!(
-                p.q.len(),
-                w.shape().count(),
-                "quantized tensor {i} shape mismatch"
-            );
-            assert_eq!(p.bias.len(), b.len(), "quantized bias {i} length mismatch");
             for (dst, &qv) in w.as_mut_slice().iter_mut().zip(p.q.iter()) {
                 *dst = f32::from(qv) * p.scale;
             }
             b.copy_from_slice(&p.bias);
             i += 1;
         });
-        assert_eq!(
-            i,
-            params.len(),
-            "model has fewer parameter tensors than snapshot"
-        );
+        Ok(())
     }
 
     /// Maximum absolute dequantization error across all weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not fit `model` (it was produced from a
+    /// structurally different network).
     pub fn max_error(&self, model: &Sequential) -> f32 {
         let mut restored = model.clone();
-        self.dequantize_into(&mut restored);
+        self.dequantize_into(&mut restored)
+            .expect("max_error requires a snapshot of this model's structure");
         let mut worst = 0.0f32;
         let mut originals = Vec::new();
         model.visit_params(|w, _| originals.push(w.clone()));
@@ -144,7 +238,7 @@ mod tests {
         let m = model(3);
         let q = quantize(&m);
         let mut restored = m.clone();
-        q.dequantize_into(&mut restored);
+        q.dequantize_into(&mut restored).unwrap();
 
         let mut rng = Pcg32::seed_from_u64(4);
         let shape = Shape::new(2, 3, 8, 8);
@@ -175,6 +269,58 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_structure_is_an_error_not_a_truncation() {
+        let q = quantize(&model(6));
+        // A structurally different model: wrong tensor count.
+        let mut small = Sequential::new(vec![Layer::Conv(Conv2d::new(
+            4,
+            3,
+            3,
+            Conv2dCfg { stride: 1, pad: 1 },
+        ))]);
+        let before = small.clone();
+        let err = q.dequantize_into(&mut small).unwrap_err();
+        assert!(matches!(
+            err,
+            QuantError::TensorCount {
+                snapshot: 4,
+                model: 1
+            }
+        ));
+        assert_eq!(small, before, "failed apply must leave the model untouched");
+
+        // Same tensor count, different geometry.
+        let mut skewed = model(7);
+        if let Layer::Conv(c) = &mut skewed.layers[0] {
+            *c = Conv2d::new(4, 3, 1, Conv2dCfg { stride: 1, pad: 0 });
+        }
+        let before = skewed.clone();
+        let err = q.dequantize_into(&mut skewed).unwrap_err();
+        assert!(
+            matches!(err, QuantError::WeightShape { index: 0, .. }),
+            "got {err}"
+        );
+        assert_eq!(
+            skewed, before,
+            "failed apply must leave the model untouched"
+        );
+    }
+
+    #[test]
+    fn quant_error_messages_name_the_divergence() {
+        let e = QuantError::BiasLen {
+            index: 2,
+            snapshot: 8,
+            model: 4,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("bias 2") && msg.contains('8') && msg.contains('4'),
+            "{msg}"
+        );
+    }
+
+    #[test]
     fn biases_survive_exactly() {
         let mut m = model(5);
         m.visit_params_mut(|_, b| {
@@ -185,7 +331,7 @@ mod tests {
         let q = quantize(&m);
         let mut restored = m.clone();
         crate::init::kaiming_init(&mut restored, &mut Pcg32::seed_from_u64(9));
-        q.dequantize_into(&mut restored);
+        q.dequantize_into(&mut restored).unwrap();
         let mut expect = Vec::new();
         m.visit_params(|_, b| expect.push(b.to_vec()));
         let mut got = Vec::new();

@@ -14,6 +14,7 @@
 //! on dense activations that branch is almost never taken but still defeats
 //! vectorization of the inner loop.
 
+use crate::simd::{simd_available, MR_SIMD, NR_SIMD};
 use crate::threadpool::{ScopedTask, ThreadPool};
 use crate::workspace::{with_thread_workspace, Workspace};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -21,12 +22,16 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// Which forward-GEMM implementation [`gemm_acc`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmKernel {
-    /// Cache-blocked, packed, register-tiled (the default).
+    /// Cache-blocked, packed, register-tiled, autovectorized (portable).
     Tiled,
     /// The seed's scalar i-k-j loop — kept selectable so benchmarks and
     /// A/B experiments can measure the whole inference stack on the
     /// pre-refactor kernel (`PERCIVAL_GEMM=scalar` or [`set_gemm_kernel`]).
     Scalar,
+    /// Cache-blocked with the explicit AVX2+FMA microkernel
+    /// ([`crate::simd`]); degrades to [`GemmKernel::Tiled`] on hosts
+    /// without AVX2/FMA, so it is always safe to select.
+    Simd,
 }
 
 static KERNEL: AtomicU8 = AtomicU8::new(u8::MAX); // MAX = uninitialized
@@ -36,19 +41,58 @@ pub fn set_gemm_kernel(kernel: GemmKernel) {
     KERNEL.store(kernel as u8, Ordering::Relaxed);
 }
 
-/// The forward-GEMM kernel currently in effect (first call consults the
-/// `PERCIVAL_GEMM` environment variable: `scalar` or `tiled`).
+/// The forward-GEMM kernel currently in effect. The first call consults the
+/// `PERCIVAL_GEMM` environment variable (`scalar`, `tiled` or `simd`); when
+/// unset, the explicit-SIMD kernel is preferred and its built-in detection
+/// falls back to the portable tile where AVX2/FMA is missing.
 pub fn gemm_kernel() -> GemmKernel {
     match KERNEL.load(Ordering::Relaxed) {
         0 => GemmKernel::Tiled,
         1 => GemmKernel::Scalar,
+        2 => GemmKernel::Simd,
         _ => {
             let kernel = match std::env::var("PERCIVAL_GEMM").as_deref() {
                 Ok("scalar") => GemmKernel::Scalar,
-                _ => GemmKernel::Tiled,
+                Ok("tiled") => GemmKernel::Tiled,
+                _ => GemmKernel::Simd,
             };
             set_gemm_kernel(kernel);
             kernel
+        }
+    }
+}
+
+/// Register-tile geometry + innermost kernel of one blocked-GEMM variant.
+///
+/// The block driver, packers and thread-split logic are shared between the
+/// portable and explicit-SIMD paths; only the tile extents and the
+/// microkernel differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TileSpec {
+    mr: usize,
+    nr: usize,
+    /// Run the AVX2+FMA microkernel (caller has verified availability).
+    avx2: bool,
+}
+
+impl TileSpec {
+    const PORTABLE: TileSpec = TileSpec {
+        mr: MR,
+        nr: NR,
+        avx2: false,
+    };
+    const AVX2: TileSpec = TileSpec {
+        mr: MR_SIMD,
+        nr: NR_SIMD,
+        avx2: true,
+    };
+
+    /// The tile to run for the selected kernel on this host.
+    fn for_kernel(kernel: GemmKernel) -> TileSpec {
+        if kernel == GemmKernel::Simd && simd_available() {
+            TileSpec::AVX2
+        } else {
+            TileSpec::PORTABLE
         }
     }
 }
@@ -94,18 +138,28 @@ pub fn gemm_acc_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 }
 
 /// Packs the `mc x kc` block of `a` starting at `(ic, pc)` into row panels
-/// of `MR`: panel `ir` holds columns-of-`MR` laid out k-major, zero-padded
+/// of `mr`: panel `ir` holds columns-of-`mr` laid out k-major, zero-padded
 /// on the ragged bottom edge.
-fn pack_a(a: &[f32], pack: &mut [f32], ic: usize, pc: usize, mc: usize, kc: usize, lda: usize) {
-    let panels = mc.div_ceil(MR);
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    pack: &mut [f32],
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    lda: usize,
+    mr: usize,
+) {
+    let panels = mc.div_ceil(mr);
     for ir in 0..panels {
-        let rows = MR.min(mc - ir * MR);
-        let dst = &mut pack[ir * MR * kc..(ir + 1) * MR * kc];
+        let rows = mr.min(mc - ir * mr);
+        let dst = &mut pack[ir * mr * kc..(ir + 1) * mr * kc];
         for p in 0..kc {
-            let out = &mut dst[p * MR..p * MR + MR];
+            let out = &mut dst[p * mr..p * mr + mr];
             for (r, slot) in out.iter_mut().enumerate() {
                 *slot = if r < rows {
-                    a[(ic + ir * MR + r) * lda + pc + p]
+                    a[(ic + ir * mr + r) * lda + pc + p]
                 } else {
                     0.0
                 };
@@ -115,18 +169,28 @@ fn pack_a(a: &[f32], pack: &mut [f32], ic: usize, pc: usize, mc: usize, kc: usiz
 }
 
 /// Packs the `kc x nc` block of `b` starting at `(pc, jc)` into column
-/// panels of `NR`, k-major within each panel, zero-padded on the ragged
+/// panels of `nr`, k-major within each panel, zero-padded on the ragged
 /// right edge.
-fn pack_b(b: &[f32], pack: &mut [f32], pc: usize, jc: usize, kc: usize, nc: usize, ldb: usize) {
-    let panels = nc.div_ceil(NR);
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    pack: &mut [f32],
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    ldb: usize,
+    nr: usize,
+) {
+    let panels = nc.div_ceil(nr);
     for jr in 0..panels {
-        let cols = NR.min(nc - jr * NR);
-        let dst = &mut pack[jr * NR * kc..(jr + 1) * NR * kc];
+        let cols = nr.min(nc - jr * nr);
+        let dst = &mut pack[jr * nr * kc..(jr + 1) * nr * kc];
         for p in 0..kc {
-            let src_row = (pc + p) * ldb + jc + jr * NR;
-            let out = &mut dst[p * NR..p * NR + NR];
-            if cols == NR {
-                out.copy_from_slice(&b[src_row..src_row + NR]);
+            let src_row = (pc + p) * ldb + jc + jr * nr;
+            let out = &mut dst[p * nr..p * nr + nr];
+            if cols == nr {
+                out.copy_from_slice(&b[src_row..src_row + nr]);
             } else {
                 for (x, slot) in out.iter_mut().enumerate() {
                     *slot = if x < cols { b[src_row + x] } else { 0.0 };
@@ -161,29 +225,45 @@ fn microkernel(pa: &[f32], pb: &[f32], kc: usize, c: &mut [f32], ldc: usize, mr:
     }
 }
 
-/// Runs the packed block `pa x pb` into the `mc x nc` region of `c`.
-fn run_block(pa: &[f32], pb: &[f32], c: &mut [f32], ldc: usize, mc: usize, nc: usize, kc: usize) {
-    for jr in 0..nc.div_ceil(NR) {
-        let nr = NR.min(nc - jr * NR);
-        let pb_panel = &pb[jr * NR * kc..(jr + 1) * NR * kc];
-        for ir in 0..mc.div_ceil(MR) {
-            let mr = MR.min(mc - ir * MR);
-            let pa_panel = &pa[ir * MR * kc..(ir + 1) * MR * kc];
-            microkernel(
-                pa_panel,
-                pb_panel,
-                kc,
-                &mut c[ir * MR * ldc + jr * NR..],
-                ldc,
-                mr,
-                nr,
-            );
+/// Runs the packed block `pa x pb` into the `mc x nc` region of `c`,
+/// dispatching to the tile's microkernel.
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    tile: TileSpec,
+) {
+    let (tmr, tnr) = (tile.mr, tile.nr);
+    for jr in 0..nc.div_ceil(tnr) {
+        let nr = tnr.min(nc - jr * tnr);
+        let pb_panel = &pb[jr * tnr * kc..(jr + 1) * tnr * kc];
+        for ir in 0..mc.div_ceil(tmr) {
+            let mr = tmr.min(mc - ir * tmr);
+            let pa_panel = &pa[ir * tmr * kc..(ir + 1) * tmr * kc];
+            let c_tile = &mut c[ir * tmr * ldc + jr * tnr..];
+            #[cfg(target_arch = "x86_64")]
+            if tile.avx2 {
+                // SAFETY: `tile.avx2` is only set by `TileSpec::for_kernel`
+                // after `simd_available()` confirmed AVX2+FMA; panel and C
+                // extents are the same ones the portable kernel relies on.
+                unsafe {
+                    crate::simd::microkernel_f32_avx2(pa_panel, pb_panel, kc, c_tile, ldc, mr, nr);
+                }
+                continue;
+            }
+            microkernel(pa_panel, pb_panel, kc, c_tile, ldc, mr, nr);
         }
     }
 }
 
 /// Tiled `c += a * b` over the full row range, single-threaded, with caller-
 /// provided packing buffers.
+#[allow(clippy::too_many_arguments)]
 fn gemm_tiled(
     a: &[f32],
     b: &[f32],
@@ -192,18 +272,19 @@ fn gemm_tiled(
     k: usize,
     n: usize,
     ws: &mut Workspace,
+    tile: TileSpec,
 ) {
-    let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * KC.min(k));
-    let mut pb = ws.take(NC.min(n).div_ceil(NR) * NR * KC.min(k));
+    let mut pa = ws.take(MC.min(m).div_ceil(tile.mr) * tile.mr * KC.min(k));
+    let mut pb = ws.take(NC.min(n).div_ceil(tile.nr) * tile.nr * KC.min(k));
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(b, &mut pb, pc, jc, kc, nc, n);
+            pack_b(b, &mut pb, pc, jc, kc, nc, n, tile.nr);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(a, &mut pa, ic, pc, mc, kc, k);
-                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc);
+                pack_a(a, &mut pa, ic, pc, mc, kc, k, tile.mr);
+                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc, tile);
             }
         }
     }
@@ -234,9 +315,11 @@ pub fn gemm_acc_ws(
     assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
-    if gemm_kernel() == GemmKernel::Scalar {
+    let kernel = gemm_kernel();
+    if kernel == GemmKernel::Scalar {
         return gemm_acc_scalar(a, b, c, m, k, n);
     }
+    let tile = TileSpec::for_kernel(kernel);
     if m * n * k <= TILING_THRESHOLD {
         // Packing overhead dominates tiny problems; a branch-free scalar
         // kernel is faster there.
@@ -268,14 +351,14 @@ pub fn gemm_acc_ws(
                 let a_band = &a[row0 * k..(row0 + band_rows) * k];
                 Box::new(move || {
                     with_thread_workspace(|tws| {
-                        gemm_tiled(a_band, b, c_chunk, band_rows, k, n, tws);
+                        gemm_tiled(a_band, b, c_chunk, band_rows, k, n, tws, tile);
                     });
                 }) as ScopedTask<'_>
             })
             .collect();
         pool.scope_run(tasks);
     } else {
-        gemm_tiled(a, b, c, m, k, n, ws);
+        gemm_tiled(a, b, c, m, k, n, ws, tile);
     }
 }
 
@@ -416,6 +499,57 @@ mod tests {
         gemm_acc(&a, &b, &mut c_tiled, m, k, n);
         gemm_acc_scalar(&a, &b, &mut c_scalar, m, k, n);
         for (x, y) in c_tiled.iter().zip(c_scalar.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn simd_tile_matches_naive_on_awkward_extents() {
+        // Drive the block driver with the explicit-SIMD tile directly (no
+        // process-global kernel mutation, which would race other tests).
+        // On hosts without AVX2/FMA this exercises the portable fallback,
+        // which is exactly the degradation `PERCIVAL_GEMM=simd` promises.
+        let tile = TileSpec::for_kernel(GemmKernel::Simd);
+        let cases = [
+            (1usize, 1usize, 1usize),
+            (5, 3, 97),
+            (67, 300, 33),
+            (131, 520, 70),
+            (6, 17, 16),
+        ];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_matrix(300 + case as u64, m * k);
+            let b = arb_matrix(400 + case as u64, k * n);
+            let mut c = vec![0.0; m * n];
+            let mut ws = Workspace::new();
+            gemm_tiled(&a, &b, &mut c, m, k, n, &mut ws, tile);
+            let expect = naive(&a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_portable_tiles_agree() {
+        let (m, k, n) = (61, 129, 83);
+        let a = arb_matrix(20, m * k);
+        let b = arb_matrix(21, k * n);
+        let mut ws = Workspace::new();
+        let mut c_simd = vec![0.25; m * n];
+        let mut c_port = vec![0.25; m * n];
+        gemm_tiled(
+            &a,
+            &b,
+            &mut c_simd,
+            m,
+            k,
+            n,
+            &mut ws,
+            TileSpec::for_kernel(GemmKernel::Simd),
+        );
+        gemm_tiled(&a, &b, &mut c_port, m, k, n, &mut ws, TileSpec::PORTABLE);
+        for (x, y) in c_simd.iter().zip(c_port.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
     }

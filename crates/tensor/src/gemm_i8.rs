@@ -1,0 +1,453 @@
+//! True int8 matrix multiplication: `i8 x i8 -> i32` with per-tensor scale
+//! requantization.
+//!
+//! The storage-only quantization story (dequantize on load, run f32) buys
+//! no runtime speed; this module is the execution half: convolutions keep
+//! their weights in int8, activations are quantized per sample on the fly,
+//! and the inner product runs over 8-bit operands — 4x less packed-panel
+//! traffic than f32 and, on AVX2, 16 multiply-accumulate pairs per
+//! `vpmaddwd`.
+//!
+//! Layout: both operands are packed into register-tile panels like the f32
+//! path, but k-steps are **pair-interleaved** so the AVX2 kernel can use
+//! `_mm256_madd_epi16` (multiply adjacent i16 pairs, add into i32 lanes):
+//!
+//! - the A panel stores, per k-pair and row, the two values `(a[i][k],
+//!   a[i][k+1])` packed into one `i32` (low/high i16 halves) — a single
+//!   32-bit broadcast feeds the madd;
+//! - the B panel stores, per k-pair, the `NR_I8` column pairs element-
+//!   interleaved: `b[k][j], b[k+1][j]` adjacent bytes, sign-extended to
+//!   i16 lanes at load time.
+//!
+//! The portable microkernel consumes the identical panels with scalar
+//! arithmetic (i32 accumulation of i16-range products), so packing code is
+//! shared and the AVX2 path is a pure drop-in. Overflow cannot occur: one
+//! madd lane is at most `2 * 127 * 127 < 2^15` and the deepest K in the
+//! PERCIVAL network (432) keeps accumulators far below `2^31`.
+
+use crate::simd::simd_available;
+use crate::workspace::Workspace;
+
+/// Int8 microkernel row count.
+pub const MR_I8: usize = 4;
+/// Int8 microkernel column count (two 256-bit i32 accumulators per row).
+pub const NR_I8: usize = 16;
+/// K-dimension cache block (i8 panels are a quarter the f32 footprint, so
+/// a deeper block than the f32 kernel's still stays L1-resident).
+const KC_I8: usize = 512;
+/// Row cache block.
+const MC_I8: usize = 128;
+/// Column cache block.
+const NC_I8: usize = 1024;
+/// Problems below this many multiply-adds skip packing entirely.
+const TILING_THRESHOLD_I8: usize = 16 * 1024;
+
+/// Quantizes `src` symmetrically to int8 (`q = round(v / scale)`,
+/// `scale = max|v| / 127`) and returns the scale. All-zero inputs get
+/// scale 1.0 so dequantization stays exact and finite.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src`.
+pub fn quantize_symmetric(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert!(dst.len() >= src.len(), "quantization target too short");
+    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let inv = 1.0 / scale;
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        *d = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// Packs an i16 pair into the i32 the A panel stores (low half = even k).
+#[inline]
+fn pack_pair(a0: i8, a1: i8) -> i32 {
+    (i32::from(a1) << 16) | i32::from(a0 as i16 as u16)
+}
+
+/// Packs the `mc x kc` block of `a` at `(ic, pc)` into `MR_I8`-row panels
+/// of k-pairs (see module docs), zero-padding ragged rows and odd k.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_i8(a: &[i8], pack: &mut [i32], ic: usize, pc: usize, mc: usize, kc: usize, lda: usize) {
+    let kc2 = kc.div_ceil(2);
+    for ir in 0..mc.div_ceil(MR_I8) {
+        let rows = MR_I8.min(mc - ir * MR_I8);
+        let dst = &mut pack[ir * MR_I8 * kc2..(ir + 1) * MR_I8 * kc2];
+        for p2 in 0..kc2 {
+            let out = &mut dst[p2 * MR_I8..(p2 + 1) * MR_I8];
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    let row = (ic + ir * MR_I8 + r) * lda + pc + 2 * p2;
+                    let a0 = a[row];
+                    let a1 = if 2 * p2 + 1 < kc { a[row + 1] } else { 0 };
+                    pack_pair(a0, a1)
+                } else {
+                    0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `b` at `(pc, jc)` into `NR_I8`-column
+/// panels of element-interleaved k-pairs, zero-padding ragged columns and
+/// odd k.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_i8(b: &[i8], pack: &mut [i8], pc: usize, jc: usize, kc: usize, nc: usize, ldb: usize) {
+    let kc2 = kc.div_ceil(2);
+    for jr in 0..nc.div_ceil(NR_I8) {
+        let cols = NR_I8.min(nc - jr * NR_I8);
+        let dst = &mut pack[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        for p2 in 0..kc2 {
+            let k0 = pc + 2 * p2;
+            let has_odd = 2 * p2 + 1 < kc;
+            let out = &mut dst[p2 * 2 * NR_I8..(p2 + 1) * 2 * NR_I8];
+            for j in 0..NR_I8 {
+                let (v0, v1) = if j < cols {
+                    let col = jc + jr * NR_I8 + j;
+                    (
+                        b[k0 * ldb + col],
+                        if has_odd { b[(k0 + 1) * ldb + col] } else { 0 },
+                    )
+                } else {
+                    (0, 0)
+                };
+                out[2 * j] = v0;
+                out[2 * j + 1] = v1;
+            }
+        }
+    }
+}
+
+/// Portable int8 microkernel over the pair-interleaved panels: accumulates
+/// an `MR_I8 x NR_I8` i32 tile across `kc2` k-pairs, then adds the valid
+/// `mr x nr` corner into `c`.
+fn micro_i8_portable(
+    pa: &[i32],
+    pb: &[i8],
+    kc2: usize,
+    c: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0i32; NR_I8]; MR_I8];
+    for p2 in 0..kc2 {
+        let bv: &[i8; 2 * NR_I8] = pb[p2 * 2 * NR_I8..(p2 + 1) * 2 * NR_I8]
+            .try_into()
+            .expect("NR_I8 pair panel");
+        let av: &[i32; MR_I8] = pa[p2 * MR_I8..(p2 + 1) * MR_I8]
+            .try_into()
+            .expect("MR_I8 pair panel");
+        for (i, row) in acc.iter_mut().enumerate() {
+            let pair = av[i];
+            let a0 = pair as i16 as i32;
+            let a1 = pair >> 16; // arithmetic shift sign-extends the high half
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += a0 * i32::from(bv[2 * j]) + a1 * i32::from(bv[2 * j + 1]);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr) {
+        let c_row = &mut c[i * ldc..i * ldc + nr];
+        for (cv, &v) in c_row.iter_mut().zip(row.iter()) {
+            *cv += v;
+        }
+    }
+}
+
+/// AVX2 int8 microkernel: one 32-byte load, two sign-extensions and eight
+/// `vpmaddwd` per k-pair — 128 multiply-accumulates per iteration.
+///
+/// # Safety
+///
+/// Caller must have verified [`simd_available`]. Panel and `c` extents must
+/// satisfy the same bounds the portable kernel indexes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_i8_avx2(
+    pa: &[i32],
+    pb: &[i8],
+    kc2: usize,
+    c: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+    debug_assert!(pa.len() >= kc2 * MR_I8);
+    debug_assert!(pb.len() >= kc2 * 2 * NR_I8);
+    debug_assert!(mr >= 1 && c.len() >= (mr - 1) * ldc + nr);
+
+    let mut acc = [[_mm256_setzero_si256(); 2]; MR_I8];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc2 {
+        let braw = _mm256_loadu_si256(bp.cast::<__m256i>());
+        // Low 16 bytes cover column pairs j=0..8, high 16 bytes j=8..16.
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(braw));
+        for (i, row) in acc.iter_mut().enumerate() {
+            let a = _mm256_set1_epi32(*ap.add(i));
+            row[0] = _mm256_add_epi32(row[0], _mm256_madd_epi16(a, b_lo));
+            row[1] = _mm256_add_epi32(row[1], _mm256_madd_epi16(a, b_hi));
+        }
+        ap = ap.add(MR_I8);
+        bp = bp.add(2 * NR_I8);
+    }
+
+    let mut tile = [0i32; MR_I8 * NR_I8];
+    for (i, row) in acc.iter().enumerate() {
+        _mm256_storeu_si256(tile.as_mut_ptr().add(i * NR_I8).cast::<__m256i>(), row[0]);
+        _mm256_storeu_si256(
+            tile.as_mut_ptr().add(i * NR_I8 + 8).cast::<__m256i>(),
+            row[1],
+        );
+    }
+    for i in 0..mr {
+        let c_row = &mut c[i * ldc..i * ldc + nr];
+        for (cv, &v) in c_row.iter_mut().zip(tile[i * NR_I8..].iter()) {
+            *cv += v;
+        }
+    }
+}
+
+/// Computes `c = a * b` where `a` is `m x k` int8, `b` is `k x n` int8 and
+/// `c` is `m x n` int32, all row-major. Packing panels come from `ws`, so
+/// warmed-up calls never allocate.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_i8(
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
+    let c = &mut c[..m * n];
+    c.fill(0);
+    if m * n * k <= TILING_THRESHOLD_I8 {
+        // Packing overhead dominates tiny problems.
+        for i in 0..m {
+            let a_row = &a[i * k..i * k + k];
+            let c_row = &mut c[i * n..i * n + n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let av = i32::from(aik);
+                let b_row = &b[kk * n..kk * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += av * i32::from(bv);
+                }
+            }
+        }
+        return;
+    }
+
+    let use_avx2 = simd_available();
+    let kc2_max = KC_I8.min(k).div_ceil(2);
+    let mut pa = ws.take_i32(MC_I8.min(m).div_ceil(MR_I8) * MR_I8 * kc2_max);
+    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * 2 * NR_I8 * kc2_max);
+    for jc in (0..n).step_by(NC_I8) {
+        let nc = NC_I8.min(n - jc);
+        for pc in (0..k).step_by(KC_I8) {
+            let kc = KC_I8.min(k - pc);
+            let kc2 = kc.div_ceil(2);
+            pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            for ic in (0..m).step_by(MC_I8) {
+                let mc = MC_I8.min(m - ic);
+                pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
+                run_block_i8(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc2, use_avx2);
+            }
+        }
+    }
+    ws.recycle_i8(pb);
+    ws.recycle_i32(pa);
+}
+
+/// Runs the packed int8 block into the `mc x nc` region of `c`.
+#[allow(clippy::too_many_arguments)]
+fn run_block_i8(
+    pa: &[i32],
+    pb: &[i8],
+    c: &mut [i32],
+    ldc: usize,
+    mc: usize,
+    nc: usize,
+    kc2: usize,
+    use_avx2: bool,
+) {
+    for jr in 0..nc.div_ceil(NR_I8) {
+        let nr = NR_I8.min(nc - jr * NR_I8);
+        let pb_panel = &pb[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        for ir in 0..mc.div_ceil(MR_I8) {
+            let mr = MR_I8.min(mc - ir * MR_I8);
+            let pa_panel = &pa[ir * MR_I8 * kc2..(ir + 1) * MR_I8 * kc2];
+            let c_tile = &mut c[ir * MR_I8 * ldc + jr * NR_I8..];
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: `use_avx2` comes from `simd_available()`; extents
+                // match the portable kernel's indexing.
+                unsafe { micro_i8_avx2(pa_panel, pb_panel, kc2, c_tile, ldc, mr, nr) };
+                continue;
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = use_avx2;
+            micro_i8_portable(pa_panel, pb_panel, kc2, c_tile, ldc, mr, nr);
+        }
+    }
+}
+
+/// Requantizes an `oc x spatial` i32 accumulator into f32: `out[ch][s] =
+/// acc[ch][s] * scale + bias[ch]`. `scale` is the product of the two
+/// per-tensor quantization scales.
+///
+/// # Panics
+///
+/// Panics if the extents disagree.
+pub fn requantize_into(acc: &[i32], scale: f32, bias: &[f32], spatial: usize, out: &mut [f32]) {
+    assert_eq!(acc.len(), bias.len() * spatial, "accumulator extent");
+    assert_eq!(out.len(), acc.len(), "output extent");
+    for ((acc_row, out_row), &b) in acc
+        .chunks_exact(spatial)
+        .zip(out.chunks_exact_mut(spatial))
+        .zip(bias.iter())
+    {
+        for (o, &v) in out_row.iter_mut().zip(acc_row.iter()) {
+            *o = v as f32 * scale + b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += i32::from(a[i * k + kk]) * i32::from(b[kk * n + j]);
+                }
+            }
+        }
+        c
+    }
+
+    fn arb_i8(seed: u64, len: usize) -> Vec<i8> {
+        let mut rng = percival_util::Pcg32::seed_from_u64(seed);
+        (0..len)
+            .map(|_| (rng.next_below(255) as i32 - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn pair_packing_preserves_sign() {
+        for (a0, a1) in [(-128i8, 127i8), (127, -128), (-1, -1), (0, -127), (5, 0)] {
+            let pair = pack_pair(a0, a1);
+            assert_eq!(pair as i16 as i32, i32::from(a0), "low half of ({a0},{a1})");
+            assert_eq!(pair >> 16, i32::from(a1), "high half of ({a0},{a1})");
+        }
+    }
+
+    #[test]
+    fn int8_gemm_matches_naive_small() {
+        let (m, k, n) = (7, 5, 9);
+        let a = arb_i8(1, m * k);
+        let b = arb_i8(2, k * n);
+        let mut c = vec![0i32; m * n];
+        let mut ws = Workspace::new();
+        gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+        assert_eq!(c, naive_i8(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn int8_gemm_matches_naive_on_awkward_extents() {
+        // Ragged MR/NR edges, odd k (pair padding), multiple KC blocks.
+        let cases = [
+            (1usize, 1usize, 1usize),
+            (5, 3, 97),
+            (67, 300, 33),
+            (131, 521, 70),
+            (30, 1030, 40),
+        ];
+        let mut ws = Workspace::new();
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_i8(100 + case as u64, m * k);
+            let b = arb_i8(200 + case as u64, k * n);
+            let mut c = vec![0i32; m * n];
+            gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+            assert_eq!(c, naive_i8(&a, &b, m, k, n), "case {case}");
+        }
+    }
+
+    #[test]
+    fn int8_gemm_is_exact_at_extreme_values() {
+        // Saturated operands through a deep K stress the i32 accumulators.
+        let (m, k, n) = (8, 432, 24);
+        let a = vec![127i8; m * k];
+        let b = vec![-127i8; k * n];
+        let mut c = vec![0i32; m * n];
+        let mut ws = Workspace::new();
+        gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+        assert!(c.iter().all(|&v| v == -127 * 127 * k as i32));
+    }
+
+    #[test]
+    fn int8_gemm_reuses_workspace() {
+        let (m, k, n) = (64, 128, 64);
+        let a = arb_i8(5, m * k);
+        let b = arb_i8(6, k * n);
+        let mut c = vec![0i32; m * n];
+        let mut ws = Workspace::new();
+        gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+        let cold = ws.stats().allocations;
+        for _ in 0..5 {
+            gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "warm int8 GEMM must not allocate"
+        );
+    }
+
+    #[test]
+    fn quantize_symmetric_roundtrip_error_is_bounded() {
+        let vals: Vec<f32> = (0..257).map(|i| (i as f32 - 128.0) * 0.013).collect();
+        let mut q = vec![0i8; vals.len()];
+        let scale = quantize_symmetric(&vals, &mut q);
+        for (&v, &qi) in vals.iter().zip(q.iter()) {
+            let back = f32::from(qi) * scale;
+            assert!((v - back).abs() <= scale * 0.5 + 1e-6, "{v} vs {back}");
+        }
+    }
+
+    #[test]
+    fn quantize_symmetric_handles_all_zero() {
+        let vals = [0.0f32; 16];
+        let mut q = [1i8; 16];
+        let scale = quantize_symmetric(&vals, &mut q);
+        assert_eq!(scale, 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn requantize_applies_scale_and_bias() {
+        let acc = [10i32, -20, 30, 40, 0, 5];
+        let mut out = [0.0f32; 6];
+        requantize_into(&acc, 0.5, &[1.0, -1.0], 3, &mut out);
+        assert_eq!(out, [6.0, -9.0, 16.0, 19.0, -1.0, 1.5]);
+    }
+}

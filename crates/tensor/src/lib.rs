@@ -14,7 +14,11 @@
 //!   (logits are `N x C x 1 x 1`).
 //! - Convolution lowers to im2col + GEMM ([`gemm`]), the standard approach
 //!   in CPU inference engines; the GEMM kernel is cache-blocked (MC/KC/NC)
-//!   with packed panels and an `MR x NR` register-tile microkernel.
+//!   with packed panels and an `MR x NR` register-tile microkernel. An
+//!   explicit AVX2+FMA microkernel ([`simd`]) and a true
+//!   `i8 x i8 -> i32` quantized GEMM ([`gemm_i8`]) are dispatched at
+//!   runtime (`PERCIVAL_GEMM`, CPU feature detection), with portable
+//!   fallbacks everywhere.
 //! - Scratch buffers (im2col columns, packed panels, activations) come from
 //!   a recycling [`workspace::Workspace`] arena, so warmed-up forward passes
 //!   perform no heap allocation; batch and row-block parallelism runs on the
@@ -25,14 +29,19 @@
 pub mod activation;
 pub mod conv;
 pub mod gemm;
+pub mod gemm_i8;
 pub mod loss;
 pub mod pool;
 pub mod resize;
+pub mod simd;
 pub mod tensor;
 pub mod threadpool;
 pub mod workspace;
 
-pub use conv::{conv2d_backward, conv2d_forward, conv2d_forward_with, Conv2dCfg};
+pub use conv::{
+    conv2d_backward, conv2d_forward, conv2d_forward_q8_with, conv2d_forward_with, Conv2dCfg,
+};
+pub use gemm_i8::{gemm_i8, quantize_symmetric};
 pub use pool::{
     global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg,
 };

@@ -10,6 +10,11 @@
 //! smallest retained buffer that fits (or allocates on a cold start), and
 //! [`Workspace::recycle`] returns it. Ownership-based lending avoids borrow
 //! gymnastics when a caller needs several scratch buffers at once.
+//!
+//! The int8 inference path ([`crate::gemm_i8`]) needs quantized activations
+//! and `i32` accumulators in addition to the `f32` buffers, so the arena
+//! keeps three typed free lists (`f32`, `i8`, `i32`) behind the same
+//! take/recycle protocol and one shared set of allocation counters.
 
 use std::cell::RefCell;
 
@@ -22,11 +27,65 @@ pub struct WorkspaceStats {
     pub reuses: u64,
 }
 
-/// A recycling arena of `f32` scratch buffers.
+/// A recycling arena of `f32`, `i8` and `i32` scratch buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: Vec<Vec<f32>>,
+    free_i8: Vec<Vec<i8>>,
+    free_i32: Vec<Vec<i32>>,
     stats: WorkspaceStats,
+}
+
+/// Pops the smallest retained buffer in `free` whose capacity fits `len`
+/// (zero-filled to `len`), tracking allocation/reuse in `stats`. Shared by
+/// the three typed free lists.
+fn take_from<T: Copy + Default>(
+    free: &mut Vec<Vec<T>>,
+    stats: &mut WorkspaceStats,
+    len: usize,
+) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut best: Option<usize> = None;
+    for (i, buf) in free.iter().enumerate() {
+        if buf.capacity() >= len && best.is_none_or(|j: usize| buf.capacity() < free[j].capacity())
+        {
+            best = Some(i);
+        }
+    }
+    let mut buf = match best {
+        Some(i) => {
+            stats.reuses += 1;
+            free.swap_remove(i)
+        }
+        None => {
+            stats.allocations += 1;
+            // Grow the largest spare rather than stranding it forever
+            // below the working-set size.
+            match (0..free.len()).max_by_key(|&i| free[i].capacity()) {
+                Some(i) => free.swap_remove(i),
+                None => Vec::new(),
+            }
+        }
+    };
+    buf.clear();
+    buf.resize(len, T::default());
+    buf
+}
+
+/// Returns a buffer to its free list, evicting the smallest spare when the
+/// list is over [`MAX_RETAINED`].
+fn recycle_into<T>(free: &mut Vec<Vec<T>>, buf: Vec<T>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    free.push(buf);
+    if free.len() > MAX_RETAINED {
+        if let Some(i) = (0..free.len()).min_by_key(|&i| free[i].capacity()) {
+            free.swap_remove(i);
+        }
+    }
 }
 
 /// Retaining more spare buffers than this only wastes memory; the deepest
@@ -45,48 +104,34 @@ impl Workspace {
     /// Prefers the smallest retained buffer whose capacity already fits, so
     /// repeated passes with the same layer geometry never allocate.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
-        if len == 0 {
-            return Vec::new();
-        }
-        let mut best: Option<usize> = None;
-        for (i, buf) in self.free.iter().enumerate() {
-            if buf.capacity() >= len
-                && best.is_none_or(|j: usize| buf.capacity() < self.free[j].capacity())
-            {
-                best = Some(i);
-            }
-        }
-        let mut buf = match best {
-            Some(i) => {
-                self.stats.reuses += 1;
-                self.free.swap_remove(i)
-            }
-            None => {
-                self.stats.allocations += 1;
-                // Grow the largest spare rather than stranding it forever
-                // below the working-set size.
-                match (0..self.free.len()).max_by_key(|&i| self.free[i].capacity()) {
-                    Some(i) => self.free.swap_remove(i),
-                    None => Vec::new(),
-                }
-            }
-        };
-        buf.clear();
-        buf.resize(len, 0.0);
-        buf
+        take_from(&mut self.free, &mut self.stats, len)
     }
 
     /// Returns a buffer to the arena for later reuse.
     pub fn recycle(&mut self, buf: Vec<f32>) {
-        if buf.capacity() == 0 {
-            return;
-        }
-        self.free.push(buf);
-        if self.free.len() > MAX_RETAINED {
-            if let Some(i) = (0..self.free.len()).min_by_key(|&i| self.free[i].capacity()) {
-                self.free.swap_remove(i);
-            }
-        }
+        recycle_into(&mut self.free, buf);
+    }
+
+    /// Hands out a zero-filled `i8` buffer (quantized activations, im2col
+    /// columns and packed panels of the int8 inference path).
+    pub fn take_i8(&mut self, len: usize) -> Vec<i8> {
+        take_from(&mut self.free_i8, &mut self.stats, len)
+    }
+
+    /// Returns an `i8` buffer to the arena.
+    pub fn recycle_i8(&mut self, buf: Vec<i8>) {
+        recycle_into(&mut self.free_i8, buf);
+    }
+
+    /// Hands out a zero-filled `i32` buffer (int8-GEMM accumulators and
+    /// packed pair panels).
+    pub fn take_i32(&mut self, len: usize) -> Vec<i32> {
+        take_from(&mut self.free_i32, &mut self.stats, len)
+    }
+
+    /// Returns an `i32` buffer to the arena.
+    pub fn recycle_i32(&mut self, buf: Vec<i32>) {
+        recycle_into(&mut self.free_i32, buf);
     }
 
     /// Allocation counters so far.
@@ -94,17 +139,25 @@ impl Workspace {
         self.stats
     }
 
-    /// Bytes currently parked in the arena.
+    /// Bytes currently parked in the arena (all three typed lists).
     pub fn retained_bytes(&self) -> usize {
         self.free
             .iter()
             .map(|b| b.capacity() * core::mem::size_of::<f32>())
-            .sum()
+            .sum::<usize>()
+            + self.free_i8.iter().map(Vec::capacity).sum::<usize>()
+            + self
+                .free_i32
+                .iter()
+                .map(|b| b.capacity() * core::mem::size_of::<i32>())
+                .sum::<usize>()
     }
 
     /// Drops all retained buffers (counters are kept).
     pub fn reset(&mut self) {
         self.free.clear();
+        self.free_i8.clear();
+        self.free_i32.clear();
     }
 }
 
@@ -184,6 +237,27 @@ mod tests {
             ws.recycle(b);
         }
         assert!(ws.free.len() <= MAX_RETAINED);
+        ws.reset();
+        assert_eq!(ws.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn typed_arenas_recycle_independently() {
+        let mut ws = Workspace::new();
+        let q = ws.take_i8(512);
+        let acc = ws.take_i32(128);
+        ws.recycle_i8(q);
+        ws.recycle_i32(acc);
+        let cold = ws.stats().allocations;
+        for _ in 0..5 {
+            let q = ws.take_i8(512);
+            let acc = ws.take_i32(128);
+            assert!(q.iter().all(|&v| v == 0) && acc.iter().all(|&v| v == 0));
+            ws.recycle_i32(acc);
+            ws.recycle_i8(q);
+        }
+        assert_eq!(ws.stats().allocations, cold, "warm typed takes must reuse");
+        assert!(ws.retained_bytes() >= 512 + 128 * 4);
         ws.reset();
         assert_eq!(ws.retained_bytes(), 0);
     }

@@ -55,7 +55,7 @@ pub use percival_webgen as webgen;
 /// The most common imports in one place.
 pub mod prelude {
     pub use percival_core::{
-        evaluate, train, Classifier, MemoizedClassifier, PercivalHook, TrainConfig,
+        evaluate, train, Classifier, MemoizedClassifier, PercivalHook, Precision, TrainConfig,
     };
     pub use percival_filterlist::easylist::synthetic_engine;
     pub use percival_imgcodec::{decode_auto, Bitmap};

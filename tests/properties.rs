@@ -3,10 +3,14 @@
 use percival::filterlist::{parse_list, Url};
 use percival::imgcodec::inflate::{deflate_stored, inflate, zlib_compress_stored, zlib_decompress};
 use percival::imgcodec::{bmp, png, qoi, Bitmap};
+use percival::nn::layer::{Conv2d, Layer};
+use percival::nn::quant::quantize;
+use percival::nn::Sequential;
 use percival::prelude::*;
 use percival::tensor::conv::conv_out_extent;
+use percival::tensor::gemm_i8::quantize_symmetric;
 use percival::tensor::resize::resize_bilinear;
-use percival::tensor::{Shape, Tensor};
+use percival::tensor::{Conv2dCfg, Shape, Tensor};
 use proptest::prelude::*;
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
@@ -126,6 +130,78 @@ proptest! {
             prop_assert!(rng.next_below(bound) < bound);
             let f = rng.next_f32();
             prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
+
+// A second block keeps the declarative macro's token recursion (one level
+// per test) below the compiler's recursion limit.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symmetric int8 quantization round-trips every value to within half a
+    /// quantization step, for any magnitude — including the all-zero tensor,
+    /// whose scale must stay finite and whose round-trip must be exact.
+    #[test]
+    fn symmetric_quantization_roundtrip(
+        vals in proptest::collection::vec(-8.0f32..8.0, 1..128),
+        zero_out in any::<bool>(),
+    ) {
+        let mut vals = vals;
+        if zero_out {
+            vals.fill(0.0);
+        }
+        let mut q = vec![0i8; vals.len()];
+        let scale = quantize_symmetric(&vals, &mut q);
+        prop_assert!(scale.is_finite() && scale > 0.0);
+        let max_abs = vals.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (&v, &qi) in vals.iter().zip(q.iter()) {
+            let back = f32::from(qi) * scale;
+            prop_assert!((v - back).abs() <= scale * 0.5 + 1e-6, "{v} vs {back} (scale {scale})");
+        }
+        if max_abs == 0.0 {
+            prop_assert_eq!(scale, 1.0);
+            prop_assert!(q.iter().all(|&v| v == 0), "all-zero input must quantize to zeros");
+        }
+    }
+
+    /// Model-level quantize → dequantize round-trips weights to within half
+    /// a step of the per-tensor scale, and snapshots always re-apply to the
+    /// model that produced them.
+    #[test]
+    fn model_quantization_roundtrip(
+        weights in proptest::collection::vec(-2.0f32..2.0, 24),
+        bias in proptest::collection::vec(-1.0f32..1.0, 2),
+        zero_out in any::<bool>(),
+    ) {
+        let mut model = Sequential::new(vec![Layer::Conv(Conv2d::new(
+            2, 3, 2, Conv2dCfg { stride: 1, pad: 0 },
+        ))]);
+        model.visit_params_mut(|w, b| {
+            let src = if zero_out { vec![0.0; weights.len()] } else { weights.clone() };
+            w.as_mut_slice().copy_from_slice(&src);
+            b.copy_from_slice(&bias);
+        });
+        let snap = quantize(&model);
+        let mut restored = model.clone();
+        restored.visit_params_mut(|w, _| w.as_mut_slice().fill(7.0));
+        snap.dequantize_into(&mut restored).expect("matching structure");
+
+        let scale = snap.params[0].scale;
+        prop_assert!(scale.is_finite() && scale > 0.0);
+        let mut originals = Vec::new();
+        model.visit_params(|w, _| originals.extend_from_slice(w.as_slice()));
+        let mut roundtripped = Vec::new();
+        restored.visit_params(|w, _| roundtripped.extend_from_slice(w.as_slice()));
+        for (a, b) in originals.iter().zip(roundtripped.iter()) {
+            prop_assert!((a - b).abs() <= scale * 0.5 + 1e-6, "{a} vs {b}");
+        }
+        // Biases survive exactly; all-zero weights round-trip exactly.
+        let mut bias_back = Vec::new();
+        restored.visit_params(|_, b| bias_back.extend_from_slice(b));
+        prop_assert_eq!(bias_back, bias);
+        if zero_out {
+            prop_assert!(roundtripped.iter().all(|&v| v == 0.0));
         }
     }
 }
