@@ -11,8 +11,9 @@
 //! snapshot).
 
 use criterion::Criterion;
+use percival_bench::snapshot;
 use percival_core::arch::{percival_net, percival_net_slim};
-use percival_core::{Classifier, Precision};
+use percival_core::{Classifier, EngineConfig, InferenceEngine, Precision};
 use percival_imgcodec::Bitmap;
 use percival_nn::init::kaiming_init;
 use percival_tensor::gemm::{gemm_acc, gemm_acc_scalar, set_gemm_kernel, GemmKernel};
@@ -131,6 +132,25 @@ fn bench_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// The engine's dedup fast paths: a memo-hit submission (the common case
+/// once an ad network's creatives are cached) never touches the queue, so
+/// its latency is the floor every served request pays. Prints the engine's
+/// counter snapshot at the end — the plain-data [`EngineConfig`]-level view
+/// the serving layer consumes.
+fn bench_engine_hit_path(c: &mut Criterion) {
+    let eng = InferenceEngine::new(classifier(4, 32), EngineConfig::default());
+    let img = noisy_bitmap(64, 11);
+    eng.submit_wait(&img); // prime the cache
+    let mut g = c.benchmark_group("engine");
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    g.bench_function("submit_memo_hit", |b| {
+        b.iter(|| black_box(eng.submit_wait(black_box(&img))))
+    });
+    g.finish();
+    println!("engine stats: {}", eng.stats().snapshot());
+}
+
 fn bench_inference(c: &mut Criterion) {
     let img = noisy_bitmap(120, 2);
 
@@ -172,15 +192,15 @@ fn bench_inference(c: &mut Criterion) {
     g2.finish();
 }
 
-/// Writes the `BENCH_inference.json` snapshot next to the workspace root.
+/// Writes this bench's rows into the `BENCH_inference.json` snapshot at
+/// the workspace root, preserving the `serve` bench's `serve_*` rows.
 fn write_snapshot(c: &Criterion) {
     let mut entries = Vec::new();
     for m in c.measurements() {
-        entries.push(format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"iterations\": {}}}",
-            m.id,
+        entries.push(snapshot::measurement_line(
+            &m.id,
             m.mean.as_nanos(),
-            m.iterations
+            m.iterations,
         ));
     }
     let mean_of = |id: &str| {
@@ -193,23 +213,23 @@ fn write_snapshot(c: &Criterion) {
     for name in ["conv1_224px", "fire_expand3", "square_256"] {
         let tiled = mean_of(&format!("gemm/tiled/{name}"));
         if let (Some(s), Some(t)) = (mean_of(&format!("gemm/scalar/{name}")), tiled) {
-            derived.push(format!(
-                "    {{\"metric\": \"gemm_speedup/{name}\", \"value\": {:.3}}}",
-                s / t
+            derived.push(snapshot::derived_line(
+                &format!("gemm_speedup/{name}"),
+                s / t,
             ));
         }
         // Explicit-SIMD and int8 kernels, both relative to the portable
         // tiled kernel (the acceptance baseline).
         if let (Some(t), Some(v)) = (tiled, mean_of(&format!("gemm/simd/{name}"))) {
-            derived.push(format!(
-                "    {{\"metric\": \"gemm_simd_speedup/{name}\", \"value\": {:.3}}}",
-                t / v
+            derived.push(snapshot::derived_line(
+                &format!("gemm_simd_speedup/{name}"),
+                t / v,
             ));
         }
         if let (Some(t), Some(v)) = (tiled, mean_of(&format!("gemm/int8/{name}"))) {
-            derived.push(format!(
-                "    {{\"metric\": \"gemm_int8_speedup/{name}\", \"value\": {:.3}}}",
-                t / v
+            derived.push(snapshot::derived_line(
+                &format!("gemm_int8_speedup/{name}"),
+                t / v,
             ));
         }
     }
@@ -223,10 +243,7 @@ fn write_snapshot(c: &Criterion) {
             full_tiled,
             mean_of(&format!("classify_paper_geometry/full_224px_{suffix}")),
         ) {
-            derived.push(format!(
-                "    {{\"metric\": \"{metric}\", \"value\": {:.3}}}",
-                t / v
-            ));
+            derived.push(snapshot::derived_line(metric, t / v));
         }
     }
     let seed_n1 = mean_of("batch/classify_tensor/seed_scalar/n1");
@@ -239,27 +256,25 @@ fn write_snapshot(c: &Criterion) {
             let nb = mean_of(&format!("batch/classify_tensor/{kernel}/n{batch}"));
             if let (Some(b1), Some(bn)) = (n1, nb) {
                 // Per-image throughput gain of batching alone.
-                derived.push(format!(
-                    "    {{\"metric\": \"{prefix}batch{batch}_per_image_speedup\", \"value\": {:.3}}}",
-                    b1 / (bn / batch as f64)
+                derived.push(snapshot::derived_line(
+                    &format!("{prefix}batch{batch}_per_image_speedup"),
+                    b1 / (bn / batch as f64),
                 ));
             }
             if let (Some(seed), Some(bn)) = (seed_n1, nb) {
                 // Batched engine vs the seed's one-image-at-a-time scalar path.
-                derived.push(format!(
-                    "    {{\"metric\": \"{prefix}batch{batch}_vs_seed_scalar_speedup\", \"value\": {:.3}}}",
-                    seed / (bn / batch as f64)
+                derived.push(snapshot::derived_line(
+                    &format!("{prefix}batch{batch}_vs_seed_scalar_speedup"),
+                    seed / (bn / batch as f64),
                 ));
             }
         }
     }
-    let json = format!(
-        "{{\n  \"bench\": \"inference\",\n  \"measurements\": [\n{}\n  ],\n  \"derived\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n"),
-        derived.join(",\n")
-    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
-    match std::fs::write(path, json) {
+    // This bench owns every row except the serve bench's `serve_*` rows.
+    match snapshot::merge_snapshot(std::path::Path::new(path), &entries, &derived, |name| {
+        !name.starts_with("serve")
+    }) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
@@ -269,6 +284,7 @@ fn main() {
     let mut c = Criterion::default();
     bench_gemm(&mut c);
     bench_batching(&mut c);
+    bench_engine_hit_path(&mut c);
     bench_inference(&mut c);
     if criterion::is_test_mode() {
         // Smoke run (`-- --test` / CI): everything executed, but the

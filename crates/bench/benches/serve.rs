@@ -1,0 +1,278 @@
+//! Serving-layer benchmarks: single engine vs the sharded service, and
+//! deadline/overload behavior under synthetic traffic.
+//!
+//! Run with `cargo bench -p percival_bench --bench serve`. Scenarios:
+//!
+//! 1. **Peak throughput** — closed-loop distinct-creative traffic through
+//!    (a) one `InferenceEngine` and (b) the sharded service at the same
+//!    total thread budget. Emits `serve_single_engine/peak` and
+//!    `serve_sharded/peak` (+ `serve_sharded_vs_single_speedup`). On a
+//!    single-core host the speedup hovers near 1.0 (both configurations
+//!    timeslice one CPU); the row exists so multi-core hosts track it.
+//! 2. **Overload** — open-loop at 2x calibrated capacity with the `Shed`
+//!    policy: shed rate and the p99 of *admitted* requests against the
+//!    deadline (`serve_overload_*`, `serve_p99_within_deadline`).
+//! 3. **Hot keys** — Zipf(1.1) traffic exercising memoization and
+//!    single-flight (`serve_hotkey/*`).
+//! 4. **Bursts + Degrade** — square-wave arrivals under the `Degrade`
+//!    policy: everything is served, pressured work rides the int8 tier
+//!    (`serve_burst_degrade/*`).
+//!
+//! Rows merge into `BENCH_inference.json` next to the kernel rows (this
+//! bench owns the `serve_*` names; the `inference` bench owns the rest).
+//! `-- --test` smoke-runs everything with tiny request counts and skips
+//! the snapshot.
+
+use percival_bench::snapshot;
+use percival_core::arch::percival_net_slim;
+use percival_core::{Classifier, EngineConfig, InferenceEngine};
+use percival_nn::init::kaiming_init;
+use percival_serve::loadgen::{self, calibrate_capacity_rps, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
+use percival_util::Pcg32;
+use std::time::{Duration, Instant};
+
+fn classifier() -> Classifier {
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    Classifier::new(model, 32)
+}
+
+/// Shards used for the "sharded" rows: every hardware thread, but at least
+/// two so sharding/stealing is exercised even on one core.
+fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+struct Rows {
+    measurements: Vec<String>,
+    derived: Vec<String>,
+}
+
+impl Rows {
+    fn measurement(&mut self, id: &str, mean: Duration, iterations: u64) {
+        println!("{id:<40} time: {mean:>12.3?}   ({iterations} iterations)");
+        self.measurements
+            .push(snapshot::measurement_line(id, mean.as_nanos(), iterations));
+    }
+
+    fn derived(&mut self, metric: &str, value: f64) {
+        println!("{metric:<40} value: {value:.3}");
+        self.derived.push(snapshot::derived_line(metric, value));
+    }
+}
+
+/// Closed-loop distinct-creative throughput of one `InferenceEngine`
+/// (requests per second), the single-queue/single-batcher baseline.
+fn single_engine_rps(requests: usize) -> f64 {
+    let traffic = TrafficConfig {
+        requests,
+        creatives: requests,
+        zipf_s: -1.0, // distinct round-robin, same sequence the sharded run gets
+        edge: 32,
+        pattern: TrafficPattern::ClosedLoop,
+        ..Default::default()
+    };
+    let creatives = loadgen::synthesize_creatives(&traffic);
+    let sequence = loadgen::request_sequence(&traffic);
+    let eng = InferenceEngine::new(classifier(), EngineConfig::default());
+    let start = Instant::now();
+    let tickets: Vec<_> = sequence
+        .iter()
+        .map(|&i| eng.submit(&creatives[i]))
+        .collect();
+    eng.flush();
+    let wall = start.elapsed();
+    for t in &tickets {
+        assert!(t.poll().is_some(), "engine lost a ticket");
+    }
+    println!("engine stats: {}", eng.stats().snapshot());
+    requests as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn sharded_service(overload: OverloadPolicy, deadline: Duration) -> ClassificationService {
+    ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: shard_count(),
+            overload,
+            deadline,
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    let smoke = criterion::is_test_mode();
+    let requests = if smoke { 48 } else { 1024 };
+    let mut rows = Rows {
+        measurements: Vec::new(),
+        derived: Vec::new(),
+    };
+
+    // --- Scenario 1: peak throughput, single engine vs sharded service ---
+    let single_rps = single_engine_rps(requests);
+    rows.measurement(
+        "serve_single_engine/peak",
+        Duration::from_secs_f64(1.0 / single_rps.max(1e-9)),
+        requests as u64,
+    );
+    let svc = sharded_service(OverloadPolicy::Block, Duration::from_secs(600));
+    let peak = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            requests,
+            creatives: requests,
+            zipf_s: -1.0,
+            edge: 32,
+            pattern: TrafficPattern::ClosedLoop,
+            ..Default::default()
+        },
+    );
+    assert_eq!(peak.lost, 0, "sharded service lost tickets");
+    rows.measurement(
+        "serve_sharded/peak",
+        Duration::from_secs_f64(1.0 / peak.achieved_rps.max(1e-9)),
+        requests as u64,
+    );
+    rows.derived(
+        "serve_sharded_vs_single_speedup",
+        peak.achieved_rps / single_rps.max(1e-9),
+    );
+    println!("{peak}");
+
+    // --- Scenario 2: 2x-capacity overload with Shed ---
+    let capacity = {
+        let svc = sharded_service(OverloadPolicy::Block, Duration::from_secs(600));
+        calibrate_capacity_rps(
+            &svc,
+            &TrafficConfig {
+                creatives: if smoke { 32 } else { 256 },
+                edge: 32,
+                ..Default::default()
+            },
+        )
+        .max(20.0)
+    };
+    let deadline = Duration::from_secs_f64((16.0 / capacity).max(0.05));
+    let svc = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: shard_count(),
+            overload: OverloadPolicy::Shed,
+            deadline,
+            queue_capacity: 64,
+            ..Default::default()
+        },
+    );
+    let overload = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            requests,
+            creatives: requests,
+            zipf_s: -1.0,
+            edge: 32,
+            pattern: TrafficPattern::Steady(capacity * 2.0),
+            ..Default::default()
+        },
+    );
+    assert_eq!(overload.lost, 0, "overload run lost tickets");
+    rows.measurement(
+        "serve_overload/p99_admitted",
+        overload.latency.p99,
+        overload.classified as u64,
+    );
+    rows.measurement("serve_overload/deadline", deadline, 1);
+    rows.derived(
+        "serve_overload_shed_rate",
+        overload.shed as f64 / overload.submitted as f64,
+    );
+    rows.derived(
+        "serve_p99_within_deadline",
+        if overload.latency.p99 <= deadline {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    println!("capacity {capacity:.0} rps, deadline {deadline:?}\n{overload}");
+
+    // --- Scenario 3: hot-key skew (Zipf 1.1 over a small pool) ---
+    let svc = sharded_service(OverloadPolicy::Block, Duration::from_secs(600));
+    let hot = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            requests,
+            creatives: 32,
+            zipf_s: 1.1,
+            edge: 32,
+            pattern: TrafficPattern::ClosedLoop,
+            ..Default::default()
+        },
+    );
+    assert_eq!(hot.lost, 0);
+    rows.measurement(
+        "serve_hotkey/peak",
+        Duration::from_secs_f64(1.0 / hot.achieved_rps.max(1e-9)),
+        requests as u64,
+    );
+    rows.derived("serve_hotkey_dedup_rate", hot.service.dedup_rate());
+    println!("{hot}");
+
+    // --- Scenario 4: bursty arrivals under Degrade ---
+    let svc = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: shard_count(),
+            overload: OverloadPolicy::Degrade,
+            deadline: Duration::from_secs_f64((4.0 / capacity).max(0.01)),
+            queue_capacity: 16,
+            ..Default::default()
+        },
+    );
+    let burst = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            requests,
+            creatives: requests,
+            zipf_s: -1.0,
+            edge: 32,
+            pattern: TrafficPattern::Bursty {
+                rps: capacity * 4.0,
+                period: Duration::from_millis(50),
+            },
+            ..Default::default()
+        },
+    );
+    assert_eq!(burst.lost, 0);
+    assert_eq!(burst.shed, 0, "Degrade never rejects");
+    rows.measurement(
+        "serve_burst_degrade/p99",
+        burst.latency.p99,
+        burst.classified as u64,
+    );
+    rows.derived(
+        "serve_burst_degrade_rate",
+        burst.service.degraded() as f64 / burst.submitted as f64,
+    );
+    println!("{burst}");
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_inference.json snapshot");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+        // This bench owns exactly the `serve_*` rows.
+        match snapshot::merge_snapshot(
+            std::path::Path::new(path),
+            &rows.measurements,
+            &rows.derived,
+            |name| name.starts_with("serve"),
+        ) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

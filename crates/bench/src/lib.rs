@@ -1,1 +1,8 @@
 //! Criterion benchmark crate for PERCIVAL; see `benches/`.
+//!
+//! Besides the bench binaries, this crate hosts [`snapshot`]: the shared
+//! writer for the repository-root `BENCH_inference.json`, which several
+//! bench binaries co-own (the `inference` bench writes the kernel/batching
+//! rows, the `serve` bench the `serve_*` serving rows).
+
+pub mod snapshot;

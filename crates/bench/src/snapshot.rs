@@ -1,0 +1,104 @@
+//! Shared writer for the repository-root `BENCH_inference.json`.
+//!
+//! The snapshot is co-owned by several bench binaries: the `inference`
+//! bench owns the kernel/batching/classification rows and the `serve`
+//! bench owns the `serve_*` serving rows. Each binary rewrites only its own
+//! rows and preserves the other's, so running the benches in any order (or
+//! only one of them) never loses data. The format is deliberately
+//! line-oriented JSON — one object per line — so this merge needs no JSON
+//! parser.
+
+use std::path::Path;
+
+/// Formats one measurement row.
+pub fn measurement_line(id: &str, mean_ns: u128, iterations: u64) -> String {
+    format!("    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns}, \"iterations\": {iterations}}}")
+}
+
+/// Formats one derived-metric row.
+pub fn derived_line(metric: &str, value: f64) -> String {
+    format!("    {{\"metric\": \"{metric}\", \"value\": {value:.3}}}")
+}
+
+/// Extracts the string value of `"key": "..."` from a single-row line.
+fn extract(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Rewrites the snapshot at `path`: existing rows whose id/metric matches
+/// `owned` are dropped (the caller owns them and supplies replacements);
+/// everything else is preserved; the new rows are appended.
+pub fn merge_snapshot(
+    path: &Path,
+    measurements: &[String],
+    derived: &[String],
+    owned: impl Fn(&str) -> bool,
+) -> std::io::Result<()> {
+    let mut keep_meas: Vec<String> = Vec::new();
+    let mut keep_der: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            let row = line.trim_end().trim_end_matches(',');
+            if let Some(id) = extract(row, "id") {
+                if !owned(&id) {
+                    keep_meas.push(row.to_string());
+                }
+            } else if let Some(metric) = extract(row, "metric") {
+                if !owned(&metric) {
+                    keep_der.push(row.to_string());
+                }
+            }
+        }
+    }
+    keep_meas.extend(measurements.iter().cloned());
+    keep_der.extend(derived.iter().cloned());
+    let json = format!(
+        "{{\n  \"bench\": \"inference\",\n  \"measurements\": [\n{}\n  ],\n  \"derived\": [\n{}\n  ]\n}}\n",
+        keep_meas.join(",\n"),
+        keep_der.join(",\n")
+    );
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_replaces_only_owned_rows() {
+        let dir = std::env::temp_dir().join("percival_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let m1 = vec![
+            measurement_line("gemm/scalar/x", 100, 5),
+            measurement_line("serve_old/peak", 999, 1),
+        ];
+        let d1 = vec![derived_line("gemm_speedup/x", 1.5)];
+        merge_snapshot(&path, &m1, &d1, |_| true).unwrap();
+
+        // Second writer owns only serve rows: gemm rows must survive.
+        let m2 = vec![measurement_line("serve_sharded/peak", 500, 2)];
+        let d2 = vec![derived_line("serve_speedup", 2.0)];
+        merge_snapshot(&path, &m2, &d2, |name| name.starts_with("serve")).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("gemm/scalar/x"), "foreign rows preserved");
+        assert!(text.contains("gemm_speedup/x"));
+        assert!(text.contains("serve_sharded/peak"), "new rows written");
+        assert!(text.contains("serve_speedup"));
+        assert!(!text.contains("serve_old"), "owned rows replaced");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn extract_parses_row_lines() {
+        assert_eq!(
+            extract("  {\"id\": \"a/b/c\", \"mean_ns\": 1}", "id").as_deref(),
+            Some("a/b/c")
+        );
+        assert_eq!(extract("  {\"metric\": \"m\", \"value\": 1.0}", "id"), None);
+    }
+}

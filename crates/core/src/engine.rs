@@ -58,6 +58,44 @@ impl Default for EngineConfig {
     }
 }
 
+/// A plain-data copy of the engine counters at one instant, so callers
+/// (the serving layer, benches, reports) consume one coherent value
+/// instead of reading atomics field by field.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStatsSnapshot {
+    /// Total submissions (including cache hits).
+    pub submitted: u64,
+    /// Submissions answered from the verdict cache without queueing.
+    pub memo_hits: u64,
+    /// Submissions merged into an already-queued identical image.
+    pub coalesced: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Images classified through micro-batches.
+    pub batched_images: u64,
+    /// Largest micro-batch observed.
+    pub max_batch: u64,
+    /// Fraction of submissions resolved without a CNN pass (memo hits plus
+    /// single-flight coalescing over total submissions); 0 when idle.
+    pub dedup_rate: f64,
+}
+
+impl std::fmt::Display for EngineStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {}  memo_hits {}  coalesced {}  batches {}  batched_images {}  max_batch {}  dedup {:.1}%",
+            self.submitted,
+            self.memo_hits,
+            self.coalesced,
+            self.batches,
+            self.batched_images,
+            self.max_batch,
+            self.dedup_rate * 100.0
+        )
+    }
+}
+
 /// Engine counters (all monotonic).
 #[derive(Debug, Default)]
 pub struct EngineStats {
@@ -99,6 +137,27 @@ impl EngineStats {
     /// Largest micro-batch observed.
     pub fn max_batch(&self) -> u64 {
         self.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Captures every counter (plus the derived deduplication rate) as one
+    /// plain-data value.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        let submitted = self.submitted();
+        let memo_hits = self.memo_hits();
+        let coalesced = self.coalesced();
+        EngineStatsSnapshot {
+            submitted,
+            memo_hits,
+            coalesced,
+            batches: self.batches(),
+            batched_images: self.batched_images(),
+            max_batch: self.max_batch(),
+            dedup_rate: if submitted == 0 {
+                0.0
+            } else {
+                (memo_hits + coalesced) as f64 / submitted as f64
+            },
+        }
     }
 }
 
@@ -469,12 +528,15 @@ mod tests {
         // Every submission beyond the unique content's first classification
         // was answered by the cache or the single-flight table, never by a
         // second CNN pass.
-        assert_eq!(eng.stats().batched_images(), 1, "exactly one CNN pass");
+        let snap = eng.stats().snapshot();
+        assert_eq!(snap.batched_images, 1, "exactly one CNN pass");
         assert_eq!(
-            eng.stats().memo_hits() + eng.stats().coalesced(),
+            snap.memo_hits + snap.coalesced,
             15,
             "the other 15 submissions deduplicate"
         );
+        assert_eq!(snap.submitted, 16);
+        assert!((snap.dedup_rate - 15.0 / 16.0).abs() < 1e-9);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod train;
 
 pub use arch::{original_squeezenet, percival_net};
 pub use classifier::{Classifier, Precision, Prediction};
-pub use engine::{EngineConfig, InferenceEngine, VerdictTicket};
+pub use engine::{EngineConfig, EngineStatsSnapshot, InferenceEngine, VerdictTicket};
 pub use hook::PercivalHook;
 pub use memo::MemoizedClassifier;
 pub use policy::BlockPolicy;

@@ -1,0 +1,155 @@
+//! Serving-layer scenario matrix over the shared trained model.
+//!
+//! The paper deploys one classifier inside one browser; the ROADMAP
+//! north-star serves a fleet. This experiment drives the sharded
+//! classification service through the workload shapes a fleet actually
+//! sees — steady load, ramps, square-wave bursts, hot-creative skew, and
+//! 2x-capacity overload under each overload policy — and tabulates
+//! throughput, tail latency, dedup and shed/degrade behavior. Traffic is
+//! seed-deterministic (same creatives, same arrival plan); only
+//! timing-dependent shed decisions vary between hosts.
+
+use percival_experiments::harness::{shared_classifier, ExperimentEnv};
+use percival_experiments::report::{pct, print_table};
+use percival_serve::loadgen::{self, calibrate_capacity_rps, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
+use std::time::Duration;
+
+fn service(
+    overload: OverloadPolicy,
+    deadline: Duration,
+    input_size: usize,
+) -> ClassificationService {
+    let env = ExperimentEnv {
+        input_size,
+        ..Default::default()
+    };
+    ClassificationService::new(
+        shared_classifier(&env),
+        ServiceConfig {
+            overload,
+            deadline,
+            queue_capacity: 64,
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    let env = ExperimentEnv::default();
+    let base = TrafficConfig {
+        seed: 0x5EED,
+        creatives: 128,
+        ad_fraction: 0.4,
+        zipf_s: 0.9,
+        requests: 512,
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 48,
+    };
+
+    // Capacity calibration once, on an unconstrained service.
+    let calib = service(
+        OverloadPolicy::Block,
+        Duration::from_secs(600),
+        env.input_size,
+    );
+    let capacity = calibrate_capacity_rps(&calib, &base).max(20.0);
+    let shards = calib.shard_count();
+    drop(calib);
+    let deadline = Duration::from_secs_f64((16.0 / capacity).max(0.05));
+
+    let scenarios: Vec<(&str, OverloadPolicy, TrafficConfig)> = vec![
+        (
+            "steady 0.5x",
+            OverloadPolicy::Shed,
+            TrafficConfig {
+                pattern: TrafficPattern::Steady(capacity * 0.5),
+                ..base
+            },
+        ),
+        (
+            "ramp 0.2x→2x",
+            OverloadPolicy::Shed,
+            TrafficConfig {
+                pattern: TrafficPattern::Ramp(capacity * 0.2, capacity * 2.0),
+                ..base
+            },
+        ),
+        (
+            "bursty 4x/50ms",
+            OverloadPolicy::Shed,
+            TrafficConfig {
+                pattern: TrafficPattern::Bursty {
+                    rps: capacity * 4.0,
+                    period: Duration::from_millis(50),
+                },
+                ..base
+            },
+        ),
+        (
+            "hot keys zipf 1.2",
+            OverloadPolicy::Shed,
+            TrafficConfig {
+                zipf_s: 1.2,
+                creatives: 32,
+                pattern: TrafficPattern::Steady(capacity * 0.8),
+                ..base
+            },
+        ),
+        (
+            "overload 2x shed",
+            OverloadPolicy::Shed,
+            TrafficConfig {
+                pattern: TrafficPattern::Steady(capacity * 2.0),
+                zipf_s: -1.0,
+                creatives: base.requests,
+                ..base
+            },
+        ),
+        (
+            "overload 2x degrade",
+            OverloadPolicy::Degrade,
+            TrafficConfig {
+                pattern: TrafficPattern::Steady(capacity * 2.0),
+                zipf_s: -1.0,
+                creatives: base.requests,
+                ..base
+            },
+        ),
+        (
+            "overload 2x block",
+            OverloadPolicy::Block,
+            TrafficConfig {
+                pattern: TrafficPattern::Steady(capacity * 2.0),
+                zipf_s: -1.0,
+                creatives: base.requests,
+                ..base
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, overload, traffic) in scenarios {
+        let svc = service(overload, deadline, env.input_size);
+        let r = loadgen::run(&svc, &traffic);
+        assert_eq!(r.lost, 0, "scenario '{name}' lost tickets");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", r.achieved_rps),
+            format!("{:?}", r.latency.p50),
+            format!("{:?}", r.latency.p99),
+            pct(r.service.dedup_rate()),
+            pct(r.shed as f64 / r.submitted as f64),
+            pct(r.service.degraded() as f64 / r.submitted as f64),
+            r.service.stolen_batches().to_string(),
+        ]);
+    }
+    println!("capacity ≈ {capacity:.0} req/s, deadline {deadline:?}, {shards} shards\n");
+    print_table(
+        "Serving scenarios — sharded deadline-aware service",
+        &[
+            "scenario", "req/s", "p50", "p99", "dedup", "shed", "degraded", "stolen",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! The PERCIVAL serving layer: a sharded, deadline-aware classification
+//! service.
+//!
+//! PERCIVAL's classifier is fast enough to sit in the rendering critical
+//! path of one page load; at fleet scale the bottleneck moves to *serving*
+//! — fan-in from many rendering processes, batching, tail latency and
+//! overload behavior. This crate layers that production shape over
+//! [`percival_core`]'s batched inference machinery:
+//!
+//! ```text
+//!            submissions (any thread)
+//!                      │
+//!              ┌───────▼────────┐
+//!              │  shard router  │  content-hash → shard, so memoization
+//!              └───┬───┬───┬────┘  and single-flight stay shard-local
+//!                  │   │   │
+//!        ┌─────────▼┐ ┌▼────────┐ ... K shards
+//!        │ shard 0  │ │ shard 1 │     EDF queue + memo + single-flight
+//!        └────┬─────┘ └───┬─────┘
+//!             │   steal   │        an idle batcher drains a loaded
+//!        ┌────▼───┐ ┌─────▼──┐     neighbor's queue
+//!        │batcher0│⇄│batcher1│ ...
+//!        └────┬───┘ └───┬────┘
+//!             └────┬────┘
+//!                  ▼
+//!        micro-batched CNN forward passes (f32 or int8 tier)
+//! ```
+//!
+//! - [`service`]: the [`ClassificationService`] — shard router, per-shard
+//!   earliest-deadline-first queues, work-stealing batcher threads, and the
+//!   `Shed | Degrade | Block` overload policies.
+//! - [`telemetry`]: wait-free counters and latency histograms per shard,
+//!   snapshottable as a [`ServiceReport`].
+//! - [`loadgen`]: a deterministic synthetic-traffic generator (Zipfian
+//!   creative popularity, open-loop RPS ramps, bursts) used by the `serve`
+//!   bench, the `serve-smoke` CI job and the serving experiments.
+//!
+//! Knobs: `ServiceConfig` fields, plus the `PERCIVAL_SHARDS` environment
+//! variable (shard count when `ServiceConfig::shards` is 0) and the
+//! engine-layer `PERCIVAL_THREADS` / `PERCIVAL_GEMM` documented in the
+//! README.
+
+pub mod loadgen;
+pub mod service;
+mod shard;
+pub mod telemetry;
+
+pub use loadgen::{LoadReport, TrafficConfig, TrafficPattern};
+pub use service::{ClassificationService, OverloadPolicy, ServeTicket, ServiceConfig, Verdict};
+pub use telemetry::{ServiceReport, ShardReport};

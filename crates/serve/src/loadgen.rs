@@ -1,0 +1,373 @@
+//! Deterministic synthetic-traffic generation for the serving layer.
+//!
+//! Traffic is synthesized from the workspace's procedural web
+//! ([`percival_webgen`]): a pool of distinct ad and non-ad creatives,
+//! replayed under a Zipfian popularity distribution (ad networks serve the
+//! same creative into many slots — the memoization story of the paper) with
+//! an open-loop arrival process: requests fire at scheduled instants
+//! regardless of how fast the service answers, which is what exposes
+//! queueing collapse and shedding behavior under overload. Everything
+//! derives from one `u64` seed — creative pixels, popularity ranks, arrival
+//! jitter — so a run's *workload* is bit-reproducible; only timing-derived
+//! outcomes (which requests shed under `Shed`) vary within bounds.
+//!
+//! [`TrafficPattern`] picks the arrival process: steady RPS, a linear ramp,
+//! square-wave bursts, or closed-loop (submit as fast as the service
+//! resolves; used for peak-throughput measurement).
+
+use crate::service::{ClassificationService, ServeTicket, Verdict};
+use crate::telemetry::ServiceReport;
+use percival_imgcodec::Bitmap;
+use percival_util::{HistogramSnapshot, Pcg32};
+use percival_webgen::images::AdCues;
+use percival_webgen::{generate_ad, generate_nonad, AdStyle, NonAdStyle, Script};
+use std::time::{Duration, Instant};
+
+/// The arrival process of a load-generator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Closed loop: submit the next request as soon as the previous batch
+    /// of submissions is accepted (peak-throughput mode; no deadlines are
+    /// stressed because arrival adapts to service speed).
+    ClosedLoop,
+    /// Open loop at a constant rate (requests per second).
+    Steady(f64),
+    /// Open loop ramping linearly from the first rate to the second over
+    /// the run.
+    Ramp(f64, f64),
+    /// Open loop alternating `on` RPS for `period` then idle for `period`
+    /// (square-wave bursts).
+    Bursty {
+        /// Rate while the burst is on.
+        rps: f64,
+        /// Burst / gap length.
+        period: Duration,
+    },
+}
+
+/// Load-generator knobs. Everything is derived from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Master seed for creatives, popularity and jitter.
+    pub seed: u64,
+    /// Distinct creatives in the pool.
+    pub creatives: usize,
+    /// Fraction of the pool that is ad creatives.
+    pub ad_fraction: f64,
+    /// Zipf exponent over creative popularity ranks; `0.0` is uniform
+    /// (with replacement), `1.0+` concentrates traffic on a few hot
+    /// creatives (exercises the memo cache and single-flight paths), and
+    /// any negative value short-circuits to round-robin — each creative
+    /// exactly once per `creatives` requests, the distinct-traffic mode
+    /// peak-throughput measurement uses (no dedup possible).
+    pub zipf_s: f64,
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Arrival process.
+    pub pattern: TrafficPattern,
+    /// Creative edge length in pixels (square bitmaps).
+    pub edge: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 7,
+            creatives: 64,
+            ad_fraction: 0.5,
+            zipf_s: 0.9,
+            requests: 512,
+            pattern: TrafficPattern::ClosedLoop,
+            edge: 48,
+        }
+    }
+}
+
+/// Outcome of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests classified (admitted and answered).
+    pub classified: usize,
+    /// Classified requests whose verdict was "ad".
+    pub ads: usize,
+    /// Requests rejected by the overload policy.
+    pub shed: usize,
+    /// Tickets that never resolved — must be zero; anything else is a
+    /// lost-request bug in the service.
+    pub lost: usize,
+    /// Wall time from first submission to full resolution.
+    pub wall: Duration,
+    /// Achieved throughput over `wall`.
+    pub achieved_rps: f64,
+    /// Admission-to-verdict latency of classified requests (from the
+    /// service's own histogram, reset at run start).
+    pub latency: HistogramSnapshot,
+    /// Full per-shard service counters at run end.
+    pub service: ServiceReport,
+}
+
+impl core::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "loadgen: {} submitted  {} classified ({} ads)  {} shed  {} lost  {:.0} req/s over {:?}",
+            self.submitted, self.classified, self.ads, self.shed, self.lost, self.achieved_rps,
+            self.wall
+        )?;
+        write!(f, "{}", self.service)
+    }
+}
+
+/// Synthesizes the deterministic creative pool for a config: mixed ad and
+/// non-ad creatives cycling through every webgen style.
+pub fn synthesize_creatives(cfg: &TrafficConfig) -> Vec<Bitmap> {
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let ads = ((cfg.creatives as f64) * cfg.ad_fraction).round() as usize;
+    (0..cfg.creatives)
+        .map(|i| {
+            if i < ads {
+                let style = AdStyle::ALL[i % AdStyle::ALL.len()];
+                generate_ad(
+                    &mut rng,
+                    cfg.edge,
+                    cfg.edge,
+                    Script::Latin,
+                    style,
+                    AdCues::native(),
+                )
+            } else {
+                let style = NonAdStyle::ALL[i % NonAdStyle::ALL.len()];
+                generate_nonad(&mut rng, cfg.edge, cfg.edge, Script::Latin, style)
+            }
+        })
+        .collect()
+}
+
+/// The per-request creative indices (Zipfian over popularity ranks, rank
+/// order shuffled so hot creatives are spread across ad/non-ad classes).
+pub fn request_sequence(cfg: &TrafficConfig) -> Vec<usize> {
+    if cfg.zipf_s < 0.0 {
+        return (0..cfg.requests).map(|i| i % cfg.creatives).collect();
+    }
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x5EED_BEEF);
+    // Rank r (1-based) gets weight r^-s; the CDF inverts via binary search.
+    let mut cdf = Vec::with_capacity(cfg.creatives);
+    let mut total = 0.0f64;
+    for rank in 1..=cfg.creatives {
+        total += (rank as f64).powf(-cfg.zipf_s);
+        cdf.push(total);
+    }
+    // Map popularity ranks onto creative indices in shuffled order.
+    let mut order: Vec<usize> = (0..cfg.creatives).collect();
+    rng.shuffle(&mut order);
+    (0..cfg.requests)
+        .map(|_| {
+            let u = rng.next_f64() * total;
+            let rank = cdf.partition_point(|&c| c < u).min(cfg.creatives - 1);
+            order[rank]
+        })
+        .collect()
+}
+
+/// The scheduled arrival offset of each request for a pattern; empty for
+/// closed-loop traffic.
+pub fn arrival_schedule(cfg: &TrafficConfig) -> Vec<Duration> {
+    let n = cfg.requests;
+    match cfg.pattern {
+        TrafficPattern::ClosedLoop => Vec::new(),
+        TrafficPattern::Steady(rps) => (0..n)
+            .map(|i| Duration::from_secs_f64(i as f64 / rps.max(1e-9)))
+            .collect(),
+        TrafficPattern::Ramp(r0, r1) => {
+            // Cumulative arrivals Λ(t) = r0·t + (r1−r0)·t²/(2T) with T set
+            // so Λ(T) = n; request i fires at Λ⁻¹(i).
+            let total_t = 2.0 * n as f64 / (r0 + r1).max(1e-9);
+            let a = (r1 - r0) / (2.0 * total_t);
+            (0..n)
+                .map(|i| {
+                    let target = i as f64;
+                    let t = if a.abs() < 1e-12 {
+                        target / r0.max(1e-9)
+                    } else {
+                        // Positive root of a·t² + r0·t − target = 0.
+                        ((r0 * r0 + 4.0 * a * target).sqrt() - r0) / (2.0 * a)
+                    };
+                    Duration::from_secs_f64(t.max(0.0))
+                })
+                .collect()
+        }
+        TrafficPattern::Bursty { rps, period } => {
+            // Fill each on-period at `rps`, then skip one idle period.
+            let per_burst = ((rps * period.as_secs_f64()).floor() as usize).max(1);
+            (0..n)
+                .map(|i| {
+                    let burst = i / per_burst;
+                    let within = (i % per_burst) as f64 / rps;
+                    Duration::from_secs_f64(burst as f64 * 2.0 * period.as_secs_f64() + within)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs one load-generation pass against a service and collects the
+/// report. The service's latency histogram is reset at run start so the
+/// report reflects only this run.
+pub fn run(service: &ClassificationService, cfg: &TrafficConfig) -> LoadReport {
+    let creatives = synthesize_creatives(cfg);
+    let sequence = request_sequence(cfg);
+    let schedule = arrival_schedule(cfg);
+    service.reset_latency();
+
+    let start = Instant::now();
+    let mut tickets: Vec<ServeTicket> = Vec::with_capacity(sequence.len());
+    for (i, &creative) in sequence.iter().enumerate() {
+        if let Some(&offset) = schedule.get(i) {
+            // Open loop: fire at the scheduled instant no matter how far
+            // behind the service is.
+            loop {
+                let elapsed = start.elapsed();
+                if elapsed >= offset {
+                    break;
+                }
+                std::thread::sleep((offset - elapsed).min(Duration::from_micros(500)));
+            }
+        }
+        tickets.push(service.submit(&creatives[creative]));
+    }
+    service.flush();
+    let wall = start.elapsed();
+
+    let (mut classified, mut ads, mut shed, mut lost) = (0usize, 0usize, 0usize, 0usize);
+    for ticket in tickets {
+        match ticket.poll() {
+            Some(Verdict::Classified(p)) => {
+                classified += 1;
+                if p.is_ad {
+                    ads += 1;
+                }
+            }
+            Some(Verdict::Shed) => shed += 1,
+            None => lost += 1,
+        }
+    }
+    let report = service.report();
+    LoadReport {
+        submitted: sequence.len(),
+        classified,
+        ads,
+        shed,
+        lost,
+        wall,
+        achieved_rps: sequence.len() as f64 / wall.as_secs_f64().max(1e-9),
+        latency: report.latency,
+        service: report,
+    }
+}
+
+/// Measures the service's peak closed-loop throughput on `calib` distinct
+/// creatives, returning requests-per-second. Used to size overload runs
+/// (e.g. "2x capacity") portably across hosts.
+pub fn calibrate_capacity_rps(service: &ClassificationService, cfg: &TrafficConfig) -> f64 {
+    let calib = TrafficConfig {
+        pattern: TrafficPattern::ClosedLoop,
+        requests: cfg.creatives,
+        // Distinct creatives only: hits would overestimate capacity.
+        zipf_s: -1.0,
+        seed: cfg.seed ^ 0xCA11_B8A7E,
+        ..*cfg
+    };
+    let report = run(service, &calib);
+    report.achieved_rps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig {
+            creatives: 12,
+            requests: 64,
+            edge: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn creative_pool_is_deterministic_and_distinct() {
+        let a = synthesize_creatives(&cfg());
+        let b = synthesize_creatives(&cfg());
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.content_hash(), y.content_hash());
+        }
+        let mut hashes: Vec<u64> = a.iter().map(|b| b.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 12, "creatives must be distinct");
+    }
+
+    #[test]
+    fn request_sequence_is_deterministic_and_skewed() {
+        let c = cfg();
+        let a = request_sequence(&c);
+        assert_eq!(a, request_sequence(&c));
+        assert!(a.iter().all(|&i| i < c.creatives));
+        // Zipf 0.9 over 12 creatives: the hottest creative should appear
+        // clearly more often than the uniform share.
+        let mut counts = vec![0usize; c.creatives];
+        for &i in &a {
+            counts[i] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max * c.creatives > a.len(), "distribution is skewed");
+    }
+
+    #[test]
+    fn steady_schedule_spaces_requests_evenly() {
+        let c = TrafficConfig {
+            pattern: TrafficPattern::Steady(1000.0),
+            requests: 10,
+            ..cfg()
+        };
+        let s = arrival_schedule(&c);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], Duration::ZERO);
+        assert_eq!(s[9], Duration::from_millis(9));
+    }
+
+    #[test]
+    fn ramp_schedule_is_monotone_and_accelerating() {
+        let c = TrafficConfig {
+            pattern: TrafficPattern::Ramp(100.0, 1000.0),
+            requests: 100,
+            ..cfg()
+        };
+        let s = arrival_schedule(&c);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "monotone arrivals");
+        // Inter-arrival gaps shrink as the rate ramps up.
+        let first_gap = s[1] - s[0];
+        let last_gap = s[99] - s[98];
+        assert!(last_gap < first_gap, "{last_gap:?} < {first_gap:?}");
+    }
+
+    #[test]
+    fn bursty_schedule_has_gaps() {
+        let c = TrafficConfig {
+            pattern: TrafficPattern::Bursty {
+                rps: 1000.0,
+                period: Duration::from_millis(10),
+            },
+            requests: 25,
+            ..cfg()
+        };
+        let s = arrival_schedule(&c);
+        // 10 requests per 10ms burst; bursts start at 0, 20ms, 40ms.
+        assert_eq!(s[0], Duration::ZERO);
+        assert_eq!(s[10], Duration::from_millis(20));
+        assert_eq!(s[20], Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,395 @@
+//! The sharded classification service: router, batcher threads, overload
+//! policies and lifecycle.
+//!
+//! [`ClassificationService`] owns K shards (content-hash routed, so a
+//! creative always lands on the same shard and the verdict caches stay
+//! disjoint) and K batcher threads. Each batcher prefers its home shard's
+//! queue; when that is empty it *steals* — it runs a batch from the most
+//! loaded sibling's queue against that sibling's cache and waiters — so a
+//! skewed traffic mix cannot idle half the fleet while one shard's queue
+//! grows. This is the many-core answer to the single-batcher inference
+//! engine: same queue → micro-batch → publish protocol, multiplied by K
+//! and load-balanced by stealing.
+//!
+//! Every request carries a soft deadline. Batches form in earliest-
+//! deadline order, and when a queue is saturated or a deadline is no
+//! longer feasible the configured [`OverloadPolicy`] decides between
+//! rejecting work with an explicit [`Verdict::Shed`], degrading it to the
+//! int8 tier, or applying backpressure to submitters.
+
+use crate::shard::Shard;
+use crate::telemetry::{ServiceReport, ServiceTelemetry};
+use percival_core::{Classifier, EngineConfig, MemoizedClassifier, Precision, Prediction};
+use percival_imgcodec::Bitmap;
+use percival_tensor::Workspace;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the service does once a shard is saturated or a request's deadline
+/// is no longer feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Reject the request with an explicit [`Verdict::Shed`] — bounded
+    /// latency for everything admitted, explicit loss for the rest.
+    #[default]
+    Shed,
+    /// Keep accepting work but demote pressured requests to the int8
+    /// precision tier (bounded logit drift instead of loss). Memory stays
+    /// bounded: far past `queue_capacity` (4x) admission falls back to
+    /// backpressure rather than letting the queue grow without limit.
+    Degrade,
+    /// Park submitters until the queue drains (backpressure; latency is
+    /// unbounded but nothing is lost or degraded).
+    Block,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Shard count. `0` (the default) resolves `PERCIVAL_SHARDS` from the
+    /// environment, falling back to the host's available parallelism.
+    pub shards: usize,
+    /// Largest micro-batch a batcher assembles per forward pass.
+    pub max_batch: usize,
+    /// Verdict-cache capacity *per shard*.
+    pub cache_capacity: usize,
+    /// Precision of the primary tier.
+    pub precision: Precision,
+    /// Default soft deadline attached by [`ClassificationService::submit`].
+    pub deadline: Duration,
+    /// Behavior at saturation.
+    pub overload: OverloadPolicy,
+    /// Queued entries per shard beyond which the overload policy engages
+    /// (`Degrade` additionally backpressures at 4x this bound so its queue
+    /// cannot grow without limit).
+    pub queue_capacity: usize,
+    /// Whether idle batchers drain loaded siblings' queues.
+    pub steal: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 0,
+            max_batch: 8,
+            cache_capacity: 4096,
+            precision: Precision::F32,
+            deadline: Duration::from_millis(50),
+            overload: OverloadPolicy::Shed,
+            queue_capacity: 256,
+            steal: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The engine-shaped view of this config (used when comparing against
+    /// a single [`percival_core::InferenceEngine`] at equal settings).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            max_batch: self.max_batch,
+            cache_capacity: self.cache_capacity,
+            precision: self.precision,
+        }
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        if let Ok(v) = std::env::var("PERCIVAL_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// One classification outcome from the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The request was admitted and classified.
+    Classified(Prediction),
+    /// The request was rejected by the overload policy (admission-time
+    /// saturation or an infeasible deadline). The creative renders
+    /// unblocked — PERCIVAL fails open, like the paper's deployment.
+    Shed,
+}
+
+impl Verdict {
+    /// The prediction, when the request was classified.
+    pub fn classified(&self) -> Option<Prediction> {
+        match self {
+            Verdict::Classified(p) => Some(*p),
+            Verdict::Shed => None,
+        }
+    }
+
+    /// True when the request was rejected.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Verdict::Shed)
+    }
+}
+
+/// A pending verdict returned by [`ClassificationService::submit`].
+pub struct ServeTicket {
+    pub(crate) rx: Receiver<Verdict>,
+}
+
+impl ServeTicket {
+    /// Blocks until the verdict (or shed decision) is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before resolving this request.
+    pub fn wait(self) -> Verdict {
+        self.rx
+            .recv()
+            .expect("classification service dropped a pending request")
+    }
+
+    /// Returns the verdict if it is already available.
+    pub fn poll(&self) -> Option<Verdict> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// State shared between the router, the shards and the batcher threads.
+pub(crate) struct ServiceShared {
+    /// Queue entries across all shards (drives batcher sleep/wake).
+    queued: AtomicUsize,
+    /// Unresolved queue entries (queued + mid-batch; drives `flush`).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    signal: Mutex<()>,
+    work: Condvar,
+    idle: Condvar,
+    pub(crate) telemetry: ServiceTelemetry,
+}
+
+impl ServiceShared {
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A new entry joined some shard's queue.
+    pub(crate) fn on_enqueued(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.signal.lock().expect("service signal");
+        // All batchers can serve any shard (stealing), but with stealing
+        // disabled only the home batcher may consume this entry — wake
+        // everyone and let the scan decide.
+        self.work.notify_all();
+    }
+
+    /// `n` entries left a queue for a batch (or were shed at formation).
+    pub(crate) fn on_dequeued(&self, n: usize) {
+        self.queued.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// `n` entries were fully resolved (verdicts delivered or shed).
+    pub(crate) fn on_resolved(&self, n: usize) {
+        if self.pending.fetch_sub(n, Ordering::SeqCst) == n {
+            let _guard = self.signal.lock().expect("service signal");
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// The sharded, deadline-aware classification service.
+pub struct ClassificationService {
+    shards: Vec<Arc<Shard>>,
+    shared: Arc<ServiceShared>,
+    cfg: ServiceConfig,
+    batchers: Vec<JoinHandle<()>>,
+}
+
+impl ClassificationService {
+    /// Spawns the service around a trained classifier: K shards, each with
+    /// its own verdict cache over a clone of the classifier (switched to
+    /// the configured precision), plus one batcher thread per shard.
+    pub fn new(classifier: Classifier, cfg: ServiceConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let shard_count = cfg.resolved_shards();
+        let primary = classifier.clone().with_precision(cfg.precision);
+        // The degrade tier only exists when the policy can demote work and
+        // the primary tier is not already int8.
+        let degraded_proto = (cfg.overload == OverloadPolicy::Degrade
+            && cfg.precision != Precision::Int8)
+            .then(|| classifier.with_precision(Precision::Int8));
+
+        let shared = Arc::new(ServiceShared {
+            queued: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            signal: Mutex::new(()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            telemetry: ServiceTelemetry::default(),
+        });
+        let shards: Vec<Arc<Shard>> = (0..shard_count)
+            .map(|i| {
+                let memo = Arc::new(MemoizedClassifier::new(primary.clone(), cfg.cache_capacity));
+                Arc::new(Shard::new(i, memo, degraded_proto.clone()))
+            })
+            .collect();
+        let batchers = (0..shard_count)
+            .map(|i| {
+                let shards = shards.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("percival-serve-{i}"))
+                    .spawn(move || batcher_main(i, &shards, &shared, &cfg))
+                    .expect("spawn serve batcher")
+            })
+            .collect();
+        ClassificationService {
+            shards,
+            shared,
+            cfg,
+            batchers,
+        }
+    }
+
+    /// Number of shards actually running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The service configuration in effect.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shard a creative routes to (content-hash routing: stable for
+    /// the service's lifetime, so memoization and single-flight stay
+    /// shard-local).
+    pub fn shard_of(&self, bitmap: &Bitmap) -> usize {
+        route(bitmap.content_hash(), self.shards.len())
+    }
+
+    /// Submits one creative with the config's default deadline.
+    pub fn submit(&self, bitmap: &Bitmap) -> ServeTicket {
+        self.submit_with_deadline(bitmap, self.cfg.deadline)
+    }
+
+    /// Submits one creative with an explicit soft deadline; returns
+    /// immediately. Cache hits and shed decisions resolve the ticket
+    /// before this call returns.
+    pub fn submit_with_deadline(&self, bitmap: &Bitmap, deadline: Duration) -> ServeTicket {
+        let shard = &self.shards[route(bitmap.content_hash(), self.shards.len())];
+        shard.submit(bitmap, deadline, &self.cfg, &self.shared)
+    }
+
+    /// Submits and blocks until the verdict is available.
+    pub fn submit_wait(&self, bitmap: &Bitmap) -> Verdict {
+        self.submit(bitmap).wait()
+    }
+
+    /// Blocks until every queued or in-flight request has been resolved.
+    pub fn flush(&self) {
+        let mut guard = self.shared.signal.lock().expect("service signal");
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            guard = self.shared.idle.wait(guard).expect("service idle wait");
+        }
+        drop(guard);
+    }
+
+    /// Snapshots every shard's counters plus the service latency histogram.
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            shards: self.shards.iter().map(|s| s.report()).collect(),
+            latency: self.shared.telemetry.latency.snapshot(),
+        }
+    }
+
+    /// Resets the latency histogram (between load-generator phases).
+    pub fn reset_latency(&self) {
+        self.shared.telemetry.latency.reset();
+    }
+}
+
+impl Drop for ClassificationService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.signal.lock().expect("service signal");
+            self.shared.work.notify_all();
+        }
+        for shard in &self.shards {
+            shard.release_blocked();
+        }
+        // Batchers drain every queue before exiting, so no ticket is
+        // dropped by shutdown.
+        for batcher in self.batchers.drain(..) {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ClassificationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassificationService")
+            .field("shards", &self.shards.len())
+            .field("max_batch", &self.cfg.max_batch)
+            .field("overload", &self.cfg.overload)
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Maps a content hash onto a shard (Fibonacci spread so weakly-mixed
+/// hashes still distribute).
+fn route(key: u64, shards: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
+/// One batcher thread: drain the home shard, then steal from the most
+/// loaded sibling, then sleep until work arrives anywhere.
+fn batcher_main(home: usize, shards: &[Arc<Shard>], shared: &ServiceShared, cfg: &ServiceConfig) {
+    let mut ws = Workspace::new();
+    loop {
+        let mut did_work = shards[home].process_one_batch(&mut ws, cfg, shared, false) > 0;
+        if !did_work && cfg.steal {
+            // Steal from the deepest queue first: that shard's deadlines
+            // are at the greatest risk.
+            let victim = shards
+                .iter()
+                .enumerate()
+                .filter(|&(i, s)| i != home && s.depth() > 0)
+                .max_by_key(|(_, s)| s.depth())
+                .map(|(i, _)| i);
+            if let Some(v) = victim {
+                did_work = shards[v].process_one_batch(&mut ws, cfg, shared, true) > 0;
+            }
+        }
+        if did_work {
+            continue;
+        }
+        let mut guard = shared.signal.lock().expect("service signal");
+        loop {
+            let has_work = if cfg.steal {
+                shared.queued.load(Ordering::SeqCst) > 0
+            } else {
+                shards[home].depth() > 0
+            };
+            if has_work {
+                break;
+            }
+            if shared.is_shutdown() {
+                return;
+            }
+            guard = shared.work.wait(guard).expect("service work wait");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Wait-free serving telemetry: per-shard counters plus service-wide
+//! latency histograms, snapshottable as a [`ServiceReport`].
+//!
+//! Every counter is a relaxed atomic touched from the submission and
+//! batcher hot paths; nothing here takes a lock. Reports are plain data so
+//! benches and experiments can serialize or diff them without reaching
+//! back into the live service.
+
+use percival_util::{HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Live counters for one shard (all monotonic except `queue_depth`).
+#[derive(Debug, Default)]
+pub(crate) struct ShardTelemetry {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) memo_hits: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) shed_admission: AtomicU64,
+    pub(crate) shed_late: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_images: AtomicU64,
+    pub(crate) stolen_batches: AtomicU64,
+    pub(crate) max_queue_depth: AtomicU64,
+    /// Entries currently queued (gauge; drives work-stealing scans and the
+    /// per-shard depth report).
+    pub(crate) queue_depth: AtomicUsize,
+    /// Exponentially-weighted mean of per-image classification nanoseconds,
+    /// the service-time estimate behind deadline-feasibility shedding.
+    pub(crate) ewma_image_ns: AtomicU64,
+}
+
+impl ShardTelemetry {
+    /// Folds one measured per-image cost into the service-time estimate
+    /// (alpha = 1/4; integer EWMA, monotone under concurrent updates).
+    pub(crate) fn observe_image_cost(&self, ns: u64) {
+        let old = self.ewma_image_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 4 + ns / 4 };
+        self.ewma_image_ns.store(new, Ordering::Relaxed);
+    }
+
+    pub(crate) fn report(&self, index: usize) -> ShardReport {
+        ShardReport {
+            index,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed_admission: self.shed_admission.load(Ordering::Relaxed),
+            shed_late: self.shed_late.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_images: self.batched_images.load(Ordering::Relaxed),
+            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            ewma_image_ns: self.ewma_image_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index within the service.
+    pub index: usize,
+    /// Requests routed to this shard (including cache hits and sheds).
+    pub submitted: u64,
+    /// Requests answered from the shard's verdict cache without queueing.
+    pub memo_hits: u64,
+    /// Requests merged into an in-flight identical creative
+    /// (single-flight deduplication).
+    pub coalesced: u64,
+    /// Requests rejected at admission by the overload policy.
+    pub shed_admission: u64,
+    /// Queued requests rejected at batch formation because their deadline
+    /// was no longer feasible.
+    pub shed_late: u64,
+    /// Requests demoted to the int8 tier under pressure.
+    pub degraded: u64,
+    /// Micro-batches executed against this shard's queue.
+    pub batches: u64,
+    /// Images classified through those batches.
+    pub batched_images: u64,
+    /// Batches of this shard's work executed by a *different* shard's
+    /// batcher thread (work stealing).
+    pub stolen_batches: u64,
+    /// Entries queued right now.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub max_queue_depth: u64,
+    /// Current per-image service-time estimate (EWMA, nanoseconds).
+    pub ewma_image_ns: u64,
+}
+
+impl ShardReport {
+    /// Fraction of submissions resolved without a CNN pass.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.memo_hits + self.coalesced) as f64 / self.submitted as f64
+        }
+    }
+
+    /// Requests rejected by either shedding point.
+    pub fn shed(&self) -> u64 {
+        self.shed_admission + self.shed_late
+    }
+}
+
+/// Service-wide snapshot: per-shard rows plus aggregate counters and the
+/// admitted-request latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// One row per shard.
+    pub shards: Vec<ShardReport>,
+    /// Admission-to-verdict latency of classified (admitted, not shed)
+    /// requests.
+    pub latency: HistogramSnapshot,
+}
+
+impl ServiceReport {
+    fn total(&self, f: impl Fn(&ShardReport) -> u64) -> u64 {
+        self.shards.iter().map(f).sum()
+    }
+
+    /// Requests submitted across all shards.
+    pub fn submitted(&self) -> u64 {
+        self.total(|s| s.submitted)
+    }
+
+    /// Cache hits across all shards.
+    pub fn memo_hits(&self) -> u64 {
+        self.total(|s| s.memo_hits)
+    }
+
+    /// Single-flight merges across all shards.
+    pub fn coalesced(&self) -> u64 {
+        self.total(|s| s.coalesced)
+    }
+
+    /// Requests shed (admission + late) across all shards.
+    pub fn shed(&self) -> u64 {
+        self.total(|s| s.shed())
+    }
+
+    /// Requests demoted to the int8 tier across all shards.
+    pub fn degraded(&self) -> u64 {
+        self.total(|s| s.degraded)
+    }
+
+    /// Images classified through micro-batches across all shards.
+    pub fn batched_images(&self) -> u64 {
+        self.total(|s| s.batched_images)
+    }
+
+    /// Batches run by a non-home batcher across all shards.
+    pub fn stolen_batches(&self) -> u64 {
+        self.total(|s| s.stolen_batches)
+    }
+
+    /// Fraction of submissions shed.
+    pub fn shed_rate(&self) -> f64 {
+        let submitted = self.submitted();
+        if submitted == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / submitted as f64
+        }
+    }
+
+    /// Fraction of submissions resolved without a CNN pass.
+    pub fn dedup_rate(&self) -> f64 {
+        let submitted = self.submitted();
+        if submitted == 0 {
+            0.0
+        } else {
+            (self.memo_hits() + self.coalesced()) as f64 / submitted as f64
+        }
+    }
+}
+
+impl core::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "service: {} submitted  {} classified  {} shed ({:.1}%)  dedup {:.1}%  stolen {}",
+            self.submitted(),
+            self.batched_images(),
+            self.shed(),
+            self.shed_rate() * 100.0,
+            self.dedup_rate() * 100.0,
+            self.stolen_batches(),
+        )?;
+        writeln!(f, "latency: {}", self.latency)?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: sub {}  hit {}  coal {}  shed {}+{}  deg {}  batches {} ({} imgs, {} stolen)  depth {}/{}",
+                s.index,
+                s.submitted,
+                s.memo_hits,
+                s.coalesced,
+                s.shed_admission,
+                s.shed_late,
+                s.degraded,
+                s.batches,
+                s.batched_images,
+                s.stolen_batches,
+                s.queue_depth,
+                s.max_queue_depth,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The service-wide latency recorder shared by every shard's publish path.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceTelemetry {
+    /// Admission-to-verdict latency of classified requests.
+    pub(crate) latency: LatencyHistogram,
+}

@@ -1,0 +1,163 @@
+//! The `serve-smoke` gate: small, fixed-seed load-generator runs that must
+//! hold on any host. Asserts the determinism contract (same seed → same
+//! workload → same verdict counts when nothing is shed) and the overload
+//! contract (zero lost tickets always; shed decisions bounded, and the
+//! tail latency of admitted work bounded by the deadline) without relying
+//! on host speed: the overload run is sized from a runtime capacity
+//! calibration, not absolute rates.
+
+use percival_core::arch::percival_net_slim;
+use percival_core::Classifier;
+use percival_nn::init::kaiming_init;
+use percival_serve::loadgen::{self, calibrate_capacity_rps, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
+use percival_util::Pcg32;
+use std::time::Duration;
+
+fn classifier() -> Classifier {
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    Classifier::new(model, 32)
+}
+
+fn traffic() -> TrafficConfig {
+    TrafficConfig {
+        seed: 42,
+        creatives: 24,
+        ad_fraction: 0.5,
+        zipf_s: 0.9,
+        requests: 200,
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 32,
+    }
+}
+
+#[test]
+fn closed_loop_run_is_deterministic_and_loses_nothing() {
+    // Closed loop + no deadline pressure: the verdict counts are a pure
+    // function of the seed, so two fresh services must agree exactly.
+    let cfg = ServiceConfig {
+        shards: 2,
+        deadline: Duration::from_secs(600),
+        overload: OverloadPolicy::Block,
+        ..Default::default()
+    };
+    let run = |_: u32| {
+        let svc = ClassificationService::new(classifier(), cfg);
+        loadgen::run(&svc, &traffic())
+    };
+    let a = run(0);
+    let b = run(1);
+    for r in [&a, &b] {
+        assert_eq!(r.lost, 0, "no ticket may be dropped");
+        assert_eq!(r.shed, 0, "Block policy sheds nothing");
+        assert_eq!(r.classified, r.submitted);
+        assert_eq!(r.submitted, 200);
+    }
+    assert_eq!(
+        a.classified, b.classified,
+        "verdict counts are seed-determined"
+    );
+    assert_eq!(a.ads, b.ads, "ad verdicts are seed-determined");
+    // Zipf repeats over 24 creatives: most requests come from the caches.
+    assert!(
+        a.service.dedup_rate() > 0.5,
+        "hot-key traffic must hit the memo/single-flight paths: {:.2}",
+        a.service.dedup_rate()
+    );
+}
+
+#[test]
+fn overload_sheds_within_bounds_and_admits_within_deadline() {
+    // Open-loop at ~4x calibrated capacity with a deadline the host can
+    // meet for admitted work: shedding is mandatory but bounded, nothing
+    // is lost, and the p99 of *admitted* requests respects the deadline.
+    let calib_svc = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: 1,
+            deadline: Duration::from_secs(600),
+            overload: OverloadPolicy::Block,
+            ..Default::default()
+        },
+    );
+    let base = traffic();
+    let capacity = calibrate_capacity_rps(&calib_svc, &base).max(20.0);
+    drop(calib_svc);
+
+    // Deadline: time to serve two max batches at calibrated speed, floored
+    // generously so scheduler jitter on loaded CI hosts doesn't flake.
+    let deadline = Duration::from_secs_f64((16.0 / capacity).max(0.05));
+    let svc = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: 1,
+            deadline,
+            overload: OverloadPolicy::Shed,
+            queue_capacity: 64,
+            ..Default::default()
+        },
+    );
+    let report = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            pattern: TrafficPattern::Steady(capacity * 4.0),
+            requests: 300,
+            // Distinct creatives: repeats would dedup away the overload.
+            creatives: 300,
+            zipf_s: -1.0,
+            ..base
+        },
+    );
+    println!("capacity {capacity:.0} rps, deadline {deadline:?}\n{report}");
+    assert_eq!(report.lost, 0, "no ticket may be dropped under overload");
+    assert_eq!(report.classified + report.shed, report.submitted);
+    let shed_rate = report.shed as f64 / report.submitted as f64;
+    assert!(
+        shed_rate > 0.2,
+        "4x overload must shed a substantial fraction: {shed_rate:.2}"
+    );
+    assert!(
+        shed_rate < 0.95,
+        "the service must still admit real work: {shed_rate:.2}"
+    );
+    // The whole point of deadline-aware shedding: admitted work is served
+    // in time. Allow 2x for the log-bucket histogram's resolution plus
+    // scheduler noise on shared CI hosts.
+    assert!(
+        report.latency.p99 <= deadline * 2,
+        "p99 {:?} must stay within ~deadline {:?}",
+        report.latency.p99,
+        deadline
+    );
+}
+
+#[test]
+fn degrade_policy_serves_everything_with_a_cheaper_tier() {
+    let svc = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: 1,
+            deadline: Duration::from_millis(1),
+            overload: OverloadPolicy::Degrade,
+            queue_capacity: 8,
+            ..Default::default()
+        },
+    );
+    let report = loadgen::run(
+        &svc,
+        &TrafficConfig {
+            requests: 100,
+            creatives: 100,
+            zipf_s: -1.0,
+            ..traffic()
+        },
+    );
+    assert_eq!(report.lost, 0);
+    assert_eq!(report.shed, 0, "Degrade never rejects");
+    assert_eq!(report.classified, 100);
+    assert!(
+        report.service.degraded() > 0,
+        "a 1ms deadline must demote work to the int8 tier"
+    );
+}

@@ -1,16 +1,27 @@
 //! Row-major single-precision matrix multiplication.
 //!
 //! Convolution is lowered onto these kernels (im2col + GEMM), so this is the
-//! hot loop of both training and in-browser inference. The forward kernels
-//! use BLIS-style cache blocking: `B` is packed into `KC x NR` column panels
-//! and `A` into `MC x KC` row panels of `MR` rows, and an `MR x NR`
-//! register-tile microkernel streams over the packed panels. Packing
-//! buffers come from a [`Workspace`], so repeated calls never allocate, and
-//! large row extents are split across the global [`ThreadPool`].
+//! hot loop of both training and in-browser inference. Two forward paths
+//! exist:
+//!
+//! - the explicit-SIMD path ([`GemmKernel::Simd`], the default) uses
+//!   BLIS-style cache blocking — `B` packed into `KC x NR` column panels,
+//!   `A` into `MC x KC` row panels of `MR` rows — and streams the AVX2+FMA
+//!   `6 x 16` register microkernel over the packed panels. Packing buffers
+//!   come from a [`Workspace`], so repeated calls never allocate, and large
+//!   row extents are split across the global [`ThreadPool`].
+//! - the portable path ([`GemmKernel::Tiled`], and the fallback of `Simd`
+//!   on hosts without AVX2/FMA) is a cache-blocked branch-free scalar
+//!   i-k-j loop with a 4-deep k unroll: each C-row pass consumes four B
+//!   rows, quartering the C load/store traffic, and the `KC x NC` blocking
+//!   keeps the streamed B rows cache-resident. This retired the earlier
+//!   packed `4 x 8` portable register tile, which measured at or below the
+//!   seed scalar loop (the autovectorizer already covers the inner loop;
+//!   the tile no longer paid for its packing).
 //!
 //! The seed's scalar i-k-j kernel is kept as [`gemm_acc_scalar`] — it is the
 //! baseline the inference benchmarks compare against, and it documents the
-//! branch-per-element (`aik == 0.0`) pattern the tiled kernel removes:
+//! branch-per-element (`aik == 0.0`) pattern the blocked kernels remove:
 //! on dense activations that branch is almost never taken but still defeats
 //! vectorization of the inner loop.
 
@@ -22,7 +33,10 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// Which forward-GEMM implementation [`gemm_acc`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmKernel {
-    /// Cache-blocked, packed, register-tiled, autovectorized (portable).
+    /// Cache-blocked branch-free scalar with a 4-deep k unroll,
+    /// autovectorized (portable; the name is historic — the packed
+    /// register-tile it once selected measured below the seed scalar loop
+    /// and was retired).
     Tiled,
     /// The seed's scalar i-k-j loop — kept selectable so benchmarks and
     /// A/B experiments can measure the whole inference stack on the
@@ -62,45 +76,10 @@ pub fn gemm_kernel() -> GemmKernel {
     }
 }
 
-/// Register-tile geometry + innermost kernel of one blocked-GEMM variant.
-///
-/// The block driver, packers and thread-split logic are shared between the
-/// portable and explicit-SIMD paths; only the tile extents and the
-/// microkernel differ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TileSpec {
-    mr: usize,
-    nr: usize,
-    /// Run the AVX2+FMA microkernel (caller has verified availability).
-    avx2: bool,
-}
-
-impl TileSpec {
-    const PORTABLE: TileSpec = TileSpec {
-        mr: MR,
-        nr: NR,
-        avx2: false,
-    };
-    const AVX2: TileSpec = TileSpec {
-        mr: MR_SIMD,
-        nr: NR_SIMD,
-        avx2: true,
-    };
-
-    /// The tile to run for the selected kernel on this host.
-    fn for_kernel(kernel: GemmKernel) -> TileSpec {
-        if kernel == GemmKernel::Simd && simd_available() {
-            TileSpec::AVX2
-        } else {
-            TileSpec::PORTABLE
-        }
-    }
-}
-
-/// Microkernel row count (register-tile height).
-pub const MR: usize = 4;
-/// Microkernel column count (register-tile width; two SSE vectors).
-pub const NR: usize = 8;
+/// Packed-path microkernel row count (the AVX2 register-tile height).
+pub const MR: usize = MR_SIMD;
+/// Packed-path microkernel column count (the AVX2 register-tile width).
+pub const NR: usize = NR_SIMD;
 /// K-dimension cache block: one `KC x NR` B panel stays L1-resident.
 const KC: usize = 256;
 /// Row cache block: one packed `MC x KC` A block stays L2-resident.
@@ -200,8 +179,10 @@ fn pack_b(
     }
 }
 
-/// The register-tile microkernel: accumulates an `MR x NR` tile over `kc`
-/// packed steps, then adds the valid `mr x nr` corner into `c`.
+/// Portable register-tile microkernel over packed `MR x NR` panels — the
+/// compile-anywhere fallback of the packed path (reachable only where the
+/// AVX2 microkernel is unavailable; the shipping portable kernel is
+/// [`gemm_blocked_scalar`], which skips packing entirely).
 #[inline]
 fn microkernel(pa: &[f32], pb: &[f32], kc: usize, c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
     let mut acc = [[0.0f32; NR]; MR];
@@ -226,31 +207,20 @@ fn microkernel(pa: &[f32], pb: &[f32], kc: usize, c: &mut [f32], ldc: usize, mr:
 }
 
 /// Runs the packed block `pa x pb` into the `mc x nc` region of `c`,
-/// dispatching to the tile's microkernel.
+/// dispatching to the AVX2 microkernel (portable fallback where absent).
 #[allow(clippy::too_many_arguments)]
-fn run_block(
-    pa: &[f32],
-    pb: &[f32],
-    c: &mut [f32],
-    ldc: usize,
-    mc: usize,
-    nc: usize,
-    kc: usize,
-    tile: TileSpec,
-) {
-    let (tmr, tnr) = (tile.mr, tile.nr);
-    for jr in 0..nc.div_ceil(tnr) {
-        let nr = tnr.min(nc - jr * tnr);
-        let pb_panel = &pb[jr * tnr * kc..(jr + 1) * tnr * kc];
-        for ir in 0..mc.div_ceil(tmr) {
-            let mr = tmr.min(mc - ir * tmr);
-            let pa_panel = &pa[ir * tmr * kc..(ir + 1) * tmr * kc];
-            let c_tile = &mut c[ir * tmr * ldc + jr * tnr..];
+fn run_block(pa: &[f32], pb: &[f32], c: &mut [f32], ldc: usize, mc: usize, nc: usize, kc: usize) {
+    for jr in 0..nc.div_ceil(NR) {
+        let nr = NR.min(nc - jr * NR);
+        let pb_panel = &pb[jr * NR * kc..(jr + 1) * NR * kc];
+        for ir in 0..mc.div_ceil(MR) {
+            let mr = MR.min(mc - ir * MR);
+            let pa_panel = &pa[ir * MR * kc..(ir + 1) * MR * kc];
+            let c_tile = &mut c[ir * MR * ldc + jr * NR..];
             #[cfg(target_arch = "x86_64")]
-            if tile.avx2 {
-                // SAFETY: `tile.avx2` is only set by `TileSpec::for_kernel`
-                // after `simd_available()` confirmed AVX2+FMA; panel and C
-                // extents are the same ones the portable kernel relies on.
+            if simd_available() {
+                // SAFETY: `simd_available()` confirmed AVX2+FMA; panel and
+                // C extents are the same ones the portable kernel relies on.
                 unsafe {
                     crate::simd::microkernel_f32_avx2(pa_panel, pb_panel, kc, c_tile, ldc, mr, nr);
                 }
@@ -261,10 +231,9 @@ fn run_block(
     }
 }
 
-/// Tiled `c += a * b` over the full row range, single-threaded, with caller-
-/// provided packing buffers.
-#[allow(clippy::too_many_arguments)]
-fn gemm_tiled(
+/// Packed `c += a * b` over the full row range, single-threaded, with
+/// caller-provided packing buffers (the explicit-SIMD path).
+fn gemm_packed(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -272,24 +241,64 @@ fn gemm_tiled(
     k: usize,
     n: usize,
     ws: &mut Workspace,
-    tile: TileSpec,
 ) {
-    let mut pa = ws.take(MC.min(m).div_ceil(tile.mr) * tile.mr * KC.min(k));
-    let mut pb = ws.take(NC.min(n).div_ceil(tile.nr) * tile.nr * KC.min(k));
+    let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * KC.min(k));
+    let mut pb = ws.take(NC.min(n).div_ceil(NR) * NR * KC.min(k));
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(b, &mut pb, pc, jc, kc, nc, n, tile.nr);
+            pack_b(b, &mut pb, pc, jc, kc, nc, n, NR);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(a, &mut pa, ic, pc, mc, kc, k, tile.mr);
-                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc, tile);
+                pack_a(a, &mut pa, ic, pc, mc, kc, k, MR);
+                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc);
             }
         }
     }
     ws.recycle(pb);
     ws.recycle(pa);
+}
+
+/// The portable forward kernel: cache-blocked branch-free scalar i-k-j with
+/// a 4-deep k unroll. Each C-row pass consumes four B rows — C is loaded
+/// and stored once per four k steps instead of every step — and the
+/// `KC x NC` blocking keeps the four streamed B rows cache-resident. The
+/// inner j loop is contiguous over `c` and all four `b` rows, which the
+/// autovectorizer turns into wide FMA streams on any target.
+fn gemm_blocked_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for i in 0..m {
+                let a_row = &a[i * k + pc..i * k + pc + kc];
+                let c_row = &mut c[i * n + jc..i * n + jc + nc];
+                let mut kk = 0;
+                while kk + 4 <= kc {
+                    let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                    let (b0, rest) = b[(pc + kk) * n + jc..].split_at(n);
+                    let (b1, rest) = rest.split_at(n);
+                    let (b2, rest) = rest.split_at(n);
+                    // All four rows sliced to exactly nc so the inner
+                    // loop's bounds checks vanish structurally.
+                    let (b0, b1, b2, b3) = (&b0[..nc], &b1[..nc], &b2[..nc], &rest[..nc]);
+                    for (j, cv) in c_row.iter_mut().enumerate() {
+                        *cv += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    kk += 4;
+                }
+                while kk < kc {
+                    let aik = a_row[kk];
+                    let b_row = &b[(pc + kk) * n + jc..(pc + kk) * n + jc + nc];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * bv;
+                    }
+                    kk += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Computes `c += a * b` where `a` is `m x k`, `b` is `k x n` and `c` is
@@ -319,9 +328,8 @@ pub fn gemm_acc_ws(
     if kernel == GemmKernel::Scalar {
         return gemm_acc_scalar(a, b, c, m, k, n);
     }
-    let tile = TileSpec::for_kernel(kernel);
     if m * n * k <= TILING_THRESHOLD {
-        // Packing overhead dominates tiny problems; a branch-free scalar
+        // Blocking overhead dominates tiny problems; a branch-free scalar
         // kernel is faster there.
         for i in 0..m {
             let a_row = &a[i * k..i * k + k];
@@ -335,6 +343,9 @@ pub fn gemm_acc_ws(
         }
         return;
     }
+    // `Simd` runs the packed AVX2 path where available and otherwise
+    // degrades to the portable blocked-scalar kernel (same as `Tiled`).
+    let packed = kernel == GemmKernel::Simd && simd_available();
 
     let pool = ThreadPool::global();
     if m >= PARALLEL_MIN_ROWS && pool.parallelism() > 1 {
@@ -350,15 +361,21 @@ pub fn gemm_acc_ws(
                 let row0 = band * rows_per_band;
                 let a_band = &a[row0 * k..(row0 + band_rows) * k];
                 Box::new(move || {
-                    with_thread_workspace(|tws| {
-                        gemm_tiled(a_band, b, c_chunk, band_rows, k, n, tws, tile);
-                    });
+                    if packed {
+                        with_thread_workspace(|tws| {
+                            gemm_packed(a_band, b, c_chunk, band_rows, k, n, tws);
+                        });
+                    } else {
+                        gemm_blocked_scalar(a_band, b, c_chunk, band_rows, k, n);
+                    }
                 }) as ScopedTask<'_>
             })
             .collect();
         pool.scope_run(tasks);
+    } else if packed {
+        gemm_packed(a, b, c, m, k, n, ws);
     } else {
-        gemm_tiled(a, b, c, m, k, n, ws, tile);
+        gemm_blocked_scalar(a, b, c, m, k, n);
     }
 }
 
@@ -468,8 +485,8 @@ mod tests {
 
     #[test]
     fn tiled_path_matches_naive_on_awkward_extents() {
-        // Geometries chosen to exercise every ragged edge: partial MR rows,
-        // partial NR columns, multiple KC blocks, multiple MC/NC blocks.
+        // Geometries chosen to exercise every ragged edge: k not a multiple
+        // of the 4-deep unroll, multiple KC blocks, multiple NC blocks.
         let cases = [
             (1usize, 1usize, 1usize),
             (5, 3, 97),
@@ -480,6 +497,23 @@ mod tests {
         for (case, &(m, k, n)) in cases.iter().enumerate() {
             let a = arb_matrix(100 + case as u64, m * k);
             let b = arb_matrix(200 + case as u64, k * n);
+            let mut c = vec![0.0; m * n];
+            gemm_blocked_scalar(&a, &b, &mut c, m, k, n);
+            let expect = naive(&a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_gemm_matches_naive_on_awkward_extents() {
+        // Same geometries through the public entry point (whatever kernel
+        // the environment selects).
+        let cases = [(5usize, 3usize, 97usize), (131, 520, 70), (260, 17, 1031)];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_matrix(500 + case as u64, m * k);
+            let b = arb_matrix(600 + case as u64, k * n);
             let mut c = vec![0.0; m * n];
             gemm(&a, &b, &mut c, m, k, n);
             let expect = naive(&a, &b, m, k, n);
@@ -505,11 +539,9 @@ mod tests {
 
     #[test]
     fn simd_tile_matches_naive_on_awkward_extents() {
-        // Drive the block driver with the explicit-SIMD tile directly (no
-        // process-global kernel mutation, which would race other tests).
-        // On hosts without AVX2/FMA this exercises the portable fallback,
-        // which is exactly the degradation `PERCIVAL_GEMM=simd` promises.
-        let tile = TileSpec::for_kernel(GemmKernel::Simd);
+        // Drive the packed block driver directly (no process-global kernel
+        // mutation, which would race other tests). On hosts without
+        // AVX2/FMA this exercises the portable microkernel fallback.
         let cases = [
             (1usize, 1usize, 1usize),
             (5, 3, 97),
@@ -522,7 +554,7 @@ mod tests {
             let b = arb_matrix(400 + case as u64, k * n);
             let mut c = vec![0.0; m * n];
             let mut ws = Workspace::new();
-            gemm_tiled(&a, &b, &mut c, m, k, n, &mut ws, tile);
+            gemm_packed(&a, &b, &mut c, m, k, n, &mut ws);
             let expect = naive(&a, &b, m, k, n);
             for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
                 assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
@@ -531,24 +563,15 @@ mod tests {
     }
 
     #[test]
-    fn simd_and_portable_tiles_agree() {
+    fn simd_and_portable_kernels_agree() {
         let (m, k, n) = (61, 129, 83);
         let a = arb_matrix(20, m * k);
         let b = arb_matrix(21, k * n);
         let mut ws = Workspace::new();
         let mut c_simd = vec![0.25; m * n];
         let mut c_port = vec![0.25; m * n];
-        gemm_tiled(
-            &a,
-            &b,
-            &mut c_simd,
-            m,
-            k,
-            n,
-            &mut ws,
-            TileSpec::for_kernel(GemmKernel::Simd),
-        );
-        gemm_tiled(&a, &b, &mut c_port, m, k, n, &mut ws, TileSpec::PORTABLE);
+        gemm_packed(&a, &b, &mut c_simd, m, k, n, &mut ws);
+        gemm_blocked_scalar(&a, &b, &mut c_port, m, k, n);
         for (x, y) in c_simd.iter().zip(c_port.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }

@@ -1,0 +1,226 @@
+//! A lock-free latency histogram for hot-path telemetry.
+//!
+//! The serving layer records one sample per classified request from many
+//! batcher threads at once, so the recording path must be wait-free: each
+//! sample is a single relaxed `fetch_add` into a logarithmic bucket (one
+//! bucket per power of two of nanoseconds), plus running count/sum/max
+//! atomics. Quantiles are derived from the bucket counts at snapshot time;
+//! with base-2 buckets the estimate is within ~41% of the true value
+//! (geometric midpoint of the matched bucket), which is plenty for the
+//! p50/p95/p99 tail-shape questions the service reports answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of base-2 buckets: covers 1 ns up to ~584 years.
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram of durations with power-of-two buckets.
+///
+/// # Examples
+///
+/// ```
+/// use percival_util::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let h = LatencyHistogram::new();
+/// h.record(Duration::from_micros(100));
+/// h.record(Duration::from_micros(200));
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 2);
+/// assert!(snap.p50 >= Duration::from_micros(64));
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data view of a [`LatencyHistogram`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: Duration,
+    /// Median estimate.
+    pub p50: Duration,
+    /// 95th-percentile estimate.
+    pub p95: Duration,
+    /// 99th-percentile estimate.
+    pub p99: Duration,
+    /// Largest sample (exact).
+    pub max: Duration,
+}
+
+impl core::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n {}  mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (wait-free; callable from any thread).
+    pub fn record(&self, sample: Duration) {
+        let ns = sample.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts:
+    /// the geometric midpoint of the bucket holding the `q`-th sample.
+    /// Returns zero while empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket `b` spans [2^(b-1), 2^b); its geometric midpoint
+                // is 2^(b-0.5). Bucket 0 holds exactly the zero samples.
+                if b == 0 {
+                    return Duration::ZERO;
+                }
+                let ns = 2f64.powf(b as f64 - 0.5);
+                // Never report beyond the true maximum.
+                let max = self.max_ns.load(Ordering::Relaxed);
+                return Duration::from_nanos((ns as u64).min(max));
+            }
+        }
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Captures count, mean and the standard tail quantiles at one instant.
+    ///
+    /// Concurrent recording during the snapshot can skew the derived values
+    /// by the in-flight samples; the snapshot is still internally safe.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let mean = self
+            .sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO);
+        HistogramSnapshot {
+            count,
+            mean,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets every counter to zero (not atomic across buckets; intended
+    /// for quiescent moments between load-generator phases).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.mean, Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_within_a_bucket() {
+        let h = LatencyHistogram::new();
+        // 100 samples: 1µs, 2µs, ..., 100µs.
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, Duration::from_micros(100));
+        // True p50 is 50µs; base-2 bucket estimate must be within 2x.
+        assert!(s.p50 >= Duration::from_micros(25) && s.p50 <= Duration::from_micros(100));
+        assert!(s.p99 >= Duration::from_micros(50));
+        assert!(s.p99 <= s.max);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "quantiles are monotone");
+        // Sum is 5050µs over 100 samples: mean 50.5µs.
+        assert_eq!(s.mean, Duration::from_nanos(50_500));
+    }
+
+    #[test]
+    fn max_is_exact_and_caps_quantiles() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(77));
+        let s = h.snapshot();
+        assert_eq!(s.max, Duration::from_nanos(77));
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(t * 1000 + i + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(5));
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+}

@@ -10,10 +10,14 @@
 //!   PERCIVAL paper's evaluation (Section 5.3).
 //! - [`stats`]: tiny descriptive-statistics helpers (median, percentiles,
 //!   CDFs) used by the render-time experiments (Figures 14 and 15).
+//! - [`hist`]: a lock-free log-bucketed latency histogram used by the
+//!   serving layer's telemetry and the load-generator reports.
 
+pub mod hist;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
 
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{BinaryConfusion, Metrics};
 pub use rng::Pcg32;

@@ -23,6 +23,9 @@
 //!   "Brave shields" layer);
 //! - [`webgen`]: the deterministic synthetic web (ads, sites, feeds,
 //!   scripts) standing in for the paper's crawled data;
+//! - [`serve`]: the fleet-scale serving layer — a sharded, deadline-aware
+//!   classification service with work-stealing batchers, overload
+//!   policies and a synthetic-traffic load generator;
 //! - [`crawler`]: traditional and pipeline-instrumented crawlers plus the
 //!   phased retraining loop;
 //! - [`util`]: seeded PRNG, metrics, latency statistics.
@@ -48,6 +51,7 @@ pub use percival_filterlist as filterlist;
 pub use percival_imgcodec as imgcodec;
 pub use percival_nn as nn;
 pub use percival_renderer as renderer;
+pub use percival_serve as serve;
 pub use percival_tensor as tensor;
 pub use percival_util as util;
 pub use percival_webgen as webgen;
@@ -60,6 +64,7 @@ pub mod prelude {
     pub use percival_filterlist::easylist::synthetic_engine;
     pub use percival_imgcodec::{decode_auto, Bitmap};
     pub use percival_renderer::{PipelineConfig, RenderPipeline};
+    pub use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
     pub use percival_util::{BinaryConfusion, Pcg32};
     pub use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
     pub use percival_webgen::Script;
