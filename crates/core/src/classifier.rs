@@ -39,6 +39,19 @@ pub struct Prediction {
     pub elapsed: Duration,
 }
 
+impl Prediction {
+    /// The one place a probability becomes a verdict: every layer (engine,
+    /// serve shards, hint paths) shapes predictions through this, so the
+    /// decision rule `is_ad = p_ad >= threshold` cannot drift between them.
+    pub fn from_probability(p_ad: f32, threshold: f32, elapsed: Duration) -> Self {
+        Prediction {
+            p_ad,
+            is_ad: p_ad >= threshold,
+            elapsed,
+        }
+    }
+}
+
 /// The PERCIVAL classifier: a trained network plus its input geometry,
 /// decision threshold and execution precision.
 #[derive(Debug, Clone)]

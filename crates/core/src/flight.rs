@@ -1,0 +1,983 @@
+//! The flight-control core: one audited queue → memo → single-flight →
+//! publish protocol, shared by every classification tier.
+//!
+//! PERCIVAL is probed with repeated and near-duplicate creatives (one ad
+//! network serving one creative into many slots, or an adversary replaying
+//! perturbed copies), which makes the deduplication/publish machinery the
+//! most safety-critical code in the system. Before this module existed the
+//! protocol lived twice — in `percival_core::engine` and in
+//! `percival_serve`'s shards — and every fix had to be mirrored by hand.
+//! [`FlightTable`] is the single implementation both layers instantiate,
+//! parameterized over:
+//!
+//! - a [`QueueDiscipline`] (`Q`): [`Fifo`] for the in-browser engine (no
+//!   deadline configuration dragged through the hook path), [`Edf`] for
+//!   the serving layer (earliest-deadline-first with per-entry metadata);
+//! - the published verdict type (`V`): `Prediction` for the engine,
+//!   the serving layer's `Verdict` for shards.
+//!
+//! ## The protocol invariants (owned here, nowhere else)
+//!
+//! 1. **Memoize before unpark** ([`FlightTable::publish`]): a verdict is
+//!    inserted into the memo cache *before* its single-flight group is
+//!    removed, and the group is removed under the state lock — so a
+//!    submitter that misses the group is guaranteed to hit the cache.
+//! 2. **Coalesce-or-recheck under one lock hold**
+//!    ([`FlightTable::submit`]): joining an in-flight group and re-checking
+//!    the cache happen under a single state-lock acquisition, so an image
+//!    can never be classified twice.
+//! 3. **Accounting under the lock**: queue-depth gauges and the caller's
+//!    enqueue accounting (`on_queued`) run while the state lock is held, so
+//!    a batcher that pops the entry the instant the lock drops observes the
+//!    increments and the drain counters cannot underflow.
+//! 4. **Tighter deadlines re-prioritize** ([`QueueDiscipline::reprioritize`]):
+//!    a coalescing submitter carrying a more urgent priority moves its whole
+//!    single-flight group forward in the queue order (a FIFO ignores this).
+//!
+//! The layers above remain thin policy wrappers: batch *formation* policy
+//! (feasibility shedding, tier demotion) is a closure passed to
+//! [`FlightTable::form_batch`], admission *overload* policy (shed /
+//! degrade / backpressure) is a [`Gate`] closure passed to
+//! [`FlightTable::submit`], and work stealing is simply another thread
+//! calling `form_batch`/`publish` on a sibling's table.
+
+use crate::memo::MemoizedClassifier;
+use percival_tensor::Tensor;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued single-flight group: the representative preprocessed input
+/// plus the discipline's priority metadata.
+pub struct FlightEntry<P> {
+    /// Content hash of the creative (the single-flight key).
+    pub key: u64,
+    /// Preprocessed `1 x 4 x S x S` input (resized on the submitting
+    /// thread so the batcher never serializes O(batch) resizes).
+    pub tensor: Tensor,
+    /// Discipline-specific priority metadata (`()` for FIFO).
+    pub prio: P,
+}
+
+/// The ordering policy of a [`FlightTable`]'s pending queue.
+///
+/// Implementations only order entries; the single-flight table, memo cache
+/// and publish protocol live in [`FlightTable`] and are identical across
+/// disciplines.
+pub trait QueueDiscipline: Default + Send {
+    /// Per-entry priority metadata carried by submissions.
+    type Prio: Clone + Send;
+
+    /// Enqueues one single-flight group.
+    fn push(&mut self, entry: FlightEntry<Self::Prio>);
+
+    /// Dequeues the most urgent group, or `None` when empty.
+    fn pop(&mut self) -> Option<FlightEntry<Self::Prio>>;
+
+    /// Entries currently queued.
+    fn len(&self) -> usize;
+
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A coalescing submitter arrived carrying `prio` for an already-queued
+    /// group. Disciplines with a notion of urgency move the group forward
+    /// when `prio` is strictly tighter; returns true if the order changed.
+    /// The default (FIFO) ignores it.
+    fn reprioritize(&mut self, _key: u64, _prio: &Self::Prio) -> bool {
+        false
+    }
+}
+
+/// First-in first-out: the engine's discipline. No deadlines, no
+/// re-prioritization — submission order is service order.
+#[derive(Default)]
+pub struct Fifo {
+    queue: VecDeque<FlightEntry<()>>,
+}
+
+impl QueueDiscipline for Fifo {
+    type Prio = ();
+
+    fn push(&mut self, entry: FlightEntry<()>) {
+        self.queue.push_back(entry);
+    }
+
+    fn pop(&mut self) -> Option<FlightEntry<()>> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Priority metadata of an [`Edf`]-queued entry.
+#[derive(Debug, Clone, Copy)]
+pub struct EdfPrio {
+    /// Absolute soft deadline; earliest pops first.
+    pub deadline: Instant,
+    /// Admission order; tie-breaks equal deadlines so batch formation is
+    /// deterministic (FIFO within a deadline).
+    pub seq: u64,
+    /// When the entry was admitted (drives latency accounting).
+    pub enqueued: Instant,
+    /// Run on the degraded (int8) tier.
+    pub degraded: bool,
+}
+
+struct EdfQueued(FlightEntry<EdfPrio>);
+
+impl PartialEq for EdfQueued {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.prio.deadline == other.0.prio.deadline && self.0.prio.seq == other.0.prio.seq
+    }
+}
+impl Eq for EdfQueued {}
+impl PartialOrd for EdfQueued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EdfQueued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the *earliest* deadline is
+        // popped first (EDF), FIFO within equal deadlines.
+        (other.0.prio.deadline, other.0.prio.seq).cmp(&(self.0.prio.deadline, self.0.prio.seq))
+    }
+}
+
+/// Earliest-deadline-first: the serving layer's discipline. A coalescing
+/// submitter with a strictly tighter deadline re-prioritizes its whole
+/// single-flight group.
+#[derive(Default)]
+pub struct Edf {
+    heap: BinaryHeap<EdfQueued>,
+    /// Current deadline of each *queued* group (single-flight guarantees
+    /// one queue entry per key). Coalescing submissions — the dedup hot
+    /// path under hot-key traffic — consult this O(1) index while holding
+    /// the shard state lock; the O(n) re-heapify below is paid only on a
+    /// genuine tightening.
+    deadlines: HashMap<u64, Instant>,
+}
+
+impl QueueDiscipline for Edf {
+    type Prio = EdfPrio;
+
+    fn push(&mut self, entry: FlightEntry<EdfPrio>) {
+        self.deadlines.insert(entry.key, entry.prio.deadline);
+        self.heap.push(EdfQueued(entry));
+    }
+
+    fn pop(&mut self) -> Option<FlightEntry<EdfPrio>> {
+        let entry = self.heap.pop().map(|q| q.0);
+        if let Some(e) = &entry {
+            self.deadlines.remove(&e.key);
+        }
+        entry
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn reprioritize(&mut self, key: u64, prio: &EdfPrio) -> bool {
+        // O(1) exit for the common cases: the group is not queued (already
+        // popped / mid-batch) or the new deadline is not strictly tighter.
+        match self.deadlines.get_mut(&key) {
+            Some(deadline) if prio.deadline < *deadline => *deadline = prio.deadline,
+            _ => return false,
+        }
+        let mut items = std::mem::take(&mut self.heap).into_vec();
+        for q in &mut items {
+            if q.0.key == key {
+                // Keep the original seq and enqueue stamp: the FIFO
+                // tie-break and latency accounting stay anchored to the
+                // group's first submitter; only urgency is inherited.
+                q.0.prio.deadline = prio.deadline;
+            }
+        }
+        self.heap = BinaryHeap::from(items);
+        true
+    }
+}
+
+/// The wait-free counter block owned by every [`FlightTable`] — one
+/// telemetry vocabulary for the engine and every serve shard. All counters
+/// are monotonic except the `queue_depth` gauge.
+#[derive(Debug, Default)]
+pub struct FlightCounters {
+    submitted: AtomicU64,
+    memo_hits: AtomicU64,
+    coalesced: AtomicU64,
+    reprioritized: AtomicU64,
+    shed_admission: AtomicU64,
+    shed_late: AtomicU64,
+    degraded: AtomicU64,
+    batches: AtomicU64,
+    batched_images: AtomicU64,
+    max_batch: AtomicU64,
+    stolen_batches: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicU64,
+    ewma_image_ns: AtomicU64,
+}
+
+impl FlightCounters {
+    /// Total submissions (including cache hits and rejections).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Submissions answered from the verdict cache without queueing.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Submissions merged into an already-queued identical image
+    /// (single-flight deduplication).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Coalesced submissions whose tighter deadline moved their
+    /// single-flight group forward in the queue order.
+    pub fn reprioritized(&self) -> u64 {
+        self.reprioritized.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected at admission by the overload gate.
+    pub fn shed_admission(&self) -> u64 {
+        self.shed_admission.load(Ordering::Relaxed)
+    }
+
+    /// Queued entries rejected at batch formation (infeasible deadline).
+    pub fn shed_late(&self) -> u64 {
+        self.shed_late.load(Ordering::Relaxed)
+    }
+
+    /// Entries demoted to a degraded execution tier under pressure.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Micro-batches executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Images classified through micro-batches.
+    pub fn batched_images(&self) -> u64 {
+        self.batched_images.load(Ordering::Relaxed)
+    }
+
+    /// Largest micro-batch observed.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Batches executed by a non-home batcher thread (work stealing).
+    pub fn stolen_batches(&self) -> u64 {
+        self.stolen_batches.load(Ordering::Relaxed)
+    }
+
+    /// Entries queued right now (gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Largest queue depth observed.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Current per-image service-time estimate (EWMA, nanoseconds).
+    pub fn ewma_image_ns(&self) -> u64 {
+        self.ewma_image_ns.load(Ordering::Relaxed)
+    }
+
+    /// Folds one measured per-image cost into the service-time estimate
+    /// (alpha = 1/4; integer EWMA, monotone under concurrent updates).
+    pub fn observe_image_cost(&self, ns: u64) {
+        let old = self.ewma_image_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 4 + ns / 4 };
+        self.ewma_image_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Records that the last published batch ran on a non-home batcher.
+    pub fn note_stolen_batch(&self) {
+        self.stolen_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one entry demoted to a degraded tier (wrapper policy).
+    pub fn note_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures every counter (plus the derived deduplication rate) as one
+    /// plain-data value.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let submitted = self.submitted();
+        let memo_hits = self.memo_hits();
+        let coalesced = self.coalesced();
+        FlightSnapshot {
+            submitted,
+            memo_hits,
+            coalesced,
+            reprioritized: self.reprioritized(),
+            shed_admission: self.shed_admission(),
+            shed_late: self.shed_late(),
+            degraded: self.degraded(),
+            batches: self.batches(),
+            batched_images: self.batched_images(),
+            max_batch: self.max_batch(),
+            stolen_batches: self.stolen_batches(),
+            queue_depth: self.queue_depth(),
+            max_queue_depth: self.max_queue_depth(),
+            ewma_image_ns: self.ewma_image_ns(),
+            dedup_rate: if submitted == 0 {
+                0.0
+            } else {
+                (memo_hits + coalesced) as f64 / submitted as f64
+            },
+        }
+    }
+}
+
+/// A plain-data copy of a [`FlightCounters`] block at one instant, so
+/// callers (the serving layer, benches, reports) consume one coherent
+/// value instead of reading atomics field by field.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlightSnapshot {
+    /// Total submissions (including cache hits and rejections).
+    pub submitted: u64,
+    /// Submissions answered from the verdict cache without queueing.
+    pub memo_hits: u64,
+    /// Submissions merged into an already-queued identical image.
+    pub coalesced: u64,
+    /// Coalesced submissions that re-prioritized their group.
+    pub reprioritized: u64,
+    /// Submissions rejected at admission by the overload gate.
+    pub shed_admission: u64,
+    /// Queued entries rejected at batch formation.
+    pub shed_late: u64,
+    /// Entries demoted to a degraded execution tier.
+    pub degraded: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Images classified through micro-batches.
+    pub batched_images: u64,
+    /// Largest micro-batch observed.
+    pub max_batch: u64,
+    /// Batches executed by a non-home batcher thread.
+    pub stolen_batches: u64,
+    /// Entries queued at snapshot time.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub max_queue_depth: u64,
+    /// Per-image service-time estimate (EWMA, nanoseconds).
+    pub ewma_image_ns: u64,
+    /// Fraction of submissions resolved without a CNN pass (memo hits plus
+    /// single-flight coalescing over total submissions); 0 when idle.
+    pub dedup_rate: f64,
+}
+
+impl std::fmt::Display for FlightSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {}  memo_hits {}  coalesced {}  batches {}  batched_images {}  max_batch {}  dedup {:.1}%",
+            self.submitted,
+            self.memo_hits,
+            self.coalesced,
+            self.batches,
+            self.batched_images,
+            self.max_batch,
+            self.dedup_rate * 100.0
+        )?;
+        if self.shed_admission + self.shed_late + self.degraded + self.reprioritized > 0 {
+            write!(
+                f,
+                "  shed {}+{}  degraded {}  reprioritized {}",
+                self.shed_admission, self.shed_late, self.degraded, self.reprioritized
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// How [`FlightTable::submit`] resolved a submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Resolved immediately from the verdict cache (the cached `p_ad`).
+    Cached(f32),
+    /// Joined an existing single-flight group.
+    Coalesced {
+        /// The submitter's tighter priority moved the group forward.
+        reprioritized: bool,
+    },
+    /// Created a new single-flight group, queued behind `depth - 1` others.
+    Queued {
+        /// Queue depth immediately after the push.
+        depth: usize,
+    },
+    /// Rejected by the admission gate (overload policy).
+    Rejected,
+}
+
+/// An admission gate's decision, consulted before a new group is queued.
+/// The gate runs under the table's state lock with the current queue depth
+/// and may mutate the entry's priority (e.g. mark it degraded).
+pub enum Gate<V> {
+    /// Queue the entry.
+    Admit,
+    /// Resolve the ticket immediately with this verdict (overload shed).
+    Reject(V),
+    /// Park the submitter until a batch drains, then re-run the whole
+    /// coalesce → cache-recheck → gate sequence. The wrapper's gate is
+    /// responsible for turning shutdown into [`Gate::Reject`], otherwise a
+    /// parked submitter could sleep forever.
+    Wait,
+}
+
+/// One popped entry's fate during [`FlightTable::form_batch`].
+pub enum Formed<P> {
+    /// Classify it in this batch (possibly with a mutated priority, e.g.
+    /// demoted to a degraded tier).
+    Keep(FlightEntry<P>),
+    /// Resolve its group without a CNN pass (infeasible deadline).
+    Shed(FlightEntry<P>),
+}
+
+/// The outcome of [`FlightTable::form_batch`].
+pub struct FormedBatch<P, V> {
+    /// Entries to classify, in queue order.
+    pub batch: Vec<FlightEntry<P>>,
+    /// Single-flight groups removed at formation (already counted as
+    /// `shed_late`); the caller resolves them without a CNN pass.
+    pub shed: Vec<(u64, Vec<Sender<V>>)>,
+}
+
+/// Context handed to the formation policy for each popped entry.
+pub struct BatchContext {
+    /// Entries expected to share this forward pass (`min(max, depth)` at
+    /// formation start) — the horizon for feasibility estimates.
+    pub expected: usize,
+}
+
+/// A non-mutating admission probe (see [`FlightTable::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlightProbe {
+    /// The verdict is memoized; a submission would resolve instantly.
+    Cached(f32),
+    /// An identical creative is in flight; a submission would coalesce.
+    InFlight,
+    /// A submission would create a new group behind `depth` queued entries.
+    Queueable {
+        /// Current queue depth.
+        depth: usize,
+    },
+}
+
+/// What a layer's admission probe tells the renderer hooks: submit, skip,
+/// or reuse a memoized verdict. `V` is the layer's verdict type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionHint<V> {
+    /// The submission would be admitted (queued or coalesced).
+    Admit,
+    /// The submission would be rejected by the overload policy; the caller
+    /// should skip it (PERCIVAL fails open) instead of queueing a creative
+    /// that resolves as shed after the fact.
+    WouldShed,
+    /// The verdict is already memoized; no submission needed.
+    Cached(V),
+}
+
+struct FlightState<Q: QueueDiscipline, V> {
+    queue: Q,
+    /// Single-flight table: content hash → every ticket sender in the
+    /// group. A key present here is the authoritative "in flight" signal.
+    waiters: HashMap<u64, Vec<Sender<V>>>,
+}
+
+/// The shared flight-control core: pending queue, single-flight table,
+/// verdict memo and the memoize-before-unpark publish protocol, behind one
+/// wait-free counter block.
+///
+/// Thread-safe; batch formation and publication may be driven by any
+/// thread (the serving layer's work stealing runs a sibling's table).
+pub struct FlightTable<Q: QueueDiscipline, V> {
+    memo: Arc<MemoizedClassifier>,
+    state: Mutex<FlightState<Q, V>>,
+    /// Wakes a batcher sleeping in [`FlightTable::wait_for_work`].
+    work: Condvar,
+    /// Wakes submitters parked by a [`Gate::Wait`] admission gate.
+    space: Condvar,
+    counters: FlightCounters,
+}
+
+impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
+    /// Builds a table over a shared memoized-verdict cache.
+    pub fn new(memo: Arc<MemoizedClassifier>) -> Self {
+        FlightTable {
+            memo,
+            state: Mutex::new(FlightState {
+                queue: Q::default(),
+                waiters: HashMap::new(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            counters: FlightCounters::default(),
+        }
+    }
+
+    /// The shared verdict cache.
+    pub fn memo(&self) -> &Arc<MemoizedClassifier> {
+        &self.memo
+    }
+
+    /// The table's counter block.
+    pub fn counters(&self) -> &FlightCounters {
+        &self.counters
+    }
+
+    /// Entries currently queued (the wait-free gauge; stealing scans use
+    /// this instead of taking the state lock).
+    pub fn depth(&self) -> usize {
+        self.counters.queue_depth()
+    }
+
+    /// The full audited admission protocol: fast-path cache check,
+    /// preprocessing outside the lock, then — under one state-lock hold —
+    /// coalesce-or-recheck-cache, the overload gate, and the queue push
+    /// with its accounting.
+    ///
+    /// - `verdict` builds the published value for cache hits;
+    /// - `preprocess` produces the `1 x 4 x S x S` input (runs on the
+    ///   submitting thread; wasted only when the submission coalesces);
+    /// - `gate` is the overload policy, consulted with the current queue
+    ///   depth before a new group is queued (see [`Gate`]);
+    /// - `on_queued` runs under the state lock right after the push, so
+    ///   the caller's pending accounting is visible to any batcher that
+    ///   pops the entry the instant the lock drops.
+    // The arity is the protocol: each argument is one policy hook of the
+    // audited admission sequence, and collapsing them into a struct would
+    // only move the same eight names one level down.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit<FV, FP, FG, FO>(
+        &self,
+        key: u64,
+        mut prio: Q::Prio,
+        tx: Sender<V>,
+        verdict: FV,
+        preprocess: FP,
+        mut gate: FG,
+        on_queued: FO,
+    ) -> Admission
+    where
+        FV: Fn(f32) -> V,
+        FP: FnOnce() -> Tensor,
+        FG: FnMut(usize, &mut Q::Prio) -> Gate<V>,
+        FO: FnOnce(usize, &Q::Prio),
+    {
+        let c = &self.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        // Fast path: resolve from the verdict cache without the state lock.
+        if let Some(p_ad) = self.memo.cached(key) {
+            c.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.memo.record_hit();
+            let _ = tx.send(verdict(p_ad));
+            return Admission::Cached(p_ad);
+        }
+        let tensor = preprocess();
+
+        let mut state = self.state.lock().expect("flight state");
+        loop {
+            // Coalesce into an in-flight group; a tighter priority
+            // re-prioritizes the whole group (invariant 4).
+            if let Some(group) = state.waiters.get_mut(&key) {
+                c.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.memo.record_miss();
+                group.push(tx);
+                let reprioritized = state.queue.reprioritize(key, &prio);
+                if reprioritized {
+                    c.reprioritized.fetch_add(1, Ordering::Relaxed);
+                }
+                return Admission::Coalesced { reprioritized };
+            }
+            // Re-check the cache under the lock: `publish` memoizes before
+            // removing a group, so a miss observed before the lock may
+            // since have resolved — without this, the image would be
+            // classified twice (invariant 2).
+            if let Some(p_ad) = self.memo.cached(key) {
+                c.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.memo.record_hit();
+                let _ = tx.send(verdict(p_ad));
+                return Admission::Cached(p_ad);
+            }
+            match gate(state.queue.len(), &mut prio) {
+                Gate::Admit => break,
+                Gate::Reject(v) => {
+                    c.shed_admission.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(v);
+                    return Admission::Rejected;
+                }
+                // The lock is released while parked: the same creative may
+                // be enqueued or even classified meanwhile, so the loop
+                // re-runs the coalesce/recheck sequence on every wake.
+                Gate::Wait => state = self.space.wait(state).expect("flight space wait"),
+            }
+        }
+        self.memo.record_miss();
+        state.waiters.insert(key, vec![tx]);
+        let queued_prio = prio.clone();
+        state.queue.push(FlightEntry { key, tensor, prio });
+        let depth = state.queue.len();
+        // Gauge + caller accounting under the lock (invariant 3).
+        c.queue_depth.store(depth, Ordering::Relaxed);
+        c.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        on_queued(depth, &queued_prio);
+        self.work.notify_one();
+        Admission::Queued { depth }
+    }
+
+    /// Pops up to `max` entries under the state lock; `select` decides each
+    /// popped entry's fate ([`Formed::Keep`] / [`Formed::Shed`]). Shed
+    /// groups are removed from the single-flight table here (still under
+    /// the lock) and returned for the caller to resolve without a CNN pass.
+    pub fn form_batch<F>(&self, max: usize, mut select: F) -> FormedBatch<Q::Prio, V>
+    where
+        F: FnMut(FlightEntry<Q::Prio>, &BatchContext) -> Formed<Q::Prio>,
+    {
+        let mut state = self.state.lock().expect("flight state");
+        let ctx = BatchContext {
+            expected: max.min(state.queue.len()),
+        };
+        let mut batch = Vec::new();
+        let mut shed = Vec::new();
+        while batch.len() < max {
+            let Some(entry) = state.queue.pop() else {
+                break;
+            };
+            match select(entry, &ctx) {
+                Formed::Keep(e) => batch.push(e),
+                Formed::Shed(e) => {
+                    self.counters.shed_late.fetch_add(1, Ordering::Relaxed);
+                    if let Some(group) = state.waiters.remove(&e.key) {
+                        shed.push((e.key, group));
+                    }
+                }
+            }
+        }
+        self.counters
+            .queue_depth
+            .store(state.queue.len(), Ordering::Relaxed);
+        FormedBatch { batch, shed }
+    }
+
+    /// The memoize-before-unpark publish protocol (invariant 1): every
+    /// verdict is inserted into the memo cache first, then the
+    /// single-flight groups are removed and resolved under the state lock,
+    /// so no submitter can observe a removed group before the cache knows
+    /// the answer. `make` builds the published value per group; `resolved`
+    /// runs (under the lock) for each group actually removed — the serving
+    /// layer records admission-to-verdict latency there.
+    pub fn publish<FM, FR>(&self, verdicts: &[(u64, f32)], mut make: FM, mut resolved: FR)
+    where
+        FM: FnMut(u64, f32) -> V,
+        FR: FnMut(u64),
+    {
+        for &(key, p_ad) in verdicts {
+            self.memo.insert(key, p_ad);
+        }
+        let c = &self.counters;
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        c.batched_images
+            .fetch_add(verdicts.len() as u64, Ordering::Relaxed);
+        c.max_batch
+            .fetch_max(verdicts.len() as u64, Ordering::Relaxed);
+        let mut state = self.state.lock().expect("flight state");
+        for &(key, p_ad) in verdicts {
+            if let Some(group) = state.waiters.remove(&key) {
+                resolved(key);
+                let v = make(key, p_ad);
+                for tx in group {
+                    let _ = tx.send(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Parks the calling batcher until the queue is non-empty (returns
+    /// true) or the queue is empty and `until` fires (returns false —
+    /// shutdown). Work queued at shutdown is therefore always drained
+    /// before a batcher exits. The serving layer's batchers sleep on a
+    /// service-wide signal instead (work stealing spans tables) and never
+    /// call this.
+    pub fn wait_for_work(&self, until: impl Fn() -> bool) -> bool {
+        let mut state = self.state.lock().expect("flight state");
+        loop {
+            if !state.queue.is_empty() {
+                return true;
+            }
+            if until() {
+                return false;
+            }
+            state = self.work.wait(state).expect("flight work wait");
+        }
+    }
+
+    /// Wakes submitters parked by [`Gate::Wait`] (a batch just drained).
+    /// Safe to call without the lock: parked submitters re-check depth
+    /// under the lock, and the drain that motivated this call happened
+    /// under the same lock they contend on.
+    pub fn signal_space(&self) {
+        self.space.notify_all();
+    }
+
+    /// Wakes every parked batcher and gated submitter (shutdown path);
+    /// takes the state lock so a thread between its predicate check and
+    /// its wait cannot miss the wakeup.
+    pub fn wake_all(&self) {
+        let _state = self.state.lock().expect("flight state");
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// A cheap admission probe for renderer-side feedback: is the verdict
+    /// memoized, is an identical creative in flight, or would a submission
+    /// queue behind `depth` entries? Touches no counters and never mutates
+    /// the queue (the cache lookup refreshes LRU recency, which a probe
+    /// that precedes a submission wants anyway).
+    pub fn probe(&self, key: u64) -> FlightProbe {
+        if let Some(p_ad) = self.memo.cached(key) {
+            return FlightProbe::Cached(p_ad);
+        }
+        let state = self.state.lock().expect("flight state");
+        if state.waiters.contains_key(&key) {
+            return FlightProbe::InFlight;
+        }
+        // Same memoize-before-unpark recheck as `submit`: the group may
+        // have resolved between the cache miss and the lock.
+        if let Some(p_ad) = self.memo.cached(key) {
+            return FlightProbe::Cached(p_ad);
+        }
+        FlightProbe::Queueable {
+            depth: state.queue.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::percival_net_slim;
+    use crate::classifier::Classifier;
+    use percival_nn::init::kaiming_init;
+    use percival_tensor::Shape;
+    use percival_util::Pcg32;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn memo() -> Arc<MemoizedClassifier> {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+        Arc::new(MemoizedClassifier::new(Classifier::new(model, 32), 64))
+    }
+
+    fn tiny_tensor() -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![0.0])
+    }
+
+    fn edf_prio(base: Instant, deadline_ms: u64, seq: u64) -> EdfPrio {
+        EdfPrio {
+            deadline: base + Duration::from_millis(deadline_ms),
+            seq,
+            enqueued: base,
+            degraded: false,
+        }
+    }
+
+    /// Admits `key` into an EDF table with the given deadline, asserting it
+    /// queues (not coalesces).
+    fn admit(table: &FlightTable<Edf, f32>, base: Instant, key: u64, deadline_ms: u64, seq: u64) {
+        let (tx, _rx) = channel();
+        let outcome = table.submit(
+            key,
+            edf_prio(base, deadline_ms, seq),
+            tx,
+            |p| p,
+            tiny_tensor,
+            |_, _| Gate::Admit,
+            |_, _| {},
+        );
+        assert!(matches!(outcome, Admission::Queued { .. }));
+    }
+
+    #[test]
+    fn fifo_pops_in_submission_order() {
+        let mut q = Fifo::default();
+        for key in 0..4 {
+            q.push(FlightEntry {
+                key,
+                tensor: tiny_tensor(),
+                prio: (),
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edf_pops_earliest_deadline_first_fifo_within_deadline() {
+        let base = Instant::now();
+        let mut q = Edf::default();
+        for (key, deadline_ms, seq) in [(10, 50, 0), (11, 10, 1), (12, 50, 2), (13, 10, 3)] {
+            q.push(FlightEntry {
+                key,
+                tensor: tiny_tensor(),
+                prio: edf_prio(base, deadline_ms, seq),
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        assert_eq!(order, vec![11, 13, 10, 12]);
+    }
+
+    #[test]
+    fn edf_reprioritize_moves_group_forward_only_when_tighter() {
+        let base = Instant::now();
+        let mut q = Edf::default();
+        q.push(FlightEntry {
+            key: 1,
+            tensor: tiny_tensor(),
+            prio: edf_prio(base, 100, 0),
+        });
+        q.push(FlightEntry {
+            key: 2,
+            tensor: tiny_tensor(),
+            prio: edf_prio(base, 50, 1),
+        });
+        // A *looser* deadline must not reorder.
+        assert!(!q.reprioritize(1, &edf_prio(base, 200, 2)));
+        // A tighter one moves key 1 ahead of key 2.
+        assert!(q.reprioritize(1, &edf_prio(base, 10, 3)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn coalescing_submitter_with_tighter_deadline_reprioritizes_group() {
+        let table: FlightTable<Edf, f32> = FlightTable::new(memo());
+        let base = Instant::now();
+        admit(&table, base, 1, 100, 0); // relaxed group
+        admit(&table, base, 2, 50, 1); // would otherwise run first
+        let (tx, _rx) = channel();
+        let outcome = table.submit(
+            1,
+            edf_prio(base, 10, 2),
+            tx,
+            |p| p,
+            tiny_tensor,
+            |_, _| Gate::Admit,
+            |_, _| {},
+        );
+        assert_eq!(
+            outcome,
+            Admission::Coalesced {
+                reprioritized: true
+            }
+        );
+        assert_eq!(table.counters().reprioritized(), 1);
+        // Batch formation now pops the coalesced group first.
+        let formed = table.form_batch(1, |e, _| Formed::Keep(e));
+        assert_eq!(formed.batch[0].key, 1);
+        let formed = table.form_batch(1, |e, _| Formed::Keep(e));
+        assert_eq!(formed.batch[0].key, 2);
+    }
+
+    #[test]
+    fn publish_memoizes_before_removing_the_group() {
+        let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
+        let (tx, rx) = channel();
+        table.submit(9, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        let formed = table.form_batch(8, |e, _| Formed::Keep(e));
+        assert_eq!(formed.batch.len(), 1);
+        table.publish(&[(9, 0.75)], |_, p| p, |_| {});
+        assert_eq!(rx.try_recv(), Ok(0.75));
+        // The verdict is in the cache, so a later submission fast-paths.
+        let (tx2, rx2) = channel();
+        let outcome = table.submit(
+            9,
+            (),
+            tx2,
+            |p| p,
+            tiny_tensor,
+            |_, _| Gate::Admit,
+            |_, _| {},
+        );
+        assert_eq!(outcome, Admission::Cached(0.75));
+        assert_eq!(rx2.try_recv(), Ok(0.75));
+        assert_eq!(table.counters().memo_hits(), 1);
+    }
+
+    #[test]
+    fn gate_reject_resolves_the_ticket_and_counts_shed() {
+        let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
+        let (tx, rx) = channel();
+        let outcome = table.submit(
+            5,
+            (),
+            tx,
+            |p| p,
+            tiny_tensor,
+            |_, _| Gate::Reject(-1.0),
+            |_, _| {},
+        );
+        assert_eq!(outcome, Admission::Rejected);
+        assert_eq!(rx.try_recv(), Ok(-1.0));
+        assert_eq!(table.counters().shed_admission(), 1);
+        assert_eq!(table.depth(), 0);
+    }
+
+    #[test]
+    fn formation_shed_removes_the_group_for_the_caller_to_resolve() {
+        let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
+        let (tx, rx) = channel();
+        table.submit(7, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        let formed = table.form_batch(8, |e, _| Formed::Shed(e));
+        assert!(formed.batch.is_empty());
+        assert_eq!(formed.shed.len(), 1);
+        assert_eq!(table.counters().shed_late(), 1);
+        for (_key, group) in formed.shed {
+            for tx in group {
+                let _ = tx.send(f32::NAN);
+            }
+        }
+        assert!(rx.try_recv().expect("shed verdict delivered").is_nan());
+    }
+
+    #[test]
+    fn probe_reports_cached_inflight_and_queueable() {
+        let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
+        assert_eq!(table.probe(1), FlightProbe::Queueable { depth: 0 });
+        let (tx, _rx) = channel();
+        table.submit(1, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        assert_eq!(table.probe(1), FlightProbe::InFlight);
+        assert_eq!(table.probe(2), FlightProbe::Queueable { depth: 1 });
+        let formed = table.form_batch(8, |e, _| Formed::Keep(e));
+        table.publish(
+            &formed
+                .batch
+                .iter()
+                .map(|e| (e.key, 0.5))
+                .collect::<Vec<_>>(),
+            |_, p| p,
+            |_| {},
+        );
+        assert_eq!(table.probe(1), FlightProbe::Cached(0.5));
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::classifier::Classifier;
 use crate::engine::{EngineConfig, InferenceEngine};
+use crate::flight::AdmissionHint;
 use crate::memo::MemoizedClassifier;
 use crate::policy::BlockPolicy;
 use percival_imgcodec::Bitmap;
@@ -218,11 +219,12 @@ impl AsyncPercivalHook {
 
 impl ImageInterceptor for AsyncPercivalHook {
     fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
-        let key = bitmap.content_hash();
-        if let Some(p_ad) = self.memo().cached(key) {
+        // Admission feedback before submission: a memoized verdict blocks
+        // (or keeps) instantly without entering the engine at all.
+        if let AdmissionHint::Cached(pred) = self.engine.admission_hint(bitmap) {
             self.memo().record_hit();
             self.stats.classified.fetch_add(1, Ordering::Relaxed);
-            if p_ad >= self.engine.classifier().threshold() {
+            if pred.is_ad {
                 self.stats.blocked.fetch_add(1, Ordering::Relaxed);
                 return InterceptAction::Block;
             }

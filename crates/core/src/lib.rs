@@ -2,19 +2,22 @@
 //!
 //! A compact SqueezeNet-fork CNN ([`arch`]) classifies decoded image
 //! buffers as ad / not-ad ([`classifier`]); it trains with the paper's
-//! exact recipe ([`train`]); it plugs into the rendering pipeline's
+//! exact recipe ([`train`](mod@train)); it plugs into the rendering pipeline's
 //! post-decode choke point as an [`hook::PercivalHook`] (blocking
 //! synchronously in the rendering critical path), or asynchronously with
 //! memoized verdicts ([`memo`]) — the paper's low-latency alternative
 //! deployment; blocked frames are handled by a [`policy::BlockPolicy`]
 //! (clear the buffer, or paint a replacement image). [`baselines`] holds
 //! the model-size comparison targets of the architecture discussion
-//! (Sections 2.3 and 7).
+//! (Sections 2.3 and 7). The queue → memo → single-flight → publish
+//! protocol behind the batched [`engine`] (and the serving layer's shards)
+//! lives once, in the [`flight`] module.
 
 pub mod arch;
 pub mod baselines;
 pub mod classifier;
 pub mod engine;
+pub mod flight;
 pub mod hook;
 pub mod memo;
 pub mod policy;
@@ -23,6 +26,7 @@ pub mod train;
 pub use arch::{original_squeezenet, percival_net};
 pub use classifier::{Classifier, Precision, Prediction};
 pub use engine::{EngineConfig, EngineStatsSnapshot, InferenceEngine, VerdictTicket};
+pub use flight::{AdmissionHint, FlightCounters, FlightSnapshot, FlightTable};
 pub use hook::PercivalHook;
 pub use memo::MemoizedClassifier;
 pub use policy::BlockPolicy;

@@ -4,7 +4,7 @@
 //! serialized model ~4x but dequantizes back to f32 before running, so
 //! inference cost is unchanged. This module is the *execution* half:
 //! weights stay int8 in memory and every convolution runs through the
-//! `i8 x i8 -> i32` GEMM ([`percival_tensor::gemm_i8`]), with activations
+//! `i8 x i8 -> i32` GEMM ([`percival_tensor::gemm_i8`](mod@percival_tensor::gemm_i8)), with activations
 //! quantized per sample on the fly and f32 restored only at layer
 //! boundaries (ReLU, pooling, logits). On AVX2 hosts the quantized inner
 //! product retires 4x the multiply-accumulates per instruction of the f32

@@ -38,6 +38,16 @@ pub enum InterceptAction {
 ///
 /// Implementations must be thread-safe: the pipeline invokes them from
 /// several raster workers concurrently.
+///
+/// Interceptors backed by a remote or overloadable classifier (PERCIVAL's
+/// sharded serving layer) typically consult an *admission hint* before
+/// submitting: a memoized verdict is applied without any submission, and
+/// a creative the classifier's overload policy would reject is rendered
+/// unblocked up front (perceptual blocking fails open) instead of being
+/// queued and shed after the fact. The pipeline needs no awareness of
+/// this — the feedback loop lives entirely inside
+/// [`ImageInterceptor::inspect`] / [`ImageInterceptor::inspect_batch`]
+/// implementations.
 pub trait ImageInterceptor: Send + Sync {
     /// Inspects (and may repaint) a freshly decoded buffer.
     fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction;

@@ -1,0 +1,336 @@
+//! The serving layer plugged into the rendering pipeline, with admission
+//! feedback.
+//!
+//! [`ServiceHook`] is the fleet-scale counterpart of
+//! `percival_core::hook::PercivalHook`: decoded images are classified by a
+//! sharded [`ClassificationService`] instead of a single in-process
+//! engine. The difference that matters in the render path is *admission
+//! feedback*: before submitting, the hook consults
+//! [`ClassificationService::admission_hint`] —
+//!
+//! - a memoized verdict ([`AdmissionHint::Cached`]) is applied instantly,
+//!   without entering the service at all;
+//! - a creative the overload policy would reject
+//!   ([`AdmissionHint::WouldShed`]) is skipped up front and rendered
+//!   unblocked (PERCIVAL fails open, like the paper's deployment) instead
+//!   of being queued, preprocessed and resolved as [`Verdict::Shed`] after
+//!   the fact;
+//! - everything else is submitted and awaited.
+//!
+//! The hint is advisory — a concurrent burst can still shed an admitted
+//! request — so shed verdicts after submission are also handled (fail
+//! open) and counted separately.
+
+use crate::service::{ClassificationService, Verdict};
+use percival_core::flight::AdmissionHint;
+use percival_core::BlockPolicy;
+use percival_imgcodec::Bitmap;
+use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters exported by the serving hook.
+#[derive(Debug, Default)]
+pub struct ServiceHookStats {
+    classified: AtomicU64,
+    blocked: AtomicU64,
+    skipped_shed: AtomicU64,
+    shed_after_admit: AtomicU64,
+    skipped_small: AtomicU64,
+}
+
+impl ServiceHookStats {
+    /// Images that received a classification verdict (cached or served).
+    pub fn classified(&self) -> u64 {
+        self.classified.load(Ordering::Relaxed)
+    }
+
+    /// Images judged to be ads.
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    /// Images never submitted because the admission hint predicted a shed
+    /// (rendered unblocked; the fail-open path the hint exists for).
+    pub fn skipped_shed(&self) -> u64 {
+        self.skipped_shed.load(Ordering::Relaxed)
+    }
+
+    /// Images admitted but shed anyway (the hint is advisory).
+    pub fn shed_after_admit(&self) -> u64 {
+        self.shed_after_admit.load(Ordering::Relaxed)
+    }
+
+    /// Images below the size floor (tracking pixels etc.).
+    pub fn skipped_small(&self) -> u64 {
+        self.skipped_small.load(Ordering::Relaxed)
+    }
+}
+
+/// A rendering-pipeline interceptor backed by the sharded service.
+pub struct ServiceHook {
+    service: ClassificationService,
+    policy: BlockPolicy,
+    /// Images with an edge below this are not classified (1 disables the
+    /// floor; tracking pixels are upscaled noise either way).
+    min_edge: usize,
+    stats: ServiceHookStats,
+}
+
+impl ServiceHook {
+    /// Wraps a running service with the default (clear-buffer) policy.
+    pub fn new(service: ClassificationService) -> Self {
+        ServiceHook {
+            service,
+            policy: BlockPolicy::Clear,
+            min_edge: 1,
+            stats: ServiceHookStats::default(),
+        }
+    }
+
+    /// Sets the blocked-frame policy.
+    pub fn with_policy(mut self, policy: BlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the minimum classified edge length.
+    pub fn with_min_edge(mut self, min_edge: usize) -> Self {
+        self.min_edge = min_edge.max(1);
+        self
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &ServiceHookStats {
+        &self.stats
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &ClassificationService {
+        &self.service
+    }
+
+    /// Applies the blocked-frame policy to a verdict.
+    fn verdict_to_action(&self, is_ad: bool, bitmap: &mut Bitmap) -> InterceptAction {
+        self.stats.classified.fetch_add(1, Ordering::Relaxed);
+        if !is_ad {
+            return InterceptAction::Keep;
+        }
+        self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+        match &self.policy {
+            BlockPolicy::Clear => InterceptAction::Block,
+            replace @ BlockPolicy::Replace(_) => {
+                replace.apply(bitmap);
+                InterceptAction::Keep
+            }
+        }
+    }
+
+    /// Resolves a served verdict (post-submission), failing open on shed.
+    fn serve_verdict(&self, verdict: Verdict, bitmap: &mut Bitmap) -> InterceptAction {
+        match verdict {
+            Verdict::Classified(p) => self.verdict_to_action(p.is_ad, bitmap),
+            Verdict::Shed => {
+                self.stats.shed_after_admit.fetch_add(1, Ordering::Relaxed);
+                InterceptAction::Keep
+            }
+        }
+    }
+
+    /// The single admission decision tree: size floor, then the hint.
+    /// Cache hits and predicted sheds never enter the service; only
+    /// [`Slot::Pending`] creatives are actually submitted. `inspect` and
+    /// `inspect_batch` both run every image through this.
+    fn admit_slot(&self, bitmap: &Bitmap) -> Slot {
+        if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
+            self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
+            return Slot::Done(InterceptAction::Keep);
+        }
+        match self.service.admission_hint(bitmap) {
+            AdmissionHint::Cached(Verdict::Classified(p)) => Slot::Hit(p.is_ad),
+            // The memo never caches sheds; keep the match exhaustive.
+            AdmissionHint::Cached(Verdict::Shed) | AdmissionHint::WouldShed => {
+                self.stats.skipped_shed.fetch_add(1, Ordering::Relaxed);
+                Slot::Done(InterceptAction::Keep)
+            }
+            AdmissionHint::Admit => Slot::Pending(self.service.submit(bitmap)),
+        }
+    }
+
+    /// Turns an admitted slot into its final action (blocking on pending
+    /// tickets).
+    fn resolve_slot(&self, slot: Slot, bitmap: &mut Bitmap) -> InterceptAction {
+        match slot {
+            Slot::Done(action) => action,
+            Slot::Hit(is_ad) => self.verdict_to_action(is_ad, bitmap),
+            Slot::Pending(ticket) => self.serve_verdict(ticket.wait(), bitmap),
+        }
+    }
+}
+
+/// One image's fate after the admission decision tree.
+enum Slot {
+    Done(InterceptAction),
+    Hit(bool),
+    Pending(crate::service::ServeTicket),
+}
+
+impl ImageInterceptor for ServiceHook {
+    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+        let slot = self.admit_slot(bitmap);
+        self.resolve_slot(slot, bitmap)
+    }
+
+    fn inspect_batch(&self, batch: &mut [(&mut Bitmap, &ImageMeta<'_>)]) -> Vec<InterceptAction> {
+        // Run every image through the decision tree first, submitting the
+        // admitted ones, so the shards can coalesce the whole set into
+        // micro-batches; then collect verdicts in order.
+        let slots: Vec<Slot> = batch
+            .iter()
+            .map(|(bitmap, _)| self.admit_slot(bitmap))
+            .collect();
+        batch
+            .iter_mut()
+            .zip(slots)
+            .map(|((bitmap, _), slot)| self.resolve_slot(slot, bitmap))
+            .collect()
+    }
+
+    fn prefers_batch_prefetch(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{OverloadPolicy, ServiceConfig};
+    use percival_core::arch::percival_net_slim;
+    use percival_core::Classifier;
+    use percival_nn::init::kaiming_init;
+    use percival_util::Pcg32;
+    use std::time::Duration;
+
+    fn classifier() -> Classifier {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+        Classifier::new(model, 32)
+    }
+
+    fn noisy_bitmap(seed: u64) -> Bitmap {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut b = Bitmap::new(16, 16, [0, 0, 0, 255]);
+        for y in 0..16 {
+            for x in 0..16 {
+                b.set(
+                    x,
+                    y,
+                    [rng.next_below(256) as u8, rng.next_below(256) as u8, 0, 255],
+                );
+            }
+        }
+        b
+    }
+
+    fn meta(url: &str) -> ImageMeta<'_> {
+        ImageMeta {
+            url,
+            width: 16,
+            height: 16,
+            frame_depth: 0,
+        }
+    }
+
+    #[test]
+    fn repeat_creatives_resolve_from_the_hint_without_resubmission() {
+        let hook = ServiceHook::new(ClassificationService::new(
+            classifier(),
+            ServiceConfig {
+                shards: 2,
+                deadline: Duration::from_secs(600),
+                ..Default::default()
+            },
+        ));
+        let bmp = noisy_bitmap(5);
+        hook.inspect(&mut bmp.clone(), &meta("http://a/x"));
+        hook.inspect(&mut bmp.clone(), &meta("http://b/y"));
+        let report = hook.service().report();
+        assert_eq!(
+            report.submitted(),
+            1,
+            "the second sighting must resolve from the admission hint"
+        );
+        assert_eq!(hook.stats().classified(), 2);
+    }
+
+    #[test]
+    fn predicted_sheds_are_skipped_before_submission_and_fail_open() {
+        // Zero deadline + a warmed EWMA makes every fresh creative
+        // infeasible under Shed, so the hint must divert it pre-submission.
+        let hook = ServiceHook::new(ClassificationService::new(
+            classifier(),
+            ServiceConfig {
+                shards: 1,
+                overload: OverloadPolicy::Shed,
+                deadline: Duration::ZERO,
+                queue_capacity: 4,
+                ..Default::default()
+            },
+        ));
+        // Warm the per-image EWMA with one long-deadline submission so the
+        // feasibility estimate is non-zero.
+        let warm = noisy_bitmap(900);
+        let v = hook
+            .service()
+            .submit_with_deadline(&warm, Duration::from_secs(600))
+            .wait();
+        assert!(v.classified().is_some());
+
+        let mut actions = Vec::new();
+        for i in 0..6 {
+            let mut bmp = noisy_bitmap(1000 + i);
+            actions.push(hook.inspect(&mut bmp, &meta("http://x/ad")));
+        }
+        assert!(
+            actions.iter().all(|a| *a == InterceptAction::Keep),
+            "shed paths fail open"
+        );
+        assert!(
+            hook.stats().skipped_shed() >= 1,
+            "infeasible creatives must be diverted by the hint"
+        );
+        let report = hook.service().report();
+        assert_eq!(
+            report.submitted(),
+            1 + (6 - hook.stats().skipped_shed()),
+            "skipped creatives never reach the service"
+        );
+    }
+
+    #[test]
+    fn batch_inspection_mixes_hints_and_submissions() {
+        let hook = ServiceHook::new(ClassificationService::new(
+            classifier(),
+            ServiceConfig {
+                shards: 2,
+                deadline: Duration::from_secs(600),
+                ..Default::default()
+            },
+        ));
+        // Seed the cache with one creative.
+        let hot = noisy_bitmap(7);
+        hook.inspect(&mut hot.clone(), &meta("http://seed"));
+
+        let mut bitmaps: Vec<Bitmap> = (0..4).map(|i| noisy_bitmap(2000 + i)).collect();
+        bitmaps.push(hot.clone());
+        let metas: Vec<ImageMeta<'_>> = bitmaps.iter().map(|_| meta("http://x/batch")).collect();
+        let mut pairs: Vec<(&mut Bitmap, &ImageMeta<'_>)> =
+            bitmaps.iter_mut().zip(metas.iter()).collect();
+        let actions = hook.inspect_batch(&mut pairs);
+        assert_eq!(actions.len(), 5);
+        let report = hook.service().report();
+        // 1 seed + 4 fresh submissions; the repeated hot creative resolved
+        // from the hint.
+        assert_eq!(report.submitted(), 5);
+        assert_eq!(hook.stats().classified(), 6);
+    }
+}

@@ -8,15 +8,17 @@
 //! [`percival_core`]'s batched inference machinery:
 //!
 //! ```text
+//!     renderer hooks ──admission_hint──► Cached / WouldShed / Admit
+//!                      │                 (feedback before submission)
 //!            submissions (any thread)
 //!                      │
 //!              ┌───────▼────────┐
 //!              │  shard router  │  content-hash → shard, so memoization
 //!              └───┬───┬───┬────┘  and single-flight stay shard-local
 //!                  │   │   │
-//!        ┌─────────▼┐ ┌▼────────┐ ... K shards
-//!        │ shard 0  │ │ shard 1 │     EDF queue + memo + single-flight
-//!        └────┬─────┘ └───┬─────┘
+//!        ┌─────────▼┐ ┌▼────────┐ ... K shards, each a FlightTable<Edf>
+//!        │ shard 0  │ │ shard 1 │     (percival_core::flight): EDF queue
+//!        └────┬─────┘ └───┬─────┘     + memo + single-flight + publish
 //!             │   steal   │        an idle batcher drains a loaded
 //!        ┌────▼───┐ ┌─────▼──┐     neighbor's queue
 //!        │batcher0│⇄│batcher1│ ...
@@ -26,11 +28,22 @@
 //!        micro-batched CNN forward passes (f32 or int8 tier)
 //! ```
 //!
+//! The delicate queue → memo → single-flight → publish protocol is *not*
+//! implemented here: every shard instantiates the shared flight-control
+//! core (`percival_core::flight::FlightTable`) with the EDF discipline,
+//! the same audited mechanism the in-browser `InferenceEngine` runs with
+//! FIFO. This crate layers serving policy on top:
+//!
 //! - [`service`]: the [`ClassificationService`] — shard router, per-shard
-//!   earliest-deadline-first queues, work-stealing batcher threads, and the
-//!   `Shed | Degrade | Block` overload policies.
-//! - [`telemetry`]: wait-free counters and latency histograms per shard,
-//!   snapshottable as a [`ServiceReport`].
+//!   earliest-deadline-first queues, work-stealing batcher threads, the
+//!   `Shed | Degrade | Block` overload policies, and the
+//!   [`ClassificationService::admission_hint`] probe that feeds admission
+//!   decisions back to the renderer before submission.
+//! - [`hook`]: a rendering-pipeline [`ServiceHook`] interceptor that uses
+//!   the hint to skip would-shed creatives (fail open) and resolve cached
+//!   verdicts without submitting.
+//! - [`telemetry`]: plain-data per-shard reports over the flight tables'
+//!   wait-free counter blocks, snapshottable as a [`ServiceReport`].
 //! - [`loadgen`]: a deterministic synthetic-traffic generator (Zipfian
 //!   creative popularity, open-loop RPS ramps, bursts) used by the `serve`
 //!   bench, the `serve-smoke` CI job and the serving experiments.
@@ -40,11 +53,14 @@
 //! engine-layer `PERCIVAL_THREADS` / `PERCIVAL_GEMM` documented in the
 //! README.
 
+pub mod hook;
 pub mod loadgen;
 pub mod service;
 mod shard;
 pub mod telemetry;
 
+pub use hook::{ServiceHook, ServiceHookStats};
 pub use loadgen::{LoadReport, TrafficConfig, TrafficPattern};
+pub use percival_core::flight::AdmissionHint;
 pub use service::{ClassificationService, OverloadPolicy, ServeTicket, ServiceConfig, Verdict};
 pub use telemetry::{ServiceReport, ShardReport};

@@ -19,6 +19,7 @@
 
 use crate::shard::Shard;
 use crate::telemetry::{ServiceReport, ServiceTelemetry};
+use percival_core::flight::AdmissionHint;
 use percival_core::{Classifier, EngineConfig, MemoizedClassifier, Precision, Prediction};
 use percival_imgcodec::Bitmap;
 use percival_tensor::Workspace;
@@ -294,6 +295,21 @@ impl ClassificationService {
     /// Submits and blocks until the verdict is available.
     pub fn submit_wait(&self, bitmap: &Bitmap) -> Verdict {
         self.submit(bitmap).wait()
+    }
+
+    /// A cheap admission probe that feeds overload decisions back to the
+    /// renderer hooks *before* submission: a memoized verdict comes back as
+    /// [`AdmissionHint::Cached`] without queueing anything, and — under the
+    /// `Shed` policy — a creative that would be rejected at admission or
+    /// could no longer meet the default deadline reports
+    /// [`AdmissionHint::WouldShed`] so the caller can skip it (fail open)
+    /// instead of submitting work that resolves as [`Verdict::Shed`] after
+    /// the fact. The probe mutates no queues and counts as no submission;
+    /// it is advisory — a concurrent burst can still shed an admitted
+    /// request.
+    pub fn admission_hint(&self, bitmap: &Bitmap) -> AdmissionHint<Verdict> {
+        let key = bitmap.content_hash();
+        self.shards[route(key, self.shards.len())].admission_hint(key, &self.cfg)
     }
 
     /// Blocks until every queued or in-flight request has been resolved.

@@ -1,93 +1,48 @@
-//! One shard: an earliest-deadline-first queue, a shard-local verdict
-//! cache with single-flight deduplication, and the batch-formation /
-//! publication logic executed by (any) batcher thread.
+//! One shard: a thin serving policy around the shared flight-control core.
 //!
 //! Shards never talk to each other. The router sends every submission of a
 //! given creative to the same shard, so memoization and single-flight
 //! grouping need no cross-shard coordination; work stealing moves *compute*
 //! to a loaded shard's queue (an idle batcher runs the victim shard's
-//! batch against the victim's own cache and waiters) rather than moving
+//! batch against the victim's own cache and tickets) rather than moving
 //! queue entries between shards.
 //!
-//! A shard deliberately parallels `percival_core::engine` rather than
-//! wrapping it: the engine's FIFO queue cannot express EDF ordering,
-//! per-entry deadlines, feasibility shedding or tier demotion without
-//! threading all of that through `EngineConfig` and the in-browser hook
-//! path that depends on it. The cost is that the delicate publish
-//! invariants exist twice; any change to one protocol must be mirrored in
-//! the other (see the ROADMAP open item on unifying them):
+//! Since the flight-control refactor a shard no longer parallels
+//! `percival_core::engine` — both instantiate the same audited
+//! [`FlightTable`] (`percival_core::flight`), which owns the pending
+//! queue, the single-flight groups, the verdict memo and the
+//! memoize-before-unpark publish protocol. What remains here is pure
+//! serving policy:
 //!
-//! - memoize a verdict *before* removing its single-flight group, so a
-//!   submitter that misses the group always hits the cache;
-//! - coalesce-or-recheck-cache must happen under one state-lock hold;
-//! - queued/pending accounting must be updated while the state lock is
-//!   held, so a concurrent batcher cannot underflow the counters.
+//! - the [`Edf`] queue discipline (earliest deadline first, FIFO within a
+//!   deadline, tighter coalesced deadlines re-prioritize the group);
+//! - the admission gate implementing the `Shed | Degrade | Block`
+//!   overload policies;
+//! - EWMA-based deadline-feasibility shedding at batch formation;
+//! - the mixed-tier (f32 / int8) batched forward pass.
 
 use crate::service::{OverloadPolicy, ServeTicket, ServiceConfig, ServiceShared, Verdict};
-use crate::telemetry::ShardTelemetry;
+use crate::telemetry::ShardReport;
+use percival_core::flight::{
+    AdmissionHint, Edf, EdfPrio, FlightEntry, FlightProbe, FlightTable, Formed, Gate,
+};
 use percival_core::{Classifier, MemoizedClassifier, Prediction};
 use percival_imgcodec::Bitmap;
 use percival_tensor::{Shape, Tensor, Workspace};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// One queued classification request (a single-flight group's queue entry).
-pub(crate) struct Pending {
-    pub(crate) deadline: Instant,
-    /// Admission order; tie-breaks equal deadlines so batch formation is
-    /// deterministic (FIFO within a deadline).
-    pub(crate) seq: u64,
-    pub(crate) key: u64,
-    /// Preprocessed `1 x 4 x S x S` input (resized on the submitting
-    /// thread, like the engine does).
-    pub(crate) tensor: Tensor,
-    pub(crate) enqueued: Instant,
-    /// Run on the degraded (int8) tier.
-    pub(crate) degraded: bool,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse so the *earliest* deadline is
-        // popped first (EDF), FIFO within equal deadlines.
-        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
-    }
-}
-
-#[derive(Default)]
-pub(crate) struct ShardState {
-    /// EDF-ordered queue of single-flight groups.
-    heap: BinaryHeap<Pending>,
-    /// Single-flight table: content hash → everyone waiting on it.
-    waiters: HashMap<u64, Vec<Sender<Verdict>>>,
-}
 
 pub(crate) struct Shard {
     pub(crate) index: usize,
-    /// Primary tier: the shard-local verdict cache over the configured
-    /// precision's classifier.
-    pub(crate) memo: Arc<MemoizedClassifier>,
     /// Int8 tier for [`OverloadPolicy::Degrade`]; `None` when the primary
     /// tier already runs int8 or the policy never degrades.
     degraded_tier: Option<Classifier>,
-    state: Mutex<ShardState>,
-    /// Wakes submitters blocked by [`OverloadPolicy::Block`] backpressure.
-    space: Condvar,
-    pub(crate) telemetry: ShardTelemetry,
+    /// The shared protocol core: EDF queue, single-flight groups, verdict
+    /// memo and the wait-free counter block.
+    table: FlightTable<Edf, Verdict>,
     seq: AtomicU64,
 }
 
@@ -99,31 +54,30 @@ impl Shard {
     ) -> Self {
         Shard {
             index,
-            memo,
             degraded_tier,
-            state: Mutex::new(ShardState::default()),
-            space: Condvar::new(),
-            telemetry: ShardTelemetry::default(),
+            table: FlightTable::new(memo),
             seq: AtomicU64::new(0),
         }
     }
 
+    /// The shard-local verdict cache over the primary tier's classifier.
+    pub(crate) fn memo(&self) -> &Arc<MemoizedClassifier> {
+        self.table.memo()
+    }
+
     fn prediction(&self, p_ad: f32, elapsed: Duration) -> Prediction {
-        Prediction {
-            p_ad,
-            is_ad: p_ad >= self.memo.classifier().threshold(),
-            elapsed,
-        }
+        Prediction::from_probability(p_ad, self.memo().classifier().threshold(), elapsed)
     }
 
     /// Entries currently queued (used by stealing scans and reports).
     pub(crate) fn depth(&self) -> usize {
-        self.telemetry.queue_depth.load(Ordering::Relaxed)
+        self.table.depth()
     }
 
     /// Admits one request: cache hit and single-flight merges resolve or
-    /// attach immediately; otherwise the request joins the EDF queue,
-    /// subject to the overload policy when the queue is full.
+    /// attach immediately (a tighter deadline re-prioritizes the merged
+    /// group); otherwise the request joins the EDF queue, subject to the
+    /// overload policy when the queue is full.
     pub(crate) fn submit(
         &self,
         bitmap: &Bitmap,
@@ -131,105 +85,126 @@ impl Shard {
         cfg: &ServiceConfig,
         shared: &ServiceShared,
     ) -> ServeTicket {
-        let t = &self.telemetry;
-        t.submitted.fetch_add(1, Ordering::Relaxed);
         let key = bitmap.content_hash();
         let (tx, rx) = channel();
-        let ticket = ServeTicket { rx };
-        if let Some(p_ad) = self.memo.cached(key) {
-            t.memo_hits.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Verdict::Classified(self.prediction(p_ad, Duration::ZERO)));
-            return ticket;
-        }
-        // Preprocess outside the lock, on the submitting thread; wasted
-        // only when this submission coalesces.
-        let input_size = self.memo.classifier().input_size();
-        let tensor = Classifier::preprocess(bitmap, input_size);
+        let input_size = self.memo().classifier().input_size();
         let now = Instant::now();
-
-        let mut state = self.state.lock().expect("shard state");
-        if let Some(group) = state.waiters.get_mut(&key) {
-            t.coalesced.fetch_add(1, Ordering::Relaxed);
-            group.push(tx);
-            return ticket;
-        }
-        // Re-check the cache under the lock: a batcher memoizes verdicts
-        // before removing their single-flight group, so a miss observed
-        // before the lock may since have resolved.
-        if let Some(p_ad) = self.memo.cached(key) {
-            t.memo_hits.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Verdict::Classified(self.prediction(p_ad, Duration::ZERO)));
-            return ticket;
-        }
-
-        let mut degraded = false;
-        if state.heap.len() >= cfg.queue_capacity {
-            // `Degrade` demotes instead of bounding the queue, so it needs a
-            // hard memory backstop: far past capacity it falls back to
-            // backpressure (never rejection — "Degrade never sheds" holds).
-            let block_at = match cfg.overload {
-                OverloadPolicy::Block => cfg.queue_capacity,
-                OverloadPolicy::Degrade => cfg.queue_capacity.saturating_mul(4),
-                OverloadPolicy::Shed => usize::MAX,
-            };
-            match cfg.overload {
-                OverloadPolicy::Shed => {
-                    t.shed_admission.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Verdict::Shed);
-                    return ticket;
+        let prio = EdfPrio {
+            deadline: now + deadline_in,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            enqueued: now,
+            degraded: false,
+        };
+        let counters = self.table.counters();
+        self.table.submit(
+            key,
+            prio,
+            tx,
+            |p_ad| Verdict::Classified(self.prediction(p_ad, Duration::ZERO)),
+            || Classifier::preprocess(bitmap, input_size),
+            // The overload gate: consulted under the state lock with the
+            // live queue depth before a new single-flight group is queued.
+            |depth, prio| {
+                // Shed during shutdown before anything else — a submission
+                // admitted after the batchers exit would never resolve.
+                // (Unreachable through the owned-service API, where Drop's
+                // exclusive borrow excludes in-flight submissions, but kept
+                // as the old shard did: it hardens any future shared-handle
+                // or explicit-shutdown surface for free.)
+                if shared.is_shutdown() {
+                    return Gate::Reject(Verdict::Shed);
                 }
-                OverloadPolicy::Degrade | OverloadPolicy::Block => {
-                    degraded =
-                        cfg.overload == OverloadPolicy::Degrade && self.degraded_tier.is_some();
-                    // Backpressure: park the submitter until a batch drains.
-                    while state.heap.len() >= block_at && !shared.is_shutdown() {
-                        state = self.space.wait(state).expect("shard space wait");
+                if depth < cfg.queue_capacity {
+                    return Gate::Admit;
+                }
+                match cfg.overload {
+                    OverloadPolicy::Shed => Gate::Reject(Verdict::Shed),
+                    OverloadPolicy::Degrade | OverloadPolicy::Block => {
+                        // `Degrade` demotes instead of bounding the queue,
+                        // so it needs a hard memory backstop: far past
+                        // capacity it falls back to backpressure (never
+                        // rejection — "Degrade never sheds" holds).
+                        let block_at = match cfg.overload {
+                            OverloadPolicy::Block => cfg.queue_capacity,
+                            _ => cfg.queue_capacity.saturating_mul(4),
+                        };
+                        if cfg.overload == OverloadPolicy::Degrade && self.degraded_tier.is_some() {
+                            prio.degraded = true;
+                        }
+                        if depth >= block_at {
+                            if shared.is_shutdown() {
+                                Gate::Reject(Verdict::Shed)
+                            } else {
+                                // Backpressure: park until a batch drains;
+                                // the table re-runs coalesce/recheck/gate
+                                // on every wake.
+                                Gate::Wait
+                            }
+                        } else {
+                            Gate::Admit
+                        }
                     }
-                    if shared.is_shutdown() {
-                        t.shed_admission.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send(Verdict::Shed);
-                        return ticket;
-                    }
-                    // The lock was released while parked: the same creative
-                    // may have been enqueued or even classified meanwhile —
-                    // re-inserting would clobber that single-flight group.
-                    if let Some(group) = state.waiters.get_mut(&key) {
-                        t.coalesced.fetch_add(1, Ordering::Relaxed);
-                        group.push(tx);
-                        return ticket;
-                    }
-                    if let Some(p_ad) = self.memo.cached(key) {
-                        t.memo_hits.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send(Verdict::Classified(self.prediction(p_ad, Duration::ZERO)));
-                        return ticket;
-                    }
+                }
+            },
+            // Runs under the state lock right after the push: an
+            // already-awake batcher can pop this entry the instant the lock
+            // drops, and its on_dequeued/on_resolved must observe the
+            // increment (otherwise the counters underflow and flush()/the
+            // sleep gates wedge). Lock order state → signal is used nowhere
+            // in reverse.
+            |_depth, prio| {
+                if prio.degraded {
+                    counters.note_degraded();
+                }
+                shared.on_enqueued();
+            },
+        );
+        ServeTicket { rx }
+    }
+
+    /// A cheap admission probe for renderer-side feedback (no queue
+    /// mutation, no submission): reports memoized verdicts, in-flight
+    /// creatives that would coalesce, and — under the `Shed` policy —
+    /// whether a fresh submission would be rejected at admission or could
+    /// no longer meet its deadline.
+    pub(crate) fn admission_hint(&self, key: u64, cfg: &ServiceConfig) -> AdmissionHint<Verdict> {
+        if cfg.overload != OverloadPolicy::Shed {
+            // Degrade and Block always admit (possibly demoted or parked) —
+            // skipping would lose work they would serve — so the hint is
+            // just a memo-cache lookup; additionally taking the flight-table
+            // state lock to distinguish in-flight from queueable would buy
+            // nothing.
+            return match self.memo().cached(key) {
+                Some(p_ad) => AdmissionHint::Cached(Verdict::Classified(
+                    self.prediction(p_ad, Duration::ZERO),
+                )),
+                None => AdmissionHint::Admit,
+            };
+        }
+        match self.table.probe(key) {
+            FlightProbe::Cached(p_ad) => {
+                AdmissionHint::Cached(Verdict::Classified(self.prediction(p_ad, Duration::ZERO)))
+            }
+            // Coalescing is free: the group's CNN pass is already paid for.
+            FlightProbe::InFlight => AdmissionHint::Admit,
+            FlightProbe::Queueable { depth } => {
+                if depth >= cfg.queue_capacity {
+                    return AdmissionHint::WouldShed;
+                }
+                // Deadline feasibility: a fresh entry waits behind `depth`
+                // queued images, so if the EWMA service estimate for that
+                // backlog already exceeds the deadline it would be shed at
+                // batch formation anyway.
+                let est = Duration::from_nanos(
+                    self.table.counters().ewma_image_ns() * (depth as u64 + 1),
+                );
+                if est > cfg.deadline {
+                    AdmissionHint::WouldShed
+                } else {
+                    AdmissionHint::Admit
                 }
             }
         }
-        if degraded {
-            t.degraded.fetch_add(1, Ordering::Relaxed);
-        }
-        state.waiters.insert(key, vec![tx]);
-        state.heap.push(Pending {
-            deadline: now + deadline_in,
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            key,
-            tensor,
-            enqueued: now,
-            degraded,
-        });
-        let depth = state.heap.len();
-        // Depth gauge and queued/pending accounting must happen while the
-        // state lock is still held: an already-awake batcher can pop this
-        // entry the instant the lock drops, and its on_dequeued/on_resolved
-        // must observe the increments (otherwise the counters underflow and
-        // flush()/the sleep gates wedge). Lock order state → signal is used
-        // nowhere in reverse.
-        t.queue_depth.store(depth, Ordering::Relaxed);
-        t.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
-        shared.on_enqueued();
-        drop(state);
-        ticket
     }
 
     /// Pops the earliest-deadline batch, classifies it, publishes the
@@ -243,90 +218,72 @@ impl Shard {
         shared: &ServiceShared,
         stolen: bool,
     ) -> usize {
-        let t = &self.telemetry;
-        let mut shed_groups: Vec<Vec<Sender<Verdict>>> = Vec::new();
-        let batch: Vec<Pending> = {
-            let mut state = self.state.lock().expect("shard state");
-            let mut batch = Vec::new();
-            let now = Instant::now();
-            // Deadline feasibility: an entry admitted to this batch will
-            // resolve after roughly the whole batch's service time, so
-            // entries whose deadline falls inside that horizon can no
-            // longer be served in time.
-            let expect = cfg.max_batch.min(state.heap.len());
-            let est = Duration::from_nanos(t.ewma_image_ns.load(Ordering::Relaxed) * expect as u64);
-            while batch.len() < cfg.max_batch {
-                let Some(p) = state.heap.pop() else { break };
-                if now + est > p.deadline {
-                    match cfg.overload {
-                        OverloadPolicy::Shed => {
-                            t.shed_late.fetch_add(1, Ordering::Relaxed);
-                            if let Some(group) = state.waiters.remove(&p.key) {
-                                shed_groups.push(group);
-                            }
-                            continue;
+        let counters = self.table.counters();
+        let now = Instant::now();
+        let ewma = counters.ewma_image_ns();
+        // Deadline feasibility at formation: an entry admitted to this
+        // batch resolves after roughly the whole batch's service time, so
+        // entries whose deadline falls inside that horizon can no longer be
+        // served in time. What happens to them is overload policy.
+        let formed = self.table.form_batch(cfg.max_batch, |mut e, ctx| {
+            let est = Duration::from_nanos(ewma * ctx.expected as u64);
+            if now + est > e.prio.deadline {
+                match cfg.overload {
+                    OverloadPolicy::Shed => return Formed::Shed(e),
+                    OverloadPolicy::Degrade => {
+                        // Late work rides the cheaper tier instead of being
+                        // rejected.
+                        if self.degraded_tier.is_some() && !e.prio.degraded {
+                            e.prio.degraded = true;
+                            counters.note_degraded();
                         }
-                        OverloadPolicy::Degrade => {
-                            // Late work rides the cheaper tier instead of
-                            // being rejected.
-                            let degrade = self.degraded_tier.is_some() && !p.degraded;
-                            if degrade {
-                                t.degraded.fetch_add(1, Ordering::Relaxed);
-                            }
-                            batch.push(Pending {
-                                degraded: p.degraded || degrade,
-                                ..p
-                            });
-                        }
-                        OverloadPolicy::Block => batch.push(p),
                     }
-                } else {
-                    batch.push(p);
+                    OverloadPolicy::Block => {}
                 }
             }
-            t.queue_depth.store(state.heap.len(), Ordering::Relaxed);
-            batch
-        };
-        let consumed = batch.len() + shed_groups.len();
+            Formed::Keep(e)
+        });
+        let consumed = formed.batch.len() + formed.shed.len();
         if consumed == 0 {
             return 0;
         }
         shared.on_dequeued(consumed);
 
         // Resolve shed groups immediately (no CNN pass).
-        let shed_count = shed_groups.len();
-        for group in shed_groups {
-            for waiter in group {
-                let _ = waiter.send(Verdict::Shed);
+        let shed_count = formed.shed.len();
+        for (_key, group) in formed.shed {
+            for tx in group {
+                let _ = tx.send(Verdict::Shed);
             }
         }
 
         let mut resolved = shed_count;
-        if !batch.is_empty() {
-            resolved += batch.len();
-            self.classify_and_publish(&batch, ws, shared, stolen);
+        if !formed.batch.is_empty() {
+            resolved += formed.batch.len();
+            self.classify_and_publish(&formed.batch, ws, shared, stolen);
         }
-        self.space.notify_all();
+        self.table.signal_space();
         shared.on_resolved(resolved);
         consumed
     }
 
-    /// Runs the CNN over one formed batch (splitting tiers if mixed),
-    /// memoizes, resolves waiters and records telemetry.
+    /// Runs the CNN over one formed batch (splitting tiers if mixed), then
+    /// hands the verdicts to the flight table's memoize-before-unpark
+    /// publish protocol.
     fn classify_and_publish(
         &self,
-        batch: &[Pending],
+        batch: &[FlightEntry<EdfPrio>],
         ws: &mut Workspace,
         shared: &ServiceShared,
         stolen: bool,
     ) {
-        let t = &self.telemetry;
+        let counters = self.table.counters();
         let started = Instant::now();
         let mut verdicts: Vec<(u64, f32)> = Vec::with_capacity(batch.len());
         for tier_degraded in [false, true] {
-            let members: Vec<&Pending> = batch
+            let members: Vec<&FlightEntry<EdfPrio>> = batch
                 .iter()
-                .filter(|p| p.degraded == tier_degraded)
+                .filter(|e| e.prio.degraded == tier_degraded)
                 .collect();
             if members.is_empty() {
                 continue;
@@ -336,7 +293,7 @@ impl Shard {
                     .as_ref()
                     .expect("degraded entries require the int8 tier")
             } else {
-                self.memo.classifier()
+                self.memo().classifier()
             };
             let input = classifier.input_size();
             let shape = Shape::new(
@@ -346,60 +303,45 @@ impl Shard {
                 input,
             );
             let mut tensor = Tensor::from_vec(shape, ws.take(shape.count()));
-            for (i, p) in members.iter().enumerate() {
-                tensor.copy_sample_from(i, &p.tensor, 0);
+            for (i, e) in members.iter().enumerate() {
+                tensor.copy_sample_from(i, &e.tensor, 0);
             }
             let probs = classifier.classify_tensor_with(&tensor, ws);
             ws.recycle(tensor.into_vec());
-            for (p, &p_ad) in members.iter().zip(probs.iter()) {
-                verdicts.push((p.key, p_ad));
+            for (e, &p_ad) in members.iter().zip(probs.iter()) {
+                verdicts.push((e.key, p_ad));
             }
         }
         let elapsed = started.elapsed();
         let per_image = elapsed / batch.len() as u32;
-        t.observe_image_cost(per_image.as_nanos() as u64);
-        t.batches.fetch_add(1, Ordering::Relaxed);
-        t.batched_images
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        counters.observe_image_cost(per_image.as_nanos() as u64);
         if stolen {
-            t.stolen_batches.fetch_add(1, Ordering::Relaxed);
+            counters.note_stolen_batch();
         }
 
-        // Publish: memoize first, then resolve the single-flight groups
-        // under the state lock so no submitter can observe a removed group
-        // before the cache knows the answer.
-        for &(key, p_ad) in &verdicts {
-            self.memo.insert(key, p_ad);
-        }
         let enqueued_at: HashMap<u64, Instant> =
-            batch.iter().map(|p| (p.key, p.enqueued)).collect();
+            batch.iter().map(|e| (e.key, e.prio.enqueued)).collect();
         let resolve_time = Instant::now();
-        let mut state = self.state.lock().expect("shard state");
-        for &(key, p_ad) in &verdicts {
-            let pred = self.prediction(p_ad, per_image);
-            if let Some(group) = state.waiters.remove(&key) {
+        self.table.publish(
+            &verdicts,
+            |_key, p_ad| Verdict::Classified(self.prediction(p_ad, per_image)),
+            |key| {
                 if let Some(&enqueued) = enqueued_at.get(&key) {
                     shared
                         .telemetry
                         .latency
                         .record(resolve_time.duration_since(enqueued));
                 }
-                for waiter in group {
-                    let _ = waiter.send(Verdict::Classified(pred));
-                }
-            }
-        }
+            },
+        );
     }
 
-    pub(crate) fn report(&self) -> crate::telemetry::ShardReport {
-        self.telemetry.report(self.index)
+    pub(crate) fn report(&self) -> ShardReport {
+        ShardReport::from_snapshot(self.index, self.table.counters().snapshot())
     }
 
     /// Wakes any submitter parked on backpressure (shutdown path).
     pub(crate) fn release_blocked(&self) {
-        // Take the state lock so a submitter between its shutdown check
-        // and `space.wait` cannot miss the wakeup.
-        let _state = self.state.lock().expect("shard state");
-        self.space.notify_all();
+        self.table.wake_all();
     }
 }

@@ -1,110 +1,48 @@
-//! Wait-free serving telemetry: per-shard counters plus service-wide
-//! latency histograms, snapshottable as a [`ServiceReport`].
+//! Serving telemetry: plain-data per-shard reports over the flight-control
+//! core's wait-free counter blocks, plus the service-wide latency
+//! histogram.
 //!
-//! Every counter is a relaxed atomic touched from the submission and
-//! batcher hot paths; nothing here takes a lock. Reports are plain data so
-//! benches and experiments can serialize or diff them without reaching
-//! back into the live service.
+//! Since the flight-control refactor the live counters themselves are
+//! owned by each shard's `percival_core::flight::FlightTable` — the same
+//! counter vocabulary the inference engine exposes — so the engine and the
+//! serving layer no longer maintain parallel telemetry structs. This
+//! module shapes those shared snapshots into the serving layer's report
+//! types. Reports are plain data so benches and experiments can serialize
+//! or diff them without reaching back into the live service.
 
+use percival_core::flight::FlightSnapshot;
 use percival_util::{HistogramSnapshot, LatencyHistogram};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Live counters for one shard (all monotonic except `queue_depth`).
-#[derive(Debug, Default)]
-pub(crate) struct ShardTelemetry {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) memo_hits: AtomicU64,
-    pub(crate) coalesced: AtomicU64,
-    pub(crate) shed_admission: AtomicU64,
-    pub(crate) shed_late: AtomicU64,
-    pub(crate) degraded: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_images: AtomicU64,
-    pub(crate) stolen_batches: AtomicU64,
-    pub(crate) max_queue_depth: AtomicU64,
-    /// Entries currently queued (gauge; drives work-stealing scans and the
-    /// per-shard depth report).
-    pub(crate) queue_depth: AtomicUsize,
-    /// Exponentially-weighted mean of per-image classification nanoseconds,
-    /// the service-time estimate behind deadline-feasibility shedding.
-    pub(crate) ewma_image_ns: AtomicU64,
-}
-
-impl ShardTelemetry {
-    /// Folds one measured per-image cost into the service-time estimate
-    /// (alpha = 1/4; integer EWMA, monotone under concurrent updates).
-    pub(crate) fn observe_image_cost(&self, ns: u64) {
-        let old = self.ewma_image_ns.load(Ordering::Relaxed);
-        let new = if old == 0 { ns } else { old - old / 4 + ns / 4 };
-        self.ewma_image_ns.store(new, Ordering::Relaxed);
-    }
-
-    pub(crate) fn report(&self, index: usize) -> ShardReport {
-        ShardReport {
-            index,
-            submitted: self.submitted.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            shed_admission: self.shed_admission.load(Ordering::Relaxed),
-            shed_late: self.shed_late.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_images: self.batched_images.load(Ordering::Relaxed),
-            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            ewma_image_ns: self.ewma_image_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Plain-data snapshot of one shard's counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Plain-data snapshot of one shard's counters (one row of a
+/// [`ServiceReport`]): the shard index plus the shard's flight-table
+/// [`FlightSnapshot`], embedded whole so a counter added to the shared
+/// block can never silently vanish from serve telemetry. `Deref` exposes
+/// the snapshot's fields directly (`report.shards[0].submitted`, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ShardReport {
     /// Shard index within the service.
     pub index: usize,
-    /// Requests routed to this shard (including cache hits and sheds).
-    pub submitted: u64,
-    /// Requests answered from the shard's verdict cache without queueing.
-    pub memo_hits: u64,
-    /// Requests merged into an in-flight identical creative
-    /// (single-flight deduplication).
-    pub coalesced: u64,
-    /// Requests rejected at admission by the overload policy.
-    pub shed_admission: u64,
-    /// Queued requests rejected at batch formation because their deadline
-    /// was no longer feasible.
-    pub shed_late: u64,
-    /// Requests demoted to the int8 tier under pressure.
-    pub degraded: u64,
-    /// Micro-batches executed against this shard's queue.
-    pub batches: u64,
-    /// Images classified through those batches.
-    pub batched_images: u64,
-    /// Batches of this shard's work executed by a *different* shard's
-    /// batcher thread (work stealing).
-    pub stolen_batches: u64,
-    /// Entries queued right now.
-    pub queue_depth: usize,
-    /// Largest queue depth observed.
-    pub max_queue_depth: u64,
-    /// Current per-image service-time estimate (EWMA, nanoseconds).
-    pub ewma_image_ns: u64,
+    /// The shard's flight-table counters at snapshot time.
+    pub counters: FlightSnapshot,
+}
+
+impl std::ops::Deref for ShardReport {
+    type Target = FlightSnapshot;
+
+    fn deref(&self) -> &FlightSnapshot {
+        &self.counters
+    }
 }
 
 impl ShardReport {
-    /// Fraction of submissions resolved without a CNN pass.
-    pub fn dedup_rate(&self) -> f64 {
-        if self.submitted == 0 {
-            0.0
-        } else {
-            (self.memo_hits + self.coalesced) as f64 / self.submitted as f64
-        }
+    /// Shapes a flight-table snapshot into a shard row.
+    pub(crate) fn from_snapshot(index: usize, counters: FlightSnapshot) -> Self {
+        ShardReport { index, counters }
     }
 
     /// Requests rejected by either shedding point.
     pub fn shed(&self) -> u64 {
-        self.shed_admission + self.shed_late
+        self.counters.shed_admission + self.counters.shed_late
     }
 }
 
@@ -137,6 +75,12 @@ impl ServiceReport {
     /// Single-flight merges across all shards.
     pub fn coalesced(&self) -> u64 {
         self.total(|s| s.coalesced)
+    }
+
+    /// Coalesced requests that re-prioritized their group, across all
+    /// shards.
+    pub fn reprioritized(&self) -> u64 {
+        self.total(|s| s.reprioritized)
     }
 
     /// Requests shed (admission + late) across all shards.
@@ -196,11 +140,12 @@ impl core::fmt::Display for ServiceReport {
         for s in &self.shards {
             writeln!(
                 f,
-                "  shard {}: sub {}  hit {}  coal {}  shed {}+{}  deg {}  batches {} ({} imgs, {} stolen)  depth {}/{}",
+                "  shard {}: sub {}  hit {}  coal {} ({} repri)  shed {}+{}  deg {}  batches {} ({} imgs, {} stolen)  depth {}/{}",
                 s.index,
                 s.submitted,
                 s.memo_hits,
                 s.coalesced,
+                s.reprioritized,
                 s.shed_admission,
                 s.shed_late,
                 s.degraded,

@@ -1,6 +1,11 @@
-//! Concurrency edges the serving layer depends on: single-flight
-//! deduplication under concurrent fan-in, content-hash routing stability,
-//! flush/shutdown draining, overload policies and work stealing.
+//! Serving-layer concurrency edges *above* the shared flight-control
+//! protocol: content-hash routing stability and shard locality, overload
+//! policies and work stealing.
+//!
+//! The protocol invariants themselves (single-flight dedup under fan-in,
+//! flush/shutdown draining without dropped tickets) are asserted by the
+//! shared harness in `flight_protocol.rs`, which runs one test body
+//! against both the FIFO engine and this EDF service.
 
 use percival_core::arch::percival_net_slim;
 use percival_core::Classifier;
@@ -40,44 +45,25 @@ fn noisy_bitmap(seed: u64) -> Bitmap {
 }
 
 #[test]
-fn identical_concurrent_submissions_share_one_cnn_pass() {
-    // Many threads submit the same creative into a multi-shard service:
-    // content-hash routing sends every copy to one shard, whose
-    // single-flight table and cache must answer all but the first without
-    // another CNN pass.
+fn single_flight_stays_on_the_home_shard() {
+    // Content-hash routing sends every copy of a creative to one shard, so
+    // its memoization and single-flight state never span shards.
     let svc = service(ServiceConfig {
         shards: 4,
         deadline: LONG,
         ..Default::default()
     });
     let bmp = noisy_bitmap(7);
-    let verdicts: Vec<Verdict> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..32)
-            .map(|_| scope.spawn(|| svc.submit_wait(&bmp)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("submitter"))
-            .collect()
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            scope.spawn(|| {
+                assert!(svc.submit_wait(&bmp).classified().is_some());
+            });
+        }
     });
-    let p0 = verdicts[0].classified().expect("classified").p_ad;
-    for v in &verdicts {
-        assert_eq!(
-            v.classified().expect("classified").p_ad,
-            p0,
-            "one verdict for all"
-        );
-    }
     let report = svc.report();
-    assert_eq!(report.batched_images(), 1, "exactly one CNN pass");
-    assert_eq!(
-        report.memo_hits() + report.coalesced(),
-        31,
-        "the other 31 submissions deduplicate"
-    );
-    // All activity happened on the creative's home shard.
     let home = svc.shard_of(&bmp);
-    assert_eq!(report.shards[home].submitted, 32);
+    assert_eq!(report.shards[home].submitted, 16);
     for s in &report.shards {
         if s.index != home {
             assert_eq!(s.submitted, 0, "shard {} saw foreign traffic", s.index);
@@ -113,48 +99,6 @@ fn distinct_creatives_spread_across_shards_and_all_resolve() {
         active >= 2,
         "64 distinct creatives must hit >1 shard: {active}"
     );
-}
-
-#[test]
-fn flush_drains_nonempty_queues_without_dropping_tickets() {
-    // Fire-and-forget submissions followed by flush: every ticket must be
-    // resolved, even those still queued when flush begins.
-    let svc = service(ServiceConfig {
-        shards: 2,
-        deadline: LONG,
-        ..Default::default()
-    });
-    let bitmaps: Vec<Bitmap> = (0..40).map(|i| noisy_bitmap(300 + i)).collect();
-    let tickets: Vec<ServeTicket> = bitmaps.iter().map(|b| svc.submit(b)).collect();
-    svc.flush();
-    for (i, t) in tickets.into_iter().enumerate() {
-        let v = t.poll();
-        assert!(v.is_some(), "ticket {i} unresolved after flush");
-        assert!(v.unwrap().classified().is_some());
-    }
-}
-
-#[test]
-fn shutdown_with_queued_work_resolves_every_ticket() {
-    // Drop the service while its queues are still loaded: the batchers
-    // drain before exiting, so no ticket is dropped.
-    let tickets: Vec<ServeTicket> = {
-        let svc = service(ServiceConfig {
-            shards: 2,
-            deadline: LONG,
-            ..Default::default()
-        });
-        (0..30)
-            .map(|i| svc.submit(&noisy_bitmap(500 + i)))
-            .collect()
-        // svc dropped here with work likely still queued
-    };
-    for (i, t) in tickets.into_iter().enumerate() {
-        // wait() panics on a dropped request; reaching a verdict at all is
-        // the assertion.
-        let _ = t.wait();
-        let _ = i;
-    }
 }
 
 #[test]

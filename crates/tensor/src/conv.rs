@@ -316,7 +316,7 @@ pub fn conv2d_forward_with(
 /// The f32 input is quantized **per sample** with a dynamic symmetric scale
 /// (`max|x| / 127` over that sample), lowered into an int8 column matrix,
 /// multiplied with the pre-quantized `oc x (ic*kh*kw)` weight matrix by
-/// [`crate::gemm_i8`], and requantized to f32 with
+/// [`crate::gemm_i8`](mod@crate::gemm_i8), and requantized to f32 with
 /// `scale_x * weight_scale` (+ f32 bias) at the output. The per-sample
 /// scale makes results **batch-invariant**: an image classifies identically
 /// whether it arrives alone or micro-batched next to a high-dynamic-range

@@ -16,7 +16,7 @@
 //!   in CPU inference engines; the GEMM kernel is cache-blocked (MC/KC/NC)
 //!   with packed panels and an `MR x NR` register-tile microkernel. An
 //!   explicit AVX2+FMA microkernel ([`simd`]) and a true
-//!   `i8 x i8 -> i32` quantized GEMM ([`gemm_i8`]) are dispatched at
+//!   `i8 x i8 -> i32` quantized GEMM ([`gemm_i8`](mod@gemm_i8)) are dispatched at
 //!   runtime (`PERCIVAL_GEMM`, CPU feature detection), with portable
 //!   fallbacks everywhere.
 //! - Scratch buffers (im2col columns, packed panels, activations) come from

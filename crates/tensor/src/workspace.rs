@@ -11,7 +11,7 @@
 //! [`Workspace::recycle`] returns it. Ownership-based lending avoids borrow
 //! gymnastics when a caller needs several scratch buffers at once.
 //!
-//! The int8 inference path ([`crate::gemm_i8`]) needs quantized activations
+//! The int8 inference path ([`crate::gemm_i8`](mod@crate::gemm_i8)) needs quantized activations
 //! and `i32` accumulators in addition to the `f32` buffers, so the arena
 //! keeps three typed free lists (`f32`, `i8`, `i32`) behind the same
 //! take/recycle protocol and one shared set of allocation counters.
