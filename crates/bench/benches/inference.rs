@@ -16,8 +16,16 @@ use percival_core::arch::{percival_net, percival_net_slim};
 use percival_core::{Classifier, EngineConfig, InferenceEngine, Precision};
 use percival_imgcodec::Bitmap;
 use percival_nn::init::kaiming_init;
-use percival_tensor::gemm::{gemm_acc, gemm_acc_scalar, set_gemm_kernel, GemmKernel};
-use percival_tensor::{gemm_i8, quantize_symmetric, Shape, Tensor, Workspace};
+use percival_nn::{ExecPlan, QuantizedSequential};
+use percival_tensor::activation::relu_inplace;
+use percival_tensor::gemm::{
+    gemm_acc, gemm_acc_scalar, gemm_acc_ws_ep, set_gemm_kernel, GemmKernel,
+};
+use percival_tensor::gemm_i8::requantize_into;
+use percival_tensor::{
+    gemm_i8, gemm_i8_fused, quantize_symmetric, EpilogueF32, RequantEpilogue, Shape, Tensor,
+    Workspace,
+};
 use percival_util::Pcg32;
 use std::hint::black_box;
 use std::time::Duration;
@@ -94,6 +102,114 @@ fn bench_gemm(c: &mut Criterion) {
             bch.iter(|| gemm_i8(black_box(&aq), black_box(&bq), &mut acc, m, k, n, &mut ws))
         });
     }
+    g.finish();
+}
+
+/// The execution-plan fusion comparison: the fused plan (activation /
+/// requantize epilogues, quantize-during-packing) against the unfused
+/// reference plan (standalone sweeps — the PR 4 execution), at the paper's
+/// full 224px geometry on both precision tiers, plus GEMM-level
+/// epilogue-vs-sweep microbenches isolating the fused traversals.
+fn bench_fusion(c: &mut Criterion) {
+    let mut model = percival_net();
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+    let q = QuantizedSequential::from_model(&model);
+    let fused = ExecPlan::compile(&model);
+    let unfused = ExecPlan::compile_unfused(&model);
+    let input = Classifier::preprocess(&noisy_bitmap(224, 5), 224);
+    let (shape, data) = (input.shape(), input.as_slice());
+
+    let mut g = c.benchmark_group("fusion");
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    set_gemm_kernel(GemmKernel::Simd);
+    let mut ws = Workspace::new();
+    g.bench_function("f32_fused_full224", |b| {
+        b.iter(|| black_box(fused.run_f32(&model, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("f32_unfused_full224", |b| {
+        b.iter(|| black_box(unfused.run_f32(&model, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("int8_fused_full224", |b| {
+        b.iter(|| black_box(fused.run_i8(&q, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("int8_unfused_full224", |b| {
+        b.iter(|| black_box(unfused.run_i8(&q, shape, black_box(data), &mut ws)))
+    });
+
+    // GEMM-level epilogue vs sweep on a conv-shaped problem (the first
+    // 224px layer's GEMM): identical arithmetic, one traversal fewer.
+    let (m, k, n) = (64usize, 36usize, 12544usize);
+    let a = rand_vec(21, m * k);
+    let b = rand_vec(22, k * n);
+    let mut out = vec![0.0f32; m * n];
+    g.bench_function("f32_epilogue_relu", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_acc_ws_ep(
+                black_box(&a),
+                black_box(&b),
+                &mut out,
+                m,
+                k,
+                n,
+                &mut ws,
+                EpilogueF32::RELU,
+            );
+        })
+    });
+    g.bench_function("f32_sweep_relu", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_acc_ws_ep(
+                black_box(&a),
+                black_box(&b),
+                &mut out,
+                m,
+                k,
+                n,
+                &mut ws,
+                EpilogueF32::NONE,
+            );
+            relu_inplace(&mut out);
+        })
+    });
+    let mut aq = vec![0i8; m * k];
+    let mut bq = vec![0i8; k * n];
+    let wq_scale = quantize_symmetric(&a, &mut aq);
+    let xq_scale = quantize_symmetric(&b, &mut bq);
+    let bias = vec![0.1f32; m];
+    let scales = [wq_scale];
+    let ep = RequantEpilogue {
+        scale_x: xq_scale,
+        weight_scales: &scales,
+        bias: &bias,
+        relu: true,
+        track_max: true,
+    };
+    let mut acc = vec![0i32; m * n];
+    g.bench_function("int8_epilogue_requant", |bch| {
+        bch.iter(|| {
+            black_box(gemm_i8_fused(
+                black_box(&aq),
+                black_box(&bq),
+                &mut out,
+                m,
+                k,
+                n,
+                &mut ws,
+                &ep,
+            ))
+        })
+    });
+    g.bench_function("int8_sweep_requant", |bch| {
+        bch.iter(|| {
+            gemm_i8(black_box(&aq), black_box(&bq), &mut acc, m, k, n, &mut ws);
+            requantize_into(&acc, wq_scale * xq_scale, &bias, n, &mut out);
+            relu_inplace(&mut out);
+        })
+    });
+    set_gemm_kernel(GemmKernel::Tiled);
     g.finish();
 }
 
@@ -233,6 +349,38 @@ fn write_snapshot(c: &Criterion) {
             ));
         }
     }
+    // Fused-vs-unfused execution plans (acceptance: >= 1.0 on both tiers)
+    // and the isolated epilogue-vs-sweep GEMM comparisons.
+    for tier in ["f32", "int8"] {
+        if let (Some(u), Some(f)) = (
+            mean_of(&format!("fusion/{tier}_unfused_full224")),
+            mean_of(&format!("fusion/{tier}_fused_full224")),
+        ) {
+            derived.push(snapshot::derived_line(
+                &format!("fused_full224_speedup/{tier}"),
+                u / f,
+            ));
+        }
+    }
+    for (sweep, epi, name) in [
+        (
+            "fusion/f32_sweep_relu",
+            "fusion/f32_epilogue_relu",
+            "f32_relu",
+        ),
+        (
+            "fusion/int8_sweep_requant",
+            "fusion/int8_epilogue_requant",
+            "int8_requant",
+        ),
+    ] {
+        if let (Some(s), Some(e)) = (mean_of(sweep), mean_of(epi)) {
+            derived.push(snapshot::derived_line(
+                &format!("epilogue_vs_sweep_speedup/{name}"),
+                s / e,
+            ));
+        }
+    }
     // End-to-end paper-geometry classification across execution paths.
     let full_tiled = mean_of("classify_paper_geometry/full_224px");
     for (suffix, metric) in [
@@ -283,6 +431,7 @@ fn write_snapshot(c: &Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_gemm(&mut c);
+    bench_fusion(&mut c);
     bench_batching(&mut c);
     bench_engine_hit_path(&mut c);
     bench_inference(&mut c);

@@ -8,7 +8,7 @@
 use crate::arch::{accepts_input, INPUT_CHANNELS, NUM_CLASSES};
 use percival_imgcodec::Bitmap;
 use percival_nn::serialize::{self, ModelIoError};
-use percival_nn::{QuantizedSequential, Sequential};
+use percival_nn::{ExecPlan, QuantizedSequential, Sequential};
 use percival_tensor::activation::softmax;
 use percival_tensor::resize::resize_bilinear;
 use percival_tensor::threadpool::{ScopedTask, ThreadPool};
@@ -59,12 +59,18 @@ pub struct Classifier {
     model: Sequential,
     /// Int8 execution model, present iff precision is [`Precision::Int8`].
     quantized: Option<QuantizedSequential>,
+    /// The compiled fused execution plan, built once from the model
+    /// structure at construction and shared by both precision tiers — the
+    /// plan holds layer indices, not weights, so precision switches and
+    /// weight reloads (same structure) never invalidate it.
+    plan: ExecPlan,
     input_size: usize,
     threshold: f32,
 }
 
 impl Classifier {
-    /// Wraps a trained model (f32 execution).
+    /// Wraps a trained model (f32 execution), compiling and caching its
+    /// fused execution plan.
     ///
     /// # Panics
     ///
@@ -77,12 +83,19 @@ impl Classifier {
         );
         let out = model.output_shape(Shape::new(1, INPUT_CHANNELS, input_size, input_size));
         assert_eq!(out.c, NUM_CLASSES, "classifier needs {NUM_CLASSES} logits");
+        let plan = ExecPlan::compile(&model);
         Classifier {
             model,
             quantized: None,
+            plan,
             input_size,
             threshold: 0.5,
         }
+    }
+
+    /// The cached fused execution plan this classifier runs.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Switches the execution precision, (re)building the int8 execution
@@ -161,10 +174,12 @@ impl Classifier {
 
     /// Runs the precision-appropriate forward pass over a borrowed batch
     /// buffer and writes `P(ad)` per sample into `out` (length = `shape.n`).
+    /// Both tiers execute through the cached plan — one fused forward-pass
+    /// implementation each, no per-call recompilation.
     fn forward_probs_into(&self, shape: Shape, data: &[f32], ws: &mut Workspace, out: &mut [f32]) {
         let logits = match &self.quantized {
-            Some(q) => q.forward_slice_with(shape, data, ws),
-            None => self.model.forward_slice_with(shape, data, ws),
+            Some(q) => self.plan.run_i8(q, shape, data, ws),
+            None => self.plan.run_f32(&self.model, shape, data, ws),
         };
         let probs = softmax(&logits);
         for (n, slot) in out.iter_mut().enumerate() {

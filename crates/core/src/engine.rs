@@ -32,7 +32,7 @@ use crate::classifier::{Classifier, Precision, Prediction};
 use crate::flight::{AdmissionHint, FlightCounters, FlightSnapshot, FlightTable};
 use crate::flight::{Fifo, Formed, Gate};
 use crate::memo::MemoizedClassifier;
-use percival_imgcodec::Bitmap;
+use percival_imgcodec::{Bitmap, HashedBitmap};
 use percival_tensor::{Shape, Tensor, Workspace};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
@@ -166,18 +166,27 @@ impl InferenceEngine {
     /// the image joins (or creates) its single-flight group and the verdict
     /// arrives once its micro-batch has run.
     pub fn submit(&self, bitmap: &Bitmap) -> VerdictTicket {
-        let key = bitmap.content_hash();
+        self.submit_with_key(&bitmap.hashed())
+    }
+
+    /// Keyed submission: like [`InferenceEngine::submit`] but over a
+    /// [`HashedBitmap`], whose content hash was computed once at
+    /// construction — hint-then-submit callers stop hashing every image
+    /// twice, and because the key is derived privately inside the wrapper,
+    /// a caller still cannot publish a verdict under a key that does not
+    /// match the pixels (which would poison the shared memo).
+    pub fn submit_with_key(&self, img: &HashedBitmap<'_>) -> VerdictTicket {
         let (tx, rx) = channel();
         let shared = &self.shared;
         let classifier = shared.table.memo().classifier();
         let threshold = classifier.threshold();
         let input_size = classifier.input_size();
         shared.table.submit(
-            key,
+            img.key(),
             (),
             tx,
             |p_ad| Prediction::from_probability(p_ad, threshold, Duration::ZERO),
-            || Classifier::preprocess(bitmap, input_size),
+            || Classifier::preprocess(img.bitmap(), input_size),
             // The FIFO engine admits everything: overload policy belongs to
             // the serving layer.
             |_depth, _prio| Gate::Admit,
@@ -203,7 +212,14 @@ impl InferenceEngine {
     /// flight-table state lock to learn a distinction (in-flight vs
     /// queueable) it would discard.
     pub fn admission_hint(&self, bitmap: &Bitmap) -> AdmissionHint<Prediction> {
-        match self.shared.table.memo().cached(bitmap.content_hash()) {
+        self.admission_hint_with_key(&bitmap.hashed())
+    }
+
+    /// [`InferenceEngine::admission_hint`] over a pre-hashed bitmap, so a
+    /// hook that goes on to submit shares one hash computation between the
+    /// probe and [`InferenceEngine::submit_with_key`].
+    pub fn admission_hint_with_key(&self, img: &HashedBitmap<'_>) -> AdmissionHint<Prediction> {
+        match self.shared.table.memo().cached(img.key()) {
             Some(p_ad) => AdmissionHint::Cached(Prediction::from_probability(
                 p_ad,
                 self.classifier().threshold(),
@@ -412,6 +428,25 @@ mod tests {
         assert_eq!(eng.stats().batched_images(), before, "no second CNN pass");
         assert_eq!(again.elapsed, std::time::Duration::ZERO);
         assert!(eng.stats().memo_hits() >= 1);
+    }
+
+    #[test]
+    fn keyed_submission_shares_one_hash_with_the_hint_path() {
+        let eng = engine(8);
+        let bmp = noisy_bitmap(40);
+        let img = bmp.hashed();
+        assert_eq!(img.key(), bmp.content_hash());
+        assert_eq!(eng.admission_hint_with_key(&img), AdmissionHint::Admit);
+        let first = eng.submit_with_key(&img).wait();
+        // The keyed and plain APIs address the same single-flight group and
+        // memo entry: the second sighting is a pure cache hit.
+        let again = eng.submit_wait(&bmp);
+        assert_eq!(first.p_ad, again.p_ad);
+        assert_eq!(eng.stats().batched_images(), 1, "one CNN pass");
+        match eng.admission_hint_with_key(&img) {
+            AdmissionHint::Cached(cached) => assert_eq!(cached.p_ad, first.p_ad),
+            other => panic!("expected a cached hint, got {other:?}"),
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 use crate::memo::MemoizedClassifier;
 use percival_tensor::Tensor;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -130,55 +130,92 @@ pub struct EdfPrio {
     pub degraded: bool,
 }
 
-struct EdfQueued(FlightEntry<EdfPrio>);
-
-impl PartialEq for EdfQueued {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.prio.deadline == other.0.prio.deadline && self.0.prio.seq == other.0.prio.seq
-    }
-}
-impl Eq for EdfQueued {}
-impl PartialOrd for EdfQueued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EdfQueued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse so the *earliest* deadline is
-        // popped first (EDF), FIFO within equal deadlines.
-        (other.0.prio.deadline, other.0.prio.seq).cmp(&(self.0.prio.deadline, self.0.prio.seq))
-    }
-}
-
 /// Earliest-deadline-first: the serving layer's discipline. A coalescing
 /// submitter with a strictly tighter deadline re-prioritizes its whole
 /// single-flight group.
+///
+/// Implemented as an *indexed* binary min-heap: a position map (key →
+/// heap slot, maintained by every sift) makes [`Edf::reprioritize`] a
+/// lookup plus one sift-up — O(log n) — instead of the earlier
+/// drain-and-re-heapify, which was O(n) per tightening and priced
+/// hot-key coalescing by total queue depth.
 #[derive(Default)]
 pub struct Edf {
-    heap: BinaryHeap<EdfQueued>,
-    /// Current deadline of each *queued* group (single-flight guarantees
-    /// one queue entry per key). Coalescing submissions — the dedup hot
-    /// path under hot-key traffic — consult this O(1) index while holding
-    /// the shard state lock; the O(n) re-heapify below is paid only on a
-    /// genuine tightening.
-    deadlines: HashMap<u64, Instant>,
+    /// Heap-ordered entries: slot 0 is the earliest (deadline, seq).
+    heap: Vec<FlightEntry<EdfPrio>>,
+    /// Heap slot of each *queued* group (single-flight guarantees one
+    /// queue entry per key). Consulted O(1) under the shard state lock by
+    /// coalescing submissions — the dedup hot path under hot-key traffic.
+    pos: HashMap<u64, usize>,
+}
+
+impl Edf {
+    /// Min-heap order: earliest deadline first, FIFO (seq) within a
+    /// deadline so batch formation stays deterministic.
+    #[inline]
+    fn earlier(a: &FlightEntry<EdfPrio>, b: &FlightEntry<EdfPrio>) -> bool {
+        (a.prio.deadline, a.prio.seq) < (b.prio.deadline, b.prio.seq)
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].key, a);
+        self.pos.insert(self.heap[b].key, b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !Self::earlier(&self.heap[i], &self.heap[parent]) {
+                break;
+            }
+            self.swap_slots(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && Self::earlier(&self.heap[l], &self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::earlier(&self.heap[r], &self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap_slots(i, best);
+            i = best;
+        }
+    }
 }
 
 impl QueueDiscipline for Edf {
     type Prio = EdfPrio;
 
     fn push(&mut self, entry: FlightEntry<EdfPrio>) {
-        self.deadlines.insert(entry.key, entry.prio.deadline);
-        self.heap.push(EdfQueued(entry));
+        let slot = self.heap.len();
+        self.pos.insert(entry.key, slot);
+        self.heap.push(entry);
+        self.sift_up(slot);
     }
 
     fn pop(&mut self) -> Option<FlightEntry<EdfPrio>> {
-        let entry = self.heap.pop().map(|q| q.0);
-        if let Some(e) = &entry {
-            self.deadlines.remove(&e.key);
+        if self.heap.is_empty() {
+            return None;
         }
-        entry
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("non-empty heap");
+        self.pos.remove(&entry.key);
+        if !self.heap.is_empty() {
+            self.pos.insert(self.heap[0].key, 0);
+            self.sift_down(0);
+        }
+        Some(entry)
     }
 
     fn len(&self) -> usize {
@@ -188,20 +225,18 @@ impl QueueDiscipline for Edf {
     fn reprioritize(&mut self, key: u64, prio: &EdfPrio) -> bool {
         // O(1) exit for the common cases: the group is not queued (already
         // popped / mid-batch) or the new deadline is not strictly tighter.
-        match self.deadlines.get_mut(&key) {
-            Some(deadline) if prio.deadline < *deadline => *deadline = prio.deadline,
-            _ => return false,
+        let Some(&slot) = self.pos.get(&key) else {
+            return false;
+        };
+        if prio.deadline >= self.heap[slot].prio.deadline {
+            return false;
         }
-        let mut items = std::mem::take(&mut self.heap).into_vec();
-        for q in &mut items {
-            if q.0.key == key {
-                // Keep the original seq and enqueue stamp: the FIFO
-                // tie-break and latency accounting stay anchored to the
-                // group's first submitter; only urgency is inherited.
-                q.0.prio.deadline = prio.deadline;
-            }
-        }
-        self.heap = BinaryHeap::from(items);
+        // Keep the original seq and enqueue stamp: the FIFO tie-break and
+        // latency accounting stay anchored to the group's first submitter;
+        // only urgency is inherited. Tightening strictly raises priority,
+        // so one sift-up restores the heap in O(log n).
+        self.heap[slot].prio.deadline = prio.deadline;
+        self.sift_up(slot);
         true
     }
 }
@@ -493,6 +528,15 @@ pub enum AdmissionHint<V> {
     /// should skip it (PERCIVAL fails open) instead of queueing a creative
     /// that resolves as shed after the fact.
     WouldShed,
+    /// The submission would be admitted but *parked* by a `Block`-policy
+    /// backpressure gate for roughly `est_wait` (EWMA service estimate over
+    /// the excess queue depth). Latency-sensitive hooks can skip (fail
+    /// open) instead of stalling a render thread; throughput callers can
+    /// still submit and wait. Advisory, like every hint.
+    WouldBlock {
+        /// Estimated time until the queue drains enough to admit.
+        est_wait: std::time::Duration,
+    },
     /// The verdict is already memoized; no submission needed.
     Cached(V),
 }
@@ -958,6 +1002,119 @@ mod tests {
             }
         }
         assert!(rx.try_recv().expect("shed verdict delivered").is_nan());
+    }
+
+    /// A naive EDF model: linear scan for the minimum (deadline, seq).
+    #[derive(Default)]
+    struct NaiveEdf {
+        entries: Vec<(Instant, u64, u64)>, // (deadline, seq, key)
+    }
+
+    impl NaiveEdf {
+        fn push(&mut self, key: u64, deadline: Instant, seq: u64) {
+            self.entries.push((deadline, seq, key));
+        }
+
+        fn reprioritize(&mut self, key: u64, deadline: Instant) -> bool {
+            match self.entries.iter_mut().find(|(_, _, k)| *k == key) {
+                Some(e) if deadline < e.0 => {
+                    e.0 = deadline;
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        fn pop(&mut self) -> Option<(u64, Instant)> {
+            let i = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(d, s, _))| (d, s))
+                .map(|(i, _)| i)?;
+            let (d, _, k) = self.entries.remove(i);
+            Some((k, d))
+        }
+    }
+
+    mod edf_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The indexed heap agrees with a naive EDF model over long
+            /// random push / reprioritize / pop sequences on queues
+            /// hundreds deep — every pop order and every reprioritize
+            /// verdict, with the position map never desynchronizing.
+            #[test]
+            fn indexed_heap_matches_naive_model_on_large_queues(
+                ops in proptest::collection::vec(
+                    (0u64..100_000, 0u64..400, 0u8..6),
+                    400..700,
+                ),
+            ) {
+                let base = Instant::now();
+                let mut heap = Edf::default();
+                let mut model = NaiveEdf::default();
+                let mut queued: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                let mut seq = 0u64;
+                let mut max_depth = 0usize;
+                for (deadline_ms, key, kind) in ops {
+                    let deadline = base + Duration::from_millis(deadline_ms);
+                    match kind {
+                        // Weighted toward pushes so the queue grows deep.
+                        0..=2 => {
+                            if queued.insert(key) {
+                                heap.push(FlightEntry {
+                                    key,
+                                    tensor: tiny_tensor(),
+                                    prio: edf_prio(base, deadline_ms, seq),
+                                });
+                                model.push(key, deadline, seq);
+                                seq += 1;
+                            } else {
+                                // Single-flight coalesce: tighter deadlines
+                                // re-prioritize the queued group.
+                                let changed =
+                                    heap.reprioritize(key, &edf_prio(base, deadline_ms, seq));
+                                prop_assert_eq!(changed, model.reprioritize(key, deadline));
+                            }
+                        }
+                        3..=4 => {
+                            let changed =
+                                heap.reprioritize(key, &edf_prio(base, deadline_ms, seq));
+                            prop_assert_eq!(changed, model.reprioritize(key, deadline));
+                        }
+                        _ => {
+                            let popped = heap.pop();
+                            let expect = model.pop();
+                            match (&popped, &expect) {
+                                (Some(e), Some((k, d))) => {
+                                    prop_assert_eq!(e.key, *k);
+                                    prop_assert_eq!(e.prio.deadline, *d);
+                                    queued.remove(&e.key);
+                                }
+                                (None, None) => {}
+                                _ => prop_assert!(false, "pop divergence"),
+                            }
+                        }
+                    }
+                    max_depth = max_depth.max(heap.len());
+                    prop_assert_eq!(heap.len(), model.entries.len());
+                }
+                prop_assert!(max_depth >= 64, "queue must actually grow large");
+                // Drain: the full pop order must match.
+                while let Some(e) = heap.pop() {
+                    let (k, d) = model.pop().expect("model drained early");
+                    prop_assert_eq!(e.key, k);
+                    prop_assert_eq!(e.prio.deadline, d);
+                }
+                prop_assert!(model.pop().is_none());
+            }
+        }
     }
 
     #[test]

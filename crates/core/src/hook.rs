@@ -220,8 +220,11 @@ impl AsyncPercivalHook {
 impl ImageInterceptor for AsyncPercivalHook {
     fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
         // Admission feedback before submission: a memoized verdict blocks
-        // (or keeps) instantly without entering the engine at all.
-        if let AdmissionHint::Cached(pred) = self.engine.admission_hint(bitmap) {
+        // (or keeps) instantly without entering the engine at all. The
+        // content hash is computed once here and shared by the hint and
+        // the keyed submission.
+        let img = bitmap.hashed();
+        if let AdmissionHint::Cached(pred) = self.engine.admission_hint_with_key(&img) {
             self.memo().record_hit();
             self.stats.classified.fetch_add(1, Ordering::Relaxed);
             if pred.is_ad {
@@ -233,7 +236,7 @@ impl ImageInterceptor for AsyncPercivalHook {
         // Miss: render now, classify in the background for next time. The
         // ticket is dropped deliberately — the verdict lands in the memo
         // cache and blocks the creative's next sighting.
-        drop(self.engine.submit(bitmap));
+        drop(self.engine.submit_with_key(&img));
         InterceptAction::Keep
     }
 }

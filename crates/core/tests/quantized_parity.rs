@@ -1,16 +1,22 @@
-//! Int8-vs-f32 parity: the quantized execution path must agree with full
-//! precision on essentially every verdict.
+//! Int8-vs-f32 parity and fused-vs-unfused execution-plan parity.
 //!
 //! The acceptance bar for shipping the int8 path is behavioral, not just
 //! numeric: on a synthetic eval set (the same webgen distribution the
 //! training recipe uses), verdict agreement must be at least 99% and the
-//! probability drift bounded. CI runs this under `--release` so the numbers
-//! reflect the optimized kernels that actually serve traffic.
+//! probability drift bounded. The execution-plan refactor adds a second
+//! bar: the *fused* plans (activation/requantize epilogues, quantize-on-
+//! the-fly packing) must match the unfused reference plans — bitwise on
+//! the f32 tier, ≥ 99% verdict agreement on the int8 tier — and verdicts
+//! must stay batch-invariant so flight-table memoization remains sound.
+//! CI runs this under `--release` so the numbers reflect the optimized
+//! kernels that actually serve traffic.
 
 use percival_core::train::{train, TrainConfig};
 use percival_core::{Classifier, Precision};
 use percival_imgcodec::Bitmap;
-use percival_nn::StepLr;
+use percival_nn::{ExecPlan, QuantizedSequential, StepLr};
+use percival_tensor::activation::softmax;
+use percival_tensor::Workspace;
 use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
 use percival_webgen::Script;
 
@@ -65,6 +71,124 @@ fn int8_verdicts_agree_with_f32_on_synthetic_eval_set() {
     assert!(
         max_drift < 0.2,
         "worst-case P(ad) drift {max_drift} exceeds the logit-drift bound"
+    );
+}
+
+#[test]
+fn fused_f32_logits_are_bitwise_equal_to_unfused() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let fused = ExecPlan::compile(model);
+    let unfused = ExecPlan::compile_unfused(model);
+    assert!(fused.is_fused() && !unfused.is_fused());
+
+    let eval = build_balanced_dataset(41, DatasetProfile::Alexa, Script::Latin, 32, 20);
+    let mut ws = Workspace::new();
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        let a = fused.run_f32(model, input.shape(), input.as_slice(), &mut ws);
+        let b = unfused.run_f32(model, input.shape(), input.as_slice(), &mut ws);
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "f32 epilogue fusion must be bitwise-neutral"
+        );
+    }
+}
+
+#[test]
+fn fused_int8_verdicts_agree_with_unfused_int8() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let q = QuantizedSequential::from_model(model);
+    let fused = ExecPlan::compile(model);
+    let unfused = ExecPlan::compile_unfused(model);
+
+    let eval = build_balanced_dataset(43, DatasetProfile::Alexa, Script::Latin, 32, 60);
+    assert!(eval.len() >= 100, "eval set too small: {}", eval.len());
+    let mut ws = Workspace::new();
+    let mut agree = 0usize;
+    let mut max_drift = 0.0f32;
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        let a = softmax(&fused.run_i8(&q, input.shape(), input.as_slice(), &mut ws));
+        let b = softmax(&unfused.run_i8(&q, input.shape(), input.as_slice(), &mut ws));
+        let (pa, pb) = (a.at(0, 1, 0, 0), b.at(0, 1, 0, 0));
+        if (pa >= 0.5) == (pb >= 0.5) {
+            agree += 1;
+        }
+        max_drift = max_drift.max((pa - pb).abs());
+    }
+    let agreement = agree as f64 / eval.len() as f64;
+    assert!(
+        agreement >= 0.99,
+        "fused int8 verdict agreement {agreement:.4} below 0.99"
+    );
+    // With per-tensor scales and exact tracked maxes, fusion is a pure
+    // reordering of the same integer arithmetic — so drift should in fact
+    // be zero; the bound guards any future epilogue change.
+    assert!(
+        max_drift < 0.02,
+        "fused-vs-unfused int8 drift {max_drift} is not small"
+    );
+}
+
+#[test]
+fn fused_verdicts_are_batch_invariant() {
+    // Memoized verdicts must not depend on micro-batch composition, or the
+    // flight table could publish different answers for the same key. Run
+    // each eval image alone and inside a mixed batch through the fused
+    // classifier on both tiers.
+    let f32_cls = trained_classifier();
+    let int8_cls = f32_cls.clone().with_precision(Precision::Int8);
+    let eval = build_balanced_dataset(47, DatasetProfile::Alexa, Script::Latin, 32, 8);
+    for cls in [&f32_cls, &int8_cls] {
+        let mut batch = percival_tensor::Tensor::zeros(percival_tensor::Shape::new(
+            eval.len(),
+            4,
+            cls.input_size(),
+            cls.input_size(),
+        ));
+        for (i, sample) in eval.iter().enumerate() {
+            let t = Classifier::preprocess(&sample.bitmap, cls.input_size());
+            batch.copy_sample_from(i, &t, 0);
+        }
+        let batched = cls.classify_tensor(&batch);
+        for (i, sample) in eval.iter().enumerate() {
+            let single = cls.classify(&sample.bitmap);
+            assert_eq!(
+                batched[i], single.p_ad,
+                "sample {i}: fused verdicts must be batch-invariant"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_channel_int8_tracks_f32_at_least_as_well_as_per_tensor() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let per_tensor = QuantizedSequential::from_model(model);
+    let per_channel = QuantizedSequential::from_model_per_channel(model);
+    let plan = ExecPlan::compile(model);
+
+    let eval = build_balanced_dataset(53, DatasetProfile::Alexa, Script::Latin, 32, 30);
+    let mut ws = Workspace::new();
+    let (mut drift_t, mut drift_c) = (0.0f64, 0.0f64);
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        let f = softmax(&plan.run_f32(model, input.shape(), input.as_slice(), &mut ws));
+        let t = softmax(&plan.run_i8(&per_tensor, input.shape(), input.as_slice(), &mut ws));
+        let c = softmax(&plan.run_i8(&per_channel, input.shape(), input.as_slice(), &mut ws));
+        let p_f = f.at(0, 1, 0, 0);
+        drift_t += f64::from((t.at(0, 1, 0, 0) - p_f).abs());
+        drift_c += f64::from((c.at(0, 1, 0, 0) - p_f).abs());
+    }
+    // Per-channel scales can only tighten the weight representation; allow
+    // a whisker of slack for rounding luck on individual images.
+    assert!(
+        drift_c <= drift_t * 1.10 + 1e-3,
+        "per-channel mean drift {drift_c} worse than per-tensor {drift_t}"
     );
 }
 

@@ -174,6 +174,12 @@ impl Bitmap {
         h
     }
 
+    /// Pairs this bitmap with its content hash, computed exactly once (see
+    /// [`HashedBitmap`]).
+    pub fn hashed(&self) -> HashedBitmap<'_> {
+        HashedBitmap::new(self)
+    }
+
     /// Nearest-neighbour scaled copy (cheap thumbnailing for screenshots).
     ///
     /// # Panics
@@ -211,6 +217,41 @@ impl Bitmap {
             data.extend_from_slice(&self.data[start..start + cw * 4]);
         }
         Some(Bitmap::from_raw(cw, ch, data))
+    }
+}
+
+/// A bitmap paired with its [`Bitmap::content_hash`], computed exactly once
+/// — the key type of the classification layers' keyed submission APIs
+/// (`submit_with_key`).
+///
+/// The hash field is private and only ever derived from the wrapped pixels
+/// inside the constructor, so a caller cannot pair a bitmap with a foreign
+/// key: any verdict published under `key()` genuinely describes `bitmap()`,
+/// which is what keeps the shared verdict memo unpoisonable while letting
+/// hint-then-submit flows hash the pixels once instead of once per probe.
+#[derive(Debug, Clone, Copy)]
+pub struct HashedBitmap<'a> {
+    bitmap: &'a Bitmap,
+    key: u64,
+}
+
+impl<'a> HashedBitmap<'a> {
+    /// Hashes `bitmap` (the only way to construct the pair).
+    pub fn new(bitmap: &'a Bitmap) -> Self {
+        HashedBitmap {
+            key: bitmap.content_hash(),
+            bitmap,
+        }
+    }
+
+    /// The wrapped bitmap.
+    pub fn bitmap(&self) -> &'a Bitmap {
+        self.bitmap
+    }
+
+    /// The content hash, as computed at construction.
+    pub fn key(&self) -> u64 {
+        self.key
     }
 }
 

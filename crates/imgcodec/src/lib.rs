@@ -36,7 +36,7 @@ pub mod ppm;
 pub mod qoi;
 pub mod sniff;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{Bitmap, HashedBitmap};
 pub use sniff::{decode_auto, sniff_format, ImageFormat};
 
 /// Errors shared by every codec in this crate.

@@ -1,11 +1,14 @@
-//! Individual layers: convolution, fire modules, pooling and ReLU.
+//! Individual layers: convolution, fire modules, pooling and ReLU — the
+//! *graph definition* vocabulary. Inference execution lives in the compiled
+//! plan ([`crate::plan`]); what remains here is structure (shapes, FLOPs,
+//! parameters), the training forward/backward passes, and the simple
+//! per-layer [`Layer::forward`] the training paths and tests use.
 
 use percival_tensor::activation::{relu_backward, relu_forward};
-use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with, MaxPoolOut};
+use percival_tensor::pool::MaxPoolOut;
 use percival_tensor::{
-    conv2d_backward, conv2d_forward, conv2d_forward_with, global_avg_pool_backward,
-    global_avg_pool_forward, max_pool_backward, max_pool_forward, Conv2dCfg, PoolCfg, Shape,
-    Tensor, Workspace,
+    conv2d_backward, conv2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool_backward, max_pool_forward, Conv2dCfg, PoolCfg, Shape, Tensor, Workspace,
 };
 
 /// A 2-D convolution layer with learned weight and bias.
@@ -233,63 +236,6 @@ impl Layer {
                 let e1 = relu_forward(&f.expand1.forward(&squeezed));
                 let e3 = relu_forward(&f.expand3.forward(&squeezed));
                 concat_channels(&e1, &e3)
-            }
-        }
-    }
-
-    /// Workspace-aware inference forward pass.
-    ///
-    /// Takes the input by value: the layer computes its output into buffers
-    /// drawn from `ws`, then recycles the input's buffer back into the
-    /// arena, so a warmed-up pass through a whole network allocates nothing.
-    pub fn forward_with(&self, x: Tensor, ws: &mut Workspace) -> Tensor {
-        match self {
-            Layer::Conv(c) => {
-                let out = conv2d_forward_with(&x, &c.weight, &c.bias, c.cfg, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            Layer::Relu => {
-                let mut x = x;
-                x.map_inplace(|v| v.max(0.0));
-                x
-            }
-            Layer::MaxPool(cfg) => {
-                let out = max_pool_forward_with(&x, *cfg, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            Layer::GlobalAvgPool => {
-                let out = global_avg_pool_forward_with(&x, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            Layer::Fire(f) => {
-                let mut squeezed =
-                    conv2d_forward_with(&x, &f.squeeze.weight, &f.squeeze.bias, f.squeeze.cfg, ws);
-                ws.recycle(x.into_vec());
-                squeezed.map_inplace(|v| v.max(0.0));
-                let mut e1 = conv2d_forward_with(
-                    &squeezed,
-                    &f.expand1.weight,
-                    &f.expand1.bias,
-                    f.expand1.cfg,
-                    ws,
-                );
-                let mut e3 = conv2d_forward_with(
-                    &squeezed,
-                    &f.expand3.weight,
-                    &f.expand3.bias,
-                    f.expand3.cfg,
-                    ws,
-                );
-                ws.recycle(squeezed.into_vec());
-                e1.map_inplace(|v| v.max(0.0));
-                e3.map_inplace(|v| v.max(0.0));
-                let out = concat_channels_with(&e1, &e3, ws);
-                ws.recycle(e1.into_vec());
-                ws.recycle(e3.into_vec());
-                out
             }
         }
     }

@@ -18,6 +18,7 @@ pub mod init;
 pub mod layer;
 pub mod model;
 pub mod optim;
+pub mod plan;
 pub mod qmodel;
 pub mod quant;
 pub mod serialize;
@@ -25,5 +26,6 @@ pub mod serialize;
 pub use layer::{Conv2d, Fire, Layer};
 pub use model::{ModelGrads, Sequential};
 pub use optim::{SgdMomentum, StepLr};
+pub use plan::ExecPlan;
 pub use qmodel::QuantizedSequential;
 pub use quant::{quantize, QuantError, QuantizedModel};

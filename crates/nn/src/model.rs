@@ -1,6 +1,7 @@
 //! The sequential model container.
 
 use crate::layer::{Layer, LayerCache, LayerGrads};
+use crate::plan::ExecPlan;
 use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{Shape, Tensor, Workspace};
 
@@ -59,9 +60,18 @@ impl Sequential {
 
     /// Inference forward pass with explicit scratch: every intermediate
     /// activation, im2col column matrix and GEMM packing panel is drawn from
-    /// (and recycled into) `ws`. After one warm-up call with a given input
-    /// geometry, subsequent calls perform zero heap allocations apart from
-    /// the small returned logits tensor.
+    /// (and recycled into) `ws`, so warmed-up calls never allocate tensor
+    /// buffers from the heap.
+    ///
+    /// Thin wrapper over the compiled execution plan
+    /// ([`crate::plan::ExecPlan::run_f32`]) — the single f32 forward-pass
+    /// implementation, with conv-adjacent activations fused into the GEMM
+    /// epilogues (bitwise-identical to unfused execution). This convenience
+    /// entry recompiles the (tiny, structure-only) plan per call;
+    /// allocation-sensitive hot paths — the classifier, the engine — cache
+    /// the compiled [`crate::plan::ExecPlan`] and call `run_f32` directly,
+    /// which is allocation-free when warm apart from the small returned
+    /// logits tensor.
     pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         self.forward_slice_with(input.shape(), input.as_slice(), ws)
     }
@@ -75,17 +85,7 @@ impl Sequential {
     ///
     /// Panics if `data` is shorter than `shape` implies.
     pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
-        let mut seed = ws.take(shape.count());
-        seed.copy_from_slice(&data[..shape.count()]);
-        let mut x = Tensor::from_vec(shape, seed);
-        for layer in &self.layers {
-            x = layer.forward_with(x, ws);
-        }
-        // Detach the result from the arena so the final activation buffer
-        // (and its capacity) stays available for the next pass.
-        let out = Tensor::from_vec(x.shape(), x.as_slice().to_vec());
-        ws.recycle(x.into_vec());
-        out
+        ExecPlan::compile(self).run_f32(self, shape, data, ws)
     }
 
     /// Training forward pass retaining every activation and cache.

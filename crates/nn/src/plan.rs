@@ -1,0 +1,673 @@
+//! The compiled execution plan: one fused forward-pass implementation per
+//! precision tier.
+//!
+//! [`Sequential`] and [`QuantizedSequential`] are *graph definitions* —
+//! layer lists carrying weights and geometry. Execution no longer
+//! interprets those lists layer by layer (materializing every intermediate
+//! and re-traversing conv outputs with standalone activation/requantize
+//! sweeps); instead an [`ExecPlan`] is compiled once per model structure
+//! and walked for every forward pass:
+//!
+//! ```text
+//!   layer graph                 compiled plan                fused kernels
+//!   Conv ─ Relu            →    Conv{relu}              →    GEMM + EpilogueF32
+//!   Fire(sq, e1, e3)       →    Conv{sq, relu}          →    GEMM + EpilogueF32 / RequantEpilogue
+//!                               Branch{e1, e3, relu}
+//!   MaxPool / GAP          →    MaxPool / GlobalAvgPool
+//! ```
+//!
+//! Compilation folds every convolution-adjacent activation into the
+//! convolution's GEMM epilogue
+//! ([`percival_tensor::gemm::EpilogueF32`] for f32,
+//! [`percival_tensor::gemm_i8::RequantEpilogue`] for int8 — where the
+//! epilogue also performs the i32 → f32 requantization and tracks the
+//! output's `max|x|` so the next quantized layer can skip its scale sweep,
+//! and the activation image is quantized *during* im2col packing). The f32
+//! tier is bitwise-identical fused or unfused; the int8 tier is
+//! numerically identical per-tensor (same scales, same integer products,
+//! same requantization — only the traversals are fused away).
+//!
+//! The plan is structure-only: it holds [`ConvLoc`] indices into the layer
+//! list, never weights, so one plan compiled from a [`Sequential`] drives
+//! both its f32 execution ([`ExecPlan::run_f32`]) and any
+//! [`QuantizedSequential`] snapshot of it ([`ExecPlan::run_i8`]) — the
+//! "one protocol, two instantiations" discipline applied to the forward
+//! pass. [`ExecPlan::compile_unfused`] emits the pre-fusion op sequence
+//! (standalone `Relu` ops, sweep-based requantization) as the reference
+//! the parity tests and the fusion benchmarks compare against.
+
+use crate::layer::{concat_channels_with, Conv2d, Layer};
+use crate::model::Sequential;
+use crate::qmodel::{QConv2d, QLayer, QuantizedSequential};
+use percival_tensor::activation::relu_inplace;
+use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with};
+use percival_tensor::{
+    conv2d_forward_ep_with, conv2d_forward_q8_fused, conv2d_forward_q8_with, EpilogueF32, PoolCfg,
+    Shape, Tensor, Workspace,
+};
+
+/// Which convolution of a layer a plan op executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvSlot {
+    /// The layer *is* a convolution.
+    Whole,
+    /// A fire module's 1x1 squeeze convolution.
+    Squeeze,
+    /// A fire module's 1x1 expand convolution.
+    Expand1,
+    /// A fire module's 3x3 expand convolution.
+    Expand3,
+}
+
+/// Locates one convolution inside a layer graph (structure index, not a
+/// weight reference — the same plan serves every precision tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLoc {
+    /// Index into the model's layer list.
+    pub layer: usize,
+    /// Which convolution of that layer.
+    pub slot: ConvSlot,
+}
+
+/// One step of a compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// A fused convolution: bias always, ReLU when `relu` (folded from the
+    /// following activation layer, or a fire module's internal squeeze
+    /// activation). On the int8 tier this is conv+bias+ReLU+requantize in
+    /// one kernel pass.
+    Conv {
+        /// The convolution to run.
+        loc: ConvLoc,
+        /// Fold ReLU into the GEMM epilogue.
+        relu: bool,
+    },
+    /// A fire module's expand pair: both convolutions consume the same
+    /// input and their outputs concatenate along the channel axis.
+    Branch {
+        /// The 1x1 expand convolution.
+        e1: ConvLoc,
+        /// The 3x3 expand convolution.
+        e3: ConvLoc,
+        /// Fold the expand activations into the conv epilogues.
+        relu: bool,
+    },
+    /// A standalone ReLU sweep — only emitted when there is no producing
+    /// convolution to fuse into (and by [`ExecPlan::compile_unfused`]).
+    Relu,
+    /// Max pooling.
+    MaxPool(PoolCfg),
+    /// Global average pooling to `1 x 1`.
+    GlobalAvgPool,
+}
+
+/// A compiled, fused op sequence over a layer graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPlan {
+    ops: Vec<PlanOp>,
+    /// False for the reference plan that keeps standalone sweeps.
+    fused: bool,
+}
+
+/// The structural view compilation needs from a layer (shared by the f32
+/// and int8 graph definitions, which mirror each other layer for layer).
+enum LayerKind {
+    Conv,
+    Relu,
+    MaxPool(PoolCfg),
+    GlobalAvgPool,
+    Fire,
+}
+
+impl ExecPlan {
+    /// Compiles the fused plan for a model structure.
+    pub fn compile(model: &Sequential) -> ExecPlan {
+        Self::compile_kinds(model.layers.iter().map(Layer::kind), true)
+    }
+
+    /// Compiles the *unfused* reference plan: one op per layer, activations
+    /// as standalone sweeps, requantization as a separate pass — the
+    /// pre-fusion execution the parity tests and benchmarks compare
+    /// against.
+    pub fn compile_unfused(model: &Sequential) -> ExecPlan {
+        Self::compile_kinds(model.layers.iter().map(Layer::kind), false)
+    }
+
+    /// [`ExecPlan::compile`] from an int8 graph definition (identical plan:
+    /// the quantized model mirrors its source structure).
+    pub fn compile_quantized(q: &QuantizedSequential) -> ExecPlan {
+        Self::compile_kinds(q.layers.iter().map(QLayer::kind), true)
+    }
+
+    fn compile_kinds(layers: impl Iterator<Item = LayerKind>, fused: bool) -> ExecPlan {
+        let kinds: Vec<LayerKind> = layers.collect();
+        let mut ops = Vec::with_capacity(kinds.len() + 2);
+        let mut i = 0usize;
+        while i < kinds.len() {
+            match kinds[i] {
+                LayerKind::Conv => {
+                    // Fold a directly following ReLU into the epilogue.
+                    let relu = fused && matches!(kinds.get(i + 1), Some(LayerKind::Relu));
+                    ops.push(PlanOp::Conv {
+                        loc: ConvLoc {
+                            layer: i,
+                            slot: ConvSlot::Whole,
+                        },
+                        relu,
+                    });
+                    if relu {
+                        i += 1;
+                    }
+                }
+                LayerKind::Relu => ops.push(PlanOp::Relu),
+                LayerKind::MaxPool(cfg) => ops.push(PlanOp::MaxPool(cfg)),
+                LayerKind::GlobalAvgPool => ops.push(PlanOp::GlobalAvgPool),
+                LayerKind::Fire => {
+                    // A fire module's activations are internal: squeeze and
+                    // both expands are always ReLU'd, so the fused plan
+                    // rides every one of them on a conv epilogue; the
+                    // unfused plan replays them as standalone sweeps
+                    // (concat-then-sweep equals sweep-then-concat
+                    // elementwise).
+                    ops.push(PlanOp::Conv {
+                        loc: ConvLoc {
+                            layer: i,
+                            slot: ConvSlot::Squeeze,
+                        },
+                        relu: fused,
+                    });
+                    if !fused {
+                        ops.push(PlanOp::Relu);
+                    }
+                    ops.push(PlanOp::Branch {
+                        e1: ConvLoc {
+                            layer: i,
+                            slot: ConvSlot::Expand1,
+                        },
+                        e3: ConvLoc {
+                            layer: i,
+                            slot: ConvSlot::Expand3,
+                        },
+                        relu: fused,
+                    });
+                    if !fused {
+                        ops.push(PlanOp::Relu);
+                    }
+                }
+            }
+            i += 1;
+        }
+        ExecPlan { ops, fused }
+    }
+
+    /// The compiled op sequence.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Whether activations/requantization ride the GEMM epilogues (false
+    /// only for [`ExecPlan::compile_unfused`] reference plans).
+    pub fn is_fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Runs the f32 tier over a borrowed input buffer. Every intermediate
+    /// activation, column matrix and packing panel comes from (and is
+    /// recycled into) `ws`; warmed-up calls allocate nothing beyond the
+    /// returned logits tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `shape` implies, or the plan was
+    /// compiled from a structurally different model.
+    pub fn run_f32(
+        &self,
+        model: &Sequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let mut seed = ws.take(shape.count());
+        seed.copy_from_slice(&data[..shape.count()]);
+        let mut x = Tensor::from_vec(shape, seed);
+        for op in &self.ops {
+            x = match *op {
+                PlanOp::Conv { loc, relu } => {
+                    let c = conv_f32(model, loc);
+                    let out = conv2d_forward_ep_with(
+                        &x,
+                        &c.weight,
+                        &c.bias,
+                        c.cfg,
+                        EpilogueF32 { relu },
+                        ws,
+                    );
+                    ws.recycle(x.into_vec());
+                    out
+                }
+                PlanOp::Branch { e1, e3, relu } => {
+                    let (c1, c3) = (conv_f32(model, e1), conv_f32(model, e3));
+                    let ep = EpilogueF32 { relu };
+                    let o1 = conv2d_forward_ep_with(&x, &c1.weight, &c1.bias, c1.cfg, ep, ws);
+                    let o3 = conv2d_forward_ep_with(&x, &c3.weight, &c3.bias, c3.cfg, ep, ws);
+                    ws.recycle(x.into_vec());
+                    let out = concat_channels_with(&o1, &o3, ws);
+                    ws.recycle(o1.into_vec());
+                    ws.recycle(o3.into_vec());
+                    out
+                }
+                PlanOp::Relu => {
+                    let mut x = x;
+                    relu_inplace(x.as_mut_slice());
+                    x
+                }
+                PlanOp::MaxPool(cfg) => {
+                    let out = max_pool_forward_with(&x, cfg, ws);
+                    ws.recycle(x.into_vec());
+                    out
+                }
+                PlanOp::GlobalAvgPool => {
+                    let out = global_avg_pool_forward_with(&x, ws);
+                    ws.recycle(x.into_vec());
+                    out
+                }
+            };
+        }
+        detach(x, ws)
+    }
+
+    /// Runs the int8 tier over a borrowed input buffer: convolutions
+    /// execute through the fused quantize → `i8 x i8 -> i32` GEMM →
+    /// requantize pipeline, with each layer's per-sample `max|output|`
+    /// tracked in the epilogue and handed to the next quantized layer so
+    /// dynamic activation scales need no standalone sweeps. Activation
+    /// scales remain per-sample, so verdicts stay batch-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `shape` implies, or the plan was
+    /// compiled from a structurally different model.
+    pub fn run_i8(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let n = shape.n;
+        let mut seed = ws.take(shape.count());
+        seed.copy_from_slice(&data[..shape.count()]);
+        let mut x = Tensor::from_vec(shape, seed);
+        // Per-sample max|x| of the current tensor, valid while `have_max`:
+        // convolution epilogues keep it alive; pooling and standalone
+        // sweeps invalidate it (the next conv then sweeps once, exactly as
+        // the unfused path would).
+        let mut maxes = ws.take(n);
+        let mut scratch_max = ws.take(n);
+        let mut branch_max = ws.take(n);
+        let mut have_max = false;
+        for (idx, op) in self.ops.iter().enumerate() {
+            // Track an op's output maximum only when the very next op is a
+            // quantized GEMM that will consume it — tracking is a per-
+            // element reduction, wasted on outputs headed into pooling or
+            // the logits (whose next conv, if any, re-sweeps once, exactly
+            // as the unfused path always does).
+            let track = self.fused
+                && matches!(
+                    self.ops.get(idx + 1),
+                    Some(PlanOp::Conv { .. } | PlanOp::Branch { .. })
+                );
+            x = match *op {
+                PlanOp::Conv { loc, relu } => {
+                    let c = conv_q(q, loc);
+                    let out = run_qconv(
+                        c,
+                        &x,
+                        have_max.then_some(&maxes),
+                        relu,
+                        track.then_some(&mut scratch_max),
+                        self.fused,
+                        ws,
+                    );
+                    ws.recycle(x.into_vec());
+                    std::mem::swap(&mut maxes, &mut scratch_max);
+                    have_max = track;
+                    out
+                }
+                PlanOp::Branch { e1, e3, relu } => {
+                    let (c1, c3) = (conv_q(q, e1), conv_q(q, e3));
+                    let input_max = have_max.then_some(&maxes);
+                    let o1 = run_qconv(
+                        c1,
+                        &x,
+                        input_max,
+                        relu,
+                        track.then_some(&mut scratch_max),
+                        self.fused,
+                        ws,
+                    );
+                    let o3 = run_qconv(
+                        c3,
+                        &x,
+                        input_max,
+                        relu,
+                        track.then_some(&mut branch_max),
+                        self.fused,
+                        ws,
+                    );
+                    ws.recycle(x.into_vec());
+                    let out = concat_channels_with(&o1, &o3, ws);
+                    ws.recycle(o1.into_vec());
+                    ws.recycle(o3.into_vec());
+                    if track {
+                        // The concatenation's max is the max of its halves.
+                        for ((m, &a), &b) in maxes
+                            .iter_mut()
+                            .zip(scratch_max.iter())
+                            .zip(branch_max.iter())
+                        {
+                            *m = a.max(b);
+                        }
+                    }
+                    have_max = track;
+                    out
+                }
+                PlanOp::Relu => {
+                    let mut x = x;
+                    relu_inplace(x.as_mut_slice());
+                    have_max = false;
+                    x
+                }
+                PlanOp::MaxPool(cfg) => {
+                    let out = max_pool_forward_with(&x, cfg, ws);
+                    ws.recycle(x.into_vec());
+                    have_max = false;
+                    out
+                }
+                PlanOp::GlobalAvgPool => {
+                    let out = global_avg_pool_forward_with(&x, ws);
+                    ws.recycle(x.into_vec());
+                    have_max = false;
+                    out
+                }
+            };
+        }
+        ws.recycle(branch_max);
+        ws.recycle(scratch_max);
+        ws.recycle(maxes);
+        detach(x, ws)
+    }
+}
+
+/// Detaches the final activation from the arena so its buffer (and
+/// capacity) stays available for the next pass.
+fn detach(x: Tensor, ws: &mut Workspace) -> Tensor {
+    let out = Tensor::from_vec(x.shape(), x.as_slice().to_vec());
+    ws.recycle(x.into_vec());
+    out
+}
+
+/// One int8 convolution op: fused plans run the epilogue pipeline (with
+/// tracked maxes); unfused reference plans replay the PR 4 sweeps
+/// (quantize image → im2col → GEMM → requantize pass, activation as a
+/// separate plan op). Per-channel weight scales always take the fused
+/// kernel — the sweep-based requantizer is per-tensor only.
+fn run_qconv(
+    c: &QConv2d,
+    x: &Tensor,
+    input_max: Option<&Vec<f32>>,
+    relu: bool,
+    out_max: Option<&mut Vec<f32>>,
+    fused: bool,
+    ws: &mut Workspace,
+) -> Tensor {
+    if !fused && c.scales.len() == 1 {
+        return conv2d_forward_q8_with(
+            x,
+            &c.weight_q,
+            c.weight_shape,
+            c.scales[0],
+            &c.bias,
+            c.cfg,
+            ws,
+        );
+    }
+    conv2d_forward_q8_fused(
+        x,
+        input_max.map(Vec::as_slice),
+        &c.weight_q,
+        c.weight_shape,
+        &c.scales,
+        &c.bias,
+        c.cfg,
+        fused && relu,
+        out_max.map(Vec::as_mut_slice),
+        ws,
+    )
+}
+
+fn conv_f32(model: &Sequential, loc: ConvLoc) -> &Conv2d {
+    match (&model.layers[loc.layer], loc.slot) {
+        (Layer::Conv(c), ConvSlot::Whole) => c,
+        (Layer::Fire(f), ConvSlot::Squeeze) => &f.squeeze,
+        (Layer::Fire(f), ConvSlot::Expand1) => &f.expand1,
+        (Layer::Fire(f), ConvSlot::Expand3) => &f.expand3,
+        _ => panic!("plan/model structure mismatch at layer {}", loc.layer),
+    }
+}
+
+fn conv_q(q: &QuantizedSequential, loc: ConvLoc) -> &QConv2d {
+    match (&q.layers[loc.layer], loc.slot) {
+        (QLayer::Conv(c), ConvSlot::Whole) => c,
+        (QLayer::Fire(f), ConvSlot::Squeeze) => &f.squeeze,
+        (QLayer::Fire(f), ConvSlot::Expand1) => &f.expand1,
+        (QLayer::Fire(f), ConvSlot::Expand3) => &f.expand3,
+        _ => panic!("plan/model structure mismatch at layer {}", loc.layer),
+    }
+}
+
+impl Layer {
+    fn kind(&self) -> LayerKind {
+        match self {
+            Layer::Conv(_) => LayerKind::Conv,
+            Layer::Relu => LayerKind::Relu,
+            Layer::MaxPool(cfg) => LayerKind::MaxPool(*cfg),
+            Layer::GlobalAvgPool => LayerKind::GlobalAvgPool,
+            Layer::Fire(_) => LayerKind::Fire,
+        }
+    }
+}
+
+impl QLayer {
+    fn kind(&self) -> LayerKind {
+        match self {
+            QLayer::Conv(_) => LayerKind::Conv,
+            QLayer::Relu => LayerKind::Relu,
+            QLayer::MaxPool(cfg) => LayerKind::MaxPool(*cfg),
+            QLayer::GlobalAvgPool => LayerKind::GlobalAvgPool,
+            QLayer::Fire(_) => LayerKind::Fire,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Fire;
+    use percival_tensor::Conv2dCfg;
+    use percival_util::Pcg32;
+
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut model = Sequential::new(vec![
+            Layer::Conv(Conv2d::new(4, 3, 3, Conv2dCfg { stride: 1, pad: 1 })),
+            Layer::Relu,
+            Layer::MaxPool(PoolCfg {
+                kernel: 2,
+                stride: 2,
+            }),
+            Layer::Fire(Fire::new(4, 2, 4)),
+            Layer::Conv(Conv2d::new(2, 8, 1, Conv2dCfg { stride: 1, pad: 0 })),
+            Layer::GlobalAvgPool,
+        ]);
+        crate::init::kaiming_init(&mut model, &mut Pcg32::seed_from_u64(seed));
+        model
+    }
+
+    fn rand_input(seed: u64, shape: Shape) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.count())
+                .map(|_| rng.range_f32(-1.0, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fused_compile_folds_conv_adjacent_relu() {
+        let model = tiny_net(1);
+        let plan = ExecPlan::compile(&model);
+        assert!(plan.is_fused());
+        assert_eq!(
+            plan.ops(),
+            &[
+                PlanOp::Conv {
+                    loc: ConvLoc {
+                        layer: 0,
+                        slot: ConvSlot::Whole
+                    },
+                    relu: true
+                },
+                PlanOp::MaxPool(PoolCfg {
+                    kernel: 2,
+                    stride: 2
+                }),
+                PlanOp::Conv {
+                    loc: ConvLoc {
+                        layer: 3,
+                        slot: ConvSlot::Squeeze
+                    },
+                    relu: true
+                },
+                PlanOp::Branch {
+                    e1: ConvLoc {
+                        layer: 3,
+                        slot: ConvSlot::Expand1
+                    },
+                    e3: ConvLoc {
+                        layer: 3,
+                        slot: ConvSlot::Expand3
+                    },
+                    relu: true
+                },
+                PlanOp::Conv {
+                    loc: ConvLoc {
+                        layer: 4,
+                        slot: ConvSlot::Whole
+                    },
+                    relu: false
+                },
+                PlanOp::GlobalAvgPool,
+            ],
+            "no standalone activation op may survive fusion on this graph"
+        );
+        // The quantized mirror compiles to the identical plan.
+        let q = QuantizedSequential::from_model(&model);
+        assert_eq!(ExecPlan::compile_quantized(&q), plan);
+    }
+
+    #[test]
+    fn unfused_compile_keeps_standalone_sweeps() {
+        let model = tiny_net(2);
+        let plan = ExecPlan::compile_unfused(&model);
+        assert!(!plan.is_fused());
+        assert!(plan.ops().contains(&PlanOp::Relu));
+        assert!(plan.ops().iter().all(|op| !matches!(
+            op,
+            PlanOp::Conv { relu: true, .. } | PlanOp::Branch { relu: true, .. }
+        )));
+    }
+
+    #[test]
+    fn fused_and_unfused_f32_runs_are_bitwise_identical() {
+        let model = tiny_net(3);
+        let input = rand_input(4, Shape::new(2, 3, 8, 8));
+        let mut ws = Workspace::new();
+        let fused =
+            ExecPlan::compile(&model).run_f32(&model, input.shape(), input.as_slice(), &mut ws);
+        let unfused = ExecPlan::compile_unfused(&model).run_f32(
+            &model,
+            input.shape(),
+            input.as_slice(),
+            &mut ws,
+        );
+        assert_eq!(fused, unfused, "f32 fusion must be bitwise");
+    }
+
+    #[test]
+    fn fused_and_unfused_i8_runs_agree_per_tensor() {
+        let model = tiny_net(5);
+        let q = QuantizedSequential::from_model(&model);
+        let input = rand_input(6, Shape::new(2, 3, 12, 12));
+        let mut ws = Workspace::new();
+        let plan = ExecPlan::compile(&model);
+        let fused = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        let unfused =
+            ExecPlan::compile_unfused(&model).run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        // Per-tensor scales + exact tracked maxes: fusion is a pure
+        // reordering, so even the int8 tier matches bitwise.
+        assert_eq!(fused, unfused, "per-tensor i8 fusion must be exact");
+    }
+
+    #[test]
+    fn plan_runs_are_warm_allocation_free() {
+        let model = tiny_net(7);
+        let q = QuantizedSequential::from_model(&model);
+        let plan = ExecPlan::compile(&model);
+        let input = rand_input(8, Shape::new(1, 3, 12, 12));
+        let mut ws = Workspace::new();
+        let f = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
+        let i = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        let cold = ws.stats().allocations;
+        for _ in 0..3 {
+            let f2 = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
+            let i2 = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+            assert_eq!(f, f2);
+            assert_eq!(i, i2);
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "warm plan runs must not allocate"
+        );
+    }
+
+    #[test]
+    fn per_channel_plan_execution_tracks_f32() {
+        let model = tiny_net(9);
+        let q = QuantizedSequential::from_model_per_channel(&model);
+        let input = rand_input(10, Shape::new(2, 3, 12, 12));
+        let plan = ExecPlan::compile(&model);
+        let mut ws = Workspace::new();
+        let f32_out = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
+        let i8_out = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        assert_eq!(f32_out.shape(), i8_out.shape());
+        for (a, b) in f32_out.as_slice().iter().zip(i8_out.as_slice()) {
+            assert!((a - b).abs() < 0.15, "f32 {a} vs per-channel int8 {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "structure mismatch")]
+    fn structurally_foreign_model_panics() {
+        let plan = ExecPlan::compile(&tiny_net(11));
+        let other = Sequential::new(vec![Layer::GlobalAvgPool]);
+        let input = rand_input(12, Shape::new(1, 3, 8, 8));
+        plan.run_f32(
+            &other,
+            input.shape(),
+            input.as_slice(),
+            &mut Workspace::new(),
+        );
+    }
+}

@@ -12,22 +12,26 @@
 //! the paper's "practical in-browser" lever applied to the runtime rather
 //! than the download.
 
-use crate::layer::{concat_channels_with, Conv2d, Layer};
+use crate::layer::{Conv2d, Layer};
 use crate::model::Sequential;
+use crate::plan::ExecPlan;
 use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{
-    conv2d_forward_q8_with, quantize_symmetric, Conv2dCfg, PoolCfg, Shape, Tensor, Workspace,
+    quantize_symmetric, quantize_symmetric_per_row, Conv2dCfg, PoolCfg, Shape, Tensor, Workspace,
 };
 
-/// A convolution with int8 weights and a per-tensor symmetric scale.
+/// A convolution with int8 weights and symmetric scales — one per tensor,
+/// or one per output channel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QConv2d {
     /// Quantized kernel, `OC x IC x KH x KW` row-major.
     pub weight_q: Vec<i8>,
     /// Kernel geometry (`n` is the output-channel count).
     pub weight_shape: Shape,
-    /// Per-tensor symmetric scale (`w ≈ q * scale`).
-    pub scale: f32,
+    /// Symmetric weight scales (`w ≈ q * scale`): length 1 for per-tensor
+    /// quantization, length `OC` for per-channel. The requantization
+    /// epilogue consumes either directly.
+    pub scales: Vec<f32>,
     /// Full-precision bias (biases stay f32, as is standard).
     pub bias: Vec<f32>,
     /// Stride / padding configuration.
@@ -35,35 +39,39 @@ pub struct QConv2d {
 }
 
 impl QConv2d {
-    /// Quantizes one f32 convolution layer.
+    /// Quantizes one f32 convolution layer with a single per-tensor scale.
     pub fn from_conv(conv: &Conv2d) -> Self {
         let mut weight_q = vec![0i8; conv.weight.shape().count()];
         let scale = quantize_symmetric(conv.weight.as_slice(), &mut weight_q);
         QConv2d {
             weight_q,
             weight_shape: conv.weight.shape(),
-            scale,
+            scales: vec![scale],
             bias: conv.bias.clone(),
             cfg: conv.cfg,
         }
     }
 
-    /// The int8 forward pass (dynamic per-sample activation quantization).
-    pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
-        conv2d_forward_q8_with(
-            input,
-            &self.weight_q,
-            self.weight_shape,
-            self.scale,
-            &self.bias,
-            self.cfg,
-            ws,
-        )
+    /// Quantizes one f32 convolution layer with one scale per output
+    /// channel: channels with small kernels no longer waste their int8
+    /// range on the loudest channel's magnitude, tightening parity for
+    /// unbalanced model families at the cost of `OC - 1` extra floats.
+    pub fn from_conv_per_channel(conv: &Conv2d) -> Self {
+        let shape = conv.weight.shape();
+        let mut weight_q = vec![0i8; shape.count()];
+        let scales = quantize_symmetric_per_row(conv.weight.as_slice(), shape.n, &mut weight_q);
+        QConv2d {
+            weight_q,
+            weight_shape: shape,
+            scales,
+            bias: conv.bias.clone(),
+            cfg: conv.cfg,
+        }
     }
 
-    /// Storage bytes: 1 per weight, 4 per bias, 4 for the scale.
+    /// Storage bytes: 1 per weight, 4 per bias, 4 per scale.
     pub fn size_bytes(&self) -> usize {
-        self.weight_q.len() + 4 * self.bias.len() + 4
+        self.weight_q.len() + 4 * self.bias.len() + 4 * self.scales.len()
     }
 }
 
@@ -102,20 +110,31 @@ pub struct QuantizedSequential {
 }
 
 impl QuantizedSequential {
-    /// Quantizes every convolution of `model` into an int8 execution model.
+    /// Quantizes every convolution of `model` into an int8 execution model
+    /// with per-tensor weight scales.
     pub fn from_model(model: &Sequential) -> Self {
+        Self::from_model_with(model, QConv2d::from_conv)
+    }
+
+    /// [`QuantizedSequential::from_model`] with one scale per output
+    /// channel in every convolution (see [`QConv2d::from_conv_per_channel`]).
+    pub fn from_model_per_channel(model: &Sequential) -> Self {
+        Self::from_model_with(model, QConv2d::from_conv_per_channel)
+    }
+
+    fn from_model_with(model: &Sequential, quant: impl Fn(&Conv2d) -> QConv2d) -> Self {
         let layers = model
             .layers
             .iter()
             .map(|layer| match layer {
-                Layer::Conv(c) => QLayer::Conv(QConv2d::from_conv(c)),
+                Layer::Conv(c) => QLayer::Conv(quant(c)),
                 Layer::Relu => QLayer::Relu,
                 Layer::MaxPool(cfg) => QLayer::MaxPool(*cfg),
                 Layer::GlobalAvgPool => QLayer::GlobalAvgPool,
                 Layer::Fire(f) => QLayer::Fire(Box::new(QFire {
-                    squeeze: QConv2d::from_conv(&f.squeeze),
-                    expand1: QConv2d::from_conv(&f.expand1),
-                    expand3: QConv2d::from_conv(&f.expand3),
+                    squeeze: quant(&f.squeeze),
+                    expand1: quant(&f.expand1),
+                    expand3: quant(&f.expand3),
                 })),
             })
             .collect();
@@ -127,10 +146,15 @@ impl QuantizedSequential {
         with_thread_workspace(|ws| self.forward_with(input, ws))
     }
 
-    /// Inference forward pass with explicit scratch: convolutions run in
-    /// int8 ([`conv2d_forward_q8_with`]); activations, pooling and the
-    /// returned logits are f32. Warmed-up calls are allocation-free apart
-    /// from the small returned tensor.
+    /// Inference forward pass with explicit scratch. Thin wrapper over the
+    /// compiled execution plan ([`crate::plan::ExecPlan::run_i8`]) — the
+    /// single int8 forward-pass implementation: fused quantize-on-the-fly
+    /// convolutions, requantize(+ReLU) GEMM epilogues, per-sample tracked
+    /// activation maxima. This convenience entry recompiles the (tiny,
+    /// structure-only) plan per call; allocation-sensitive hot paths — the
+    /// classifier — cache the compiled [`crate::plan::ExecPlan`] and call
+    /// `run_i8` directly, which is allocation-free when warm apart from
+    /// the small returned tensor.
     pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         self.forward_slice_with(input.shape(), input.as_slice(), ws)
     }
@@ -143,61 +167,7 @@ impl QuantizedSequential {
     ///
     /// Panics if `data` is shorter than `shape` implies.
     pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
-        let mut seed = ws.take(shape.count());
-        seed.copy_from_slice(&data[..shape.count()]);
-        let mut x = Tensor::from_vec(shape, seed);
-        for layer in &self.layers {
-            x = Self::layer_forward(layer, x, ws);
-        }
-        let out = Tensor::from_vec(x.shape(), x.as_slice().to_vec());
-        ws.recycle(x.into_vec());
-        out
-    }
-
-    /// One layer step; consumes the input buffer back into the arena.
-    fn layer_forward(layer: &QLayer, x: Tensor, ws: &mut Workspace) -> Tensor {
-        use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with};
-        match layer {
-            QLayer::Conv(c) => {
-                let out = c.forward_with(&x, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            QLayer::Relu => {
-                let mut x = x;
-                x.map_inplace(|v| v.max(0.0));
-                x
-            }
-            QLayer::MaxPool(cfg) => {
-                let out = max_pool_forward_with(&x, *cfg, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            QLayer::GlobalAvgPool => {
-                let out = global_avg_pool_forward_with(&x, ws);
-                ws.recycle(x.into_vec());
-                out
-            }
-            QLayer::Fire(fire) => {
-                let QFire {
-                    squeeze,
-                    expand1,
-                    expand3,
-                } = fire.as_ref();
-                let mut squeezed = squeeze.forward_with(&x, ws);
-                ws.recycle(x.into_vec());
-                squeezed.map_inplace(|v| v.max(0.0));
-                let mut e1 = expand1.forward_with(&squeezed, ws);
-                let mut e3 = expand3.forward_with(&squeezed, ws);
-                ws.recycle(squeezed.into_vec());
-                e1.map_inplace(|v| v.max(0.0));
-                e3.map_inplace(|v| v.max(0.0));
-                let out = concat_channels_with(&e1, &e3, ws);
-                ws.recycle(e1.into_vec());
-                ws.recycle(e3.into_vec());
-                out
-            }
-        }
+        ExecPlan::compile_quantized(self).run_i8(self, shape, data, ws)
     }
 
     /// Output shape for a given input shape, without running the network.
@@ -344,5 +314,81 @@ mod tests {
         let out = q.forward(&rand_input(7, Shape::new(1, 3, 4, 4)));
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
         assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn per_channel_quantization_stores_one_scale_per_output_channel() {
+        let m = model(8);
+        let q = QuantizedSequential::from_model_per_channel(&m);
+        for layer in &q.layers {
+            let convs: Vec<&QConv2d> = match layer {
+                QLayer::Conv(c) => vec![c],
+                QLayer::Fire(f) => vec![&f.squeeze, &f.expand1, &f.expand3],
+                _ => continue,
+            };
+            for c in convs {
+                assert_eq!(c.scales.len(), c.weight_shape.n);
+            }
+        }
+        // Size accounting follows: per-channel carries OC scales per conv.
+        assert!(q.size_bytes() > QuantizedSequential::from_model(&m).size_bytes());
+    }
+
+    mod per_channel_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Per-channel weight quantization round-trips every weight to
+            /// within half of *its own channel's* step — even when channel
+            /// magnitudes differ by orders of magnitude, where a per-tensor
+            /// scale would flush quiet channels to a handful of levels.
+            /// All-zero channels stay exact with a finite scale.
+            #[test]
+            fn per_channel_roundtrip_is_bounded_per_channel(
+                weights in proptest::collection::vec(-3.0f32..3.0, 54),
+                loud in 1.0f32..200.0,
+                zero_channel in 0usize..6,
+            ) {
+                let oc = 6usize;
+                let per_ch = weights.len() / oc; // 3 in, 3 kernel? 54/6 = 9
+                let mut conv = Conv2d::new(oc, 1, 3, Conv2dCfg { stride: 1, pad: 1 });
+                let mut scaled = weights.clone();
+                // Make channel 0 loud and one channel silent.
+                for v in &mut scaled[..per_ch] {
+                    *v *= loud;
+                }
+                for v in &mut scaled[zero_channel * per_ch..(zero_channel + 1) * per_ch] {
+                    *v = 0.0;
+                }
+                conv.weight.as_mut_slice().copy_from_slice(&scaled);
+                let q = QConv2d::from_conv_per_channel(&conv);
+                prop_assert_eq!(q.scales.len(), oc);
+                for ch in 0..oc {
+                    let scale = q.scales[ch];
+                    prop_assert!(scale.is_finite() && scale > 0.0);
+                    let span = ch * per_ch..(ch + 1) * per_ch;
+                    for (&w, &qw) in scaled[span.clone()].iter().zip(&q.weight_q[span]) {
+                        let back = f32::from(qw) * scale;
+                        prop_assert!(
+                            (w - back).abs() <= scale * 0.5 + 1e-6,
+                            "channel {}: {} vs {}", ch, w, back
+                        );
+                    }
+                    if ch == zero_channel {
+                        prop_assert_eq!(scale, 1.0);
+                        let span = ch * per_ch..(ch + 1) * per_ch;
+                        prop_assert!(q.weight_q[span].iter().all(|&v| v == 0));
+                    }
+                }
+                // The quiet channels' scales must not inherit the loud
+                // channel's magnitude (the whole point of per-channel).
+                let quiet = (1..oc).filter(|&c| c != zero_channel).map(|c| q.scales[c])
+                    .fold(f32::INFINITY, f32::min);
+                prop_assert!(q.scales[0] >= quiet, "loud channel must have the largest scale");
+            }
+        }
     }
 }

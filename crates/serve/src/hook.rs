@@ -15,7 +15,15 @@
 //!   unblocked (PERCIVAL fails open, like the paper's deployment) instead
 //!   of being queued, preprocessed and resolved as [`Verdict::Shed`] after
 //!   the fact;
+//! - under the `Block` policy, predicted backpressure beyond the hook's
+//!   wait budget ([`AdmissionHint::WouldBlock`] +
+//!   [`ServiceHook::with_max_wait`]) is likewise skipped rather than
+//!   stalling a render thread;
 //! - everything else is submitted and awaited.
+//!
+//! Each creative is content-hashed exactly once: the same
+//! [`percival_imgcodec::HashedBitmap`] feeds the hint probe and the keyed
+//! submission (`submit_with_key`).
 //!
 //! The hint is advisory — a concurrent burst can still shed an admitted
 //! request — so shed verdicts after submission are also handled (fail
@@ -27,6 +35,7 @@ use percival_core::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters exported by the serving hook.
 #[derive(Debug, Default)]
@@ -34,6 +43,7 @@ pub struct ServiceHookStats {
     classified: AtomicU64,
     blocked: AtomicU64,
     skipped_shed: AtomicU64,
+    skipped_blocked: AtomicU64,
     shed_after_admit: AtomicU64,
     skipped_small: AtomicU64,
 }
@@ -55,6 +65,12 @@ impl ServiceHookStats {
         self.skipped_shed.load(Ordering::Relaxed)
     }
 
+    /// Images never submitted because the `Block`-policy backpressure
+    /// estimate exceeded the hook's wait budget (rendered unblocked).
+    pub fn skipped_blocked(&self) -> u64 {
+        self.skipped_blocked.load(Ordering::Relaxed)
+    }
+
     /// Images admitted but shed anyway (the hint is advisory).
     pub fn shed_after_admit(&self) -> u64 {
         self.shed_after_admit.load(Ordering::Relaxed)
@@ -73,6 +89,10 @@ pub struct ServiceHook {
     /// Images with an edge below this are not classified (1 disables the
     /// floor; tracking pixels are upscaled noise either way).
     min_edge: usize,
+    /// Under the `Block` overload policy: the longest predicted
+    /// backpressure this hook will stall a render thread for. `None`
+    /// (default) always submits and waits.
+    max_wait: Option<Duration>,
     stats: ServiceHookStats,
 }
 
@@ -83,6 +103,7 @@ impl ServiceHook {
             service,
             policy: BlockPolicy::Clear,
             min_edge: 1,
+            max_wait: None,
             stats: ServiceHookStats::default(),
         }
     }
@@ -96,6 +117,15 @@ impl ServiceHook {
     /// Sets the minimum classified edge length.
     pub fn with_min_edge(mut self, min_edge: usize) -> Self {
         self.min_edge = min_edge.max(1);
+        self
+    }
+
+    /// Bounds how long this hook will knowingly stall on `Block`-policy
+    /// backpressure: when the admission hint predicts a wait beyond
+    /// `max_wait`, the creative is skipped (rendered unblocked, fail open)
+    /// instead of parking a render thread.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = Some(max_wait);
         self
     }
 
@@ -137,22 +167,33 @@ impl ServiceHook {
     }
 
     /// The single admission decision tree: size floor, then the hint.
-    /// Cache hits and predicted sheds never enter the service; only
-    /// [`Slot::Pending`] creatives are actually submitted. `inspect` and
-    /// `inspect_batch` both run every image through this.
+    /// Cache hits, predicted sheds and over-budget backpressure never enter
+    /// the service; only [`Slot::Pending`] creatives are actually
+    /// submitted. `inspect` and `inspect_batch` both run every image
+    /// through this. The content hash is computed exactly once — the same
+    /// [`HashedBitmap`] feeds the hint and the keyed submission.
     fn admit_slot(&self, bitmap: &Bitmap) -> Slot {
         if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
             self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
             return Slot::Done(InterceptAction::Keep);
         }
-        match self.service.admission_hint(bitmap) {
+        let img = bitmap.hashed();
+        match self.service.admission_hint_with_key(&img) {
             AdmissionHint::Cached(Verdict::Classified(p)) => Slot::Hit(p.is_ad),
             // The memo never caches sheds; keep the match exhaustive.
             AdmissionHint::Cached(Verdict::Shed) | AdmissionHint::WouldShed => {
                 self.stats.skipped_shed.fetch_add(1, Ordering::Relaxed);
                 Slot::Done(InterceptAction::Keep)
             }
-            AdmissionHint::Admit => Slot::Pending(self.service.submit(bitmap)),
+            AdmissionHint::WouldBlock { est_wait } => match self.max_wait {
+                // Over budget: fail open rather than park a render thread.
+                Some(budget) if est_wait > budget => {
+                    self.stats.skipped_blocked.fetch_add(1, Ordering::Relaxed);
+                    Slot::Done(InterceptAction::Keep)
+                }
+                _ => Slot::Pending(self.service.submit_with_key(&img)),
+            },
+            AdmissionHint::Admit => Slot::Pending(self.service.submit_with_key(&img)),
         }
     }
 

@@ -21,7 +21,7 @@ use crate::shard::Shard;
 use crate::telemetry::{ServiceReport, ServiceTelemetry};
 use percival_core::flight::AdmissionHint;
 use percival_core::{Classifier, EngineConfig, MemoizedClassifier, Precision, Prediction};
-use percival_imgcodec::Bitmap;
+use percival_imgcodec::{Bitmap, HashedBitmap};
 use percival_tensor::Workspace;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
@@ -281,15 +281,34 @@ impl ClassificationService {
 
     /// Submits one creative with the config's default deadline.
     pub fn submit(&self, bitmap: &Bitmap) -> ServeTicket {
-        self.submit_with_deadline(bitmap, self.cfg.deadline)
+        self.submit_with_key(&bitmap.hashed())
+    }
+
+    /// Keyed submission with the default deadline: the [`HashedBitmap`]'s
+    /// content hash (computed once, privately, in its constructor — so a
+    /// caller cannot poison a shard's verdict memo with a mismatched key)
+    /// routes the request and keys its single-flight group. The
+    /// hint-then-submit hooks use this to hash each creative exactly once.
+    pub fn submit_with_key(&self, img: &HashedBitmap<'_>) -> ServeTicket {
+        self.submit_with_key_and_deadline(img, self.cfg.deadline)
     }
 
     /// Submits one creative with an explicit soft deadline; returns
     /// immediately. Cache hits and shed decisions resolve the ticket
     /// before this call returns.
     pub fn submit_with_deadline(&self, bitmap: &Bitmap, deadline: Duration) -> ServeTicket {
-        let shard = &self.shards[route(bitmap.content_hash(), self.shards.len())];
-        shard.submit(bitmap, deadline, &self.cfg, &self.shared)
+        self.submit_with_key_and_deadline(&bitmap.hashed(), deadline)
+    }
+
+    /// [`ClassificationService::submit_with_key`] with an explicit soft
+    /// deadline.
+    pub fn submit_with_key_and_deadline(
+        &self,
+        img: &HashedBitmap<'_>,
+        deadline: Duration,
+    ) -> ServeTicket {
+        let shard = &self.shards[route(img.key(), self.shards.len())];
+        shard.submit(img, deadline, &self.cfg, &self.shared)
     }
 
     /// Submits and blocks until the verdict is available.
@@ -308,8 +327,14 @@ impl ClassificationService {
     /// it is advisory — a concurrent burst can still shed an admitted
     /// request.
     pub fn admission_hint(&self, bitmap: &Bitmap) -> AdmissionHint<Verdict> {
-        let key = bitmap.content_hash();
-        self.shards[route(key, self.shards.len())].admission_hint(key, &self.cfg)
+        self.admission_hint_with_key(&bitmap.hashed())
+    }
+
+    /// [`ClassificationService::admission_hint`] over a pre-hashed bitmap,
+    /// so a hook that goes on to submit shares one hash computation between
+    /// the probe and [`ClassificationService::submit_with_key`].
+    pub fn admission_hint_with_key(&self, img: &HashedBitmap<'_>) -> AdmissionHint<Verdict> {
+        self.shards[route(img.key(), self.shards.len())].admission_hint(img.key(), &self.cfg)
     }
 
     /// Blocks until every queued or in-flight request has been resolved.

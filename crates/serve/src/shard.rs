@@ -27,7 +27,7 @@ use percival_core::flight::{
     AdmissionHint, Edf, EdfPrio, FlightEntry, FlightProbe, FlightTable, Formed, Gate,
 };
 use percival_core::{Classifier, MemoizedClassifier, Prediction};
-use percival_imgcodec::Bitmap;
+use percival_imgcodec::HashedBitmap;
 use percival_tensor::{Shape, Tensor, Workspace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,15 +77,18 @@ impl Shard {
     /// Admits one request: cache hit and single-flight merges resolve or
     /// attach immediately (a tighter deadline re-prioritizes the merged
     /// group); otherwise the request joins the EDF queue, subject to the
-    /// overload policy when the queue is full.
+    /// overload policy when the queue is full. The key comes pre-computed
+    /// with the [`HashedBitmap`] (hashed exactly once, privately, inside
+    /// the wrapper — callers cannot pair foreign keys with pixels).
     pub(crate) fn submit(
         &self,
-        bitmap: &Bitmap,
+        img: &HashedBitmap<'_>,
         deadline_in: Duration,
         cfg: &ServiceConfig,
         shared: &ServiceShared,
     ) -> ServeTicket {
-        let key = bitmap.content_hash();
+        let key = img.key();
+        let bitmap = img.bitmap();
         let (tx, rx) = channel();
         let input_size = self.memo().classifier().input_size();
         let now = Instant::now();
@@ -166,14 +169,18 @@ impl Shard {
     /// mutation, no submission): reports memoized verdicts, in-flight
     /// creatives that would coalesce, and — under the `Shed` policy —
     /// whether a fresh submission would be rejected at admission or could
-    /// no longer meet its deadline.
+    /// no longer meet its deadline. Under the `Block` policy a saturated
+    /// queue instead reports the expected backpressure
+    /// ([`AdmissionHint::WouldBlock`]): the EWMA service estimate over the
+    /// depth a parked submitter must wait out, so latency-sensitive hooks
+    /// can skip rather than stall a render thread. `Degrade` always admits
+    /// (work is demoted, never lost), so its hint stays a memo lookup.
     pub(crate) fn admission_hint(&self, key: u64, cfg: &ServiceConfig) -> AdmissionHint<Verdict> {
-        if cfg.overload != OverloadPolicy::Shed {
-            // Degrade and Block always admit (possibly demoted or parked) —
-            // skipping would lose work they would serve — so the hint is
-            // just a memo-cache lookup; additionally taking the flight-table
-            // state lock to distinguish in-flight from queueable would buy
-            // nothing.
+        if cfg.overload == OverloadPolicy::Degrade {
+            // Degrade always admits (possibly demoted) — skipping would
+            // lose work it would serve — so the hint is just a memo-cache
+            // lookup; additionally taking the flight-table state lock to
+            // distinguish in-flight from queueable would buy nothing.
             return match self.memo().cached(key) {
                 Some(p_ad) => AdmissionHint::Cached(Verdict::Classified(
                     self.prediction(p_ad, Duration::ZERO),
@@ -187,23 +194,40 @@ impl Shard {
             }
             // Coalescing is free: the group's CNN pass is already paid for.
             FlightProbe::InFlight => AdmissionHint::Admit,
-            FlightProbe::Queueable { depth } => {
-                if depth >= cfg.queue_capacity {
-                    return AdmissionHint::WouldShed;
+            FlightProbe::Queueable { depth } => match cfg.overload {
+                OverloadPolicy::Shed => {
+                    if depth >= cfg.queue_capacity {
+                        return AdmissionHint::WouldShed;
+                    }
+                    // Deadline feasibility: a fresh entry waits behind
+                    // `depth` queued images, so if the EWMA service
+                    // estimate for that backlog already exceeds the
+                    // deadline it would be shed at batch formation anyway.
+                    let est = Duration::from_nanos(
+                        self.table.counters().ewma_image_ns() * (depth as u64 + 1),
+                    );
+                    if est > cfg.deadline {
+                        AdmissionHint::WouldShed
+                    } else {
+                        AdmissionHint::Admit
+                    }
                 }
-                // Deadline feasibility: a fresh entry waits behind `depth`
-                // queued images, so if the EWMA service estimate for that
-                // backlog already exceeds the deadline it would be shed at
-                // batch formation anyway.
-                let est = Duration::from_nanos(
-                    self.table.counters().ewma_image_ns() * (depth as u64 + 1),
-                );
-                if est > cfg.deadline {
-                    AdmissionHint::WouldShed
-                } else {
-                    AdmissionHint::Admit
+                OverloadPolicy::Block => {
+                    if depth < cfg.queue_capacity {
+                        return AdmissionHint::Admit;
+                    }
+                    // The gate would park this submitter until the queue
+                    // drains below capacity: roughly the excess backlog
+                    // (plus this entry) at the EWMA per-image rate.
+                    let excess = (depth + 1 - cfg.queue_capacity) as u64;
+                    AdmissionHint::WouldBlock {
+                        est_wait: Duration::from_nanos(
+                            self.table.counters().ewma_image_ns() * excess,
+                        ),
+                    }
                 }
-            }
+                OverloadPolicy::Degrade => unreachable!("handled above"),
+            },
         }
     }
 
@@ -343,5 +367,100 @@ impl Shard {
     /// Wakes any submitter parked on backpressure (shutdown path).
     pub(crate) fn release_blocked(&self) {
         self.table.wake_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use percival_core::arch::percival_net_slim;
+    use percival_core::flight::Gate;
+    use percival_nn::init::kaiming_init;
+    use percival_util::Pcg32;
+    use std::sync::mpsc::channel;
+
+    fn shard() -> Shard {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+        let memo = Arc::new(MemoizedClassifier::new(Classifier::new(model, 32), 64));
+        Shard::new(0, memo, None)
+    }
+
+    /// Queues a key directly into the shard's flight table (no batcher is
+    /// running, so the queue depth is fully deterministic).
+    fn enqueue(s: &Shard, key: u64, seq: u64) {
+        let now = Instant::now();
+        let (tx, _rx) = channel();
+        s.table.submit(
+            key,
+            EdfPrio {
+                deadline: now + Duration::from_secs(600),
+                seq,
+                enqueued: now,
+                degraded: false,
+            },
+            tx,
+            |_p| Verdict::Shed,
+            || Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![0.0]),
+            |_, _| Gate::Admit,
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn block_policy_hint_reports_expected_backpressure() {
+        let s = shard();
+        let cfg = ServiceConfig {
+            overload: OverloadPolicy::Block,
+            queue_capacity: 1,
+            ..Default::default()
+        };
+        // Below capacity: admit.
+        assert_eq!(s.admission_hint(99, &cfg), AdmissionHint::Admit);
+        // Warm the EWMA to 1 ms/image so the estimate is non-trivial.
+        s.table.counters().observe_image_cost(1_000_000);
+        enqueue(&s, 1, 0);
+        // An in-flight key coalesces for free — never reported as blocking.
+        assert_eq!(s.admission_hint(1, &cfg), AdmissionHint::Admit);
+        // A fresh key behind a saturated queue: one excess entry must
+        // drain, so the estimate is one EWMA step.
+        match s.admission_hint(2, &cfg) {
+            AdmissionHint::WouldBlock { est_wait } => {
+                assert_eq!(est_wait, Duration::from_millis(1));
+            }
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        enqueue(&s, 2, 1);
+        match s.admission_hint(3, &cfg) {
+            AdmissionHint::WouldBlock { est_wait } => {
+                assert_eq!(
+                    est_wait,
+                    Duration::from_millis(2),
+                    "two excess entries, two EWMA steps"
+                );
+            }
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_and_degrade_hints_are_unchanged_by_the_block_extension() {
+        let s = shard();
+        // Degrade: always a memo lookup, even with a saturated queue.
+        let degrade = ServiceConfig {
+            overload: OverloadPolicy::Degrade,
+            queue_capacity: 1,
+            ..Default::default()
+        };
+        enqueue(&s, 10, 0);
+        enqueue(&s, 11, 1);
+        assert_eq!(s.admission_hint(12, &degrade), AdmissionHint::Admit);
+        // Shed: saturation still reports WouldShed, never WouldBlock.
+        let shed = ServiceConfig {
+            overload: OverloadPolicy::Shed,
+            queue_capacity: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.admission_hint(12, &shed), AdmissionHint::WouldShed);
     }
 }

@@ -1,12 +1,29 @@
 //! ReLU and softmax.
+//!
+//! Note on the inference hot path: since the execution-plan refactor, a
+//! ReLU that directly follows a convolution is *not* executed from here —
+//! it rides the GEMM's per-tile epilogue ([`crate::gemm::EpilogueF32`] /
+//! [`crate::gemm_i8::RequantEpilogue`]) so the conv output is never
+//! re-traversed. The standalone sweeps below serve training, graphs where
+//! an activation has no producing GEMM to fuse into, and the unfused
+//! reference paths the fusion parity tests compare against.
 
 use crate::tensor::Tensor;
 
 /// ReLU forward: `max(0, x)` elementwise, returning a new tensor.
 pub fn relu_forward(input: &Tensor) -> Tensor {
     let mut out = input.clone();
-    out.map_inplace(|v| v.max(0.0));
+    relu_inplace(out.as_mut_slice());
     out
+}
+
+/// ReLU over a buffer in place — the standalone sweep the fused epilogues
+/// replace on conv outputs (kept for unfused execution and non-conv
+/// producers).
+pub fn relu_inplace(data: &mut [f32]) {
+    for v in data {
+        *v = v.max(0.0);
+    }
 }
 
 /// ReLU backward: passes the gradient where the *input* was positive.

@@ -6,7 +6,8 @@
 //! inputs are split across the persistent [`ThreadPool`] (one task per
 //! sample band; each worker packs into its own thread-local workspace).
 
-use crate::gemm::{gemm_a_bt_acc, gemm_acc_ws, gemm_at_b_acc};
+use crate::gemm::{gemm_a_bt_acc, gemm_acc_ws_ep, gemm_at_b_acc, EpilogueF32};
+use crate::gemm_i8::{gemm_i8_fused, max_abs, quantize_with_scale, scale_for_max, RequantEpilogue};
 use crate::tensor::{Shape, Tensor};
 use crate::threadpool::{ScopedTask, ThreadPool};
 use crate::workspace::{with_thread_workspace, Workspace};
@@ -37,11 +38,63 @@ pub fn conv_out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -
     Some((padded - kernel) / stride + 1)
 }
 
-/// Lowers one input sample into a `(C*KH*KW) x (OH*OW)` column matrix.
+/// Lowers one input sample into a `(C*KH*KW) x (OH*OW)` column matrix,
+/// mapping every gathered element through `f`. Padding cells get
+/// `D::default()` — correct for both f32 (0.0) and symmetric int8 (0 maps
+/// to 0.0) columns.
 ///
-/// Generic over the element type so the f32 and quantized-int8 forward
-/// paths share one lowering (symmetric quantization maps 0.0 to 0, so
-/// `T::default()` is the correct padding value for both).
+/// The identity instantiation ([`im2col`]) serves both element types; a
+/// transforming map stays available for future packers that change the
+/// element representation during the gather. (The int8 path deliberately
+/// does *not* quantize inside this gather for k > 1 kernels: each element
+/// is gathered `KH*KW` times, so the rounding would be redone nine-fold
+/// for a 3x3 — measured slower than one quantize pre-pass at 224px.)
+#[allow(clippy::too_many_arguments)]
+fn im2col_map<S: Copy, D: Copy + Default>(
+    sample: &[S],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+    oh: usize,
+    ow: usize,
+    col: &mut [D],
+    f: impl Fn(S) -> D,
+) {
+    debug_assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let mut row = 0usize;
+    for ch in 0..c {
+        let plane = &sample[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let out_base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
+                    let dst = &mut col[out_base + oy * ow..out_base + (oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(D::default());
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            D::default()
+                        } else {
+                            f(src_row[ix as usize])
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// [`im2col_map`] with the identity map (the f32 path and the unfused int8
+/// reference path, which lowers an already-quantized image).
 #[allow(clippy::too_many_arguments)]
 fn im2col<T: Copy + Default>(
     sample: &[T],
@@ -55,34 +108,7 @@ fn im2col<T: Copy + Default>(
     ow: usize,
     col: &mut [T],
 ) {
-    debug_assert_eq!(col.len(), c * kh * kw * oh * ow);
-    let mut row = 0usize;
-    for ch in 0..c {
-        let plane = &sample[ch * h * w..(ch + 1) * h * w];
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let out_base = row * oh * ow;
-                for oy in 0..oh {
-                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
-                    let dst = &mut col[out_base + oy * ow..out_base + (oy + 1) * ow];
-                    if iy < 0 || iy >= h as isize {
-                        dst.fill(T::default());
-                        continue;
-                    }
-                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
-                        *d = if ix < 0 || ix >= w as isize {
-                            T::default()
-                        } else {
-                            src_row[ix as usize]
-                        };
-                    }
-                }
-                row += 1;
-            }
-        }
-    }
+    im2col_map(sample, c, h, w, kh, kw, cfg, oh, ow, col, |v| v);
 }
 
 /// Scatters a column-matrix gradient back onto an input-sample gradient
@@ -159,7 +185,9 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2d
     with_thread_workspace(|ws| conv2d_forward_with(input, weight, bias, cfg, ws))
 }
 
-/// One sample's im2col + bias seed + GEMM, entirely in caller buffers.
+/// One sample's im2col + bias seed + GEMM, entirely in caller buffers. The
+/// epilogue (fused ReLU) is applied by the GEMM per register tile on its
+/// final k-block — never as a second traversal of `out_sample`.
 #[allow(clippy::too_many_arguments)]
 fn conv_run_sample(
     sample_in: &[f32],
@@ -171,6 +199,7 @@ fn conv_run_sample(
     cfg: Conv2dCfg,
     oh: usize,
     ow: usize,
+    ep: EpilogueF32,
     scratch: &mut Workspace,
 ) {
     let ws = weight.shape();
@@ -185,7 +214,7 @@ fn conv_run_sample(
         // (k = C, spatial = H*W), so skip the im2col copy entirely. This
         // covers the squeeze and expand-1x1 convolutions — half the layers
         // in a fire module — plus the final classifier conv.
-        gemm_acc_ws(
+        gemm_acc_ws_ep(
             weight.as_slice(),
             sample_in,
             out_sample,
@@ -193,6 +222,7 @@ fn conv_run_sample(
             k,
             spatial,
             scratch,
+            ep,
         );
         return;
     }
@@ -208,7 +238,7 @@ fn conv_run_sample(
         ow,
         col,
     );
-    gemm_acc_ws(
+    gemm_acc_ws_ep(
         weight.as_slice(),
         col,
         out_sample,
@@ -216,6 +246,7 @@ fn conv_run_sample(
         k,
         spatial,
         scratch,
+        ep,
     );
 }
 
@@ -234,6 +265,25 @@ pub fn conv2d_forward_with(
     weight: &Tensor,
     bias: &[f32],
     cfg: Conv2dCfg,
+    scratch: &mut Workspace,
+) -> Tensor {
+    conv2d_forward_ep_with(input, weight, bias, cfg, EpilogueF32::NONE, scratch)
+}
+
+/// [`conv2d_forward_with`] with a fused [`EpilogueF32`]: conv + bias +
+/// activation in one pass, the f32 half of the execution plan's fused conv
+/// op. Bitwise-identical to the unfused conv followed by a separate
+/// activation sweep.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+pub fn conv2d_forward_ep_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    ep: EpilogueF32,
     scratch: &mut Workspace,
 ) -> Tensor {
     let is = input.shape();
@@ -268,6 +318,7 @@ pub fn conv2d_forward_with(
                 cfg,
                 oh,
                 ow,
+                ep,
                 scratch,
             );
         }
@@ -297,6 +348,7 @@ pub fn conv2d_forward_with(
                                 cfg,
                                 oh,
                                 ow,
+                                ep,
                                 tws,
                             );
                         }
@@ -378,6 +430,112 @@ pub fn conv2d_forward_q8_with(
     scratch.recycle_i8(col);
     scratch.recycle_i32(acc);
     scratch.recycle_i8(xq);
+    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
+}
+
+/// The fully fused int8 convolution op the execution plan lowers to:
+/// quantize-on-the-fly packing → `i8 x i8 -> i32` GEMM →
+/// requantize(+bias)(+ReLU) epilogue per register tile. Compared with
+/// [`conv2d_forward_q8_with`] the standalone sweeps disappear:
+///
+/// 1. the per-sample `max|x|` sweep, when the producing layer's epilogue
+///    already tracked the input's maximum (`input_max`);
+/// 2. for pointwise (1x1) convolutions — half a fire module's layers plus
+///    the classifier head — the column matrix *is* the quantized input, so
+///    quantization happens in the packing pass itself with no gather.
+///    Wider kernels quantize once into an i8 image and gather bytes: each
+///    element is gathered `KH*KW` times, so quantizing inside the gather
+///    would redo the rounding nine-fold for a 3x3 (measured as a net
+///    regression at 224px) while the single pre-pass touches each element
+///    once and the gather then moves 1-byte lanes;
+/// 3. the i32 → f32 requantize (and any following ReLU) sweep, folded into
+///    the GEMM's final-k-block epilogue — which for this network's depths
+///    (`k <= 512`) also means no i32 accumulator buffer exists at all.
+///
+/// Scales stay dynamic per sample (batch-invariant verdicts);
+/// `weight_scales` holds one entry (per-tensor) or one per output channel.
+/// When `out_max` is given, each sample's `max|output|` — exactly the value
+/// a fresh sweep would find, since `max` is order-independent — is recorded
+/// there for the next quantized layer.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch, or when `input_max`/`out_max` do not
+/// cover the batch.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_q8_fused(
+    input: &Tensor,
+    input_max: Option<&[f32]>,
+    weight_q: &[i8],
+    weight_shape: Shape,
+    weight_scales: &[f32],
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    relu: bool,
+    mut out_max: Option<&mut [f32]>,
+    scratch: &mut Workspace,
+) -> Tensor {
+    let is = input.shape();
+    let ws = weight_shape;
+    let (oh, ow) = check_geometry(is, ws, cfg);
+    let oc = ws.n;
+    assert_eq!(bias.len(), oc, "bias length must equal output channels");
+    assert!(
+        weight_q.len() >= ws.count(),
+        "quantized weight too short: {} < {}",
+        weight_q.len(),
+        ws.count()
+    );
+    assert!(
+        weight_scales.len() == 1 || weight_scales.len() == oc,
+        "weight scales must be per-tensor or per-channel"
+    );
+    if let Some(maxes) = input_max {
+        assert!(maxes.len() >= is.n, "input_max does not cover the batch");
+    }
+    if let Some(maxes) = &out_max {
+        assert!(maxes.len() >= is.n, "out_max does not cover the batch");
+    }
+
+    let k = ws.c * ws.h * ws.w;
+    let spatial = oh * ow;
+    let per_sample_out = oc * spatial;
+    let pointwise = (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0);
+
+    let mut out_buf = scratch.take(is.n * per_sample_out);
+    let mut col = scratch.take_i8(k * spatial);
+    let mut xq = scratch.take_i8(if pointwise { 0 } else { is.c * is.h * is.w });
+    for (n, out_sample) in out_buf.chunks_exact_mut(per_sample_out).enumerate() {
+        let sample = input.sample(n);
+        // The activation scale: from the producer's tracked maximum when
+        // available, otherwise one sweep (the first layer of the network).
+        let sample_max = match input_max {
+            Some(maxes) => maxes[n],
+            None => max_abs(sample),
+        };
+        let scale_x = scale_for_max(sample_max);
+        if pointwise {
+            // k = C, spatial = H*W: the column matrix is the quantized
+            // input itself — one direct quantize pass, no gather.
+            quantize_with_scale(sample, scale_x, &mut col);
+        } else {
+            quantize_with_scale(sample, scale_x, &mut xq);
+            im2col(&xq, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
+        }
+        let ep = RequantEpilogue {
+            scale_x,
+            weight_scales,
+            bias,
+            relu,
+            track_max: out_max.is_some(),
+        };
+        let mx = gemm_i8_fused(weight_q, &col, out_sample, oc, k, spatial, scratch, &ep);
+        if let Some(maxes) = out_max.as_deref_mut() {
+            maxes[n] = mx;
+        }
+    }
+    scratch.recycle_i8(xq);
+    scratch.recycle_i8(col);
     Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
 }
 
@@ -677,6 +835,187 @@ mod tests {
             ws.stats().allocations,
             cold,
             "warm q8 conv must not allocate"
+        );
+    }
+
+    #[test]
+    fn fused_relu_conv_is_bitwise_identical_to_conv_then_sweep() {
+        use crate::activation::relu_inplace;
+        let cases = [
+            (
+                Shape::new(2, 3, 9, 9),
+                Shape::new(5, 3, 3, 3),
+                Conv2dCfg { stride: 2, pad: 1 },
+            ),
+            (
+                Shape::new(1, 8, 6, 6),
+                Shape::new(4, 8, 1, 1),
+                Conv2dCfg { stride: 1, pad: 0 },
+            ),
+        ];
+        for (i, (is, wshape, cfg)) in cases.into_iter().enumerate() {
+            let input = rand_tensor(40 + i as u64, is);
+            let weight = rand_tensor(50 + i as u64, wshape);
+            let mut rng = Pcg32::seed_from_u64(55 + i as u64);
+            let bias: Vec<f32> = (0..wshape.n).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+            let mut ws = Workspace::new();
+            let fused = conv2d_forward_ep_with(
+                &input,
+                &weight,
+                &bias,
+                cfg,
+                crate::gemm::EpilogueF32::RELU,
+                &mut ws,
+            );
+            let mut swept = conv2d_forward_with(&input, &weight, &bias, cfg, &mut ws);
+            relu_inplace(swept.as_mut_slice());
+            assert_eq!(
+                fused.as_slice(),
+                swept.as_slice(),
+                "case {i}: fused conv+relu must be bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_q8_conv_matches_unfused_q8_conv_bitwise() {
+        use crate::activation::relu_inplace;
+        use crate::gemm_i8::quantize_symmetric;
+        // Per-tensor weight scales and exact tracked maxes make the fused
+        // op a pure reordering of the unfused one: identical quantized
+        // operands, identical integer products, identical requantization.
+        let cases = [
+            (
+                Shape::new(2, 3, 9, 9),
+                Shape::new(5, 3, 3, 3),
+                Conv2dCfg { stride: 2, pad: 1 },
+            ),
+            (
+                Shape::new(2, 8, 6, 6),
+                Shape::new(4, 8, 1, 1),
+                Conv2dCfg { stride: 1, pad: 0 },
+            ),
+        ];
+        for (i, (is, wshape, cfg)) in cases.into_iter().enumerate() {
+            let input = rand_tensor(160 + i as u64, is);
+            let weight = rand_tensor(170 + i as u64, wshape);
+            let mut rng = Pcg32::seed_from_u64(180 + i as u64);
+            let bias: Vec<f32> = (0..wshape.n).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+            let mut wq = vec![0i8; wshape.count()];
+            let w_scale = quantize_symmetric(weight.as_slice(), &mut wq);
+            let mut ws = Workspace::new();
+
+            let mut maxes = vec![0.0f32; is.n];
+            let fused = conv2d_forward_q8_fused(
+                &input,
+                None,
+                &wq,
+                wshape,
+                &[w_scale],
+                &bias,
+                cfg,
+                true,
+                Some(&mut maxes),
+                &mut ws,
+            );
+            let mut unfused =
+                conv2d_forward_q8_with(&input, &wq, wshape, w_scale, &bias, cfg, &mut ws);
+            relu_inplace(unfused.as_mut_slice());
+            assert_eq!(
+                fused.as_slice(),
+                unfused.as_slice(),
+                "case {i}: fused q8 conv must match the unfused sweeps"
+            );
+            // Tracked maxes equal a fresh sweep of the written output.
+            for (n, &mx) in maxes.iter().enumerate() {
+                let expect = max_abs(fused.sample(n));
+                assert_eq!(mx, expect, "case {i} sample {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_q8_conv_honours_tracked_input_maxes_and_per_channel_scales() {
+        use crate::gemm_i8::quantize_symmetric_per_row;
+        let is = Shape::new(1, 4, 8, 8);
+        let wshape = Shape::new(6, 4, 3, 3);
+        let cfg = Conv2dCfg { stride: 1, pad: 1 };
+        let input = rand_tensor(190, is);
+        let weight = rand_tensor(191, wshape);
+        let bias = vec![0.05f32; wshape.n];
+        let k = wshape.c * wshape.h * wshape.w;
+        let mut wq = vec![0i8; wshape.count()];
+        let w_scales = quantize_symmetric_per_row(weight.as_slice(), wshape.n, &mut wq);
+        let mut ws = Workspace::new();
+
+        // A caller-supplied max must produce the same result as letting the
+        // conv sweep for it (here: the true max, passed explicitly).
+        let true_max = max_abs(input.sample(0));
+        let swept = conv2d_forward_q8_fused(
+            &input, None, &wq, wshape, &w_scales, &bias, cfg, false, None, &mut ws,
+        );
+        let hinted = conv2d_forward_q8_fused(
+            &input,
+            Some(&[true_max]),
+            &wq,
+            wshape,
+            &w_scales,
+            &bias,
+            cfg,
+            false,
+            None,
+            &mut ws,
+        );
+        assert_eq!(swept.as_slice(), hinted.as_slice());
+
+        // Per-channel requantization tracks the f32 conv at least as well
+        // as the per-tensor drift bound.
+        let expect = conv2d_forward(&input, &weight, &bias, cfg);
+        let max_w_scale = w_scales.iter().fold(0.0f32, |m, &s| m.max(s));
+        let tol = k as f32 * (max_w_scale + 1.0 / 127.0);
+        for (a, b) in swept.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn fused_q8_conv_is_allocation_free_when_warm() {
+        use crate::gemm_i8::quantize_symmetric;
+        let is = Shape::new(1, 4, 12, 12);
+        let wshape = Shape::new(8, 4, 3, 3);
+        let cfg = Conv2dCfg { stride: 1, pad: 1 };
+        let input = rand_tensor(95, is);
+        let weight = rand_tensor(96, wshape);
+        let mut wq = vec![0i8; wshape.count()];
+        let w_scale = quantize_symmetric(weight.as_slice(), &mut wq);
+        let bias = vec![0.1f32; wshape.n];
+        let mut ws = Workspace::new();
+        let mut maxes = vec![0.0f32; 1];
+        let scales = [w_scale];
+        let run = |ws: &mut Workspace, maxes: &mut [f32]| {
+            let out = conv2d_forward_q8_fused(
+                &input,
+                None,
+                &wq,
+                wshape,
+                &scales,
+                &bias,
+                cfg,
+                true,
+                Some(maxes),
+                ws,
+            );
+            ws.recycle(out.into_vec());
+        };
+        run(&mut ws, &mut maxes);
+        let cold = ws.stats().allocations;
+        for _ in 0..4 {
+            run(&mut ws, &mut maxes);
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "warm fused q8 conv must not allocate"
         );
     }
 

@@ -30,6 +30,42 @@ use crate::threadpool::{ScopedTask, ThreadPool};
 use crate::workspace::{with_thread_workspace, Workspace};
 use std::sync::atomic::{AtomicU8, Ordering};
 
+/// An elementwise epilogue the GEMM applies to each output register tile
+/// right after that tile's *final* k-block — while the panel is still
+/// cache-hot — instead of the caller re-traversing the output tensor with a
+/// standalone sweep afterwards.
+///
+/// The applied values are identical to a post-pass (`relu(x)` sees exactly
+/// the fully accumulated `x`), so fused and unfused f32 results are
+/// bitwise-equal; only the memory traffic of the second traversal is
+/// removed. Bias is *not* part of this epilogue: the convolution seeds its
+/// output with the bias before accumulation, which both preserves the
+/// historical floating-point summation order and costs nothing extra.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpilogueF32 {
+    /// Clamp negatives to zero (fused conv+bias+ReLU).
+    pub relu: bool,
+}
+
+impl EpilogueF32 {
+    /// The ReLU epilogue.
+    pub const RELU: EpilogueF32 = EpilogueF32 { relu: true };
+
+    /// The identity epilogue (plain `c += a * b`).
+    pub const NONE: EpilogueF32 = EpilogueF32 { relu: false };
+
+    /// Applies the epilogue to a finished output span (the fallback used by
+    /// the scalar and tiny-problem paths, where there is no tiling to hook).
+    #[inline]
+    fn apply(self, span: &mut [f32]) {
+        if self.relu {
+            for v in span {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
 /// Which forward-GEMM implementation [`gemm_acc`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmKernel {
@@ -208,8 +244,19 @@ fn microkernel(pa: &[f32], pb: &[f32], kc: usize, c: &mut [f32], ldc: usize, mr:
 
 /// Runs the packed block `pa x pb` into the `mc x nc` region of `c`,
 /// dispatching to the AVX2 microkernel (portable fallback where absent).
+/// `ep` is applied per register tile and must only be non-identity on the
+/// final k-block of the tile (earlier blocks hold partial sums).
 #[allow(clippy::too_many_arguments)]
-fn run_block(pa: &[f32], pb: &[f32], c: &mut [f32], ldc: usize, mc: usize, nc: usize, kc: usize) {
+fn run_block(
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ep: EpilogueF32,
+) {
     for jr in 0..nc.div_ceil(NR) {
         let nr = NR.min(nc - jr * NR);
         let pb_panel = &pb[jr * NR * kc..(jr + 1) * NR * kc];
@@ -222,17 +269,25 @@ fn run_block(pa: &[f32], pb: &[f32], c: &mut [f32], ldc: usize, mc: usize, nc: u
                 // SAFETY: `simd_available()` confirmed AVX2+FMA; panel and
                 // C extents are the same ones the portable kernel relies on.
                 unsafe {
-                    crate::simd::microkernel_f32_avx2(pa_panel, pb_panel, kc, c_tile, ldc, mr, nr);
+                    crate::simd::microkernel_f32_avx2(
+                        pa_panel, pb_panel, kc, c_tile, ldc, mr, nr, ep.relu,
+                    );
                 }
                 continue;
             }
             microkernel(pa_panel, pb_panel, kc, c_tile, ldc, mr, nr);
+            if ep.relu {
+                for i in 0..mr {
+                    ep.apply(&mut c_tile[i * ldc..i * ldc + nr]);
+                }
+            }
         }
     }
 }
 
 /// Packed `c += a * b` over the full row range, single-threaded, with
 /// caller-provided packing buffers (the explicit-SIMD path).
+#[allow(clippy::too_many_arguments)]
 fn gemm_packed(
     a: &[f32],
     b: &[f32],
@@ -241,6 +296,7 @@ fn gemm_packed(
     k: usize,
     n: usize,
     ws: &mut Workspace,
+    ep: EpilogueF32,
 ) {
     let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * KC.min(k));
     let mut pb = ws.take(NC.min(n).div_ceil(NR) * NR * KC.min(k));
@@ -248,11 +304,14 @@ fn gemm_packed(
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
+            // The epilogue fires only on the tile's final k-block: earlier
+            // blocks leave partial sums the epilogue must not touch.
+            let block_ep = if pc + kc == k { ep } else { EpilogueF32::NONE };
             pack_b(b, &mut pb, pc, jc, kc, nc, n, NR);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
                 pack_a(a, &mut pa, ic, pc, mc, kc, k, MR);
-                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc);
+                run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc, block_ep);
             }
         }
     }
@@ -266,11 +325,20 @@ fn gemm_packed(
 /// `KC x NC` blocking keeps the four streamed B rows cache-resident. The
 /// inner j loop is contiguous over `c` and all four `b` rows, which the
 /// autovectorizer turns into wide FMA streams on any target.
-fn gemm_blocked_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+fn gemm_blocked_scalar(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: EpilogueF32,
+) {
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
+            let last_k_block = pc + kc == k;
             for i in 0..m {
                 let a_row = &a[i * k + pc..i * k + pc + kc];
                 let c_row = &mut c[i * n + jc..i * n + jc + nc];
@@ -295,6 +363,10 @@ fn gemm_blocked_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
                         *cv += aik * bv;
                     }
                     kk += 1;
+                }
+                if last_k_block {
+                    // The row segment is fully accumulated and still hot.
+                    ep.apply(c_row);
                 }
             }
         }
@@ -321,16 +393,43 @@ pub fn gemm_acc_ws(
     n: usize,
     ws: &mut Workspace,
 ) {
+    gemm_acc_ws_ep(a, b, c, m, k, n, ws, EpilogueF32::NONE);
+}
+
+/// [`gemm_acc_ws`] with an [`EpilogueF32`] applied per output register tile
+/// on its final k-block — the hook fused convolutions use so a conv+ReLU
+/// never re-traverses its output tensor. With [`EpilogueF32::NONE`] this is
+/// exactly `gemm_acc_ws`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_acc_ws_ep(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    ep: EpilogueF32,
+) {
     assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
     let kernel = gemm_kernel();
     if kernel == GemmKernel::Scalar {
-        return gemm_acc_scalar(a, b, c, m, k, n);
+        gemm_acc_scalar(a, b, c, m, k, n);
+        // The seed kernel has no tiling to hook; a post-sweep keeps the A/B
+        // baseline semantically identical to the fused paths.
+        ep.apply(&mut c[..m * n]);
+        return;
     }
     if m * n * k <= TILING_THRESHOLD {
         // Blocking overhead dominates tiny problems; a branch-free scalar
-        // kernel is faster there.
+        // kernel is faster there. Each row is finished in one pass, so the
+        // epilogue applies per row while it is still hot.
         for i in 0..m {
             let a_row = &a[i * k..i * k + k];
             let c_row = &mut c[i * n..i * n + n];
@@ -340,6 +439,7 @@ pub fn gemm_acc_ws(
                     *cv += aik * bv;
                 }
             }
+            ep.apply(c_row);
         }
         return;
     }
@@ -363,19 +463,19 @@ pub fn gemm_acc_ws(
                 Box::new(move || {
                     if packed {
                         with_thread_workspace(|tws| {
-                            gemm_packed(a_band, b, c_chunk, band_rows, k, n, tws);
+                            gemm_packed(a_band, b, c_chunk, band_rows, k, n, tws, ep);
                         });
                     } else {
-                        gemm_blocked_scalar(a_band, b, c_chunk, band_rows, k, n);
+                        gemm_blocked_scalar(a_band, b, c_chunk, band_rows, k, n, ep);
                     }
                 }) as ScopedTask<'_>
             })
             .collect();
         pool.scope_run(tasks);
     } else if packed {
-        gemm_packed(a, b, c, m, k, n, ws);
+        gemm_packed(a, b, c, m, k, n, ws, ep);
     } else {
-        gemm_blocked_scalar(a, b, c, m, k, n);
+        gemm_blocked_scalar(a, b, c, m, k, n, ep);
     }
 }
 
@@ -498,7 +598,7 @@ mod tests {
             let a = arb_matrix(100 + case as u64, m * k);
             let b = arb_matrix(200 + case as u64, k * n);
             let mut c = vec![0.0; m * n];
-            gemm_blocked_scalar(&a, &b, &mut c, m, k, n);
+            gemm_blocked_scalar(&a, &b, &mut c, m, k, n, EpilogueF32::NONE);
             let expect = naive(&a, &b, m, k, n);
             for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
                 assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
@@ -554,7 +654,7 @@ mod tests {
             let b = arb_matrix(400 + case as u64, k * n);
             let mut c = vec![0.0; m * n];
             let mut ws = Workspace::new();
-            gemm_packed(&a, &b, &mut c, m, k, n, &mut ws);
+            gemm_packed(&a, &b, &mut c, m, k, n, &mut ws, EpilogueF32::NONE);
             let expect = naive(&a, &b, m, k, n);
             for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
                 assert!((x - y).abs() < 2e-3, "case {case} idx {i}: {x} vs {y}");
@@ -570,8 +670,8 @@ mod tests {
         let mut ws = Workspace::new();
         let mut c_simd = vec![0.25; m * n];
         let mut c_port = vec![0.25; m * n];
-        gemm_packed(&a, &b, &mut c_simd, m, k, n, &mut ws);
-        gemm_blocked_scalar(&a, &b, &mut c_port, m, k, n);
+        gemm_packed(&a, &b, &mut c_simd, m, k, n, &mut ws, EpilogueF32::NONE);
+        gemm_blocked_scalar(&a, &b, &mut c_port, m, k, n, EpilogueF32::NONE);
         for (x, y) in c_simd.iter().zip(c_port.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
@@ -634,6 +734,46 @@ mod tests {
         let expect = naive(&a, &bt, m, k, n);
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_is_bitwise_identical_to_a_separate_sweep() {
+        // Geometries spanning every dispatch branch: tiny (below the tiling
+        // threshold), single-k-block blocked, and multi-KC-block (k > 256,
+        // where the epilogue must fire only on the final block).
+        let cases = [(4usize, 5usize, 6usize), (67, 300, 33), (40, 520, 70)];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_matrix(700 + case as u64, m * k);
+            let b = arb_matrix(800 + case as u64, k * n);
+            let mut ws = Workspace::new();
+            // Bias-like seed so negatives and positives both occur.
+            let mut fused = vec![-0.25f32; m * n];
+            let mut swept = vec![-0.25f32; m * n];
+            gemm_acc_ws_ep(&a, &b, &mut fused, m, k, n, &mut ws, EpilogueF32::RELU);
+            gemm_acc_ws(&a, &b, &mut swept, m, k, n, &mut ws);
+            for v in &mut swept {
+                *v = v.max(0.0);
+            }
+            assert_eq!(fused, swept, "case {case}: fused relu must be bitwise");
+            assert!(fused.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_fires_on_every_kernel_path() {
+        let (m, k, n) = (30, 290, 40);
+        let a = arb_matrix(31, m * k);
+        let b = arb_matrix(32, k * n);
+        let mut ws = Workspace::new();
+        let mut c_packed = vec![0.0f32; m * n];
+        let mut c_blocked = vec![0.0f32; m * n];
+        gemm_packed(&a, &b, &mut c_packed, m, k, n, &mut ws, EpilogueF32::RELU);
+        gemm_blocked_scalar(&a, &b, &mut c_blocked, m, k, n, EpilogueF32::RELU);
+        assert!(c_packed.iter().all(|&v| v >= 0.0));
+        assert!(c_blocked.iter().all(|&v| v >= 0.0));
+        for (x, y) in c_packed.iter().zip(c_blocked.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
     }
 

@@ -42,6 +42,45 @@ const NC_I8: usize = 1024;
 /// Problems below this many multiply-adds skip packing entirely.
 const TILING_THRESHOLD_I8: usize = 16 * 1024;
 
+/// Largest absolute value in `src` (0.0 for an empty slice). `max` is
+/// order-independent over finite floats, so this equals the running maximum
+/// the fused epilogues track tile-by-tile — which is what lets the
+/// execution plan skip this sweep when the producing layer already knows it.
+pub fn max_abs(src: &[f32]) -> f32 {
+    src.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// The symmetric quantization scale for a tensor whose largest magnitude is
+/// `max_abs` (`scale = max|v| / 127`; all-zero tensors get scale 1.0 so
+/// dequantization stays exact and finite).
+pub fn scale_for_max(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 127.0
+    }
+}
+
+/// Quantizes one value with a precomputed inverse scale.
+#[inline]
+pub fn quantize_value(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes `src` with a *known* scale (e.g. tracked by a producing
+/// layer's epilogue) instead of sweeping for the maximum first.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src`.
+pub fn quantize_with_scale(src: &[f32], scale: f32, dst: &mut [i8]) {
+    assert!(dst.len() >= src.len(), "quantization target too short");
+    let inv = 1.0 / scale;
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        *d = quantize_value(v, inv);
+    }
+}
+
 /// Quantizes `src` symmetrically to int8 (`q = round(v / scale)`,
 /// `scale = max|v| / 127`) and returns the scale. All-zero inputs get
 /// scale 1.0 so dequantization stays exact and finite.
@@ -50,14 +89,34 @@ const TILING_THRESHOLD_I8: usize = 16 * 1024;
 ///
 /// Panics if `dst` is shorter than `src`.
 pub fn quantize_symmetric(src: &[f32], dst: &mut [i8]) -> f32 {
-    assert!(dst.len() >= src.len(), "quantization target too short");
-    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-    let inv = 1.0 / scale;
-    for (d, &v) in dst.iter_mut().zip(src.iter()) {
-        *d = (v * inv).round().clamp(-127.0, 127.0) as i8;
-    }
+    let scale = scale_for_max(max_abs(src));
+    quantize_with_scale(src, scale, dst);
     scale
+}
+
+/// Quantizes `src` (viewed as `rows` equal-length rows) with one symmetric
+/// scale *per row* — per-channel weight quantization when the rows are the
+/// output channels of an `OC x (IC*KH*KW)` kernel matrix. Returns the
+/// per-row scales (all-zero rows get scale 1.0).
+///
+/// # Panics
+///
+/// Panics if `rows` does not divide `src.len()` or `dst` is shorter.
+pub fn quantize_symmetric_per_row(src: &[f32], rows: usize, dst: &mut [i8]) -> Vec<f32> {
+    assert!(
+        rows > 0 && src.len().is_multiple_of(rows),
+        "ragged row quantization"
+    );
+    assert!(dst.len() >= src.len(), "quantization target too short");
+    let row_len = src.len() / rows;
+    src.chunks_exact(row_len)
+        .zip(dst.chunks_exact_mut(row_len))
+        .map(|(s, d)| {
+            let scale = scale_for_max(max_abs(s));
+            quantize_with_scale(s, scale, d);
+            scale
+        })
+        .collect()
 }
 
 /// Packs an i16 pair into the i32 the A panel stores (low half = even k).
@@ -120,6 +179,31 @@ fn pack_b_i8(b: &[i8], pack: &mut [i8], pc: usize, jc: usize, kc: usize, nc: usi
     }
 }
 
+/// Portable accumulation body of the int8 microkernel: the full
+/// `MR_I8 x NR_I8` product tile over `kc2` k-pairs, row-major. Shared by
+/// the accumulate-into-C path and the fused-epilogue path (which consumes
+/// the raw tile without ever staging it in an i32 C buffer).
+fn micro_i8_portable_tile(pa: &[i32], pb: &[i8], kc2: usize) -> [i32; MR_I8 * NR_I8] {
+    let mut acc = [0i32; MR_I8 * NR_I8];
+    for p2 in 0..kc2 {
+        let bv: &[i8; 2 * NR_I8] = pb[p2 * 2 * NR_I8..(p2 + 1) * 2 * NR_I8]
+            .try_into()
+            .expect("NR_I8 pair panel");
+        let av: &[i32; MR_I8] = pa[p2 * MR_I8..(p2 + 1) * MR_I8]
+            .try_into()
+            .expect("MR_I8 pair panel");
+        for (i, row) in acc.chunks_exact_mut(NR_I8).enumerate() {
+            let pair = av[i];
+            let a0 = pair as i16 as i32;
+            let a1 = pair >> 16; // arithmetic shift sign-extends the high half
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += a0 * i32::from(bv[2 * j]) + a1 * i32::from(bv[2 * j + 1]);
+            }
+        }
+    }
+    acc
+}
+
 /// Portable int8 microkernel over the pair-interleaved panels: accumulates
 /// an `MR_I8 x NR_I8` i32 tile across `kc2` k-pairs, then adds the valid
 /// `mr x nr` corner into `c`.
@@ -132,24 +216,8 @@ fn micro_i8_portable(
     mr: usize,
     nr: usize,
 ) {
-    let mut acc = [[0i32; NR_I8]; MR_I8];
-    for p2 in 0..kc2 {
-        let bv: &[i8; 2 * NR_I8] = pb[p2 * 2 * NR_I8..(p2 + 1) * 2 * NR_I8]
-            .try_into()
-            .expect("NR_I8 pair panel");
-        let av: &[i32; MR_I8] = pa[p2 * MR_I8..(p2 + 1) * MR_I8]
-            .try_into()
-            .expect("MR_I8 pair panel");
-        for (i, row) in acc.iter_mut().enumerate() {
-            let pair = av[i];
-            let a0 = pair as i16 as i32;
-            let a1 = pair >> 16; // arithmetic shift sign-extends the high half
-            for (j, slot) in row.iter_mut().enumerate() {
-                *slot += a0 * i32::from(bv[2 * j]) + a1 * i32::from(bv[2 * j + 1]);
-            }
-        }
-    }
-    for (i, row) in acc.iter().enumerate().take(mr) {
+    let acc = micro_i8_portable_tile(pa, pb, kc2);
+    for (i, row) in acc.chunks_exact(NR_I8).enumerate().take(mr) {
         let c_row = &mut c[i * ldc..i * ldc + nr];
         for (cv, &v) in c_row.iter_mut().zip(row.iter()) {
             *cv += v;
@@ -157,24 +225,19 @@ fn micro_i8_portable(
     }
 }
 
-/// AVX2 int8 microkernel: one 32-byte load, two sign-extensions and eight
-/// `vpmaddwd` per k-pair — 128 multiply-accumulates per iteration.
+/// AVX2 accumulation body of the int8 microkernel: one 32-byte load, two
+/// sign-extensions and eight `vpmaddwd` per k-pair — 128
+/// multiply-accumulates per iteration — spilled once into the returned
+/// row-major tile. The fused-epilogue path consumes this tile directly
+/// (register file → epilogue, no i32 C traffic at all).
 ///
 /// # Safety
 ///
-/// Caller must have verified [`simd_available`]. Panel and `c` extents must
-/// satisfy the same bounds the portable kernel indexes.
+/// Caller must have verified [`simd_available`]; panel extents must cover
+/// `kc2` k-pairs.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn micro_i8_avx2(
-    pa: &[i32],
-    pb: &[i8],
-    kc2: usize,
-    c: &mut [i32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
+unsafe fn micro_i8_avx2_tile(pa: &[i32], pb: &[i8], kc2: usize) -> [i32; MR_I8 * NR_I8] {
     use core::arch::x86_64::{
         __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
         _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
@@ -182,7 +245,6 @@ unsafe fn micro_i8_avx2(
     };
     debug_assert!(pa.len() >= kc2 * MR_I8);
     debug_assert!(pb.len() >= kc2 * 2 * NR_I8);
-    debug_assert!(mr >= 1 && c.len() >= (mr - 1) * ldc + nr);
 
     let mut acc = [[_mm256_setzero_si256(); 2]; MR_I8];
     let mut ap = pa.as_ptr();
@@ -209,6 +271,127 @@ unsafe fn micro_i8_avx2(
             row[1],
         );
     }
+    tile
+}
+
+/// AVX2 int8 microkernel with the requantization epilogue fused into the
+/// store: the accumulation body's twelve i32 vectors are (optionally added
+/// to partial sums, then) converted, scaled, biased, ReLU-clamped and
+/// written to `out` as f32 *while still in registers* — the output panel
+/// is touched exactly once and no i32 C traffic exists. `lanes` maintains
+/// 16 per-column running maxima of `|out|` (one `vmaxps` pair per row)
+/// that the caller folds once per block, so `max|out|` tracking adds no
+/// horizontal reduction to the hot loop.
+///
+/// Scalar-exact: conversion is exact, and the scale/bias use separate
+/// multiply and add (not FMA) so every value equals the unfused
+/// requantize sweep bit for bit. Full tiles only (`mr = MR_I8`,
+/// `nr = NR_I8`); ragged edges take the portable epilogue path.
+///
+/// # Safety
+///
+/// Caller must have verified [`simd_available`]; panel extents must cover
+/// `kc2` pairs; `out` (and `acc` when present) must cover a full
+/// `MR_I8 x NR_I8` tile at row stride `ldc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_i8_avx2_fused(
+    pa: &[i32],
+    pb: &[i8],
+    kc2: usize,
+    acc: Option<*const i32>,
+    out: *mut f32,
+    ldc: usize,
+    scales: &[f32; MR_I8],
+    bias: &[f32; MR_I8],
+    relu: bool,
+    lanes: Option<&mut [f32; NR_I8]>,
+) {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_add_ps, _mm256_andnot_ps, _mm256_castsi256_si128,
+        _mm256_cvtepi32_ps, _mm256_cvtepi8_epi16, _mm256_extracti128_si256, _mm256_loadu_ps,
+        _mm256_loadu_si256, _mm256_madd_epi16, _mm256_max_ps, _mm256_mul_ps, _mm256_set1_epi32,
+        _mm256_set1_ps, _mm256_setzero_si256, _mm256_storeu_ps,
+    };
+    debug_assert!(pa.len() >= kc2 * MR_I8);
+    debug_assert!(pb.len() >= kc2 * 2 * NR_I8);
+
+    let mut acc_v = [[_mm256_setzero_si256(); 2]; MR_I8];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc2 {
+        let braw = _mm256_loadu_si256(bp.cast::<__m256i>());
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(braw));
+        for (i, row) in acc_v.iter_mut().enumerate() {
+            let a = _mm256_set1_epi32(*ap.add(i));
+            row[0] = _mm256_add_epi32(row[0], _mm256_madd_epi16(a, b_lo));
+            row[1] = _mm256_add_epi32(row[1], _mm256_madd_epi16(a, b_hi));
+        }
+        ap = ap.add(MR_I8);
+        bp = bp.add(2 * NR_I8);
+    }
+
+    let zero = _mm256_set1_ps(0.0);
+    let sign = _mm256_set1_ps(-0.0);
+    let (mut mx_lo, mut mx_hi) = match &lanes {
+        Some(l) => (
+            _mm256_loadu_ps(l.as_ptr()),
+            _mm256_loadu_ps(l.as_ptr().add(8)),
+        ),
+        None => (zero, zero),
+    };
+    for (i, row) in acc_v.iter().enumerate() {
+        let (mut lo, mut hi) = (row[0], row[1]);
+        if let Some(p) = acc {
+            lo = _mm256_add_epi32(lo, _mm256_loadu_si256(p.add(i * ldc).cast::<__m256i>()));
+            hi = _mm256_add_epi32(hi, _mm256_loadu_si256(p.add(i * ldc + 8).cast::<__m256i>()));
+        }
+        let s = _mm256_set1_ps(scales[i]);
+        let b = _mm256_set1_ps(bias[i]);
+        // mul-then-add, not FMA: the unfused sweep rounds twice and the
+        // fused store must match it bitwise.
+        let mut f_lo = _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(lo), s), b);
+        let mut f_hi = _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(hi), s), b);
+        if relu {
+            f_lo = _mm256_max_ps(f_lo, zero);
+            f_hi = _mm256_max_ps(f_hi, zero);
+        }
+        let o = out.add(i * ldc);
+        _mm256_storeu_ps(o, f_lo);
+        _mm256_storeu_ps(o.add(8), f_hi);
+        if lanes.is_some() {
+            mx_lo = _mm256_max_ps(mx_lo, _mm256_andnot_ps(sign, f_lo));
+            mx_hi = _mm256_max_ps(mx_hi, _mm256_andnot_ps(sign, f_hi));
+        }
+    }
+    if let Some(l) = lanes {
+        _mm256_storeu_ps(l.as_mut_ptr(), mx_lo);
+        _mm256_storeu_ps(l.as_mut_ptr().add(8), mx_hi);
+    }
+}
+
+/// AVX2 int8 microkernel: the accumulation body plus the add of the valid
+/// `mr x nr` corner into `c`.
+///
+/// # Safety
+///
+/// Caller must have verified [`simd_available`]. Panel and `c` extents must
+/// satisfy the same bounds the portable kernel indexes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_i8_avx2(
+    pa: &[i32],
+    pb: &[i8],
+    kc2: usize,
+    c: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    debug_assert!(mr >= 1 && c.len() >= (mr - 1) * ldc + nr);
+    let tile = micro_i8_avx2_tile(pa, pb, kc2);
     for i in 0..mr {
         let c_row = &mut c[i * ldc..i * ldc + nr];
         for (cv, &v) in c_row.iter_mut().zip(tile[i * NR_I8..].iter()) {
@@ -308,9 +491,288 @@ fn run_block_i8(
     }
 }
 
+/// Dispatches one packed panel pair straight to the raw accumulator tile
+/// (the epilogue reads the finished product from registers/L1 — no zeroed
+/// staging buffer, no add pass, no i32 C traffic).
+#[inline]
+fn micro_i8_tile(pa: &[i32], pb: &[i8], kc2: usize, use_avx2: bool) -> [i32; MR_I8 * NR_I8] {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // SAFETY: `use_avx2` comes from `simd_available()`; panel extents
+        // cover `kc2` pairs as in the accumulate path.
+        return unsafe { micro_i8_avx2_tile(pa, pb, kc2) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    micro_i8_portable_tile(pa, pb, kc2)
+}
+
+/// Runs the packed int8 block *through the requantization epilogue* into
+/// the `mc x nc` region of the f32 output: each register tile is finished
+/// (adding `acc` partials when the problem spans several k-blocks), scaled,
+/// biased, optionally ReLU-clamped and written as f32 in one pass. Returns
+/// the largest |written value| of the region.
+#[allow(clippy::too_many_arguments)]
+fn run_block_i8_fused(
+    pa: &[i32],
+    pb: &[i8],
+    acc: Option<&[i32]>,
+    out: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    mc: usize,
+    nc: usize,
+    kc2: usize,
+    use_avx2: bool,
+    ep: &RequantEpilogue<'_>,
+) -> f32 {
+    // Per-column running maxima: elementwise `max` per row keeps tracking
+    // vector-friendly; the horizontal fold happens once, at the end.
+    let mut lanes = [0.0f32; NR_I8];
+    let mut mx = 0.0f32;
+    for jr in 0..nc.div_ceil(NR_I8) {
+        let nr = NR_I8.min(nc - jr * NR_I8);
+        let pb_panel = &pb[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        for ir in 0..mc.div_ceil(MR_I8) {
+            let mr = MR_I8.min(mc - ir * MR_I8);
+            let pa_panel = &pa[ir * MR_I8 * kc2..(ir + 1) * MR_I8 * kc2];
+            let origin = ir * MR_I8 * ldc + jr * NR_I8;
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 && mr == MR_I8 && nr == NR_I8 {
+                let mut scales = [0.0f32; MR_I8];
+                let mut bias = [0.0f32; MR_I8];
+                for i in 0..MR_I8 {
+                    scales[i] = ep.row_scale(row0 + ir * MR_I8 + i);
+                    bias[i] = ep.bias[row0 + ir * MR_I8 + i];
+                }
+                debug_assert!(out.len() >= origin + (MR_I8 - 1) * ldc + NR_I8);
+                // SAFETY: `use_avx2` comes from `simd_available()`; the
+                // full-tile bounds are asserted above and mirrored for the
+                // optional partial-sum region.
+                unsafe {
+                    micro_i8_avx2_fused(
+                        pa_panel,
+                        pb_panel,
+                        kc2,
+                        acc.map(|a| a[origin..].as_ptr()),
+                        out[origin..].as_mut_ptr(),
+                        ldc,
+                        &scales,
+                        &bias,
+                        ep.relu,
+                        ep.track_max.then_some(&mut lanes),
+                    );
+                }
+                continue;
+            }
+            let tile = micro_i8_tile(pa_panel, pb_panel, kc2, use_avx2);
+            for i in 0..mr {
+                let row = ir * MR_I8 + i;
+                let scale = ep.row_scale(row0 + row);
+                let b = ep.bias[row0 + row];
+                let out_row = &mut out[row * ldc + jr * NR_I8..row * ldc + jr * NR_I8 + nr];
+                let tile_row = &tile[i * NR_I8..i * NR_I8 + nr];
+                // Stage the row in a fixed-width buffer: the convert/scale
+                // loop, the clamp and the lane maxima each vectorize on
+                // their own instead of serializing behind one scalar `mx`.
+                let mut vals = [0.0f32; NR_I8];
+                if let Some(acc) = acc {
+                    let acc_row = &acc[row * ldc + jr * NR_I8..row * ldc + jr * NR_I8 + nr];
+                    for ((v, &t), &p) in vals.iter_mut().zip(tile_row).zip(acc_row) {
+                        *v = (p + t) as f32 * scale + b;
+                    }
+                } else {
+                    for (v, &t) in vals.iter_mut().zip(tile_row) {
+                        *v = t as f32 * scale + b;
+                    }
+                }
+                let vals = &mut vals[..nr];
+                if ep.relu {
+                    for v in vals.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                out_row.copy_from_slice(vals);
+                if ep.track_max {
+                    for (l, &v) in lanes.iter_mut().zip(vals.iter()) {
+                        *l = l.max(v.abs());
+                    }
+                }
+            }
+        }
+    }
+    if ep.track_max {
+        for &l in &lanes {
+            mx = mx.max(l);
+        }
+    }
+    mx
+}
+
+/// Computes `out = epilogue(a * b)` where `a` is `m x k` int8, `b` is
+/// `k x n` int8 and `out` is `m x n` f32: the int8 GEMM with the
+/// requantization epilogue fused into the final k-block, so the i32
+/// accumulator is never re-traversed by a standalone requantize (or ReLU)
+/// sweep. For the PERCIVAL network every convolution fits a single k-block
+/// (`k <= 512`), which also eliminates the i32 C buffer entirely — the
+/// accumulator lives only in the register tile. When
+/// [`RequantEpilogue::track_max`] is set, returns `max|out|` — the
+/// quantization statistic the *next* int8 layer needs, tracked per tile
+/// while the values are still in registers (0.0 when tracking is off).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent, or the epilogue's
+/// bias/scales do not cover `m` rows.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_fused(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    ep: &RequantEpilogue<'_>,
+) -> f32 {
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(
+        out.len() >= m * n,
+        "out too short: {} < {}",
+        out.len(),
+        m * n
+    );
+    assert!(ep.bias.len() >= m, "epilogue bias does not cover {m} rows");
+    assert!(
+        ep.weight_scales.len() == 1 || ep.weight_scales.len() >= m,
+        "epilogue scales must be per-tensor or cover {m} rows"
+    );
+    let out = &mut out[..m * n];
+    if m * n * k <= TILING_THRESHOLD_I8 {
+        // Packing overhead dominates tiny problems: accumulate row-wise and
+        // requantize each finished row (this is the epilogue hook's
+        // fallback, still one pass over the output).
+        let mut mx = 0.0f32;
+        let mut acc = ws.take_i32(n);
+        for i in 0..m {
+            acc[..n].fill(0);
+            let a_row = &a[i * k..i * k + k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let av = i32::from(aik);
+                let b_row = &b[kk * n..kk * n + n];
+                for (cv, &bv) in acc.iter_mut().zip(b_row.iter()) {
+                    *cv += av * i32::from(bv);
+                }
+            }
+            let scale = ep.row_scale(i);
+            let bias = ep.bias[i];
+            let out_row = &mut out[i * n..i * n + n];
+            for (o, &p) in out_row.iter_mut().zip(acc.iter()) {
+                let mut v = p as f32 * scale + bias;
+                if ep.relu {
+                    v = v.max(0.0);
+                }
+                *o = v;
+            }
+            if ep.track_max {
+                for &v in out_row.iter() {
+                    mx = mx.max(v.abs());
+                }
+            }
+        }
+        ws.recycle_i32(acc);
+        return mx;
+    }
+
+    let use_avx2 = simd_available();
+    let kc2_max = KC_I8.min(k).div_ceil(2);
+    let mut pa = ws.take_i32(MC_I8.min(m).div_ceil(MR_I8) * MR_I8 * kc2_max);
+    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * 2 * NR_I8 * kc2_max);
+    // Deep problems (k > KC_I8) need an i32 C buffer for the partial sums
+    // of the non-final k-blocks; the single-block common case does not.
+    let multi_block = k > KC_I8;
+    let mut acc = ws.take_i32(if multi_block { m * n } else { 0 });
+    let mut mx = 0.0f32;
+    for jc in (0..n).step_by(NC_I8) {
+        let nc = NC_I8.min(n - jc);
+        for pc in (0..k).step_by(KC_I8) {
+            let kc = KC_I8.min(k - pc);
+            let kc2 = kc.div_ceil(2);
+            let final_block = pc + kc == k;
+            pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            for ic in (0..m).step_by(MC_I8) {
+                let mc = MC_I8.min(m - ic);
+                pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
+                if final_block {
+                    let partials = multi_block.then(|| &acc[ic * n + jc..]);
+                    mx = mx.max(run_block_i8_fused(
+                        &pa,
+                        &pb,
+                        partials,
+                        &mut out[ic * n + jc..],
+                        n,
+                        ic,
+                        mc,
+                        nc,
+                        kc2,
+                        use_avx2,
+                        ep,
+                    ));
+                } else {
+                    run_block_i8(&pa, &pb, &mut acc[ic * n + jc..], n, mc, nc, kc2, use_avx2);
+                }
+            }
+        }
+    }
+    ws.recycle_i32(acc);
+    ws.recycle_i8(pb);
+    ws.recycle_i32(pa);
+    mx
+}
+
+/// The requantization epilogue of [`gemm_i8_fused`]: turns each finished
+/// `MR_I8 x NR_I8` i32 register tile into f32 output while it is still
+/// cache-hot — `out[row][col] = acc * scale_x * w_scale(row) + bias[row]`,
+/// optionally ReLU-clamped — so the int8 path's separate requantize and
+/// activation sweeps over the `oc x spatial` output disappear.
+#[derive(Debug, Clone, Copy)]
+pub struct RequantEpilogue<'a> {
+    /// The activation tensor's dynamic per-sample quantization scale.
+    pub scale_x: f32,
+    /// Weight scales: one entry (per-tensor) or one per output row
+    /// (per-channel). The effective scale of row `r` is
+    /// `scale_x * weight_scales[min(r, len - 1)]`.
+    pub weight_scales: &'a [f32],
+    /// Per-row (output-channel) f32 bias.
+    pub bias: &'a [f32],
+    /// Clamp negatives to zero (fused conv+bias+ReLU+requantize).
+    pub relu: bool,
+    /// Track `max|out|` while writing (the next quantized layer's dynamic
+    /// scale). Costs a per-element reduction, so callers disable it when
+    /// the consumer is not a quantized GEMM (pooling, logits).
+    pub track_max: bool,
+}
+
+impl RequantEpilogue<'_> {
+    /// The combined requantization scale of output row `row`.
+    #[inline]
+    fn row_scale(&self, row: usize) -> f32 {
+        let w = if self.weight_scales.len() == 1 {
+            self.weight_scales[0]
+        } else {
+            self.weight_scales[row]
+        };
+        self.scale_x * w
+    }
+}
+
 /// Requantizes an `oc x spatial` i32 accumulator into f32: `out[ch][s] =
 /// acc[ch][s] * scale + bias[ch]`. `scale` is the product of the two
 /// per-tensor quantization scales.
+///
+/// This is the *unfused* reference sweep — the epilogue-free baseline the
+/// fusion benchmarks and parity tests compare [`gemm_i8_fused`] against.
 ///
 /// # Panics
 ///
@@ -449,5 +911,142 @@ mod tests {
         let mut out = [0.0f32; 6];
         requantize_into(&acc, 0.5, &[1.0, -1.0], 3, &mut out);
         assert_eq!(out, [6.0, -9.0, 16.0, 19.0, -1.0, 1.5]);
+    }
+
+    /// The unfused reference: gemm, then the standalone requantize and ReLU
+    /// sweeps the epilogue replaces.
+    fn fused_reference(
+        a: &[i8],
+        b: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        ep: &RequantEpilogue<'_>,
+    ) -> (Vec<f32>, f32) {
+        let acc = naive_i8(a, b, m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let scale = ep.scale_x
+                * if ep.weight_scales.len() == 1 {
+                    ep.weight_scales[0]
+                } else {
+                    ep.weight_scales[i]
+                };
+            for j in 0..n {
+                let mut v = acc[i * n + j] as f32 * scale + ep.bias[i];
+                if ep.relu {
+                    v = v.max(0.0);
+                }
+                out[i * n + j] = v;
+            }
+        }
+        let mx = max_abs(&out);
+        (out, mx)
+    }
+
+    #[test]
+    fn fused_requantize_matches_separate_sweeps_bitwise() {
+        // Geometries spanning the tiny fallback, the single-k-block fast
+        // path (no i32 C buffer) and the multi-KC-block path (k > 512).
+        let cases = [
+            (3usize, 7usize, 11usize),
+            (67, 300, 33),
+            (30, 521, 40),
+            (64, 1030, 24),
+        ];
+        let mut ws = Workspace::new();
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_i8(500 + case as u64, m * k);
+            let b = arb_i8(600 + case as u64, k * n);
+            let mut rng = percival_util::Pcg32::seed_from_u64(700 + case as u64);
+            let bias: Vec<f32> = (0..m).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+            for (scales, relu) in [
+                (vec![0.013f32], false),
+                (vec![0.013f32], true),
+                ((0..m).map(|i| 0.01 + i as f32 * 1e-4).collect(), true),
+            ] {
+                let ep = RequantEpilogue {
+                    scale_x: 0.021,
+                    weight_scales: &scales,
+                    bias: &bias,
+                    relu,
+                    track_max: true,
+                };
+                let mut out = vec![0.0f32; m * n];
+                let mx = gemm_i8_fused(&a, &b, &mut out, m, k, n, &mut ws, &ep);
+                let (expect, expect_mx) = fused_reference(&a, &b, m, k, n, &ep);
+                assert_eq!(
+                    out,
+                    expect,
+                    "case {case} scales={} relu={relu}",
+                    scales.len()
+                );
+                assert_eq!(mx, expect_mx, "case {case}: tracked max must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gemm_reuses_workspace() {
+        let (m, k, n) = (64, 128, 64);
+        let a = arb_i8(15, m * k);
+        let b = arb_i8(16, k * n);
+        let bias = vec![0.1f32; m];
+        let scales = [0.02f32];
+        let ep = RequantEpilogue {
+            scale_x: 0.5,
+            weight_scales: &scales,
+            bias: &bias,
+            relu: true,
+            track_max: true,
+        };
+        let mut out = vec![0.0f32; m * n];
+        let mut ws = Workspace::new();
+        gemm_i8_fused(&a, &b, &mut out, m, k, n, &mut ws, &ep);
+        let cold = ws.stats().allocations;
+        for _ in 0..5 {
+            gemm_i8_fused(&a, &b, &mut out, m, k, n, &mut ws, &ep);
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            cold,
+            "warm fused int8 GEMM must not allocate"
+        );
+    }
+
+    #[test]
+    fn per_row_quantization_tightens_unbalanced_rows() {
+        // Row 0 is tiny, row 1 huge: one per-tensor scale wastes almost the
+        // whole int8 range on row 0; per-row scales recover it.
+        let src: Vec<f32> = (0..8)
+            .map(|i| (if i < 4 { 0.01 } else { 10.0 }) * (i as f32 % 4.0 - 1.5))
+            .collect();
+        let mut q_row = vec![0i8; 8];
+        let scales = quantize_symmetric_per_row(&src, 2, &mut q_row);
+        assert_eq!(scales.len(), 2);
+        assert!(scales[0] < scales[1]);
+        let mut q_tensor = vec![0i8; 8];
+        let tensor_scale = quantize_symmetric(&src, &mut q_tensor);
+        // On the small-magnitude row, the per-row scale must reconstruct
+        // strictly better than the tensor-wide scale the big row dictates.
+        let err = |q: &[i8], s: &dyn Fn(usize) -> f32| -> f32 {
+            src[..4]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v - f32::from(q[i]) * s(i)).abs())
+                .fold(0.0, f32::max)
+        };
+        let per_row_err = err(&q_row, &|_| scales[0]);
+        let per_tensor_err = err(&q_tensor, &|_| tensor_scale);
+        assert!(
+            per_row_err < per_tensor_err,
+            "per-row {per_row_err} must beat per-tensor {per_tensor_err} on the small row"
+        );
+        // All-zero rows stay finite and exact.
+        let zeros = [0.0f32; 6];
+        let mut qz = [1i8; 6];
+        let zscales = quantize_symmetric_per_row(&zeros, 3, &mut qz);
+        assert!(zscales.iter().all(|&s| s == 1.0));
+        assert!(qz.iter().all(|&v| v == 0));
     }
 }

@@ -39,9 +39,13 @@ pub mod threadpool;
 pub mod workspace;
 
 pub use conv::{
-    conv2d_backward, conv2d_forward, conv2d_forward_q8_with, conv2d_forward_with, Conv2dCfg,
+    conv2d_backward, conv2d_forward, conv2d_forward_ep_with, conv2d_forward_q8_fused,
+    conv2d_forward_q8_with, conv2d_forward_with, Conv2dCfg,
 };
-pub use gemm_i8::{gemm_i8, quantize_symmetric};
+pub use gemm::EpilogueF32;
+pub use gemm_i8::{
+    gemm_i8, gemm_i8_fused, quantize_symmetric, quantize_symmetric_per_row, RequantEpilogue,
+};
 pub use pool::{
     global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg,
 };

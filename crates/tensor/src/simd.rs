@@ -47,6 +47,12 @@ pub fn simd_available() -> bool {
 /// `NR_SIMD`-column packed B panel, exactly as produced by the generic
 /// packers in [`crate::gemm`] with this tile's geometry.
 ///
+/// `relu` is the fused epilogue ([`crate::gemm::EpilogueF32`]): when set,
+/// the store path clamps each finished output lane at zero with one extra
+/// `vmaxps` per vector — the caller only passes `true` on the tile's final
+/// k-block, so the clamp sees the fully accumulated value and the fused
+/// result is bitwise-identical to a separate ReLU sweep.
+///
 /// # Safety
 ///
 /// The caller must have verified [`simd_available`]. Slice extents are
@@ -55,6 +61,7 @@ pub fn simd_available() -> bool {
 /// `c.len() >= (mr - 1) * ldc + nr`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn microkernel_f32_avx2(
     pa: &[f32],
     pb: &[f32],
@@ -63,10 +70,11 @@ pub(crate) unsafe fn microkernel_f32_avx2(
     ldc: usize,
     mr: usize,
     nr: usize,
+    relu: bool,
 ) {
     use core::arch::x86_64::{
-        _mm256_add_ps, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
-        _mm256_storeu_ps,
+        _mm256_add_ps, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_max_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps,
     };
     debug_assert!(pa.len() >= kc * MR_SIMD, "packed A panel too short");
     debug_assert!(pb.len() >= kc * NR_SIMD, "packed B panel too short");
@@ -91,12 +99,21 @@ pub(crate) unsafe fn microkernel_f32_avx2(
     }
 
     if mr == MR_SIMD && nr == NR_SIMD {
-        // Full tile: vector read-modify-write straight into C.
+        let zero = _mm256_setzero_ps();
+        // Full tile: vector read-modify-write straight into C, with the
+        // ReLU epilogue folded into the store while the tile is in
+        // registers.
         for (i, row) in acc.iter().enumerate() {
             let out = c.as_mut_ptr().add(i * ldc);
-            _mm256_storeu_ps(out, _mm256_add_ps(_mm256_loadu_ps(out), row[0]));
             let out_hi = out.add(8);
-            _mm256_storeu_ps(out_hi, _mm256_add_ps(_mm256_loadu_ps(out_hi), row[1]));
+            let mut lo = _mm256_add_ps(_mm256_loadu_ps(out), row[0]);
+            let mut hi = _mm256_add_ps(_mm256_loadu_ps(out_hi), row[1]);
+            if relu {
+                lo = _mm256_max_ps(lo, zero);
+                hi = _mm256_max_ps(hi, zero);
+            }
+            _mm256_storeu_ps(out, lo);
+            _mm256_storeu_ps(out_hi, hi);
         }
     } else {
         // Ragged edge: spill the tile and add the valid corner scalar-wise.
@@ -111,6 +128,9 @@ pub(crate) unsafe fn microkernel_f32_avx2(
             let c_row = &mut c[i * ldc..i * ldc + nr];
             for (cv, &v) in c_row.iter_mut().zip(tile[i * NR_SIMD..].iter()) {
                 *cv += v;
+                if relu {
+                    *cv = cv.max(0.0);
+                }
             }
         }
     }
@@ -144,22 +164,27 @@ mod tests {
             .map(|i| (i % 7) as f32 * 0.5 - 1.5)
             .collect();
         for (mr, nr) in [(MR_SIMD, NR_SIMD), (3, 16), (6, 5), (1, 1)] {
-            let ldc = NR_SIMD + 3;
-            let mut c = vec![1.0f32; MR_SIMD * ldc];
-            unsafe { microkernel_f32_avx2(&pa, &pb, kc, &mut c, ldc, mr, nr) };
-            for i in 0..MR_SIMD {
-                for j in 0..NR_SIMD.min(ldc) {
-                    let mut expect = 1.0f32;
-                    if i < mr && j < nr {
-                        for p in 0..kc {
-                            expect += pa[p * MR_SIMD + i] * pb[p * NR_SIMD + j];
+            for relu in [false, true] {
+                let ldc = NR_SIMD + 3;
+                let mut c = vec![1.0f32; MR_SIMD * ldc];
+                unsafe { microkernel_f32_avx2(&pa, &pb, kc, &mut c, ldc, mr, nr, relu) };
+                for i in 0..MR_SIMD {
+                    for j in 0..NR_SIMD.min(ldc) {
+                        let mut expect = 1.0f32;
+                        if i < mr && j < nr {
+                            for p in 0..kc {
+                                expect += pa[p * MR_SIMD + i] * pb[p * NR_SIMD + j];
+                            }
+                            if relu {
+                                expect = expect.max(0.0);
+                            }
                         }
+                        let got = c[i * ldc + j];
+                        assert!(
+                            (got - expect).abs() < 1e-3,
+                            "mr={mr} nr={nr} relu={relu} ({i},{j}): {got} vs {expect}"
+                        );
                     }
-                    let got = c[i * ldc + j];
-                    assert!(
-                        (got - expect).abs() < 1e-3,
-                        "mr={mr} nr={nr} ({i},{j}): {got} vs {expect}"
-                    );
                 }
             }
         }
