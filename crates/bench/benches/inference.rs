@@ -23,8 +23,9 @@ use percival_tensor::gemm::{
 };
 use percival_tensor::gemm_i8::requantize_into;
 use percival_tensor::{
-    gemm_i8, gemm_i8_fused, quantize_symmetric, EpilogueF32, RequantEpilogue, Shape, Tensor,
-    Workspace,
+    gemm_i8, gemm_i8_fused, gemm_i8_fused_prepacked, gemm_prepacked_acc_ep, quantize_symmetric,
+    set_i8_tier_override, simd_available, vnni_available, EpilogueF32, I8Tier, PackedGemmF32,
+    PackedGemmI8, RequantEpilogue, Shape, Tensor, Workspace,
 };
 use percival_util::Pcg32;
 use std::hint::black_box;
@@ -88,10 +89,13 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_function(&format!("simd/{name}"), |bch| {
             bch.iter(|| gemm_acc(black_box(&a), black_box(&b), &mut out, m, k, n))
         });
-        set_gemm_kernel(GemmKernel::Tiled);
-
         // The quantized inner product (same shapes, i8 operands, i32
         // accumulation — the work a QuantizedSequential convolution runs).
+        // The auto row runs whatever tier the dispatcher picks for this
+        // host; the per-tier rows pin the kernel so the VNNI-vs-AVX2 gain
+        // is measured directly (each row only emitted when the host can
+        // actually run that tier).
+        set_gemm_kernel(GemmKernel::Simd);
         let mut aq = vec![0i8; m * k];
         let mut bq = vec![0i8; k * n];
         quantize_symmetric(&a, &mut aq);
@@ -101,7 +105,166 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_function(&format!("int8/{name}"), |bch| {
             bch.iter(|| gemm_i8(black_box(&aq), black_box(&bq), &mut acc, m, k, n, &mut ws))
         });
+        let mut tiers = vec![("int8_portable", I8Tier::Portable)];
+        if simd_available() {
+            tiers.push(("int8_avx2", I8Tier::Avx2));
+        }
+        if vnni_available() {
+            tiers.push(("int8_vnni", I8Tier::Vnni));
+        }
+        for (tier_name, tier) in tiers {
+            set_i8_tier_override(Some(tier));
+            g.bench_function(&format!("{tier_name}/{name}"), |bch| {
+                bch.iter(|| gemm_i8(black_box(&aq), black_box(&bq), &mut acc, m, k, n, &mut ws))
+            });
+        }
+        set_i8_tier_override(None);
+        set_gemm_kernel(GemmKernel::Tiled);
     }
+    g.finish();
+}
+
+/// Compile-time weight prepacking vs per-call packing, at the GEMM level
+/// (conv1's big panel-bound shape and the crossover shape sitting near the
+/// skip-packing threshold — the row pair the `TILING_THRESHOLD` re-tune is
+/// documented against) and at the plan level (the full-224 int8 pass with
+/// empty arenas — the "before" row `prepack_full224_speedup` divides by
+/// the prepacked `fusion/int8_fused_full224`).
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    set_gemm_kernel(GemmKernel::Simd);
+    for (name, m, k, n) in [
+        ("conv1_224px", 64usize, 36usize, 12544usize),
+        ("crossover_24x36x225", 24, 36, 225),
+    ] {
+        let a = rand_vec(31, m * k);
+        let b = rand_vec(32, k * n);
+        let mut out = vec![0.0f32; m * n];
+        let mut ws = Workspace::new();
+        g.bench_function(&format!("{name}/f32_repacked"), |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm_acc_ws_ep(
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    &mut ws,
+                    EpilogueF32::NONE,
+                );
+            })
+        });
+        let pw = PackedGemmF32::pack(&a, m, k);
+        g.bench_function(&format!("{name}/f32_prepacked"), |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm_prepacked_acc_ep(
+                    black_box(&a),
+                    &pw,
+                    black_box(&b),
+                    &mut out,
+                    n,
+                    &mut ws,
+                    EpilogueF32::NONE,
+                );
+            })
+        });
+
+        let mut aq = vec![0i8; m * k];
+        let mut bq = vec![0i8; k * n];
+        let w_scale = quantize_symmetric(&a, &mut aq);
+        let x_scale = quantize_symmetric(&b, &mut bq);
+        let bias = vec![0.1f32; m];
+        let scales = [w_scale];
+        let ep = RequantEpilogue {
+            scale_x: x_scale,
+            weight_scales: &scales,
+            bias: &bias,
+            relu: true,
+            track_max: false,
+        };
+        g.bench_function(&format!("{name}/int8_repacked"), |bch| {
+            bch.iter(|| {
+                black_box(gemm_i8_fused(
+                    black_box(&aq),
+                    black_box(&bq),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    &mut ws,
+                    &ep,
+                ))
+            })
+        });
+        let pq = PackedGemmI8::pack(&aq, m, k);
+        g.bench_function(&format!("{name}/int8_prepacked"), |bch| {
+            bch.iter(|| {
+                black_box(gemm_i8_fused_prepacked(
+                    &pq,
+                    black_box(&bq),
+                    &mut out,
+                    n,
+                    &mut ws,
+                    &ep,
+                ))
+            })
+        });
+    }
+
+    // Plan level: the fused full-224 int8 pass forced onto per-call weight
+    // packing (empty arenas). Its prepacked counterpart is
+    // `fusion/int8_fused_full224`.
+    let mut model = percival_net();
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+    let q = QuantizedSequential::from_model(&model);
+    let unpacked = ExecPlan::compile_quantized_unpacked(&q);
+    let input = Classifier::preprocess(&noisy_bitmap(224, 5), 224);
+    let (shape, data) = (input.shape(), input.as_slice());
+    let mut ws = Workspace::new();
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("int8_full224_repacked", |b| {
+        b.iter(|| black_box(unpacked.run_i8(&q, shape, black_box(data), &mut ws)))
+    });
+    set_gemm_kernel(GemmKernel::Tiled);
+    g.finish();
+}
+
+/// Plan-level pipelining vs the sequential reference at paper geometry, on
+/// both tiers. On a one-thread pool (single-core CI) the pipelined rows
+/// collapse onto the sequential path, so these double as a no-regression
+/// guard for the pipelining plumbing itself.
+fn bench_pipeline(c: &mut Criterion) {
+    let mut model = percival_net();
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
+    let q = QuantizedSequential::from_model(&model);
+    let mut plan = ExecPlan::compile(&model);
+    plan.attach_quantized(&q);
+    let input = Classifier::preprocess(&noisy_bitmap(224, 5), 224);
+    let (shape, data) = (input.shape(), input.as_slice());
+
+    let mut g = c.benchmark_group("pipeline");
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    set_gemm_kernel(GemmKernel::Simd);
+    let mut ws = Workspace::new();
+    g.bench_function("f32_seq_full224", |b| {
+        b.iter(|| black_box(plan.run_f32_sequential(&model, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("f32_pipelined_full224", |b| {
+        b.iter(|| black_box(plan.run_f32(&model, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("int8_seq_full224", |b| {
+        b.iter(|| black_box(plan.run_i8_sequential(&q, shape, black_box(data), &mut ws)))
+    });
+    g.bench_function("int8_pipelined_full224", |b| {
+        b.iter(|| black_box(plan.run_i8(&q, shape, black_box(data), &mut ws)))
+    });
+    set_gemm_kernel(GemmKernel::Tiled);
     g.finish();
 }
 
@@ -114,7 +277,8 @@ fn bench_fusion(c: &mut Criterion) {
     let mut model = percival_net();
     kaiming_init(&mut model, &mut Pcg32::seed_from_u64(3));
     let q = QuantizedSequential::from_model(&model);
-    let fused = ExecPlan::compile(&model);
+    let mut fused = ExecPlan::compile(&model);
+    fused.attach_quantized(&q);
     let unfused = ExecPlan::compile_unfused(&model);
     let input = Classifier::preprocess(&noisy_bitmap(224, 5), 224);
     let (shape, data) = (input.shape(), input.as_slice());
@@ -349,6 +513,54 @@ fn write_snapshot(c: &Criterion) {
             ));
         }
     }
+    // VNNI tier vs AVX2 tier on the int8 GEMM (acceptance: >= 1.5x where
+    // the host has both).
+    for name in ["conv1_224px", "fire_expand3", "square_256"] {
+        if let (Some(a), Some(v)) = (
+            mean_of(&format!("gemm/int8_avx2/{name}")),
+            mean_of(&format!("gemm/int8_vnni/{name}")),
+        ) {
+            derived.push(snapshot::derived_line(
+                &format!("vnni_vs_avx2_speedup/{name}"),
+                a / v,
+            ));
+        }
+    }
+    // Compile-time prepacking: GEMM-level repacked/prepacked pairs, and the
+    // headline plan-level row — the per-call-packing full-224 int8 pass
+    // over the prepacked fused one.
+    for case in ["conv1_224px", "crossover_24x36x225"] {
+        for tier in ["f32", "int8"] {
+            if let (Some(r), Some(p)) = (
+                mean_of(&format!("pack/{case}/{tier}_repacked")),
+                mean_of(&format!("pack/{case}/{tier}_prepacked")),
+            ) {
+                derived.push(snapshot::derived_line(
+                    &format!("prepack_speedup/{case}_{tier}"),
+                    r / p,
+                ));
+            }
+        }
+    }
+    if let (Some(r), Some(p)) = (
+        mean_of("pack/int8_full224_repacked"),
+        mean_of("fusion/int8_fused_full224"),
+    ) {
+        derived.push(snapshot::derived_line("prepack_full224_speedup", r / p));
+    }
+    // Plan-level pipelining vs the sequential reference (1.0 on a
+    // single-core host, where the pipelined path collapses to sequential).
+    for tier in ["f32", "int8"] {
+        if let (Some(s), Some(p)) = (
+            mean_of(&format!("pipeline/{tier}_seq_full224")),
+            mean_of(&format!("pipeline/{tier}_pipelined_full224")),
+        ) {
+            derived.push(snapshot::derived_line(
+                &format!("pipeline_full224_speedup/{tier}"),
+                s / p,
+            ));
+        }
+    }
     // Fused-vs-unfused execution plans (acceptance: >= 1.0 on both tiers)
     // and the isolated epilogue-vs-sweep GEMM comparisons.
     for tier in ["f32", "int8"] {
@@ -431,6 +643,8 @@ fn write_snapshot(c: &Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_gemm(&mut c);
+    bench_pack(&mut c);
+    bench_pipeline(&mut c);
     bench_fusion(&mut c);
     bench_batching(&mut c);
     bench_engine_hit_path(&mut c);

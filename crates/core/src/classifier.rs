@@ -28,6 +28,23 @@ pub enum Precision {
     Int8,
 }
 
+/// How int8 weight scales are derived when quantizing the model.
+///
+/// Orthogonal to [`Precision`]: the scheme only matters once the
+/// classifier executes in [`Precision::Int8`], but it can be configured up
+/// front (e.g. from an engine config) and survives precision switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantScheme {
+    /// One symmetric scale per weight tensor (the paper's scheme; fastest
+    /// requantization, slightly coarser).
+    #[default]
+    PerTensor,
+    /// One symmetric scale per output channel (filter row) — tighter
+    /// quantization grids for layers whose filters differ widely in
+    /// magnitude, at the cost of a per-row scale lookup in the epilogue.
+    PerChannel,
+}
+
 /// One classification verdict.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
@@ -59,11 +76,15 @@ pub struct Classifier {
     model: Sequential,
     /// Int8 execution model, present iff precision is [`Precision::Int8`].
     quantized: Option<QuantizedSequential>,
-    /// The compiled fused execution plan, built once from the model
-    /// structure at construction and shared by both precision tiers — the
-    /// plan holds layer indices, not weights, so precision switches and
-    /// weight reloads (same structure) never invalidate it.
+    /// The compiled fused execution plan, built from the model at
+    /// construction and shared by both precision tiers. Its op sequence is
+    /// structure-only, but the plan also carries the prepacked weight
+    /// panels ([`ExecPlan::prepacked`]) — f32 panels from compilation,
+    /// int8 panels attached whenever the quantized model is (re)built — so
+    /// it is bound to the current weights: weight reloads recompile it and
+    /// precision switches re-attach the int8 arena.
     plan: ExecPlan,
+    quant_scheme: QuantScheme,
     input_size: usize,
     threshold: f32,
 }
@@ -88,6 +109,7 @@ impl Classifier {
             model,
             quantized: None,
             plan,
+            quant_scheme: QuantScheme::default(),
             input_size,
             threshold: 0.5,
         }
@@ -111,8 +133,43 @@ impl Classifier {
     pub fn set_precision(&mut self, precision: Precision) {
         self.quantized = match precision {
             Precision::F32 => None,
-            Precision::Int8 => Some(QuantizedSequential::from_model(&self.model)),
+            Precision::Int8 => {
+                let q = match self.quant_scheme {
+                    QuantScheme::PerTensor => QuantizedSequential::from_model(&self.model),
+                    QuantScheme::PerChannel => {
+                        QuantizedSequential::from_model_per_channel(&self.model)
+                    }
+                };
+                // Keep the plan's prepacked int8 panels in lockstep with
+                // the execution model they were packed from.
+                self.plan.attach_quantized(&q);
+                Some(q)
+            }
         };
+    }
+
+    /// Switches the weight-quantization scheme; when int8 execution is
+    /// active the execution model (and the plan's prepacked int8 panels)
+    /// are rebuilt immediately under the new scheme.
+    pub fn with_quant_scheme(mut self, scheme: QuantScheme) -> Self {
+        self.set_quant_scheme(scheme);
+        self
+    }
+
+    /// In-place form of [`Classifier::with_quant_scheme`].
+    pub fn set_quant_scheme(&mut self, scheme: QuantScheme) {
+        if self.quant_scheme == scheme {
+            return;
+        }
+        self.quant_scheme = scheme;
+        if self.quantized.is_some() {
+            self.set_precision(Precision::Int8);
+        }
+    }
+
+    /// The weight-quantization scheme int8 execution (re)builds with.
+    pub fn quant_scheme(&self) -> QuantScheme {
+        self.quant_scheme
     }
 
     /// The precision the forward pass currently executes in.
@@ -285,15 +342,17 @@ impl Classifier {
         serialize::save(&self.model)
     }
 
-    /// Restores weights into a classifier with the same architecture. When
-    /// the classifier executes in int8, the execution model is re-quantized
-    /// from the freshly loaded weights.
+    /// Restores weights into a classifier with the same architecture. The
+    /// execution plan is recompiled so its prepacked f32 panels follow the
+    /// fresh weights, and when the classifier executes in int8 the
+    /// execution model (plus the plan's int8 panels) is re-quantized too.
     ///
     /// # Errors
     ///
     /// Propagates [`ModelIoError`] on malformed or mismatched buffers.
     pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), ModelIoError> {
         serialize::load(&mut self.model, bytes)?;
+        self.plan = ExecPlan::compile(&self.model);
         if self.quantized.is_some() {
             self.set_precision(Precision::Int8);
         }
@@ -413,6 +472,68 @@ mod tests {
             let b = int8_cls.classify(&bmp).p_ad;
             assert!((a - b).abs() < 0.1, "seed {seed}: f32 {a} vs int8 {b}");
         }
+    }
+
+    #[test]
+    fn per_channel_scheme_tracks_f32_verdicts() {
+        let f32_cls = tiny_classifier(12);
+        let pc = f32_cls
+            .clone()
+            .with_quant_scheme(QuantScheme::PerChannel)
+            .with_precision(Precision::Int8);
+        assert_eq!(pc.quant_scheme(), QuantScheme::PerChannel);
+        // Per-channel quantization really is in effect: some conv carries
+        // more than one weight scale.
+        assert!(pc
+            .quantized()
+            .unwrap()
+            .layers
+            .iter()
+            .any(|l| matches!(l, percival_nn::QLayer::Conv(c) if c.scales.len() > 1)));
+        for seed in 0..6u64 {
+            let mut rng = Pcg32::seed_from_u64(80 + seed);
+            let mut bmp = Bitmap::new(24, 24, [0, 0, 0, 255]);
+            for y in 0..24 {
+                for x in 0..24 {
+                    bmp.set(x, y, [rng.next_below(256) as u8, 60, 120, 255]);
+                }
+            }
+            let a = f32_cls.classify(&bmp).p_ad;
+            let b = pc.classify(&bmp).p_ad;
+            assert!((a - b).abs() < 0.1, "seed {seed}: f32 {a} vs per-ch {b}");
+        }
+    }
+
+    #[test]
+    fn scheme_switch_requantizes_active_int8_model() {
+        let mut cls = tiny_classifier(13).with_precision(Precision::Int8);
+        let per_tensor_scales: Vec<usize> = cls
+            .quantized()
+            .unwrap()
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                percival_nn::QLayer::Conv(c) => Some(c.scales.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(per_tensor_scales.iter().all(|&n| n == 1));
+        cls.set_quant_scheme(QuantScheme::PerChannel);
+        assert_eq!(cls.precision(), Precision::Int8, "precision preserved");
+        let per_channel_scales: Vec<usize> = cls
+            .quantized()
+            .unwrap()
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                percival_nn::QLayer::Conv(c) => Some(c.scales.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            per_channel_scales.iter().any(|&n| n > 1),
+            "switching the scheme must rebuild the execution model"
+        );
     }
 
     #[test]

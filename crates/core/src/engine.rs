@@ -28,7 +28,7 @@
 //! returns a ticket for callers that want fire-and-forget or deferred
 //! pickup semantics.
 
-use crate::classifier::{Classifier, Precision, Prediction};
+use crate::classifier::{Classifier, Precision, Prediction, QuantScheme};
 use crate::flight::{AdmissionHint, FlightCounters, FlightSnapshot, FlightTable};
 use crate::flight::{Fifo, Formed, Gate};
 use crate::memo::MemoizedClassifier;
@@ -53,6 +53,9 @@ pub struct EngineConfig {
     /// trades bounded logit drift for a substantially faster CNN; two
     /// engines over the same weights can serve f32 and int8 side by side.
     pub precision: Precision,
+    /// Weight-quantization scheme applied when `precision` is
+    /// [`Precision::Int8`] (ignored for f32 service).
+    pub quant_scheme: QuantScheme,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +64,7 @@ impl Default for EngineConfig {
             max_batch: 8,
             cache_capacity: 4096,
             precision: Precision::F32,
+            quant_scheme: QuantScheme::PerTensor,
         }
     }
 }
@@ -112,9 +116,13 @@ pub struct InferenceEngine {
 
 impl InferenceEngine {
     /// Spawns an engine around a trained classifier, switching it to the
-    /// configured [`EngineConfig::precision`] first.
+    /// configured [`EngineConfig::quant_scheme`] and
+    /// [`EngineConfig::precision`] first (scheme before precision, so an
+    /// int8 engine quantizes under the requested scheme straight away).
     pub fn new(classifier: Classifier, cfg: EngineConfig) -> Self {
-        let classifier = classifier.with_precision(cfg.precision);
+        let classifier = classifier
+            .with_quant_scheme(cfg.quant_scheme)
+            .with_precision(cfg.precision);
         let memo = Arc::new(MemoizedClassifier::new(classifier, cfg.cache_capacity));
         Self::with_memo(memo, cfg)
     }
@@ -416,6 +424,24 @@ mod tests {
                 b.p_ad
             );
         }
+    }
+
+    #[test]
+    fn engine_config_selects_quant_scheme() {
+        let mut model = percival_net_slim(4);
+        kaiming_init(&mut model, &mut Pcg32::seed_from_u64(11));
+        let eng = InferenceEngine::new(
+            Classifier::new(model, 32),
+            EngineConfig {
+                precision: Precision::Int8,
+                quant_scheme: QuantScheme::PerChannel,
+                ..Default::default()
+            },
+        );
+        assert_eq!(eng.classifier().precision(), Precision::Int8);
+        assert_eq!(eng.classifier().quant_scheme(), QuantScheme::PerChannel);
+        let p = eng.submit_wait(&noisy_bitmap(500));
+        assert!((0.0..=1.0).contains(&p.p_ad));
     }
 
     #[test]

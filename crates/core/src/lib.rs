@@ -24,7 +24,7 @@ pub mod policy;
 pub mod train;
 
 pub use arch::{original_squeezenet, percival_net};
-pub use classifier::{Classifier, Precision, Prediction};
+pub use classifier::{Classifier, Precision, Prediction, QuantScheme};
 pub use engine::{EngineConfig, EngineStatsSnapshot, InferenceEngine, VerdictTicket};
 pub use flight::{AdmissionHint, FlightCounters, FlightSnapshot, FlightTable};
 pub use hook::PercivalHook;

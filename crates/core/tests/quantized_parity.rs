@@ -1,4 +1,5 @@
-//! Int8-vs-f32 parity and fused-vs-unfused execution-plan parity.
+//! Int8-vs-f32 parity and execution-plan parity (fusion, prepacking,
+//! pipelining, kernel tiers).
 //!
 //! The acceptance bar for shipping the int8 path is behavioral, not just
 //! numeric: on a synthetic eval set (the same webgen distribution the
@@ -8,15 +9,20 @@
 //! the-fly packing) must match the unfused reference plans — bitwise on
 //! the f32 tier, ≥ 99% verdict agreement on the int8 tier — and verdicts
 //! must stay batch-invariant so flight-table memoization remains sound.
-//! CI runs this under `--release` so the numbers reflect the optimized
-//! kernels that actually serve traffic.
+//! The prepack/pipeline optimizations add a third: compile-time weight
+//! panels must be bitwise-neutral (and actually eliminate per-call weight
+//! packing — asserted on the workspace pack counter), pipelined runs must
+//! match their sequential references, and every int8 kernel tier
+//! (portable, AVX2, VNNI) that the host can run must produce identical
+//! logits. CI runs this under `--release` so the numbers reflect the
+//! optimized kernels that actually serve traffic.
 
 use percival_core::train::{train, TrainConfig};
 use percival_core::{Classifier, Precision};
 use percival_imgcodec::Bitmap;
 use percival_nn::{ExecPlan, QuantizedSequential, StepLr};
 use percival_tensor::activation::softmax;
-use percival_tensor::Workspace;
+use percival_tensor::{set_i8_tier_override, simd_available, vnni_available, I8Tier, Workspace};
 use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
 use percival_webgen::Script;
 
@@ -190,6 +196,172 @@ fn per_channel_int8_tracks_f32_at_least_as_well_as_per_tensor() {
         drift_c <= drift_t * 1.10 + 1e-3,
         "per-channel mean drift {drift_c} worse than per-tensor {drift_t}"
     );
+}
+
+/// Restores the global int8 tier override even when an assertion unwinds,
+/// so one failing tier test cannot poison the others.
+struct TierGuard;
+
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        set_i8_tier_override(None);
+    }
+}
+
+#[test]
+fn prepacked_plans_are_bitwise_equal_to_per_call_packing() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let q = QuantizedSequential::from_model(model);
+    let mut packed = ExecPlan::compile(model);
+    packed.attach_quantized(&q);
+    let (n_f32, n_i8) = packed.prepacked();
+    assert!(
+        n_f32 > 0 && n_f32 == n_i8,
+        "both arenas must carry one panel set per conv, got ({n_f32}, {n_i8})"
+    );
+    let unpacked = ExecPlan::compile_unpacked(model);
+    assert_eq!(unpacked.prepacked(), (0, 0));
+
+    let eval = build_balanced_dataset(59, DatasetProfile::Alexa, Script::Latin, 32, 10);
+    let mut ws = Workspace::new();
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        assert_eq!(
+            packed
+                .run_f32(model, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            unpacked
+                .run_f32(model, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            "f32 prepacking must be bitwise-neutral"
+        );
+        assert_eq!(
+            packed
+                .run_i8(&q, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            unpacked
+                .run_i8(&q, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            "int8 prepacking must be bitwise-neutral"
+        );
+    }
+}
+
+#[test]
+fn prepacked_plan_eliminates_per_call_weight_packing() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let q = QuantizedSequential::from_model(model);
+    let input = Classifier::preprocess(
+        &build_balanced_dataset(61, DatasetProfile::Alexa, Script::Latin, 32, 2)[0].bitmap,
+        cls.input_size(),
+    );
+
+    // Reference: the per-call plan really does pack weight panels on this
+    // real geometry (the early convs sit far above the skip-packing
+    // threshold), so the counter is live.
+    let unpacked = ExecPlan::compile_unpacked(model);
+    let mut ws = Workspace::new();
+    unpacked.run_i8_sequential(&q, input.shape(), input.as_slice(), &mut ws);
+    assert!(
+        ws.stats().weight_packs > 0,
+        "per-call plan must exercise the weight-pack counter"
+    );
+
+    // The prepacked plan must never touch it — this is the "no per-call
+    // weight packing on any conv in the fused plan path" guarantee.
+    let mut packed = ExecPlan::compile(model);
+    packed.attach_quantized(&q);
+    let mut ws = Workspace::new();
+    packed.run_f32_sequential(model, input.shape(), input.as_slice(), &mut ws);
+    packed.run_i8_sequential(&q, input.shape(), input.as_slice(), &mut ws);
+    assert_eq!(
+        ws.stats().weight_packs,
+        0,
+        "prepacked plan performed per-call weight packing"
+    );
+}
+
+#[test]
+fn pipelined_runs_match_sequential_references() {
+    let cls = trained_classifier();
+    let model = cls.model();
+    let q = QuantizedSequential::from_model(model);
+    let mut plan = ExecPlan::compile(model);
+    plan.attach_quantized(&q);
+
+    let eval = build_balanced_dataset(67, DatasetProfile::Alexa, Script::Latin, 32, 20);
+    let mut ws = Workspace::new();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        // f32: pipelining only reorders independent disjoint writes, so
+        // the bar is bitwise.
+        assert_eq!(
+            plan.run_f32(model, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            plan.run_f32_sequential(model, input.shape(), input.as_slice(), &mut ws)
+                .as_slice(),
+            "pipelined f32 must be bitwise-equal to sequential"
+        );
+        // int8: the acceptance bar is ≥ 99% verdict agreement (in practice
+        // the runs are bitwise-identical too — same per-sample kernels).
+        let a = softmax(&plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws));
+        let b = softmax(&plan.run_i8_sequential(&q, input.shape(), input.as_slice(), &mut ws));
+        let (pa, pb) = (a.at(0, 1, 0, 0), b.at(0, 1, 0, 0));
+        if (pa >= 0.5) == (pb >= 0.5) {
+            agree += 1;
+        }
+        total += 1;
+        assert!(
+            (pa - pb).abs() < 0.02,
+            "pipelined int8 P(ad) {pa} drifted from sequential {pb}"
+        );
+    }
+    assert!(
+        agree as f64 / total as f64 >= 0.99,
+        "pipelined int8 verdict agreement {agree}/{total} below 0.99"
+    );
+}
+
+#[test]
+fn int8_kernel_tiers_produce_identical_logits() {
+    let _guard = TierGuard;
+    let cls = trained_classifier();
+    let model = cls.model();
+    let q = QuantizedSequential::from_model(model);
+    let mut plan = ExecPlan::compile(model);
+    plan.attach_quantized(&q);
+
+    let mut tiers = vec![I8Tier::Portable];
+    if simd_available() {
+        tiers.push(I8Tier::Avx2);
+    }
+    if vnni_available() {
+        tiers.push(I8Tier::Vnni);
+    }
+
+    let eval = build_balanced_dataset(71, DatasetProfile::Alexa, Script::Latin, 32, 10);
+    let mut ws = Workspace::new();
+    for sample in &eval {
+        let input = Classifier::preprocess(&sample.bitmap, cls.input_size());
+        set_i8_tier_override(Some(I8Tier::Portable));
+        let reference = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        for &tier in &tiers[1..] {
+            set_i8_tier_override(Some(tier));
+            let got = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+            // The VNNI signedness correction and the AVX2 pair kernel are
+            // exact integer arithmetic: every tier must agree bit for bit.
+            assert_eq!(
+                got.as_slice(),
+                reference.as_slice(),
+                "{tier:?} logits diverge from the portable tier"
+            );
+        }
+    }
+    set_i8_tier_override(None);
 }
 
 #[test]

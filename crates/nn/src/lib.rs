@@ -27,5 +27,5 @@ pub use layer::{Conv2d, Fire, Layer};
 pub use model::{ModelGrads, Sequential};
 pub use optim::{SgdMomentum, StepLr};
 pub use plan::ExecPlan;
-pub use qmodel::QuantizedSequential;
+pub use qmodel::{QConv2d, QLayer, QuantizedSequential};
 pub use quant::{quantize, QuantError, QuantizedModel};

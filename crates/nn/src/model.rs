@@ -67,11 +67,12 @@ impl Sequential {
     /// ([`crate::plan::ExecPlan::run_f32`]) — the single f32 forward-pass
     /// implementation, with conv-adjacent activations fused into the GEMM
     /// epilogues (bitwise-identical to unfused execution). This convenience
-    /// entry recompiles the (tiny, structure-only) plan per call;
-    /// allocation-sensitive hot paths — the classifier, the engine — cache
-    /// the compiled [`crate::plan::ExecPlan`] and call `run_f32` directly,
-    /// which is allocation-free when warm apart from the small returned
-    /// logits tensor.
+    /// entry recompiles the (tiny, structure-only, unpacked) plan per
+    /// call; allocation-sensitive hot paths — the classifier, the engine —
+    /// cache a compiled [`crate::plan::ExecPlan`] with prepacked weight
+    /// panels and call `run_f32` directly, which is allocation-free when
+    /// warm apart from the small returned logits tensor and never packs a
+    /// weight operand.
     pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         self.forward_slice_with(input.shape(), input.as_slice(), ws)
     }
@@ -85,7 +86,7 @@ impl Sequential {
     ///
     /// Panics if `data` is shorter than `shape` implies.
     pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
-        ExecPlan::compile(self).run_f32(self, shape, data, ws)
+        ExecPlan::compile_unpacked(self).run_f32(self, shape, data, ws)
     }
 
     /// Training forward pass retaining every activation and cache.

@@ -27,23 +27,56 @@
 //! numerically identical per-tensor (same scales, same integer products,
 //! same requantization — only the traversals are fused away).
 //!
-//! The plan is structure-only: it holds [`ConvLoc`] indices into the layer
-//! list, never weights, so one plan compiled from a [`Sequential`] drives
-//! both its f32 execution ([`ExecPlan::run_f32`]) and any
-//! [`QuantizedSequential`] snapshot of it ([`ExecPlan::run_i8`]) — the
-//! "one protocol, two instantiations" discipline applied to the forward
-//! pass. [`ExecPlan::compile_unfused`] emits the pre-fusion op sequence
-//! (standalone `Relu` ops, sweep-based requantization) as the reference
-//! the parity tests and the fusion benchmarks compare against.
+//! On top of the op sequence the plan owns two **prepacked weight arenas**:
+//! [`ExecPlan::compile`] packs every convolution's `oc x (ic*kh*kw)` f32
+//! weight matrix into GEMM panel layout ([`PackedGemmF32`]) once at compile
+//! time, and [`ExecPlan::compile_quantized`] /
+//! [`ExecPlan::attach_quantized`] do the same for the int8 weights
+//! ([`PackedGemmI8`], which carries every tier's layout — pair-interleaved
+//! for portable/AVX2, quad-interleaved plus signedness corrections for
+//! VNNI). Steady-state forward passes then never pack a weight operand: the
+//! per-call packing that used to run once per conv per GEMM call disappears
+//! from the hot path (outputs stay bitwise-identical — packing is a layout
+//! change only). The `_unpacked` compile variants keep the arenas empty for
+//! cheap per-call plans and parity references. Because the arenas are
+//! packed from one specific model's weights, a plan with non-empty arenas
+//! is bound to those weights: recompile (or re-attach) after any weight
+//! reload.
+//!
+//! Execution is **pipelined** across the persistent
+//! [`percival_tensor::ThreadPool`] when it has more than one thread: a fire
+//! module's expand pair — two convolutions over the same input writing
+//! disjoint halves of one concatenated output — runs as parallel
+//! per-sample tasks, and batched int8 convolutions fan out one task per
+//! sample. Both expand halves are written straight into their channel
+//! windows of the concatenated output buffer, so the separate concat copy
+//! is gone from the sequential path too.
+//! [`ExecPlan::run_f32_sequential`] / [`ExecPlan::run_i8_sequential`]
+//! force the single-thread path as a parity reference; pipelined and
+//! sequential runs are built from the same per-sample kernels and are
+//! bitwise-identical.
+//!
+//! The op sequence is structure-only: it holds [`ConvLoc`] indices into the
+//! layer list, so one plan compiled from a [`Sequential`] drives both its
+//! f32 execution ([`ExecPlan::run_f32`]) and any [`QuantizedSequential`]
+//! snapshot of it ([`ExecPlan::run_i8`]) — the "one protocol, two
+//! instantiations" discipline applied to the forward pass.
+//! [`ExecPlan::compile_unfused`] emits the pre-fusion op sequence
+//! (standalone `Relu` ops, sweep-based requantization) as the reference the
+//! parity tests and the fusion benchmarks compare against.
 
 use crate::layer::{concat_channels_with, Conv2d, Layer};
 use crate::model::Sequential;
 use crate::qmodel::{QConv2d, QLayer, QuantizedSequential};
 use percival_tensor::activation::relu_inplace;
+use percival_tensor::conv::conv_out_extent;
 use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with};
+use percival_tensor::threadpool::ScopedTask;
+use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{
-    conv2d_forward_ep_with, conv2d_forward_q8_fused, conv2d_forward_q8_with, EpilogueF32, PoolCfg,
-    Shape, Tensor, Workspace,
+    conv2d_forward_pre_ep_with, conv2d_forward_q8_fused_pre, conv2d_forward_q8_with,
+    conv2d_sample_ep_into, conv2d_sample_q8_into, Conv2dCfg, EpilogueF32, PackedGemmF32,
+    PackedGemmI8, PoolCfg, Shape, Tensor, ThreadPool, Workspace,
 };
 
 /// Which convolution of a layer a plan op executes.
@@ -101,13 +134,31 @@ pub enum PlanOp {
     GlobalAvgPool,
 }
 
-/// A compiled, fused op sequence over a layer graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A compiled, fused op sequence over a layer graph, optionally carrying
+/// compile-time-prepacked weight panels for each precision tier.
+///
+/// Equality compares the *structure* (ops and fusion mode) only — two
+/// plans over the same graph are equal whether or not their weight arenas
+/// are populated, and regardless of which weights populated them.
+#[derive(Debug, Clone)]
 pub struct ExecPlan {
     ops: Vec<PlanOp>,
     /// False for the reference plan that keeps standalone sweeps.
     fused: bool,
+    /// Prepacked f32 weight panels, one per conv in op-encounter order
+    /// (`Branch` contributes `e1` then `e3`). Empty = pack per call.
+    packed_f32: Vec<PackedGemmF32>,
+    /// Prepacked int8 weight panels, same order. Empty = pack per call.
+    packed_i8: Vec<PackedGemmI8>,
 }
+
+impl PartialEq for ExecPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops && self.fused == other.fused
+    }
+}
+
+impl Eq for ExecPlan {}
 
 /// The structural view compilation needs from a layer (shared by the f32
 /// and int8 graph definitions, which mirror each other layer for layer).
@@ -120,23 +171,63 @@ enum LayerKind {
 }
 
 impl ExecPlan {
-    /// Compiles the fused plan for a model structure.
+    /// Compiles the fused plan for a model structure and prepacks every
+    /// convolution's f32 weight matrix into GEMM panels, so
+    /// [`ExecPlan::run_f32`] never packs a weight operand per call. The
+    /// f32 arena is bound to `model`'s weights at this moment: recompile
+    /// after mutating or reloading them.
     pub fn compile(model: &Sequential) -> ExecPlan {
+        let mut plan = Self::compile_unpacked(model);
+        plan.packed_f32 = pack_f32_weights(model, &plan.ops);
+        plan
+    }
+
+    /// [`ExecPlan::compile`] without weight prepacking: the returned plan
+    /// is structure-only (cheap to build per call) and its runs pack
+    /// weight panels per GEMM call, exactly as before prepacking existed.
+    /// Outputs are bitwise-identical either way.
+    pub fn compile_unpacked(model: &Sequential) -> ExecPlan {
         Self::compile_kinds(model.layers.iter().map(Layer::kind), true)
     }
 
     /// Compiles the *unfused* reference plan: one op per layer, activations
     /// as standalone sweeps, requantization as a separate pass — the
     /// pre-fusion execution the parity tests and benchmarks compare
-    /// against.
+    /// against. Never prepacked and never pipelined.
     pub fn compile_unfused(model: &Sequential) -> ExecPlan {
         Self::compile_kinds(model.layers.iter().map(Layer::kind), false)
     }
 
-    /// [`ExecPlan::compile`] from an int8 graph definition (identical plan:
-    /// the quantized model mirrors its source structure).
+    /// [`ExecPlan::compile`] from an int8 graph definition (identical op
+    /// sequence: the quantized model mirrors its source structure), with
+    /// the int8 weight arena prepacked from `q`.
     pub fn compile_quantized(q: &QuantizedSequential) -> ExecPlan {
+        let mut plan = Self::compile_quantized_unpacked(q);
+        plan.packed_i8 = pack_i8_weights(q, &plan.ops);
+        plan
+    }
+
+    /// [`ExecPlan::compile_quantized`] without weight prepacking.
+    pub fn compile_quantized_unpacked(q: &QuantizedSequential) -> ExecPlan {
         Self::compile_kinds(q.layers.iter().map(QLayer::kind), true)
+    }
+
+    /// Prepacks (or re-packs) the int8 weight arena from `q`, so a plan
+    /// compiled from the f32 model also runs the quantized snapshot
+    /// without per-call weight packing. Call again whenever `q` is
+    /// rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is structurally different from the compiled model.
+    pub fn attach_quantized(&mut self, q: &QuantizedSequential) {
+        self.packed_i8 = pack_i8_weights(q, &self.ops);
+    }
+
+    /// How many convolutions have prepacked panels per tier:
+    /// `(f32, int8)`. Zero means that tier packs weights per call.
+    pub fn prepacked(&self) -> (usize, usize) {
+        (self.packed_f32.len(), self.packed_i8.len())
     }
 
     fn compile_kinds(layers: impl Iterator<Item = LayerKind>, fused: bool) -> ExecPlan {
@@ -197,7 +288,12 @@ impl ExecPlan {
             }
             i += 1;
         }
-        ExecPlan { ops, fused }
+        ExecPlan {
+            ops,
+            fused,
+            packed_f32: Vec::new(),
+            packed_i8: Vec::new(),
+        }
     }
 
     /// The compiled op sequence.
@@ -213,8 +309,12 @@ impl ExecPlan {
 
     /// Runs the f32 tier over a borrowed input buffer. Every intermediate
     /// activation, column matrix and packing panel comes from (and is
-    /// recycled into) `ws`; warmed-up calls allocate nothing beyond the
-    /// returned logits tensor.
+    /// recycled into) `ws` — or, for work farmed out to the
+    /// [`ThreadPool`], the worker's thread-local workspace — so warmed-up
+    /// calls allocate nothing beyond the returned logits tensor.
+    /// Fire-module expand pairs are pipelined across the pool when it has
+    /// more than one thread; bitwise-identical to
+    /// [`ExecPlan::run_f32_sequential`].
     ///
     /// # Panics
     ///
@@ -227,16 +327,46 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
     ) -> Tensor {
+        let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
+        self.run_f32_impl(model, shape, data, ws, pipelined)
+    }
+
+    /// [`ExecPlan::run_f32`] forced onto the single-thread path — the
+    /// parity reference the pipelined run is checked against.
+    pub fn run_f32_sequential(
+        &self,
+        model: &Sequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        self.run_f32_impl(model, shape, data, ws, false)
+    }
+
+    fn run_f32_impl(
+        &self,
+        model: &Sequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        pipelined: bool,
+    ) -> Tensor {
         let mut seed = ws.take(shape.count());
         seed.copy_from_slice(&data[..shape.count()]);
         let mut x = Tensor::from_vec(shape, seed);
+        // Next prepacked-arena slot; advances in op-encounter order, the
+        // same order the arenas were packed in.
+        let mut ci = 0usize;
         for op in &self.ops {
             x = match *op {
                 PlanOp::Conv { loc, relu } => {
                     let c = conv_f32(model, loc);
-                    let out = conv2d_forward_ep_with(
+                    let pw = self.packed_f32.get(ci);
+                    ci += 1;
+                    let out = conv2d_forward_pre_ep_with(
                         &x,
                         &c.weight,
+                        pw,
                         &c.bias,
                         c.cfg,
                         EpilogueF32 { relu },
@@ -247,13 +377,26 @@ impl ExecPlan {
                 }
                 PlanOp::Branch { e1, e3, relu } => {
                     let (c1, c3) = (conv_f32(model, e1), conv_f32(model, e3));
+                    let (pw1, pw3) = (self.packed_f32.get(ci), self.packed_f32.get(ci + 1));
+                    ci += 2;
                     let ep = EpilogueF32 { relu };
-                    let o1 = conv2d_forward_ep_with(&x, &c1.weight, &c1.bias, c1.cfg, ep, ws);
-                    let o3 = conv2d_forward_ep_with(&x, &c3.weight, &c3.bias, c3.cfg, ep, ws);
+                    let out = if self.fused {
+                        branch_f32(&x, c1, pw1, c3, pw3, ep, pipelined, ws)
+                    } else {
+                        // Reference path: two whole-batch convs, then the
+                        // concat copy the fused path writes around.
+                        let o1 = conv2d_forward_pre_ep_with(
+                            &x, &c1.weight, pw1, &c1.bias, c1.cfg, ep, ws,
+                        );
+                        let o3 = conv2d_forward_pre_ep_with(
+                            &x, &c3.weight, pw3, &c3.bias, c3.cfg, ep, ws,
+                        );
+                        let out = concat_channels_with(&o1, &o3, ws);
+                        ws.recycle(o1.into_vec());
+                        ws.recycle(o3.into_vec());
+                        out
+                    };
                     ws.recycle(x.into_vec());
-                    let out = concat_channels_with(&o1, &o3, ws);
-                    ws.recycle(o1.into_vec());
-                    ws.recycle(o3.into_vec());
                     out
                 }
                 PlanOp::Relu => {
@@ -282,6 +425,9 @@ impl ExecPlan {
     /// tracked in the epilogue and handed to the next quantized layer so
     /// dynamic activation scales need no standalone sweeps. Activation
     /// scales remain per-sample, so verdicts stay batch-invariant.
+    /// Fire-module expand pairs (and batched convolutions, one task per
+    /// sample) are pipelined across the pool when it has more than one
+    /// thread; bitwise-identical to [`ExecPlan::run_i8_sequential`].
     ///
     /// # Panics
     ///
@@ -293,6 +439,30 @@ impl ExecPlan {
         shape: Shape,
         data: &[f32],
         ws: &mut Workspace,
+    ) -> Tensor {
+        let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
+        self.run_i8_impl(q, shape, data, ws, pipelined)
+    }
+
+    /// [`ExecPlan::run_i8`] forced onto the single-thread path — the
+    /// parity reference the pipelined run is checked against.
+    pub fn run_i8_sequential(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        self.run_i8_impl(q, shape, data, ws, false)
+    }
+
+    fn run_i8_impl(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        pipelined: bool,
     ) -> Tensor {
         let n = shape.n;
         let mut seed = ws.take(shape.count());
@@ -306,6 +476,7 @@ impl ExecPlan {
         let mut scratch_max = ws.take(n);
         let mut branch_max = ws.take(n);
         let mut have_max = false;
+        let mut ci = 0usize;
         for (idx, op) in self.ops.iter().enumerate() {
             // Track an op's output maximum only when the very next op is a
             // quantized GEMM that will consume it — tracking is a per-
@@ -320,15 +491,31 @@ impl ExecPlan {
             x = match *op {
                 PlanOp::Conv { loc, relu } => {
                     let c = conv_q(q, loc);
-                    let out = run_qconv(
-                        c,
-                        &x,
-                        have_max.then_some(&maxes),
-                        relu,
-                        track.then_some(&mut scratch_max),
-                        self.fused,
-                        ws,
-                    );
+                    let pq = self.packed_i8.get(ci);
+                    ci += 1;
+                    let out = if pipelined && n > 1 {
+                        conv_i8_batch(
+                            &x,
+                            c,
+                            pq,
+                            have_max.then_some(maxes.as_slice()),
+                            relu,
+                            track,
+                            &mut scratch_max,
+                            ws,
+                        )
+                    } else {
+                        run_qconv(
+                            c,
+                            &x,
+                            have_max.then_some(maxes.as_slice()),
+                            relu,
+                            track.then_some(&mut scratch_max),
+                            self.fused,
+                            pq,
+                            ws,
+                        )
+                    };
                     ws.recycle(x.into_vec());
                     std::mem::swap(&mut maxes, &mut scratch_max);
                     have_max = track;
@@ -336,29 +523,53 @@ impl ExecPlan {
                 }
                 PlanOp::Branch { e1, e3, relu } => {
                     let (c1, c3) = (conv_q(q, e1), conv_q(q, e3));
-                    let input_max = have_max.then_some(&maxes);
-                    let o1 = run_qconv(
-                        c1,
-                        &x,
-                        input_max,
-                        relu,
-                        track.then_some(&mut scratch_max),
-                        self.fused,
-                        ws,
-                    );
-                    let o3 = run_qconv(
-                        c3,
-                        &x,
-                        input_max,
-                        relu,
-                        track.then_some(&mut branch_max),
-                        self.fused,
-                        ws,
-                    );
+                    let (pq1, pq3) = (self.packed_i8.get(ci), self.packed_i8.get(ci + 1));
+                    ci += 2;
+                    let input_max = have_max.then_some(maxes.as_slice());
+                    let out = if self.fused {
+                        branch_i8(
+                            &x,
+                            c1,
+                            pq1,
+                            c3,
+                            pq3,
+                            relu,
+                            input_max,
+                            track,
+                            &mut scratch_max,
+                            &mut branch_max,
+                            pipelined,
+                            ws,
+                        )
+                    } else {
+                        // Reference path: two whole-batch convs, then the
+                        // concat copy.
+                        let o1 = run_qconv(
+                            c1,
+                            &x,
+                            input_max,
+                            relu,
+                            track.then_some(&mut scratch_max),
+                            self.fused,
+                            pq1,
+                            ws,
+                        );
+                        let o3 = run_qconv(
+                            c3,
+                            &x,
+                            input_max,
+                            relu,
+                            track.then_some(&mut branch_max),
+                            self.fused,
+                            pq3,
+                            ws,
+                        );
+                        let out = concat_channels_with(&o1, &o3, ws);
+                        ws.recycle(o1.into_vec());
+                        ws.recycle(o3.into_vec());
+                        out
+                    };
                     ws.recycle(x.into_vec());
-                    let out = concat_channels_with(&o1, &o3, ws);
-                    ws.recycle(o1.into_vec());
-                    ws.recycle(o3.into_vec());
                     if track {
                         // The concatenation's max is the max of its halves.
                         for ((m, &a), &b) in maxes
@@ -399,6 +610,322 @@ impl ExecPlan {
     }
 }
 
+/// Prepacks every planned convolution's f32 weight matrix, in op-encounter
+/// order (`Branch` contributes `e1` then `e3` — the order the run loop's
+/// arena cursor consumes).
+fn pack_f32_weights(model: &Sequential, ops: &[PlanOp]) -> Vec<PackedGemmF32> {
+    let mut packs = Vec::new();
+    let mut pack = |c: &Conv2d| {
+        let s = c.weight.shape();
+        packs.push(PackedGemmF32::pack(
+            c.weight.as_slice(),
+            s.n,
+            s.c * s.h * s.w,
+        ));
+    };
+    for op in ops {
+        match *op {
+            PlanOp::Conv { loc, .. } => pack(conv_f32(model, loc)),
+            PlanOp::Branch { e1, e3, .. } => {
+                pack(conv_f32(model, e1));
+                pack(conv_f32(model, e3));
+            }
+            _ => {}
+        }
+    }
+    packs
+}
+
+/// Prepacks every planned convolution's int8 weight matrix (all tier
+/// layouts), in the same op-encounter order as [`pack_f32_weights`].
+fn pack_i8_weights(q: &QuantizedSequential, ops: &[PlanOp]) -> Vec<PackedGemmI8> {
+    let mut packs = Vec::new();
+    let mut pack = |c: &QConv2d| {
+        let s = c.weight_shape;
+        packs.push(PackedGemmI8::pack(&c.weight_q, s.n, s.c * s.h * s.w));
+    };
+    for op in ops {
+        match *op {
+            PlanOp::Conv { loc, .. } => pack(conv_q(q, loc)),
+            PlanOp::Branch { e1, e3, .. } => {
+                pack(conv_q(q, e1));
+                pack(conv_q(q, e3));
+            }
+            _ => {}
+        }
+    }
+    packs
+}
+
+/// Output spatial extents of one convolution.
+fn out_geometry(input: Shape, weight: Shape, cfg: Conv2dCfg) -> (usize, usize) {
+    let oh = conv_out_extent(input.h, weight.h, cfg.stride, cfg.pad)
+        .expect("conv kernel must fit input");
+    let ow = conv_out_extent(input.w, weight.w, cfg.stride, cfg.pad)
+        .expect("conv kernel must fit input");
+    (oh, ow)
+}
+
+/// Shared output extents of a fire module's expand pair.
+fn branch_geometry(
+    input: Shape,
+    w1: Shape,
+    cfg1: Conv2dCfg,
+    w3: Shape,
+    cfg3: Conv2dCfg,
+) -> (usize, usize) {
+    let g1 = out_geometry(input, w1, cfg1);
+    assert_eq!(
+        g1,
+        out_geometry(input, w3, cfg3),
+        "branch extents must agree"
+    );
+    g1
+}
+
+/// A fused f32 expand pair: both convolutions write their channel windows
+/// of the concatenated output directly (no concat copy). Pipelined mode
+/// fans the per-sample half-convolutions out across the pool; both modes
+/// run the identical per-sample kernel, so outputs are bitwise-equal.
+#[allow(clippy::too_many_arguments)]
+fn branch_f32(
+    x: &Tensor,
+    c1: &Conv2d,
+    pw1: Option<&PackedGemmF32>,
+    c3: &Conv2d,
+    pw3: Option<&PackedGemmF32>,
+    ep: EpilogueF32,
+    pipelined: bool,
+    ws: &mut Workspace,
+) -> Tensor {
+    let is = x.shape();
+    let (oh, ow) = branch_geometry(is, c1.weight.shape(), c1.cfg, c3.weight.shape(), c3.cfg);
+    let (o1c, o3c) = (c1.weight.shape().n, c3.weight.shape().n);
+    let spatial = oh * ow;
+    let per = (o1c + o3c) * spatial;
+    let mut out = ws.take(is.n * per);
+    if !pipelined {
+        for (s, out_s) in out.chunks_exact_mut(per).enumerate() {
+            let (w1, w3) = out_s.split_at_mut(o1c * spatial);
+            conv2d_sample_ep_into(
+                x.sample(s),
+                is,
+                &c1.weight,
+                pw1,
+                &c1.bias,
+                c1.cfg,
+                ep,
+                w1,
+                ws,
+            );
+            conv2d_sample_ep_into(
+                x.sample(s),
+                is,
+                &c3.weight,
+                pw3,
+                &c3.bias,
+                c3.cfg,
+                ep,
+                w3,
+                ws,
+            );
+        }
+    } else {
+        let tasks: Vec<ScopedTask<'_>> = out
+            .chunks_exact_mut(per)
+            .enumerate()
+            .flat_map(|(s, out_s)| {
+                let (w1, w3) = out_s.split_at_mut(o1c * spatial);
+                let in_s = x.sample(s);
+                let t1: ScopedTask<'_> = Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        conv2d_sample_ep_into(
+                            in_s, is, &c1.weight, pw1, &c1.bias, c1.cfg, ep, w1, tws,
+                        );
+                    });
+                });
+                let t3: ScopedTask<'_> = Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        conv2d_sample_ep_into(
+                            in_s, is, &c3.weight, pw3, &c3.bias, c3.cfg, ep, w3, tws,
+                        );
+                    });
+                });
+                [t1, t3]
+            })
+            .collect();
+        ThreadPool::global().scope_run(tasks);
+    }
+    Tensor::from_vec(Shape::new(is.n, o1c + o3c, oh, ow), out)
+}
+
+/// A fused int8 expand pair: the int8 sibling of [`branch_f32`], with each
+/// half's per-sample `max|out|` recorded into its own slot array (`m1` for
+/// `e1`, `m3` for `e3`) so the caller can combine them.
+#[allow(clippy::too_many_arguments)]
+fn branch_i8(
+    x: &Tensor,
+    c1: &QConv2d,
+    pq1: Option<&PackedGemmI8>,
+    c3: &QConv2d,
+    pq3: Option<&PackedGemmI8>,
+    relu: bool,
+    input_max: Option<&[f32]>,
+    track: bool,
+    m1: &mut [f32],
+    m3: &mut [f32],
+    pipelined: bool,
+    ws: &mut Workspace,
+) -> Tensor {
+    let is = x.shape();
+    let (oh, ow) = branch_geometry(is, c1.weight_shape, c1.cfg, c3.weight_shape, c3.cfg);
+    let (o1c, o3c) = (c1.weight_shape.n, c3.weight_shape.n);
+    let spatial = oh * ow;
+    let per = (o1c + o3c) * spatial;
+    let mut out = ws.take(is.n * per);
+    if !pipelined {
+        for (s, out_s) in out.chunks_exact_mut(per).enumerate() {
+            let (w1, w3) = out_s.split_at_mut(o1c * spatial);
+            let smax = input_max.map(|m| m[s]);
+            m1[s] = conv2d_sample_q8_into(
+                x.sample(s),
+                smax,
+                is,
+                &c1.weight_q,
+                pq1,
+                c1.weight_shape,
+                &c1.scales,
+                &c1.bias,
+                c1.cfg,
+                relu,
+                track,
+                w1,
+                ws,
+            );
+            m3[s] = conv2d_sample_q8_into(
+                x.sample(s),
+                smax,
+                is,
+                &c3.weight_q,
+                pq3,
+                c3.weight_shape,
+                &c3.scales,
+                &c3.bias,
+                c3.cfg,
+                relu,
+                track,
+                w3,
+                ws,
+            );
+        }
+    } else {
+        let tasks: Vec<ScopedTask<'_>> = out
+            .chunks_exact_mut(per)
+            .zip(m1.iter_mut().zip(m3.iter_mut()))
+            .enumerate()
+            .flat_map(|(s, (out_s, (mx1, mx3)))| {
+                let (w1, w3) = out_s.split_at_mut(o1c * spatial);
+                let in_s = x.sample(s);
+                let smax = input_max.map(|m| m[s]);
+                let t1: ScopedTask<'_> = Box::new(move || {
+                    *mx1 = with_thread_workspace(|tws| {
+                        conv2d_sample_q8_into(
+                            in_s,
+                            smax,
+                            is,
+                            &c1.weight_q,
+                            pq1,
+                            c1.weight_shape,
+                            &c1.scales,
+                            &c1.bias,
+                            c1.cfg,
+                            relu,
+                            track,
+                            w1,
+                            tws,
+                        )
+                    });
+                });
+                let t3: ScopedTask<'_> = Box::new(move || {
+                    *mx3 = with_thread_workspace(|tws| {
+                        conv2d_sample_q8_into(
+                            in_s,
+                            smax,
+                            is,
+                            &c3.weight_q,
+                            pq3,
+                            c3.weight_shape,
+                            &c3.scales,
+                            &c3.bias,
+                            c3.cfg,
+                            relu,
+                            track,
+                            w3,
+                            tws,
+                        )
+                    });
+                });
+                [t1, t3]
+            })
+            .collect();
+        ThreadPool::global().scope_run(tasks);
+    }
+    Tensor::from_vec(Shape::new(is.n, o1c + o3c, oh, ow), out)
+}
+
+/// A batched fused int8 convolution fanned out one task per sample — the
+/// int8 tier's analog of the f32 conv's band parallelism (the fused int8
+/// GEMM is single-threaded per sample, so batch is the axis to split).
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_batch(
+    x: &Tensor,
+    c: &QConv2d,
+    pq: Option<&PackedGemmI8>,
+    input_max: Option<&[f32]>,
+    relu: bool,
+    track: bool,
+    out_max: &mut [f32],
+    ws: &mut Workspace,
+) -> Tensor {
+    let is = x.shape();
+    let (oh, ow) = out_geometry(is, c.weight_shape, c.cfg);
+    let oc = c.weight_shape.n;
+    let spatial = oh * ow;
+    let per = oc * spatial;
+    let mut out = ws.take(is.n * per);
+    let tasks: Vec<ScopedTask<'_>> = out
+        .chunks_exact_mut(per)
+        .zip(out_max.iter_mut())
+        .enumerate()
+        .map(|(s, (out_s, mx))| {
+            let in_s = x.sample(s);
+            let smax = input_max.map(|m| m[s]);
+            let task: ScopedTask<'_> = Box::new(move || {
+                *mx = with_thread_workspace(|tws| {
+                    conv2d_sample_q8_into(
+                        in_s,
+                        smax,
+                        is,
+                        &c.weight_q,
+                        pq,
+                        c.weight_shape,
+                        &c.scales,
+                        &c.bias,
+                        c.cfg,
+                        relu,
+                        track,
+                        out_s,
+                        tws,
+                    )
+                });
+            });
+            task
+        })
+        .collect();
+    ThreadPool::global().scope_run(tasks);
+    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out)
+}
+
 /// Detaches the final activation from the arena so its buffer (and
 /// capacity) stays available for the next pass.
 fn detach(x: Tensor, ws: &mut Workspace) -> Tensor {
@@ -412,13 +939,15 @@ fn detach(x: Tensor, ws: &mut Workspace) -> Tensor {
 /// (quantize image → im2col → GEMM → requantize pass, activation as a
 /// separate plan op). Per-channel weight scales always take the fused
 /// kernel — the sweep-based requantizer is per-tensor only.
+#[allow(clippy::too_many_arguments)]
 fn run_qconv(
     c: &QConv2d,
     x: &Tensor,
-    input_max: Option<&Vec<f32>>,
+    input_max: Option<&[f32]>,
     relu: bool,
     out_max: Option<&mut Vec<f32>>,
     fused: bool,
+    pq: Option<&PackedGemmI8>,
     ws: &mut Workspace,
 ) -> Tensor {
     if !fused && c.scales.len() == 1 {
@@ -432,10 +961,11 @@ fn run_qconv(
             ws,
         );
     }
-    conv2d_forward_q8_fused(
+    conv2d_forward_q8_fused_pre(
         x,
-        input_max.map(Vec::as_slice),
+        input_max,
         &c.weight_q,
+        pq,
         c.weight_shape,
         &c.scales,
         &c.bias,
@@ -571,9 +1101,24 @@ mod tests {
             ],
             "no standalone activation op may survive fusion on this graph"
         );
-        // The quantized mirror compiles to the identical plan.
+        // The quantized mirror compiles to the identical plan (structural
+        // equality — the weight arenas are deliberately excluded).
         let q = QuantizedSequential::from_model(&model);
         assert_eq!(ExecPlan::compile_quantized(&q), plan);
+    }
+
+    #[test]
+    fn compile_prepacks_one_panel_set_per_conv() {
+        let model = tiny_net(20);
+        // 5 convolutions: conv1, squeeze, e1, e3, classifier head.
+        assert_eq!(ExecPlan::compile(&model).prepacked(), (5, 0));
+        assert_eq!(ExecPlan::compile_unpacked(&model).prepacked(), (0, 0));
+        let q = QuantizedSequential::from_model(&model);
+        assert_eq!(ExecPlan::compile_quantized(&q).prepacked(), (0, 5));
+        assert_eq!(ExecPlan::compile_quantized_unpacked(&q).prepacked(), (0, 0));
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
+        assert_eq!(plan.prepacked(), (5, 5));
     }
 
     #[test]
@@ -610,7 +1155,7 @@ mod tests {
         let q = QuantizedSequential::from_model(&model);
         let input = rand_input(6, Shape::new(2, 3, 12, 12));
         let mut ws = Workspace::new();
-        let plan = ExecPlan::compile(&model);
+        let plan = ExecPlan::compile_quantized(&q);
         let fused = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
         let unfused =
             ExecPlan::compile_unfused(&model).run_i8(&q, input.shape(), input.as_slice(), &mut ws);
@@ -620,10 +1165,56 @@ mod tests {
     }
 
     #[test]
+    fn prepacked_runs_match_unpacked_runs_bitwise() {
+        let model = tiny_net(21);
+        let q = QuantizedSequential::from_model(&model);
+        let input = rand_input(22, Shape::new(3, 3, 12, 12));
+        let mut ws = Workspace::new();
+        let mut packed = ExecPlan::compile(&model);
+        packed.attach_quantized(&q);
+        let unpacked = ExecPlan::compile_unpacked(&model);
+        assert_eq!(
+            packed.run_f32(&model, input.shape(), input.as_slice(), &mut ws),
+            unpacked.run_f32(&model, input.shape(), input.as_slice(), &mut ws),
+            "f32 weight prepacking is a layout change only"
+        );
+        assert_eq!(
+            packed.run_i8(&q, input.shape(), input.as_slice(), &mut ws),
+            unpacked.run_i8(&q, input.shape(), input.as_slice(), &mut ws),
+            "int8 weight prepacking is a layout change only"
+        );
+    }
+
+    #[test]
+    fn pipelined_and_sequential_runs_are_bitwise_identical() {
+        let model = tiny_net(23);
+        let q = QuantizedSequential::from_model(&model);
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
+        let mut ws = Workspace::new();
+        // Batched (exercises the per-sample conv fan-out) and
+        // single-sample (exercises the expand-pair task split) inputs.
+        for (seed, n) in [(24u64, 3usize), (25, 1)] {
+            let input = rand_input(seed, Shape::new(n, 3, 12, 12));
+            assert_eq!(
+                plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws),
+                plan.run_f32_sequential(&model, input.shape(), input.as_slice(), &mut ws),
+                "n={n}: pipelined f32 must match the sequential reference"
+            );
+            assert_eq!(
+                plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws),
+                plan.run_i8_sequential(&q, input.shape(), input.as_slice(), &mut ws),
+                "n={n}: pipelined i8 must match the sequential reference"
+            );
+        }
+    }
+
+    #[test]
     fn plan_runs_are_warm_allocation_free() {
         let model = tiny_net(7);
         let q = QuantizedSequential::from_model(&model);
-        let plan = ExecPlan::compile(&model);
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
         let input = rand_input(8, Shape::new(1, 3, 12, 12));
         let mut ws = Workspace::new();
         let f = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
@@ -643,11 +1234,31 @@ mod tests {
     }
 
     #[test]
+    fn prepacked_plan_runs_never_pack_weights() {
+        let model = tiny_net(26);
+        let q = QuantizedSequential::from_model(&model);
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
+        let input = rand_input(27, Shape::new(1, 3, 12, 12));
+        let mut ws = Workspace::new();
+        // Sequential runs route every GEMM through `ws`, so its pack
+        // counter observes the whole pass.
+        plan.run_f32_sequential(&model, input.shape(), input.as_slice(), &mut ws);
+        plan.run_i8_sequential(&q, input.shape(), input.as_slice(), &mut ws);
+        assert_eq!(
+            ws.stats().weight_packs,
+            0,
+            "a fully prepacked plan must never pack a weight operand"
+        );
+    }
+
+    #[test]
     fn per_channel_plan_execution_tracks_f32() {
         let model = tiny_net(9);
         let q = QuantizedSequential::from_model_per_channel(&model);
         let input = rand_input(10, Shape::new(2, 3, 12, 12));
-        let plan = ExecPlan::compile(&model);
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
         let mut ws = Workspace::new();
         let f32_out = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
         let i8_out = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);

@@ -151,10 +151,11 @@ impl QuantizedSequential {
     /// single int8 forward-pass implementation: fused quantize-on-the-fly
     /// convolutions, requantize(+ReLU) GEMM epilogues, per-sample tracked
     /// activation maxima. This convenience entry recompiles the (tiny,
-    /// structure-only) plan per call; allocation-sensitive hot paths — the
-    /// classifier — cache the compiled [`crate::plan::ExecPlan`] and call
+    /// structure-only, unpacked) plan per call; allocation-sensitive hot
+    /// paths — the classifier — cache a compiled
+    /// [`crate::plan::ExecPlan`] with prepacked weight panels and call
     /// `run_i8` directly, which is allocation-free when warm apart from
-    /// the small returned tensor.
+    /// the small returned tensor and never packs a weight operand.
     pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         self.forward_slice_with(input.shape(), input.as_slice(), ws)
     }
@@ -167,7 +168,7 @@ impl QuantizedSequential {
     ///
     /// Panics if `data` is shorter than `shape` implies.
     pub fn forward_slice_with(&self, shape: Shape, data: &[f32], ws: &mut Workspace) -> Tensor {
-        ExecPlan::compile_quantized(self).run_i8(self, shape, data, ws)
+        ExecPlan::compile_quantized_unpacked(self).run_i8(self, shape, data, ws)
     }
 
     /// Output shape for a given input shape, without running the network.

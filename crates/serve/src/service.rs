@@ -94,6 +94,7 @@ impl ServiceConfig {
             max_batch: self.max_batch,
             cache_capacity: self.cache_capacity,
             precision: self.precision,
+            ..Default::default()
         }
     }
 

@@ -6,8 +6,13 @@
 //! inputs are split across the persistent [`ThreadPool`] (one task per
 //! sample band; each worker packs into its own thread-local workspace).
 
-use crate::gemm::{gemm_a_bt_acc, gemm_acc_ws_ep, gemm_at_b_acc, EpilogueF32};
-use crate::gemm_i8::{gemm_i8_fused, max_abs, quantize_with_scale, scale_for_max, RequantEpilogue};
+use crate::gemm::{
+    gemm_a_bt_acc, gemm_acc_ws_ep, gemm_at_b_acc, gemm_prepacked_acc_ep, EpilogueF32, PackedGemmF32,
+};
+use crate::gemm_i8::{
+    gemm_i8_fused, gemm_i8_fused_prepacked, max_abs, quantize_with_scale, scale_for_max,
+    PackedGemmI8, RequantEpilogue,
+};
 use crate::tensor::{Shape, Tensor};
 use crate::threadpool::{ScopedTask, ThreadPool};
 use crate::workspace::{with_thread_workspace, Workspace};
@@ -78,6 +83,21 @@ fn im2col_map<S: Copy, D: Copy + Default>(
                         continue;
                     }
                     let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    if cfg.stride == 1 {
+                        // ix = ox + kx - pad is linear in ox: split the
+                        // output row into [left pad | valid span | right
+                        // pad] once and map the span branch-free (the
+                        // valid interior of every stride-1 kernel tap).
+                        let lo = cfg.pad.saturating_sub(kx).min(ow);
+                        let hi = (w + cfg.pad).saturating_sub(kx).min(ow).max(lo);
+                        dst[..lo].fill(D::default());
+                        let src0 = lo + kx - cfg.pad;
+                        for (d, &s) in dst[lo..hi].iter_mut().zip(src_row[src0..].iter()) {
+                            *d = f(s);
+                        }
+                        dst[hi..].fill(D::default());
+                        continue;
+                    }
                     for (ox, d) in dst.iter_mut().enumerate() {
                         let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
                         *d = if ix < 0 || ix >= w as isize {
@@ -187,13 +207,16 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], cfg: Conv2d
 
 /// One sample's im2col + bias seed + GEMM, entirely in caller buffers. The
 /// epilogue (fused ReLU) is applied by the GEMM per register tile on its
-/// final k-block — never as a second traversal of `out_sample`.
+/// final k-block — never as a second traversal of `out_sample`. When `pw`
+/// holds the weight matrix prepacked at plan compile, the GEMM skips its
+/// per-call weight pack (bitwise-identical output either way).
 #[allow(clippy::too_many_arguments)]
 fn conv_run_sample(
     sample_in: &[f32],
     out_sample: &mut [f32],
     col: &mut [f32],
     weight: &Tensor,
+    pw: Option<&PackedGemmF32>,
     bias: &[f32],
     input_shape: Shape,
     cfg: Conv2dCfg,
@@ -209,45 +232,48 @@ fn conv_run_sample(
     for (ch, chunk) in out_sample.chunks_exact_mut(spatial).enumerate() {
         chunk.fill(bias[ch]);
     }
-    if (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0) {
+    let columns: &[f32] = if (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0) {
         // Pointwise convolution: the column matrix is the input itself
         // (k = C, spatial = H*W), so skip the im2col copy entirely. This
         // covers the squeeze and expand-1x1 convolutions — half the layers
         // in a fire module — plus the final classifier conv.
-        gemm_acc_ws_ep(
-            weight.as_slice(),
+        sample_in
+    } else {
+        im2col(
             sample_in,
+            input_shape.c,
+            input_shape.h,
+            input_shape.w,
+            ws.h,
+            ws.w,
+            cfg,
+            oh,
+            ow,
+            col,
+        );
+        col
+    };
+    match pw {
+        Some(pw) => gemm_prepacked_acc_ep(
+            weight.as_slice(),
+            pw,
+            columns,
+            out_sample,
+            spatial,
+            scratch,
+            ep,
+        ),
+        None => gemm_acc_ws_ep(
+            weight.as_slice(),
+            columns,
             out_sample,
             ws.n,
             k,
             spatial,
             scratch,
             ep,
-        );
-        return;
+        ),
     }
-    im2col(
-        sample_in,
-        input_shape.c,
-        input_shape.h,
-        input_shape.w,
-        ws.h,
-        ws.w,
-        cfg,
-        oh,
-        ow,
-        col,
-    );
-    gemm_acc_ws_ep(
-        weight.as_slice(),
-        col,
-        out_sample,
-        ws.n,
-        k,
-        spatial,
-        scratch,
-        ep,
-    );
 }
 
 /// [`conv2d_forward`] with explicit scratch: the column matrix, GEMM packing
@@ -286,6 +312,28 @@ pub fn conv2d_forward_ep_with(
     ep: EpilogueF32,
     scratch: &mut Workspace,
 ) -> Tensor {
+    conv2d_forward_pre_ep_with(input, weight, None, bias, cfg, ep, scratch)
+}
+
+/// [`conv2d_forward_ep_with`] with an optional compile-time-prepacked
+/// weight operand: when `pw` is present (packed from this conv's
+/// `oc x (ic*kh*kw)` weight matrix), the GEMM consumes the plan-owned
+/// panels and never packs weights per call. Output is bitwise-identical
+/// with and without `pw`.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch, including `pw` extents that disagree
+/// with `weight`.
+pub fn conv2d_forward_pre_ep_with(
+    input: &Tensor,
+    weight: &Tensor,
+    pw: Option<&PackedGemmF32>,
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    ep: EpilogueF32,
+    scratch: &mut Workspace,
+) -> Tensor {
     let is = input.shape();
     let ws = weight.shape();
     let (oh, ow) = check_geometry(is, ws, cfg);
@@ -295,6 +343,13 @@ pub fn conv2d_forward_ep_with(
     let k = ws.c * ws.h * ws.w;
     let spatial = oh * ow;
     let per_sample_out = oc * spatial;
+    if let Some(pw) = pw {
+        assert_eq!(
+            (pw.m(), pw.k()),
+            (oc, k),
+            "prepacked weight extents disagree with the weight tensor"
+        );
+    }
     let mut out_buf = scratch.take(is.n * per_sample_out);
     // Pointwise convolutions bypass im2col, so skip the column buffer (and
     // its per-call zero-fill) entirely.
@@ -313,6 +368,7 @@ pub fn conv2d_forward_ep_with(
                 out_sample,
                 &mut col,
                 weight,
+                pw,
                 bias,
                 is,
                 cfg,
@@ -343,6 +399,7 @@ pub fn conv2d_forward_ep_with(
                                 out_sample,
                                 &mut col,
                                 weight,
+                                pw,
                                 bias,
                                 is,
                                 cfg,
@@ -360,6 +417,50 @@ pub fn conv2d_forward_ep_with(
         pool.scope_run(tasks);
     }
     Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
+}
+
+/// One sample of [`conv2d_forward_pre_ep_with`], written into a caller
+/// slice: `sample_in` is a `C x H x W` sample of `input_shape` (its batch
+/// extent is ignored) and `out_sample` must hold exactly
+/// `oc * oh * ow` elements — which may be a channel-offset window of a
+/// larger concatenated output, so fire-module branches write their halves
+/// in place with no concat copy. The execution plan's sequential and
+/// pipelined paths are both built from this entry point, which is what
+/// keeps them bitwise-identical.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_sample_ep_into(
+    sample_in: &[f32],
+    input_shape: Shape,
+    weight: &Tensor,
+    pw: Option<&PackedGemmF32>,
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    ep: EpilogueF32,
+    out_sample: &mut [f32],
+    scratch: &mut Workspace,
+) {
+    let is = input_shape;
+    let ws = weight.shape();
+    let (oh, ow) = check_geometry(is, ws, cfg);
+    let oc = ws.n;
+    assert_eq!(bias.len(), oc, "bias length must equal output channels");
+    let k = ws.c * ws.h * ws.w;
+    let spatial = oh * ow;
+    assert_eq!(out_sample.len(), oc * spatial, "output sample extent");
+    let col_len = if (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0) {
+        0
+    } else {
+        k * spatial
+    };
+    let mut col = scratch.take(col_len);
+    conv_run_sample(
+        sample_in, out_sample, &mut col, weight, pw, bias, is, cfg, oh, ow, ep, scratch,
+    );
+    scratch.recycle(col);
 }
 
 /// Forward convolution over int8 weights: the true quantized execution
@@ -472,10 +573,114 @@ pub fn conv2d_forward_q8_fused(
     bias: &[f32],
     cfg: Conv2dCfg,
     relu: bool,
+    out_max: Option<&mut [f32]>,
+    scratch: &mut Workspace,
+) -> Tensor {
+    conv2d_forward_q8_fused_pre(
+        input,
+        input_max,
+        weight_q,
+        None,
+        weight_shape,
+        weight_scales,
+        bias,
+        cfg,
+        relu,
+        out_max,
+        scratch,
+    )
+}
+
+/// [`conv2d_forward_q8_fused`] with an optional compile-time-prepacked
+/// weight operand: when `pq` is present, the int8 GEMM consumes the
+/// plan-owned panels (whichever tier layout the call resolves to) and
+/// never packs weights per call. Output is bitwise-identical with and
+/// without `pq`.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch, including `pq` extents that disagree
+/// with `weight_shape`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_q8_fused_pre(
+    input: &Tensor,
+    input_max: Option<&[f32]>,
+    weight_q: &[i8],
+    pq: Option<&PackedGemmI8>,
+    weight_shape: Shape,
+    weight_scales: &[f32],
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    relu: bool,
     mut out_max: Option<&mut [f32]>,
     scratch: &mut Workspace,
 ) -> Tensor {
     let is = input.shape();
+    let ws = weight_shape;
+    let (oh, ow) = check_geometry(is, ws, cfg);
+    let oc = ws.n;
+    if let Some(maxes) = input_max {
+        assert!(maxes.len() >= is.n, "input_max does not cover the batch");
+    }
+    if let Some(maxes) = &out_max {
+        assert!(maxes.len() >= is.n, "out_max does not cover the batch");
+    }
+
+    let spatial = oh * ow;
+    let per_sample_out = oc * spatial;
+    let mut out_buf = scratch.take(is.n * per_sample_out);
+    for (n, out_sample) in out_buf.chunks_exact_mut(per_sample_out).enumerate() {
+        let sample_max = input_max.map(|maxes| maxes[n]);
+        let mx = conv2d_sample_q8_into(
+            input.sample(n),
+            sample_max,
+            is,
+            weight_q,
+            pq,
+            ws,
+            weight_scales,
+            bias,
+            cfg,
+            relu,
+            out_max.is_some(),
+            out_sample,
+            scratch,
+        );
+        if let Some(maxes) = out_max.as_deref_mut() {
+            maxes[n] = mx;
+        }
+    }
+    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
+}
+
+/// One sample of [`conv2d_forward_q8_fused_pre`], written into a caller
+/// slice (possibly a channel-offset window of a concatenated output —
+/// fire-module branches write their halves in place with no concat copy).
+/// `sample_max` is the producer-tracked `max|input|` when available;
+/// returns the tracked `max|out|` when `track_max` is set (0.0 otherwise).
+/// The execution plan's sequential and pipelined int8 paths are both built
+/// from this entry point.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_sample_q8_into(
+    sample_in: &[f32],
+    sample_max: Option<f32>,
+    input_shape: Shape,
+    weight_q: &[i8],
+    pq: Option<&PackedGemmI8>,
+    weight_shape: Shape,
+    weight_scales: &[f32],
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    relu: bool,
+    track_max: bool,
+    out_sample: &mut [f32],
+    scratch: &mut Workspace,
+) -> f32 {
+    let is = input_shape;
     let ws = weight_shape;
     let (oh, ow) = check_geometry(is, ws, cfg);
     let oc = ws.n;
@@ -490,53 +695,45 @@ pub fn conv2d_forward_q8_fused(
         weight_scales.len() == 1 || weight_scales.len() == oc,
         "weight scales must be per-tensor or per-channel"
     );
-    if let Some(maxes) = input_max {
-        assert!(maxes.len() >= is.n, "input_max does not cover the batch");
-    }
-    if let Some(maxes) = &out_max {
-        assert!(maxes.len() >= is.n, "out_max does not cover the batch");
-    }
-
     let k = ws.c * ws.h * ws.w;
     let spatial = oh * ow;
-    let per_sample_out = oc * spatial;
+    assert_eq!(out_sample.len(), oc * spatial, "output sample extent");
+    if let Some(pq) = pq {
+        assert_eq!(
+            (pq.m(), pq.k()),
+            (oc, k),
+            "prepacked weight extents disagree with the weight shape"
+        );
+    }
     let pointwise = (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0);
 
-    let mut out_buf = scratch.take(is.n * per_sample_out);
     let mut col = scratch.take_i8(k * spatial);
     let mut xq = scratch.take_i8(if pointwise { 0 } else { is.c * is.h * is.w });
-    for (n, out_sample) in out_buf.chunks_exact_mut(per_sample_out).enumerate() {
-        let sample = input.sample(n);
-        // The activation scale: from the producer's tracked maximum when
-        // available, otherwise one sweep (the first layer of the network).
-        let sample_max = match input_max {
-            Some(maxes) => maxes[n],
-            None => max_abs(sample),
-        };
-        let scale_x = scale_for_max(sample_max);
-        if pointwise {
-            // k = C, spatial = H*W: the column matrix is the quantized
-            // input itself — one direct quantize pass, no gather.
-            quantize_with_scale(sample, scale_x, &mut col);
-        } else {
-            quantize_with_scale(sample, scale_x, &mut xq);
-            im2col(&xq, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
-        }
-        let ep = RequantEpilogue {
-            scale_x,
-            weight_scales,
-            bias,
-            relu,
-            track_max: out_max.is_some(),
-        };
-        let mx = gemm_i8_fused(weight_q, &col, out_sample, oc, k, spatial, scratch, &ep);
-        if let Some(maxes) = out_max.as_deref_mut() {
-            maxes[n] = mx;
-        }
+    // The activation scale: from the producer's tracked maximum when
+    // available, otherwise one sweep (the first layer of the network).
+    let scale_x = scale_for_max(sample_max.unwrap_or_else(|| max_abs(sample_in)));
+    if pointwise {
+        // k = C, spatial = H*W: the column matrix is the quantized
+        // input itself — one direct quantize pass, no gather.
+        quantize_with_scale(sample_in, scale_x, &mut col);
+    } else {
+        quantize_with_scale(sample_in, scale_x, &mut xq);
+        im2col(&xq, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
     }
+    let ep = RequantEpilogue {
+        scale_x,
+        weight_scales,
+        bias,
+        relu,
+        track_max,
+    };
+    let mx = match pq {
+        Some(pq) => gemm_i8_fused_prepacked(pq, &col, out_sample, spatial, scratch, &ep),
+        None => gemm_i8_fused(weight_q, &col, out_sample, oc, k, spatial, scratch, &ep),
+    };
     scratch.recycle_i8(xq);
     scratch.recycle_i8(col);
-    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out_buf)
+    mx
 }
 
 /// Gradients of a convolution: `(d_input, d_weight, d_bias)`.

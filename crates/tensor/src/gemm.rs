@@ -123,9 +123,27 @@ const MC: usize = 128;
 /// Column cache block.
 const NC: usize = 1024;
 /// Problems below this many multiply-adds skip packing entirely.
+///
+/// Re-tuned for the prepacked-weight regime: with weight panels packed at
+/// plan compile, per-call packing covers only the activation (B) side, so
+/// the crossover could in principle move *down*. Measured on the
+/// `pack/crossover_*` bench rows (a 24 x 36 x 225 conv shape, the largest
+/// sub-threshold conv the slim models run), the branch-free per-row loop
+/// still beats the blocked drivers below ~16k multiply-adds — B-side
+/// packing, not A-side, dominates small-problem overhead — so the value
+/// stands. The prepacked and per-call paths deliberately share this one
+/// threshold: a divergent crossover would change the summation order right
+/// at the boundary and break the prepacked-vs-repacked bitwise-parity
+/// suite.
 const TILING_THRESHOLD: usize = 16 * 1024;
 /// Per-task row extent below which threading is not worth the latch.
 const PARALLEL_MIN_ROWS: usize = 2 * MC;
+/// Row-block step of the *prepacked* drivers. Prepacked A panels are
+/// `MR`-row groups, so the row step must stay `MR`-aligned to slice into
+/// the arena mid-matrix; `MC` (128) is not a multiple of `MR` (6), and 126
+/// is the largest step that is. Per-call packing keeps `MC`: it re-bases
+/// the panel at every row block, so alignment is moot there.
+const MC_PRE: usize = 126;
 
 /// Computes `c += a * b` with the seed's scalar i-k-j loop order. Kept as
 /// the benchmark baseline; use [`gemm_acc`] everywhere else.
@@ -212,6 +230,73 @@ fn pack_b(
                 }
             }
         }
+    }
+}
+
+/// An immutable weight matrix pre-packed into the explicit-SIMD path's
+/// A-panel layout, once, ahead of time — the plan-compile-time counterpart
+/// of the per-call `pack_a` inside `gemm_packed`.
+///
+/// Layout: one full-`m` group of `MR`-row k-major panels per `KC` block of
+/// `k`, in `pc` order (the same panels `pack_a` produces per call, but for
+/// every row block at once). [`gemm_prepacked_acc_ep`] slices directly into
+/// it, so a forward pass never touches the raw weights nor packs them
+/// again.
+#[derive(Clone)]
+pub struct PackedGemmF32 {
+    m: usize,
+    k: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedGemmF32 {
+    /// Packs the row-major `m x k` weight matrix `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is shorter than `m * k` or either extent is zero.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
+        assert!(m > 0 && k > 0, "empty weight matrix");
+        assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+        let stride = Self::block_stride(m, k);
+        let mut panels = vec![0.0f32; k.div_ceil(KC) * stride];
+        for (bi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            pack_a(a, &mut panels[bi * stride..], 0, pc, m, kc, k, MR);
+        }
+        PackedGemmF32 { m, k, panels }
+    }
+
+    /// Output-row count of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Inner (k) extent of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Elements per `KC` block: all `m.div_ceil(MR)` panels of the block's
+    /// (maximal) k extent. The ragged final block underfills its slot.
+    fn block_stride(m: usize, k: usize) -> usize {
+        m.div_ceil(MR) * MR * KC.min(k)
+    }
+
+    /// The packed panels of the `KC` block starting at column `pc`.
+    fn block(&self, pc: usize) -> &[f32] {
+        let stride = Self::block_stride(self.m, self.k);
+        &self.panels[(pc / KC) * stride..]
+    }
+}
+
+impl std::fmt::Debug for PackedGemmF32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedGemmF32")
+            .field("m", &self.m)
+            .field("k", &self.k)
+            .field("panel_len", &self.panels.len())
+            .finish()
     }
 }
 
@@ -311,12 +396,51 @@ fn gemm_packed(
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
                 pack_a(a, &mut pa, ic, pc, mc, kc, k, MR);
+                ws.note_weight_pack();
                 run_block(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc, block_ep);
             }
         }
     }
     ws.recycle(pb);
     ws.recycle(pa);
+}
+
+/// `gemm_packed` against a prepacked weight arena: only B is packed per
+/// call; A panels are sliced out of `pw` starting at absolute row `row0`
+/// (which must be `MR`-aligned — band splits step by [`MC_PRE`]).
+///
+/// Bitwise-identical to the per-call path: the `jc`/`pc` loops, B packing
+/// and per-tile k-accumulation order are the same, and stepping rows by
+/// `MC_PRE` instead of `MC` only reorders *independent* row blocks.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_pre(
+    pw: &PackedGemmF32,
+    row0: usize,
+    m: usize,
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    ep: EpilogueF32,
+) {
+    debug_assert_eq!(row0 % MR, 0, "prepacked row offset must be MR-aligned");
+    let mut pb = ws.take(NC.min(n).div_ceil(NR) * NR * KC.min(k));
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let block_ep = if pc + kc == k { ep } else { EpilogueF32::NONE };
+            pack_b(b, &mut pb, pc, jc, kc, nc, n, NR);
+            let block = pw.block(pc);
+            for ic in (0..m).step_by(MC_PRE) {
+                let mc = MC_PRE.min(m - ic);
+                let pa = &block[(row0 + ic) / MR * MR * kc..];
+                run_block(pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc, block_ep);
+            }
+        }
+    }
+    ws.recycle(pb);
 }
 
 /// The portable forward kernel: cache-blocked branch-free scalar i-k-j with
@@ -474,6 +598,90 @@ pub fn gemm_acc_ws_ep(
         pool.scope_run(tasks);
     } else if packed {
         gemm_packed(a, b, c, m, k, n, ws, ep);
+    } else {
+        gemm_blocked_scalar(a, b, c, m, k, n, ep);
+    }
+}
+
+/// [`gemm_acc_ws_ep`] against a weight matrix that was prepacked at plan
+/// compile ([`PackedGemmF32::pack`]): the packed-SIMD branches slice panels
+/// straight out of `pw` and never run `pack_a`; the scalar, tiny-problem
+/// and portable branches use the raw `a` exactly as the per-call entry
+/// point does — every dispatch branch is therefore bitwise-identical to
+/// [`gemm_acc_ws_ep`] on the same operands.
+///
+/// `a` must be the same `pw.m() x pw.k()` matrix the panels were packed
+/// from (the raw weights stay the fallback representation for the
+/// non-packed kernels; only the hot packed path stops touching them).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_acc_ep(
+    a: &[f32],
+    pw: &PackedGemmF32,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    ws: &mut Workspace,
+    ep: EpilogueF32,
+) {
+    let (m, k) = (pw.m(), pw.k());
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
+    let kernel = gemm_kernel();
+    if kernel == GemmKernel::Scalar {
+        gemm_acc_scalar(a, b, c, m, k, n);
+        ep.apply(&mut c[..m * n]);
+        return;
+    }
+    if m * n * k <= TILING_THRESHOLD {
+        // Same tiny-problem loop (and threshold) as the per-call path, so
+        // the crossover never changes the summation order.
+        for i in 0..m {
+            let a_row = &a[i * k..i * k + k];
+            let c_row = &mut c[i * n..i * n + n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..kk * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+            ep.apply(c_row);
+        }
+        return;
+    }
+    let packed = kernel == GemmKernel::Simd && simd_available();
+
+    let pool = ThreadPool::global();
+    if m >= PARALLEL_MIN_ROWS && pool.parallelism() > 1 {
+        // Band split as in `gemm_acc_ws_ep`, but aligned to `MC_PRE` so
+        // every band's first row lands on a prepacked panel boundary.
+        let bands = pool.parallelism().min(m / MC_PRE).max(1);
+        let rows_per_band = (m / bands / MC_PRE).max(1) * MC_PRE;
+        let tasks: Vec<ScopedTask<'_>> = c[..m * n]
+            .chunks_mut(rows_per_band * n)
+            .enumerate()
+            .map(|(band, c_chunk)| {
+                let band_rows = c_chunk.len() / n;
+                let row0 = band * rows_per_band;
+                let a_band = &a[row0 * k..(row0 + band_rows) * k];
+                Box::new(move || {
+                    if packed {
+                        with_thread_workspace(|tws| {
+                            gemm_packed_pre(pw, row0, band_rows, b, c_chunk, k, n, tws, ep);
+                        });
+                    } else {
+                        gemm_blocked_scalar(a_band, b, c_chunk, band_rows, k, n, ep);
+                    }
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+    } else if packed {
+        gemm_packed_pre(pw, 0, m, b, c, k, n, ws, ep);
     } else {
         gemm_blocked_scalar(a, b, c, m, k, n, ep);
     }
@@ -775,6 +983,56 @@ mod tests {
         for (x, y) in c_packed.iter().zip(c_blocked.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn prepacked_gemm_is_bitwise_equal_to_per_call_packing() {
+        // Below the tiling threshold, single-k-block, multi-KC-block and
+        // many-row geometries — every dispatch branch must agree bitwise.
+        let cases = [
+            (5usize, 3usize, 97usize),
+            (67, 300, 33),
+            (131, 520, 70),
+            (260, 17, 1031),
+        ];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_matrix(900 + case as u64, m * k);
+            let b = arb_matrix(950 + case as u64, k * n);
+            let pw = PackedGemmF32::pack(&a, m, k);
+            let mut ws = Workspace::new();
+            for ep in [EpilogueF32::NONE, EpilogueF32::RELU] {
+                let mut c_pre = vec![-0.125f32; m * n];
+                let mut c_call = vec![-0.125f32; m * n];
+                gemm_prepacked_acc_ep(&a, &pw, &b, &mut c_pre, n, &mut ws, ep);
+                gemm_acc_ws_ep(&a, &b, &mut c_call, m, k, n, &mut ws, ep);
+                assert_eq!(c_pre, c_call, "case {case} ep {ep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_driver_never_packs_weights() {
+        // Drive the two block drivers directly (no process-global kernel
+        // mutation): per-call packing must tick the weight-pack counter,
+        // the prepacked driver must not — and both must agree bitwise even
+        // though their row-block steps differ (MC vs MC_PRE).
+        let (m, k, n) = (131, 520, 70);
+        let a = arb_matrix(40, m * k);
+        let b = arb_matrix(41, k * n);
+        let pw = PackedGemmF32::pack(&a, m, k);
+        let mut ws = Workspace::new();
+        let mut c_call = vec![0.0f32; m * n];
+        gemm_packed(&a, &b, &mut c_call, m, k, n, &mut ws, EpilogueF32::NONE);
+        let packs = ws.stats().weight_packs;
+        assert!(packs > 0, "per-call driver must pack weight panels");
+        let mut c_pre = vec![0.0f32; m * n];
+        gemm_packed_pre(&pw, 0, m, &b, &mut c_pre, k, n, &mut ws, EpilogueF32::NONE);
+        assert_eq!(
+            ws.stats().weight_packs,
+            packs,
+            "prepacked driver must never pack weights per call"
+        );
+        assert_eq!(c_call, c_pre);
     }
 
     #[test]

@@ -24,9 +24,19 @@
 //! shared and the AVX2 path is a pure drop-in. Overflow cannot occur: one
 //! madd lane is at most `2 * 127 * 127 < 2^15` and the deepest K in the
 //! PERCIVAL network (432) keeps accumulators far below `2^31`.
+//!
+//! A third tier sits above AVX2 where the CPU has AVX-512/VNNI
+//! ([`crate::vnni`]): `vpdpbusd` retires four `u8 x i8` products per i32
+//! lane per instruction over a **quad-interleaved** panel pair — the A
+//! panel packs four consecutive signed weight bytes per i32, the B panel
+//! stores activations offset by +128 (`vpdpbusd`'s first operand is
+//! unsigned) and the kernel subtracts the weight-only correction
+//! `128 * sum(w)` once per k-block. All three tiers produce bitwise-equal
+//! i32 accumulators; [`i8_tier`] picks one per GEMM call at runtime.
 
-use crate::simd::simd_available;
+use crate::simd::{simd_available, vnni_available};
 use crate::workspace::Workspace;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Int8 microkernel row count.
 pub const MR_I8: usize = 4;
@@ -42,11 +52,94 @@ const NC_I8: usize = 1024;
 /// Problems below this many multiply-adds skip packing entirely.
 const TILING_THRESHOLD_I8: usize = 16 * 1024;
 
+/// The int8 microkernel tier used by one GEMM call.
+///
+/// All tiers consume register-tile panels and produce **bitwise-equal** i32
+/// accumulators, so switching tiers never changes results — only speed. The
+/// effective tier is chosen per call by [`i8_tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum I8Tier {
+    /// Scalar accumulation over the pair-interleaved panels.
+    Portable = 0,
+    /// `vpmaddwd` over the pair-interleaved panels.
+    Avx2 = 1,
+    /// `vpdpbusd` over the quad-interleaved panels ([`crate::vnni`]).
+    Vnni = 2,
+}
+
+impl I8Tier {
+    /// K-steps folded into one packed group: the pair layouts (portable,
+    /// AVX2) store two bytes per column per group, the VNNI quad layout
+    /// four. The A panel spends one i32 per row per group either way.
+    fn k_group(self) -> usize {
+        if self == I8Tier::Vnni {
+            4
+        } else {
+            2
+        }
+    }
+}
+
+/// Tier override slot: `u8::MAX` = env not parsed yet, `TIER_AUTO` = derive
+/// from the f32 kernel selection, otherwise an explicit `I8Tier`.
+static I8_TIER: AtomicU8 = AtomicU8::new(u8::MAX);
+const TIER_AUTO: u8 = 3;
+
+/// Forces (`Some`) or releases (`None`) the int8 tier, overriding both the
+/// `PERCIVAL_GEMM_I8` environment variable and the automatic selection.
+/// Tests use this to pin each tier and prove accumulator equality; the
+/// request still degrades by CPU capability, so forcing `Vnni` on an
+/// AVX2-only host runs AVX2.
+pub fn set_i8_tier_override(tier: Option<I8Tier>) {
+    I8_TIER.store(tier.map_or(TIER_AUTO, |t| t as u8), Ordering::Relaxed);
+}
+
+/// The int8 tier in effect for the next GEMM call.
+///
+/// Selection: an explicit [`set_i8_tier_override`] wins, then the
+/// `PERCIVAL_GEMM_I8` environment variable (`portable` / `avx2` / `vnni`,
+/// read once), otherwise the request follows the f32 kernel knob — any
+/// SIMD-enabled `PERCIVAL_GEMM` requests VNNI, `PERCIVAL_GEMM=scalar`
+/// requests the portable kernel (so the CI scalar leg exercises the
+/// portable int8 path too). The request then degrades by what the CPU
+/// actually has: VNNI → AVX2 → portable. Always safe to request anything.
+pub fn i8_tier() -> I8Tier {
+    let requested = match I8_TIER.load(Ordering::Relaxed) {
+        0 => Some(I8Tier::Portable),
+        1 => Some(I8Tier::Avx2),
+        2 => Some(I8Tier::Vnni),
+        TIER_AUTO => None,
+        _ => {
+            let t = match std::env::var("PERCIVAL_GEMM_I8").as_deref() {
+                Ok("portable") => Some(I8Tier::Portable),
+                Ok("avx2") => Some(I8Tier::Avx2),
+                Ok("vnni") => Some(I8Tier::Vnni),
+                _ => None,
+            };
+            I8_TIER.store(t.map_or(TIER_AUTO, |t| t as u8), Ordering::Relaxed);
+            t
+        }
+    };
+    let requested = requested.unwrap_or(match crate::gemm::gemm_kernel() {
+        crate::gemm::GemmKernel::Scalar => I8Tier::Portable,
+        _ => I8Tier::Vnni,
+    });
+    match requested {
+        I8Tier::Vnni if vnni_available() => I8Tier::Vnni,
+        I8Tier::Vnni | I8Tier::Avx2 if simd_available() => I8Tier::Avx2,
+        _ => I8Tier::Portable,
+    }
+}
+
 /// Largest absolute value in `src` (0.0 for an empty slice). `max` is
 /// order-independent over finite floats, so this equals the running maximum
 /// the fused epilogues track tile-by-tile — which is what lets the
 /// execution plan skip this sweep when the producing layer already knows it.
 pub fn max_abs(src: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_available() {
+        return unsafe { crate::simd::max_abs_avx2(src) };
+    }
     src.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
 }
 
@@ -61,10 +154,12 @@ pub fn scale_for_max(max_abs: f32) -> f32 {
     }
 }
 
-/// Quantizes one value with a precomputed inverse scale.
+/// Quantizes one value with a precomputed inverse scale. Ties round to
+/// even — the rounding `vcvtps2dq` applies under the default MXCSR mode,
+/// so the scalar path and the AVX2 bulk path agree on every input.
 #[inline]
 pub fn quantize_value(v: f32, inv_scale: f32) -> i8 {
-    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+    (v * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
 }
 
 /// Quantizes `src` with a *known* scale (e.g. tracked by a producing
@@ -76,6 +171,11 @@ pub fn quantize_value(v: f32, inv_scale: f32) -> i8 {
 pub fn quantize_with_scale(src: &[f32], scale: f32, dst: &mut [i8]) {
     assert!(dst.len() >= src.len(), "quantization target too short");
     let inv = 1.0 / scale;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_available() {
+        unsafe { crate::simd::quantize_with_scale_avx2(src, inv, dst) };
+        return;
+    }
     for (d, &v) in dst.iter_mut().zip(src.iter()) {
         *d = quantize_value(v, inv);
     }
@@ -158,6 +258,14 @@ fn pack_b_i8(b: &[i8], pack: &mut [i8], pc: usize, jc: usize, kc: usize, nc: usi
     for jr in 0..nc.div_ceil(NR_I8) {
         let cols = NR_I8.min(nc - jr * NR_I8);
         let dst = &mut pack[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        // Full panels interleave two 16-byte row loads per k-pair with
+        // `punpcklbw`/`punpckhbw` (SSE2, baseline on x86_64); the scalar
+        // loop remains for the ragged last panel and non-x86 targets.
+        #[cfg(target_arch = "x86_64")]
+        if cols == NR_I8 {
+            unsafe { pack_b_i8_panel_sse2(b, dst, pc, jc + jr * NR_I8, kc, ldb) };
+            continue;
+        }
         for p2 in 0..kc2 {
             let k0 = pc + 2 * p2;
             let has_odd = 2 * p2 + 1 < kc;
@@ -176,6 +284,208 @@ fn pack_b_i8(b: &[i8], pack: &mut [i8], pc: usize, jc: usize, kc: usize, nc: usi
                 out[2 * j + 1] = v1;
             }
         }
+    }
+}
+
+/// SSE2 body of [`pack_b_i8`] for one full `NR_I8 = 16`-column panel: per
+/// k-pair, two 16-byte row loads element-interleaved with
+/// `punpcklbw`/`punpckhbw`. An odd-`kc` tail pairs against a zero row,
+/// matching the scalar path's zero padding.
+///
+/// # Safety
+///
+/// `b` must hold the `kc x 16` block at `(pc, col0)` under row stride
+/// `ldb`, and `dst` must hold `ceil(kc/2) * 32` bytes.
+#[cfg(target_arch = "x86_64")]
+unsafe fn pack_b_i8_panel_sse2(
+    b: &[i8],
+    dst: &mut [i8],
+    pc: usize,
+    col0: usize,
+    kc: usize,
+    ldb: usize,
+) {
+    use core::arch::x86_64::{
+        __m128i, _mm_loadu_si128, _mm_setzero_si128, _mm_storeu_si128, _mm_unpackhi_epi8,
+        _mm_unpacklo_epi8,
+    };
+    let kc2 = kc.div_ceil(2);
+    debug_assert!(b.len() >= (pc + kc - 1) * ldb + col0 + NR_I8);
+    debug_assert!(dst.len() >= kc2 * 2 * NR_I8);
+    let bp = b.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for p2 in 0..kc2 {
+        let r0 = _mm_loadu_si128(bp.add((pc + 2 * p2) * ldb + col0) as *const __m128i);
+        let r1 = if 2 * p2 + 1 < kc {
+            _mm_loadu_si128(bp.add((pc + 2 * p2 + 1) * ldb + col0) as *const __m128i)
+        } else {
+            _mm_setzero_si128()
+        };
+        let out = dp.add(p2 * 2 * NR_I8) as *mut __m128i;
+        _mm_storeu_si128(out, _mm_unpacklo_epi8(r0, r1));
+        _mm_storeu_si128(out.add(1), _mm_unpackhi_epi8(r0, r1));
+    }
+}
+
+/// Packs the `mc x kc` block of `a` at `(ic, pc)` into `MR_I8`-row panels
+/// of k-**quads** for the VNNI kernel: per quad and row, the four
+/// consecutive signed weight bytes `a[i][k..k+4]` in one little-endian
+/// `i32` — `vpdpbusd`'s broadcast operand — zero-padding ragged rows and
+/// the k tail.
+///
+/// Also fills `corr` with the per-row unsigned-offset correction
+/// `128 * sum(a[row][pc..pc+kc])` (padded rows 0): the quad B panel stores
+/// activations offset by +128, so the kernel subtracts this weight-only
+/// term once per k-block to recover the exact signed product.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_i8_quad(
+    a: &[i8],
+    pack: &mut [i32],
+    corr: &mut [i32],
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    lda: usize,
+) {
+    let kc4 = kc.div_ceil(4);
+    for ir in 0..mc.div_ceil(MR_I8) {
+        let rows = MR_I8.min(mc - ir * MR_I8);
+        let dst = &mut pack[ir * MR_I8 * kc4..(ir + 1) * MR_I8 * kc4];
+        for p4 in 0..kc4 {
+            let quad_len = 4.min(kc - 4 * p4);
+            let out = &mut dst[p4 * MR_I8..(p4 + 1) * MR_I8];
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    let row = (ic + ir * MR_I8 + r) * lda + pc + 4 * p4;
+                    let mut quad = [0u8; 4];
+                    for (q, &v) in quad.iter_mut().zip(a[row..row + quad_len].iter()) {
+                        *q = v as u8;
+                    }
+                    i32::from_le_bytes(quad)
+                } else {
+                    0
+                };
+            }
+        }
+        for (r, slot) in corr[ir * MR_I8..(ir + 1) * MR_I8].iter_mut().enumerate() {
+            *slot = if r < rows {
+                let row0 = (ic + ir * MR_I8 + r) * lda + pc;
+                128 * a[row0..row0 + kc]
+                    .iter()
+                    .map(|&v| i32::from(v))
+                    .sum::<i32>()
+            } else {
+                0
+            };
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `b` at `(pc, jc)` into `NR_I8`-column
+/// panels of element-interleaved k-quads for the VNNI kernel: per quad and
+/// column, the four bytes `b[k..k+4][j] + 128` stored as unsigned bit
+/// patterns (`vpdpbusd`'s first operand is unsigned). Padding — ragged
+/// columns and the k tail — stores `0x80`, i.e. value 0 after the offset.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_i8_quad(
+    b: &[i8],
+    pack: &mut [i8],
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    ldb: usize,
+) {
+    let kc4 = kc.div_ceil(4);
+    for jr in 0..nc.div_ceil(NR_I8) {
+        let cols = NR_I8.min(nc - jr * NR_I8);
+        let dst = &mut pack[jr * 4 * NR_I8 * kc4..(jr + 1) * 4 * NR_I8 * kc4];
+        // Full 16-column panels take the SSE2 4x16 byte-transpose fast
+        // path (baseline on x86_64): four row loads, an unpack tree to
+        // column-major quads, one XOR for the +128 unsigned offset. Only
+        // the ragged last panel and non-x86 targets walk the scalar loop.
+        #[cfg(target_arch = "x86_64")]
+        if cols == NR_I8 {
+            unsafe { pack_b_i8_quad_panel_sse2(b, dst, pc, jc + jr * NR_I8, kc, ldb) };
+            continue;
+        }
+        for p4 in 0..kc4 {
+            let quad_len = 4.min(kc - 4 * p4);
+            let out = &mut dst[p4 * 4 * NR_I8..(p4 + 1) * 4 * NR_I8];
+            for j in 0..NR_I8 {
+                for (t, slot) in out[4 * j..4 * j + 4].iter_mut().enumerate() {
+                    *slot = if j < cols && t < quad_len {
+                        let col = jc + jr * NR_I8 + j;
+                        (b[(pc + 4 * p4 + t) * ldb + col] as u8).wrapping_add(128) as i8
+                    } else {
+                        0x80u8 as i8
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// SSE2 body of [`pack_b_i8_quad`] for one full `NR_I8 = 16`-column panel:
+/// per k-quad, four 16-byte row loads are transposed to column-major quads
+/// with a `punpcklbw`/`punpcklwd` tree and offset to unsigned with one
+/// `pxor 0x80`. Rows past `kc` contribute zeroes, which the XOR turns into
+/// the `0x80` padding the scalar path stores.
+///
+/// # Safety
+///
+/// `b` must hold the `kc x 16` block at `(pc, col0)` under row stride
+/// `ldb`, and `dst` must hold `ceil(kc/4) * 64` bytes. (SSE2 is part of
+/// the baseline `x86_64` target, so there is no feature gate.)
+#[cfg(target_arch = "x86_64")]
+unsafe fn pack_b_i8_quad_panel_sse2(
+    b: &[i8],
+    dst: &mut [i8],
+    pc: usize,
+    col0: usize,
+    kc: usize,
+    ldb: usize,
+) {
+    use core::arch::x86_64::{
+        __m128i, _mm_loadu_si128, _mm_set1_epi8, _mm_setzero_si128, _mm_storeu_si128,
+        _mm_unpackhi_epi16, _mm_unpackhi_epi8, _mm_unpacklo_epi16, _mm_unpacklo_epi8,
+        _mm_xor_si128,
+    };
+    let kc4 = kc.div_ceil(4);
+    debug_assert!(b.len() >= (pc + kc - 1) * ldb + col0 + NR_I8);
+    debug_assert!(dst.len() >= kc4 * 4 * NR_I8);
+    let offset = _mm_set1_epi8(0x80u8 as i8);
+    let bp = b.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for p4 in 0..kc4 {
+        let quad_len = 4.min(kc - 4 * p4);
+        let row = |t: usize| {
+            if t < quad_len {
+                _mm_loadu_si128(bp.add((pc + 4 * p4 + t) * ldb + col0) as *const __m128i)
+            } else {
+                _mm_setzero_si128()
+            }
+        };
+        let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+        let t0 = _mm_unpacklo_epi8(r0, r1);
+        let t1 = _mm_unpackhi_epi8(r0, r1);
+        let t2 = _mm_unpacklo_epi8(r2, r3);
+        let t3 = _mm_unpackhi_epi8(r2, r3);
+        let out = dp.add(p4 * 4 * NR_I8) as *mut __m128i;
+        _mm_storeu_si128(out, _mm_xor_si128(_mm_unpacklo_epi16(t0, t2), offset));
+        _mm_storeu_si128(
+            out.add(1),
+            _mm_xor_si128(_mm_unpackhi_epi16(t0, t2), offset),
+        );
+        _mm_storeu_si128(
+            out.add(2),
+            _mm_xor_si128(_mm_unpacklo_epi16(t1, t3), offset),
+        );
+        _mm_storeu_si128(
+            out.add(3),
+            _mm_xor_si128(_mm_unpackhi_epi16(t1, t3), offset),
+        );
     }
 }
 
@@ -202,27 +512,6 @@ fn micro_i8_portable_tile(pa: &[i32], pb: &[i8], kc2: usize) -> [i32; MR_I8 * NR
         }
     }
     acc
-}
-
-/// Portable int8 microkernel over the pair-interleaved panels: accumulates
-/// an `MR_I8 x NR_I8` i32 tile across `kc2` k-pairs, then adds the valid
-/// `mr x nr` corner into `c`.
-fn micro_i8_portable(
-    pa: &[i32],
-    pb: &[i8],
-    kc2: usize,
-    c: &mut [i32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let acc = micro_i8_portable_tile(pa, pb, kc2);
-    for (i, row) in acc.chunks_exact(NR_I8).enumerate().take(mr) {
-        let c_row = &mut c[i * ldc..i * ldc + nr];
-        for (cv, &v) in c_row.iter_mut().zip(row.iter()) {
-            *cv += v;
-        }
-    }
 }
 
 /// AVX2 accumulation body of the int8 microkernel: one 32-byte load, two
@@ -372,31 +661,15 @@ unsafe fn micro_i8_avx2_fused(
     }
 }
 
-/// AVX2 int8 microkernel: the accumulation body plus the add of the valid
-/// `mr x nr` corner into `c`.
-///
-/// # Safety
-///
-/// Caller must have verified [`simd_available`]. Panel and `c` extents must
-/// satisfy the same bounds the portable kernel indexes.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn micro_i8_avx2(
-    pa: &[i32],
-    pb: &[i8],
-    kc2: usize,
-    c: &mut [i32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
-    debug_assert!(mr >= 1 && c.len() >= (mr - 1) * ldc + nr);
-    let tile = micro_i8_avx2_tile(pa, pb, kc2);
-    for i in 0..mr {
-        let c_row = &mut c[i * ldc..i * ldc + nr];
-        for (cv, &v) in c_row.iter_mut().zip(tile[i * NR_I8..].iter()) {
-            *cv += v;
-        }
+/// The VNNI correction quad for panel row-group `ir`: the packed per-row
+/// `128 * sum(w)` terms when the quad layout is live, zeros otherwise.
+#[inline]
+fn tile_corr(corr: Option<&[i32]>, ir: usize) -> [i32; MR_I8] {
+    match corr {
+        Some(c) => c[ir * MR_I8..(ir + 1) * MR_I8]
+            .try_into()
+            .expect("correction panel"),
+        None => [0; MR_I8],
     }
 }
 
@@ -437,74 +710,106 @@ pub fn gemm_i8(
         return;
     }
 
-    let use_avx2 = simd_available();
-    let kc2_max = KC_I8.min(k).div_ceil(2);
-    let mut pa = ws.take_i32(MC_I8.min(m).div_ceil(MR_I8) * MR_I8 * kc2_max);
-    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * 2 * NR_I8 * kc2_max);
+    let tier = i8_tier();
+    let g = tier.k_group();
+    let kg_max = KC_I8.min(k).div_ceil(g);
+    let rows_max = MC_I8.min(m).div_ceil(MR_I8) * MR_I8;
+    let mut pa = ws.take_i32(rows_max * kg_max);
+    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * g * NR_I8 * kg_max);
+    let mut corr = ws.take_i32(if tier == I8Tier::Vnni { rows_max } else { 0 });
     for jc in (0..n).step_by(NC_I8) {
         let nc = NC_I8.min(n - jc);
         for pc in (0..k).step_by(KC_I8) {
             let kc = KC_I8.min(k - pc);
-            let kc2 = kc.div_ceil(2);
-            pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            let kg = kc.div_ceil(g);
+            if tier == I8Tier::Vnni {
+                pack_b_i8_quad(b, &mut pb, pc, jc, kc, nc, n);
+            } else {
+                pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            }
             for ic in (0..m).step_by(MC_I8) {
                 let mc = MC_I8.min(m - ic);
-                pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
-                run_block_i8(&pa, &pb, &mut c[ic * n + jc..], n, mc, nc, kc2, use_avx2);
+                if tier == I8Tier::Vnni {
+                    pack_a_i8_quad(a, &mut pa, &mut corr, ic, pc, mc, kc, k);
+                } else {
+                    pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
+                }
+                ws.note_weight_pack();
+                let bcorr = (tier == I8Tier::Vnni).then_some(&corr[..]);
+                run_block_i8(&pa, &pb, bcorr, &mut c[ic * n + jc..], n, mc, nc, kg, tier);
             }
         }
     }
+    ws.recycle_i32(corr);
     ws.recycle_i8(pb);
     ws.recycle_i32(pa);
 }
 
-/// Runs the packed int8 block into the `mc x nc` region of `c`.
+/// Runs the packed int8 block into the `mc x nc` region of `c`. `kg` is
+/// the k-group count of the tier's panel layout; `corr` is the quad
+/// layout's per-row correction panel (`Some` exactly when `tier` is VNNI).
 #[allow(clippy::too_many_arguments)]
 fn run_block_i8(
     pa: &[i32],
     pb: &[i8],
+    corr: Option<&[i32]>,
     c: &mut [i32],
     ldc: usize,
     mc: usize,
     nc: usize,
-    kc2: usize,
-    use_avx2: bool,
+    kg: usize,
+    tier: I8Tier,
 ) {
+    debug_assert!(corr.is_some() == (tier == I8Tier::Vnni));
+    let g = tier.k_group();
     for jr in 0..nc.div_ceil(NR_I8) {
         let nr = NR_I8.min(nc - jr * NR_I8);
-        let pb_panel = &pb[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        let pb_panel = &pb[jr * g * NR_I8 * kg..(jr + 1) * g * NR_I8 * kg];
         for ir in 0..mc.div_ceil(MR_I8) {
             let mr = MR_I8.min(mc - ir * MR_I8);
-            let pa_panel = &pa[ir * MR_I8 * kc2..(ir + 1) * MR_I8 * kc2];
+            let pa_panel = &pa[ir * MR_I8 * kg..(ir + 1) * MR_I8 * kg];
             let c_tile = &mut c[ir * MR_I8 * ldc + jr * NR_I8..];
-            #[cfg(target_arch = "x86_64")]
-            if use_avx2 {
-                // SAFETY: `use_avx2` comes from `simd_available()`; extents
-                // match the portable kernel's indexing.
-                unsafe { micro_i8_avx2(pa_panel, pb_panel, kc2, c_tile, ldc, mr, nr) };
-                continue;
+            let tile = micro_i8_tile(pa_panel, pb_panel, kg, tier, tile_corr(corr, ir));
+            for i in 0..mr {
+                let c_row = &mut c_tile[i * ldc..i * ldc + nr];
+                for (cv, &v) in c_row.iter_mut().zip(tile[i * NR_I8..].iter()) {
+                    *cv += v;
+                }
             }
-            #[cfg(not(target_arch = "x86_64"))]
-            let _ = use_avx2;
-            micro_i8_portable(pa_panel, pb_panel, kc2, c_tile, ldc, mr, nr);
         }
     }
 }
 
 /// Dispatches one packed panel pair straight to the raw accumulator tile
 /// (the epilogue reads the finished product from registers/L1 — no zeroed
-/// staging buffer, no add pass, no i32 C traffic).
+/// staging buffer, no add pass, no i32 C traffic). `corr` is consumed only
+/// by the VNNI tier, whose panels carry the +128 activation offset.
 #[inline]
-fn micro_i8_tile(pa: &[i32], pb: &[i8], kc2: usize, use_avx2: bool) -> [i32; MR_I8 * NR_I8] {
-    #[cfg(target_arch = "x86_64")]
-    if use_avx2 {
-        // SAFETY: `use_avx2` comes from `simd_available()`; panel extents
-        // cover `kc2` pairs as in the accumulate path.
-        return unsafe { micro_i8_avx2_tile(pa, pb, kc2) };
+fn micro_i8_tile(
+    pa: &[i32],
+    pb: &[i8],
+    kg: usize,
+    tier: I8Tier,
+    corr: [i32; MR_I8],
+) -> [i32; MR_I8 * NR_I8] {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        I8Tier::Vnni => {
+            // SAFETY: the tier is VNNI only when `vnni_available()`; panel
+            // extents cover `kg` quads.
+            unsafe { crate::vnni::micro_i8_vnni_tile(pa, pb, kg, &corr) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        I8Tier::Avx2 => {
+            // SAFETY: the tier is AVX2 only when `simd_available()`; panel
+            // extents cover `kg` pairs.
+            unsafe { micro_i8_avx2_tile(pa, pb, kg) }
+        }
+        _ => {
+            let _ = corr;
+            micro_i8_portable_tile(pa, pb, kg)
+        }
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = use_avx2;
-    micro_i8_portable_tile(pa, pb, kc2)
 }
 
 /// Runs the packed int8 block *through the requantization epilogue* into
@@ -516,29 +821,32 @@ fn micro_i8_tile(pa: &[i32], pb: &[i8], kc2: usize, use_avx2: bool) -> [i32; MR_
 fn run_block_i8_fused(
     pa: &[i32],
     pb: &[i8],
+    corr: Option<&[i32]>,
     acc: Option<&[i32]>,
     out: &mut [f32],
     ldc: usize,
     row0: usize,
     mc: usize,
     nc: usize,
-    kc2: usize,
-    use_avx2: bool,
+    kg: usize,
+    tier: I8Tier,
     ep: &RequantEpilogue<'_>,
 ) -> f32 {
+    debug_assert!(corr.is_some() == (tier == I8Tier::Vnni));
+    let g = tier.k_group();
     // Per-column running maxima: elementwise `max` per row keeps tracking
     // vector-friendly; the horizontal fold happens once, at the end.
     let mut lanes = [0.0f32; NR_I8];
     let mut mx = 0.0f32;
     for jr in 0..nc.div_ceil(NR_I8) {
         let nr = NR_I8.min(nc - jr * NR_I8);
-        let pb_panel = &pb[jr * 2 * NR_I8 * kc2..(jr + 1) * 2 * NR_I8 * kc2];
+        let pb_panel = &pb[jr * g * NR_I8 * kg..(jr + 1) * g * NR_I8 * kg];
         for ir in 0..mc.div_ceil(MR_I8) {
             let mr = MR_I8.min(mc - ir * MR_I8);
-            let pa_panel = &pa[ir * MR_I8 * kc2..(ir + 1) * MR_I8 * kc2];
+            let pa_panel = &pa[ir * MR_I8 * kg..(ir + 1) * MR_I8 * kg];
             let origin = ir * MR_I8 * ldc + jr * NR_I8;
             #[cfg(target_arch = "x86_64")]
-            if use_avx2 && mr == MR_I8 && nr == NR_I8 {
+            if tier != I8Tier::Portable && mr == MR_I8 && nr == NR_I8 {
                 let mut scales = [0.0f32; MR_I8];
                 let mut bias = [0.0f32; MR_I8];
                 for i in 0..MR_I8 {
@@ -546,26 +854,42 @@ fn run_block_i8_fused(
                     bias[i] = ep.bias[row0 + ir * MR_I8 + i];
                 }
                 debug_assert!(out.len() >= origin + (MR_I8 - 1) * ldc + NR_I8);
-                // SAFETY: `use_avx2` comes from `simd_available()`; the
-                // full-tile bounds are asserted above and mirrored for the
-                // optional partial-sum region.
+                // SAFETY: a SIMD tier implies the matching CPU detection
+                // passed; the full-tile bounds are asserted above and
+                // mirrored for the optional partial-sum region.
                 unsafe {
-                    micro_i8_avx2_fused(
-                        pa_panel,
-                        pb_panel,
-                        kc2,
-                        acc.map(|a| a[origin..].as_ptr()),
-                        out[origin..].as_mut_ptr(),
-                        ldc,
-                        &scales,
-                        &bias,
-                        ep.relu,
-                        ep.track_max.then_some(&mut lanes),
-                    );
+                    if tier == I8Tier::Vnni {
+                        crate::vnni::micro_i8_vnni_fused(
+                            pa_panel,
+                            pb_panel,
+                            kg,
+                            &tile_corr(corr, ir),
+                            acc.map(|a| a[origin..].as_ptr()),
+                            out[origin..].as_mut_ptr(),
+                            ldc,
+                            &scales,
+                            &bias,
+                            ep.relu,
+                            ep.track_max.then_some(&mut lanes),
+                        );
+                    } else {
+                        micro_i8_avx2_fused(
+                            pa_panel,
+                            pb_panel,
+                            kg,
+                            acc.map(|a| a[origin..].as_ptr()),
+                            out[origin..].as_mut_ptr(),
+                            ldc,
+                            &scales,
+                            &bias,
+                            ep.relu,
+                            ep.track_max.then_some(&mut lanes),
+                        );
+                    }
                 }
                 continue;
             }
-            let tile = micro_i8_tile(pa_panel, pb_panel, kc2, use_avx2);
+            let tile = micro_i8_tile(pa_panel, pb_panel, kg, tier, tile_corr(corr, ir));
             for i in 0..mr {
                 let row = ir * MR_I8 + i;
                 let scale = ep.row_scale(row0 + row);
@@ -685,10 +1009,13 @@ pub fn gemm_i8_fused(
         return mx;
     }
 
-    let use_avx2 = simd_available();
-    let kc2_max = KC_I8.min(k).div_ceil(2);
-    let mut pa = ws.take_i32(MC_I8.min(m).div_ceil(MR_I8) * MR_I8 * kc2_max);
-    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * 2 * NR_I8 * kc2_max);
+    let tier = i8_tier();
+    let g = tier.k_group();
+    let kg_max = KC_I8.min(k).div_ceil(g);
+    let rows_max = MC_I8.min(m).div_ceil(MR_I8) * MR_I8;
+    let mut pa = ws.take_i32(rows_max * kg_max);
+    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * g * NR_I8 * kg_max);
+    let mut corr = ws.take_i32(if tier == I8Tier::Vnni { rows_max } else { 0 });
     // Deep problems (k > KC_I8) need an i32 C buffer for the partial sums
     // of the non-final k-blocks; the single-block common case does not.
     let multi_block = k > KC_I8;
@@ -698,36 +1025,266 @@ pub fn gemm_i8_fused(
         let nc = NC_I8.min(n - jc);
         for pc in (0..k).step_by(KC_I8) {
             let kc = KC_I8.min(k - pc);
-            let kc2 = kc.div_ceil(2);
+            let kg = kc.div_ceil(g);
             let final_block = pc + kc == k;
-            pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            if tier == I8Tier::Vnni {
+                pack_b_i8_quad(b, &mut pb, pc, jc, kc, nc, n);
+            } else {
+                pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            }
             for ic in (0..m).step_by(MC_I8) {
                 let mc = MC_I8.min(m - ic);
-                pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
+                if tier == I8Tier::Vnni {
+                    pack_a_i8_quad(a, &mut pa, &mut corr, ic, pc, mc, kc, k);
+                } else {
+                    pack_a_i8(a, &mut pa, ic, pc, mc, kc, k);
+                }
+                ws.note_weight_pack();
+                let bcorr = (tier == I8Tier::Vnni).then_some(&corr[..]);
                 if final_block {
                     let partials = multi_block.then(|| &acc[ic * n + jc..]);
                     mx = mx.max(run_block_i8_fused(
                         &pa,
                         &pb,
+                        bcorr,
                         partials,
                         &mut out[ic * n + jc..],
                         n,
                         ic,
                         mc,
                         nc,
-                        kc2,
-                        use_avx2,
+                        kg,
+                        tier,
                         ep,
                     ));
                 } else {
-                    run_block_i8(&pa, &pb, &mut acc[ic * n + jc..], n, mc, nc, kc2, use_avx2);
+                    run_block_i8(
+                        &pa,
+                        &pb,
+                        bcorr,
+                        &mut acc[ic * n + jc..],
+                        n,
+                        mc,
+                        nc,
+                        kg,
+                        tier,
+                    );
+                }
+            }
+        }
+    }
+    ws.recycle_i32(acc);
+    ws.recycle_i32(corr);
+    ws.recycle_i8(pb);
+    ws.recycle_i32(pa);
+    mx
+}
+
+/// Compile-time-prepacked int8 weights: every panel layout a forward pass
+/// could need, packed once from the `m x k` weight matrix.
+///
+/// Holds the pair-interleaved panels (portable/AVX2 tiers), the
+/// quad-interleaved panels plus per-row +128 corrections (VNNI tier) and a
+/// copy of the raw weights (tiny-problem fallback), so a plan built on one
+/// host serves whichever tier [`i8_tier`] picks at run time. Per-tensor and
+/// per-channel weight scales both live outside the panels (in
+/// [`RequantEpilogue::weight_scales`]), so either scale layout rides on the
+/// same packing.
+///
+/// Panels are stored per `KC_I8` k-block covering all `m` rows; `MC_I8` is
+/// a multiple of `MR_I8`, so the block drivers slice row groups straight
+/// out of the full-height panels.
+#[derive(Clone)]
+pub struct PackedGemmI8 {
+    m: usize,
+    k: usize,
+    raw: Vec<i8>,
+    pair: Vec<i32>,
+    quad: Vec<i32>,
+    corr: Vec<i32>,
+}
+
+impl PackedGemmI8 {
+    /// Packs the row-major `m x k` int8 weight matrix `a` into every tier's
+    /// panel layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is shorter than `m * k` or either extent is zero.
+    pub fn pack(a: &[i8], m: usize, k: usize) -> Self {
+        assert!(m > 0 && k > 0, "empty weight matrix");
+        assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+        let blocks = k.div_ceil(KC_I8);
+        let rows = m.div_ceil(MR_I8) * MR_I8;
+        let mut pair = vec![0i32; blocks * rows * Self::kg_max(k, 2)];
+        let mut quad = vec![0i32; blocks * rows * Self::kg_max(k, 4)];
+        let mut corr = vec![0i32; blocks * rows];
+        for (bi, pc) in (0..k).step_by(KC_I8).enumerate() {
+            let kc = KC_I8.min(k - pc);
+            pack_a_i8(
+                a,
+                &mut pair[bi * rows * Self::kg_max(k, 2)..],
+                0,
+                pc,
+                m,
+                kc,
+                k,
+            );
+            pack_a_i8_quad(
+                a,
+                &mut quad[bi * rows * Self::kg_max(k, 4)..],
+                &mut corr[bi * rows..],
+                0,
+                pc,
+                m,
+                kc,
+                k,
+            );
+        }
+        PackedGemmI8 {
+            m,
+            k,
+            raw: a[..m * k].to_vec(),
+            pair,
+            quad,
+            corr,
+        }
+    }
+
+    /// Output-row count (`m`) of the packed weight matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction depth (`k`) of the packed weight matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// K-groups per full block for group size `g`.
+    fn kg_max(k: usize, g: usize) -> usize {
+        KC_I8.min(k).div_ceil(g)
+    }
+
+    /// The tier-appropriate A panel of the k-block at `pc`, starting at
+    /// packed row `ic` (a multiple of `MR_I8`).
+    fn panel(&self, tier: I8Tier, pc: usize, ic: usize) -> &[i32] {
+        let g = tier.k_group();
+        let rows = self.m.div_ceil(MR_I8) * MR_I8;
+        let stride = rows * Self::kg_max(self.k, g);
+        let kg = KC_I8.min(self.k - pc).div_ceil(g);
+        let panels = if tier == I8Tier::Vnni {
+            &self.quad
+        } else {
+            &self.pair
+        };
+        &panels[(pc / KC_I8) * stride + ic * kg..]
+    }
+
+    /// The VNNI correction rows of the k-block at `pc` from packed row
+    /// `ic` on, or `None` for the pair-layout tiers.
+    fn corr(&self, tier: I8Tier, pc: usize, ic: usize) -> Option<&[i32]> {
+        let rows = self.m.div_ceil(MR_I8) * MR_I8;
+        (tier == I8Tier::Vnni).then(|| &self.corr[(pc / KC_I8) * rows + ic..])
+    }
+}
+
+impl std::fmt::Debug for PackedGemmI8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedGemmI8")
+            .field("m", &self.m)
+            .field("k", &self.k)
+            .field("pair_len", &self.pair.len())
+            .field("quad_len", &self.quad.len())
+            .finish()
+    }
+}
+
+/// [`gemm_i8_fused`] over compile-time-prepacked weights: identical
+/// blocking, epilogue and (bitwise) output, but the A-operand panels come
+/// from `pw` — no per-call weight pack runs and [`WorkspaceStats`]'s
+/// `weight_packs` counter stays untouched.
+///
+/// [`WorkspaceStats`]: crate::workspace::WorkspaceStats
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the extents implied by `pw`, or the
+/// epilogue's bias/scales do not cover `m` rows.
+pub fn gemm_i8_fused_prepacked(
+    pw: &PackedGemmI8,
+    b: &[i8],
+    out: &mut [f32],
+    n: usize,
+    ws: &mut Workspace,
+    ep: &RequantEpilogue<'_>,
+) -> f32 {
+    let (m, k) = (pw.m, pw.k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(
+        out.len() >= m * n,
+        "out too short: {} < {}",
+        out.len(),
+        m * n
+    );
+    assert!(ep.bias.len() >= m, "epilogue bias does not cover {m} rows");
+    assert!(
+        ep.weight_scales.len() == 1 || ep.weight_scales.len() >= m,
+        "epilogue scales must be per-tensor or cover {m} rows"
+    );
+    let out = &mut out[..m * n];
+    if m * n * k <= TILING_THRESHOLD_I8 {
+        // The tiny path never packs in the first place; run it over the
+        // retained raw weights so both entry points stay bitwise-equal.
+        return gemm_i8_fused(&pw.raw, b, out, m, k, n, ws, ep);
+    }
+
+    let tier = i8_tier();
+    let g = tier.k_group();
+    let kg_max = KC_I8.min(k).div_ceil(g);
+    let mut pb = ws.take_i8(NC_I8.min(n).div_ceil(NR_I8) * g * NR_I8 * kg_max);
+    let multi_block = k > KC_I8;
+    let mut acc = ws.take_i32(if multi_block { m * n } else { 0 });
+    let mut mx = 0.0f32;
+    for jc in (0..n).step_by(NC_I8) {
+        let nc = NC_I8.min(n - jc);
+        for pc in (0..k).step_by(KC_I8) {
+            let kc = KC_I8.min(k - pc);
+            let kg = kc.div_ceil(g);
+            let final_block = pc + kc == k;
+            if tier == I8Tier::Vnni {
+                pack_b_i8_quad(b, &mut pb, pc, jc, kc, nc, n);
+            } else {
+                pack_b_i8(b, &mut pb, pc, jc, kc, nc, n);
+            }
+            for ic in (0..m).step_by(MC_I8) {
+                let mc = MC_I8.min(m - ic);
+                let pa = pw.panel(tier, pc, ic);
+                let bcorr = pw.corr(tier, pc, ic);
+                if final_block {
+                    let partials = multi_block.then(|| &acc[ic * n + jc..]);
+                    mx = mx.max(run_block_i8_fused(
+                        pa,
+                        &pb,
+                        bcorr,
+                        partials,
+                        &mut out[ic * n + jc..],
+                        n,
+                        ic,
+                        mc,
+                        nc,
+                        kg,
+                        tier,
+                        ep,
+                    ));
+                } else {
+                    run_block_i8(pa, &pb, bcorr, &mut acc[ic * n + jc..], n, mc, nc, kg, tier);
                 }
             }
         }
     }
     ws.recycle_i32(acc);
     ws.recycle_i8(pb);
-    ws.recycle_i32(pa);
     mx
 }
 
@@ -851,6 +1408,58 @@ mod tests {
             let mut c = vec![0i32; m * n];
             gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
             assert_eq!(c, naive_i8(&a, &b, m, k, n), "case {case}");
+        }
+    }
+
+    /// Pins `tier` (skipping it if the host can't run it), runs `f`, and
+    /// releases the override again.
+    fn with_tier(tier: I8Tier, f: impl FnOnce()) {
+        set_i8_tier_override(Some(tier));
+        if i8_tier() != tier {
+            eprintln!("skipping {tier:?}: host cannot run it");
+        } else {
+            f();
+        }
+        set_i8_tier_override(None);
+    }
+
+    #[test]
+    fn all_int8_tiers_agree_bitwise() {
+        // Ragged edges, odd k (pair + quad tail padding), multiple KC
+        // blocks — every tier must produce the identical i32 accumulator.
+        let cases = [(67usize, 300usize, 33usize), (131, 521, 70), (30, 1030, 40)];
+        let mut ws = Workspace::new();
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_i8(900 + case as u64, m * k);
+            let b = arb_i8(950 + case as u64, k * n);
+            let expect = naive_i8(&a, &b, m, k, n);
+            for tier in [I8Tier::Portable, I8Tier::Avx2, I8Tier::Vnni] {
+                with_tier(tier, || {
+                    let mut c = vec![0i32; m * n];
+                    gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+                    assert_eq!(c, expect, "case {case} tier {tier:?}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_saturated_operands_are_exact_on_every_tier() {
+        // Saturated operands maximize the VNNI correction term
+        // (`128 * sum|w|`) and the u8 range of the offset activations.
+        let (m, k, n) = (8, 432, 24);
+        let a = vec![127i8; m * k];
+        let b = vec![-128i8; k * n];
+        for tier in [I8Tier::Portable, I8Tier::Avx2, I8Tier::Vnni] {
+            with_tier(tier, || {
+                let mut c = vec![0i32; m * n];
+                let mut ws = Workspace::new();
+                gemm_i8(&a, &b, &mut c, m, k, n, &mut ws);
+                assert!(
+                    c.iter().all(|&v| v == 127 * -128 * k as i32),
+                    "tier {tier:?}"
+                );
+            });
         }
     }
 
@@ -982,6 +1591,83 @@ mod tests {
                     scales.len()
                 );
                 assert_eq!(mx, expect_mx, "case {case}: tracked max must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tiers_agree_bitwise() {
+        let cases = [(67usize, 300usize, 33usize), (30, 521, 40), (64, 1030, 24)];
+        let mut ws = Workspace::new();
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_i8(800 + case as u64, m * k);
+            let b = arb_i8(850 + case as u64, k * n);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.03 - 0.4).collect();
+            let scales = [0.017f32];
+            let ep = RequantEpilogue {
+                scale_x: 0.021,
+                weight_scales: &scales,
+                bias: &bias,
+                relu: true,
+                track_max: true,
+            };
+            let (expect, expect_mx) = fused_reference(&a, &b, m, k, n, &ep);
+            for tier in [I8Tier::Portable, I8Tier::Avx2, I8Tier::Vnni] {
+                with_tier(tier, || {
+                    let mut out = vec![0.0f32; m * n];
+                    let mx = gemm_i8_fused(&a, &b, &mut out, m, k, n, &mut ws, &ep);
+                    assert_eq!(out, expect, "case {case} tier {tier:?}");
+                    assert_eq!(mx, expect_mx, "case {case} tier {tier:?} max");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_fused_matches_per_call_packing_and_never_packs() {
+        // Tiny fallback, single k-block, multi k-block; per-tensor and
+        // per-channel scales — prepacked output must be bitwise-identical
+        // on every tier, without touching the weight-pack counter.
+        let cases = [(3usize, 7usize, 11usize), (67, 300, 33), (64, 1030, 24)];
+        for (case, &(m, k, n)) in cases.iter().enumerate() {
+            let a = arb_i8(400 + case as u64, m * k);
+            let b = arb_i8(450 + case as u64, k * n);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.02 - 0.3).collect();
+            let pw = PackedGemmI8::pack(&a, m, k);
+            assert_eq!((pw.m(), pw.k()), (m, k));
+            for scales in [
+                vec![0.013f32],
+                (0..m).map(|i| 0.01 + i as f32 * 1e-4).collect(),
+            ] {
+                let ep = RequantEpilogue {
+                    scale_x: 0.021,
+                    weight_scales: &scales,
+                    bias: &bias,
+                    relu: true,
+                    track_max: true,
+                };
+                for tier in [I8Tier::Portable, I8Tier::Avx2, I8Tier::Vnni] {
+                    with_tier(tier, || {
+                        let mut ws = Workspace::new();
+                        let mut expect = vec![0.0f32; m * n];
+                        let expect_mx = gemm_i8_fused(&a, &b, &mut expect, m, k, n, &mut ws, &ep);
+                        let per_call_packs = ws.stats().weight_packs;
+                        assert!(
+                            m * n * k <= TILING_THRESHOLD_I8 || per_call_packs > 0,
+                            "per-call driver above the tiny threshold must pack"
+                        );
+                        let mut pre_ws = Workspace::new();
+                        let mut out = vec![0.0f32; m * n];
+                        let mx = gemm_i8_fused_prepacked(&pw, &b, &mut out, n, &mut pre_ws, &ep);
+                        assert_eq!(out, expect, "case {case} tier {tier:?}");
+                        assert_eq!(mx, expect_mx, "case {case} tier {tier:?} max");
+                        assert_eq!(
+                            pre_ws.stats().weight_packs,
+                            0,
+                            "prepacked entry point must never pack weights"
+                        );
+                    });
+                }
             }
         }
     }

@@ -15,10 +15,13 @@
 //! - Convolution lowers to im2col + GEMM ([`gemm`]), the standard approach
 //!   in CPU inference engines; the GEMM kernel is cache-blocked (MC/KC/NC)
 //!   with packed panels and an `MR x NR` register-tile microkernel. An
-//!   explicit AVX2+FMA microkernel ([`simd`]) and a true
-//!   `i8 x i8 -> i32` quantized GEMM ([`gemm_i8`](mod@gemm_i8)) are dispatched at
-//!   runtime (`PERCIVAL_GEMM`, CPU feature detection), with portable
-//!   fallbacks everywhere.
+//!   explicit AVX2+FMA microkernel ([`simd`]), an AVX-512/VNNI int8 tier
+//!   ([`vnni`]) and a true `i8 x i8 -> i32` quantized GEMM
+//!   ([`gemm_i8`](mod@gemm_i8)) are dispatched at runtime (`PERCIVAL_GEMM`,
+//!   CPU feature detection), with portable fallbacks everywhere. Immutable
+//!   weight operands can be packed once up front ([`PackedGemmF32`],
+//!   [`PackedGemmI8`]) so steady-state forward passes skip per-call weight
+//!   packing entirely.
 //! - Scratch buffers (im2col columns, packed panels, activations) come from
 //!   a recycling [`workspace::Workspace`] arena, so warmed-up forward passes
 //!   perform no heap allocation; batch and row-block parallelism runs on the
@@ -36,19 +39,23 @@ pub mod resize;
 pub mod simd;
 pub mod tensor;
 pub mod threadpool;
+pub mod vnni;
 pub mod workspace;
 
 pub use conv::{
-    conv2d_backward, conv2d_forward, conv2d_forward_ep_with, conv2d_forward_q8_fused,
-    conv2d_forward_q8_with, conv2d_forward_with, Conv2dCfg,
+    conv2d_backward, conv2d_forward, conv2d_forward_ep_with, conv2d_forward_pre_ep_with,
+    conv2d_forward_q8_fused, conv2d_forward_q8_fused_pre, conv2d_forward_q8_with,
+    conv2d_forward_with, conv2d_sample_ep_into, conv2d_sample_q8_into, Conv2dCfg,
 };
-pub use gemm::EpilogueF32;
+pub use gemm::{gemm_prepacked_acc_ep, EpilogueF32, PackedGemmF32};
 pub use gemm_i8::{
-    gemm_i8, gemm_i8_fused, quantize_symmetric, quantize_symmetric_per_row, RequantEpilogue,
+    gemm_i8, gemm_i8_fused, gemm_i8_fused_prepacked, i8_tier, quantize_symmetric,
+    quantize_symmetric_per_row, set_i8_tier_override, I8Tier, PackedGemmI8, RequantEpilogue,
 };
 pub use pool::{
     global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg,
 };
+pub use simd::{simd_available, vnni_available};
 pub use tensor::{Shape, Tensor};
 pub use threadpool::ThreadPool;
 pub use workspace::{Workspace, WorkspaceStats};

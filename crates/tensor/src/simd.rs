@@ -39,6 +39,31 @@ pub fn simd_available() -> bool {
     }
 }
 
+/// Whether the running CPU can execute the AVX-512/VNNI int8 microkernels
+/// ([`crate::vnni`]): `vpdpbusd` plus the 512-bit integer/float ops the
+/// fused requantize epilogue uses.
+///
+/// Like [`simd_available`], detection runs once and is cached; non-x86_64
+/// targets are compile-time `false` and the int8 tier degrades to AVX2 or
+/// the portable kernel.
+pub fn vnni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512vnni")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// The AVX2+FMA register-tile microkernel: accumulates an
 /// `MR_SIMD x NR_SIMD` tile over `kc` packed steps, then adds the valid
 /// `mr x nr` corner into `c`.
@@ -133,6 +158,84 @@ pub(crate) unsafe fn microkernel_f32_avx2(
                 }
             }
         }
+    }
+}
+
+/// AVX2 body of [`crate::gemm_i8::max_abs`]: 32 floats per iteration
+/// (abs via a sign-bit mask, four running `vmaxps` accumulators), exact —
+/// `max` over finite floats is order-independent, so the result is bitwise
+/// identical to the scalar fold.
+///
+/// # Safety
+///
+/// The caller must have verified [`simd_available`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn max_abs_avx2(src: &[f32]) -> f32 {
+    use core::arch::x86_64::{
+        _mm256_andnot_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_set1_ps, _mm256_setzero_ps,
+    };
+    let sign = _mm256_set1_ps(-0.0);
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let chunks = src.len() / 32;
+    let mut p = src.as_ptr();
+    for _ in 0..chunks {
+        for a in acc.iter_mut() {
+            *a = _mm256_max_ps(*a, _mm256_andnot_ps(sign, _mm256_loadu_ps(p)));
+            p = p.add(8);
+        }
+    }
+    let m = _mm256_max_ps(_mm256_max_ps(acc[0], acc[1]), _mm256_max_ps(acc[2], acc[3]));
+    let mut lanes = [0.0f32; 8];
+    core::arch::x86_64::_mm256_storeu_ps(lanes.as_mut_ptr(), m);
+    let mut best = lanes.iter().fold(0.0f32, |a, &v| a.max(v));
+    for &v in &src[chunks * 32..] {
+        best = best.max(v.abs());
+    }
+    best
+}
+
+/// AVX2 body of [`crate::gemm_i8::quantize_with_scale`]: 32 floats per
+/// iteration — multiply by the inverse scale, `vcvtps2dq` (round to
+/// nearest-even, matching the scalar path's `round_ties_even`), saturating
+/// `vpackssdw`/`vpacksswb` with the lane-order fixup permute, and a final
+/// `vpmaxsb` clamp to `-127`.
+///
+/// # Safety
+///
+/// The caller must have verified [`simd_available`], and `dst.len() >=
+/// src.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn quantize_with_scale_avx2(src: &[f32], inv: f32, dst: &mut [i8]) {
+    use core::arch::x86_64::{
+        __m256i, _mm256_cvtps_epi32, _mm256_loadu_ps, _mm256_max_epi8, _mm256_mul_ps,
+        _mm256_packs_epi16, _mm256_packs_epi32, _mm256_permutevar8x32_epi32, _mm256_set1_epi8,
+        _mm256_set1_ps, _mm256_setr_epi32, _mm256_storeu_si256,
+    };
+    debug_assert!(dst.len() >= src.len());
+    let vinv = _mm256_set1_ps(inv);
+    let floor = _mm256_set1_epi8(-127);
+    let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    let chunks = src.len() / 32;
+    let mut sp = src.as_ptr();
+    let mut dp = dst.as_mut_ptr();
+    for _ in 0..chunks {
+        let i0 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(sp), vinv));
+        let i1 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(sp.add(8)), vinv));
+        let i2 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(sp.add(16)), vinv));
+        let i3 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(sp.add(24)), vinv));
+        let q = _mm256_packs_epi16(_mm256_packs_epi32(i0, i1), _mm256_packs_epi32(i2, i3));
+        let q = _mm256_max_epi8(_mm256_permutevar8x32_epi32(q, fix), floor);
+        _mm256_storeu_si256(dp as *mut __m256i, q);
+        sp = sp.add(32);
+        dp = dp.add(32);
+    }
+    for (d, &v) in dst[chunks * 32..src.len()]
+        .iter_mut()
+        .zip(src[chunks * 32..].iter())
+    {
+        *d = crate::gemm_i8::quantize_value(v, inv);
     }
 }
 

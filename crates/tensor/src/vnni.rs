@@ -1,0 +1,170 @@
+//! AVX-512/VNNI int8 microkernels (`vpdpbusd`).
+//!
+//! `vpdpbusd` multiplies 4 adjacent unsigned bytes of one operand with 4
+//! adjacent signed bytes of the other and accumulates the four products
+//! into the corresponding i32 lane — 64 multiply-accumulates per
+//! instruction on a 512-bit vector, four times AVX2's `vpmaddwd` density.
+//! The catch is the mixed signedness: the wide operand is **unsigned**.
+//! [`mod@crate::gemm_i8`]'s quad packing therefore stores the activation (B)
+//! panel offset by +128 (`x + 128` fits u8 exactly for any i8 `x`) and the
+//! weight (A) panel as 4 consecutive signed bytes per i32, and this kernel
+//! subtracts the weight-only correction `128 * sum(w[row])` — precomputed
+//! at pack time — once per k-block:
+//!
+//! ```text
+//! sum((x + 128) * w) - 128 * sum(w) = sum(x * w)
+//! ```
+//!
+//! Everything is exact integer arithmetic (one lane tops out at
+//! `512 * 255 * 127 < 2^25` before the correction), so the result is
+//! **bitwise-equal** to the portable and AVX2 tiers — tier selection is
+//! purely a speed decision.
+//!
+//! The register tile is `MR_I8 x NR_I8` = 4 x 16: four ZMM accumulators,
+//! one 64-byte B load and four broadcast+`vpdpbusd` pairs per k-quad.
+//! Callers must have verified [`crate::simd::vnni_available`].
+
+#[cfg(target_arch = "x86_64")]
+use crate::gemm_i8::{MR_I8, NR_I8};
+
+/// VNNI accumulation body: the full `MR_I8 x NR_I8` i32 product tile over
+/// `kc4` k-quads, corrections already subtracted, row-major.
+///
+/// # Safety
+///
+/// Caller must have verified [`crate::simd::vnni_available`]; panel extents
+/// must cover `kc4` quads (`pa.len() >= kc4 * MR_I8`,
+/// `pb.len() >= kc4 * 4 * NR_I8`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(
+    enable = "avx512f",
+    enable = "avx512bw",
+    enable = "avx512vl",
+    enable = "avx512vnni"
+)]
+pub(crate) unsafe fn micro_i8_vnni_tile(
+    pa: &[i32],
+    pb: &[i8],
+    kc4: usize,
+    corr: &[i32; MR_I8],
+) -> [i32; MR_I8 * NR_I8] {
+    use core::arch::x86_64::{
+        _mm512_dpbusd_epi32, _mm512_loadu_si512, _mm512_set1_epi32, _mm512_setzero_si512,
+        _mm512_storeu_si512, _mm512_sub_epi32,
+    };
+    debug_assert!(pa.len() >= kc4 * MR_I8);
+    debug_assert!(pb.len() >= kc4 * 4 * NR_I8);
+
+    let mut acc = [_mm512_setzero_si512(); MR_I8];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc4 {
+        // One i32 lane per column: bytes 4j..4j+4 are column j's offset
+        // activations for this k-quad.
+        let b = _mm512_loadu_si512(bp.cast());
+        for (i, row) in acc.iter_mut().enumerate() {
+            let w = _mm512_set1_epi32(*ap.add(i));
+            *row = _mm512_dpbusd_epi32(*row, b, w);
+        }
+        ap = ap.add(MR_I8);
+        bp = bp.add(4 * NR_I8);
+    }
+
+    let mut tile = [0i32; MR_I8 * NR_I8];
+    for (i, row) in acc.iter().enumerate() {
+        let fixed = _mm512_sub_epi32(*row, _mm512_set1_epi32(corr[i]));
+        _mm512_storeu_si512(tile.as_mut_ptr().add(i * NR_I8).cast(), fixed);
+    }
+    tile
+}
+
+/// VNNI int8 microkernel with the requantization epilogue fused into the
+/// store — the 512-bit sibling of the AVX2 fused kernel: the four
+/// accumulator vectors are corrected, (optionally added to partial sums,
+/// then) converted, scaled, biased, ReLU-clamped and written to `out` as
+/// f32 while still in registers. `lanes` maintains the 16 per-column
+/// running maxima of `|out|` in a single ZMM.
+///
+/// Scalar-exact like the AVX2 kernel: conversion is exact and the
+/// scale/bias use separate multiply and add (not FMA), so every value
+/// equals the unfused requantize sweep bit for bit. Full tiles only.
+///
+/// # Safety
+///
+/// Caller must have verified [`crate::simd::vnni_available`]; panel extents
+/// must cover `kc4` quads; `out` (and `acc` when present) must cover a
+/// full `MR_I8 x NR_I8` tile at row stride `ldc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(
+    enable = "avx512f",
+    enable = "avx512bw",
+    enable = "avx512vl",
+    enable = "avx512vnni"
+)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn micro_i8_vnni_fused(
+    pa: &[i32],
+    pb: &[i8],
+    kc4: usize,
+    corr: &[i32; MR_I8],
+    acc: Option<*const i32>,
+    out: *mut f32,
+    ldc: usize,
+    scales: &[f32; MR_I8],
+    bias: &[f32; MR_I8],
+    relu: bool,
+    lanes: Option<&mut [f32; NR_I8]>,
+) {
+    use core::arch::x86_64::{
+        _mm512_add_epi32, _mm512_add_ps, _mm512_and_si512, _mm512_castps_si512,
+        _mm512_castsi512_ps, _mm512_cvtepi32_ps, _mm512_dpbusd_epi32, _mm512_loadu_ps,
+        _mm512_loadu_si512, _mm512_max_ps, _mm512_mul_ps, _mm512_set1_epi32, _mm512_set1_ps,
+        _mm512_setzero_si512, _mm512_storeu_ps, _mm512_sub_epi32,
+    };
+    debug_assert!(pa.len() >= kc4 * MR_I8);
+    debug_assert!(pb.len() >= kc4 * 4 * NR_I8);
+
+    let mut acc_v = [_mm512_setzero_si512(); MR_I8];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc4 {
+        let b = _mm512_loadu_si512(bp.cast());
+        for (i, row) in acc_v.iter_mut().enumerate() {
+            let w = _mm512_set1_epi32(*ap.add(i));
+            *row = _mm512_dpbusd_epi32(*row, b, w);
+        }
+        ap = ap.add(MR_I8);
+        bp = bp.add(4 * NR_I8);
+    }
+
+    let zero = _mm512_set1_ps(0.0);
+    // |x| as a sign-bit mask: `_mm512_abs_ps` needs avx512dq on some
+    // toolchains, the integer AND only avx512f.
+    let abs_mask = _mm512_set1_epi32(0x7fff_ffff);
+    let mut mx = match &lanes {
+        Some(l) => _mm512_loadu_ps(l.as_ptr()),
+        None => zero,
+    };
+    for (i, row) in acc_v.iter().enumerate() {
+        let mut v = _mm512_sub_epi32(*row, _mm512_set1_epi32(corr[i]));
+        if let Some(p) = acc {
+            v = _mm512_add_epi32(v, _mm512_loadu_si512(p.add(i * ldc).cast()));
+        }
+        let s = _mm512_set1_ps(scales[i]);
+        let b = _mm512_set1_ps(bias[i]);
+        // mul-then-add, not FMA: the unfused sweep rounds twice and the
+        // fused store must match it bitwise.
+        let mut f = _mm512_add_ps(_mm512_mul_ps(_mm512_cvtepi32_ps(v), s), b);
+        if relu {
+            f = _mm512_max_ps(f, zero);
+        }
+        _mm512_storeu_ps(out.add(i * ldc), f);
+        if lanes.is_some() {
+            let abs = _mm512_castsi512_ps(_mm512_and_si512(_mm512_castps_si512(f), abs_mask));
+            mx = _mm512_max_ps(mx, abs);
+        }
+    }
+    if let Some(l) = lanes {
+        _mm512_storeu_ps(l.as_mut_ptr(), mx);
+    }
+}

@@ -25,6 +25,12 @@ pub struct WorkspaceStats {
     pub allocations: u64,
     /// Times `take` was served entirely from a recycled buffer.
     pub reuses: u64,
+    /// Weight-side (A-operand) GEMM panel packs performed through this
+    /// workspace. Prepacked plan execution must leave this at zero: the
+    /// pack-counter parity test pins "weights packed exactly once at
+    /// compile" by running a full forward pass against a fresh workspace
+    /// and asserting no weight pack happened per call.
+    pub weight_packs: u64,
 }
 
 /// A recycling arena of `f32`, `i8` and `i32` scratch buffers.
@@ -137,6 +143,14 @@ impl Workspace {
     /// Allocation counters so far.
     pub fn stats(&self) -> WorkspaceStats {
         self.stats
+    }
+
+    /// Records one weight-side (A-operand) panel pack. Called by the GEMM
+    /// block drivers whenever they pack weights per call; the prepacked
+    /// entry points never call it, which is what the pack-counter test
+    /// asserts.
+    pub(crate) fn note_weight_pack(&mut self) {
+        self.stats.weight_packs += 1;
     }
 
     /// Bytes currently parked in the arena (all three typed lists).
