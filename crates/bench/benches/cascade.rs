@@ -1,0 +1,316 @@
+//! Cascade front-end benchmarks: the cost of each tier and what the
+//! cascade buys end to end.
+//!
+//! Run with `cargo bench -p percival_bench --bench cascade`. Scenarios:
+//!
+//! 1. **Tokenized vs linear matching** — the same `FilterEngine` checked
+//!    through its token index and through the linear reference scan, on an
+//!    EasyList-scale list (`scaled_list(4096)`). Emits
+//!    `cascade_match_tokenized/scaled4096`, `cascade_match_linear/scaled4096`
+//!    and `cascade_tokenized_vs_linear_speedup`; verdict equivalence over
+//!    the whole URL mix is asserted, and the speedup must clear 10x.
+//! 2. **Engine cold start** — building from list text vs restoring the
+//!    binary snapshot (`cascade_engine/*`, `cascade_snapshot_coldstart_speedup`).
+//! 3. **Tier hit rates** — the mixed load-generator workload through the
+//!    full cascade: per-tier absorption fractions as derived rows
+//!    (`cascade_tier0_fraction`, `cascade_tier1_fraction`,
+//!    `cascade_early_fraction` — the last must clear 0.60).
+//! 4. **Mixed-workload throughput** — the same traffic served with the
+//!    full cascade vs CNN-only (`cascade_full_mix/*`, `cascade_cnn_only_mix/*`,
+//!    `cascade_full_mix_speedup` — must clear 2x), with the cascade's
+//!    per-request decisions asserted identical to a sequential reference
+//!    pass (`cascade_verdict_changes` stays 0).
+//!
+//! Rows merge into `BENCH_inference.json`; this bench owns the
+//! `cascade_*` names. `-- --test` smoke-runs with tiny counts and skips
+//! the snapshot and the host-speed assertions.
+
+use percival_bench::snapshot;
+use percival_core::arch::percival_net_slim;
+use percival_core::cascade::{Cascade, CascadeConfig};
+use percival_core::Classifier;
+use percival_filterlist::easylist::scaled_list;
+use percival_filterlist::{FilterEngine, RequestInfo, ResourceType, Url};
+use percival_nn::init::kaiming_init;
+use percival_serve::loadgen::{self, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
+use percival_util::Pcg32;
+use percival_webgen::adnet;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn classifier() -> Classifier {
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    Classifier::new(model, 32)
+}
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+fn service() -> ClassificationService {
+    ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: shard_count(),
+            overload: OverloadPolicy::Block,
+            deadline: Duration::from_secs(600),
+            ..Default::default()
+        },
+    )
+}
+
+struct Rows {
+    measurements: Vec<String>,
+    derived: Vec<String>,
+}
+
+impl Rows {
+    fn measurement(&mut self, id: &str, mean: Duration, iterations: u64) {
+        println!("{id:<44} time: {mean:>12.3?}   ({iterations} iterations)");
+        self.measurements
+            .push(snapshot::measurement_line(id, mean.as_nanos(), iterations));
+    }
+
+    fn derived(&mut self, metric: &str, value: f64) {
+        println!("{metric:<44} value: {value:.3}");
+        self.derived.push(snapshot::derived_line(metric, value));
+    }
+}
+
+/// A realistic URL mix against the scaled list: corpus ads, trackers and
+/// content, plus scale-out rule hits and never-matching long-tail URLs.
+fn url_mix() -> Vec<Url> {
+    let mut rng = Pcg32::seed_from_u64(11);
+    let mut urls = Vec::new();
+    for i in 0..48u32 {
+        let n = adnet::pick_network(&mut rng, false);
+        urls.push(Url::parse(&adnet::creative_url(&mut rng, n, "png")).unwrap());
+        urls.push(Url::parse(&adnet::content_url(&mut rng, "news0.web", "png")).unwrap());
+        urls.push(Url::parse(&adnet::tracker_url(&mut rng)).unwrap());
+        // A scale-out rule hit and a miss in the same host shape.
+        urls.push(
+            Url::parse(&format!(
+                "http://adnet-x{:05}.web/a/{i}.png",
+                (i * 5) % 4096
+            ))
+            .unwrap(),
+        );
+        urls.push(Url::parse(&format!("http://longtail-{i}.web/media/{i}.png")).unwrap());
+    }
+    urls
+}
+
+/// Mean per-check latency of `check` over `rounds` passes of the mix, and
+/// the verdict tally (so both paths can be compared for equivalence).
+fn time_checks(
+    engine: &FilterEngine,
+    urls: &[Url],
+    source: &Url,
+    rounds: usize,
+    check: impl Fn(&FilterEngine, &RequestInfo<'_>) -> percival_filterlist::Verdict,
+) -> (Duration, Vec<percival_filterlist::Verdict>) {
+    let verdicts: Vec<_> = urls
+        .iter()
+        .map(|u| {
+            check(
+                engine,
+                &RequestInfo {
+                    url: u,
+                    source,
+                    resource_type: ResourceType::Image,
+                },
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for u in urls {
+            let req = RequestInfo {
+                url: u,
+                source,
+                resource_type: ResourceType::Image,
+            };
+            black_box(check(engine, black_box(&req)));
+        }
+    }
+    let total = start.elapsed();
+    let checks = (rounds * urls.len()) as u32;
+    (total / checks.max(1), verdicts)
+}
+
+fn main() {
+    let smoke = criterion::is_test_mode();
+    let mut rows = Rows {
+        measurements: Vec::new(),
+        derived: Vec::new(),
+    };
+
+    // --- Scenario 1: tokenized vs linear on an EasyList-scale list ---
+    let scale = if smoke { 512 } else { 4096 };
+    let list = scaled_list(scale);
+    let engine = FilterEngine::from_list(&list);
+    let urls = url_mix();
+    let source = Url::parse("http://news0.web/").unwrap();
+    let (tok_rounds, lin_rounds) = if smoke { (8, 1) } else { (512, 8) };
+    let (tok_mean, tok_verdicts) =
+        time_checks(&engine, &urls, &source, tok_rounds, |e, r| e.check(r));
+    let (lin_mean, lin_verdicts) = time_checks(&engine, &urls, &source, lin_rounds, |e, r| {
+        e.check_linear(r)
+    });
+    assert_eq!(
+        tok_verdicts, lin_verdicts,
+        "token index and linear scan must agree on every URL"
+    );
+    rows.measurement(
+        &format!("cascade_match_tokenized/scaled{scale}"),
+        tok_mean,
+        (tok_rounds * urls.len()) as u64,
+    );
+    rows.measurement(
+        &format!("cascade_match_linear/scaled{scale}"),
+        lin_mean,
+        (lin_rounds * urls.len()) as u64,
+    );
+    let match_speedup = lin_mean.as_secs_f64() / tok_mean.as_secs_f64().max(1e-12);
+    rows.derived("cascade_tokenized_vs_linear_speedup", match_speedup);
+    if !smoke {
+        assert!(
+            match_speedup >= 10.0,
+            "tokenized matching must be >= 10x linear on a {scale}-rule list, got {match_speedup:.1}x"
+        );
+    }
+
+    // --- Scenario 2: engine cold start, parse vs snapshot restore ---
+    let bytes = engine.to_snapshot_bytes();
+    let build_iters = if smoke { 3 } else { 20 };
+    let start = Instant::now();
+    for _ in 0..build_iters {
+        black_box(FilterEngine::from_list(black_box(&list)));
+    }
+    let from_list = start.elapsed() / build_iters;
+    let start = Instant::now();
+    for _ in 0..build_iters {
+        black_box(FilterEngine::from_snapshot_bytes(black_box(&bytes)).unwrap());
+    }
+    let from_snapshot = start.elapsed() / build_iters;
+    rows.measurement(
+        &format!("cascade_engine/from_list_scaled{scale}"),
+        from_list,
+        build_iters as u64,
+    );
+    rows.measurement(
+        &format!("cascade_engine/from_snapshot_scaled{scale}"),
+        from_snapshot,
+        build_iters as u64,
+    );
+    rows.derived(
+        "cascade_snapshot_coldstart_speedup",
+        from_list.as_secs_f64() / from_snapshot.as_secs_f64().max(1e-12),
+    );
+
+    // --- Scenario 3 + 4: the mixed workload, full cascade vs CNN-only ---
+    let traffic = TrafficConfig {
+        seed: 42,
+        creatives: if smoke { 24 } else { 96 },
+        ad_fraction: 0.5,
+        zipf_s: 0.9,
+        requests: if smoke { 96 } else { 1024 },
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 32,
+    };
+
+    let svc = service();
+    let full_cascade = Arc::new(Cascade::synthetic_with(CascadeConfig::default()));
+    let full = loadgen::run_cascade(&svc, &full_cascade, &traffic);
+    assert_eq!(full.lost, 0, "full-cascade run lost tickets");
+    println!("{full}");
+
+    // Sequential reference: one fresh cascade, every request decided in
+    // request order on the same metadata. The pipelined run must produce
+    // byte-identical decisions — the cascade buys throughput, never a
+    // different verdict.
+    let reference = Cascade::synthetic_with(CascadeConfig::default());
+    let metas = loadgen::synthesize_creative_meta(&traffic);
+    let changed = loadgen::request_sequence(&traffic)
+        .iter()
+        .zip(full.decisions.iter())
+        .filter(|&(&c, &got)| {
+            let m = &metas[c];
+            reference.decide(&m.url, &m.source_url, Some(&m.structural)) != got
+        })
+        .count();
+    assert_eq!(
+        changed, 0,
+        "cascade changed {changed} verdicts vs the sequential reference"
+    );
+    rows.derived("cascade_verdict_changes", changed as f64);
+
+    rows.derived(
+        "cascade_tier0_fraction",
+        (full.tier0_blocked + full.tier0_exempted) as f64 / full.requests as f64,
+    );
+    rows.derived(
+        "cascade_tier1_fraction",
+        (full.tier1_blocked + full.tier1_kept) as f64 / full.requests as f64,
+    );
+    rows.derived("cascade_early_fraction", full.early_fraction());
+    if !smoke {
+        assert!(
+            full.early_fraction() >= 0.6,
+            "mixed workload must resolve >= 60% early, got {:.3}",
+            full.early_fraction()
+        );
+    }
+
+    let svc = service();
+    let off = CascadeConfig {
+        network_filter: false,
+        structural: false,
+        ..CascadeConfig::default()
+    };
+    let cnn_only = loadgen::run_cascade(&svc, &Arc::new(Cascade::synthetic_with(off)), &traffic);
+    assert_eq!(cnn_only.lost, 0, "CNN-only run lost tickets");
+    assert_eq!(cnn_only.cnn_submitted, cnn_only.requests);
+    println!("{cnn_only}");
+
+    rows.measurement(
+        "cascade_full_mix/throughput",
+        Duration::from_secs_f64(1.0 / full.achieved_rps.max(1e-9)),
+        full.requests as u64,
+    );
+    rows.measurement(
+        "cascade_cnn_only_mix/throughput",
+        Duration::from_secs_f64(1.0 / cnn_only.achieved_rps.max(1e-9)),
+        cnn_only.requests as u64,
+    );
+    let mix_speedup = full.achieved_rps / cnn_only.achieved_rps.max(1e-9);
+    rows.derived("cascade_full_mix_speedup", mix_speedup);
+    if !smoke {
+        assert!(
+            mix_speedup >= 2.0,
+            "full cascade must serve the mixed workload >= 2x faster than CNN-only, got {mix_speedup:.2}x"
+        );
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_inference.json snapshot");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+        // This bench owns exactly the `cascade_*` rows.
+        match snapshot::merge_snapshot(
+            std::path::Path::new(path),
+            &rows.measurements,
+            &rows.derived,
+            |name| name.starts_with("cascade"),
+        ) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The cascade front-end: cheap tiers ahead of the CNN.
+//!
+//! The paper positions PERCIVAL as a *complement* to filter lists, not a
+//! replacement — "PERCIVAL can be deployed in conjunction with block lists"
+//! (Section 5.2) — and its render-time overhead argument rests on the CNN
+//! only paying its cost on images that actually need a perceptual opinion.
+//! This module makes that composition explicit as a three-tier decision
+//! cascade, cheapest first:
+//!
+//! - **Tier 0 — network filter.** The tokenized
+//!   [`percival_filterlist::FilterEngine`] resolves requests whose URL is
+//!   already covered by the block list, in amortized O(1) of the rule
+//!   count. A blocked request never fetches, decodes, or classifies; an
+//!   `@@` exception pins the creative as content.
+//! - **Tier 1 — structural pre-filter.** The renderer's
+//!   [`StructuralFeatures`] (IAB ad-sized boxes, iframe nesting,
+//!   third-party origin edges) score the request; clear-cut scores are
+//!   decided here, for free, without touching pixels.
+//! - **Tier 2 — the CNN.** Only the residual slice — requests the list
+//!   does not cover and the structure does not separate — reaches the
+//!   perceptual classifier and its flight-control machinery.
+//!
+//! [`CascadeCounters`] attributes every request to the tier that resolved
+//!   it, in the same monotonic-counter style as
+//!   [`crate::flight::FlightCounters`], so serving telemetry can report
+//!   how much traffic each tier absorbed.
+
+use percival_filterlist::{
+    easylist::synthetic_engine, FilterEngine, RequestInfo, ResourceType, Url,
+    Verdict as FilterVerdict,
+};
+use percival_renderer::StructuralFeatures;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which tier resolved a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Tier 0: the tokenized filter-list match.
+    NetworkFilter,
+    /// Tier 1: the structural pre-filter.
+    Structural,
+    /// Tier 2: the perceptual classifier.
+    Cnn,
+}
+
+/// The cascade's verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeDecision {
+    /// Resolved as an ad by the given tier; do not fetch/decode/classify.
+    Block(Tier),
+    /// Resolved as content by the given tier; render without classifying.
+    Keep(Tier),
+    /// Undecided: the request falls through to the CNN (tier 2).
+    Classify,
+}
+
+impl CascadeDecision {
+    /// True when the cascade resolved the request without the CNN.
+    pub fn resolved_early(&self) -> bool {
+        !matches!(self, CascadeDecision::Classify)
+    }
+}
+
+/// Which tiers run ahead of the CNN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeConfig {
+    /// Run tier 0 (the network-filter match).
+    pub network_filter: bool,
+    /// Run tier 1 (the structural scorer).
+    pub structural: bool,
+    /// Tier-1 scores at or above this block outright.
+    pub block_threshold: f32,
+    /// Tier-1 scores at or below this keep outright.
+    pub keep_threshold: f32,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            network_filter: true,
+            structural: true,
+            block_threshold: 0.8,
+            keep_threshold: 0.1,
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// Reads the `PERCIVAL_CASCADE` knob: `off` (CNN-only), `t0`
+    /// (network filter only), `t1` (structural only), `full` (both;
+    /// the default for unset or unrecognized values).
+    pub fn from_env() -> Self {
+        match std::env::var("PERCIVAL_CASCADE").as_deref() {
+            Ok("off") => CascadeConfig {
+                network_filter: false,
+                structural: false,
+                ..Default::default()
+            },
+            Ok("t0") => CascadeConfig {
+                structural: false,
+                ..Default::default()
+            },
+            Ok("t1") => CascadeConfig {
+                network_filter: false,
+                ..Default::default()
+            },
+            _ => CascadeConfig::default(),
+        }
+    }
+}
+
+/// Monotonic per-tier attribution counters (the cascade's analogue of
+/// [`crate::flight::FlightCounters`]). Every request increments `requests`
+/// and exactly one resolution counter, so the resolution counters always
+/// sum to `requests`.
+#[derive(Debug, Default)]
+pub struct CascadeCounters {
+    requests: AtomicU64,
+    tier0_blocked: AtomicU64,
+    tier0_exempted: AtomicU64,
+    tier1_blocked: AtomicU64,
+    tier1_kept: AtomicU64,
+    cnn_residual: AtomicU64,
+}
+
+impl CascadeCounters {
+    /// Requests run through the cascade.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests blocked by a tier-0 filter rule.
+    pub fn tier0_blocked(&self) -> u64 {
+        self.tier0_blocked.load(Ordering::Relaxed)
+    }
+
+    /// Requests pinned as content by a tier-0 `@@` exception.
+    pub fn tier0_exempted(&self) -> u64 {
+        self.tier0_exempted.load(Ordering::Relaxed)
+    }
+
+    /// Requests blocked by the tier-1 structural score.
+    pub fn tier1_blocked(&self) -> u64 {
+        self.tier1_blocked.load(Ordering::Relaxed)
+    }
+
+    /// Requests kept by the tier-1 structural score.
+    pub fn tier1_kept(&self) -> u64 {
+        self.tier1_kept.load(Ordering::Relaxed)
+    }
+
+    /// Requests that fell through to the CNN.
+    pub fn cnn_residual(&self) -> u64 {
+        self.cnn_residual.load(Ordering::Relaxed)
+    }
+
+    /// An atomic-free copy of the counters.
+    pub fn snapshot(&self) -> CascadeSnapshot {
+        CascadeSnapshot {
+            requests: self.requests(),
+            tier0_blocked: self.tier0_blocked(),
+            tier0_exempted: self.tier0_exempted(),
+            tier1_blocked: self.tier1_blocked(),
+            tier1_kept: self.tier1_kept(),
+            cnn_residual: self.cnn_residual(),
+        }
+    }
+
+    fn record(&self, decision: CascadeDecision) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let counter = match decision {
+            CascadeDecision::Block(Tier::NetworkFilter) => &self.tier0_blocked,
+            CascadeDecision::Keep(Tier::NetworkFilter) => &self.tier0_exempted,
+            CascadeDecision::Block(Tier::Structural) => &self.tier1_blocked,
+            CascadeDecision::Keep(Tier::Structural) => &self.tier1_kept,
+            CascadeDecision::Block(Tier::Cnn)
+            | CascadeDecision::Keep(Tier::Cnn)
+            | CascadeDecision::Classify => &self.cnn_residual,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CascadeCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeSnapshot {
+    /// Requests run through the cascade.
+    pub requests: u64,
+    /// Requests blocked by a tier-0 filter rule.
+    pub tier0_blocked: u64,
+    /// Requests pinned as content by a tier-0 exception.
+    pub tier0_exempted: u64,
+    /// Requests blocked by the tier-1 structural score.
+    pub tier1_blocked: u64,
+    /// Requests kept by the tier-1 structural score.
+    pub tier1_kept: u64,
+    /// Requests that fell through to the CNN.
+    pub cnn_residual: u64,
+}
+
+impl CascadeSnapshot {
+    /// Requests resolved without the CNN.
+    pub fn resolved_early(&self) -> u64 {
+        self.tier0_blocked + self.tier0_exempted + self.tier1_blocked + self.tier1_kept
+    }
+
+    /// Fraction of requests resolved without the CNN (0 when idle).
+    pub fn early_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.resolved_early() as f64 / self.requests as f64
+    }
+
+    /// Merges another snapshot into this one (fleet aggregation).
+    pub fn absorb(&mut self, other: &CascadeSnapshot) {
+        self.requests += other.requests;
+        self.tier0_blocked += other.tier0_blocked;
+        self.tier0_exempted += other.tier0_exempted;
+        self.tier1_blocked += other.tier1_blocked;
+        self.tier1_kept += other.tier1_kept;
+        self.cnn_residual += other.cnn_residual;
+    }
+}
+
+impl core::fmt::Display for CascadeSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "cascade: {} requests | t0 {} blocked / {} exempted | t1 {} blocked / {} kept | cnn {} ({:.1}% early)",
+            self.requests,
+            self.tier0_blocked,
+            self.tier0_exempted,
+            self.tier1_blocked,
+            self.tier1_kept,
+            self.cnn_residual,
+            self.early_fraction() * 100.0,
+        )
+    }
+}
+
+/// The assembled front-end: a filter engine, a structural scorer, and the
+/// per-tier counters. Thread-safe; one instance serves all render workers.
+pub struct Cascade {
+    engine: FilterEngine,
+    config: CascadeConfig,
+    counters: CascadeCounters,
+}
+
+impl Cascade {
+    /// A cascade over an explicit filter engine.
+    pub fn new(engine: FilterEngine, config: CascadeConfig) -> Self {
+        Cascade {
+            engine,
+            config,
+            counters: CascadeCounters::default(),
+        }
+    }
+
+    /// A cascade over the bundled synthetic EasyList, configured from the
+    /// `PERCIVAL_CASCADE` environment knob.
+    pub fn synthetic() -> Self {
+        Cascade::synthetic_with(CascadeConfig::from_env())
+    }
+
+    /// A cascade over the bundled synthetic EasyList with an explicit
+    /// configuration (environment-independent; what tests and benches
+    /// want).
+    pub fn synthetic_with(config: CascadeConfig) -> Self {
+        Cascade::new(synthetic_engine(), config)
+    }
+
+    /// The active tier configuration.
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+
+    /// The per-tier attribution counters.
+    pub fn counters(&self) -> &CascadeCounters {
+        &self.counters
+    }
+
+    /// The wrapped filter engine.
+    pub fn engine(&self) -> &FilterEngine {
+        &self.engine
+    }
+
+    /// Runs the tiers, cheapest first, and attributes the outcome.
+    ///
+    /// `url` is the creative's resource URL, `source_url` the document that
+    /// requested it (empty when unknown — tier 0 is skipped then, because
+    /// `$domain` / party options cannot be evaluated), and `structural`
+    /// the renderer's features when the request came through the display
+    /// path.
+    pub fn decide(
+        &self,
+        url: &str,
+        source_url: &str,
+        structural: Option<&StructuralFeatures>,
+    ) -> CascadeDecision {
+        let decision = self.decide_inner(url, source_url, structural);
+        self.counters.record(decision);
+        decision
+    }
+
+    fn decide_inner(
+        &self,
+        url: &str,
+        source_url: &str,
+        structural: Option<&StructuralFeatures>,
+    ) -> CascadeDecision {
+        if self.config.network_filter && !source_url.is_empty() {
+            if let (Ok(u), Ok(s)) = (Url::parse(url), Url::parse(source_url)) {
+                let req = RequestInfo {
+                    url: &u,
+                    source: &s,
+                    resource_type: ResourceType::Image,
+                };
+                match self.engine.check(&req) {
+                    FilterVerdict::Block { .. } => {
+                        return CascadeDecision::Block(Tier::NetworkFilter)
+                    }
+                    FilterVerdict::Exempted { .. } => {
+                        return CascadeDecision::Keep(Tier::NetworkFilter)
+                    }
+                    FilterVerdict::Allow => {}
+                }
+            }
+        }
+        if self.config.structural {
+            if let Some(features) = structural {
+                let score = features.score();
+                if score >= self.config.block_threshold {
+                    return CascadeDecision::Block(Tier::Structural);
+                }
+                if score <= self.config.keep_threshold {
+                    return CascadeDecision::Keep(Tier::Structural);
+                }
+            }
+        }
+        CascadeDecision::Classify
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> Cascade {
+        Cascade::new(synthetic_engine(), CascadeConfig::default())
+    }
+
+    fn ad_features() -> StructuralFeatures {
+        StructuralFeatures::from_parts(728, 90, 1, true)
+    }
+
+    fn content_features() -> StructuralFeatures {
+        StructuralFeatures::from_parts(640, 480, 0, false)
+    }
+
+    #[test]
+    fn listed_creative_is_blocked_at_tier0() {
+        let c = full();
+        let d = c.decide(
+            "http://adnet-alpha.web/serve/banner_728x90_3.png",
+            "http://news0.web/",
+            Some(&ad_features()),
+        );
+        assert_eq!(d, CascadeDecision::Block(Tier::NetworkFilter));
+        assert_eq!(c.counters().tier0_blocked(), 1);
+        assert_eq!(c.counters().cnn_residual(), 0);
+    }
+
+    #[test]
+    fn exception_is_kept_at_tier0() {
+        let c = full();
+        // Blocked by `||adnet-alpha.web^`, overridden by the `/legal/*`
+        // exception — the cascade must report the exemption, not re-litigate
+        // the creative structurally.
+        let d = c.decide(
+            "http://adnet-alpha.web/legal/terms.png",
+            "http://news0.web/",
+            Some(&ad_features()),
+        );
+        assert_eq!(d, CascadeDecision::Keep(Tier::NetworkFilter));
+        assert_eq!(c.counters().tier0_exempted(), 1);
+    }
+
+    #[test]
+    fn unlisted_ad_shape_is_blocked_at_tier1() {
+        // A regional network EasyList does not cover: tier 0 passes, the
+        // structure gives it away.
+        let c = full();
+        let d = c.decide(
+            "http://adnet-seoul.web/serve2/banner_728x90_1.png",
+            "http://kr-news0.web/",
+            Some(&ad_features()),
+        );
+        assert_eq!(d, CascadeDecision::Block(Tier::Structural));
+        assert_eq!(c.counters().tier1_blocked(), 1);
+    }
+
+    #[test]
+    fn plain_content_is_kept_at_tier1() {
+        let c = full();
+        let d = c.decide(
+            "http://news0.web/static/img/photo.png",
+            "http://news0.web/",
+            Some(&content_features()),
+        );
+        assert_eq!(d, CascadeDecision::Keep(Tier::Structural));
+        assert_eq!(c.counters().tier1_kept(), 1);
+    }
+
+    #[test]
+    fn ambiguous_requests_reach_the_cnn() {
+        let c = full();
+        // Mid-range score: first-party promo in an IAB box (0.45).
+        let promo = StructuralFeatures::from_parts(300, 250, 0, false);
+        let d = c.decide(
+            "http://shop1.web/img/offer.png",
+            "http://shop1.web/",
+            Some(&promo),
+        );
+        assert_eq!(d, CascadeDecision::Classify);
+        assert_eq!(c.counters().cnn_residual(), 1);
+    }
+
+    #[test]
+    fn missing_context_degrades_gracefully() {
+        let c = full();
+        // No source: tier 0 cannot run. No features: tier 1 cannot run.
+        assert_eq!(
+            c.decide("http://adnet-alpha.web/serve/banner_1.png", "", None),
+            CascadeDecision::Classify
+        );
+    }
+
+    #[test]
+    fn disabled_tiers_pass_everything_to_the_cnn() {
+        let c = Cascade::new(
+            synthetic_engine(),
+            CascadeConfig {
+                network_filter: false,
+                structural: false,
+                ..Default::default()
+            },
+        );
+        let d = c.decide(
+            "http://adnet-alpha.web/serve/banner_728x90_3.png",
+            "http://news0.web/",
+            Some(&ad_features()),
+        );
+        assert_eq!(d, CascadeDecision::Classify);
+    }
+
+    #[test]
+    fn counters_always_sum_to_requests() {
+        let c = full();
+        let cases = [
+            (
+                "http://adnet-alpha.web/serve/banner_1.png",
+                "http://news0.web/",
+            ),
+            ("http://cdn.web/assets/a.png", "http://news0.web/"),
+            ("http://adnet-seoul.web/x.png", "http://kr-news0.web/"),
+            ("http://news0.web/photo.png", "http://news0.web/"),
+            ("http://shop1.web/offer.png", "http://shop1.web/"),
+            ("not a url", ""),
+        ];
+        for (i, (url, src)) in cases.iter().enumerate() {
+            let f = if i % 2 == 0 {
+                ad_features()
+            } else {
+                content_features()
+            };
+            c.decide(url, src, Some(&f));
+        }
+        let s = c.counters().snapshot();
+        assert_eq!(s.requests, cases.len() as u64);
+        assert_eq!(s.resolved_early() + s.cnn_residual, s.requests);
+    }
+
+    #[test]
+    fn snapshot_display_and_absorb() {
+        let c = full();
+        c.decide(
+            "http://adnet-alpha.web/serve/banner_1.png",
+            "http://news0.web/",
+            None,
+        );
+        let mut total = CascadeSnapshot::default();
+        total.absorb(&c.counters().snapshot());
+        total.absorb(&c.counters().snapshot());
+        assert_eq!(total.requests, 2);
+        assert_eq!(total.tier0_blocked, 2);
+        let line = total.to_string();
+        assert!(line.contains("2 requests"), "{line}");
+        assert!(line.contains("100.0% early"), "{line}");
+    }
+}

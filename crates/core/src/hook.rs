@@ -12,6 +12,7 @@
 //! later sighting is blocked instantly (Section 1.1, and the repeat-visit
 //! discussion in Section 6).
 
+use crate::cascade::{Cascade, CascadeDecision};
 use crate::classifier::Classifier;
 use crate::engine::{EngineConfig, InferenceEngine};
 use crate::flight::AdmissionHint;
@@ -20,6 +21,7 @@ use crate::policy::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters exported by the hooks.
 #[derive(Debug, Default)]
@@ -179,6 +181,7 @@ impl ImageInterceptor for PercivalHook {
 /// micro-batching [`InferenceEngine`].
 pub struct AsyncPercivalHook {
     engine: InferenceEngine,
+    cascade: Option<Arc<Cascade>>,
     stats: HookStats,
 }
 
@@ -192,8 +195,16 @@ impl AsyncPercivalHook {
     pub fn with_engine_config(classifier: Classifier, cfg: EngineConfig) -> Self {
         AsyncPercivalHook {
             engine: InferenceEngine::new(classifier, cfg),
+            cascade: None,
             stats: HookStats::default(),
         }
+    }
+
+    /// Puts a [`Cascade`] front-end ahead of the engine: requests tier 0/1
+    /// resolve never touch the verdict cache or the background queue.
+    pub fn with_cascade(mut self, cascade: Arc<Cascade>) -> Self {
+        self.cascade = Some(cascade);
+        self
     }
 
     /// Blocks until the background queue drains (tests / page settles).
@@ -218,7 +229,19 @@ impl AsyncPercivalHook {
 }
 
 impl ImageInterceptor for AsyncPercivalHook {
-    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+    fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction {
+        // Tier 0/1: the cascade front-end settles covered URLs and
+        // clear-cut structure without hashing, caching or queueing.
+        if let Some(cascade) = &self.cascade {
+            match cascade.decide(meta.url, meta.source_url, meta.structural.as_ref()) {
+                CascadeDecision::Block(_) => {
+                    self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                    return InterceptAction::Block;
+                }
+                CascadeDecision::Keep(_) => return InterceptAction::Keep,
+                CascadeDecision::Classify => {}
+            }
+        }
         // Admission feedback before submission: a memoized verdict blocks
         // (or keeps) instantly without entering the engine at all. The
         // content hash is computed once here and shared by the hint and
@@ -279,12 +302,7 @@ mod tests {
     }
 
     fn meta(url: &str) -> ImageMeta<'_> {
-        ImageMeta {
-            url,
-            width: 32,
-            height: 32,
-            frame_depth: 0,
-        }
+        ImageMeta::basic(url, 32, 32, 0)
     }
 
     #[test]
@@ -351,6 +369,42 @@ mod tests {
             InterceptAction::Block
         );
         assert_eq!(hook.stats().blocked(), 1);
+    }
+
+    #[test]
+    fn async_hook_cascade_resolves_without_the_engine() {
+        use crate::cascade::{Cascade, CascadeConfig};
+        use percival_filterlist::easylist::synthetic_engine;
+
+        let hook = AsyncPercivalHook::new(untrained()).with_cascade(Arc::new(Cascade::new(
+            synthetic_engine(),
+            CascadeConfig::default(),
+        )));
+        let mut bmp = Bitmap::new(16, 16, [40, 40, 40, 255]);
+
+        // A listed creative blocks at tier 0 — first sighting, no memo.
+        let mut ad = meta("http://adnet-alpha.web/serve/banner_728x90_1.png");
+        ad.source_url = "http://news0.web/";
+        assert_eq!(hook.inspect(&mut bmp.clone(), &ad), InterceptAction::Block);
+
+        // Clear-cut content keeps at tier 1 without queueing either.
+        let mut content = meta("http://news0.web/static/img/photo_1.png");
+        content.source_url = "http://news0.web/";
+        content.structural = Some(percival_renderer::StructuralFeatures::from_parts(
+            640, 480, 0, false,
+        ));
+        assert_eq!(hook.inspect(&mut bmp, &content), InterceptAction::Keep);
+
+        hook.flush();
+        assert_eq!(
+            hook.engine().stats().submitted(),
+            0,
+            "tier 0/1 decisions must never reach the engine"
+        );
+        let cascade = hook.cascade.as_ref().unwrap();
+        assert_eq!(cascade.counters().tier0_blocked(), 1);
+        assert_eq!(cascade.counters().tier1_kept(), 1);
+        assert_eq!(cascade.counters().cnn_residual(), 0);
     }
 
     #[test]

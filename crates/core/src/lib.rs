@@ -15,6 +15,7 @@
 
 pub mod arch;
 pub mod baselines;
+pub mod cascade;
 pub mod classifier;
 pub mod engine;
 pub mod flight;
@@ -24,6 +25,9 @@ pub mod policy;
 pub mod train;
 
 pub use arch::{original_squeezenet, percival_net};
+pub use cascade::{
+    Cascade, CascadeConfig, CascadeCounters, CascadeDecision, CascadeSnapshot, Tier,
+};
 pub use classifier::{Classifier, Precision, Prediction, QuantScheme};
 pub use engine::{EngineConfig, EngineStatsSnapshot, InferenceEngine, VerdictTicket};
 pub use flight::{AdmissionHint, FlightCounters, FlightSnapshot, FlightTable};

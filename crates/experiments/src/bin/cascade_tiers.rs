@@ -1,0 +1,102 @@
+//! Tier-ablation matrix for the cascade front-end.
+//!
+//! The paper argues PERCIVAL should run *behind* block lists, paying the
+//! CNN's cost only on the residual the lists miss (Sections 1, 5.2). This
+//! experiment drives the same seed-deterministic mixed workload through
+//! every tier configuration of the cascade — CNN-only, filter-only,
+//! structural-only, and the full cascade — and tabulates where requests
+//! resolve, what reaches the CNN, and what that buys in throughput.
+//! Mirrors the `PERCIVAL_CASCADE` knob: each row is one of its values.
+
+use percival_core::cascade::{Cascade, CascadeConfig};
+use percival_experiments::harness::{shared_classifier, ExperimentEnv};
+use percival_experiments::report::{pct, print_table};
+use percival_serve::loadgen::{self, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, OverloadPolicy, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let env = ExperimentEnv::default();
+    let traffic = TrafficConfig {
+        seed: 0x5EED,
+        creatives: 96,
+        ad_fraction: 0.5,
+        zipf_s: 0.9,
+        requests: 768,
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 48,
+    };
+
+    let modes: [(&str, CascadeConfig); 4] = [
+        (
+            "off (CNN only)",
+            CascadeConfig {
+                network_filter: false,
+                structural: false,
+                ..CascadeConfig::default()
+            },
+        ),
+        (
+            "t0 (filter only)",
+            CascadeConfig {
+                structural: false,
+                ..CascadeConfig::default()
+            },
+        ),
+        (
+            "t1 (structural only)",
+            CascadeConfig {
+                network_filter: false,
+                ..CascadeConfig::default()
+            },
+        ),
+        ("full", CascadeConfig::default()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut baseline_rps = None;
+    for (name, config) in modes {
+        let svc = ClassificationService::new(
+            shared_classifier(&env),
+            ServiceConfig {
+                overload: OverloadPolicy::Block,
+                deadline: Duration::from_secs(600),
+                ..Default::default()
+            },
+        );
+        let cascade = Arc::new(Cascade::synthetic_with(config));
+        let r = loadgen::run_cascade(&svc, &cascade, &traffic);
+        assert_eq!(r.lost, 0, "{name}: lost tickets");
+        let n = r.requests as f64;
+        let speedup = match baseline_rps {
+            None => {
+                baseline_rps = Some(r.achieved_rps);
+                1.0
+            }
+            Some(base) => r.achieved_rps / base,
+        };
+        rows.push(vec![
+            name.to_string(),
+            pct((r.tier0_blocked + r.tier0_exempted) as f64 / n),
+            pct((r.tier1_blocked + r.tier1_kept) as f64 / n),
+            pct(r.cnn_submitted as f64 / n),
+            pct(r.early_fraction()),
+            format!("{:.0}", r.achieved_rps),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    print_table(
+        "Cascade tier ablation (mixed workload, 768 requests, 50% ad creatives)",
+        &[
+            "mode", "tier 0", "tier 1", "cnn", "early", "req/s", "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nTier fractions are where requests resolved; `early` is traffic that\n\
+         never touched a flight queue. `speedup` is throughput vs the CNN-only\n\
+         baseline on the identical request sequence."
+    );
+}

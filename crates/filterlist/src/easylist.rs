@@ -41,6 +41,29 @@ pub fn synthetic_engine() -> crate::FilterEngine {
     crate::FilterEngine::from_list(SYNTHETIC_EASYLIST)
 }
 
+/// The bundled list plus `extra_rules` synthetic rules in the same
+/// conventions — EasyList-scale input (the real list is tens of thousands
+/// of rules) for exercising the token index at size. The extra hosts/paths
+/// are disjoint from the live corpus, so verdicts on corpus URLs are
+/// unchanged; what changes is how much a linear scan has to wade through.
+pub fn scaled_list(extra_rules: usize) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::from(SYNTHETIC_EASYLIST);
+    out.push_str("! Synthetic scale-out rules\n");
+    for i in 0..extra_rules {
+        match i % 5 {
+            0 => writeln!(out, "||adnet-x{i:05}.web^"),
+            1 => writeln!(out, "||cdnpool-x{i:05}.web^$third-party"),
+            2 => writeln!(out, "/campaign-x{i:05}/*$image"),
+            3 => writeln!(out, "||media-x{i:05}.web/track/$image,script"),
+            _ => writeln!(out, "||partner-x{i:05}.web^$domain=news0.web|news1.web"),
+        }
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::rule::{RequestInfo, ResourceType};

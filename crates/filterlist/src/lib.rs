@@ -15,7 +15,11 @@
 //!   their `#@#` exceptions, with a compound tag/class/id selector subset,
 //! - list parsing with comments, headers and invalid-line tolerance,
 //! - a URL parser ([`url::Url`]) with registrable-domain logic for
-//!   third-party determination.
+//!   third-party determination,
+//! - a token-bucket index behind [`FilterEngine::check`] (amortized O(1)
+//!   in the rule count; the linear reference scan survives as
+//!   [`FilterEngine::check_linear`]) and a versioned binary snapshot
+//!   ([`snapshot`]) for near-zero cold start.
 //!
 //! [`easylist::SYNTHETIC_EASYLIST`] is the curated list that covers the
 //! synthetic web corpus, playing the role EasyList plays for the real web.
@@ -25,10 +29,13 @@ pub mod easylist;
 pub mod matcher;
 pub mod parse;
 pub mod rule;
+pub mod snapshot;
+mod token;
 pub mod url;
 
 pub use cosmetic::{ElementLike, Selector};
-pub use matcher::{FilterEngine, Verdict};
+pub use matcher::{FilterEngine, IndexStats, Verdict};
 pub use parse::parse_list;
 pub use rule::{NetworkRule, RequestInfo, ResourceType, Rule};
+pub use snapshot::SnapshotError;
 pub use url::Url;

@@ -1,8 +1,20 @@
 //! The filter engine: rule storage plus the block/allow decision.
+//!
+//! Since the cascade front-end landed, `check` is no longer a linear scan:
+//! each rule set is compiled into a `RuleIndex` that files every rule
+//! under one of its pattern tokens (the rarest, so buckets stay small). A
+//! request tokenizes its URL once and only the rules in the matching
+//! buckets — plus a small fallback list of un-tokenizable rules — are
+//! tested. The old scan survives as [`FilterEngine::check_linear`], the
+//! reference the property tests and benches compare against.
+
+use std::collections::HashMap;
 
 use crate::cosmetic::{CosmeticRule, ElementLike};
 use crate::parse::parse_list;
 use crate::rule::{NetworkRule, RequestInfo, Rule};
+use crate::snapshot::{self, SnapshotError};
+use crate::token::{hash_bytes, RequestContext};
 
 /// The engine's answer for one request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,14 +40,109 @@ impl Verdict {
     }
 }
 
+/// One rule set (blocking or exceptions) with its token-bucket index.
+///
+/// Rules are stored in list order; buckets and the fallback list hold
+/// ascending indices so candidate gathering can preserve the "first rule
+/// in the list wins" reporting semantics of the linear scan.
+#[derive(Debug, Default)]
+pub(crate) struct RuleIndex {
+    pub(crate) rules: Vec<NetworkRule>,
+    /// Token hash → indices of rules filed under that token.
+    pub(crate) buckets: HashMap<u64, Vec<u32>>,
+    /// Rules with no complete pattern token; always checked.
+    pub(crate) fallback: Vec<u32>,
+}
+
+impl RuleIndex {
+    /// Compiles a rule set: each rule is filed under its rarest complete
+    /// token (ties broken toward longer tokens, which discriminate more).
+    pub(crate) fn build(rules: Vec<NetworkRule>) -> RuleIndex {
+        let candidates: Vec<Vec<&str>> = rules.iter().map(|r| r.candidate_index_tokens()).collect();
+        let mut freq: HashMap<u64, u32> = HashMap::new();
+        for toks in &candidates {
+            for t in toks {
+                *freq.entry(hash_bytes(t.as_bytes())).or_insert(0) += 1;
+            }
+        }
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut fallback = Vec::new();
+        for (i, toks) in candidates.iter().enumerate() {
+            let best = toks
+                .iter()
+                .map(|t| (hash_bytes(t.as_bytes()), t.len()))
+                .min_by_key(|&(h, len)| (freq[&h], usize::MAX - len));
+            match best {
+                Some((h, _)) => buckets.entry(h).or_default().push(i as u32),
+                None => fallback.push(i as u32),
+            }
+        }
+        drop(candidates);
+        RuleIndex {
+            rules,
+            buckets,
+            fallback,
+        }
+    }
+
+    /// Rebuilds from snapshot parts without re-deriving the buckets.
+    pub(crate) fn from_parts(
+        rules: Vec<NetworkRule>,
+        buckets: HashMap<u64, Vec<u32>>,
+        fallback: Vec<u32>,
+    ) -> RuleIndex {
+        RuleIndex {
+            rules,
+            buckets,
+            fallback,
+        }
+    }
+
+    /// First matching rule in list order, consulting only the buckets the
+    /// request's URL tokens select (plus the fallback list).
+    pub(crate) fn find_match<'a>(
+        &'a self,
+        req: &RequestInfo<'_>,
+        ctx: &RequestContext,
+    ) -> Option<&'a NetworkRule> {
+        let mut cand: Vec<u32> = self.fallback.clone();
+        for t in &ctx.url_tokens {
+            if let Some(b) = self.buckets.get(t) {
+                cand.extend_from_slice(b);
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        cand.into_iter()
+            .map(|i| &self.rules[i as usize])
+            .find(|r| r.matches_with_ctx(req, ctx))
+    }
+
+    /// First matching rule in list order via the unindexed reference scan.
+    fn find_match_linear<'a>(&'a self, req: &RequestInfo<'_>) -> Option<&'a NetworkRule> {
+        self.rules.iter().find(|r| r.matches(req))
+    }
+}
+
+/// Sizing of a compiled engine's token index (diagnostics/bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct token buckets across the blocking and exception indices.
+    pub buckets: usize,
+    /// Rules filed under a token.
+    pub bucketed_rules: usize,
+    /// Rules on the always-checked fallback lists.
+    pub fallback_rules: usize,
+}
+
 /// A compiled filter list: the baseline "rule-based ad blocker" of the
-/// paper's comparisons.
+/// paper's comparisons, and tier 0 of the serving cascade.
 #[derive(Debug, Default)]
 pub struct FilterEngine {
-    blocking: Vec<NetworkRule>,
-    exceptions: Vec<NetworkRule>,
-    cosmetic: Vec<CosmeticRule>,
-    cosmetic_exceptions: Vec<CosmeticRule>,
+    pub(crate) blocking: RuleIndex,
+    pub(crate) exceptions: RuleIndex,
+    pub(crate) cosmetic: Vec<CosmeticRule>,
+    pub(crate) cosmetic_exceptions: Vec<CosmeticRule>,
 }
 
 impl FilterEngine {
@@ -43,35 +150,66 @@ impl FilterEngine {
     /// count is available via [`crate::parse::parse_list`] if needed).
     pub fn from_list(text: &str) -> FilterEngine {
         let parsed = parse_list(text);
+        let mut blocking = Vec::new();
+        let mut exceptions = Vec::new();
         let mut e = FilterEngine::default();
         for rule in parsed.rules {
             match rule {
-                Rule::Network(n) if n.exception => e.exceptions.push(n),
-                Rule::Network(n) => e.blocking.push(n),
+                Rule::Network(n) if n.exception => exceptions.push(n),
+                Rule::Network(n) => blocking.push(n),
                 Rule::Cosmetic(c) if c.exception => e.cosmetic_exceptions.push(c),
                 Rule::Cosmetic(c) => e.cosmetic.push(c),
             }
         }
+        e.blocking = RuleIndex::build(blocking);
+        e.exceptions = RuleIndex::build(exceptions);
         e
     }
 
     /// Number of rules of each kind: `(block, exception, hide, unhide)`.
     pub fn rule_counts(&self) -> (usize, usize, usize, usize) {
         (
-            self.blocking.len(),
-            self.exceptions.len(),
+            self.blocking.rules.len(),
+            self.exceptions.rules.len(),
             self.cosmetic.len(),
             self.cosmetic_exceptions.len(),
         )
     }
 
+    /// Sizing of the token-bucket index.
+    pub fn index_stats(&self) -> IndexStats {
+        let bucketed = |ix: &RuleIndex| ix.buckets.values().map(Vec::len).sum::<usize>();
+        IndexStats {
+            buckets: self.blocking.buckets.len() + self.exceptions.buckets.len(),
+            bucketed_rules: bucketed(&self.blocking) + bucketed(&self.exceptions),
+            fallback_rules: self.blocking.fallback.len() + self.exceptions.fallback.len(),
+        }
+    }
+
     /// Decides a network request: exception rules trump blocking rules,
-    /// matching the Adblock semantics.
+    /// matching the Adblock semantics. Amortized O(1) in the rule count —
+    /// the URL is tokenized once and only bucket candidates are tested.
     pub fn check(&self, req: &RequestInfo<'_>) -> Verdict {
-        let blocked = self.blocking.iter().find(|r| r.matches(req));
-        match blocked {
+        let ctx = RequestContext::new(req);
+        match self.blocking.find_match(req, &ctx) {
             None => Verdict::Allow,
-            Some(rule) => match self.exceptions.iter().find(|r| r.matches(req)) {
+            Some(rule) => match self.exceptions.find_match(req, &ctx) {
+                Some(exc) => Verdict::Exempted {
+                    rule: exc.text.clone(),
+                },
+                None => Verdict::Block {
+                    rule: rule.text.clone(),
+                },
+            },
+        }
+    }
+
+    /// The pre-index linear scan, retained as the reference the tokenized
+    /// path is property-tested and benchmarked against.
+    pub fn check_linear(&self, req: &RequestInfo<'_>) -> Verdict {
+        match self.blocking.find_match_linear(req) {
+            None => Verdict::Allow,
+            Some(rule) => match self.exceptions.find_match_linear(req) {
                 Some(exc) => Verdict::Exempted {
                     rule: exc.text.clone(),
                 },
@@ -85,6 +223,23 @@ impl FilterEngine {
     /// Convenience: should this request be blocked?
     pub fn should_block(&self, req: &RequestInfo<'_>) -> bool {
         self.check(req).is_block()
+    }
+
+    /// Serializes the compiled engine — parsed rules plus the prebuilt
+    /// token index — into the versioned snapshot format, so cold start is
+    /// a read instead of a parse + index build.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        snapshot::serialize(self)
+    }
+
+    /// Restores an engine from [`FilterEngine::to_snapshot_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncated, corrupt, or
+    /// version-incompatible input.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<FilterEngine, SnapshotError> {
+        snapshot::deserialize(bytes)
     }
 
     /// Tests whether an element on a page hosted at `host` should be hidden
@@ -207,6 +362,57 @@ news.example#@#.sponsored
             ResourceType::Image
         )
         .is_block());
+    }
+
+    #[test]
+    fn tokenized_agrees_with_linear_on_the_test_list() {
+        let e = engine();
+        let urls = [
+            ("http://adnet.example/img.png", ResourceType::Image),
+            ("http://adnet.example/style.css", ResourceType::Stylesheet),
+            ("http://news.example/banner/top.png", ResourceType::Image),
+            ("http://news.example/article.png", ResourceType::Image),
+            ("http://tracker.example/px.gif", ResourceType::Image),
+            ("http://tracker.example/px.gif", ResourceType::Script),
+        ];
+        for (url, ty) in urls {
+            let u = Url::parse(url).unwrap();
+            let s = Url::parse("http://news.example/").unwrap();
+            let req = RequestInfo {
+                url: &u,
+                source: &s,
+                resource_type: ty,
+            };
+            assert_eq!(e.check(&req), e.check_linear(&req), "{url} {ty:?}");
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins_in_list_order() {
+        // Both rules match; the earlier one must be reported, exactly as
+        // the linear scan would.
+        let e = FilterEngine::from_list("||adnet.example^\n/img.png\n");
+        let v = check(
+            &e,
+            "http://adnet.example/img.png",
+            "http://news.example/",
+            ResourceType::Image,
+        );
+        assert_eq!(
+            v,
+            Verdict::Block {
+                rule: "||adnet.example^".into()
+            }
+        );
+    }
+
+    #[test]
+    fn index_files_most_rules_under_tokens() {
+        let e = engine();
+        let stats = e.index_stats();
+        assert_eq!(stats.bucketed_rules + stats.fallback_rules, 4);
+        assert!(stats.bucketed_rules >= 3, "{stats:?}");
+        assert!(stats.buckets >= 3, "{stats:?}");
     }
 
     struct El(&'static str, &'static [&'static str]);

@@ -1,5 +1,6 @@
 //! Network filter rules and their matching semantics.
 
+use crate::token::{hash_bytes, is_token_byte, RequestContext};
 use crate::url::{host_matches_domain, Url};
 
 /// The resource classes our engine distinguishes (EasyList `$` type options).
@@ -50,6 +51,14 @@ impl ResourceType {
             _ => return None,
         })
     }
+
+    /// This type's bit in a type mask.
+    pub fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+
+    /// Mask with every type's bit set.
+    pub const ALL_BITS: u16 = (1 << 6) - 1;
 }
 
 /// A request being tested against the rules.
@@ -72,7 +81,7 @@ impl<'a> RequestInfo<'a> {
 
 /// One token of a parsed network-rule pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     /// Literal substring (lower-cased).
     Lit(String),
     /// `*`: any run of characters (including empty).
@@ -83,7 +92,7 @@ enum Tok {
 
 /// Where the pattern is anchored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Anchor {
+pub(crate) enum Anchor {
     /// No anchor: substring match anywhere.
     None,
     /// `|...`: match at the very start of the URL.
@@ -99,9 +108,9 @@ pub struct NetworkRule {
     pub text: String,
     /// `@@` exception rule.
     pub exception: bool,
-    anchor: Anchor,
-    anchor_end: bool,
-    toks: Vec<Tok>,
+    pub(crate) anchor: Anchor,
+    pub(crate) anchor_end: bool,
+    pub(crate) toks: Vec<Tok>,
     /// `$domain=` includes (empty = any).
     pub include_domains: Vec<String>,
     /// `$domain=~` excludes.
@@ -112,6 +121,16 @@ pub struct NetworkRule {
     pub exclude_types: Vec<ResourceType>,
     /// `$third-party` (Some(true)) or `$~third-party` (Some(false)).
     pub third_party: Option<bool>,
+    // Derived at parse time (see `finalize`) so the indexed match path
+    // never scans the option vectors or compares domain strings.
+    /// Bitmask of request types the rule applies to.
+    pub(crate) type_mask: u16,
+    /// Bit 0: applies first-party; bit 1: applies third-party.
+    pub(crate) party_mask: u8,
+    /// Sorted hashes of `include_domains`.
+    pub(crate) include_domain_hashes: Vec<u64>,
+    /// Sorted hashes of `exclude_domains`.
+    pub(crate) exclude_domain_hashes: Vec<u64>,
 }
 
 /// Errors from [`NetworkRule::parse`].
@@ -154,13 +173,12 @@ impl NetworkRule {
             body = &body[2..];
         }
 
-        // Split off `$options` (the last unescaped '$').
+        // Split off `$options` (the last unescaped '$'). A trailing '$'
+        // with nothing after it is an empty option list, not a literal.
         let (mut pattern, options) = match body.rfind('$') {
             // A '$' inside a regex-like pattern is not supported; EasyList
             // options follow the last '$'.
-            Some(i) if i + 1 < body.len() && !body[i + 1..].contains('/') => {
-                (&body[..i], Some(&body[i + 1..]))
-            }
+            Some(i) if !body[i + 1..].contains('/') => (&body[..i], Some(&body[i + 1..])),
             _ => (body, None),
         };
 
@@ -175,6 +193,10 @@ impl NetworkRule {
             include_types: Vec::new(),
             exclude_types: Vec::new(),
             third_party: None,
+            type_mask: 0,
+            party_mask: 0,
+            include_domain_hashes: Vec::new(),
+            exclude_domain_hashes: Vec::new(),
         };
 
         if let Some(opts) = options {
@@ -250,14 +272,75 @@ impl NetworkRule {
         if rule.toks.is_empty() {
             return Err(RuleError::Empty);
         }
+        rule.finalize();
         Ok(rule)
+    }
+
+    /// Computes the derived matching state (type/party masks, `$domain`
+    /// hashes) from the parsed option vectors. Idempotent; called at the
+    /// end of [`NetworkRule::parse`] and after snapshot deserialization.
+    pub(crate) fn finalize(&mut self) {
+        self.type_mask = if self.include_types.is_empty() {
+            ResourceType::ALL_BITS
+        } else {
+            self.include_types.iter().fold(0, |m, t| m | t.bit())
+        };
+        for t in &self.exclude_types {
+            self.type_mask &= !t.bit();
+        }
+        self.party_mask = match self.third_party {
+            None => 0b11,
+            Some(true) => 0b10,
+            Some(false) => 0b01,
+        };
+        let hash_sorted = |domains: &[String]| {
+            let mut h: Vec<u64> = domains.iter().map(|d| hash_bytes(d.as_bytes())).collect();
+            h.sort_unstable();
+            h.dedup();
+            h
+        };
+        self.include_domain_hashes = hash_sorted(&self.include_domains);
+        self.exclude_domain_hashes = hash_sorted(&self.exclude_domains);
     }
 
     /// Tests whether this rule's pattern and options match a request.
     pub fn matches(&self, req: &RequestInfo<'_>) -> bool {
-        if !self.options_match(req) {
+        self.options_match(req) && self.pattern_matches(req)
+    }
+
+    /// The indexed-path equivalent of [`NetworkRule::matches`]: option
+    /// checks run on the precomputed masks and the request context's
+    /// hashed domain suffixes instead of scanning the option vectors.
+    pub(crate) fn matches_with_ctx(&self, req: &RequestInfo<'_>, ctx: &RequestContext) -> bool {
+        if self.type_mask & ctx.type_bit == 0 {
             return false;
         }
+        let party_bit = if ctx.third_party { 0b10 } else { 0b01 };
+        if self.party_mask & party_bit == 0 {
+            return false;
+        }
+        if !self.include_domain_hashes.is_empty()
+            && !ctx
+                .source_suffixes
+                .iter()
+                .any(|h| self.include_domain_hashes.binary_search(h).is_ok())
+        {
+            return false;
+        }
+        if !self.exclude_domain_hashes.is_empty()
+            && ctx
+                .source_suffixes
+                .iter()
+                .any(|h| self.exclude_domain_hashes.binary_search(h).is_ok())
+        {
+            return false;
+        }
+        self.pattern_matches(req)
+    }
+
+    /// The pattern half of the match: anchor dispatch plus the token
+    /// matcher, with no option checks.
+    fn pattern_matches(&self, req: &RequestInfo<'_>) -> bool {
         let url = req.url.as_str().as_bytes();
         match self.anchor {
             Anchor::Start => self.match_tokens_at(url, 0, 0, true),
@@ -342,6 +425,47 @@ impl NetworkRule {
                 (pos..=url.len()).any(|p| self.match_tokens_at(url, p, tok_idx + 1, anchored))
             }
         }
+    }
+
+    /// Tokens of the pattern that are *complete*: bounded on both sides by
+    /// a non-token context (a non-alphanumeric literal character, a `^`
+    /// separator, an anchor, or an end anchor). Any URL this rule matches
+    /// must contain each of these as a whole URL token, so the index may
+    /// file the rule under one of them. An empty return means the rule can
+    /// only live on the index's always-checked fallback list.
+    pub(crate) fn candidate_index_tokens(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for (i, tok) in self.toks.iter().enumerate() {
+            let Tok::Lit(s) = tok else { continue };
+            // Is the literal's own boundary a token boundary in the URL?
+            let left_bounded = match i {
+                0 => self.anchor != Anchor::None,
+                _ => matches!(self.toks[i - 1], Tok::Sep),
+            };
+            let right_bounded = match self.toks.get(i + 1) {
+                Some(Tok::Sep) => true,
+                Some(_) => false,
+                None => self.anchor_end,
+            };
+            let b = s.as_bytes();
+            let mut j = 0;
+            while j < b.len() {
+                if !is_token_byte(b[j]) {
+                    j += 1;
+                    continue;
+                }
+                let start = j;
+                while j < b.len() && is_token_byte(b[j]) {
+                    j += 1;
+                }
+                // Runs interior to the literal are bounded by the literal's
+                // own non-token bytes; edge runs inherit the context above.
+                if (start > 0 || left_bounded) && (j < b.len() || right_bounded) {
+                    out.push(&s[start..j]);
+                }
+            }
+        }
+        out
     }
 }
 

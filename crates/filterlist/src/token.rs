@@ -1,0 +1,129 @@
+//! Token hashing shared by the token-bucket index and request matching.
+//!
+//! Both URLs and rule patterns are reduced to *tokens* — maximal runs of
+//! ASCII alphanumerics — hashed with 64-bit FNV-1a. A rule can only match
+//! a URL if every "complete" token of its pattern (a run bounded on both
+//! sides by non-token characters, anchors, or `^` separators) appears as a
+//! token of the URL, which is what lets the engine index each rule under
+//! one such token and touch only a handful of candidate rules per request.
+
+use crate::rule::RequestInfo;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+#[inline]
+pub(crate) fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Token characters: lower-case ASCII alphanumerics (URLs and rule
+/// literals are both lower-cased before tokenization).
+#[inline]
+pub(crate) fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_lowercase() || b.is_ascii_digit()
+}
+
+/// Pushes the hash of every maximal token run in `s` onto `out`.
+pub(crate) fn tokenize_into(s: &str, out: &mut Vec<u64>) {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if is_token_byte(b[i]) {
+            let start = i;
+            while i < b.len() && is_token_byte(b[i]) {
+                i += 1;
+            }
+            out.push(hash_bytes(&b[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Per-request state computed once in [`crate::FilterEngine::check`] and
+/// shared by every candidate rule: the URL's token set (bucket lookup
+/// keys), the hashed label-suffixes of the source host (`$domain`
+/// membership without string scans), and the request's type/party bits.
+#[derive(Debug)]
+pub(crate) struct RequestContext {
+    /// Hashes of the URL's tokens, sorted and deduplicated.
+    pub(crate) url_tokens: Vec<u64>,
+    /// Hashes of every label-suffix of the source host (`a.b.c` → hashes
+    /// of `a.b.c`, `b.c`, `c`) — the set of domains the host matches.
+    pub(crate) source_suffixes: Vec<u64>,
+    /// The request type's bit (see [`ResourceType::bit`]).
+    pub(crate) type_bit: u16,
+    /// Whether the request crosses registrable domains.
+    pub(crate) third_party: bool,
+}
+
+impl RequestContext {
+    pub(crate) fn new(req: &RequestInfo<'_>) -> RequestContext {
+        let mut url_tokens = Vec::with_capacity(16);
+        tokenize_into(req.url.as_str(), &mut url_tokens);
+        url_tokens.sort_unstable();
+        url_tokens.dedup();
+
+        let host = req.source.host().as_bytes();
+        let mut source_suffixes = Vec::with_capacity(4);
+        let mut start = 0;
+        while start < host.len() {
+            source_suffixes.push(hash_bytes(&host[start..]));
+            match host[start..].iter().position(|&b| b == b'.') {
+                Some(dot) => start += dot + 1,
+                None => break,
+            }
+        }
+
+        RequestContext {
+            url_tokens,
+            source_suffixes,
+            type_bit: req.resource_type.bit(),
+            third_party: req.is_third_party(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::ResourceType;
+    use crate::url::Url;
+
+    #[test]
+    fn tokenizes_maximal_alnum_runs() {
+        let mut toks = Vec::new();
+        tokenize_into("http://ads.example/banner_728x90.png?id=3", &mut toks);
+        let expect: Vec<u64> = [
+            "http", "ads", "example", "banner", "728x90", "png", "id", "3",
+        ]
+        .iter()
+        .map(|t| hash_bytes(t.as_bytes()))
+        .collect();
+        assert_eq!(toks, expect);
+    }
+
+    #[test]
+    fn source_suffix_hashes_cover_every_label_suffix() {
+        let url = Url::parse("http://a.b.example/").unwrap();
+        let src = Url::parse("http://a.b.example/").unwrap();
+        let req = RequestInfo {
+            url: &url,
+            source: &src,
+            resource_type: ResourceType::Image,
+        };
+        let ctx = RequestContext::new(&req);
+        let expect: Vec<u64> = ["a.b.example", "b.example", "example"]
+            .iter()
+            .map(|d| hash_bytes(d.as_bytes()))
+            .collect();
+        assert_eq!(ctx.source_suffixes, expect);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property test: the tokenized engine is verdict-equivalent to the
+//! retained linear reference scan on randomized rules × requests.
+//!
+//! Rules are assembled from a grammar covering every pattern feature
+//! (anchors, `^` separators, `*` wildcards, end anchors) and every option
+//! the engine supports; URLs are assembled so that hosts and paths
+//! sometimes share substrings with the rules. Equivalence must hold not
+//! just on the block/allow bit but on the *reported rule text*, which
+//! pins the index's "first rule in list order wins" behavior.
+
+use percival_filterlist::easylist::{scaled_list, SYNTHETIC_EASYLIST};
+use percival_filterlist::{FilterEngine, RequestInfo, ResourceType, Url};
+use proptest::prelude::*;
+
+/// Deterministically renders one rule from its generated parts.
+fn rule_text(core: &str, flags: u8, opt: u8) -> String {
+    let mut t = String::new();
+    if flags & 1 != 0 {
+        t.push_str("@@");
+    }
+    match (flags >> 1) & 3 {
+        1 => t.push('|'),
+        2 => t.push_str("||"),
+        _ => {}
+    }
+    t.push_str(core);
+    if flags & 8 != 0 {
+        t.push('|');
+    }
+    t.push_str(match opt % 10 {
+        1 => "$image",
+        2 => "$script",
+        3 => "$third-party",
+        4 => "$~third-party",
+        5 => "$image,~third-party",
+        6 => "$domain=news0.web",
+        7 => "$domain=~news0.web",
+        8 => "$domain=shop.web|news0.web",
+        9 => "$subdocument",
+        _ => "",
+    });
+    t
+}
+
+fn resource_type(sel: u8) -> ResourceType {
+    match sel % 4 {
+        0 => ResourceType::Image,
+        1 => ResourceType::Script,
+        2 => ResourceType::Subdocument,
+        _ => ResourceType::Other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// check() == check_linear() — verdicts *and* reported rule text —
+    /// over random rule lists and random requests.
+    #[test]
+    fn tokenized_matches_linear_scan(
+        rules in proptest::collection::vec(
+            ("[a-z0-9./^*_-]{1,14}", any::<u8>(), any::<u8>()),
+            5..40,
+        ),
+        requests in proptest::collection::vec(
+            (
+                "[a-z0-9]{1,8}",
+                "[a-z0-9/._-]{0,16}",
+                "[a-z0-9]{1,6}",
+                any::<u8>(),
+            ),
+            10..40,
+        ),
+    ) {
+        let mut list = String::new();
+        for (core, flags, opt) in &rules {
+            list.push_str(&rule_text(core, *flags, *opt));
+            list.push('\n');
+        }
+        let engine = FilterEngine::from_list(&list);
+        for (host_seed, path, src_seed, sel) in &requests {
+            // Bias hosts/sources toward a handful of shared names so rules
+            // with $domain / $third-party options actually fire.
+            let host = match sel % 5 {
+                0 => "news0.web".to_string(),
+                1 => "shop.web".to_string(),
+                2 => format!("{host_seed}.news0.web"),
+                _ => format!("{host_seed}.web"),
+            };
+            let source = match (sel >> 3) % 3 {
+                0 => "http://news0.web/".to_string(),
+                1 => format!("http://{src_seed}.web/"),
+                _ => format!("http://{host}/"),
+            };
+            let url_s = format!("http://{host}/{path}");
+            let (Ok(url), Ok(src)) = (Url::parse(&url_s), Url::parse(&source)) else {
+                continue;
+            };
+            let req = RequestInfo {
+                url: &url,
+                source: &src,
+                resource_type: resource_type(*sel),
+            };
+            prop_assert_eq!(
+                engine.check(&req),
+                engine.check_linear(&req),
+                "diverged on {} (source {}) against list:\n{}",
+                url_s,
+                source,
+                list
+            );
+        }
+    }
+}
+
+/// The same equivalence on the bundled list scaled to EasyList size, over
+/// the URL conventions the synthetic web actually generates — including a
+/// snapshot round trip of the scaled engine.
+#[test]
+fn scaled_bundled_list_agrees_with_linear_scan() {
+    let list = scaled_list(1024);
+    let engine = FilterEngine::from_list(&list);
+    let restored = FilterEngine::from_snapshot_bytes(&engine.to_snapshot_bytes()).unwrap();
+    let urls = [
+        "http://adnet-alpha.web/serve/banner_728x90_7.png",
+        "http://adnet-beta.web/creative/3.gif",
+        "http://adnet-gamma.web/img/4.png",
+        "http://adnet-longtail.web/a/300x250_9.png",
+        "http://adnet-seoul.web/serve2/banner_160x600_2.png",
+        "http://trackpix.web/px/11.gif",
+        "http://syndication.web/frame/5",
+        "http://cdn.web/assets/img_6.png",
+        "http://cdn.web/other/img_6.png",
+        "http://news0.web/promo/deal_8.png",
+        "http://news0.web/static/img/photo_1.png",
+        "http://adnet-x00005.web/anything.png",
+        "http://campaign.web/campaign-x00002/a.png",
+        "http://partner-x00004.web/x.js",
+    ];
+    let sources = [
+        "http://news0.web/",
+        "http://shop1.web/",
+        "http://adnet-alpha.web/",
+    ];
+    let types = [
+        ResourceType::Image,
+        ResourceType::Script,
+        ResourceType::Subdocument,
+    ];
+    for url in urls {
+        let u = Url::parse(url).unwrap();
+        for source in sources {
+            let s = Url::parse(source).unwrap();
+            for ty in types {
+                let req = RequestInfo {
+                    url: &u,
+                    source: &s,
+                    resource_type: ty,
+                };
+                let expect = engine.check_linear(&req);
+                assert_eq!(engine.check(&req), expect, "{url} from {source} as {ty:?}");
+                assert_eq!(
+                    restored.check(&req),
+                    expect,
+                    "snapshot: {url} from {source}"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        SYNTHETIC_EASYLIST.lines().count() + 1025,
+        list.lines().count()
+    );
+}

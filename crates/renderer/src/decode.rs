@@ -8,6 +8,7 @@
 
 use crate::hook::{ImageInterceptor, ImageMeta, InterceptAction};
 use crate::net::ResourceStore;
+use crate::structural::ImageRequest;
 use parking_lot::Mutex;
 use percival_imgcodec::{decode_auto, Bitmap};
 use std::collections::HashMap;
@@ -56,15 +57,14 @@ impl ImageDecodeCache {
         &self,
         store: &dyn ResourceStore,
         interceptor: &dyn ImageInterceptor,
-        url: &str,
-        frame_depth: usize,
+        request: &ImageRequest,
     ) -> Arc<DecodeOutcome> {
-        if let Some(hit) = self.entries.lock().get(url) {
+        if let Some(hit) = self.entries.lock().get(&request.url) {
             return Arc::clone(hit);
         }
-        let outcome = Arc::new(self.decode_and_inspect(store, interceptor, url, frame_depth));
+        let outcome = Arc::new(self.decode_and_inspect(store, interceptor, request));
         let mut entries = self.entries.lock();
-        Arc::clone(entries.entry(url.to_string()).or_insert(outcome))
+        Arc::clone(entries.entry(request.url.clone()).or_insert(outcome))
     }
 
     /// Decodes every not-yet-cached URL in `images` and inspects them as
@@ -79,14 +79,15 @@ impl ImageDecodeCache {
         &self,
         store: &dyn ResourceStore,
         interceptor: &dyn ImageInterceptor,
-        images: &[(String, usize)],
+        images: &[ImageRequest],
     ) -> usize {
         // Fetch + decode outside any lock; skip URLs already cached and
         // dedupe repeats within the request list.
         let mut urls_seen = std::collections::HashSet::new();
         let mut decoded: Vec<(usize, Bitmap)> = Vec::new();
         let mut failed: Vec<(usize, DecodeOutcome)> = Vec::new();
-        for (i, (url, _)) in images.iter().enumerate() {
+        for (i, req) in images.iter().enumerate() {
+            let url = &req.url;
             if !urls_seen.insert(url.as_str()) || self.entries.lock().contains_key(url) {
                 continue;
             }
@@ -119,10 +120,12 @@ impl ImageDecodeCache {
         let metas: Vec<ImageMeta<'_>> = decoded
             .iter()
             .map(|(i, bitmap)| ImageMeta {
-                url: &images[*i].0,
+                url: &images[*i].url,
                 width: bitmap.width(),
                 height: bitmap.height(),
-                frame_depth: images[*i].1,
+                frame_depth: images[*i].frame_depth,
+                source_url: &images[*i].source_url,
+                structural: Some(images[*i].structural),
             })
             .collect();
         let mut batch: Vec<(&mut Bitmap, &ImageMeta<'_>)> = Vec::with_capacity(decoded.len());
@@ -141,7 +144,7 @@ impl ImageDecodeCache {
             if blocked {
                 bitmap.clear();
             }
-            entries.entry(images[i].0.clone()).or_insert_with(|| {
+            entries.entry(images[i].url.clone()).or_insert_with(|| {
                 Arc::new(DecodeOutcome {
                     bitmap: Some(Arc::new(bitmap)),
                     blocked,
@@ -151,7 +154,7 @@ impl ImageDecodeCache {
         }
         for (i, outcome) in failed {
             entries
-                .entry(images[i].0.clone())
+                .entry(images[i].url.clone())
                 .or_insert_with(|| Arc::new(outcome));
         }
         total
@@ -161,10 +164,9 @@ impl ImageDecodeCache {
         &self,
         store: &dyn ResourceStore,
         interceptor: &dyn ImageInterceptor,
-        url: &str,
-        frame_depth: usize,
+        request: &ImageRequest,
     ) -> DecodeOutcome {
-        let Some(bytes) = store.get_image(url) else {
+        let Some(bytes) = store.get_image(&request.url) else {
             return DecodeOutcome {
                 bitmap: None,
                 blocked: false,
@@ -182,10 +184,12 @@ impl ImageDecodeCache {
             }
         };
         let meta = ImageMeta {
-            url,
+            url: &request.url,
             width: bitmap.width(),
             height: bitmap.height(),
-            frame_depth,
+            frame_depth: request.frame_depth,
+            source_url: &request.source_url,
+            structural: Some(request.structural),
         };
         let action = interceptor.inspect(&mut bitmap, &meta);
         let blocked = action == InterceptAction::Block;
@@ -243,8 +247,9 @@ mod tests {
     fn decodes_once_and_caches() {
         let s = store_with_png("http://a/x.png");
         let cache = ImageDecodeCache::new();
-        let a = cache.get_or_decode(&s, &NoopInterceptor, "http://a/x.png", 0);
-        let b = cache.get_or_decode(&s, &NoopInterceptor, "http://a/x.png", 0);
+        let req = ImageRequest::bare("http://a/x.png", 0);
+        let a = cache.get_or_decode(&s, &NoopInterceptor, &req);
+        let b = cache.get_or_decode(&s, &NoopInterceptor, &req);
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
         assert_eq!(cache.len(), 1);
         assert!(a.paintable());
@@ -255,7 +260,7 @@ mod tests {
         let s = store_with_png("http://adnet/x.png");
         let cache = ImageDecodeCache::new();
         let hook = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
-        let out = cache.get_or_decode(&s, &hook, "http://adnet/x.png", 0);
+        let out = cache.get_or_decode(&s, &hook, &ImageRequest::bare("http://adnet/x.png", 0));
         assert!(out.blocked);
         assert!(!out.paintable());
         assert!(
@@ -273,10 +278,18 @@ mod tests {
             vec![0x89, b'P', b'N', b'G', 0, 1, 2],
         );
         let cache = ImageDecodeCache::new();
-        let missing = cache.get_or_decode(&s, &NoopInterceptor, "http://a/missing.png", 0);
+        let missing = cache.get_or_decode(
+            &s,
+            &NoopInterceptor,
+            &ImageRequest::bare("http://a/missing.png", 0),
+        );
         assert!(missing.bitmap.is_none());
         assert!(!missing.decode_error);
-        let corrupt = cache.get_or_decode(&s, &NoopInterceptor, "http://a/corrupt.png", 0);
+        let corrupt = cache.get_or_decode(
+            &s,
+            &NoopInterceptor,
+            &ImageRequest::bare("http://a/corrupt.png", 0),
+        );
         assert!(corrupt.bitmap.is_none());
         assert!(corrupt.decode_error);
         assert_eq!(cache.error_count(), 1);
@@ -298,7 +311,7 @@ mod tests {
                 scope.spawn(|| {
                     for i in 0..32 {
                         let url = format!("http://a/{i}.png");
-                        let out = cache.get_or_decode(&s, &hook, &url, 0);
+                        let out = cache.get_or_decode(&s, &hook, &ImageRequest::bare(&url, 0));
                         assert_eq!(out.blocked, url.ends_with("0.png"));
                     }
                 });

@@ -9,6 +9,7 @@ use crate::dom::NodeKind;
 use crate::html;
 use crate::layout::{layout, Rect};
 use crate::net::{NetworkFilter, ResourceKind, ResourceStore};
+use crate::structural::{ImageRequest, StructuralFeatures};
 use crate::style::resolve_styles;
 
 /// One paint command.
@@ -32,10 +33,9 @@ pub enum DisplayItem {
     Image {
         /// Target rectangle.
         rect: Rect,
-        /// Resource URL (the decode-cache key).
-        url: String,
-        /// Nesting depth (0 = main frame).
-        frame_depth: usize,
+        /// The full image request: URL, issuing frame, nesting depth and
+        /// the structural pre-filter features extracted at build time.
+        request: ImageRequest,
     },
 }
 
@@ -143,10 +143,15 @@ fn build_frame(
                     "img" => {
                         if let Some(src) = doc.attr(id, "src") {
                             if network.allow(src, ResourceKind::Image, url) {
+                                let structural = StructuralFeatures::extract(rect, depth, src, url);
                                 out.items.push(DisplayItem::Image {
                                     rect,
-                                    url: src.to_string(),
-                                    frame_depth: depth,
+                                    request: ImageRequest {
+                                        url: src.to_string(),
+                                        source_url: url.to_string(),
+                                        frame_depth: depth,
+                                        structural,
+                                    },
                                 });
                             } else {
                                 out.requests_blocked += 1;
@@ -235,20 +240,22 @@ mod tests {
             .items
             .iter()
             .find_map(|i| match i {
-                DisplayItem::Image {
-                    rect,
-                    url,
-                    frame_depth,
-                } if url.contains("adnet") => Some((*rect, *frame_depth)),
+                DisplayItem::Image { rect, request } if request.url.contains("adnet") => {
+                    Some((*rect, request.clone()))
+                }
                 _ => None,
             })
             .expect("iframe ad present");
-        assert_eq!(ad.1, 1);
+        assert_eq!(ad.1.frame_depth, 1);
         assert!(
             ad.0.y > 0,
             "iframe content offset into the page: {:?}",
             ad.0
         );
+        // The request carries its issuing frame and structural features.
+        assert_eq!(ad.1.source_url, "http://frames.web/f1");
+        assert!(ad.1.structural.third_party);
+        assert_eq!(ad.1.structural.frame_depth, 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! multiple worker threads in parallel, matching the paper's second design
 //! goal.
 
+use crate::structural::StructuralFeatures;
 use percival_imgcodec::Bitmap;
 
 /// Metadata handed to the interceptor alongside the pixels (the analogue of
@@ -23,6 +24,26 @@ pub struct ImageMeta<'a> {
     pub height: usize,
     /// 0 for main-frame images, 1+ for images inside nested iframes.
     pub frame_depth: usize,
+    /// URL of the document that requested the image (empty if unknown).
+    pub source_url: &'a str,
+    /// Structural pre-filter features, when the request came through the
+    /// display-list path (callers feeding raw bitmaps pass `None`).
+    pub structural: Option<StructuralFeatures>,
+}
+
+impl<'a> ImageMeta<'a> {
+    /// Metadata with no request context — for callers outside the render
+    /// pipeline (tests, direct classification of raw bitmaps).
+    pub fn basic(url: &'a str, width: usize, height: usize, frame_depth: usize) -> Self {
+        ImageMeta {
+            url,
+            width,
+            height,
+            frame_depth,
+            source_url: "",
+            structural: None,
+        }
+    }
 }
 
 /// The interceptor's decision.
@@ -119,12 +140,7 @@ mod tests {
     #[test]
     fn noop_keeps() {
         let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
-        let meta = ImageMeta {
-            url: "http://x/",
-            width: 2,
-            height: 2,
-            frame_depth: 0,
-        };
+        let meta = ImageMeta::basic("http://x/", 2, 2, 0);
         assert_eq!(
             NoopInterceptor.inspect(&mut b, &meta),
             InterceptAction::Keep
@@ -136,18 +152,8 @@ mod tests {
     fn predicate_blocks_matching_urls() {
         let i = UrlPredicateInterceptor::new(|u| u.contains("adnet"));
         let mut b = Bitmap::new(2, 2, [1, 2, 3, 255]);
-        let ad = ImageMeta {
-            url: "http://adnet.web/a",
-            width: 2,
-            height: 2,
-            frame_depth: 0,
-        };
-        let ok = ImageMeta {
-            url: "http://site.web/a",
-            width: 2,
-            height: 2,
-            frame_depth: 0,
-        };
+        let ad = ImageMeta::basic("http://adnet.web/a", 2, 2, 0);
+        let ok = ImageMeta::basic("http://site.web/a", 2, 2, 0);
         assert_eq!(i.inspect(&mut b, &ad), InterceptAction::Block);
         assert_eq!(i.inspect(&mut b, &ok), InterceptAction::Keep);
     }

@@ -31,6 +31,7 @@ pub mod layout;
 pub mod net;
 pub mod pipeline;
 pub mod raster;
+pub mod structural;
 pub mod style;
 
 pub use decode::ImageDecodeCache;
@@ -38,3 +39,4 @@ pub use dom::{Document, NodeId};
 pub use hook::{ImageInterceptor, ImageMeta, InterceptAction, NoopInterceptor};
 pub use net::{InMemoryStore, ResourceStore};
 pub use pipeline::{PipelineConfig, RenderOutput, RenderPipeline, RenderTiming};
+pub use structural::{ImageRequest, StructuralFeatures, IAB_SIZES};

@@ -173,13 +173,13 @@ impl RenderPipeline {
                 w: cfg.viewport_width,
                 h: page_height,
             };
-            let image_refs: Vec<(String, usize)> = list
+            let image_refs: Vec<crate::structural::ImageRequest> = list
                 .items
                 .iter()
                 .filter_map(|item| match item {
-                    DisplayItem::Image {
-                        url, frame_depth, ..
-                    } if item.rect().intersects(&page_rect) => Some((url.clone(), *frame_depth)),
+                    DisplayItem::Image { request, .. } if item.rect().intersects(&page_rect) => {
+                        Some(request.clone())
+                    }
                     _ => None,
                 })
                 .collect();

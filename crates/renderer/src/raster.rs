@@ -68,12 +68,10 @@ fn raster_tile(
                     line_y += 14;
                 }
             }
-            DisplayItem::Image {
-                url, frame_depth, ..
-            } => {
+            DisplayItem::Image { request, .. } => {
                 // Deferred decoding: the first tile to need this image
                 // triggers decode + interception on this raster worker.
-                let outcome = cache.get_or_decode(store, interceptor, url, *frame_depth);
+                let outcome = cache.get_or_decode(store, interceptor, request);
                 let Some(src) = outcome.bitmap.as_ref() else {
                     continue;
                 };
@@ -188,8 +186,7 @@ mod tests {
                         w: 16,
                         h: 16,
                     },
-                    url: "http://a/red.png".to_string(),
-                    frame_depth: 0,
+                    request: crate::structural::ImageRequest::bare("http://a/red.png", 0),
                 },
             ],
             document_height: 64,
@@ -252,8 +249,7 @@ mod tests {
                     w: 40,
                     h: 40,
                 },
-                url: "http://a/g.png".to_string(),
-                frame_depth: 0,
+                request: crate::structural::ImageRequest::bare("http://a/g.png", 0),
             }],
             document_height: 40,
             ..Default::default()

@@ -1,0 +1,197 @@
+//! Structural pre-filter features: the cascade's tier-1 signal.
+//!
+//! The renderer knows things about an image request long before a single
+//! pixel is decoded: where the layout tree put it, how big the box is, how
+//! deeply it is nested in iframes, and whether the resource origin is a
+//! third party relative to the embedding frame. Those signals are almost
+//! free — they fall out of work the pipeline already did — and they are
+//! strongly correlated with ad-ness: display ads overwhelmingly ship in
+//! IAB standard units, inside cross-origin iframes, from third-party
+//! origins. [`StructuralFeatures`] packages them so the cascade front-end
+//! (`percival-core::cascade`) can resolve the obvious cases without ever
+//! waking the CNN.
+
+use crate::layout::Rect;
+use percival_filterlist::Url;
+
+/// IAB standard display-ad units (width, height), the sizes real ad
+/// servers — and `percival-webgen::adnet` — actually emit.
+pub const IAB_SIZES: &[(u32, u32)] = &[
+    (728, 90),  // leaderboard
+    (300, 250), // medium rectangle
+    (160, 600), // wide skyscraper
+    (468, 60),  // full banner
+    (336, 280), // large rectangle
+    (320, 50),  // mobile banner
+    (120, 600), // skyscraper
+    (970, 250), // billboard
+    (300, 600), // half page
+];
+
+/// Cheap per-request structure extracted during display-list construction.
+///
+/// Everything here is computed from state the renderer already holds at
+/// paint time; no network or decode work is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructuralFeatures {
+    /// Laid-out box width in CSS pixels.
+    pub width: u32,
+    /// Laid-out box height in CSS pixels.
+    pub height: u32,
+    /// Iframe nesting depth (0 = main frame).
+    pub frame_depth: usize,
+    /// True if the resource origin's registrable domain differs from the
+    /// embedding frame's.
+    pub third_party: bool,
+    /// True if (width, height) is exactly an IAB standard ad unit.
+    pub iab_size: bool,
+    /// True for extreme banner-like aspect ratios (>= 3:1 either way).
+    pub ad_aspect: bool,
+}
+
+impl StructuralFeatures {
+    /// Extracts features for an image of `rect` at `frame_depth`, requested
+    /// as `url` by the document at `source_url`.
+    pub fn extract(rect: Rect, frame_depth: usize, url: &str, source_url: &str) -> Self {
+        let third_party = match (Url::parse(url), Url::parse(source_url)) {
+            (Ok(u), Ok(s)) => u.is_third_party_to(&s),
+            // Unparseable origins cannot be shown to be third-party.
+            _ => false,
+        };
+        Self::from_parts(rect.w, rect.h, frame_depth, third_party)
+    }
+
+    /// Builds features from already-known dimensions and origin relation —
+    /// for callers (the load generator, tests) that sit outside a layout
+    /// pass.
+    pub fn from_parts(width: u32, height: u32, frame_depth: usize, third_party: bool) -> Self {
+        let iab_size = IAB_SIZES.contains(&(width, height));
+        let ad_aspect = width >= 3 * height.max(1) || height >= 3 * width.max(1);
+        StructuralFeatures {
+            width,
+            height,
+            frame_depth,
+            third_party,
+            iab_size,
+            ad_aspect,
+        }
+    }
+
+    /// Deterministic ad-likeness score in `[0, 1]`.
+    ///
+    /// A weighted sum of the binary signals: IAB unit 0.45, third-party
+    /// origin 0.25, iframe nesting 0.10 per level (capped at 0.20), banner
+    /// aspect 0.15. The weights make the clear-cut cases separable: an IAB
+    /// creative from a third-party iframe scores >= 0.80, while a
+    /// first-party, main-frame, non-IAB photo scores 0.00 — the cascade's
+    /// block / keep thresholds live in `percival-core::cascade`.
+    pub fn score(&self) -> f32 {
+        let mut s = 0.0f32;
+        if self.iab_size {
+            s += 0.45;
+        }
+        if self.third_party {
+            s += 0.25;
+        }
+        s += 0.10 * self.frame_depth.min(2) as f32;
+        if self.ad_aspect {
+            s += 0.15;
+        }
+        s.min(1.0)
+    }
+}
+
+/// Everything needed to fetch, decode and adjudicate one image: the
+/// decode-cache key plus the request context the cascade consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageRequest {
+    /// Resource URL (the decode-cache key).
+    pub url: String,
+    /// URL of the document that issued the request.
+    pub source_url: String,
+    /// Iframe nesting depth (0 = main frame).
+    pub frame_depth: usize,
+    /// Structural pre-filter features for this request.
+    pub structural: StructuralFeatures,
+}
+
+impl ImageRequest {
+    /// A request with no frame context — for callers outside the display
+    /// path (tests, direct decode-cache use).
+    pub fn bare(url: impl Into<String>, frame_depth: usize) -> Self {
+        ImageRequest {
+            url: url.into(),
+            source_url: String::new(),
+            frame_depth,
+            structural: StructuralFeatures::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(w: u32, h: u32) -> Rect {
+        Rect { x: 0, y: 0, w, h }
+    }
+
+    #[test]
+    fn iab_creative_in_third_party_iframe_scores_high() {
+        let f = StructuralFeatures::extract(
+            rect(728, 90),
+            1,
+            "http://adnet-alpha.web/serve/banner_728x90_1.png",
+            "http://syndication.web/frame/1",
+        );
+        assert!(f.iab_size && f.third_party && f.ad_aspect);
+        assert!(f.score() >= 0.8, "score {}", f.score());
+    }
+
+    #[test]
+    fn first_party_content_photo_scores_zero() {
+        let f = StructuralFeatures::extract(
+            rect(640, 480),
+            0,
+            "http://news0.web/static/img/photo_3.png",
+            "http://news0.web/",
+        );
+        assert!(!f.iab_size && !f.third_party && !f.ad_aspect);
+        assert_eq!(f.score(), 0.0);
+    }
+
+    #[test]
+    fn subdomains_are_first_party() {
+        let f = StructuralFeatures::extract(
+            rect(100, 100),
+            0,
+            "http://cdn.news0.web/a.png",
+            "http://news0.web/",
+        );
+        assert!(!f.third_party);
+    }
+
+    #[test]
+    fn aspect_flags_wide_and_tall_banners() {
+        assert!(StructuralFeatures::from_parts(468, 60, 0, false).ad_aspect);
+        assert!(StructuralFeatures::from_parts(160, 600, 0, false).ad_aspect);
+        assert!(!StructuralFeatures::from_parts(300, 250, 0, false).ad_aspect);
+    }
+
+    #[test]
+    fn score_is_deterministic_and_bounded() {
+        let f = StructuralFeatures::from_parts(728, 90, 5, true);
+        assert_eq!(f.score(), f.score());
+        assert!(f.score() <= 1.0);
+        // Depth contribution saturates at two levels.
+        let d2 = StructuralFeatures::from_parts(10, 10, 2, false);
+        let d9 = StructuralFeatures::from_parts(10, 10, 9, false);
+        assert_eq!(d2.score(), d9.score());
+    }
+
+    #[test]
+    fn unparseable_origin_is_not_third_party() {
+        let f = StructuralFeatures::extract(rect(10, 10), 0, "not a url", "http://a.web/");
+        assert!(!f.third_party);
+    }
+}

@@ -30,11 +30,13 @@
 //! open) and counted separately.
 
 use crate::service::{ClassificationService, Verdict};
+use percival_core::cascade::{Cascade, CascadeDecision};
 use percival_core::flight::AdmissionHint;
 use percival_core::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Counters exported by the serving hook.
@@ -46,6 +48,7 @@ pub struct ServiceHookStats {
     skipped_blocked: AtomicU64,
     shed_after_admit: AtomicU64,
     skipped_small: AtomicU64,
+    cascade_resolved: AtomicU64,
 }
 
 impl ServiceHookStats {
@@ -80,11 +83,18 @@ impl ServiceHookStats {
     pub fn skipped_small(&self) -> u64 {
         self.skipped_small.load(Ordering::Relaxed)
     }
+
+    /// Images resolved by the cascade front-end (tier 0/1) without ever
+    /// entering the admission decision tree.
+    pub fn cascade_resolved(&self) -> u64 {
+        self.cascade_resolved.load(Ordering::Relaxed)
+    }
 }
 
 /// A rendering-pipeline interceptor backed by the sharded service.
 pub struct ServiceHook {
     service: ClassificationService,
+    cascade: Option<Arc<Cascade>>,
     policy: BlockPolicy,
     /// Images with an edge below this are not classified (1 disables the
     /// floor; tracking pixels are upscaled noise either way).
@@ -101,11 +111,22 @@ impl ServiceHook {
     pub fn new(service: ClassificationService) -> Self {
         ServiceHook {
             service,
+            cascade: None,
             policy: BlockPolicy::Clear,
             min_edge: 1,
             max_wait: None,
             stats: ServiceHookStats::default(),
         }
+    }
+
+    /// Puts a [`Cascade`] front-end ahead of the admission decision tree:
+    /// requests tier 0/1 resolve are never hashed, never probe the hint
+    /// and never enter a flight queue. The cascade is also attached to the
+    /// service so its tier counters surface in the [`crate::ServiceReport`].
+    pub fn with_cascade(mut self, cascade: Arc<Cascade>) -> Self {
+        self.service.attach_cascade(Arc::clone(&cascade));
+        self.cascade = Some(cascade);
+        self
     }
 
     /// Sets the blocked-frame policy.
@@ -166,6 +187,31 @@ impl ServiceHook {
         }
     }
 
+    /// Tier 0/1 of the cascade front-end, run before the admission tree.
+    /// Returns `None` when no cascade is attached or the request must fall
+    /// through to the CNN.
+    fn cascade_action(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> Option<InterceptAction> {
+        let cascade = self.cascade.as_ref()?;
+        match cascade.decide(meta.url, meta.source_url, meta.structural.as_ref()) {
+            CascadeDecision::Block(_) => {
+                self.stats.cascade_resolved.fetch_add(1, Ordering::Relaxed);
+                self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                Some(match &self.policy {
+                    BlockPolicy::Clear => InterceptAction::Block,
+                    replace @ BlockPolicy::Replace(_) => {
+                        replace.apply(bitmap);
+                        InterceptAction::Keep
+                    }
+                })
+            }
+            CascadeDecision::Keep(_) => {
+                self.stats.cascade_resolved.fetch_add(1, Ordering::Relaxed);
+                Some(InterceptAction::Keep)
+            }
+            CascadeDecision::Classify => None,
+        }
+    }
+
     /// The single admission decision tree: size floor, then the hint.
     /// Cache hits, predicted sheds and over-budget backpressure never enter
     /// the service; only [`Slot::Pending`] creatives are actually
@@ -216,23 +262,32 @@ enum Slot {
 }
 
 impl ImageInterceptor for ServiceHook {
-    fn inspect(&self, bitmap: &mut Bitmap, _meta: &ImageMeta<'_>) -> InterceptAction {
+    fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction {
+        if let Some(action) = self.cascade_action(bitmap, meta) {
+            return action;
+        }
         let slot = self.admit_slot(bitmap);
         self.resolve_slot(slot, bitmap)
     }
 
     fn inspect_batch(&self, batch: &mut [(&mut Bitmap, &ImageMeta<'_>)]) -> Vec<InterceptAction> {
-        // Run every image through the decision tree first, submitting the
-        // admitted ones, so the shards can coalesce the whole set into
-        // micro-batches; then collect verdicts in order.
-        let slots: Vec<Slot> = batch
-            .iter()
-            .map(|(bitmap, _)| self.admit_slot(bitmap))
+        // Cascade first, then run the CNN residual through the decision
+        // tree, submitting the admitted ones so the shards can coalesce the
+        // whole set into micro-batches; then collect verdicts in order.
+        let slots: Vec<Result<InterceptAction, Slot>> = batch
+            .iter_mut()
+            .map(|(bitmap, meta)| match self.cascade_action(bitmap, meta) {
+                Some(action) => Ok(action),
+                None => Err(self.admit_slot(bitmap)),
+            })
             .collect();
         batch
             .iter_mut()
             .zip(slots)
-            .map(|((bitmap, _), slot)| self.resolve_slot(slot, bitmap))
+            .map(|((bitmap, _), slot)| match slot {
+                Ok(action) => action,
+                Err(slot) => self.resolve_slot(slot, bitmap),
+            })
             .collect()
     }
 
@@ -273,12 +328,7 @@ mod tests {
     }
 
     fn meta(url: &str) -> ImageMeta<'_> {
-        ImageMeta {
-            url,
-            width: 16,
-            height: 16,
-            frame_depth: 0,
-        }
+        ImageMeta::basic(url, 16, 16, 0)
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod shard;
 pub mod telemetry;
 
 pub use hook::{ServiceHook, ServiceHookStats};
-pub use loadgen::{LoadReport, TrafficConfig, TrafficPattern};
+pub use loadgen::{
+    run_cascade, synthesize_creative_meta, CascadeLoadReport, CreativeMeta, LoadReport,
+    TrafficConfig, TrafficPattern,
+};
 pub use percival_core::flight::AdmissionHint;
 pub use service::{ClassificationService, OverloadPolicy, ServeTicket, ServiceConfig, Verdict};
 pub use telemetry::{ServiceReport, ShardReport};

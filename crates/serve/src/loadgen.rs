@@ -17,10 +17,14 @@
 
 use crate::service::{ClassificationService, ServeTicket, Verdict};
 use crate::telemetry::ServiceReport;
+use percival_core::cascade::{Cascade, CascadeDecision, Tier};
 use percival_imgcodec::Bitmap;
+use percival_renderer::StructuralFeatures;
 use percival_util::{HistogramSnapshot, Pcg32};
+use percival_webgen::adnet;
 use percival_webgen::images::AdCues;
 use percival_webgen::{generate_ad, generate_nonad, AdStyle, NonAdStyle, Script};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The arrival process of a load-generator run.
@@ -267,6 +271,252 @@ pub fn run(service: &ClassificationService, cfg: &TrafficConfig) -> LoadReport {
     }
 }
 
+/// Request-URL and frame metadata attached to one creative in the
+/// mixed-traffic cascade mode: everything the cascade's tier 0 (filter
+/// match) and tier 1 (structural score) consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreativeMeta {
+    /// The creative's resource URL, in the synthetic web's conventions.
+    pub url: String,
+    /// URL of the page (or iframe document) requesting it.
+    pub source_url: String,
+    /// Structural features the renderer would have extracted.
+    pub structural: StructuralFeatures,
+}
+
+/// Deterministically attaches URL/frame metadata to each creative of
+/// [`synthesize_creatives`]'s pool (same indexing: ads first).
+///
+/// The classes mirror the synthetic web: ad creatives are served by
+/// list-covered networks, by the uncovered regional/long-tail networks
+/// (tier 0 misses them; their IAB boxes and third-party iframes give them
+/// away structurally), or as tracking pixels; non-ad creatives are organic
+/// first-party photos, exception-listed placements, and first-party promos
+/// in IAB boxes — the genuinely ambiguous residual only the CNN can judge.
+pub fn synthesize_creative_meta(cfg: &TrafficConfig) -> Vec<CreativeMeta> {
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0xCA5_CADE);
+    let ads = ((cfg.creatives as f64) * cfg.ad_fraction).round() as usize;
+    let iab = [(728u32, 90u32), (300, 250), (160, 600), (468, 60)];
+    (0..cfg.creatives)
+        .map(|i| {
+            let site = format!("news{}.web", i % 3);
+            let source_url = format!("http://{site}/");
+            if i < ads {
+                let (w, h) = iab[i % iab.len()];
+                match i % 4 {
+                    // Covered third-party networks: tier-0 blocks.
+                    0 | 3 => {
+                        let n = &adnet::NETWORKS[i % 3];
+                        CreativeMeta {
+                            url: format!(
+                                "http://{}{}{w}x{h}_{}.png",
+                                n.host,
+                                n.path,
+                                rng.next_below(100_000)
+                            ),
+                            source_url,
+                            structural: StructuralFeatures::from_parts(w, h, 1, true),
+                        }
+                    }
+                    // Uncovered networks: the list misses them, the
+                    // structure (IAB box, third-party iframe) does not.
+                    1 => {
+                        let n = &adnet::NETWORKS[3 + (i / 4) % 4];
+                        CreativeMeta {
+                            url: format!(
+                                "http://{}{}{w}x{h}_{}.png",
+                                n.host,
+                                n.path,
+                                rng.next_below(100_000)
+                            ),
+                            source_url,
+                            structural: StructuralFeatures::from_parts(w, h, 1, true),
+                        }
+                    }
+                    // Tracking pixels: covered via `$third-party`.
+                    _ => CreativeMeta {
+                        url: adnet::tracker_url(&mut rng),
+                        source_url,
+                        structural: StructuralFeatures::from_parts(1, 1, 0, true),
+                    },
+                }
+            } else {
+                match i % 5 {
+                    // First-party promos in IAB boxes, off the `/promo/`
+                    // path: nothing for the list, ambiguous structure —
+                    // the CNN residual.
+                    3 => CreativeMeta {
+                        url: format!("http://{site}/img/offer_{}.png", rng.next_below(100_000)),
+                        source_url,
+                        structural: StructuralFeatures::from_parts(300, 250, 0, false),
+                    },
+                    // Exception-listed placement: tier-0 pins it as content.
+                    4 => CreativeMeta {
+                        url: format!(
+                            "http://adnet-alpha.web/legal/notice_{}.png",
+                            rng.next_below(100_000)
+                        ),
+                        source_url,
+                        structural: StructuralFeatures::from_parts(300, 250, 0, true),
+                    },
+                    // Organic first-party photos: tier-1 keeps.
+                    _ => CreativeMeta {
+                        url: adnet::content_url(&mut rng, &site, "png"),
+                        source_url: source_url.clone(),
+                        structural: StructuralFeatures::from_parts(640, 480, 0, false),
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one mixed-traffic cascade run.
+#[derive(Debug, Clone)]
+pub struct CascadeLoadReport {
+    /// Total requests generated.
+    pub requests: usize,
+    /// Requests blocked by a tier-0 filter rule.
+    pub tier0_blocked: usize,
+    /// Requests pinned as content by a tier-0 exception.
+    pub tier0_exempted: usize,
+    /// Requests blocked by the tier-1 structural score.
+    pub tier1_blocked: usize,
+    /// Requests kept by the tier-1 structural score.
+    pub tier1_kept: usize,
+    /// Requests submitted to the CNN service (the residual).
+    pub cnn_submitted: usize,
+    /// Residual requests classified (admitted and answered).
+    pub classified: usize,
+    /// Residual verdicts that were "ad".
+    pub ads: usize,
+    /// Residual requests shed by the overload policy.
+    pub shed: usize,
+    /// Residual tickets that never resolved (must be zero).
+    pub lost: usize,
+    /// Wall time from first request to full resolution.
+    pub wall: Duration,
+    /// Achieved throughput over `wall`.
+    pub achieved_rps: f64,
+    /// The per-request cascade decisions, in request order (for
+    /// determinism and verdict-equivalence checks).
+    pub decisions: Vec<CascadeDecision>,
+    /// Full service counters at run end (includes the cascade snapshot).
+    pub service: ServiceReport,
+}
+
+impl CascadeLoadReport {
+    /// Requests resolved by tier 0/1, never reaching a flight queue.
+    pub fn resolved_early(&self) -> usize {
+        self.tier0_blocked + self.tier0_exempted + self.tier1_blocked + self.tier1_kept
+    }
+
+    /// Fraction of requests resolved without the CNN.
+    pub fn early_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.resolved_early() as f64 / self.requests as f64
+    }
+}
+
+impl core::fmt::Display for CascadeLoadReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "cascade loadgen: {} requests  t0 {}+{}  t1 {}+{}  cnn {} ({} classified, {} ads, {} shed)  {:.1}% early  {:.0} req/s",
+            self.requests,
+            self.tier0_blocked,
+            self.tier0_exempted,
+            self.tier1_blocked,
+            self.tier1_kept,
+            self.cnn_submitted,
+            self.classified,
+            self.ads,
+            self.shed,
+            self.early_fraction() * 100.0,
+            self.achieved_rps,
+        )?;
+        write!(f, "{}", self.service)
+    }
+}
+
+/// Runs one mixed-traffic pass through the cascade front-end: every
+/// request consults the cascade with its URL/frame metadata; only the
+/// residual is submitted to the service. The cascade is attached to the
+/// service so its counters surface in the run's [`ServiceReport`].
+pub fn run_cascade(
+    service: &ClassificationService,
+    cascade: &Arc<Cascade>,
+    cfg: &TrafficConfig,
+) -> CascadeLoadReport {
+    let creatives = synthesize_creatives(cfg);
+    let metas = synthesize_creative_meta(cfg);
+    let sequence = request_sequence(cfg);
+    let schedule = arrival_schedule(cfg);
+    service.attach_cascade(Arc::clone(cascade));
+    service.reset_latency();
+
+    let start = Instant::now();
+    let mut decisions = Vec::with_capacity(sequence.len());
+    let mut tickets: Vec<ServeTicket> = Vec::new();
+    let (mut t0b, mut t0e, mut t1b, mut t1k) = (0usize, 0usize, 0usize, 0usize);
+    for (i, &creative) in sequence.iter().enumerate() {
+        if let Some(&offset) = schedule.get(i) {
+            loop {
+                let elapsed = start.elapsed();
+                if elapsed >= offset {
+                    break;
+                }
+                std::thread::sleep((offset - elapsed).min(Duration::from_micros(500)));
+            }
+        }
+        let meta = &metas[creative];
+        let decision = cascade.decide(&meta.url, &meta.source_url, Some(&meta.structural));
+        decisions.push(decision);
+        match decision {
+            CascadeDecision::Block(Tier::NetworkFilter) => t0b += 1,
+            CascadeDecision::Keep(Tier::NetworkFilter) => t0e += 1,
+            CascadeDecision::Block(Tier::Structural) => t1b += 1,
+            CascadeDecision::Keep(Tier::Structural) => t1k += 1,
+            _ => tickets.push(service.submit(&creatives[creative])),
+        }
+    }
+    service.flush();
+    let wall = start.elapsed();
+
+    let (mut classified, mut ads, mut shed, mut lost) = (0usize, 0usize, 0usize, 0usize);
+    let cnn_submitted = tickets.len();
+    for ticket in tickets {
+        match ticket.poll() {
+            Some(Verdict::Classified(p)) => {
+                classified += 1;
+                if p.is_ad {
+                    ads += 1;
+                }
+            }
+            Some(Verdict::Shed) => shed += 1,
+            None => lost += 1,
+        }
+    }
+    CascadeLoadReport {
+        requests: sequence.len(),
+        tier0_blocked: t0b,
+        tier0_exempted: t0e,
+        tier1_blocked: t1b,
+        tier1_kept: t1k,
+        cnn_submitted,
+        classified,
+        ads,
+        shed,
+        lost,
+        wall,
+        achieved_rps: sequence.len() as f64 / wall.as_secs_f64().max(1e-9),
+        decisions,
+        service: service.report(),
+    }
+}
+
 /// Measures the service's peak closed-loop throughput on `calib` distinct
 /// creatives, returning requests-per-second. Used to size overload runs
 /// (e.g. "2x capacity") portably across hosts.
@@ -352,6 +602,46 @@ mod tests {
         let first_gap = s[1] - s[0];
         let last_gap = s[99] - s[98];
         assert!(last_gap < first_gap, "{last_gap:?} < {first_gap:?}");
+    }
+
+    #[test]
+    fn creative_meta_is_deterministic_and_aligned_with_the_pool() {
+        let c = cfg();
+        let a = synthesize_creative_meta(&c);
+        assert_eq!(a, synthesize_creative_meta(&c));
+        assert_eq!(a.len(), c.creatives, "one meta row per creative");
+        assert!(a
+            .iter()
+            .all(|m| !m.url.is_empty() && !m.source_url.is_empty()));
+    }
+
+    #[test]
+    fn creative_meta_classes_resolve_at_their_designed_tiers() {
+        use percival_core::cascade::CascadeConfig;
+
+        let c = TrafficConfig {
+            creatives: 40,
+            ..cfg()
+        };
+        let metas = synthesize_creative_meta(&c);
+        let cascade = Cascade::synthetic_with(CascadeConfig::default());
+        let ads = ((c.creatives as f64) * c.ad_fraction).round() as usize;
+        for (i, m) in metas.iter().enumerate() {
+            let d = cascade.decide(&m.url, &m.source_url, Some(&m.structural));
+            let expected = if i < ads {
+                match i % 4 {
+                    0 | 2 | 3 => CascadeDecision::Block(Tier::NetworkFilter),
+                    _ => CascadeDecision::Block(Tier::Structural),
+                }
+            } else {
+                match i % 5 {
+                    3 => CascadeDecision::Classify,
+                    4 => CascadeDecision::Keep(Tier::NetworkFilter),
+                    _ => CascadeDecision::Keep(Tier::Structural),
+                }
+            };
+            assert_eq!(d, expected, "creative {i} ({})", m.url);
+        }
     }
 
     #[test]

@@ -19,13 +19,14 @@
 
 use crate::shard::Shard;
 use crate::telemetry::{ServiceReport, ServiceTelemetry};
+use percival_core::cascade::Cascade;
 use percival_core::flight::AdmissionHint;
 use percival_core::{Classifier, EngineConfig, MemoizedClassifier, Precision, Prediction};
 use percival_imgcodec::{Bitmap, HashedBitmap};
 use percival_tensor::Workspace;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -213,6 +214,9 @@ pub struct ClassificationService {
     shared: Arc<ServiceShared>,
     cfg: ServiceConfig,
     batchers: Vec<JoinHandle<()>>,
+    /// Cascade front-end attached by the hook / load generator, so its
+    /// per-tier counters surface in [`ClassificationService::report`].
+    cascade: OnceLock<Arc<Cascade>>,
 }
 
 impl ClassificationService {
@@ -260,6 +264,7 @@ impl ClassificationService {
             shared,
             cfg,
             batchers,
+            cascade: OnceLock::new(),
         }
     }
 
@@ -347,11 +352,26 @@ impl ClassificationService {
         drop(guard);
     }
 
-    /// Snapshots every shard's counters plus the service latency histogram.
+    /// Registers the cascade front-end whose per-tier counters should
+    /// surface in [`ClassificationService::report`]. First registration
+    /// wins; later calls are ignored (the hook and the load generator may
+    /// both try to attach the same cascade).
+    pub fn attach_cascade(&self, cascade: Arc<Cascade>) {
+        let _ = self.cascade.set(cascade);
+    }
+
+    /// The attached cascade front-end, if any.
+    pub fn cascade(&self) -> Option<&Arc<Cascade>> {
+        self.cascade.get()
+    }
+
+    /// Snapshots every shard's counters plus the service latency histogram
+    /// (and the cascade front-end's tier attribution, when attached).
     pub fn report(&self) -> ServiceReport {
         ServiceReport {
             shards: self.shards.iter().map(|s| s.report()).collect(),
             latency: self.shared.telemetry.latency.snapshot(),
+            cascade: self.cascade.get().map(|c| c.counters().snapshot()),
         }
     }
 

@@ -10,6 +10,7 @@
 //! types. Reports are plain data so benches and experiments can serialize
 //! or diff them without reaching back into the live service.
 
+use percival_core::cascade::CascadeSnapshot;
 use percival_core::flight::FlightSnapshot;
 use percival_util::{HistogramSnapshot, LatencyHistogram};
 
@@ -55,6 +56,9 @@ pub struct ServiceReport {
     /// Admission-to-verdict latency of classified (admitted, not shed)
     /// requests.
     pub latency: HistogramSnapshot,
+    /// Per-tier attribution of the cascade front-end, when one is attached
+    /// (`None` for services running without a cascade).
+    pub cascade: Option<CascadeSnapshot>,
 }
 
 impl ServiceReport {
@@ -137,6 +141,9 @@ impl core::fmt::Display for ServiceReport {
             self.stolen_batches(),
         )?;
         writeln!(f, "latency: {}", self.latency)?;
+        if let Some(cascade) = &self.cascade {
+            writeln!(f, "{cascade}")?;
+        }
         for s in &self.shards {
             writeln!(
                 f,
