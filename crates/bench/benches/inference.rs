@@ -13,10 +13,12 @@
 use criterion::Criterion;
 use percival_bench::snapshot;
 use percival_core::arch::{percival_net, percival_net_slim};
-use percival_core::{Classifier, EngineConfig, InferenceEngine, Precision};
+use percival_core::{Classifier, EngineConfig, InferenceEngine, PercivalHook, Precision};
 use percival_imgcodec::Bitmap;
 use percival_nn::init::kaiming_init;
 use percival_nn::{ExecPlan, QuantizedSequential};
+use percival_renderer::{ImageInterceptor, ImageMeta};
+use percival_serve::{ClassificationService, ServiceConfig};
 use percival_tensor::activation::relu_inplace;
 use percival_tensor::gemm::{
     gemm_acc, gemm_acc_scalar, gemm_acc_ws_ep, set_gemm_kernel, GemmKernel,
@@ -27,6 +29,7 @@ use percival_tensor::{
     set_i8_tier_override, simd_available, vnni_available, EpilogueF32, I8Tier, PackedGemmF32,
     PackedGemmI8, RequantEpilogue, Shape, Tensor, Workspace,
 };
+use percival_util::telem;
 use percival_util::Pcg32;
 use std::hint::black_box;
 use std::time::Duration;
@@ -431,6 +434,46 @@ fn bench_engine_hit_path(c: &mut Criterion) {
     println!("engine stats: {}", eng.stats().snapshot());
 }
 
+/// Flight-recorder cost on an identical engine-submit workload: the hook's
+/// memo-hit submission path (the per-request fast path every served
+/// creative pays once its ad network's assets are cached) with tracing
+/// disabled vs sampled 1-in-16 — the `PERCIVAL_TRACE=off` row is the
+/// compile-out-free fast path's pin — plus the cost of rendering the
+/// Prometheus exposition from a live multi-shard service report.
+fn bench_telem(c: &mut Criterion) {
+    let hook = PercivalHook::new(classifier(4, 32));
+    let mut img = noisy_bitmap(64, 11);
+    let meta = ImageMeta::basic("https://ads.example/creative.png", 64, 64, 0);
+    hook.inspect(&mut img, &meta); // prime the verdict cache
+
+    let mut g = c.benchmark_group("telem");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    telem::set_sampling(0);
+    g.bench_function("overhead_off", |b| {
+        b.iter(|| black_box(hook.inspect(black_box(&mut img), &meta)))
+    });
+    telem::set_sampling(16);
+    telem::clear();
+    g.bench_function("overhead_sampled_16", |b| {
+        b.iter(|| black_box(hook.inspect(black_box(&mut img), &meta)))
+    });
+    telem::set_sampling(0);
+    telem::clear();
+
+    // Exposition render over a report with live counters in every family.
+    let svc = ClassificationService::new(classifier(4, 32), ServiceConfig::default());
+    for seed in 0..8 {
+        svc.submit(&noisy_bitmap(64, 20 + seed));
+    }
+    svc.flush();
+    let report = svc.report();
+    g.bench_function("exposition_render", |b| {
+        b.iter(|| black_box(report.prometheus(None)))
+    });
+    g.finish();
+}
+
 fn bench_inference(c: &mut Criterion) {
     let img = noisy_bitmap(120, 2);
 
@@ -606,6 +649,18 @@ fn write_snapshot(c: &Criterion) {
             derived.push(snapshot::derived_line(metric, t / v));
         }
     }
+    // Flight-recorder overhead at 1-in-16 sampling relative to tracing
+    // off, as a percentage of the memo-hit submit path (negative values
+    // are measurement noise: the off row is the floor).
+    if let (Some(off), Some(on)) = (
+        mean_of("telem/overhead_off"),
+        mean_of("telem/overhead_sampled_16"),
+    ) {
+        derived.push(snapshot::derived_line(
+            "telem_overhead_pct",
+            (on - off) / off * 100.0,
+        ));
+    }
     let seed_n1 = mean_of("batch/classify_tensor/seed_scalar/n1");
     // Batch metrics for the portable tiled kernel (historic names kept for
     // cross-PR continuity) and the explicit-SIMD kernel (the shipping
@@ -648,6 +703,7 @@ fn main() {
     bench_fusion(&mut c);
     bench_batching(&mut c);
     bench_engine_hit_path(&mut c);
+    bench_telem(&mut c);
     bench_inference(&mut c);
     if criterion::is_test_mode() {
         // Smoke run (`-- --test` / CI): everything executed, but the

@@ -31,6 +31,7 @@ use percival_filterlist::{
 };
 use percival_renderer::StructuralFeatures;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Which tier resolved a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,17 +299,44 @@ impl Cascade {
         source_url: &str,
         structural: Option<&StructuralFeatures>,
     ) -> CascadeDecision {
-        let decision = self.decide_inner(url, source_url, structural);
+        let decision = self
+            .decide_tier0(url, source_url)
+            .or_else(|| self.decide_tier1(structural))
+            .unwrap_or(CascadeDecision::Classify);
         self.counters.record(decision);
         decision
     }
 
-    fn decide_inner(
+    /// [`Cascade::decide`] with per-tier wall times for the flight
+    /// recorder's `CascadeT0` / `CascadeT1` spans: returns the decision
+    /// plus `(tier0_ns, tier1_ns)` — a tier that did not run (disabled,
+    /// missing context, or short-circuited by an earlier tier) reports 0.
+    /// Kept separate from [`Cascade::decide`] so the untraced hot path
+    /// pays no clock reads.
+    pub fn decide_timed(
         &self,
         url: &str,
         source_url: &str,
         structural: Option<&StructuralFeatures>,
-    ) -> CascadeDecision {
+    ) -> (CascadeDecision, u64, u64) {
+        let t0_start = Instant::now();
+        let tier0 = self.decide_tier0(url, source_url);
+        let t0_ns = t0_start.elapsed().as_nanos() as u64;
+        if let Some(decision) = tier0 {
+            self.counters.record(decision);
+            return (decision, t0_ns, 0);
+        }
+        let t1_start = Instant::now();
+        let decision = self
+            .decide_tier1(structural)
+            .unwrap_or(CascadeDecision::Classify);
+        let t1_ns = t1_start.elapsed().as_nanos() as u64;
+        self.counters.record(decision);
+        (decision, t0_ns, t1_ns)
+    }
+
+    /// Tier 0 — the network-filter match; `None` when undecided.
+    fn decide_tier0(&self, url: &str, source_url: &str) -> Option<CascadeDecision> {
         if self.config.network_filter && !source_url.is_empty() {
             if let (Ok(u), Ok(s)) = (Url::parse(url), Url::parse(source_url)) {
                 let req = RequestInfo {
@@ -318,27 +346,32 @@ impl Cascade {
                 };
                 match self.engine.check(&req) {
                     FilterVerdict::Block { .. } => {
-                        return CascadeDecision::Block(Tier::NetworkFilter)
+                        return Some(CascadeDecision::Block(Tier::NetworkFilter))
                     }
                     FilterVerdict::Exempted { .. } => {
-                        return CascadeDecision::Keep(Tier::NetworkFilter)
+                        return Some(CascadeDecision::Keep(Tier::NetworkFilter))
                     }
                     FilterVerdict::Allow => {}
                 }
             }
         }
+        None
+    }
+
+    /// Tier 1 — the structural pre-filter; `None` when undecided.
+    fn decide_tier1(&self, structural: Option<&StructuralFeatures>) -> Option<CascadeDecision> {
         if self.config.structural {
             if let Some(features) = structural {
                 let score = features.score();
                 if score >= self.config.block_threshold {
-                    return CascadeDecision::Block(Tier::Structural);
+                    return Some(CascadeDecision::Block(Tier::Structural));
                 }
                 if score <= self.config.keep_threshold {
-                    return CascadeDecision::Keep(Tier::Structural);
+                    return Some(CascadeDecision::Keep(Tier::Structural));
                 }
             }
         }
-        CascadeDecision::Classify
+        None
     }
 }
 
@@ -479,6 +512,30 @@ mod tests {
         let s = c.counters().snapshot();
         assert_eq!(s.requests, cases.len() as u64);
         assert_eq!(s.resolved_early() + s.cnn_residual, s.requests);
+    }
+
+    #[test]
+    fn decide_timed_matches_decide_and_attributes_tier_times() {
+        let c = full();
+        let (d, t0_ns, t1_ns) = c.decide_timed(
+            "http://adnet-alpha.web/serve/banner_728x90_3.png",
+            "http://news0.web/",
+            Some(&ad_features()),
+        );
+        assert_eq!(d, CascadeDecision::Block(Tier::NetworkFilter));
+        assert!(t0_ns > 0, "tier 0 ran and was timed");
+        assert_eq!(t1_ns, 0, "tier 1 was short-circuited");
+        let (d2, _, _) = c.decide_timed(
+            "http://shop1.web/img/offer.png",
+            "http://shop1.web/",
+            Some(&StructuralFeatures::from_parts(300, 250, 0, false)),
+        );
+        assert_eq!(d2, CascadeDecision::Classify);
+        // Timed decisions attribute counters exactly like untimed ones.
+        let s = c.counters().snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.tier0_blocked, 1);
+        assert_eq!(s.cnn_residual, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::arch::{accepts_input, INPUT_CHANNELS, NUM_CLASSES};
 use percival_imgcodec::Bitmap;
 use percival_nn::serialize::{self, ModelIoError};
-use percival_nn::{ExecPlan, QuantizedSequential, Sequential};
+use percival_nn::{ExecPlan, PlanObserver, QuantizedSequential, Sequential};
 use percival_tensor::activation::softmax;
 use percival_tensor::resize::resize_bilinear;
 use percival_tensor::threadpool::{ScopedTask, ThreadPool};
@@ -52,7 +52,18 @@ pub struct Prediction {
     pub p_ad: f32,
     /// `p_ad >= threshold`.
     pub is_ad: bool,
-    /// Forward-pass wall time (preprocessing included).
+    /// CNN cost attributed to this verdict. For a direct
+    /// [`Classifier::classify`] call this is the call's wall time
+    /// (preprocessing included). For a verdict published by a micro-batcher
+    /// it is the batch's wall time divided by the batch size — an
+    /// *amortized share*, chosen so summing `elapsed` over verdicts
+    /// approximates total CNN time instead of multiply-counting batches —
+    /// and `Duration::ZERO` for memo-cache hits. It is **not** the
+    /// request's latency: true per-entry queue wait and per-batch service
+    /// time live in the flight counters
+    /// ([`crate::flight::FlightSnapshot::queue_wait_ns`] /
+    /// [`crate::flight::FlightSnapshot::service_ns`]), and the flight
+    /// recorder's `QueueWait` / `EndToEnd` spans carry them per request.
     pub elapsed: Duration,
 }
 
@@ -234,9 +245,25 @@ impl Classifier {
     /// Both tiers execute through the cached plan — one fused forward-pass
     /// implementation each, no per-call recompilation.
     fn forward_probs_into(&self, shape: Shape, data: &[f32], ws: &mut Workspace, out: &mut [f32]) {
-        let logits = match &self.quantized {
-            Some(q) => self.plan.run_i8(q, shape, data, ws),
-            None => self.plan.run_f32(&self.model, shape, data, ws),
+        self.forward_probs_into_observed(shape, data, ws, out, None);
+    }
+
+    /// [`Classifier::forward_probs_into`] with an optional [`PlanObserver`]
+    /// told every fused op's wall time (the flight recorder's PlanOp spans
+    /// and [`percival_nn::PlanProfile`] both ride this hook).
+    fn forward_probs_into_observed(
+        &self,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        out: &mut [f32],
+        obs: Option<&dyn PlanObserver>,
+    ) {
+        let logits = match (&self.quantized, obs) {
+            (Some(q), Some(o)) => self.plan.run_i8_observed(q, shape, data, ws, o),
+            (Some(q), None) => self.plan.run_i8(q, shape, data, ws),
+            (None, Some(o)) => self.plan.run_f32_observed(&self.model, shape, data, ws, o),
+            (None, None) => self.plan.run_f32(&self.model, shape, data, ws),
         };
         let probs = softmax(&logits);
         for (n, slot) in out.iter_mut().enumerate() {
@@ -284,11 +311,33 @@ impl Classifier {
     /// which is what made batched per-image cost *worse* than `n=1`
     /// (`batch8_per_image_speedup` 0.925 before this split).
     pub fn classify_tensor_with(&self, batch: &Tensor, ws: &mut Workspace) -> Vec<f32> {
+        self.classify_tensor_impl(batch, ws, None)
+    }
+
+    /// [`Classifier::classify_tensor_with`] with a [`PlanObserver`] told
+    /// every fused op's wall time. When the batch band-splits across pool
+    /// threads the observer hears every band's ops interleaved (it is
+    /// `Sync`); per-op *totals* stay exact either way.
+    pub fn classify_tensor_observed(
+        &self,
+        batch: &Tensor,
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Vec<f32> {
+        self.classify_tensor_impl(batch, ws, Some(obs))
+    }
+
+    fn classify_tensor_impl(
+        &self,
+        batch: &Tensor,
+        ws: &mut Workspace,
+        obs: Option<&dyn PlanObserver>,
+    ) -> Vec<f32> {
         let s = batch.shape();
         let n = s.n;
         let mut probs = vec![0.0f32; n];
         if n <= 1 {
-            self.forward_probs_into(s, batch.as_slice(), ws, &mut probs);
+            self.forward_probs_into_observed(s, batch.as_slice(), ws, &mut probs, obs);
             return probs;
         }
 
@@ -301,11 +350,12 @@ impl Classifier {
             // does exactly the work of `n` independent n=1 classifications.
             let sample_shape = Shape::new(1, s.c, s.h, s.w);
             for (i, slot) in probs.iter_mut().enumerate() {
-                self.forward_probs_into(
+                self.forward_probs_into_observed(
                     sample_shape,
                     batch.sample(i),
                     ws,
                     std::slice::from_mut(slot),
+                    obs,
                 );
             }
             return probs;
@@ -323,11 +373,12 @@ impl Classifier {
                 let rows = out_chunk.len();
                 Box::new(move || {
                     with_thread_workspace(|tws| {
-                        self.forward_probs_into(
+                        self.forward_probs_into_observed(
                             Shape::new(rows, s.c, s.h, s.w),
                             &batch.as_slice()[start * per_sample..(start + rows) * per_sample],
                             tws,
                             out_chunk,
+                            obs,
                         );
                     });
                 }) as ScopedTask<'_>

@@ -59,6 +59,10 @@ pub struct FlightEntry<P> {
     pub tensor: Tensor,
     /// Discipline-specific priority metadata (`()` for FIFO).
     pub prio: P,
+    /// When the group was pushed onto the queue ([`FlightTable::submit`]
+    /// stamps it under the state lock). Batchers read it at formation to
+    /// account true queue wait, separately from service time.
+    pub enqueued_at: Instant,
 }
 
 /// The ordering policy of a [`FlightTable`]'s pending queue.
@@ -260,6 +264,8 @@ pub struct FlightCounters {
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicU64,
     ewma_image_ns: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    service_ns: AtomicU64,
 }
 
 impl FlightCounters {
@@ -335,6 +341,28 @@ impl FlightCounters {
         self.ewma_image_ns.load(Ordering::Relaxed)
     }
 
+    /// Total nanoseconds batched entries spent queued before formation
+    /// (true queue wait, summed per entry — not amortized over the batch).
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.queue_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds of batch service wall time (formation through
+    /// publish, summed per batch — the CNN pass itself, not the wait).
+    pub fn service_ns(&self) -> u64 {
+        self.service_ns.load(Ordering::Relaxed)
+    }
+
+    /// Accumulates one entry's measured queue wait (push → formation).
+    pub fn note_queue_wait(&self, ns: u64) {
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulates one batch's measured service wall time.
+    pub fn note_service(&self, ns: u64) {
+        self.service_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Folds one measured per-image cost into the service-time estimate
     /// (alpha = 1/4; integer EWMA, monotone under concurrent updates).
     pub fn observe_image_cost(&self, ns: u64) {
@@ -374,6 +402,8 @@ impl FlightCounters {
             queue_depth: self.queue_depth(),
             max_queue_depth: self.max_queue_depth(),
             ewma_image_ns: self.ewma_image_ns(),
+            queue_wait_ns: self.queue_wait_ns(),
+            service_ns: self.service_ns(),
             dedup_rate: if submitted == 0 {
                 0.0
             } else {
@@ -416,6 +446,12 @@ pub struct FlightSnapshot {
     pub max_queue_depth: u64,
     /// Per-image service-time estimate (EWMA, nanoseconds).
     pub ewma_image_ns: u64,
+    /// Total queue wait accumulated by batched entries (nanoseconds; true
+    /// per-entry push → formation wait, not divided by batch size).
+    pub queue_wait_ns: u64,
+    /// Total batch service wall time (nanoseconds; formation → publish,
+    /// per batch — what the CNN pass itself cost).
+    pub service_ns: u64,
     /// Fraction of submissions resolved without a CNN pass (memo hits plus
     /// single-flight coalescing over total submissions); 0 when idle.
     pub dedup_rate: f64,
@@ -439,6 +475,14 @@ impl std::fmt::Display for FlightSnapshot {
                 f,
                 "  shed {}+{}  degraded {}  reprioritized {}",
                 self.shed_admission, self.shed_late, self.degraded, self.reprioritized
+            )?;
+        }
+        if self.queue_wait_ns + self.service_ns > 0 {
+            write!(
+                f,
+                "  queue_wait {:.1}ms  service {:.1}ms",
+                self.queue_wait_ns as f64 / 1e6,
+                self.service_ns as f64 / 1e6
             )?;
         }
         Ok(())
@@ -679,7 +723,12 @@ impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
         self.memo.record_miss();
         state.waiters.insert(key, vec![tx]);
         let queued_prio = prio.clone();
-        state.queue.push(FlightEntry { key, tensor, prio });
+        state.queue.push(FlightEntry {
+            key,
+            tensor,
+            prio,
+            enqueued_at: Instant::now(),
+        });
         let depth = state.queue.len();
         // Gauge + caller accounting under the lock (invariant 3).
         c.queue_depth.store(depth, Ordering::Relaxed);
@@ -870,6 +919,7 @@ mod tests {
                 key,
                 tensor: tiny_tensor(),
                 prio: (),
+                enqueued_at: Instant::now(),
             });
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
@@ -885,6 +935,7 @@ mod tests {
                 key,
                 tensor: tiny_tensor(),
                 prio: edf_prio(base, deadline_ms, seq),
+                enqueued_at: base,
             });
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
@@ -899,11 +950,13 @@ mod tests {
             key: 1,
             tensor: tiny_tensor(),
             prio: edf_prio(base, 100, 0),
+            enqueued_at: base,
         });
         q.push(FlightEntry {
             key: 2,
             tensor: tiny_tensor(),
             prio: edf_prio(base, 50, 1),
+            enqueued_at: base,
         });
         // A *looser* deadline must not reorder.
         assert!(!q.reprioritize(1, &edf_prio(base, 200, 2)));
@@ -1072,6 +1125,7 @@ mod tests {
                                     key,
                                     tensor: tiny_tensor(),
                                     prio: edf_prio(base, deadline_ms, seq),
+                                    enqueued_at: base,
                                 });
                                 model.push(key, deadline, seq);
                                 seq += 1;

@@ -20,6 +20,7 @@ use crate::memo::MemoizedClassifier;
 use crate::policy::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
+use percival_util::telem::{self, emit_early as emit_early_trace, StageKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -132,7 +133,35 @@ impl ImageInterceptor for PercivalHook {
             self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
             return InterceptAction::Keep;
         }
-        let pred = self.engine.submit_wait(bitmap);
+        let pred = if telem::enabled() && telem::sample_request() {
+            // Sampled: hash explicitly so the span and the keyed submission
+            // share one computation, and register the key so the engine's
+            // batcher can attribute its QueueWait/PlanOp/Publish spans.
+            let start = telem::now_ns();
+            let img = bitmap.hashed();
+            let hashed = telem::now_ns();
+            let key = img.key();
+            telem::register(key, start);
+            telem::emit(key, StageKind::Hash, start, hashed - start);
+            let submit_start = telem::now_ns();
+            let ticket = self.engine.submit_with_key(&img);
+            telem::emit(
+                key,
+                StageKind::Submit,
+                submit_start,
+                telem::now_ns().saturating_sub(submit_start),
+            );
+            let pred = ticket.wait();
+            // A memo hit resolves without a publish; close the trace here
+            // (single-shot: the batcher won for queued submissions).
+            if let Some(s) = telem::complete(key) {
+                let end = telem::now_ns();
+                telem::emit(key, StageKind::EndToEnd, s, end.saturating_sub(s));
+            }
+            pred
+        } else {
+            self.engine.submit_wait(bitmap)
+        };
         self.stats.classified.fetch_add(1, Ordering::Relaxed);
         self.stats
             .classify_ns
@@ -230,15 +259,44 @@ impl AsyncPercivalHook {
 
 impl ImageInterceptor for AsyncPercivalHook {
     fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction {
+        // 1-in-N flight-recorder sampling: spans are buffered until the
+        // request's trace id is known (the content hash for submissions, a
+        // synthetic id for early-resolved requests).
+        let trace_start = (telem::enabled() && telem::sample_request()).then(telem::now_ns);
+        let mut pending: Vec<(StageKind, u64, u64)> = Vec::new();
+
         // Tier 0/1: the cascade front-end settles covered URLs and
         // clear-cut structure without hashing, caching or queueing.
         if let Some(cascade) = &self.cascade {
-            match cascade.decide(meta.url, meta.source_url, meta.structural.as_ref()) {
+            let decision = if let Some(start) = trace_start {
+                let (d, t0_ns, t1_ns) =
+                    cascade.decide_timed(meta.url, meta.source_url, meta.structural.as_ref());
+                let mut cursor = start;
+                if t0_ns > 0 {
+                    pending.push((StageKind::CascadeT0, cursor, t0_ns));
+                    cursor += t0_ns;
+                }
+                if t1_ns > 0 {
+                    pending.push((StageKind::CascadeT1, cursor, t1_ns));
+                }
+                d
+            } else {
+                cascade.decide(meta.url, meta.source_url, meta.structural.as_ref())
+            };
+            match decision {
                 CascadeDecision::Block(_) => {
                     self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(start) = trace_start {
+                        emit_early_trace(start, &pending);
+                    }
                     return InterceptAction::Block;
                 }
-                CascadeDecision::Keep(_) => return InterceptAction::Keep,
+                CascadeDecision::Keep(_) => {
+                    if let Some(start) = trace_start {
+                        emit_early_trace(start, &pending);
+                    }
+                    return InterceptAction::Keep;
+                }
                 CascadeDecision::Classify => {}
             }
         }
@@ -246,10 +304,26 @@ impl ImageInterceptor for AsyncPercivalHook {
         // (or keeps) instantly without entering the engine at all. The
         // content hash is computed once here and shared by the hint and
         // the keyed submission.
+        let hash_start = trace_start.map(|_| telem::now_ns());
         let img = bitmap.hashed();
-        if let AdmissionHint::Cached(pred) = self.engine.admission_hint_with_key(&img) {
+        if let Some(s) = hash_start {
+            pending.push((StageKind::Hash, s, telem::now_ns().saturating_sub(s)));
+        }
+        let hint_start = trace_start.map(|_| telem::now_ns());
+        let hint = self.engine.admission_hint_with_key(&img);
+        if let Some(s) = hint_start {
+            pending.push((
+                StageKind::AdmissionHint,
+                s,
+                telem::now_ns().saturating_sub(s),
+            ));
+        }
+        if let AdmissionHint::Cached(pred) = hint {
             self.memo().record_hit();
             self.stats.classified.fetch_add(1, Ordering::Relaxed);
+            if let Some(start) = trace_start {
+                emit_early_trace(start, &pending);
+            }
             if pred.is_ad {
                 self.stats.blocked.fetch_add(1, Ordering::Relaxed);
                 return InterceptAction::Block;
@@ -259,7 +333,33 @@ impl ImageInterceptor for AsyncPercivalHook {
         // Miss: render now, classify in the background for next time. The
         // ticket is dropped deliberately — the verdict lands in the memo
         // cache and blocks the creative's next sighting.
-        drop(self.engine.submit_with_key(&img));
+        if let Some(start) = trace_start {
+            // The content hash is the trace id from here on; the engine's
+            // batcher closes the trace when the verdict publishes.
+            let key = img.key();
+            telem::register(key, start);
+            for (kind, s, d) in pending {
+                telem::emit(key, kind, s, d);
+            }
+            let submit_start = telem::now_ns();
+            let ticket = self.engine.submit_with_key(&img);
+            telem::emit(
+                key,
+                StageKind::Submit,
+                submit_start,
+                telem::now_ns().saturating_sub(submit_start),
+            );
+            if ticket.poll().is_some() {
+                // Resolved before queueing (submit-time cache race): the
+                // publish path never ran for this key, so close it here.
+                if let Some(s) = telem::complete(key) {
+                    let end = telem::now_ns();
+                    telem::emit(key, StageKind::EndToEnd, s, end.saturating_sub(s));
+                }
+            }
+        } else {
+            drop(self.engine.submit_with_key(&img));
+        }
         InterceptAction::Keep
     }
 }

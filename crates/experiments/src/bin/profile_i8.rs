@@ -1,171 +1,80 @@
-//! Per-conv breakdown of the int8 full-224 forward pass: for every conv
-//! in the PERCIVAL net, time the full fused prepacked conv
-//! (quantize + im2col + B-pack + GEMM + epilogue) against the bare
-//! prepacked GEMM on the same shape, to locate non-GEMM overhead.
-
-use std::time::Instant;
+//! Per-op breakdown of the full-224 forward pass, via [`PlanProfile`].
+//!
+//! Attaches the plan observer to the compiled execution plan and runs both
+//! precision tiers, sequential and pipelined, over the real PERCIVAL net —
+//! the same instrumentation path the flight recorder's `PlanOp` spans ride,
+//! so the table here is exactly what a sampled production trace reports.
+//! (This replaces the old hand-rolled conv-by-conv timing loop: per-op
+//! observation is now a first-class plan feature.)
+//!
+//! On a single-thread pool (`PERCIVAL_THREADS=1` or a 1-core host) the
+//! pipelined run degrades to the sequential path; set `PERCIVAL_THREADS`
+//! higher to see fire-module expand pairs overlap.
 
 use percival_core::percival_net;
-use percival_nn::{QLayer, QuantizedSequential};
+use percival_nn::{ExecPlan, PlanProfile, QuantizedSequential};
 use percival_tensor::gemm::{set_gemm_kernel, GemmKernel};
-use percival_tensor::{
-    gemm_i8_fused_prepacked, Conv2dCfg, PackedGemmI8, RequantEpilogue, Shape, Tensor, Workspace,
-};
-
-fn time_ms<F: FnMut()>(mut f: F) -> f64 {
-    // Warm up, then take the best of 5 timed reps of 3 iterations.
-    f();
-    let mut best = f64::MAX;
-    for _ in 0..5 {
-        let t = Instant::now();
-        for _ in 0..3 {
-            f();
-        }
-        best = best.min(t.elapsed().as_secs_f64() * 1000.0 / 3.0);
-    }
-    best
-}
-
-#[allow(clippy::too_many_arguments)]
-fn profile_conv(
-    name: &str,
-    in_shape: Shape,
-    weight_q: &[i8],
-    wshape: Shape,
-    scales: &[f32],
-    bias: &[f32],
-    cfg: Conv2dCfg,
-    relu: bool,
-    totals: &mut (f64, f64),
-) -> Shape {
-    let m = wshape.n;
-    let k = wshape.c * wshape.h * wshape.w;
-    let oh = (in_shape.h + 2 * cfg.pad - wshape.h) / cfg.stride + 1;
-    let ow = (in_shape.w + 2 * cfg.pad - wshape.w) / cfg.stride + 1;
-    let n = oh * ow;
-
-    let pq = PackedGemmI8::pack(weight_q, m, k);
-    let mut ws = Workspace::new();
-
-    // Full fused conv (quantize + gather + pack B + GEMM + epilogue).
-    let data: Vec<f32> = (0..in_shape.count())
-        .map(|i| ((i * 37) % 255) as f32 / 255.0 - 0.5)
-        .collect();
-    let input = Tensor::from_vec(in_shape, data);
-    let conv_ms = time_ms(|| {
-        let out = percival_tensor::conv::conv2d_forward_q8_fused_pre(
-            &input,
-            None,
-            weight_q,
-            Some(&pq),
-            wshape,
-            scales,
-            bias,
-            cfg,
-            relu,
-            None,
-            &mut ws,
-        );
-        std::hint::black_box(out.as_slice()[0]);
-    });
-
-    // Bare prepacked GEMM on the same shape with pre-made i8 B.
-    let bq: Vec<i8> = (0..k * n).map(|i| ((i * 31) % 255) as i8).collect();
-    let mut out = vec![0.0f32; m * n];
-    let ep = RequantEpilogue {
-        scale_x: 0.01,
-        weight_scales: scales,
-        bias,
-        relu,
-        track_max: false,
-    };
-    let gemm_ms = time_ms(|| {
-        std::hint::black_box(gemm_i8_fused_prepacked(&pq, &bq, &mut out, n, &mut ws, &ep));
-    });
-
-    println!(
-        "{name:<14} m={m:<4} k={k:<5} n={n:<6} conv {conv_ms:7.3}ms  gemm {gemm_ms:7.3}ms  overhead {:7.3}ms",
-        conv_ms - gemm_ms
-    );
-    totals.0 += conv_ms;
-    totals.1 += gemm_ms;
-    Shape::new(in_shape.n, m, oh, ow)
-}
+use percival_tensor::{Shape, ThreadPool, Workspace};
 
 fn main() {
     set_gemm_kernel(GemmKernel::Simd);
     let model = percival_net();
+    let mut plan = ExecPlan::compile(&model);
     let q = QuantizedSequential::from_model(&model);
-    let mut s = Shape::new(1, 4, 224, 224);
-    let mut totals = (0.0, 0.0);
-    for (i, layer) in q.layers.iter().enumerate() {
-        match layer {
-            QLayer::Conv(c) => {
-                let out = profile_conv(
-                    &format!("conv[{i}]"),
-                    s,
-                    &c.weight_q,
-                    c.weight_shape,
-                    &c.scales,
-                    &c.bias,
-                    c.cfg,
-                    false,
-                    &mut totals,
-                );
-                s = out;
-            }
-            QLayer::Fire(f) => {
-                let sq = profile_conv(
-                    &format!("fire[{i}].sq"),
-                    s,
-                    &f.squeeze.weight_q,
-                    f.squeeze.weight_shape,
-                    &f.squeeze.scales,
-                    &f.squeeze.bias,
-                    f.squeeze.cfg,
-                    true,
-                    &mut totals,
-                );
-                let e1 = profile_conv(
-                    &format!("fire[{i}].e1"),
-                    sq,
-                    &f.expand1.weight_q,
-                    f.expand1.weight_shape,
-                    &f.expand1.scales,
-                    &f.expand1.bias,
-                    f.expand1.cfg,
-                    true,
-                    &mut totals,
-                );
-                let e3 = profile_conv(
-                    &format!("fire[{i}].e3"),
-                    sq,
-                    &f.expand3.weight_q,
-                    f.expand3.weight_shape,
-                    &f.expand3.scales,
-                    &f.expand3.bias,
-                    f.expand3.cfg,
-                    true,
-                    &mut totals,
-                );
-                s = Shape::new(sq.n, e1.c + e3.c, e1.h, e1.w);
-            }
-            QLayer::Relu => {}
-            QLayer::MaxPool(cfg) => {
-                s = Shape::new(
-                    s.n,
-                    s.c,
-                    (s.h - cfg.kernel) / cfg.stride + 1,
-                    (s.w - cfg.kernel) / cfg.stride + 1,
-                );
-            }
-            QLayer::GlobalAvgPool => s = Shape::new(s.n, s.c, 1, 1),
-        }
-    }
+    plan.attach_quantized(&q);
+
+    let shape = Shape::new(1, 4, 224, 224);
+    let data: Vec<f32> = (0..shape.count())
+        .map(|i| ((i * 37) % 255) as f32 / 255.0 - 0.5)
+        .collect();
+    let mut ws = Workspace::new();
+    let threads = ThreadPool::global().parallelism();
     println!(
-        "TOTAL          conv {:7.3}ms  gemm {:7.3}ms  overhead {:7.3}ms",
-        totals.0,
-        totals.1,
-        totals.0 - totals.1
+        "percival_net full-224, prepacked {:?} (f32, i8 convs), pool threads: {threads}",
+        plan.prepacked()
     );
+
+    const REPS: u32 = 3;
+    type Run<'a> = (&'a str, Box<dyn Fn(&PlanProfile, &mut Workspace) + 'a>);
+    let runs: [Run<'_>; 4] = [
+        (
+            "f32 sequential",
+            Box::new(|p, ws| {
+                plan.run_f32_sequential_observed(&model, shape, &data, ws, p);
+            }),
+        ),
+        (
+            "f32 pipelined",
+            Box::new(|p, ws| {
+                plan.run_f32_observed(&model, shape, &data, ws, p);
+            }),
+        ),
+        (
+            "int8 sequential",
+            Box::new(|p, ws| {
+                plan.run_i8_sequential_observed(&q, shape, &data, ws, p);
+            }),
+        ),
+        (
+            "int8 pipelined",
+            Box::new(|p, ws| {
+                plan.run_i8_observed(&q, shape, &data, ws, p);
+            }),
+        ),
+    ];
+
+    for (name, run) in &runs {
+        // Warm up (first call pays workspace growth), then profile.
+        let warmup = PlanProfile::new();
+        run(&warmup, &mut ws);
+        let profile = PlanProfile::new();
+        for _ in 0..REPS {
+            run(&profile, &mut ws);
+        }
+        println!(
+            "\n== {name} ({REPS} reps, {:.3}ms/pass) ==",
+            profile.total_ns() as f64 / REPS as f64 / 1e6
+        );
+        print!("{}", profile.table());
+    }
 }

@@ -1,0 +1,142 @@
+//! Flight-recorder demonstration: sampled traces over a cascade workload.
+//!
+//! Drives the full cascade + sharded service with `telem` sampling on,
+//! then renders everything the observability layer exports: the per-stage
+//! p50/p99 table (all stage kinds, including the cascade tiers and the
+//! plan's per-op spans), a per-trace coverage check (how much of each
+//! request's `EndToEnd` wall time the stage spans account for), the Chrome
+//! trace-event dump (load it in `chrome://tracing` / Perfetto), and the
+//! Prometheus exposition of the same run.
+//!
+//! Usage: `trace_report [sample_n]` — sample 1-in-N requests (default 16).
+
+use percival_core::arch::percival_net_slim;
+use percival_core::cascade::Cascade;
+use percival_core::Classifier;
+use percival_experiments::harness::results_dir;
+use percival_nn::init::kaiming_init;
+use percival_serve::loadgen::{self, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, ServiceConfig};
+use percival_util::telem::{self, StageKind};
+use percival_util::Pcg32;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fraction of a trace's `EndToEnd` wall time covered by the union of its
+/// stage-span intervals (spans may overlap: the submitter's `Submit` span
+/// races the batcher's `QueueWait` clock).
+fn trace_coverage(spans: &[&telem::SpanEvent], total: u64) -> f64 {
+    let mut intervals: Vec<(u64, u64)> = spans
+        .iter()
+        .filter(|s| s.kind != StageKind::EndToEnd)
+        .map(|s| (s.start_ns, s.start_ns + s.dur_ns))
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut frontier = 0u64;
+    for (lo, hi) in intervals {
+        covered += hi.saturating_sub(lo.max(frontier));
+        frontier = frontier.max(hi);
+    }
+    covered as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let sample_n: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("sample_n must be a positive integer"))
+        .unwrap_or(16);
+    telem::set_sampling(sample_n);
+    telem::clear();
+
+    // A randomly initialized slim net: the recorder measures where time
+    // goes, not what the verdicts are, so training would only slow the
+    // report down.
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    let service = ClassificationService::new(
+        Classifier::new(model, 64),
+        ServiceConfig {
+            deadline: Duration::from_secs(600),
+            ..Default::default()
+        },
+    );
+    let cascade = Arc::new(Cascade::synthetic());
+    // Distinct creatives (round-robin), so sampled requests never land on
+    // the memo cache: every CNN-residual trace carries the full
+    // Submit → QueueWait → BatchForm → PlanOp → Publish chain.
+    let traffic = TrafficConfig {
+        seed: 0x5EED,
+        creatives: 512,
+        ad_fraction: 0.5,
+        zipf_s: -1.0,
+        requests: 512,
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 64,
+    };
+
+    let report = loadgen::run_cascade(&service, &cascade, &traffic);
+    telem::set_sampling(0);
+    assert_eq!(report.lost, 0, "loadgen lost tickets");
+
+    let spans = telem::drain();
+    println!(
+        "sampled 1-in-{sample_n}: {} requests -> {} spans\n",
+        report.requests,
+        spans.len()
+    );
+    print!("{}", telem::stage_table(&spans));
+
+    // Per-trace coverage: group spans by trace, compare the interval union
+    // of the stage spans against the closing EndToEnd.
+    let mut by_trace: std::collections::HashMap<u64, Vec<&telem::SpanEvent>> =
+        std::collections::HashMap::new();
+    for s in &spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    // Full traces reached a flight queue; early traces resolved before one
+    // (cascade tiers, memo cache) and are microsecond-scale, where constant
+    // per-request overhead outside any span dominates the ratio.
+    let (mut full, mut early): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for spans in by_trace.values() {
+        let Some(e2e) = spans.iter().find(|s| s.kind == StageKind::EndToEnd) else {
+            continue;
+        };
+        let cov = trace_coverage(spans, e2e.dur_ns);
+        if spans.iter().any(|s| s.kind == StageKind::QueueWait) {
+            full.push(cov);
+        } else {
+            early.push(cov);
+        }
+    }
+    println!(
+        "\ntraces closed: {} full-chain, {} early-resolved",
+        full.len(),
+        early.len()
+    );
+    for (name, mut covs) in [("full-chain", full), ("early", early)] {
+        if covs.is_empty() {
+            continue;
+        }
+        covs.sort_by(|a, b| a.total_cmp(b));
+        let mean = covs.iter().sum::<f64>() / covs.len() as f64;
+        println!(
+            "  {name:>10} stage-span coverage of EndToEnd: mean {:.1}%, min {:.1}%",
+            mean * 100.0,
+            covs[0] * 100.0,
+        );
+    }
+
+    let dir = results_dir();
+    let trace_path = dir.join("trace_report.json");
+    std::fs::write(&trace_path, telem::chrome_trace_json(&spans))
+        .expect("results directory must be writable");
+    let prom_path = dir.join("trace_report.prom");
+    std::fs::write(&prom_path, report.service.prometheus(None))
+        .expect("results directory must be writable");
+    println!(
+        "\nChrome trace (chrome://tracing): {}\nPrometheus exposition:          {}",
+        trace_path.display(),
+        prom_path.display()
+    );
+}

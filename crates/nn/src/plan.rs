@@ -78,6 +78,9 @@ use percival_tensor::{
     conv2d_sample_ep_into, conv2d_sample_q8_into, Conv2dCfg, EpilogueF32, PackedGemmF32,
     PackedGemmI8, PoolCfg, Shape, Tensor, ThreadPool, Workspace,
 };
+use percival_util::telem::PlanOpKind;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Which convolution of a layer a plan op executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +135,144 @@ pub enum PlanOp {
     MaxPool(PoolCfg),
     /// Global average pooling to `1 x 1`.
     GlobalAvgPool,
+}
+
+impl PlanOp {
+    /// The recorder-facing kind of this op (what a [`PlanObserver`] is
+    /// told it just timed).
+    pub fn op_kind(&self) -> PlanOpKind {
+        match self {
+            PlanOp::Conv { .. } => PlanOpKind::Conv,
+            PlanOp::Branch { .. } => PlanOpKind::Branch,
+            PlanOp::Relu => PlanOpKind::Relu,
+            PlanOp::MaxPool(_) => PlanOpKind::MaxPool,
+            PlanOp::GlobalAvgPool => PlanOpKind::GlobalAvgPool,
+        }
+    }
+}
+
+/// Observes every executed op of a plan run: called once per op, in
+/// sequence order, with the op's wall time. `Sync` because the batched
+/// classifier band-splits one logical forward pass across pool threads,
+/// each of which reports to the same observer — implementations
+/// accumulate through atomics or a lock.
+///
+/// This is the first-class form of what `experiments/bin/profile_i8`
+/// used to hand-roll: attach a [`PlanProfile`] (or the flight recorder's
+/// span collector) to any run — f32 or int8, sequential or pipelined —
+/// and read back a per-op time breakdown.
+pub trait PlanObserver: Sync {
+    /// Op `index` of the compiled sequence (kind `kind`) just finished in
+    /// `elapsed_ns` nanoseconds of wall time.
+    fn op_executed(&self, index: usize, kind: PlanOpKind, elapsed_ns: u64);
+}
+
+/// Per-op accumulated statistics of one observed plan op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOpStat {
+    /// Position in the compiled op sequence.
+    pub index: usize,
+    /// What the op computes.
+    pub kind: PlanOpKind,
+    /// Times the op executed.
+    pub calls: u64,
+    /// Total wall time across all calls, in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl PlanOpStat {
+    /// Mean wall time per call, in nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// A [`PlanObserver`] that accumulates per-op totals — the promoted,
+/// reusable form of the ad-hoc per-conv breakdown `profile_i8` used to
+/// carry. Attach to [`ExecPlan::run_f32_observed`] /
+/// [`ExecPlan::run_i8_observed`] (either tier, sequential or pipelined),
+/// then read [`PlanProfile::report`] or print [`PlanProfile::table`].
+#[derive(Debug, Default)]
+pub struct PlanProfile {
+    ops: Mutex<Vec<Option<PlanOpStat>>>,
+}
+
+impl PlanProfile {
+    /// An empty profile.
+    pub fn new() -> PlanProfile {
+        PlanProfile::default()
+    }
+
+    /// The accumulated per-op rows, in op-sequence order (ops never
+    /// executed are omitted).
+    pub fn report(&self) -> Vec<PlanOpStat> {
+        self.ops
+            .lock()
+            .expect("plan profile")
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Total observed wall time across every op, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.report().iter().map(|s| s.total_ns).sum()
+    }
+
+    /// Clears the accumulated rows.
+    pub fn reset(&self) {
+        self.ops.lock().expect("plan profile").clear();
+    }
+
+    /// Renders the profile as an aligned text table (one row per op,
+    /// mean per call and share of the observed total).
+    pub fn table(&self) -> String {
+        let rows = self.report();
+        let total: u64 = rows.iter().map(|s| s.total_ns).sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>12} {:>8}\n",
+            "op", "calls", "mean", "share"
+        ));
+        for s in &rows {
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>12} {:>7.1}%\n",
+                format!("[{:02}] {:?}", s.index, s.kind),
+                s.calls,
+                format!("{:.3?}", std::time::Duration::from_nanos(s.mean_ns())),
+                if total > 0 {
+                    s.total_ns as f64 / total as f64 * 100.0
+                } else {
+                    0.0
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>12}\n",
+            "TOTAL",
+            "",
+            format!("{:.3?}", std::time::Duration::from_nanos(total)),
+        ));
+        out
+    }
+}
+
+impl PlanObserver for PlanProfile {
+    fn op_executed(&self, index: usize, kind: PlanOpKind, elapsed_ns: u64) {
+        let mut ops = self.ops.lock().expect("plan profile");
+        if ops.len() <= index {
+            ops.resize(index + 1, None);
+        }
+        let slot = ops[index].get_or_insert(PlanOpStat {
+            index,
+            kind,
+            calls: 0,
+            total_ns: 0,
+        });
+        slot.calls += 1;
+        slot.total_ns += elapsed_ns;
+    }
 }
 
 /// A compiled, fused op sequence over a layer graph, optionally carrying
@@ -328,7 +469,21 @@ impl ExecPlan {
         ws: &mut Workspace,
     ) -> Tensor {
         let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
-        self.run_f32_impl(model, shape, data, ws, pipelined)
+        self.run_f32_impl(model, shape, data, ws, pipelined, None)
+    }
+
+    /// [`ExecPlan::run_f32`] with a [`PlanObserver`] told every op's wall
+    /// time (the per-op cost of observation is two clock reads).
+    pub fn run_f32_observed(
+        &self,
+        model: &Sequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Tensor {
+        let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
+        self.run_f32_impl(model, shape, data, ws, pipelined, Some(obs))
     }
 
     /// [`ExecPlan::run_f32`] forced onto the single-thread path — the
@@ -340,7 +495,19 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
     ) -> Tensor {
-        self.run_f32_impl(model, shape, data, ws, false)
+        self.run_f32_impl(model, shape, data, ws, false, None)
+    }
+
+    /// [`ExecPlan::run_f32_sequential`] with a [`PlanObserver`].
+    pub fn run_f32_sequential_observed(
+        &self,
+        model: &Sequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Tensor {
+        self.run_f32_impl(model, shape, data, ws, false, Some(obs))
     }
 
     fn run_f32_impl(
@@ -350,6 +517,7 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
         pipelined: bool,
+        obs: Option<&dyn PlanObserver>,
     ) -> Tensor {
         let mut seed = ws.take(shape.count());
         seed.copy_from_slice(&data[..shape.count()]);
@@ -357,7 +525,8 @@ impl ExecPlan {
         // Next prepacked-arena slot; advances in op-encounter order, the
         // same order the arenas were packed in.
         let mut ci = 0usize;
-        for op in &self.ops {
+        for (idx, op) in self.ops.iter().enumerate() {
+            let t0 = obs.map(|_| Instant::now());
             x = match *op {
                 PlanOp::Conv { loc, relu } => {
                     let c = conv_f32(model, loc);
@@ -415,6 +584,9 @@ impl ExecPlan {
                     out
                 }
             };
+            if let (Some(o), Some(t0)) = (obs, t0) {
+                o.op_executed(idx, op.op_kind(), t0.elapsed().as_nanos() as u64);
+            }
         }
         detach(x, ws)
     }
@@ -441,7 +613,21 @@ impl ExecPlan {
         ws: &mut Workspace,
     ) -> Tensor {
         let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
-        self.run_i8_impl(q, shape, data, ws, pipelined)
+        self.run_i8_impl(q, shape, data, ws, pipelined, None)
+    }
+
+    /// [`ExecPlan::run_i8`] with a [`PlanObserver`] told every op's wall
+    /// time.
+    pub fn run_i8_observed(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Tensor {
+        let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
+        self.run_i8_impl(q, shape, data, ws, pipelined, Some(obs))
     }
 
     /// [`ExecPlan::run_i8`] forced onto the single-thread path — the
@@ -453,7 +639,19 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
     ) -> Tensor {
-        self.run_i8_impl(q, shape, data, ws, false)
+        self.run_i8_impl(q, shape, data, ws, false, None)
+    }
+
+    /// [`ExecPlan::run_i8_sequential`] with a [`PlanObserver`].
+    pub fn run_i8_sequential_observed(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        data: &[f32],
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Tensor {
+        self.run_i8_impl(q, shape, data, ws, false, Some(obs))
     }
 
     fn run_i8_impl(
@@ -463,6 +661,7 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
         pipelined: bool,
+        obs: Option<&dyn PlanObserver>,
     ) -> Tensor {
         let n = shape.n;
         let mut seed = ws.take(shape.count());
@@ -488,6 +687,7 @@ impl ExecPlan {
                     self.ops.get(idx + 1),
                     Some(PlanOp::Conv { .. } | PlanOp::Branch { .. })
                 );
+            let t0 = obs.map(|_| Instant::now());
             x = match *op {
                 PlanOp::Conv { loc, relu } => {
                     let c = conv_q(q, loc);
@@ -602,6 +802,9 @@ impl ExecPlan {
                     out
                 }
             };
+            if let (Some(o), Some(t0)) = (obs, t0) {
+                o.op_executed(idx, op.op_kind(), t0.elapsed().as_nanos() as u64);
+            }
         }
         ws.recycle(branch_max);
         ws.recycle(scratch_max);
@@ -1266,6 +1469,50 @@ mod tests {
         for (a, b) in f32_out.as_slice().iter().zip(i8_out.as_slice()) {
             assert!((a - b).abs() < 0.15, "f32 {a} vs per-channel int8 {b}");
         }
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_and_profile_covers_every_op() {
+        let model = tiny_net(30);
+        let q = QuantizedSequential::from_model(&model);
+        let mut plan = ExecPlan::compile(&model);
+        plan.attach_quantized(&q);
+        let input = rand_input(31, Shape::new(2, 3, 12, 12));
+        let mut ws = Workspace::new();
+
+        let profile = PlanProfile::new();
+        let f_obs =
+            plan.run_f32_observed(&model, input.shape(), input.as_slice(), &mut ws, &profile);
+        let f_ref = plan.run_f32(&model, input.shape(), input.as_slice(), &mut ws);
+        assert_eq!(f_obs, f_ref, "observation must not change outputs");
+        let rows = profile.report();
+        assert_eq!(rows.len(), plan.ops().len(), "one row per executed op");
+        for (row, op) in rows.iter().zip(plan.ops()) {
+            assert_eq!(row.kind, op.op_kind());
+            assert_eq!(row.calls, 1);
+        }
+
+        // Both tiers, sequential and pipelined, accumulate into one
+        // profile: every op now has 4 calls.
+        let i_obs = plan.run_i8_observed(&q, input.shape(), input.as_slice(), &mut ws, &profile);
+        let i_ref = plan.run_i8(&q, input.shape(), input.as_slice(), &mut ws);
+        assert_eq!(i_obs, i_ref);
+        plan.run_f32_sequential_observed(
+            &model,
+            input.shape(),
+            input.as_slice(),
+            &mut ws,
+            &profile,
+        );
+        plan.run_i8_sequential_observed(&q, input.shape(), input.as_slice(), &mut ws, &profile);
+        assert!(profile.report().iter().all(|r| r.calls == 4));
+        assert!(profile.total_ns() > 0);
+        let table = profile.table();
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("Branch"), "table lists the fire expand pair");
+
+        profile.reset();
+        assert!(profile.report().is_empty());
     }
 
     #[test]

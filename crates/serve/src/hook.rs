@@ -35,6 +35,7 @@ use percival_core::flight::AdmissionHint;
 use percival_core::BlockPolicy;
 use percival_imgcodec::Bitmap;
 use percival_renderer::{ImageInterceptor, ImageMeta, InterceptAction};
+use percival_util::telem::{self, emit_early as emit_early_trace, StageKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -189,10 +190,30 @@ impl ServiceHook {
 
     /// Tier 0/1 of the cascade front-end, run before the admission tree.
     /// Returns `None` when no cascade is attached or the request must fall
-    /// through to the CNN.
-    fn cascade_action(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> Option<InterceptAction> {
+    /// through to the CNN. When the request is sampled (`trace_start` is
+    /// `Some`), tier timings are buffered into `pending` as
+    /// `CascadeT0`/`CascadeT1` spans chained from the trace start.
+    fn cascade_action(
+        &self,
+        bitmap: &mut Bitmap,
+        meta: &ImageMeta<'_>,
+        trace_start: Option<u64>,
+        pending: &mut Vec<(StageKind, u64, u64)>,
+    ) -> Option<InterceptAction> {
         let cascade = self.cascade.as_ref()?;
-        match cascade.decide(meta.url, meta.source_url, meta.structural.as_ref()) {
+        let decision = match trace_start {
+            Some(start) => {
+                let (decision, t0_ns, t1_ns) =
+                    cascade.decide_timed(meta.url, meta.source_url, meta.structural.as_ref());
+                pending.push((StageKind::CascadeT0, start, t0_ns));
+                if t1_ns > 0 {
+                    pending.push((StageKind::CascadeT1, start + t0_ns, t1_ns));
+                }
+                decision
+            }
+            None => cascade.decide(meta.url, meta.source_url, meta.structural.as_ref()),
+        };
+        match decision {
             CascadeDecision::Block(_) => {
                 self.stats.cascade_resolved.fetch_add(1, Ordering::Relaxed);
                 self.stats.blocked.fetch_add(1, Ordering::Relaxed);
@@ -218,55 +239,121 @@ impl ServiceHook {
     /// submitted. `inspect` and `inspect_batch` both run every image
     /// through this. The content hash is computed exactly once — the same
     /// [`HashedBitmap`] feeds the hint and the keyed submission.
-    fn admit_slot(&self, bitmap: &Bitmap) -> Slot {
+    ///
+    /// For sampled requests, `Hash`/`AdmissionHint` spans join `pending`;
+    /// paths that never reach a flight queue close the trace here with a
+    /// synthetic id, while submissions register the content-hash key so the
+    /// shard's publish path can close it.
+    fn admit_slot(
+        &self,
+        bitmap: &Bitmap,
+        trace_start: Option<u64>,
+        pending: &mut Vec<(StageKind, u64, u64)>,
+    ) -> Slot {
         if bitmap.width() < self.min_edge || bitmap.height() < self.min_edge {
             self.stats.skipped_small.fetch_add(1, Ordering::Relaxed);
+            if let Some(start) = trace_start {
+                emit_early_trace(start, pending);
+            }
             return Slot::Done(InterceptAction::Keep);
         }
+        let hash_start = trace_start.map(|_| telem::now_ns());
         let img = bitmap.hashed();
-        match self.service.admission_hint_with_key(&img) {
-            AdmissionHint::Cached(Verdict::Classified(p)) => Slot::Hit(p.is_ad),
+        if let Some(s) = hash_start {
+            pending.push((StageKind::Hash, s, telem::now_ns().saturating_sub(s)));
+        }
+        let hint_start = trace_start.map(|_| telem::now_ns());
+        let hint = self.service.admission_hint_with_key(&img);
+        if let Some(s) = hint_start {
+            pending.push((
+                StageKind::AdmissionHint,
+                s,
+                telem::now_ns().saturating_sub(s),
+            ));
+        }
+        let early = |slot: Slot| {
+            if let Some(start) = trace_start {
+                emit_early_trace(start, pending);
+            }
+            slot
+        };
+        let submit = |pending: &[(StageKind, u64, u64)]| {
+            let traced_key = trace_start.map(|start| {
+                let key = img.key();
+                telem::register(key, start);
+                for &(kind, s, d) in pending {
+                    telem::emit(key, kind, s, d);
+                }
+                key
+            });
+            let submit_start = traced_key.map(|_| telem::now_ns());
+            let ticket = self.service.submit_with_key(&img);
+            if let (Some(key), Some(s)) = (traced_key, submit_start) {
+                telem::emit(key, StageKind::Submit, s, telem::now_ns().saturating_sub(s));
+            }
+            Slot::Pending(ticket, traced_key)
+        };
+        match hint {
+            AdmissionHint::Cached(Verdict::Classified(p)) => early(Slot::Hit(p.is_ad)),
             // The memo never caches sheds; keep the match exhaustive.
             AdmissionHint::Cached(Verdict::Shed) | AdmissionHint::WouldShed => {
                 self.stats.skipped_shed.fetch_add(1, Ordering::Relaxed);
-                Slot::Done(InterceptAction::Keep)
+                early(Slot::Done(InterceptAction::Keep))
             }
             AdmissionHint::WouldBlock { est_wait } => match self.max_wait {
                 // Over budget: fail open rather than park a render thread.
                 Some(budget) if est_wait > budget => {
                     self.stats.skipped_blocked.fetch_add(1, Ordering::Relaxed);
-                    Slot::Done(InterceptAction::Keep)
+                    early(Slot::Done(InterceptAction::Keep))
                 }
-                _ => Slot::Pending(self.service.submit_with_key(&img)),
+                _ => submit(pending),
             },
-            AdmissionHint::Admit => Slot::Pending(self.service.submit_with_key(&img)),
+            AdmissionHint::Admit => submit(pending),
         }
     }
 
     /// Turns an admitted slot into its final action (blocking on pending
-    /// tickets).
+    /// tickets). A sampled submission that resolved without a publish (a
+    /// cache race at submit time) closes its own trace here; `complete` is
+    /// single-shot, so the shard's publish path and this path never both
+    /// emit `EndToEnd`.
     fn resolve_slot(&self, slot: Slot, bitmap: &mut Bitmap) -> InterceptAction {
         match slot {
             Slot::Done(action) => action,
             Slot::Hit(is_ad) => self.verdict_to_action(is_ad, bitmap),
-            Slot::Pending(ticket) => self.serve_verdict(ticket.wait(), bitmap),
+            Slot::Pending(ticket, traced_key) => {
+                let verdict = ticket.wait();
+                if let Some(key) = traced_key {
+                    if let Some(s) = telem::complete(key) {
+                        let end = telem::now_ns();
+                        telem::emit(key, StageKind::EndToEnd, s, end.saturating_sub(s));
+                    }
+                }
+                self.serve_verdict(verdict, bitmap)
+            }
         }
     }
 }
 
-/// One image's fate after the admission decision tree.
+/// One image's fate after the admission decision tree. `Pending` carries
+/// the registered trace key when the request is sampled.
 enum Slot {
     Done(InterceptAction),
     Hit(bool),
-    Pending(crate::service::ServeTicket),
+    Pending(crate::service::ServeTicket, Option<u64>),
 }
 
 impl ImageInterceptor for ServiceHook {
     fn inspect(&self, bitmap: &mut Bitmap, meta: &ImageMeta<'_>) -> InterceptAction {
-        if let Some(action) = self.cascade_action(bitmap, meta) {
+        let trace_start = (telem::enabled() && telem::sample_request()).then(telem::now_ns);
+        let mut pending = Vec::new();
+        if let Some(action) = self.cascade_action(bitmap, meta, trace_start, &mut pending) {
+            if let Some(start) = trace_start {
+                emit_early_trace(start, &pending);
+            }
             return action;
         }
-        let slot = self.admit_slot(bitmap);
+        let slot = self.admit_slot(bitmap, trace_start, &mut pending);
         self.resolve_slot(slot, bitmap)
     }
 
@@ -276,9 +363,18 @@ impl ImageInterceptor for ServiceHook {
         // whole set into micro-batches; then collect verdicts in order.
         let slots: Vec<Result<InterceptAction, Slot>> = batch
             .iter_mut()
-            .map(|(bitmap, meta)| match self.cascade_action(bitmap, meta) {
-                Some(action) => Ok(action),
-                None => Err(self.admit_slot(bitmap)),
+            .map(|(bitmap, meta)| {
+                let trace_start = (telem::enabled() && telem::sample_request()).then(telem::now_ns);
+                let mut pending = Vec::new();
+                match self.cascade_action(bitmap, meta, trace_start, &mut pending) {
+                    Some(action) => {
+                        if let Some(start) = trace_start {
+                            emit_early_trace(start, &pending);
+                        }
+                        Ok(action)
+                    }
+                    None => Err(self.admit_slot(bitmap, trace_start, &mut pending)),
+                }
             })
             .collect();
         batch

@@ -18,8 +18,10 @@
 use crate::service::{ClassificationService, ServeTicket, Verdict};
 use crate::telemetry::ServiceReport;
 use percival_core::cascade::{Cascade, CascadeDecision, Tier};
+use percival_core::flight::AdmissionHint;
 use percival_imgcodec::Bitmap;
 use percival_renderer::StructuralFeatures;
+use percival_util::telem::{self, StageKind};
 use percival_util::{HistogramSnapshot, Pcg32};
 use percival_webgen::adnet;
 use percival_webgen::images::AdCues;
@@ -216,17 +218,87 @@ pub fn arrival_schedule(cfg: &TrafficConfig) -> Vec<Duration> {
     }
 }
 
+/// Submits one creative, instrumenting the `Hash` and `AdmissionHint`
+/// stages when the request is sampled (`trace_start` is `Some`; `pending`
+/// carries spans buffered by the caller, e.g. cascade tiers). Returns the
+/// ticket plus the registered trace key, if this request owns a live
+/// trace. A request whose verdict is already cached — or whose creative
+/// already carries an in-flight trace (hot keys coalesce) — closes its
+/// trace immediately under a synthetic id instead of registering.
+fn traced_submit(
+    service: &ClassificationService,
+    bitmap: &Bitmap,
+    trace_start: Option<u64>,
+    pending: &mut Vec<(StageKind, u64, u64)>,
+) -> (ServeTicket, Option<u64>) {
+    let Some(start) = trace_start else {
+        return (service.submit(bitmap), None);
+    };
+    let hash_start = telem::now_ns();
+    let img = bitmap.hashed();
+    pending.push((
+        StageKind::Hash,
+        hash_start,
+        telem::now_ns().saturating_sub(hash_start),
+    ));
+    let hint_start = telem::now_ns();
+    let hint = service.admission_hint_with_key(&img);
+    pending.push((
+        StageKind::AdmissionHint,
+        hint_start,
+        telem::now_ns().saturating_sub(hint_start),
+    ));
+    let key = img.key();
+    if matches!(hint, AdmissionHint::Cached(_)) || telem::is_sampled(key) {
+        // Cached verdicts resolve at submit without a publish, and a key
+        // with a live trace must not be re-registered: close this
+        // request's trace now, under its own synthetic id.
+        telem::emit_early(start, pending);
+        return (service.submit_with_key(&img), None);
+    }
+    telem::register(key, start);
+    for &(kind, s, d) in pending.iter() {
+        telem::emit(key, kind, s, d);
+    }
+    let submit_start = telem::now_ns();
+    let ticket = service.submit_with_key(&img);
+    telem::emit(
+        key,
+        StageKind::Submit,
+        submit_start,
+        telem::now_ns().saturating_sub(submit_start),
+    );
+    (ticket, Some(key))
+}
+
+/// Closes traces whose requests resolved without a publish (a submit-time
+/// cache race): anything still registered after the run gets an `EndToEnd`
+/// bounded by the end-of-run clock.
+fn close_leftover_traces(traced_keys: &[u64]) {
+    for &key in traced_keys {
+        if let Some(s) = telem::complete(key) {
+            let end = telem::now_ns();
+            telem::emit(key, StageKind::EndToEnd, s, end.saturating_sub(s));
+        }
+    }
+}
+
 /// Runs one load-generation pass against a service and collects the
 /// report. The service's latency histogram is reset at run start so the
-/// report reflects only this run.
+/// report reflects only this run. With flight recording on
+/// (`PERCIVAL_TRACE=N`), 1-in-N requests emit the full span chain —
+/// `Hash`/`AdmissionHint` here, `QueueWait` through `EndToEnd` from the
+/// shard's batcher.
 pub fn run(service: &ClassificationService, cfg: &TrafficConfig) -> LoadReport {
     let creatives = synthesize_creatives(cfg);
     let sequence = request_sequence(cfg);
     let schedule = arrival_schedule(cfg);
     service.reset_latency();
+    let tracing = telem::enabled();
 
     let start = Instant::now();
     let mut tickets: Vec<ServeTicket> = Vec::with_capacity(sequence.len());
+    let mut traced_keys: Vec<u64> = Vec::new();
     for (i, &creative) in sequence.iter().enumerate() {
         if let Some(&offset) = schedule.get(i) {
             // Open loop: fire at the scheduled instant no matter how far
@@ -239,9 +311,17 @@ pub fn run(service: &ClassificationService, cfg: &TrafficConfig) -> LoadReport {
                 std::thread::sleep((offset - elapsed).min(Duration::from_micros(500)));
             }
         }
-        tickets.push(service.submit(&creatives[creative]));
+        let trace_start = (tracing && telem::sample_request()).then(telem::now_ns);
+        let mut pending = Vec::new();
+        let (ticket, traced) =
+            traced_submit(service, &creatives[creative], trace_start, &mut pending);
+        if let Some(key) = traced {
+            traced_keys.push(key);
+        }
+        tickets.push(ticket);
     }
     service.flush();
+    close_leftover_traces(&traced_keys);
     let wall = start.elapsed();
 
     let (mut classified, mut ads, mut shed, mut lost) = (0usize, 0usize, 0usize, 0usize);
@@ -456,10 +536,12 @@ pub fn run_cascade(
     let schedule = arrival_schedule(cfg);
     service.attach_cascade(Arc::clone(cascade));
     service.reset_latency();
+    let tracing = telem::enabled();
 
     let start = Instant::now();
     let mut decisions = Vec::with_capacity(sequence.len());
     let mut tickets: Vec<ServeTicket> = Vec::new();
+    let mut traced_keys: Vec<u64> = Vec::new();
     let (mut t0b, mut t0e, mut t1b, mut t1k) = (0usize, 0usize, 0usize, 0usize);
     for (i, &creative) in sequence.iter().enumerate() {
         if let Some(&offset) = schedule.get(i) {
@@ -472,17 +554,44 @@ pub fn run_cascade(
             }
         }
         let meta = &metas[creative];
-        let decision = cascade.decide(&meta.url, &meta.source_url, Some(&meta.structural));
+        let trace_start = (tracing && telem::sample_request()).then(telem::now_ns);
+        let mut pending = Vec::new();
+        let decision = match trace_start {
+            Some(ts) => {
+                let (d, t0_ns, t1_ns) =
+                    cascade.decide_timed(&meta.url, &meta.source_url, Some(&meta.structural));
+                pending.push((StageKind::CascadeT0, ts, t0_ns));
+                if t1_ns > 0 {
+                    pending.push((StageKind::CascadeT1, ts + t0_ns, t1_ns));
+                }
+                d
+            }
+            None => cascade.decide(&meta.url, &meta.source_url, Some(&meta.structural)),
+        };
         decisions.push(decision);
+        let early = |count: &mut usize| {
+            *count += 1;
+            if let Some(ts) = trace_start {
+                telem::emit_early(ts, &pending);
+            }
+        };
         match decision {
-            CascadeDecision::Block(Tier::NetworkFilter) => t0b += 1,
-            CascadeDecision::Keep(Tier::NetworkFilter) => t0e += 1,
-            CascadeDecision::Block(Tier::Structural) => t1b += 1,
-            CascadeDecision::Keep(Tier::Structural) => t1k += 1,
-            _ => tickets.push(service.submit(&creatives[creative])),
+            CascadeDecision::Block(Tier::NetworkFilter) => early(&mut t0b),
+            CascadeDecision::Keep(Tier::NetworkFilter) => early(&mut t0e),
+            CascadeDecision::Block(Tier::Structural) => early(&mut t1b),
+            CascadeDecision::Keep(Tier::Structural) => early(&mut t1k),
+            _ => {
+                let (ticket, traced) =
+                    traced_submit(service, &creatives[creative], trace_start, &mut pending);
+                if let Some(key) = traced {
+                    traced_keys.push(key);
+                }
+                tickets.push(ticket);
+            }
         }
     }
     service.flush();
+    close_leftover_traces(&traced_keys);
     let wall = start.elapsed();
 
     let (mut classified, mut ads, mut shed, mut lost) = (0usize, 0usize, 0usize, 0usize);

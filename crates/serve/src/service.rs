@@ -18,12 +18,13 @@
 //! int8 tier, or applying backpressure to submitters.
 
 use crate::shard::Shard;
-use crate::telemetry::{ServiceReport, ServiceTelemetry};
+use crate::telemetry::ServiceReport;
 use percival_core::cascade::Cascade;
 use percival_core::flight::AdmissionHint;
 use percival_core::{Classifier, EngineConfig, MemoizedClassifier, Precision, Prediction};
 use percival_imgcodec::{Bitmap, HashedBitmap};
 use percival_tensor::Workspace;
+use percival_util::HistogramSnapshot;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -175,7 +176,6 @@ pub(crate) struct ServiceShared {
     signal: Mutex<()>,
     work: Condvar,
     idle: Condvar,
-    pub(crate) telemetry: ServiceTelemetry,
 }
 
 impl ServiceShared {
@@ -241,7 +241,6 @@ impl ClassificationService {
             signal: Mutex::new(()),
             work: Condvar::new(),
             idle: Condvar::new(),
-            telemetry: ServiceTelemetry::default(),
         });
         let shards: Vec<Arc<Shard>> = (0..shard_count)
             .map(|i| {
@@ -366,18 +365,27 @@ impl ClassificationService {
     }
 
     /// Snapshots every shard's counters plus the service latency histogram
-    /// (and the cascade front-end's tier attribution, when attached).
+    /// (and the cascade front-end's tier attribution, when attached). The
+    /// service-wide latency view is the merge of the shard-local
+    /// recorders, so shards never contend on a shared histogram.
     pub fn report(&self) -> ServiceReport {
+        let shards: Vec<_> = self.shards.iter().map(|s| s.report()).collect();
+        let latency = shards
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, s| acc.merge(&s.latency));
         ServiceReport {
-            shards: self.shards.iter().map(|s| s.report()).collect(),
-            latency: self.shared.telemetry.latency.snapshot(),
+            shards,
+            latency,
             cascade: self.cascade.get().map(|c| c.counters().snapshot()),
         }
     }
 
-    /// Resets the latency histogram (between load-generator phases).
+    /// Resets every shard's latency histogram (between load-generator
+    /// phases).
     pub fn reset_latency(&self) {
-        self.shared.telemetry.latency.reset();
+        for shard in &self.shards {
+            shard.reset_latency();
+        }
     }
 }
 

@@ -28,7 +28,10 @@ use percival_core::flight::{
 };
 use percival_core::{Classifier, MemoizedClassifier, Prediction};
 use percival_imgcodec::HashedBitmap;
+use percival_nn::PlanProfile;
 use percival_tensor::{Shape, Tensor, Workspace};
+use percival_util::telem::{self, StageKind};
+use percival_util::LatencyHistogram;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::channel;
@@ -43,6 +46,11 @@ pub(crate) struct Shard {
     /// The shared protocol core: EDF queue, single-flight groups, verdict
     /// memo and the wait-free counter block.
     table: FlightTable<Edf, Verdict>,
+    /// Admission-to-verdict latency of this shard's classified requests.
+    /// Shard-local so the publish path never contends on a service-wide
+    /// recorder; `ClassificationService::report` merges the shards'
+    /// snapshots ([`percival_util::HistogramSnapshot::merge`]).
+    latency: LatencyHistogram,
     seq: AtomicU64,
 }
 
@@ -56,6 +64,7 @@ impl Shard {
             index,
             degraded_tier,
             table: FlightTable::new(memo),
+            latency: LatencyHistogram::default(),
             seq: AtomicU64::new(0),
         }
     }
@@ -272,19 +281,49 @@ impl Shard {
             return 0;
         }
         shared.on_dequeued(consumed);
+        let tracing = telem::enabled();
 
-        // Resolve shed groups immediately (no CNN pass).
+        // Resolve shed groups immediately (no CNN pass). A sampled shed
+        // request still ends here: close its trace.
         let shed_count = formed.shed.len();
-        for (_key, group) in formed.shed {
+        for (key, group) in formed.shed {
             for tx in group {
                 let _ = tx.send(Verdict::Shed);
+            }
+            if tracing {
+                if let Some(start_ns) = telem::complete(key) {
+                    let end = telem::now_ns();
+                    telem::emit(
+                        key,
+                        StageKind::EndToEnd,
+                        start_ns,
+                        end.saturating_sub(start_ns),
+                    );
+                }
             }
         }
 
         let mut resolved = shed_count;
         if !formed.batch.is_empty() {
+            // True queue-wait accounting (push → formation), per entry.
+            let mut sampled: Vec<u64> = Vec::new();
+            for e in &formed.batch {
+                let wait_ns = e.enqueued_at.elapsed().as_nanos() as u64;
+                counters.note_queue_wait(wait_ns);
+                if tracing && telem::is_sampled(e.key) {
+                    let t = telem::now_ns();
+                    telem::emit(
+                        e.key,
+                        StageKind::QueueWait,
+                        t.saturating_sub(wait_ns),
+                        wait_ns,
+                    );
+                    sampled.push(e.key);
+                }
+            }
             resolved += formed.batch.len();
-            self.classify_and_publish(&formed.batch, ws, shared, stolen);
+            self.classify_and_publish(&formed.batch, ws, stolen, now, &sampled);
+            counters.note_service(now.elapsed().as_nanos() as u64);
         }
         self.table.signal_space();
         shared.on_resolved(resolved);
@@ -293,16 +332,37 @@ impl Shard {
 
     /// Runs the CNN over one formed batch (splitting tiers if mixed), then
     /// hands the verdicts to the flight table's memoize-before-unpark
-    /// publish protocol.
+    /// publish protocol. `formation_started` anchors the flight recorder's
+    /// `BatchForm` span and `sampled` carries the batch members whose
+    /// traces are being recorded.
     fn classify_and_publish(
         &self,
         batch: &[FlightEntry<EdfPrio>],
         ws: &mut Workspace,
-        shared: &ServiceShared,
         stolen: bool,
+        formation_started: Instant,
+        sampled: &[u64],
     ) {
         let counters = self.table.counters();
         let started = Instant::now();
+        if !sampled.is_empty() {
+            let form_ns = (started - formation_started).as_nanos() as u64;
+            let t = telem::now_ns();
+            for &key in sampled {
+                telem::emit(
+                    key,
+                    StageKind::BatchForm,
+                    t.saturating_sub(form_ns),
+                    form_ns,
+                );
+            }
+        }
+        // A sampled member rides this batch: run the forward passes
+        // observed and lay the per-op totals out as a sequential PlanOp
+        // timeline (one profile across both tiers — the indices line up,
+        // the totals are the batch's true per-op cost).
+        let profile = (!sampled.is_empty()).then(PlanProfile::new);
+        let classify_start = telem::now_ns();
         let mut verdicts: Vec<(u64, f32)> = Vec::with_capacity(batch.len());
         for tier_degraded in [false, true] {
             let members: Vec<&FlightEntry<EdfPrio>> = batch
@@ -330,10 +390,30 @@ impl Shard {
             for (i, e) in members.iter().enumerate() {
                 tensor.copy_sample_from(i, &e.tensor, 0);
             }
-            let probs = classifier.classify_tensor_with(&tensor, ws);
+            let probs = match &profile {
+                Some(p) => classifier.classify_tensor_observed(&tensor, ws, p),
+                None => classifier.classify_tensor_with(&tensor, ws),
+            };
             ws.recycle(tensor.into_vec());
             for (e, &p_ad) in members.iter().zip(probs.iter()) {
                 verdicts.push((e.key, p_ad));
+            }
+        }
+        if let Some(profile) = &profile {
+            for &key in sampled {
+                let mut cursor = classify_start;
+                for stat in profile.report() {
+                    telem::emit(
+                        key,
+                        StageKind::PlanOp {
+                            index: stat.index as u8,
+                            kind: stat.kind,
+                        },
+                        cursor,
+                        stat.total_ns,
+                    );
+                    cursor += stat.total_ns;
+                }
             }
         }
         let elapsed = started.elapsed();
@@ -346,22 +426,51 @@ impl Shard {
         let enqueued_at: HashMap<u64, Instant> =
             batch.iter().map(|e| (e.key, e.prio.enqueued)).collect();
         let resolve_time = Instant::now();
+        let tracing = telem::enabled();
+        let publish_start = tracing.then(telem::now_ns);
+        let mut finished: Vec<(u64, u64)> = Vec::new();
         self.table.publish(
             &verdicts,
             |_key, p_ad| Verdict::Classified(self.prediction(p_ad, per_image)),
             |key| {
                 if let Some(&enqueued) = enqueued_at.get(&key) {
-                    shared
-                        .telemetry
-                        .latency
-                        .record(resolve_time.duration_since(enqueued));
+                    self.latency.record(resolve_time.duration_since(enqueued));
+                }
+                if tracing {
+                    if let Some(start_ns) = telem::complete(key) {
+                        finished.push((key, start_ns));
+                    }
                 }
             },
         );
+        if let Some(publish_start) = publish_start {
+            let publish_ns = telem::now_ns().saturating_sub(publish_start);
+            for &key in sampled {
+                telem::emit(key, StageKind::Publish, publish_start, publish_ns);
+            }
+            for (key, start_ns) in finished {
+                let end = telem::now_ns();
+                telem::emit(
+                    key,
+                    StageKind::EndToEnd,
+                    start_ns,
+                    end.saturating_sub(start_ns),
+                );
+            }
+        }
     }
 
     pub(crate) fn report(&self) -> ShardReport {
-        ShardReport::from_snapshot(self.index, self.table.counters().snapshot())
+        ShardReport::from_snapshot(
+            self.index,
+            self.table.counters().snapshot(),
+            self.latency.snapshot(),
+        )
+    }
+
+    /// Resets the shard's latency recorder (between load phases).
+    pub(crate) fn reset_latency(&self) {
+        self.latency.reset();
     }
 
     /// Wakes any submitter parked on backpressure (shutdown path).

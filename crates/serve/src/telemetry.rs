@@ -12,7 +12,14 @@
 
 use percival_core::cascade::CascadeSnapshot;
 use percival_core::flight::FlightSnapshot;
-use percival_util::{HistogramSnapshot, LatencyHistogram};
+use percival_tensor::WorkspaceStats;
+use percival_util::hist::bucket_upper_bound_ns;
+use percival_util::prom::PromWriter;
+use percival_util::HistogramSnapshot;
+
+/// One per-shard Prometheus metric family: name, help text, and the
+/// accessor that reads its value from a shard's counter snapshot.
+type ShardFamily<T> = (&'static str, &'static str, fn(&FlightSnapshot) -> T);
 
 /// Plain-data snapshot of one shard's counters (one row of a
 /// [`ServiceReport`]): the shard index plus the shard's flight-table
@@ -25,6 +32,9 @@ pub struct ShardReport {
     pub index: usize,
     /// The shard's flight-table counters at snapshot time.
     pub counters: FlightSnapshot,
+    /// Admission-to-verdict latency of this shard's classified requests
+    /// (shard-local recorder; the service report merges these).
+    pub latency: HistogramSnapshot,
 }
 
 impl std::ops::Deref for ShardReport {
@@ -37,8 +47,16 @@ impl std::ops::Deref for ShardReport {
 
 impl ShardReport {
     /// Shapes a flight-table snapshot into a shard row.
-    pub(crate) fn from_snapshot(index: usize, counters: FlightSnapshot) -> Self {
-        ShardReport { index, counters }
+    pub(crate) fn from_snapshot(
+        index: usize,
+        counters: FlightSnapshot,
+        latency: HistogramSnapshot,
+    ) -> Self {
+        ShardReport {
+            index,
+            counters,
+            latency,
+        }
     }
 
     /// Requests rejected by either shedding point.
@@ -167,9 +185,322 @@ impl core::fmt::Display for ServiceReport {
     }
 }
 
-/// The service-wide latency recorder shared by every shard's publish path.
-#[derive(Debug, Default)]
-pub(crate) struct ServiceTelemetry {
-    /// Admission-to-verdict latency of classified requests.
-    pub(crate) latency: LatencyHistogram,
+impl ServiceReport {
+    /// Renders the report as a Prometheus text-exposition document — the
+    /// unified metrics registry of the serving layer. Per-shard flight
+    /// counters carry a `shard` label; cascade counters appear when a
+    /// cascade is attached; pass the classifier's [`WorkspaceStats`] to
+    /// include allocator counters; the latency histogram is exported as a
+    /// native Prometheus histogram whose `le` bounds are the recorder's
+    /// base-2 nanosecond bucket bounds converted to seconds.
+    pub fn prometheus(&self, workspace: Option<&WorkspaceStats>) -> String {
+        let mut w = PromWriter::new();
+
+        let counters: &[ShardFamily<u64>] = &[
+            (
+                "percival_shard_submitted_total",
+                "Submissions, including cache hits and rejections.",
+                |s| s.submitted,
+            ),
+            (
+                "percival_shard_memo_hits_total",
+                "Submissions answered from the verdict cache without queueing.",
+                |s| s.memo_hits,
+            ),
+            (
+                "percival_shard_coalesced_total",
+                "Submissions merged into an already-queued identical image.",
+                |s| s.coalesced,
+            ),
+            (
+                "percival_shard_reprioritized_total",
+                "Coalesced submissions that re-prioritized their group.",
+                |s| s.reprioritized,
+            ),
+            (
+                "percival_shard_shed_admission_total",
+                "Submissions rejected at admission by the overload gate.",
+                |s| s.shed_admission,
+            ),
+            (
+                "percival_shard_shed_late_total",
+                "Queued entries rejected at batch formation.",
+                |s| s.shed_late,
+            ),
+            (
+                "percival_shard_degraded_total",
+                "Entries demoted to a degraded execution tier.",
+                |s| s.degraded,
+            ),
+            (
+                "percival_shard_batches_total",
+                "Micro-batches executed.",
+                |s| s.batches,
+            ),
+            (
+                "percival_shard_batched_images_total",
+                "Images classified through micro-batches.",
+                |s| s.batched_images,
+            ),
+            (
+                "percival_shard_stolen_batches_total",
+                "Batches executed by a non-home batcher thread.",
+                |s| s.stolen_batches,
+            ),
+        ];
+        for (name, help, get) in counters {
+            w.header(name, help, "counter");
+            for s in &self.shards {
+                let shard = s.index.to_string();
+                w.sample(name, &[("shard", &shard)], get(&s.counters) as f64);
+            }
+        }
+
+        let seconds: &[ShardFamily<u64>] = &[
+            (
+                "percival_shard_queue_wait_seconds_total",
+                "True per-entry queue wait (submit push to batch formation).",
+                |s| s.queue_wait_ns,
+            ),
+            (
+                "percival_shard_service_seconds_total",
+                "Per-batch service wall time (formation to publish).",
+                |s| s.service_ns,
+            ),
+        ];
+        for (name, help, get) in seconds {
+            w.header(name, help, "counter");
+            for s in &self.shards {
+                let shard = s.index.to_string();
+                w.sample(name, &[("shard", &shard)], get(&s.counters) as f64 / 1e9);
+            }
+        }
+
+        let gauges: &[ShardFamily<f64>] = &[
+            (
+                "percival_shard_queue_depth",
+                "Entries queued at scrape time.",
+                |s| s.queue_depth as f64,
+            ),
+            (
+                "percival_shard_max_queue_depth",
+                "Largest queue depth observed.",
+                |s| s.max_queue_depth as f64,
+            ),
+            (
+                "percival_shard_max_batch",
+                "Largest micro-batch observed.",
+                |s| s.max_batch as f64,
+            ),
+            (
+                "percival_shard_ewma_image_seconds",
+                "Per-image service-time estimate (EWMA).",
+                |s| s.ewma_image_ns as f64 / 1e9,
+            ),
+            (
+                "percival_shard_dedup_rate",
+                "Fraction of submissions resolved without a CNN pass.",
+                |s| s.dedup_rate,
+            ),
+        ];
+        for (name, help, get) in gauges {
+            w.header(name, help, "gauge");
+            for s in &self.shards {
+                let shard = s.index.to_string();
+                w.sample(name, &[("shard", &shard)], get(&s.counters));
+            }
+        }
+
+        if let Some(c) = &self.cascade {
+            let cascade: &[(&str, &str, u64)] = &[
+                (
+                    "percival_cascade_requests_total",
+                    "Requests run through the cascade front-end.",
+                    c.requests,
+                ),
+                (
+                    "percival_cascade_tier0_blocked_total",
+                    "Requests blocked by a tier-0 filter rule.",
+                    c.tier0_blocked,
+                ),
+                (
+                    "percival_cascade_tier0_exempted_total",
+                    "Requests pinned as content by a tier-0 exception.",
+                    c.tier0_exempted,
+                ),
+                (
+                    "percival_cascade_tier1_blocked_total",
+                    "Requests blocked by the tier-1 structural score.",
+                    c.tier1_blocked,
+                ),
+                (
+                    "percival_cascade_tier1_kept_total",
+                    "Requests kept by the tier-1 structural score.",
+                    c.tier1_kept,
+                ),
+                (
+                    "percival_cascade_cnn_residual_total",
+                    "Requests that fell through to the CNN.",
+                    c.cnn_residual,
+                ),
+            ];
+            for (name, help, v) in cascade {
+                w.header(name, help, "counter");
+                w.sample(name, &[], *v as f64);
+            }
+        }
+
+        if let Some(ws) = workspace {
+            let stats: &[(&str, &str, u64)] = &[
+                (
+                    "percival_workspace_allocations_total",
+                    "Fresh scratch-buffer allocations by the tensor workspace.",
+                    ws.allocations,
+                ),
+                (
+                    "percival_workspace_reuses_total",
+                    "Scratch-buffer requests served from the reuse pool.",
+                    ws.reuses,
+                ),
+                (
+                    "percival_workspace_weight_packs_total",
+                    "Weight panels packed (first-touch per layer per tier).",
+                    ws.weight_packs,
+                ),
+            ];
+            for (name, help, v) in stats {
+                w.header(name, help, "counter");
+                w.sample(name, &[], *v as f64);
+            }
+        }
+
+        w.header(
+            "percival_request_latency_seconds",
+            "Admission-to-verdict latency of classified requests.",
+            "histogram",
+        );
+        let mut buckets = Vec::new();
+        if let Some(last) = self.latency.buckets.iter().rposition(|&c| c > 0) {
+            let mut cumulative = 0u64;
+            for (b, &c) in self.latency.buckets.iter().enumerate().take(last + 1) {
+                cumulative += c;
+                buckets.push((bucket_upper_bound_ns(b) / 1e9, cumulative));
+            }
+        }
+        w.histogram(
+            "percival_request_latency_seconds",
+            &[],
+            &buckets,
+            self.latency.sum.as_secs_f64(),
+            self.latency.count,
+        );
+
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_report() -> ServiceReport {
+        let counters = FlightSnapshot {
+            submitted: 10,
+            memo_hits: 2,
+            coalesced: 1,
+            reprioritized: 1,
+            shed_admission: 1,
+            shed_late: 0,
+            degraded: 1,
+            batches: 3,
+            batched_images: 6,
+            max_batch: 4,
+            stolen_batches: 1,
+            queue_depth: 0,
+            max_queue_depth: 5,
+            ewma_image_ns: 2_000_000,
+            queue_wait_ns: 4_000_000,
+            service_ns: 12_000_000,
+            dedup_rate: 0.3,
+        };
+        let mut latency = HistogramSnapshot {
+            count: 3,
+            sum: Duration::from_nanos(3_000_000),
+            ..HistogramSnapshot::default()
+        };
+        latency.buckets[10] = 2;
+        latency.buckets[20] = 1;
+        ServiceReport {
+            shards: vec![ShardReport {
+                index: 0,
+                counters,
+                latency,
+            }],
+            latency,
+            cascade: Some(CascadeSnapshot {
+                requests: 10,
+                tier0_blocked: 3,
+                tier0_exempted: 1,
+                tier1_blocked: 2,
+                tier1_kept: 1,
+                cnn_residual: 3,
+            }),
+        }
+    }
+
+    /// Golden-file test: the full exposition document for a fixed report
+    /// must match `testdata/metrics.prom` byte for byte. Regenerate with
+    /// `cargo test -p percival_serve golden -- --ignored` after deliberate
+    /// format changes (the ignored test below rewrites the file).
+    #[test]
+    fn prometheus_exposition_matches_golden_file() {
+        let ws = WorkspaceStats {
+            allocations: 12,
+            reuses: 40,
+            weight_packs: 8,
+        };
+        let text = sample_report().prometheus(Some(&ws));
+        let golden = include_str!("testdata/metrics.prom");
+        assert_eq!(
+            text, golden,
+            "exposition drifted from testdata/metrics.prom"
+        );
+    }
+
+    /// Rewrites the golden file from the current renderer; run explicitly
+    /// after deliberate format changes.
+    #[test]
+    #[ignore = "regenerates testdata/metrics.prom"]
+    fn prometheus_regenerate_golden_file() {
+        let ws = WorkspaceStats {
+            allocations: 12,
+            reuses: 40,
+            weight_packs: 8,
+        };
+        let text = sample_report().prometheus(Some(&ws));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/testdata/metrics.prom");
+        std::fs::write(path, &text).expect("write golden file");
+    }
+
+    #[test]
+    fn prometheus_omits_optional_families_when_absent() {
+        let mut report = sample_report();
+        report.cascade = None;
+        let text = report.prometheus(None);
+        assert!(!text.contains("percival_cascade_"));
+        assert!(!text.contains("percival_workspace_"));
+        // The histogram is always present, +Inf bucket carrying the count.
+        assert!(text.contains("percival_request_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn prometheus_latency_histogram_is_cumulative_in_seconds() {
+        let text = sample_report().prometheus(None);
+        // Bucket 10 upper bound is (2^10 - 1) ns; bucket 20 is (2^20 - 1) ns.
+        assert!(text.contains("percival_request_latency_seconds_bucket{le=\"0.000001023\"} 2\n"));
+        assert!(text.contains("percival_request_latency_seconds_bucket{le=\"0.001048575\"} 3\n"));
+        assert!(text.contains("percival_request_latency_seconds_sum 0.003\n"));
+        assert!(text.contains("percival_request_latency_seconds_count 3\n"));
+    }
 }

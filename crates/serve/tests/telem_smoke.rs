@@ -1,0 +1,138 @@
+//! The `telem-smoke` gate: end-to-end contracts of the flight recorder
+//! over the load generator.
+//!
+//! Pins the observability PR's claims: (1) with 1-in-N sampling a loadgen
+//! run records spans, and the Chrome trace dump round-trips through the
+//! hand-rolled parser losslessly; (2) every sampled request's trace closes
+//! with exactly one `EndToEnd` span; (3) the per-stage spans of each trace
+//! tile the request — the union of their intervals covers the trace's
+//! `EndToEnd` to within 10% (spans may overlap: the submitter's `Submit`
+//! span races the batcher's `QueueWait` clock, which starts at the queue
+//! push *inside* the submit call); (4) the Prometheus exposition of the
+//! same run renders the
+//! per-shard counter families and the latency histogram.
+//!
+//! Everything lives in one `#[test]` because the sampling sequence and the
+//! per-thread rings are process-global: a second concurrently-running test
+//! would interleave its requests into the 1-in-N cadence.
+
+use percival_core::arch::percival_net_slim;
+use percival_core::Classifier;
+use percival_nn::init::kaiming_init;
+use percival_serve::loadgen::{self, TrafficConfig, TrafficPattern};
+use percival_serve::{ClassificationService, ServiceConfig};
+use percival_util::telem::{self, StageKind};
+use percival_util::Pcg32;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn classifier() -> Classifier {
+    let mut model = percival_net_slim(4);
+    kaiming_init(&mut model, &mut Pcg32::seed_from_u64(9));
+    Classifier::new(model, 32)
+}
+
+#[test]
+fn sampled_loadgen_run_produces_a_coherent_flight_record() {
+    telem::set_sampling(16);
+    telem::clear();
+    let service = ClassificationService::new(
+        classifier(),
+        ServiceConfig {
+            shards: 2,
+            deadline: Duration::from_secs(600),
+            ..Default::default()
+        },
+    );
+    // Distinct creatives (round-robin), so every sampled request owns its
+    // trace key: no coalescing, no cache hits, a full span chain each.
+    let cfg = TrafficConfig {
+        seed: 11,
+        creatives: 96,
+        ad_fraction: 0.5,
+        zipf_s: -1.0,
+        requests: 96,
+        pattern: TrafficPattern::ClosedLoop,
+        edge: 32,
+    };
+    let report = loadgen::run(&service, &cfg);
+    telem::set_sampling(0);
+    assert_eq!(report.lost, 0, "loadgen must not lose requests");
+    assert_eq!(report.classified, 96);
+
+    let spans = telem::drain();
+    assert!(
+        !spans.is_empty(),
+        "sampling 1-in-16 over 96 requests must record spans"
+    );
+
+    // The Chrome dump round-trips losslessly through the parser.
+    let doc = telem::chrome_trace_json(&spans);
+    let parsed = telem::parse_chrome_trace(&doc).expect("trace dump must be valid JSON");
+    assert_eq!(parsed, spans, "Chrome trace round-trip must be lossless");
+
+    // 96 requests at 1-in-16 sample requests 0, 16, ..., 80: six traces,
+    // each closed by exactly one EndToEnd.
+    let mut by_trace: HashMap<u64, Vec<&telem::SpanEvent>> = HashMap::new();
+    for s in &spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    assert_eq!(by_trace.len(), 6, "expected six sampled traces");
+    for (trace, spans) in &by_trace {
+        let e2e: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == StageKind::EndToEnd)
+            .collect();
+        assert_eq!(
+            e2e.len(),
+            1,
+            "trace {trace:#x} must close with exactly one EndToEnd"
+        );
+
+        // The stage spans tile the request: the union of their intervals
+        // covers the end-to-end wall time to within 10%. A plain duration
+        // sum would double-count legitimate overlap — the batcher can start
+        // (or finish) a sampled request's queue wait while the submitting
+        // thread is still inside `submit`.
+        let total = e2e[0].dur_ns;
+        let mut intervals: Vec<(u64, u64)> = spans
+            .iter()
+            .filter(|s| s.kind != StageKind::EndToEnd)
+            .map(|s| (s.start_ns, s.start_ns + s.dur_ns))
+            .collect();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        let mut frontier = 0u64;
+        for (lo, hi) in intervals {
+            covered += hi.saturating_sub(lo.max(frontier));
+            frontier = frontier.max(hi);
+        }
+        assert!(
+            covered <= total + total / 10,
+            "trace {trace:#x}: stage span union ({covered}ns) exceeds EndToEnd ({total}ns) by >10%"
+        );
+        assert!(
+            covered * 10 >= total * 9,
+            "trace {trace:#x}: stage span union ({covered}ns) covers <90% of EndToEnd ({total}ns)"
+        );
+
+        // A full (non-early) trace carries the queue/batch/plan chain.
+        for kind in ["Submit", "QueueWait", "BatchForm", "PlanOp", "Publish"] {
+            assert!(
+                spans.iter().any(|s| s.kind.group() == kind),
+                "trace {trace:#x} is missing a {kind} span"
+            );
+        }
+    }
+
+    // The same run's Prometheus exposition renders the registry.
+    let text = report.service.prometheus(None);
+    for family in [
+        "percival_shard_submitted_total",
+        "percival_shard_queue_wait_seconds_total",
+        "percival_shard_service_seconds_total",
+        "percival_request_latency_seconds_bucket",
+    ] {
+        assert!(text.contains(family), "exposition is missing {family}");
+    }
+}

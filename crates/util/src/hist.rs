@@ -13,7 +13,42 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of base-2 buckets: covers 1 ns up to ~584 years.
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
+
+/// The inclusive upper bound of bucket `b`, in nanoseconds. Bucket 0
+/// holds exactly the zero samples; bucket `b > 0` spans
+/// `[2^(b-1), 2^b)`.
+pub fn bucket_upper_bound_ns(b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        (1u128 << b) as f64 - 1.0
+    }
+}
+
+/// Estimates the `q`-quantile from a bucket array: the geometric midpoint
+/// of the bucket holding the `q`-th sample, never beyond `max_ns`.
+fn quantile_from(buckets: &[u64; BUCKETS], total: u64, max_ns: u64, q: f64) -> Duration {
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (b, &bucket) in buckets.iter().enumerate() {
+        seen += bucket;
+        if seen >= rank {
+            // Bucket `b` spans [2^(b-1), 2^b); its geometric midpoint
+            // is 2^(b-0.5). Bucket 0 holds exactly the zero samples.
+            if b == 0 {
+                return Duration::ZERO;
+            }
+            let ns = 2f64.powf(b as f64 - 0.5);
+            // Never report beyond the true maximum.
+            return Duration::from_nanos((ns as u64).min(max_ns));
+        }
+    }
+    Duration::from_nanos(max_ns)
+}
 
 /// A concurrent histogram of durations with power-of-two buckets.
 ///
@@ -45,7 +80,11 @@ impl Default for LatencyHistogram {
 }
 
 /// Plain-data view of a [`LatencyHistogram`] at one instant.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Carries the full bucket array, so snapshots merge losslessly
+/// ([`HistogramSnapshot::merge`] — per-shard histograms aggregate into
+/// the service view) and export as native Prometheus histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
     pub count: u64,
@@ -59,6 +98,63 @@ pub struct HistogramSnapshot {
     pub p99: Duration,
     /// Largest sample (exact).
     pub max: Duration,
+    /// Sum of all samples (exact; `mean` is `sum / count`).
+    pub sum: Duration,
+    /// Per-bucket sample counts (base-2 nanosecond buckets; see
+    /// [`bucket_upper_bound_ns`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p95: Duration::ZERO,
+            p99: Duration::ZERO,
+            max: Duration::ZERO,
+            sum: Duration::ZERO,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from raw totals and a bucket array, deriving the
+    /// quantile estimates.
+    fn from_parts(buckets: [u64; BUCKETS], count: u64, sum_ns: u64, max_ns: u64) -> Self {
+        HistogramSnapshot {
+            count,
+            mean: sum_ns
+                .checked_div(count)
+                .map(Duration::from_nanos)
+                .unwrap_or(Duration::ZERO),
+            p50: quantile_from(&buckets, count, max_ns, 0.50),
+            p95: quantile_from(&buckets, count, max_ns, 0.95),
+            p99: quantile_from(&buckets, count, max_ns, 0.99),
+            max: Duration::from_nanos(max_ns),
+            sum: Duration::from_nanos(sum_ns),
+            buckets,
+        }
+    }
+
+    /// Combines two snapshots bucket-wise, as if every sample of both had
+    /// been recorded into one histogram: counts and sums add, max is the
+    /// larger, quantiles are re-derived from the merged buckets.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = self.buckets;
+        for (b, o) in buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        let sum_ns = (self.sum + other.sum).as_nanos().min(u128::from(u64::MAX)) as u64;
+        Self::from_parts(
+            buckets,
+            self.count + other.count,
+            sum_ns,
+            self.max.max(other.max).as_nanos().min(u128::from(u64::MAX)) as u64,
+        )
+    }
 }
 
 impl core::fmt::Display for HistogramSnapshot {
@@ -101,49 +197,52 @@ impl LatencyHistogram {
     /// the geometric midpoint of the bucket holding the `q`-th sample.
     /// Returns zero while empty.
     pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket `b` spans [2^(b-1), 2^b); its geometric midpoint
-                // is 2^(b-0.5). Bucket 0 holds exactly the zero samples.
-                if b == 0 {
-                    return Duration::ZERO;
-                }
-                let ns = 2f64.powf(b as f64 - 0.5);
-                // Never report beyond the true maximum.
-                let max = self.max_ns.load(Ordering::Relaxed);
-                return Duration::from_nanos((ns as u64).min(max));
-            }
-        }
-        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+        quantile_from(
+            &self.load_buckets(),
+            self.count(),
+            self.max_ns.load(Ordering::Relaxed),
+            q,
+        )
     }
 
-    /// Captures count, mean and the standard tail quantiles at one instant.
+    fn load_buckets(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Captures count, mean, the standard tail quantiles and the full
+    /// bucket array at one instant.
     ///
     /// Concurrent recording during the snapshot can skew the derived values
     /// by the in-flight samples; the snapshot is still internally safe.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count();
-        let mean = self
-            .sum_ns
-            .load(Ordering::Relaxed)
-            .checked_div(count)
-            .map(Duration::from_nanos)
-            .unwrap_or(Duration::ZERO);
-        HistogramSnapshot {
-            count,
-            mean,
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-            max: Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+        HistogramSnapshot::from_parts(
+            self.load_buckets(),
+            self.count(),
+            self.sum_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Folds every sample of `other` into `self`, bucket-wise (wait-free
+    /// on both sides; per-shard histograms aggregate into a service-wide
+    /// one this way).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
         }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Resets every counter to zero (not atomic across buckets; intended
@@ -222,5 +321,93 @@ mod tests {
         h.record(Duration::from_millis(5));
         h.reset();
         assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_into_one() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        for i in 1..=50u64 {
+            a.record(Duration::from_micros(i));
+            combined.record(Duration::from_micros(i));
+        }
+        for i in 51..=100u64 {
+            b.record(Duration::from_micros(i * 3));
+            combined.record(Duration::from_micros(i * 3));
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+        // Snapshot-level merge agrees with histogram-level merge.
+        let sa = LatencyHistogram::new();
+        let sb = LatencyHistogram::new();
+        for i in 1..=50u64 {
+            sa.record(Duration::from_micros(i));
+        }
+        for i in 51..=100u64 {
+            sb.record(Duration::from_micros(i * 3));
+        }
+        assert_eq!(sa.snapshot().merge(&sb.snapshot()), combined.snapshot());
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_identity() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        h.record(Duration::from_millis(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.merge(&HistogramSnapshot::default()), snap);
+        assert_eq!(HistogramSnapshot::default().merge(&snap), snap);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_bracket_the_recorded_samples() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(700));
+        let snap = h.snapshot();
+        let b = snap.buckets.iter().position(|&c| c > 0).unwrap();
+        assert!(bucket_upper_bound_ns(b) >= 700.0);
+        assert!(bucket_upper_bound_ns(b - 1) < 700.0);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Bucket-wise addition: merging two arbitrary sample sets is
+            // exactly recording their union, and quantiles stay monotone.
+            #[test]
+            fn merge_is_bucketwise_addition_and_quantiles_stay_monotone(
+                xs in proptest::collection::vec(1u64..5_000_000_000, 0..64),
+                ys in proptest::collection::vec(1u64..5_000_000_000, 0..64),
+            ) {
+                let a = LatencyHistogram::new();
+                let b = LatencyHistogram::new();
+                let union = LatencyHistogram::new();
+                for &x in &xs {
+                    a.record(Duration::from_nanos(x));
+                    union.record(Duration::from_nanos(x));
+                }
+                for &y in &ys {
+                    b.record(Duration::from_nanos(y));
+                    union.record(Duration::from_nanos(y));
+                }
+                let merged = a.snapshot().merge(&b.snapshot());
+                prop_assert_eq!(merged, union.snapshot());
+                for (bm, (ba, bb)) in merged
+                    .buckets
+                    .iter()
+                    .zip(a.snapshot().buckets.iter().zip(b.snapshot().buckets.iter()))
+                {
+                    prop_assert_eq!(*bm, ba + bb);
+                }
+                prop_assert!(merged.p50 <= merged.p95);
+                prop_assert!(merged.p95 <= merged.p99);
+                prop_assert!(merged.p99 <= merged.max);
+                prop_assert_eq!(merged.count as usize, xs.len() + ys.len());
+            }
+        }
     }
 }

@@ -12,12 +12,20 @@
 //!   CDFs) used by the render-time experiments (Figures 14 and 15).
 //! - [`hist`]: a lock-free log-bucketed latency histogram used by the
 //!   serving layer's telemetry and the load-generator reports.
+//! - [`telem`]: the flight recorder — sampled per-request span events
+//!   (`PERCIVAL_TRACE=off|N`) in lock-free per-thread rings, with a
+//!   Chrome trace-event exporter.
+//! - [`prom`]: a hand-rolled Prometheus text-exposition writer the
+//!   metrics plane renders through.
 
 pub mod hist;
 pub mod metrics;
+pub mod prom;
 pub mod rng;
 pub mod stats;
+pub mod telem;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{BinaryConfusion, Metrics};
 pub use rng::Pcg32;
+pub use telem::{PlanOpKind, SpanEvent, StageKind};

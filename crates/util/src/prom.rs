@@ -1,0 +1,191 @@
+//! A hand-rolled Prometheus text-exposition writer.
+//!
+//! The workspace runs offline with no client-library dependency, so the
+//! metrics plane renders the [text exposition format] directly: `# HELP` /
+//! `# TYPE` headers, label escaping per the spec (`\\`, `\"`, `\n` inside
+//! label values), and native histograms with cumulative `le` buckets.
+//! Counters end in `_total` by convention; callers own the naming.
+//!
+//! [text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+//!
+//! # Examples
+//!
+//! ```
+//! use percival_util::prom::PromWriter;
+//!
+//! let mut w = PromWriter::new();
+//! w.header("requests_total", "Requests seen.", "counter");
+//! w.sample("requests_total", &[("shard", "0")], 17.0);
+//! let text = w.finish();
+//! assert!(text.contains("requests_total{shard=\"0\"} 17"));
+//! ```
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be escaped inside the quotes.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float the way Prometheus expects: integers without a
+/// fractional part, specials as `+Inf`/`-Inf`/`NaN`.
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// An incremental text-exposition document builder.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// Starts an empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Writes the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        // HELP text escapes backslash and newline (not quotes).
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn label_block(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Writes one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.out.push_str(&Self::label_block(labels));
+        self.out.push(' ');
+        self.out.push_str(&render_value(value));
+        self.out.push('\n');
+    }
+
+    /// Writes a full native histogram: cumulative `_bucket{le=...}` lines
+    /// (an `+Inf` bucket is always appended), then `_sum` and `_count`.
+    /// `buckets` holds `(upper_bound, cumulative_count)` pairs in
+    /// ascending bound order.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        sum: f64,
+        count: u64,
+    ) {
+        for &(le, cumulative) in buckets {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            let le = render_value(le);
+            all.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &all, cumulative as f64);
+        }
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &all, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_escape_the_spec_characters() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn values_render_like_prometheus_expects() {
+        assert_eq!(render_value(17.0), "17");
+        assert_eq!(render_value(0.25), "0.25");
+        assert_eq!(render_value(f64::INFINITY), "+Inf");
+        assert_eq!(render_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(render_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn samples_with_and_without_labels() {
+        let mut w = PromWriter::new();
+        w.header("x_total", "Help text.", "counter");
+        w.sample("x_total", &[], 3.0);
+        w.sample("x_total", &[("a", "1"), ("b", "two")], 4.5);
+        let text = w.finish();
+        assert!(text.contains("# HELP x_total Help text.\n"));
+        assert!(text.contains("# TYPE x_total counter\n"));
+        assert!(
+            text.contains("\nx_total 3\n")
+                || text.starts_with("x_total 3\n")
+                || text.contains("x_total 3\n")
+        );
+        assert!(text.contains("x_total{a=\"1\",b=\"two\"} 4.5\n"));
+    }
+
+    #[test]
+    fn histogram_appends_the_inf_bucket_and_sum_count() {
+        let mut w = PromWriter::new();
+        w.header("lat_seconds", "Latency.", "histogram");
+        w.histogram(
+            "lat_seconds",
+            &[("shard", "2")],
+            &[(0.001, 3), (0.01, 7)],
+            0.042,
+            9,
+        );
+        let text = w.finish();
+        assert!(text.contains("lat_seconds_bucket{shard=\"2\",le=\"0.001\"} 3\n"));
+        assert!(text.contains("lat_seconds_bucket{shard=\"2\",le=\"0.01\"} 7\n"));
+        assert!(text.contains("lat_seconds_bucket{shard=\"2\",le=\"+Inf\"} 9\n"));
+        assert!(text.contains("lat_seconds_sum{shard=\"2\"} 0.042\n"));
+        assert!(text.contains("lat_seconds_count{shard=\"2\"} 9\n"));
+    }
+}

@@ -1,0 +1,1009 @@
+//! The flight recorder: sampled, typed span events from every pipeline
+//! stage, recorded into lock-free per-thread ring buffers.
+//!
+//! PERCIVAL's headline claim is a latency budget, and an aggregate
+//! histogram cannot answer "where did this p99 request spend its 20ms?".
+//! The recorder attributes each sampled request's wall time to the
+//! pipeline stages it crossed — cascade tier 0/1, content hashing, the
+//! admission probe, queue wait, batch formation, every compiled plan op,
+//! publish — plus one `EndToEnd` span per sampled request, all correlated
+//! by the request's content-hash key.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled cost is a load and a compare.** Every instrumentation
+//!    site guards on [`enabled`], which is one relaxed atomic load. No
+//!    feature flags: the untraced fast path must be cheap enough to ship
+//!    always-on (pinned by the `telem/overhead_off` bench row).
+//! 2. **Recording never takes a lock.** Each thread owns a ring of
+//!    fixed-size slots (4 atomic words per span) and is the only writer;
+//!    the cursor is published with a release store so a drain sees fully
+//!    written slots. Rings are registered once per thread under a mutex
+//!    (cold path) and drained by [`drain`] at quiescence — a drain racing
+//!    a wrapping writer may observe a torn slot, which decode discards.
+//! 3. **Sampling is 1-in-N.** `PERCIVAL_TRACE=off|N` (default off);
+//!    [`set_sampling`] overrides the environment for tests and benches.
+//!
+//! Span timestamps are nanoseconds since the process-wide [`epoch`]
+//! (monotonic), so spans from different threads order correctly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The op kinds a compiled `ExecPlan` executes, as seen by the recorder
+/// (mirrored by `percival_nn::plan::PlanOp` — the nn crate maps its ops
+/// onto these when reporting to a `PlanObserver`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanOpKind {
+    /// A fused convolution (conv + bias + activation + requantize).
+    Conv,
+    /// A fire module's expand pair (two convs, concatenated output).
+    Branch,
+    /// A standalone ReLU sweep (unfused reference plans only).
+    Relu,
+    /// Max pooling.
+    MaxPool,
+    /// Global average pooling.
+    GlobalAvgPool,
+}
+
+impl PlanOpKind {
+    fn code(self) -> u64 {
+        match self {
+            PlanOpKind::Conv => 0,
+            PlanOpKind::Branch => 1,
+            PlanOpKind::Relu => 2,
+            PlanOpKind::MaxPool => 3,
+            PlanOpKind::GlobalAvgPool => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<PlanOpKind> {
+        Some(match code {
+            0 => PlanOpKind::Conv,
+            1 => PlanOpKind::Branch,
+            2 => PlanOpKind::Relu,
+            3 => PlanOpKind::MaxPool,
+            4 => PlanOpKind::GlobalAvgPool,
+            _ => return None,
+        })
+    }
+
+    /// Stable display name (also used in Chrome-trace span names).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanOpKind::Conv => "Conv",
+            PlanOpKind::Branch => "Branch",
+            PlanOpKind::Relu => "Relu",
+            PlanOpKind::MaxPool => "MaxPool",
+            PlanOpKind::GlobalAvgPool => "GlobalAvgPool",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<PlanOpKind> {
+        Some(match name {
+            "Conv" => PlanOpKind::Conv,
+            "Branch" => PlanOpKind::Branch,
+            "Relu" => PlanOpKind::Relu,
+            "MaxPool" => PlanOpKind::MaxPool,
+            "GlobalAvgPool" => PlanOpKind::GlobalAvgPool,
+            _ => return None,
+        })
+    }
+}
+
+/// The pipeline stage a span covers. One sampled request produces at most
+/// one span of each scalar kind plus one `PlanOp` span per compiled op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Cascade tier 0: network filter-list match.
+    CascadeT0,
+    /// Cascade tier 1: structural pre-filter score.
+    CascadeT1,
+    /// Content hashing of the creative's pixels.
+    Hash,
+    /// The admission probe (`admission_hint`).
+    AdmissionHint,
+    /// The submission call: preprocessing the creative into the model
+    /// tensor plus admission through the overload gate (including any
+    /// backpressure park under the `Block` policy).
+    Submit,
+    /// Queue push to batch formation.
+    QueueWait,
+    /// Batch formation start to forward-pass start (tensor assembly).
+    BatchForm,
+    /// One compiled plan op of the forward pass that served this request.
+    PlanOp {
+        /// Position in the compiled op sequence.
+        index: u8,
+        /// What the op computes.
+        kind: PlanOpKind,
+    },
+    /// Forward-pass end to verdict publication.
+    Publish,
+    /// Request entry to verdict resolution (exactly one per sampled
+    /// request).
+    EndToEnd,
+}
+
+/// The stage groups, in pipeline order ([`StageKind::PlanOp`] collapses
+/// to one group regardless of index).
+pub const STAGE_GROUPS: [&str; 10] = [
+    "CascadeT0",
+    "CascadeT1",
+    "Hash",
+    "AdmissionHint",
+    "Submit",
+    "QueueWait",
+    "BatchForm",
+    "PlanOp",
+    "Publish",
+    "EndToEnd",
+];
+
+impl StageKind {
+    /// Packs the kind into one word: the stage code in bits 0..8, and for
+    /// `PlanOp` the op index in bits 8..16 and the op kind in bits 16..24.
+    fn encode(self) -> u64 {
+        match self {
+            StageKind::CascadeT0 => 0,
+            StageKind::CascadeT1 => 1,
+            StageKind::Hash => 2,
+            StageKind::AdmissionHint => 3,
+            StageKind::QueueWait => 4,
+            StageKind::BatchForm => 5,
+            StageKind::PlanOp { index, kind } => 6 | (u64::from(index) << 8) | (kind.code() << 16),
+            StageKind::Publish => 7,
+            StageKind::EndToEnd => 8,
+            StageKind::Submit => 9,
+        }
+    }
+
+    fn decode(word: u64) -> Option<StageKind> {
+        Some(match word & 0xFF {
+            0 => StageKind::CascadeT0,
+            1 => StageKind::CascadeT1,
+            2 => StageKind::Hash,
+            3 => StageKind::AdmissionHint,
+            4 => StageKind::QueueWait,
+            5 => StageKind::BatchForm,
+            6 => StageKind::PlanOp {
+                index: ((word >> 8) & 0xFF) as u8,
+                kind: PlanOpKind::from_code((word >> 16) & 0xFF)?,
+            },
+            7 => StageKind::Publish,
+            8 => StageKind::EndToEnd,
+            9 => StageKind::Submit,
+            _ => return None,
+        })
+    }
+
+    /// The stage group this kind reports under (`PlanOp` spans of every
+    /// index collapse into `"PlanOp"`).
+    pub fn group(&self) -> &'static str {
+        match self {
+            StageKind::CascadeT0 => "CascadeT0",
+            StageKind::CascadeT1 => "CascadeT1",
+            StageKind::Hash => "Hash",
+            StageKind::AdmissionHint => "AdmissionHint",
+            StageKind::Submit => "Submit",
+            StageKind::QueueWait => "QueueWait",
+            StageKind::BatchForm => "BatchForm",
+            StageKind::PlanOp { .. } => "PlanOp",
+            StageKind::Publish => "Publish",
+            StageKind::EndToEnd => "EndToEnd",
+        }
+    }
+
+    /// The span's display label — the group name, or `PlanOp{index}:{op}`
+    /// for plan ops (e.g. `PlanOp03:Branch`).
+    pub fn label(&self) -> String {
+        match self {
+            StageKind::PlanOp { index, kind } => {
+                format!("PlanOp{index:02}:{}", kind.name())
+            }
+            other => other.group().to_string(),
+        }
+    }
+
+    /// Parses a label produced by [`StageKind::label`].
+    pub fn from_label(label: &str) -> Option<StageKind> {
+        Some(match label {
+            "CascadeT0" => StageKind::CascadeT0,
+            "CascadeT1" => StageKind::CascadeT1,
+            "Hash" => StageKind::Hash,
+            "AdmissionHint" => StageKind::AdmissionHint,
+            "Submit" => StageKind::Submit,
+            "QueueWait" => StageKind::QueueWait,
+            "BatchForm" => StageKind::BatchForm,
+            "Publish" => StageKind::Publish,
+            "EndToEnd" => StageKind::EndToEnd,
+            other => {
+                let rest = other.strip_prefix("PlanOp")?;
+                let (index, kind) = rest.split_once(':')?;
+                StageKind::PlanOp {
+                    index: index.parse().ok()?,
+                    kind: PlanOpKind::from_name(kind)?,
+                }
+            }
+        })
+    }
+}
+
+/// One recorded span: a stage of one sampled request's journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Correlates spans of one request — the creative's content-hash key,
+    /// or a synthetic id (bit 63 set) for requests resolved before
+    /// hashing.
+    pub trace_id: u64,
+    /// Which pipeline stage.
+    pub kind: StageKind,
+    /// Nanoseconds since the process [`epoch`].
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread (dense per-ring id, not the OS tid).
+    pub tid: u64,
+}
+
+/// Spans one ring holds before wrapping (per thread).
+const RING_CAPACITY: usize = 4096;
+/// Atomic words per slot: trace_id, encoded kind, start_ns, dur_ns.
+const SLOT_WORDS: usize = 4;
+
+/// A single-writer span ring. The owning thread is the only writer; any
+/// thread may read under the registry lock. The cursor counts spans ever
+/// recorded (monotonic); slot `i` lives at `(i % RING_CAPACITY)`.
+struct Ring {
+    tid: u64,
+    cursor: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl Ring {
+    fn new(tid: u64) -> Ring {
+        Ring {
+            tid,
+            cursor: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY * SLOT_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Owner-thread only: writes one span and publishes it with a release
+    /// store of the cursor.
+    fn record(&self, trace_id: u64, kind: StageKind, start_ns: u64, dur_ns: u64) {
+        let c = self.cursor.load(Ordering::Relaxed);
+        let base = (c as usize % RING_CAPACITY) * SLOT_WORDS;
+        self.slots[base].store(trace_id, Ordering::Relaxed);
+        self.slots[base + 1].store(kind.encode(), Ordering::Relaxed);
+        self.slots[base + 2].store(start_ns, Ordering::Relaxed);
+        self.slots[base + 3].store(dur_ns, Ordering::Relaxed);
+        self.cursor.store(c + 1, Ordering::Release);
+    }
+
+    fn drain_into(&self, out: &mut Vec<SpanEvent>) {
+        let c = self.cursor.load(Ordering::Acquire);
+        let held = (c as usize).min(RING_CAPACITY);
+        let first = c as usize - held;
+        for i in first..c as usize {
+            let base = (i % RING_CAPACITY) * SLOT_WORDS;
+            let word = self.slots[base + 1].load(Ordering::Relaxed);
+            // A torn slot (drain racing a wrapping writer) decodes to an
+            // unknown stage code and is dropped here.
+            if let Some(kind) = StageKind::decode(word) {
+                out.push(SpanEvent {
+                    trace_id: self.slots[base].load(Ordering::Relaxed),
+                    kind,
+                    start_ns: self.slots[base + 2].load(Ordering::Relaxed),
+                    dur_ns: self.slots[base + 3].load(Ordering::Relaxed),
+                    tid: self.tid,
+                });
+            }
+        }
+    }
+}
+
+/// Every thread's ring, registered on that thread's first record.
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// `key -> request start (ns since epoch)` for in-flight sampled
+/// requests. Batchers consult it to decide which batch members get spans;
+/// [`complete`] removes the entry, making `EndToEnd` single-shot.
+fn sampled_keys() -> &'static Mutex<HashMap<u64, u64>> {
+    static SAMPLED: OnceLock<Mutex<HashMap<u64, u64>>> = OnceLock::new();
+    SAMPLED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static THREAD_RING: std::cell::OnceCell<Arc<Ring>> =
+        const { std::cell::OnceCell::new() };
+}
+
+fn with_ring(f: impl FnOnce(&Ring)) {
+    THREAD_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let mut all = rings().lock().expect("telem ring registry");
+            let ring = Arc::new(Ring::new(all.len() as u64));
+            all.push(Arc::clone(&ring));
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// The process-wide monotonic epoch all span timestamps are relative to.
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since [`epoch`] (saturating at `u64::MAX` after ~584
+/// years).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Sampling denominator: `0` = off, `N` = record 1-in-N requests,
+/// `u32::MAX` = not yet resolved from the environment.
+static SAMPLE_N: AtomicU32 = AtomicU32::new(u32::MAX);
+/// Request sequence for the 1-in-N decision.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+/// Synthetic trace ids for requests resolved before hashing.
+static SYNTH: AtomicU64 = AtomicU64::new(0);
+
+#[cold]
+fn sampling_from_env() -> u32 {
+    let n = match std::env::var("PERCIVAL_TRACE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("off") => 0,
+        Ok(v) => v.trim().parse::<u32>().unwrap_or(0).min(u32::MAX - 1),
+        Err(_) => 0,
+    };
+    SAMPLE_N.store(n, Ordering::Relaxed);
+    n
+}
+
+fn sample_n() -> u32 {
+    match SAMPLE_N.load(Ordering::Relaxed) {
+        u32::MAX => sampling_from_env(),
+        n => n,
+    }
+}
+
+/// Whether the recorder is on at all. This is the disabled fast path —
+/// one relaxed load and a compare once the environment is resolved —
+/// and every instrumentation site guards on it.
+#[inline]
+pub fn enabled() -> bool {
+    sample_n() != 0
+}
+
+/// Overrides the sampling denominator (`0` disables), taking precedence
+/// over `PERCIVAL_TRACE`. Intended for tests, benches and binaries.
+pub fn set_sampling(n: u32) {
+    SAMPLE_N.store(n.min(u32::MAX - 1), Ordering::Relaxed);
+}
+
+/// The 1-in-N decision for a new request. Call once per request at its
+/// entry point; only meaningful while [`enabled`].
+pub fn sample_request() -> bool {
+    let n = sample_n();
+    n != 0
+        && SEQ
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(u64::from(n))
+}
+
+/// A fresh trace id (bit 63 set) for a sampled request that resolves
+/// before its creative is content-hashed (cascade tier 0/1).
+pub fn synthetic_id() -> u64 {
+    SYNTH.fetch_add(1, Ordering::Relaxed) | (1 << 63)
+}
+
+/// Records one span into the calling thread's ring.
+pub fn emit(trace_id: u64, kind: StageKind, start_ns: u64, dur_ns: u64) {
+    with_ring(|r| r.record(trace_id, kind, start_ns, dur_ns));
+}
+
+/// Closes a sampled trace that resolved before reaching a flight queue
+/// (cascade verdicts, cache hits, predicted sheds): emits the buffered
+/// stage spans plus the `EndToEnd` span under one fresh synthetic id.
+pub fn emit_early(start_ns: u64, pending: &[(StageKind, u64, u64)]) {
+    let id = synthetic_id();
+    for &(kind, s, d) in pending {
+        emit(id, kind, s, d);
+    }
+    let end = now_ns();
+    emit(
+        id,
+        StageKind::EndToEnd,
+        start_ns,
+        end.saturating_sub(start_ns),
+    );
+}
+
+/// Marks `key` as a sampled in-flight request whose journey began at
+/// `start_ns`. Downstream stages (batchers, publish) consult
+/// [`is_sampled`] and [`complete`] to attribute their work.
+pub fn register(key: u64, start_ns: u64) {
+    sampled_keys()
+        .lock()
+        .expect("telem sampled keys")
+        .insert(key, start_ns);
+}
+
+/// Whether `key` belongs to an in-flight sampled request.
+pub fn is_sampled(key: u64) -> bool {
+    enabled()
+        && sampled_keys()
+            .lock()
+            .expect("telem sampled keys")
+            .contains_key(&key)
+}
+
+/// Resolves a sampled request: removes the registration and returns its
+/// start instant. At most one caller wins, so emitting `EndToEnd` from
+/// the returned start is single-shot per request even when the publish
+/// path and a fast-resolve path race.
+pub fn complete(key: u64) -> Option<u64> {
+    sampled_keys()
+        .lock()
+        .expect("telem sampled keys")
+        .remove(&key)
+}
+
+/// Snapshots every thread's recorded spans, ordered by start time. Call
+/// at quiescence (after a flush): a drain racing active writers can miss
+/// or discard the spans being written.
+pub fn drain() -> Vec<SpanEvent> {
+    let mut out = Vec::new();
+    for ring in rings().lock().expect("telem ring registry").iter() {
+        ring.drain_into(&mut out);
+    }
+    out.sort_by_key(|s| (s.start_ns, s.trace_id));
+    out
+}
+
+/// Clears every ring, the sampled-key registry and the sampling sequence
+/// (not the sampling rate). Call at quiescence between runs.
+pub fn clear() {
+    for ring in rings().lock().expect("telem ring registry").iter() {
+        ring.cursor.store(0, Ordering::Release);
+    }
+    sampled_keys().lock().expect("telem sampled keys").clear();
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as decimal microseconds (the trace-event unit),
+/// exact to the nanosecond.
+fn ns_as_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders spans as a Chrome trace-event JSON document (complete "X"
+/// events; load it at `chrome://tracing` or in Perfetto). Hand-rolled —
+/// this workspace is offline and carries no serde.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"percival\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace\":\"{:#018x}\"}}}}",
+            json_escape(&s.kind.label()),
+            ns_as_us(s.start_ns),
+            ns_as_us(s.dur_ns),
+            s.tid,
+            s.trace_id,
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A minimal JSON value, just rich enough to round-trip the trace dump.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses a document produced by [`chrome_trace_json`] back into spans
+/// (the round-trip half of the exporter tests, and the validity check the
+/// smoke suite runs on dumps). Accepts both the `{"traceEvents":[...]}`
+/// envelope and a bare event array.
+pub fn parse_chrome_trace(doc: &str) -> Result<Vec<SpanEvent>, String> {
+    let mut parser = JsonParser {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    let root = parser.value()?;
+    let events = match &root {
+        Json::Obj(_) => root
+            .get("traceEvents")
+            .ok_or("missing traceEvents")?
+            .clone(),
+        Json::Arr(_) => root,
+        _ => return Err("trace document must be an object or array".into()),
+    };
+    let Json::Arr(events) = events else {
+        return Err("traceEvents must be an array".into());
+    };
+    let us_to_ns = |v: f64| (v * 1000.0).round() as u64;
+    events
+        .iter()
+        .map(|e| {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("event missing name")?;
+            let kind =
+                StageKind::from_label(name).ok_or_else(|| format!("unknown span name {name:?}"))?;
+            let trace = e
+                .get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Json::as_str)
+                .ok_or("event missing args.trace")?;
+            let trace_id = u64::from_str_radix(trace.trim_start_matches("0x"), 16)
+                .map_err(|_| format!("bad trace id {trace:?}"))?;
+            Ok(SpanEvent {
+                trace_id,
+                kind,
+                start_ns: us_to_ns(
+                    e.get("ts")
+                        .and_then(Json::as_f64)
+                        .ok_or("event missing ts")?,
+                ),
+                dur_ns: us_to_ns(
+                    e.get("dur")
+                        .and_then(Json::as_f64)
+                        .ok_or("event missing dur")?,
+                ),
+                tid: e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Stage summaries
+// ---------------------------------------------------------------------
+
+/// Per-stage-group duration statistics over a span set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage group name (one of [`STAGE_GROUPS`]).
+    pub stage: &'static str,
+    /// Spans observed.
+    pub count: u64,
+    /// Median span duration.
+    pub p50: std::time::Duration,
+    /// 99th-percentile span duration.
+    pub p99: std::time::Duration,
+    /// Total recorded time across all spans.
+    pub total: std::time::Duration,
+}
+
+/// Summarizes spans into one row per stage group, in pipeline order.
+/// Groups with no spans report zero counts, so a caller can assert
+/// coverage of all nine kinds.
+pub fn stage_summary(spans: &[SpanEvent]) -> Vec<StageSummary> {
+    use crate::hist::LatencyHistogram;
+    STAGE_GROUPS
+        .iter()
+        .map(|&stage| {
+            let h = LatencyHistogram::new();
+            let mut total = 0u64;
+            for s in spans.iter().filter(|s| s.kind.group() == stage) {
+                h.record(std::time::Duration::from_nanos(s.dur_ns));
+                total += s.dur_ns;
+            }
+            let snap = h.snapshot();
+            StageSummary {
+                stage,
+                count: snap.count,
+                p50: snap.p50,
+                p99: snap.p99,
+                total: std::time::Duration::from_nanos(total),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`stage_summary`] as an aligned text table.
+pub fn stage_table(spans: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12}\n",
+        "stage", "count", "p50", "p99", "total"
+    ));
+    for row in stage_summary(spans) {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>12} {:>12} {:>12}\n",
+            row.stage,
+            row.count,
+            format!("{:.1?}", row.p50),
+            format!("{:.1?}", row.p99),
+            format!("{:.1?}", row.total),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sampling rate, sequence and rings are process-global; tests that
+    /// touch them serialize here.
+    fn global_state() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn span(trace_id: u64, kind: StageKind, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            trace_id,
+            kind,
+            start_ns,
+            dur_ns,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn stage_kinds_round_trip_the_word_encoding() {
+        let kinds = [
+            StageKind::CascadeT0,
+            StageKind::CascadeT1,
+            StageKind::Hash,
+            StageKind::AdmissionHint,
+            StageKind::Submit,
+            StageKind::QueueWait,
+            StageKind::BatchForm,
+            StageKind::PlanOp {
+                index: 17,
+                kind: PlanOpKind::Branch,
+            },
+            StageKind::Publish,
+            StageKind::EndToEnd,
+        ];
+        for k in kinds {
+            assert_eq!(StageKind::decode(k.encode()), Some(k), "{k:?}");
+            assert_eq!(StageKind::from_label(&k.label()), Some(k), "{k:?}");
+        }
+        assert_eq!(StageKind::decode(0xFF), None, "torn slots must not decode");
+    }
+
+    #[test]
+    fn emitted_spans_drain_in_start_order() {
+        let _g = global_state();
+        set_sampling(1);
+        clear();
+        emit(7, StageKind::Hash, 200, 10);
+        emit(7, StageKind::EndToEnd, 100, 300);
+        let spans = drain();
+        // Other tests in this process may also have emitted; filter ours.
+        let ours: Vec<_> = spans.iter().filter(|s| s.trace_id == 7).collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].kind, StageKind::EndToEnd, "sorted by start");
+        assert_eq!(ours[1].kind, StageKind::Hash);
+        clear();
+        assert!(drain().iter().all(|s| s.trace_id != 7));
+        set_sampling(0);
+    }
+
+    #[test]
+    fn sampling_one_in_n_hits_every_nth_request() {
+        let _g = global_state();
+        set_sampling(4);
+        clear();
+        let hits: Vec<bool> = (0..8).map(|_| sample_request()).collect();
+        assert_eq!(hits, [true, false, false, false, true, false, false, false]);
+        set_sampling(0);
+        assert!(!sample_request(), "off means never sampled");
+    }
+
+    #[test]
+    fn sampled_key_registry_is_single_shot() {
+        let _g = global_state();
+        set_sampling(1);
+        register(42, 1000);
+        assert!(is_sampled(42));
+        assert_eq!(complete(42), Some(1000));
+        assert!(!is_sampled(42));
+        assert_eq!(complete(42), None, "second resolver must lose");
+        set_sampling(0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_spans_after_wrap() {
+        let ring = Ring::new(9);
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.record(i, StageKind::Hash, i, 1);
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(out.first().map(|s| s.trace_id), Some(10));
+        assert_eq!(
+            out.last().map(|s| s.trace_id),
+            Some(RING_CAPACITY as u64 + 9)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips() {
+        let spans = vec![
+            span(0xA1, StageKind::Hash, 1_500, 250),
+            span(0xA1, StageKind::QueueWait, 2_000, 123_456),
+            span(
+                0xA1,
+                StageKind::PlanOp {
+                    index: 3,
+                    kind: PlanOpKind::Conv,
+                },
+                130_000,
+                5_001,
+            ),
+            span(0xA1, StageKind::EndToEnd, 1_000, 200_000),
+            span(1 << 63, StageKind::CascadeT0, 50, 49),
+        ];
+        let doc = chrome_trace_json(&spans);
+        let mut back = parse_chrome_trace(&doc).expect("dump must parse");
+        back.sort_by_key(|s| (s.start_ns, s.trace_id));
+        let mut want = spans.clone();
+        want.sort_by_key(|s| (s.start_ns, s.trace_id));
+        // tid survives; everything else must round-trip exactly.
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":").is_err());
+        assert!(parse_chrome_trace("{\"other\":[]}").is_err());
+        assert!(
+            parse_chrome_trace("{\"traceEvents\":[{\"name\":\"NoSuchStage\",\"ts\":0,\"dur\":0,\"args\":{\"trace\":\"0x0\"}}]}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn stage_summary_covers_every_group() {
+        let spans = vec![
+            span(1, StageKind::Hash, 0, 100),
+            span(1, StageKind::Hash, 10, 300),
+            span(1, StageKind::EndToEnd, 0, 1_000),
+        ];
+        let rows = stage_summary(&spans);
+        assert_eq!(rows.len(), STAGE_GROUPS.len());
+        let hash = rows.iter().find(|r| r.stage == "Hash").unwrap();
+        assert_eq!(hash.count, 2);
+        assert_eq!(hash.total, std::time::Duration::from_nanos(400));
+        assert!(rows.iter().any(|r| r.stage == "QueueWait" && r.count == 0));
+        let table = stage_table(&spans);
+        for g in STAGE_GROUPS {
+            assert!(table.contains(g), "table must list {g}");
+        }
+    }
+}
