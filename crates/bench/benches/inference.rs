@@ -686,9 +686,10 @@ fn write_snapshot(c: &Criterion) {
         }
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
-    // This bench owns every row except the serve bench's `serve_*` rows.
+    // This bench owns every row except the serve, cascade and ingest
+    // benches' `serve_*` / `cascade*` / `ingest*` rows.
     match snapshot::merge_snapshot(std::path::Path::new(path), &entries, &derived, |name| {
-        !name.starts_with("serve")
+        !name.starts_with("serve") && !name.starts_with("cascade") && !name.starts_with("ingest")
     }) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

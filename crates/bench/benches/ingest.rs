@@ -1,0 +1,194 @@
+//! Ingest-path benchmarks: everything that happens to a creative between
+//! the renderer handing over bytes and the batch tensor being ready —
+//! decode, the u8-domain fixed-point resize, and the fused
+//! resize-then-normalize pipeline against the seed's full-resolution f32
+//! reference (`Classifier::preprocess_reference`), at real ad-slot
+//! geometries. Also times formation-time `preprocess_into` writes against
+//! the old preprocess-then-`copy_sample_from` assembly they replaced, and
+//! the planar normalize / direct u8→i8 quantize kernels in isolation.
+//!
+//! Run with `cargo bench -p percival_bench --bench ingest`. Outside smoke
+//! mode this merges its `ingest/*` rows (and the derived
+//! `ingest_full_speedup` headline — acceptance: >= 3x over the reference
+//! on the 970x250 billboard) into the `BENCH_inference.json` snapshot at
+//! the workspace root.
+
+use criterion::Criterion;
+use percival_bench::snapshot;
+use percival_core::arch::INPUT_CHANNELS;
+use percival_core::Classifier;
+use percival_imgcodec::sniff::{decode_auto, encode_as, ImageFormat};
+use percival_imgcodec::Bitmap;
+use percival_tensor::gemm_i8::scale_for_max;
+use percival_tensor::ingest::{normalize_into, quantize_planar_from_u8};
+use percival_tensor::{Shape, Tensor, Workspace};
+use percival_util::Pcg32;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The paper's CNN input edge.
+const INPUT: usize = 224;
+
+/// IAB ad-slot geometries: billboard, medium rectangle, skyscraper.
+const SLOTS: [(&str, usize, usize); 3] = [
+    ("970x250", 970, 250),
+    ("300x250", 300, 250),
+    ("120x600", 120, 600),
+];
+
+/// An ad-like creative (webgen's synthetic ad renderer), so decode and
+/// resize see realistic content rather than incompressible noise.
+fn creative(w: usize, h: usize, seed: u64) -> Bitmap {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    percival_webgen::generate_ad(
+        &mut rng,
+        w,
+        h,
+        percival_webgen::Script::Latin,
+        percival_webgen::AdStyle::Rectangle,
+        percival_webgen::images::AdCues::default(),
+    )
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    let per_sample = INPUT_CHANNELS * INPUT * INPUT;
+    let mut ws = Workspace::new();
+    for (slot, w, h) in SLOTS {
+        let img = creative(w, h, 9);
+
+        // Decode: the raster-task work in front of the ingest kernels.
+        let png = encode_as(&img, ImageFormat::Png);
+        g.bench_function(&format!("decode_png/{slot}"), |b| {
+            b.iter(|| black_box(decode_auto(black_box(&png)).unwrap()))
+        });
+
+        // The fixed-point u8-domain resampler on its own — the only
+        // per-pixel-of-source work left on the submit path.
+        g.bench_function(&format!("resize_u8/{slot}"), |b| {
+            b.iter(|| {
+                let r = Classifier::resize_to(black_box(&img), INPUT, &mut ws);
+                ws.recycle_u8(black_box(r).into_data());
+            })
+        });
+
+        // The full fused pipeline as batch formation runs it (resize in
+        // u8, normalize the 224x224 result straight into the batch
+        // window), vs the seed pipeline it replaced (normalize the whole
+        // creative to f32, then bilinearly resize the planes). Their
+        // ratio is the `ingest_speedup/*` family below.
+        let mut dst = vec![0.0f32; per_sample];
+        g.bench_function(&format!("preprocess_fused/{slot}"), |b| {
+            b.iter(|| Classifier::preprocess_into(black_box(&img), INPUT, &mut dst, &mut ws))
+        });
+        g.bench_function(&format!("preprocess_reference/{slot}"), |b| {
+            b.iter(|| black_box(Classifier::preprocess_reference(black_box(&img), INPUT)))
+        });
+    }
+
+    // The f32-tier normalize and the int8 tier's direct u8→i8 quantize,
+    // isolated over an already-resized 224x224 sample: the entire float
+    // work remaining per queued creative at formation time.
+    let resized = Classifier::resize_to(&creative(300, 250, 9), INPUT, &mut ws);
+    let mut dst = vec![0.0f32; per_sample];
+    g.bench_function("normalize_224", |b| {
+        b.iter(|| normalize_into(black_box(resized.data()), INPUT, &mut dst))
+    });
+    let mut qdst = vec![0i8; per_sample];
+    let scale = scale_for_max(resized.max_abs());
+    g.bench_function("quantize_from_u8_224", |b| {
+        b.iter(|| quantize_planar_from_u8(black_box(resized.data()), INPUT, scale, &mut qdst))
+    });
+    ws.recycle_u8(resized.into_data());
+
+    // Batch assembly: fused formation-time writes vs the old two-pass
+    // preprocess-then-copy, over an 8-slot batch of medium rectangles.
+    let batch: Vec<Bitmap> = (0..8).map(|i| creative(300, 250, 20 + i)).collect();
+    let mut tensor = Tensor::zeros(Shape::new(batch.len(), INPUT_CHANNELS, INPUT, INPUT));
+    g.bench_function("batch8_preprocess_into", |b| {
+        b.iter(|| {
+            for (i, img) in batch.iter().enumerate() {
+                Classifier::preprocess_into(black_box(img), INPUT, tensor.sample_mut(i), &mut ws);
+            }
+        })
+    });
+    g.bench_function("batch8_preprocess_copy", |b| {
+        b.iter(|| {
+            for (i, img) in batch.iter().enumerate() {
+                let t = Classifier::preprocess(black_box(img), INPUT);
+                tensor.copy_sample_from(i, &t, 0);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Merges this bench's `ingest/*` rows and derived speedups into the
+/// shared `BENCH_inference.json` snapshot.
+fn write_snapshot(c: &Criterion) {
+    let mut entries = Vec::new();
+    for m in c.measurements() {
+        entries.push(snapshot::measurement_line(
+            &m.id,
+            m.mean.as_nanos(),
+            m.iterations,
+        ));
+    }
+    let mean_of = |id: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean.as_secs_f64())
+    };
+    let mut derived = Vec::new();
+    // Fused u8-domain preprocess vs the seed's full-resolution f32
+    // pipeline, per slot; the 970x250 billboard row doubles as the
+    // headline `ingest_full_speedup` (acceptance: >= 3x).
+    for (slot, _, _) in SLOTS {
+        if let (Some(r), Some(f)) = (
+            mean_of(&format!("ingest/preprocess_reference/{slot}")),
+            mean_of(&format!("ingest/preprocess_fused/{slot}")),
+        ) {
+            derived.push(snapshot::derived_line(
+                &format!("ingest_speedup/{slot}"),
+                r / f,
+            ));
+            if slot == "970x250" {
+                derived.push(snapshot::derived_line("ingest_full_speedup", r / f));
+            }
+        }
+    }
+    // Formation-time fused writes vs the preprocess-then-copy assembly.
+    if let (Some(copy), Some(into)) = (
+        mean_of("ingest/batch8_preprocess_copy"),
+        mean_of("ingest/batch8_preprocess_into"),
+    ) {
+        derived.push(snapshot::derived_line(
+            "ingest_into_vs_copy_speedup",
+            copy / into,
+        ));
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    // This bench owns exactly the `ingest*` rows.
+    match snapshot::merge_snapshot(std::path::Path::new(path), &entries, &derived, |name| {
+        name.starts_with("ingest")
+    }) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_ingest(&mut c);
+    if criterion::is_test_mode() {
+        // Smoke run (`-- --test` / CI): everything executed, but the
+        // clamped timings would make a misleading snapshot.
+        println!("smoke mode: skipping BENCH_inference.json snapshot");
+    } else {
+        write_snapshot(&c);
+    }
+}

@@ -8,8 +8,9 @@
 use crate::arch::{accepts_input, INPUT_CHANNELS, NUM_CLASSES};
 use percival_imgcodec::Bitmap;
 use percival_nn::serialize::{self, ModelIoError};
-use percival_nn::{ExecPlan, PlanObserver, QuantizedSequential, Sequential};
+use percival_nn::{ExecPlan, PlanInput, PlanObserver, QuantizedSequential, Sequential};
 use percival_tensor::activation::softmax;
+use percival_tensor::ingest::{self, ResizedU8};
 use percival_tensor::resize::resize_bilinear;
 use percival_tensor::threadpool::{ScopedTask, ThreadPool};
 use percival_tensor::workspace::with_thread_workspace;
@@ -219,7 +220,56 @@ impl Classifier {
 
     /// Converts an RGBA bitmap into a normalized `1 x 4 x S x S` tensor
     /// (channels centred to `[-1, 1]`, the usual CNN input scaling).
+    ///
+    /// This is the fused ingest path: the creative is resized in the u8
+    /// domain first ([`percival_tensor::ingest::resize_rgba`]) and only
+    /// the `S x S` result is normalized into f32, so float work is
+    /// `O(S²)` instead of `O(W·H)` and no full-resolution f32 temporary
+    /// exists. Identity geometries are bitwise-identical to
+    /// [`Classifier::preprocess_reference`]; resampled ones agree to
+    /// within the fixed-point interpolation tolerance (~2 byte steps).
     pub fn preprocess(bitmap: &Bitmap, input_size: usize) -> Tensor {
+        let mut t = Tensor::zeros(Shape::new(1, INPUT_CHANNELS, input_size, input_size));
+        with_thread_workspace(|ws| {
+            Self::preprocess_into(bitmap, input_size, t.as_mut_slice(), ws);
+        });
+        t
+    }
+
+    /// Resizes a creative into the compact u8 intermediate the batchers
+    /// queue: `4·S²` bytes instead of the `16·S²`-byte f32 tensor, with
+    /// the byte range tracked so the int8 tier can derive its activation
+    /// scale without ever normalizing. The buffer rides the workspace's
+    /// `u8` free list; recycle it after batch formation.
+    pub fn resize_to(bitmap: &Bitmap, input_size: usize, ws: &mut Workspace) -> ResizedU8 {
+        ingest::resize_rgba(
+            bitmap.data(),
+            bitmap.width(),
+            bitmap.height(),
+            input_size,
+            ws,
+        )
+    }
+
+    /// Fused preprocess writing straight into a caller-provided planar
+    /// `4 x S x S` f32 window — typically a batch tensor's sample slice at
+    /// formation time, which is what deletes the old preprocess-then-copy
+    /// assembly pass. Allocation-free once the workspace is warm.
+    pub fn preprocess_into(
+        bitmap: &Bitmap,
+        input_size: usize,
+        dst: &mut [f32],
+        ws: &mut Workspace,
+    ) {
+        let resized = Self::resize_to(bitmap, input_size, ws);
+        ingest::normalize_into(resized.data(), input_size, dst);
+        ws.recycle_u8(resized.into_data());
+    }
+
+    /// The seed pipeline's preprocess — normalize the **full-resolution**
+    /// bitmap to f32, then bilinearly resize the planes — kept as the
+    /// parity and bench reference for the fused path.
+    pub fn preprocess_reference(bitmap: &Bitmap, input_size: usize) -> Tensor {
         let (w, h) = (bitmap.width(), bitmap.height());
         let mut t = Tensor::zeros(Shape::new(1, INPUT_CHANNELS, h, w));
         {
@@ -379,6 +429,117 @@ impl Classifier {
                             tws,
                             out_chunk,
                             obs,
+                        );
+                    });
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        probs
+    }
+
+    /// Classifies a batch the fused ingest path quantized straight from
+    /// creative bytes: `data` holds `maxes.len()` planar
+    /// `4 x S x S` int8 samples (each quantized under the scale derived
+    /// from its byte-domain maximum, see
+    /// [`percival_tensor::ingest::quantize_planar_from_u8`]); returns
+    /// `P(ad)` per sample. Bitwise-identical to normalizing the same bytes
+    /// to f32 and calling [`Classifier::classify_tensor_with`] — the f32
+    /// input plane simply never exists. Activation scales stay per-sample,
+    /// so verdicts remain batch-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier is not executing in [`Precision::Int8`],
+    /// or `data` does not cover the batch.
+    pub fn classify_quantized_with(
+        &self,
+        data: &[i8],
+        maxes: &[f32],
+        ws: &mut Workspace,
+    ) -> Vec<f32> {
+        self.classify_quantized_impl(data, maxes, ws, None)
+    }
+
+    /// [`Classifier::classify_quantized_with`] with a [`PlanObserver`]
+    /// told every fused op's wall time.
+    pub fn classify_quantized_observed(
+        &self,
+        data: &[i8],
+        maxes: &[f32],
+        ws: &mut Workspace,
+        obs: &dyn PlanObserver,
+    ) -> Vec<f32> {
+        self.classify_quantized_impl(data, maxes, ws, Some(obs))
+    }
+
+    fn classify_quantized_impl(
+        &self,
+        data: &[i8],
+        maxes: &[f32],
+        ws: &mut Workspace,
+        obs: Option<&dyn PlanObserver>,
+    ) -> Vec<f32> {
+        let q = self
+            .quantized
+            .as_ref()
+            .expect("classify_quantized_with needs Int8 precision");
+        let n = maxes.len();
+        let s = self.input_size;
+        let per_sample = INPUT_CHANNELS * s * s;
+        assert!(
+            data.len() >= n * per_sample,
+            "quantized batch does not cover {n} samples"
+        );
+        let probs_of = |plan: &ExecPlan,
+                        shape: Shape,
+                        data: &[i8],
+                        maxes: &[f32],
+                        ws: &mut Workspace,
+                        out: &mut [f32]| {
+            let logits = plan.run_i8_input(q, shape, PlanInput::Quant { data, maxes }, ws, obs);
+            let p = softmax(&logits);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = p.at(i, 1, 0, 0);
+            }
+        };
+
+        let mut probs = vec![0.0f32; n];
+        let pool = ThreadPool::global();
+        let bands = pool.parallelism().min(n.max(1));
+        if n <= 1 || bands <= 1 {
+            // Single band: one pass (per-sample pipelining, when the pool
+            // helps, happens inside the plan run).
+            probs_of(
+                &self.plan,
+                Shape::new(n, INPUT_CHANNELS, s, s),
+                data,
+                maxes,
+                ws,
+                &mut probs,
+            );
+            return probs;
+        }
+
+        // One whole-network task per band over disjoint sample ranges,
+        // exactly like the f32 batched path.
+        let probs_of = &probs_of;
+        let band_len = n.div_ceil(bands);
+        let tasks: Vec<ScopedTask<'_>> = probs
+            .chunks_mut(band_len)
+            .enumerate()
+            .map(|(band, out_chunk)| {
+                let start = band * band_len;
+                let rows = out_chunk.len();
+                Box::new(move || {
+                    with_thread_workspace(|tws| {
+                        probs_of(
+                            &self.plan,
+                            Shape::new(rows, INPUT_CHANNELS, s, s),
+                            &data[start * per_sample..(start + rows) * per_sample],
+                            &maxes[start..start + rows],
+                            tws,
+                            out_chunk,
                         );
                     });
                 }) as ScopedTask<'_>

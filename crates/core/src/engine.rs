@@ -34,6 +34,9 @@ use crate::flight::{Fifo, Formed, Gate};
 use crate::memo::MemoizedClassifier;
 use percival_imgcodec::{Bitmap, HashedBitmap};
 use percival_nn::PlanProfile;
+use percival_tensor::gemm_i8::scale_for_max;
+use percival_tensor::ingest::{normalize_into, quantize_planar_from_u8};
+use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{Shape, Tensor, Workspace};
 use percival_util::telem::{self, StageKind};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -196,7 +199,20 @@ impl InferenceEngine {
             (),
             tx,
             |p_ad| Prediction::from_probability(p_ad, threshold, Duration::ZERO),
-            || Classifier::preprocess(img.bitmap(), input_size),
+            // The submitting thread does the u8-domain resize only; the
+            // batcher normalizes (or quantizes) straight into the batch
+            // buffer at formation time. Sampled requests report the resize
+            // as a Preprocess span (the hook registers the key first).
+            || {
+                let start = telem::is_sampled(img.key()).then(telem::now_ns);
+                let sample =
+                    with_thread_workspace(|ws| Classifier::resize_to(img.bitmap(), input_size, ws));
+                if let Some(start) = start {
+                    let dur = telem::now_ns().saturating_sub(start);
+                    telem::emit(img.key(), StageKind::Preprocess, start, dur);
+                }
+                sample
+            },
             // The FIFO engine admits everything: overload policy belongs to
             // the serving layer.
             |_depth, _prio| Gate::Admit,
@@ -272,6 +288,8 @@ fn batcher_main(shared: &EngineShared) {
     let classifier = shared.table.memo().classifier();
     let input_size = classifier.input_size();
     let threshold = classifier.threshold();
+    let int8 = classifier.precision() == Precision::Int8;
+    let per_sample = crate::arch::INPUT_CHANNELS * input_size * input_size;
     let mut ws = Workspace::new();
 
     // `wait_for_work` keeps returning work until the queue is empty *and*
@@ -312,12 +330,33 @@ fn batcher_main(shared: &EngineShared) {
             }
         }
 
-        // Assemble the N x 4 x S x S tensor from the pre-preprocessed
-        // samples (submitting threads did the resize + normalization).
-        let shape = Shape::new(n, crate::arch::INPUT_CHANNELS, input_size, input_size);
-        let mut tensor = Tensor::from_vec(shape, ws.take(shape.count()));
-        for (i, img) in batch.iter().enumerate() {
-            tensor.copy_sample_from(i, &img.tensor, 0);
+        // Form the batch input straight from the queued u8 samples: the
+        // f32 tier normalizes each sample into its window of the batch
+        // tensor; the int8 tier quantizes each sample's bytes directly to
+        // the GEMM's i8 input domain (the f32 plane never exists). Either
+        // way the old preprocess-then-copy assembly pass is gone.
+        let mut qdata: Vec<i8> = Vec::new();
+        let mut maxes: Vec<f32> = Vec::new();
+        let mut tensor: Option<Tensor> = None;
+        if int8 {
+            qdata = ws.take_i8(n * per_sample);
+            maxes = ws.take(n);
+            for (i, img) in batch.iter().enumerate() {
+                maxes[i] = img.sample.max_abs();
+                quantize_planar_from_u8(
+                    img.sample.data(),
+                    input_size,
+                    scale_for_max(maxes[i]),
+                    &mut qdata[i * per_sample..(i + 1) * per_sample],
+                );
+            }
+        } else {
+            let shape = Shape::new(n, crate::arch::INPUT_CHANNELS, input_size, input_size);
+            let mut t = Tensor::from_vec(shape, ws.take(shape.count()));
+            for (i, img) in batch.iter().enumerate() {
+                normalize_into(img.sample.data(), input_size, t.sample_mut(i));
+            }
+            tensor = Some(t);
         }
         let started = Instant::now();
         if !sampled.is_empty() {
@@ -333,7 +372,10 @@ fn batcher_main(shared: &EngineShared) {
             }
         }
         let probs = if sampled.is_empty() {
-            classifier.classify_tensor_with(&tensor, &mut ws)
+            match &tensor {
+                Some(t) => classifier.classify_tensor_with(t, &mut ws),
+                None => classifier.classify_quantized_with(&qdata, &maxes, &mut ws),
+            }
         } else {
             // A sampled member rides this batch: run observed and lay the
             // per-op totals out as a sequential PlanOp timeline from the
@@ -341,7 +383,10 @@ fn batcher_main(shared: &EngineShared) {
             // attributed to each sampled request either way).
             let profile = PlanProfile::new();
             let classify_start = telem::now_ns();
-            let probs = classifier.classify_tensor_observed(&tensor, &mut ws, &profile);
+            let probs = match &tensor {
+                Some(t) => classifier.classify_tensor_observed(t, &mut ws, &profile),
+                None => classifier.classify_quantized_observed(&qdata, &maxes, &mut ws, &profile),
+            };
             for &key in &sampled {
                 let mut cursor = classify_start;
                 for stat in profile.report() {
@@ -359,7 +404,12 @@ fn batcher_main(shared: &EngineShared) {
             }
             probs
         };
-        ws.recycle(tensor.into_vec());
+        if let Some(t) = tensor {
+            ws.recycle(t.into_vec());
+        } else {
+            ws.recycle_i8(qdata);
+            ws.recycle(maxes);
+        }
         // Each verdict reports its amortized share of the batch's wall time
         // (see `Prediction::elapsed`); the true per-batch cost goes to the
         // `service_ns` counter below.
@@ -370,6 +420,12 @@ fn batcher_main(shared: &EngineShared) {
             .zip(probs.iter())
             .map(|(img, &p_ad)| (img.key, p_ad))
             .collect();
+        // The queued byte samples are done; return them to the free list
+        // so steady-state submission -> formation cycles stay allocation
+        // free on the batcher side.
+        for img in batch {
+            ws.recycle_u8(img.sample.into_data());
+        }
         let publish_start = tracing.then(telem::now_ns);
         let mut finished: Vec<(u64, u64)> = Vec::new();
         shared.table.publish(

@@ -42,7 +42,7 @@
 //! calling `form_batch`/`publish` on a sibling's table.
 
 use crate::memo::MemoizedClassifier;
-use percival_tensor::Tensor;
+use percival_tensor::ResizedU8;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
@@ -54,9 +54,12 @@ use std::time::Instant;
 pub struct FlightEntry<P> {
     /// Content hash of the creative (the single-flight key).
     pub key: u64,
-    /// Preprocessed `1 x 4 x S x S` input (resized on the submitting
-    /// thread so the batcher never serializes O(batch) resizes).
-    pub tensor: Tensor,
+    /// Resized `S x S x 4` interleaved RGBA bytes (resized on the
+    /// submitting thread so the batcher never serializes O(batch)
+    /// resizes). Normalization/quantization into the batch tensor happens
+    /// at formation time, so a pending entry costs `S*S*4` bytes instead
+    /// of a full `f32` tensor (~4x less queue memory).
+    pub sample: ResizedU8,
     /// Discipline-specific priority metadata (`()` for FIFO).
     pub prio: P,
     /// When the group was pushed onto the queue ([`FlightTable::submit`]
@@ -645,8 +648,9 @@ impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
     /// with its accounting.
     ///
     /// - `verdict` builds the published value for cache hits;
-    /// - `preprocess` produces the `1 x 4 x S x S` input (runs on the
-    ///   submitting thread; wasted only when the submission coalesces);
+    /// - `preprocess` produces the resized `S x S x 4` byte sample (runs
+    ///   on the submitting thread; wasted only when the submission
+    ///   coalesces);
     /// - `gate` is the overload policy, consulted with the current queue
     ///   depth before a new group is queued (see [`Gate`]);
     /// - `on_queued` runs under the state lock right after the push, so
@@ -668,7 +672,7 @@ impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
     ) -> Admission
     where
         FV: Fn(f32) -> V,
-        FP: FnOnce() -> Tensor,
+        FP: FnOnce() -> ResizedU8,
         FG: FnMut(usize, &mut Q::Prio) -> Gate<V>,
         FO: FnOnce(usize, &Q::Prio),
     {
@@ -681,7 +685,7 @@ impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
             let _ = tx.send(verdict(p_ad));
             return Admission::Cached(p_ad);
         }
-        let tensor = preprocess();
+        let sample = preprocess();
 
         let mut state = self.state.lock().expect("flight state");
         loop {
@@ -725,7 +729,7 @@ impl<Q: QueueDiscipline, V: Clone> FlightTable<Q, V> {
         let queued_prio = prio.clone();
         state.queue.push(FlightEntry {
             key,
-            tensor,
+            sample,
             prio,
             enqueued_at: Instant::now(),
         });
@@ -871,7 +875,6 @@ mod tests {
     use crate::arch::percival_net_slim;
     use crate::classifier::Classifier;
     use percival_nn::init::kaiming_init;
-    use percival_tensor::Shape;
     use percival_util::Pcg32;
     use std::sync::mpsc::channel;
     use std::time::Duration;
@@ -882,8 +885,8 @@ mod tests {
         Arc::new(MemoizedClassifier::new(Classifier::new(model, 32), 64))
     }
 
-    fn tiny_tensor() -> Tensor {
-        Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![0.0])
+    fn tiny_sample() -> ResizedU8 {
+        ResizedU8::from_raw(vec![0; 4], 1)
     }
 
     fn edf_prio(base: Instant, deadline_ms: u64, seq: u64) -> EdfPrio {
@@ -904,7 +907,7 @@ mod tests {
             edf_prio(base, deadline_ms, seq),
             tx,
             |p| p,
-            tiny_tensor,
+            tiny_sample,
             |_, _| Gate::Admit,
             |_, _| {},
         );
@@ -917,7 +920,7 @@ mod tests {
         for key in 0..4 {
             q.push(FlightEntry {
                 key,
-                tensor: tiny_tensor(),
+                sample: tiny_sample(),
                 prio: (),
                 enqueued_at: Instant::now(),
             });
@@ -933,7 +936,7 @@ mod tests {
         for (key, deadline_ms, seq) in [(10, 50, 0), (11, 10, 1), (12, 50, 2), (13, 10, 3)] {
             q.push(FlightEntry {
                 key,
-                tensor: tiny_tensor(),
+                sample: tiny_sample(),
                 prio: edf_prio(base, deadline_ms, seq),
                 enqueued_at: base,
             });
@@ -948,13 +951,13 @@ mod tests {
         let mut q = Edf::default();
         q.push(FlightEntry {
             key: 1,
-            tensor: tiny_tensor(),
+            sample: tiny_sample(),
             prio: edf_prio(base, 100, 0),
             enqueued_at: base,
         });
         q.push(FlightEntry {
             key: 2,
-            tensor: tiny_tensor(),
+            sample: tiny_sample(),
             prio: edf_prio(base, 50, 1),
             enqueued_at: base,
         });
@@ -978,7 +981,7 @@ mod tests {
             edf_prio(base, 10, 2),
             tx,
             |p| p,
-            tiny_tensor,
+            tiny_sample,
             |_, _| Gate::Admit,
             |_, _| {},
         );
@@ -1000,7 +1003,7 @@ mod tests {
     fn publish_memoizes_before_removing_the_group() {
         let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
         let (tx, rx) = channel();
-        table.submit(9, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        table.submit(9, (), tx, |p| p, tiny_sample, |_, _| Gate::Admit, |_, _| {});
         let formed = table.form_batch(8, |e, _| Formed::Keep(e));
         assert_eq!(formed.batch.len(), 1);
         table.publish(&[(9, 0.75)], |_, p| p, |_| {});
@@ -1012,7 +1015,7 @@ mod tests {
             (),
             tx2,
             |p| p,
-            tiny_tensor,
+            tiny_sample,
             |_, _| Gate::Admit,
             |_, _| {},
         );
@@ -1030,7 +1033,7 @@ mod tests {
             (),
             tx,
             |p| p,
-            tiny_tensor,
+            tiny_sample,
             |_, _| Gate::Reject(-1.0),
             |_, _| {},
         );
@@ -1044,7 +1047,7 @@ mod tests {
     fn formation_shed_removes_the_group_for_the_caller_to_resolve() {
         let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
         let (tx, rx) = channel();
-        table.submit(7, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        table.submit(7, (), tx, |p| p, tiny_sample, |_, _| Gate::Admit, |_, _| {});
         let formed = table.form_batch(8, |e, _| Formed::Shed(e));
         assert!(formed.batch.is_empty());
         assert_eq!(formed.shed.len(), 1);
@@ -1123,7 +1126,7 @@ mod tests {
                             if queued.insert(key) {
                                 heap.push(FlightEntry {
                                     key,
-                                    tensor: tiny_tensor(),
+                                    sample: tiny_sample(),
                                     prio: edf_prio(base, deadline_ms, seq),
                                     enqueued_at: base,
                                 });
@@ -1176,7 +1179,7 @@ mod tests {
         let table: FlightTable<Fifo, f32> = FlightTable::new(memo());
         assert_eq!(table.probe(1), FlightProbe::Queueable { depth: 0 });
         let (tx, _rx) = channel();
-        table.submit(1, (), tx, |p| p, tiny_tensor, |_, _| Gate::Admit, |_, _| {});
+        table.submit(1, (), tx, |p| p, tiny_sample, |_, _| Gate::Admit, |_, _| {});
         assert_eq!(table.probe(1), FlightProbe::InFlight);
         assert_eq!(table.probe(2), FlightProbe::Queueable { depth: 1 });
         let formed = table.form_batch(8, |e, _| Formed::Keep(e));

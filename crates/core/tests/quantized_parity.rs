@@ -14,15 +14,27 @@
 //! packing — asserted on the workspace pack counter), pipelined runs must
 //! match their sequential references, and every int8 kernel tier
 //! (portable, AVX2, VNNI) that the host can run must produce identical
-//! logits. CI runs this under `--release` so the numbers reflect the
-//! optimized kernels that actually serve traffic.
+//! logits. The fused ingest path adds a fourth: the u8-domain
+//! resize-then-normalize pipeline must agree with the full-resolution f32
+//! reference on ≥ 99.9% of verdicts over a large random-creative sweep,
+//! formation-time `preprocess_into` writes must be bitwise-equal to the
+//! old preprocess-then-copy assembly, and a warm submit → formation →
+//! recycle cycle must be allocation-free. CI runs this under `--release`
+//! so the numbers reflect the optimized kernels that actually serve
+//! traffic.
 
+use percival_core::arch::INPUT_CHANNELS;
 use percival_core::train::{train, TrainConfig};
 use percival_core::{Classifier, Precision};
 use percival_imgcodec::Bitmap;
 use percival_nn::{ExecPlan, QuantizedSequential, StepLr};
 use percival_tensor::activation::softmax;
-use percival_tensor::{set_i8_tier_override, simd_available, vnni_available, I8Tier, Workspace};
+use percival_tensor::gemm_i8::scale_for_max;
+use percival_tensor::ingest::{normalize_into, quantize_planar_from_u8};
+use percival_tensor::{
+    set_i8_tier_override, simd_available, vnni_available, I8Tier, Shape, Tensor, Workspace,
+};
+use percival_util::Pcg32;
 use percival_webgen::profile::{build_balanced_dataset, DatasetProfile};
 use percival_webgen::Script;
 
@@ -374,4 +386,187 @@ fn int8_model_is_deterministic() {
             assert_eq!(cls.classify(&sample.bitmap).p_ad, first);
         }
     }
+}
+
+/// Random-noise creative at an arbitrary geometry — the worst case for the
+/// fixed-point resampler, since there are no smooth gradients to hide
+/// rounding in.
+fn noisy_bitmap(w: usize, h: usize, rng: &mut Pcg32) -> Bitmap {
+    let mut b = Bitmap::new(w, h, [0, 0, 0, 255]);
+    for y in 0..h {
+        for x in 0..w {
+            b.set(
+                x,
+                y,
+                [
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                ],
+            );
+        }
+    }
+    b
+}
+
+#[test]
+fn fused_ingest_verdicts_agree_with_reference_preprocess() {
+    // The acceptance bar for the u8-domain ingest path: it ships only if
+    // it is behaviorally invisible. Across a large sweep of random
+    // creatives at ad-slot geometries, verdicts from the fused
+    // `Classifier::preprocess` must agree with the full-resolution f32
+    // reference pipeline on >= 99.9% of samples, on both precision tiers.
+    // Identity geometries are bitwise-equal by construction; resampled
+    // ones can differ only by the fixed-point interpolation tolerance,
+    // which flips a verdict only when P(ad) sits within that tolerance of
+    // the threshold.
+    let f32_cls = trained_classifier();
+    let int8_cls = f32_cls.clone().with_precision(Precision::Int8);
+    let size = f32_cls.input_size();
+    // Identity, IAB-banner-ish ratios (scaled down), odd primes, and
+    // upscales from tiny creatives.
+    let geoms = [
+        (size, size),
+        (97, 25),
+        (120, 60),
+        (150, 125),
+        (30, 60),
+        (13, 17),
+        (243, 81),
+        (64, 8),
+    ];
+    // 1024 samples per tier under `--release` (the CI configuration for
+    // this file); trimmed in debug where the unoptimized kernels make the
+    // full sweep take minutes.
+    let rounds = if cfg!(debug_assertions) { 16 } else { 128 };
+    let mut rng = Pcg32::seed_from_u64(0xAD_1E57);
+    for (tier, cls) in [("f32", &f32_cls), ("int8", &int8_cls)] {
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let mut max_drift = 0.0f32;
+        for _ in 0..rounds {
+            for &(w, h) in &geoms {
+                let bitmap = noisy_bitmap(w, h, &mut rng);
+                let fused = cls.classify(&bitmap);
+                let reference = Classifier::preprocess_reference(&bitmap, size);
+                let p_ref = cls.classify_tensor(&reference)[0];
+                if fused.is_ad == (p_ref >= cls.threshold()) {
+                    agree += 1;
+                }
+                total += 1;
+                max_drift = max_drift.max((fused.p_ad - p_ref).abs());
+            }
+        }
+        let agreement = agree as f64 / total as f64;
+        assert!(
+            agreement >= 0.999,
+            "{tier}: fused-vs-reference verdict agreement {agreement:.4} \
+             below 0.999 ({agree}/{total})"
+        );
+        assert!(
+            max_drift < 0.1,
+            "{tier}: worst-case fused-vs-reference P(ad) drift {max_drift} is not small"
+        );
+    }
+}
+
+#[test]
+fn preprocess_into_matches_preprocess_then_copy() {
+    // Formation-time fused writes must reproduce the old two-pass
+    // assembly exactly: preprocess into a private 1 x 4 x S x S tensor,
+    // then `copy_sample_from` into the batch window. The bar is bitwise —
+    // both paths run the same resize and normalize kernels, only the copy
+    // disappears.
+    let size = 32;
+    let mut rng = Pcg32::seed_from_u64(404);
+    let geoms = [(size, size), (120, 60), (31, 77), (243, 27)];
+    let bitmaps: Vec<Bitmap> = geoms
+        .iter()
+        .map(|&(w, h)| noisy_bitmap(w, h, &mut rng))
+        .collect();
+    let n = bitmaps.len();
+
+    let mut fused = Tensor::zeros(Shape::new(n, INPUT_CHANNELS, size, size));
+    let mut ws = Workspace::new();
+    for (i, b) in bitmaps.iter().enumerate() {
+        Classifier::preprocess_into(b, size, fused.sample_mut(i), &mut ws);
+    }
+
+    let mut assembled = Tensor::zeros(Shape::new(n, INPUT_CHANNELS, size, size));
+    for (i, b) in bitmaps.iter().enumerate() {
+        let t = Classifier::preprocess(b, size);
+        assembled.copy_sample_from(i, &t, 0);
+    }
+
+    assert_eq!(
+        fused.as_slice(),
+        assembled.as_slice(),
+        "preprocess_into must be bitwise-equal to preprocess + copy_sample_from"
+    );
+}
+
+#[test]
+fn warm_ingest_formation_cycle_is_allocation_free() {
+    // One full submit -> formation -> recycle lap against a single
+    // workspace, exactly as the batchers run it: resize each creative to
+    // the compact u8 intermediate at submit, normalize into an f32 batch
+    // window (f32 tier) and quantize straight from bytes (int8 tier) at
+    // formation, then return every buffer to the free lists. After a
+    // single warm-up lap the lists must absorb all of it: the allocation
+    // counter stays flat no matter how many more laps run.
+    let size = 32;
+    let per_sample = INPUT_CHANNELS * size * size;
+    let mut rng = Pcg32::seed_from_u64(77);
+    let geoms = [(size, size), (120, 60), (97, 25), (48, 160)];
+    let bitmaps: Vec<Bitmap> = geoms
+        .iter()
+        .map(|&(w, h)| noisy_bitmap(w, h, &mut rng))
+        .collect();
+
+    let cycle = |ws: &mut Workspace| {
+        // Submit side: one compact resized sample per pending entry.
+        let samples: Vec<_> = bitmaps
+            .iter()
+            .map(|b| Classifier::resize_to(b, size, ws))
+            .collect();
+        // f32 formation: normalize straight into the batch buffer.
+        let mut batch = ws.take(samples.len() * per_sample);
+        for (i, s) in samples.iter().enumerate() {
+            normalize_into(
+                s.data(),
+                size,
+                &mut batch[i * per_sample..(i + 1) * per_sample],
+            );
+        }
+        ws.recycle(batch);
+        // int8 formation: quantize straight from the queued bytes.
+        let mut q = ws.take_i8(samples.len() * per_sample);
+        for (i, s) in samples.iter().enumerate() {
+            quantize_planar_from_u8(
+                s.data(),
+                size,
+                scale_for_max(s.max_abs()),
+                &mut q[i * per_sample..(i + 1) * per_sample],
+            );
+        }
+        ws.recycle_i8(q);
+        // Publish: the spent byte samples go back to the u8 free list.
+        for s in samples {
+            ws.recycle_u8(s.into_data());
+        }
+    };
+
+    let mut ws = Workspace::new();
+    cycle(&mut ws);
+    let warm = ws.stats().allocations;
+    assert!(warm > 0, "the cold lap must have touched the heap");
+    for _ in 0..5 {
+        cycle(&mut ws);
+    }
+    assert_eq!(
+        ws.stats().allocations,
+        warm,
+        "warm submit -> formation cycles must be allocation-free"
+    );
 }

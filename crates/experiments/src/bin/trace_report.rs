@@ -64,7 +64,8 @@ fn main() {
     let cascade = Arc::new(Cascade::synthetic());
     // Distinct creatives (round-robin), so sampled requests never land on
     // the memo cache: every CNN-residual trace carries the full
-    // Submit → QueueWait → BatchForm → PlanOp → Publish chain.
+    // Submit (with its nested Preprocess resize) → QueueWait → BatchForm
+    // → PlanOp → Publish chain.
     let traffic = TrafficConfig {
         seed: 0x5EED,
         creatives: 512,

@@ -26,6 +26,6 @@ pub mod serialize;
 pub use layer::{Conv2d, Fire, Layer};
 pub use model::{ModelGrads, Sequential};
 pub use optim::{SgdMomentum, StepLr};
-pub use plan::{ExecPlan, PlanObserver, PlanOpStat, PlanProfile};
+pub use plan::{ExecPlan, PlanInput, PlanObserver, PlanOpStat, PlanProfile};
 pub use qmodel::{QConv2d, QLayer, QuantizedSequential};
 pub use quant::{quantize, QuantError, QuantizedModel};

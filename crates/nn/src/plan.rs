@@ -70,13 +70,14 @@ use crate::model::Sequential;
 use crate::qmodel::{QConv2d, QLayer, QuantizedSequential};
 use percival_tensor::activation::relu_inplace;
 use percival_tensor::conv::conv_out_extent;
+use percival_tensor::gemm_i8::scale_for_max;
 use percival_tensor::pool::{global_avg_pool_forward_with, max_pool_forward_with};
 use percival_tensor::threadpool::ScopedTask;
 use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{
     conv2d_forward_pre_ep_with, conv2d_forward_q8_fused_pre, conv2d_forward_q8_with,
-    conv2d_sample_ep_into, conv2d_sample_q8_into, Conv2dCfg, EpilogueF32, PackedGemmF32,
-    PackedGemmI8, PoolCfg, Shape, Tensor, ThreadPool, Workspace,
+    conv2d_sample_ep_into, conv2d_sample_q8_into, conv2d_sample_q8_prequant_into, Conv2dCfg,
+    EpilogueF32, PackedGemmF32, PackedGemmI8, PoolCfg, Shape, Tensor, ThreadPool, Workspace,
 };
 use percival_util::telem::PlanOpKind;
 use std::sync::Mutex;
@@ -103,6 +104,29 @@ pub struct ConvLoc {
     pub layer: usize,
     /// Which convolution of that layer.
     pub slot: ConvSlot,
+}
+
+/// The input handed to an int8 plan run: the classic borrowed f32 batch,
+/// or a batch the fused ingest path already quantized straight from
+/// creative bytes (so the f32 input plane never existed).
+#[derive(Debug, Clone, Copy)]
+pub enum PlanInput<'a> {
+    /// A planar `N x C x H x W` f32 batch; the first convolution sweeps
+    /// and quantizes it per sample, exactly as [`ExecPlan::run_i8`]
+    /// always has.
+    F32(&'a [f32]),
+    /// A planar `N x C x H x W` int8 batch, each sample quantized under
+    /// `scale_for_max(maxes[n])`
+    /// ([`percival_tensor::ingest::quantize_planar_from_u8`] produces
+    /// exactly this). The leading convolution consumes the int8 planes
+    /// directly — zero-copy for pointwise geometries.
+    Quant {
+        /// Prequantized activation planes.
+        data: &'a [i8],
+        /// Per-sample `max|x|` of the (never materialized) normalized
+        /// input, from which each sample's activation scale derives.
+        maxes: &'a [f32],
+    },
 }
 
 /// One step of a compiled plan.
@@ -613,7 +637,7 @@ impl ExecPlan {
         ws: &mut Workspace,
     ) -> Tensor {
         let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
-        self.run_i8_impl(q, shape, data, ws, pipelined, None)
+        self.run_i8_impl(q, shape, PlanInput::F32(data), ws, pipelined, None)
     }
 
     /// [`ExecPlan::run_i8`] with a [`PlanObserver`] told every op's wall
@@ -627,7 +651,30 @@ impl ExecPlan {
         obs: &dyn PlanObserver,
     ) -> Tensor {
         let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
-        self.run_i8_impl(q, shape, data, ws, pipelined, Some(obs))
+        self.run_i8_impl(q, shape, PlanInput::F32(data), ws, pipelined, Some(obs))
+    }
+
+    /// [`ExecPlan::run_i8`] over a [`PlanInput`], accepting a batch the
+    /// fused ingest path prequantized straight from creative bytes. For
+    /// equal values a `Quant` input is bitwise-identical to the `F32` run
+    /// (same scales, same int8 planes, same kernels) — the f32 round-trip
+    /// is simply never materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Quant` input is given but the plan does not open with
+    /// a convolution (every PERCIVAL architecture does), or any buffer
+    /// does not cover `shape`.
+    pub fn run_i8_input(
+        &self,
+        q: &QuantizedSequential,
+        shape: Shape,
+        input: PlanInput<'_>,
+        ws: &mut Workspace,
+        obs: Option<&dyn PlanObserver>,
+    ) -> Tensor {
+        let pipelined = self.fused && ThreadPool::global().parallelism() > 1;
+        self.run_i8_impl(q, shape, input, ws, pipelined, obs)
     }
 
     /// [`ExecPlan::run_i8`] forced onto the single-thread path — the
@@ -639,7 +686,7 @@ impl ExecPlan {
         data: &[f32],
         ws: &mut Workspace,
     ) -> Tensor {
-        self.run_i8_impl(q, shape, data, ws, false, None)
+        self.run_i8_impl(q, shape, PlanInput::F32(data), ws, false, None)
     }
 
     /// [`ExecPlan::run_i8_sequential`] with a [`PlanObserver`].
@@ -651,22 +698,19 @@ impl ExecPlan {
         ws: &mut Workspace,
         obs: &dyn PlanObserver,
     ) -> Tensor {
-        self.run_i8_impl(q, shape, data, ws, false, Some(obs))
+        self.run_i8_impl(q, shape, PlanInput::F32(data), ws, false, Some(obs))
     }
 
     fn run_i8_impl(
         &self,
         q: &QuantizedSequential,
         shape: Shape,
-        data: &[f32],
+        input: PlanInput<'_>,
         ws: &mut Workspace,
         pipelined: bool,
         obs: Option<&dyn PlanObserver>,
     ) -> Tensor {
         let n = shape.n;
-        let mut seed = ws.take(shape.count());
-        seed.copy_from_slice(&data[..shape.count()]);
-        let mut x = Tensor::from_vec(shape, seed);
         // Per-sample max|x| of the current tensor, valid while `have_max`:
         // convolution epilogues keep it alive; pooling and standalone
         // sweeps invalidate it (the next conv then sweeps once, exactly as
@@ -676,7 +720,57 @@ impl ExecPlan {
         let mut branch_max = ws.take(n);
         let mut have_max = false;
         let mut ci = 0usize;
-        for (idx, op) in self.ops.iter().enumerate() {
+        let mut start_idx = 0usize;
+        let mut x = match input {
+            PlanInput::F32(data) => {
+                let mut seed = ws.take(shape.count());
+                seed.copy_from_slice(&data[..shape.count()]);
+                Tensor::from_vec(shape, seed)
+            }
+            PlanInput::Quant {
+                data,
+                maxes: in_maxes,
+            } => {
+                assert!(
+                    data.len() >= shape.count(),
+                    "quantized input does not cover the batch"
+                );
+                assert!(in_maxes.len() >= n, "input maxes do not cover the batch");
+                let (loc, relu) = match self.ops.first() {
+                    Some(&PlanOp::Conv { loc, relu }) => (loc, relu),
+                    other => panic!(
+                        "prequantized input needs a leading convolution, plan opens with {other:?}"
+                    ),
+                };
+                let track = self.fused
+                    && matches!(
+                        self.ops.get(1),
+                        Some(PlanOp::Conv { .. } | PlanOp::Branch { .. })
+                    );
+                let t0 = obs.map(|_| Instant::now());
+                let out = conv_i8_quant_input(
+                    data,
+                    in_maxes,
+                    shape,
+                    conv_q(q, loc),
+                    self.packed_i8.first(),
+                    self.fused && relu,
+                    track,
+                    &mut scratch_max,
+                    pipelined,
+                    ws,
+                );
+                if let (Some(o), Some(t0)) = (obs, t0) {
+                    o.op_executed(0, self.ops[0].op_kind(), t0.elapsed().as_nanos() as u64);
+                }
+                std::mem::swap(&mut maxes, &mut scratch_max);
+                have_max = track;
+                ci = 1;
+                start_idx = 1;
+                out
+            }
+        };
+        for (idx, op) in self.ops.iter().enumerate().skip(start_idx) {
             // Track an op's output maximum only when the very next op is a
             // quantized GEMM that will consume it — tracking is a per-
             // element reduction, wasted on outputs headed into pooling or
@@ -1126,6 +1220,87 @@ fn conv_i8_batch(
         })
         .collect();
     ThreadPool::global().scope_run(tasks);
+    Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out)
+}
+
+/// The leading convolution of a prequantized run: every sample's int8
+/// planes go straight into the fused GEMM under the scale derived from its
+/// byte-domain maximum — no sweep, no quantize pass, and for the pointwise
+/// first conv of the slim nets not even an im2col gather. Fanned out one
+/// task per sample when `pipelined`, mirroring [`conv_i8_batch`].
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_quant_input(
+    xq: &[i8],
+    in_maxes: &[f32],
+    shape: Shape,
+    c: &QConv2d,
+    pq: Option<&PackedGemmI8>,
+    relu: bool,
+    track: bool,
+    out_max: &mut [f32],
+    pipelined: bool,
+    ws: &mut Workspace,
+) -> Tensor {
+    let is = shape;
+    let (oh, ow) = out_geometry(is, c.weight_shape, c.cfg);
+    let oc = c.weight_shape.n;
+    let per = oc * oh * ow;
+    let per_in = is.c * is.h * is.w;
+    let mut out = ws.take(is.n * per);
+    if pipelined && is.n > 1 {
+        let tasks: Vec<ScopedTask<'_>> = out
+            .chunks_exact_mut(per)
+            .zip(out_max.iter_mut())
+            .enumerate()
+            .map(|(s, (out_s, mx))| {
+                let xq_s = &xq[s * per_in..(s + 1) * per_in];
+                let scale_x = scale_for_max(in_maxes[s]);
+                let task: ScopedTask<'_> = Box::new(move || {
+                    *mx = with_thread_workspace(|tws| {
+                        conv2d_sample_q8_prequant_into(
+                            xq_s,
+                            scale_x,
+                            is,
+                            &c.weight_q,
+                            pq,
+                            c.weight_shape,
+                            &c.scales,
+                            &c.bias,
+                            c.cfg,
+                            relu,
+                            track,
+                            out_s,
+                            tws,
+                        )
+                    });
+                });
+                task
+            })
+            .collect();
+        ThreadPool::global().scope_run(tasks);
+    } else {
+        for (s, (out_s, mx)) in out
+            .chunks_exact_mut(per)
+            .zip(out_max.iter_mut())
+            .enumerate()
+        {
+            *mx = conv2d_sample_q8_prequant_into(
+                &xq[s * per_in..(s + 1) * per_in],
+                scale_for_max(in_maxes[s]),
+                is,
+                &c.weight_q,
+                pq,
+                c.weight_shape,
+                &c.scales,
+                &c.bias,
+                c.cfg,
+                relu,
+                track,
+                out_s,
+                ws,
+            );
+        }
+    }
     Tensor::from_vec(Shape::new(is.n, oc, oh, ow), out)
 }
 

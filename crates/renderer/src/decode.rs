@@ -10,9 +10,25 @@ use crate::hook::{ImageInterceptor, ImageMeta, InterceptAction};
 use crate::net::ResourceStore;
 use crate::structural::ImageRequest;
 use parking_lot::Mutex;
-use percival_imgcodec::{decode_auto, Bitmap};
+use percival_imgcodec::{decode_auto, Bitmap, CodecError};
+use percival_util::telem::{self, StageKind};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// [`decode_auto`] with flight-recorder instrumentation: a sampled decode
+/// reports its wall time as a `Decode` span under a fresh synthetic trace
+/// id (decoding precedes content hashing, so there is no request key to
+/// correlate with yet). The untraced fast path costs one relaxed load.
+fn timed_decode(bytes: &[u8]) -> Result<Bitmap, CodecError> {
+    if !telem::enabled() || !telem::sample_request() {
+        return decode_auto(bytes);
+    }
+    let start = telem::now_ns();
+    let out = decode_auto(bytes);
+    let dur = telem::now_ns().saturating_sub(start);
+    telem::emit(telem::synthetic_id(), StageKind::Decode, start, dur);
+    out
+}
 
 /// The outcome of one image's decode + inspection.
 #[derive(Debug, Clone)]
@@ -102,7 +118,7 @@ impl ImageDecodeCache {
                 ));
                 continue;
             };
-            match decode_auto(&bytes) {
+            match timed_decode(&bytes) {
                 Ok(bitmap) => decoded.push((i, bitmap)),
                 Err(_) => {
                     failed.push((
@@ -173,7 +189,7 @@ impl ImageDecodeCache {
                 decode_error: false,
             };
         };
-        let mut bitmap = match decode_auto(&bytes) {
+        let mut bitmap = match timed_decode(&bytes) {
             Ok(b) => b,
             Err(_) => {
                 return DecodeOutcome {

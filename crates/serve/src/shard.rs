@@ -26,9 +26,12 @@ use crate::telemetry::ShardReport;
 use percival_core::flight::{
     AdmissionHint, Edf, EdfPrio, FlightEntry, FlightProbe, FlightTable, Formed, Gate,
 };
-use percival_core::{Classifier, MemoizedClassifier, Prediction};
+use percival_core::{Classifier, MemoizedClassifier, Precision, Prediction};
 use percival_imgcodec::HashedBitmap;
 use percival_nn::PlanProfile;
+use percival_tensor::gemm_i8::scale_for_max;
+use percival_tensor::ingest::{normalize_into, quantize_planar_from_u8};
+use percival_tensor::workspace::with_thread_workspace;
 use percival_tensor::{Shape, Tensor, Workspace};
 use percival_util::telem::{self, StageKind};
 use percival_util::LatencyHistogram;
@@ -113,7 +116,20 @@ impl Shard {
             prio,
             tx,
             |p_ad| Verdict::Classified(self.prediction(p_ad, Duration::ZERO)),
-            || Classifier::preprocess(bitmap, input_size),
+            // The submitting thread does the u8-domain resize only; the
+            // batcher normalizes (or quantizes) straight into the batch
+            // buffer at formation time. Sampled requests report the resize
+            // as a Preprocess span (the hook registers the key first).
+            || {
+                let start = telem::is_sampled(key).then(telem::now_ns);
+                let sample =
+                    with_thread_workspace(|ws| Classifier::resize_to(bitmap, input_size, ws));
+                if let Some(start) = start {
+                    let dur = telem::now_ns().saturating_sub(start);
+                    telem::emit(key, StageKind::Preprocess, start, dur);
+                }
+                sample
+            },
             // The overload gate: consulted under the state lock with the
             // live queue depth before a new single-flight group is queued.
             |depth, prio| {
@@ -324,6 +340,11 @@ impl Shard {
             resolved += formed.batch.len();
             self.classify_and_publish(&formed.batch, ws, stolen, now, &sampled);
             counters.note_service(now.elapsed().as_nanos() as u64);
+            // The queued byte samples are spent; return them to the free
+            // list so warm formation cycles stay allocation-free.
+            for e in formed.batch {
+                ws.recycle_u8(e.sample.into_data());
+            }
         }
         self.table.signal_space();
         shared.on_resolved(resolved);
@@ -380,21 +401,47 @@ impl Shard {
                 self.memo().classifier()
             };
             let input = classifier.input_size();
-            let shape = Shape::new(
-                members.len(),
-                percival_core::arch::INPUT_CHANNELS,
-                input,
-                input,
-            );
-            let mut tensor = Tensor::from_vec(shape, ws.take(shape.count()));
-            for (i, e) in members.iter().enumerate() {
-                tensor.copy_sample_from(i, &e.tensor, 0);
-            }
-            let probs = match &profile {
-                Some(p) => classifier.classify_tensor_observed(&tensor, ws, p),
-                None => classifier.classify_tensor_with(&tensor, ws),
+            let per_sample = percival_core::arch::INPUT_CHANNELS * input * input;
+            let probs = if classifier.precision() == Precision::Int8 {
+                // Quantize each member's bytes straight into the tier's i8
+                // batch — the activation scale derives from the byte-domain
+                // max, so the f32 input plane never exists on this tier.
+                let mut qdata = ws.take_i8(members.len() * per_sample);
+                let mut maxes = ws.take(members.len());
+                for (i, e) in members.iter().enumerate() {
+                    maxes[i] = e.sample.max_abs();
+                    quantize_planar_from_u8(
+                        e.sample.data(),
+                        input,
+                        scale_for_max(maxes[i]),
+                        &mut qdata[i * per_sample..(i + 1) * per_sample],
+                    );
+                }
+                let probs = match &profile {
+                    Some(p) => classifier.classify_quantized_observed(&qdata, &maxes, ws, p),
+                    None => classifier.classify_quantized_with(&qdata, &maxes, ws),
+                };
+                ws.recycle_i8(qdata);
+                ws.recycle(maxes);
+                probs
+            } else {
+                let shape = Shape::new(
+                    members.len(),
+                    percival_core::arch::INPUT_CHANNELS,
+                    input,
+                    input,
+                );
+                let mut tensor = Tensor::from_vec(shape, ws.take(shape.count()));
+                for (i, e) in members.iter().enumerate() {
+                    normalize_into(e.sample.data(), input, tensor.sample_mut(i));
+                }
+                let probs = match &profile {
+                    Some(p) => classifier.classify_tensor_observed(&tensor, ws, p),
+                    None => classifier.classify_tensor_with(&tensor, ws),
+                };
+                ws.recycle(tensor.into_vec());
+                probs
             };
-            ws.recycle(tensor.into_vec());
             for (e, &p_ad) in members.iter().zip(probs.iter()) {
                 verdicts.push((e.key, p_ad));
             }
@@ -510,7 +557,7 @@ mod tests {
             },
             tx,
             |_p| Verdict::Shed,
-            || Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![0.0]),
+            || percival_tensor::ResizedU8::from_raw(vec![0; 4], 1),
             |_, _| Gate::Admit,
             |_, _| {},
         );

@@ -116,8 +116,17 @@ fn sampled_loadgen_run_produces_a_coherent_flight_record() {
             "trace {trace:#x}: stage span union ({covered}ns) covers <90% of EndToEnd ({total}ns)"
         );
 
-        // A full (non-early) trace carries the queue/batch/plan chain.
-        for kind in ["Submit", "QueueWait", "BatchForm", "PlanOp", "Publish"] {
+        // A full (non-early) trace carries the queue/batch/plan chain,
+        // including the submit-side u8 resize (Preprocess, nested inside
+        // Submit since the fused ingest path).
+        for kind in [
+            "Submit",
+            "Preprocess",
+            "QueueWait",
+            "BatchForm",
+            "PlanOp",
+            "Publish",
+        ] {
             assert!(
                 spans.iter().any(|s| s.kind.group() == kind),
                 "trace {trace:#x} is missing a {kind} span"

@@ -681,10 +681,71 @@ pub fn conv2d_sample_q8_into(
     scratch: &mut Workspace,
 ) -> f32 {
     let is = input_shape;
+    // The activation scale: from the producer's tracked maximum when
+    // available, otherwise one sweep (the first layer of the network).
+    let scale_x = scale_for_max(sample_max.unwrap_or_else(|| max_abs(sample_in)));
+    let mut xq = scratch.take_i8(is.c * is.h * is.w);
+    quantize_with_scale(sample_in, scale_x, &mut xq);
+    let mx = conv2d_sample_q8_prequant_into(
+        &xq,
+        scale_x,
+        input_shape,
+        weight_q,
+        pq,
+        weight_shape,
+        weight_scales,
+        bias,
+        cfg,
+        relu,
+        track_max,
+        out_sample,
+        scratch,
+    );
+    scratch.recycle_i8(xq);
+    mx
+}
+
+/// [`conv2d_sample_q8_into`] for an input that is **already** quantized
+/// under `scale_x` — the fused ingest path quantizes the first layer's
+/// input straight from creative bytes
+/// ([`crate::ingest::quantize_planar_from_u8`]) with the scale derived in
+/// the u8 domain, so the f32 plane never exists. Both entry points share
+/// this body, which keeps their outputs bitwise-identical for equal
+/// `(xq, scale_x)`.
+///
+/// Pointwise geometries feed `xq_sample` to the int8 GEMM directly (the
+/// column matrix *is* the quantized input), so the prequant path runs
+/// zero-copy; other geometries gather it through `im2col`.
+///
+/// # Panics
+///
+/// Panics on any geometry mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_sample_q8_prequant_into(
+    xq_sample: &[i8],
+    scale_x: f32,
+    input_shape: Shape,
+    weight_q: &[i8],
+    pq: Option<&PackedGemmI8>,
+    weight_shape: Shape,
+    weight_scales: &[f32],
+    bias: &[f32],
+    cfg: Conv2dCfg,
+    relu: bool,
+    track_max: bool,
+    out_sample: &mut [f32],
+    scratch: &mut Workspace,
+) -> f32 {
+    let is = input_shape;
     let ws = weight_shape;
     let (oh, ow) = check_geometry(is, ws, cfg);
     let oc = ws.n;
     assert_eq!(bias.len(), oc, "bias length must equal output channels");
+    assert_eq!(
+        xq_sample.len(),
+        is.c * is.h * is.w,
+        "quantized sample extent"
+    );
     assert!(
         weight_q.len() >= ws.count(),
         "quantized weight too short: {} < {}",
@@ -707,19 +768,17 @@ pub fn conv2d_sample_q8_into(
     }
     let pointwise = (ws.h, ws.w, cfg.stride, cfg.pad) == (1, 1, 1, 0);
 
-    let mut col = scratch.take_i8(k * spatial);
-    let mut xq = scratch.take_i8(if pointwise { 0 } else { is.c * is.h * is.w });
-    // The activation scale: from the producer's tracked maximum when
-    // available, otherwise one sweep (the first layer of the network).
-    let scale_x = scale_for_max(sample_max.unwrap_or_else(|| max_abs(sample_in)));
-    if pointwise {
-        // k = C, spatial = H*W: the column matrix is the quantized
-        // input itself — one direct quantize pass, no gather.
-        quantize_with_scale(sample_in, scale_x, &mut col);
+    let mut col = scratch.take_i8(if pointwise { 0 } else { k * spatial });
+    // k = C, spatial = H*W for pointwise convs: the column matrix is the
+    // quantized input itself — no gather, no copy.
+    let col_ref: &[i8] = if pointwise {
+        xq_sample
     } else {
-        quantize_with_scale(sample_in, scale_x, &mut xq);
-        im2col(&xq, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col);
-    }
+        im2col(
+            xq_sample, is.c, is.h, is.w, ws.h, ws.w, cfg, oh, ow, &mut col,
+        );
+        &col
+    };
     let ep = RequantEpilogue {
         scale_x,
         weight_scales,
@@ -728,10 +787,9 @@ pub fn conv2d_sample_q8_into(
         track_max,
     };
     let mx = match pq {
-        Some(pq) => gemm_i8_fused_prepacked(pq, &col, out_sample, spatial, scratch, &ep),
-        None => gemm_i8_fused(weight_q, &col, out_sample, oc, k, spatial, scratch, &ep),
+        Some(pq) => gemm_i8_fused_prepacked(pq, col_ref, out_sample, spatial, scratch, &ep),
+        None => gemm_i8_fused(weight_q, col_ref, out_sample, oc, k, spatial, scratch, &ep),
     };
-    scratch.recycle_i8(xq);
     scratch.recycle_i8(col);
     mx
 }

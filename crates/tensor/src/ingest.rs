@@ -1,0 +1,925 @@
+//! Fused SIMD ingest: u8-domain resize + normalize straight into tensors.
+//!
+//! PERCIVAL's per-creative preprocessing is "read the image, scale it to
+//! 224x224x4 ... create a tensor" (Section 3.3). The original pipeline
+//! normalized the **full-resolution** bitmap into an f32 NCHW tensor and
+//! only then downscaled — O(W·H) scalar float work plus a multi-MB
+//! temporary for a 970x250 billboard. This module inverts the order and
+//! fuses the stages:
+//!
+//! 1. [`resize_rgba`] — a fixed-point (16.16 coordinates, 8-bit weights)
+//!    bilinear resampler over the interleaved RGBA bytes themselves. All
+//!    arithmetic stays integral, so float work drops from O(W·H) to O(S²)
+//!    and the full-res f32 intermediate disappears. The kernel is SSE2 on
+//!    `x86_64` (baseline, no runtime gate) with an AVX2 row-blend fast path
+//!    for horizontally-identity geometries behind
+//!    [`crate::simd::simd_available`], and a portable scalar fallback that
+//!    computes the exact same integer math bit-for-bit.
+//! 2. [`normalize_into`] — deinterleave + convert + centre to `[-1, 1]` in
+//!    one pass, writing directly into a caller-provided planar `f32`
+//!    window (typically a batch tensor's sample slice). The SSE2 body is
+//!    bitwise-identical to the scalar formula `b as f32 * (2/255) - 1`.
+//! 3. [`quantize_planar_from_u8`] — for the int8 tier, quantize straight
+//!    from bytes through a 256-entry lookup table, skipping the f32
+//!    round-trip entirely. Because normalization is a monotone map of the
+//!    byte value, a sample's activation scale is already determined by its
+//!    extreme bytes ([`max_abs_from_bytes`]), which [`ResizedU8`] tracks
+//!    during the resize.
+//!
+//! Resized intermediates ride the [`Workspace`] `u8` free list, so a warm
+//! submit → batch-formation cycle performs no heap allocation. The f32
+//! [`crate::resize::resize_bilinear`] path remains as the parity and bench
+//! reference.
+
+use crate::gemm_i8::quantize_value;
+use crate::workspace::Workspace;
+
+/// Interleaved pixel stride: PERCIVAL tensors keep all four RGBA channels.
+pub const RGBA_CHANNELS: usize = 4;
+
+/// The input normalization scale: bytes map to `[-1, 1]`.
+const SCALE: f32 = 2.0 / 255.0;
+
+/// Normalizes one byte exactly as the classifier's preprocessing does:
+/// `b * (2/255) - 1`, one multiply rounding and one subtract rounding.
+///
+/// Every path in this module (scalar, SSE2, the quantization LUT) funnels
+/// through this formula, so fused ingest is bitwise-identical to the
+/// normalize-then-resize reference wherever the geometries coincide.
+#[inline]
+pub fn normalize_byte(b: u8) -> f32 {
+    f32::from(b) * SCALE - 1.0
+}
+
+/// The largest normalized magnitude attained by any byte in `[lo, hi]`.
+///
+/// [`normalize_byte`] is monotone non-decreasing (a positive scale and a
+/// rounding-monotone multiply), so the extreme of `|normalize_byte(b)|`
+/// over a byte population is attained at its minimum or maximum byte. The
+/// result is therefore bitwise-equal to folding
+/// [`crate::gemm_i8::max_abs`] over the normalized floats — which is what
+/// lets the int8 tier derive a sample's activation scale without ever
+/// materializing the f32 plane.
+#[inline]
+pub fn max_abs_from_bytes(lo: u8, hi: u8) -> f32 {
+    normalize_byte(lo).abs().max(normalize_byte(hi).abs())
+}
+
+/// A creative resized to `size x size` interleaved RGBA bytes, with its
+/// byte range tracked for u8-domain activation scaling.
+///
+/// This is what pending flight-queue entries hold: ~`4·S²` bytes instead
+/// of the ~`16·S²`-byte f32 tensor the seed pipeline queued (a ~4x
+/// pending-queue memory win). The buffer is plain `Vec<u8>` so it can be
+/// taken from and recycled into a [`Workspace`] `u8` free list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResizedU8 {
+    data: Vec<u8>,
+    size: usize,
+    lo: u8,
+    hi: u8,
+}
+
+impl ResizedU8 {
+    /// Wraps an already-resized interleaved RGBA buffer, scanning it once
+    /// for its byte range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != size * size * 4`.
+    pub fn from_raw(data: Vec<u8>, size: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            size * size * RGBA_CHANNELS,
+            "resized buffer length {} does not match {size}x{size} RGBA",
+            data.len()
+        );
+        let (lo, hi) = byte_range(&data);
+        ResizedU8 { data, size, lo, hi }
+    }
+
+    /// The edge length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The interleaved RGBA bytes (`size * size * 4`).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The smallest and largest byte anywhere in the image (any channel).
+    pub fn byte_bounds(&self) -> (u8, u8) {
+        (self.lo, self.hi)
+    }
+
+    /// The largest normalized magnitude of this sample — the value
+    /// [`crate::gemm_i8::max_abs`] would report for its normalized f32
+    /// plane, computed from two bytes instead of a `4·S²` sweep.
+    pub fn max_abs(&self) -> f32 {
+        max_abs_from_bytes(self.lo, self.hi)
+    }
+
+    /// Consumes the sample and returns its buffer (for
+    /// [`Workspace::recycle_u8`]).
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// Minimum and maximum byte of `data`; `(255, 0)` for an empty slice.
+fn byte_range(data: &[u8]) -> (u8, u8) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        byte_range_sse2(data)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        data.iter()
+            .fold((u8::MAX, u8::MIN), |(lo, hi), &b| (lo.min(b), hi.max(b)))
+    }
+}
+
+/// SSE2 body of [`byte_range`]: `pminub`/`pmaxub` over 16-byte chunks.
+/// Min/max over bytes is order-independent, so this is exact.
+#[cfg(target_arch = "x86_64")]
+fn byte_range_sse2(data: &[u8]) -> (u8, u8) {
+    use core::arch::x86_64::{
+        __m128i, _mm_loadu_si128, _mm_max_epu8, _mm_min_epu8, _mm_set1_epi8, _mm_storeu_si128,
+    };
+    let chunks = data.len() / 16;
+    let (mut lo, mut hi) = (u8::MAX, u8::MIN);
+    if chunks > 0 {
+        // SAFETY: SSE2 is baseline on x86_64; loads stay within `data`.
+        unsafe {
+            let mut vlo = _mm_set1_epi8(-1); // 0xFF in every lane
+            let mut vhi = _mm_set1_epi8(0);
+            let mut p = data.as_ptr();
+            for _ in 0..chunks {
+                let v = _mm_loadu_si128(p as *const __m128i);
+                vlo = _mm_min_epu8(vlo, v);
+                vhi = _mm_max_epu8(vhi, v);
+                p = p.add(16);
+            }
+            let mut lanes = [0u8; 16];
+            _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, vlo);
+            lo = lanes.iter().copied().min().unwrap();
+            _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, vhi);
+            hi = lanes.iter().copied().max().unwrap();
+        }
+    }
+    for &b in &data[chunks * 16..] {
+        lo = lo.min(b);
+        hi = hi.max(b);
+    }
+    (lo, hi)
+}
+
+/// One axis of fixed-point sampling geometry: for each output coordinate,
+/// the low source index and the interpolation weight (`0..=256` toward the
+/// high neighbour — rounded, not truncated, so the weight error is half a
+/// step; 256 still fits the 16-bit SIMD lanes). The high index is always
+/// `min(x0 + 1, extent - 1)`.
+///
+/// Coordinates follow the half-pixel-centre convention of
+/// [`crate::resize::resize_bilinear`] in 16.16 fixed point:
+/// `sx = (ox + 0.5) * in/out - 0.5`, clamped at zero.
+#[inline]
+fn axis_coord(o: usize, scale_fp: i64, extent: usize) -> (usize, u32) {
+    let s = (((2 * o as i64 + 1) * scale_fp) >> 1) - (1 << 15);
+    let s = s.max(0);
+    let i0 = ((s >> 16) as usize).min(extent - 1);
+    (i0, ((s & 0xFFFF) as u32 + 128) >> 8)
+}
+
+/// Rounded 16.16 ratio `inp / out` — the per-output-pixel source step.
+#[inline]
+fn axis_scale_fp(inp: usize, out: usize) -> i64 {
+    (((inp as i64) << 16) + out as i64 / 2) / out as i64
+}
+
+/// Bilinearly resizes an interleaved RGBA image to `size x size` entirely
+/// in the u8 domain, tracking the output byte range for u8-domain
+/// activation scaling.
+///
+/// The output buffer comes from the workspace's `u8` free list — recycle
+/// the returned sample's buffer (via [`ResizedU8::into_data`] +
+/// [`Workspace::recycle_u8`]) and a warm call is allocation-free.
+///
+/// Interpolation is two-stage with round-to-nearest at each stage
+/// (horizontal to 8 fractional bits, then vertical), giving a worst-case
+/// deviation of ~2 byte steps from the exact f32 bilinear result; identity
+/// geometries are exact byte copies. The SSE2, AVX2 and portable bodies
+/// compute the same integer math and agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `src.len() != w * h * 4`, or any extent is zero.
+pub fn resize_rgba(src: &[u8], w: usize, h: usize, size: usize, ws: &mut Workspace) -> ResizedU8 {
+    assert!(w > 0 && h > 0, "cannot resize an empty image");
+    assert!(size > 0, "target extent must be non-zero");
+    assert_eq!(
+        src.len(),
+        w * h * RGBA_CHANNELS,
+        "source length {} does not match {w}x{h} RGBA",
+        src.len()
+    );
+
+    let mut out = ws.take_u8(size * size * RGBA_CHANNELS);
+    if w == size && h == size {
+        out.copy_from_slice(src);
+        return ResizedU8::from_raw(out, size);
+    }
+
+    let scale_y_fp = axis_scale_fp(h, size);
+    let row_px = w * RGBA_CHANNELS;
+    let out_row_px = size * RGBA_CHANNELS;
+
+    if w == size {
+        // Horizontal identity: every fx weight is exactly zero (the 16.16
+        // scale is exactly 1<<16), so the horizontal stage degenerates and
+        // each output row is a pure vertical blend of two source rows —
+        // the stride-1 row fast path.
+        for oy in 0..size {
+            let (y0, fy) = axis_coord(oy, scale_y_fp, h);
+            let y1 = (y0 + 1).min(h - 1);
+            let row0 = &src[y0 * row_px..y0 * row_px + row_px];
+            let row1 = &src[y1 * row_px..y1 * row_px + row_px];
+            let dst = &mut out[oy * out_row_px..(oy + 1) * out_row_px];
+            blend_rows(row0, row1, fy, dst);
+        }
+        return ResizedU8::from_raw(out, size);
+    }
+
+    // Horizontal coordinate tables, hoisted out of the row loop: low
+    // source index and 8-bit weight per output column, riding the i32
+    // free list so warm calls stay allocation-free.
+    let scale_x_fp = axis_scale_fp(w, size);
+    let mut coords = ws.take_i32(2 * size);
+    {
+        let (x0s, fxs) = coords.split_at_mut(size);
+        for ox in 0..size {
+            let (x0, fx) = axis_coord(ox, scale_x_fp, w);
+            x0s[ox] = x0 as i32;
+            fxs[ox] = fx as i32;
+        }
+    }
+    let (x0s, fxs) = coords.split_at(size);
+
+    for oy in 0..size {
+        let (y0, fy) = axis_coord(oy, scale_y_fp, h);
+        let y1 = (y0 + 1).min(h - 1);
+        let row0 = &src[y0 * row_px..y0 * row_px + row_px];
+        let row1 = &src[y1 * row_px..y1 * row_px + row_px];
+        let dst = &mut out[oy * out_row_px..(oy + 1) * out_row_px];
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; the coordinate tables were
+        // built for `w`-wide rows, which is what `row0`/`row1` span.
+        unsafe {
+            resize_row_sse2(row0, row1, x0s, fxs, fy, w, dst);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        resize_row_scalar(row0, row1, x0s, fxs, fy, w, dst);
+    }
+    ws.recycle_i32(coords);
+    ResizedU8::from_raw(out, size)
+}
+
+/// Portable body of the general resample row: per output pixel, a 2x2
+/// neighbourhood gather and two-stage weighted blend in integer math.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn resize_row_scalar(
+    row0: &[u8],
+    row1: &[u8],
+    x0s: &[i32],
+    fxs: &[i32],
+    fy: u32,
+    w: usize,
+    dst: &mut [u8],
+) {
+    let (wy0, wy1) = (256 - fy, fy);
+    for (ox, px) in dst.chunks_exact_mut(RGBA_CHANNELS).enumerate() {
+        let x0 = x0s[ox] as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let fx = fxs[ox] as u32;
+        let (wx0, wx1) = (256 - fx, fx);
+        for (c, d) in px.iter_mut().enumerate() {
+            let tl = u32::from(row0[x0 * RGBA_CHANNELS + c]);
+            let tr = u32::from(row0[x1 * RGBA_CHANNELS + c]);
+            let bl = u32::from(row1[x0 * RGBA_CHANNELS + c]);
+            let br = u32::from(row1[x1 * RGBA_CHANNELS + c]);
+            let t8 = (tl * wx0 + tr * wx1 + 128) >> 8;
+            let b8 = (bl * wx0 + br * wx1 + 128) >> 8;
+            *d = ((t8 * wy0 + b8 * wy1 + 128) >> 8) as u8;
+        }
+    }
+}
+
+/// SSE2 body of the general resample row: each output pixel's four
+/// channels blend in one register — `pmaddwd` against packed
+/// `[256-f, f]` weight pairs does both taps of a stage at once, exactly
+/// matching [`resize_row_scalar`]'s integer math.
+///
+/// # Safety
+///
+/// `x0s`/`fxs` must be valid coordinate tables for `w`-wide rows (so
+/// every 32-bit pixel load at `x0` and `x0 + 1 <= w - 1` stays in
+/// bounds), and `dst.len() == x0s.len() * 4`.
+#[cfg(target_arch = "x86_64")]
+unsafe fn resize_row_sse2(
+    row0: &[u8],
+    row1: &[u8],
+    x0s: &[i32],
+    fxs: &[i32],
+    fy: u32,
+    w: usize,
+    dst: &mut [u8],
+) {
+    use core::arch::x86_64::{
+        _mm_add_epi32, _mm_cvtsi128_si32, _mm_cvtsi32_si128, _mm_madd_epi16, _mm_packs_epi32,
+        _mm_packus_epi16, _mm_set1_epi32, _mm_setzero_si128, _mm_srli_epi32, _mm_srli_si128,
+        _mm_unpacklo_epi16, _mm_unpacklo_epi32, _mm_unpacklo_epi8,
+    };
+    debug_assert_eq!(dst.len(), x0s.len() * RGBA_CHANNELS);
+    let z = _mm_setzero_si128();
+    let bias = _mm_set1_epi32(128);
+    let wy = _mm_set1_epi32(((256 - fy) as i32) | ((fy as i32) << 16));
+    let p0 = row0.as_ptr();
+    let p1 = row1.as_ptr();
+    for (ox, px) in dst.chunks_exact_mut(RGBA_CHANNELS).enumerate() {
+        let x0 = *x0s.get_unchecked(ox) as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let fx = *fxs.get_unchecked(ox);
+        let wx = _mm_set1_epi32((256 - fx) | (fx << 16));
+        // Gather the 2x2 RGBA neighbourhood as four 32-bit pixels and
+        // widen each row pair to u16 [left(4) right(4)].
+        let t = _mm_unpacklo_epi8(
+            _mm_unpacklo_epi32(
+                _mm_cvtsi32_si128((p0.add(x0 * 4) as *const i32).read_unaligned()),
+                _mm_cvtsi32_si128((p0.add(x1 * 4) as *const i32).read_unaligned()),
+            ),
+            z,
+        );
+        let b = _mm_unpacklo_epi8(
+            _mm_unpacklo_epi32(
+                _mm_cvtsi32_si128((p1.add(x0 * 4) as *const i32).read_unaligned()),
+                _mm_cvtsi32_si128((p1.add(x1 * 4) as *const i32).read_unaligned()),
+            ),
+            z,
+        );
+        // Interleave to [l0 r0 l1 r1 ...] so pmaddwd computes
+        // l*(256-fx) + r*fx per channel in one instruction.
+        let ti = _mm_unpacklo_epi16(t, _mm_srli_si128(t, 8));
+        let bi = _mm_unpacklo_epi16(b, _mm_srli_si128(b, 8));
+        let t8 = _mm_srli_epi32(_mm_add_epi32(_mm_madd_epi16(ti, wx), bias), 8);
+        let b8 = _mm_srli_epi32(_mm_add_epi32(_mm_madd_epi16(bi, wx), bias), 8);
+        // Vertical stage: same pair-interleave + pmaddwd trick on the two
+        // horizontally-filtered rows.
+        let tb = _mm_packs_epi32(t8, b8);
+        let tbi = _mm_unpacklo_epi16(tb, _mm_srli_si128(tb, 8));
+        let o = _mm_srli_epi32(_mm_add_epi32(_mm_madd_epi16(tbi, wy), bias), 8);
+        let o = _mm_packus_epi16(_mm_packs_epi32(o, o), z);
+        let v = _mm_cvtsi128_si32(o) as u32;
+        px.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Blends two equal-length byte rows: `(a*(256-fy) + b*fy + 128) >> 8`
+/// per byte. `fy == 0` degenerates to a copy of `a`.
+fn blend_rows(a: &[u8], b: &[u8], fy: u32, dst: &mut [u8]) {
+    debug_assert!(a.len() == dst.len() && b.len() == dst.len());
+    if fy == 0 {
+        dst.copy_from_slice(a);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::simd_available() {
+            // SAFETY: gated on AVX2 detection.
+            unsafe { blend_rows_avx2(a, b, fy, dst) };
+        } else {
+            blend_rows_sse2(a, b, fy, dst);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    blend_rows_scalar(a, b, fy, dst);
+}
+
+/// Scalar tail/body of [`blend_rows`]. All products fit `u16`
+/// (`255 * 256 + 128 = 65408`), which is what lets the SIMD bodies run
+/// the same math in 16-bit lanes.
+fn blend_rows_scalar(a: &[u8], b: &[u8], fy: u32, dst: &mut [u8]) {
+    let (w0, w1) = (256 - fy, fy);
+    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
+        *d = ((u32::from(av) * w0 + u32::from(bv) * w1 + 128) >> 8) as u8;
+    }
+}
+
+/// SSE2 body of [`blend_rows`]: widen to u16 lanes, `pmullw` both rows
+/// against their weights, add, bias, logical-shift back down and repack.
+#[cfg(target_arch = "x86_64")]
+fn blend_rows_sse2(a: &[u8], b: &[u8], fy: u32, dst: &mut [u8]) {
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi16, _mm_loadu_si128, _mm_mullo_epi16, _mm_packus_epi16, _mm_set1_epi16,
+        _mm_setzero_si128, _mm_srli_epi16, _mm_storeu_si128, _mm_unpackhi_epi8, _mm_unpacklo_epi8,
+    };
+    let chunks = dst.len() / 16;
+    // SAFETY: SSE2 is baseline on x86_64; every load/store stays within
+    // the first `chunks * 16` bytes of the equal-length slices.
+    unsafe {
+        let z = _mm_setzero_si128();
+        let w0 = _mm_set1_epi16((256 - fy) as i16);
+        let w1 = _mm_set1_epi16(fy as i16);
+        let bias = _mm_set1_epi16(128);
+        let mut pa = a.as_ptr();
+        let mut pb = b.as_ptr();
+        let mut pd = dst.as_mut_ptr();
+        for _ in 0..chunks {
+            let va = _mm_loadu_si128(pa as *const __m128i);
+            let vb = _mm_loadu_si128(pb as *const __m128i);
+            let lo = _mm_srli_epi16(
+                _mm_add_epi16(
+                    _mm_add_epi16(
+                        _mm_mullo_epi16(_mm_unpacklo_epi8(va, z), w0),
+                        _mm_mullo_epi16(_mm_unpacklo_epi8(vb, z), w1),
+                    ),
+                    bias,
+                ),
+                8,
+            );
+            let hi = _mm_srli_epi16(
+                _mm_add_epi16(
+                    _mm_add_epi16(
+                        _mm_mullo_epi16(_mm_unpackhi_epi8(va, z), w0),
+                        _mm_mullo_epi16(_mm_unpackhi_epi8(vb, z), w1),
+                    ),
+                    bias,
+                ),
+                8,
+            );
+            _mm_storeu_si128(pd as *mut __m128i, _mm_packus_epi16(lo, hi));
+            pa = pa.add(16);
+            pb = pb.add(16);
+            pd = pd.add(16);
+        }
+    }
+    blend_rows_scalar(
+        &a[chunks * 16..],
+        &b[chunks * 16..],
+        fy,
+        &mut dst[chunks * 16..],
+    );
+}
+
+/// AVX2 body of [`blend_rows`]: the SSE2 scheme over 32-byte chunks.
+/// `vpunpck*`/`vpackuswb` operate per 128-bit lane, and the unpack/pack
+/// pair round-trips lane-locally, so byte order is preserved.
+///
+/// # Safety
+///
+/// The caller must have verified [`crate::simd::simd_available`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn blend_rows_avx2(a: &[u8], b: &[u8], fy: u32, dst: &mut [u8]) {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi16, _mm256_loadu_si256, _mm256_mullo_epi16, _mm256_packus_epi16,
+        _mm256_set1_epi16, _mm256_setzero_si256, _mm256_srli_epi16, _mm256_storeu_si256,
+        _mm256_unpackhi_epi8, _mm256_unpacklo_epi8,
+    };
+    let chunks = dst.len() / 32;
+    let z = _mm256_setzero_si256();
+    let w0 = _mm256_set1_epi16((256 - fy) as i16);
+    let w1 = _mm256_set1_epi16(fy as i16);
+    let bias = _mm256_set1_epi16(128);
+    let mut pa = a.as_ptr();
+    let mut pb = b.as_ptr();
+    let mut pd = dst.as_mut_ptr();
+    for _ in 0..chunks {
+        let va = _mm256_loadu_si256(pa as *const __m256i);
+        let vb = _mm256_loadu_si256(pb as *const __m256i);
+        let lo = _mm256_srli_epi16(
+            _mm256_add_epi16(
+                _mm256_add_epi16(
+                    _mm256_mullo_epi16(_mm256_unpacklo_epi8(va, z), w0),
+                    _mm256_mullo_epi16(_mm256_unpacklo_epi8(vb, z), w1),
+                ),
+                bias,
+            ),
+            8,
+        );
+        let hi = _mm256_srli_epi16(
+            _mm256_add_epi16(
+                _mm256_add_epi16(
+                    _mm256_mullo_epi16(_mm256_unpackhi_epi8(va, z), w0),
+                    _mm256_mullo_epi16(_mm256_unpackhi_epi8(vb, z), w1),
+                ),
+                bias,
+            ),
+            8,
+        );
+        _mm256_storeu_si256(pd as *mut __m256i, _mm256_packus_epi16(lo, hi));
+        pa = pa.add(32);
+        pb = pb.add(32);
+        pd = pd.add(32);
+    }
+    blend_rows_scalar(
+        &a[chunks * 32..],
+        &b[chunks * 32..],
+        fy,
+        &mut dst[chunks * 32..],
+    );
+}
+
+/// Deinterleaves, converts and centres a `size x size` interleaved RGBA
+/// byte image into a planar `4 x size x size` f32 window (a batch
+/// tensor's sample slice) in one pass: `dst[c][i] =
+/// bytes[4i + c] * (2/255) - 1`.
+///
+/// The SSE2 body transposes four pixels at a time with the `punpck`
+/// ladder and converts with `cvtdq2ps`; multiply and subtract round once
+/// each, exactly like the scalar formula, so both bodies are
+/// bitwise-identical.
+///
+/// # Panics
+///
+/// Panics if `src.len() != size * size * 4` or `dst` is shorter than
+/// `size * size * 4`.
+pub fn normalize_into(src: &[u8], size: usize, dst: &mut [f32]) {
+    let plane = size * size;
+    assert_eq!(
+        src.len(),
+        plane * RGBA_CHANNELS,
+        "byte buffer does not match {size}x{size} RGBA"
+    );
+    assert!(
+        dst.len() >= plane * RGBA_CHANNELS,
+        "normalize target too short: {} < {}",
+        dst.len(),
+        plane * RGBA_CHANNELS
+    );
+
+    #[cfg(target_arch = "x86_64")]
+    let done = {
+        // SAFETY: SSE2 is baseline on x86_64; lengths asserted above.
+        unsafe { normalize_into_sse2(src, plane, dst) }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let done = 0;
+
+    for (i, px) in src.chunks_exact(RGBA_CHANNELS).enumerate().skip(done) {
+        dst[i] = normalize_byte(px[0]);
+        dst[plane + i] = normalize_byte(px[1]);
+        dst[2 * plane + i] = normalize_byte(px[2]);
+        dst[3 * plane + i] = normalize_byte(px[3]);
+    }
+}
+
+/// SSE2 body of [`normalize_into`]: handles the first `4 * (plane / 4)`
+/// pixels and returns how many were written (the caller sweeps the tail).
+///
+/// # Safety
+///
+/// `src` must hold `plane * 4` bytes and `dst` at least `plane * 4`
+/// floats.
+#[cfg(target_arch = "x86_64")]
+unsafe fn normalize_into_sse2(src: &[u8], plane: usize, dst: &mut [f32]) -> usize {
+    use core::arch::x86_64::{
+        __m128i, _mm_cvtepi32_ps, _mm_loadu_si128, _mm_mul_ps, _mm_set1_ps, _mm_setzero_si128,
+        _mm_storeu_ps, _mm_sub_ps, _mm_unpackhi_epi16, _mm_unpackhi_epi8, _mm_unpacklo_epi16,
+        _mm_unpacklo_epi8,
+    };
+    let blocks = plane / 4;
+    let z = _mm_setzero_si128();
+    let scale = _mm_set1_ps(SCALE);
+    let one = _mm_set1_ps(1.0);
+    let mut sp = src.as_ptr();
+    let dr = dst.as_mut_ptr();
+    let dg = dr.add(plane);
+    let db = dr.add(2 * plane);
+    let da = dr.add(3 * plane);
+    for blk in 0..blocks {
+        // 16 bytes = 4 interleaved pixels; three unpack rounds transpose
+        // them into one 4-lane vector per channel.
+        let v = _mm_loadu_si128(sp as *const __m128i);
+        let lo = _mm_unpacklo_epi8(v, z); // [R0 G0 B0 A0 R1 G1 B1 A1] u16
+        let hi = _mm_unpackhi_epi8(v, z); // [R2 G2 B2 A2 R3 G3 B3 A3]
+        let u0 = _mm_unpacklo_epi16(lo, hi); // [R0 R2 G0 G2 B0 B2 A0 A2]
+        let u1 = _mm_unpackhi_epi16(lo, hi); // [R1 R3 G1 G3 B1 B3 A1 A3]
+        let v0 = _mm_unpacklo_epi16(u0, u1); // [R0 R1 R2 R3 G0 G1 G2 G3]
+        let v1 = _mm_unpackhi_epi16(u0, u1); // [B0 B1 B2 B3 A0 A1 A2 A3]
+        let r = _mm_cvtepi32_ps(_mm_unpacklo_epi16(v0, z));
+        let g = _mm_cvtepi32_ps(_mm_unpackhi_epi16(v0, z));
+        let b = _mm_cvtepi32_ps(_mm_unpacklo_epi16(v1, z));
+        let a = _mm_cvtepi32_ps(_mm_unpackhi_epi16(v1, z));
+        let i = blk * 4;
+        _mm_storeu_ps(dr.add(i), _mm_sub_ps(_mm_mul_ps(r, scale), one));
+        _mm_storeu_ps(dg.add(i), _mm_sub_ps(_mm_mul_ps(g, scale), one));
+        _mm_storeu_ps(db.add(i), _mm_sub_ps(_mm_mul_ps(b, scale), one));
+        _mm_storeu_ps(da.add(i), _mm_sub_ps(_mm_mul_ps(a, scale), one));
+        sp = sp.add(16);
+    }
+    blocks * 4
+}
+
+/// Quantizes a `size x size` interleaved RGBA byte image straight to a
+/// planar `4 x size x size` int8 window under a known activation `scale`,
+/// skipping the f32 round-trip.
+///
+/// The 256-entry table holds `quantize_value(normalize_byte(b), 1/scale)`
+/// per byte — the exact composition the f32 path computes — so the result
+/// is bitwise-equal to [`normalize_into`] followed by
+/// [`crate::gemm_i8::quantize_with_scale`] (whose AVX2 body rounds
+/// ties-to-even exactly like the scalar path).
+///
+/// # Panics
+///
+/// Panics if `src.len() != size * size * 4` or `dst` is shorter than
+/// `size * size * 4`.
+pub fn quantize_planar_from_u8(src: &[u8], size: usize, scale: f32, dst: &mut [i8]) {
+    let plane = size * size;
+    assert_eq!(
+        src.len(),
+        plane * RGBA_CHANNELS,
+        "byte buffer does not match {size}x{size} RGBA"
+    );
+    assert!(
+        dst.len() >= plane * RGBA_CHANNELS,
+        "quantization target too short: {} < {}",
+        dst.len(),
+        plane * RGBA_CHANNELS
+    );
+    let inv = 1.0 / scale;
+    let mut lut = [0i8; 256];
+    for (b, q) in lut.iter_mut().enumerate() {
+        *q = quantize_value(normalize_byte(b as u8), inv);
+    }
+    for (i, px) in src.chunks_exact(RGBA_CHANNELS).enumerate() {
+        dst[i] = lut[usize::from(px[0])];
+        dst[plane + i] = lut[usize::from(px[1])];
+        dst[2 * plane + i] = lut[usize::from(px[2])];
+        dst[3 * plane + i] = lut[usize::from(px[3])];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_i8::{max_abs, quantize_with_scale, scale_for_max};
+    use crate::resize::resize_bilinear;
+    use crate::tensor::{Shape, Tensor};
+    use percival_util::Pcg32;
+
+    fn random_rgba(rng: &mut Pcg32, w: usize, h: usize) -> Vec<u8> {
+        (0..w * h * RGBA_CHANNELS)
+            .map(|_| rng.next_below(256) as u8)
+            .collect()
+    }
+
+    /// Normalizes interleaved bytes at full resolution the way the seed
+    /// pipeline did, producing the f32 reference input for the resizer.
+    fn normalize_full(src: &[u8], w: usize, h: usize) -> Tensor {
+        let mut t = Tensor::zeros(Shape::new(1, RGBA_CHANNELS, h, w));
+        let plane = w * h;
+        let data = t.as_mut_slice();
+        for (i, px) in src.chunks_exact(RGBA_CHANNELS).enumerate() {
+            for c in 0..RGBA_CHANNELS {
+                data[c * plane + i] = normalize_byte(px[c]);
+            }
+        }
+        t
+    }
+
+    /// Max abs difference between the fused u8 pipeline and the f32
+    /// normalize-then-resize reference, in normalized units.
+    fn fused_vs_reference(src: &[u8], w: usize, h: usize, size: usize) -> f32 {
+        let mut ws = Workspace::new();
+        let resized = resize_rgba(src, w, h, size, &mut ws);
+        let mut fused = vec![0.0f32; size * size * RGBA_CHANNELS];
+        normalize_into(resized.data(), size, &mut fused);
+        let reference = resize_bilinear(&normalize_full(src, w, h), size, size);
+        fused
+            .iter()
+            .zip(reference.as_slice())
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    #[test]
+    fn identity_resize_is_an_exact_copy() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let src = random_rgba(&mut rng, 16, 16);
+        let mut ws = Workspace::new();
+        let r = resize_rgba(&src, 16, 16, 16, &mut ws);
+        assert_eq!(r.data(), &src[..]);
+        assert_eq!(r.size(), 16);
+        let (lo, hi) = r.byte_bounds();
+        assert_eq!(lo, src.iter().copied().min().unwrap());
+        assert_eq!(hi, src.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn constant_image_resizes_to_the_same_constant() {
+        for (w, h) in [(7, 5), (224, 224), (970, 250), (3, 400)] {
+            let src = vec![173u8; w * h * RGBA_CHANNELS];
+            let mut ws = Workspace::new();
+            let r = resize_rgba(&src, w, h, 32, &mut ws);
+            assert!(
+                r.data().iter().all(|&b| b == 173),
+                "{w}x{h}: constant image must stay constant"
+            );
+            assert_eq!(r.byte_bounds(), (173, 173));
+        }
+    }
+
+    #[test]
+    fn fused_path_tracks_the_f32_reference_over_random_geometries() {
+        // Two-stage 8-bit interpolation deviates from exact f32 bilinear
+        // by at most ~2 byte steps (2 * 2/255 ≈ 0.016); bound with margin.
+        let mut rng = Pcg32::seed_from_u64(7);
+        for trial in 0..40 {
+            let w = 1 + rng.next_below(300) as usize;
+            let h = 1 + rng.next_below(300) as usize;
+            let size = [1, 2, 7, 32, 64, 224][rng.next_below(6) as usize];
+            let src = random_rgba(&mut rng, w, h);
+            let diff = fused_vs_reference(&src, w, h, size);
+            assert!(
+                diff <= 0.025,
+                "trial {trial}: {w}x{h} -> {size}, max diff {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_path_tracks_the_reference_on_extreme_aspects() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        for (w, h) in [(970, 250), (120, 600), (1, 37), (400, 1), (1, 1)] {
+            let src = random_rgba(&mut rng, w, h);
+            for size in [1, 64, 224] {
+                let diff = fused_vs_reference(&src, w, h, size);
+                assert!(diff <= 0.025, "{w}x{h} -> {size}: max diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_identity_fast_path_matches_the_general_kernel() {
+        // w == size takes the row-blend fast path; force the general
+        // kernel by transposing the geometry question: compare against
+        // the scalar per-pixel math directly.
+        let mut rng = Pcg32::seed_from_u64(13);
+        let (w, h, size) = (64usize, 200usize, 64usize);
+        let src = random_rgba(&mut rng, w, h);
+        let mut ws = Workspace::new();
+        let fast = resize_rgba(&src, w, h, size, &mut ws);
+        // General scalar path with explicit coordinate tables.
+        let scale_y = axis_scale_fp(h, size);
+        let xs: Vec<(usize, u32)> = (0..size)
+            .map(|ox| axis_coord(ox, axis_scale_fp(w, size), w))
+            .collect();
+        let x0s: Vec<i32> = xs.iter().map(|&(x0, _)| x0 as i32).collect();
+        let fxs: Vec<i32> = xs.iter().map(|&(_, fx)| fx as i32).collect();
+        let mut general = vec![0u8; size * size * RGBA_CHANNELS];
+        for oy in 0..size {
+            let (y0, fy) = axis_coord(oy, scale_y, h);
+            let y1 = (y0 + 1).min(h - 1);
+            resize_row_scalar(
+                &src[y0 * w * 4..(y0 + 1) * w * 4],
+                &src[y1 * w * 4..(y1 + 1) * w * 4],
+                &x0s,
+                &fxs,
+                fy,
+                w,
+                &mut general[oy * size * 4..(oy + 1) * size * 4],
+            );
+        }
+        assert_eq!(fast.data(), &general[..]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_resample_row_matches_scalar_bitwise() {
+        let mut rng = Pcg32::seed_from_u64(17);
+        for &(w, size) in &[(3usize, 8usize), (130, 224), (970, 224), (17, 1)] {
+            let row0 = random_rgba(&mut rng, w, 1);
+            let row1 = random_rgba(&mut rng, w, 1);
+            let xs: Vec<(usize, u32)> = (0..size)
+                .map(|ox| axis_coord(ox, axis_scale_fp(w, size), w))
+                .collect();
+            let x0s: Vec<i32> = xs.iter().map(|&(x0, _)| x0 as i32).collect();
+            let fxs: Vec<i32> = xs.iter().map(|&(_, fx)| fx as i32).collect();
+            for fy in [0u32, 1, 128, 255, 256] {
+                let mut simd = vec![0u8; size * RGBA_CHANNELS];
+                let mut scalar = vec![0u8; size * RGBA_CHANNELS];
+                unsafe { resize_row_sse2(&row0, &row1, &x0s, &fxs, fy, w, &mut simd) };
+                resize_row_scalar(&row0, &row1, &x0s, &fxs, fy, w, &mut scalar);
+                assert_eq!(simd, scalar, "w={w} size={size} fy={fy}");
+            }
+        }
+    }
+
+    #[test]
+    fn blend_rows_matches_scalar_bitwise() {
+        let mut rng = Pcg32::seed_from_u64(19);
+        for len_px in [1usize, 4, 33, 224] {
+            let a = random_rgba(&mut rng, len_px, 1);
+            let b = random_rgba(&mut rng, len_px, 1);
+            for fy in [0u32, 7, 128, 200, 255, 256] {
+                let mut fast = vec![0u8; a.len()];
+                let mut scalar = vec![0u8; a.len()];
+                blend_rows(&a, &b, fy, &mut fast);
+                blend_rows_scalar(&a, &b, fy, &mut scalar);
+                assert_eq!(fast, scalar, "len={len_px} fy={fy}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_into_matches_the_scalar_formula_bitwise() {
+        let mut rng = Pcg32::seed_from_u64(23);
+        for size in [1usize, 2, 5, 32] {
+            let src = random_rgba(&mut rng, size, size);
+            let plane = size * size;
+            let mut got = vec![7.0f32; plane * RGBA_CHANNELS];
+            normalize_into(&src, size, &mut got);
+            for (i, px) in src.chunks_exact(RGBA_CHANNELS).enumerate() {
+                for c in 0..RGBA_CHANNELS {
+                    let want = normalize_byte(px[c]);
+                    assert_eq!(
+                        got[c * plane + i].to_bits(),
+                        want.to_bits(),
+                        "size={size} pixel {i} channel {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_domain_max_abs_matches_the_f32_sweep_bitwise() {
+        let mut rng = Pcg32::seed_from_u64(29);
+        for _ in 0..50 {
+            let size = 1 + rng.next_below(16) as usize;
+            let lo = rng.next_below(256) as u8;
+            let hi = lo.max(rng.next_below(256) as u8);
+            let src: Vec<u8> = (0..size * size * RGBA_CHANNELS)
+                .map(|_| lo + (rng.next_below(u32::from(hi - lo) + 1) as u8))
+                .collect();
+            let sample = ResizedU8::from_raw(src.clone(), size);
+            let mut floats = vec![0.0f32; size * size * RGBA_CHANNELS];
+            normalize_into(&src, size, &mut floats);
+            assert_eq!(
+                sample.max_abs().to_bits(),
+                max_abs(&floats).to_bits(),
+                "lo={lo} hi={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_lut_quantization_matches_the_f32_path_bitwise() {
+        let mut rng = Pcg32::seed_from_u64(31);
+        for size in [1usize, 3, 16, 33] {
+            let src = random_rgba(&mut rng, size, size);
+            let sample = ResizedU8::from_raw(src.clone(), size);
+            let scale = scale_for_max(sample.max_abs());
+            let count = size * size * RGBA_CHANNELS;
+            let mut direct = vec![0i8; count];
+            quantize_planar_from_u8(&src, size, scale, &mut direct);
+            let mut floats = vec![0.0f32; count];
+            normalize_into(&src, size, &mut floats);
+            let mut via_f32 = vec![0i8; count];
+            quantize_with_scale(&floats, scale, &mut via_f32);
+            assert_eq!(direct, via_f32, "size={size}");
+        }
+    }
+
+    #[test]
+    fn warm_resize_is_allocation_free() {
+        let mut rng = Pcg32::seed_from_u64(37);
+        let src = random_rgba(&mut rng, 970, 250);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let r = resize_rgba(&src, 970, 250, 224, &mut ws);
+            ws.recycle_u8(r.into_data());
+        }
+        let warm = ws.stats().allocations;
+        for _ in 0..5 {
+            let r = resize_rgba(&src, 970, 250, 224, &mut ws);
+            ws.recycle_u8(r.into_data());
+        }
+        assert_eq!(
+            ws.stats().allocations,
+            warm,
+            "warm u8 resize must not allocate"
+        );
+    }
+
+    #[test]
+    fn one_by_one_source_broadcasts_its_pixel() {
+        let src = vec![9u8, 18, 27, 255];
+        let mut ws = Workspace::new();
+        let r = resize_rgba(&src, 1, 1, 8, &mut ws);
+        for px in r.data().chunks_exact(RGBA_CHANNELS) {
+            assert_eq!(px, &[9, 18, 27, 255]);
+        }
+    }
+}

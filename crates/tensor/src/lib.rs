@@ -33,6 +33,7 @@ pub mod activation;
 pub mod conv;
 pub mod gemm;
 pub mod gemm_i8;
+pub mod ingest;
 pub mod loss;
 pub mod pool;
 pub mod resize;
@@ -45,12 +46,16 @@ pub mod workspace;
 pub use conv::{
     conv2d_backward, conv2d_forward, conv2d_forward_ep_with, conv2d_forward_pre_ep_with,
     conv2d_forward_q8_fused, conv2d_forward_q8_fused_pre, conv2d_forward_q8_with,
-    conv2d_forward_with, conv2d_sample_ep_into, conv2d_sample_q8_into, Conv2dCfg,
+    conv2d_forward_with, conv2d_sample_ep_into, conv2d_sample_q8_into,
+    conv2d_sample_q8_prequant_into, Conv2dCfg,
 };
 pub use gemm::{gemm_prepacked_acc_ep, EpilogueF32, PackedGemmF32};
 pub use gemm_i8::{
     gemm_i8, gemm_i8_fused, gemm_i8_fused_prepacked, i8_tier, quantize_symmetric,
     quantize_symmetric_per_row, set_i8_tier_override, I8Tier, PackedGemmI8, RequantEpilogue,
+};
+pub use ingest::{
+    max_abs_from_bytes, normalize_into, quantize_planar_from_u8, resize_rgba, ResizedU8,
 };
 pub use pool::{
     global_avg_pool_backward, global_avg_pool_forward, max_pool_backward, max_pool_forward, PoolCfg,

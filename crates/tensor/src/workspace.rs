@@ -12,9 +12,10 @@
 //! gymnastics when a caller needs several scratch buffers at once.
 //!
 //! The int8 inference path ([`crate::gemm_i8`](mod@crate::gemm_i8)) needs quantized activations
-//! and `i32` accumulators in addition to the `f32` buffers, so the arena
-//! keeps three typed free lists (`f32`, `i8`, `i32`) behind the same
-//! take/recycle protocol and one shared set of allocation counters.
+//! and `i32` accumulators in addition to the `f32` buffers, and the fused
+//! ingest path ([`crate::ingest`]) resizes creatives in the `u8` domain, so
+//! the arena keeps four typed free lists (`f32`, `i8`, `i32`, `u8`) behind
+//! the same take/recycle protocol and one shared set of allocation counters.
 
 use std::cell::RefCell;
 
@@ -33,12 +34,13 @@ pub struct WorkspaceStats {
     pub weight_packs: u64,
 }
 
-/// A recycling arena of `f32`, `i8` and `i32` scratch buffers.
+/// A recycling arena of `f32`, `i8`, `i32` and `u8` scratch buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: Vec<Vec<f32>>,
     free_i8: Vec<Vec<i8>>,
     free_i32: Vec<Vec<i32>>,
+    free_u8: Vec<Vec<u8>>,
     stats: WorkspaceStats,
 }
 
@@ -140,6 +142,17 @@ impl Workspace {
         recycle_into(&mut self.free_i32, buf);
     }
 
+    /// Hands out a zero-filled `u8` buffer (interleaved RGBA pixels of the
+    /// fused ingest path's resized intermediates).
+    pub fn take_u8(&mut self, len: usize) -> Vec<u8> {
+        take_from(&mut self.free_u8, &mut self.stats, len)
+    }
+
+    /// Returns a `u8` buffer to the arena.
+    pub fn recycle_u8(&mut self, buf: Vec<u8>) {
+        recycle_into(&mut self.free_u8, buf);
+    }
+
     /// Allocation counters so far.
     pub fn stats(&self) -> WorkspaceStats {
         self.stats
@@ -153,13 +166,14 @@ impl Workspace {
         self.stats.weight_packs += 1;
     }
 
-    /// Bytes currently parked in the arena (all three typed lists).
+    /// Bytes currently parked in the arena (all four typed lists).
     pub fn retained_bytes(&self) -> usize {
         self.free
             .iter()
             .map(|b| b.capacity() * core::mem::size_of::<f32>())
             .sum::<usize>()
             + self.free_i8.iter().map(Vec::capacity).sum::<usize>()
+            + self.free_u8.iter().map(Vec::capacity).sum::<usize>()
             + self
                 .free_i32
                 .iter()
@@ -172,6 +186,7 @@ impl Workspace {
         self.free.clear();
         self.free_i8.clear();
         self.free_i32.clear();
+        self.free_u8.clear();
     }
 }
 

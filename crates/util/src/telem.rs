@@ -4,10 +4,11 @@
 //! PERCIVAL's headline claim is a latency budget, and an aggregate
 //! histogram cannot answer "where did this p99 request spend its 20ms?".
 //! The recorder attributes each sampled request's wall time to the
-//! pipeline stages it crossed — cascade tier 0/1, content hashing, the
-//! admission probe, queue wait, batch formation, every compiled plan op,
-//! publish — plus one `EndToEnd` span per sampled request, all correlated
-//! by the request's content-hash key.
+//! pipeline stages it crossed — image decode, cascade tier 0/1, content
+//! hashing, the admission probe, the submit-side u8 resize (preprocess),
+//! queue wait, batch formation, every compiled plan op, publish — plus
+//! one `EndToEnd` span per sampled request, all correlated by the
+//! request's content-hash key.
 //!
 //! Design constraints, in order:
 //!
@@ -98,6 +99,8 @@ impl PlanOpKind {
 /// one span of each scalar kind plus one `PlanOp` span per compiled op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageKind {
+    /// Image decode: compressed creative bytes to an RGBA bitmap.
+    Decode,
     /// Cascade tier 0: network filter-list match.
     CascadeT0,
     /// Cascade tier 1: structural pre-filter score.
@@ -106,13 +109,21 @@ pub enum StageKind {
     Hash,
     /// The admission probe (`admission_hint`).
     AdmissionHint,
-    /// The submission call: preprocessing the creative into the model
-    /// tensor plus admission through the overload gate (including any
-    /// backpressure park under the `Block` policy).
+    /// The submission call: admission through the overload gate (including
+    /// any backpressure park under the `Block` policy). Since the fused
+    /// ingest path the preprocessing inside this span is only the u8-domain
+    /// resize — broken out as a nested [`StageKind::Preprocess`] child —
+    /// while normalization/quantization moved out of submission entirely,
+    /// into batch formation ([`StageKind::BatchForm`]).
     Submit,
+    /// The submit-side ingest kernel: u8-domain resize of the creative to
+    /// the model's input geometry (the compact byte sample the flight
+    /// queue holds). Nested inside [`StageKind::Submit`].
+    Preprocess,
     /// Queue push to batch formation.
     QueueWait,
-    /// Batch formation start to forward-pass start (tensor assembly).
+    /// Batch formation start to forward-pass start (normalize/quantize
+    /// the queued byte samples into the batch input).
     BatchForm,
     /// One compiled plan op of the forward pass that served this request.
     PlanOp {
@@ -130,12 +141,14 @@ pub enum StageKind {
 
 /// The stage groups, in pipeline order ([`StageKind::PlanOp`] collapses
 /// to one group regardless of index).
-pub const STAGE_GROUPS: [&str; 10] = [
+pub const STAGE_GROUPS: [&str; 12] = [
+    "Decode",
     "CascadeT0",
     "CascadeT1",
     "Hash",
     "AdmissionHint",
     "Submit",
+    "Preprocess",
     "QueueWait",
     "BatchForm",
     "PlanOp",
@@ -158,6 +171,8 @@ impl StageKind {
             StageKind::Publish => 7,
             StageKind::EndToEnd => 8,
             StageKind::Submit => 9,
+            StageKind::Decode => 10,
+            StageKind::Preprocess => 11,
         }
     }
 
@@ -176,6 +191,8 @@ impl StageKind {
             7 => StageKind::Publish,
             8 => StageKind::EndToEnd,
             9 => StageKind::Submit,
+            10 => StageKind::Decode,
+            11 => StageKind::Preprocess,
             _ => return None,
         })
     }
@@ -184,6 +201,8 @@ impl StageKind {
     /// index collapse into `"PlanOp"`).
     pub fn group(&self) -> &'static str {
         match self {
+            StageKind::Decode => "Decode",
+            StageKind::Preprocess => "Preprocess",
             StageKind::CascadeT0 => "CascadeT0",
             StageKind::CascadeT1 => "CascadeT1",
             StageKind::Hash => "Hash",
@@ -211,6 +230,8 @@ impl StageKind {
     /// Parses a label produced by [`StageKind::label`].
     pub fn from_label(label: &str) -> Option<StageKind> {
         Some(match label {
+            "Decode" => StageKind::Decode,
+            "Preprocess" => StageKind::Preprocess,
             "CascadeT0" => StageKind::CascadeT0,
             "CascadeT1" => StageKind::CascadeT1,
             "Hash" => StageKind::Hash,
@@ -804,7 +825,7 @@ pub struct StageSummary {
 
 /// Summarizes spans into one row per stage group, in pipeline order.
 /// Groups with no spans report zero counts, so a caller can assert
-/// coverage of all nine kinds.
+/// coverage of every kind.
 pub fn stage_summary(spans: &[SpanEvent]) -> Vec<StageSummary> {
     use crate::hist::LatencyHistogram;
     STAGE_GROUPS
@@ -873,11 +894,13 @@ mod tests {
     #[test]
     fn stage_kinds_round_trip_the_word_encoding() {
         let kinds = [
+            StageKind::Decode,
             StageKind::CascadeT0,
             StageKind::CascadeT1,
             StageKind::Hash,
             StageKind::AdmissionHint,
             StageKind::Submit,
+            StageKind::Preprocess,
             StageKind::QueueWait,
             StageKind::BatchForm,
             StageKind::PlanOp {
